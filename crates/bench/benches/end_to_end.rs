@@ -1,0 +1,76 @@
+//! Criterion benchmarks of the full pipelines: random sampling (CPU and
+//! simulated-GPU paths) vs the truncated-QP3 baseline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rlra_core::{qp3_low_rank, sample_fixed_rank, sample_fixed_rank_gpu, SamplerConfig};
+use rlra_gpu::Gpu;
+
+fn test_matrix(m: usize, n: usize) -> rlra_matrix::Mat {
+    let mut rng = StdRng::seed_from_u64(7);
+    let spec = rlra_data::power_spectrum(n);
+    rlra_data::matrix_with_spectrum(m, n, &spec, &mut rng).unwrap().a
+}
+
+fn bench_pipelines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("end_to_end");
+    group.sample_size(10);
+    let (m, n, k) = (1_500usize, 400usize, 20usize);
+    let a = test_matrix(m, n);
+    for q in [0usize, 1] {
+        let cfg = SamplerConfig::new(k).with_q(q);
+        group.bench_with_input(BenchmarkId::new("random_sampling_cpu", q), &q, |b, _| {
+            let mut rng = StdRng::seed_from_u64(1);
+            b.iter(|| sample_fixed_rank(&a, &cfg, &mut rng).unwrap())
+        });
+    }
+    group.bench_function("qp3_baseline_cpu", |b| b.iter(|| qp3_low_rank(&a, k).unwrap()));
+    group.bench_function("random_sampling_sim_gpu", |b| {
+        let cfg = SamplerConfig::new(k);
+        let mut rng = StdRng::seed_from_u64(2);
+        b.iter(|| {
+            let mut gpu = Gpu::k40c();
+            let ad = gpu.resident(&a);
+            sample_fixed_rank_gpu(&mut gpu, &ad, &cfg, &mut rng).unwrap()
+        })
+    });
+    // Hierarchical compression + solve on a kernel system.
+    group.bench_function("hodlr_compress_256", |b| {
+        let pts = rlra_data::uniform_points(256);
+        let mut ker = rlra_data::kernel_matrix(rlra_data::Kernel::Exponential { gamma: 16.0 }, &pts);
+        for i in 0..256 {
+            ker[(i, i)] += 1.0;
+        }
+        let cfg = SamplerConfig::new(8).with_p(6).with_q(1);
+        let mut rng = StdRng::seed_from_u64(4);
+        b.iter(|| rlra_core::HodlrMatrix::compress(&ker, 64, &cfg, &mut rng).unwrap())
+    });
+    group.bench_function("hodlr_solve_256", |b| {
+        let pts = rlra_data::uniform_points(256);
+        let mut ker = rlra_data::kernel_matrix(rlra_data::Kernel::Exponential { gamma: 16.0 }, &pts);
+        for i in 0..256 {
+            ker[(i, i)] += 1.0;
+        }
+        let cfg = SamplerConfig::new(8).with_p(6).with_q(1);
+        let mut rng = StdRng::seed_from_u64(5);
+        let h = rlra_core::HodlrMatrix::compress(&ker, 64, &cfg, &mut rng).unwrap();
+        let rhs: Vec<f64> = (0..256).map(|i| (i as f64 * 0.1).sin()).collect();
+        b.iter(|| h.solve(&rhs).unwrap())
+    });
+    // Dry-run timing at paper scale: measures the simulator's own
+    // overhead (should be microseconds).
+    group.bench_function("dry_run_full_scale", |b| {
+        let cfg = SamplerConfig::new(54).with_p(10).with_q(1);
+        let mut rng = StdRng::seed_from_u64(3);
+        b.iter(|| {
+            let mut gpu = Gpu::k40c_dry();
+            let ad = gpu.resident_shape(50_000, 2_500);
+            sample_fixed_rank_gpu(&mut gpu, &ad, &cfg, &mut rng).unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipelines);
+criterion_main!(benches);

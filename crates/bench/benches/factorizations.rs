@@ -1,0 +1,80 @@
+//! Criterion benchmarks of the dense factorizations: the orthogonalization
+//! schemes of the paper's Figure 7 (here as real CPU kernels) and the
+//! QRCP baselines.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rlra_matrix::gaussian_mat;
+
+fn bench_tall_skinny_qr(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tall_skinny_qr");
+    let mut rng = StdRng::seed_from_u64(1);
+    let (m, n) = (4_000usize, 64usize);
+    let a = gaussian_mat(m, n, &mut rng);
+    group.bench_function(BenchmarkId::new("cholqr", format!("{m}x{n}")), |b| {
+        b.iter(|| rlra_lapack::cholqr(&a).unwrap())
+    });
+    group.bench_function(BenchmarkId::new("cholqr2", format!("{m}x{n}")), |b| {
+        b.iter(|| rlra_lapack::cholqr2(&a).unwrap())
+    });
+    group.bench_function(BenchmarkId::new("hhqr", format!("{m}x{n}")), |b| {
+        b.iter(|| rlra_lapack::qr_factor(&a))
+    });
+    group.bench_function(BenchmarkId::new("cgs", format!("{m}x{n}")), |b| {
+        b.iter(|| rlra_lapack::cgs(&a).unwrap())
+    });
+    group.bench_function(BenchmarkId::new("mgs", format!("{m}x{n}")), |b| {
+        b.iter(|| rlra_lapack::mgs(&a).unwrap())
+    });
+    group.bench_function(BenchmarkId::new("tsqr", format!("{m}x{n}")), |b| {
+        b.iter(|| rlra_lapack::tsqr(&a, 512).unwrap())
+    });
+    group.bench_function(BenchmarkId::new("cholqr_mixed", format!("{m}x{n}")), |b| {
+        b.iter(|| rlra_lapack::cholqr_mixed(&a).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_qrcp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("qrcp");
+    let mut rng = StdRng::seed_from_u64(2);
+    let (m, n, k) = (1_000usize, 500usize, 64usize);
+    let a = gaussian_mat(m, n, &mut rng);
+    group.bench_function(BenchmarkId::new("column", format!("{m}x{n} k={k}")), |b| {
+        b.iter(|| rlra_lapack::qrcp_column(&a, k).unwrap())
+    });
+    group.bench_function(BenchmarkId::new("qp3_blocked", format!("{m}x{n} k={k}")), |b| {
+        b.iter(|| rlra_lapack::qp3_blocked(&a, k, 32).unwrap())
+    });
+    group.bench_function(BenchmarkId::new("tournament", format!("{m}x{n} k={k}")), |b| {
+        b.iter(|| rlra_lapack::tournament_qrcp(&a, k).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_cholesky_svd(c: &mut Criterion) {
+    let mut group = c.benchmark_group("small_factorizations");
+    let mut rng = StdRng::seed_from_u64(3);
+    let g = {
+        let b = gaussian_mat(96, 128, &mut rng);
+        let mut g = rlra_matrix::Mat::zeros(96, 96);
+        rlra_blas::syrk(1.0, b.as_ref(), rlra_blas::Trans::No, 0.0, g.as_mut(), rlra_blas::UpLo::Upper)
+            .unwrap();
+        for j in 0..96 {
+            for i in 0..j {
+                let v = g[(i, j)];
+                g[(j, i)] = v;
+            }
+            g[(j, j)] += 96.0;
+        }
+        g
+    };
+    group.bench_function("cholesky_96", |b| b.iter(|| rlra_lapack::cholesky_upper(&g).unwrap()));
+    let a = gaussian_mat(48, 32, &mut rng);
+    group.bench_function("jacobi_svd_48x32", |b| b.iter(|| rlra_lapack::svd_jacobi(&a).unwrap()));
+    group.finish();
+}
+
+criterion_group!(benches, bench_tall_skinny_qr, bench_qrcp, bench_cholesky_svd);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Criterion benchmarks of the CPU BLAS kernels backing the simulation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rlra_blas::{gemm, gemv, Trans};
+use rlra_matrix::{gaussian_mat, Mat};
+
+fn bench_gemm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gemm");
+    let mut rng = StdRng::seed_from_u64(1);
+    for &(m, n, k) in &[(64usize, 64usize, 64usize), (256, 256, 256), (64, 1000, 2000)] {
+        let a = gaussian_mat(m, k, &mut rng);
+        let b = gaussian_mat(k, n, &mut rng);
+        let mut cmat = Mat::zeros(m, n);
+        group.throughput(Throughput::Elements((2 * m * n * k) as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{m}x{n}x{k}")),
+            &(m, n, k),
+            |bch, _| {
+                bch.iter(|| {
+                    gemm(1.0, a.as_ref(), Trans::No, b.as_ref(), Trans::No, 0.0, cmat.as_mut())
+                        .unwrap()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_gemv(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gemv");
+    let mut rng = StdRng::seed_from_u64(2);
+    for &(m, n) in &[(1000usize, 1000usize), (10_000, 500)] {
+        let a = gaussian_mat(m, n, &mut rng);
+        let x: Vec<f64> = (0..n).map(|i| (i as f64).sin()).collect();
+        let mut y = vec![0.0; m];
+        group.throughput(Throughput::Elements((2 * m * n) as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(format!("{m}x{n}")), &(m, n), |b, _| {
+            b.iter(|| gemv(1.0, a.as_ref(), Trans::No, &x, 0.0, &mut y).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_dot(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dot");
+    for &n in &[1_000usize, 100_000] {
+        let x: Vec<f64> = (0..n).map(|i| (i as f64).sin()).collect();
+        let y: Vec<f64> = (0..n).map(|i| (i as f64).cos()).collect();
+        group.throughput(Throughput::Elements(2 * n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| rlra_blas::dot(&x, &y))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_gemm, bench_gemv, bench_dot);
+criterion_main!(benches);

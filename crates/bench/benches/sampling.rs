@@ -1,0 +1,47 @@
+//! Criterion benchmarks of the sampling operators: Gaussian GEMM vs SRFT
+//! (full and pruned) — the real-CPU analogue of the paper's Figure 8.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rlra_blas::Trans;
+use rlra_fft::{SrftOperator, SrftScheme};
+use rlra_matrix::{gaussian_mat, Mat};
+
+fn bench_sampling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sampling");
+    let mut rng = StdRng::seed_from_u64(1);
+    let (m, n) = (4_096usize, 256usize);
+    let a = gaussian_mat(m, n, &mut rng);
+    for &l in &[16usize, 64] {
+        let omega = gaussian_mat(l, m, &mut rng);
+        let mut bmat = Mat::zeros(l, n);
+        group.bench_with_input(BenchmarkId::new("gaussian_gemm", l), &l, |b, _| {
+            b.iter(|| {
+                rlra_blas::gemm(1.0, omega.as_ref(), Trans::No, a.as_ref(), Trans::No, 0.0, bmat.as_mut())
+                    .unwrap()
+            })
+        });
+        let full = SrftOperator::new(m, l, SrftScheme::Full, &mut rng).unwrap();
+        group.bench_with_input(BenchmarkId::new("srft_full", l), &l, |b, _| {
+            b.iter(|| full.sample_rows(&a).unwrap())
+        });
+        let pruned = SrftOperator::new(m, l, SrftScheme::Pruned, &mut rng).unwrap();
+        group.bench_with_input(BenchmarkId::new("srft_pruned", l), &l, |b, _| {
+            b.iter(|| pruned.sample_rows(&a).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_prng(c: &mut Criterion) {
+    let mut group = c.benchmark_group("prng");
+    group.bench_function("gaussian_64x4096", |b| {
+        let mut rng = StdRng::seed_from_u64(2);
+        b.iter(|| gaussian_mat(64, 4_096, &mut rng))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sampling, bench_prng);
+criterion_main!(benches);

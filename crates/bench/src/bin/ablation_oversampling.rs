@@ -1,0 +1,51 @@
+//! Ablation: the oversampling parameter p and the power-iteration count q
+//! (the paper's §7: "Without oversampling (p = 0), the error norm was
+//! about an order of magnitude greater. A greater oversampling (p = 20
+//! or 50) could further improve the accuracy, but with a smaller factor
+//! (C(Ω, p) ∝ p^{-1/2})").
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rlra_bench::Table;
+use rlra_core::{sample_fixed_rank, SamplerConfig};
+use rlra_data::{matrix_with_spectrum, power_spectrum};
+
+fn main() {
+    let (m, n, k) = (1_500usize, 400usize, 30usize);
+    let trials = 5;
+    let mut rng = StdRng::seed_from_u64(2015);
+    let spec = power_spectrum(n);
+    let tm = matrix_with_spectrum(m, n, &spec, &mut rng).expect("generator");
+    let sigma_k1 = tm.sigma_after(k);
+
+    let mean_err = |p: usize, q: usize, rng: &mut StdRng| -> f64 {
+        (0..trials)
+            .map(|_| {
+                let cfg = SamplerConfig::new(k).with_p(p).with_q(q);
+                sample_fixed_rank(&tm.a, &cfg, rng).expect("sampler").error_spectral(&tm.a).expect("error")
+            })
+            .sum::<f64>()
+            / trials as f64
+    };
+
+    let mut table = Table::new(
+        format!("Ablation: error vs oversampling p (power matrix {m} x {n}, k = {k}, mean of {trials})"),
+        &["p", "q=0", "q=1", "err(q=0)/sigma_k+1"],
+    );
+    for p in [0usize, 2, 5, 10, 20, 50] {
+        let e0 = mean_err(p, 0, &mut rng);
+        let e1 = mean_err(p, 1, &mut rng);
+        table.row(vec![
+            p.to_string(),
+            format!("{e0:.3e}"),
+            format!("{e1:.3e}"),
+            format!("{:.1}", e0 / sigma_k1),
+        ]);
+    }
+    table.print();
+    let _ = table.save_csv("ablation_oversampling");
+    println!(
+        "\nsigma_k+1 = {sigma_k1:.3e}. Expected shape: p = 0 an order worse than p = 10;\n\
+         p = 20/50 only marginally better (C ~ p^-1/2); q = 1 flattens the p-dependence."
+    );
+}

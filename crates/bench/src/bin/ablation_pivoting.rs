@@ -1,0 +1,73 @@
+//! Ablation: pivot selection — per-pivot-synchronizing QP3 vs the
+//! communication-avoiding tournament pivoting the paper cites as \[4\]
+//! ("we plan to … compare with … the communication-avoiding QP3").
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rlra_bench::{fmt_time, Table};
+use rlra_gpu::algos::{gpu_qp3_truncated, gpu_tournament_qrcp};
+use rlra_gpu::{Gpu, Phase};
+use rlra_matrix::{gaussian_mat, Mat};
+
+fn decaying(m: usize, n: usize, decay: f64, rng: &mut StdRng) -> Mat {
+    let r = m.min(n);
+    let x = rlra_lapack::form_q(&gaussian_mat(m, r, rng));
+    let y = rlra_lapack::form_q(&gaussian_mat(n, r, rng));
+    let xs = Mat::from_fn(m, r, |i, j| x[(i, j)] * decay.powi(j as i32));
+    let mut a = Mat::zeros(m, n);
+    rlra_blas::gemm(1.0, xs.as_ref(), rlra_blas::Trans::No, y.as_ref(), rlra_blas::Trans::Yes, 0.0, a.as_mut())
+        .unwrap();
+    a
+}
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(2015);
+
+    // --- Accuracy at verifiable scale ---------------------------------------
+    let (m, n, k) = (300usize, 200usize, 16usize);
+    let a = decaying(m, n, 0.8, &mut rng);
+    let qp3 = rlra_lapack::qp3_blocked(&a, k, 32).unwrap();
+    let ap = qp3.perm.apply_cols(&a).unwrap();
+    let e_qp3 = rlra_matrix::norms::spectral_norm_mat(
+        &rlra_matrix::ops::sub(&ap, &qp3.reconstruct()).unwrap(),
+    );
+    let tp = rlra_lapack::tournament_qrcp(&a, k).unwrap();
+    let e_tp = tp.error_spectral(&a).unwrap();
+    let mut acc = Table::new(
+        format!("Ablation: pivoting accuracy, {m} x {n}, k = {k} (decay 0.8)"),
+        &["method", "|AP - QR|_2", "vs QP3"],
+    );
+    acc.row(vec!["QP3".into(), format!("{e_qp3:.3e}"), "1.00x".into()]);
+    acc.row(vec!["tournament".into(), format!("{e_tp:.3e}"), format!("{:.2}x", e_tp / e_qp3)]);
+    acc.print();
+    let _ = acc.save_csv("ablation_pivot_accuracy");
+
+    // --- Simulated time + syncs at paper scale ------------------------------
+    let (m, n, k) = (50_000usize, 2_500usize, 64usize);
+    let mut perf = Table::new(
+        format!("Ablation: pivoting cost on the simulated K40c, {m} x {n}, k = {k}"),
+        &["method", "time", "host syncs", "speedup"],
+    );
+    let mut g1 = Gpu::k40c_dry();
+    let a1 = g1.resident_shape(m, n);
+    gpu_qp3_truncated(&mut g1, Phase::Other, &a1, k).unwrap();
+    let (t_qp3, s_qp3) = (g1.clock(), g1.syncs);
+    let mut g2 = Gpu::k40c_dry();
+    let a2 = g2.resident_shape(m, n);
+    gpu_tournament_qrcp(&mut g2, Phase::Other, &a2, k).unwrap();
+    let (t_tp, s_tp) = (g2.clock(), g2.syncs);
+    perf.row(vec!["QP3".into(), fmt_time(t_qp3), s_qp3.to_string(), "1.0x".into()]);
+    perf.row(vec![
+        "tournament".into(),
+        fmt_time(t_tp),
+        s_tp.to_string(),
+        format!("{:.1}x", t_qp3 / t_tp),
+    ]);
+    perf.print();
+    let _ = perf.save_csv("ablation_pivot_time");
+    println!(
+        "\nTakeaway: tournament pivoting trades a bounded accuracy factor for an order of\n\
+         magnitude fewer synchronizations — the same communication-vs-flops trade the paper\n\
+         makes with random sampling itself."
+    );
+}

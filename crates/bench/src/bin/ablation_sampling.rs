@@ -1,0 +1,77 @@
+//! Ablation: sampling operators — pruned Gaussian (GEMM) vs full SRFT vs
+//! pruned SRFT — on real CPU wall-clock, flop counts, and accuracy.
+//! Complements Figure 8 (which uses the simulated-GPU rates).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rlra_bench::Table;
+use rlra_core::{sample_fixed_rank, SamplerConfig, SamplingKind};
+use rlra_data::{matrix_with_spectrum, power_spectrum};
+use rlra_fft::{SrftOperator, SrftScheme};
+use rlra_matrix::gaussian_mat;
+use std::time::Instant;
+
+fn main() {
+    let (m, n, k, p) = (4_096usize, 300usize, 20usize, 10usize);
+    let l = k + p;
+    let mut rng = StdRng::seed_from_u64(2015);
+    let spec = power_spectrum(n);
+    let tm = matrix_with_spectrum(m, n, &spec, &mut rng).expect("generator");
+
+    // --- Operator-level wall clock and flops --------------------------------
+    let mut ops = Table::new(
+        format!("Ablation: sampling operator cost (A is {m} x {n}, l = {l}), this CPU"),
+        &["operator", "wall clock", "flops", "B shape"],
+    );
+    {
+        let omega = gaussian_mat(l, m, &mut rng);
+        let mut b = rlra_matrix::Mat::zeros(l, n);
+        let t = Instant::now();
+        rlra_blas::gemm(1.0, omega.as_ref(), rlra_blas::Trans::No, tm.a.as_ref(), rlra_blas::Trans::No, 0.0, b.as_mut())
+            .unwrap();
+        let dt = t.elapsed();
+        ops.row(vec![
+            "Gaussian GEMM".into(),
+            format!("{dt:.2?}"),
+            format!("{:.2e}", 2.0 * (l * m * n) as f64),
+            format!("{l} x {n}"),
+        ]);
+    }
+    for (name, scheme) in [("SRFT full", SrftScheme::Full), ("SRFT pruned", SrftScheme::Pruned)] {
+        let op = SrftOperator::new(m, l, scheme, &mut rng).unwrap();
+        let t = Instant::now();
+        let b = op.sample_rows(&tm.a).unwrap();
+        let dt = t.elapsed();
+        ops.row(vec![
+            name.into(),
+            format!("{dt:.2?}"),
+            format!("{:.2e}", op.flops(n) as f64),
+            format!("{} x {}", b.rows(), b.cols()),
+        ]);
+    }
+    ops.print();
+    let _ = ops.save_csv("ablation_sampling_ops");
+
+    // --- End-to-end accuracy -------------------------------------------------
+    let mut acc = Table::new(
+        format!("Ablation: end-to-end accuracy by sampling kind (k = {k}, p = {p}, q = 0)"),
+        &["sampling", "|AP - QR|_2", "/ sigma_k+1"],
+    );
+    let sigma_k1 = tm.sigma_after(k);
+    for (name, kind) in [
+        ("Gaussian", SamplingKind::Gaussian),
+        ("SRFT full", SamplingKind::Fft(SrftScheme::Full)),
+        ("SRFT pruned", SamplingKind::Fft(SrftScheme::Pruned)),
+    ] {
+        let cfg = SamplerConfig::new(k).with_p(p).with_sampling(kind);
+        let lr = sample_fixed_rank(&tm.a, &cfg, &mut rng).expect("sampler");
+        let e = lr.error_spectral(&tm.a).expect("error");
+        acc.row(vec![name.into(), format!("{e:.3e}"), format!("{:.1}", e / sigma_k1)]);
+    }
+    acc.print();
+    let _ = acc.save_csv("ablation_sampling_accuracy");
+    println!(
+        "\nPaper §7: 'FFT sampling gave the approximation errors of the same order' — all\n\
+         three operators should land within a small factor of sigma_k+1 = {sigma_k1:.2e}."
+    );
+}

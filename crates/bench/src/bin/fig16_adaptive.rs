@@ -1,0 +1,64 @@
+//! Figure 16 — convergence of the adaptive-ℓ scheme: error estimate ε̃
+//! vs selected sampling size ℓ for static increments ℓ_inc ∈ {8, 16, 32,
+//! 64}, plus the actual error (real factorizations on the exponent
+//! matrix; q = 0, ε = 1e-12).
+//!
+//! Default scale m = 5,000, n = 500 (the convergence trajectory depends
+//! on the spectrum, which is preserved); `--full` runs the paper's
+//! 50,000 × 2,500 (slow on CPU).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rlra_bench::{BenchOpts, Table};
+use rlra_core::{adaptive_sample, AdaptiveConfig, IncStrategy};
+use rlra_data::{exponent_spectrum, matrix_with_spectrum};
+use rlra_gpu::Gpu;
+
+fn main() {
+    let opts = BenchOpts::from_args();
+    let (m, n) = if opts.full { (50_000, 2_500) } else { (5_000, 500) };
+    // The paper's eps = 1e-12 sits at the floating-point noise floor of
+    // the estimator (n*eps_mach*|A|*|omega| ~ 5e-12 at the paper's scale);
+    // at the reduced default scale the floor is ~1e-11, so the default
+    // tolerance is raised accordingly. --full restores the paper's value.
+    let tol = if opts.full { 1e-12 } else { 1e-10 };
+    let mut rng = StdRng::seed_from_u64(2015);
+    let spec = exponent_spectrum(n.min(m));
+    let tm = matrix_with_spectrum(m, n, &spec, &mut rng).expect("generator");
+
+    for l_inc in [8usize, 16, 32, 64] {
+        let mut table = Table::new(
+            format!("Figure 16: adaptive scheme, exponent {m} x {n}, q = 0, l_inc = {l_inc}, eps = {tol:.0e}"),
+            &["step", "l", "estimate", "actual error"],
+        );
+        let mut gpu = Gpu::k40c();
+        let cfg = AdaptiveConfig {
+            tol,
+            q: 0,
+            reorth: true,
+            inc: IncStrategy::Static(l_inc),
+            l_max: 512.min(n),
+            track_actual: true,
+        };
+        let res = adaptive_sample(&mut gpu, &tm.a, &cfg, &mut rng).expect("adaptive run");
+        for (i, s) in res.steps.iter().enumerate() {
+            table.row(vec![
+                (i + 1).to_string(),
+                s.l.to_string(),
+                format!("{:.2e}", s.estimate),
+                format!("{:.2e}", s.actual_error.unwrap_or(f64::NAN)),
+            ]);
+        }
+        table.print();
+        println!(
+            "   converged = {}, final l = {} (larger l_inc overshoots more)",
+            res.converged,
+            res.l()
+        );
+        let _ = table.save_csv(&format!("fig16_linc{l_inc}"));
+    }
+    println!(
+        "\nPaper reference: estimates are 1-2 orders above the actual error; the l_inc = 8\n\
+         estimates are slightly worse (larger c_ad); all converge around l ~ 140-160."
+    );
+}

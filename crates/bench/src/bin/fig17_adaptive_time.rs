@@ -1,0 +1,74 @@
+//! Figure 17 — adaptive-ℓ convergence in *time*: ε̃ vs elapsed simulated
+//! seconds for static ℓ_inc ∈ {8, 16, 32, 64} and the interpolated
+//! (adaptive-ℓ_inc) variant of each. Small increments pay the Figure 18
+//! GEMM-efficiency penalty.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rlra_bench::{BenchOpts, Table};
+use rlra_core::{adaptive_sample, AdaptiveConfig, IncStrategy};
+use rlra_data::{exponent_spectrum, matrix_with_spectrum};
+use rlra_gpu::Gpu;
+
+fn main() {
+    let opts = BenchOpts::from_args();
+    let (m, n) = if opts.full { (50_000, 2_500) } else { (5_000, 500) };
+    // The paper's eps = 1e-12 sits at the floating-point noise floor of
+    // the estimator (n*eps_mach*|A|*|omega| ~ 5e-12 at the paper's scale);
+    // at the reduced default scale the floor is ~1e-11, so the default
+    // tolerance is raised accordingly. --full restores the paper's value.
+    let tol = if opts.full { 1e-12 } else { 1e-10 };
+    let mut rng = StdRng::seed_from_u64(2015);
+    let spec = exponent_spectrum(n.min(m));
+    let tm = matrix_with_spectrum(m, n, &spec, &mut rng).expect("generator");
+
+    let mut summary = Table::new(
+        format!("Figure 17: time to tolerance, exponent {m} x {n}, q = 0, eps = {tol:.0e}"),
+        &["strategy", "steps", "final l", "sim time (s)", "converged"],
+    );
+    for init in [8usize, 16, 32, 64] {
+        for (label, inc) in [
+            (format!("static l_inc={init}"), IncStrategy::Static(init)),
+            (format!("adapt. l_inc (init {init})"), IncStrategy::Interpolated { init }),
+        ] {
+            let mut gpu = Gpu::k40c();
+            let cfg = AdaptiveConfig {
+                tol,
+                q: 0,
+                reorth: true,
+                inc,
+                l_max: 512.min(n),
+                track_actual: false,
+            };
+            let res = adaptive_sample(&mut gpu, &tm.a, &cfg, &mut rng).expect("adaptive run");
+            let t_total = res.steps.last().map(|s| s.sim_time).unwrap_or(0.0);
+            summary.row(vec![
+                label,
+                res.steps.len().to_string(),
+                res.l().to_string(),
+                format!("{t_total:.4}"),
+                res.converged.to_string(),
+            ]);
+            // Per-step trajectory CSV for plotting.
+            let mut traj = Table::new("trajectory", &["time_s", "estimate", "l"]);
+            for s in &res.steps {
+                traj.row(vec![
+                    format!("{:.6}", s.sim_time),
+                    format!("{:.3e}", s.estimate),
+                    s.l.to_string(),
+                ]);
+            }
+            let tag = match inc {
+                IncStrategy::Static(v) => format!("fig17_static{v}"),
+                IncStrategy::Interpolated { init } => format!("fig17_adapt{init}"),
+            };
+            let _ = traj.save_csv(&tag);
+        }
+    }
+    summary.print();
+    let _ = summary.save_csv("fig17_summary");
+    println!(
+        "\nPaper reference: smaller l_inc converges slower in wall-clock (GPU kernels degrade\n\
+         at small block sizes, Fig. 18); the interpolated l_inc matches the best static choice."
+    );
+}

@@ -1,0 +1,28 @@
+//! Figure 18 (table) — Gflop/s of the GEMM used by the adaptive scheme
+//! for block sizes ℓ_inc ∈ {8, 16, 32, 48, 64} (m = 50,000, n = 2,500).
+//! These five points are calibration anchors of the simulator's cost
+//! model, so this reproduces the paper's table exactly.
+
+use rlra_bench::{fmt_gflops, Table};
+use rlra_gpu::cost::CostModel;
+use rlra_gpu::DeviceSpec;
+
+fn main() {
+    let cost = CostModel::new(DeviceSpec::k40c());
+    let (m, n) = (50_000usize, 2_500usize);
+    let mut table = Table::new(
+        format!("Figure 18: GEMM Gflop/s for the adaptive scheme's block sizes (m = {m}, n = {n})"),
+        &["l_inc", "Gflop/s", "paper"],
+    );
+    for (l, paper) in [(8usize, 123.3), (16, 247.0), (32, 489.5), (48, 597.8), (64, 778.5)] {
+        table.row(vec![
+            l.to_string(),
+            fmt_gflops(cost.gemm_gflops(l, n, m)),
+            fmt_gflops(paper),
+        ]);
+    }
+    table.print();
+    if let Ok(p) = table.save_csv("fig18") {
+        println!("[csv] {}", p.display());
+    }
+}

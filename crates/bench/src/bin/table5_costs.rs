@@ -1,0 +1,44 @@
+//! Figure 5 (table) — computation and communication costs of random
+//! sampling and the deterministic baselines, evaluated at the paper's
+//! reference configuration.
+
+use rlra_bench::Table;
+use rlra_perfmodel::{caqp3_cost, qp3_cost, rs_step_cost, rs_total_cost, Dims, RsStep};
+
+fn main() {
+    let d = Dims { m: 50_000, n: 2_500, k: 54, p: 10, q: 1 };
+    let fast_mem = 1.5e6; // ~12 MB of f64 on-chip
+    let mut table = Table::new(
+        format!(
+            "Figure 5: costs at m = {}, n = {}, l = {}, q = {} (fast memory {:.1e} words)",
+            d.m, d.n, d.l(), d.q, fast_mem
+        ),
+        &["step", "#flops", "#words"],
+    );
+    let fmt = |v: f64| format!("{v:.3e}");
+    for (name, step) in [
+        ("Sampling (Gaussian)", RsStep::SamplingGaussian),
+        ("Sampling (FFT)", RsStep::SamplingFft),
+        ("Iter. (mult.)", RsStep::IterMult),
+        ("Iter. (orth.)", RsStep::IterOrth),
+        ("QRCP", RsStep::Qrcp),
+        ("QR", RsStep::Qr),
+    ] {
+        let c = rs_step_cost(step, d, fast_mem);
+        table.row(vec![name.into(), fmt(c.flops), fmt(c.words)]);
+    }
+    let total = rs_total_cost(d, fast_mem);
+    table.row(vec!["Total (RS, Gaussian)".into(), fmt(total.flops), fmt(total.words)]);
+    let qp3 = qp3_cost(d);
+    table.row(vec!["QP3".into(), fmt(qp3.flops), fmt(qp3.words)]);
+    let ca = caqp3_cost(d, fast_mem);
+    table.row(vec!["CAQP3".into(), fmt(ca.flops), fmt(ca.words)]);
+    table.print();
+    if let Ok(p) = table.save_csv("table5") {
+        println!("[csv] {}", p.display());
+    }
+    println!(
+        "\nPaper reference (orders): RS total O(mn*l*(1+2q)) flops, O(mn*l*(1+2q)/sqrt(M)) words;\n\
+         QP3 O(mnk) flops AND O(mnk) words (BLAS-2 half has no reuse); CAQP3 trades flops for words."
+    );
+}

@@ -1,0 +1,159 @@
+//! # rlra-bench
+//!
+//! Benchmark harness regenerating **every table and figure** of the
+//! paper's evaluation (see DESIGN.md §4 for the experiment index).
+//!
+//! Each `src/bin/figNN_*.rs` binary prints the same rows/series the
+//! paper reports (and drops a CSV next to it under `target/figures/`);
+//! the Criterion benches under `benches/` measure the real wall-clock
+//! performance of the CPU kernels backing the simulation.
+//!
+//! Conventions:
+//!
+//! - Performance figures run the simulated GPU in **dry-run mode** at the
+//!   paper's full problem sizes (timing is analytic, so this is instant).
+//! - Numerical figures (6, 16, 17) **compute real factorizations**; by
+//!   default they run at a reduced scale that preserves the spectra
+//!   (documented per binary), and accept `--full` for the paper's sizes.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::PathBuf;
+
+/// Runtime options shared by the figure binaries.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BenchOpts {
+    /// Run the numerical experiments at the paper's full sizes.
+    pub full: bool,
+}
+
+impl BenchOpts {
+    /// Parses `--full` from the process arguments.
+    pub fn from_args() -> Self {
+        let full = std::env::args().any(|a| a == "--full");
+        BenchOpts { full }
+    }
+}
+
+/// A printable results table that mirrors one of the paper's figures.
+#[derive(Debug, Clone)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with a title and column headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (stringified cells).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Renders the table to a string.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, c) in widths.iter_mut().zip(row) {
+                *w = (*w).max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "\n== {} ==", self.title);
+        let mut header = String::new();
+        for (h, w) in self.headers.iter().zip(&widths) {
+            let _ = write!(header, "{h:>w$}  ", w = w);
+        }
+        let _ = writeln!(out, "{}", header.trim_end());
+        let _ = writeln!(out, "{}", "-".repeat(header.trim_end().len()));
+        for row in &self.rows {
+            let mut line = String::new();
+            for (c, w) in row.iter().zip(&widths) {
+                let _ = write!(line, "{c:>w$}  ", w = w);
+            }
+            let _ = writeln!(out, "{}", line.trim_end());
+        }
+        out
+    }
+
+    /// Prints the table to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+
+    /// Writes the table as CSV under `target/figures/<name>.csv` and
+    /// returns the path.
+    pub fn save_csv(&self, name: &str) -> std::io::Result<PathBuf> {
+        let dir = PathBuf::from("target/figures");
+        fs::create_dir_all(&dir)?;
+        let path = dir.join(format!("{name}.csv"));
+        let mut s = String::new();
+        let _ = writeln!(s, "{}", self.headers.join(","));
+        for row in &self.rows {
+            let _ = writeln!(s, "{}", row.join(","));
+        }
+        fs::write(&path, s)?;
+        Ok(path)
+    }
+}
+
+/// Formats seconds with adaptive precision (µs → s).
+pub fn fmt_time(secs: f64) -> String {
+    if secs < 1e-3 {
+        format!("{:.1} us", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2} ms", secs * 1e3)
+    } else {
+        format!("{secs:.3} s")
+    }
+}
+
+/// Formats a throughput in Gflop/s.
+pub fn fmt_gflops(g: f64) -> String {
+    format!("{g:.1}")
+}
+
+/// Formats a relative error in scientific notation (as Figure 6 does).
+pub fn fmt_err(e: f64) -> String {
+    format!("{e:.2e}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new("demo", &["m", "time"]);
+        t.row(vec!["100".into(), "1.5 ms".into()]);
+        t.row(vec!["100000".into(), "12.5 ms".into()]);
+        let s = t.render();
+        assert!(s.contains("demo"));
+        assert!(s.contains("100000"));
+        let lines: Vec<&str> = s.lines().collect();
+        assert!(lines[3].starts_with('-') || lines[2].starts_with('-'));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn row_width_checked() {
+        let mut t = Table::new("demo", &["a", "b"]);
+        t.row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn time_formats() {
+        assert_eq!(fmt_time(0.5e-4), "50.0 us");
+        assert_eq!(fmt_time(0.0125), "12.50 ms");
+        assert_eq!(fmt_time(2.0), "2.000 s");
+    }
+}

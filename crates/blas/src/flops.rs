@@ -1,0 +1,120 @@
+//! Floating-point operation counts for the kernels in this crate.
+//!
+//! The simulated-GPU cost model (`rlra-gpu`) and the analytic performance
+//! model (`rlra-perfmodel`, reproducing the paper's Figure 5) both consume
+//! these counts, so they are defined once here.
+
+/// Flops of `C ← α·op(A)op(B) + β·C` with `op(A)` of shape `m × k` and
+/// `op(B)` of shape `k × n`: one multiply and one add per inner-product
+/// term.
+pub fn gemm_flops(m: usize, n: usize, k: usize) -> u64 {
+    2 * m as u64 * n as u64 * k as u64
+}
+
+/// Flops of `y ← α·op(A)x + β·y` for an `m × n` operand.
+pub fn gemv_flops(m: usize, n: usize) -> u64 {
+    2 * m as u64 * n as u64
+}
+
+/// Flops of the rank-1 update `A ← A + α x yᵀ` for an `m × n` matrix.
+pub fn ger_flops(m: usize, n: usize) -> u64 {
+    2 * m as u64 * n as u64
+}
+
+/// Flops of a symmetric rank-k update producing an `n × n` triangle from an
+/// `n × k` operand.
+pub fn syrk_flops(n: usize, k: usize) -> u64 {
+    n as u64 * (n as u64 + 1) * k as u64
+}
+
+/// Flops of a triangular solve with an `n × n` triangle against `nrhs`
+/// right-hand sides.
+pub fn trsm_flops(n: usize, nrhs: usize) -> u64 {
+    n as u64 * n as u64 * nrhs as u64
+}
+
+/// Flops of a triangular matrix-matrix multiply (same count as `trsm`).
+pub fn trmm_flops(n: usize, nrhs: usize) -> u64 {
+    n as u64 * n as u64 * nrhs as u64
+}
+
+/// Flops of a dot product of length `n`.
+pub fn dot_flops(n: usize) -> u64 {
+    2 * n as u64
+}
+
+/// Flops of an `axpy` of length `n`.
+pub fn axpy_flops(n: usize) -> u64 {
+    2 * n as u64
+}
+
+/// Flops of a Cholesky factorization of an `n × n` matrix (`n³/3` leading
+/// order).
+pub fn cholesky_flops(n: usize) -> u64 {
+    let n = n as u64;
+    n * n * n / 3 + n * n / 2
+}
+
+/// Flops of an unpivoted Householder QR of an `m × n` matrix (`m ≥ n`),
+/// leading order `2mn² − 2n³/3`.
+pub fn qr_flops(m: usize, n: usize) -> u64 {
+    let (m, n) = (m as u64, n as u64);
+    2 * m * n * n - 2 * n * n * n / 3
+}
+
+/// Flops of a truncated QP3 run for `k` steps on an `m × n` matrix:
+/// `4mnk − 2(m+n)k² + 4k³/3` leading order (LAPACK working notes).
+pub fn qp3_flops(m: usize, n: usize, k: usize) -> u64 {
+    let (m, n, k) = (m as i128, n as i128, k as i128);
+    let f = 4 * m * n * k - 2 * (m + n) * k * k + 4 * k * k * k / 3;
+    f.max(0) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gemm_flops_formula() {
+        assert_eq!(gemm_flops(2, 3, 4), 48);
+    }
+
+    #[test]
+    fn gemv_is_gemm_with_single_column() {
+        assert_eq!(gemv_flops(7, 5), gemm_flops(7, 1, 5));
+    }
+
+    #[test]
+    fn qr_flops_positive_and_monotone() {
+        assert!(qr_flops(100, 10) > 0);
+        assert!(qr_flops(200, 10) > qr_flops(100, 10));
+    }
+
+    #[test]
+    fn qp3_full_rank_matches_qr_leading_order() {
+        // A full QP3 (k = n) performs the same flops as unpivoted QR to
+        // leading order — the paper's complaint is that *half of them* are
+        // BLAS-2, not that there are more of them.
+        let m = 10_000;
+        let n = 100;
+        let qp3 = qp3_flops(m, n, n) as f64;
+        let qr = qr_flops(m, n) as f64;
+        let ratio = qp3 / qr;
+        assert!(ratio > 0.95 && ratio < 1.05, "ratio = {ratio}");
+    }
+
+    #[test]
+    fn qp3_truncation_monotone_in_k() {
+        assert_eq!(qp3_flops(1000, 1000, 0), 0);
+        assert!(qp3_flops(1000, 1000, 10) < qp3_flops(1000, 1000, 20));
+        // Truncating at k << n is much cheaper than the full factorization.
+        assert!(qp3_flops(10_000, 1000, 50) < qp3_flops(10_000, 1000, 1000) / 5);
+    }
+
+    #[test]
+    fn cholesky_cubic_term() {
+        let f = cholesky_flops(300) as f64;
+        let expect = 300f64.powi(3) / 3.0;
+        assert!((f - expect).abs() / expect < 0.01);
+    }
+}

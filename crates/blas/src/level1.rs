@@ -1,0 +1,166 @@
+//! BLAS level-1: vector-vector kernels.
+//!
+//! These are the latency-bound primitives that dominate MGS and the column
+//! norm (re)computation inside QP3 — the kernels the paper identifies as
+//! obtaining "only a small fraction of the hardware's peak performance".
+
+/// Dot product `xᵀy`.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+#[inline]
+pub fn dot(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "dot: length mismatch");
+    // Accumulate in four lanes to expose instruction-level parallelism
+    // without changing the result enough to matter for our tolerances.
+    let n = x.len();
+    let chunks = n / 4;
+    let (mut s0, mut s1, mut s2, mut s3) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
+    for c in 0..chunks {
+        let i = 4 * c;
+        s0 += x[i] * y[i];
+        s1 += x[i + 1] * y[i + 1];
+        s2 += x[i + 2] * y[i + 2];
+        s3 += x[i + 3] * y[i + 3];
+    }
+    let mut s = (s0 + s1) + (s2 + s3);
+    for i in 4 * chunks..n {
+        s += x[i] * y[i];
+    }
+    s
+}
+
+/// Euclidean norm `‖x‖₂` with overflow-safe scaling.
+pub fn nrm2(x: &[f64]) -> f64 {
+    rlra_matrix::norms::vec_norm2(x)
+}
+
+/// `y ← y + α·x`.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+#[inline]
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "axpy: length mismatch");
+    if alpha == 0.0 {
+        return;
+    }
+    for (yi, &xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// `x ← α·x`.
+#[inline]
+pub fn scal(alpha: f64, x: &mut [f64]) {
+    for xi in x {
+        *xi *= alpha;
+    }
+}
+
+/// Index of the entry with the largest absolute value; returns 0 for an
+/// empty slice.
+pub fn iamax(x: &[f64]) -> usize {
+    let mut best = 0usize;
+    let mut best_val = f64::NEG_INFINITY;
+    for (i, &xi) in x.iter().enumerate() {
+        let a = xi.abs();
+        if a > best_val {
+            best_val = a;
+            best = i;
+        }
+    }
+    best
+}
+
+/// Swaps the contents of two equal-length vectors.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn swap(x: &mut [f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "swap: length mismatch");
+    for (xi, yi) in x.iter_mut().zip(y.iter_mut()) {
+        std::mem::swap(xi, yi);
+    }
+}
+
+/// Copies `x` into `y`.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn copy(x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "copy: length mismatch");
+    y.copy_from_slice(x);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_matches_naive() {
+        let x: Vec<f64> = (0..17).map(|i| i as f64).collect();
+        let y: Vec<f64> = (0..17).map(|i| (i as f64).sin()).collect();
+        let naive: f64 = x.iter().zip(&y).map(|(a, b)| a * b).sum();
+        assert!((dot(&x, &y) - naive).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dot_empty_is_zero() {
+        assert_eq!(dot(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let x = [1.0, 2.0, 3.0];
+        let mut y = [10.0, 20.0, 30.0];
+        axpy(2.0, &x, &mut y);
+        assert_eq!(y, [12.0, 24.0, 36.0]);
+    }
+
+    #[test]
+    fn axpy_zero_alpha_is_noop() {
+        let x = [f64::NAN; 3];
+        let mut y = [1.0, 2.0, 3.0];
+        axpy(0.0, &x, &mut y);
+        assert_eq!(y, [1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn scal_scales() {
+        let mut x = [1.0, -2.0];
+        scal(-0.5, &mut x);
+        assert_eq!(x, [-0.5, 1.0]);
+    }
+
+    #[test]
+    fn iamax_finds_largest_abs() {
+        assert_eq!(iamax(&[1.0, -5.0, 3.0]), 1);
+        assert_eq!(iamax(&[]), 0);
+        assert_eq!(iamax(&[2.0, 2.0]), 0); // first wins ties
+    }
+
+    #[test]
+    fn swap_exchanges() {
+        let mut x = [1.0, 2.0];
+        let mut y = [3.0, 4.0];
+        swap(&mut x, &mut y);
+        assert_eq!(x, [3.0, 4.0]);
+        assert_eq!(y, [1.0, 2.0]);
+    }
+
+    #[test]
+    fn nrm2_345() {
+        assert_eq!(nrm2(&[3.0, 4.0]), 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn dot_length_mismatch_panics() {
+        let _ = dot(&[1.0], &[1.0, 2.0]);
+    }
+}

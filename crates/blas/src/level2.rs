@@ -1,0 +1,311 @@
+//! BLAS level-2: matrix-vector kernels.
+
+use crate::level1::{axpy, dot};
+use crate::{Diag, Trans, UpLo};
+use rlra_matrix::{MatMut, MatRef, MatrixError, Result};
+
+/// General matrix-vector product `y ← α·op(A)·x + β·y`.
+///
+/// # Errors
+///
+/// Returns [`MatrixError::DimensionMismatch`] if `x`/`y` lengths do not
+/// match the shape of `op(A)`.
+pub fn gemv(
+    alpha: f64,
+    a: MatRef<'_>,
+    trans: Trans,
+    x: &[f64],
+    beta: f64,
+    y: &mut [f64],
+) -> Result<()> {
+    let (op_rows, op_cols) = trans.apply(a.rows(), a.cols());
+    if x.len() != op_cols || y.len() != op_rows {
+        return Err(MatrixError::DimensionMismatch {
+            op: "gemv",
+            expected: format!("x.len() == {op_cols}, y.len() == {op_rows}"),
+            found: format!("x.len() == {}, y.len() == {}", x.len(), y.len()),
+        });
+    }
+    if beta == 0.0 {
+        y.fill(0.0);
+    } else if beta != 1.0 {
+        for yi in y.iter_mut() {
+            *yi *= beta;
+        }
+    }
+    if alpha == 0.0 {
+        return Ok(());
+    }
+    match trans {
+        Trans::No => {
+            // y += alpha * A x, columnwise axpy (streams A once).
+            for (j, &xj) in x.iter().enumerate() {
+                let c = alpha * xj;
+                if c != 0.0 {
+                    axpy(c, a.col(j), y);
+                }
+            }
+        }
+        Trans::Yes => {
+            // y_j += alpha * A[:, j]^T x, columnwise dot.
+            for (j, yj) in y.iter_mut().enumerate() {
+                *yj += alpha * dot(a.col(j), x);
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Rank-1 update `A ← A + α·x·yᵀ`.
+///
+/// # Errors
+///
+/// Returns [`MatrixError::DimensionMismatch`] if `x.len() != a.rows()` or
+/// `y.len() != a.cols()`.
+pub fn ger(alpha: f64, x: &[f64], y: &[f64], mut a: MatMut<'_>) -> Result<()> {
+    if x.len() != a.rows() || y.len() != a.cols() {
+        return Err(MatrixError::DimensionMismatch {
+            op: "ger",
+            expected: format!("x.len() == {}, y.len() == {}", a.rows(), a.cols()),
+            found: format!("x.len() == {}, y.len() == {}", x.len(), y.len()),
+        });
+    }
+    if alpha == 0.0 {
+        return Ok(());
+    }
+    for (j, &yj) in y.iter().enumerate() {
+        let c = alpha * yj;
+        if c != 0.0 {
+            axpy(c, x, a.col_mut(j));
+        }
+    }
+    Ok(())
+}
+
+/// Triangular matrix-vector product `x ← op(T)·x` for a square triangular
+/// `T`.
+///
+/// # Errors
+///
+/// Returns [`MatrixError::DimensionMismatch`] if `T` is not square or `x`
+/// has the wrong length.
+#[allow(clippy::needless_range_loop)] // indexed loops mirror the LAPACK reference
+pub fn trmv(t: MatRef<'_>, uplo: UpLo, trans: Trans, diag: Diag, x: &mut [f64]) -> Result<()> {
+    let n = t.rows();
+    if t.cols() != n || x.len() != n {
+        return Err(MatrixError::DimensionMismatch {
+            op: "trmv",
+            expected: format!("T square of order == x.len() == {}", x.len()),
+            found: format!("T is {}x{}", t.rows(), t.cols()),
+        });
+    }
+    // Effective triangle after the transpose option.
+    let lower = matches!(
+        (uplo, trans),
+        (UpLo::Lower, Trans::No) | (UpLo::Upper, Trans::Yes)
+    );
+    let at = |i: usize, j: usize| -> f64 {
+        match trans {
+            Trans::No => t.get(i, j),
+            Trans::Yes => t.get(j, i),
+        }
+    };
+    if lower {
+        // x_i depends on x_0..=x_i: compute top-down in reverse.
+        for i in (0..n).rev() {
+            let mut s = match diag {
+                Diag::NonUnit => at(i, i) * x[i],
+                Diag::Unit => x[i],
+            };
+            for j in 0..i {
+                s += at(i, j) * x[j];
+            }
+            x[i] = s;
+        }
+    } else {
+        // Upper: x_i depends on x_i..x_{n-1}: compute forward.
+        for i in 0..n {
+            let mut s = match diag {
+                Diag::NonUnit => at(i, i) * x[i],
+                Diag::Unit => x[i],
+            };
+            for j in i + 1..n {
+                s += at(i, j) * x[j];
+            }
+            x[i] = s;
+        }
+    }
+    Ok(())
+}
+
+/// Triangular solve `op(T)·x = b`, overwriting `x` (which holds `b` on
+/// entry).
+///
+/// # Errors
+///
+/// Returns [`MatrixError::DimensionMismatch`] for shape errors, or
+/// [`MatrixError::SingularDiagonal`] if a diagonal entry is exactly zero
+/// and `diag` is [`Diag::NonUnit`].
+#[allow(clippy::needless_range_loop)] // indexed loops mirror the LAPACK reference
+pub fn trsv(t: MatRef<'_>, uplo: UpLo, trans: Trans, diag: Diag, x: &mut [f64]) -> Result<()> {
+    let n = t.rows();
+    if t.cols() != n || x.len() != n {
+        return Err(MatrixError::DimensionMismatch {
+            op: "trsv",
+            expected: format!("T square of order == x.len() == {}", x.len()),
+            found: format!("T is {}x{}", t.rows(), t.cols()),
+        });
+    }
+    let lower = matches!(
+        (uplo, trans),
+        (UpLo::Lower, Trans::No) | (UpLo::Upper, Trans::Yes)
+    );
+    let at = |i: usize, j: usize| -> f64 {
+        match trans {
+            Trans::No => t.get(i, j),
+            Trans::Yes => t.get(j, i),
+        }
+    };
+    if lower {
+        for i in 0..n {
+            let mut s = x[i];
+            for j in 0..i {
+                s -= at(i, j) * x[j];
+            }
+            x[i] = match diag {
+                Diag::Unit => s,
+                Diag::NonUnit => {
+                    let d = at(i, i);
+                    if d == 0.0 {
+                        return Err(MatrixError::SingularDiagonal { index: i });
+                    }
+                    s / d
+                }
+            };
+        }
+    } else {
+        for i in (0..n).rev() {
+            let mut s = x[i];
+            for j in i + 1..n {
+                s -= at(i, j) * x[j];
+            }
+            x[i] = match diag {
+                Diag::Unit => s,
+                Diag::NonUnit => {
+                    let d = at(i, i);
+                    if d == 0.0 {
+                        return Err(MatrixError::SingularDiagonal { index: i });
+                    }
+                    s / d
+                }
+            };
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rlra_matrix::Mat;
+
+    fn mat(rows: usize, cols: usize, data: &[f64]) -> Mat {
+        Mat::from_row_major(rows, cols, data).unwrap()
+    }
+
+    #[test]
+    fn gemv_no_trans() {
+        let a = mat(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let x = [1.0, 0.0, -1.0];
+        let mut y = [10.0, 10.0];
+        gemv(1.0, a.as_ref(), Trans::No, &x, 0.5, &mut y).unwrap();
+        // A x = [1-3, 4-6] = [-2, -2]; y = 0.5*[10,10] + [-2,-2] = [3, 3]
+        assert_eq!(y, [3.0, 3.0]);
+    }
+
+    #[test]
+    fn gemv_trans() {
+        let a = mat(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let x = [1.0, 1.0];
+        let mut y = [0.0; 3];
+        gemv(1.0, a.as_ref(), Trans::Yes, &x, 0.0, &mut y).unwrap();
+        assert_eq!(y, [5.0, 7.0, 9.0]);
+    }
+
+    #[test]
+    fn gemv_shape_check() {
+        let a = Mat::zeros(2, 3);
+        let mut y = [0.0; 2];
+        assert!(gemv(1.0, a.as_ref(), Trans::No, &[0.0; 2], 0.0, &mut y).is_err());
+    }
+
+    #[test]
+    fn ger_rank_one() {
+        let mut a = Mat::zeros(2, 2);
+        ger(2.0, &[1.0, 2.0], &[3.0, 4.0], a.as_mut()).unwrap();
+        assert_eq!(a[(0, 0)], 6.0);
+        assert_eq!(a[(1, 1)], 16.0);
+    }
+
+    #[test]
+    fn trsv_upper_solves() {
+        // T = [2 1; 0 4], b = [4, 8] -> x = [1, 2]
+        let t = mat(2, 2, &[2.0, 1.0, 0.0, 4.0]);
+        let mut x = [4.0, 8.0];
+        trsv(t.as_ref(), UpLo::Upper, Trans::No, Diag::NonUnit, &mut x).unwrap();
+        assert_eq!(x, [1.0, 2.0]);
+    }
+
+    #[test]
+    fn trsv_upper_transpose_is_lower_solve() {
+        // Solve T^T x = b with T upper: forward substitution.
+        let t = mat(2, 2, &[2.0, 1.0, 0.0, 4.0]);
+        let mut x = [2.0, 9.0];
+        trsv(t.as_ref(), UpLo::Upper, Trans::Yes, Diag::NonUnit, &mut x).unwrap();
+        // T^T = [2 0; 1 4]; x0 = 1, x1 = (9-1)/4 = 2
+        assert_eq!(x, [1.0, 2.0]);
+    }
+
+    #[test]
+    fn trsv_unit_diag_ignores_storage() {
+        let t = mat(2, 2, &[999.0, 1.0, 0.0, 999.0]);
+        let mut x = [3.0, 2.0];
+        trsv(t.as_ref(), UpLo::Upper, Trans::No, Diag::Unit, &mut x).unwrap();
+        // x1 = 2; x0 = 3 - 1*2 = 1
+        assert_eq!(x, [1.0, 2.0]);
+    }
+
+    #[test]
+    fn trsv_detects_singular() {
+        let t = mat(2, 2, &[1.0, 1.0, 0.0, 0.0]);
+        let mut x = [1.0, 1.0];
+        let e = trsv(t.as_ref(), UpLo::Upper, Trans::No, Diag::NonUnit, &mut x);
+        assert!(matches!(e, Err(MatrixError::SingularDiagonal { index: 1 })));
+    }
+
+    #[test]
+    fn trmv_inverts_trsv() {
+        let t = mat(3, 3, &[2.0, 1.0, -1.0, 0.0, 3.0, 0.5, 0.0, 0.0, 1.5]);
+        let x0 = [1.0, -2.0, 0.5];
+        for (uplo, trans) in [
+            (UpLo::Upper, Trans::No),
+            (UpLo::Upper, Trans::Yes),
+        ] {
+            let mut x = x0;
+            trmv(t.as_ref(), uplo, trans, Diag::NonUnit, &mut x).unwrap();
+            trsv(t.as_ref(), uplo, trans, Diag::NonUnit, &mut x).unwrap();
+            for (a, b) in x.iter().zip(&x0) {
+                assert!((a - b).abs() < 1e-13);
+            }
+        }
+    }
+
+    #[test]
+    fn trmv_lower() {
+        // T = [1 0; 2 3] lower, x = [1, 1] -> Tx = [1, 5]
+        let t = mat(2, 2, &[1.0, 0.0, 2.0, 3.0]);
+        let mut x = [1.0, 1.0];
+        trmv(t.as_ref(), UpLo::Lower, Trans::No, Diag::NonUnit, &mut x).unwrap();
+        assert_eq!(x, [1.0, 5.0]);
+    }
+}

@@ -1,0 +1,89 @@
+//! # rlra-blas
+//!
+//! BLAS level 1/2/3 kernels in pure Rust, the computational substrate of
+//! the `rlra` workspace (reproduction of Mary et al., SC'15).
+//!
+//! The paper's performance argument hinges on the distinction between
+//! kernel classes:
+//!
+//! - **BLAS-3** (GEMM, SYRK, TRSM, TRMM) — high arithmetic intensity, what
+//!   randomized sampling and CholQR are built from,
+//! - **BLAS-2** (GEMV, GER) — memory bound, what QP3 spends half its flops
+//!   in,
+//! - **BLAS-1** (DOT, AXPY, NRM2) — latency/memory bound, what MGS and
+//!   norm recomputation are made of.
+//!
+//! All three levels are implemented here with a shared [`MatRef`]/[`MatMut`]
+//! view interface; GEMM variants parallelize over output column panels with
+//! rayon. The [`naive`] module holds straightforward reference
+//! implementations used to validate the optimized kernels in tests.
+//!
+//! [`MatRef`]: rlra_matrix::MatRef
+//! [`MatMut`]: rlra_matrix::MatMut
+
+pub mod flops;
+pub mod level1;
+pub mod level2;
+pub mod level3;
+pub mod naive;
+
+pub use level1::{axpy, copy, dot, iamax, nrm2, scal, swap};
+pub use level2::{gemv, ger, trmv, trsv};
+pub use level3::{gemm, syrk, trmm, trsm};
+
+/// Transpose option for a matrix operand (`op(A) = A` or `Aᵀ`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Trans {
+    /// Use the operand as stored.
+    No,
+    /// Use the transpose of the operand.
+    Yes,
+}
+
+impl Trans {
+    /// Shape of `op(A)` given the stored shape of `A`.
+    pub fn apply(self, rows: usize, cols: usize) -> (usize, usize) {
+        match self {
+            Trans::No => (rows, cols),
+            Trans::Yes => (cols, rows),
+        }
+    }
+}
+
+/// Which side a triangular operand multiplies from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Side {
+    /// `op(T) · X`.
+    Left,
+    /// `X · op(T)`.
+    Right,
+}
+
+/// Which triangle of a triangular/symmetric operand is referenced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UpLo {
+    /// Lower triangle.
+    Lower,
+    /// Upper triangle.
+    Upper,
+}
+
+/// Whether a triangular operand has an implicit unit diagonal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Diag {
+    /// Diagonal entries are read from storage.
+    NonUnit,
+    /// Diagonal entries are taken to be 1 and not read.
+    Unit,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trans_apply_swaps_shape() {
+        assert_eq!(Trans::No.apply(3, 5), (3, 5));
+        assert_eq!(Trans::Yes.apply(3, 5), (5, 3));
+    }
+}

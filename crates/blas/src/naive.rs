@@ -1,0 +1,124 @@
+//! Straightforward reference implementations of the level-3 kernels.
+//!
+//! These are triple loops with no blocking or parallelism, used by the
+//! test suites (including the property-based ones) to validate the
+//! optimized kernels in [`crate::level3`], and by the simulated GPU crate
+//! when a bit-reproducible serial result is preferred over speed.
+
+use crate::Trans;
+use rlra_matrix::Mat;
+
+/// Reference GEMM: returns `op(A)·op(B)` as a fresh matrix.
+///
+/// # Panics
+///
+/// Panics if the inner dimensions of `op(A)` and `op(B)` disagree.
+pub fn gemm_ref(a: &Mat, ta: Trans, b: &Mat, tb: Trans) -> Mat {
+    let (m, ka) = ta.apply(a.rows(), a.cols());
+    let (kb, n) = tb.apply(b.rows(), b.cols());
+    assert_eq!(ka, kb, "gemm_ref: inner dimension mismatch");
+    let get_a = |i: usize, l: usize| match ta {
+        Trans::No => a[(i, l)],
+        Trans::Yes => a[(l, i)],
+    };
+    let get_b = |l: usize, j: usize| match tb {
+        Trans::No => b[(l, j)],
+        Trans::Yes => b[(j, l)],
+    };
+    Mat::from_fn(m, n, |i, j| (0..ka).map(|l| get_a(i, l) * get_b(l, j)).sum())
+}
+
+/// Reference matrix-vector product `op(A)·x`.
+///
+/// # Panics
+///
+/// Panics if `x` does not match the column count of `op(A)`.
+pub fn gemv_ref(a: &Mat, ta: Trans, x: &[f64]) -> Vec<f64> {
+    let (m, k) = ta.apply(a.rows(), a.cols());
+    assert_eq!(k, x.len(), "gemv_ref: dimension mismatch");
+    let get_a = |i: usize, l: usize| match ta {
+        Trans::No => a[(i, l)],
+        Trans::Yes => a[(l, i)],
+    };
+    (0..m).map(|i| (0..k).map(|l| get_a(i, l) * x[l]).sum()).collect()
+}
+
+/// Reference solution of a dense linear system `T·x = b` for triangular
+/// `T` via explicit Gaussian elimination (no pivoting; `T` is assumed well
+/// conditioned in tests).
+///
+/// # Panics
+///
+/// Panics if shapes are inconsistent.
+pub fn solve_dense_ref(t: &Mat, b: &[f64]) -> Vec<f64> {
+    let n = t.rows();
+    assert_eq!(t.cols(), n);
+    assert_eq!(b.len(), n);
+    // Dense LU without pivoting, adequate for the small well-conditioned
+    // triangular factors used in tests.
+    let mut lu = t.clone();
+    let mut x: Vec<f64> = b.to_vec();
+    for k in 0..n {
+        for i in k + 1..n {
+            let f = lu[(i, k)] / lu[(k, k)];
+            lu[(i, k)] = f;
+            for j in k + 1..n {
+                let v = lu[(k, j)];
+                lu[(i, j)] -= f * v;
+            }
+            x[i] -= f * x[k];
+        }
+    }
+    for i in (0..n).rev() {
+        let mut s = x[i];
+        for j in i + 1..n {
+            s -= lu[(i, j)] * x[j];
+        }
+        x[i] = s / lu[(i, i)];
+    }
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gemm_ref_identity() {
+        let a = Mat::from_fn(3, 3, |i, j| (i * 3 + j) as f64);
+        let i3 = Mat::identity(3);
+        assert_eq!(gemm_ref(&a, Trans::No, &i3, Trans::No), a);
+        assert_eq!(gemm_ref(&i3, Trans::No, &a, Trans::No), a);
+    }
+
+    #[test]
+    fn gemm_ref_transpose_options_agree() {
+        let a = Mat::from_fn(2, 3, |i, j| (i + j * j) as f64);
+        let b = Mat::from_fn(3, 2, |i, j| (2 * i + j) as f64);
+        let ab = gemm_ref(&a, Trans::No, &b, Trans::No);
+        let at = a.transpose();
+        let bt = b.transpose();
+        assert_eq!(gemm_ref(&at, Trans::Yes, &b, Trans::No), ab);
+        assert_eq!(gemm_ref(&a, Trans::No, &bt, Trans::Yes), ab);
+        assert_eq!(gemm_ref(&at, Trans::Yes, &bt, Trans::Yes), ab);
+    }
+
+    #[test]
+    fn gemv_ref_matches_gemm_column() {
+        let a = Mat::from_fn(3, 2, |i, j| (i * 2 + j) as f64);
+        let x = vec![1.0, -1.0];
+        let y = gemv_ref(&a, Trans::No, &x);
+        let xm = Mat::from_col_major(2, 1, x).unwrap();
+        let ym = gemm_ref(&a, Trans::No, &xm, Trans::No);
+        assert_eq!(y, ym.as_slice());
+    }
+
+    #[test]
+    fn solve_dense_ref_solves() {
+        let t = Mat::from_row_major(2, 2, &[2.0, 1.0, 1.0, 3.0]).unwrap();
+        let x = solve_dense_ref(&t, &[5.0, 10.0]);
+        // 2x0 + x1 = 5; x0 + 3x1 = 10 -> x = (1, 3)
+        assert!((x[0] - 1.0).abs() < 1e-12);
+        assert!((x[1] - 3.0).abs() < 1e-12);
+    }
+}

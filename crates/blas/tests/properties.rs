@@ -1,0 +1,142 @@
+//! Property-based tests validating the optimized BLAS kernels against the
+//! naive reference implementations on randomly shaped inputs.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rlra_blas::naive::{gemm_ref, gemv_ref};
+use rlra_blas::{gemm, gemv, syrk, trmm, trsm, Diag, Side, Trans, UpLo};
+use rlra_matrix::{ops::max_abs_diff, Mat};
+
+fn random_mat(rng: &mut StdRng, rows: usize, cols: usize) -> Mat {
+    Mat::from_fn(rows, cols, |_, _| rng.gen_range(-1.0..1.0))
+}
+
+fn trans_strategy() -> impl Strategy<Value = Trans> {
+    prop_oneof![Just(Trans::No), Just(Trans::Yes)]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn gemm_matches_reference(
+        m in 1usize..40,
+        n in 1usize..40,
+        k in 1usize..40,
+        ta in trans_strategy(),
+        tb in trans_strategy(),
+        seed in 0u64..1000,
+        alpha in -2.0f64..2.0,
+        beta in -2.0f64..2.0,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = match ta {
+            Trans::No => random_mat(&mut rng, m, k),
+            Trans::Yes => random_mat(&mut rng, k, m),
+        };
+        let b = match tb {
+            Trans::No => random_mat(&mut rng, k, n),
+            Trans::Yes => random_mat(&mut rng, n, k),
+        };
+        let c0 = random_mat(&mut rng, m, n);
+        let mut c = c0.clone();
+        gemm(alpha, a.as_ref(), ta, b.as_ref(), tb, beta, c.as_mut()).unwrap();
+
+        let ab = gemm_ref(&a, ta, &b, tb);
+        let expect = Mat::from_fn(m, n, |i, j| alpha * ab[(i, j)] + beta * c0[(i, j)]);
+        let d = max_abs_diff(&c, &expect).unwrap();
+        prop_assert!(d < 1e-10 * (k as f64 + 1.0), "diff = {d}");
+    }
+
+    #[test]
+    fn gemv_matches_reference(
+        m in 1usize..50,
+        n in 1usize..50,
+        trans in trans_strategy(),
+        seed in 0u64..1000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = random_mat(&mut rng, m, n);
+        let (_, xn) = trans.apply(m, n);
+        let (ym, _) = trans.apply(m, n);
+        let x: Vec<f64> = (0..xn).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let mut y = vec![0.0; ym];
+        gemv(1.0, a.as_ref(), trans, &x, 0.0, &mut y).unwrap();
+        let expect = gemv_ref(&a, trans, &x);
+        for (a, b) in y.iter().zip(&expect) {
+            prop_assert!((a - b).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn syrk_equals_gemm_on_triangle(
+        n in 1usize..25,
+        k in 1usize..25,
+        trans in trans_strategy(),
+        seed in 0u64..1000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = match trans {
+            Trans::No => random_mat(&mut rng, n, k),
+            Trans::Yes => random_mat(&mut rng, k, n),
+        };
+        let full = match trans {
+            Trans::No => gemm_ref(&a, Trans::No, &a, Trans::Yes),
+            Trans::Yes => gemm_ref(&a, Trans::Yes, &a, Trans::No),
+        };
+        let mut c = Mat::zeros(n, n);
+        syrk(1.0, a.as_ref(), trans, 0.0, c.as_mut(), UpLo::Lower).unwrap();
+        for j in 0..n {
+            for i in j..n {
+                prop_assert!((c[(i, j)] - full[(i, j)]).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn trsm_inverts_trmm(
+        n in 1usize..20,
+        nrhs in 1usize..20,
+        side in prop_oneof![Just(Side::Left), Just(Side::Right)],
+        uplo in prop_oneof![Just(UpLo::Lower), Just(UpLo::Upper)],
+        trans in trans_strategy(),
+        diag in prop_oneof![Just(Diag::NonUnit), Just(Diag::Unit)],
+        seed in 0u64..1000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        // Well-conditioned triangular matrix (dominant diagonal).
+        let mut t = random_mat(&mut rng, n, n);
+        for i in 0..n {
+            let d = t[(i, i)];
+            t[(i, i)] = d.signum().max(1.0).copysign(if d == 0.0 { 1.0 } else { d }) * (2.0 + d.abs());
+        }
+        let (br, bc) = match side {
+            Side::Left => (n, nrhs),
+            Side::Right => (nrhs, n),
+        };
+        let b0 = random_mat(&mut rng, br, bc);
+        let mut b = b0.clone();
+        trmm(side, uplo, trans, diag, 1.0, t.as_ref(), b.as_mut()).unwrap();
+        trsm(side, uplo, trans, diag, 1.0, t.as_ref(), b.as_mut()).unwrap();
+        let d = max_abs_diff(&b, &b0).unwrap();
+        prop_assert!(d < 1e-9, "diff = {d}");
+    }
+
+    #[test]
+    fn dot_is_symmetric_and_linear(
+        len in 0usize..100,
+        seed in 0u64..1000,
+        alpha in -3.0f64..3.0,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let x: Vec<f64> = (0..len).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let y: Vec<f64> = (0..len).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let d1 = rlra_blas::dot(&x, &y);
+        let d2 = rlra_blas::dot(&y, &x);
+        prop_assert!((d1 - d2).abs() < 1e-12);
+        let ax: Vec<f64> = x.iter().map(|v| alpha * v).collect();
+        let d3 = rlra_blas::dot(&ax, &y);
+        prop_assert!((d3 - alpha * d1).abs() < 1e-9);
+    }
+}

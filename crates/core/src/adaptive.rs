@@ -1,0 +1,464 @@
+//! The adaptive sampling-size scheme for the fixed-accuracy problem
+//! (paper Figure 3 and §10 — "to the best of our knowledge, this is the
+//! first experimental study of the adaptive scheme").
+//!
+//! The sampled subspace is grown by `ℓ_inc` rows at a time; each freshly
+//! drawn random block doubles as (a) the probe for the error estimate
+//! `ε̃` and (b) the next expansion block. The increment is either static
+//! or adjusted by linear interpolation of the last two estimates (the
+//! paper's "simple linear interpolation of the previous two steps") —
+//! trading off GPU-kernel efficiency (larger blocks run faster, Fig. 18)
+//! against overshoot of the required subspace size.
+
+use crate::estimate::residual_estimate;
+use crate::result::LowRankApprox;
+use rand::Rng;
+use rlra_blas::Trans;
+use rlra_gpu::{DMat, ExecMode, Gpu, Phase};
+use rlra_matrix::{Mat, MatrixError, Result};
+
+/// How `ℓ_inc` evolves between steps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IncStrategy {
+    /// Constant increment (`f(ℓ, ℓ_inc) = ℓ_inc`).
+    Static(usize),
+    /// Start at `init`, then extrapolate the target subspace size from
+    /// the previous two (ℓ, log ε̃) points (clamped to `[4, 256]`).
+    Interpolated {
+        /// Initial increment.
+        init: usize,
+    },
+}
+
+impl IncStrategy {
+    fn initial(&self) -> usize {
+        match *self {
+            IncStrategy::Static(v) | IncStrategy::Interpolated { init: v } => v,
+        }
+    }
+}
+
+/// Configuration of the adaptive scheme.
+#[derive(Debug, Clone, Copy)]
+pub struct AdaptiveConfig {
+    /// Target tolerance `ε` on the estimate `ε̃` (the paper uses 1e−12).
+    pub tol: f64,
+    /// Power iterations per expansion.
+    pub q: usize,
+    /// Extra CholQR pass.
+    pub reorth: bool,
+    /// Increment strategy.
+    pub inc: IncStrategy,
+    /// Hard cap on the subspace size (safety stop).
+    pub l_max: usize,
+    /// Also record the exact error `‖A − A·BᵀB‖₂` per step (offline
+    /// diagnostic, Figure 16's dashed line; `O(mnl)` per step).
+    pub track_actual: bool,
+}
+
+impl AdaptiveConfig {
+    /// Paper-style defaults: `ε = 1e−12`, `q = 0`, reorthogonalized,
+    /// static `ℓ_inc = init`, cap at 512.
+    pub fn new(tol: f64, l_init: usize) -> Self {
+        AdaptiveConfig {
+            tol,
+            q: 0,
+            reorth: true,
+            inc: IncStrategy::Static(l_init),
+            l_max: 512,
+            track_actual: false,
+        }
+    }
+}
+
+/// One step of the adaptive scheme.
+#[derive(Debug, Clone)]
+pub struct AdaptiveStep {
+    /// Accepted subspace size `ℓ` after the expansion.
+    pub l: usize,
+    /// Increment used for the expansion.
+    pub l_inc: usize,
+    /// Error estimate `ε̃` probed with the next random block.
+    pub estimate: f64,
+    /// Simulated seconds elapsed since the start of the adaptive run.
+    pub sim_time: f64,
+    /// Exact error (present when `track_actual`).
+    pub actual_error: Option<f64>,
+}
+
+/// Result of the adaptive sampling run.
+#[derive(Debug, Clone)]
+pub struct AdaptiveResult {
+    /// Row-orthonormal basis `B₁:ℓ` of the sampled subspace (`ℓ × n`).
+    pub basis: Mat,
+    /// Per-step history (`ℓ`, `ε̃`, simulated time).
+    pub steps: Vec<AdaptiveStep>,
+    /// Whether `ε̃ ≤ ε` was reached before `l_max`.
+    pub converged: bool,
+}
+
+impl AdaptiveResult {
+    /// Final subspace size.
+    pub fn l(&self) -> usize {
+        self.basis.rows()
+    }
+}
+
+/// Runs the adaptive-ℓ scheme (Figure 3) on a simulated GPU in compute
+/// mode, returning the grown row-orthonormal basis and the convergence
+/// history.
+///
+/// # Errors
+///
+/// Returns [`MatrixError::InvalidParameter`] for dry-run GPUs or
+/// degenerate configurations, and propagates kernel failures.
+pub fn adaptive_sample(
+    gpu: &mut Gpu,
+    a: &Mat,
+    cfg: &AdaptiveConfig,
+    rng: &mut impl Rng,
+) -> Result<AdaptiveResult> {
+    if gpu.mode() != ExecMode::Compute {
+        return Err(MatrixError::InvalidParameter {
+            name: "gpu",
+            message: "adaptive_sample decides from values; use ExecMode::Compute".into(),
+        });
+    }
+    let (m, n) = a.shape();
+    let init = cfg.inc.initial();
+    if init == 0 || cfg.tol <= 0.0 {
+        return Err(MatrixError::InvalidParameter {
+            name: "cfg",
+            message: "l_init and tol must be positive".into(),
+        });
+    }
+    let t0 = gpu.clock();
+    let a_dev = gpu.resident(a);
+
+    // Accepted basis (rows of B) and its C companion.
+    let mut basis = Mat::zeros(0, n);
+    let mut c_basis = Mat::zeros(0, m);
+    let mut steps: Vec<AdaptiveStep> = Vec::new();
+    let mut l_inc = init.min(cfg.l_max);
+
+    // First candidate block W = Ω·A.
+    let mut w = draw_block(gpu, &a_dev, l_inc, rng)?;
+    let mut converged = false;
+    let mut best_estimate = f64::INFINITY;
+
+    loop {
+        // --- Expand: refine W with POWER and fold it into the basis ------
+        let w_refined = expand_block(gpu, &a_dev, &basis, &mut c_basis, w, cfg)?;
+        let l_used = w_refined.rows();
+        basis = basis.vcat(&w_refined)?;
+        let l_now = basis.rows();
+
+        // --- Choose the next increment -----------------------------------
+        let next_inc = match cfg.inc {
+            IncStrategy::Static(v) => v,
+            IncStrategy::Interpolated { .. } => interpolate_inc(&steps, cfg.tol, l_now, l_inc),
+        };
+        let next_inc = next_inc.clamp(1, cfg.l_max.saturating_sub(l_now).max(1));
+
+        // --- Draw the probe block and estimate the error ------------------
+        let probe = draw_block(gpu, &a_dev, next_inc, rng)?;
+        // ε̃ = max row-residual (small GEMMs, charged as Other).
+        gpu.charge(Phase::Other, gpu.cost().gemm(next_inc, l_now, n) + gpu.cost().gemm(next_inc, n, l_now));
+        let estimate = residual_estimate(&probe, &basis)?;
+
+        let actual = if cfg.track_actual {
+            Some(crate::estimate::actual_error(a, &basis)?)
+        } else {
+            None
+        };
+        steps.push(AdaptiveStep {
+            l: l_now,
+            l_inc: l_used,
+            estimate,
+            sim_time: gpu.clock() - t0,
+            actual_error: actual,
+        });
+
+        if estimate <= cfg.tol {
+            converged = true;
+            break;
+        }
+        // Stagnation guard: once the subspace captures A to roundoff, new
+        // blocks are numerically rank deficient and the estimate bottoms
+        // out at the floating-point noise floor (≈ n·ε·‖A‖·‖ω‖) and then
+        // climbs as noise pollutes the basis. Folding such blocks in
+        // would only corrupt orthogonality, so stop.
+        best_estimate = best_estimate.min(estimate);
+        if estimate > 10.0 * best_estimate {
+            break;
+        }
+        if l_now + next_inc > cfg.l_max || l_now + next_inc > n.min(m) {
+            break;
+        }
+        w = probe;
+        l_inc = next_inc;
+        let _ = l_inc;
+    }
+    Ok(AdaptiveResult { basis, steps, converged })
+}
+
+/// Draws `l_inc` Gaussian rows and samples them through `A` (PRNG +
+/// Sampling phases).
+fn draw_block(gpu: &mut Gpu, a: &DMat, l_inc: usize, rng: &mut impl Rng) -> Result<Mat> {
+    let (m, n) = a.shape();
+    let omega = gpu.curand_gaussian(Phase::Prng, l_inc, m, rng);
+    let mut w = gpu.alloc(l_inc, n);
+    gpu.gemm(Phase::Sampling, 1.0, &omega, Trans::No, a, Trans::No, 0.0, &mut w)?;
+    Ok(w.expect_values().clone())
+}
+
+/// Folds a new block into the subspace: orthogonalize against the
+/// accepted basis, run `q` power iterations, and row-orthonormalize.
+/// Returns the refined (row-orthonormal) block.
+fn expand_block(
+    gpu: &mut Gpu,
+    a_dev: &DMat,
+    basis: &Mat,
+    c_basis: &mut Mat,
+    mut w: Mat,
+    cfg: &AdaptiveConfig,
+) -> Result<Mat> {
+    let (m, n) = a_dev.shape();
+    let l_new = w.rows();
+    let l_old = basis.rows();
+
+    // Charge BOrth (two GEMMs) + CholQR per pass.
+    let charge_orth = |gpu: &mut Gpu, rows: usize, cols: usize, l_prev: usize| {
+        if l_prev > 0 {
+            let passes = if cfg.reorth { 2 } else { 1 };
+            for _ in 0..passes {
+                gpu.charge(Phase::OrthIter, gpu.cost().gemm(rows, l_prev, cols));
+                gpu.charge(Phase::OrthIter, gpu.cost().gemm(rows, cols, l_prev));
+            }
+        }
+        let passes = if cfg.reorth { 2 } else { 1 };
+        for _ in 0..passes {
+            gpu.charge(Phase::OrthIter, gpu.cost().syrk(rows, cols));
+            gpu.charge(Phase::OrthIter, gpu.cost().host_cholesky(rows));
+            gpu.charge(Phase::OrthIter, gpu.cost().trsm(rows, cols));
+        }
+    };
+
+    // Orthogonalize the incoming block against the accepted basis.
+    charge_orth(gpu, l_new, n, l_old);
+    rlra_lapack::block_orth_rows(basis, &mut w, cfg.reorth)?;
+    w = crate::power::orth_rows(&w, cfg.reorth)?;
+
+    // Power iterations (Figure 2a with j > 1).
+    for _ in 0..cfg.q {
+        // C_new = W·Aᵀ.
+        let wd = gpu.resident(&w);
+        let mut c = gpu.alloc(l_new, m);
+        gpu.gemm(Phase::GemmIter, 1.0, &wd, Trans::No, a_dev, Trans::Yes, 0.0, &mut c)?;
+        let mut c = c.expect_values().clone();
+        charge_orth(gpu, l_new, m, c_basis.rows());
+        rlra_lapack::block_orth_rows(c_basis, &mut c, cfg.reorth)?;
+        let c = crate::power::orth_rows(&c, cfg.reorth)?;
+        *c_basis = c_basis.vcat(&c)?;
+        // W = C·A.
+        let cd = gpu.resident(&c);
+        let mut wnew = gpu.alloc(l_new, n);
+        gpu.gemm(Phase::GemmIter, 1.0, &cd, Trans::No, a_dev, Trans::No, 0.0, &mut wnew)?;
+        w = wnew.expect_values().clone();
+        // Re-orthogonalize against the basis after the round trip.
+        charge_orth(gpu, l_new, n, basis.rows());
+        rlra_lapack::block_orth_rows(basis, &mut w, cfg.reorth)?;
+        w = crate::power::orth_rows(&w, cfg.reorth)?;
+    }
+    Ok(w)
+}
+
+/// Linear interpolation of the previous two steps in (ℓ, log ε̃) space to
+/// pick the next increment (paper §10).
+fn interpolate_inc(steps: &[AdaptiveStep], tol: f64, l_now: usize, prev_inc: usize) -> usize {
+    if steps.len() < 2 {
+        return prev_inc;
+    }
+    let s0 = &steps[steps.len() - 2];
+    let s1 = &steps[steps.len() - 1];
+    let (x0, y0) = (s0.l as f64, s0.estimate.max(1e-300).log10());
+    let (x1, y1) = (s1.l as f64, s1.estimate.max(1e-300).log10());
+    let slope = (y1 - y0) / (x1 - x0);
+    // NaN slopes (identical estimates) must land in the fallback branch,
+    // hence the negated comparison rather than `slope >= 0.0`.
+    #[allow(clippy::neg_cmp_op_on_partial_ord)]
+    if !(slope < 0.0) || !slope.is_finite() {
+        // No progress measured: grow geometrically.
+        return (prev_inc * 2).clamp(4, 256);
+    }
+    let target_l = x1 + (tol.log10() - y1) / slope;
+    let inc = (target_l - l_now as f64).ceil();
+    // Grow at most geometrically: the early slope underestimates the
+    // asymptotic decay rate, and a single huge jump can overshoot past
+    // the point where new sample blocks are numerically rank deficient.
+    let cap = (prev_inc * 2).clamp(8, 256);
+    (inc as isize).clamp(4, cap as isize) as usize
+}
+
+/// Solves the fixed-accuracy problem end to end: grows the subspace
+/// adaptively, then completes Steps 2–3 of random sampling with
+/// `k = ℓ_final` to return the `A·P ≈ Q·R` factorization.
+///
+/// # Errors
+///
+/// Propagates errors from [`adaptive_sample`] and the finishing steps.
+pub fn sample_fixed_accuracy(
+    gpu: &mut Gpu,
+    a: &Mat,
+    cfg: &AdaptiveConfig,
+    rng: &mut impl Rng,
+) -> Result<(LowRankApprox, AdaptiveResult)> {
+    let adaptive = adaptive_sample(gpu, a, cfg, rng)?;
+    let k = adaptive.l().min(a.cols());
+    // Charge Steps 2–3 on the device.
+    let (m, n) = a.shape();
+    gpu.charge(Phase::Qrcp, gpu.cost().gemv(k, n) * k as f64); // truncated QP3 skeleton
+    gpu.charge(Phase::Qr, gpu.cost().syrk(k, m) + gpu.cost().trsm(k, m));
+    let approx = crate::fixed_rank::finish_from_sampled(a, &adaptive.basis, k, cfg.reorth)?;
+    Ok((approx, adaptive))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use rlra_matrix::gaussian_mat;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    /// Exponent-profile matrix (the one the paper uses in §10).
+    fn exponent_matrix(m: usize, n: usize, seed: u64) -> Mat {
+        let r = m.min(n);
+        let spec: Vec<f64> = (0..r).map(|i| 10f64.powf(-(i as f64) / 10.0)).collect();
+        let x = rlra_lapack::form_q(&gaussian_mat(m, r, &mut rng(seed)));
+        let y = rlra_lapack::form_q(&gaussian_mat(n, r, &mut rng(seed + 1)));
+        let xs = Mat::from_fn(m, r, |i, j| x[(i, j)] * spec[j]);
+        let mut a = Mat::zeros(m, n);
+        rlra_blas::gemm(1.0, xs.as_ref(), Trans::No, y.as_ref(), Trans::Yes, 0.0, a.as_mut())
+            .unwrap();
+        a
+    }
+
+    #[test]
+    fn estimates_decrease_and_converge() {
+        // Tolerance reachable within n = 60 basis vectors: the estimate
+        // scales like sqrt(m)*sigma_tail, so 1e-3 needs sigma ~ 9e-5,
+        // i.e. l ~ 40 of the exponent profile.
+        let a = exponent_matrix(120, 60, 1);
+        let mut gpu = Gpu::k40c();
+        let cfg = AdaptiveConfig::new(1e-3, 8);
+        let res = adaptive_sample(&mut gpu, &a, &cfg, &mut rng(2)).unwrap();
+        assert!(res.converged, "should converge on the exponent matrix");
+        assert!(res.steps.len() >= 2);
+        // Broad decrease: last estimate below first.
+        let first = res.steps.first().unwrap().estimate;
+        let last = res.steps.last().unwrap().estimate;
+        assert!(last <= cfg.tol);
+        assert!(first > last);
+        // Simulated time strictly increases step over step.
+        for w in res.steps.windows(2) {
+            assert!(w[1].sim_time > w[0].sim_time);
+        }
+    }
+
+    #[test]
+    fn basis_is_row_orthonormal() {
+        let a = exponent_matrix(80, 40, 3);
+        let mut gpu = Gpu::k40c();
+        let cfg = AdaptiveConfig::new(1e-4, 8);
+        let res = adaptive_sample(&mut gpu, &a, &cfg, &mut rng(4)).unwrap();
+        let err = rlra_lapack::householder::orthogonality_error(&res.basis.transpose());
+        assert!(err < 1e-10, "basis orthogonality {err:e}");
+    }
+
+    #[test]
+    fn estimate_upper_bounds_actual_error() {
+        // Figure 16: the estimates sit one or two orders of magnitude
+        // above the actual error.
+        let a = exponent_matrix(100, 50, 5);
+        let mut gpu = Gpu::k40c();
+        let mut cfg = AdaptiveConfig::new(1e-6, 8);
+        cfg.track_actual = true;
+        let res = adaptive_sample(&mut gpu, &a, &cfg, &mut rng(6)).unwrap();
+        for s in &res.steps {
+            let actual = s.actual_error.unwrap();
+            assert!(
+                s.estimate * 3.0 > actual,
+                "estimate {:.2e} should not be far below actual {:.2e}",
+                s.estimate,
+                actual
+            );
+        }
+    }
+
+    #[test]
+    fn larger_increment_needs_fewer_steps() {
+        let a = exponent_matrix(100, 60, 7);
+        let steps_for = |inc: usize| -> usize {
+            let mut gpu = Gpu::k40c();
+            let cfg = AdaptiveConfig::new(1e-6, inc);
+            adaptive_sample(&mut gpu, &a, &cfg, &mut rng(8)).unwrap().steps.len()
+        };
+        assert!(steps_for(32) < steps_for(8));
+    }
+
+    #[test]
+    fn interpolated_inc_converges_with_fewer_steps_than_smallest_static() {
+        let a = exponent_matrix(100, 60, 9);
+        let run = |inc: IncStrategy| -> (bool, usize) {
+            let mut gpu = Gpu::k40c();
+            let cfg = AdaptiveConfig { tol: 1e-6, q: 0, reorth: true, inc, l_max: 60, track_actual: false };
+            let res = adaptive_sample(&mut gpu, &a, &cfg, &mut rng(10)).unwrap();
+            (res.converged, res.steps.len())
+        };
+        let (conv_s, steps_static) = run(IncStrategy::Static(8));
+        let (conv_i, steps_interp) = run(IncStrategy::Interpolated { init: 8 });
+        assert!(conv_s && conv_i);
+        assert!(
+            steps_interp <= steps_static,
+            "interpolated ({steps_interp}) should not need more steps than static 8 ({steps_static})"
+        );
+    }
+
+    #[test]
+    fn fixed_accuracy_end_to_end() {
+        let a = exponent_matrix(100, 60, 11);
+        let mut gpu = Gpu::k40c();
+        let cfg = AdaptiveConfig::new(1e-3, 8);
+        let (approx, adaptive) = sample_fixed_accuracy(&mut gpu, &a, &cfg, &mut rng(12)).unwrap();
+        assert!(adaptive.converged);
+        // The certified construction: final factorization error should be
+        // of the order of the tolerance (the estimate is pessimistic, so
+        // usually much better).
+        let err = approx.error_spectral(&a).unwrap();
+        assert!(err < cfg.tol * 100.0, "error {err:e} vs tol {:e}", cfg.tol);
+    }
+
+    #[test]
+    fn dry_run_rejected() {
+        let a = exponent_matrix(30, 20, 13);
+        let mut gpu = Gpu::k40c_dry();
+        let cfg = AdaptiveConfig::new(1e-6, 4);
+        assert!(adaptive_sample(&mut gpu, &a, &cfg, &mut rng(14)).is_err());
+    }
+
+    #[test]
+    fn power_iterations_supported_in_expansion() {
+        let a = exponent_matrix(80, 40, 15);
+        let mut gpu = Gpu::k40c();
+        let mut cfg = AdaptiveConfig::new(1e-5, 8);
+        cfg.q = 1;
+        let res = adaptive_sample(&mut gpu, &a, &cfg, &mut rng(16)).unwrap();
+        assert!(res.converged);
+        let err = rlra_lapack::householder::orthogonality_error(&res.basis.transpose());
+        assert!(err < 1e-10);
+    }
+}

@@ -1,0 +1,88 @@
+//! The deterministic baseline: truncated QP3 (the algorithm random
+//! sampling is compared against throughout the paper).
+
+use crate::result::LowRankApprox;
+use rlra_gpu::{DMat, Gpu, Phase};
+use rlra_matrix::{Mat, Result};
+
+/// Rank-`k` approximation by truncated QP3 on the CPU.
+///
+/// # Errors
+///
+/// Propagates factorization errors (invalid `k`).
+pub fn qp3_low_rank(a: &Mat, k: usize) -> Result<LowRankApprox> {
+    let res = rlra_lapack::qp3_blocked(a, k, rlra_lapack::qrcp::QP3_BLOCK)?;
+    Ok(LowRankApprox { q: res.q(), r: res.r(), perm: res.perm.clone() })
+}
+
+/// Rank-`k` approximation by truncated QP3 on the simulated GPU: charges
+/// the QP3 kernel sequence to [`Phase::Qrcp`] and returns the
+/// factorization (in compute mode) together with the simulated seconds
+/// consumed.
+///
+/// # Errors
+///
+/// Propagates factorization errors.
+pub fn qp3_low_rank_gpu(gpu: &mut Gpu, a: &DMat, k: usize) -> Result<(Option<LowRankApprox>, f64)> {
+    let t0 = gpu.clock();
+    let res = rlra_gpu::algos::gpu_qp3_truncated(gpu, Phase::Qrcp, a, k)?;
+    let elapsed = gpu.clock() - t0;
+    let approx = res
+        .result
+        .map(|r| LowRankApprox { q: r.q(), r: r.r(), perm: r.perm.clone() });
+    Ok((approx, elapsed))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use rlra_blas::Trans;
+    use rlra_matrix::gaussian_mat;
+
+    fn decay_matrix(m: usize, n: usize, decay: f64, seed: u64) -> (Mat, Vec<f64>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let r = m.min(n);
+        let spec: Vec<f64> = (0..r).map(|i| decay.powi(i as i32)).collect();
+        let x = rlra_lapack::form_q(&gaussian_mat(m, r, &mut rng));
+        let y = rlra_lapack::form_q(&gaussian_mat(n, r, &mut rng));
+        let xs = Mat::from_fn(m, r, |i, j| x[(i, j)] * spec[j]);
+        let mut a = Mat::zeros(m, n);
+        rlra_blas::gemm(1.0, xs.as_ref(), Trans::No, y.as_ref(), Trans::Yes, 0.0, a.as_mut())
+            .unwrap();
+        (a, spec)
+    }
+
+    #[test]
+    fn qp3_truncation_error_near_sigma() {
+        let (a, spec) = decay_matrix(60, 30, 0.5, 1);
+        let k = 6;
+        let lr = qp3_low_rank(&a, k).unwrap();
+        let err = lr.error_spectral(&a).unwrap();
+        assert!(err < 20.0 * spec[k], "QP3 error {err:e} vs sigma {:e}", spec[k]);
+        assert!(err > 0.5 * spec[k]);
+    }
+
+    #[test]
+    fn gpu_baseline_matches_cpu_numerics() {
+        let (a, _) = decay_matrix(40, 20, 0.6, 2);
+        let cpu = qp3_low_rank(&a, 5).unwrap();
+        let mut gpu = Gpu::k40c();
+        let ad = gpu.resident(&a);
+        let (gpu_lr, secs) = qp3_low_rank_gpu(&mut gpu, &ad, 5).unwrap();
+        let gpu_lr = gpu_lr.unwrap();
+        assert!(secs > 0.0);
+        assert_eq!(cpu.perm.as_slice(), gpu_lr.perm.as_slice());
+        assert!(cpu.q.approx_eq(&gpu_lr.q, 1e-12));
+    }
+
+    #[test]
+    fn dry_run_charges_without_result() {
+        let mut gpu = Gpu::k40c_dry();
+        let ad = gpu.resident_shape(5000, 500);
+        let (lr, secs) = qp3_low_rank_gpu(&mut gpu, &ad, 64).unwrap();
+        assert!(lr.is_none());
+        assert!(secs > 0.0);
+    }
+}

@@ -1,0 +1,300 @@
+//! CPU reference implementation of the fixed-rank randomized sampling
+//! algorithm (paper Figure 2b).
+
+use crate::config::{SamplerConfig, SamplingKind, Step2Kind};
+use crate::power::power_iterate;
+use crate::result::LowRankApprox;
+use rand::Rng;
+use rlra_blas::{Diag, Side, Trans, UpLo};
+use rlra_fft::SrftOperator;
+use rlra_matrix::{gaussian_mat, Mat, Result};
+
+/// Computes a rank-`k` approximation `A·P ≈ Q·R` by random sampling
+/// (Figure 2b of the paper), entirely on the CPU.
+///
+/// Steps: Gaussian/FFT sampling `B = ΩA` (`ℓ × n`, `ℓ = k + p`), `q`
+/// power iterations with CholQR re-orthogonalization, truncated QP3 of
+/// `B` to pick the `k` pivot columns, tall-skinny QR of `A·P₁:ₖ`, and the
+/// triangular finish `R = R̄·[I | T]` with `T = R̂₁:ₖ⁻¹·R̂ₖ₊₁:ₙ`.
+///
+/// # Examples
+///
+/// ```
+/// use rand::SeedableRng;
+/// use rlra_core::{sample_fixed_rank, SamplerConfig};
+/// use rlra_matrix::Mat;
+///
+/// // A rank-2 matrix is recovered exactly by a rank-2 sampler.
+/// let u = Mat::from_fn(40, 2, |i, j| ((i + 1) * (j + 2)) as f64);
+/// let v = Mat::from_fn(2, 20, |i, j| (i as f64) - 0.1 * j as f64 + 1.0);
+/// let mut a = Mat::zeros(40, 20);
+/// rlra_blas::gemm(1.0, u.as_ref(), rlra_blas::Trans::No,
+///                 v.as_ref(), rlra_blas::Trans::No, 0.0, a.as_mut()).unwrap();
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let cfg = SamplerConfig::new(2).with_p(4);
+/// let approx = sample_fixed_rank(&a, &cfg, &mut rng).unwrap();
+/// assert!(approx.error_spectral(&a).unwrap() < 1e-9);
+/// ```
+///
+/// # Errors
+///
+/// Returns parameter errors from [`SamplerConfig::validate`] and
+/// propagates kernel failures.
+pub fn sample_fixed_rank(a: &Mat, cfg: &SamplerConfig, rng: &mut impl Rng) -> Result<LowRankApprox> {
+    let (m, n) = a.shape();
+    cfg.validate(m, n)?;
+    let l = cfg.l();
+
+    // Step 1a: sample B = Ω A.
+    let b = match cfg.sampling {
+        SamplingKind::Gaussian => {
+            let omega = gaussian_mat(l, m, rng);
+            let mut b = Mat::zeros(l, n);
+            rlra_blas::gemm(1.0, omega.as_ref(), Trans::No, a.as_ref(), Trans::No, 0.0, b.as_mut())?;
+            b
+        }
+        SamplingKind::Fft(scheme) => {
+            let op = SrftOperator::new(m, l, scheme, rng)?;
+            op.sample_rows(a)?
+        }
+    };
+
+    // Step 1b: power iterations.
+    let empty_b = Mat::zeros(0, n);
+    let empty_c = Mat::zeros(0, m);
+    let (b, _c) = power_iterate(a, &empty_b, &empty_c, b, cfg.q, cfg.reorth)?;
+
+    finish_from_sampled_with(a, &b, cfg.k, cfg.reorth, cfg.step2)
+}
+
+/// Steps 2 and 3 shared by the fixed-rank and fixed-accuracy paths:
+/// truncated QP3 of the sampled matrix `b` (`ℓ × n`), tall-skinny QR of
+/// `A·P₁:ₖ`, and the triangular finish.
+///
+/// # Errors
+///
+/// Propagates kernel failures.
+pub fn finish_from_sampled(a: &Mat, b: &Mat, k: usize, reorth: bool) -> Result<LowRankApprox> {
+    finish_from_sampled_with(a, b, k, reorth, Step2Kind::Qp3)
+}
+
+/// As [`finish_from_sampled`], with an explicit Step-2 pivoting choice
+/// (the paper's QP3 or the communication-avoiding tournament).
+///
+/// # Errors
+///
+/// Propagates kernel failures.
+pub fn finish_from_sampled_with(
+    a: &Mat,
+    b: &Mat,
+    k: usize,
+    reorth: bool,
+    step2: Step2Kind,
+) -> Result<LowRankApprox> {
+    let n = a.cols();
+    // Step 2: rank the pivot columns of the sampled matrix. Both methods
+    // yield R̂ (k × n, upper-triangular leading block, pivot order) and
+    // the permutation.
+    let (r_hat, perm) = match step2 {
+        Step2Kind::Qp3 => {
+            let qrcp = rlra_lapack::qp3_blocked(b, k, rlra_lapack::qrcp::QP3_BLOCK.min(k.max(1)))?;
+            (qrcp.r(), qrcp.perm.clone())
+        }
+        Step2Kind::Tournament => {
+            let ca = rlra_lapack::tournament_qrcp(b, k)?;
+            (ca.r, ca.perm)
+        }
+    };
+
+    // T = R̂₁:ₖ⁻¹ · R̂ₖ₊₁:ₙ.
+    let r11 = r_hat.submatrix(0, 0, k, k);
+    let mut t = r_hat.submatrix(0, k, k, n - k);
+    if n > k {
+        rlra_blas::trsm(
+            Side::Left,
+            UpLo::Upper,
+            Trans::No,
+            Diag::NonUnit,
+            1.0,
+            r11.as_ref(),
+            t.as_mut(),
+        )?;
+    }
+
+    // Step 3: tall-skinny QR of A·P₁:ₖ.
+    let ap1k = perm.apply_cols_truncated(a, k)?;
+    let (q, r_bar) = match if reorth { rlra_lapack::cholqr2(&ap1k) } else { rlra_lapack::cholqr(&ap1k) } {
+        Ok(qr) => qr,
+        Err(rlra_matrix::MatrixError::NotPositiveDefinite { .. }) => rlra_lapack::qr_factor(&ap1k),
+        Err(e) => return Err(e),
+    };
+
+    // R = R̄ · [I | T]  =  [R̄ | R̄·T].
+    let mut r = Mat::zeros(k, n);
+    r.set_submatrix(0, 0, &r_bar);
+    if n > k {
+        let mut rt = Mat::zeros(k, n - k);
+        rlra_blas::gemm(1.0, r_bar.as_ref(), Trans::No, t.as_ref(), Trans::No, 0.0, rt.as_mut())?;
+        r.set_submatrix(0, k, &rt);
+    }
+
+    Ok(LowRankApprox { q, r, perm })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use rlra_fft::SrftScheme;
+    use rlra_lapack::householder::orthogonality_error;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    /// A = X Σ Yᵀ with σᵢ = decay^i, plus exact σ list.
+    fn decay_matrix(m: usize, n: usize, decay: f64, seed: u64) -> (Mat, Vec<f64>) {
+        let r = m.min(n);
+        let spec: Vec<f64> = (0..r).map(|i| decay.powi(i as i32)).collect();
+        let x = rlra_lapack::form_q(&gaussian_mat(m, r, &mut rng(seed)));
+        let y = rlra_lapack::form_q(&gaussian_mat(n, r, &mut rng(seed + 1)));
+        let xs = Mat::from_fn(m, r, |i, j| x[(i, j)] * spec[j]);
+        let mut a = Mat::zeros(m, n);
+        rlra_blas::gemm(1.0, xs.as_ref(), Trans::No, y.as_ref(), Trans::Yes, 0.0, a.as_mut())
+            .unwrap();
+        (a, spec)
+    }
+
+    #[test]
+    fn factors_have_expected_shapes_and_orthogonality() {
+        let (a, _) = decay_matrix(60, 30, 0.5, 1);
+        let cfg = SamplerConfig::new(5).with_p(3);
+        let lr = sample_fixed_rank(&a, &cfg, &mut rng(2)).unwrap();
+        assert_eq!(lr.q.shape(), (60, 5));
+        assert_eq!(lr.r.shape(), (5, 30));
+        assert_eq!(lr.perm.len(), 30);
+        assert!(orthogonality_error(&lr.q) < 1e-11);
+    }
+
+    #[test]
+    fn error_bounded_by_sigma_k_plus_1() {
+        // Halko et al. bound: ‖A − QR‖ ≤ c(p, Ω)^{1/(2q+1)}·σ_{k+1}; with
+        // p = 10 the constant is modest. Allow a generous factor.
+        let (a, spec) = decay_matrix(80, 40, 0.6, 3);
+        for q in [0usize, 1, 2] {
+            let cfg = SamplerConfig::new(8).with_p(10).with_q(q);
+            let lr = sample_fixed_rank(&a, &cfg, &mut rng(4)).unwrap();
+            let err = lr.error_spectral(&a).unwrap();
+            let sigma_k1 = spec[8];
+            assert!(
+                err < 30.0 * sigma_k1,
+                "q = {q}: error {err:e} vs sigma_k+1 {sigma_k1:e}"
+            );
+            assert!(err >= sigma_k1 * 0.9, "cannot beat the best rank-k error");
+        }
+    }
+
+    #[test]
+    fn power_iterations_tighten_error_on_slow_decay() {
+        let (a, _) = decay_matrix(100, 50, 0.9, 5);
+        let err = |q: usize| {
+            let cfg = SamplerConfig::new(6).with_p(4).with_q(q);
+            sample_fixed_rank(&a, &cfg, &mut rng(6)).unwrap().error_spectral(&a).unwrap()
+        };
+        let e0 = err(0);
+        let e2 = err(2);
+        assert!(e2 < e0, "q=2 ({e2:e}) should beat q=0 ({e0:e})");
+    }
+
+    #[test]
+    fn oversampling_improves_accuracy() {
+        let (a, _) = decay_matrix(80, 40, 0.8, 7);
+        // Average over seeds to suppress randomness.
+        let avg_err = |p: usize| -> f64 {
+            (0..5)
+                .map(|s| {
+                    let cfg = SamplerConfig::new(6).with_p(p);
+                    sample_fixed_rank(&a, &cfg, &mut rng(100 + s)).unwrap().error_spectral(&a).unwrap()
+                })
+                .sum::<f64>()
+                / 5.0
+        };
+        let e_p0 = avg_err(0);
+        let e_p10 = avg_err(10);
+        assert!(
+            e_p10 < e_p0,
+            "p=10 ({e_p10:e}) should beat p=0 ({e_p0:e}) — the paper's §7 observation"
+        );
+    }
+
+    #[test]
+    fn exactly_low_rank_is_recovered_exactly() {
+        let m = 50;
+        let n = 25;
+        let r = 4;
+        let x = gaussian_mat(m, r, &mut rng(8));
+        let y = gaussian_mat(r, n, &mut rng(9));
+        let mut a = Mat::zeros(m, n);
+        rlra_blas::gemm(1.0, x.as_ref(), Trans::No, y.as_ref(), Trans::No, 0.0, a.as_mut())
+            .unwrap();
+        let cfg = SamplerConfig::new(r).with_p(4);
+        let lr = sample_fixed_rank(&a, &cfg, &mut rng(10)).unwrap();
+        let err = lr.error_spectral(&a).unwrap();
+        let scale = rlra_matrix::norms::spectral_norm(a.as_ref());
+        assert!(err < 1e-10 * scale, "rank-{r} matrix must be captured exactly: {err:e}");
+    }
+
+    #[test]
+    fn fft_sampling_matches_gaussian_accuracy() {
+        let (a, spec) = decay_matrix(64, 32, 0.55, 11);
+        let g = sample_fixed_rank(&a, &SamplerConfig::new(6).with_p(6), &mut rng(12)).unwrap();
+        let f = sample_fixed_rank(
+            &a,
+            &SamplerConfig::new(6).with_p(6).with_sampling(SamplingKind::Fft(SrftScheme::Full)),
+            &mut rng(13),
+        )
+        .unwrap();
+        let eg = g.error_spectral(&a).unwrap();
+        let ef = f.error_spectral(&a).unwrap();
+        // Same order of magnitude (paper §7: "FFT sampling gave the
+        // approximation errors of the same order").
+        assert!(ef < 30.0 * spec[6] && eg < 30.0 * spec[6], "gaussian {eg:e}, fft {ef:e}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (a, _) = decay_matrix(40, 20, 0.5, 14);
+        let cfg = SamplerConfig::new(4);
+        let l1 = sample_fixed_rank(&a, &cfg, &mut rng(15)).unwrap();
+        let l2 = sample_fixed_rank(&a, &cfg, &mut rng(15)).unwrap();
+        assert_eq!(l1.q, l2.q);
+        assert_eq!(l1.r, l2.r);
+        assert_eq!(l1.perm.as_slice(), l2.perm.as_slice());
+    }
+
+    #[test]
+    fn tournament_step2_matches_qp3_quality() {
+        let (a, spec) = decay_matrix(70, 40, 0.6, 20);
+        let k = 6;
+        let base = SamplerConfig::new(k).with_p(8);
+        let e_qp3 = sample_fixed_rank(&a, &base, &mut rng(21))
+            .unwrap()
+            .error_spectral(&a)
+            .unwrap();
+        let e_ca = sample_fixed_rank(&a, &base.with_step2(Step2Kind::Tournament), &mut rng(21))
+            .unwrap()
+            .error_spectral(&a)
+            .unwrap();
+        assert!(e_ca < 10.0 * e_qp3 + 1e-14, "tournament {e_ca:e} vs qp3 {e_qp3:e}");
+        assert!(e_ca < 30.0 * spec[k]);
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let a = Mat::zeros(100, 30);
+        // l = 60 > n = 30.
+        assert!(sample_fixed_rank(&a, &SamplerConfig::new(50), &mut rng(16)).is_err());
+    }
+}

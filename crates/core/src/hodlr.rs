@@ -1,0 +1,479 @@
+//! HODLR (hierarchically off-diagonal low-rank) matrices with a direct
+//! solver — the working form of the paper's §11 outlook ("we plan to
+//! extend our study by integrating our GPU implementation of the
+//! randomized algorithm … for [the] HSS solver \[7, 22\]").
+//!
+//! A [`HodlrMatrix`] partitions a square matrix recursively into 2×2
+//! blocks; at every level the two off-diagonal blocks are compressed to
+//! rank `k` with the randomized sampler, and only the leaf diagonal
+//! blocks stay dense. Storage and matvec cost `O(k·n·log n)`.
+//!
+//! The solver is the Ambikasaran–Darve recursive Woodbury scheme: each
+//! node is `D + U·Vᵀ` with `D` block diagonal of its children, so
+//!
+//! `(D + UVᵀ)⁻¹ b = D⁻¹b − D⁻¹U·(I + VᵀD⁻¹U)⁻¹·VᵀD⁻¹b`,
+//!
+//! where `D⁻¹` recurses into the children and the capacitance system
+//! `I + VᵀD⁻¹U` is a small dense `2k × 2k` solve. Total cost
+//! `O(k²·n·log²n)` — the reason hierarchical solvers want a fast
+//! compression kernel, which is exactly what the paper's GPU sampler
+//! provides.
+
+use crate::config::SamplerConfig;
+use crate::fixed_rank::sample_fixed_rank;
+use rand::Rng;
+use rlra_blas::{gemm, gemv, Trans};
+use rlra_matrix::{Mat, MatrixError, Result};
+
+/// A node of the HODLR tree.
+#[derive(Debug, Clone)]
+enum Node {
+    /// Leaf: dense diagonal block.
+    Leaf(Mat),
+    /// Internal: two children plus the rank-`k` off-diagonal factors
+    /// `A₁₂ ≈ U₁·V₁ᵀ` (top-right) and `A₂₁ ≈ U₂·V₂ᵀ` (bottom-left).
+    Branch {
+        left: Box<Node>,
+        right: Box<Node>,
+        /// Rows of the left child.
+        split: usize,
+        /// `U₁` (`split × k`), `V₁` (`n−split × k`).
+        u1: Mat,
+        v1: Mat,
+        /// `U₂` (`n−split × k`), `V₂` (`split × k`).
+        u2: Mat,
+        v2: Mat,
+    },
+}
+
+/// A hierarchically off-diagonal low-rank matrix.
+///
+/// # Examples
+///
+/// ```
+/// use rand::SeedableRng;
+/// use rlra_core::{HodlrMatrix, SamplerConfig};
+/// use rlra_matrix::Mat;
+///
+/// // A diagonally dominant smooth-kernel system.
+/// let n = 128;
+/// let a = Mat::from_fn(n, n, |i, j| {
+///     let d = (i as f64 - j as f64).abs() / n as f64;
+///     1.0 / (1.0 + 32.0 * d) + if i == j { 2.0 } else { 0.0 }
+/// });
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+/// let cfg = SamplerConfig::new(8).with_p(6).with_q(1);
+/// let h = HodlrMatrix::compress(&a, 32, &cfg, &mut rng).unwrap();
+///
+/// // Direct solve through the hierarchy.
+/// let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.1).sin()).collect();
+/// let x = h.solve(&b).unwrap();
+/// let hx = h.matvec(&x).unwrap();
+/// let err: f64 = hx.iter().zip(&b).map(|(p, q)| (p - q).powi(2)).sum::<f64>().sqrt();
+/// assert!(err < 1e-8);
+/// ```
+#[derive(Debug, Clone)]
+pub struct HodlrMatrix {
+    root: Node,
+    n: usize,
+    levels: usize,
+}
+
+impl HodlrMatrix {
+    /// Compresses the square matrix `a`: blocks of `leaf_size` or fewer
+    /// rows stay dense; every off-diagonal block is compressed to rank
+    /// `cfg.k` by random sampling.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MatrixError::InvalidParameter`] for non-square inputs or
+    /// leaf sizes that cannot accommodate the sampling dimension
+    /// `ℓ = k + p`.
+    pub fn compress(
+        a: &Mat,
+        leaf_size: usize,
+        cfg: &SamplerConfig,
+        rng: &mut impl Rng,
+    ) -> Result<HodlrMatrix> {
+        let (m, n) = a.shape();
+        if m != n {
+            return Err(MatrixError::InvalidParameter {
+                name: "a",
+                message: format!("HODLR needs a square matrix, got {m}x{n}"),
+            });
+        }
+        if leaf_size < 2 * cfg.l() {
+            return Err(MatrixError::InvalidParameter {
+                name: "leaf_size",
+                message: format!(
+                    "leaf size {leaf_size} must be at least 2·(k + p) = {}",
+                    2 * cfg.l()
+                ),
+            });
+        }
+        let mut levels = 0usize;
+        let root = build(a, leaf_size, cfg, rng, 0, &mut levels)?;
+        Ok(HodlrMatrix { root, n, levels })
+    }
+
+    /// Matrix dimension.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Depth of the hierarchy (0 = a single dense block).
+    pub fn levels(&self) -> usize {
+        self.levels
+    }
+
+    /// Total stored entries.
+    pub fn stored_entries(&self) -> usize {
+        stored(&self.root)
+    }
+
+    /// Compression ratio `dense / stored`.
+    pub fn compression_ratio(&self) -> f64 {
+        (self.n * self.n) as f64 / self.stored_entries() as f64
+    }
+
+    /// `y = H·x`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MatrixError::DimensionMismatch`] on length mismatch.
+    pub fn matvec(&self, x: &[f64]) -> Result<Vec<f64>> {
+        if x.len() != self.n {
+            return Err(MatrixError::DimensionMismatch {
+                op: "HodlrMatrix::matvec",
+                expected: format!("x.len() == {}", self.n),
+                found: format!("x.len() == {}", x.len()),
+            });
+        }
+        let mut y = vec![0.0f64; self.n];
+        apply(&self.root, x, &mut y)?;
+        Ok(y)
+    }
+
+    /// Direct solve `H·x = b` by the recursive Woodbury factorization.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MatrixError::SingularDiagonal`]-class errors if a leaf
+    /// block or a capacitance system is numerically singular.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        if b.len() != self.n {
+            return Err(MatrixError::DimensionMismatch {
+                op: "HodlrMatrix::solve",
+                expected: format!("b.len() == {}", self.n),
+                found: format!("b.len() == {}", b.len()),
+            });
+        }
+        let bm = Mat::from_col_major(self.n, 1, b.to_vec())?;
+        let x = solve_mat(&self.root, &bm)?;
+        Ok(x.into_vec())
+    }
+
+    /// Reconstructs the dense matrix (diagnostics / tests).
+    pub fn to_dense(&self) -> Result<Mat> {
+        dense(&self.root)
+    }
+}
+
+fn build(
+    a: &Mat,
+    leaf_size: usize,
+    cfg: &SamplerConfig,
+    rng: &mut impl Rng,
+    depth: usize,
+    levels: &mut usize,
+) -> Result<Node> {
+    let n = a.rows();
+    *levels = (*levels).max(depth);
+    if n <= leaf_size {
+        return Ok(Node::Leaf(a.clone()));
+    }
+    let split = n / 2;
+    let a11 = a.submatrix(0, 0, split, split);
+    let a22 = a.submatrix(split, split, n - split, n - split);
+    let a12 = a.submatrix(0, split, split, n - split);
+    let a21 = a.submatrix(split, 0, n - split, split);
+
+    // Compress the off-diagonal blocks with the randomized sampler and
+    // convert to (U, V) outer-product form: A ≈ Q·R·Pᵀ = Q·(R·Pᵀ) ⇒
+    // U = Q, Vᵀ = R·Pᵀ.
+    let (u1, v1) = outer_factors(&a12, cfg, rng)?;
+    let (u2, v2) = outer_factors(&a21, cfg, rng)?;
+    let left = build(&a11, leaf_size, cfg, rng, depth + 1, levels)?;
+    let right = build(&a22, leaf_size, cfg, rng, depth + 1, levels)?;
+    Ok(Node::Branch { left: Box::new(left), right: Box::new(right), split, u1, v1, u2, v2 })
+}
+
+/// Rank-`k` outer-product factors `(U, V)` with `block ≈ U·Vᵀ`.
+fn outer_factors(block: &Mat, cfg: &SamplerConfig, rng: &mut impl Rng) -> Result<(Mat, Mat)> {
+    let lr = sample_fixed_rank(block, cfg, rng)?;
+    let u = lr.q.clone();
+    // Vᵀ = R·Pᵀ, i.e. V = (R·P⁻¹-applied)ᵀ = P applied to Rᵀ's rows.
+    let r_unperm = lr.perm.inverse().apply_cols(&lr.r)?;
+    Ok((u, r_unperm.transpose()))
+}
+
+fn stored(node: &Node) -> usize {
+    match node {
+        Node::Leaf(d) => d.rows() * d.cols(),
+        Node::Branch { left, right, u1, v1, u2, v2, .. } => {
+            stored(left)
+                + stored(right)
+                + u1.rows() * u1.cols()
+                + v1.rows() * v1.cols()
+                + u2.rows() * u2.cols()
+                + v2.rows() * v2.cols()
+        }
+    }
+}
+
+fn apply(node: &Node, x: &[f64], y: &mut [f64]) -> Result<()> {
+    match node {
+        Node::Leaf(d) => gemv(1.0, d.as_ref(), Trans::No, x, 1.0, y),
+        Node::Branch { left, right, split, u1, v1, u2, v2 } => {
+            let (x1, x2) = x.split_at(*split);
+            {
+                let (y1, y2) = y.split_at_mut(*split);
+                apply(left, x1, y1)?;
+                apply(right, x2, y2)?;
+            }
+            // y1 += U1 (V1ᵀ x2); y2 += U2 (V2ᵀ x1).
+            let k1 = u1.cols();
+            let mut t = vec![0.0f64; k1];
+            gemv(1.0, v1.as_ref(), Trans::Yes, x2, 0.0, &mut t)?;
+            let (y1, y2) = y.split_at_mut(*split);
+            gemv(1.0, u1.as_ref(), Trans::No, &t, 1.0, y1)?;
+            let k2 = u2.cols();
+            let mut t2 = vec![0.0f64; k2];
+            gemv(1.0, v2.as_ref(), Trans::Yes, x1, 0.0, &mut t2)?;
+            gemv(1.0, u2.as_ref(), Trans::No, &t2, 1.0, y2)?;
+            Ok(())
+        }
+    }
+}
+
+fn dense(node: &Node) -> Result<Mat> {
+    match node {
+        Node::Leaf(d) => Ok(d.clone()),
+        Node::Branch { left, right, split, u1, v1, u2, v2 } => {
+            let dl = dense(left)?;
+            let dr = dense(right)?;
+            let n = dl.rows() + dr.rows();
+            let mut out = Mat::zeros(n, n);
+            out.set_submatrix(0, 0, &dl);
+            out.set_submatrix(*split, *split, &dr);
+            let mut a12 = Mat::zeros(u1.rows(), v1.rows());
+            gemm(1.0, u1.as_ref(), Trans::No, v1.as_ref(), Trans::Yes, 0.0, a12.as_mut())?;
+            out.set_submatrix(0, *split, &a12);
+            let mut a21 = Mat::zeros(u2.rows(), v2.rows());
+            gemm(1.0, u2.as_ref(), Trans::No, v2.as_ref(), Trans::Yes, 0.0, a21.as_mut())?;
+            out.set_submatrix(*split, 0, &a21);
+            Ok(out)
+        }
+    }
+}
+
+/// Solves `node · X = B` for a (multi-column) right-hand side via the
+/// recursive Woodbury identity.
+fn solve_mat(node: &Node, b: &Mat) -> Result<Mat> {
+    match node {
+        Node::Leaf(d) => dense_solve(d, b),
+        Node::Branch { left, right, split, u1, v1, u2, v2 } => {
+            let n = b.rows();
+            let nrhs = b.cols();
+            let k1 = u1.cols();
+            let k2 = u2.cols();
+            // The node is D + U·Vᵀ with
+            // U = [[U1, 0], [0, U2]]  (n × (k1 + k2)),
+            // V = [[0, V2], [V1, 0]]  (n × (k1 + k2))
+            // so U·Vᵀ places U1·V1ᵀ top-right and U2·V2ᵀ bottom-left.
+            //
+            // Woodbury: x = D⁻¹b − D⁻¹U (I + Vᵀ D⁻¹ U)⁻¹ Vᵀ D⁻¹ b.
+            // D⁻¹ [b; U] in one recursive sweep per child.
+            let b1 = b.submatrix(0, 0, *split, nrhs);
+            let b2 = b.submatrix(*split, 0, n - *split, nrhs);
+            let rhs1 = b1.hcat(u1)?; // split × (nrhs + k1)
+            let rhs2 = b2.hcat(u2)?; // (n − split) × (nrhs + k2)
+            let sol1 = solve_mat(left, &rhs1)?;
+            let sol2 = solve_mat(right, &rhs2)?;
+            let d1b = sol1.submatrix(0, 0, *split, nrhs);
+            let d1u1 = sol1.submatrix(0, nrhs, *split, k1);
+            let d2b = sol2.submatrix(0, 0, n - *split, nrhs);
+            let d2u2 = sol2.submatrix(0, nrhs, n - *split, k2);
+
+            // Capacitance C = I + Vᵀ D⁻¹ U ((k1 + k2) square):
+            // Vᵀ D⁻¹ U = [[0, V2ᵀ·D2⁻¹U2... ]] — with the U/V block
+            // structure above:
+            //   row block 1 (k1): V1ᵀ applied to the *second* half ⇒
+            //     V1ᵀ·(D2⁻¹U2) in the (1, 2) block;
+            //   row block 2 (k2): V2ᵀ·(D1⁻¹U1) in the (2, 1) block.
+            let mut c = Mat::identity(k1 + k2);
+            {
+                let mut c12 = Mat::zeros(k1, k2);
+                gemm(1.0, v1.as_ref(), Trans::Yes, d2u2.as_ref(), Trans::No, 0.0, c12.as_mut())?;
+                c.set_submatrix(0, k1, &c12);
+                let mut c21 = Mat::zeros(k2, k1);
+                gemm(1.0, v2.as_ref(), Trans::Yes, d1u1.as_ref(), Trans::No, 0.0, c21.as_mut())?;
+                c.set_submatrix(k1, 0, &c21);
+            }
+            // w = Vᵀ D⁻¹ b: rows 1..k1 = V1ᵀ·D2⁻¹b2, rows k1.. = V2ᵀ·D1⁻¹b1.
+            let mut w = Mat::zeros(k1 + k2, nrhs);
+            {
+                let mut w1 = Mat::zeros(k1, nrhs);
+                gemm(1.0, v1.as_ref(), Trans::Yes, d2b.as_ref(), Trans::No, 0.0, w1.as_mut())?;
+                w.set_submatrix(0, 0, &w1);
+                let mut w2 = Mat::zeros(k2, nrhs);
+                gemm(1.0, v2.as_ref(), Trans::Yes, d1b.as_ref(), Trans::No, 0.0, w2.as_mut())?;
+                w.set_submatrix(k1, 0, &w2);
+            }
+            // y = C⁻¹ w (small dense solve).
+            let y = dense_solve(&c, &w)?;
+            // x = D⁻¹b − D⁻¹U y, assembled per half.
+            let y1 = y.submatrix(0, 0, k1, nrhs);
+            let y2 = y.submatrix(k1, 0, k2, nrhs);
+            let mut x = Mat::zeros(n, nrhs);
+            {
+                let mut x1 = d1b.clone();
+                gemm(-1.0, d1u1.as_ref(), Trans::No, y1.as_ref(), Trans::No, 1.0, x1.as_mut())?;
+                x.set_submatrix(0, 0, &x1);
+                let mut x2 = d2b.clone();
+                gemm(-1.0, d2u2.as_ref(), Trans::No, y2.as_ref(), Trans::No, 1.0, x2.as_mut())?;
+                x.set_submatrix(*split, 0, &x2);
+            }
+            Ok(x)
+        }
+    }
+}
+
+/// Dense direct solve `A·X = B` for the small systems at the leaves and
+/// capacitance nodes (LU with partial pivoting from the substrate).
+fn dense_solve(a: &Mat, b: &Mat) -> Result<Mat> {
+    rlra_lapack::lu_solve(a, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use rlra_data::{kernel_matrix, uniform_points, Kernel};
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    /// Diagonally shifted Cauchy kernel: well conditioned, hierarchically
+    /// low rank off the diagonal.
+    fn shifted_kernel(n: usize) -> Mat {
+        let mut a = kernel_matrix(Kernel::Cauchy { gamma: 48.0 }, &uniform_points(n));
+        for i in 0..n {
+            a[(i, i)] += 2.0;
+        }
+        a
+    }
+
+    #[test]
+    fn compresses_and_reconstructs() {
+        let a = shifted_kernel(256);
+        let cfg = SamplerConfig::new(10).with_p(6).with_q(1);
+        let h = HodlrMatrix::compress(&a, 64, &cfg, &mut rng(1)).unwrap();
+        assert!(h.levels() >= 2, "256 with 64-leaves gives 2 levels");
+        assert!(h.compression_ratio() > 1.5, "ratio {:.2}", h.compression_ratio());
+        let rec = h.to_dense().unwrap();
+        let err = rlra_matrix::norms::spectral_norm(
+            rlra_matrix::ops::sub(&a, &rec).unwrap().as_ref(),
+        ) / rlra_matrix::norms::spectral_norm(a.as_ref());
+        assert!(err < 1e-7, "HODLR reconstruction error {err:e}");
+    }
+
+    #[test]
+    fn matvec_matches_dense() {
+        let a = shifted_kernel(192);
+        let cfg = SamplerConfig::new(8).with_p(6).with_q(1);
+        let h = HodlrMatrix::compress(&a, 48, &cfg, &mut rng(2)).unwrap();
+        let x: Vec<f64> = (0..192).map(|i| (i as f64 * 0.05).sin()).collect();
+        let y_h = h.matvec(&x).unwrap();
+        let mut y_d = vec![0.0; 192];
+        gemv(1.0, a.as_ref(), Trans::No, &x, 0.0, &mut y_d).unwrap();
+        let err: f64 =
+            y_h.iter().zip(&y_d).map(|(a, b)| (a - b) * (a - b)).sum::<f64>().sqrt()
+                / rlra_matrix::norms::vec_norm2(&y_d);
+        assert!(err < 1e-6, "matvec error {err:e}");
+    }
+
+    #[test]
+    fn solver_matches_dense_solution() {
+        let n = 256;
+        let a = shifted_kernel(n);
+        let cfg = SamplerConfig::new(12).with_p(8).with_q(1);
+        let h = HodlrMatrix::compress(&a, 64, &cfg, &mut rng(3)).unwrap();
+        let b: Vec<f64> = (0..n).map(|i| ((i * 13) % 7) as f64 - 3.0).collect();
+        let x = h.solve(&b).unwrap();
+        // Residual against the ORIGINAL dense matrix (so the error has
+        // both the compression and the solver in it).
+        let mut r = b.clone();
+        gemv(-1.0, a.as_ref(), Trans::No, &x, 1.0, &mut r).unwrap();
+        let rel = rlra_matrix::norms::vec_norm2(&r) / rlra_matrix::norms::vec_norm2(&b);
+        assert!(rel < 1e-6, "solve residual {rel:e}");
+    }
+
+    #[test]
+    fn solve_is_exact_for_its_own_operator() {
+        // Against the HODLR operator itself the Woodbury solve is exact
+        // to roundoff.
+        let a = shifted_kernel(128);
+        let cfg = SamplerConfig::new(8).with_p(6).with_q(1);
+        let h = HodlrMatrix::compress(&a, 32, &cfg, &mut rng(4)).unwrap();
+        let b: Vec<f64> = (0..128).map(|i| (i as f64 * 0.31).cos()).collect();
+        let x = h.solve(&b).unwrap();
+        let hx = h.matvec(&x).unwrap();
+        let err: f64 = hx.iter().zip(&b).map(|(a, b)| (a - b) * (a - b)).sum::<f64>().sqrt()
+            / rlra_matrix::norms::vec_norm2(&b);
+        assert!(err < 1e-10, "self-consistency {err:e}");
+    }
+
+    #[test]
+    fn single_level_equals_dense() {
+        let a = shifted_kernel(40);
+        let cfg = SamplerConfig::new(4).with_p(4);
+        // Leaf size >= n: no hierarchy, exact dense block.
+        let h = HodlrMatrix::compress(&a, 64, &cfg, &mut rng(5)).unwrap();
+        assert_eq!(h.levels(), 0);
+        assert!(h.to_dense().unwrap().approx_eq(&a, 0.0));
+        let b: Vec<f64> = (0..40).map(|i| i as f64).collect();
+        let x = h.solve(&b).unwrap();
+        let mut r = b.clone();
+        gemv(-1.0, a.as_ref(), Trans::No, &x, 1.0, &mut r).unwrap();
+        assert!(rlra_matrix::norms::vec_norm2(&r) < 1e-9);
+    }
+
+    #[test]
+    fn validates_inputs() {
+        let cfg = SamplerConfig::new(4).with_p(4);
+        assert!(HodlrMatrix::compress(&Mat::zeros(10, 12), 8, &cfg, &mut rng(6)).is_err());
+        // Leaf smaller than 2l.
+        assert!(HodlrMatrix::compress(&shifted_kernel(64), 8, &cfg, &mut rng(7)).is_err());
+        let h = HodlrMatrix::compress(&shifted_kernel(64), 64, &cfg, &mut rng(8)).unwrap();
+        assert!(h.matvec(&vec![0.0; 63]).is_err());
+        assert!(h.solve(&vec![0.0; 63]).is_err());
+    }
+
+    #[test]
+    fn deeper_hierarchy_compresses_more() {
+        let a = shifted_kernel(512);
+        let cfg = SamplerConfig::new(8).with_p(6).with_q(1);
+        let shallow = HodlrMatrix::compress(&a, 256, &cfg, &mut rng(9)).unwrap();
+        let deep = HodlrMatrix::compress(&a, 64, &cfg, &mut rng(10)).unwrap();
+        assert!(deep.levels() > shallow.levels());
+        assert!(
+            deep.compression_ratio() > shallow.compression_ratio(),
+            "deep {:.2} vs shallow {:.2}",
+            deep.compression_ratio(),
+            shallow.compression_ratio()
+        );
+    }
+}

@@ -1,0 +1,62 @@
+//! # rlra-core
+//!
+//! Randomized sampling for low-rank approximation of dense matrices —
+//! the primary contribution of Mary, Yamazaki, Kurzak, Luszczek, Tomov
+//! and Dongarra, *"Performance of Random Sampling for Computing Low-rank
+//! Approximations of a Dense Matrix on GPUs"*, SC'15.
+//!
+//! The algorithm (the paper's Figure 2) computes `A·P ≈ Q·R` in three
+//! steps:
+//!
+//! 1. **Sampling** — `B = Ω·A` with an `ℓ × m` Gaussian (or
+//!    subsampled-FFT) matrix, `ℓ = k + p`, optionally refined by `q`
+//!    power iterations `C = B·Aᵀ`, `B = C·A` with CholQR
+//!    re-orthogonalization after every application,
+//! 2. **QRCP** — a truncated QP3 of the small sampled matrix `B` selects
+//!    the `k` pivot columns and yields `T = R̂₁:ₖ⁻¹·R̂ₖ₊₁:ₙ`,
+//! 3. **QR** — a tall-skinny QR of `A·P₁:ₖ` (CholQR) produces `Q` and
+//!    `R = R̄·[I | T]`.
+//!
+//! Three execution paths are provided:
+//!
+//! - [`fixed_rank::sample_fixed_rank`] — plain CPU reference,
+//! - [`gpu_exec::sample_fixed_rank_gpu`] — single simulated GPU with the
+//!   paper's phase-by-phase time breakdown (Figures 11–14),
+//! - [`multi::sample_fixed_rank_multi_gpu`] — the 1D block-row multi-GPU
+//!   variant of §4 (Figure 15),
+//!
+//! plus the **adaptive sampling-size scheme** for the fixed-accuracy
+//! problem (the paper's Figure 3 and Figures 16–17) in [`adaptive`], and
+//! the deterministic truncated-QP3 **baseline** in [`baseline`].
+
+pub mod adaptive;
+pub mod baseline;
+pub mod blr;
+pub mod cluster_exec;
+pub mod config;
+pub mod cur;
+pub mod estimate;
+pub mod fixed_rank;
+pub mod gpu_exec;
+pub mod hodlr;
+pub mod id;
+pub mod multi;
+pub mod power;
+pub mod result;
+pub mod solvers;
+pub mod rsvd;
+
+pub use adaptive::{adaptive_sample, AdaptiveConfig, AdaptiveResult, AdaptiveStep, IncStrategy};
+pub use baseline::{qp3_low_rank, qp3_low_rank_gpu};
+pub use blr::{BlrBlock, BlrMatrix};
+pub use cluster_exec::{qp3_cluster_time, sample_fixed_rank_cluster, ClusterRunReport};
+pub use config::{SamplerConfig, SamplingKind, Step2Kind};
+pub use cur::{cur_decomposition, CurDecomposition};
+pub use fixed_rank::{finish_from_sampled, sample_fixed_rank};
+pub use gpu_exec::{sample_fixed_rank_gpu, RunReport};
+pub use hodlr::HodlrMatrix;
+pub use id::{interpolative_decomposition, InterpolativeDecomposition};
+pub use multi::sample_fixed_rank_multi_gpu;
+pub use result::LowRankApprox;
+pub use solvers::{identity_preconditioner, pcg, PcgResult};
+pub use rsvd::{randomized_svd, RandomizedSvd};

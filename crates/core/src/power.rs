@@ -1,0 +1,194 @@
+//! The power iteration on the sampled subspace (paper Figure 2a).
+//!
+//! `POWER(A, B, C, j, k, q)` refines the rows `j..k` of the short-wide
+//! sampled matrix `B` (`ℓ × n`) by alternating multiplications with `Aᵀ`
+//! and `A`, re-orthogonalizing after every application: without the
+//! orthogonalization the condition number of `B` grows like `κ(A)^{2q}`
+//! and the iteration diverges in floating point (paper §6).
+//!
+//! The new rows are kept orthogonal to the previously accepted rows
+//! (`B₁:ⱼ₋₁`, `C₁:ⱼ₋₁`) with the block Gram–Schmidt `BOrth`, which is what
+//! lets the adaptive scheme grow the subspace incrementally.
+
+use rlra_blas::Trans;
+use rlra_lapack::gram_schmidt::block_orth_rows;
+use rlra_matrix::{Mat, Result};
+
+/// State of the power iteration: the sampled matrices `B` (`ℓ × n`) and
+/// `C` (`ℓ × m`), both row blocks.
+#[derive(Debug, Clone)]
+pub struct PowerState {
+    /// Sampled matrix `B = Ω·A·(AᵀA)^t` (rows span the row space of `A`).
+    pub b: Mat,
+    /// Work matrix `C = B·Aᵀ` (rows span the column space of `A`).
+    pub c: Mat,
+}
+
+/// Runs `q` power iterations on the row block `new` of `B`, keeping it
+/// orthogonal to the accepted blocks `b_prev` (`ℓ₀ × n`) and `c_prev`
+/// (`ℓ₀ × m`). Returns the refined `(b_new, c_new)` block pair; `c_new`
+/// is empty when `q = 0`.
+///
+/// `reorth` enables the paper's extra CholQR pass.
+///
+/// # Errors
+///
+/// Propagates kernel errors (shape mismatches, CholQR breakdown falls
+/// back internally).
+pub fn power_iterate(
+    a: &Mat,
+    b_prev: &Mat,
+    c_prev: &Mat,
+    mut b_new: Mat,
+    q: usize,
+    reorth: bool,
+) -> Result<(Mat, Mat)> {
+    let (m, n) = a.shape();
+    let lnew = b_new.rows();
+    let mut c_new = Mat::zeros(0, m);
+    for _ in 0..q {
+        // Orthogonalize B_new against accepted rows, then internally.
+        block_orth_rows(b_prev, &mut b_new, reorth)?;
+        b_new = orth_rows(&b_new, reorth)?;
+        // C_new = B_new · Aᵀ  (ℓnew × m).
+        let mut c = Mat::zeros(lnew, m);
+        rlra_blas::gemm(1.0, b_new.as_ref(), Trans::No, a.as_ref(), Trans::Yes, 0.0, c.as_mut())?;
+        // Orthogonalize C_new against accepted C rows, then internally.
+        block_orth_rows(c_prev, &mut c, reorth)?;
+        c_new = orth_rows(&c, reorth)?;
+        // B_new = C_new · A  (ℓnew × n).
+        let mut b = Mat::zeros(lnew, n);
+        rlra_blas::gemm(1.0, c_new.as_ref(), Trans::No, a.as_ref(), Trans::No, 0.0, b.as_mut())?;
+        b_new = b;
+    }
+    Ok((b_new, c_new))
+}
+
+/// Row-orthonormalizes a short-wide matrix with CholQR (falling back to
+/// Householder on breakdown, as the paper recommends).
+pub fn orth_rows(b: &Mat, reorth: bool) -> Result<Mat> {
+    let attempt = if reorth { rlra_lapack::cholqr_rows2(b) } else { rlra_lapack::cholqr_rows(b) };
+    match attempt {
+        Ok((q, _)) => Ok(q),
+        Err(rlra_matrix::MatrixError::NotPositiveDefinite { .. }) => {
+            // Householder QR of the transpose gives orthonormal rows.
+            Ok(rlra_lapack::form_q(&b.transpose()).transpose())
+        }
+        Err(e) => Err(e),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use rlra_lapack::householder::orthogonality_error;
+    use rlra_matrix::gaussian_mat;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    fn spectrum_matrix(m: usize, n: usize, decay: f64, seed: u64) -> Mat {
+        // A = sum_i decay^i u_i v_i^T via prescribed-spectrum generator.
+        let spec: Vec<f64> = (0..n.min(m)).map(|i| decay.powi(i as i32)).collect();
+        let u = rlra_lapack::form_q(&gaussian_mat(m, spec.len(), &mut rng(seed)));
+        let v = rlra_lapack::form_q(&gaussian_mat(n, spec.len(), &mut rng(seed + 1)));
+        let us = Mat::from_fn(m, spec.len(), |i, j| u[(i, j)] * spec[j]);
+        let mut a = Mat::zeros(m, n);
+        rlra_blas::gemm(1.0, us.as_ref(), Trans::No, v.as_ref(), Trans::Yes, 0.0, a.as_mut())
+            .unwrap();
+        a
+    }
+
+    #[test]
+    fn orth_rows_gives_orthonormal_rows() {
+        let b = gaussian_mat(5, 30, &mut rng(1));
+        let q = orth_rows(&b, true).unwrap();
+        assert!(orthogonality_error(&q.transpose()) < 1e-12);
+    }
+
+    #[test]
+    fn orth_rows_fallback_on_rank_deficiency() {
+        let mut b = gaussian_mat(4, 20, &mut rng(2));
+        // Duplicate a row to break CholQR.
+        let r0: Vec<f64> = (0..20).map(|j| b[(0, j)]).collect();
+        for (j, v) in r0.iter().enumerate() {
+            b[(3, j)] = *v;
+        }
+        let q = orth_rows(&b, true).unwrap();
+        assert_eq!(q.shape(), (4, 20));
+        // The non-degenerate rows are still orthonormal among themselves.
+        let g = rlra_blas::naive::gemm_ref(&q, Trans::No, &q, Trans::Yes);
+        for i in 0..3 {
+            assert!((g[(i, i)] - 1.0).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn power_iteration_improves_subspace_capture() {
+        // Slowly decaying spectrum: q > 0 must capture the dominant
+        // subspace better than q = 0.
+        let m = 80;
+        let n = 40;
+        let a = spectrum_matrix(m, n, 0.85, 3);
+        let l = 6;
+        let omega = gaussian_mat(l, m, &mut rng(4));
+        let mut b0 = Mat::zeros(l, n);
+        rlra_blas::gemm(1.0, omega.as_ref(), Trans::No, a.as_ref(), Trans::No, 0.0, b0.as_mut())
+            .unwrap();
+        let empty_b = Mat::zeros(0, n);
+        let empty_c = Mat::zeros(0, m);
+
+        let capture = |b: &Mat| -> f64 {
+            // ‖A − A BᵀB‖₂ with B row-orthonormalized.
+            let q = orth_rows(b, true).unwrap();
+            let mut abt = Mat::zeros(m, l);
+            rlra_blas::gemm(1.0, a.as_ref(), Trans::No, q.as_ref(), Trans::Yes, 0.0, abt.as_mut())
+                .unwrap();
+            let mut rec = Mat::zeros(m, n);
+            rlra_blas::gemm(1.0, abt.as_ref(), Trans::No, q.as_ref(), Trans::No, 0.0, rec.as_mut())
+                .unwrap();
+            let diff = rlra_matrix::ops::sub(&a, &rec).unwrap();
+            rlra_matrix::norms::spectral_norm(diff.as_ref())
+        };
+
+        let err_q0 = capture(&b0);
+        let (b2, _) = power_iterate(&a, &empty_b, &empty_c, b0.clone(), 2, true).unwrap();
+        let err_q2 = capture(&b2);
+        assert!(
+            err_q2 < err_q0 * 0.9,
+            "power iteration should help on slow decay: q0 {err_q0:e} vs q2 {err_q2:e}"
+        );
+    }
+
+    #[test]
+    fn q_zero_returns_input_unchanged() {
+        let a = spectrum_matrix(20, 10, 0.5, 5);
+        let b = gaussian_mat(3, 10, &mut rng(6));
+        let (b_out, c_out) = power_iterate(&a, &Mat::zeros(0, 10), &Mat::zeros(0, 20), b.clone(), 0, true)
+            .unwrap();
+        assert_eq!(b_out, b);
+        assert_eq!(c_out.rows(), 0);
+    }
+
+    #[test]
+    fn new_block_stays_orthogonal_to_previous() {
+        let m = 60;
+        let n = 30;
+        let a = spectrum_matrix(m, n, 0.7, 7);
+        // Accepted basis: 4 orthonormal rows of B and matching C rows.
+        let b_prev = orth_rows(&gaussian_mat(4, n, &mut rng(8)), true).unwrap();
+        let mut c_prev_raw = Mat::zeros(4, m);
+        rlra_blas::gemm(1.0, b_prev.as_ref(), Trans::No, a.as_ref(), Trans::Yes, 0.0, c_prev_raw.as_mut())
+            .unwrap();
+        let c_prev = orth_rows(&c_prev_raw, true).unwrap();
+        let b_new = gaussian_mat(3, n, &mut rng(9));
+        let (b_out, c_out) = power_iterate(&a, &b_prev, &c_prev, b_new, 1, true).unwrap();
+        // c_out rows orthogonal to c_prev rows.
+        let cross = rlra_blas::naive::gemm_ref(&c_out, Trans::No, &c_prev, Trans::Yes);
+        assert!(rlra_matrix::norms::max_abs(cross.as_ref()) < 1e-10);
+        assert_eq!(b_out.shape(), (3, n));
+    }
+}

@@ -1,0 +1,199 @@
+//! Randomized SVD — the truncated singular value decomposition computed
+//! through the sampled subspace.
+//!
+//! The paper returns its approximation in pivoted-QR form `A·P ≈ Q·R`
+//! (eq. 1), but most downstream users of randomized low-rank
+//! approximation (PCA, spectral clustering, the paper's own population
+//! clustering use case) want the SVD form `A ≈ U·Σ·Vᵀ`. This module
+//! finishes the sampled subspace the other standard way (Halko et al.
+//! §5.1): project `A` onto the row basis, SVD the small projected
+//! matrix, and rotate back.
+
+use crate::config::{SamplerConfig, SamplingKind};
+use crate::power::{orth_rows, power_iterate};
+use rand::Rng;
+use rlra_blas::{gemm, Trans};
+use rlra_fft::SrftOperator;
+use rlra_matrix::{gaussian_mat, Mat, Result};
+
+/// A rank-`k` truncated SVD `A ≈ U·Σ·Vᵀ`.
+#[derive(Debug, Clone)]
+pub struct RandomizedSvd {
+    /// Left singular vectors (`m × k`, orthonormal columns).
+    pub u: Mat,
+    /// Approximate singular values, non-increasing.
+    pub sigma: Vec<f64>,
+    /// Right singular vectors (`n × k`, orthonormal columns).
+    pub v: Mat,
+}
+
+impl RandomizedSvd {
+    /// Rank of the approximation.
+    pub fn rank(&self) -> usize {
+        self.sigma.len()
+    }
+
+    /// Reconstructs `U·Σ·Vᵀ`.
+    pub fn reconstruct(&self) -> Result<Mat> {
+        let k = self.rank();
+        let us = Mat::from_fn(self.u.rows(), k, |i, j| self.u[(i, j)] * self.sigma[j]);
+        let mut out = Mat::zeros(self.u.rows(), self.v.rows());
+        gemm(1.0, us.as_ref(), Trans::No, self.v.as_ref(), Trans::Yes, 0.0, out.as_mut())?;
+        Ok(out)
+    }
+
+    /// Spectral-norm error `‖A − UΣVᵀ‖₂`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape errors.
+    pub fn error_spectral(&self, a: &Mat) -> Result<f64> {
+        let rec = self.reconstruct()?;
+        let diff = rlra_matrix::ops::sub(a, &rec)?;
+        Ok(rlra_matrix::norms::spectral_norm(diff.as_ref()))
+    }
+}
+
+/// Computes a rank-`k` randomized SVD of `a` with the same sampling
+/// machinery as the fixed-rank pipeline (`ℓ = k + p` samples, `q` power
+/// iterations with re-orthogonalization).
+///
+/// # Errors
+///
+/// Returns configuration errors from [`SamplerConfig::validate`] and
+/// propagates kernel failures.
+pub fn randomized_svd(a: &Mat, cfg: &SamplerConfig, rng: &mut impl Rng) -> Result<RandomizedSvd> {
+    let (m, n) = a.shape();
+    cfg.validate(m, n)?;
+    let l = cfg.l();
+    let k = cfg.k;
+
+    // Step 1: sample and refine the row basis (identical to fixed-rank).
+    let b = match cfg.sampling {
+        SamplingKind::Gaussian => {
+            let omega = gaussian_mat(l, m, rng);
+            let mut b = Mat::zeros(l, n);
+            gemm(1.0, omega.as_ref(), Trans::No, a.as_ref(), Trans::No, 0.0, b.as_mut())?;
+            b
+        }
+        SamplingKind::Fft(scheme) => SrftOperator::new(m, l, scheme, rng)?.sample_rows(a)?,
+    };
+    let (b, _) = power_iterate(a, &Mat::zeros(0, n), &Mat::zeros(0, m), b, cfg.q, cfg.reorth)?;
+    // Row-orthonormal basis Q_B (l × n).
+    let qb = orth_rows(&b, cfg.reorth)?;
+
+    // Step 2: project A onto the basis: W = A·Q_Bᵀ (m × l).
+    let mut w = Mat::zeros(m, l);
+    gemm(1.0, a.as_ref(), Trans::No, qb.as_ref(), Trans::Yes, 0.0, w.as_mut())?;
+
+    // Step 3: small SVD of W (Golub–Kahan — the projected matrix has
+    // l columns, where bidiagonalization beats Jacobi sweeps), then
+    // rotate V back through the basis.
+    let svd = rlra_lapack::svd_golub_kahan(&w)?;
+    let kk = k.min(svd.sigma.len());
+    let u = svd.u.columns(0, kk);
+    let sigma = svd.sigma[..kk].to_vec();
+    // V = Q_Bᵀ · V_small (n × kk).
+    let vsmall = svd.v.columns(0, kk);
+    let mut v = Mat::zeros(n, kk);
+    gemm(1.0, qb.as_ref(), Trans::Yes, vsmall.as_ref(), Trans::No, 0.0, v.as_mut())?;
+    Ok(RandomizedSvd { u, sigma, v })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use rlra_lapack::householder::orthogonality_error;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    fn decay_matrix(m: usize, n: usize, decay: f64, seed: u64) -> (Mat, Vec<f64>) {
+        let r = m.min(n);
+        let spec: Vec<f64> = (0..r).map(|i| decay.powi(i as i32)).collect();
+        let x = rlra_lapack::form_q(&gaussian_mat(m, r, &mut rng(seed)));
+        let y = rlra_lapack::form_q(&gaussian_mat(n, r, &mut rng(seed + 1)));
+        let xs = Mat::from_fn(m, r, |i, j| x[(i, j)] * spec[j]);
+        let mut a = Mat::zeros(m, n);
+        gemm(1.0, xs.as_ref(), Trans::No, y.as_ref(), Trans::Yes, 0.0, a.as_mut()).unwrap();
+        (a, spec)
+    }
+
+    #[test]
+    fn factors_orthonormal_and_sigma_sorted() {
+        let (a, _) = decay_matrix(80, 40, 0.6, 1);
+        let cfg = SamplerConfig::new(8).with_q(1);
+        let svd = randomized_svd(&a, &cfg, &mut rng(2)).unwrap();
+        assert_eq!(svd.rank(), 8);
+        assert!(orthogonality_error(&svd.u) < 1e-10);
+        assert!(orthogonality_error(&svd.v) < 1e-10);
+        for w in svd.sigma.windows(2) {
+            assert!(w[0] >= w[1]);
+        }
+    }
+
+    #[test]
+    fn singular_values_match_exact_ones() {
+        let (a, spec) = decay_matrix(60, 30, 0.5, 3);
+        let cfg = SamplerConfig::new(6).with_p(10).with_q(2);
+        let svd = randomized_svd(&a, &cfg, &mut rng(4)).unwrap();
+        for (got, expect) in svd.sigma.iter().zip(&spec) {
+            assert!(
+                (got - expect).abs() < 1e-3 * expect,
+                "sigma {got:e} vs exact {expect:e}"
+            );
+        }
+    }
+
+    #[test]
+    fn error_near_optimal_with_power_iterations() {
+        let (a, spec) = decay_matrix(100, 50, 0.8, 5);
+        let k = 10;
+        let cfg = SamplerConfig::new(k).with_p(10).with_q(3);
+        let svd = randomized_svd(&a, &cfg, &mut rng(6)).unwrap();
+        let err = svd.error_spectral(&a).unwrap();
+        assert!(
+            err < 2.0 * spec[k],
+            "q=3 should be near-optimal: {err:e} vs sigma_k+1 {:e}",
+            spec[k]
+        );
+    }
+
+    #[test]
+    fn matches_fixed_rank_subspace_quality() {
+        let (a, _) = decay_matrix(70, 35, 0.6, 7);
+        let cfg = SamplerConfig::new(7).with_q(1);
+        let svd = randomized_svd(&a, &cfg, &mut rng(8)).unwrap();
+        let qr = crate::fixed_rank::sample_fixed_rank(&a, &cfg, &mut rng(8)).unwrap();
+        let e_svd = svd.error_spectral(&a).unwrap();
+        let e_qr = qr.error_spectral(&a).unwrap();
+        // SVD-form finishing is at least as accurate as pivoted-QR form.
+        assert!(e_svd <= e_qr * 1.5 + 1e-14, "svd {e_svd:e} vs qr {e_qr:e}");
+    }
+
+    #[test]
+    fn exact_low_rank_recovered() {
+        let x = gaussian_mat(40, 3, &mut rng(9));
+        let y = gaussian_mat(3, 25, &mut rng(10));
+        let mut a = Mat::zeros(40, 25);
+        gemm(1.0, x.as_ref(), Trans::No, y.as_ref(), Trans::No, 0.0, a.as_mut()).unwrap();
+        let cfg = SamplerConfig::new(3).with_p(5);
+        let svd = randomized_svd(&a, &cfg, &mut rng(11)).unwrap();
+        let err = svd.error_spectral(&a).unwrap();
+        let scale = rlra_matrix::norms::spectral_norm(a.as_ref());
+        assert!(err < 1e-10 * scale);
+    }
+
+    #[test]
+    fn fft_sampling_supported() {
+        let (a, spec) = decay_matrix(64, 32, 0.5, 12);
+        let cfg = SamplerConfig::new(5)
+            .with_p(8)
+            .with_sampling(SamplingKind::Fft(rlra_fft::SrftScheme::Full));
+        let svd = randomized_svd(&a, &cfg, &mut rng(13)).unwrap();
+        assert!(svd.error_spectral(&a).unwrap() < 30.0 * spec[5]);
+    }
+}

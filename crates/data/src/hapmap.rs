@@ -1,0 +1,244 @@
+//! Synthetic HapMap-like genotype matrices.
+//!
+//! The paper's third test matrix is built from the International HapMap
+//! Project bulk release (503,783 SNPs × 506 individuals from four
+//! populations: CEU, GIH, JPT, YRI), used to demonstrate low-rank
+//! approximation for population clustering. That dataset cannot be
+//! redistributed here, so we generate a synthetic stand-in from the
+//! **Balding–Nichols model**, the standard population-genetics null model
+//! for structured allele frequencies:
+//!
+//! 1. each SNP `s` has an ancestral allele frequency `π_s ~ U(0.05, 0.95)`,
+//! 2. each population `p` drifts: `f_{p,s} ~ Beta(π_s·(1−F)/F,
+//!    (1−π_s)·(1−F)/F)` with fixation index `F = Fst`,
+//! 3. each individual from population `p` draws genotype
+//!    `g ~ Binomial(2, f_{p,s})` — an allele count in `{0, 1, 2}`.
+//!
+//! The resulting matrix has the spectral signature that matters for the
+//! paper's experiment: a handful of dominant directions encoding
+//! population structure on top of a slowly decaying binomial-noise floor
+//! (small condition number over the leading block, matching Table 1's
+//! `κ(A) ≈ 2e+01`), and projecting individuals onto the top right
+//! singular vectors clusters them by population.
+
+use rand::Rng;
+use rlra_matrix::{Mat, MatrixError, Result};
+
+/// Configuration of the synthetic genotype matrix generator.
+#[derive(Debug, Clone)]
+pub struct HapmapConfig {
+    /// Number of SNPs (matrix rows; the paper uses 503,783).
+    pub snps: usize,
+    /// Number of individuals (matrix columns; the paper uses 506).
+    pub individuals: usize,
+    /// Number of populations (the paper uses four: CEU, GIH, JPT, YRI).
+    pub populations: usize,
+    /// Wright's fixation index `Fst` controlling between-population drift
+    /// (0.01–0.15 covers human populations; continental-scale structure
+    /// like the paper's is ~0.1).
+    pub fst: f64,
+}
+
+impl Default for HapmapConfig {
+    fn default() -> Self {
+        HapmapConfig { snps: 2000, individuals: 506, populations: 4, fst: 0.1 }
+    }
+}
+
+impl HapmapConfig {
+    /// Population label (0-based) of each individual: contiguous blocks of
+    /// near-equal size, mirroring the four HapMap cohorts.
+    pub fn population_of(&self, individual: usize) -> usize {
+        let per = self.individuals.div_ceil(self.populations);
+        (individual / per).min(self.populations - 1)
+    }
+}
+
+/// Generates a synthetic `snps × individuals` allele-count matrix
+/// (entries in `{0, 1, 2}`) from the Balding–Nichols model.
+///
+/// # Errors
+///
+/// Returns [`MatrixError::InvalidParameter`] for degenerate configurations
+/// (no SNPs/individuals/populations, or `fst` outside `(0, 1)`).
+pub fn hapmap_like(config: &HapmapConfig, rng: &mut impl Rng) -> Result<Mat> {
+    if config.snps == 0 || config.individuals == 0 || config.populations == 0 {
+        return Err(MatrixError::InvalidParameter {
+            name: "config",
+            message: "snps, individuals and populations must be positive".into(),
+        });
+    }
+    if !(config.fst > 0.0 && config.fst < 1.0) {
+        return Err(MatrixError::InvalidParameter {
+            name: "fst",
+            message: format!("fst = {} must lie in (0, 1)", config.fst),
+        });
+    }
+    let mut a = Mat::zeros(config.snps, config.individuals);
+    let drift = (1.0 - config.fst) / config.fst;
+    // Per-SNP per-population allele frequencies.
+    let mut freqs = vec![0.0f64; config.populations];
+    for s in 0..config.snps {
+        let pi = rng.gen_range(0.05..0.95);
+        for f in freqs.iter_mut() {
+            *f = sample_beta(pi * drift, (1.0 - pi) * drift, rng).clamp(1e-6, 1.0 - 1e-6);
+        }
+        for j in 0..config.individuals {
+            let p = config.population_of(j);
+            let f = freqs[p];
+            // Binomial(2, f): two Bernoulli draws.
+            let g = (rng.gen::<f64>() < f) as u8 + (rng.gen::<f64>() < f) as u8;
+            a[(s, j)] = g as f64;
+        }
+    }
+    Ok(a)
+}
+
+/// Samples `Beta(α, β)` via two Gamma draws.
+fn sample_beta(alpha: f64, beta: f64, rng: &mut impl Rng) -> f64 {
+    let x = sample_gamma(alpha, rng);
+    let y = sample_gamma(beta, rng);
+    if x + y == 0.0 {
+        0.5
+    } else {
+        x / (x + y)
+    }
+}
+
+/// Samples `Gamma(shape, 1)` with the Marsaglia–Tsang method (with the
+/// standard boost for `shape < 1`).
+fn sample_gamma(shape: f64, rng: &mut impl Rng) -> f64 {
+    if shape < 1.0 {
+        // Gamma(a) = Gamma(a + 1) · U^{1/a}.
+        let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        return sample_gamma(shape + 1.0, rng) * u.powf(1.0 / shape);
+    }
+    let d = shape - 1.0 / 3.0;
+    let c = 1.0 / (9.0 * d).sqrt();
+    loop {
+        let x = rlra_matrix::randn::standard_normal(rng);
+        let v = 1.0 + c * x;
+        if v <= 0.0 {
+            continue;
+        }
+        let v3 = v * v * v;
+        let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        if u.ln() < 0.5 * x * x + d - d * v3 + d * v3.ln() {
+            return d * v3;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    fn small_config() -> HapmapConfig {
+        HapmapConfig { snps: 300, individuals: 60, populations: 4, fst: 0.15 }
+    }
+
+    #[test]
+    fn entries_are_allele_counts() {
+        let a = hapmap_like(&small_config(), &mut rng(1)).unwrap();
+        for j in 0..a.cols() {
+            for &x in a.col(j) {
+                assert!(x == 0.0 || x == 1.0 || x == 2.0);
+            }
+        }
+    }
+
+    #[test]
+    fn shape_matches_config() {
+        let a = hapmap_like(&small_config(), &mut rng(2)).unwrap();
+        assert_eq!(a.shape(), (300, 60));
+    }
+
+    #[test]
+    fn population_blocks_cover_everyone() {
+        let c = small_config();
+        let mut counts = vec![0usize; c.populations];
+        for j in 0..c.individuals {
+            counts[c.population_of(j)] += 1;
+        }
+        assert_eq!(counts.iter().sum::<usize>(), c.individuals);
+        assert!(counts.iter().all(|&c| c > 0));
+    }
+
+    #[test]
+    fn leading_spectrum_is_flat_like_table1() {
+        // Table 1: kappa(A) over the leading block ≈ 2e+01 and
+        // sigma_{k+1}/sigma_0 ≈ 5e-2 — the genotype matrix is NOT sharply
+        // low rank, which is exactly why random sampling struggles on it
+        // (Fig. 6: errors ~0.8-0.99). Check the same signature.
+        let a = hapmap_like(&small_config(), &mut rng(3)).unwrap();
+        let s = rlra_lapack::singular_values(&a).unwrap();
+        let kappa50 = s[0] / s[49];
+        assert!(
+            kappa50 > 3.0 && kappa50 < 100.0,
+            "leading-block condition {kappa50:.1} should be O(10)"
+        );
+        // Dominant direction well above the noise floor.
+        assert!(s[0] / s[10] > 2.0);
+    }
+
+    #[test]
+    fn top_singular_vectors_cluster_populations() {
+        // Project individuals on the top-4 right singular vectors and
+        // check that within-population distances are smaller than
+        // between-population distances on average (the paper's population
+        // clustering use case).
+        let c = small_config();
+        let a = hapmap_like(&c, &mut rng(4)).unwrap();
+        let svd = rlra_lapack::svd_jacobi(&a).unwrap();
+        let k = 4;
+        let proj: Vec<Vec<f64>> = (0..c.individuals)
+            .map(|j| (1..k).map(|t| svd.v[(j, t)] * svd.sigma[t]).collect())
+            .collect();
+        let dist = |x: &[f64], y: &[f64]| -> f64 {
+            x.iter().zip(y).map(|(a, b)| (a - b) * (a - b)).sum::<f64>().sqrt()
+        };
+        let mut within = (0.0, 0usize);
+        let mut between = (0.0, 0usize);
+        for i in 0..c.individuals {
+            for j in i + 1..c.individuals {
+                let d = dist(&proj[i], &proj[j]);
+                if c.population_of(i) == c.population_of(j) {
+                    within.0 += d;
+                    within.1 += 1;
+                } else {
+                    between.0 += d;
+                    between.1 += 1;
+                }
+            }
+        }
+        let avg_within = within.0 / within.1 as f64;
+        let avg_between = between.0 / between.1 as f64;
+        assert!(
+            avg_between > 1.3 * avg_within,
+            "populations should separate: within {avg_within:.3} vs between {avg_between:.3}"
+        );
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let mut c = small_config();
+        c.fst = 0.0;
+        assert!(hapmap_like(&c, &mut rng(5)).is_err());
+        let mut c = small_config();
+        c.snps = 0;
+        assert!(hapmap_like(&c, &mut rng(6)).is_err());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = hapmap_like(&small_config(), &mut rng(7)).unwrap();
+        let b = hapmap_like(&small_config(), &mut rng(7)).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,226 @@
+//! MatrixMarket I/O — import real datasets (like the HapMap-derived
+//! matrices the paper uses) and export results.
+//!
+//! Supports the two common flavors of the NIST MatrixMarket exchange
+//! format for `real general` matrices:
+//!
+//! - `array` — dense column-major values,
+//! - `coordinate` — sparse triplets, densified on read.
+//!
+//! Only what a dense low-rank workspace needs; pattern/complex/symmetry
+//! variants are rejected with a clear error.
+
+use rlra_matrix::{Mat, MatrixError, Result};
+use std::fs;
+use std::path::Path;
+
+/// Parses a MatrixMarket string into a dense matrix.
+///
+/// # Errors
+///
+/// Returns [`MatrixError::InvalidParameter`] on malformed or unsupported
+/// content.
+pub fn parse_matrix_market(text: &str) -> Result<Mat> {
+    let bad = |message: String| MatrixError::InvalidParameter { name: "matrix-market", message };
+    let mut lines = text.lines();
+    let header = lines.next().ok_or_else(|| bad("empty input".into()))?;
+    let header_l = header.to_ascii_lowercase();
+    if !header_l.starts_with("%%matrixmarket matrix") {
+        return Err(bad(format!("bad header: {header}")));
+    }
+    let tokens: Vec<&str> = header_l.split_whitespace().collect();
+    if tokens.len() < 5 {
+        return Err(bad(format!("incomplete header: {header}")));
+    }
+    let layout = tokens[2];
+    let field = tokens[3];
+    let symmetry = tokens[4];
+    if field != "real" && field != "integer" && field != "double" {
+        return Err(bad(format!("unsupported field `{field}` (only real)")));
+    }
+    if symmetry != "general" {
+        return Err(bad(format!("unsupported symmetry `{symmetry}` (only general)")));
+    }
+    // Skip comments and blanks.
+    let mut data_lines = lines.filter(|l| {
+        let t = l.trim();
+        !t.is_empty() && !t.starts_with('%')
+    });
+    let size_line = data_lines.next().ok_or_else(|| bad("missing size line".into()))?;
+    let dims: Vec<usize> = size_line
+        .split_whitespace()
+        .map(|t| t.parse::<usize>().map_err(|e| bad(format!("bad size entry `{t}`: {e}"))))
+        .collect::<Result<_>>()?;
+    match layout {
+        "array" => {
+            if dims.len() != 2 {
+                return Err(bad(format!("array size line needs 2 entries, got {}", dims.len())));
+            }
+            let (m, n) = (dims[0], dims[1]);
+            let mut values = Vec::with_capacity(m * n);
+            for line in data_lines {
+                for tok in line.split_whitespace() {
+                    values.push(
+                        tok.parse::<f64>().map_err(|e| bad(format!("bad value `{tok}`: {e}")))?,
+                    );
+                }
+            }
+            if values.len() != m * n {
+                return Err(bad(format!("expected {} values, found {}", m * n, values.len())));
+            }
+            // MatrixMarket array data is column major — same as Mat.
+            Mat::from_col_major(m, n, values)
+        }
+        "coordinate" => {
+            if dims.len() != 3 {
+                return Err(bad(format!(
+                    "coordinate size line needs 3 entries, got {}",
+                    dims.len()
+                )));
+            }
+            let (m, n, nnz) = (dims[0], dims[1], dims[2]);
+            let mut out = Mat::zeros(m, n);
+            let mut count = 0usize;
+            for line in data_lines {
+                let toks: Vec<&str> = line.split_whitespace().collect();
+                if toks.len() != 3 {
+                    return Err(bad(format!("coordinate entry needs 3 tokens: `{line}`")));
+                }
+                let i: usize =
+                    toks[0].parse().map_err(|e| bad(format!("bad row `{}`: {e}", toks[0])))?;
+                let j: usize =
+                    toks[1].parse().map_err(|e| bad(format!("bad col `{}`: {e}", toks[1])))?;
+                let v: f64 =
+                    toks[2].parse().map_err(|e| bad(format!("bad value `{}`: {e}", toks[2])))?;
+                if i == 0 || j == 0 || i > m || j > n {
+                    return Err(bad(format!("entry ({i}, {j}) outside {m}x{n} (1-based)")));
+                }
+                out[(i - 1, j - 1)] = v;
+                count += 1;
+            }
+            if count != nnz {
+                return Err(bad(format!("expected {nnz} entries, found {count}")));
+            }
+            Ok(out)
+        }
+        other => Err(bad(format!("unsupported layout `{other}`"))),
+    }
+}
+
+/// Renders a dense matrix in MatrixMarket `array real general` format.
+pub fn to_matrix_market(a: &Mat) -> String {
+    let mut out = String::with_capacity(a.rows() * a.cols() * 24 + 64);
+    out.push_str("%%MatrixMarket matrix array real general\n");
+    out.push_str(&format!("{} {}\n", a.rows(), a.cols()));
+    for j in 0..a.cols() {
+        for &v in a.col(j) {
+            out.push_str(&format!("{v:.17e}\n"));
+        }
+    }
+    out
+}
+
+/// Reads a MatrixMarket file from disk.
+///
+/// # Errors
+///
+/// I/O failures are surfaced as [`MatrixError::InvalidParameter`] with
+/// the path in the message; parse errors as in [`parse_matrix_market`].
+pub fn read_matrix_market(path: impl AsRef<Path>) -> Result<Mat> {
+    let path = path.as_ref();
+    let text = fs::read_to_string(path).map_err(|e| MatrixError::InvalidParameter {
+        name: "path",
+        message: format!("cannot read {}: {e}", path.display()),
+    })?;
+    parse_matrix_market(&text)
+}
+
+/// Writes a matrix to disk in MatrixMarket format.
+///
+/// # Errors
+///
+/// I/O failures are surfaced as [`MatrixError::InvalidParameter`].
+pub fn write_matrix_market(path: impl AsRef<Path>, a: &Mat) -> Result<()> {
+    let path = path.as_ref();
+    fs::write(path, to_matrix_market(a)).map_err(|e| MatrixError::InvalidParameter {
+        name: "path",
+        message: format!("cannot write {}: {e}", path.display()),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_array_format() {
+        let a = Mat::from_fn(3, 4, |i, j| (i as f64) - 2.5 * j as f64 + 0.125);
+        let text = to_matrix_market(&a);
+        let back = parse_matrix_market(&text).unwrap();
+        assert!(back.approx_eq(&a, 0.0), "array round trip must be exact");
+    }
+
+    #[test]
+    fn parses_coordinate_format() {
+        let text = "%%MatrixMarket matrix coordinate real general\n\
+                    % a comment\n\
+                    3 3 3\n\
+                    1 1 2.5\n\
+                    2 3 -1.0\n\
+                    3 2 4.0\n";
+        let a = parse_matrix_market(text).unwrap();
+        assert_eq!(a[(0, 0)], 2.5);
+        assert_eq!(a[(1, 2)], -1.0);
+        assert_eq!(a[(2, 1)], 4.0);
+        assert_eq!(a[(0, 1)], 0.0);
+    }
+
+    #[test]
+    fn array_is_column_major() {
+        let text = "%%MatrixMarket matrix array real general\n2 2\n1\n2\n3\n4\n";
+        let a = parse_matrix_market(text).unwrap();
+        assert_eq!(a[(0, 0)], 1.0);
+        assert_eq!(a[(1, 0)], 2.0);
+        assert_eq!(a[(0, 1)], 3.0);
+        assert_eq!(a[(1, 1)], 4.0);
+    }
+
+    #[test]
+    fn rejects_unsupported_variants() {
+        assert!(parse_matrix_market("%%MatrixMarket matrix array complex general\n1 1\n1 0\n").is_err());
+        assert!(parse_matrix_market("%%MatrixMarket matrix array real symmetric\n1 1\n1\n").is_err());
+        assert!(parse_matrix_market("not a header\n1 1\n1\n").is_err());
+        assert!(parse_matrix_market("").is_err());
+    }
+
+    #[test]
+    fn rejects_malformed_data() {
+        // Wrong count.
+        assert!(parse_matrix_market("%%MatrixMarket matrix array real general\n2 2\n1\n2\n3\n").is_err());
+        // Out-of-range coordinate.
+        assert!(parse_matrix_market(
+            "%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1.0\n"
+        )
+        .is_err());
+        // Bad token.
+        assert!(parse_matrix_market("%%MatrixMarket matrix array real general\n1 1\nxyz\n").is_err());
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("rlra_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("roundtrip.mtx");
+        let a = Mat::from_fn(5, 2, |i, j| (i * 2 + j) as f64 / 7.0);
+        write_matrix_market(&path, &a).unwrap();
+        let back = read_matrix_market(&path).unwrap();
+        assert!(back.approx_eq(&a, 0.0));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn missing_file_is_a_clear_error() {
+        let e = read_matrix_market("/nonexistent/definitely/not/here.mtx");
+        assert!(matches!(e, Err(MatrixError::InvalidParameter { .. })));
+    }
+}

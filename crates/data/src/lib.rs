@@ -1,0 +1,30 @@
+//! # rlra-data
+//!
+//! Test-matrix generators reproducing the evaluation inputs of Mary et
+//! al., SC'15 (Table 1):
+//!
+//! - [`spectra`] — the **power** (`σᵢ = (i+1)⁻³`) and **exponent**
+//!   (`σᵢ = 10^{−i/10}`) singular-value profiles,
+//! - [`synthetic`] — matrices `A = X·Σ·Yᵀ` with prescribed spectra and
+//!   random orthogonal factors,
+//! - [`hapmap`] — a synthetic substitute for the International HapMap
+//!   genotype matrix: a Balding–Nichols population-structure model
+//!   producing 0/1/2 allele-count matrices whose spectral signature (a
+//!   few dominant population directions over a slowly decaying noise
+//!   floor, κ(A) ≈ 20) matches the real dataset the paper uses.
+//!   The real HapMap bulk release is not redistributable here; DESIGN.md
+//!   documents the substitution.
+
+pub mod hapmap;
+pub mod io;
+pub mod kernels;
+pub mod spectra;
+pub mod synthetic;
+
+pub use hapmap::{hapmap_like, HapmapConfig};
+pub use io::{parse_matrix_market, read_matrix_market, to_matrix_market, write_matrix_market};
+pub use kernels::{interaction_block, kernel_matrix, uniform_points, Kernel};
+pub use spectra::{
+    exponent_spectrum, low_rank_plus_noise_spectrum, power_spectrum, staircase_spectrum, Spectrum,
+};
+pub use synthetic::{matrix_with_spectrum, random_orthonormal, TestMatrix};

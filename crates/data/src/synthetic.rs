@@ -1,0 +1,159 @@
+//! Synthetic matrices with prescribed singular spectra (`A = X·Σ·Yᵀ`).
+
+use crate::spectra::Spectrum;
+use rand::Rng;
+use rlra_matrix::{gaussian_mat, Mat, MatrixError, Result};
+
+/// A generated test matrix together with its exact spectrum (exact by
+/// construction, since the factors are orthonormalized to machine
+/// precision).
+#[derive(Debug, Clone)]
+pub struct TestMatrix {
+    /// The matrix.
+    pub a: Mat,
+    /// The prescribed singular values (length `min(m, n)` or shorter; any
+    /// remaining singular values are exactly zero).
+    pub spectrum: Spectrum,
+}
+
+impl TestMatrix {
+    /// `σ_{k+1}`, the reference value for the randomized error bound.
+    pub fn sigma_after(&self, k: usize) -> f64 {
+        self.spectrum.sigma_after(k)
+    }
+
+    /// `‖A‖₂ = σ₀`.
+    pub fn norm2(&self) -> f64 {
+        self.spectrum.sigma0()
+    }
+}
+
+/// Generates an `m × n` matrix with orthonormal columns (`QᵀQ = I`) by
+/// orthonormalizing a Gaussian matrix.
+///
+/// Gaussian matrices are almost surely full rank and well conditioned, so
+/// CholQR with one reorthogonalization reaches machine-precision
+/// orthogonality at BLAS-3 speed; if it ever broke down we fall back to
+/// Householder QR.
+///
+/// # Errors
+///
+/// Returns [`MatrixError::InvalidParameter`] if `n > m`.
+pub fn random_orthonormal(m: usize, n: usize, rng: &mut impl Rng) -> Result<Mat> {
+    if n > m {
+        return Err(MatrixError::InvalidParameter {
+            name: "n",
+            message: format!("cannot build {n} orthonormal columns in dimension {m}"),
+        });
+    }
+    let g = gaussian_mat(m, n, rng);
+    match rlra_lapack::cholqr2(&g) {
+        Ok((q, _)) => Ok(q),
+        Err(_) => Ok(rlra_lapack::form_q(&g)),
+    }
+}
+
+/// Builds `A = X·Σ·Yᵀ` with random orthonormal `X` (`m × r`) and `Y`
+/// (`n × r`), where `r = min(spectrum.values.len(), m, n)`.
+///
+/// The returned [`TestMatrix`] records the spectrum, making exact
+/// `σ_{k+1}` available to error-bound checks without an SVD.
+///
+/// # Errors
+///
+/// Propagates factor-generation errors (none occur for valid shapes).
+pub fn matrix_with_spectrum(
+    m: usize,
+    n: usize,
+    spectrum: &Spectrum,
+    rng: &mut impl Rng,
+) -> Result<TestMatrix> {
+    let r = spectrum.values.len().min(m).min(n);
+    let x = random_orthonormal(m, r, rng)?;
+    let y = random_orthonormal(n, r, rng)?;
+    // A = (X · Σ) · Yᵀ; fold Σ into X's columns to avoid a third GEMM.
+    let xs = Mat::from_fn(m, r, |i, j| x[(i, j)] * spectrum.values[j]);
+    let mut a = Mat::zeros(m, n);
+    rlra_blas::gemm(
+        1.0,
+        xs.as_ref(),
+        rlra_blas::Trans::No,
+        y.as_ref(),
+        rlra_blas::Trans::Yes,
+        0.0,
+        a.as_mut(),
+    )?;
+    let spectrum = Spectrum { name: spectrum.name, values: spectrum.values[..r].to_vec() };
+    Ok(TestMatrix { a, spectrum })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spectra::{exponent_spectrum, power_spectrum};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use rlra_lapack::householder::orthogonality_error;
+    use rlra_matrix::norms::spectral_norm_mat;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn random_orthonormal_is_orthonormal() {
+        let q = random_orthonormal(60, 12, &mut rng(1)).unwrap();
+        assert_eq!(q.shape(), (60, 12));
+        assert!(orthogonality_error(&q) < 1e-12);
+    }
+
+    #[test]
+    fn random_orthonormal_rejects_wide() {
+        assert!(random_orthonormal(5, 6, &mut rng(2)).is_err());
+    }
+
+    #[test]
+    fn spectrum_is_realized_exactly() {
+        let spec = power_spectrum(10);
+        let tm = matrix_with_spectrum(40, 15, &spec, &mut rng(3)).unwrap();
+        let got = rlra_lapack::singular_values(&tm.a).unwrap();
+        for (g, e) in got.iter().zip(&spec.values) {
+            assert!((g - e).abs() < 1e-12 * (1.0 + e), "got {g:e} expected {e:e}");
+        }
+    }
+
+    #[test]
+    fn norm2_matches_power_iteration() {
+        let spec = exponent_spectrum(20);
+        let tm = matrix_with_spectrum(50, 25, &spec, &mut rng(4)).unwrap();
+        let pn = spectral_norm_mat(&tm.a);
+        assert!((pn - tm.norm2()).abs() < 1e-8);
+    }
+
+    #[test]
+    fn short_spectrum_gives_low_rank() {
+        // Only 3 singular values prescribed -> rank 3.
+        let spec = Spectrum { name: "rank3", values: vec![1.0, 0.5, 0.25] };
+        let tm = matrix_with_spectrum(30, 12, &spec, &mut rng(5)).unwrap();
+        let s = rlra_lapack::singular_values(&tm.a).unwrap();
+        assert!((s[2] - 0.25).abs() < 1e-12);
+        for &v in &s[3..] {
+            assert!(v < 1e-12);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let spec = power_spectrum(5);
+        let a = matrix_with_spectrum(10, 8, &spec, &mut rng(6)).unwrap();
+        let b = matrix_with_spectrum(10, 8, &spec, &mut rng(6)).unwrap();
+        assert_eq!(a.a, b.a);
+    }
+
+    #[test]
+    fn sigma_after_reads_spectrum() {
+        let spec = power_spectrum(20);
+        let tm = matrix_with_spectrum(25, 20, &spec, &mut rng(7)).unwrap();
+        assert_eq!(tm.sigma_after(3), spec.values[3]);
+    }
+}

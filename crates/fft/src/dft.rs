@@ -1,0 +1,45 @@
+//! Reference `O(n²)` discrete Fourier transform used to validate the fast
+//! transform in tests.
+
+use rlra_matrix::Complex64;
+
+/// Direct DFT: `X[k] = Σ_t x[t]·e^{−2πi·kt/n}`.
+pub fn dft(x: &[Complex64]) -> Vec<Complex64> {
+    let n = x.len();
+    (0..n)
+        .map(|k| {
+            let mut s = Complex64::ZERO;
+            for (t, &xt) in x.iter().enumerate() {
+                let ang = -2.0 * std::f64::consts::PI * (k * t % n.max(1)) as f64 / n as f64;
+                s += xt * Complex64::cis(ang);
+            }
+            s
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::radix2::fft_inplace;
+
+    #[test]
+    fn fft_matches_dft() {
+        for n in [1usize, 2, 4, 8, 32, 64] {
+            let x: Vec<Complex64> = (0..n)
+                .map(|i| Complex64::new((i as f64 * 0.9).sin(), (i as f64 * 1.7).cos()))
+                .collect();
+            let slow = dft(&x);
+            let mut fast = x;
+            fft_inplace(&mut fast);
+            for (a, b) in fast.iter().zip(&slow) {
+                assert!((*a - *b).abs() < 1e-9, "n = {n}");
+            }
+        }
+    }
+
+    #[test]
+    fn dft_of_empty_is_empty() {
+        assert!(dft(&[]).is_empty());
+    }
+}

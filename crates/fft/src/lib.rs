@@ -1,0 +1,27 @@
+//! # rlra-fft
+//!
+//! Fast Fourier transforms and FFT-based random sampling for the `rlra`
+//! workspace (reproduction of Mary et al., SC'15).
+//!
+//! The paper compares **Gaussian sampling** (`B = ΩA` with a Gaussian
+//! `Ω`, a GEMM) against **FFT sampling** (`B = S·F·D·A`, a subsampled
+//! randomized Fourier transform). This crate provides the FFT substrate:
+//!
+//! - [`radix2`] — iterative radix-2 Cooley–Tukey FFT with power-of-two
+//!   padding (the paper pads the matrix so its leading dimension is the
+//!   next power of two, exactly as cuFFT prefers),
+//! - [`dft`] — an `O(n²)` reference DFT used for validation,
+//! - [`srft`] — the subsampled randomized FFT sampling operator: a random
+//!   sign-flip `D`, the FFT `F`, and a random row selection `S`, in both
+//!   the **full** scheme (transform everything, then select `ℓ` rows) and
+//!   a **pruned** scheme (compute only the selected rows; the paper notes
+//!   cuFFT cannot do this, and we provide it for the flop-count analysis).
+
+pub mod dft;
+pub mod radix2;
+pub mod rfft;
+pub mod srft;
+
+pub use radix2::{fft_inplace, ifft_inplace, next_pow2};
+pub use rfft::rfft_padded;
+pub use srft::{SrftOperator, SrftScheme};

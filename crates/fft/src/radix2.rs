@@ -1,0 +1,219 @@
+//! Iterative radix-2 Cooley–Tukey FFT.
+
+use rlra_matrix::Complex64;
+
+/// The smallest power of two `≥ n` (used for the padding strategy the
+/// paper describes: "we padded the matrix A with zeroes such that its
+/// leading dimension becomes the next power of two").
+pub fn next_pow2(n: usize) -> usize {
+    n.next_power_of_two()
+}
+
+/// In-place decimation-in-time FFT of a power-of-two-length buffer.
+///
+/// # Panics
+///
+/// Panics if `data.len()` is not a power of two.
+pub fn fft_inplace(data: &mut [Complex64]) {
+    fft_dir(data, false);
+}
+
+/// In-place inverse FFT (includes the `1/n` normalization).
+///
+/// # Panics
+///
+/// Panics if `data.len()` is not a power of two.
+pub fn ifft_inplace(data: &mut [Complex64]) {
+    fft_dir(data, true);
+    let n = data.len() as f64;
+    for x in data.iter_mut() {
+        *x = x.scale(1.0 / n);
+    }
+}
+
+fn fft_dir(data: &mut [Complex64], inverse: bool) {
+    let n = data.len();
+    assert!(n.is_power_of_two(), "FFT length {n} is not a power of two");
+    if n <= 1 {
+        return;
+    }
+    bit_reverse_permute(data);
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * 2.0 * std::f64::consts::PI / len as f64;
+        let wlen = Complex64::cis(ang);
+        let half = len / 2;
+        let mut start = 0;
+        while start < n {
+            let mut w = Complex64::ONE;
+            for i in 0..half {
+                let u = data[start + i];
+                let v = data[start + i + half] * w;
+                data[start + i] = u + v;
+                data[start + i + half] = u - v;
+                w *= wlen;
+            }
+            start += len;
+        }
+        len <<= 1;
+    }
+}
+
+/// Reorders `data` by bit-reversed index (the standard DIT pre-pass).
+fn bit_reverse_permute(data: &mut [Complex64]) {
+    let n = data.len();
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = (i.reverse_bits() >> (usize::BITS - bits)) & (n - 1);
+        if i < j {
+            data.swap(i, j);
+        }
+    }
+}
+
+/// FFT of a real-valued input (zero imaginary parts), with zero-padding to
+/// the next power of two. Returns the padded complex spectrum.
+pub fn fft_real_padded(x: &[f64]) -> Vec<Complex64> {
+    let n = next_pow2(x.len().max(1));
+    let mut buf = vec![Complex64::ZERO; n];
+    for (b, &v) in buf.iter_mut().zip(x) {
+        *b = Complex64::from_real(v);
+    }
+    fft_inplace(&mut buf);
+    buf
+}
+
+/// Flop count model for a complex radix-2 FFT of length `n`:
+/// `5 n log₂ n` real flops (the standard convention, which the paper's
+/// effective-Gflop/s comparisons also use).
+pub fn fft_flops(n: usize) -> u64 {
+    if n <= 1 {
+        return 0;
+    }
+    5 * n as u64 * (usize::BITS - 1 - n.leading_zeros()) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: Complex64, b: Complex64, tol: f64) -> bool {
+        (a - b).abs() <= tol
+    }
+
+    #[test]
+    fn next_pow2_values() {
+        assert_eq!(next_pow2(1), 1);
+        assert_eq!(next_pow2(2), 2);
+        assert_eq!(next_pow2(3), 4);
+        assert_eq!(next_pow2(500), 512);
+        assert_eq!(next_pow2(512), 512);
+    }
+
+    #[test]
+    fn fft_of_impulse_is_flat() {
+        let mut x = vec![Complex64::ZERO; 8];
+        x[0] = Complex64::ONE;
+        fft_inplace(&mut x);
+        for v in &x {
+            assert!(close(*v, Complex64::ONE, 1e-12));
+        }
+    }
+
+    #[test]
+    fn fft_of_constant_is_impulse() {
+        let mut x = vec![Complex64::ONE; 16];
+        fft_inplace(&mut x);
+        assert!(close(x[0], Complex64::from_real(16.0), 1e-12));
+        for v in &x[1..] {
+            assert!(v.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn fft_single_tone() {
+        // x[t] = e^{2πi·3t/n} transforms to n·δ_3.
+        let n = 32;
+        let mut x: Vec<Complex64> = (0..n)
+            .map(|t| Complex64::cis(2.0 * std::f64::consts::PI * 3.0 * t as f64 / n as f64))
+            .collect();
+        fft_inplace(&mut x);
+        for (k, v) in x.iter().enumerate() {
+            let expect = if k == 3 { n as f64 } else { 0.0 };
+            assert!((v.abs() - expect).abs() < 1e-10, "bin {k}: {v:?}");
+        }
+    }
+
+    #[test]
+    fn ifft_inverts_fft() {
+        let orig: Vec<Complex64> =
+            (0..64).map(|i| Complex64::new((i as f64).sin(), (i as f64 * 0.7).cos())).collect();
+        let mut x = orig.clone();
+        fft_inplace(&mut x);
+        ifft_inplace(&mut x);
+        for (a, b) in x.iter().zip(&orig) {
+            assert!(close(*a, *b, 1e-12));
+        }
+    }
+
+    #[test]
+    fn parseval_identity() {
+        let x: Vec<Complex64> =
+            (0..128).map(|i| Complex64::new((i as f64 * 1.3).sin(), (i as f64 * 0.4).cos())).collect();
+        let time_energy: f64 = x.iter().map(|v| v.norm_sqr()).sum();
+        let mut f = x;
+        fft_inplace(&mut f);
+        let freq_energy: f64 = f.iter().map(|v| v.norm_sqr()).sum::<f64>() / 128.0;
+        assert!((time_energy - freq_energy).abs() < 1e-9 * time_energy);
+    }
+
+    #[test]
+    fn linearity() {
+        let a: Vec<Complex64> = (0..16).map(|i| Complex64::from_real(i as f64)).collect();
+        let b: Vec<Complex64> =
+            (0..16).map(|i| Complex64::new(0.5 * i as f64, -(i as f64))).collect();
+        let sum: Vec<Complex64> = a.iter().zip(&b).map(|(x, y)| *x + *y).collect();
+        let (mut fa, mut fb, mut fs) = (a, b, sum);
+        fft_inplace(&mut fa);
+        fft_inplace(&mut fb);
+        fft_inplace(&mut fs);
+        for i in 0..16 {
+            assert!(close(fs[i], fa[i] + fb[i], 1e-10));
+        }
+    }
+
+    #[test]
+    fn real_padding_extends_with_zeros() {
+        let spec = fft_real_padded(&[1.0, 2.0, 3.0]); // pads to 4
+        assert_eq!(spec.len(), 4);
+        // DC bin = sum of inputs.
+        assert!(close(spec[0], Complex64::from_real(6.0), 1e-12));
+    }
+
+    #[test]
+    #[should_panic(expected = "not a power of two")]
+    fn non_pow2_panics() {
+        let mut x = vec![Complex64::ZERO; 6];
+        fft_inplace(&mut x);
+    }
+
+    #[test]
+    fn fft_flops_model() {
+        assert_eq!(fft_flops(1), 0);
+        assert_eq!(fft_flops(8), 5 * 8 * 3);
+        assert_eq!(fft_flops(1024), 5 * 1024 * 10);
+    }
+
+    #[test]
+    fn length_one_and_two() {
+        let mut x = vec![Complex64::from_real(5.0)];
+        fft_inplace(&mut x);
+        assert!(close(x[0], Complex64::from_real(5.0), 0.0));
+
+        let mut y = vec![Complex64::from_real(1.0), Complex64::from_real(2.0)];
+        fft_inplace(&mut y);
+        assert!(close(y[0], Complex64::from_real(3.0), 1e-15));
+        assert!(close(y[1], Complex64::from_real(-1.0), 1e-15));
+    }
+}

@@ -1,0 +1,301 @@
+//! Simulated distributed-memory cluster — the environment of the paper's
+//! closing prediction: "we expect the performance benefits of random
+//! sampling to increase on a computer with higher communication cost,
+//! like a distributed-memory computer" (§11).
+//!
+//! A [`Cluster`] is a set of nodes, each a [`MultiGpu`] box, joined by an
+//! α-β network: a collective over `P` nodes costs
+//! `⌈log₂P⌉·(α + bytes/β)` (binomial tree). Intra-node traffic keeps the
+//! PCIe model; inter-node traffic uses the (slower) interconnect — the
+//! cost separation that makes communication-avoiding algorithms matter.
+
+use crate::device::ExecMode;
+use crate::multigpu::MultiGpu;
+use crate::spec::DeviceSpec;
+use crate::timeline::{Phase, Timeline};
+use rlra_matrix::{Mat, MatrixError, Result};
+
+/// An α-β interconnect model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetworkSpec {
+    /// Name (for reports).
+    pub name: &'static str,
+    /// Per-message latency α in microseconds.
+    pub latency_us: f64,
+    /// Link bandwidth β in GB/s.
+    pub bandwidth_gbs: f64,
+}
+
+impl NetworkSpec {
+    /// FDR InfiniBand, the 2015-era HPC interconnect (≈6.8 GB/s, ≈1.5 µs).
+    pub fn infiniband_fdr() -> Self {
+        NetworkSpec { name: "InfiniBand FDR", latency_us: 1.5, bandwidth_gbs: 6.8 }
+    }
+
+    /// Commodity 10-gigabit Ethernet (≈1.1 GB/s, ≈25 µs) — the
+    /// "higher communication cost" end of the spectrum.
+    pub fn ethernet_10g() -> Self {
+        NetworkSpec { name: "10GbE", latency_us: 25.0, bandwidth_gbs: 1.1 }
+    }
+
+    /// Time of one point-to-point message of `bytes`.
+    pub fn message(&self, bytes: u64) -> f64 {
+        self.latency_us * 1e-6 + bytes as f64 / (self.bandwidth_gbs * 1e9)
+    }
+
+    /// Time of a tree collective (reduce/broadcast/allreduce half) over
+    /// `p` participants moving `bytes` per hop.
+    pub fn tree_collective(&self, p: usize, bytes: u64) -> f64 {
+        if p <= 1 {
+            return 0.0;
+        }
+        let rounds = (p as f64).log2().ceil();
+        rounds * self.message(bytes)
+    }
+}
+
+/// A simulated cluster: `nodes` boxes of `gpus_per_node` GPUs each,
+/// joined by an α-β interconnect.
+#[derive(Debug, Clone)]
+pub struct Cluster {
+    nodes: Vec<MultiGpu>,
+    net: NetworkSpec,
+    mode: ExecMode,
+    comms_inter: f64,
+}
+
+impl Cluster {
+    /// Builds a cluster of `nodes × gpus_per_node` identical GPUs.
+    pub fn new(
+        nodes: usize,
+        gpus_per_node: usize,
+        spec: DeviceSpec,
+        net: NetworkSpec,
+        mode: ExecMode,
+    ) -> Self {
+        assert!(nodes > 0 && gpus_per_node > 0);
+        Cluster {
+            nodes: (0..nodes).map(|_| MultiGpu::new(gpus_per_node, spec.clone(), mode)).collect(),
+            net,
+            mode,
+            comms_inter: 0.0,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Total GPU count.
+    pub fn total_gpus(&self) -> usize {
+        self.nodes.iter().map(|n| n.ng()).sum()
+    }
+
+    /// Execution mode.
+    pub fn mode(&self) -> ExecMode {
+        self.mode
+    }
+
+    /// The interconnect model.
+    pub fn network(&self) -> &NetworkSpec {
+        &self.net
+    }
+
+    /// Mutable access to node `i`.
+    pub fn node_mut(&mut self, i: usize) -> &mut MultiGpu {
+        &mut self.nodes[i]
+    }
+
+    /// Immutable access to node `i`.
+    pub fn node(&self, i: usize) -> &MultiGpu {
+        &self.nodes[i]
+    }
+
+    /// Simulated wall-clock: the slowest node.
+    pub fn time(&self) -> f64 {
+        self.nodes.iter().map(|n| n.time()).fold(0.0, f64::max)
+    }
+
+    /// Accumulated inter-node communication time.
+    pub fn inter_node_comms(&self) -> f64 {
+        self.comms_inter
+    }
+
+    /// Global barrier: every GPU on every node jumps to the cluster max.
+    pub fn barrier(&mut self) {
+        let t = self.time();
+        for node in &mut self.nodes {
+            node.barrier();
+            let dt = t - node.time();
+            if dt > 0.0 {
+                for g in 0..node.ng() {
+                    node.gpu_mut(g).charge(Phase::Other, dt);
+                }
+            }
+        }
+    }
+
+    /// Charges an inter-node collective to every node and records it.
+    fn charge_collective(&mut self, phase: Phase, secs: f64) {
+        for node in &mut self.nodes {
+            for g in 0..node.ng() {
+                node.gpu_mut(g).charge(phase, secs);
+            }
+        }
+        self.comms_inter += secs;
+    }
+
+    /// All-reduce of equal-shaped per-node host matrices: the numerical
+    /// sum lands on every node (we return it once). Cost: reduce +
+    /// broadcast trees over the interconnect.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MatrixError::DimensionMismatch`] if parts disagree.
+    pub fn allreduce_host(&mut self, phase: Phase, parts: &[Mat]) -> Result<Mat> {
+        assert_eq!(parts.len(), self.nodes(), "one part per node");
+        let (r, c) = parts[0].shape();
+        for p in parts {
+            if p.shape() != (r, c) {
+                return Err(MatrixError::DimensionMismatch {
+                    op: "Cluster::allreduce_host",
+                    expected: format!("{r}x{c}"),
+                    found: format!("{}x{}", p.rows(), p.cols()),
+                });
+            }
+        }
+        self.barrier();
+        let bytes = 8 * (r * c) as u64;
+        let secs = 2.0 * self.net.tree_collective(self.nodes(), bytes);
+        self.charge_collective(phase, secs);
+        let mut acc = Mat::zeros(r, c);
+        if self.mode == ExecMode::Compute {
+            for p in parts {
+                rlra_matrix::ops::axpy_mat(1.0, p, &mut acc)?;
+            }
+        }
+        Ok(acc)
+    }
+
+    /// Broadcast of a host matrix from node 0 to all nodes (tree).
+    pub fn broadcast_host(&mut self, phase: Phase, m: &Mat) {
+        self.barrier();
+        let bytes = 8 * (m.rows() * m.cols()) as u64;
+        let secs = self.net.tree_collective(self.nodes(), bytes);
+        self.charge_collective(phase, secs);
+    }
+
+    /// A scalar all-reduce (e.g. a distributed pivot decision): pure
+    /// latency, `2·⌈log₂P⌉·α`. This is the per-column price a
+    /// distributed QP3 would pay.
+    pub fn allreduce_scalar(&mut self, phase: Phase) {
+        self.barrier();
+        let secs = 2.0 * self.net.tree_collective(self.nodes(), 8);
+        self.charge_collective(phase, secs);
+    }
+
+    /// Splits `m` rows across all nodes proportionally to their GPU
+    /// counts; returns `(start, len)` per node.
+    pub fn node_row_chunks(&self, m: usize) -> Vec<(usize, usize)> {
+        let total = self.total_gpus();
+        let mut out = Vec::with_capacity(self.nodes());
+        let mut start = 0;
+        let mut assigned = 0;
+        for (i, node) in self.nodes.iter().enumerate() {
+            let len = if i + 1 == self.nodes() {
+                m - start
+            } else {
+                
+                m * (assigned + node.ng()) / total - start
+            };
+            out.push((start, len));
+            start += len;
+            assigned += node.ng();
+        }
+        out
+    }
+
+    /// Resets all clocks.
+    pub fn reset(&mut self) {
+        for n in &mut self.nodes {
+            n.reset();
+        }
+        self.comms_inter = 0.0;
+    }
+
+    /// Per-phase breakdown: element-wise max across nodes.
+    pub fn breakdown(&self) -> Timeline {
+        let mut t = self.nodes[0].breakdown();
+        for n in &self.nodes[1..] {
+            t.max_with(&n.breakdown());
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn network_message_costs() {
+        let ib = NetworkSpec::infiniband_fdr();
+        let eth = NetworkSpec::ethernet_10g();
+        // Ethernet strictly worse on both axes.
+        assert!(eth.message(8) > ib.message(8));
+        assert!(eth.message(1 << 24) > ib.message(1 << 24));
+        // Latency floor for tiny messages.
+        assert!(ib.message(8) >= 1.5e-6);
+    }
+
+    #[test]
+    fn tree_collective_log_rounds() {
+        let net = NetworkSpec::infiniband_fdr();
+        assert_eq!(net.tree_collective(1, 1000), 0.0);
+        let t2 = net.tree_collective(2, 1000);
+        let t8 = net.tree_collective(8, 1000);
+        assert!((t8 / t2 - 3.0).abs() < 1e-12, "8 nodes = 3 rounds");
+    }
+
+    #[test]
+    fn allreduce_sums_across_nodes() {
+        let mut cl = Cluster::new(3, 1, DeviceSpec::k40c(), NetworkSpec::infiniband_fdr(), ExecMode::Compute);
+        let parts: Vec<Mat> = (0..3).map(|i| Mat::filled(2, 2, (i + 1) as f64)).collect();
+        let sum = cl.allreduce_host(Phase::Comms, &parts).unwrap();
+        assert_eq!(sum, Mat::filled(2, 2, 6.0));
+        assert!(cl.inter_node_comms() > 0.0);
+        assert!(cl.time() > 0.0);
+    }
+
+    #[test]
+    fn single_node_collectives_are_free() {
+        let mut cl = Cluster::new(1, 2, DeviceSpec::k40c(), NetworkSpec::infiniband_fdr(), ExecMode::DryRun);
+        cl.allreduce_scalar(Phase::Comms);
+        assert_eq!(cl.inter_node_comms(), 0.0);
+    }
+
+    #[test]
+    fn node_row_chunks_cover() {
+        let cl = Cluster::new(3, 2, DeviceSpec::k40c(), NetworkSpec::infiniband_fdr(), ExecMode::DryRun);
+        let chunks = cl.node_row_chunks(100);
+        assert_eq!(chunks.iter().map(|c| c.1).sum::<usize>(), 100);
+        assert_eq!(chunks[0].0, 0);
+        for w in chunks.windows(2) {
+            assert_eq!(w[0].0 + w[0].1, w[1].0);
+        }
+    }
+
+    #[test]
+    fn barrier_aligns_all_nodes() {
+        let mut cl = Cluster::new(2, 2, DeviceSpec::k40c(), NetworkSpec::infiniband_fdr(), ExecMode::DryRun);
+        cl.node_mut(0).gpu_mut(1).charge(Phase::Other, 0.5);
+        cl.barrier();
+        let t = cl.time();
+        for n in 0..2 {
+            for g in 0..2 {
+                assert!((cl.node(n).gpu(g).clock() - t).abs() < 1e-15);
+            }
+        }
+    }
+}

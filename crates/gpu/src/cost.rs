@@ -1,0 +1,344 @@
+//! Calibrated kernel cost model.
+//!
+//! Every timing rule here is anchored to a number the paper publishes:
+//!
+//! | Anchor | Source |
+//! |---|---|
+//! | GEMM ≈ 15.4·ℓ Gflop/s for small output dimension ℓ, saturating near 1200 | Fig. 18 (123/247/489/598/778 Gflop/s at ℓ = 8/16/32/48/64) and Fig. 8 (≈1200 at large ℓ) |
+//! | GEMM efficiency falls as the long dimension grows beyond ~50k (skinnier chunks) | Fig. 15 discussion (440/630/760 Gflop/s at m/n_g = 150k/75k/50k) |
+//! | GEMV is memory-bound far below GEMM | Fig. 8 (GEMV well under the memory roofline) |
+//! | full FFT ≈ 135 Gflop/s effective | §8 |
+//! | DP peak 1430 Gflop/s, memory roofline 288 GB/s | Fig. 8 |
+//!
+//! The model is deliberately simple — piecewise-linear interpolation of
+//! the published efficiency points plus roofline floors — because the
+//! benchmark claims we need to reproduce are orderings, ratios and
+//! crossover locations, not microsecond-exact times.
+
+use crate::spec::DeviceSpec;
+
+/// GEMM efficiency calibration table: (small output dimension ℓ,
+/// achieved Gflop/s on the K40c). First five points are the paper's
+/// Figure 18 verbatim; the tail follows Figure 8's saturation toward
+/// ≈1200 Gflop/s.
+const GEMM_EFF_TABLE: &[(f64, f64)] = &[
+    (1.0, 16.0),
+    (8.0, 123.3),
+    (16.0, 247.0),
+    (32.0, 489.5),
+    (48.0, 597.8),
+    (64.0, 778.5),
+    (96.0, 950.0),
+    (128.0, 1050.0),
+    (192.0, 1140.0),
+    (256.0, 1190.0),
+    (512.0, 1220.0),
+    (4096.0, 1250.0),
+];
+
+/// The kernel cost model for one device.
+#[derive(Debug, Clone)]
+pub struct CostModel {
+    spec: DeviceSpec,
+}
+
+impl CostModel {
+    /// Builds a cost model from a device specification.
+    pub fn new(spec: DeviceSpec) -> Self {
+        CostModel { spec }
+    }
+
+    /// The underlying device specification.
+    pub fn spec(&self) -> &DeviceSpec {
+        &self.spec
+    }
+
+    /// Kernel launch overhead in seconds.
+    pub fn launch(&self) -> f64 {
+        self.spec.kernel_launch_us * 1e-6
+    }
+
+    /// Host synchronization (blocking round trip) in seconds.
+    pub fn sync(&self) -> f64 {
+        self.spec.sync_us * 1e-6
+    }
+
+    /// Host↔device transfer of `bytes` bytes.
+    pub fn transfer(&self, bytes: u64) -> f64 {
+        self.spec.pcie_latency_us * 1e-6 + bytes as f64 / (self.spec.pcie_bandwidth_gbs * 1e9)
+    }
+
+    /// Achieved GEMM Gflop/s for a `(m × k)·(k × n)` product.
+    ///
+    /// The *small* dimension (the minimum of the three) limits occupancy
+    /// per the Fig. 18 calibration; the *long* dimension applies the
+    /// skinniness penalty observed in Fig. 15 (`(long/50000)^{-0.52}`,
+    /// fitted to the 440/630/760 Gflop/s anchors).
+    pub fn gemm_gflops(&self, m: usize, n: usize, k: usize) -> f64 {
+        let small = m.min(n).min(k).max(1) as f64;
+        let long = m.max(n).max(k) as f64;
+        // The calibration table is in absolute K40c Gflop/s; other
+        // device generations scale it by their peak ratio (occupancy
+        // curves are similar in shape across generations).
+        let scale = self.spec.peak_dp_gflops / 1_430.0;
+        let base = interp(GEMM_EFF_TABLE, small) * scale;
+        let aspect = if long > 50_000.0 { (long / 50_000.0).powf(-0.52) } else { 1.0 };
+        (base * aspect).min(self.spec.peak_dp_gflops)
+    }
+
+    /// Time for a GEMM of shape `(m × k)·(k × n)` (seconds), including
+    /// one launch and a memory-roofline floor.
+    pub fn gemm(&self, m: usize, n: usize, k: usize) -> f64 {
+        if m == 0 || n == 0 || k == 0 {
+            return self.launch();
+        }
+        let flops = 2.0 * m as f64 * n as f64 * k as f64;
+        let compute = flops / (self.gemm_gflops(m, n, k) * 1e9);
+        let bytes = 8.0 * (m as f64 * k as f64 + k as f64 * n as f64 + 2.0 * m as f64 * n as f64);
+        let memory = bytes / (self.spec.mem_bandwidth_gbs * 1e9);
+        self.launch() + compute.max(memory)
+    }
+
+    /// Effective bandwidth fraction of a BLAS-2 kernel whose parallel
+    /// width is `width` (a GEMV against an `m × width` matrix cannot fill
+    /// the device when `width` is small — this is what keeps HHQR/CGS at
+    /// a few Gflop/s in Figures 7 and 9).
+    fn blas2_bw_fraction(&self, width: usize) -> f64 {
+        let w = width.max(1) as f64;
+        (w / (w + 400.0)).clamp(0.03, 0.55)
+    }
+
+    /// Time of a GEMV against an `m × n` operand (streaming the whole
+    /// matrix once), including launch overhead.
+    pub fn gemv(&self, m: usize, n: usize) -> f64 {
+        if m == 0 || n == 0 {
+            return self.launch();
+        }
+        let bytes = 8.0 * (m as f64 * n as f64 + m as f64 + n as f64);
+        let frac = self.blas2_bw_fraction(m.min(n));
+        self.launch() + bytes / (self.spec.mem_bandwidth_gbs * 1e9 * frac)
+    }
+
+    /// Time of a rank-1 update (`ger`) on an `m × n` matrix — twice the
+    /// GEMV traffic (read + write).
+    pub fn ger(&self, m: usize, n: usize) -> f64 {
+        if m == 0 || n == 0 {
+            return self.launch();
+        }
+        let bytes = 16.0 * (m as f64 * n as f64);
+        let frac = self.blas2_bw_fraction(m.min(n));
+        self.launch() + bytes / (self.spec.mem_bandwidth_gbs * 1e9 * frac)
+    }
+
+    /// Time of a BLAS-1 kernel over `n` elements with `words_per_elem`
+    /// f64 words of traffic (dot/nrm2 = 2 reads; axpy = 2 reads + 1
+    /// write; scal = 1 + 1).
+    pub fn blas1(&self, n: usize, words_per_elem: f64) -> f64 {
+        let bytes = 8.0 * words_per_elem * n as f64;
+        // Single long vectors stream reasonably well.
+        let frac: f64 = 0.5;
+        self.launch() + bytes / (self.spec.mem_bandwidth_gbs * 1e9 * frac)
+    }
+
+    /// Time of a reduction-style BLAS-1 kernel (dot/nrm2/iamax) whose
+    /// scalar result the host waits for — adds a sync on top of the
+    /// streaming cost. This is the per-pivot price QP3 pays.
+    pub fn blas1_reduce(&self, n: usize) -> f64 {
+        self.blas1(n, 2.0) + self.sync()
+    }
+
+    /// Time of a triangular solve with an `l × l` triangle against
+    /// `nrhs` right-hand sides of length `l` (BLAS-3 TRSM, modeled as a
+    /// GEMM of the same shape at a modest discount — cuBLAS TRSM runs at
+    /// roughly half GEMM speed for these shapes).
+    pub fn trsm(&self, l: usize, nrhs: usize) -> f64 {
+        if l == 0 || nrhs == 0 {
+            return self.launch();
+        }
+        let flops = l as f64 * l as f64 * nrhs as f64;
+        let gflops = 0.5 * self.gemm_gflops(l, nrhs, l) * small_output_discount(l * nrhs);
+        let bytes = 8.0 * (l as f64 * l as f64 / 2.0 + 2.0 * l as f64 * nrhs as f64);
+        let memory = bytes / (self.spec.mem_bandwidth_gbs * 1e9);
+        self.launch() + (flops / (gflops * 1e9)).max(memory)
+    }
+
+    /// Time of a symmetric rank-k update building an `l × l` Gram matrix
+    /// from an `l × n` operand (SYRK ≈ GEMM of the same shape).
+    pub fn syrk(&self, l: usize, n: usize) -> f64 {
+        if l == 0 || n == 0 {
+            return self.launch();
+        }
+        let flops = l as f64 * l as f64 * n as f64; // half of the full GEMM
+        let gflops = self.gemm_gflops(l, l, n) * small_output_discount(l * l);
+        let bytes = 8.0 * (l as f64 * n as f64 + l as f64 * l as f64);
+        let memory = bytes / (self.spec.mem_bandwidth_gbs * 1e9);
+        self.launch() + (flops / (gflops * 1e9)).max(memory)
+    }
+
+    /// Time of a batched full FFT: `ncols` transforms of (padded) length
+    /// `len`, at the paper's measured ≈135 effective Gflop/s.
+    pub fn fft_cols(&self, len: usize, ncols: usize) -> f64 {
+        if len <= 1 || ncols == 0 {
+            return self.launch();
+        }
+        let flops = 5.0 * len as f64 * (len as f64).log2() * ncols as f64;
+        self.launch() + flops / (self.spec.fft_gflops * 1e9)
+    }
+
+    /// Time for cuRAND-style generation of `n` Gaussian samples.
+    pub fn curand(&self, n: usize) -> f64 {
+        self.launch() + n as f64 / (self.spec.curand_gsamples * 1e9)
+    }
+
+    /// Time of a host-side Cholesky of an `l × l` matrix (the paper
+    /// factors the small Gram matrix on the CPU in the multi-GPU path).
+    pub fn host_cholesky(&self, l: usize) -> f64 {
+        let flops = (l as f64).powi(3) / 3.0;
+        flops / (self.spec.host_gflops * 1e9)
+    }
+
+    /// Time of `flops` floating-point operations on the host CPU (used
+    /// for the small factorizations the multi-GPU path runs there, e.g.
+    /// the QR of the reduced `ℓ × n` sampled matrix).
+    pub fn host_flops(&self, flops: f64) -> f64 {
+        flops / (self.spec.host_gflops * 1e9)
+    }
+
+    /// Time of a host-side sum of `ng` partial results of `bytes` bytes
+    /// each.
+    pub fn host_reduce(&self, bytes: u64, ng: usize) -> f64 {
+        ng as f64 * bytes as f64 / (self.spec.host_bandwidth_gbs * 1e9)
+    }
+}
+
+/// Occupancy discount for BLAS-3 kernels whose *output* is tiny (e.g. a
+/// 64×64 Gram matrix reduced from 50,000 columns): the reduction tree
+/// cannot fill the device, so the kernel runs well below GEMM speed.
+fn small_output_discount(out_elems: usize) -> f64 {
+    let e = out_elems as f64;
+    (e / (e + 12_288.0)).clamp(0.05, 1.0)
+}
+
+/// Piecewise-linear interpolation in a sorted `(x, y)` table (clamped at
+/// the ends).
+fn interp(table: &[(f64, f64)], x: f64) -> f64 {
+    if x <= table[0].0 {
+        return table[0].1;
+    }
+    for w in table.windows(2) {
+        let (x0, y0) = w[0];
+        let (x1, y1) = w[1];
+        if x <= x1 {
+            let t = (x - x0) / (x1 - x0);
+            return y0 + t * (y1 - y0);
+        }
+    }
+    table.last().expect("table nonempty").1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> CostModel {
+        CostModel::new(DeviceSpec::k40c())
+    }
+
+    #[test]
+    fn gemm_efficiency_hits_fig18_anchors() {
+        // Figure 18 of the paper: Gflop/s of the GEMM used by the
+        // adaptive scheme (m = 50,000, n = 2,500).
+        let m = model();
+        for (l, expect) in [(8usize, 123.3), (16, 247.0), (32, 489.5), (48, 597.8), (64, 778.5)] {
+            let got = m.gemm_gflops(l, 2500, 50_000);
+            assert!(
+                (got - expect).abs() / expect < 0.01,
+                "l = {l}: got {got}, expected {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn gemm_aspect_penalty_matches_fig15() {
+        // Fig. 15 discussion: 440 / 630 / 760 Gflop/s for chunk heights
+        // 150k / 75k / 50k at l = 64, n = 2500.
+        let m = model();
+        let g150 = m.gemm_gflops(64, 2500, 150_000);
+        let g75 = m.gemm_gflops(64, 2500, 75_000);
+        let g50 = m.gemm_gflops(64, 2500, 50_000);
+        assert!((g50 - 778.5).abs() < 1.0);
+        assert!((g75 / g50 - 630.0 / 760.0).abs() < 0.05, "75k ratio {}", g75 / g50);
+        assert!((g150 / g50 - 440.0 / 760.0).abs() < 0.05, "150k ratio {}", g150 / g50);
+    }
+
+    #[test]
+    fn gemm_saturates_below_peak() {
+        let m = model();
+        let g = m.gemm_gflops(2048, 2048, 2048);
+        assert!(g > 1100.0 && g <= 1430.0);
+    }
+
+    #[test]
+    fn gemm_time_scales_linearly_in_long_dim() {
+        let m = model();
+        let t1 = m.gemm(64, 2500, 25_000);
+        let t2 = m.gemm(64, 2500, 50_000);
+        let ratio = t2 / t1;
+        assert!(ratio > 1.8 && ratio < 2.2, "ratio = {ratio}");
+    }
+
+    #[test]
+    fn gemv_much_slower_than_gemm_per_flop() {
+        let m = model();
+        // Same flops: GEMV of an (m x n) vs GEMM with l = 64.
+        let t_gemv = m.gemv(50_000, 2500);
+        let flops_gemv = 2.0 * 50_000.0 * 2500.0;
+        let gemv_gflops = flops_gemv / t_gemv / 1e9;
+        let gemm_gflops = m.gemm_gflops(64, 2500, 50_000);
+        assert!(
+            gemm_gflops / gemv_gflops > 3.0,
+            "GEMM ({gemm_gflops:.0}) should dwarf GEMV ({gemv_gflops:.0})"
+        );
+        // GEMV stays under the memory roofline (288/8*2 = 72 Gflop/s).
+        assert!(gemv_gflops < 72.0);
+    }
+
+    #[test]
+    fn fft_at_paper_rate() {
+        let m = model();
+        // Padded 65536-point FFT across 2500 columns.
+        let t = m.fft_cols(65_536, 2500);
+        let flops = 5.0 * 65_536.0 * 16.0 * 2500.0;
+        let gf = flops / t / 1e9;
+        assert!((gf - 135.0).abs() < 5.0, "FFT effective {gf} Gflop/s");
+    }
+
+    #[test]
+    fn transfer_has_latency_floor() {
+        let m = model();
+        let tiny = m.transfer(8);
+        assert!(tiny >= 10e-6);
+        let big = m.transfer(1 << 30);
+        assert!(big > 0.1 && big < 0.12); // ~1 GiB / 10 GB/s
+    }
+
+    #[test]
+    fn empty_kernels_cost_a_launch() {
+        let m = model();
+        assert_eq!(m.gemm(0, 5, 5), m.launch());
+        assert_eq!(m.syrk(0, 5), m.launch());
+    }
+
+    #[test]
+    fn interp_clamps() {
+        assert_eq!(interp(&[(1.0, 10.0), (2.0, 20.0)], 0.5), 10.0);
+        assert_eq!(interp(&[(1.0, 10.0), (2.0, 20.0)], 3.0), 20.0);
+        assert_eq!(interp(&[(1.0, 10.0), (2.0, 20.0)], 1.5), 15.0);
+    }
+
+    #[test]
+    fn blas1_reduce_includes_sync() {
+        let m = model();
+        assert!(m.blas1_reduce(1000) > m.blas1(1000, 2.0));
+    }
+}

@@ -1,0 +1,592 @@
+//! The simulated GPU handle, device buffers, and cuBLAS-like kernels.
+
+use crate::cost::CostModel;
+use crate::spec::DeviceSpec;
+use crate::timeline::{Phase, Timeline};
+use rand::Rng;
+use rlra_blas::Trans;
+use rlra_matrix::{Mat, MatrixError, Result};
+
+/// Whether kernels actually compute or only account time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecMode {
+    /// Kernels compute real results on the CPU (via `rlra-blas`) while
+    /// charging simulated time. Used by tests, examples, and the
+    /// numerical experiments.
+    Compute,
+    /// Kernels only track shapes and charge simulated time. Used by the
+    /// benchmark harness to evaluate the paper's full-size problems
+    /// (m up to 150,000) without hour-long CPU arithmetic.
+    DryRun,
+}
+
+/// A matrix resident in (simulated) device memory.
+///
+/// In [`ExecMode::DryRun`] only the shape is tracked (`data == None`);
+/// kernels then skip arithmetic.
+#[derive(Debug, Clone)]
+pub struct DMat {
+    rows: usize,
+    cols: usize,
+    data: Option<Mat>,
+}
+
+impl DMat {
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Size of the buffer in bytes.
+    pub fn bytes(&self) -> u64 {
+        8 * self.rows as u64 * self.cols as u64
+    }
+
+    /// Borrow the materialized values (`None` in dry-run mode).
+    pub fn values(&self) -> Option<&Mat> {
+        self.data.as_ref()
+    }
+
+    /// Materialized values, panicking in dry-run mode. Call only on paths
+    /// that are documented to require [`ExecMode::Compute`].
+    pub fn expect_values(&self) -> &Mat {
+        self.data.as_ref().expect("DMat has no values (dry-run mode)")
+    }
+
+    fn from_mat(m: Mat) -> Self {
+        DMat { rows: m.rows(), cols: m.cols(), data: Some(m) }
+    }
+
+    fn shape_only(rows: usize, cols: usize) -> Self {
+        DMat { rows, cols, data: None }
+    }
+}
+
+/// A simulated GPU: a device clock, a per-phase timeline, kernel-call
+/// counters, and cuBLAS/cuRAND/cuFFT-like kernels that advance them.
+#[derive(Debug, Clone)]
+pub struct Gpu {
+    cost: CostModel,
+    mode: ExecMode,
+    clock: f64,
+    timeline: Timeline,
+    /// Number of kernel launches issued (diagnostics).
+    pub launches: u64,
+    /// Number of host synchronizations (diagnostics).
+    pub syncs: u64,
+}
+
+impl Gpu {
+    /// Creates a simulated GPU from a device spec.
+    pub fn new(spec: DeviceSpec, mode: ExecMode) -> Self {
+        Gpu { cost: CostModel::new(spec), mode, clock: 0.0, timeline: Timeline::new(), launches: 0, syncs: 0 }
+    }
+
+    /// A K40c in compute mode — the default configuration for tests and
+    /// examples.
+    pub fn k40c() -> Self {
+        Gpu::new(DeviceSpec::k40c(), ExecMode::Compute)
+    }
+
+    /// A K40c in dry-run (timing-only) mode.
+    pub fn k40c_dry() -> Self {
+        Gpu::new(DeviceSpec::k40c(), ExecMode::DryRun)
+    }
+
+    /// Current simulated time in seconds.
+    pub fn clock(&self) -> f64 {
+        self.clock
+    }
+
+    /// The per-phase time breakdown.
+    pub fn timeline(&self) -> &Timeline {
+        &self.timeline
+    }
+
+    /// The cost model (for the analytic performance model crate).
+    pub fn cost(&self) -> &CostModel {
+        &self.cost
+    }
+
+    /// The execution mode.
+    pub fn mode(&self) -> ExecMode {
+        self.mode
+    }
+
+    /// Resets the clock and timeline (keeps the mode and spec).
+    pub fn reset(&mut self) {
+        self.clock = 0.0;
+        self.timeline = Timeline::new();
+        self.launches = 0;
+        self.syncs = 0;
+    }
+
+    /// Charges `secs` of simulated time to `phase`.
+    pub fn charge(&mut self, phase: Phase, secs: f64) {
+        self.clock += secs;
+        self.timeline.add(phase, secs);
+    }
+
+    /// Charges one kernel launch to `phase`.
+    pub fn charge_launch(&mut self, phase: Phase) {
+        self.launches += 1;
+        self.charge(phase, self.cost.launch());
+    }
+
+    /// Charges one host synchronization to `phase`.
+    pub fn charge_sync(&mut self, phase: Phase) {
+        self.syncs += 1;
+        self.charge(phase, self.cost.sync());
+    }
+
+    /// Whether this GPU materializes values.
+    fn computing(&self) -> bool {
+        self.mode == ExecMode::Compute
+    }
+
+    // --- Memory -----------------------------------------------------------
+
+    /// Uploads a host matrix to the device (PCIe transfer charged to
+    /// `phase`).
+    pub fn upload(&mut self, phase: Phase, m: &Mat) -> DMat {
+        let bytes = 8 * m.rows() as u64 * m.cols() as u64;
+        self.charge(phase, self.cost.transfer(bytes));
+        if self.computing() {
+            DMat::from_mat(m.clone())
+        } else {
+            DMat::shape_only(m.rows(), m.cols())
+        }
+    }
+
+    /// Registers a host matrix as already resident on the device without
+    /// charging a transfer (used for input matrices assumed to start in
+    /// device memory, as the paper's experiments do).
+    pub fn resident(&self, m: &Mat) -> DMat {
+        if self.computing() {
+            DMat::from_mat(m.clone())
+        } else {
+            DMat::shape_only(m.rows(), m.cols())
+        }
+    }
+
+    /// Registers a shape-only resident matrix (dry-run inputs at paper
+    /// scale, where materializing 150,000×2,500 values is pointless).
+    pub fn resident_shape(&self, rows: usize, cols: usize) -> DMat {
+        DMat::shape_only(rows, cols)
+    }
+
+    /// Allocates a zeroed device matrix (no time charged; cudaMalloc is
+    /// amortized in real deployments).
+    pub fn alloc(&self, rows: usize, cols: usize) -> DMat {
+        if self.computing() {
+            DMat::from_mat(Mat::zeros(rows, cols))
+        } else {
+            DMat::shape_only(rows, cols)
+        }
+    }
+
+    /// Downloads a device matrix to the host (PCIe transfer charged).
+    /// Returns zeros in dry-run mode.
+    pub fn download(&mut self, phase: Phase, d: &DMat) -> Mat {
+        self.charge(phase, self.cost.transfer(d.bytes()));
+        match &d.data {
+            Some(m) => m.clone(),
+            None => Mat::zeros(d.rows, d.cols),
+        }
+    }
+
+    // --- cuBLAS-like kernels ------------------------------------------------
+
+    /// `C ← α·op(A)·op(B) + β·C` (cuBLAS `dgemm`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MatrixError::DimensionMismatch`] on inconsistent shapes.
+    #[allow(clippy::too_many_arguments)]
+    pub fn gemm(
+        &mut self,
+        phase: Phase,
+        alpha: f64,
+        a: &DMat,
+        ta: Trans,
+        b: &DMat,
+        tb: Trans,
+        beta: f64,
+        c: &mut DMat,
+    ) -> Result<()> {
+        let (m, ka) = ta.apply(a.rows, a.cols);
+        let (kb, n) = tb.apply(b.rows, b.cols);
+        if ka != kb || c.rows != m || c.cols != n {
+            return Err(MatrixError::DimensionMismatch {
+                op: "Gpu::gemm",
+                expected: format!("({m}x{ka})·({ka}x{n}) -> {m}x{n}"),
+                found: format!("op(B) {kb}x{n}, C {}x{}", c.rows, c.cols),
+            });
+        }
+        self.launches += 1;
+        self.charge(phase, self.cost.gemm(m, n, ka));
+        if self.computing() {
+            let am = a.expect_values();
+            let bm = b.expect_values();
+            let cm = c.data.as_mut().expect("compute mode");
+            rlra_blas::gemm(alpha, am.as_ref(), ta, bm.as_ref(), tb, beta, cm.as_mut())?;
+        }
+        Ok(())
+    }
+
+    /// Symmetric rank-k update building the full (mirrored) Gram matrix
+    /// `C = α·op(A)·op(A)ᵀ + β·C` (cuBLAS `dsyrk` + a mirror kernel).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MatrixError::DimensionMismatch`] on inconsistent shapes.
+    pub fn syrk_full(
+        &mut self,
+        phase: Phase,
+        alpha: f64,
+        a: &DMat,
+        trans: Trans,
+        beta: f64,
+        c: &mut DMat,
+    ) -> Result<()> {
+        let (l, k) = trans.apply(a.rows, a.cols);
+        if c.rows != l || c.cols != l {
+            return Err(MatrixError::DimensionMismatch {
+                op: "Gpu::syrk_full",
+                expected: format!("C {l}x{l}"),
+                found: format!("C {}x{}", c.rows, c.cols),
+            });
+        }
+        self.launches += 1;
+        self.charge(phase, self.cost.syrk(l, k));
+        if self.computing() {
+            let am = a.expect_values();
+            let cm = c.data.as_mut().expect("compute mode");
+            rlra_blas::syrk(alpha, am.as_ref(), trans, beta, cm.as_mut(), rlra_blas::UpLo::Upper)?;
+            // Mirror to the lower triangle.
+            for j in 0..l {
+                for i in 0..j {
+                    let v = cm[(i, j)];
+                    cm[(j, i)] = v;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Triangular solve `op(T)·X = α·B` or `X·op(T) = α·B` (cuBLAS
+    /// `dtrsm`), overwriting `b`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape and singularity errors from the kernel.
+    #[allow(clippy::too_many_arguments)]
+    pub fn trsm(
+        &mut self,
+        phase: Phase,
+        side: rlra_blas::Side,
+        uplo: rlra_blas::UpLo,
+        trans: Trans,
+        alpha: f64,
+        t: &DMat,
+        b: &mut DMat,
+    ) -> Result<()> {
+        let l = t.rows;
+        let nrhs = match side {
+            rlra_blas::Side::Left => b.cols,
+            rlra_blas::Side::Right => b.rows,
+        };
+        self.launches += 1;
+        self.charge(phase, self.cost.trsm(l, nrhs));
+        if self.computing() {
+            let tm = t.expect_values();
+            let bm = b.data.as_mut().expect("compute mode");
+            rlra_blas::trsm(side, uplo, trans, rlra_blas::Diag::NonUnit, alpha, tm.as_ref(), bm.as_mut())?;
+        }
+        Ok(())
+    }
+
+    /// Triangular matrix multiply `B ← α·op(T)·B` / `B·op(T)` (cuBLAS
+    /// `dtrmm`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape errors from the kernel.
+    #[allow(clippy::too_many_arguments)]
+    pub fn trmm(
+        &mut self,
+        phase: Phase,
+        side: rlra_blas::Side,
+        uplo: rlra_blas::UpLo,
+        trans: Trans,
+        alpha: f64,
+        t: &DMat,
+        b: &mut DMat,
+    ) -> Result<()> {
+        let l = t.rows;
+        let nrhs = match side {
+            rlra_blas::Side::Left => b.cols,
+            rlra_blas::Side::Right => b.rows,
+        };
+        self.launches += 1;
+        self.charge(phase, self.cost.trsm(l, nrhs)); // same cost class as trsm
+        if self.computing() {
+            let tm = t.expect_values();
+            let bm = b.data.as_mut().expect("compute mode");
+            rlra_blas::trmm(side, uplo, trans, rlra_blas::Diag::NonUnit, alpha, tm.as_ref(), bm.as_mut())?;
+        }
+        Ok(())
+    }
+
+    // --- cuRAND / cuFFT ------------------------------------------------------
+
+    /// Generates an `rows × cols` Gaussian matrix on the device (cuRAND).
+    pub fn curand_gaussian(&mut self, phase: Phase, rows: usize, cols: usize, rng: &mut impl Rng) -> DMat {
+        self.launches += 1;
+        self.charge(phase, self.cost.curand(rows * cols));
+        if self.computing() {
+            DMat::from_mat(rlra_matrix::gaussian_mat(rows, cols, rng))
+        } else {
+            // Keep the RNG stream position identical across modes so a
+            // dry-run and a compute run of the same experiment stay
+            // seed-compatible.
+            let mut sink = vec![0.0f64; rows * cols];
+            rlra_matrix::randn::fill_standard_normal(rng, &mut sink);
+            DMat::shape_only(rows, cols)
+        }
+    }
+
+    /// Full-FFT **column** sampling `B = Ω·Aᵀ` (cuFFT batched transform
+    /// along the rows of `a`): returns the `ℓ × m` sampled matrix — the
+    /// variant of the paper's Figure 8(b).
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape errors from the SRFT operator.
+    pub fn cufft_sample_cols(
+        &mut self,
+        phase: Phase,
+        op: &rlra_fft::SrftOperator,
+        a: &DMat,
+    ) -> Result<DMat> {
+        self.launches += 2;
+        self.charge(phase, self.cost.fft_cols(op.padded_len(), a.rows));
+        self.charge(phase, self.cost.blas1(op.rows() * a.rows, 2.0));
+        if self.computing() {
+            Ok(DMat::from_mat(op.sample_cols(a.expect_values())?))
+        } else {
+            if a.cols != op.input_len() {
+                return Err(MatrixError::DimensionMismatch {
+                    op: "Gpu::cufft_sample_cols",
+                    expected: format!("a.cols() == {}", op.input_len()),
+                    found: format!("a.cols() == {}", a.cols),
+                });
+            }
+            Ok(DMat::shape_only(op.rows(), a.rows))
+        }
+    }
+
+    /// Full-FFT sampling of the columns of `a` (cuFFT batched transform
+    /// plus a selection kernel): returns the `ℓ × n` sampled matrix.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape errors from the SRFT operator.
+    pub fn cufft_sample_rows(
+        &mut self,
+        phase: Phase,
+        op: &rlra_fft::SrftOperator,
+        a: &DMat,
+    ) -> Result<DMat> {
+        self.launches += 2; // batched FFT + gather
+        self.charge(phase, self.cost.fft_cols(op.padded_len(), a.cols));
+        self.charge(phase, self.cost.blas1(op.rows() * a.cols, 2.0));
+        if self.computing() {
+            Ok(DMat::from_mat(op.sample_rows(a.expect_values())?))
+        } else {
+            if a.rows != op.input_len() {
+                return Err(MatrixError::DimensionMismatch {
+                    op: "Gpu::cufft_sample_rows",
+                    expected: format!("a.rows() == {}", op.input_len()),
+                    found: format!("a.rows() == {}", a.rows),
+                });
+            }
+            Ok(DMat::shape_only(op.rows(), a.cols))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn pseudo(rows: usize, cols: usize, seed: u64) -> Mat {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        Mat::from_fn(rows, cols, |_, _| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state % 2000) as f64 / 1000.0 - 1.0
+        })
+    }
+
+    #[test]
+    fn gemm_computes_and_charges() {
+        let mut gpu = Gpu::k40c();
+        let a = gpu.resident(&pseudo(8, 6, 1));
+        let b = gpu.resident(&pseudo(6, 5, 2));
+        let mut c = gpu.alloc(8, 5);
+        gpu.gemm(Phase::Sampling, 1.0, &a, Trans::No, &b, Trans::No, 0.0, &mut c).unwrap();
+        assert!(gpu.clock() > 0.0);
+        assert_eq!(gpu.timeline().get(Phase::Sampling), gpu.clock());
+        let expect = rlra_blas::naive::gemm_ref(a.expect_values(), Trans::No, b.expect_values(), Trans::No);
+        assert!(c.expect_values().approx_eq(&expect, 1e-12));
+    }
+
+    #[test]
+    fn dry_run_charges_identical_time_without_values() {
+        let run = |mode: ExecMode| -> f64 {
+            let mut gpu = Gpu::new(DeviceSpec::k40c(), mode);
+            let a = match mode {
+                ExecMode::Compute => gpu.resident(&pseudo(100, 50, 3)),
+                ExecMode::DryRun => gpu.resident_shape(100, 50),
+            };
+            let b = match mode {
+                ExecMode::Compute => gpu.resident(&pseudo(50, 30, 4)),
+                ExecMode::DryRun => gpu.resident_shape(50, 30),
+            };
+            let mut c = gpu.alloc(100, 30);
+            gpu.gemm(Phase::GemmIter, 1.0, &a, Trans::No, &b, Trans::No, 0.0, &mut c).unwrap();
+            gpu.clock()
+        };
+        let t_compute = run(ExecMode::Compute);
+        let t_dry = run(ExecMode::DryRun);
+        assert_eq!(t_compute, t_dry, "cost must not depend on mode");
+    }
+
+    #[test]
+    fn dry_run_has_no_values() {
+        let gpu = Gpu::k40c_dry();
+        let d = gpu.resident_shape(10, 10);
+        assert!(d.values().is_none());
+    }
+
+    #[test]
+    fn gemm_shape_check() {
+        let mut gpu = Gpu::k40c_dry();
+        let a = gpu.resident_shape(3, 4);
+        let b = gpu.resident_shape(5, 2);
+        let mut c = gpu.alloc(3, 2);
+        assert!(gpu.gemm(Phase::Other, 1.0, &a, Trans::No, &b, Trans::No, 0.0, &mut c).is_err());
+    }
+
+    #[test]
+    fn syrk_full_mirrors() {
+        let mut gpu = Gpu::k40c();
+        let a = gpu.resident(&pseudo(4, 9, 5));
+        let mut g = gpu.alloc(4, 4);
+        gpu.syrk_full(Phase::OrthIter, 1.0, &a, Trans::No, 0.0, &mut g).unwrap();
+        let gm = g.expect_values();
+        for i in 0..4 {
+            for j in 0..4 {
+                assert!((gm[(i, j)] - gm[(j, i)]).abs() < 1e-14);
+            }
+        }
+    }
+
+    #[test]
+    fn upload_download_roundtrip_and_comms_charge() {
+        let mut gpu = Gpu::k40c();
+        let m = pseudo(20, 10, 6);
+        let d = gpu.upload(Phase::Comms, &m);
+        let back = gpu.download(Phase::Comms, &d);
+        assert_eq!(back, m);
+        assert!(gpu.timeline().get(Phase::Comms) > 0.0);
+    }
+
+    #[test]
+    fn curand_is_seed_compatible_across_modes() {
+        let mut g1 = Gpu::k40c();
+        let mut g2 = Gpu::k40c_dry();
+        let mut r1 = StdRng::seed_from_u64(9);
+        let mut r2 = StdRng::seed_from_u64(9);
+        let _ = g1.curand_gaussian(Phase::Prng, 5, 5, &mut r1);
+        let _ = g2.curand_gaussian(Phase::Prng, 5, 5, &mut r2);
+        // After the call both streams must be at the same position.
+        let a: f64 = r1.gen();
+        let b: f64 = r2.gen();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut gpu = Gpu::k40c_dry();
+        gpu.charge(Phase::Other, 1.0);
+        gpu.reset();
+        assert_eq!(gpu.clock(), 0.0);
+        assert_eq!(gpu.timeline().total(), 0.0);
+    }
+
+    #[test]
+    fn trsm_trmm_roundtrip_on_device() {
+        let mut gpu = Gpu::k40c();
+        let mut t = pseudo(5, 5, 7);
+        for j in 0..5 {
+            for i in j + 1..5 {
+                t[(i, j)] = 0.0;
+            }
+            t[(j, j)] += 3.0;
+        }
+        let td = gpu.resident(&t);
+        let b0 = pseudo(5, 3, 8);
+        let mut bd = gpu.resident(&b0);
+        gpu.trmm(Phase::Qr, rlra_blas::Side::Left, rlra_blas::UpLo::Upper, Trans::No, 1.0, &td, &mut bd)
+            .unwrap();
+        gpu.trsm(Phase::Qr, rlra_blas::Side::Left, rlra_blas::UpLo::Upper, Trans::No, 1.0, &td, &mut bd)
+            .unwrap();
+        assert!(bd.expect_values().approx_eq(&b0, 1e-10));
+    }
+}
+
+#[cfg(test)]
+mod fft_col_tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn cufft_col_sampling_matches_cpu_operator() {
+        let mut gpu = Gpu::k40c();
+        let a = Mat::from_fn(6, 32, |i, j| ((i * 7 + j * 3) % 11) as f64 - 5.0);
+        let mut rng = StdRng::seed_from_u64(4);
+        let op = rlra_fft::SrftOperator::new(32, 5, rlra_fft::SrftScheme::Full, &mut rng).unwrap();
+        let ad = gpu.resident(&a);
+        let b = gpu.cufft_sample_cols(Phase::Sampling, &op, &ad).unwrap();
+        let expect = op.sample_cols(&a).unwrap();
+        assert!(b.expect_values().approx_eq(&expect, 1e-12));
+        assert_eq!(b.shape(), (5, 6));
+    }
+
+    #[test]
+    fn cufft_col_sampling_dry_run_validates_shape() {
+        let mut gpu = Gpu::k40c_dry();
+        let mut rng = StdRng::seed_from_u64(5);
+        let op = rlra_fft::SrftOperator::new(32, 4, rlra_fft::SrftScheme::Full, &mut rng).unwrap();
+        let good = gpu.resident_shape(6, 32);
+        assert!(gpu.cufft_sample_cols(Phase::Sampling, &op, &good).is_ok());
+        let bad = gpu.resident_shape(6, 31);
+        assert!(gpu.cufft_sample_cols(Phase::Sampling, &op, &bad).is_err());
+    }
+}

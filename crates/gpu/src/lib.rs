@@ -1,0 +1,57 @@
+//! # rlra-gpu
+//!
+//! A **simulated GPU** substrate standing in for the NVIDIA Tesla K40c
+//! GPUs (cuBLAS / cuRAND / cuFFT) used in Mary et al., SC'15.
+//!
+//! ## Why a simulator
+//!
+//! This reproduction runs in a CPU-only environment. The paper's
+//! performance story, however, is not about absolute K40c clocks — it is
+//! about the *relative* behaviour of kernel classes: BLAS-3 GEMM runs
+//! near compute peak, BLAS-1/2 kernels are memory- and latency-bound,
+//! QP3 synchronizes at every pivot, and PCIe transfers dominate
+//! multi-GPU communication. All of these are analytic properties that a
+//! calibrated cost model reproduces faithfully.
+//!
+//! Every kernel in this crate therefore does two things:
+//!
+//! 1. **advances a simulated device clock** by a time computed from the
+//!    [`cost::CostModel`], whose constants are calibrated against the
+//!    numbers the paper itself publishes (1430 Gflop/s DP peak,
+//!    288 GB/s, the GEMM-efficiency table of Fig. 18, the near-square
+//!    GEMM rates of Fig. 15, the ≈135 Gflop/s cuFFT rate of Fig. 8), and
+//! 2. **optionally computes the real result** on the CPU via
+//!    `rlra-blas`/`rlra-lapack` (mode [`ExecMode::Compute`]), so that all
+//!    numerical results in the reproduction are genuine. Mode
+//!    [`ExecMode::DryRun`] skips the arithmetic and only accounts time,
+//!    which lets the benchmark harness evaluate the paper's full-size
+//!    problems (m up to 150,000) instantly.
+//!
+//! ## Layout
+//!
+//! - [`spec`] — device constants ([`spec::DeviceSpec::k40c`]),
+//! - [`cost`] — the calibrated kernel cost model,
+//! - [`timeline`] — per-phase time accounting matching the paper's
+//!   stacked-bar legends (PRNG / Sampling / GEMM (iter) / Orth (iter) /
+//!   QRCP / QR / Comms),
+//! - [`device`] — the [`device::Gpu`] handle and [`device::DMat`] device
+//!   buffers, with cuBLAS-like kernels,
+//! - [`algos`] — timed GPU implementations of the orthogonalization
+//!   schemes the paper benchmarks (CholQR, HHQR, CGS, MGS) and of
+//!   truncated QP3,
+//! - [`multigpu`] — the 1D block-row multi-GPU context of §4 with
+//!   host-mediated reductions and broadcast.
+
+pub mod algos;
+pub mod cluster;
+pub mod cost;
+pub mod device;
+pub mod multigpu;
+pub mod spec;
+pub mod timeline;
+
+pub use cluster::{Cluster, NetworkSpec};
+pub use device::{DMat, ExecMode, Gpu};
+pub use multigpu::MultiGpu;
+pub use spec::DeviceSpec;
+pub use timeline::{Phase, Timeline};

@@ -1,0 +1,506 @@
+//! Multi-GPU execution context (paper §4, Figures 4 and 15).
+//!
+//! The matrix `A` is distributed in a 1D block-row layout: GPU `i` owns
+//! `A(i)` of roughly `m/n_g` rows. The short-wide sampled matrices are
+//! formed by local GEMMs followed by a host-side reduction; the small
+//! factorizations (QR/Cholesky of ℓ×ℓ or ℓ×n matrices) run on the CPU and
+//! the factors are broadcast back — exactly the paper's Figure 4 CholQR
+//! scheme.
+//!
+//! Timing semantics: local kernels advance the owning GPU's clock;
+//! collectives first impose a barrier (all clocks jump to the maximum),
+//! then serialize PCIe transfers through the host (which is why the
+//! paper's measured communication fraction grows from 1.6 % on two GPUs
+//! to 4.3 % on three), then advance every clock past the host-side work.
+
+use crate::device::{DMat, ExecMode, Gpu};
+use crate::spec::DeviceSpec;
+use crate::timeline::{Phase, Timeline};
+use rlra_blas::Trans;
+use rlra_matrix::{Mat, MatrixError, Result};
+
+/// A single compute node with `n_g` simulated GPUs and a host.
+#[derive(Debug, Clone)]
+pub struct MultiGpu {
+    gpus: Vec<Gpu>,
+    mode: ExecMode,
+    /// Host-side and communication time, tracked centrally.
+    host_timeline: Timeline,
+}
+
+impl MultiGpu {
+    /// Creates a context with `ng` identical GPUs.
+    pub fn new(ng: usize, spec: DeviceSpec, mode: ExecMode) -> Self {
+        assert!(ng > 0, "need at least one GPU");
+        MultiGpu {
+            gpus: (0..ng).map(|_| Gpu::new(spec.clone(), mode)).collect(),
+            mode,
+            host_timeline: Timeline::new(),
+        }
+    }
+
+    /// Number of GPUs.
+    pub fn ng(&self) -> usize {
+        self.gpus.len()
+    }
+
+    /// Execution mode.
+    pub fn mode(&self) -> ExecMode {
+        self.mode
+    }
+
+    /// Mutable access to GPU `i` for local kernel calls.
+    pub fn gpu_mut(&mut self, i: usize) -> &mut Gpu {
+        &mut self.gpus[i]
+    }
+
+    /// Immutable access to GPU `i`.
+    pub fn gpu(&self, i: usize) -> &Gpu {
+        &self.gpus[i]
+    }
+
+    /// The current simulated wall-clock: the slowest GPU.
+    pub fn time(&self) -> f64 {
+        self.gpus.iter().map(|g| g.clock()).fold(0.0, f64::max)
+    }
+
+    /// Barrier: every GPU clock jumps to the maximum.
+    pub fn barrier(&mut self) {
+        let t = self.time();
+        for g in &mut self.gpus {
+            let dt = t - g.clock();
+            if dt > 0.0 {
+                g.charge(Phase::Other, dt);
+            }
+        }
+    }
+
+    /// Splits the row range `0..m` into `ng` nearly equal chunks;
+    /// returns `(start, len)` per GPU.
+    pub fn row_chunks(&self, m: usize) -> Vec<(usize, usize)> {
+        let ng = self.ng();
+        let base = m / ng;
+        let extra = m % ng;
+        let mut out = Vec::with_capacity(ng);
+        let mut start = 0;
+        for i in 0..ng {
+            let len = base + usize::from(i < extra);
+            out.push((start, len));
+            start += len;
+        }
+        out
+    }
+
+    /// Distributes `a` block-row-wise: GPU `i` receives its chunk as a
+    /// resident matrix (the paper's experiments assume `A` already lives
+    /// in device memory; pass `charge_upload = true` to pay the PCIe cost
+    /// explicitly).
+    pub fn distribute_rows(&mut self, a: &Mat, charge_upload: bool) -> Vec<DMat> {
+        let chunks = self.row_chunks(a.rows());
+        chunks
+            .iter()
+            .enumerate()
+            .map(|(i, &(start, len))| {
+                let block = a.submatrix(start, 0, len, a.cols());
+                if charge_upload {
+                    self.gpus[i].upload(Phase::Comms, &block)
+                } else {
+                    self.gpus[i].resident(&block)
+                }
+            })
+            .collect()
+    }
+
+    /// Shape-only distribution for dry runs at paper scale.
+    pub fn distribute_rows_shape(&mut self, m: usize, n: usize) -> Vec<DMat> {
+        let chunks = self.row_chunks(m);
+        chunks.iter().enumerate().map(|(i, &(_, len))| self.gpus[i].resident_shape(len, n)).collect()
+    }
+
+    /// Advances every GPU clock by `secs`, charged to `phase`, and logs
+    /// it centrally (used for serialized host work all GPUs wait on).
+    fn charge_all(&mut self, phase: Phase, secs: f64) {
+        for g in &mut self.gpus {
+            g.charge(phase, secs);
+        }
+        self.host_timeline.add(phase, secs);
+    }
+
+    /// Reduction: downloads one equally-shaped part from every GPU and
+    /// sums them on the host (`B := Σᵢ B(i)`, paper §4). Transfers are
+    /// serialized through the shared PCIe/host path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MatrixError::DimensionMismatch`] if parts disagree in
+    /// shape.
+    pub fn reduce_to_host(&mut self, phase: Phase, parts: &[DMat]) -> Result<Mat> {
+        assert_eq!(parts.len(), self.ng(), "one part per GPU");
+        let (r, c) = parts[0].shape();
+        for p in parts {
+            if p.shape() != (r, c) {
+                return Err(MatrixError::DimensionMismatch {
+                    op: "MultiGpu::reduce_to_host",
+                    expected: format!("{r}x{c}"),
+                    found: format!("{}x{}", p.rows(), p.cols()),
+                });
+            }
+        }
+        self.barrier();
+        let bytes = parts[0].bytes();
+        let cost = self.gpus[0].cost().clone();
+        let transfer_total = cost.transfer(bytes) * self.ng() as f64;
+        let host_sum = cost.host_reduce(bytes, self.ng());
+        self.charge_all(phase, transfer_total + host_sum);
+        // Numerics.
+        let mut acc = Mat::zeros(r, c);
+        if self.mode == ExecMode::Compute {
+            for p in parts {
+                rlra_matrix::ops::axpy_mat(1.0, p.expect_values(), &mut acc)?;
+            }
+        }
+        Ok(acc)
+    }
+
+    /// Broadcast: uploads the same host matrix to every GPU (serialized
+    /// PCIe transfers).
+    pub fn broadcast(&mut self, phase: Phase, m: &Mat) -> Vec<DMat> {
+        self.barrier();
+        let bytes = 8 * (m.rows() * m.cols()) as u64;
+        let cost = self.gpus[0].cost().clone();
+        self.charge_all(phase, cost.transfer(bytes) * self.ng() as f64);
+        let mode = self.mode;
+        self.gpus
+            .iter()
+            .map(|g| match mode {
+                ExecMode::Compute => g.resident(m),
+                ExecMode::DryRun => g.resident_shape(m.rows(), m.cols()),
+            })
+            .collect()
+    }
+
+    /// Multi-GPU CholQR of a column-distributed short-wide matrix `C`
+    /// (`ℓ` rows; GPU `i` owns the column block `C(i)`), per Figure 4:
+    ///
+    /// 1. each GPU computes its local Gram block `G(i) = C(i)·C(i)ᵀ`,
+    /// 2. the host reduces `G = Σ G(i)` and computes the Cholesky factor
+    ///    `R̄`,
+    /// 3. `R̄` is broadcast and every GPU solves `Q(i) = R̄⁻ᵀ·C(i)`.
+    ///
+    /// Overwrites the parts with the row-orthonormal `Q(i)` and returns
+    /// `R̄`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates kernel and Cholesky errors.
+    pub fn cholqr_rows_distributed(
+        &mut self,
+        phase: Phase,
+        parts: &mut [DMat],
+        reorth: bool,
+    ) -> Result<Mat> {
+        let passes = if reorth { 2 } else { 1 };
+        let l = parts[0].rows();
+        let mut r_total = Mat::identity(l);
+        for _ in 0..passes {
+            // Local Gram blocks.
+            let mut gparts = Vec::with_capacity(self.ng());
+            for (i, p) in parts.iter().enumerate() {
+                let gpu = &mut self.gpus[i];
+                let mut g = gpu.alloc(l, l);
+                gpu.syrk_full(phase, 1.0, p, Trans::No, 0.0, &mut g)?;
+                gparts.push(g);
+            }
+            // Host reduction + Cholesky.
+            let g = self.reduce_to_host(Phase::Comms, &gparts)?;
+            let cost = self.gpus[0].cost().clone();
+            self.charge_all(phase, cost.host_cholesky(l));
+            let r = if self.mode == ExecMode::Compute {
+                rlra_lapack::cholesky_upper(&g)?
+            } else {
+                Mat::identity(l)
+            };
+            // Broadcast R̄ and substitute locally.
+            let rparts = self.broadcast(Phase::Comms, &r);
+            for (i, p) in parts.iter_mut().enumerate() {
+                let gpu = &mut self.gpus[i];
+                gpu.trsm(
+                    phase,
+                    rlra_blas::Side::Left,
+                    rlra_blas::UpLo::Upper,
+                    Trans::Yes,
+                    1.0,
+                    &rparts[i],
+                    p,
+                )?;
+            }
+            if self.mode == ExecMode::Compute {
+                // R_total = R_pass · R_total.
+                let mut tmp = Mat::zeros(l, l);
+                rlra_blas::gemm(1.0, r.as_ref(), Trans::No, r_total.as_ref(), Trans::No, 0.0, tmp.as_mut())?;
+                r_total = tmp;
+            }
+        }
+        self.barrier();
+        Ok(r_total)
+    }
+
+    /// Multi-GPU CholQR of a **row-distributed tall-skinny** matrix `X`
+    /// (`n` columns; GPU `i` owns the row block `X(i)`), used for Step 3
+    /// of random sampling (`QR(A·P₁:ₖ)`): local Gram blocks
+    /// `G(i) = X(i)ᵀX(i)` are reduced on the host, Cholesky-factored, and
+    /// the factor broadcast for the local solves `Q(i) = X(i)·R̄⁻¹`.
+    ///
+    /// Overwrites the parts with `Q(i)` and returns `R̄`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates kernel and Cholesky errors.
+    pub fn cholqr_tall_distributed(
+        &mut self,
+        phase: Phase,
+        parts: &mut [DMat],
+        reorth: bool,
+    ) -> Result<Mat> {
+        let passes = if reorth { 2 } else { 1 };
+        let n = parts[0].cols();
+        let mut r_total = Mat::identity(n);
+        for _ in 0..passes {
+            let mut gparts = Vec::with_capacity(self.ng());
+            for (i, p) in parts.iter().enumerate() {
+                let gpu = &mut self.gpus[i];
+                let mut g = gpu.alloc(n, n);
+                gpu.syrk_full(phase, 1.0, p, Trans::Yes, 0.0, &mut g)?;
+                gparts.push(g);
+            }
+            let g = self.reduce_to_host(Phase::Comms, &gparts)?;
+            let cost = self.gpus[0].cost().clone();
+            self.charge_all(phase, cost.host_cholesky(n));
+            let r = if self.mode == ExecMode::Compute {
+                rlra_lapack::cholesky_upper(&g)?
+            } else {
+                Mat::identity(n)
+            };
+            let rparts = self.broadcast(Phase::Comms, &r);
+            for (i, p) in parts.iter_mut().enumerate() {
+                let gpu = &mut self.gpus[i];
+                gpu.trsm(
+                    phase,
+                    rlra_blas::Side::Right,
+                    rlra_blas::UpLo::Upper,
+                    Trans::No,
+                    1.0,
+                    &rparts[i],
+                    p,
+                )?;
+            }
+            if self.mode == ExecMode::Compute {
+                let mut tmp = Mat::zeros(n, n);
+                rlra_blas::gemm(1.0, r.as_ref(), Trans::No, r_total.as_ref(), Trans::No, 0.0, tmp.as_mut())?;
+                r_total = tmp;
+            }
+        }
+        self.barrier();
+        Ok(r_total)
+    }
+
+    /// Per-phase breakdown of the whole run: element-wise max across the
+    /// (phase-synchronized) GPU timelines. Host/communication phases are
+    /// already charged to every GPU, so the max is exact for them.
+    pub fn breakdown(&self) -> Timeline {
+        let mut t = self.gpus[0].timeline().clone();
+        for g in &self.gpus[1..] {
+            t.max_with(g.timeline());
+        }
+        t
+    }
+
+    /// Total communication + host time (the paper's "Comms" bar).
+    pub fn comms_time(&self) -> f64 {
+        self.host_timeline.get(Phase::Comms)
+    }
+
+    /// Resets all clocks and timelines.
+    pub fn reset(&mut self) {
+        for g in &mut self.gpus {
+            g.reset();
+        }
+        self.host_timeline = Timeline::new();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rlra_lapack::householder::orthogonality_error;
+
+    fn pseudo(rows: usize, cols: usize, seed: u64) -> Mat {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        Mat::from_fn(rows, cols, |_, _| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state % 2000) as f64 / 1000.0 - 1.0
+        })
+    }
+
+    fn ctx(ng: usize) -> MultiGpu {
+        MultiGpu::new(ng, DeviceSpec::k40c(), ExecMode::Compute)
+    }
+
+    #[test]
+    fn row_chunks_cover_and_balance() {
+        let mg = ctx(3);
+        let chunks = mg.row_chunks(10);
+        assert_eq!(chunks, vec![(0, 4), (4, 3), (7, 3)]);
+        let total: usize = chunks.iter().map(|c| c.1).sum();
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn distribute_preserves_rows() {
+        let mut mg = ctx(3);
+        let a = pseudo(11, 4, 1);
+        let parts = mg.distribute_rows(&a, false);
+        let mut row = 0;
+        for p in &parts {
+            let pm = p.expect_values();
+            for r in 0..pm.rows() {
+                for c in 0..4 {
+                    assert_eq!(pm[(r, c)], a[(row + r, c)]);
+                }
+            }
+            row += pm.rows();
+        }
+        assert_eq!(row, 11);
+    }
+
+    #[test]
+    fn reduce_sums_parts() {
+        let mut mg = ctx(2);
+        let p1 = mg.gpu(0).resident(&Mat::filled(2, 3, 1.0));
+        let p2 = mg.gpu(1).resident(&Mat::filled(2, 3, 2.0));
+        let sum = mg.reduce_to_host(Phase::Comms, &[p1, p2]).unwrap();
+        assert_eq!(sum, Mat::filled(2, 3, 3.0));
+        assert!(mg.comms_time() > 0.0);
+    }
+
+    #[test]
+    fn reduce_rejects_mismatched_parts() {
+        let mut mg = ctx(2);
+        let p1 = mg.gpu(0).resident(&Mat::zeros(2, 3));
+        let p2 = mg.gpu(1).resident(&Mat::zeros(3, 2));
+        assert!(mg.reduce_to_host(Phase::Comms, &[p1, p2]).is_err());
+    }
+
+    #[test]
+    fn barrier_aligns_clocks() {
+        let mut mg = ctx(2);
+        mg.gpu_mut(0).charge(Phase::Other, 1.0);
+        mg.barrier();
+        assert_eq!(mg.gpu(0).clock(), mg.gpu(1).clock());
+    }
+
+    #[test]
+    fn distributed_cholqr_rows_orthonormalizes() {
+        // C is 6 x 40, distributed as two 6 x 20 column blocks (the
+        // block-column layout of C^T's block rows).
+        let mut mg = ctx(2);
+        let c = pseudo(6, 40, 2);
+        let c1 = c.submatrix(0, 0, 6, 20);
+        let c2 = c.submatrix(0, 20, 6, 20);
+        let mut parts = vec![mg.gpu(0).resident(&c1), mg.gpu(1).resident(&c2)];
+        let r = mg.cholqr_rows_distributed(Phase::OrthIter, &mut parts, true).unwrap();
+        // Reassemble Q and check row orthonormality and R^T Q = C.
+        let q = parts[0].expect_values().hcat(parts[1].expect_values()).unwrap();
+        assert!(orthogonality_error(&q.transpose()) < 1e-12);
+        let mut rec = Mat::zeros(6, 40);
+        rlra_blas::gemm(1.0, r.as_ref(), Trans::Yes, q.as_ref(), Trans::No, 0.0, rec.as_mut())
+            .unwrap();
+        assert!(rec.approx_eq(&c, 1e-10));
+    }
+
+    #[test]
+    fn distributed_cholqr_matches_single_gpu_result() {
+        let c = pseudo(5, 30, 3);
+        // Single-device reference.
+        let (q_ref, _) = rlra_lapack::cholqr_rows2(&c).unwrap();
+        // Distributed.
+        let mut mg = ctx(3);
+        let chunks = mg.row_chunks(30);
+        let mut parts: Vec<DMat> = chunks
+            .iter()
+            .enumerate()
+            .map(|(i, &(s, l))| mg.gpu(i).resident(&c.submatrix(0, s, 5, l)))
+            .collect();
+        mg.cholqr_rows_distributed(Phase::OrthIter, &mut parts, true).unwrap();
+        let q = parts[0]
+            .expect_values()
+            .hcat(parts[1].expect_values())
+            .unwrap()
+            .hcat(parts[2].expect_values())
+            .unwrap();
+        assert!(q.approx_eq(&q_ref, 1e-10), "distributed and single-GPU Q differ");
+    }
+
+    #[test]
+    fn comms_grow_with_gpu_count() {
+        let run = |ng: usize| -> f64 {
+            let mut mg = MultiGpu::new(ng, DeviceSpec::k40c(), ExecMode::DryRun);
+            let parts: Vec<DMat> =
+                (0..ng).map(|i| mg.gpu(i).resident_shape(64, 2500)).collect();
+            mg.reduce_to_host(Phase::Comms, &parts).unwrap();
+            mg.comms_time()
+        };
+        assert!(run(3) > run(2));
+        assert!(run(2) > run(1));
+    }
+}
+
+#[cfg(test)]
+mod tall_tests {
+    use super::*;
+    use rlra_lapack::householder::orthogonality_error;
+
+    fn pseudo(rows: usize, cols: usize, seed: u64) -> Mat {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        Mat::from_fn(rows, cols, |_, _| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state % 2000) as f64 / 1000.0 - 1.0
+        })
+    }
+
+    #[test]
+    fn distributed_tall_cholqr_orthonormalizes() {
+        let mut mg = MultiGpu::new(3, DeviceSpec::k40c(), ExecMode::Compute);
+        let x = pseudo(45, 6, 1);
+        let mut parts = mg.distribute_rows(&x, false);
+        let r = mg.cholqr_tall_distributed(Phase::Qr, &mut parts, true).unwrap();
+        // Reassemble Q.
+        let q = parts[0]
+            .expect_values()
+            .vcat(parts[1].expect_values())
+            .unwrap()
+            .vcat(parts[2].expect_values())
+            .unwrap();
+        assert!(orthogonality_error(&q) < 1e-12);
+        // Q R = X.
+        let mut rec = Mat::zeros(45, 6);
+        rlra_blas::gemm(1.0, q.as_ref(), Trans::No, r.as_ref(), Trans::No, 0.0, rec.as_mut())
+            .unwrap();
+        assert!(rec.approx_eq(&x, 1e-10));
+    }
+
+    #[test]
+    fn distributed_tall_matches_single_device() {
+        let x = pseudo(30, 4, 2);
+        let (q_ref, _) = rlra_lapack::cholqr2(&x).unwrap();
+        let mut mg = MultiGpu::new(2, DeviceSpec::k40c(), ExecMode::Compute);
+        let mut parts = mg.distribute_rows(&x, false);
+        mg.cholqr_tall_distributed(Phase::Qr, &mut parts, true).unwrap();
+        let q = parts[0].expect_values().vcat(parts[1].expect_values()).unwrap();
+        assert!(q.approx_eq(&q_ref, 1e-10));
+    }
+}

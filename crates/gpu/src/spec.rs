@@ -1,0 +1,137 @@
+//! Simulated device specifications.
+
+/// Hardware constants of a simulated GPU.
+///
+/// The defaults ([`DeviceSpec::k40c`]) model the NVIDIA Tesla K40c used
+/// throughout the paper; every number is either a published device
+/// specification or a rate the paper itself reports.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceSpec {
+    /// Device name (for reports).
+    pub name: &'static str,
+    /// Double-precision compute peak in Gflop/s (paper Fig. 8: 1430).
+    pub peak_dp_gflops: f64,
+    /// Device memory bandwidth in GB/s (paper Fig. 8: 288).
+    pub mem_bandwidth_gbs: f64,
+    /// Effective host↔device PCIe bandwidth in GB/s (PCIe 3.0 x16
+    /// sustains ~10 GB/s in practice).
+    pub pcie_bandwidth_gbs: f64,
+    /// One-way host↔device transfer latency in microseconds.
+    pub pcie_latency_us: f64,
+    /// Kernel launch overhead in microseconds (CUDA launches cost
+    /// ~5–10 µs on Kepler-era systems).
+    pub kernel_launch_us: f64,
+    /// Host synchronization cost in microseconds (a blocking
+    /// `cudaMemcpy`/`cudaDeviceSynchronize` pair, as QP3 pays per pivot).
+    pub sync_us: f64,
+    /// Effective cuFFT throughput in Gflop/s on the `5·n·log₂n` flop
+    /// convention (paper §8: "about 135 Gflop/s in our experiments").
+    pub fft_gflops: f64,
+    /// cuRAND Gaussian generation rate in 10⁹ samples per second
+    /// (XORWOW Box–Muller on Kepler generates a few GSamples/s).
+    pub curand_gsamples: f64,
+    /// Host (CPU) throughput in Gflop/s for the small factorizations the
+    /// paper runs on the CPU (Cholesky of the ℓ×ℓ Gram matrix).
+    pub host_gflops: f64,
+    /// Host memory bandwidth in GB/s (for host-side reductions).
+    pub host_bandwidth_gbs: f64,
+}
+
+impl DeviceSpec {
+    /// The NVIDIA Tesla K40c model used in every experiment of the paper.
+    pub fn k40c() -> Self {
+        DeviceSpec {
+            name: "Tesla K40c (simulated)",
+            peak_dp_gflops: 1430.0,
+            mem_bandwidth_gbs: 288.0,
+            pcie_bandwidth_gbs: 10.0,
+            pcie_latency_us: 10.0,
+            kernel_launch_us: 7.5,
+            sync_us: 30.0,
+            fft_gflops: 135.0,
+            curand_gsamples: 4.0,
+            host_gflops: 20.0,
+            host_bandwidth_gbs: 40.0,
+        }
+    }
+}
+
+impl DeviceSpec {
+    /// A Pascal-generation P100 (2016): compute grows 3.7× over the K40c
+    /// while memory bandwidth grows only 2.5× — the rising
+    /// flops-per-byte ratio the paper's introduction points at.
+    pub fn p100() -> Self {
+        DeviceSpec {
+            name: "Tesla P100 (simulated)",
+            peak_dp_gflops: 5_300.0,
+            mem_bandwidth_gbs: 732.0,
+            pcie_bandwidth_gbs: 12.0,
+            pcie_latency_us: 8.0,
+            kernel_launch_us: 5.0,
+            sync_us: 20.0,
+            fft_gflops: 420.0,
+            curand_gsamples: 12.0,
+            host_gflops: 40.0,
+            host_bandwidth_gbs: 60.0,
+        }
+    }
+
+    /// A Volta-generation V100 (2017): 5.5× the K40c's compute, 3.1× its
+    /// bandwidth.
+    pub fn v100() -> Self {
+        DeviceSpec {
+            name: "Tesla V100 (simulated)",
+            peak_dp_gflops: 7_800.0,
+            mem_bandwidth_gbs: 900.0,
+            pcie_bandwidth_gbs: 14.0,
+            pcie_latency_us: 7.0,
+            kernel_launch_us: 4.0,
+            sync_us: 15.0,
+            fft_gflops: 600.0,
+            curand_gsamples: 20.0,
+            host_gflops: 60.0,
+            host_bandwidth_gbs: 80.0,
+        }
+    }
+
+    /// Compute-to-bandwidth ratio in flops per byte — the hardware trend
+    /// the paper's argument is built on ("communication has become
+    /// significantly more expensive … and is expected to become
+    /// increasingly more so").
+    pub fn flops_per_byte(&self) -> f64 {
+        self.peak_dp_gflops / self.mem_bandwidth_gbs
+    }
+}
+
+impl Default for DeviceSpec {
+    fn default() -> Self {
+        DeviceSpec::k40c()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn k40c_matches_paper_constants() {
+        let s = DeviceSpec::k40c();
+        assert_eq!(s.peak_dp_gflops, 1430.0);
+        assert_eq!(s.mem_bandwidth_gbs, 288.0);
+        assert_eq!(s.fft_gflops, 135.0);
+    }
+
+    #[test]
+    fn default_is_k40c() {
+        assert_eq!(DeviceSpec::default(), DeviceSpec::k40c());
+    }
+
+    #[test]
+    fn flops_per_byte_grows_across_generations() {
+        let k40 = DeviceSpec::k40c().flops_per_byte();
+        let p100 = DeviceSpec::p100().flops_per_byte();
+        let v100 = DeviceSpec::v100().flops_per_byte();
+        assert!(p100 > k40, "P100 {p100:.1} > K40c {k40:.1}");
+        assert!(v100 > p100, "V100 {v100:.1} > P100 {p100:.1}");
+    }
+}

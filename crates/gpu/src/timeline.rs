@@ -1,0 +1,189 @@
+//! Per-phase time accounting.
+//!
+//! The paper's stacked-bar figures (11–15) break the run time into PRNG,
+//! Sampling, GEMM (iter), Orth (iter), QRCP, QR and (multi-GPU) Comms.
+//! [`Timeline`] accumulates simulated seconds per phase so the benchmark
+//! harness can print the same rows.
+
+use std::fmt;
+
+/// Execution phase, matching the legend of the paper's Figures 11–15.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// Generation of the Gaussian sampling matrix Ω (cuRAND).
+    Prng,
+    /// The initial sampling multiply `B = ΩA` (or the FFT transform).
+    Sampling,
+    /// Matrix-matrix multiplies inside the power iteration.
+    GemmIter,
+    /// Orthogonalization inside the power iteration.
+    OrthIter,
+    /// QRCP of the sampled matrix (Step 2).
+    Qrcp,
+    /// Tall-skinny QR of `A·P₁:ₖ` (Step 3) and the triangular finish.
+    Qr,
+    /// Inter-GPU / host communication.
+    Comms,
+    /// Everything else (allocation bookkeeping, small host work).
+    Other,
+}
+
+impl Phase {
+    /// All phases in display order.
+    pub const ALL: [Phase; 8] = [
+        Phase::Prng,
+        Phase::Sampling,
+        Phase::GemmIter,
+        Phase::OrthIter,
+        Phase::Qrcp,
+        Phase::Qr,
+        Phase::Comms,
+        Phase::Other,
+    ];
+
+    /// Stable index used for the accumulator array.
+    fn index(self) -> usize {
+        match self {
+            Phase::Prng => 0,
+            Phase::Sampling => 1,
+            Phase::GemmIter => 2,
+            Phase::OrthIter => 3,
+            Phase::Qrcp => 4,
+            Phase::Qr => 5,
+            Phase::Comms => 6,
+            Phase::Other => 7,
+        }
+    }
+
+    /// Display label (matches the paper's legends).
+    pub fn label(self) -> &'static str {
+        match self {
+            Phase::Prng => "PRNG",
+            Phase::Sampling => "Sampling",
+            Phase::GemmIter => "GEMM (Iter)",
+            Phase::OrthIter => "Orth (Iter)",
+            Phase::Qrcp => "QRCP",
+            Phase::Qr => "QR",
+            Phase::Comms => "Comms",
+            Phase::Other => "Other",
+        }
+    }
+}
+
+/// Accumulated simulated seconds per phase.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Timeline {
+    seconds: [f64; 8],
+}
+
+impl Timeline {
+    /// A fresh (all-zero) timeline.
+    pub fn new() -> Self {
+        Timeline::default()
+    }
+
+    /// Adds `secs` to `phase`.
+    pub fn add(&mut self, phase: Phase, secs: f64) {
+        debug_assert!(secs >= 0.0, "negative time charged");
+        self.seconds[phase.index()] += secs;
+    }
+
+    /// Time accumulated in one phase.
+    pub fn get(&self, phase: Phase) -> f64 {
+        self.seconds[phase.index()]
+    }
+
+    /// Total over all phases.
+    pub fn total(&self) -> f64 {
+        self.seconds.iter().sum()
+    }
+
+    /// Merges another timeline into this one (summing phases).
+    pub fn merge(&mut self, other: &Timeline) {
+        for (a, b) in self.seconds.iter_mut().zip(&other.seconds) {
+            *a += b;
+        }
+    }
+
+    /// Element-wise maximum — the shape of a barrier across devices whose
+    /// phases proceed in lockstep.
+    pub fn max_with(&mut self, other: &Timeline) {
+        for (a, b) in self.seconds.iter_mut().zip(&other.seconds) {
+            *a = a.max(*b);
+        }
+    }
+
+    /// Per-phase breakdown as `(label, seconds)` pairs, skipping empty
+    /// phases.
+    pub fn breakdown(&self) -> Vec<(&'static str, f64)> {
+        Phase::ALL
+            .iter()
+            .filter(|p| self.get(**p) > 0.0)
+            .map(|p| (p.label(), self.get(*p)))
+            .collect()
+    }
+}
+
+impl fmt::Display for Timeline {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (label, secs) in self.breakdown() {
+            writeln!(f, "{label:>12}: {secs:.6} s")?;
+        }
+        write!(f, "{:>12}: {:.6} s", "Total", self.total())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_total() {
+        let mut t = Timeline::new();
+        t.add(Phase::Sampling, 0.25);
+        t.add(Phase::Qrcp, 0.5);
+        t.add(Phase::Sampling, 0.25);
+        assert_eq!(t.get(Phase::Sampling), 0.5);
+        assert_eq!(t.total(), 1.0);
+    }
+
+    #[test]
+    fn merge_sums() {
+        let mut a = Timeline::new();
+        a.add(Phase::Qr, 1.0);
+        let mut b = Timeline::new();
+        b.add(Phase::Qr, 2.0);
+        b.add(Phase::Comms, 0.5);
+        a.merge(&b);
+        assert_eq!(a.get(Phase::Qr), 3.0);
+        assert_eq!(a.get(Phase::Comms), 0.5);
+    }
+
+    #[test]
+    fn max_with_takes_elementwise_max() {
+        let mut a = Timeline::new();
+        a.add(Phase::GemmIter, 1.0);
+        a.add(Phase::Comms, 0.1);
+        let mut b = Timeline::new();
+        b.add(Phase::GemmIter, 0.5);
+        b.add(Phase::Comms, 0.3);
+        a.max_with(&b);
+        assert_eq!(a.get(Phase::GemmIter), 1.0);
+        assert_eq!(a.get(Phase::Comms), 0.3);
+    }
+
+    #[test]
+    fn breakdown_skips_empty() {
+        let mut t = Timeline::new();
+        t.add(Phase::Prng, 0.01);
+        let b = t.breakdown();
+        assert_eq!(b.len(), 1);
+        assert_eq!(b[0].0, "PRNG");
+    }
+
+    #[test]
+    fn labels_match_paper_legend() {
+        assert_eq!(Phase::GemmIter.label(), "GEMM (Iter)");
+        assert_eq!(Phase::OrthIter.label(), "Orth (Iter)");
+    }
+}

@@ -1,0 +1,184 @@
+//! Property-based tests of the simulated-GPU cost model and execution
+//! semantics: costs must be deterministic, mode-independent, additive,
+//! and monotone in every problem dimension.
+
+use proptest::prelude::*;
+use rlra_blas::Trans;
+use rlra_gpu::algos::{gpu_cholqr, gpu_hhqr, gpu_qp3_truncated};
+use rlra_gpu::cost::CostModel;
+use rlra_gpu::{DeviceSpec, ExecMode, Gpu, MultiGpu, Phase};
+use rlra_matrix::Mat;
+
+fn model() -> CostModel {
+    CostModel::new(DeviceSpec::k40c())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn gemm_cost_monotone_in_every_dim(
+        m in 32usize..20_000,
+        n in 32usize..5_000,
+        k in 32usize..20_000,
+    ) {
+        // Below ~16 the occupancy curve rises faster than the flop count
+        // (a bigger kernel can genuinely be faster on a GPU), so the
+        // monotonicity property is asserted on realistic sizes with a
+        // hair of slack for the interpolation knees.
+        let c = model();
+        let t = c.gemm(m, n, k);
+        prop_assert!(t > 0.0 && t.is_finite());
+        prop_assert!(c.gemm(m * 2, n, k) >= t * 0.999);
+        prop_assert!(c.gemm(m, n * 2, k) >= t * 0.999);
+        prop_assert!(c.gemm(m, n, k * 2) >= t * 0.999);
+    }
+
+    #[test]
+    fn gemm_never_beats_compute_peak(
+        m in 1usize..10_000,
+        n in 1usize..10_000,
+        k in 1usize..10_000,
+    ) {
+        let c = model();
+        let t = c.gemm(m, n, k);
+        let flops = 2.0 * m as f64 * n as f64 * k as f64;
+        prop_assert!(flops / t / 1e9 <= DeviceSpec::k40c().peak_dp_gflops * (1.0 + 1e-9));
+    }
+
+    #[test]
+    fn gemv_slower_per_flop_than_big_gemm(
+        m in 256usize..20_000,
+        n in 256usize..5_000,
+    ) {
+        let c = model();
+        let gemv_rate = 2.0 * m as f64 * n as f64 / c.gemv(m, n);
+        let gemm_rate = 2.0 * 256.0 * m as f64 * n as f64 / c.gemm(256, n, m);
+        prop_assert!(gemm_rate > gemv_rate, "gemm {} <= gemv {}", gemm_rate, gemv_rate);
+    }
+
+    #[test]
+    fn charges_are_additive(
+        secs in proptest::collection::vec(1e-9f64..1e-2, 1..20),
+    ) {
+        let mut gpu = Gpu::k40c_dry();
+        let mut total = 0.0;
+        for (i, &s) in secs.iter().enumerate() {
+            let phase = Phase::ALL[i % Phase::ALL.len()];
+            gpu.charge(phase, s);
+            total += s;
+        }
+        prop_assert!((gpu.clock() - total).abs() < 1e-12);
+        prop_assert!((gpu.timeline().total() - total).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dry_run_and_compute_charge_identically_for_gemm(
+        m in 1usize..50,
+        n in 1usize..50,
+        k in 1usize..50,
+        seed in 0u64..500,
+    ) {
+        let a_host = Mat::from_fn(m, k, |i, j| ((i * 31 + j * 7 + seed as usize) % 17) as f64 - 8.0);
+        let b_host = Mat::from_fn(k, n, |i, j| ((i * 13 + j * 11 + seed as usize) % 19) as f64 - 9.0);
+        let run = |mode: ExecMode| -> f64 {
+            let mut gpu = Gpu::new(DeviceSpec::k40c(), mode);
+            let (a, b) = match mode {
+                ExecMode::Compute => (gpu.resident(&a_host), gpu.resident(&b_host)),
+                ExecMode::DryRun => (gpu.resident_shape(m, k), gpu.resident_shape(k, n)),
+            };
+            let mut c = gpu.alloc(m, n);
+            gpu.gemm(Phase::Other, 1.0, &a, Trans::No, &b, Trans::No, 0.0, &mut c).unwrap();
+            gpu.clock()
+        };
+        prop_assert_eq!(run(ExecMode::Compute), run(ExecMode::DryRun));
+    }
+
+    #[test]
+    fn algo_costs_scale_up_with_m(
+        m in 2_000usize..30_000,
+        n in 8usize..64,
+    ) {
+        let time_cholqr = |mm: usize| {
+            let mut g = Gpu::k40c_dry();
+            let a = g.resident_shape(mm, n);
+            gpu_cholqr(&mut g, Phase::Other, &a, true).unwrap();
+            g.clock()
+        };
+        let time_hhqr = |mm: usize| {
+            let mut g = Gpu::k40c_dry();
+            let a = g.resident_shape(mm, n);
+            gpu_hhqr(&mut g, Phase::Other, &a).unwrap();
+            g.clock()
+        };
+        prop_assert!(time_cholqr(2 * m) > time_cholqr(m));
+        prop_assert!(time_hhqr(2 * m) > time_hhqr(m));
+        // HHQR always slower than CholQR for tall-skinny shapes.
+        prop_assert!(time_hhqr(m) > time_cholqr(m));
+    }
+
+    #[test]
+    fn qp3_syncs_grow_linearly_with_k(
+        m in 500usize..5_000,
+        k1 in 4usize..32,
+    ) {
+        let k2 = k1 * 2;
+        let n = 2 * k2 + 10;
+        let syncs = |k: usize| {
+            let mut g = Gpu::k40c_dry();
+            let a = g.resident_shape(m, n);
+            gpu_qp3_truncated(&mut g, Phase::Other, &a, k).unwrap();
+            g.syncs
+        };
+        let s1 = syncs(k1);
+        let s2 = syncs(k2);
+        prop_assert!(s2 >= 2 * s1 - 4, "syncs must grow ~linearly: {} vs {}", s1, s2);
+    }
+
+    #[test]
+    fn multigpu_reduce_is_exact_sum(
+        ng in 1usize..5,
+        r in 1usize..10,
+        c in 1usize..10,
+        seed in 0u64..500,
+    ) {
+        let mut mg = MultiGpu::new(ng, DeviceSpec::k40c(), ExecMode::Compute);
+        let parts: Vec<_> = (0..ng)
+            .map(|i| {
+                let m = Mat::from_fn(r, c, |x, y| ((x * 3 + y * 5 + i + seed as usize) % 7) as f64);
+                mg.gpu(i).resident(&m)
+            })
+            .collect();
+        let expect = {
+            let mut acc = Mat::zeros(r, c);
+            for p in &parts {
+                rlra_matrix::ops::axpy_mat(1.0, p.values().unwrap(), &mut acc).unwrap();
+            }
+            acc
+        };
+        let got = mg.reduce_to_host(Phase::Comms, &parts).unwrap();
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn more_gpus_never_slower_for_big_gemm_work(
+        ng1 in 1usize..3,
+        m in 50_000usize..150_000,
+    ) {
+        let ng2 = ng1 + 1;
+        let time = |ng: usize| {
+            let mut mg = MultiGpu::new(ng, DeviceSpec::k40c(), ExecMode::DryRun);
+            let parts = mg.distribute_rows_shape(m, 1_000);
+            for (i, p) in parts.iter().enumerate() {
+                let gpu = mg.gpu_mut(i);
+                let omega = gpu.resident_shape(64, p.rows());
+                let mut b = gpu.alloc(64, 1_000);
+                gpu.gemm(Phase::Sampling, 1.0, &omega, Trans::No, p, Trans::No, 0.0, &mut b)
+                    .unwrap();
+            }
+            mg.barrier();
+            mg.time()
+        };
+        prop_assert!(time(ng2) <= time(ng1) * 1.001);
+    }
+}

@@ -1,0 +1,232 @@
+//! Communication-avoiding rank-revealing QRCP via **tournament
+//! pivoting** (Demmel–Grigori–Gu–Xiang, the paper's reference \[4\] and a
+//! planned comparison in its §11).
+//!
+//! Standard QP3 synchronizes on every pivot. Tournament pivoting instead
+//! selects all `k` pivots with a single reduction tree:
+//!
+//! 1. partition the columns into blocks of `2k`,
+//! 2. run a local truncated QRCP in each block and keep its `k` winners,
+//! 3. pair up winners and repeat until one block remains — its QRCP
+//!    ranking is the global pivot set,
+//! 4. QR-factor the `k` selected columns and form `R = Qᵀ·A·P`.
+//!
+//! The pivots are not identical to QP3's, but the rank-revealing quality
+//! loss is bounded (a factor that grows mildly with the tree depth), and
+//! the entire selection costs one pass over `A` plus `O(log(n/k))` small
+//! factorizations — no per-column synchronization.
+
+use crate::householder::form_q;
+use crate::qrcp::qrcp_column;
+use rlra_blas::{gemm, Trans};
+use rlra_matrix::{ColPerm, Mat, MatrixError, Result};
+
+/// Result of a tournament-pivoted rank-`k` factorization `A·P ≈ Q·R`.
+#[derive(Debug, Clone)]
+pub struct CaQrcp {
+    /// Orthonormal factor (`m × k`).
+    pub q: Mat,
+    /// Upper-trapezoidal factor (`k × n`), columns in pivot order.
+    pub r: Mat,
+    /// Column permutation (selected pivots first, in tournament order).
+    pub perm: ColPerm,
+    /// Number of tournament rounds (tree depth).
+    pub rounds: usize,
+}
+
+/// Selects `k` pivot columns of `a` by tournament pivoting and returns
+/// the rank-`k` factorization.
+///
+/// # Errors
+///
+/// Returns [`MatrixError::InvalidParameter`] if `k == 0` or
+/// `k > min(m, n)`.
+pub fn tournament_qrcp(a: &Mat, k: usize) -> Result<CaQrcp> {
+    let (m, n) = a.shape();
+    if k == 0 || k > m.min(n) {
+        return Err(MatrixError::InvalidParameter {
+            name: "k",
+            message: format!("k = {k} must be in 1..=min(m, n) = {}", m.min(n)),
+        });
+    }
+    // --- Tournament: candidate column indices, reduced in rounds ----------
+    let mut candidates: Vec<usize> = (0..n).collect();
+    let mut rounds = 0usize;
+    while candidates.len() > 2 * k {
+        let mut winners = Vec::with_capacity(candidates.len() / 2 + k);
+        for chunk in candidates.chunks(2 * k) {
+            if chunk.len() <= k {
+                winners.extend_from_slice(chunk);
+                continue;
+            }
+            let block = gather_cols(a, chunk);
+            let kk = k.min(block.rows()).min(block.cols());
+            let res = qrcp_column(&block, kk)?;
+            for &local in &res.perm.as_slice()[..kk] {
+                winners.push(chunk[local]);
+            }
+        }
+        candidates = winners;
+        rounds += 1;
+    }
+    // Final ranking of the surviving candidates.
+    let block = gather_cols(a, &candidates);
+    let kk = k.min(block.cols());
+    let final_res = qrcp_column(&block, kk)?;
+    let selected: Vec<usize> =
+        final_res.perm.as_slice()[..kk].iter().map(|&local| candidates[local]).collect();
+
+    // --- Build the permutation: selected first, the rest in order ---------
+    let mut in_selected = vec![false; n];
+    for &j in &selected {
+        in_selected[j] = true;
+    }
+    let mut perm_vec = selected.clone();
+    perm_vec.extend((0..n).filter(|&j| !in_selected[j]));
+    let perm = ColPerm::from_vec(perm_vec)?;
+
+    // --- Factor: Q from the selected columns, R = Qᵀ·A·P -------------------
+    let ap1k = gather_cols(a, &selected);
+    let q = match crate::cholqr::cholqr2(&ap1k) {
+        Ok((q, _)) => q,
+        Err(_) => form_q(&ap1k),
+    };
+    let ap = perm.apply_cols(a)?;
+    let mut r = Mat::zeros(k, n);
+    gemm(1.0, q.as_ref(), Trans::Yes, ap.as_ref(), Trans::No, 0.0, r.as_mut())?;
+    Ok(CaQrcp { q, r, perm, rounds })
+}
+
+impl CaQrcp {
+    /// Spectral-norm error `‖A·P − Q·R‖₂`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape errors.
+    pub fn error_spectral(&self, a: &Mat) -> Result<f64> {
+        let ap = self.perm.apply_cols(a)?;
+        let mut rec = Mat::zeros(ap.rows(), ap.cols());
+        gemm(1.0, self.q.as_ref(), Trans::No, self.r.as_ref(), Trans::No, 0.0, rec.as_mut())?;
+        let diff = rlra_matrix::ops::sub(&ap, &rec)?;
+        Ok(rlra_matrix::norms::spectral_norm(diff.as_ref()))
+    }
+}
+
+/// Gathers the listed columns of `a` into a fresh matrix.
+fn gather_cols(a: &Mat, cols: &[usize]) -> Mat {
+    let mut out = Mat::zeros(a.rows(), cols.len());
+    for (dst, &src) in cols.iter().enumerate() {
+        out.col_mut(dst).copy_from_slice(a.col(src));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::householder::orthogonality_error;
+    use crate::qrcp::qp3_blocked;
+    use rlra_matrix::norms::spectral_norm_mat;
+    use rlra_matrix::ops::sub;
+
+    fn pseudo(rows: usize, cols: usize, seed: u64) -> Mat {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        Mat::from_fn(rows, cols, |_, _| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state % 2000) as f64 / 1000.0 - 1.0
+        })
+    }
+
+    fn decaying(m: usize, n: usize, decay: f64, seed: u64) -> (Mat, Vec<f64>) {
+        let spec: Vec<f64> = (0..n.min(m)).map(|i| decay.powi(i as i32)).collect();
+        let x = crate::householder::form_q(&pseudo(m, spec.len(), seed));
+        let y = crate::householder::form_q(&pseudo(n, spec.len(), seed + 1));
+        let xs = Mat::from_fn(m, spec.len(), |i, j| x[(i, j)] * spec[j]);
+        let mut a = Mat::zeros(m, n);
+        gemm(1.0, xs.as_ref(), Trans::No, y.as_ref(), Trans::Yes, 0.0, a.as_mut()).unwrap();
+        (a, spec)
+    }
+
+    #[test]
+    fn factors_well_formed() {
+        let (a, _) = decaying(40, 30, 0.7, 1);
+        let res = tournament_qrcp(&a, 6).unwrap();
+        assert_eq!(res.q.shape(), (40, 6));
+        assert_eq!(res.r.shape(), (6, 30));
+        assert!(orthogonality_error(&res.q) < 1e-11);
+        // Permutation valid with 30 entries.
+        assert_eq!(res.perm.len(), 30);
+    }
+
+    #[test]
+    fn single_block_matches_qrcp_pivots() {
+        // n <= 2k: no tournament rounds, the final QRCP decides alone.
+        let (a, _) = decaying(30, 10, 0.5, 2);
+        let k = 5;
+        let tp = tournament_qrcp(&a, k).unwrap();
+        assert_eq!(tp.rounds, 0);
+        let qp3 = qp3_blocked(&a, k, 4).unwrap();
+        assert_eq!(&tp.perm.as_slice()[..k], &qp3.perm.as_slice()[..k]);
+    }
+
+    #[test]
+    fn error_competitive_with_qp3() {
+        // Tournament pivots differ from QP3's, but the rank-k error must
+        // stay within a small factor on a decaying spectrum.
+        let (a, spec) = decaying(60, 48, 0.6, 3);
+        let k = 8;
+        let tp = tournament_qrcp(&a, k).unwrap();
+        assert!(tp.rounds >= 1, "48 columns with k = 8 must take rounds");
+        let e_tp = tp.error_spectral(&a).unwrap();
+        let qp3 = qp3_blocked(&a, k, 4).unwrap();
+        let ap = qp3.perm.apply_cols(&a).unwrap();
+        let e_qp3 = spectral_norm_mat(&sub(&ap, &qp3.reconstruct()).unwrap());
+        assert!(
+            e_tp < 5.0 * e_qp3 + 1e-14,
+            "tournament {e_tp:e} vs QP3 {e_qp3:e}"
+        );
+        assert!(e_tp < 20.0 * spec[k]);
+    }
+
+    #[test]
+    fn exact_low_rank_recovered() {
+        let x = pseudo(50, 3, 4);
+        let y = pseudo(3, 40, 5);
+        let mut a = Mat::zeros(50, 40);
+        gemm(1.0, x.as_ref(), Trans::No, y.as_ref(), Trans::No, 0.0, a.as_mut()).unwrap();
+        let res = tournament_qrcp(&a, 3).unwrap();
+        let err = res.error_spectral(&a).unwrap();
+        assert!(err < 1e-10 * spectral_norm_mat(&a), "rank-3 must be exact: {err:e}");
+    }
+
+    #[test]
+    fn dominant_column_always_selected() {
+        let mut a = pseudo(20, 33, 6);
+        for x in a.col_mut(17) {
+            *x *= 1000.0;
+        }
+        let res = tournament_qrcp(&a, 4).unwrap();
+        assert!(
+            res.perm.as_slice()[..4].contains(&17),
+            "column 17 must win the tournament: {:?}",
+            &res.perm.as_slice()[..4]
+        );
+    }
+
+    #[test]
+    fn many_rounds_deep_tree() {
+        let (a, _) = decaying(30, 200, 0.8, 7);
+        let res = tournament_qrcp(&a, 4).unwrap();
+        assert!(res.rounds >= 3, "200 cols / 8 per block needs a deep tree, got {}", res.rounds);
+        assert!(orthogonality_error(&res.q) < 1e-11);
+    }
+
+    #[test]
+    fn invalid_k_rejected() {
+        let a = Mat::zeros(5, 5);
+        assert!(tournament_qrcp(&a, 0).is_err());
+        assert!(tournament_qrcp(&a, 6).is_err());
+    }
+}

@@ -1,0 +1,129 @@
+//! Cholesky factorization (LAPACK `potrf`), upper-triangular variant used
+//! by CholQR.
+
+use rlra_matrix::{Mat, MatrixError, Result};
+
+/// Computes the upper-triangular Cholesky factor `R` of a symmetric
+/// positive-definite matrix `G`, such that `RᵀR = G`. Only the upper
+/// triangle of `G` is read.
+///
+/// # Errors
+///
+/// Returns [`MatrixError::NotPositiveDefinite`] if a pivot is
+/// non-positive, which is how CholQR detects breakdown on numerically
+/// rank-deficient Gram matrices.
+pub fn cholesky_upper(g: &Mat) -> Result<Mat> {
+    let n = g.rows();
+    if g.cols() != n {
+        return Err(MatrixError::DimensionMismatch {
+            op: "cholesky_upper",
+            expected: "square matrix".into(),
+            found: format!("{}x{}", n, g.cols()),
+        });
+    }
+    let mut r = Mat::zeros(n, n);
+    for j in 0..n {
+        // r[i, j] for i < j: (g[i, j] - sum_{k<i} r[k,i] r[k,j]) / r[i,i]
+        for i in 0..j {
+            let mut s = g[(i, j)];
+            for k in 0..i {
+                s -= r[(k, i)] * r[(k, j)];
+            }
+            r[(i, j)] = s / r[(i, i)];
+        }
+        let mut d = g[(j, j)];
+        for k in 0..j {
+            d -= r[(k, j)] * r[(k, j)];
+        }
+        if d <= 0.0 || !d.is_finite() {
+            return Err(MatrixError::NotPositiveDefinite { pivot: j, value: d });
+        }
+        r[(j, j)] = d.sqrt();
+    }
+    Ok(r)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rlra_blas::naive::gemm_ref;
+    use rlra_blas::Trans;
+    use rlra_matrix::ops::max_abs_diff;
+
+    fn spd(n: usize, seed: u64) -> Mat {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        let b = Mat::from_fn(n, n + 2, |_, _| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state % 1000) as f64 / 500.0 - 1.0
+        });
+        // B B^T + n I is comfortably SPD.
+        let mut g = gemm_ref(&b, Trans::No, &b, Trans::Yes);
+        for i in 0..n {
+            g[(i, i)] += n as f64;
+        }
+        g
+    }
+
+    #[test]
+    fn reconstructs_spd_matrix() {
+        let g = spd(12, 1);
+        let r = cholesky_upper(&g).unwrap();
+        let rtr = gemm_ref(&r, Trans::Yes, &r, Trans::No);
+        let d = max_abs_diff(&rtr, &g).unwrap();
+        assert!(d < 1e-10, "R^T R != G: {d}");
+    }
+
+    #[test]
+    fn factor_is_upper_triangular_with_positive_diag() {
+        let g = spd(8, 2);
+        let r = cholesky_upper(&g).unwrap();
+        for j in 0..8 {
+            assert!(r[(j, j)] > 0.0);
+            for i in j + 1..8 {
+                assert_eq!(r[(i, j)], 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn identity_factors_to_identity() {
+        let r = cholesky_upper(&Mat::identity(5)).unwrap();
+        assert!(max_abs_diff(&r, &Mat::identity(5)).unwrap() < 1e-15);
+    }
+
+    #[test]
+    fn rejects_indefinite() {
+        let mut g = Mat::identity(3);
+        g[(2, 2)] = -1.0;
+        let e = cholesky_upper(&g);
+        assert!(matches!(e, Err(MatrixError::NotPositiveDefinite { pivot: 2, .. })));
+    }
+
+    #[test]
+    fn rejects_semidefinite() {
+        // Rank-1 Gram matrix of order 2.
+        let g = Mat::from_row_major(2, 2, &[1.0, 1.0, 1.0, 1.0]).unwrap();
+        assert!(cholesky_upper(&g).is_err());
+    }
+
+    #[test]
+    fn rejects_non_square() {
+        assert!(cholesky_upper(&Mat::zeros(2, 3)).is_err());
+    }
+
+    #[test]
+    fn only_upper_triangle_is_read() {
+        let mut g = spd(6, 3);
+        let r1 = cholesky_upper(&g).unwrap();
+        // Poison the strictly lower triangle.
+        for j in 0..6 {
+            for i in j + 1..6 {
+                g[(i, j)] = f64::NAN;
+            }
+        }
+        let r2 = cholesky_upper(&g).unwrap();
+        assert!(max_abs_diff(&r1, &r2).unwrap() == 0.0);
+    }
+}

@@ -1,0 +1,215 @@
+//! Mixed-precision CholQR (the paper's reference \[23\], listed in §11 as
+//! a stabilization direction under study).
+//!
+//! Plain CholQR forms `G = BᵀB`, which squares the condition number: for
+//! `κ(B) ≳ 10⁸` the Gram matrix is numerically indefinite in f64 and the
+//! Cholesky factorization breaks down. Accumulating `G` **and** running
+//! the Cholesky in doubled precision ([`crate::dd`]) defers the squaring
+//! to ~10¹⁶, restoring `O(ε·κ(B))` orthogonality — one pass of
+//! mixed-precision CholQR is as robust as two passes of the plain
+//! algorithm, for ~2× the Gram-stage flops.
+
+use crate::dd::{dd_dot, Dd};
+use rlra_blas::{trsm, Diag, Side, Trans, UpLo};
+use rlra_matrix::{Mat, MatrixError, Result};
+
+/// Doubled-precision Cholesky of a double-double matrix stored row-major
+/// in `g` (`n × n`, upper triangle referenced). Returns the f64-rounded
+/// upper-triangular factor.
+fn cholesky_upper_dd(g: &[Dd], n: usize) -> Result<Mat> {
+    let at = |i: usize, j: usize| g[i * n + j];
+    let mut r = vec![Dd::ZERO; n * n];
+    let rd = |r: &[Dd], i: usize, j: usize| r[i * n + j];
+    for j in 0..n {
+        for i in 0..j {
+            let mut s = at(i, j);
+            for k in 0..i {
+                s = s.sub(rd(&r, k, i).mul(rd(&r, k, j)));
+            }
+            let v = s.div(rd(&r, i, i));
+            r[i * n + j] = v;
+        }
+        let mut d = at(j, j);
+        for k in 0..j {
+            let rkj = rd(&r, k, j);
+            d = d.sub(rkj.mul(rkj));
+        }
+        // Relative breakdown check: doubled-precision roundoff leaves
+        // O(2^-104) noise where exact arithmetic would give zero, so an
+        // exactly dependent column shows up as a pivot at the dd noise
+        // floor rather than a clean non-positive value.
+        let dd_noise = 16.0 * n as f64 * 2f64.powi(-104) * at(j, j).hi.abs();
+        if d.hi <= dd_noise || !d.hi.is_finite() {
+            return Err(MatrixError::NotPositiveDefinite { pivot: j, value: d.hi });
+        }
+        r[j * n + j] = d.sqrt();
+    }
+    Ok(Mat::from_fn(n, n, |i, j| if i <= j { r[i * n + j].to_f64() } else { 0.0 }))
+}
+
+/// Mixed-precision CholQR of a tall-skinny `B` (`m × n`, `m ≥ n`):
+/// the Gram matrix and its Cholesky run in doubled precision, the
+/// triangular solve in f64. Returns `(Q, R)` with `Q·R = B`.
+///
+/// # Errors
+///
+/// Returns [`MatrixError::DimensionMismatch`] for wide inputs and
+/// [`MatrixError::NotPositiveDefinite`] when even doubled precision
+/// cannot see a positive-definite Gram matrix (κ(B) ≳ 10¹⁶).
+pub fn cholqr_mixed(b: &Mat) -> Result<(Mat, Mat)> {
+    let (m, n) = b.shape();
+    if m < n {
+        return Err(MatrixError::DimensionMismatch {
+            op: "cholqr_mixed",
+            expected: "m >= n (tall-skinny)".into(),
+            found: format!("{m}x{n}"),
+        });
+    }
+    // Doubled-precision Gram matrix (upper triangle + mirror).
+    let mut g = vec![Dd::ZERO; n * n];
+    for j in 0..n {
+        for i in 0..=j {
+            let v = dd_dot(b.col(i), b.col(j));
+            g[i * n + j] = v;
+            g[j * n + i] = v;
+        }
+    }
+    let r = cholesky_upper_dd(&g, n)?;
+    let mut q = b.clone();
+    trsm(Side::Right, UpLo::Upper, Trans::No, Diag::NonUnit, 1.0, r.as_ref(), q.as_mut())?;
+    Ok((q, r))
+}
+
+/// Mixed-precision CholQR of a short-wide `B` (`ℓ × n`, `ℓ ≤ n`): the LQ
+/// adaptation used for the sampled matrices. Returns `(Q, R)` with
+/// `RᵀQ = B` and orthonormal rows in `Q`.
+///
+/// # Errors
+///
+/// As for [`cholqr_mixed`].
+pub fn cholqr_rows_mixed(b: &Mat) -> Result<(Mat, Mat)> {
+    let (l, n) = b.shape();
+    if l > n {
+        return Err(MatrixError::DimensionMismatch {
+            op: "cholqr_rows_mixed",
+            expected: "l <= n (short-wide)".into(),
+            found: format!("{l}x{n}"),
+        });
+    }
+    // Row Gram matrix in doubled precision. Rows are strided; gather once.
+    let rows: Vec<Vec<f64>> =
+        (0..l).map(|i| (0..n).map(|j| b[(i, j)]).collect()).collect();
+    let mut g = vec![Dd::ZERO; l * l];
+    for j in 0..l {
+        for i in 0..=j {
+            let v = dd_dot(&rows[i], &rows[j]);
+            g[i * l + j] = v;
+            g[j * l + i] = v;
+        }
+    }
+    let r = cholesky_upper_dd(&g, l)?;
+    let mut q = b.clone();
+    trsm(Side::Left, UpLo::Upper, Trans::Yes, Diag::NonUnit, 1.0, r.as_ref(), q.as_mut())?;
+    Ok((q, r))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::householder::{form_q, orthogonality_error};
+    use rlra_blas::naive::gemm_ref;
+    use rlra_matrix::ops::max_abs_diff;
+
+    fn pseudo(rows: usize, cols: usize, seed: u64) -> Mat {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        Mat::from_fn(rows, cols, |_, _| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state % 2000) as f64 / 1000.0 - 1.0
+        })
+    }
+
+    /// A = Q0 diag(1, 10^-g, 10^-2g, ...) V^T — mixed directions so the
+    /// conditioning is invisible to column scaling.
+    fn graded(m: usize, n: usize, decade_step: i32, seed: u64) -> Mat {
+        let q0 = form_q(&pseudo(m, n, seed));
+        let v = form_q(&pseudo(n, n, seed + 1));
+        let scaled = Mat::from_fn(m, n, |i, j| q0[(i, j)] * 10f64.powi(-decade_step * j as i32));
+        let mut a = Mat::zeros(m, n);
+        rlra_blas::gemm(1.0, scaled.as_ref(), Trans::No, v.as_ref(), Trans::Yes, 0.0, a.as_mut())
+            .unwrap();
+        a
+    }
+
+    #[test]
+    fn well_conditioned_matches_plain_cholqr() {
+        let b = pseudo(50, 8, 1);
+        let (qm, rm) = cholqr_mixed(&b).unwrap();
+        let (qp, rp) = crate::cholqr::cholqr(&b).unwrap();
+        assert!(max_abs_diff(&rm, &rp).unwrap() < 1e-12);
+        assert!(max_abs_diff(&qm, &qp).unwrap() < 1e-12);
+    }
+
+    #[test]
+    fn survives_where_plain_cholqr_breaks() {
+        // kappa ~ 1e10: Gram kappa ~ 1e20 in f64 -> breakdown; the
+        // doubled-precision Gram still sees it positive definite.
+        let a = graded(60, 6, 2, 2);
+        let plain_fails = crate::cholqr::cholqr(&a).is_err();
+        let plain_bad = plain_fails || {
+            let (q, _) = crate::cholqr::cholqr(&a).unwrap();
+            orthogonality_error(&q) > 1e-6
+        };
+        assert!(plain_bad, "plain CholQR should be in trouble at kappa 1e10");
+        let (q, r) = cholqr_mixed(&a).unwrap();
+        // O(eps * kappa) orthogonality: comfortably below 1e-4.
+        assert!(orthogonality_error(&q) < 1e-4, "mixed orth {}", orthogonality_error(&q));
+        let rec = gemm_ref(&q, Trans::No, &r, Trans::No);
+        assert!(max_abs_diff(&rec, &a).unwrap() < 1e-10);
+    }
+
+    #[test]
+    fn one_reorth_pass_reaches_machine_precision() {
+        let a = graded(60, 6, 2, 3);
+        let (q1, _) = cholqr_mixed(&a).unwrap();
+        let (q2, _) = cholqr_mixed(&q1).unwrap();
+        assert!(orthogonality_error(&q2) < 1e-13);
+    }
+
+    #[test]
+    fn rows_variant_orthonormalizes_rows() {
+        let b = pseudo(5, 40, 4);
+        let (q, r) = cholqr_rows_mixed(&b).unwrap();
+        assert!(orthogonality_error(&q.transpose()) < 1e-12);
+        let rec = gemm_ref(&r, Trans::Yes, &q, Trans::No);
+        assert!(max_abs_diff(&rec, &b).unwrap() < 1e-11);
+    }
+
+    #[test]
+    fn rows_variant_survives_graded_rows() {
+        let a = graded(40, 5, 2, 5).transpose(); // 5 x 40 with kappa 1e8
+        let plain_bad = match crate::cholqr::cholqr_rows(&a) {
+            Err(_) => true,
+            Ok((q, _)) => orthogonality_error(&q.transpose()) > 1e-6,
+        };
+        assert!(plain_bad);
+        let (q, _) = cholqr_rows_mixed(&a).unwrap();
+        assert!(orthogonality_error(&q.transpose()) < 1e-4);
+    }
+
+    #[test]
+    fn breakdown_beyond_doubled_precision() {
+        // Exactly repeated column: no precision saves a singular Gram.
+        let mut b = pseudo(20, 4, 6);
+        let c0 = b.col(0).to_vec();
+        b.col_mut(3).copy_from_slice(&c0);
+        assert!(matches!(cholqr_mixed(&b), Err(MatrixError::NotPositiveDefinite { .. })));
+    }
+
+    #[test]
+    fn shape_validation() {
+        assert!(cholqr_mixed(&Mat::zeros(3, 5)).is_err());
+        assert!(cholqr_rows_mixed(&Mat::zeros(5, 3)).is_err());
+    }
+}

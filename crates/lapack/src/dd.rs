@@ -1,0 +1,221 @@
+//! Double-double ("doubled precision") arithmetic.
+//!
+//! The paper's §11 lists *mixed-precision CholQR* (Yamazaki, Tomov,
+//! Dongarra, SIAM J. Sci. Comput. 37, 2015 — reference \[23\]) among the
+//! stabilization strategies under study: accumulating the Gram matrix
+//! and running the Cholesky factorization in doubled precision removes
+//! the `κ(B)²` squaring that makes plain CholQR break down. This module
+//! provides the ~31-significant-digit double-double scalar those kernels
+//! need, built on the classical error-free transformations (Knuth's
+//! TwoSum, Dekker's split/TwoProd).
+
+/// A double-double value `hi + lo` with `|lo| ≤ ulp(hi)/2`.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Dd {
+    /// Leading component.
+    pub hi: f64,
+    /// Trailing error component.
+    pub lo: f64,
+}
+
+/// Error-free sum: `a + b = s + e` exactly.
+#[inline]
+fn two_sum(a: f64, b: f64) -> (f64, f64) {
+    let s = a + b;
+    let bb = s - a;
+    let e = (a - (s - bb)) + (b - bb);
+    (s, e)
+}
+
+/// Error-free sum for `|a| ≥ |b|` (one branch cheaper).
+#[inline]
+fn quick_two_sum(a: f64, b: f64) -> (f64, f64) {
+    let s = a + b;
+    let e = b - (s - a);
+    (s, e)
+}
+
+/// Dekker's split of a double into two 26-bit halves.
+#[inline]
+fn split(a: f64) -> (f64, f64) {
+    const SPLITTER: f64 = 134_217_729.0; // 2^27 + 1
+    let t = SPLITTER * a;
+    let hi = t - (t - a);
+    let lo = a - hi;
+    (hi, lo)
+}
+
+/// Error-free product: `a * b = p + e` exactly.
+#[inline]
+fn two_prod(a: f64, b: f64) -> (f64, f64) {
+    let p = a * b;
+    let (ah, al) = split(a);
+    let (bh, bl) = split(b);
+    let e = ((ah * bh - p) + ah * bl + al * bh) + al * bl;
+    (p, e)
+}
+
+// The arithmetic methods intentionally mirror the operator names without
+// implementing the operator traits: every call site should read as
+// explicit doubled-precision arithmetic, not blend in with f64 math.
+#[allow(clippy::should_implement_trait)]
+impl Dd {
+    /// Zero.
+    pub const ZERO: Dd = Dd { hi: 0.0, lo: 0.0 };
+
+    /// Lifts a double.
+    #[inline]
+    pub fn from_f64(x: f64) -> Dd {
+        Dd { hi: x, lo: 0.0 }
+    }
+
+    /// Rounds back to double.
+    #[inline]
+    pub fn to_f64(self) -> f64 {
+        self.hi + self.lo
+    }
+
+    /// `self + other`.
+    #[inline]
+    pub fn add(self, other: Dd) -> Dd {
+        let (s, e) = two_sum(self.hi, other.hi);
+        let e = e + self.lo + other.lo;
+        let (hi, lo) = quick_two_sum(s, e);
+        Dd { hi, lo }
+    }
+
+    /// `self - other`.
+    #[inline]
+    pub fn sub(self, other: Dd) -> Dd {
+        self.add(Dd { hi: -other.hi, lo: -other.lo })
+    }
+
+    /// `self * other`.
+    #[inline]
+    pub fn mul(self, other: Dd) -> Dd {
+        let (p, e) = two_prod(self.hi, other.hi);
+        let e = e + self.hi * other.lo + self.lo * other.hi;
+        let (hi, lo) = quick_two_sum(p, e);
+        Dd { hi, lo }
+    }
+
+    /// Adds the exact product of two doubles (fused multiply-accumulate
+    /// in doubled precision) — the inner-loop operation of the
+    /// mixed-precision Gram matrix.
+    #[inline]
+    pub fn fma_f64(self, a: f64, b: f64) -> Dd {
+        let (p, e) = two_prod(a, b);
+        self.add(Dd { hi: p, lo: e })
+    }
+
+    /// `self / other` (one Newton refinement on the double quotient).
+    #[inline]
+    pub fn div(self, other: Dd) -> Dd {
+        let q1 = self.hi / other.hi;
+        // r = self - q1*other, computed in doubled precision.
+        let r = self.sub(other.mul(Dd::from_f64(q1)));
+        let q2 = r.hi / other.hi;
+        let (hi, lo) = quick_two_sum(q1, q2);
+        Dd { hi, lo }
+    }
+
+    /// `sqrt(self)` (one Newton refinement on the double root).
+    #[inline]
+    pub fn sqrt(self) -> Dd {
+        if self.hi <= 0.0 {
+            return Dd { hi: self.hi.sqrt(), lo: 0.0 }; // 0 or NaN propagates
+        }
+        let s1 = self.hi.sqrt();
+        // s = s1 + (self - s1^2) / (2 s1).
+        let r = self.sub(Dd::from_f64(s1).mul(Dd::from_f64(s1)));
+        let s2 = r.hi / (2.0 * s1);
+        let (hi, lo) = quick_two_sum(s1, s2);
+        Dd { hi, lo }
+    }
+}
+
+/// Doubled-precision dot product of two f64 slices: every product and
+/// the accumulation are error-free, so the result carries ~106 bits.
+pub fn dd_dot(x: &[f64], y: &[f64]) -> Dd {
+    debug_assert_eq!(x.len(), y.len());
+    let mut acc = Dd::ZERO;
+    for (&a, &b) in x.iter().zip(y) {
+        acc = acc.fma_f64(a, b);
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_sum_is_error_free() {
+        let a = 1.0;
+        let b = 1e-20;
+        let (s, e) = two_sum(a, b);
+        assert_eq!(s, 1.0);
+        assert_eq!(e, 1e-20);
+    }
+
+    #[test]
+    fn two_prod_recovers_rounding_error() {
+        let a = 1.0 + f64::EPSILON;
+        let b = 1.0 - f64::EPSILON;
+        let (p, e) = two_prod(a, b);
+        // a*b = 1 - eps^2 exactly; p rounds to 1.0, e = -eps^2.
+        assert_eq!(p + e, 1.0 - f64::EPSILON * f64::EPSILON);
+    }
+
+    #[test]
+    fn add_beats_double_precision() {
+        // (1 + 1e-20) - 1 = 1e-20 survives in dd, vanishes in f64.
+        let one = Dd::from_f64(1.0);
+        let tiny = Dd::from_f64(1e-20);
+        let r = one.add(tiny).sub(one);
+        assert_eq!(r.to_f64(), 1e-20);
+        assert_eq!((1.0f64 + 1e-20) - 1.0, 0.0);
+    }
+
+    #[test]
+    fn mul_and_div_roundtrip() {
+        let a = Dd::from_f64(std::f64::consts::PI);
+        let b = Dd::from_f64(std::f64::consts::E);
+        let r = a.mul(b).div(b);
+        assert!((r.to_f64() - std::f64::consts::PI).abs() < 1e-15);
+        assert!(r.sub(a).to_f64().abs() < 1e-30);
+    }
+
+    #[test]
+    fn sqrt_squares_back() {
+        let x = Dd::from_f64(2.0);
+        let s = x.sqrt();
+        let back = s.mul(s).sub(x);
+        assert!(back.to_f64().abs() < 1e-30, "residual {}", back.to_f64());
+    }
+
+    #[test]
+    fn sqrt_of_zero_and_negative() {
+        assert_eq!(Dd::ZERO.sqrt().to_f64(), 0.0);
+        assert!(Dd::from_f64(-1.0).sqrt().to_f64().is_nan());
+    }
+
+    #[test]
+    fn dd_dot_cancellation() {
+        // x . y with massive cancellation: exact answer is 2, f64 loses it.
+        let big = 1e17;
+        let x = vec![big, 1.0, -big, 1.0];
+        let y = vec![1.0, 1.0, 1.0, 1.0];
+        let exact = dd_dot(&x, &y).to_f64();
+        assert_eq!(exact, 2.0);
+    }
+
+    #[test]
+    fn dd_dot_matches_f64_when_benign() {
+        let x: Vec<f64> = (0..50).map(|i| (i as f64 * 0.3).sin()).collect();
+        let y: Vec<f64> = (0..50).map(|i| (i as f64 * 0.7).cos()).collect();
+        let plain = rlra_blas::dot(&x, &y);
+        let dd = dd_dot(&x, &y).to_f64();
+        assert!((plain - dd).abs() < 1e-13);
+    }
+}

@@ -1,0 +1,460 @@
+//! Golub–Kahan SVD: Householder bidiagonalization followed by
+//! implicit-shift QR iteration on the bidiagonal.
+//!
+//! The workspace's second SVD path. The one-sided Jacobi SVD
+//! ([`crate::svd`]) is simple and very accurate but costs `O(mn²)` *per
+//! sweep* with many sweeps; the Golub–Kahan route pays one `O(mn²)`
+//! bidiagonalization and then iterates on `O(n)` data, which is the
+//! standard choice (LAPACK `gesvd`) once `n` grows past a few dozen. The
+//! randomized-SVD finishing step ([`rlra-core`]'s projection SVD of the
+//! `m × ℓ` projected matrix) is exactly such a case.
+//!
+//! [`rlra-core`]: crate
+
+use crate::householder::{apply_reflector_left, larfg};
+use crate::svd::Svd;
+use rlra_matrix::{Mat, MatrixError, Result};
+
+/// Maximum QR iterations per singular value.
+const MAX_ITER_PER_VALUE: usize = 75;
+
+/// Computes the thin SVD of `a` via Golub–Kahan bidiagonalization and
+/// implicit-shift QR. Returns the same [`Svd`] type as the Jacobi path:
+/// `U` (`m × r`), `σ` non-increasing, `V` (`n × r`), `r = min(m, n)`.
+///
+/// # Errors
+///
+/// Returns [`MatrixError::NoConvergence`] if the QR iteration stalls
+/// (does not occur for the sizes used in this workspace).
+pub fn svd_golub_kahan(a: &Mat) -> Result<Svd> {
+    if a.rows() < a.cols() {
+        let t = svd_golub_kahan(&a.transpose())?;
+        return Ok(Svd { u: t.v, sigma: t.sigma, v: t.u });
+    }
+    let (m, n) = a.shape();
+    if n == 0 {
+        return Ok(Svd { u: Mat::zeros(m, 0), sigma: vec![], v: Mat::zeros(0, 0) });
+    }
+
+    // --- Phase 1: bidiagonalization A = U_b · B · V_bᵀ ----------------------
+    let (mut d, mut e, u_b, v_b) = bidiagonalize(a);
+
+    // --- Phase 2: implicit-shift QR on the bidiagonal -----------------------
+    // Rotations are accumulated directly into the thin factors.
+    let mut u = u_b; // m × n
+    let mut v = v_b; // n × n
+    qr_iterate(&mut d, &mut e, &mut u, &mut v)?;
+
+    // --- Phase 3: signs and ordering -----------------------------------------
+    for (j, dj) in d.iter_mut().enumerate() {
+        if *dj < 0.0 {
+            *dj = -*dj;
+            for x in v.col_mut(j) {
+                *x = -*x;
+            }
+        }
+    }
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&i, &j| d[j].partial_cmp(&d[i]).expect("singular values are finite"));
+    let mut uu = Mat::zeros(m, n);
+    let mut vv = Mat::zeros(n, n);
+    let mut sigma = Vec::with_capacity(n);
+    for (dst, &src) in order.iter().enumerate() {
+        sigma.push(d[src]);
+        uu.col_mut(dst).copy_from_slice(u.col(src));
+        vv.col_mut(dst).copy_from_slice(v.col(src));
+    }
+    Ok(Svd { u: uu, sigma, v: vv })
+}
+
+/// Householder bidiagonalization: returns the diagonal `d`, the
+/// superdiagonal `e`, and the explicitly formed thin factors
+/// `U_b` (`m × n`) and `V_b` (`n × n`) with `A = U_b·B·V_bᵀ`.
+fn bidiagonalize(a: &Mat) -> (Vec<f64>, Vec<f64>, Mat, Mat) {
+    let (m, n) = a.shape();
+    let mut work = a.clone();
+    // Left reflectors stored in columns below the diagonal, right
+    // reflectors in rows right of the superdiagonal.
+    let mut tau_l = vec![0.0f64; n];
+    let mut tau_r = vec![0.0f64; n.saturating_sub(2)];
+    for j in 0..n {
+        // Left reflector annihilates work[j+1.., j].
+        let (beta, tau) = {
+            let col = work.col_mut(j);
+            let (head, tail) = col[j..].split_at_mut(1);
+            larfg(head[0], tail)
+        };
+        work[(j, j)] = beta;
+        tau_l[j] = tau;
+        if tau != 0.0 && j + 1 < n {
+            let (vcols, rest) = work.as_mut().split_at_col(j + 1);
+            let v_tail = &vcols.col(j)[j + 1..];
+            let mut rest = rest;
+            let trailing = rest.submatrix_mut(j, 0, m - j, n - j - 1);
+            apply_reflector_left(tau, v_tail, trailing);
+        }
+        // Right reflector annihilates work[j, j+2..].
+        if j + 2 < n {
+            let (beta_r, tau_row) = {
+                // Gather row j, columns j+1.. into a temp.
+                let mut row: Vec<f64> = (j + 1..n).map(|c| work[(j, c)]).collect();
+                let (head, tail) = row.split_at_mut(1);
+                let (b, t) = larfg(head[0], tail);
+                // Write the reflector tail back into the row storage.
+                work[(j, j + 1)] = b;
+                for (idx, &val) in tail.iter().enumerate() {
+                    work[(j, j + 2 + idx)] = val;
+                }
+                (b, t)
+            };
+            let _ = beta_r;
+            tau_r[j] = tau_row;
+            if tau_row != 0.0 {
+                // Apply from the right to rows j+1..m: for each row i,
+                // r ← r − τ (r·v) vᵀ with v = [1, work[j, j+2..]].
+                let vrow: Vec<f64> = (j + 2..n).map(|c| work[(j, c)]).collect();
+                for i in j + 1..m {
+                    let mut w = work[(i, j + 1)];
+                    for (idx, &vv) in vrow.iter().enumerate() {
+                        w += work[(i, j + 2 + idx)] * vv;
+                    }
+                    let tw = tau_row * w;
+                    work[(i, j + 1)] -= tw;
+                    for (idx, &vv) in vrow.iter().enumerate() {
+                        work[(i, j + 2 + idx)] -= tw * vv;
+                    }
+                }
+            }
+        }
+    }
+    let d: Vec<f64> = (0..n).map(|j| work[(j, j)]).collect();
+    let e: Vec<f64> = (0..n.saturating_sub(1)).map(|j| work[(j, j + 1)]).collect();
+
+    // Form U_b: apply left reflectors to the leading n columns of I_m,
+    // in reverse order.
+    let mut u = Mat::zeros(m, n);
+    for j in 0..n {
+        u[(j, j)] = 1.0;
+    }
+    for j in (0..n).rev() {
+        let tau = tau_l[j];
+        if tau == 0.0 {
+            continue;
+        }
+        let v_tail: Vec<f64> = (j + 1..m).map(|r| work[(r, j)]).collect();
+        let mut view = u.as_mut();
+        let sub = view.submatrix_mut(j, 0, m - j, n);
+        apply_reflector_left(tau, &v_tail, sub);
+    }
+    // Form V_b: apply right reflectors (as left reflectors on Vᵀ — or
+    // equivalently left-apply to I_n rows j+1..) in reverse order.
+    let mut v = Mat::identity(n);
+    for j in (0..n.saturating_sub(2)).rev() {
+        let tau = tau_r[j];
+        if tau == 0.0 {
+            continue;
+        }
+        let v_tail: Vec<f64> = (j + 2..n).map(|c| work[(j, c)]).collect();
+        let mut view = v.as_mut();
+        let sub = view.submatrix_mut(j + 1, 0, n - j - 1, n);
+        apply_reflector_left(tau, &v_tail, sub);
+    }
+    (d, e, u, v)
+}
+
+/// Givens rotation `(c, s)` with `c·a + s·b = r`, `−s·a + c·b = 0`.
+fn givens(a: f64, b: f64) -> (f64, f64, f64) {
+    if b == 0.0 {
+        (1.0, 0.0, a)
+    } else if a == 0.0 {
+        (0.0, 1.0, b)
+    } else {
+        let r = a.hypot(b);
+        (a / r, b / r, r)
+    }
+}
+
+/// Applies the rotation to columns `j1`, `j2` of `x`:
+/// `[x_{j1}, x_{j2}] ← [c·x_{j1} + s·x_{j2}, −s·x_{j1} + c·x_{j2}]`.
+fn rot_cols(x: &mut Mat, j1: usize, j2: usize, c: f64, s: f64) {
+    debug_assert!(j1 < j2);
+    let (left, mut right) = x.as_mut().split_at_col(j2);
+    let mut left = left;
+    let a = left.col_mut(j1);
+    let b = right.col_mut(0);
+    for i in 0..a.len() {
+        let xa = a[i];
+        let xb = b[i];
+        a[i] = c * xa + s * xb;
+        b[i] = -s * xa + c * xb;
+    }
+}
+
+/// Implicit-shift QR on the bidiagonal `(d, e)`, accumulating left
+/// rotations into `u` and right rotations into `v`.
+fn qr_iterate(d: &mut [f64], e: &mut [f64], u: &mut Mat, v: &mut Mat) -> Result<()> {
+    let n = d.len();
+    if n <= 1 {
+        return Ok(());
+    }
+    let eps = f64::EPSILON;
+    let mut iters_left = MAX_ITER_PER_VALUE * n;
+    let mut hi = n - 1;
+    while hi > 0 {
+        // Deflate converged superdiagonals.
+        let mut deflated = false;
+        for i in (0..hi).rev() {
+            if e[i].abs() <= eps * (d[i].abs() + d[i + 1].abs()) {
+                e[i] = 0.0;
+                if i == hi - 1 {
+                    hi -= 1;
+                    deflated = true;
+                    break;
+                }
+            }
+        }
+        if deflated {
+            continue;
+        }
+        if hi == 0 {
+            break;
+        }
+        // Active block [lo..=hi]: the largest block ending at hi with
+        // nonzero superdiagonals.
+        let mut lo = hi;
+        while lo > 0 && e[lo - 1] != 0.0 {
+            lo -= 1;
+        }
+        // Zero diagonal inside the block: rotate the offending row away
+        // (Golub–Van Loan §8.6.1 remark). Rotating against the next
+        // column keeps the bidiagonal structure with e[i] annihilated.
+        let mut zeroed = false;
+        for i in lo..hi {
+            if d[i] == 0.0 && e[i] != 0.0 {
+                // Chase e[i] to the right with left rotations.
+                let mut f = e[i];
+                e[i] = 0.0;
+                for j in i + 1..=hi {
+                    let (c, s, r) = givens(d[j], f);
+                    d[j] = r;
+                    // Left rotation mixes rows i and j of B, i.e. columns
+                    // i and j of U — with the annihilated part entering
+                    // row i.
+                    rot_cols(u, i.min(j), i.max(j), c, -s);
+                    if j < hi {
+                        f = -s * e[j];
+                        e[j] *= c;
+                    }
+                }
+                zeroed = true;
+                break;
+            }
+        }
+        if zeroed {
+            continue;
+        }
+
+        if iters_left == 0 {
+            return Err(MatrixError::NoConvergence {
+                op: "svd_golub_kahan",
+                iterations: MAX_ITER_PER_VALUE * n,
+            });
+        }
+        iters_left -= 1;
+
+        // Wilkinson shift from the trailing 2×2 of BᵀB.
+        let dm = d[hi - 1];
+        let dn = d[hi];
+        let em = e[hi - 1];
+        let e_prev = if hi >= 2 { e[hi - 2] } else { 0.0 };
+        let t11 = dm * dm + e_prev * e_prev;
+        let t12 = dm * em;
+        let t22 = dn * dn + em * em;
+        let delta = (t11 - t22) / 2.0;
+        let mu = if t12 == 0.0 {
+            t22
+        } else {
+            t22 - t12 * t12 / (delta + delta.signum() * (delta * delta + t12 * t12).sqrt())
+        };
+
+        // Implicit QR sweep: chase the bulge from lo to hi.
+        let mut y = d[lo] * d[lo] - mu;
+        let mut z = d[lo] * e[lo];
+        for k in lo..hi {
+            // Right rotation on columns (k, k+1).
+            let (c, s, _) = givens(y, z);
+            if k > lo {
+                e[k - 1] = y.hypot(z);
+            }
+            let dk = d[k];
+            let ek = e[k];
+            let dk1 = d[k + 1];
+            d[k] = c * dk + s * ek;
+            e[k] = -s * dk + c * ek;
+            let bulge = s * dk1;
+            let dk1_new = c * dk1;
+            rot_cols(v, k, k + 1, c, s);
+            // Left rotation on rows (k, k+1) to restore bidiagonal.
+            let (c2, s2, r2) = givens(d[k], bulge);
+            d[k] = r2;
+            let ek_cur = e[k];
+            e[k] = c2 * ek_cur + s2 * dk1_new;
+            d[k + 1] = -s2 * ek_cur + c2 * dk1_new;
+            rot_cols(u, k, k + 1, c2, s2);
+            if k + 1 < hi {
+                let ek1 = e[k + 1];
+                y = e[k];
+                z = s2 * ek1;
+                e[k + 1] = c2 * ek1;
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::householder::{form_q, orthogonality_error};
+    use rlra_matrix::ops::max_abs_diff;
+
+    fn pseudo(rows: usize, cols: usize, seed: u64) -> Mat {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        Mat::from_fn(rows, cols, |_, _| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state % 2000) as f64 / 1000.0 - 1.0
+        })
+    }
+
+    fn with_spectrum(m: usize, n: usize, sigma: &[f64], seed: u64) -> Mat {
+        let u = form_q(&pseudo(m, n, seed));
+        let v = form_q(&pseudo(n, n, seed + 1));
+        let us = Mat::from_fn(m, n, |i, j| u[(i, j)] * sigma[j]);
+        let mut a = Mat::zeros(m, n);
+        rlra_blas::gemm(
+            1.0,
+            us.as_ref(),
+            rlra_blas::Trans::No,
+            v.as_ref(),
+            rlra_blas::Trans::Yes,
+            0.0,
+            a.as_mut(),
+        )
+        .unwrap();
+        a
+    }
+
+    fn check_full(a: &Mat, tol: f64) {
+        let svd = svd_golub_kahan(a).unwrap();
+        assert!(orthogonality_error(&svd.u) < tol, "U orth {}", orthogonality_error(&svd.u));
+        assert!(orthogonality_error(&svd.v) < tol, "V orth {}", orthogonality_error(&svd.v));
+        for w in svd.sigma.windows(2) {
+            assert!(w[0] >= w[1] - 1e-14, "sigma not sorted: {:?}", svd.sigma);
+        }
+        for &s in &svd.sigma {
+            assert!(s >= 0.0);
+        }
+        let rec = svd.reconstruct();
+        let scale = rlra_matrix::norms::max_abs(a.as_ref()).max(1.0);
+        assert!(
+            max_abs_diff(&rec, a).unwrap() < tol * scale * 100.0,
+            "reconstruction off by {}",
+            max_abs_diff(&rec, a).unwrap()
+        );
+    }
+
+    #[test]
+    fn random_tall() {
+        check_full(&pseudo(30, 12, 1), 1e-12);
+    }
+
+    #[test]
+    fn random_square() {
+        check_full(&pseudo(20, 20, 2), 1e-12);
+    }
+
+    #[test]
+    fn random_wide() {
+        check_full(&pseudo(8, 25, 3), 1e-12);
+    }
+
+    #[test]
+    fn matches_jacobi_singular_values() {
+        let a = pseudo(25, 15, 4);
+        let gk = svd_golub_kahan(&a).unwrap();
+        let jac = crate::svd::svd_jacobi(&a).unwrap();
+        for (g, j) in gk.sigma.iter().zip(&jac.sigma) {
+            assert!((g - j).abs() < 1e-10 * (1.0 + j), "GK {g} vs Jacobi {j}");
+        }
+    }
+
+    #[test]
+    fn prescribed_spectrum_recovered() {
+        let sigma: Vec<f64> = (0..12).map(|i| 2f64.powi(-i)).collect();
+        let a = with_spectrum(30, 12, &sigma, 5);
+        let got = svd_golub_kahan(&a).unwrap().sigma;
+        for (g, e) in got.iter().zip(&sigma) {
+            assert!((g - e).abs() < 1e-11 * (1.0 + e), "got {g:e}, want {e:e}");
+        }
+    }
+
+    #[test]
+    fn wide_dynamic_range() {
+        // sigma spanning 12 orders: relative accuracy of the large end,
+        // absolute of the small end.
+        let sigma: Vec<f64> = (0..10).map(|i| 10f64.powi(-(i + i / 3))).collect();
+        let a = with_spectrum(24, 10, &sigma, 6);
+        let got = svd_golub_kahan(&a).unwrap().sigma;
+        for (g, e) in got.iter().zip(&sigma).take(6) {
+            assert!((g - e).abs() < 1e-10 * e, "got {g:e}, want {e:e}");
+        }
+    }
+
+    #[test]
+    fn exactly_low_rank() {
+        let x = pseudo(20, 3, 7);
+        let y = pseudo(3, 14, 8);
+        let mut a = Mat::zeros(20, 14);
+        rlra_blas::gemm(1.0, x.as_ref(), rlra_blas::Trans::No, y.as_ref(), rlra_blas::Trans::No, 0.0, a.as_mut())
+            .unwrap();
+        let svd = svd_golub_kahan(&a).unwrap();
+        assert!(svd.sigma[2] > 1e-8);
+        for &s in &svd.sigma[3..] {
+            assert!(s < 1e-10 * svd.sigma[0], "tail {s:e}");
+        }
+        check_full(&a, 1e-11);
+    }
+
+    #[test]
+    fn identity_and_diagonal() {
+        let svd = svd_golub_kahan(&Mat::identity(6)).unwrap();
+        for &s in &svd.sigma {
+            assert!((s - 1.0).abs() < 1e-14);
+        }
+        let d = Mat::from_diag(&[5.0, -2.0, 3.0]);
+        let svd = svd_golub_kahan(&d).unwrap();
+        assert!((svd.sigma[0] - 5.0).abs() < 1e-13);
+        assert!((svd.sigma[1] - 3.0).abs() < 1e-13);
+        assert!((svd.sigma[2] - 2.0).abs() < 1e-13);
+    }
+
+    #[test]
+    fn zero_and_tiny_matrices() {
+        let svd = svd_golub_kahan(&Mat::zeros(5, 3)).unwrap();
+        assert!(svd.sigma.iter().all(|&s| s == 0.0));
+        let svd = svd_golub_kahan(&Mat::from_diag(&[2.0])).unwrap();
+        assert_eq!(svd.sigma, vec![2.0]);
+        check_full(&pseudo(2, 2, 9), 1e-13);
+        check_full(&pseudo(3, 1, 10), 1e-13);
+    }
+
+    #[test]
+    fn faster_than_jacobi_for_larger_n() {
+        // Not a wall-clock bench, just sanity that it converges on a size
+        // where Jacobi needs many sweeps.
+        let a = pseudo(120, 80, 11);
+        check_full(&a, 1e-11);
+    }
+}

@@ -1,0 +1,300 @@
+//! Classical and Modified Gram–Schmidt, and the block orthogonalization
+//! (`BOrth`) used by the paper's power iteration (Figure 2a, lines 4/9).
+//!
+//! CGS orthogonalizes each new column against all previous ones at once
+//! (BLAS-2: one GEMV pair per column), MGS one previous column at a time
+//! (BLAS-1 dots/axpys). Both are therefore slower than BLAS-3 CholQR on a
+//! GPU — the ordering CholQR > CGS > HHQR > MGS measured in the paper's
+//! Figure 7 falls directly out of these kernel classes.
+
+use rlra_blas::{gemm, gemv, Trans};
+use rlra_matrix::{Mat, MatrixError, Result};
+
+/// Breakdown threshold for Gram–Schmidt: a column whose orthogonalized
+/// remainder is below roundoff relative to its input norm is treated as
+/// linearly dependent.
+fn breakdown_tol(m: usize, input_norm: f64) -> f64 {
+    (m as f64).sqrt() * f64::EPSILON * input_norm * 8.0
+}
+
+/// Classical Gram–Schmidt QR of `a` (`m × n`, `m ≥ n` assumed for a full
+/// rank factor): returns `(Q, R)` with `Q` having orthonormal columns.
+///
+/// Each column is orthogonalized against **all** previous columns in one
+/// matrix-vector pair (`r = Qᵀa_j`, `a_j ← a_j − Q r`), i.e. BLAS-2.
+///
+/// # Errors
+///
+/// Returns [`MatrixError::SingularDiagonal`] if a column collapses to zero
+/// (exact linear dependence).
+pub fn cgs(a: &Mat) -> Result<(Mat, Mat)> {
+    let (m, n) = a.shape();
+    let mut q = Mat::zeros(m, n);
+    let mut r = Mat::zeros(n, n);
+    for j in 0..n {
+        let mut v = a.col(j).to_vec();
+        let input_norm = rlra_blas::nrm2(&v);
+        if j > 0 {
+            let qj = q.submatrix(0, 0, m, j);
+            let mut coeffs = vec![0.0f64; j];
+            gemv(1.0, qj.as_ref(), Trans::Yes, &v, 0.0, &mut coeffs)?;
+            gemv(-1.0, qj.as_ref(), Trans::No, &coeffs, 1.0, &mut v)?;
+            for (i, &c) in coeffs.iter().enumerate() {
+                r[(i, j)] = c;
+            }
+        }
+        let norm = rlra_blas::nrm2(&v);
+        if norm <= breakdown_tol(m, input_norm) {
+            return Err(MatrixError::SingularDiagonal { index: j });
+        }
+        r[(j, j)] = norm;
+        for x in &mut v {
+            *x /= norm;
+        }
+        q.col_mut(j).copy_from_slice(&v);
+    }
+    Ok((q, r))
+}
+
+/// Modified Gram–Schmidt QR of `a`: returns `(Q, R)`.
+///
+/// Each column is orthogonalized against previous columns **one at a
+/// time** (a dot and an axpy per previous column, i.e. BLAS-1), which is
+/// more stable than CGS but even more latency-bound.
+///
+/// # Errors
+///
+/// Returns [`MatrixError::SingularDiagonal`] if a column collapses to zero.
+pub fn mgs(a: &Mat) -> Result<(Mat, Mat)> {
+    let (m, n) = a.shape();
+    let mut q = Mat::zeros(m, n);
+    let mut r = Mat::zeros(n, n);
+    for j in 0..n {
+        let mut v = a.col(j).to_vec();
+        let input_norm = rlra_blas::nrm2(&v);
+        for i in 0..j {
+            let qi = q.col(i);
+            let rij = rlra_blas::dot(qi, &v);
+            r[(i, j)] = rij;
+            rlra_blas::axpy(-rij, qi, &mut v);
+        }
+        let norm = rlra_blas::nrm2(&v);
+        if norm <= breakdown_tol(m, input_norm) {
+            return Err(MatrixError::SingularDiagonal { index: j });
+        }
+        r[(j, j)] = norm;
+        for x in &mut v {
+            *x /= norm;
+        }
+        q.col_mut(j).copy_from_slice(&v);
+        let _ = m;
+    }
+    Ok((q, r))
+}
+
+/// Block orthogonalization of columns (`BOrth`, classical block
+/// Gram–Schmidt): makes the columns of `w` orthogonal to the orthonormal
+/// columns of `v` via `W ← W − V·(VᵀW)`, returning the coefficient block
+/// `C = VᵀW`. With `reorth = true` a second pass is performed (the
+/// "twice is enough" rule), and the coefficient blocks are summed.
+///
+/// # Errors
+///
+/// Returns [`MatrixError::DimensionMismatch`] if `v.rows() != w.rows()`.
+pub fn block_orth_cols(v: &Mat, w: &mut Mat, reorth: bool) -> Result<Mat> {
+    if v.rows() != w.rows() {
+        return Err(MatrixError::DimensionMismatch {
+            op: "block_orth_cols",
+            expected: format!("w.rows() == {}", v.rows()),
+            found: format!("w.rows() == {}", w.rows()),
+        });
+    }
+    let passes = if reorth { 2 } else { 1 };
+    let mut total = Mat::zeros(v.cols(), w.cols());
+    for _ in 0..passes {
+        if v.cols() == 0 || w.cols() == 0 {
+            break;
+        }
+        let mut c = Mat::zeros(v.cols(), w.cols());
+        gemm(1.0, v.as_ref(), Trans::Yes, w.as_ref(), Trans::No, 0.0, c.as_mut())?;
+        gemm(-1.0, v.as_ref(), Trans::No, c.as_ref(), Trans::No, 1.0, w.as_mut())?;
+        rlra_matrix::ops::axpy_mat(1.0, &c, &mut total)?;
+    }
+    Ok(total)
+}
+
+/// Block orthogonalization of **rows** — the orientation the paper's
+/// power iteration actually uses, since the sampled matrices `B` (ℓ×n)
+/// and `C` (ℓ×m) are short-wide with orthonormal rows: makes the rows of
+/// `w` orthogonal to the orthonormal rows of `v` via `W ← W − (WVᵀ)·V`.
+/// Returns the coefficient block `C = WVᵀ` (summed over passes when
+/// `reorth = true`).
+///
+/// # Errors
+///
+/// Returns [`MatrixError::DimensionMismatch`] if `v.cols() != w.cols()`.
+pub fn block_orth_rows(v: &Mat, w: &mut Mat, reorth: bool) -> Result<Mat> {
+    if v.cols() != w.cols() {
+        return Err(MatrixError::DimensionMismatch {
+            op: "block_orth_rows",
+            expected: format!("w.cols() == {}", v.cols()),
+            found: format!("w.cols() == {}", w.cols()),
+        });
+    }
+    let passes = if reorth { 2 } else { 1 };
+    let mut total = Mat::zeros(w.rows(), v.rows());
+    for _ in 0..passes {
+        if v.rows() == 0 || w.rows() == 0 {
+            break;
+        }
+        let mut c = Mat::zeros(w.rows(), v.rows());
+        gemm(1.0, w.as_ref(), Trans::No, v.as_ref(), Trans::Yes, 0.0, c.as_mut())?;
+        gemm(-1.0, c.as_ref(), Trans::No, v.as_ref(), Trans::No, 1.0, w.as_mut())?;
+        rlra_matrix::ops::axpy_mat(1.0, &c, &mut total)?;
+    }
+    Ok(total)
+}
+
+/// Convenience alias for the column-oriented [`block_orth_cols`] without
+/// reorthogonalization.
+pub fn block_orth(v: &Mat, w: &mut Mat) -> Result<Mat> {
+    block_orth_cols(v, w, false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::householder::orthogonality_error;
+    use rlra_blas::naive::gemm_ref;
+    use rlra_matrix::ops::max_abs_diff;
+
+    fn pseudo(rows: usize, cols: usize, seed: u64) -> Mat {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        Mat::from_fn(rows, cols, |_, _| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state % 2000) as f64 / 1000.0 - 1.0
+        })
+    }
+
+    fn check_qr_scheme(f: impl Fn(&Mat) -> Result<(Mat, Mat)>, tol: f64) {
+        let a = pseudo(30, 8, 1);
+        let (q, r) = f(&a).unwrap();
+        assert!(orthogonality_error(&q) < tol);
+        let qr = gemm_ref(&q, Trans::No, &r, Trans::No);
+        assert!(max_abs_diff(&qr, &a).unwrap() < tol);
+        // R upper triangular with positive diagonal.
+        for j in 0..8 {
+            assert!(r[(j, j)] > 0.0);
+            for i in j + 1..8 {
+                assert_eq!(r[(i, j)], 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn cgs_factorizes() {
+        check_qr_scheme(cgs, 1e-10);
+    }
+
+    #[test]
+    fn mgs_factorizes() {
+        check_qr_scheme(mgs, 1e-10);
+    }
+
+    #[test]
+    fn mgs_more_stable_than_cgs_on_graded() {
+        // Nearly dependent columns: MGS orthogonality degrades like κ·ε,
+        // CGS like κ²·ε.
+        let m = 40;
+        let base = pseudo(m, 1, 2);
+        let mut a = Mat::zeros(m, 3);
+        for j in 0..3 {
+            let noise = pseudo(m, 1, 3 + j as u64);
+            for i in 0..m {
+                a[(i, j)] = base[(i, 0)] + 1e-7 * noise[(i, 0)];
+            }
+        }
+        let (qc, _) = cgs(&a).unwrap();
+        let (qm, _) = mgs(&a).unwrap();
+        let ec = orthogonality_error(&qc);
+        let em = orthogonality_error(&qm);
+        assert!(em <= ec * 1.5 + 1e-15, "MGS ({em:e}) should not be much worse than CGS ({ec:e})");
+    }
+
+    #[test]
+    fn singular_column_detected() {
+        let mut a = pseudo(10, 3, 4);
+        let c0 = a.col(0).to_vec();
+        a.col_mut(1).copy_from_slice(&c0);
+        assert!(cgs(&a).is_err());
+        assert!(mgs(&a).is_err());
+    }
+
+    #[test]
+    fn block_orth_cols_orthogonalizes() {
+        let v = crate::householder::form_q(&pseudo(40, 5, 5));
+        let mut w = pseudo(40, 3, 6);
+        let w0 = w.clone();
+        let c = block_orth_cols(&v, &mut w, false).unwrap();
+        // V^T W ≈ 0 afterwards.
+        let vtw = gemm_ref(&v, Trans::Yes, &w, Trans::No);
+        assert!(rlra_matrix::norms::max_abs(vtw.as_ref()) < 1e-12);
+        // Reconstruction: W0 = V C + W.
+        let mut rec = gemm_ref(&v, Trans::No, &c, Trans::No);
+        rlra_matrix::ops::axpy_mat(1.0, &w, &mut rec).unwrap();
+        assert!(max_abs_diff(&rec, &w0).unwrap() < 1e-12);
+    }
+
+    #[test]
+    fn block_orth_cols_reorth_tightens() {
+        let v = crate::householder::form_q(&pseudo(50, 8, 7));
+        // W nearly inside span(V): stresses a single pass.
+        let coeff = pseudo(8, 2, 8);
+        let mut w = gemm_ref(&v, Trans::No, &coeff, Trans::No);
+        let tiny = pseudo(50, 2, 9);
+        rlra_matrix::ops::axpy_mat(1e-9, &tiny, &mut w).unwrap();
+        let mut w2 = w.clone();
+        block_orth_cols(&v, &mut w, false).unwrap();
+        block_orth_cols(&v, &mut w2, true).unwrap();
+        let e1 = rlra_matrix::norms::max_abs(gemm_ref(&v, Trans::Yes, &w, Trans::No).as_ref())
+            / rlra_matrix::norms::max_abs(w.as_ref()).max(1e-300);
+        let e2 = rlra_matrix::norms::max_abs(gemm_ref(&v, Trans::Yes, &w2, Trans::No).as_ref())
+            / rlra_matrix::norms::max_abs(w2.as_ref()).max(1e-300);
+        assert!(e2 <= e1 + 1e-15, "reorth should not be worse: {e2:e} vs {e1:e}");
+    }
+
+    #[test]
+    fn block_orth_rows_orthogonalizes() {
+        // Row-orthonormal V from the transpose of a thin Q.
+        let v = crate::householder::form_q(&pseudo(40, 4, 10)).transpose();
+        let mut w = pseudo(3, 40, 11);
+        let w0 = w.clone();
+        let c = block_orth_rows(&v, &mut w, false).unwrap();
+        let wvt = gemm_ref(&w, Trans::No, &v, Trans::Yes);
+        assert!(rlra_matrix::norms::max_abs(wvt.as_ref()) < 1e-12);
+        // W0 = C V + W.
+        let mut rec = gemm_ref(&c, Trans::No, &v, Trans::No);
+        rlra_matrix::ops::axpy_mat(1.0, &w, &mut rec).unwrap();
+        assert!(max_abs_diff(&rec, &w0).unwrap() < 1e-12);
+    }
+
+    #[test]
+    fn block_orth_empty_v_is_noop() {
+        let v = Mat::zeros(10, 0);
+        let mut w = pseudo(10, 2, 12);
+        let w0 = w.clone();
+        block_orth_cols(&v, &mut w, true).unwrap();
+        assert_eq!(w, w0);
+    }
+
+    #[test]
+    fn dimension_mismatch_rejected() {
+        let v = Mat::zeros(10, 2);
+        let mut w = Mat::zeros(9, 2);
+        assert!(block_orth_cols(&v, &mut w, false).is_err());
+        let mut w = Mat::zeros(2, 9);
+        assert!(block_orth_rows(&v, &mut w, false).is_err());
+    }
+}

@@ -1,0 +1,448 @@
+//! Householder QR factorization (the paper's **HHQR**).
+//!
+//! Implements the LAPACK-style toolchain:
+//!
+//! - [`larfg`] — generate an elementary reflector,
+//! - [`geqr2`] — unblocked panel QR (BLAS-2),
+//! - `larft` + block application — compact-WY blocked QR ([`geqrf`]),
+//! - [`orgqr`] — form the thin orthogonal factor explicitly,
+//! - high-level wrappers [`qr_factor`] / [`form_q`].
+//!
+//! HHQR is unconditionally stable but BLAS-1/2-bound; the paper measures
+//! it at ~5× faster than QP3 and ~30× slower than CholQR on tall-skinny
+//! GPU workloads (Figure 7).
+
+use rlra_blas::{gemm, Diag, Side, Trans, UpLo};
+use rlra_matrix::{Mat, MatMut, MatrixError, Result};
+
+/// Compact (factored) form of a Householder QR: reflectors stored below
+/// the diagonal of `factors`, R on and above it, with scalar factors
+/// `taus`.
+#[derive(Debug, Clone)]
+pub struct HouseholderQr {
+    /// `m × n` storage holding R in its upper triangle and the reflector
+    /// vectors (implicit leading 1) below the diagonal.
+    pub factors: Mat,
+    /// Scalar reflector coefficients, one per factored column.
+    pub taus: Vec<f64>,
+}
+
+/// Generates an elementary Householder reflector for the vector
+/// `[alpha, x...]`: returns `(beta, tau)` and overwrites `x` with the tail
+/// of `v` (normalized so `v₀ = 1`), such that
+/// `(I − τ v vᵀ) [alpha; x] = [beta; 0]`.
+pub fn larfg(alpha: f64, x: &mut [f64]) -> (f64, f64) {
+    let xnorm = rlra_blas::nrm2(x);
+    if xnorm == 0.0 {
+        // Already collapsed; H = I.
+        return (alpha, 0.0);
+    }
+    let beta = -(alpha.hypot(xnorm)).copysign(alpha);
+    let tau = (beta - alpha) / beta;
+    let scale = 1.0 / (alpha - beta);
+    for xi in x.iter_mut() {
+        *xi *= scale;
+    }
+    (beta, tau)
+}
+
+/// Applies the reflector `H = I − τ v vᵀ` (with `v = [1; v_tail]`) to every
+/// column of `c`, i.e. `C ← H·C`.
+///
+/// `c` must have `v_tail.len() + 1` rows.
+pub fn apply_reflector_left(tau: f64, v_tail: &[f64], mut c: MatMut<'_>) {
+    if tau == 0.0 {
+        return;
+    }
+    let m = c.rows();
+    debug_assert_eq!(m, v_tail.len() + 1);
+    for j in 0..c.cols() {
+        let cj = c.col_mut(j);
+        // w = v^T c_j = c_j[0] + v_tail . c_j[1..]
+        let w = cj[0] + rlra_blas::dot(v_tail, &cj[1..]);
+        let tw = tau * w;
+        cj[0] -= tw;
+        rlra_blas::axpy(-tw, v_tail, &mut cj[1..]);
+    }
+}
+
+/// Unblocked Householder QR of the leading `min(m, n)` columns of `a`
+/// (LAPACK `geqr2`): overwrites `a` with R above the diagonal and the
+/// reflector tails below it; returns the `tau` coefficients.
+pub fn geqr2(mut a: MatMut<'_>) -> Vec<f64> {
+    let m = a.rows();
+    let n = a.cols();
+    let k = m.min(n);
+    let mut taus = Vec::with_capacity(k);
+    for j in 0..k {
+        // Generate reflector for column j below the diagonal.
+        let (beta, tau) = {
+            let col = a.col_mut(j);
+            let (head, tail) = col[j..].split_at_mut(1);
+            larfg(head[0], tail)
+        };
+        a.set(j, j, beta);
+        taus.push(tau);
+        if j + 1 < n && tau != 0.0 {
+            // Copy v tail (borrow checker: the tail lives in column j which
+            // we must read while updating columns j+1..).
+            let (vcols, rest) = a.reborrow().split_at_col(j + 1);
+            let v_tail = &vcols.col(j)[j + 1..];
+            let mut rest = rest;
+            let trailing = rest.submatrix_mut(j, 0, m - j, n - j - 1);
+            apply_reflector_left(tau, v_tail, trailing);
+        }
+    }
+    taus
+}
+
+/// Forms the upper-triangular compact-WY factor `T` (`k × k`) for the
+/// reflector block `V` stored in `factors[j0.., j0..j0+k]` (LAPACK
+/// `larft`, forward columnwise).
+fn larft(factors: &Mat, j0: usize, k: usize, taus: &[f64]) -> Mat {
+    let m = factors.rows();
+    let mut t = Mat::zeros(k, k);
+    for i in 0..k {
+        let tau = taus[i];
+        t[(i, i)] = tau;
+        if tau == 0.0 {
+            continue;
+        }
+        // t[0..i, i] = -tau * V[:, 0..i]^T v_i, then T[0..i, i] = T[0..i, 0..i] * that
+        let col_i = j0 + i;
+        let row0 = j0 + i; // v_i has implicit 1 at row j0+i, tail below
+        let mut w = vec![0.0f64; i];
+        for (jj, wj) in w.iter_mut().enumerate() {
+            let col_j = j0 + jj;
+            // V[:, jj]^T v_i over rows row0.. (v_j has implicit 1 at j0+jj,
+            // which is above row0, so only stored tails overlap).
+            let mut s = factors[(row0, col_j)]; // v_j[row0] * v_i[row0]=1
+            for r in row0 + 1..m {
+                s += factors[(r, col_j)] * factors[(r, col_i)];
+            }
+            *wj = -tau * s;
+        }
+        // T[0..i, i] = T[0..i, 0..i] * w  (upper-triangular T so far)
+        for r in 0..i {
+            let mut s = 0.0;
+            for c in r..i {
+                s += t[(r, c)] * w[c];
+            }
+            t[(r, i)] = s;
+        }
+    }
+    t
+}
+
+/// Applies the block reflector `(I − V T Vᵀ)ᵀ = I − V Tᵀ Vᵀ` to `c`
+/// (`C ← Qᵀ C` for the panel's Q), where `V` is the unit-lower-trapezoidal
+/// reflector block stored in `factors[j0.., j0..j0+k]`.
+fn apply_block_reflector_trans(factors: &Mat, j0: usize, k: usize, t: &Mat, mut c: MatMut<'_>) {
+    let m = factors.rows();
+    let rows = m - j0;
+    let n = c.cols();
+    debug_assert_eq!(c.rows(), rows);
+    if n == 0 || k == 0 {
+        return;
+    }
+    // W = V^T C  (k × n); V is rows×k unit lower trapezoidal.
+    let mut w = Mat::zeros(k, n);
+    for j in 0..n {
+        let cj = c.col(j);
+        for i in 0..k {
+            let col_i = j0 + i;
+            // v_i = [0...0, 1, tail] with the 1 at local row i.
+            let mut s = cj[i];
+            for r in i + 1..rows {
+                s += factors[(j0 + r, col_i)] * cj[r];
+            }
+            let wj = w.col_mut(j);
+            wj[i] = s;
+        }
+    }
+    // W := T^T W
+    rlra_blas::trmm(Side::Left, UpLo::Upper, Trans::Yes, Diag::NonUnit, 1.0, t.as_ref(), w.as_mut())
+        .expect("trmm shapes are consistent by construction");
+    // C := C − V W
+    for j in 0..n {
+        let wj = w.col(j).to_vec();
+        let cj = c.col_mut(j);
+        for i in 0..k {
+            let col_i = j0 + i;
+            let wij = wj[i];
+            if wij == 0.0 {
+                continue;
+            }
+            cj[i] -= wij;
+            for r in i + 1..rows {
+                cj[r] -= factors[(j0 + r, col_i)] * wij;
+            }
+        }
+    }
+}
+
+/// Default panel width for blocked QR.
+pub const QR_BLOCK: usize = 32;
+
+/// Blocked Householder QR (LAPACK `geqrf`): factors `a` in place using
+/// compact-WY panel updates so the trailing-matrix work is BLAS-3.
+pub fn geqrf(a: &mut Mat) -> Vec<f64> {
+    let m = a.rows();
+    let n = a.cols();
+    let kmax = m.min(n);
+    let mut taus = vec![0.0f64; kmax];
+    let mut j = 0;
+    while j < kmax {
+        let nb = QR_BLOCK.min(kmax - j);
+        // Panel factorization (BLAS-2).
+        {
+            let mut view = a.as_mut();
+            let panel = view.submatrix_mut(j, j, m - j, nb);
+            let panel_taus = geqr2(panel);
+            taus[j..j + nb].copy_from_slice(&panel_taus);
+        }
+        // Trailing update (BLAS-3 via compact WY).
+        if j + nb < n {
+            let t = larft(a, j, nb, &taus[j..j + nb]);
+            let factors_snapshot = a.clone();
+            let mut view = a.as_mut();
+            let trailing = view.submatrix_mut(j, j + nb, m - j, n - j - nb);
+            apply_block_reflector_trans(&factors_snapshot, j, nb, &t, trailing);
+        }
+        j += nb;
+    }
+    taus
+}
+
+/// Forms the thin orthogonal factor `Q` (`m × k`) from the compact
+/// factorization produced by [`geqrf`]/[`geqr2`] (LAPACK `orgqr`).
+pub fn orgqr(factors: &Mat, taus: &[f64], k: usize) -> Mat {
+    let m = factors.rows();
+    let kf = taus.len();
+    assert!(k <= kf.max(1) && k <= m, "orgqr: k out of range");
+    // Q starts as the leading k columns of the identity and the reflectors
+    // are applied in reverse order: Q = H_0 · H_1 ⋯ H_{kf-1} · E_k.
+    let mut q = Mat::zeros(m, k);
+    for j in 0..k {
+        q[(j, j)] = 1.0;
+    }
+    for j in (0..kf.min(m)).rev() {
+        let tau = taus[j];
+        if tau == 0.0 {
+            continue;
+        }
+        let v_tail: Vec<f64> = (j + 1..m).map(|r| factors[(r, j)]).collect();
+        let mut view = q.as_mut();
+        let sub = view.submatrix_mut(j, 0, m - j, k);
+        apply_reflector_left(tau, &v_tail, sub);
+    }
+    q
+}
+
+/// Applies `Qᵀ` (from a compact factorization of an `m × kf` panel) to the
+/// matrix `c` in place: `C ← Qᵀ C` (LAPACK `ormqr` with `side = Left`,
+/// `trans = T`).
+pub fn ormqr_left_trans(factors: &Mat, taus: &[f64], c: &mut Mat) -> Result<()> {
+    let m = factors.rows();
+    if c.rows() != m {
+        return Err(MatrixError::DimensionMismatch {
+            op: "ormqr_left_trans",
+            expected: format!("c.rows() == {m}"),
+            found: format!("c.rows() == {}", c.rows()),
+        });
+    }
+    let n = c.cols();
+    for (j, &tau) in taus.iter().enumerate() {
+        if tau == 0.0 {
+            continue;
+        }
+        let v_tail: Vec<f64> = (j + 1..m).map(|r| factors[(r, j)]).collect();
+        let mut view = c.as_mut();
+        let sub = view.submatrix_mut(j, 0, m - j, n);
+        apply_reflector_left(tau, &v_tail, sub);
+    }
+    Ok(())
+}
+
+/// Convenience wrapper: thin QR factorization `A = Q R` with `Q` of shape
+/// `m × min(m,n)` and `R` of shape `min(m,n) × n`.
+pub fn qr_factor(a: &Mat) -> (Mat, Mat) {
+    let mut f = a.clone();
+    let taus = geqrf(&mut f);
+    let k = a.rows().min(a.cols());
+    let r = Mat::from_fn(k, a.cols(), |i, j| if i <= j { f[(i, j)] } else { 0.0 });
+    let q = orgqr(&f, &taus, k);
+    (q, r)
+}
+
+/// Forms `Q` only (thin, `m × min(m,n)`), discarding `R`.
+pub fn form_q(a: &Mat) -> Mat {
+    qr_factor(a).0
+}
+
+/// Computes the residual `‖QᵀQ − I‖_max`, a convenient orthogonality
+/// diagnostic used across the workspace's tests.
+pub fn orthogonality_error(q: &Mat) -> f64 {
+    let k = q.cols();
+    let mut g = Mat::zeros(k, k);
+    gemm(1.0, q.as_ref(), Trans::Yes, q.as_ref(), Trans::No, 0.0, g.as_mut())
+        .expect("shapes consistent");
+    let mut worst = 0.0f64;
+    for j in 0..k {
+        for i in 0..k {
+            let target = if i == j { 1.0 } else { 0.0 };
+            worst = worst.max((g[(i, j)] - target).abs());
+        }
+    }
+    worst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rlra_blas::naive::gemm_ref;
+    use rlra_matrix::ops::max_abs_diff;
+
+    fn pseudo(rows: usize, cols: usize, seed: u64) -> Mat {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        Mat::from_fn(rows, cols, |_, _| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state % 2000) as f64 / 1000.0 - 1.0
+        })
+    }
+
+    #[test]
+    fn larfg_annihilates_tail() {
+        let mut x = vec![3.0, 4.0];
+        let (beta, tau) = larfg(0.0, &mut x);
+        // Applying H to the original vector must give [beta, 0, 0].
+        let v = [1.0, x[0], x[1]];
+        let orig = [0.0, 3.0, 4.0];
+        let w: f64 = v.iter().zip(&orig).map(|(a, b)| a * b).sum();
+        let result: Vec<f64> = orig.iter().zip(&v).map(|(o, vi)| o - tau * w * vi).collect();
+        assert!((result[0] - beta).abs() < 1e-12);
+        assert!(result[1].abs() < 1e-12);
+        assert!(result[2].abs() < 1e-12);
+        assert!((beta.abs() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn larfg_zero_tail_is_identity() {
+        let mut x: Vec<f64> = vec![0.0, 0.0];
+        let (beta, tau) = larfg(7.0, &mut x);
+        assert_eq!(beta, 7.0);
+        assert_eq!(tau, 0.0);
+    }
+
+    fn check_qr(a: &Mat, tol: f64) {
+        let (q, r) = qr_factor(a);
+        let k = a.rows().min(a.cols());
+        assert_eq!(q.shape(), (a.rows(), k));
+        assert_eq!(r.shape(), (k, a.cols()));
+        // R upper triangular.
+        for j in 0..r.cols() {
+            for i in j + 1..r.rows() {
+                assert_eq!(r[(i, j)], 0.0);
+            }
+        }
+        // Q orthonormal.
+        assert!(orthogonality_error(&q) < tol, "Q^T Q != I: {}", orthogonality_error(&q));
+        // Q R = A.
+        let qr = gemm_ref(&q, rlra_blas::Trans::No, &r, rlra_blas::Trans::No);
+        let d = max_abs_diff(&qr, a).unwrap();
+        assert!(d < tol, "QR != A: {d}");
+    }
+
+    #[test]
+    fn qr_tall_matrix() {
+        check_qr(&pseudo(40, 12, 1), 1e-12);
+    }
+
+    #[test]
+    fn qr_square_matrix() {
+        check_qr(&pseudo(15, 15, 2), 1e-12);
+    }
+
+    #[test]
+    fn qr_wide_matrix() {
+        check_qr(&pseudo(10, 25, 3), 1e-12);
+    }
+
+    #[test]
+    fn qr_single_column() {
+        check_qr(&pseudo(9, 1, 4), 1e-13);
+    }
+
+    #[test]
+    fn qr_crosses_block_boundary() {
+        // n > QR_BLOCK exercises the compact-WY trailing update.
+        check_qr(&pseudo(80, QR_BLOCK * 2 + 5, 5), 1e-11);
+    }
+
+    #[test]
+    fn blocked_matches_unblocked() {
+        let a = pseudo(50, 45, 6);
+        let mut f1 = a.clone();
+        let t1 = geqrf(&mut f1);
+        let mut f2 = a.clone();
+        let t2 = geqr2(f2.as_mut());
+        let d = max_abs_diff(&f1, &f2).unwrap();
+        assert!(d < 1e-11, "factors differ: {d}");
+        for (a, b) in t1.iter().zip(&t2) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn ormqr_gives_r() {
+        // Q^T A = R.
+        let a = pseudo(20, 8, 7);
+        let mut f = a.clone();
+        let taus = geqrf(&mut f);
+        let mut c = a.clone();
+        ormqr_left_trans(&f, &taus, &mut c).unwrap();
+        for j in 0..8 {
+            for i in 0..20 {
+                if i <= j.min(7) {
+                    assert!((c[(i, j)] - f[(i, j)]).abs() < 1e-11);
+                } else {
+                    assert!(c[(i, j)].abs() < 1e-11, "below-diagonal {i},{j} = {}", c[(i, j)]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn orgqr_partial_columns() {
+        let a = pseudo(30, 10, 8);
+        let mut f = a.clone();
+        let taus = geqrf(&mut f);
+        let q_full = orgqr(&f, &taus, 10);
+        let q_part = orgqr(&f, &taus, 4);
+        for j in 0..4 {
+            for i in 0..30 {
+                assert!((q_full[(i, j)] - q_part[(i, j)]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn qr_of_identity_is_identity() {
+        let (q, r) = qr_factor(&Mat::identity(6));
+        assert!(max_abs_diff(&q, &Mat::identity(6)).unwrap() < 1e-14);
+        assert!(max_abs_diff(&r, &Mat::identity(6)).unwrap() < 1e-14);
+    }
+
+    #[test]
+    fn qr_rank_deficient_still_orthogonal() {
+        // Two identical columns: R has a (near-)zero diagonal but Q stays
+        // orthonormal.
+        let mut a = pseudo(12, 3, 9);
+        let c0 = a.col(0).to_vec();
+        a.col_mut(2).copy_from_slice(&c0);
+        let (q, _r) = qr_factor(&a);
+        assert!(orthogonality_error(&q) < 1e-12);
+    }
+}

@@ -1,0 +1,49 @@
+//! # rlra-lapack
+//!
+//! Dense factorizations for the `rlra` workspace (reproduction of Mary et
+//! al., SC'15): every factorization the paper uses or compares against is
+//! implemented here from scratch on top of `rlra-blas`:
+//!
+//! - [`householder`] — Householder reflectors, blocked QR (compact-WY),
+//!   explicit Q formation and application (`geqrf`/`orgqr`/`ormqr`);
+//!   this is the paper's **HHQR**,
+//! - [`cholesky`] — `potrf`,
+//! - [`mod@cholqr`] — **CholQR** for tall-skinny matrices and its LQ-flavored
+//!   adaptation for short-wide matrices, with optional full
+//!   reorthogonalization (the paper stabilizes the power iteration with
+//!   "CholQR with one full reorthogonalization"),
+//! - [`gram_schmidt`] — **CGS** and **MGS**, plus the block
+//!   orthogonalization `BOrth` used on lines 4/9 of the paper's
+//!   Figure 2(a),
+//! - [`qrcp`] — QR with column pivoting: the unblocked column-based
+//!   algorithm (`geqp2`) and the blocked BLAS-3 **QP3**
+//!   (Quintana-Ortí/Sun/Bischof) with column-norm downdating and
+//!   recomputation — the paper's deterministic baseline,
+//! - [`svd`] — a one-sided Jacobi SVD used to build test matrices with
+//!   prescribed spectra and to measure exact singular values σₖ₊₁ for the
+//!   error bounds.
+
+pub mod ca_qrcp;
+pub mod cholesky;
+pub mod cholqr;
+pub mod cholqr_mixed;
+pub mod dd;
+pub mod gk_svd;
+pub mod gram_schmidt;
+pub mod householder;
+pub mod lu;
+pub mod qrcp;
+pub mod svd;
+pub mod tsqr;
+
+pub use ca_qrcp::{tournament_qrcp, CaQrcp};
+pub use cholesky::cholesky_upper;
+pub use cholqr::{cholqr, cholqr2, cholqr_rows, cholqr_rows2};
+pub use cholqr_mixed::{cholqr_mixed, cholqr_rows_mixed};
+pub use gram_schmidt::{block_orth, block_orth_cols, block_orth_rows, cgs, mgs};
+pub use householder::{form_q, qr_factor, HouseholderQr};
+pub use lu::{lu_factor, lu_solve, Lu};
+pub use qrcp::{qp3_blocked, qrcp_column, QrcpResult};
+pub use gk_svd::svd_golub_kahan;
+pub use svd::{singular_values, svd_jacobi, Svd};
+pub use tsqr::{tsqr, Tsqr};

@@ -1,0 +1,255 @@
+//! Dense LU factorization with partial pivoting (LAPACK `getrf`/`getrs`).
+//!
+//! Used for the small dense systems the hierarchical solver and the CUR
+//! linking matrix produce (leaf blocks, Woodbury capacitance systems) —
+//! general nonsymmetric matrices where Cholesky does not apply.
+
+use rlra_matrix::{Mat, MatrixError, Result};
+
+/// A partially pivoted LU factorization `P·A = L·U` with unit-diagonal
+/// `L` and `U` packed into one matrix.
+#[derive(Debug, Clone)]
+pub struct Lu {
+    /// Packed factors: `U` on and above the diagonal, the multipliers of
+    /// `L` below it.
+    pub factors: Mat,
+    /// Row-swap sequence: at step `k`, rows `k` and `pivots[k]` were
+    /// exchanged.
+    pub pivots: Vec<usize>,
+}
+
+/// Factors the square matrix `a` as `P·A = L·U` with partial pivoting.
+///
+/// # Errors
+///
+/// Returns [`MatrixError::SingularDiagonal`] if a pivot column is exactly
+/// zero below the diagonal (the matrix is singular to working precision).
+pub fn lu_factor(a: &Mat) -> Result<Lu> {
+    let n = a.rows();
+    if a.cols() != n {
+        return Err(MatrixError::DimensionMismatch {
+            op: "lu_factor",
+            expected: "square matrix".into(),
+            found: format!("{}x{}", a.rows(), a.cols()),
+        });
+    }
+    let mut lu = a.clone();
+    let mut pivots = Vec::with_capacity(n);
+    for k in 0..n {
+        // Partial pivot: largest magnitude in column k at or below row k.
+        let mut piv = k;
+        let mut best = lu[(k, k)].abs();
+        for i in k + 1..n {
+            if lu[(i, k)].abs() > best {
+                best = lu[(i, k)].abs();
+                piv = i;
+            }
+        }
+        if best == 0.0 {
+            return Err(MatrixError::SingularDiagonal { index: k });
+        }
+        pivots.push(piv);
+        if piv != k {
+            for j in 0..n {
+                let t = lu[(k, j)];
+                lu[(k, j)] = lu[(piv, j)];
+                lu[(piv, j)] = t;
+            }
+        }
+        // Eliminate below the pivot; store the multipliers.
+        let pivot_val = lu[(k, k)];
+        for i in k + 1..n {
+            let f = lu[(i, k)] / pivot_val;
+            lu[(i, k)] = f;
+            if f != 0.0 {
+                for j in k + 1..n {
+                    let v = lu[(k, j)];
+                    lu[(i, j)] -= f * v;
+                }
+            }
+        }
+    }
+    Ok(Lu { factors: lu, pivots })
+}
+
+impl Lu {
+    /// Order of the factorization.
+    pub fn order(&self) -> usize {
+        self.factors.rows()
+    }
+
+    /// Solves `A·X = B` for a multi-column right-hand side using the
+    /// stored factors (LAPACK `getrs`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MatrixError::DimensionMismatch`] if `b.rows()` does not
+    /// match the factorization order.
+    pub fn solve_mat(&self, b: &Mat) -> Result<Mat> {
+        let n = self.order();
+        if b.rows() != n {
+            return Err(MatrixError::DimensionMismatch {
+                op: "Lu::solve_mat",
+                expected: format!("b.rows() == {n}"),
+                found: format!("b.rows() == {}", b.rows()),
+            });
+        }
+        let mut x = b.clone();
+        // Apply the row swaps.
+        for (k, &piv) in self.pivots.iter().enumerate() {
+            if piv != k {
+                for j in 0..x.cols() {
+                    let t = x[(k, j)];
+                    x[(k, j)] = x[(piv, j)];
+                    x[(piv, j)] = t;
+                }
+            }
+        }
+        // Forward substitution with unit-lower L.
+        for j in 0..x.cols() {
+            for k in 0..n {
+                let xk = x[(k, j)];
+                if xk != 0.0 {
+                    for i in k + 1..n {
+                        let l = self.factors[(i, k)];
+                        x[(i, j)] -= l * xk;
+                    }
+                }
+            }
+            // Backward substitution with U.
+            for i in (0..n).rev() {
+                let mut s = x[(i, j)];
+                for c in i + 1..n {
+                    s -= self.factors[(i, c)] * x[(c, j)];
+                }
+                x[(i, j)] = s / self.factors[(i, i)];
+            }
+        }
+        Ok(x)
+    }
+
+    /// Solves `A·x = b` for one right-hand side.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Lu::solve_mat`].
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let bm = Mat::from_col_major(b.len(), 1, b.to_vec())?;
+        Ok(self.solve_mat(&bm)?.into_vec())
+    }
+}
+
+/// One-shot dense solve `A·X = B`.
+///
+/// # Errors
+///
+/// As for [`lu_factor`] and [`Lu::solve_mat`].
+pub fn lu_solve(a: &Mat, b: &Mat) -> Result<Mat> {
+    lu_factor(a)?.solve_mat(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rlra_blas::naive::gemm_ref;
+    use rlra_blas::Trans;
+    use rlra_matrix::ops::max_abs_diff;
+
+    fn pseudo(rows: usize, cols: usize, seed: u64) -> Mat {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        Mat::from_fn(rows, cols, |_, _| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state % 2000) as f64 / 1000.0 - 1.0
+        })
+    }
+
+    #[test]
+    fn solves_random_system() {
+        let a = pseudo(12, 12, 1);
+        let x_true = pseudo(12, 3, 2);
+        let b = gemm_ref(&a, Trans::No, &x_true, Trans::No);
+        let x = lu_solve(&a, &b).unwrap();
+        assert!(max_abs_diff(&x, &x_true).unwrap() < 1e-10);
+    }
+
+    #[test]
+    fn solve_vec_matches_mat() {
+        let a = pseudo(8, 8, 3);
+        let b: Vec<f64> = (0..8).map(|i| i as f64 - 3.0).collect();
+        let lu = lu_factor(&a).unwrap();
+        let x1 = lu.solve(&b).unwrap();
+        let bm = Mat::from_col_major(8, 1, b).unwrap();
+        let x2 = lu.solve_mat(&bm).unwrap();
+        assert_eq!(x1, x2.into_vec());
+    }
+
+    #[test]
+    fn pivoting_handles_zero_leading_entry() {
+        // a[0,0] = 0 forces a row swap immediately.
+        let mut a = pseudo(6, 6, 4);
+        a[(0, 0)] = 0.0;
+        let x_true = pseudo(6, 1, 5);
+        let b = gemm_ref(&a, Trans::No, &x_true, Trans::No);
+        let x = lu_solve(&a, &b).unwrap();
+        assert!(max_abs_diff(&x, &x_true).unwrap() < 1e-10);
+    }
+
+    #[test]
+    fn detects_singularity() {
+        let mut a = pseudo(5, 5, 6);
+        // Make row 3 a copy of row 1 => singular.
+        for j in 0..5 {
+            let v = a[(1, j)];
+            a[(3, j)] = v;
+        }
+        assert!(matches!(lu_factor(&a), Err(MatrixError::SingularDiagonal { .. })));
+    }
+
+    #[test]
+    fn identity_is_its_own_factorization() {
+        let lu = lu_factor(&Mat::identity(4)).unwrap();
+        assert!(max_abs_diff(&lu.factors, &Mat::identity(4)).unwrap() < 1e-15);
+        let b: Vec<f64> = vec![1.0, 2.0, 3.0, 4.0];
+        assert_eq!(lu.solve(&b).unwrap(), b);
+    }
+
+    #[test]
+    fn rejects_non_square_and_mismatched_rhs() {
+        assert!(lu_factor(&Mat::zeros(3, 4)).is_err());
+        let lu = lu_factor(&Mat::identity(3)).unwrap();
+        assert!(lu.solve_mat(&Mat::zeros(4, 1)).is_err());
+    }
+
+    #[test]
+    fn factors_reconstruct_pa() {
+        let a = pseudo(7, 7, 7);
+        let lu = lu_factor(&a).unwrap();
+        let n = 7;
+        // Build L and U from the packed factors.
+        let l = Mat::from_fn(n, n, |i, j| {
+            if i == j {
+                1.0
+            } else if i > j {
+                lu.factors[(i, j)]
+            } else {
+                0.0
+            }
+        });
+        let u = Mat::from_fn(n, n, |i, j| if i <= j { lu.factors[(i, j)] } else { 0.0 });
+        let lu_prod = gemm_ref(&l, Trans::No, &u, Trans::No);
+        // Apply the swap sequence to A.
+        let mut pa = a.clone();
+        for (k, &piv) in lu.pivots.iter().enumerate() {
+            if piv != k {
+                for j in 0..n {
+                    let t = pa[(k, j)];
+                    pa[(k, j)] = pa[(piv, j)];
+                    pa[(piv, j)] = t;
+                }
+            }
+        }
+        assert!(max_abs_diff(&lu_prod, &pa).unwrap() < 1e-11);
+    }
+}

@@ -1,0 +1,301 @@
+//! One-sided Jacobi SVD.
+//!
+//! Used by the workspace to (a) generate test matrices with prescribed
+//! singular spectra (Table 1 of the paper), and (b) compute exact
+//! reference values `σₖ₊₁` against which the randomized approximation
+//! error bound `‖AP − QR‖ ≤ c(p, Ω)^{1/(2q+1)} σₖ₊₁` is checked.
+//!
+//! One-sided Jacobi applies plane rotations to the columns of `A` until
+//! all pairs are numerically orthogonal, yielding `A·V = U·Σ`. It is slow
+//! (`O(n²m)` per sweep) but simple and accurate — exactly right for the
+//! modest `n ≤ ~500` the reference computations need.
+
+use rlra_matrix::{Mat, MatrixError, Result};
+
+/// Full thin SVD `A = U·Σ·Vᵀ` of an `m × n` matrix.
+#[derive(Debug, Clone)]
+pub struct Svd {
+    /// Left singular vectors (`m × r`, orthonormal columns),
+    /// `r = min(m, n)`.
+    pub u: Mat,
+    /// Singular values in non-increasing order (length `r`).
+    pub sigma: Vec<f64>,
+    /// Right singular vectors (`n × r`, orthonormal columns).
+    pub v: Mat,
+}
+
+impl Svd {
+    /// Reconstructs `A ≈ U·Σ·Vᵀ` (exact up to roundoff for the thin SVD).
+    pub fn reconstruct(&self) -> Mat {
+        let r = self.sigma.len();
+        let us = Mat::from_fn(self.u.rows(), r, |i, j| self.u[(i, j)] * self.sigma[j]);
+        let mut out = Mat::zeros(self.u.rows(), self.v.rows());
+        rlra_blas::gemm(
+            1.0,
+            us.as_ref(),
+            rlra_blas::Trans::No,
+            self.v.as_ref(),
+            rlra_blas::Trans::Yes,
+            0.0,
+            out.as_mut(),
+        )
+        .expect("shapes consistent");
+        out
+    }
+
+    /// The best rank-`k` approximation `U₁:ₖ Σ₁:ₖ V₁:ₖᵀ` (Eckart–Young).
+    pub fn truncate(&self, k: usize) -> Mat {
+        let k = k.min(self.sigma.len());
+        let us = Mat::from_fn(self.u.rows(), k, |i, j| self.u[(i, j)] * self.sigma[j]);
+        let vk = self.v.columns(0, k);
+        let mut out = Mat::zeros(self.u.rows(), self.v.rows());
+        rlra_blas::gemm(
+            1.0,
+            us.as_ref(),
+            rlra_blas::Trans::No,
+            vk.as_ref(),
+            rlra_blas::Trans::Yes,
+            0.0,
+            out.as_mut(),
+        )
+        .expect("shapes consistent");
+        out
+    }
+}
+
+/// Maximum number of Jacobi sweeps before giving up.
+const MAX_SWEEPS: usize = 60;
+
+/// Computes the thin SVD of `a` by one-sided Jacobi rotations.
+///
+/// For `m < n` the transpose is factored and the roles of `U`/`V`
+/// swapped, so any shape is accepted.
+///
+/// # Errors
+///
+/// Returns [`MatrixError::NoConvergence`] if the sweep limit is exhausted
+/// (does not occur for the matrix sizes used in this workspace).
+pub fn svd_jacobi(a: &Mat) -> Result<Svd> {
+    if a.rows() < a.cols() {
+        let t = svd_jacobi(&a.transpose())?;
+        return Ok(Svd { u: t.v, sigma: t.sigma, v: t.u });
+    }
+    let (m, n) = a.shape();
+    let mut u = a.clone(); // becomes U·Σ column-wise
+    let mut v = Mat::identity(n);
+    let eps = f64::EPSILON;
+    // Columns whose norm has fallen below roundoff relative to the matrix
+    // scale are numerically zero; rotating them against each other only
+    // churns noise and stalls convergence on rank-deficient inputs.
+    let fnorm = rlra_matrix::norms::frobenius(a.as_ref());
+    let dead = (eps * fnorm) * (eps * fnorm);
+
+    let mut converged = false;
+    for _sweep in 0..MAX_SWEEPS {
+        let mut off = 0usize;
+        for p in 0..n {
+            for q in p + 1..n {
+                // Gram entries of the (p, q) column pair.
+                let app = rlra_blas::dot(u.col(p), u.col(p));
+                let aqq = rlra_blas::dot(u.col(q), u.col(q));
+                let apq = rlra_blas::dot(u.col(p), u.col(q));
+                if apq.abs() <= eps * (app * aqq).sqrt()
+                    || apq == 0.0
+                    || app <= dead
+                    || aqq <= dead
+                {
+                    continue;
+                }
+                off += 1;
+                // Jacobi rotation that annihilates the (p, q) Gram entry.
+                let zeta = (aqq - app) / (2.0 * apq);
+                let t = zeta.signum() / (zeta.abs() + (1.0 + zeta * zeta).sqrt());
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = c * t;
+                rotate_cols(&mut u, p, q, c, s, m);
+                rotate_cols(&mut v, p, q, c, s, n);
+            }
+        }
+        if off == 0 {
+            converged = true;
+            break;
+        }
+    }
+    if !converged {
+        return Err(MatrixError::NoConvergence { op: "svd_jacobi", iterations: MAX_SWEEPS });
+    }
+
+    // Extract singular values and normalize U's columns.
+    let mut order: Vec<usize> = (0..n).collect();
+    let norms: Vec<f64> = (0..n).map(|j| rlra_blas::nrm2(u.col(j))).collect();
+    order.sort_by(|&i, &j| norms[j].partial_cmp(&norms[i]).expect("norms are finite"));
+
+    let mut uu = Mat::zeros(m, n);
+    let mut vv = Mat::zeros(n, n);
+    let mut sigma = Vec::with_capacity(n);
+    for (dst, &src) in order.iter().enumerate() {
+        let s = norms[src];
+        sigma.push(s);
+        if s > 0.0 {
+            for (i, &x) in u.col(src).iter().enumerate() {
+                uu[(i, dst)] = x / s;
+            }
+        } else {
+            // Null column: any unit vector orthogonal to the rest would
+            // do; leave zero (rank-deficient tail is rarely consumed).
+            uu[(dst.min(m - 1), dst)] = 1.0;
+        }
+        for (i, &x) in v.col(src).iter().enumerate() {
+            vv[(i, dst)] = x;
+        }
+    }
+    Ok(Svd { u: uu, sigma, v: vv })
+}
+
+/// Applies the rotation `[c, s; -s, c]` to columns `p`, `q` of `x`.
+fn rotate_cols(x: &mut Mat, p: usize, q: usize, c: f64, s: f64, rows: usize) {
+    let (left, mut right) = x.as_mut().split_at_col(q);
+    let mut left = left;
+    let cp = left.col_mut(p);
+    let cq = right.col_mut(0);
+    for i in 0..rows {
+        let xp = cp[i];
+        let xq = cq[i];
+        cp[i] = c * xp - s * xq;
+        cq[i] = s * xp + c * xq;
+    }
+}
+
+/// Convenience: singular values only, in non-increasing order.
+pub fn singular_values(a: &Mat) -> Result<Vec<f64>> {
+    Ok(svd_jacobi(a)?.sigma)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::householder::{form_q, orthogonality_error};
+    use rlra_matrix::norms::spectral_norm_mat;
+    use rlra_matrix::ops::{max_abs_diff, sub};
+
+    fn pseudo(rows: usize, cols: usize, seed: u64) -> Mat {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        Mat::from_fn(rows, cols, |_, _| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state % 2000) as f64 / 1000.0 - 1.0
+        })
+    }
+
+    fn with_spectrum(m: usize, n: usize, sigma: &[f64], seed: u64) -> Mat {
+        let u = form_q(&pseudo(m, n, seed));
+        let v = form_q(&pseudo(n, n, seed + 1));
+        let us = Mat::from_fn(m, n, |i, j| u[(i, j)] * sigma[j]);
+        let mut a = Mat::zeros(m, n);
+        rlra_blas::gemm(
+            1.0,
+            us.as_ref(),
+            rlra_blas::Trans::No,
+            v.as_ref(),
+            rlra_blas::Trans::Yes,
+            0.0,
+            a.as_mut(),
+        )
+        .unwrap();
+        a
+    }
+
+    #[test]
+    fn diagonal_matrix_recovers_spectrum() {
+        let a = Mat::from_diag(&[3.0, 1.0, 2.0]);
+        let svd = svd_jacobi(&a).unwrap();
+        assert!((svd.sigma[0] - 3.0).abs() < 1e-12);
+        assert!((svd.sigma[1] - 2.0).abs() < 1e-12);
+        assert!((svd.sigma[2] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn prescribed_spectrum_recovered() {
+        let sigma: Vec<f64> = (0..8).map(|i| (i as f64 + 1.0).powi(-2)).collect();
+        let a = with_spectrum(20, 8, &sigma, 1);
+        let got = singular_values(&a).unwrap();
+        for (g, e) in got.iter().zip(&sigma) {
+            assert!((g - e).abs() < 1e-10 * (1.0 + e), "got {g}, expected {e}");
+        }
+    }
+
+    #[test]
+    fn factors_orthonormal_and_reconstruct() {
+        let a = pseudo(15, 9, 2);
+        let svd = svd_jacobi(&a).unwrap();
+        assert!(orthogonality_error(&svd.u) < 1e-10);
+        assert!(orthogonality_error(&svd.v) < 1e-10);
+        assert!(max_abs_diff(&svd.reconstruct(), &a).unwrap() < 1e-10);
+    }
+
+    #[test]
+    fn wide_matrix_handled_by_transpose() {
+        let a = pseudo(6, 14, 3);
+        let svd = svd_jacobi(&a).unwrap();
+        assert_eq!(svd.u.shape(), (6, 6));
+        assert_eq!(svd.v.shape(), (14, 6));
+        assert!(max_abs_diff(&svd.reconstruct(), &a).unwrap() < 1e-10);
+    }
+
+    #[test]
+    fn truncation_is_eckart_young_optimal() {
+        let sigma: Vec<f64> = (0..10).map(|i| 2f64.powi(-i)).collect();
+        let a = with_spectrum(25, 10, &sigma, 4);
+        let svd = svd_jacobi(&a).unwrap();
+        for k in [1, 3, 5] {
+            let ak = svd.truncate(k);
+            let err = spectral_norm_mat(&sub(&a, &ak).unwrap());
+            assert!(
+                (err - sigma[k]).abs() < 1e-8,
+                "rank-{k} error {err} should equal sigma_{}={}",
+                k + 1,
+                sigma[k]
+            );
+        }
+    }
+
+    #[test]
+    fn singular_values_sorted_descending() {
+        let a = pseudo(12, 12, 5);
+        let s = singular_values(&a).unwrap();
+        for w in s.windows(2) {
+            assert!(w[0] >= w[1]);
+        }
+    }
+
+    #[test]
+    fn rank_deficient_tail_is_zero() {
+        let x = pseudo(10, 2, 6);
+        let y = pseudo(2, 7, 7);
+        let mut a = Mat::zeros(10, 7);
+        rlra_blas::gemm(
+            1.0,
+            x.as_ref(),
+            rlra_blas::Trans::No,
+            y.as_ref(),
+            rlra_blas::Trans::No,
+            0.0,
+            a.as_mut(),
+        )
+        .unwrap();
+        let s = singular_values(&a).unwrap();
+        assert!(s[1] > 1e-8);
+        for &v in &s[2..] {
+            assert!(v < 1e-10 * s[0]);
+        }
+    }
+
+    #[test]
+    fn spectral_norm_agrees_with_power_iteration() {
+        let a = pseudo(18, 11, 8);
+        let s = singular_values(&a).unwrap();
+        let pn = spectral_norm_mat(&a);
+        assert!((s[0] - pn).abs() < 1e-7 * s[0]);
+    }
+}

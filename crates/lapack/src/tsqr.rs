@@ -1,0 +1,348 @@
+//! Communication-avoiding tall-skinny QR (**TSQR**, Demmel–Grigori–
+//! Hoemmen–Langou), the orthogonalization scheme the paper lists as its
+//! ongoing work for improving the stability of random sampling beyond
+//! CholQR ("we are studying other orthogonalization schemes including
+//! Communication-Avoiding QR \[5\]", §11).
+//!
+//! TSQR factors an `m × n` tall-skinny matrix by a reduction tree:
+//! row blocks are QR-factored independently, the stacked `R` factors are
+//! factored pairwise up the tree, and the final `R` is the root's
+//! triangle. Unlike CholQR it is unconditionally stable (it never squares
+//! the condition number), while still needing only one reduction — at the
+//! cost of a larger flop constant and Householder-style kernels at the
+//! leaves.
+
+use crate::householder::{geqrf, orgqr, qr_factor};
+use rlra_matrix::{Mat, MatrixError, Result};
+
+/// The compact result of a TSQR factorization: enough to form `Q`
+/// explicitly or reconstruct `R`.
+#[derive(Debug, Clone)]
+pub struct Tsqr {
+    /// The final upper-triangular factor (`n × n`).
+    pub r: Mat,
+    /// Explicit thin `Q` (`m × n`). TSQR implementations often keep `Q`
+    /// implicit; we materialize it because the sampling algorithms
+    /// consume `Q` directly.
+    pub q: Mat,
+    /// Number of leaf blocks used.
+    pub leaves: usize,
+}
+
+/// Factors `a` (`m × n`, `m ≥ n`) with a binary-tree TSQR using leaf
+/// blocks of at least `block_rows` rows. Returns `(Q, R)` with
+/// orthonormal `Q`, upper-triangular `R` with non-negative diagonal, and
+/// `Q·R = A`.
+///
+/// # Errors
+///
+/// Returns [`MatrixError::DimensionMismatch`] if `m < n`, or
+/// [`MatrixError::InvalidParameter`] if `block_rows == 0`.
+pub fn tsqr(a: &Mat, block_rows: usize) -> Result<Tsqr> {
+    let (m, n) = a.shape();
+    if m < n {
+        return Err(MatrixError::DimensionMismatch {
+            op: "tsqr",
+            expected: "m >= n (tall-skinny)".into(),
+            found: format!("{m}x{n}"),
+        });
+    }
+    if block_rows == 0 {
+        return Err(MatrixError::InvalidParameter {
+            name: "block_rows",
+            message: "leaf block must have at least one row".into(),
+        });
+    }
+    // Leaf blocks need at least n rows each to produce square R factors.
+    let rows_per_leaf = block_rows.max(n);
+    let leaves = (m / rows_per_leaf).max(1);
+    let bounds = split_rows(m, leaves);
+
+    // --- Leaf stage: independent QR of each row block --------------------
+    let mut leaf_qs: Vec<Mat> = Vec::with_capacity(leaves);
+    let mut rs: Vec<Mat> = Vec::with_capacity(leaves);
+    for &(start, len) in &bounds {
+        let block = a.submatrix(start, 0, len, n);
+        let (q, r) = qr_factor(&block);
+        leaf_qs.push(q);
+        rs.push(positive_diag_qr(r, None).0);
+    }
+    // Fix the leaf Q signs to match the sign-normalized R factors.
+    for (q, &(start, len)) in leaf_qs.iter_mut().zip(&bounds) {
+        let block = a.submatrix(start, 0, len, n);
+        let (q_fixed, _) = normalize_leaf(&block, q);
+        *q = q_fixed;
+    }
+
+    // --- Reduction tree: pairwise QR of stacked R factors -----------------
+    // Each tree level combines pairs [R_i; R_j] = Q_ij · R_ij; the small
+    // Q_ij factors are pushed back down into the leaf Q blocks.
+    let mut level_qs: Vec<Vec<Mat>> = Vec::new();
+    let mut current = rs;
+    while current.len() > 1 {
+        let mut next = Vec::with_capacity(current.len().div_ceil(2));
+        let mut qs = Vec::with_capacity(current.len().div_ceil(2));
+        let mut i = 0;
+        while i + 1 < current.len() {
+            let stacked = current[i].vcat(&current[i + 1])?;
+            let (q, r) = qr_factor(&stacked);
+            let (r, flips) = positive_diag_qr(r, None);
+            let q = flip_cols(&q, &flips);
+            qs.push(q);
+            next.push(r);
+            i += 2;
+        }
+        if i < current.len() {
+            // Odd element passes through unchanged (identity Q).
+            qs.push(Mat::identity(n));
+            next.push(current[i].clone());
+        }
+        level_qs.push(qs);
+        current = next;
+    }
+    let r_final = current.pop().expect("at least one factor");
+
+    // --- Form the explicit Q by propagating the tree factors down ---------
+    // At the root, Q_global = I_n; walking the tree top-down multiplies
+    // each node's children by the corresponding row blocks of the node's
+    // small Q.
+    let mut factors: Vec<Mat> = vec![Mat::identity(n)];
+    for qs in level_qs.iter().rev() {
+        let mut expanded = Vec::with_capacity(qs.len() * 2);
+        for (node_idx, q_small) in qs.iter().enumerate() {
+            let parent = &factors[node_idx];
+            if q_small.rows() == 2 * n {
+                // Combined node: split the 2n × n small Q into its two
+                // child blocks and compose with the parent factor.
+                let top = q_small.submatrix(0, 0, n, n);
+                let bot = q_small.submatrix(n, 0, n, n);
+                expanded.push(mat_mul(&top, parent)?);
+                expanded.push(mat_mul(&bot, parent)?);
+            } else {
+                // Pass-through node.
+                expanded.push(mat_mul(q_small, parent)?);
+            }
+        }
+        factors = expanded;
+    }
+    debug_assert_eq!(factors.len(), leaves);
+
+    // Q = blockdiag(leaf_Q_i) · factors.
+    let mut q = Mat::zeros(m, n);
+    for ((leaf_q, factor), &(start, _len)) in leaf_qs.iter().zip(&factors).zip(&bounds) {
+        let qi = mat_mul(leaf_q, factor)?;
+        q.set_submatrix(start, 0, &qi);
+    }
+    Ok(Tsqr { r: r_final, q, leaves })
+}
+
+/// Splits `m` rows into `parts` nearly equal chunks.
+fn split_rows(m: usize, parts: usize) -> Vec<(usize, usize)> {
+    let base = m / parts;
+    let extra = m % parts;
+    let mut out = Vec::with_capacity(parts);
+    let mut start = 0;
+    for i in 0..parts {
+        let len = base + usize::from(i < extra);
+        out.push((start, len));
+        start += len;
+    }
+    out
+}
+
+/// Enforces a non-negative diagonal on `r` by flipping row signs; returns
+/// the fixed factor and the flip mask.
+fn positive_diag_qr(mut r: Mat, _unused: Option<()>) -> (Mat, Vec<bool>) {
+    let n = r.rows().min(r.cols());
+    let mut flips = vec![false; n];
+    for i in 0..n {
+        if r[(i, i)] < 0.0 {
+            flips[i] = true;
+            for j in 0..r.cols() {
+                r[(i, j)] = -r[(i, j)];
+            }
+        }
+    }
+    (r, flips)
+}
+
+/// Flips the sign of the columns of `q` marked in `flips` (the adjoint of
+/// the row flips applied to `R`).
+fn flip_cols(q: &Mat, flips: &[bool]) -> Mat {
+    let mut out = q.clone();
+    for (j, &f) in flips.iter().enumerate() {
+        if f {
+            for x in out.col_mut(j) {
+                *x = -*x;
+            }
+        }
+    }
+    out
+}
+
+/// Renormalizes a leaf: recompute `Q` against the sign-normalized `R` by
+/// solving `Q = A·R⁻¹` via the already-orthonormal candidate (cheap sign
+/// fix without another factorization).
+fn normalize_leaf(block: &Mat, q_candidate: &Mat) -> (Mat, ()) {
+    // The candidate Q is orthonormal; the sign-normalized R differs from
+    // the candidate's R only by row signs, which map to column signs of Q.
+    // Recover the signs by checking the projection of A onto each column.
+    let n = q_candidate.cols();
+    let mut q = q_candidate.clone();
+    for j in 0..n {
+        // diag entry sign of candidate's R: r_jj = q_j^T a_j.
+        let r_jj = rlra_blas::dot(q.col(j), block.col(j));
+        if r_jj < 0.0 {
+            for x in q.col_mut(j) {
+                *x = -*x;
+            }
+        }
+    }
+    (q, ())
+}
+
+/// Small dense product helper (`a · b`).
+fn mat_mul(a: &Mat, b: &Mat) -> Result<Mat> {
+    let mut out = Mat::zeros(a.rows(), b.cols());
+    rlra_blas::gemm(
+        1.0,
+        a.as_ref(),
+        rlra_blas::Trans::No,
+        b.as_ref(),
+        rlra_blas::Trans::No,
+        0.0,
+        out.as_mut(),
+    )?;
+    Ok(out)
+}
+
+/// Unblocked fallback used by tests for cross-checking: plain Householder
+/// QR with the same sign convention as [`tsqr`].
+pub fn qr_positive_diag(a: &Mat) -> (Mat, Mat) {
+    let mut f = a.clone();
+    let taus = geqrf(&mut f);
+    let k = a.rows().min(a.cols());
+    let r = Mat::from_fn(k, a.cols(), |i, j| if i <= j { f[(i, j)] } else { 0.0 });
+    let q = orgqr(&f, &taus, k);
+    let (r, flips) = positive_diag_qr(r, None);
+    (flip_cols(&q, &flips), r)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::householder::orthogonality_error;
+    use rlra_matrix::ops::max_abs_diff;
+
+    fn pseudo(rows: usize, cols: usize, seed: u64) -> Mat {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        Mat::from_fn(rows, cols, |_, _| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state % 2000) as f64 / 1000.0 - 1.0
+        })
+    }
+
+    fn check(a: &Mat, block_rows: usize, tol: f64) {
+        let t = tsqr(a, block_rows).unwrap();
+        assert!(orthogonality_error(&t.q) < tol, "Q not orthonormal: {}", orthogonality_error(&t.q));
+        // R upper triangular with non-negative diagonal.
+        for j in 0..t.r.cols() {
+            for i in j + 1..t.r.rows() {
+                assert!(t.r[(i, j)].abs() < tol);
+            }
+            assert!(t.r[(j, j)] >= 0.0);
+        }
+        // Q R = A.
+        let rec = mat_mul(&t.q, &t.r).unwrap();
+        assert!(max_abs_diff(&rec, a).unwrap() < tol, "QR != A");
+    }
+
+    #[test]
+    fn single_leaf_reduces_to_plain_qr() {
+        let a = pseudo(30, 6, 1);
+        let t = tsqr(&a, 100).unwrap();
+        assert_eq!(t.leaves, 1);
+        check(&a, 100, 1e-11);
+    }
+
+    #[test]
+    fn two_leaves() {
+        check(&pseudo(40, 5, 2), 20, 1e-11);
+    }
+
+    #[test]
+    fn power_of_two_tree() {
+        check(&pseudo(64, 4, 3), 8, 1e-11);
+    }
+
+    #[test]
+    fn odd_leaf_count() {
+        // 50 rows / 10-row leaves = 5 leaves: exercises the pass-through.
+        check(&pseudo(50, 4, 4), 10, 1e-11);
+    }
+
+    #[test]
+    fn uneven_blocks() {
+        check(&pseudo(47, 6, 5), 9, 1e-11);
+    }
+
+    #[test]
+    fn matches_householder_r() {
+        // Same sign convention => identical R (and Q) as plain QR.
+        let a = pseudo(48, 6, 6);
+        let t = tsqr(&a, 12).unwrap();
+        let (q_ref, r_ref) = qr_positive_diag(&a);
+        assert!(max_abs_diff(&t.r, &r_ref).unwrap() < 1e-10, "R differs from Householder");
+        assert!(max_abs_diff(&t.q, &q_ref).unwrap() < 1e-9, "Q differs from Householder");
+    }
+
+    #[test]
+    fn stable_on_ill_conditioned_input_where_cholqr_breaks() {
+        // kappa(A) ~ 1e10 with *mixed* directions (column scaling alone
+        // is invisible to CholQR): A = Q0 * diag(graded) * V^T. The Gram
+        // matrix then has kappa ~ 1e20 and CholQR breaks down or loses
+        // orthogonality; TSQR sails through.
+        let m = 60;
+        let n = 6;
+        let q0 = crate::householder::form_q(&pseudo(m, n, 7));
+        let v = crate::householder::form_q(&pseudo(n, n, 8));
+        let scaled = Mat::from_fn(m, n, |i, j| q0[(i, j)] * 10f64.powi(-(2 * j as i32)));
+        let a = {
+            let mut a = Mat::zeros(m, n);
+            rlra_blas::gemm(
+                1.0,
+                scaled.as_ref(),
+                rlra_blas::Trans::No,
+                v.as_ref(),
+                rlra_blas::Trans::Yes,
+                0.0,
+                a.as_mut(),
+            )
+            .unwrap();
+            a
+        };
+        let cholqr_bad = match crate::cholqr::cholqr(&a) {
+            Err(_) => true,
+            Ok((q, _)) => orthogonality_error(&q) > 1e-8,
+        };
+        assert!(cholqr_bad, "CholQR should struggle at kappa ~ 1e10");
+        let t = tsqr(&a, 15).unwrap();
+        assert!(orthogonality_error(&t.q) < 1e-12, "TSQR must stay stable");
+    }
+
+    #[test]
+    fn rejects_wide_and_zero_block() {
+        assert!(tsqr(&Mat::zeros(3, 5), 2).is_err());
+        assert!(tsqr(&Mat::zeros(5, 3), 0).is_err());
+    }
+
+    #[test]
+    fn block_rows_smaller_than_n_is_clamped() {
+        let a = pseudo(30, 8, 8);
+        let t = tsqr(&a, 2).unwrap(); // clamps to >= n rows per leaf
+        assert!(t.leaves <= 30 / 8);
+        check(&a, 2, 1e-11);
+    }
+}

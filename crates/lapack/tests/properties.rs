@@ -1,0 +1,193 @@
+//! Property-based tests of the factorization kernels across random
+//! shapes and conditioning.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rlra_blas::naive::gemm_ref;
+use rlra_blas::Trans;
+use rlra_lapack::householder::orthogonality_error;
+use rlra_matrix::{gaussian_mat, Mat};
+
+fn random_mat(rng: &mut StdRng, rows: usize, cols: usize) -> Mat {
+    Mat::from_fn(rows, cols, |_, _| rng.gen_range(-1.0..1.0))
+}
+
+fn reconstructs(q: &Mat, r: &Mat, a: &Mat, tol: f64) -> bool {
+    let rec = gemm_ref(q, Trans::No, r, Trans::No);
+    rlra_matrix::ops::max_abs_diff(&rec, a).unwrap() < tol
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn householder_qr_invariants(
+        m in 1usize..60,
+        n in 1usize..60,
+        seed in 0u64..1000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = random_mat(&mut rng, m, n);
+        let (q, r) = rlra_lapack::qr_factor(&a);
+        prop_assert!(orthogonality_error(&q) < 1e-12);
+        prop_assert!(reconstructs(&q, &r, &a, 1e-10));
+        for j in 0..r.cols() {
+            for i in j + 1..r.rows() {
+                prop_assert_eq!(r[(i, j)], 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn cholqr_matches_householder_subspace(
+        m in 10usize..80,
+        n in 1usize..8,
+        seed in 0u64..1000,
+    ) {
+        let m = m.max(2 * n);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = gaussian_mat(m, n, &mut rng);
+        let (qc, rc) = rlra_lapack::cholqr2(&a).unwrap();
+        prop_assert!(orthogonality_error(&qc) < 1e-11);
+        prop_assert!(reconstructs(&qc, &rc, &a, 1e-9));
+        // Same projector as Householder.
+        let qh = rlra_lapack::form_q(&a);
+        let pc = gemm_ref(&qc, Trans::No, &qc, Trans::Yes);
+        let ph = gemm_ref(&qh, Trans::No, &qh, Trans::Yes);
+        prop_assert!(rlra_matrix::ops::max_abs_diff(&pc, &ph).unwrap() < 1e-8);
+    }
+
+    #[test]
+    fn tsqr_equals_householder_with_sign_convention(
+        m in 12usize..90,
+        n in 1usize..7,
+        block in 4usize..30,
+        seed in 0u64..1000,
+    ) {
+        let m = m.max(2 * n);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = gaussian_mat(m, n, &mut rng);
+        let t = rlra_lapack::tsqr(&a, block).unwrap();
+        prop_assert!(orthogonality_error(&t.q) < 1e-11);
+        prop_assert!(reconstructs(&t.q, &t.r, &a, 1e-9));
+        let (_, r_ref) = rlra_lapack::tsqr::qr_positive_diag(&a);
+        prop_assert!(rlra_matrix::ops::max_abs_diff(&t.r, &r_ref).unwrap() < 1e-8);
+    }
+
+    #[test]
+    fn qrcp_pivot_monotonicity(
+        m in 5usize..50,
+        n in 5usize..50,
+        seed in 0u64..1000,
+    ) {
+        let k = m.min(n);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = random_mat(&mut rng, m, n);
+        let res = rlra_lapack::qrcp_column(&a, k).unwrap();
+        let d = res.r_diag();
+        for w in d.windows(2) {
+            prop_assert!(w[1] <= w[0] * (1.0 + 1e-9), "diag not non-increasing: {:?}", d);
+        }
+        // |r_11| equals the largest column norm of A.
+        let max_col = rlra_matrix::norms::col_norms(a.as_ref())
+            .into_iter()
+            .fold(0.0f64, f64::max);
+        prop_assert!((d[0] - max_col).abs() < 1e-9 * (1.0 + max_col));
+    }
+
+    #[test]
+    fn qp3_blocked_equals_unblocked(
+        m in 8usize..40,
+        n in 8usize..40,
+        nb in 1usize..12,
+        seed in 0u64..1000,
+    ) {
+        let k = m.min(n);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = random_mat(&mut rng, m, n);
+        let r1 = rlra_lapack::qrcp_column(&a, k).unwrap();
+        let r2 = rlra_lapack::qp3_blocked(&a, k, nb).unwrap();
+        prop_assert_eq!(r1.perm.as_slice(), r2.perm.as_slice());
+        for (x, y) in r1.r_diag().iter().zip(r2.r_diag()) {
+            prop_assert!((x - y).abs() < 1e-8 * (1.0 + x.abs()));
+        }
+    }
+
+    #[test]
+    fn cholesky_reconstructs_spd(
+        n in 1usize..25,
+        seed in 0u64..1000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let b = random_mat(&mut rng, n, n + 3);
+        let mut g = gemm_ref(&b, Trans::No, &b, Trans::Yes);
+        for i in 0..n {
+            g[(i, i)] += n as f64;
+        }
+        let r = rlra_lapack::cholesky_upper(&g).unwrap();
+        let rec = gemm_ref(&r, Trans::Yes, &r, Trans::No);
+        prop_assert!(rlra_matrix::ops::max_abs_diff(&rec, &g).unwrap() < 1e-9 * n as f64);
+    }
+
+    #[test]
+    fn svd_singular_values_match_gram_eigenvalues(
+        m in 2usize..20,
+        n in 2usize..12,
+        seed in 0u64..1000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = random_mat(&mut rng, m, n);
+        let sv = rlra_lapack::singular_values(&a).unwrap();
+        // Sum of squares equals the Frobenius norm squared.
+        let fro2: f64 = a.as_slice().iter().map(|x| x * x).sum();
+        let sum2: f64 = sv.iter().map(|s| s * s).sum();
+        prop_assert!((fro2 - sum2).abs() < 1e-9 * (1.0 + fro2));
+        // Largest singular value equals the power-iteration spectral
+        // norm. When sigma_1 ~ sigma_2 the power iteration stalls between
+        // them, but that lands the estimate within the (tiny) gap — so
+        // the practical tolerance is the gap size, not machine precision.
+        let sn = rlra_matrix::norms::spectral_norm(a.as_ref());
+        prop_assert!(sn <= sv[0] * (1.0 + 1e-9), "estimate cannot exceed sigma_1");
+        prop_assert!((sv[0] - sn).abs() < 1e-3 * (1.0 + sv[0]), "sv0 {} vs power {}", sv[0], sn);
+    }
+
+    #[test]
+    fn tournament_never_much_worse_than_qp3(
+        n_blocks in 2usize..6,
+        k in 2usize..6,
+        seed in 0u64..500,
+    ) {
+        let n = n_blocks * 2 * k + 3;
+        let m = n + 10;
+        let mut rng = StdRng::seed_from_u64(seed);
+        // Decaying spectrum so rank-k matters.
+        let x = rlra_lapack::form_q(&gaussian_mat(m, n, &mut rng));
+        let y = rlra_lapack::form_q(&gaussian_mat(n, n, &mut rng));
+        let xs = Mat::from_fn(m, n, |i, j| x[(i, j)] * 0.7f64.powi(j as i32));
+        let mut a = Mat::zeros(m, n);
+        rlra_blas::gemm(1.0, xs.as_ref(), Trans::No, y.as_ref(), Trans::Yes, 0.0, a.as_mut()).unwrap();
+
+        let tp = rlra_lapack::tournament_qrcp(&a, k).unwrap();
+        let e_tp = tp.error_spectral(&a).unwrap();
+        let qp3 = rlra_lapack::qp3_blocked(&a, k, 8).unwrap();
+        let ap = qp3.perm.apply_cols(&a).unwrap();
+        let e_qp3 = rlra_matrix::norms::spectral_norm_mat(
+            &rlra_matrix::ops::sub(&ap, &qp3.reconstruct()).unwrap(),
+        );
+        prop_assert!(e_tp < 10.0 * e_qp3 + 1e-12, "tournament {} vs qp3 {}", e_tp, e_qp3);
+    }
+
+    #[test]
+    fn mixed_cholqr_always_at_least_as_orthogonal(
+        m in 20usize..60,
+        n in 2usize..6,
+        seed in 0u64..500,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = gaussian_mat(m, n, &mut rng);
+        let (qm, rm) = rlra_lapack::cholqr_mixed(&a).unwrap();
+        prop_assert!(orthogonality_error(&qm) < 1e-12);
+        prop_assert!(reconstructs(&qm, &rm, &a, 1e-10));
+    }
+}

@@ -1,0 +1,477 @@
+//! Owned dense column-major matrix type.
+
+use crate::error::{MatrixError, Result};
+use crate::view::{MatMut, MatRef};
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// An owned dense `rows × cols` matrix of `f64`, stored column major with
+/// leading dimension equal to `rows` (i.e. the storage is fully packed).
+///
+/// `Mat` is the owning counterpart of the borrowed views [`MatRef`] and
+/// [`MatMut`]; algorithms in the `rlra` workspace generally accept views so
+/// they can be applied to submatrices of a larger allocation, in the style
+/// of BLAS/LAPACK.
+///
+/// # Examples
+///
+/// ```
+/// use rlra_matrix::Mat;
+///
+/// let a = Mat::from_fn(2, 3, |i, j| (i + 10 * j) as f64);
+/// assert_eq!(a[(1, 2)], 21.0);
+/// assert_eq!(a.shape(), (2, 3));
+/// ```
+#[derive(Clone, PartialEq)]
+pub struct Mat {
+    data: Vec<f64>,
+    rows: usize,
+    cols: usize,
+}
+
+impl Mat {
+    /// Creates a `rows × cols` matrix of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Mat { data: vec![0.0; rows * cols], rows, cols }
+    }
+
+    /// Creates a `rows × cols` matrix with every entry equal to `value`.
+    pub fn filled(rows: usize, cols: usize, value: f64) -> Self {
+        Mat { data: vec![value; rows * cols], rows, cols }
+    }
+
+    /// Creates the `n × n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Mat::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Creates a matrix whose `(i, j)` entry is `f(i, j)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for j in 0..cols {
+            for i in 0..rows {
+                data.push(f(i, j));
+            }
+        }
+        Mat { data, rows, cols }
+    }
+
+    /// Wraps a column-major `Vec` of length `rows * cols` as a matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MatrixError::DimensionMismatch`] if the length of `data`
+    /// does not equal `rows * cols`.
+    pub fn from_col_major(rows: usize, cols: usize, data: Vec<f64>) -> Result<Self> {
+        if data.len() != rows * cols {
+            return Err(MatrixError::DimensionMismatch {
+                op: "Mat::from_col_major",
+                expected: format!("data.len() == {}", rows * cols),
+                found: format!("data.len() == {}", data.len()),
+            });
+        }
+        Ok(Mat { data, rows, cols })
+    }
+
+    /// Builds a matrix from row-major data (convenient for literals in
+    /// tests and examples).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MatrixError::DimensionMismatch`] if the length of `data`
+    /// does not equal `rows * cols`.
+    pub fn from_row_major(rows: usize, cols: usize, data: &[f64]) -> Result<Self> {
+        if data.len() != rows * cols {
+            return Err(MatrixError::DimensionMismatch {
+                op: "Mat::from_row_major",
+                expected: format!("data.len() == {}", rows * cols),
+                found: format!("data.len() == {}", data.len()),
+            });
+        }
+        Ok(Mat::from_fn(rows, cols, |i, j| data[i * cols + j]))
+    }
+
+    /// Creates a diagonal matrix from the given diagonal entries.
+    pub fn from_diag(diag: &[f64]) -> Self {
+        let n = diag.len();
+        let mut m = Mat::zeros(n, n);
+        for (i, &d) in diag.iter().enumerate() {
+            m[(i, i)] = d;
+        }
+        m
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)` pair.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Returns `true` if the matrix has zero rows or zero columns.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0 || self.cols == 0
+    }
+
+    /// The underlying column-major storage.
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable access to the underlying column-major storage.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Consumes the matrix and returns its column-major storage.
+    pub fn into_vec(self) -> Vec<f64> {
+        self.data
+    }
+
+    /// Borrowed view of the whole matrix.
+    #[inline]
+    pub fn as_ref(&self) -> MatRef<'_> {
+        MatRef::from_slice(&self.data, self.rows, self.cols, self.rows.max(1))
+    }
+
+    /// Mutable borrowed view of the whole matrix.
+    #[inline]
+    pub fn as_mut(&mut self) -> MatMut<'_> {
+        let (rows, cols) = (self.rows, self.cols);
+        let ld = rows.max(1);
+        MatMut::from_slice(&mut self.data, rows, cols, ld)
+    }
+
+    /// Column `j` as a slice of length `rows`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j >= cols`.
+    #[inline]
+    pub fn col(&self, j: usize) -> &[f64] {
+        assert!(j < self.cols, "column index {j} out of bounds ({})", self.cols);
+        &self.data[j * self.rows..(j + 1) * self.rows]
+    }
+
+    /// Mutable column `j` as a slice of length `rows`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j >= cols`.
+    #[inline]
+    pub fn col_mut(&mut self, j: usize) -> &mut [f64] {
+        assert!(j < self.cols, "column index {j} out of bounds ({})", self.cols);
+        &mut self.data[j * self.rows..(j + 1) * self.rows]
+    }
+
+    /// Copies the `nrows × ncols` submatrix whose top-left corner is
+    /// `(r0, c0)` into a new owned matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the requested block extends past the matrix bounds.
+    pub fn submatrix(&self, r0: usize, c0: usize, nrows: usize, ncols: usize) -> Mat {
+        assert!(r0 + nrows <= self.rows && c0 + ncols <= self.cols, "submatrix out of bounds");
+        Mat::from_fn(nrows, ncols, |i, j| self[(r0 + i, c0 + j)])
+    }
+
+    /// Copies columns `c0..c0 + ncols` into a new owned matrix.
+    pub fn columns(&self, c0: usize, ncols: usize) -> Mat {
+        self.submatrix(0, c0, self.rows, ncols)
+    }
+
+    /// Copies rows `r0..r0 + nrows` into a new owned matrix.
+    pub fn rows_block(&self, r0: usize, nrows: usize) -> Mat {
+        self.submatrix(r0, 0, nrows, self.cols)
+    }
+
+    /// Returns the transpose as a new owned matrix.
+    pub fn transpose(&self) -> Mat {
+        Mat::from_fn(self.cols, self.rows, |i, j| self[(j, i)])
+    }
+
+    /// Writes `block` into this matrix with its top-left corner at
+    /// `(r0, c0)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block extends past the matrix bounds.
+    pub fn set_submatrix(&mut self, r0: usize, c0: usize, block: &Mat) {
+        assert!(
+            r0 + block.rows <= self.rows && c0 + block.cols <= self.cols,
+            "set_submatrix out of bounds"
+        );
+        for j in 0..block.cols {
+            for i in 0..block.rows {
+                self[(r0 + i, c0 + j)] = block[(i, j)];
+            }
+        }
+    }
+
+    /// Horizontally concatenates `self` and `other` (`[self | other]`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MatrixError::DimensionMismatch`] if row counts differ.
+    pub fn hcat(&self, other: &Mat) -> Result<Mat> {
+        if self.rows != other.rows {
+            return Err(MatrixError::DimensionMismatch {
+                op: "Mat::hcat",
+                expected: format!("rows == {}", self.rows),
+                found: format!("rows == {}", other.rows),
+            });
+        }
+        let mut data = Vec::with_capacity((self.cols + other.cols) * self.rows);
+        data.extend_from_slice(&self.data);
+        data.extend_from_slice(&other.data);
+        Ok(Mat { data, rows: self.rows, cols: self.cols + other.cols })
+    }
+
+    /// Vertically concatenates `self` on top of `other`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MatrixError::DimensionMismatch`] if column counts differ.
+    pub fn vcat(&self, other: &Mat) -> Result<Mat> {
+        if self.cols != other.cols {
+            return Err(MatrixError::DimensionMismatch {
+                op: "Mat::vcat",
+                expected: format!("cols == {}", self.cols),
+                found: format!("cols == {}", other.cols),
+            });
+        }
+        let rows = self.rows + other.rows;
+        let mut m = Mat::zeros(rows, self.cols);
+        for j in 0..self.cols {
+            m.col_mut(j)[..self.rows].copy_from_slice(self.col(j));
+            m.col_mut(j)[self.rows..].copy_from_slice(other.col(j));
+        }
+        Ok(m)
+    }
+
+    /// Grows the matrix to `new_cols` columns, zero-filling the new columns
+    /// and preserving existing contents. Used by the adaptive sampling
+    /// scheme when the sampled subspace is expanded.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `new_cols < self.cols()`.
+    pub fn grow_cols(&mut self, new_cols: usize) {
+        assert!(new_cols >= self.cols, "grow_cols cannot shrink");
+        self.data.resize(self.rows * new_cols, 0.0);
+        self.cols = new_cols;
+    }
+
+    /// Checks element-wise approximate equality within absolute tolerance
+    /// `tol`. Mostly intended for tests.
+    pub fn approx_eq(&self, other: &Mat, tol: f64) -> bool {
+        self.shape() == other.shape()
+            && self
+                .data
+                .iter()
+                .zip(other.data.iter())
+                .all(|(&a, &b)| (a - b).abs() <= tol || (a.is_nan() && b.is_nan()))
+    }
+}
+
+impl Index<(usize, usize)> for Mat {
+    type Output = f64;
+
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        debug_assert!(i < self.rows && j < self.cols, "index ({i}, {j}) out of bounds");
+        &self.data[i + j * self.rows]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Mat {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        debug_assert!(i < self.rows && j < self.cols, "index ({i}, {j}) out of bounds");
+        &mut self.data[i + j * self.rows]
+    }
+}
+
+impl fmt::Debug for Mat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Mat {}x{} [", self.rows, self.cols)?;
+        let max_show = 8;
+        for i in 0..self.rows.min(max_show) {
+            write!(f, "  ")?;
+            for j in 0..self.cols.min(max_show) {
+                write!(f, "{:>12.5e} ", self[(i, j)])?;
+            }
+            if self.cols > max_show {
+                write!(f, "...")?;
+            }
+            writeln!(f)?;
+        }
+        if self.rows > max_show {
+            writeln!(f, "  ...")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_shape() {
+        let m = Mat::zeros(3, 4);
+        assert_eq!(m.shape(), (3, 4));
+        assert!(m.as_slice().iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn identity_diagonal() {
+        let m = Mat::identity(4);
+        for i in 0..4 {
+            for j in 0..4 {
+                assert_eq!(m[(i, j)], if i == j { 1.0 } else { 0.0 });
+            }
+        }
+    }
+
+    #[test]
+    fn from_fn_column_major_layout() {
+        let m = Mat::from_fn(2, 2, |i, j| (i * 10 + j) as f64);
+        // Column major: [(0,0), (1,0), (0,1), (1,1)]
+        assert_eq!(m.as_slice(), &[0.0, 10.0, 1.0, 11.0]);
+    }
+
+    #[test]
+    fn from_row_major_matches_literal() {
+        let m = Mat::from_row_major(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
+        assert_eq!(m[(0, 0)], 1.0);
+        assert_eq!(m[(0, 2)], 3.0);
+        assert_eq!(m[(1, 0)], 4.0);
+        assert_eq!(m[(1, 2)], 6.0);
+    }
+
+    #[test]
+    fn from_col_major_rejects_bad_len() {
+        assert!(Mat::from_col_major(2, 2, vec![1.0; 3]).is_err());
+    }
+
+    #[test]
+    fn col_slices() {
+        let m = Mat::from_fn(3, 2, |i, j| (i + 10 * j) as f64);
+        assert_eq!(m.col(0), &[0.0, 1.0, 2.0]);
+        assert_eq!(m.col(1), &[10.0, 11.0, 12.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn col_out_of_bounds_panics() {
+        let m = Mat::zeros(2, 2);
+        let _ = m.col(2);
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let m = Mat::from_fn(3, 5, |i, j| (i * 7 + j) as f64);
+        let t = m.transpose();
+        assert_eq!(t.shape(), (5, 3));
+        assert_eq!(t.transpose(), m);
+    }
+
+    #[test]
+    fn submatrix_extracts_block() {
+        let m = Mat::from_fn(4, 4, |i, j| (i * 4 + j) as f64);
+        let s = m.submatrix(1, 2, 2, 2);
+        assert_eq!(s[(0, 0)], m[(1, 2)]);
+        assert_eq!(s[(1, 1)], m[(2, 3)]);
+    }
+
+    #[test]
+    fn set_submatrix_writes_block() {
+        let mut m = Mat::zeros(3, 3);
+        let b = Mat::filled(2, 2, 5.0);
+        m.set_submatrix(1, 1, &b);
+        assert_eq!(m[(1, 1)], 5.0);
+        assert_eq!(m[(2, 2)], 5.0);
+        assert_eq!(m[(0, 0)], 0.0);
+    }
+
+    #[test]
+    fn hcat_and_vcat() {
+        let a = Mat::filled(2, 1, 1.0);
+        let b = Mat::filled(2, 2, 2.0);
+        let h = a.hcat(&b).unwrap();
+        assert_eq!(h.shape(), (2, 3));
+        assert_eq!(h[(0, 0)], 1.0);
+        assert_eq!(h[(1, 2)], 2.0);
+
+        let c = Mat::filled(1, 3, 3.0);
+        let v = h.vcat(&c).unwrap();
+        assert_eq!(v.shape(), (3, 3));
+        assert_eq!(v[(2, 0)], 3.0);
+    }
+
+    #[test]
+    fn hcat_rejects_mismatched_rows() {
+        let a = Mat::zeros(2, 1);
+        let b = Mat::zeros(3, 1);
+        assert!(a.hcat(&b).is_err());
+    }
+
+    #[test]
+    fn grow_cols_preserves_and_zeroes() {
+        let mut m = Mat::filled(2, 2, 7.0);
+        m.grow_cols(4);
+        assert_eq!(m.shape(), (2, 4));
+        assert_eq!(m[(1, 1)], 7.0);
+        assert_eq!(m[(0, 3)], 0.0);
+    }
+
+    #[test]
+    fn from_diag_builds_diagonal() {
+        let m = Mat::from_diag(&[1.0, 2.0, 3.0]);
+        assert_eq!(m[(1, 1)], 2.0);
+        assert_eq!(m[(0, 1)], 0.0);
+    }
+
+    #[test]
+    fn approx_eq_tolerates_small_differences() {
+        let a = Mat::filled(2, 2, 1.0);
+        let mut b = a.clone();
+        b[(0, 0)] += 1e-12;
+        assert!(a.approx_eq(&b, 1e-10));
+        assert!(!a.approx_eq(&b, 1e-14));
+    }
+
+    #[test]
+    fn views_agree_with_owner() {
+        let m = Mat::from_fn(3, 3, |i, j| (i + j) as f64);
+        let v = m.as_ref();
+        assert_eq!(v.get(2, 1), m[(2, 1)]);
+        assert_eq!(v.shape(), m.shape());
+    }
+
+    #[test]
+    fn empty_matrix_is_empty() {
+        assert!(Mat::zeros(0, 3).is_empty());
+        assert!(Mat::zeros(3, 0).is_empty());
+        assert!(!Mat::zeros(1, 1).is_empty());
+    }
+}

@@ -1,0 +1,129 @@
+//! Error types shared across the workspace's linear-algebra crates.
+
+use std::fmt;
+
+/// Errors raised by matrix construction and dense linear algebra routines.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MatrixError {
+    /// Operand dimensions are incompatible for the requested operation.
+    DimensionMismatch {
+        /// Human-readable description of the operation that failed.
+        op: &'static str,
+        /// Description of the expected shape relation.
+        expected: String,
+        /// Description of the shapes that were actually supplied.
+        found: String,
+    },
+    /// An index was outside the matrix bounds.
+    IndexOutOfBounds {
+        /// The offending (row, column) index.
+        index: (usize, usize),
+        /// The matrix shape.
+        shape: (usize, usize),
+    },
+    /// A factorization encountered a matrix that is singular (or not
+    /// positive definite, for Cholesky-type routines) to working precision.
+    NotPositiveDefinite {
+        /// Index of the pivot at which the breakdown was detected.
+        pivot: usize,
+        /// The value of the offending pivot.
+        value: f64,
+    },
+    /// A triangular solve encountered an (exactly or numerically) zero
+    /// diagonal entry.
+    SingularDiagonal {
+        /// Index of the zero diagonal entry.
+        index: usize,
+    },
+    /// An iterative routine failed to converge within its iteration budget.
+    NoConvergence {
+        /// The routine that failed.
+        op: &'static str,
+        /// Number of iterations performed.
+        iterations: usize,
+    },
+    /// A parameter had an invalid value (e.g. zero-size sampling subspace).
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Explanation of the constraint that was violated.
+        message: String,
+    },
+}
+
+impl fmt::Display for MatrixError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MatrixError::DimensionMismatch { op, expected, found } => {
+                write!(f, "{op}: dimension mismatch (expected {expected}, found {found})")
+            }
+            MatrixError::IndexOutOfBounds { index, shape } => {
+                write!(
+                    f,
+                    "index ({}, {}) out of bounds for {}x{} matrix",
+                    index.0, index.1, shape.0, shape.1
+                )
+            }
+            MatrixError::NotPositiveDefinite { pivot, value } => {
+                write!(f, "matrix not positive definite at pivot {pivot} (value {value:e})")
+            }
+            MatrixError::SingularDiagonal { index } => {
+                write!(f, "singular triangular factor: zero diagonal at index {index}")
+            }
+            MatrixError::NoConvergence { op, iterations } => {
+                write!(f, "{op}: no convergence after {iterations} iterations")
+            }
+            MatrixError::InvalidParameter { name, message } => {
+                write!(f, "invalid parameter `{name}`: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MatrixError {}
+
+/// Convenience alias used by every fallible routine in the workspace.
+pub type Result<T> = std::result::Result<T, MatrixError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_dimension_mismatch() {
+        let e = MatrixError::DimensionMismatch {
+            op: "gemm",
+            expected: "a.cols == b.rows".into(),
+            found: "3 vs 4".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("gemm"));
+        assert!(s.contains("3 vs 4"));
+    }
+
+    #[test]
+    fn display_out_of_bounds() {
+        let e = MatrixError::IndexOutOfBounds { index: (5, 1), shape: (2, 2) };
+        assert!(e.to_string().contains("(5, 1)"));
+    }
+
+    #[test]
+    fn display_not_positive_definite() {
+        let e = MatrixError::NotPositiveDefinite { pivot: 3, value: -1.0 };
+        assert!(e.to_string().contains("pivot 3"));
+    }
+
+    #[test]
+    fn display_no_convergence() {
+        let e = MatrixError::NoConvergence { op: "jacobi_svd", iterations: 30 };
+        assert!(e.to_string().contains("jacobi_svd"));
+        assert!(e.to_string().contains("30"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        let e = MatrixError::SingularDiagonal { index: 0 };
+        takes_err(&e);
+    }
+}

@@ -1,0 +1,39 @@
+//! # rlra-matrix
+//!
+//! Dense column-major matrix storage and views for the `rlra` workspace.
+//!
+//! This crate is the storage substrate shared by every other crate in the
+//! reproduction of *"Performance of Random Sampling for Computing Low-rank
+//! Approximations of a Dense Matrix on GPUs"* (Mary et al., SC'15):
+//!
+//! - [`Mat`] — an owned, column-major `m × n` matrix of `f64`,
+//! - [`MatRef`] / [`MatMut`] — borrowed views with an explicit leading
+//!   dimension (`ld`), mirroring the BLAS/LAPACK calling convention so
+//!   blocked algorithms can operate on submatrices without copying,
+//! - [`ColPerm`] — column permutations as produced by QR with column
+//!   pivoting,
+//! - [`Complex64`] — a minimal complex scalar used by the FFT crate,
+//! - norms (Frobenius, 1-norm, ∞-norm, spectral norm via power iteration).
+//!
+//! All matrices are column major: element `(i, j)` of a view with leading
+//! dimension `ld` lives at linear index `i + j * ld`.
+
+pub mod complex;
+pub mod dense;
+pub mod error;
+pub mod norms;
+pub mod ops;
+pub mod perm;
+pub mod randn;
+pub mod view;
+
+pub use complex::Complex64;
+pub use dense::Mat;
+pub use error::{MatrixError, Result};
+pub use perm::ColPerm;
+pub use randn::gaussian_mat;
+pub use view::{MatMut, MatRef};
+
+/// Machine epsilon for `f64`, re-exported for convenience in tolerance
+/// computations throughout the workspace.
+pub const EPS: f64 = f64::EPSILON;

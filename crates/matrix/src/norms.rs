@@ -1,0 +1,233 @@
+//! Matrix and vector norms.
+//!
+//! The spectral norm is computed by power iteration on `AᵀA` with a
+//! deterministic start vector; it is used throughout the workspace to
+//! evaluate approximation errors `‖AP − QR‖₂ / ‖A‖₂` as in the paper's
+//! Figure 6.
+
+use crate::dense::Mat;
+use crate::view::MatRef;
+
+/// Euclidean norm of a vector, computed with scaling to avoid overflow
+/// (LAPACK `dnrm2`-style).
+pub fn vec_norm2(x: &[f64]) -> f64 {
+    let mut scale = 0.0f64;
+    let mut ssq = 1.0f64;
+    for &xi in x {
+        if xi != 0.0 {
+            let a = xi.abs();
+            if scale < a {
+                ssq = 1.0 + ssq * (scale / a).powi(2);
+                scale = a;
+            } else {
+                ssq += (a / scale).powi(2);
+            }
+        }
+    }
+    scale * ssq.sqrt()
+}
+
+/// Frobenius norm `‖A‖_F`.
+pub fn frobenius(a: MatRef<'_>) -> f64 {
+    let mut scale = 0.0f64;
+    let mut ssq = 1.0f64;
+    for j in 0..a.cols() {
+        for &x in a.col(j) {
+            if x != 0.0 {
+                let ax = x.abs();
+                if scale < ax {
+                    ssq = 1.0 + ssq * (scale / ax).powi(2);
+                    scale = ax;
+                } else {
+                    ssq += (ax / scale).powi(2);
+                }
+            }
+        }
+    }
+    scale * ssq.sqrt()
+}
+
+/// Maximum absolute entry `max |a_ij|`.
+pub fn max_abs(a: MatRef<'_>) -> f64 {
+    let mut m = 0.0f64;
+    for j in 0..a.cols() {
+        for &x in a.col(j) {
+            m = m.max(x.abs());
+        }
+    }
+    m
+}
+
+/// 1-norm: maximum absolute column sum.
+pub fn one_norm(a: MatRef<'_>) -> f64 {
+    let mut best = 0.0f64;
+    for j in 0..a.cols() {
+        let s: f64 = a.col(j).iter().map(|x| x.abs()).sum();
+        best = best.max(s);
+    }
+    best
+}
+
+/// ∞-norm: maximum absolute row sum.
+pub fn inf_norm(a: MatRef<'_>) -> f64 {
+    let mut sums = vec![0.0f64; a.rows()];
+    for j in 0..a.cols() {
+        for (i, &x) in a.col(j).iter().enumerate() {
+            sums[i] += x.abs();
+        }
+    }
+    sums.into_iter().fold(0.0, f64::max)
+}
+
+/// Euclidean norms of every column of `a`.
+pub fn col_norms(a: MatRef<'_>) -> Vec<f64> {
+    (0..a.cols()).map(|j| vec_norm2(a.col(j))).collect()
+}
+
+fn matvec(a: MatRef<'_>, x: &[f64], y: &mut [f64]) {
+    y.fill(0.0);
+    for (j, &xj) in x.iter().enumerate() {
+        if xj != 0.0 {
+            for (yi, &aij) in y.iter_mut().zip(a.col(j)) {
+                *yi += aij * xj;
+            }
+        }
+    }
+}
+
+fn matvec_t(a: MatRef<'_>, x: &[f64], y: &mut [f64]) {
+    for (j, yj) in y.iter_mut().enumerate() {
+        *yj = a.col(j).iter().zip(x).map(|(&aij, &xi)| aij * xi).sum();
+    }
+}
+
+/// Spectral norm `‖A‖₂ = σ₁(A)` estimated by power iteration on `AᵀA`.
+///
+/// Runs at most `max_iter` iterations and stops when the Rayleigh estimate
+/// changes by less than `rtol` relatively. Deterministic: the start vector
+/// is a fixed pseudo-random unit vector so test results are reproducible.
+pub fn spectral_norm_iter(a: MatRef<'_>, max_iter: usize, rtol: f64) -> f64 {
+    let (m, n) = a.shape();
+    if m == 0 || n == 0 {
+        return 0.0;
+    }
+    // Deterministic quasi-random start vector (avoids pathological
+    // orthogonality with the leading singular vector for structured A).
+    let mut v: Vec<f64> = (0..n)
+        .map(|i| {
+            let t = (i as f64 + 1.0) * 0.754_877_666_246_692_8; // frac of plastic ratio
+            (t - t.floor()) - 0.5
+        })
+        .collect();
+    let nv = vec_norm2(&v);
+    if nv == 0.0 {
+        return 0.0;
+    }
+    v.iter_mut().for_each(|x| *x /= nv);
+
+    let mut av = vec![0.0f64; m];
+    let mut atav = vec![0.0f64; n];
+    let mut sigma = 0.0f64;
+    for _ in 0..max_iter {
+        matvec(a, &v, &mut av);
+        matvec_t(a, &av, &mut atav);
+        let norm = vec_norm2(&atav);
+        if norm == 0.0 {
+            return 0.0;
+        }
+        let new_sigma = norm.sqrt();
+        let done = (new_sigma - sigma).abs() <= rtol * new_sigma;
+        sigma = new_sigma;
+        for (vi, &ai) in v.iter_mut().zip(&atav) {
+            *vi = ai / norm;
+        }
+        if done {
+            break;
+        }
+    }
+    sigma
+}
+
+/// Spectral norm with default iteration budget (100 iterations, `1e-10`
+/// relative tolerance) — adequate for the error studies in the paper.
+pub fn spectral_norm(a: MatRef<'_>) -> f64 {
+    spectral_norm_iter(a, 100, 1e-10)
+}
+
+/// Convenience: spectral norm of an owned matrix.
+pub fn spectral_norm_mat(a: &Mat) -> f64 {
+    spectral_norm(a.as_ref())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_norm_matches_hand_value() {
+        assert_eq!(vec_norm2(&[3.0, 4.0]), 5.0);
+        assert_eq!(vec_norm2(&[]), 0.0);
+        assert_eq!(vec_norm2(&[0.0, 0.0]), 0.0);
+    }
+
+    #[test]
+    fn vec_norm_avoids_overflow() {
+        let big = 1e200;
+        let n = vec_norm2(&[big, big]);
+        assert!((n - big * std::f64::consts::SQRT_2).abs() / n < 1e-14);
+    }
+
+    #[test]
+    fn frobenius_of_identity() {
+        let a = Mat::identity(9);
+        assert!((frobenius(a.as_ref()) - 3.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn one_and_inf_norms() {
+        let a = Mat::from_row_major(2, 2, &[1.0, -2.0, 3.0, 4.0]).unwrap();
+        assert_eq!(one_norm(a.as_ref()), 6.0); // col 1: |-2|+|4| = 6
+        assert_eq!(inf_norm(a.as_ref()), 7.0); // row 1: |3|+|4| = 7
+        assert_eq!(max_abs(a.as_ref()), 4.0);
+    }
+
+    #[test]
+    fn col_norms_per_column() {
+        let a = Mat::from_row_major(2, 2, &[3.0, 0.0, 4.0, 1.0]).unwrap();
+        let n = col_norms(a.as_ref());
+        assert_eq!(n[0], 5.0);
+        assert_eq!(n[1], 1.0);
+    }
+
+    #[test]
+    fn spectral_norm_of_diagonal() {
+        let a = Mat::from_diag(&[1.0, -7.0, 3.0]);
+        let s = spectral_norm(a.as_ref());
+        assert!((s - 7.0).abs() < 1e-8, "got {s}");
+    }
+
+    #[test]
+    fn spectral_norm_of_rank_one() {
+        // A = u v^T has spectral norm |u||v|.
+        let u = [1.0, 2.0, 2.0]; // norm 3
+        let v = [3.0, 4.0]; // norm 5
+        let a = Mat::from_fn(3, 2, |i, j| u[i] * v[j]);
+        let s = spectral_norm(a.as_ref());
+        assert!((s - 15.0).abs() < 1e-9, "got {s}");
+    }
+
+    #[test]
+    fn spectral_norm_empty_and_zero() {
+        assert_eq!(spectral_norm(Mat::zeros(0, 3).as_ref()), 0.0);
+        assert_eq!(spectral_norm(Mat::zeros(3, 3).as_ref()), 0.0);
+    }
+
+    #[test]
+    fn spectral_leq_frobenius() {
+        let a = Mat::from_fn(5, 4, |i, j| ((i * 13 + j * 7) % 11) as f64 - 5.0);
+        let s = spectral_norm(a.as_ref());
+        let f = frobenius(a.as_ref());
+        assert!(s <= f + 1e-12);
+        assert!(s >= f / (4f64).sqrt() - 1e-9); // rank <= 4
+    }
+}

@@ -1,0 +1,136 @@
+//! Elementwise matrix operations and small helpers.
+//!
+//! The heavy kernels (GEMM & friends) live in `rlra-blas`; this module
+//! provides the cheap O(mn) utilities that the algorithm crates need for
+//! residuals, scaling and comparisons.
+
+use crate::dense::Mat;
+use crate::error::{MatrixError, Result};
+
+fn check_same_shape(op: &'static str, a: &Mat, b: &Mat) -> Result<()> {
+    if a.shape() != b.shape() {
+        return Err(MatrixError::DimensionMismatch {
+            op,
+            expected: format!("{}x{}", a.rows(), a.cols()),
+            found: format!("{}x{}", b.rows(), b.cols()),
+        });
+    }
+    Ok(())
+}
+
+/// Returns `a + b`.
+pub fn add(a: &Mat, b: &Mat) -> Result<Mat> {
+    check_same_shape("add", a, b)?;
+    let data = a.as_slice().iter().zip(b.as_slice()).map(|(&x, &y)| x + y).collect();
+    Mat::from_col_major(a.rows(), a.cols(), data)
+}
+
+/// Returns `a - b`.
+pub fn sub(a: &Mat, b: &Mat) -> Result<Mat> {
+    check_same_shape("sub", a, b)?;
+    let data = a.as_slice().iter().zip(b.as_slice()).map(|(&x, &y)| x - y).collect();
+    Mat::from_col_major(a.rows(), a.cols(), data)
+}
+
+/// Returns `alpha * a`.
+pub fn scale(alpha: f64, a: &Mat) -> Mat {
+    let data = a.as_slice().iter().map(|&x| alpha * x).collect();
+    Mat::from_col_major(a.rows(), a.cols(), data).expect("shape preserved")
+}
+
+/// In-place `a += alpha * b`.
+pub fn axpy_mat(alpha: f64, b: &Mat, a: &mut Mat) -> Result<()> {
+    check_same_shape("axpy_mat", a, b)?;
+    for (x, &y) in a.as_mut_slice().iter_mut().zip(b.as_slice()) {
+        *x += alpha * y;
+    }
+    Ok(())
+}
+
+/// Returns the strictly upper-triangular copy of `a` including the
+/// diagonal (i.e. zeros out everything below the diagonal).
+pub fn triu(a: &Mat) -> Mat {
+    Mat::from_fn(a.rows(), a.cols(), |i, j| if i <= j { a[(i, j)] } else { 0.0 })
+}
+
+/// Returns the lower-triangular copy of `a` including the diagonal.
+pub fn tril(a: &Mat) -> Mat {
+    Mat::from_fn(a.rows(), a.cols(), |i, j| if i >= j { a[(i, j)] } else { 0.0 })
+}
+
+/// Maximum absolute difference between two same-shaped matrices; useful in
+/// tests for comparing against reference results.
+pub fn max_abs_diff(a: &Mat, b: &Mat) -> Result<f64> {
+    check_same_shape("max_abs_diff", a, b)?;
+    Ok(a.as_slice()
+        .iter()
+        .zip(b.as_slice())
+        .map(|(&x, &y)| (x - y).abs())
+        .fold(0.0, f64::max))
+}
+
+/// Extracts the main diagonal of `a`.
+pub fn diag(a: &Mat) -> Vec<f64> {
+    (0..a.rows().min(a.cols())).map(|i| a[(i, i)]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_sub_roundtrip() {
+        let a = Mat::from_fn(2, 3, |i, j| (i + j) as f64);
+        let b = Mat::filled(2, 3, 2.0);
+        let s = add(&a, &b).unwrap();
+        let back = sub(&s, &b).unwrap();
+        assert_eq!(back, a);
+    }
+
+    #[test]
+    fn add_rejects_mismatch() {
+        assert!(add(&Mat::zeros(2, 2), &Mat::zeros(2, 3)).is_err());
+    }
+
+    #[test]
+    fn scale_multiplies() {
+        let a = Mat::filled(2, 2, 3.0);
+        let s = scale(-2.0, &a);
+        assert_eq!(s[(1, 1)], -6.0);
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut a = Mat::filled(2, 2, 1.0);
+        let b = Mat::filled(2, 2, 2.0);
+        axpy_mat(0.5, &b, &mut a).unwrap();
+        assert_eq!(a[(0, 0)], 2.0);
+    }
+
+    #[test]
+    fn triu_tril_partition() {
+        let a = Mat::from_fn(3, 3, |_, _| 1.0);
+        let u = triu(&a);
+        let l = tril(&a);
+        // u + l double counts the diagonal.
+        let sum = add(&u, &l).unwrap();
+        assert_eq!(sum[(0, 0)], 2.0);
+        assert_eq!(sum[(2, 0)], 1.0);
+        assert_eq!(u[(2, 0)], 0.0);
+        assert_eq!(l[(0, 2)], 0.0);
+    }
+
+    #[test]
+    fn diag_extracts() {
+        let a = Mat::from_fn(3, 2, |i, j| (10 * i + j) as f64);
+        assert_eq!(diag(&a), vec![0.0, 11.0]);
+    }
+
+    #[test]
+    fn max_abs_diff_detects() {
+        let a = Mat::zeros(2, 2);
+        let mut b = Mat::zeros(2, 2);
+        b[(1, 0)] = -0.25;
+        assert_eq!(max_abs_diff(&a, &b).unwrap(), 0.25);
+    }
+}

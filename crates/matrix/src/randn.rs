@@ -1,0 +1,98 @@
+//! Gaussian (standard normal) random matrices.
+//!
+//! The paper's Gaussian sampling matrix `Ω` has i.i.d. `N(0, 1)` entries
+//! (generated with cuRAND on the GPU). We generate normals with the
+//! Marsaglia polar method on top of a seeded `rand` PRNG, keeping the
+//! dependency surface to the crates allowed by the workspace policy.
+
+use crate::dense::Mat;
+use rand::Rng;
+
+/// Draws one standard normal variate using the Marsaglia polar method.
+pub fn standard_normal(rng: &mut impl Rng) -> f64 {
+    loop {
+        let u = rng.gen_range(-1.0f64..1.0);
+        let v = rng.gen_range(-1.0f64..1.0);
+        let s = u * u + v * v;
+        if s > 0.0 && s < 1.0 {
+            return u * (-2.0 * s.ln() / s).sqrt();
+        }
+    }
+}
+
+/// Fills a slice with i.i.d. standard normal variates.
+pub fn fill_standard_normal(rng: &mut impl Rng, out: &mut [f64]) {
+    // Polar method yields pairs; use both halves.
+    let mut i = 0;
+    while i + 1 < out.len() {
+        let (a, b) = loop {
+            let u = rng.gen_range(-1.0f64..1.0);
+            let v = rng.gen_range(-1.0f64..1.0);
+            let s = u * u + v * v;
+            if s > 0.0 && s < 1.0 {
+                let f = (-2.0 * s.ln() / s).sqrt();
+                break (u * f, v * f);
+            }
+        };
+        out[i] = a;
+        out[i + 1] = b;
+        i += 2;
+    }
+    if i < out.len() {
+        out[i] = standard_normal(rng);
+    }
+}
+
+/// An `rows × cols` matrix with i.i.d. `N(0, 1)` entries — the paper's
+/// `PRNG(ℓ, m)` primitive.
+pub fn gaussian_mat(rows: usize, cols: usize, rng: &mut impl Rng) -> Mat {
+    let mut m = Mat::zeros(rows, cols);
+    fill_standard_normal(rng, m.as_mut_slice());
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn moments_are_standard_normal() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let n = 100_000;
+        let mut buf = vec![0.0f64; n];
+        fill_standard_normal(&mut rng, &mut buf);
+        let mean: f64 = buf.iter().sum::<f64>() / n as f64;
+        let var: f64 = buf.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean = {mean}");
+        assert!((var - 1.0).abs() < 0.03, "var = {var}");
+        // Third moment ~ 0 (symmetry).
+        let skew: f64 = buf.iter().map(|x| x.powi(3)).sum::<f64>() / n as f64;
+        assert!(skew.abs() < 0.05, "skew = {skew}");
+    }
+
+    #[test]
+    fn seeded_generation_is_reproducible() {
+        let a = gaussian_mat(5, 7, &mut StdRng::seed_from_u64(7));
+        let b = gaussian_mat(5, 7, &mut StdRng::seed_from_u64(7));
+        assert_eq!(a, b);
+        let c = gaussian_mat(5, 7, &mut StdRng::seed_from_u64(8));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn odd_length_filled_completely() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut buf = vec![0.0f64; 7];
+        fill_standard_normal(&mut rng, &mut buf);
+        // All entries nonzero with probability 1.
+        assert!(buf.iter().all(|&x| x != 0.0));
+    }
+
+    #[test]
+    fn gaussian_mat_shape() {
+        let m = gaussian_mat(3, 4, &mut StdRng::seed_from_u64(2));
+        assert_eq!(m.shape(), (3, 4));
+    }
+}

@@ -1,0 +1,413 @@
+//! Borrowed matrix views with an explicit leading dimension.
+//!
+//! [`MatRef`] and [`MatMut`] mirror the BLAS/LAPACK calling convention: a
+//! view describes a `rows × cols` window into column-major storage whose
+//! consecutive columns are `ld` elements apart. Blocked factorizations use
+//! these to address panels and trailing submatrices without copying.
+
+use crate::dense::Mat;
+
+/// Immutable view of a column-major matrix block.
+#[derive(Clone, Copy)]
+pub struct MatRef<'a> {
+    data: &'a [f64],
+    rows: usize,
+    cols: usize,
+    ld: usize,
+}
+
+impl<'a> MatRef<'a> {
+    /// Wraps `data` as a `rows × cols` view with leading dimension `ld`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ld < rows` (for nonempty views) or if `data` is too short
+    /// to hold the last column.
+    pub fn from_slice(data: &'a [f64], rows: usize, cols: usize, ld: usize) -> Self {
+        if rows > 0 && cols > 0 {
+            assert!(ld >= rows, "leading dimension {ld} < rows {rows}");
+            let needed = (cols - 1) * ld + rows;
+            assert!(data.len() >= needed, "slice too short: {} < {}", data.len(), needed);
+        }
+        MatRef { data, rows, cols, ld }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)` pair.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Leading dimension of the underlying storage.
+    #[inline]
+    pub fn ld(&self) -> usize {
+        self.ld
+    }
+
+    /// Returns `true` if the view has zero rows or columns.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0 || self.cols == 0
+    }
+
+    /// Element at `(i, j)`.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        self.data[i + j * self.ld]
+    }
+
+    /// Column `j` as a slice of length `rows`.
+    #[inline]
+    pub fn col(&self, j: usize) -> &'a [f64] {
+        debug_assert!(j < self.cols);
+        if self.rows == 0 {
+            return &[];
+        }
+        &self.data[j * self.ld..j * self.ld + self.rows]
+    }
+
+    /// Subview with top-left corner `(r0, c0)` and shape `nrows × ncols`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window extends past the view bounds.
+    pub fn submatrix(&self, r0: usize, c0: usize, nrows: usize, ncols: usize) -> MatRef<'a> {
+        assert!(r0 + nrows <= self.rows && c0 + ncols <= self.cols, "subview out of bounds");
+        let offset = r0 + c0 * self.ld;
+        let end = if nrows > 0 && ncols > 0 { offset + (ncols - 1) * self.ld + nrows } else { offset };
+        MatRef { data: &self.data[offset..end.max(offset)], rows: nrows, cols: ncols, ld: self.ld }
+    }
+
+    /// Subview of columns `c0..c0 + ncols` over all rows.
+    pub fn cols_block(&self, c0: usize, ncols: usize) -> MatRef<'a> {
+        self.submatrix(0, c0, self.rows, ncols)
+    }
+
+    /// Subview of rows `r0..r0 + nrows` over all columns.
+    pub fn rows_block(&self, r0: usize, nrows: usize) -> MatRef<'a> {
+        self.submatrix(r0, 0, nrows, self.cols)
+    }
+
+    /// Copies the view into a fresh owned [`Mat`].
+    pub fn to_mat(&self) -> Mat {
+        let mut m = Mat::zeros(self.rows, self.cols);
+        for j in 0..self.cols {
+            m.col_mut(j).copy_from_slice(self.col(j));
+        }
+        m
+    }
+
+    /// Splits the view into columns `[0, mid)` and `[mid, cols)`.
+    pub fn split_at_col(&self, mid: usize) -> (MatRef<'a>, MatRef<'a>) {
+        assert!(mid <= self.cols);
+        (self.cols_block(0, mid), self.cols_block(mid, self.cols - mid))
+    }
+}
+
+/// Mutable view of a column-major matrix block.
+pub struct MatMut<'a> {
+    data: &'a mut [f64],
+    rows: usize,
+    cols: usize,
+    ld: usize,
+}
+
+impl<'a> MatMut<'a> {
+    /// Wraps `data` as a mutable `rows × cols` view with leading dimension
+    /// `ld`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ld < rows` (for nonempty views) or if `data` is too short
+    /// to hold the last column.
+    pub fn from_slice(data: &'a mut [f64], rows: usize, cols: usize, ld: usize) -> Self {
+        if rows > 0 && cols > 0 {
+            assert!(ld >= rows, "leading dimension {ld} < rows {rows}");
+            let needed = (cols - 1) * ld + rows;
+            assert!(data.len() >= needed, "slice too short: {} < {}", data.len(), needed);
+        }
+        MatMut { data, rows, cols, ld }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)` pair.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Leading dimension of the underlying storage.
+    #[inline]
+    pub fn ld(&self) -> usize {
+        self.ld
+    }
+
+    /// Returns `true` if the view has zero rows or columns.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0 || self.cols == 0
+    }
+
+    /// Element at `(i, j)`.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        self.data[i + j * self.ld]
+    }
+
+    /// Sets the element at `(i, j)`.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, v: f64) {
+        debug_assert!(i < self.rows && j < self.cols);
+        self.data[i + j * self.ld] = v;
+    }
+
+    /// Column `j` as an immutable slice of length `rows`.
+    #[inline]
+    pub fn col(&self, j: usize) -> &[f64] {
+        debug_assert!(j < self.cols);
+        &self.data[j * self.ld..j * self.ld + self.rows]
+    }
+
+    /// Column `j` as a mutable slice of length `rows`.
+    #[inline]
+    pub fn col_mut(&mut self, j: usize) -> &mut [f64] {
+        debug_assert!(j < self.cols);
+        &mut self.data[j * self.ld..j * self.ld + self.rows]
+    }
+
+    /// Immutable reborrow of the whole view.
+    #[inline]
+    pub fn as_ref(&self) -> MatRef<'_> {
+        MatRef::from_slice(self.data, self.rows, self.cols, self.ld)
+    }
+
+    /// Mutable reborrow of the whole view (shortens the lifetime so the
+    /// original can be used again afterwards).
+    #[inline]
+    pub fn reborrow(&mut self) -> MatMut<'_> {
+        MatMut { data: self.data, rows: self.rows, cols: self.cols, ld: self.ld }
+    }
+
+    /// Mutable subview with top-left corner `(r0, c0)` and shape
+    /// `nrows × ncols`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window extends past the view bounds.
+    pub fn submatrix_mut(&mut self, r0: usize, c0: usize, nrows: usize, ncols: usize) -> MatMut<'_> {
+        assert!(r0 + nrows <= self.rows && c0 + ncols <= self.cols, "subview out of bounds");
+        let offset = r0 + c0 * self.ld;
+        let end = if nrows > 0 && ncols > 0 { offset + (ncols - 1) * self.ld + nrows } else { offset };
+        MatMut {
+            data: &mut self.data[offset..end.max(offset)],
+            rows: nrows,
+            cols: ncols,
+            ld: self.ld,
+        }
+    }
+
+    /// Splits the view into two disjoint mutable views of columns
+    /// `[0, mid)` and `[mid, cols)`.
+    ///
+    /// This is the only mutable split offered: column ranges occupy
+    /// disjoint storage ranges in column-major layout, so the split is
+    /// expressible safely via `split_at_mut`.
+    pub fn split_at_col_mut(&mut self, mid: usize) -> (MatMut<'_>, MatMut<'_>) {
+        assert!(mid <= self.cols);
+        let (left_data, right_data) = self.data.split_at_mut(mid * self.ld);
+        let left = MatMut { data: left_data, rows: self.rows, cols: mid, ld: self.ld };
+        let right =
+            MatMut { data: right_data, rows: self.rows, cols: self.cols - mid, ld: self.ld };
+        (left, right)
+    }
+
+    /// Consuming variant of [`MatMut::split_at_col_mut`]; the returned
+    /// halves keep the full lifetime `'a`, which lets recursive
+    /// divide-and-conquer kernels (e.g. rayon-parallel GEMM) hand each half
+    /// to a different task.
+    pub fn split_at_col(self, mid: usize) -> (MatMut<'a>, MatMut<'a>) {
+        assert!(mid <= self.cols);
+        let (left_data, right_data) = self.data.split_at_mut(mid * self.ld);
+        let left = MatMut { data: left_data, rows: self.rows, cols: mid, ld: self.ld };
+        let right =
+            MatMut { data: right_data, rows: self.rows, cols: self.cols - mid, ld: self.ld };
+        (left, right)
+    }
+
+    /// Exposes the raw column-major storage and leading dimension.
+    ///
+    /// Intended for innermost compute kernels (register-blocked GEMM) that
+    /// update several columns simultaneously; element `(i, j)` of the view
+    /// lives at index `i + j * ld` of the returned slice.
+    #[inline]
+    pub fn raw_parts_mut(&mut self) -> (&mut [f64], usize) {
+        (self.data, self.ld)
+    }
+
+    /// Fills the view with `value`.
+    pub fn fill(&mut self, value: f64) {
+        for j in 0..self.cols {
+            self.col_mut(j).fill(value);
+        }
+    }
+
+    /// Copies `src` (which must have the same shape) into this view.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn copy_from(&mut self, src: MatRef<'_>) {
+        assert_eq!(self.shape(), src.shape(), "copy_from: shape mismatch");
+        for j in 0..self.cols {
+            self.col_mut(j).copy_from_slice(src.col(j));
+        }
+    }
+
+    /// Copies the view into a fresh owned [`Mat`].
+    pub fn to_mat(&self) -> Mat {
+        self.as_ref().to_mat()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Mat {
+        // 4x4 with entry i + 10*j.
+        Mat::from_fn(4, 4, |i, j| (i + 10 * j) as f64)
+    }
+
+    #[test]
+    fn view_indexes_with_ld() {
+        let m = sample();
+        let v = m.as_ref();
+        assert_eq!(v.get(3, 2), 23.0);
+        assert_eq!(v.ld(), 4);
+    }
+
+    #[test]
+    fn submatrix_addresses_interior_block() {
+        let m = sample();
+        let v = m.as_ref().submatrix(1, 1, 2, 3);
+        assert_eq!(v.shape(), (2, 3));
+        assert_eq!(v.get(0, 0), 11.0);
+        assert_eq!(v.get(1, 2), 32.0);
+        assert_eq!(v.ld(), 4);
+    }
+
+    #[test]
+    fn nested_subviews_compose() {
+        let m = sample();
+        let v = m.as_ref().submatrix(1, 1, 3, 3).submatrix(1, 1, 2, 2);
+        assert_eq!(v.get(0, 0), 22.0);
+        assert_eq!(v.get(1, 1), 33.0);
+    }
+
+    #[test]
+    fn col_of_subview() {
+        let m = sample();
+        let v = m.as_ref().submatrix(1, 2, 2, 2);
+        assert_eq!(v.col(0), &[21.0, 22.0]);
+        assert_eq!(v.col(1), &[31.0, 32.0]);
+    }
+
+    #[test]
+    fn to_mat_copies_block() {
+        let m = sample();
+        let sub = m.as_ref().submatrix(0, 1, 2, 2).to_mat();
+        assert_eq!(sub[(0, 0)], 10.0);
+        assert_eq!(sub[(1, 1)], 21.0);
+        assert_eq!(sub.shape(), (2, 2));
+    }
+
+    #[test]
+    fn mut_view_set_get() {
+        let mut m = sample();
+        {
+            let mut v = m.as_mut();
+            let mut s = v.submatrix_mut(2, 2, 2, 2);
+            s.set(0, 0, -1.0);
+        }
+        assert_eq!(m[(2, 2)], -1.0);
+    }
+
+    #[test]
+    fn split_at_col_mut_is_disjoint() {
+        let mut m = sample();
+        {
+            let mut v = m.as_mut();
+            let (mut l, mut r) = v.split_at_col_mut(2);
+            l.fill(1.0);
+            r.fill(2.0);
+        }
+        assert_eq!(m[(0, 1)], 1.0);
+        assert_eq!(m[(0, 2)], 2.0);
+    }
+
+    #[test]
+    fn copy_from_round_trips() {
+        let src = sample();
+        let mut dst = Mat::zeros(4, 4);
+        dst.as_mut().copy_from(src.as_ref());
+        assert_eq!(dst, src);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn subview_out_of_bounds_panics() {
+        let m = sample();
+        let _ = m.as_ref().submatrix(2, 2, 3, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "leading dimension")]
+    fn bad_ld_panics() {
+        let data = vec![0.0; 16];
+        let _ = MatRef::from_slice(&data, 5, 3, 4);
+    }
+
+    #[test]
+    fn empty_views_are_fine() {
+        let data: Vec<f64> = vec![];
+        let v = MatRef::from_slice(&data, 0, 0, 1);
+        assert!(v.is_empty());
+        let m = sample();
+        let v = m.as_ref().submatrix(1, 1, 0, 0);
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn rows_and_cols_blocks() {
+        let m = sample();
+        let top = m.as_ref().rows_block(0, 2);
+        assert_eq!(top.get(1, 3), 31.0);
+        let right = m.as_ref().cols_block(2, 2);
+        assert_eq!(right.get(0, 0), 20.0);
+    }
+}

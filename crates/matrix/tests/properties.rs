@@ -1,0 +1,121 @@
+//! Property-based tests of the storage layer: views, permutations,
+//! norms.
+
+use proptest::prelude::*;
+use rlra_matrix::{ColPerm, Mat};
+
+fn det_mat(rows: usize, cols: usize, seed: u64) -> Mat {
+    let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+    Mat::from_fn(rows, cols, |_, _| {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state % 2000) as f64 / 1000.0 - 1.0
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn subview_agrees_with_submatrix_copy(
+        m in 1usize..30,
+        n in 1usize..30,
+        seed in 0u64..1000,
+        fr in 0.0f64..1.0,
+        fc in 0.0f64..1.0,
+        fh in 0.0f64..1.0,
+        fw in 0.0f64..1.0,
+    ) {
+        let a = det_mat(m, n, seed);
+        let r0 = ((m as f64 - 1.0) * fr) as usize;
+        let c0 = ((n as f64 - 1.0) * fc) as usize;
+        let h = 1 + ((m - r0 - 1) as f64 * fh) as usize;
+        let w = 1 + ((n - c0 - 1) as f64 * fw) as usize;
+        let copy = a.submatrix(r0, c0, h, w);
+        let view = a.as_ref().submatrix(r0, c0, h, w);
+        for j in 0..w {
+            for i in 0..h {
+                prop_assert_eq!(copy[(i, j)], view.get(i, j));
+            }
+        }
+        prop_assert_eq!(view.to_mat(), copy);
+    }
+
+    #[test]
+    fn transpose_is_involution(m in 0usize..20, n in 0usize..20, seed in 0u64..1000) {
+        let a = det_mat(m, n, seed);
+        prop_assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn permutation_inverse_roundtrip(n in 1usize..40, seed in 0u64..1000) {
+        // Build a permutation from a swap sequence.
+        let mut state = seed | 1;
+        let swaps: Vec<usize> = (0..n)
+            .map(|i| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                i + (state as usize) % (n - i)
+            })
+            .collect();
+        let p = ColPerm::from_swap_sequence(n, &swaps);
+        let a = det_mat(3, n, seed + 1);
+        let ap = p.apply_cols(&a).unwrap();
+        let back = p.inverse().apply_cols(&ap).unwrap();
+        prop_assert_eq!(back, a);
+        // inverse of inverse is identity map.
+        let double_inv = p.inverse().inverse();
+        prop_assert_eq!(double_inv.as_slice(), p.as_slice());
+    }
+
+    #[test]
+    fn norm_inequalities(m in 1usize..25, n in 1usize..25, seed in 0u64..1000) {
+        use rlra_matrix::norms::*;
+        let a = det_mat(m, n, seed);
+        let v = a.as_ref();
+        let two = spectral_norm(v);
+        let fro = frobenius(v);
+        let one = one_norm(v);
+        let inf = inf_norm(v);
+        let maxa = max_abs(v);
+        // Standard equivalences.
+        prop_assert!(two <= fro + 1e-9);
+        prop_assert!(fro <= two * (m.min(n) as f64).sqrt() + 1e-9);
+        prop_assert!(two * two <= one * inf * (1.0 + 1e-9) + 1e-12);
+        prop_assert!(maxa <= two + 1e-9);
+        prop_assert!(maxa <= fro + 1e-12);
+    }
+
+    #[test]
+    fn hcat_vcat_shapes_and_contents(
+        m in 1usize..15,
+        n1 in 1usize..10,
+        n2 in 1usize..10,
+        seed in 0u64..1000,
+    ) {
+        let a = det_mat(m, n1, seed);
+        let b = det_mat(m, n2, seed + 1);
+        let h = a.hcat(&b).unwrap();
+        prop_assert_eq!(h.shape(), (m, n1 + n2));
+        for j in 0..n1 {
+            prop_assert_eq!(h.col(j), a.col(j));
+        }
+        for j in 0..n2 {
+            prop_assert_eq!(h.col(n1 + j), b.col(j));
+        }
+        let at = a.transpose();
+        let bt = b.transpose();
+        let v = at.vcat(&bt).unwrap();
+        prop_assert_eq!(v, h.transpose());
+    }
+
+    #[test]
+    fn gaussian_matrices_differ_across_seeds(s1 in 0u64..500, s2 in 501u64..1000) {
+        use rand::SeedableRng;
+        let a = rlra_matrix::gaussian_mat(4, 4, &mut rand::rngs::StdRng::seed_from_u64(s1));
+        let b = rlra_matrix::gaussian_mat(4, 4, &mut rand::rngs::StdRng::seed_from_u64(s2));
+        prop_assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,205 @@
+//! The cost table of the paper's Figure 5: flops and words moved between
+//! the two levels of the local memory hierarchy (fast memory of size
+//! `M`), per step of the random sampling algorithm, and for the
+//! deterministic baselines.
+//!
+//! Leading-order terms with explicit constants; the paper states the
+//! orders only.
+
+/// Problem dimensions in the paper's notation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Dims {
+    /// Rows of `A`.
+    pub m: usize,
+    /// Columns of `A`.
+    pub n: usize,
+    /// Target rank.
+    pub k: usize,
+    /// Oversampling.
+    pub p: usize,
+    /// Power iterations.
+    pub q: usize,
+}
+
+impl Dims {
+    /// Sampling dimension `ℓ = k + p`.
+    pub fn l(&self) -> usize {
+        self.k + self.p
+    }
+}
+
+/// A (flops, words) cost pair.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostEntry {
+    /// Floating-point operations.
+    pub flops: f64,
+    /// Words moved between fast and slow memory.
+    pub words: f64,
+}
+
+impl CostEntry {
+    fn add(self, other: CostEntry) -> CostEntry {
+        CostEntry { flops: self.flops + other.flops, words: self.words + other.words }
+    }
+}
+
+/// A step of the random sampling algorithm, one row of Figure 5.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RsStep {
+    /// Gaussian sampling `B = ΩA` (GEMM).
+    SamplingGaussian,
+    /// Full-FFT sampling.
+    SamplingFft,
+    /// Power-iteration multiplies (`2q` GEMMs).
+    IterMult,
+    /// Power-iteration orthogonalizations (CholQR of `ℓ×n` and `ℓ×m`).
+    IterOrth,
+    /// QRCP of the sampled `ℓ × n` matrix.
+    Qrcp,
+    /// Tall-skinny QR of `A·P₁:ₖ`.
+    Qr,
+}
+
+/// Cost of one step of random sampling (Figure 5, top block).
+/// `fast_mem` is the fast-memory size `M` in words.
+pub fn rs_step_cost(step: RsStep, d: Dims, fast_mem: f64) -> CostEntry {
+    let (m, n, l, q, k) = (d.m as f64, d.n as f64, d.l() as f64, d.q as f64, d.k as f64);
+    let sqrt_m = fast_mem.sqrt();
+    match step {
+        RsStep::SamplingGaussian => {
+            // One (ℓ×m)·(m×n) GEMM: communication-optimal blocked GEMM
+            // moves 2·flops/√M words.
+            let flops = 2.0 * l * m * n;
+            CostEntry { flops, words: flops / sqrt_m }
+        }
+        RsStep::SamplingFft => {
+            // Full FFT of every column: n transforms of length m at
+            // 5·m·log₂m flops each; FFT moves O(mn·log m / log M) words
+            // (Figure 5, second row).
+            let flops = n * 5.0 * m * m.log2();
+            CostEntry { flops, words: flops / 5.0 / fast_mem.log2() }
+        }
+        RsStep::IterMult => {
+            // 2q GEMMs of the same size as the sampling GEMM.
+            let flops = 2.0 * q * (2.0 * l * m * n);
+            CostEntry { flops, words: flops / sqrt_m }
+        }
+        RsStep::IterOrth => {
+            // Per iteration: CholQR of ℓ×n and ℓ×m (2·l²·(m+n) flops each
+            // pass; Figure 5 writes O((m+n)ℓ²q)).
+            let flops = 2.0 * q * 2.0 * l * l * (m + n);
+            CostEntry { flops, words: flops / sqrt_m }
+        }
+        RsStep::Qrcp => {
+            // Truncated QP3 of the ℓ×n sampled matrix: O(nℓ²) ≈ O(n·ℓ²);
+            // the paper's table writes O(n²) with ℓ treated as constant.
+            let flops = 4.0 * n * l * k;
+            CostEntry { flops, words: flops } // BLAS-2 half: no reuse
+        }
+        RsStep::Qr => {
+            // CholQR of the m×k pivot block: 2mk² flops per pass.
+            let flops = 2.0 * m * k * k;
+            CostEntry { flops, words: flops / sqrt_m }
+        }
+    }
+}
+
+/// Total cost of random sampling (Figure 5's "Total" row:
+/// `O(mnℓ(1+2q))` flops and `O(mnℓ(1+2q)/M^{1/2})` words — the GEMMs
+/// dominate).
+pub fn rs_total_cost(d: Dims, fast_mem: f64) -> CostEntry {
+    rs_step_cost(RsStep::SamplingGaussian, d, fast_mem)
+        .add(rs_step_cost(RsStep::IterMult, d, fast_mem))
+        .add(rs_step_cost(RsStep::IterOrth, d, fast_mem))
+        .add(rs_step_cost(RsStep::Qrcp, d, fast_mem))
+        .add(rs_step_cost(RsStep::Qr, d, fast_mem))
+}
+
+/// Truncated QP3 (Figure 5: `O(mnk)` flops and — because half the flops
+/// are unblocked BLAS-2 — `O(mnk)` words: no fast-memory reuse).
+pub fn qp3_cost(d: Dims) -> CostEntry {
+    let (m, n, k) = (d.m as f64, d.n as f64, d.k as f64);
+    let flops = 4.0 * m * n * k;
+    CostEntry { flops, words: 0.5 * flops + 0.5 * flops / 1e2 }
+}
+
+/// Communication-avoiding QP3 (Figure 5: `O(mn(m+n))` flops,
+/// `O(mn²/M^{1/2})` words — it trades extra flops for blocked movement).
+pub fn caqp3_cost(d: Dims, fast_mem: f64) -> CostEntry {
+    let (m, n) = (d.m as f64, d.n as f64);
+    CostEntry { flops: m * n * (m + n), words: m * n * n / fast_mem.sqrt() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const M_FAST: f64 = 1.5e6; // ~12 MB of f64 (K40c L2-ish)
+
+    fn dims() -> Dims {
+        Dims { m: 50_000, n: 2_500, k: 54, p: 10, q: 1 }
+    }
+
+    #[test]
+    fn totals_dominated_by_gemm() {
+        let d = dims();
+        let total = rs_total_cost(d, M_FAST);
+        let gemm = rs_step_cost(RsStep::SamplingGaussian, d, M_FAST)
+            .flops
+            + rs_step_cost(RsStep::IterMult, d, M_FAST).flops;
+        assert!(gemm / total.flops > 0.9, "GEMM fraction {}", gemm / total.flops);
+    }
+
+    #[test]
+    fn rs_moves_fewer_words_than_qp3() {
+        // The headline claim: random sampling is communication-optimal,
+        // QP3 is not.
+        let d = dims();
+        let rs = rs_total_cost(d, M_FAST);
+        let qp3 = qp3_cost(d);
+        assert!(rs.words < qp3.words / 50.0, "rs {} vs qp3 {}", rs.words, qp3.words);
+    }
+
+    #[test]
+    fn rs_flops_grow_linearly_with_q() {
+        let d0 = Dims { q: 0, ..dims() };
+        let d1 = Dims { q: 1, ..dims() };
+        let d2 = Dims { q: 2, ..dims() };
+        let f0 = rs_total_cost(d0, M_FAST).flops;
+        let f1 = rs_total_cost(d1, M_FAST).flops;
+        let f2 = rs_total_cost(d2, M_FAST).flops;
+        let inc1 = f1 - f0;
+        let inc2 = f2 - f1;
+        assert!((inc1 - inc2).abs() / inc1 < 1e-9);
+        // Paper §8: q = 1 performs roughly 3.6× the flops of QP3... and
+        // ~3× the flops of q = 0 (1 + 2q GEMMs).
+        assert!((f1 / f0 - 3.0).abs() < 0.2, "ratio {}", f1 / f0);
+    }
+
+    #[test]
+    fn rs_vs_qp3_flop_ratio_close_to_paper() {
+        // Paper §8: "random sampling performs roughly 3.6× or 1.2× more
+        // flops than QP3 when q = 1 or 0" at (ℓ; p) = (64; 10),
+        // n = 2,500. The paper's QP3 count is ≈2mnk (QR-like, k = 54);
+        // ours is the LAPACK convention 4mnk − …, about 2.4× larger, so
+        // the same physical ratio lands 2.4× lower here. Assert the
+        // q-dependence and a band covering both conventions.
+        let d0 = Dims { q: 0, ..dims() };
+        let d1 = Dims { q: 1, ..dims() };
+        let qp3 = qp3_cost(Dims { k: 64, ..d0 }).flops;
+        let r0 = rs_total_cost(d0, M_FAST).flops / qp3;
+        let r1 = rs_total_cost(d1, M_FAST).flops / qp3;
+        assert!(r0 > 0.3 && r0 < 2.0, "q=0 flop ratio {r0}");
+        assert!(r1 > 1.2 && r1 < 5.0, "q=1 flop ratio {r1}");
+        assert!((r1 / r0 - 3.0).abs() < 0.3, "q=1 triples the GEMM flops");
+    }
+
+    #[test]
+    fn caqp3_trades_flops_for_words() {
+        let d = dims();
+        let qp3 = qp3_cost(d);
+        let ca = caqp3_cost(d, M_FAST);
+        assert!(ca.flops > qp3.flops);
+        assert!(ca.words < qp3.words);
+    }
+}

@@ -1,0 +1,192 @@
+//! Closed-form α-β performance model for the distributed-memory setting
+//! — the analytic companion to `rlra-core`'s cluster simulation, in the
+//! spirit of the paper's Figure 5/10 models ("evaluate the performance …
+//! before implementing the algorithm").
+//!
+//! Cross-validated against the step-by-step cluster simulator in the
+//! tests: two independently written models must agree on the totals.
+
+use rlra_gpu::cost::CostModel;
+use rlra_gpu::NetworkSpec;
+
+/// Cluster shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClusterDims {
+    /// Number of nodes.
+    pub nodes: usize,
+    /// GPUs per node.
+    pub gpus_per_node: usize,
+}
+
+impl ClusterDims {
+    /// Total GPU count.
+    pub fn total_gpus(&self) -> usize {
+        self.nodes * self.gpus_per_node
+    }
+}
+
+/// Estimated time of distributed random sampling (`ℓ = k + p`, `q` power
+/// iterations) on an `m × n` matrix: per-GPU GEMM work on `m/(P·g)` rows
+/// plus the PCIe-local reductions and `O(log P)` interconnect
+/// collectives, plus the serial Step 2 + the distributed Step 3.
+#[allow(clippy::too_many_arguments)] // mirrors the paper's (m, n, l, k, q) notation
+pub fn rs_cluster_estimate(
+    cost: &CostModel,
+    net: &NetworkSpec,
+    dims: ClusterDims,
+    m: usize,
+    n: usize,
+    l: usize,
+    k: usize,
+    q: usize,
+) -> f64 {
+    let g = dims.gpus_per_node;
+    let p = dims.nodes;
+    let m_gpu = m.div_ceil(dims.total_gpus());
+    let b_bytes = 8 * (l * n) as u64;
+    let gram_bytes = 8 * (l * l) as u64;
+
+    let mut secs = 0.0;
+    // PRNG (parallel across GPUs) + sampling GEMM + B reduction.
+    secs += cost.curand(l * m_gpu);
+    secs += cost.gemm(l, n, m_gpu);
+    let reduce_b = g as f64 * cost.transfer(b_bytes)
+        + cost.host_reduce(b_bytes, g)
+        + 2.0 * net.tree_collective(p, b_bytes);
+    secs += reduce_b;
+    // Power iterations.
+    for _ in 0..q {
+        // Host QR of B + interconnect broadcast + intra-node broadcast.
+        secs += cost.host_flops(2.0 * 2.0 * (l * l * n) as f64) + cost.host_cholesky(l);
+        secs += net.tree_collective(p, b_bytes) + g as f64 * cost.transfer(b_bytes);
+        // C = B·Aᵀ local + distributed CholQR of C (Gram allreduce).
+        secs += cost.gemm(l, m_gpu, n);
+        secs += cost.syrk(l, m_gpu);
+        secs += g as f64 * cost.transfer(gram_bytes)
+            + cost.host_reduce(gram_bytes, g)
+            + 2.0 * net.tree_collective(p, gram_bytes);
+        secs += cost.host_cholesky(l) + g as f64 * cost.transfer(gram_bytes) + cost.trsm(l, m_gpu);
+        // B = C·A local + reduction.
+        secs += cost.gemm(l, n, m_gpu);
+        secs += reduce_b;
+    }
+    // Step 2: serial QP3 of B on one GPU (the Amdahl floor) + pivot bcast.
+    secs += qp3_small_estimate(cost, l, n, k);
+    secs += net.tree_collective(p, 8 * k as u64);
+    // Step 3: distributed tall CholQR of A·P(1:k).
+    let gram_k = 8 * (k * k) as u64;
+    secs += cost.blas1(m_gpu * k, 2.0) + cost.syrk(k, m_gpu);
+    secs += g as f64 * cost.transfer(gram_k)
+        + cost.host_reduce(gram_k, g)
+        + 2.0 * net.tree_collective(p, gram_k);
+    secs += cost.host_cholesky(k) + g as f64 * cost.transfer(gram_k) + cost.trsm(k, m_gpu);
+    secs
+}
+
+/// Per-step composite of a truncated QP3 on a single device (the small
+/// `ℓ × n` sampled matrix).
+fn qp3_small_estimate(cost: &CostModel, l: usize, n: usize, k: usize) -> f64 {
+    let mut secs = 0.0;
+    for j in 0..k {
+        secs += 3.0 * cost.sync();
+        secs += cost.blas1(n - j, 2.0) + cost.blas1(l, 3.0);
+        secs += cost.blas1(l - j, 2.0) + cost.blas1(l - j, 2.0);
+        if n > j + 1 {
+            secs += cost.gemv(l - j, n - j - 1);
+            secs += cost.blas1(n - j - 1, 2.0);
+        }
+    }
+    secs
+}
+
+/// Estimated time of a distributed truncated QP3 with target rank `k`:
+/// every pivot pays a latency-bound all-reduce plus a column exchange on
+/// top of the (perfectly parallel) row-distributed BLAS-2 update.
+pub fn qp3_cluster_estimate(
+    cost: &CostModel,
+    net: &NetworkSpec,
+    dims: ClusterDims,
+    m: usize,
+    n: usize,
+    k: usize,
+) -> f64 {
+    let p = dims.nodes;
+    let m_gpu = m.div_ceil(dims.total_gpus());
+    let nb = 32usize;
+    let mut secs = 0.0;
+    for j in 0..k {
+        // Pivot all-reduce (latency) + column gather across nodes.
+        secs += 2.0 * net.tree_collective(p, 8);
+        secs += net.tree_collective(p, 8 * (m / p.max(1)) as u64);
+        // Local BLAS-2 slice update.
+        secs += cost.gemv(m_gpu.max(1), n - j) + cost.blas1(n - j, 2.0) + 2.0 * cost.sync();
+        if (j + 1) % nb == 0 || j + 1 == k {
+            secs += cost.gemm(m_gpu, n - j, nb.min(j + 1));
+        }
+    }
+    secs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use rlra_core::{qp3_cluster_time, sample_fixed_rank_cluster, SamplerConfig};
+    use rlra_gpu::{Cluster, DeviceSpec, ExecMode};
+
+    fn cost() -> CostModel {
+        CostModel::new(DeviceSpec::k40c())
+    }
+
+    #[test]
+    fn rs_estimate_matches_cluster_simulation() {
+        // Two independent implementations (closed-form vs step-by-step
+        // simulation) must agree within a modest factor across shapes.
+        let c = cost();
+        let net = NetworkSpec::infiniband_fdr();
+        for (nodes, g, m) in [(1usize, 2usize, 200_000usize), (4, 2, 400_000), (8, 1, 400_000)] {
+            let dims = ClusterDims { nodes, gpus_per_node: g };
+            let est = rs_cluster_estimate(&c, &net, dims, m, 2_500, 64, 54, 1);
+            let mut cl = Cluster::new(nodes, g, DeviceSpec::k40c(), net.clone(), ExecMode::DryRun);
+            let cfg = SamplerConfig::new(54).with_p(10).with_q(1);
+            let sim = sample_fixed_rank_cluster(&mut cl, m, 2_500, &cfg, &mut StdRng::seed_from_u64(1))
+                .unwrap()
+                .seconds;
+            let ratio = est / sim;
+            assert!(
+                ratio > 0.5 && ratio < 2.0,
+                "{nodes}x{g} @ m={m}: estimate {est:.4} vs sim {sim:.4} (ratio {ratio:.2})"
+            );
+        }
+    }
+
+    #[test]
+    fn qp3_estimate_matches_cluster_simulation() {
+        let c = cost();
+        let net = NetworkSpec::infiniband_fdr();
+        for nodes in [1usize, 4] {
+            let dims = ClusterDims { nodes, gpus_per_node: 2 };
+            let est = qp3_cluster_estimate(&c, &net, dims, 400_000, 2_500, 64);
+            let mut cl = Cluster::new(nodes, 2, DeviceSpec::k40c(), net.clone(), ExecMode::DryRun);
+            let sim = qp3_cluster_time(&mut cl, 400_000, 2_500, 64);
+            let ratio = est / sim;
+            assert!(
+                ratio > 0.5 && ratio < 2.0,
+                "{nodes} nodes: estimate {est:.4} vs sim {sim:.4} (ratio {ratio:.2})"
+            );
+        }
+    }
+
+    #[test]
+    fn estimated_gap_grows_with_nodes_then_amdahl() {
+        let c = cost();
+        let net = NetworkSpec::infiniband_fdr();
+        let speedup = |nodes: usize| {
+            let dims = ClusterDims { nodes, gpus_per_node: 2 };
+            qp3_cluster_estimate(&c, &net, dims, 400_000, 2_500, 64)
+                / rs_cluster_estimate(&c, &net, dims, 400_000, 2_500, 64, 54, 1)
+        };
+        assert!(speedup(4) > speedup(1), "gap widens through 4 nodes");
+    }
+}

@@ -1,0 +1,20 @@
+//! # rlra-perfmodel
+//!
+//! The analytic performance model of the paper:
+//!
+//! - [`costs`] — the computation/communication cost table of **Figure 5**
+//!   (flops and words moved through the fast memory, per step of random
+//!   sampling, and for QP3 / communication-avoiding QP3),
+//! - [`gflops`] — the estimated-throughput model of **Figure 10**
+//!   ("this allows us to evaluate the performance of random sampling on
+//!   a target computer before implementing the algorithm"): per-kernel
+//!   times from the calibrated `rlra-gpu` cost model are composed into
+//!   end-to-end Gflop/s estimates for random sampling and truncated QP3.
+
+pub mod costs;
+pub mod distributed;
+pub mod gflops;
+
+pub use costs::{caqp3_cost, qp3_cost, rs_step_cost, rs_total_cost, CostEntry, Dims, RsStep};
+pub use distributed::{qp3_cluster_estimate, rs_cluster_estimate, ClusterDims};
+pub use gflops::{estimated_qp3, estimated_rs, Estimate};

@@ -1,0 +1,53 @@
+//! The fixed-accuracy problem: "give me an approximation with error
+//! below ε, I don't know the rank" — solved with the paper's adaptive
+//! sampling-size scheme (Figure 3), including the interpolated-increment
+//! variant.
+//!
+//! ```text
+//! cargo run --release --example adaptive_tolerance
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rlra::prelude::*;
+use rlra_core::adaptive::sample_fixed_accuracy;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = StdRng::seed_from_u64(7);
+
+    // Exponent-spectrum matrix (σ_i = 10^{-i/10}): the rank needed for a
+    // given tolerance is ~10·log10(1/ε), but pretend we don't know that.
+    let (m, n) = (2_000usize, 400usize);
+    let spec = rlra::data::exponent_spectrum(n);
+    let tm = rlra::data::matrix_with_spectrum(m, n, &spec, &mut rng)?;
+    println!("matrix: {m} x {n} `exponent`");
+
+    for tol in [1e-4, 1e-6, 1e-8] {
+        let mut gpu = Gpu::k40c();
+        let cfg = AdaptiveConfig {
+            tol,
+            q: 0,
+            reorth: true,
+            inc: IncStrategy::Interpolated { init: 8 },
+            l_max: n,
+            track_actual: false,
+        };
+        let (approx, adaptive) = sample_fixed_accuracy(&mut gpu, &tm.a, &cfg, &mut rng)?;
+        let err = approx.relative_error(&tm.a, Some(tm.norm2()))?;
+        println!(
+            "\n  eps = {tol:.0e}: converged = {} in {} steps, rank = {}, \
+             simulated K40c time = {:.2} ms",
+            adaptive.converged,
+            adaptive.steps.len(),
+            adaptive.l(),
+            adaptive.steps.last().map(|s| s.sim_time).unwrap_or(0.0) * 1e3,
+        );
+        println!("    achieved relative error {err:.2e} (estimate is pessimistic by design)");
+        print!("    estimate trajectory: ");
+        for s in &adaptive.steps {
+            print!("{:.1e} ", s.estimate);
+        }
+        println!();
+    }
+    Ok(())
+}

@@ -1,0 +1,56 @@
+//! Head-to-head: random sampling vs truncated QP3 on the simulated K40c,
+//! sweeping the number of power iterations — a miniature of the paper's
+//! Figures 6 + 14 in one run: accuracy AND simulated time side by side.
+//!
+//! ```text
+//! cargo run --release --example compare_qrcp
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rlra::prelude::*;
+use rlra_core::qp3_low_rank_gpu;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = StdRng::seed_from_u64(99);
+
+    // A slowly decaying spectrum, where power iterations visibly help.
+    let (m, n) = (2_000usize, 500usize);
+    let values: Vec<f64> = (0..n).map(|i| 0.97f64.powi(i as i32)).collect();
+    let spec = rlra::data::Spectrum { name: "slow-decay", values };
+    let tm = rlra::data::matrix_with_spectrum(m, n, &spec, &mut rng)?;
+    let k = 30;
+    println!("matrix: {m} x {n} `slow-decay` (sigma_i = 0.97^i), target rank k = {k}");
+
+    // Baseline: truncated QP3 on the simulated device.
+    let mut gpu = Gpu::k40c();
+    let a_dev = gpu.resident(&tm.a);
+    let (qp3, t_qp3) = qp3_low_rank_gpu(&mut gpu, &a_dev, k)?;
+    let qp3 = qp3.expect("compute mode");
+    let err_qp3 = qp3.relative_error(&tm.a, Some(tm.norm2()))?;
+    println!("\n  {:>10} {:>12} {:>14} {:>9}", "method", "error", "sim time", "speedup");
+    println!("  {:>10} {:>12.3e} {:>11.2} ms {:>9}", "QP3", err_qp3, t_qp3 * 1e3, "1.0x");
+
+    for q in [0usize, 1, 2, 4] {
+        let cfg = SamplerConfig::new(k).with_q(q);
+        let mut gpu = Gpu::k40c();
+        let a_dev = gpu.resident(&tm.a);
+        let (rs, rep) = sample_fixed_rank_gpu(&mut gpu, &a_dev, &cfg, &mut rng)?;
+        let rs = rs.expect("compute mode");
+        let err = rs.relative_error(&tm.a, Some(tm.norm2()))?;
+        println!(
+            "  {:>10} {:>12.3e} {:>11.2} ms {:>8.1}x",
+            format!("RS q={q}"),
+            err,
+            rep.seconds * 1e3,
+            t_qp3 / rep.seconds
+        );
+    }
+
+    let optimal = tm.sigma_after(k) / tm.norm2();
+    println!("\n  optimal rank-{k} error (Eckart-Young): {optimal:.3e}");
+    println!("  the paper's story: q = 0 already matches QP3's error class on fast-decaying");
+    println!("  spectra; on slow decay a power iteration or two closes the gap — while still");
+    println!("  running several times faster than QP3.");
+    Ok(())
+}

@@ -1,0 +1,87 @@
+//! A hierarchical (HODLR) direct solver built on the randomized sampler —
+//! the working version of the paper's §11 plan to put its GPU sampler
+//! inside an HSS solver.
+//!
+//! We assemble a dense kernel system `(K + λI)·x = b` (a regularized
+//! kernel regression / integral equation), compress it hierarchically
+//! with random sampling, and solve it directly in `O(k²·n·log²n)` via
+//! the recursive Woodbury factorization — then compare against the dense
+//! `O(n³)` solve.
+//!
+//! ```text
+//! cargo run --release --example hierarchical_solver
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rlra::core::HodlrMatrix;
+use rlra::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n = 1_024usize;
+    let mut rng = StdRng::seed_from_u64(5);
+
+    // System matrix: exponential kernel + ridge shift (well conditioned).
+    let pts = rlra::data::uniform_points(n);
+    let mut a = rlra::data::kernel_matrix(rlra::data::Kernel::Exponential { gamma: 24.0 }, &pts);
+    for i in 0..n {
+        a[(i, i)] += 1.0;
+    }
+    let b: Vec<f64> = pts.iter().map(|&x| (7.0 * x).sin() + 0.3 * (23.0 * x).cos()).collect();
+    println!("system: (K + I) x = b, n = {n} (exponential kernel)");
+
+    // --- Hierarchical compression + direct solve ----------------------------
+    let cfg = SamplerConfig::new(12).with_p(6).with_q(1);
+    let t = std::time::Instant::now();
+    let h = HodlrMatrix::compress(&a, 64, &cfg, &mut rng)?;
+    let t_compress = t.elapsed();
+    println!(
+        "HODLR: {} levels, compression {:.1}x, built in {t_compress:.2?}",
+        h.levels(),
+        h.compression_ratio()
+    );
+    let t = std::time::Instant::now();
+    let x_h = h.solve(&b)?;
+    let t_solve = t.elapsed();
+
+    // --- Dense reference (Cholesky of the SPD system) ------------------------
+    let t = std::time::Instant::now();
+    let r = rlra::lapack::cholesky_upper(&a)?;
+    let mut x_d = b.clone();
+    rlra::blas::trsv(r.as_ref(), rlra::blas::UpLo::Upper, rlra::blas::Trans::Yes, rlra::blas::Diag::NonUnit, &mut x_d)?;
+    rlra::blas::trsv(r.as_ref(), rlra::blas::UpLo::Upper, rlra::blas::Trans::No, rlra::blas::Diag::NonUnit, &mut x_d)?;
+    let t_dense = t.elapsed();
+
+    // --- Compare --------------------------------------------------------------
+    let mut resid = b.clone();
+    rlra::blas::gemv(1.0, a.as_ref(), rlra::blas::Trans::No, &x_h, -1.0, &mut resid)?;
+    // resid = A x_h − b after the call above with beta = −1 flips sign of b.
+    let rel_resid = rlra::matrix::norms::vec_norm2(&resid) / rlra::matrix::norms::vec_norm2(&b);
+    let diff: f64 = x_h
+        .iter()
+        .zip(&x_d)
+        .map(|(p, q)| (p - q) * (p - q))
+        .sum::<f64>()
+        .sqrt()
+        / rlra::matrix::norms::vec_norm2(&x_d);
+    println!("\nsolve times: HODLR {t_solve:.2?} vs dense Cholesky {t_dense:.2?}");
+    println!("HODLR residual |Ax - b| / |b| = {rel_resid:.2e}");
+    println!("solution difference vs dense  = {diff:.2e}");
+    // --- Bonus: loose-rank HODLR as a CG preconditioner ----------------------
+    let mut rng2 = StdRng::seed_from_u64(6);
+    let loose = HodlrMatrix::compress(&a, 64, &SamplerConfig::new(4).with_p(4), &mut rng2)?;
+    let plain = rlra::core::pcg(&a, &b, rlra::core::identity_preconditioner, 1e-10, 2000)?;
+    let pre = rlra::core::pcg(&a, &b, |r| loose.solve(r), 1e-10, 2000)?;
+    println!(
+        "\nas preconditioner (rank-4 HODLR): CG iterations {} -> {}",
+        plain.iterations, pre.iterations
+    );
+
+    println!(
+        "\nThe compression step runs two randomized samplings per node across {} levels — on\n\
+         the paper's GPU these are GEMM-bound and an order of magnitude faster than QP3-based\n\
+         compression, which is the §11 motivation in one sentence.",
+        h.levels()
+    );
+    Ok(())
+}

@@ -1,0 +1,60 @@
+//! Quickstart: compute a rank-k approximation of a dense matrix with
+//! random sampling, compare it against the deterministic QP3 baseline
+//! and against the optimal (SVD) error.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rlra::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = StdRng::seed_from_u64(42);
+
+    // A 1,000 × 300 matrix with the paper's "power" spectrum
+    // (σ_i = (i+1)^-3): strongly compressible.
+    let (m, n) = (1_000usize, 300usize);
+    let spec = rlra::data::power_spectrum(n);
+    let tm = rlra::data::matrix_with_spectrum(m, n, &spec, &mut rng)?;
+    println!("matrix: {m} x {n}, spectrum `{}`, kappa(A) = {:.1e}", spec.name, spec.condition());
+
+    let k = 20;
+    let cfg = SamplerConfig::new(k); // p = 10, q = 0, Gaussian sampling
+
+    // --- Random sampling (the paper's algorithm) ---------------------------
+    let t = std::time::Instant::now();
+    let rs = sample_fixed_rank(&tm.a, &cfg, &mut rng)?;
+    let t_rs = t.elapsed();
+    let err_rs = rs.relative_error(&tm.a, Some(tm.norm2()))?;
+
+    // --- Truncated QP3 (the deterministic baseline) -------------------------
+    let t = std::time::Instant::now();
+    let qp3 = qp3_low_rank(&tm.a, k)?;
+    let t_qp3 = t.elapsed();
+    let err_qp3 = qp3.relative_error(&tm.a, Some(tm.norm2()))?;
+
+    // --- The theoretical optimum (Eckart–Young) ------------------------------
+    let optimal = tm.sigma_after(k) / tm.norm2();
+
+    println!("\nrank-{k} approximation (relative spectral error):");
+    println!("  random sampling : {err_rs:.3e}   ({t_rs:.2?} on this CPU)");
+    println!("  truncated QP3   : {err_qp3:.3e}   ({t_qp3:.2?} on this CPU)");
+    println!("  optimal (SVD)   : {optimal:.3e}");
+
+    // Use the approximation: fast matrix-vector products.
+    let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.01).sin()).collect();
+    let y = rs.apply(&x)?;
+    println!("\napplied A~ to a vector: |y| = {:.4}", rlra::matrix::norms::vec_norm2(&y));
+
+    // And on the simulated K40c, the timing the paper reports:
+    let mut gpu = Gpu::k40c();
+    let a_dev = gpu.resident(&tm.a);
+    let (_, report) = sample_fixed_rank_gpu(&mut gpu, &a_dev, &cfg, &mut rng)?;
+    println!("\nsimulated K40c time: {:.3} ms, breakdown:", report.seconds * 1e3);
+    for (phase, secs) in report.timeline.breakdown() {
+        println!("  {phase:>12}: {:.3} ms", secs * 1e3);
+    }
+    Ok(())
+}

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Regenerates every table/figure of the paper plus the ablation and
+# what-if studies. CSV outputs land in target/figures/.
+#
+#   scripts/make_figures.sh [--full]
+#
+# --full runs the numerical experiments (fig06/16/17) at the paper's
+# sizes instead of the reduced defaults (slow on CPU).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BINS=(
+  table1 fig06_errors fig07_tsqr fig08_sampling fig09_shortwide
+  fig10_model fig11_rows fig12_cols fig13_rank fig14_iters
+  fig15_multigpu fig16_adaptive fig17_adaptive_time fig18_gemm
+  table5_costs
+  ablation_orth ablation_pivoting ablation_oversampling ablation_sampling ablation_blr
+  whatif_comm_cost whatif_distributed whatif_future_gpus
+)
+
+cargo build --release -p rlra-bench --bins
+for b in "${BINS[@]}"; do
+  echo
+  echo "########## $b ##########"
+  cargo run -q --release -p rlra-bench --bin "$b" -- "$@"
+done
+echo
+echo "CSV outputs: target/figures/"

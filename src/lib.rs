@@ -1,0 +1,73 @@
+//! # rlra — randomized low-rank approximation on (simulated) GPUs
+//!
+//! A from-scratch Rust reproduction of *"Performance of Random Sampling
+//! for Computing Low-rank Approximations of a Dense Matrix on GPUs"*
+//! (Mary, Yamazaki, Kurzak, Luszczek, Tomov, Dongarra — SC'15).
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! | crate | contents |
+//! |---|---|
+//! | [`matrix`] | dense column-major matrices, views, permutations, norms |
+//! | [`blas`] | BLAS 1/2/3 kernels (rayon-parallel GEMM) |
+//! | [`lapack`] | Householder QR, CholQR, Gram–Schmidt, QRCP/QP3, Jacobi SVD |
+//! | [`fft`] | radix-2 FFT + SRFT sampling |
+//! | [`gpu`] | the simulated K40c: calibrated cost model, kernels, multi-GPU |
+//! | [`core`] | the paper's algorithm: fixed-rank + adaptive random sampling |
+//! | [`data`] | test-matrix generators (power/exponent spectra, HapMap-like) |
+//! | [`perfmodel`] | the analytic cost model (paper Figures 5 and 10) |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use rlra::prelude::*;
+//! use rand::SeedableRng;
+//!
+//! // A 200 x 100 matrix with a fast-decaying spectrum.
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//! let spec = rlra::data::power_spectrum(100);
+//! let tm = rlra::data::matrix_with_spectrum(200, 100, &spec, &mut rng).unwrap();
+//!
+//! // Rank-10 approximation by random sampling (k = 10, p = 10, q = 0).
+//! let cfg = SamplerConfig::new(10);
+//! let approx = sample_fixed_rank(&tm.a, &cfg, &mut rng).unwrap();
+//!
+//! // The error obeys the Halko–Martinsson–Tropp bound relative to
+//! // sigma_{k+1}.
+//! let err = approx.error_spectral(&tm.a).unwrap();
+//! assert!(err < 30.0 * tm.sigma_after(10));
+//! ```
+
+pub use rlra_blas as blas;
+pub use rlra_core as core;
+pub use rlra_data as data;
+pub use rlra_fft as fft;
+pub use rlra_gpu as gpu;
+pub use rlra_lapack as lapack;
+pub use rlra_matrix as matrix;
+pub use rlra_perfmodel as perfmodel;
+
+/// The most common imports for downstream users.
+pub mod prelude {
+    pub use rlra_core::{
+        adaptive_sample, cur_decomposition, qp3_low_rank, randomized_svd, sample_fixed_rank,
+        interpolative_decomposition, sample_fixed_rank_gpu, sample_fixed_rank_multi_gpu,
+        AdaptiveConfig, BlrMatrix, HodlrMatrix, InterpolativeDecomposition,
+        CurDecomposition, IncStrategy, LowRankApprox, RandomizedSvd, SamplerConfig, SamplingKind,
+        Step2Kind,
+    };
+    pub use rlra_gpu::{DeviceSpec, ExecMode, Gpu, MultiGpu, Phase};
+    pub use rlra_matrix::{ColPerm, Mat};
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn facade_reexports_compile() {
+        use crate::prelude::*;
+        let cfg = SamplerConfig::new(5);
+        assert_eq!(cfg.l(), 15);
+        let m = Mat::identity(3);
+        assert_eq!(m.rows(), 3);
+    }
+}

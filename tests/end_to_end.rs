@@ -1,0 +1,163 @@
+//! End-to-end integration tests spanning the whole workspace: generator →
+//! sampler → factors → error bounds, across all three execution paths
+//! (CPU, single simulated GPU, multi-GPU).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rlra::prelude::*;
+use rlra_core::multi::{sample_fixed_rank_multi_gpu, HostInput};
+
+fn rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// The three test-matrix families of the paper's Table 1, at test scale.
+fn table1_matrices(m: usize, n: usize) -> Vec<(&'static str, rlra::matrix::Mat, f64, f64)> {
+    let mut out = Vec::new();
+    let mut r = rng(100);
+    for spec in [rlra::data::power_spectrum(n), rlra::data::exponent_spectrum(n)] {
+        let tm = rlra::data::matrix_with_spectrum(m, n, &spec, &mut r).unwrap();
+        let s_k1 = tm.sigma_after(20);
+        let norm = tm.norm2();
+        out.push((spec.name, tm.a, norm, s_k1));
+    }
+    let cfg = rlra::data::HapmapConfig { snps: m, individuals: n, populations: 4, fst: 0.1 };
+    let a = rlra::data::hapmap_like(&cfg, &mut r).unwrap();
+    let sv = rlra::lapack::singular_values(&a).unwrap();
+    out.push(("hapmap", a, sv[0], sv[20]));
+    out
+}
+
+#[test]
+fn fixed_rank_error_bound_on_all_table1_families() {
+    let k = 20;
+    for (name, a, norm, sigma_k1) in table1_matrices(300, 120) {
+        for q in [0usize, 1] {
+            let cfg = SamplerConfig::new(k).with_q(q);
+            let approx = sample_fixed_rank(&a, &cfg, &mut rng(1)).unwrap();
+            let err = approx.error_spectral(&a).unwrap();
+            // Halko-style bound with a generous constant; also sanity
+            // against the trivial bound.
+            assert!(
+                err <= 30.0 * sigma_k1 + 1e-12,
+                "{name} q={q}: err {err:e} vs sigma_k1 {sigma_k1:e}"
+            );
+            assert!(err <= 2.0 * norm, "{name}: error cannot blow past the matrix norm");
+        }
+    }
+}
+
+#[test]
+fn rs_error_same_order_as_qp3_like_fig6() {
+    // Figure 6's qualitative claim: q = 0 random sampling matches QP3's
+    // error to within roughly an order of magnitude.
+    let k = 20;
+    for (name, a, _norm, _s) in table1_matrices(300, 120) {
+        let qp3 = qp3_low_rank(&a, k).unwrap();
+        let e_qp3 = qp3.error_spectral(&a).unwrap();
+        let cfg = SamplerConfig::new(k);
+        let rs = sample_fixed_rank(&a, &cfg, &mut rng(2)).unwrap();
+        let e_rs = rs.error_spectral(&a).unwrap();
+        assert!(
+            e_rs < 15.0 * e_qp3 + 1e-13,
+            "{name}: RS {e_rs:e} should be within an order of QP3 {e_qp3:e}"
+        );
+    }
+}
+
+#[test]
+fn cpu_gpu_and_multigpu_paths_agree_numerically() {
+    let spec = rlra::data::power_spectrum(100);
+    let tm = rlra::data::matrix_with_spectrum(250, 100, &spec, &mut rng(3)).unwrap();
+    let cfg = SamplerConfig::new(10).with_q(1);
+
+    let cpu = sample_fixed_rank(&tm.a, &cfg, &mut rng(7)).unwrap();
+
+    let mut gpu = Gpu::k40c();
+    let a_dev = gpu.resident(&tm.a);
+    let (gpu_lr, _) = sample_fixed_rank_gpu(&mut gpu, &a_dev, &cfg, &mut rng(7)).unwrap();
+    let gpu_lr = gpu_lr.unwrap();
+
+    // CPU and single-GPU use the same kernel sequence and seed: identical.
+    assert_eq!(cpu.perm.as_slice(), gpu_lr.perm.as_slice());
+    assert!(cpu.q.approx_eq(&gpu_lr.q, 1e-10));
+    assert!(cpu.r.approx_eq(&gpu_lr.r, 1e-10));
+
+    // Multi-GPU splits the Gaussian draws differently, so only the error
+    // quality is comparable.
+    let mut mg = MultiGpu::new(3, DeviceSpec::k40c(), ExecMode::Compute);
+    let (multi, _) =
+        sample_fixed_rank_multi_gpu(&mut mg, HostInput::Values(&tm.a), &cfg, &mut rng(7)).unwrap();
+    let multi = multi.unwrap();
+    let e_cpu = cpu.error_spectral(&tm.a).unwrap();
+    let e_multi = multi.error_spectral(&tm.a).unwrap();
+    assert!(e_multi < 20.0 * e_cpu + 1e-12, "multi {e_multi:e} vs cpu {e_cpu:e}");
+}
+
+#[test]
+fn factors_are_well_formed_invariants() {
+    let spec = rlra::data::exponent_spectrum(80);
+    let tm = rlra::data::matrix_with_spectrum(200, 80, &spec, &mut rng(4)).unwrap();
+    let cfg = SamplerConfig::new(15).with_q(2);
+    let lr = sample_fixed_rank(&tm.a, &cfg, &mut rng(5)).unwrap();
+    // Q orthonormal.
+    assert!(rlra::lapack::householder::orthogonality_error(&lr.q) < 1e-10);
+    // R upper-trapezoidal in the leading k columns.
+    for j in 0..lr.rank() {
+        for i in j + 1..lr.rank() {
+            assert_eq!(lr.r[(i, j)], 0.0);
+        }
+    }
+    // Permutation is valid.
+    let mut seen = vec![false; lr.perm.len()];
+    for &p in lr.perm.as_slice() {
+        assert!(!seen[p]);
+        seen[p] = true;
+    }
+}
+
+#[test]
+fn adaptive_and_fixed_rank_consistency() {
+    // The adaptive scheme run to tolerance eps should produce a basis at
+    // least as good as a fixed-rank run with the same final l.
+    let spec = rlra::data::exponent_spectrum(100);
+    let tm = rlra::data::matrix_with_spectrum(300, 100, &spec, &mut rng(6)).unwrap();
+    let mut gpu = Gpu::k40c();
+    let cfg = AdaptiveConfig::new(1e-4, 8);
+    let res = adaptive_sample(&mut gpu, &tm.a, &cfg, &mut rng(8)).unwrap();
+    assert!(res.converged);
+    let actual = rlra_core::estimate::actual_error(&tm.a, &res.basis).unwrap();
+    assert!(actual <= cfg.tol, "certified: actual {actual:e} <= estimate <= tol");
+}
+
+#[test]
+fn gpu_dry_run_timing_is_deterministic_and_mode_independent() {
+    let cfg = SamplerConfig::new(54).with_p(10).with_q(1);
+    let run = || {
+        let mut gpu = Gpu::k40c_dry();
+        let a = gpu.resident_shape(30_000, 1_000);
+        let (_, rep) = sample_fixed_rank_gpu(&mut gpu, &a, &cfg, &mut rng(9)).unwrap();
+        rep.seconds
+    };
+    let t1 = run();
+    let t2 = run();
+    assert_eq!(t1, t2, "simulated timing must be deterministic");
+}
+
+#[test]
+fn fft_and_gaussian_sampling_same_quality() {
+    let spec = rlra::data::power_spectrum(90);
+    let tm = rlra::data::matrix_with_spectrum(256, 90, &spec, &mut rng(10)).unwrap();
+    let sigma = tm.sigma_after(12);
+    let g = sample_fixed_rank(&tm.a, &SamplerConfig::new(12), &mut rng(11)).unwrap();
+    let f = sample_fixed_rank(
+        &tm.a,
+        &SamplerConfig::new(12).with_sampling(SamplingKind::Fft(rlra::fft::SrftScheme::Full)),
+        &mut rng(12),
+    )
+    .unwrap();
+    for (name, lr) in [("gaussian", g), ("fft", f)] {
+        let e = lr.error_spectral(&tm.a).unwrap();
+        assert!(e < 30.0 * sigma, "{name}: {e:e} vs sigma {sigma:e}");
+    }
+}

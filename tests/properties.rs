@@ -1,0 +1,97 @@
+//! Cross-crate property-based tests: the randomized sampler's invariants
+//! under randomly drawn shapes, spectra and configurations.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rlra::prelude::*;
+
+fn decay_matrix(m: usize, n: usize, decay: f64, seed: u64) -> (rlra::matrix::Mat, Vec<f64>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let spec_values: Vec<f64> = (0..n.min(m)).map(|i| decay.powi(i as i32)).collect();
+    let spec = rlra::data::Spectrum { name: "prop", values: spec_values.clone() };
+    let tm = rlra::data::matrix_with_spectrum(m, n, &spec, &mut rng).unwrap();
+    (tm.a, spec_values)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Q stays orthonormal and R upper-trapezoidal for arbitrary shapes
+    /// and sampler settings.
+    #[test]
+    fn sampler_invariants(
+        m in 40usize..120,
+        n_extra in 0usize..40,
+        k in 2usize..8,
+        p in 0usize..6,
+        q in 0usize..3,
+        seed in 0u64..500,
+    ) {
+        let n = k + p + 10 + n_extra; // ensure l <= n
+        let m = m.max(n + 1); // tall
+        let (a, _) = decay_matrix(m, n, 0.7, seed);
+        let cfg = SamplerConfig::new(k).with_p(p).with_q(q);
+        let lr = sample_fixed_rank(&a, &cfg, &mut StdRng::seed_from_u64(seed)).unwrap();
+        prop_assert!(rlra::lapack::householder::orthogonality_error(&lr.q) < 1e-9);
+        prop_assert_eq!(lr.q.shape(), (m, k));
+        prop_assert_eq!(lr.r.shape(), (k, n));
+        for j in 0..k {
+            for i in j + 1..k {
+                prop_assert_eq!(lr.r[(i, j)], 0.0);
+            }
+        }
+    }
+
+    /// The error bound ‖AP − QR‖ ≤ c·σ_{k+1} holds with a generous
+    /// constant across spectra and configurations.
+    #[test]
+    fn error_bound_property(
+        k in 3usize..8,
+        q in 0usize..3,
+        decay_pct in 30usize..80,
+        seed in 0u64..500,
+    ) {
+        let decay = decay_pct as f64 / 100.0;
+        let (m, n) = (100, 40);
+        let (a, spec) = decay_matrix(m, n, decay, seed);
+        let cfg = SamplerConfig::new(k).with_p(8).with_q(q);
+        let lr = sample_fixed_rank(&a, &cfg, &mut StdRng::seed_from_u64(seed + 1)).unwrap();
+        let err = lr.error_spectral(&a).unwrap();
+        let sigma_k1 = spec[k];
+        prop_assert!(err < 50.0 * sigma_k1, "err {} vs sigma {}", err, sigma_k1);
+        // And never better than the Eckart–Young optimum.
+        prop_assert!(err > 0.9 * sigma_k1);
+    }
+
+    /// Simulated time is monotone in each problem dimension.
+    #[test]
+    fn sim_time_monotone(
+        m in 2_000usize..20_000,
+        n in 300usize..2_000,
+        q in 0usize..3,
+        seed in 0u64..100,
+    ) {
+        let cfg = SamplerConfig::new(30).with_p(10).with_q(q);
+        let time = |mm: usize, nn: usize| {
+            let mut gpu = Gpu::k40c_dry();
+            let a = gpu.resident_shape(mm, nn);
+            let (_, rep) = sample_fixed_rank_gpu(&mut gpu, &a, &cfg, &mut StdRng::seed_from_u64(seed)).unwrap();
+            rep.seconds
+        };
+        prop_assert!(time(m * 2, n) > time(m, n));
+        prop_assert!(time(m, n * 2) > time(m, n));
+    }
+
+    /// The same seed gives the same factorization (reproducibility),
+    /// different seeds (almost surely) different pivots or factors.
+    #[test]
+    fn reproducibility(seed in 0u64..300) {
+        let (a, _) = decay_matrix(60, 30, 0.6, 7);
+        let cfg = SamplerConfig::new(5).with_p(5);
+        let r1 = sample_fixed_rank(&a, &cfg, &mut StdRng::seed_from_u64(seed)).unwrap();
+        let r2 = sample_fixed_rank(&a, &cfg, &mut StdRng::seed_from_u64(seed)).unwrap();
+        prop_assert_eq!(r1.q.as_slice(), r2.q.as_slice());
+        prop_assert_eq!(r1.perm.as_slice(), r2.perm.as_slice());
+    }
+}

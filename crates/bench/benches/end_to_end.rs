@@ -10,7 +10,9 @@ use rlra_gpu::Gpu;
 fn test_matrix(m: usize, n: usize) -> rlra_matrix::Mat {
     let mut rng = StdRng::seed_from_u64(7);
     let spec = rlra_data::power_spectrum(n);
-    rlra_data::matrix_with_spectrum(m, n, &spec, &mut rng).unwrap().a
+    rlra_data::matrix_with_spectrum(m, n, &spec, &mut rng)
+        .unwrap()
+        .a
 }
 
 fn bench_pipelines(c: &mut Criterion) {
@@ -25,7 +27,9 @@ fn bench_pipelines(c: &mut Criterion) {
             b.iter(|| sample_fixed_rank(&a, &cfg, &mut rng).unwrap())
         });
     }
-    group.bench_function("qp3_baseline_cpu", |b| b.iter(|| qp3_low_rank(&a, k).unwrap()));
+    group.bench_function("qp3_baseline_cpu", |b| {
+        b.iter(|| qp3_low_rank(&a, k).unwrap())
+    });
     group.bench_function("random_sampling_sim_gpu", |b| {
         let cfg = SamplerConfig::new(k);
         let mut rng = StdRng::seed_from_u64(2);
@@ -38,7 +42,8 @@ fn bench_pipelines(c: &mut Criterion) {
     // Hierarchical compression + solve on a kernel system.
     group.bench_function("hodlr_compress_256", |b| {
         let pts = rlra_data::uniform_points(256);
-        let mut ker = rlra_data::kernel_matrix(rlra_data::Kernel::Exponential { gamma: 16.0 }, &pts);
+        let mut ker =
+            rlra_data::kernel_matrix(rlra_data::Kernel::Exponential { gamma: 16.0 }, &pts);
         for i in 0..256 {
             ker[(i, i)] += 1.0;
         }
@@ -48,7 +53,8 @@ fn bench_pipelines(c: &mut Criterion) {
     });
     group.bench_function("hodlr_solve_256", |b| {
         let pts = rlra_data::uniform_points(256);
-        let mut ker = rlra_data::kernel_matrix(rlra_data::Kernel::Exponential { gamma: 16.0 }, &pts);
+        let mut ker =
+            rlra_data::kernel_matrix(rlra_data::Kernel::Exponential { gamma: 16.0 }, &pts);
         for i in 0..256 {
             ker[(i, i)] += 1.0;
         }

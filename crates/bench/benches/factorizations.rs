@@ -44,12 +44,14 @@ fn bench_qrcp(c: &mut Criterion) {
     group.bench_function(BenchmarkId::new("column", format!("{m}x{n} k={k}")), |b| {
         b.iter(|| rlra_lapack::qrcp_column(&a, k).unwrap())
     });
-    group.bench_function(BenchmarkId::new("qp3_blocked", format!("{m}x{n} k={k}")), |b| {
-        b.iter(|| rlra_lapack::qp3_blocked(&a, k, 32).unwrap())
-    });
-    group.bench_function(BenchmarkId::new("tournament", format!("{m}x{n} k={k}")), |b| {
-        b.iter(|| rlra_lapack::tournament_qrcp(&a, k).unwrap())
-    });
+    group.bench_function(
+        BenchmarkId::new("qp3_blocked", format!("{m}x{n} k={k}")),
+        |b| b.iter(|| rlra_lapack::qp3_blocked(&a, k, 32).unwrap()),
+    );
+    group.bench_function(
+        BenchmarkId::new("tournament", format!("{m}x{n} k={k}")),
+        |b| b.iter(|| rlra_lapack::tournament_qrcp(&a, k).unwrap()),
+    );
     group.finish();
 }
 
@@ -59,8 +61,15 @@ fn bench_cholesky_svd(c: &mut Criterion) {
     let g = {
         let b = gaussian_mat(96, 128, &mut rng);
         let mut g = rlra_matrix::Mat::zeros(96, 96);
-        rlra_blas::syrk(1.0, b.as_ref(), rlra_blas::Trans::No, 0.0, g.as_mut(), rlra_blas::UpLo::Upper)
-            .unwrap();
+        rlra_blas::syrk(
+            1.0,
+            b.as_ref(),
+            rlra_blas::Trans::No,
+            0.0,
+            g.as_mut(),
+            rlra_blas::UpLo::Upper,
+        )
+        .unwrap();
         for j in 0..96 {
             for i in 0..j {
                 let v = g[(i, j)];
@@ -70,11 +79,20 @@ fn bench_cholesky_svd(c: &mut Criterion) {
         }
         g
     };
-    group.bench_function("cholesky_96", |b| b.iter(|| rlra_lapack::cholesky_upper(&g).unwrap()));
+    group.bench_function("cholesky_96", |b| {
+        b.iter(|| rlra_lapack::cholesky_upper(&g).unwrap())
+    });
     let a = gaussian_mat(48, 32, &mut rng);
-    group.bench_function("jacobi_svd_48x32", |b| b.iter(|| rlra_lapack::svd_jacobi(&a).unwrap()));
+    group.bench_function("jacobi_svd_48x32", |b| {
+        b.iter(|| rlra_lapack::svd_jacobi(&a).unwrap())
+    });
     group.finish();
 }
 
-criterion_group!(benches, bench_tall_skinny_qr, bench_qrcp, bench_cholesky_svd);
+criterion_group!(
+    benches,
+    bench_tall_skinny_qr,
+    bench_qrcp,
+    bench_cholesky_svd
+);
 criterion_main!(benches);

@@ -9,7 +9,11 @@ use rlra_matrix::{gaussian_mat, Mat};
 fn bench_gemm(c: &mut Criterion) {
     let mut group = c.benchmark_group("gemm");
     let mut rng = StdRng::seed_from_u64(1);
-    for &(m, n, k) in &[(64usize, 64usize, 64usize), (256, 256, 256), (64, 1000, 2000)] {
+    for &(m, n, k) in &[
+        (64usize, 64usize, 64usize),
+        (256, 256, 256),
+        (64, 1000, 2000),
+    ] {
         let a = gaussian_mat(m, k, &mut rng);
         let b = gaussian_mat(k, n, &mut rng);
         let mut cmat = Mat::zeros(m, n);
@@ -19,8 +23,16 @@ fn bench_gemm(c: &mut Criterion) {
             &(m, n, k),
             |bch, _| {
                 bch.iter(|| {
-                    gemm(1.0, a.as_ref(), Trans::No, b.as_ref(), Trans::No, 0.0, cmat.as_mut())
-                        .unwrap()
+                    gemm(
+                        1.0,
+                        a.as_ref(),
+                        Trans::No,
+                        b.as_ref(),
+                        Trans::No,
+                        0.0,
+                        cmat.as_mut(),
+                    )
+                    .unwrap()
                 })
             },
         );
@@ -36,9 +48,11 @@ fn bench_gemv(c: &mut Criterion) {
         let x: Vec<f64> = (0..n).map(|i| (i as f64).sin()).collect();
         let mut y = vec![0.0; m];
         group.throughput(Throughput::Elements((2 * m * n) as u64));
-        group.bench_with_input(BenchmarkId::from_parameter(format!("{m}x{n}")), &(m, n), |b, _| {
-            b.iter(|| gemv(1.0, a.as_ref(), Trans::No, &x, 0.0, &mut y).unwrap())
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{m}x{n}")),
+            &(m, n),
+            |b, _| b.iter(|| gemv(1.0, a.as_ref(), Trans::No, &x, 0.0, &mut y).unwrap()),
+        );
     }
     group.finish();
 }

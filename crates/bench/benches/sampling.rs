@@ -18,8 +18,16 @@ fn bench_sampling(c: &mut Criterion) {
         let mut bmat = Mat::zeros(l, n);
         group.bench_with_input(BenchmarkId::new("gaussian_gemm", l), &l, |b, _| {
             b.iter(|| {
-                rlra_blas::gemm(1.0, omega.as_ref(), Trans::No, a.as_ref(), Trans::No, 0.0, bmat.as_mut())
-                    .unwrap()
+                rlra_blas::gemm(
+                    1.0,
+                    omega.as_ref(),
+                    Trans::No,
+                    a.as_ref(),
+                    Trans::No,
+                    0.0,
+                    bmat.as_mut(),
+                )
+                .unwrap()
             })
         });
         let full = SrftOperator::new(m, l, SrftScheme::Full, &mut rng).unwrap();

@@ -20,7 +20,12 @@ fn main() {
     // --- Accuracy / compression vs rank budget ------------------------------
     let mut acc = Table::new(
         format!("Ablation: BLR of a {n} x {n} Cauchy kernel, {tiles} x {tiles} tiles, q = 1"),
-        &["k per tile", "compression", "|K - BLR| / |K|", "dense tiles"],
+        &[
+            "k per tile",
+            "compression",
+            "|K - BLR| / |K|",
+            "dense tiles",
+        ],
     );
     for k in [4usize, 8, 12, 16, 24] {
         let cfg = SamplerConfig::new(k).with_p(4).with_q(1);
@@ -28,7 +33,9 @@ fn main() {
         let blr = BlrMatrix::compress(&kernel, tiles, &cfg, &mut rng).expect("compress");
         let rec = blr.to_dense().expect("reconstruct");
         let err = rlra_matrix::norms::spectral_norm(
-            rlra_matrix::ops::sub(&kernel, &rec).expect("same shape").as_ref(),
+            rlra_matrix::ops::sub(&kernel, &rec)
+                .expect("same shape")
+                .as_ref(),
         ) / norm;
         acc.row(vec![
             k.to_string(),
@@ -74,7 +81,12 @@ fn main() {
         fmt_time(t_rs / off_diag as f64),
         format!("{:.1}x", t_qp3 / t_rs),
     ]);
-    perf.row(vec!["QP3 per tile".into(), fmt_time(t_qp3), fmt_time(t_qp3 / off_diag as f64), "1.0x".into()]);
+    perf.row(vec![
+        "QP3 per tile".into(),
+        fmt_time(t_qp3),
+        fmt_time(t_qp3 / off_diag as f64),
+        "1.0x".into(),
+    ]);
     perf.print();
     let _ = perf.save_csv("ablation_blr_cost");
     println!(

@@ -22,8 +22,16 @@ fn graded(m: usize, n: usize, decades: i32, rng: &mut StdRng) -> Mat {
         q0[(i, j)] * 10f64.powf(-decades as f64 * j as f64 / (n - 1) as f64)
     });
     let mut a = Mat::zeros(m, n);
-    rlra_blas::gemm(1.0, scaled.as_ref(), rlra_blas::Trans::No, v.as_ref(), rlra_blas::Trans::Yes, 0.0, a.as_mut())
-        .unwrap();
+    rlra_blas::gemm(
+        1.0,
+        scaled.as_ref(),
+        rlra_blas::Trans::No,
+        v.as_ref(),
+        rlra_blas::Trans::Yes,
+        0.0,
+        a.as_mut(),
+    )
+    .unwrap();
     a
 }
 
@@ -69,11 +77,23 @@ fn main() {
     };
     let t_ref = time(&|g, a| drop(gpu_cholqr(g, Phase::Other, a, true).unwrap()));
     for (name, t) in [
-        ("CholQR", time(&|g, a| drop(gpu_cholqr(g, Phase::Other, a, false).unwrap()))),
+        (
+            "CholQR",
+            time(&|g, a| drop(gpu_cholqr(g, Phase::Other, a, false).unwrap())),
+        ),
         ("CholQR2", t_ref),
-        ("mixed-prec", time(&|g, a| drop(gpu_cholqr_mixed(g, Phase::Other, a).unwrap()))),
-        ("TSQR", time(&|g, a| drop(gpu_tsqr(g, Phase::Other, a, 1024).unwrap()))),
-        ("HHQR", time(&|g, a| drop(gpu_hhqr(g, Phase::Other, a).unwrap()))),
+        (
+            "mixed-prec",
+            time(&|g, a| drop(gpu_cholqr_mixed(g, Phase::Other, a).unwrap())),
+        ),
+        (
+            "TSQR",
+            time(&|g, a| drop(gpu_tsqr(g, Phase::Other, a, 1024).unwrap())),
+        ),
+        (
+            "HHQR",
+            time(&|g, a| drop(gpu_hhqr(g, Phase::Other, a).unwrap())),
+        ),
     ] {
         perf.row(vec![name.into(), fmt_time(t), format!("{:.2}x", t / t_ref)]);
     }

@@ -22,14 +22,19 @@ fn main() {
         (0..trials)
             .map(|_| {
                 let cfg = SamplerConfig::new(k).with_p(p).with_q(q);
-                sample_fixed_rank(&tm.a, &cfg, rng).expect("sampler").error_spectral(&tm.a).expect("error")
+                sample_fixed_rank(&tm.a, &cfg, rng)
+                    .expect("sampler")
+                    .error_spectral(&tm.a)
+                    .expect("error")
             })
             .sum::<f64>()
             / trials as f64
     };
 
     let mut table = Table::new(
-        format!("Ablation: error vs oversampling p (power matrix {m} x {n}, k = {k}, mean of {trials})"),
+        format!(
+            "Ablation: error vs oversampling p (power matrix {m} x {n}, k = {k}, mean of {trials})"
+        ),
         &["p", "q=0", "q=1", "err(q=0)/sigma_k+1"],
     );
     for p in [0usize, 2, 5, 10, 20, 50] {

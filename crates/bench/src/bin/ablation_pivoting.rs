@@ -15,8 +15,16 @@ fn decaying(m: usize, n: usize, decay: f64, rng: &mut StdRng) -> Mat {
     let y = rlra_lapack::form_q(&gaussian_mat(n, r, rng));
     let xs = Mat::from_fn(m, r, |i, j| x[(i, j)] * decay.powi(j as i32));
     let mut a = Mat::zeros(m, n);
-    rlra_blas::gemm(1.0, xs.as_ref(), rlra_blas::Trans::No, y.as_ref(), rlra_blas::Trans::Yes, 0.0, a.as_mut())
-        .unwrap();
+    rlra_blas::gemm(
+        1.0,
+        xs.as_ref(),
+        rlra_blas::Trans::No,
+        y.as_ref(),
+        rlra_blas::Trans::Yes,
+        0.0,
+        a.as_mut(),
+    )
+    .unwrap();
     a
 }
 
@@ -38,7 +46,11 @@ fn main() {
         &["method", "|AP - QR|_2", "vs QP3"],
     );
     acc.row(vec!["QP3".into(), format!("{e_qp3:.3e}"), "1.00x".into()]);
-    acc.row(vec!["tournament".into(), format!("{e_tp:.3e}"), format!("{:.2}x", e_tp / e_qp3)]);
+    acc.row(vec![
+        "tournament".into(),
+        format!("{e_tp:.3e}"),
+        format!("{:.2}x", e_tp / e_qp3),
+    ]);
     acc.print();
     let _ = acc.save_csv("ablation_pivot_accuracy");
 
@@ -56,7 +68,12 @@ fn main() {
     let a2 = g2.resident_shape(m, n);
     gpu_tournament_qrcp(&mut g2, Phase::Other, &a2, k).unwrap();
     let (t_tp, s_tp) = (g2.clock(), g2.syncs);
-    perf.row(vec!["QP3".into(), fmt_time(t_qp3), s_qp3.to_string(), "1.0x".into()]);
+    perf.row(vec![
+        "QP3".into(),
+        fmt_time(t_qp3),
+        s_qp3.to_string(),
+        "1.0x".into(),
+    ]);
     perf.row(vec![
         "tournament".into(),
         fmt_time(t_tp),

@@ -27,8 +27,16 @@ fn main() {
         let omega = gaussian_mat(l, m, &mut rng);
         let mut b = rlra_matrix::Mat::zeros(l, n);
         let t = Instant::now();
-        rlra_blas::gemm(1.0, omega.as_ref(), rlra_blas::Trans::No, tm.a.as_ref(), rlra_blas::Trans::No, 0.0, b.as_mut())
-            .unwrap();
+        rlra_blas::gemm(
+            1.0,
+            omega.as_ref(),
+            rlra_blas::Trans::No,
+            tm.a.as_ref(),
+            rlra_blas::Trans::No,
+            0.0,
+            b.as_mut(),
+        )
+        .unwrap();
         let dt = t.elapsed();
         ops.row(vec![
             "Gaussian GEMM".into(),
@@ -37,7 +45,10 @@ fn main() {
             format!("{l} x {n}"),
         ]);
     }
-    for (name, scheme) in [("SRFT full", SrftScheme::Full), ("SRFT pruned", SrftScheme::Pruned)] {
+    for (name, scheme) in [
+        ("SRFT full", SrftScheme::Full),
+        ("SRFT pruned", SrftScheme::Pruned),
+    ] {
         let op = SrftOperator::new(m, l, scheme, &mut rng).unwrap();
         let t = Instant::now();
         let b = op.sample_rows(&tm.a).unwrap();
@@ -66,7 +77,11 @@ fn main() {
         let cfg = SamplerConfig::new(k).with_p(p).with_sampling(kind);
         let lr = sample_fixed_rank(&tm.a, &cfg, &mut rng).expect("sampler");
         let e = lr.error_spectral(&tm.a).expect("error");
-        acc.row(vec![name.into(), format!("{e:.3e}"), format!("{:.1}", e / sigma_k1)]);
+        acc.row(vec![
+            name.into(),
+            format!("{e:.3e}"),
+            format!("{:.1}", e / sigma_k1),
+        ]);
     }
     acc.print();
     let _ = acc.save_csv("ablation_sampling_accuracy");

@@ -9,7 +9,9 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rlra_bench::{fmt_err, BenchOpts, Table};
 use rlra_core::{qp3_low_rank, sample_fixed_rank, SamplerConfig};
-use rlra_data::{exponent_spectrum, hapmap_like, matrix_with_spectrum, power_spectrum, HapmapConfig};
+use rlra_data::{
+    exponent_spectrum, hapmap_like, matrix_with_spectrum, power_spectrum, HapmapConfig,
+};
 use rlra_matrix::Mat;
 
 fn main() {
@@ -51,7 +53,12 @@ fn main() {
         table.row(row);
     }
     {
-        let cfg = HapmapConfig { snps: m, individuals: 506, populations: 4, fst: 0.1 };
+        let cfg = HapmapConfig {
+            snps: m,
+            individuals: 506,
+            populations: 4,
+            fst: 0.1,
+        };
         let a = hapmap_like(&cfg, &mut rng).expect("hapmap generator");
         let norm_a = rlra_matrix::norms::spectral_norm(a.as_ref());
         let row = run_case("hapmap", &a, norm_a, k, p, &mut rng);

@@ -16,7 +16,15 @@ fn series(table_name: &str, m: usize, n: usize, csv: &str) {
     let spec = DeviceSpec::k40c();
     let mut table = Table::new(
         table_name.to_string(),
-        &["l", "GEMM", "GEMV", "FFT", "FFT (effective)", "Peak (compute)", "Peak (memory)"],
+        &[
+            "l",
+            "GEMM",
+            "GEMV",
+            "FFT",
+            "FFT (effective)",
+            "Peak (compute)",
+            "Peak (memory)",
+        ],
     );
     let m_pad = next_pow2(m);
     for l in [32usize, 64, 96, 128, 192, 256, 320, 384, 448, 512] {

@@ -14,7 +14,18 @@ fn main() {
     let cfg = SamplerConfig::new(54).with_p(10).with_q(1);
     let mut table = Table::new(
         format!("Figure 11: time vs rows m (n = {n}, k;p;q = 54;10;1)"),
-        &["m", "PRNG", "Sampling", "GEMM (Iter)", "Orth (Iter)", "QRCP", "QR", "RS total", "QP3", "speedup"],
+        &[
+            "m",
+            "PRNG",
+            "Sampling",
+            "GEMM (Iter)",
+            "Orth (Iter)",
+            "QRCP",
+            "QR",
+            "RS total",
+            "QP3",
+            "speedup",
+        ],
     );
     let mut rng = StdRng::seed_from_u64(1);
     for m in (5_000..=50_000).step_by(5_000) {

@@ -12,7 +12,16 @@ fn main() {
     let cfg = SamplerConfig::new(54).with_p(10).with_q(1);
     let mut table = Table::new(
         format!("Figure 12: time vs columns n (m = {m}, l;p;q = 64;10;1)"),
-        &["n", "Sampling", "GEMM (Iter)", "QRCP", "QR", "RS total", "QP3", "speedup"],
+        &[
+            "n",
+            "Sampling",
+            "GEMM (Iter)",
+            "QRCP",
+            "QR",
+            "RS total",
+            "QP3",
+            "speedup",
+        ],
     );
     let mut rng = StdRng::seed_from_u64(1);
     for n in (500..=5_000).step_by(500) {

@@ -28,14 +28,16 @@ fn main() {
             q.to_string(),
             fmt_time(rep.seconds),
             fmt_time(t_qp3),
-            if rep.seconds < t_qp3 { "yes".into() } else { "no".into() },
+            if rep.seconds < t_qp3 {
+                "yes".into()
+            } else {
+                "no".into()
+            },
         ]);
     }
     table.print();
     if let Ok(p) = table.save_csv("fig14") {
         println!("[csv] {}", p.display());
     }
-    println!(
-        "\nPaper reference: RS time grows linearly with q and outperforms QP3 for q <= 12."
-    );
+    println!("\nPaper reference: RS time grows linearly with q and outperforms QP3 for q <= 12.");
 }

@@ -18,7 +18,18 @@ fn main() {
 
     let mut table = Table::new(
         format!("Figure 15: strong scaling over GPUs ((m; n) = ({m}; {n}), l;p;q = 64;10;1)"),
-        &["n_g", "Sampling", "GEMM (Iter)", "Orth (Iter)", "QRCP", "QR", "Comms", "total", "speedup", "GEMM Gflop/s per chunk"],
+        &[
+            "n_g",
+            "Sampling",
+            "GEMM (Iter)",
+            "Orth (Iter)",
+            "QRCP",
+            "QR",
+            "Comms",
+            "total",
+            "speedup",
+            "GEMM Gflop/s per chunk",
+        ],
     );
     let mut rng = StdRng::seed_from_u64(1);
     let mut t1 = 0.0f64;
@@ -35,7 +46,11 @@ fn main() {
             fmt_time(rep.timeline.get(Phase::OrthIter)),
             fmt_time(rep.timeline.get(Phase::Qrcp)),
             fmt_time(rep.timeline.get(Phase::Qr)),
-            format!("{} ({:.1}%)", fmt_time(rep.comms), 100.0 * rep.comms / rep.seconds),
+            format!(
+                "{} ({:.1}%)",
+                fmt_time(rep.comms),
+                100.0 * rep.comms / rep.seconds
+            ),
             fmt_time(rep.seconds),
             format!("{:.1}x", t1 / rep.seconds),
             fmt_gflops(cost.gemm_gflops(64, n, chunk)),

@@ -16,7 +16,11 @@ use rlra_gpu::Gpu;
 
 fn main() {
     let opts = BenchOpts::from_args();
-    let (m, n) = if opts.full { (50_000, 2_500) } else { (5_000, 500) };
+    let (m, n) = if opts.full {
+        (50_000, 2_500)
+    } else {
+        (5_000, 500)
+    };
     // The paper's eps = 1e-12 sits at the floating-point noise floor of
     // the estimator (n*eps_mach*|A|*|omega| ~ 5e-12 at the paper's scale);
     // at the reduced default scale the floor is ~1e-11, so the default

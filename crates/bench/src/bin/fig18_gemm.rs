@@ -14,7 +14,13 @@ fn main() {
         format!("Figure 18: GEMM Gflop/s for the adaptive scheme's block sizes (m = {m}, n = {n})"),
         &["l_inc", "Gflop/s", "paper"],
     );
-    for (l, paper) in [(8usize, 123.3), (16, 247.0), (32, 489.5), (48, 597.8), (64, 778.5)] {
+    for (l, paper) in [
+        (8usize, 123.3),
+        (16, 247.0),
+        (32, 489.5),
+        (48, 597.8),
+        (64, 778.5),
+    ] {
         table.row(vec![
             l.to_string(),
             fmt_gflops(cost.gemm_gflops(l, n, m)),

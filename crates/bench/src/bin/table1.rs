@@ -11,12 +11,19 @@ use rlra_data::{exponent_spectrum, hapmap_like, power_spectrum, HapmapConfig};
 
 fn main() {
     let opts = BenchOpts::from_args();
-    let (m, n) = if opts.full { (500_000, 500) } else { (5_000, 500) };
+    let (m, n) = if opts.full {
+        (500_000, 500)
+    } else {
+        (5_000, 500)
+    };
     let k = 50;
     let p = 10;
 
     let mut table = Table::new(
-        format!("Table 1: test matrices (m = {m}, n = {n}, k = {k}, p = {p}, l = {})", k + p),
+        format!(
+            "Table 1: test matrices (m = {m}, n = {n}, k = {k}, p = {p}, l = {})",
+            k + p
+        ),
         &["matrix", "sigma_0", "sigma_k+1", "kappa(A)", "m", "n"],
     );
 

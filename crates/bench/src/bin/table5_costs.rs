@@ -6,12 +6,22 @@ use rlra_bench::Table;
 use rlra_perfmodel::{caqp3_cost, qp3_cost, rs_step_cost, rs_total_cost, Dims, RsStep};
 
 fn main() {
-    let d = Dims { m: 50_000, n: 2_500, k: 54, p: 10, q: 1 };
+    let d = Dims {
+        m: 50_000,
+        n: 2_500,
+        k: 54,
+        p: 10,
+        q: 1,
+    };
     let fast_mem = 1.5e6; // ~12 MB of f64 on-chip
     let mut table = Table::new(
         format!(
             "Figure 5: costs at m = {}, n = {}, l = {}, q = {} (fast memory {:.1e} words)",
-            d.m, d.n, d.l(), d.q, fast_mem
+            d.m,
+            d.n,
+            d.l(),
+            d.q,
+            fast_mem
         ),
         &["step", "#flops", "#words"],
     );
@@ -28,7 +38,11 @@ fn main() {
         table.row(vec![name.into(), fmt(c.flops), fmt(c.words)]);
     }
     let total = rs_total_cost(d, fast_mem);
-    table.row(vec!["Total (RS, Gaussian)".into(), fmt(total.flops), fmt(total.words)]);
+    table.row(vec![
+        "Total (RS, Gaussian)".into(),
+        fmt(total.flops),
+        fmt(total.words),
+    ]);
     let qp3 = qp3_cost(d);
     table.row(vec!["QP3".into(), fmt(qp3.flops), fmt(qp3.words)]);
     let ca = caqp3_cost(d, fast_mem);

@@ -40,7 +40,14 @@ fn times(spec: DeviceSpec) -> (f64, f64, f64) {
 fn main() {
     let mut t1 = Table::new(
         "What-if (a): RS-vs-QP3 speedup as synchronization latency grows",
-        &["sync latency", "RS", "RS (CA Step 2)", "QP3", "speedup", "speedup (CA)"],
+        &[
+            "sync latency",
+            "RS",
+            "RS (CA Step 2)",
+            "QP3",
+            "speedup",
+            "speedup (CA)",
+        ],
     );
     for mult in [0.5f64, 1.0, 2.0, 5.0, 10.0, 50.0] {
         let mut spec = DeviceSpec::k40c();

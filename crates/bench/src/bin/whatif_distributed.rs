@@ -28,21 +28,41 @@ fn main() {
             &["nodes", "RS", "RS comms", "QP3", "speedup"],
         );
         for nodes in [1usize, 2, 4, 8, 16] {
-            let mut cl = Cluster::new(nodes, gpn, DeviceSpec::k40c(), net.clone(), ExecMode::DryRun);
+            let mut cl = Cluster::new(
+                nodes,
+                gpn,
+                DeviceSpec::k40c(),
+                net.clone(),
+                ExecMode::DryRun,
+            );
             let rep = sample_fixed_rank_cluster(&mut cl, m, n, &cfg, &mut StdRng::seed_from_u64(1))
                 .expect("cluster run");
-            let mut cl2 = Cluster::new(nodes, gpn, DeviceSpec::k40c(), net.clone(), ExecMode::DryRun);
+            let mut cl2 = Cluster::new(
+                nodes,
+                gpn,
+                DeviceSpec::k40c(),
+                net.clone(),
+                ExecMode::DryRun,
+            );
             let t_qp3 = qp3_cluster_time(&mut cl2, m, n, cfg.l());
             table.row(vec![
                 nodes.to_string(),
                 fmt_time(rep.seconds),
-                format!("{} ({:.1}%)", fmt_time(rep.comms_inter), 100.0 * rep.comms_inter / rep.seconds),
+                format!(
+                    "{} ({:.1}%)",
+                    fmt_time(rep.comms),
+                    100.0 * rep.comms / rep.seconds
+                ),
                 fmt_time(t_qp3),
                 format!("{:.1}x", t_qp3 / rep.seconds),
             ]);
         }
         table.print();
-        let tag = if net.name.contains("Inf") { "whatif_dist_ib" } else { "whatif_dist_eth" };
+        let tag = if net.name.contains("Inf") {
+            "whatif_dist_ib"
+        } else {
+            "whatif_dist_eth"
+        };
         let _ = table.save_csv(tag);
     }
     println!(

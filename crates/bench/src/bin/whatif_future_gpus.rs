@@ -15,7 +15,14 @@ fn main() {
     let cfg = SamplerConfig::new(54).with_p(10).with_q(1);
     let mut table = Table::new(
         format!("What-if: RS vs QP3 across GPU generations ((m; n) = ({m}; {n}), q = 1)"),
-        &["device", "flops/byte", "RS", "QP3", "speedup q=1", "speedup q=0"],
+        &[
+            "device",
+            "flops/byte",
+            "RS",
+            "QP3",
+            "speedup q=1",
+            "speedup q=0",
+        ],
     );
     for spec in [DeviceSpec::k40c(), DeviceSpec::p100(), DeviceSpec::v100()] {
         let run_rs = |q: usize| -> f64 {

@@ -287,10 +287,7 @@ mod tests {
     fn trmv_inverts_trsv() {
         let t = mat(3, 3, &[2.0, 1.0, -1.0, 0.0, 3.0, 0.5, 0.0, 0.0, 1.5]);
         let x0 = [1.0, -2.0, 0.5];
-        for (uplo, trans) in [
-            (UpLo::Upper, Trans::No),
-            (UpLo::Upper, Trans::Yes),
-        ] {
+        for (uplo, trans) in [(UpLo::Upper, Trans::No), (UpLo::Upper, Trans::Yes)] {
             let mut x = x0;
             trmv(t.as_ref(), uplo, trans, Diag::NonUnit, &mut x).unwrap();
             trsv(t.as_ref(), uplo, trans, Diag::NonUnit, &mut x).unwrap();

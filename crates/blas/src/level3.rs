@@ -17,7 +17,11 @@ const GEMM_PAR_THRESHOLD: usize = 64;
 const GEMM_PAR_MIN_FLOPS: u64 = 1 << 20;
 
 fn dim_err(op: &'static str, expected: String, found: String) -> MatrixError {
-    MatrixError::DimensionMismatch { op, expected, found }
+    MatrixError::DimensionMismatch {
+        op,
+        expected,
+        found,
+    }
 }
 
 /// General matrix-matrix multiply `C ← α·op(A)·op(B) + β·C`.
@@ -363,7 +367,11 @@ pub fn trsm(
 ) -> Result<()> {
     let n = t.rows();
     if t.cols() != n {
-        return Err(dim_err("trsm", "T square".into(), format!("T {}x{}", t.rows(), t.cols())));
+        return Err(dim_err(
+            "trsm",
+            "T square".into(),
+            format!("T {}x{}", t.rows(), t.cols()),
+        ));
     }
     let expected = match side {
         Side::Left => b.rows(),
@@ -413,8 +421,15 @@ fn trsm_right(
     };
     // Effective triangle of S = op(T). For S upper, X[:, j] depends on the
     // already-solved columns i < j (forward order); for S lower the mirror.
-    let s_upper = matches!((uplo, trans), (UpLo::Upper, Trans::No) | (UpLo::Lower, Trans::Yes));
-    let order: Vec<usize> = if s_upper { (0..n).collect() } else { (0..n).rev().collect() };
+    let s_upper = matches!(
+        (uplo, trans),
+        (UpLo::Upper, Trans::No) | (UpLo::Lower, Trans::Yes)
+    );
+    let order: Vec<usize> = if s_upper {
+        (0..n).collect()
+    } else {
+        (0..n).rev().collect()
+    };
     for &j in &order {
         // X[:, j] = (B[:, j] - sum_{i before j} X[:, i] * S[i, j]) / S[j, j]
         {
@@ -471,7 +486,11 @@ pub fn trmm(
 ) -> Result<()> {
     let n = t.rows();
     if t.cols() != n {
-        return Err(dim_err("trmm", "T square".into(), format!("T {}x{}", t.rows(), t.cols())));
+        return Err(dim_err(
+            "trmm",
+            "T square".into(),
+            format!("T {}x{}", t.rows(), t.cols()),
+        ));
     }
     let expected = match side {
         Side::Left => b.rows(),
@@ -519,13 +538,19 @@ fn trmm_right(
             Trans::Yes => t.get(j, i),
         }
     };
-    let s_upper = matches!((uplo, trans), (UpLo::Upper, Trans::No) | (UpLo::Lower, Trans::Yes));
+    let s_upper = matches!(
+        (uplo, trans),
+        (UpLo::Upper, Trans::No) | (UpLo::Lower, Trans::Yes)
+    );
     // For S upper: out[:, j] = sum_{i <= j} B[:, i] S[i, j]; computing j
     // from high to low leaves the needed source columns (i < j) intact.
     // For S lower it is the mirror image.
     let mut scratch = vec![0.0f64; m];
-    let order: Vec<usize> =
-        if s_upper { (0..n).rev().collect() } else { (0..n).collect() };
+    let order: Vec<usize> = if s_upper {
+        (0..n).rev().collect()
+    } else {
+        (0..n).collect()
+    };
     for &j in &order {
         scratch.fill(0.0);
         let (lo, hi) = if s_upper { (0, j) } else { (j + 1, n) };
@@ -600,7 +625,16 @@ mod tests {
         let b = pseudo(4, 6, 4);
         let c0 = pseudo(5, 6, 5);
         let mut c = c0.clone();
-        gemm(2.0, a.as_ref(), Trans::No, b.as_ref(), Trans::No, -1.0, c.as_mut()).unwrap();
+        gemm(
+            2.0,
+            a.as_ref(),
+            Trans::No,
+            b.as_ref(),
+            Trans::No,
+            -1.0,
+            c.as_mut(),
+        )
+        .unwrap();
         let ab = gemm_ref(&a, Trans::No, &b, Trans::No);
         let expect = Mat::from_fn(5, 6, |i, j| 2.0 * ab[(i, j)] - c0[(i, j)]);
         assert_close(&c, &expect, 1e-12);
@@ -613,7 +647,16 @@ mod tests {
         let a = pseudo(m, k, 6);
         let b = pseudo(k, n, 7);
         let mut c = Mat::zeros(m, n);
-        gemm(1.0, a.as_ref(), Trans::No, b.as_ref(), Trans::No, 0.0, c.as_mut()).unwrap();
+        gemm(
+            1.0,
+            a.as_ref(),
+            Trans::No,
+            b.as_ref(),
+            Trans::No,
+            0.0,
+            c.as_mut(),
+        )
+        .unwrap();
         assert_close(&c, &gemm_ref(&a, Trans::No, &b, Trans::No), 1e-11);
     }
 
@@ -622,7 +665,16 @@ mod tests {
         let a = Mat::zeros(3, 4);
         let b = Mat::zeros(5, 2);
         let mut c = Mat::zeros(3, 2);
-        assert!(gemm(1.0, a.as_ref(), Trans::No, b.as_ref(), Trans::No, 0.0, c.as_mut()).is_err());
+        assert!(gemm(
+            1.0,
+            a.as_ref(),
+            Trans::No,
+            b.as_ref(),
+            Trans::No,
+            0.0,
+            c.as_mut()
+        )
+        .is_err());
     }
 
     #[test]
@@ -630,7 +682,16 @@ mod tests {
         let a = Mat::zeros(0, 3);
         let b = Mat::zeros(3, 0);
         let mut c = Mat::zeros(0, 0);
-        assert!(gemm(1.0, a.as_ref(), Trans::No, b.as_ref(), Trans::No, 0.0, c.as_mut()).is_ok());
+        assert!(gemm(
+            1.0,
+            a.as_ref(),
+            Trans::No,
+            b.as_ref(),
+            Trans::No,
+            0.0,
+            c.as_mut()
+        )
+        .is_ok());
     }
 
     #[test]
@@ -638,7 +699,16 @@ mod tests {
         let a = Mat::zeros(3, 0);
         let b = Mat::zeros(0, 3);
         let mut c = Mat::filled(3, 3, 2.0);
-        gemm(1.0, a.as_ref(), Trans::No, b.as_ref(), Trans::No, 0.5, c.as_mut()).unwrap();
+        gemm(
+            1.0,
+            a.as_ref(),
+            Trans::No,
+            b.as_ref(),
+            Trans::No,
+            0.5,
+            c.as_mut(),
+        )
+        .unwrap();
         assert_eq!(c[(1, 1)], 1.0);
     }
 
@@ -706,8 +776,16 @@ mod tests {
         // B = T X
         let b = gemm_ref(&t, Trans::No, &x_true, Trans::No);
         let mut x = b.clone();
-        trsm(Side::Left, UpLo::Upper, Trans::No, Diag::NonUnit, 1.0, t.as_ref(), x.as_mut())
-            .unwrap();
+        trsm(
+            Side::Left,
+            UpLo::Upper,
+            Trans::No,
+            Diag::NonUnit,
+            1.0,
+            t.as_ref(),
+            x.as_mut(),
+        )
+        .unwrap();
         assert_close(&x, &x_true, 1e-10);
     }
 
@@ -719,8 +797,16 @@ mod tests {
         let tt = t.transpose();
         let b = gemm_ref(&tt, Trans::No, &x_true, Trans::No);
         let mut x = b.clone();
-        trsm(Side::Left, UpLo::Upper, Trans::Yes, Diag::NonUnit, 1.0, t.as_ref(), x.as_mut())
-            .unwrap();
+        trsm(
+            Side::Left,
+            UpLo::Upper,
+            Trans::Yes,
+            Diag::NonUnit,
+            1.0,
+            t.as_ref(),
+            x.as_mut(),
+        )
+        .unwrap();
         assert_close(&x, &x_true, 1e-10);
     }
 
@@ -731,8 +817,16 @@ mod tests {
         let x_true = pseudo(8, n, 16);
         let b = gemm_ref(&x_true, Trans::No, &t, Trans::No);
         let mut x = b.clone();
-        trsm(Side::Right, UpLo::Upper, Trans::No, Diag::NonUnit, 1.0, t.as_ref(), x.as_mut())
-            .unwrap();
+        trsm(
+            Side::Right,
+            UpLo::Upper,
+            Trans::No,
+            Diag::NonUnit,
+            1.0,
+            t.as_ref(),
+            x.as_mut(),
+        )
+        .unwrap();
         assert_close(&x, &x_true, 1e-10);
     }
 
@@ -744,8 +838,16 @@ mod tests {
         let x_true = pseudo(6, n, 18);
         let b = gemm_ref(&x_true, Trans::No, &tt, Trans::No);
         let mut x = b.clone();
-        trsm(Side::Right, UpLo::Upper, Trans::Yes, Diag::NonUnit, 1.0, t.as_ref(), x.as_mut())
-            .unwrap();
+        trsm(
+            Side::Right,
+            UpLo::Upper,
+            Trans::Yes,
+            Diag::NonUnit,
+            1.0,
+            t.as_ref(),
+            x.as_mut(),
+        )
+        .unwrap();
         assert_close(&x, &x_true, 1e-10);
     }
 
@@ -754,8 +856,16 @@ mod tests {
         let n = 3;
         let t = Mat::identity(n);
         let mut b = Mat::filled(n, 2, 1.0);
-        trsm(Side::Left, UpLo::Upper, Trans::No, Diag::NonUnit, 3.0, t.as_ref(), b.as_mut())
-            .unwrap();
+        trsm(
+            Side::Left,
+            UpLo::Upper,
+            Trans::No,
+            Diag::NonUnit,
+            3.0,
+            t.as_ref(),
+            b.as_mut(),
+        )
+        .unwrap();
         assert_eq!(b[(0, 0)], 3.0);
     }
 
@@ -764,7 +874,15 @@ mod tests {
         let mut t = upper_tri(3, 19);
         t[(1, 1)] = 0.0;
         let mut b = Mat::filled(3, 1, 1.0);
-        let e = trsm(Side::Left, UpLo::Upper, Trans::No, Diag::NonUnit, 1.0, t.as_ref(), b.as_mut());
+        let e = trsm(
+            Side::Left,
+            UpLo::Upper,
+            Trans::No,
+            Diag::NonUnit,
+            1.0,
+            t.as_ref(),
+            b.as_mut(),
+        );
         assert!(e.is_err());
     }
 
@@ -774,8 +892,16 @@ mod tests {
         let t = upper_tri(n, 20);
         let b0 = pseudo(n, 4, 21);
         let mut b = b0.clone();
-        trmm(Side::Left, UpLo::Upper, Trans::No, Diag::NonUnit, 1.0, t.as_ref(), b.as_mut())
-            .unwrap();
+        trmm(
+            Side::Left,
+            UpLo::Upper,
+            Trans::No,
+            Diag::NonUnit,
+            1.0,
+            t.as_ref(),
+            b.as_mut(),
+        )
+        .unwrap();
         let tri = rlra_matrix::ops::triu(&t);
         assert_close(&b, &gemm_ref(&tri, Trans::No, &b0, Trans::No), 1e-11);
     }
@@ -786,8 +912,16 @@ mod tests {
         let t = upper_tri(n, 22);
         let b0 = pseudo(4, n, 23);
         let mut b = b0.clone();
-        trmm(Side::Right, UpLo::Upper, Trans::No, Diag::NonUnit, 1.0, t.as_ref(), b.as_mut())
-            .unwrap();
+        trmm(
+            Side::Right,
+            UpLo::Upper,
+            Trans::No,
+            Diag::NonUnit,
+            1.0,
+            t.as_ref(),
+            b.as_mut(),
+        )
+        .unwrap();
         let tri = rlra_matrix::ops::triu(&t);
         assert_close(&b, &gemm_ref(&b0, Trans::No, &tri, Trans::No), 1e-11);
     }
@@ -798,8 +932,16 @@ mod tests {
         let t = upper_tri(n, 24);
         let b0 = pseudo(3, n, 25);
         let mut b = b0.clone();
-        trmm(Side::Right, UpLo::Upper, Trans::Yes, Diag::NonUnit, 1.0, t.as_ref(), b.as_mut())
-            .unwrap();
+        trmm(
+            Side::Right,
+            UpLo::Upper,
+            Trans::Yes,
+            Diag::NonUnit,
+            1.0,
+            t.as_ref(),
+            b.as_mut(),
+        )
+        .unwrap();
         let tri = rlra_matrix::ops::triu(&t).transpose();
         assert_close(&b, &gemm_ref(&b0, Trans::No, &tri, Trans::No), 1e-11);
     }
@@ -810,7 +952,16 @@ mod tests {
         let t = upper_tri(n, 26);
         let b0 = pseudo(n, 2, 27);
         let mut b = b0.clone();
-        trmm(Side::Left, UpLo::Upper, Trans::No, Diag::Unit, 1.0, t.as_ref(), b.as_mut()).unwrap();
+        trmm(
+            Side::Left,
+            UpLo::Upper,
+            Trans::No,
+            Diag::Unit,
+            1.0,
+            t.as_ref(),
+            b.as_mut(),
+        )
+        .unwrap();
         let mut tri = rlra_matrix::ops::triu(&t);
         for i in 0..n {
             tri[(i, i)] = 1.0;
@@ -824,10 +975,26 @@ mod tests {
         let t = upper_tri(n, 28);
         let b0 = pseudo(n, 5, 29);
         let mut b = b0.clone();
-        trsm(Side::Left, UpLo::Upper, Trans::No, Diag::NonUnit, 1.0, t.as_ref(), b.as_mut())
-            .unwrap();
-        trmm(Side::Left, UpLo::Upper, Trans::No, Diag::NonUnit, 1.0, t.as_ref(), b.as_mut())
-            .unwrap();
+        trsm(
+            Side::Left,
+            UpLo::Upper,
+            Trans::No,
+            Diag::NonUnit,
+            1.0,
+            t.as_ref(),
+            b.as_mut(),
+        )
+        .unwrap();
+        trmm(
+            Side::Left,
+            UpLo::Upper,
+            Trans::No,
+            Diag::NonUnit,
+            1.0,
+            t.as_ref(),
+            b.as_mut(),
+        )
+        .unwrap();
         assert_close(&b, &b0, 1e-10);
     }
 }

@@ -25,7 +25,9 @@ pub fn gemm_ref(a: &Mat, ta: Trans, b: &Mat, tb: Trans) -> Mat {
         Trans::No => b[(l, j)],
         Trans::Yes => b[(j, l)],
     };
-    Mat::from_fn(m, n, |i, j| (0..ka).map(|l| get_a(i, l) * get_b(l, j)).sum())
+    Mat::from_fn(m, n, |i, j| {
+        (0..ka).map(|l| get_a(i, l) * get_b(l, j)).sum()
+    })
 }
 
 /// Reference matrix-vector product `op(A)·x`.
@@ -40,7 +42,9 @@ pub fn gemv_ref(a: &Mat, ta: Trans, x: &[f64]) -> Vec<f64> {
         Trans::No => a[(i, l)],
         Trans::Yes => a[(l, i)],
     };
-    (0..m).map(|i| (0..k).map(|l| get_a(i, l) * x[l]).sum()).collect()
+    (0..m)
+        .map(|i| (0..k).map(|l| get_a(i, l) * x[l]).sum())
+        .collect()
 }
 
 /// Reference solution of a dense linear system `T·x = b` for triangular

@@ -9,13 +9,21 @@
 //! paper's "simple linear interpolation of the previous two steps") —
 //! trading off GPU-kernel efficiency (larger blocks run faster, Fig. 18)
 //! against overshoot of the required subspace size.
+//!
+//! Like the fixed-rank pipeline, the loop is written **once** against the
+//! [`Executor`] trait: the numerics run on host matrices while the
+//! backend's `adaptive_*` hooks account for the device cost of each
+//! step. Backends opt in via [`Executor::supports_adaptive`]; the scheme
+//! also needs a computing backend, since the stopping decision reads the
+//! sampled values.
 
+use crate::backend::{ExecReport, Executor, GpuExec};
 use crate::estimate::residual_estimate;
 use crate::result::LowRankApprox;
 use rand::Rng;
 use rlra_blas::Trans;
-use rlra_gpu::{DMat, ExecMode, Gpu, Phase};
-use rlra_matrix::{Mat, MatrixError, Result};
+use rlra_gpu::Gpu;
+use rlra_matrix::{gaussian_mat, Mat, MatrixError, Result};
 
 /// How `ℓ_inc` evolves between steps.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -69,6 +77,45 @@ impl AdaptiveConfig {
             track_actual: false,
         }
     }
+
+    /// Checks the configuration for degeneracies that would make the
+    /// adaptive loop meaningless (or never terminate). Called by every
+    /// adaptive entry point.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MatrixError::InvalidParameter`] when `tol ≤ 0` (the
+    /// estimate can never go below zero), when `l_max` is zero, when the
+    /// increment is zero (the subspace would never grow), or when the
+    /// initial increment already exceeds `l_max`.
+    pub fn validate(&self) -> Result<()> {
+        if self.tol.is_nan() || self.tol <= 0.0 {
+            return Err(MatrixError::InvalidParameter {
+                name: "tol",
+                message: format!("tolerance must be positive, got {}", self.tol),
+            });
+        }
+        if self.l_max == 0 {
+            return Err(MatrixError::InvalidParameter {
+                name: "l_max",
+                message: "subspace size cap must be positive".into(),
+            });
+        }
+        let init = self.inc.initial();
+        if init == 0 {
+            return Err(MatrixError::InvalidParameter {
+                name: "inc",
+                message: "increment must be positive".into(),
+            });
+        }
+        if init > self.l_max {
+            return Err(MatrixError::InvalidParameter {
+                name: "inc",
+                message: format!("initial increment {init} exceeds l_max {}", self.l_max),
+            });
+        }
+        Ok(())
+    }
 }
 
 /// One step of the adaptive scheme.
@@ -104,51 +151,91 @@ impl AdaptiveResult {
     }
 }
 
+/// Runs the adaptive-ℓ scheme (Figure 3) on the given execution backend,
+/// returning the grown row-orthonormal basis, the convergence history
+/// and the backend's timing report.
+///
+/// # Errors
+///
+/// Returns [`MatrixError::InvalidParameter`] from
+/// [`AdaptiveConfig::validate`], [`MatrixError::Unsupported`] for
+/// backends that cannot run the scheme (non-computing backends, or
+/// backends without adaptive support), and propagates kernel failures.
+pub fn adaptive_sample_exec<E: Executor>(
+    exec: &mut E,
+    a: &Mat,
+    cfg: &AdaptiveConfig,
+    rng: &mut impl Rng,
+) -> Result<(AdaptiveResult, ExecReport)> {
+    let result = adaptive_loop(exec, a, cfg, rng)?;
+    let report = exec.finish();
+    Ok((result, report))
+}
+
 /// Runs the adaptive-ℓ scheme (Figure 3) on a simulated GPU in compute
 /// mode, returning the grown row-orthonormal basis and the convergence
 /// history.
 ///
+/// Thin wrapper over [`adaptive_sample_exec`] with the single-GPU
+/// backend.
+///
 /// # Errors
 ///
-/// Returns [`MatrixError::InvalidParameter`] for dry-run GPUs or
-/// degenerate configurations, and propagates kernel failures.
+/// Returns [`MatrixError::Unsupported`] for dry-run GPUs,
+/// [`MatrixError::InvalidParameter`] for degenerate configurations, and
+/// propagates kernel failures.
 pub fn adaptive_sample(
     gpu: &mut Gpu,
     a: &Mat,
     cfg: &AdaptiveConfig,
     rng: &mut impl Rng,
 ) -> Result<AdaptiveResult> {
-    if gpu.mode() != ExecMode::Compute {
-        return Err(MatrixError::InvalidParameter {
-            name: "gpu",
-            message: "adaptive_sample decides from values; use ExecMode::Compute".into(),
+    let mut exec = GpuExec::new(gpu);
+    let (result, _report) = adaptive_sample_exec(&mut exec, a, cfg, rng)?;
+    Ok(result)
+}
+
+/// The shared adaptive loop: host numerics, backend cost hooks. Does not
+/// call [`Executor::finish`], so callers can append further charges
+/// (e.g. the fixed-accuracy finishing steps) to the same run.
+fn adaptive_loop<E: Executor>(
+    exec: &mut E,
+    a: &Mat,
+    cfg: &AdaptiveConfig,
+    rng: &mut impl Rng,
+) -> Result<AdaptiveResult> {
+    cfg.validate()?;
+    if !exec.supports_adaptive() {
+        return Err(MatrixError::Unsupported {
+            backend: exec.name(),
+            feature: "the adaptive fixed-accuracy scheme".into(),
+        });
+    }
+    if !exec.computes() {
+        return Err(MatrixError::Unsupported {
+            backend: exec.name(),
+            feature: "adaptive sampling in dry-run mode — the stopping decision reads values"
+                .into(),
         });
     }
     let (m, n) = a.shape();
-    let init = cfg.inc.initial();
-    if init == 0 || cfg.tol <= 0.0 {
-        return Err(MatrixError::InvalidParameter {
-            name: "cfg",
-            message: "l_init and tol must be positive".into(),
-        });
-    }
-    let t0 = gpu.clock();
-    let a_dev = gpu.resident(a);
+    let t0 = exec.elapsed();
+    exec.begin(m, n);
 
     // Accepted basis (rows of B) and its C companion.
     let mut basis = Mat::zeros(0, n);
     let mut c_basis = Mat::zeros(0, m);
     let mut steps: Vec<AdaptiveStep> = Vec::new();
-    let mut l_inc = init.min(cfg.l_max);
+    let mut l_inc = cfg.inc.initial().min(cfg.l_max);
 
     // First candidate block W = Ω·A.
-    let mut w = draw_block(gpu, &a_dev, l_inc, rng)?;
+    let mut w = draw_block(exec, a, l_inc, rng)?;
     let mut converged = false;
     let mut best_estimate = f64::INFINITY;
 
     loop {
         // --- Expand: refine W with POWER and fold it into the basis ------
-        let w_refined = expand_block(gpu, &a_dev, &basis, &mut c_basis, w, cfg)?;
+        let w_refined = expand_block(exec, a, &basis, &mut c_basis, w, cfg)?;
         let l_used = w_refined.rows();
         basis = basis.vcat(&w_refined)?;
         let l_now = basis.rows();
@@ -161,9 +248,8 @@ pub fn adaptive_sample(
         let next_inc = next_inc.clamp(1, cfg.l_max.saturating_sub(l_now).max(1));
 
         // --- Draw the probe block and estimate the error ------------------
-        let probe = draw_block(gpu, &a_dev, next_inc, rng)?;
-        // ε̃ = max row-residual (small GEMMs, charged as Other).
-        gpu.charge(Phase::Other, gpu.cost().gemm(next_inc, l_now, n) + gpu.cost().gemm(next_inc, n, l_now));
+        let probe = draw_block(exec, a, next_inc, rng)?;
+        exec.adaptive_probe(next_inc, l_now);
         let estimate = residual_estimate(&probe, &basis)?;
 
         let actual = if cfg.track_actual {
@@ -175,7 +261,7 @@ pub fn adaptive_sample(
             l: l_now,
             l_inc: l_used,
             estimate,
-            sim_time: gpu.clock() - t0,
+            sim_time: exec.elapsed() - t0,
             actual_error: actual,
         });
 
@@ -197,76 +283,86 @@ pub fn adaptive_sample(
         }
         w = probe;
         l_inc = next_inc;
-        let _ = l_inc;
     }
-    Ok(AdaptiveResult { basis, steps, converged })
+    Ok(AdaptiveResult {
+        basis,
+        steps,
+        converged,
+    })
 }
 
-/// Draws `l_inc` Gaussian rows and samples them through `A` (PRNG +
-/// Sampling phases).
-fn draw_block(gpu: &mut Gpu, a: &DMat, l_inc: usize, rng: &mut impl Rng) -> Result<Mat> {
+/// Draws `l_inc` Gaussian rows and samples them through `A`: the backend
+/// charges the PRNG + Sampling phases, the values come from the host
+/// (same stream position, see [`crate::backend`]).
+fn draw_block<E: Executor>(exec: &mut E, a: &Mat, l_inc: usize, rng: &mut impl Rng) -> Result<Mat> {
     let (m, n) = a.shape();
-    let omega = gpu.curand_gaussian(Phase::Prng, l_inc, m, rng);
-    let mut w = gpu.alloc(l_inc, n);
-    gpu.gemm(Phase::Sampling, 1.0, &omega, Trans::No, a, Trans::No, 0.0, &mut w)?;
-    Ok(w.expect_values().clone())
+    exec.adaptive_draw(l_inc);
+    let omega = gaussian_mat(l_inc, m, rng);
+    let mut w = Mat::zeros(l_inc, n);
+    rlra_blas::gemm(
+        1.0,
+        omega.as_ref(),
+        Trans::No,
+        a.as_ref(),
+        Trans::No,
+        0.0,
+        w.as_mut(),
+    )?;
+    Ok(w)
 }
 
 /// Folds a new block into the subspace: orthogonalize against the
 /// accepted basis, run `q` power iterations, and row-orthonormalize.
 /// Returns the refined (row-orthonormal) block.
-fn expand_block(
-    gpu: &mut Gpu,
-    a_dev: &DMat,
+fn expand_block<E: Executor>(
+    exec: &mut E,
+    a: &Mat,
     basis: &Mat,
     c_basis: &mut Mat,
     mut w: Mat,
     cfg: &AdaptiveConfig,
 ) -> Result<Mat> {
-    let (m, n) = a_dev.shape();
+    let (m, n) = a.shape();
     let l_new = w.rows();
-    let l_old = basis.rows();
-
-    // Charge BOrth (two GEMMs) + CholQR per pass.
-    let charge_orth = |gpu: &mut Gpu, rows: usize, cols: usize, l_prev: usize| {
-        if l_prev > 0 {
-            let passes = if cfg.reorth { 2 } else { 1 };
-            for _ in 0..passes {
-                gpu.charge(Phase::OrthIter, gpu.cost().gemm(rows, l_prev, cols));
-                gpu.charge(Phase::OrthIter, gpu.cost().gemm(rows, cols, l_prev));
-            }
-        }
-        let passes = if cfg.reorth { 2 } else { 1 };
-        for _ in 0..passes {
-            gpu.charge(Phase::OrthIter, gpu.cost().syrk(rows, cols));
-            gpu.charge(Phase::OrthIter, gpu.cost().host_cholesky(rows));
-            gpu.charge(Phase::OrthIter, gpu.cost().trsm(rows, cols));
-        }
-    };
 
     // Orthogonalize the incoming block against the accepted basis.
-    charge_orth(gpu, l_new, n, l_old);
+    exec.adaptive_orth(l_new, n, basis.rows(), cfg.reorth);
     rlra_lapack::block_orth_rows(basis, &mut w, cfg.reorth)?;
     w = crate::power::orth_rows(&w, cfg.reorth)?;
 
     // Power iterations (Figure 2a with j > 1).
     for _ in 0..cfg.q {
         // C_new = W·Aᵀ.
-        let wd = gpu.resident(&w);
-        let mut c = gpu.alloc(l_new, m);
-        gpu.gemm(Phase::GemmIter, 1.0, &wd, Trans::No, a_dev, Trans::Yes, 0.0, &mut c)?;
-        let mut c = c.expect_values().clone();
-        charge_orth(gpu, l_new, m, c_basis.rows());
+        exec.adaptive_gemm_c(l_new);
+        let mut c = Mat::zeros(l_new, m);
+        rlra_blas::gemm(
+            1.0,
+            w.as_ref(),
+            Trans::No,
+            a.as_ref(),
+            Trans::Yes,
+            0.0,
+            c.as_mut(),
+        )?;
+        exec.adaptive_orth(l_new, m, c_basis.rows(), cfg.reorth);
         rlra_lapack::block_orth_rows(c_basis, &mut c, cfg.reorth)?;
         let c = crate::power::orth_rows(&c, cfg.reorth)?;
         *c_basis = c_basis.vcat(&c)?;
         // W = C·A.
-        let cd = gpu.resident(&c);
-        let mut wnew = gpu.alloc(l_new, n);
-        gpu.gemm(Phase::GemmIter, 1.0, &cd, Trans::No, a_dev, Trans::No, 0.0, &mut wnew)?;
-        w = wnew.expect_values().clone();
+        exec.adaptive_gemm_w(l_new);
+        let mut wnew = Mat::zeros(l_new, n);
+        rlra_blas::gemm(
+            1.0,
+            c.as_ref(),
+            Trans::No,
+            a.as_ref(),
+            Trans::No,
+            0.0,
+            wnew.as_mut(),
+        )?;
+        w = wnew;
         // Re-orthogonalize against the basis after the round trip.
-        charge_orth(gpu, l_new, n, basis.rows());
+        exec.adaptive_orth(l_new, n, basis.rows(), cfg.reorth);
         rlra_lapack::block_orth_rows(basis, &mut w, cfg.reorth)?;
         w = crate::power::orth_rows(&w, cfg.reorth)?;
     }
@@ -300,9 +396,34 @@ fn interpolate_inc(steps: &[AdaptiveStep], tol: f64, l_now: usize, prev_inc: usi
     (inc as isize).clamp(4, cap as isize) as usize
 }
 
-/// Solves the fixed-accuracy problem end to end: grows the subspace
-/// adaptively, then completes Steps 2–3 of random sampling with
-/// `k = ℓ_final` to return the `A·P ≈ Q·R` factorization.
+/// Solves the fixed-accuracy problem end to end on the given backend:
+/// grows the subspace adaptively, then completes Steps 2–3 of random
+/// sampling with `k = ℓ_final` to return the `A·P ≈ Q·R` factorization
+/// alongside the history and the backend's timing report.
+///
+/// # Errors
+///
+/// Propagates errors from [`adaptive_sample_exec`] and the finishing
+/// steps.
+pub fn sample_fixed_accuracy_exec<E: Executor>(
+    exec: &mut E,
+    a: &Mat,
+    cfg: &AdaptiveConfig,
+    rng: &mut impl Rng,
+) -> Result<(LowRankApprox, AdaptiveResult, ExecReport)> {
+    let adaptive = adaptive_loop(exec, a, cfg, rng)?;
+    let k = adaptive.l().min(a.cols());
+    // Charge Steps 2–3 on the backend, then finish on the host.
+    exec.adaptive_finish(k);
+    let report = exec.finish();
+    let approx = crate::fixed_rank::finish_from_sampled(a, &adaptive.basis, k, cfg.reorth)?;
+    Ok((approx, adaptive, report))
+}
+
+/// Solves the fixed-accuracy problem end to end on a simulated GPU.
+///
+/// Thin wrapper over [`sample_fixed_accuracy_exec`] with the single-GPU
+/// backend.
 ///
 /// # Errors
 ///
@@ -313,39 +434,16 @@ pub fn sample_fixed_accuracy(
     cfg: &AdaptiveConfig,
     rng: &mut impl Rng,
 ) -> Result<(LowRankApprox, AdaptiveResult)> {
-    let adaptive = adaptive_sample(gpu, a, cfg, rng)?;
-    let k = adaptive.l().min(a.cols());
-    // Charge Steps 2–3 on the device.
-    let (m, n) = a.shape();
-    gpu.charge(Phase::Qrcp, gpu.cost().gemv(k, n) * k as f64); // truncated QP3 skeleton
-    gpu.charge(Phase::Qr, gpu.cost().syrk(k, m) + gpu.cost().trsm(k, m));
-    let approx = crate::fixed_rank::finish_from_sampled(a, &adaptive.basis, k, cfg.reorth)?;
+    let mut exec = GpuExec::new(gpu);
+    let (approx, adaptive, _report) = sample_fixed_accuracy_exec(&mut exec, a, cfg, rng)?;
     Ok((approx, adaptive))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
-    use rlra_matrix::gaussian_mat;
-
-    fn rng(seed: u64) -> StdRng {
-        StdRng::seed_from_u64(seed)
-    }
-
-    /// Exponent-profile matrix (the one the paper uses in §10).
-    fn exponent_matrix(m: usize, n: usize, seed: u64) -> Mat {
-        let r = m.min(n);
-        let spec: Vec<f64> = (0..r).map(|i| 10f64.powf(-(i as f64) / 10.0)).collect();
-        let x = rlra_lapack::form_q(&gaussian_mat(m, r, &mut rng(seed)));
-        let y = rlra_lapack::form_q(&gaussian_mat(n, r, &mut rng(seed + 1)));
-        let xs = Mat::from_fn(m, r, |i, j| x[(i, j)] * spec[j]);
-        let mut a = Mat::zeros(m, n);
-        rlra_blas::gemm(1.0, xs.as_ref(), Trans::No, y.as_ref(), Trans::Yes, 0.0, a.as_mut())
-            .unwrap();
-        a
-    }
+    use crate::backend::CpuExec;
+    use rlra_data::testmat::{exponent_matrix, rng};
 
     #[test]
     fn estimates_decrease_and_converge() {
@@ -405,7 +503,10 @@ mod tests {
         let steps_for = |inc: usize| -> usize {
             let mut gpu = Gpu::k40c();
             let cfg = AdaptiveConfig::new(1e-6, inc);
-            adaptive_sample(&mut gpu, &a, &cfg, &mut rng(8)).unwrap().steps.len()
+            adaptive_sample(&mut gpu, &a, &cfg, &mut rng(8))
+                .unwrap()
+                .steps
+                .len()
         };
         assert!(steps_for(32) < steps_for(8));
     }
@@ -415,7 +516,14 @@ mod tests {
         let a = exponent_matrix(100, 60, 9);
         let run = |inc: IncStrategy| -> (bool, usize) {
             let mut gpu = Gpu::k40c();
-            let cfg = AdaptiveConfig { tol: 1e-6, q: 0, reorth: true, inc, l_max: 60, track_actual: false };
+            let cfg = AdaptiveConfig {
+                tol: 1e-6,
+                q: 0,
+                reorth: true,
+                inc,
+                l_max: 60,
+                track_actual: false,
+            };
             let res = adaptive_sample(&mut gpu, &a, &cfg, &mut rng(10)).unwrap();
             (res.converged, res.steps.len())
         };
@@ -460,5 +568,54 @@ mod tests {
         assert!(res.converged);
         let err = rlra_lapack::householder::orthogonality_error(&res.basis.transpose());
         assert!(err < 1e-10);
+    }
+
+    #[test]
+    fn validate_rejects_degenerate_configs() {
+        assert!(AdaptiveConfig::new(0.0, 8).validate().is_err());
+        assert!(AdaptiveConfig::new(-1e-6, 8).validate().is_err());
+        assert!(AdaptiveConfig::new(f64::NAN, 8).validate().is_err());
+        assert!(AdaptiveConfig::new(1e-6, 0).validate().is_err());
+        let mut cfg = AdaptiveConfig::new(1e-6, 8);
+        cfg.l_max = 0;
+        assert!(cfg.validate().is_err());
+        let mut cfg = AdaptiveConfig::new(1e-6, 64);
+        cfg.l_max = 32;
+        assert!(cfg.validate().is_err());
+        assert!(AdaptiveConfig::new(1e-6, 8).validate().is_ok());
+        // Entry points reject the same configs.
+        let a = exponent_matrix(30, 20, 17);
+        let mut gpu = Gpu::k40c();
+        assert!(adaptive_sample(&mut gpu, &a, &AdaptiveConfig::new(0.0, 8), &mut rng(18)).is_err());
+        let mut cpu = CpuExec::new();
+        assert!(sample_fixed_accuracy_exec(
+            &mut cpu,
+            &a,
+            &AdaptiveConfig::new(1e-6, 0),
+            &mut rng(19)
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn cpu_backend_matches_gpu_trajectory() {
+        // The numerics are host-side on every backend, so the same seed
+        // must walk the same (ℓ, ε̃) trajectory on CPU and GPU.
+        let a = exponent_matrix(100, 60, 21);
+        let cfg = AdaptiveConfig::new(1e-5, 8);
+        let mut gpu = Gpu::k40c();
+        let on_gpu = adaptive_sample(&mut gpu, &a, &cfg, &mut rng(22)).unwrap();
+        let mut cpu = CpuExec::new();
+        let (on_cpu, report) = adaptive_sample_exec(&mut cpu, &a, &cfg, &mut rng(22)).unwrap();
+        assert_eq!(on_cpu.l(), on_gpu.l());
+        assert_eq!(on_cpu.converged, on_gpu.converged);
+        assert_eq!(on_cpu.steps.len(), on_gpu.steps.len());
+        for (c, g) in on_cpu.steps.iter().zip(&on_gpu.steps) {
+            assert_eq!(c.estimate, g.estimate);
+        }
+        assert_eq!(on_cpu.basis, on_gpu.basis);
+        // The CPU backend reports no device time.
+        assert_eq!(report.seconds, 0.0);
+        assert_eq!(report.devices, 0);
     }
 }

@@ -1,0 +1,316 @@
+//! The distributed-memory backend — the setting of the paper's closing
+//! prediction (§11: the benefits of random sampling "increase on a
+//! computer with higher communication cost, like a distributed-memory
+//! computer").
+//!
+//! The layout extends §4's single-node scheme one level up: `A` is split
+//! block-row-wise across nodes (proportionally to their GPU counts) and
+//! again across each node's GPUs; the short-wide reductions run
+//! PCIe-locally first and then as α-β tree collectives over the
+//! interconnect.
+//!
+//! This backend is timing-only ([`ExecMode::DryRun`] clusters): the
+//! distributed numerics are already validated at the multi-GPU level,
+//! and the cluster study is about communication shape at scale. It
+//! therefore charges the caller's cluster directly rather than
+//! simulating internally.
+
+use super::{ExecReport, Executor};
+use crate::config::{SamplerConfig, SamplingKind, Step2Kind};
+use rlra_blas::Trans;
+use rlra_fft::SrftScheme;
+use rlra_gpu::algos::{gpu_qp3_truncated, gpu_tournament_qrcp};
+use rlra_gpu::{Cluster, DMat, ExecMode, Phase};
+use rlra_matrix::{Mat, MatrixError, Result};
+
+/// Distributed-memory (cluster) execution backend. Timing-only.
+pub struct ClusterExec<'a> {
+    cluster: &'a mut Cluster,
+    a_parts: Vec<Vec<DMat>>,
+    t0: f64,
+    launches0: u64,
+    syncs0: u64,
+    m: usize,
+    n: usize,
+}
+
+impl<'a> ClusterExec<'a> {
+    /// Creates the backend for the given (caller-owned) cluster.
+    pub fn new(cluster: &'a mut Cluster) -> Self {
+        ClusterExec {
+            cluster,
+            a_parts: Vec::new(),
+            t0: 0.0,
+            launches0: 0,
+            syncs0: 0,
+            m: 0,
+            n: 0,
+        }
+    }
+
+    fn counter_sums(&self) -> (u64, u64) {
+        let (mut launches, mut syncs) = (0u64, 0u64);
+        for ni in 0..self.cluster.nodes() {
+            let node = self.cluster.node(ni);
+            for gi in 0..node.ng() {
+                launches += node.gpu(gi).launches;
+                syncs += node.gpu(gi).syncs;
+            }
+        }
+        (launches, syncs)
+    }
+
+    /// Local GEMM of a distributed `src` against every `A` block, node
+    /// reduction, then the inter-node allreduce — the shape of both the
+    /// sampling step and the `B = C·A` update.
+    fn reduce_b(
+        &mut self,
+        l: usize,
+        src: &mut dyn FnMut(&mut rlra_gpu::Gpu, usize) -> DMat,
+        phase: Phase,
+    ) -> Result<()> {
+        let nodes = self.cluster.nodes();
+        let n = self.n;
+        let mut node_bs = Vec::with_capacity(nodes);
+        for (ni, parts) in self.a_parts.iter().enumerate() {
+            let node = self.cluster.node_mut(ni);
+            let mut b_parts = Vec::with_capacity(node.ng());
+            for (gi, ap) in parts.iter().enumerate() {
+                let gpu = node.gpu_mut(gi);
+                let s = src(gpu, ap.rows());
+                let mut bi = gpu.alloc(l, n);
+                gpu.gemm(phase, 1.0, &s, Trans::No, ap, Trans::No, 0.0, &mut bi)?;
+                b_parts.push(bi);
+            }
+            node_bs.push(node.reduce_to_host(Phase::Comms, &b_parts)?);
+        }
+        self.cluster.allreduce_host(Phase::Comms, &node_bs)?;
+        Ok(())
+    }
+}
+
+impl Executor for ClusterExec<'_> {
+    fn name(&self) -> &'static str {
+        "cluster"
+    }
+
+    fn computes(&self) -> bool {
+        false
+    }
+
+    fn supports(&self, cfg: &SamplerConfig, _has_values: bool) -> Result<()> {
+        if !matches!(cfg.sampling, SamplingKind::Gaussian) {
+            return Err(MatrixError::Unsupported {
+                backend: self.name(),
+                feature: "FFT (SRFT) sampling — the cluster study uses Gaussian sampling only"
+                    .into(),
+            });
+        }
+        if self.cluster.mode() != ExecMode::DryRun {
+            return Err(MatrixError::Unsupported {
+                backend: self.name(),
+                feature: "compute mode — cluster runs are timing studies; use ExecMode::DryRun"
+                    .into(),
+            });
+        }
+        Ok(())
+    }
+
+    fn begin(&mut self, m: usize, n: usize) {
+        self.m = m;
+        self.n = n;
+        self.t0 = self.cluster.time();
+        let (launches0, syncs0) = self.counter_sums();
+        self.launches0 = launches0;
+        self.syncs0 = syncs0;
+        let node_chunks = self.cluster.node_row_chunks(m);
+        self.a_parts = Vec::with_capacity(node_chunks.len());
+        for (ni, &(_, len)) in node_chunks.iter().enumerate() {
+            let node = self.cluster.node_mut(ni);
+            self.a_parts.push(node.distribute_rows_shape(len, n));
+        }
+    }
+
+    fn gaussian_sample(&mut self, l: usize) -> Result<()> {
+        // Ω chunks drawn per GPU (independent cuRAND streams).
+        let mut draw = |gpu: &mut rlra_gpu::Gpu, rows: usize| -> DMat {
+            gpu.charge(Phase::Prng, gpu.cost().curand(l * rows));
+            gpu.resident_shape(l, rows)
+        };
+        self.reduce_b(l, &mut draw, Phase::Sampling)
+    }
+
+    fn srft_sample_rows(&mut self, _l: usize, _scheme: SrftScheme) -> Result<()> {
+        Err(MatrixError::Unsupported {
+            backend: self.name(),
+            feature: "FFT (SRFT) sampling".into(),
+        })
+    }
+
+    fn orth_b(&mut self, l: usize, reorth: bool) -> Result<()> {
+        // Host QR of B on node 0, broadcast over the interconnect, then
+        // PCIe-broadcast within each node.
+        let n = self.n;
+        {
+            let node0 = self.cluster.node_mut(0);
+            let cost = node0.gpu(0).cost().clone();
+            let passes = if reorth { 2.0 } else { 1.0 };
+            let secs = cost.host_flops(passes * 2.0 * (l * l * n) as f64) + cost.host_cholesky(l);
+            for g in 0..node0.ng() {
+                node0.gpu_mut(g).charge(Phase::OrthIter, secs);
+            }
+        }
+        self.cluster.broadcast_host(Phase::Comms, &Mat::zeros(l, n));
+        for ni in 0..self.cluster.nodes() {
+            let node = self.cluster.node_mut(ni);
+            node.broadcast(Phase::Comms, &Mat::zeros(l, n));
+        }
+        Ok(())
+    }
+
+    fn gemm_to_c(&mut self, l: usize) -> Result<()> {
+        // C(i) = B·A(i)ᵀ on every GPU's row slice.
+        let n = self.n;
+        for (ni, parts) in self.a_parts.iter().enumerate() {
+            let node = self.cluster.node_mut(ni);
+            for (gi, ap) in parts.iter().enumerate() {
+                let gpu = node.gpu_mut(gi);
+                let b_local = gpu.resident_shape(l, n);
+                let mut ci = gpu.alloc(l, ap.rows());
+                gpu.gemm(
+                    Phase::GemmIter,
+                    1.0,
+                    &b_local,
+                    Trans::No,
+                    ap,
+                    Trans::Yes,
+                    0.0,
+                    &mut ci,
+                )?;
+            }
+        }
+        Ok(())
+    }
+
+    fn orth_c(&mut self, l: usize, _reorth: bool) -> Result<()> {
+        // Distributed CholQR of C with a global Gram allreduce: local
+        // SYRKs, node reductions, the inter-node allreduce, then the
+        // replicated host Cholesky, intra-node broadcast of R̄ and the
+        // local TRSMs.
+        let nodes = self.cluster.nodes();
+        let mut node_gs = Vec::with_capacity(nodes);
+        for (ni, parts) in self.a_parts.iter().enumerate() {
+            let node = self.cluster.node_mut(ni);
+            let mut g_parts = Vec::with_capacity(node.ng());
+            for (gi, ap) in parts.iter().enumerate() {
+                let gpu = node.gpu_mut(gi);
+                let ci = gpu.resident_shape(l, ap.rows());
+                let mut gi_mat = gpu.alloc(l, l);
+                gpu.syrk_full(Phase::OrthIter, 1.0, &ci, Trans::No, 0.0, &mut gi_mat)?;
+                g_parts.push(gi_mat);
+            }
+            node_gs.push(node.reduce_to_host(Phase::Comms, &g_parts)?);
+        }
+        self.cluster.allreduce_host(Phase::Comms, &node_gs)?;
+        for (ni, parts) in self.a_parts.iter().enumerate() {
+            let node = self.cluster.node_mut(ni);
+            {
+                let cost = node.gpu(0).cost().clone();
+                let secs = cost.host_cholesky(l);
+                for g in 0..node.ng() {
+                    node.gpu_mut(g).charge(Phase::OrthIter, secs);
+                }
+            }
+            node.broadcast(Phase::Comms, &Mat::zeros(l, l));
+            for (gi, ap) in parts.iter().enumerate() {
+                let gpu = node.gpu_mut(gi);
+                gpu.charge(Phase::OrthIter, gpu.cost().trsm(l, ap.rows()));
+            }
+        }
+        Ok(())
+    }
+
+    fn gemm_to_b(&mut self, l: usize) -> Result<()> {
+        // B(i) = C(i)·A(i), node reduce + inter-node allreduce.
+        let mut noop =
+            |gpu: &mut rlra_gpu::Gpu, rows: usize| -> DMat { gpu.resident_shape(l, rows) };
+        self.reduce_b(l, &mut noop, Phase::GemmIter)
+    }
+
+    fn step2_pivot(&mut self, kind: Step2Kind, l: usize, k: usize) -> Result<()> {
+        let n = self.n;
+        {
+            let node0 = self.cluster.node_mut(0);
+            let gpu0 = node0.gpu_mut(0);
+            let b_dev = gpu0.resident_shape(l, n);
+            match kind {
+                Step2Kind::Qp3 => {
+                    gpu_qp3_truncated(gpu0, Phase::Qrcp, &b_dev, k)?;
+                }
+                Step2Kind::Tournament => {
+                    gpu_tournament_qrcp(gpu0, Phase::Qrcp, &b_dev, k)?;
+                }
+            }
+            if n > k {
+                gpu0.charge(Phase::Qrcp, gpu0.cost().trsm(k, n - k));
+            }
+        }
+        // Broadcast the pivot list (tiny) to all nodes.
+        self.cluster
+            .broadcast_host(Phase::Comms, &Mat::zeros(1, k.max(1)));
+        Ok(())
+    }
+
+    fn tsqr(&mut self, k: usize, _reorth: bool) -> Result<()> {
+        // Distributed tall-skinny CholQR of A·P₁:ₖ: gather, local SYRKs,
+        // the two-level Gram reduction, replicated Cholesky and local
+        // TRSMs. The triangular finish stays fused in the per-GPU TRSMs.
+        let nodes = self.cluster.nodes();
+        let mut node_gs = Vec::with_capacity(nodes);
+        for (ni, parts) in self.a_parts.iter().enumerate() {
+            let node = self.cluster.node_mut(ni);
+            let mut g_parts = Vec::with_capacity(node.ng());
+            for (gi, ap) in parts.iter().enumerate() {
+                let gpu = node.gpu_mut(gi);
+                gpu.charge(Phase::Qr, gpu.cost().blas1(ap.rows() * k, 2.0)); // gather
+                let x = gpu.resident_shape(ap.rows(), k);
+                let mut g = gpu.alloc(k, k);
+                gpu.syrk_full(Phase::Qr, 1.0, &x, Trans::Yes, 0.0, &mut g)?;
+                g_parts.push(g);
+            }
+            node_gs.push(node.reduce_to_host(Phase::Comms, &g_parts)?);
+        }
+        self.cluster.allreduce_host(Phase::Comms, &node_gs)?;
+        for (ni, parts) in self.a_parts.iter().enumerate() {
+            let node = self.cluster.node_mut(ni);
+            {
+                let cost = node.gpu(0).cost().clone();
+                let secs = cost.host_cholesky(k);
+                for g in 0..node.ng() {
+                    node.gpu_mut(g).charge(Phase::Qr, secs);
+                }
+            }
+            node.broadcast(Phase::Comms, &Mat::zeros(k, k));
+            for (gi, ap) in parts.iter().enumerate() {
+                let gpu = node.gpu_mut(gi);
+                gpu.charge(Phase::Qr, gpu.cost().trsm(k, ap.rows()));
+            }
+        }
+        self.cluster.barrier();
+        Ok(())
+    }
+
+    fn finish(&mut self) -> ExecReport {
+        let (launches, syncs) = self.counter_sums();
+        let report = ExecReport {
+            seconds: self.cluster.time() - self.t0,
+            timeline: self.cluster.breakdown(),
+            launches: launches - self.launches0,
+            syncs: syncs - self.syncs0,
+            comms: self.cluster.inter_node_comms(),
+            devices: self.cluster.total_gpus(),
+        };
+        self.a_parts.clear();
+        report
+    }
+}

@@ -1,0 +1,82 @@
+//! The CPU reference backend: numerics only, no device accounting.
+
+use super::{ExecReport, Executor};
+use crate::config::SamplerConfig;
+use rlra_fft::SrftScheme;
+use rlra_gpu::Timeline;
+use rlra_matrix::Result;
+
+/// Host-only execution: the pipeline's numerics *are* the work, so every
+/// hook is a no-op and the report is empty.
+#[derive(Debug, Default)]
+pub struct CpuExec;
+
+impl CpuExec {
+    /// Creates the CPU backend.
+    pub fn new() -> Self {
+        CpuExec
+    }
+}
+
+impl Executor for CpuExec {
+    fn name(&self) -> &'static str {
+        "cpu"
+    }
+
+    fn computes(&self) -> bool {
+        true
+    }
+
+    fn supports(&self, _cfg: &SamplerConfig, _has_values: bool) -> Result<()> {
+        Ok(())
+    }
+
+    fn begin(&mut self, _m: usize, _n: usize) {}
+
+    fn gaussian_sample(&mut self, _l: usize) -> Result<()> {
+        Ok(())
+    }
+
+    fn srft_sample_rows(&mut self, _l: usize, _scheme: SrftScheme) -> Result<()> {
+        Ok(())
+    }
+
+    fn orth_b(&mut self, _l: usize, _reorth: bool) -> Result<()> {
+        Ok(())
+    }
+
+    fn gemm_to_c(&mut self, _l: usize) -> Result<()> {
+        Ok(())
+    }
+
+    fn orth_c(&mut self, _l: usize, _reorth: bool) -> Result<()> {
+        Ok(())
+    }
+
+    fn gemm_to_b(&mut self, _l: usize) -> Result<()> {
+        Ok(())
+    }
+
+    fn step2_pivot(&mut self, _kind: crate::config::Step2Kind, _l: usize, _k: usize) -> Result<()> {
+        Ok(())
+    }
+
+    fn tsqr(&mut self, _k: usize, _reorth: bool) -> Result<()> {
+        Ok(())
+    }
+
+    fn supports_adaptive(&self) -> bool {
+        true
+    }
+
+    fn finish(&mut self) -> ExecReport {
+        ExecReport {
+            seconds: 0.0,
+            timeline: Timeline::new(),
+            launches: 0,
+            syncs: 0,
+            comms: 0.0,
+            devices: 0,
+        }
+    }
+}

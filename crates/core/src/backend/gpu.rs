@@ -1,0 +1,296 @@
+//! The single-GPU backend (paper §3, Figures 11–14).
+//!
+//! Drives the real `rlra-gpu` kernels on an internal dry-run simulator
+//! with the caller's device spec, then folds the accounting into the
+//! caller's [`Gpu`] when the run finishes. The caller's execution mode
+//! only decides whether the pipeline materializes values; the cost
+//! accounting is identical either way.
+
+use super::{ExecReport, Executor};
+use crate::config::{SamplerConfig, Step2Kind};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rlra_blas::Trans;
+use rlra_fft::{SrftOperator, SrftScheme};
+use rlra_gpu::algos::{gpu_cholqr, gpu_cholqr_rows, gpu_qp3_truncated, gpu_tournament_qrcp};
+use rlra_gpu::{DMat, ExecMode, Gpu, Phase};
+use rlra_matrix::Result;
+
+/// Single-GPU execution backend.
+pub struct GpuExec<'a> {
+    gpu: &'a mut Gpu,
+    sim: Gpu,
+    a_sim: Option<DMat>,
+    m: usize,
+    n: usize,
+}
+
+impl<'a> GpuExec<'a> {
+    /// Creates the backend for the given (caller-owned) GPU context.
+    pub fn new(gpu: &'a mut Gpu) -> Self {
+        let sim = Gpu::new(gpu.cost().spec().clone(), ExecMode::DryRun);
+        GpuExec {
+            gpu,
+            sim,
+            a_sim: None,
+            m: 0,
+            n: 0,
+        }
+    }
+
+    /// The simulator burns its own (throwaway) RNG stream; the user
+    /// stream is consumed once, by the pipeline.
+    fn dummy_rng() -> StdRng {
+        StdRng::seed_from_u64(0)
+    }
+}
+
+impl Executor for GpuExec<'_> {
+    fn name(&self) -> &'static str {
+        "gpu"
+    }
+
+    fn computes(&self) -> bool {
+        self.gpu.mode() == ExecMode::Compute
+    }
+
+    fn supports(&self, _cfg: &SamplerConfig, _has_values: bool) -> Result<()> {
+        Ok(())
+    }
+
+    fn begin(&mut self, m: usize, n: usize) {
+        self.m = m;
+        self.n = n;
+        self.a_sim = Some(self.sim.resident_shape(m, n));
+    }
+
+    fn gaussian_sample(&mut self, l: usize) -> Result<()> {
+        let omega = self
+            .sim
+            .curand_gaussian(Phase::Prng, l, self.m, &mut Self::dummy_rng());
+        let mut b = self.sim.alloc(l, self.n);
+        let a = self.a_sim.as_ref().expect("begin() not called");
+        self.sim.gemm(
+            Phase::Sampling,
+            1.0,
+            &omega,
+            Trans::No,
+            a,
+            Trans::No,
+            0.0,
+            &mut b,
+        )?;
+        Ok(())
+    }
+
+    fn srft_sample_rows(&mut self, l: usize, scheme: SrftScheme) -> Result<()> {
+        let op = SrftOperator::new(self.m, l, scheme, &mut Self::dummy_rng())?;
+        let a = self.a_sim.as_ref().expect("begin() not called");
+        self.sim.cufft_sample_rows(Phase::Sampling, &op, a)?;
+        Ok(())
+    }
+
+    fn orth_b(&mut self, l: usize, reorth: bool) -> Result<()> {
+        let b = self.sim.resident_shape(l, self.n);
+        gpu_cholqr_rows(&mut self.sim, Phase::OrthIter, &b, reorth)?;
+        Ok(())
+    }
+
+    fn gemm_to_c(&mut self, l: usize) -> Result<()> {
+        let bq = self.sim.resident_shape(l, self.n);
+        let mut c = self.sim.alloc(l, self.m);
+        let a = self.a_sim.as_ref().expect("begin() not called");
+        self.sim.gemm(
+            Phase::GemmIter,
+            1.0,
+            &bq,
+            Trans::No,
+            a,
+            Trans::Yes,
+            0.0,
+            &mut c,
+        )?;
+        Ok(())
+    }
+
+    fn orth_c(&mut self, l: usize, reorth: bool) -> Result<()> {
+        let c = self.sim.resident_shape(l, self.m);
+        gpu_cholqr_rows(&mut self.sim, Phase::OrthIter, &c, reorth)?;
+        Ok(())
+    }
+
+    fn gemm_to_b(&mut self, l: usize) -> Result<()> {
+        let cq = self.sim.resident_shape(l, self.m);
+        let mut b = self.sim.alloc(l, self.n);
+        let a = self.a_sim.as_ref().expect("begin() not called");
+        self.sim.gemm(
+            Phase::GemmIter,
+            1.0,
+            &cq,
+            Trans::No,
+            a,
+            Trans::No,
+            0.0,
+            &mut b,
+        )?;
+        Ok(())
+    }
+
+    fn step2_pivot(&mut self, kind: Step2Kind, l: usize, k: usize) -> Result<()> {
+        let b = self.sim.resident_shape(l, self.n);
+        match kind {
+            Step2Kind::Qp3 => {
+                gpu_qp3_truncated(&mut self.sim, Phase::Qrcp, &b, k)?;
+            }
+            Step2Kind::Tournament => {
+                gpu_tournament_qrcp(&mut self.sim, Phase::Qrcp, &b, k)?;
+            }
+        }
+        // T = R̂₁:ₖ⁻¹·R̂ₖ₊₁:ₙ on the device (Figure 2b, Line 9).
+        if self.n > k {
+            self.sim.launches += 1;
+            self.sim
+                .charge(Phase::Qrcp, self.sim.cost().trsm(k, self.n - k));
+        }
+        Ok(())
+    }
+
+    fn tsqr(&mut self, k: usize, reorth: bool) -> Result<()> {
+        // Gathering the k pivot columns is a device-side copy.
+        self.sim.launches += 1;
+        self.sim
+            .charge(Phase::Qr, self.sim.cost().blas1(self.m * k, 2.0));
+        let ap1k = self.sim.resident_shape(self.m, k);
+        gpu_cholqr(&mut self.sim, Phase::Qr, &ap1k, reorth)?;
+        // R = R̄·[I | T] (Line 10): triangular multiply on the device.
+        self.sim.launches += 1;
+        self.sim.charge(Phase::Qr, self.sim.cost().trsm(k, self.n));
+        Ok(())
+    }
+
+    fn supports_adaptive(&self) -> bool {
+        true
+    }
+
+    fn adaptive_draw(&mut self, l_inc: usize) {
+        let omega = self
+            .sim
+            .curand_gaussian(Phase::Prng, l_inc, self.m, &mut Self::dummy_rng());
+        let mut w = self.sim.alloc(l_inc, self.n);
+        let a = self.a_sim.as_ref().expect("begin() not called");
+        self.sim
+            .gemm(
+                Phase::Sampling,
+                1.0,
+                &omega,
+                Trans::No,
+                a,
+                Trans::No,
+                0.0,
+                &mut w,
+            )
+            .expect("shape-consistent by construction");
+    }
+
+    fn adaptive_orth(&mut self, rows: usize, cols: usize, l_prev: usize, reorth: bool) {
+        // Block-orthogonalization against the accepted basis (two GEMMs
+        // per pass) plus the block's own CholQR.
+        let passes = if reorth { 2 } else { 1 };
+        if l_prev > 0 {
+            for _ in 0..passes {
+                self.sim
+                    .charge(Phase::OrthIter, self.sim.cost().gemm(rows, l_prev, cols));
+                self.sim
+                    .charge(Phase::OrthIter, self.sim.cost().gemm(rows, cols, l_prev));
+            }
+        }
+        for _ in 0..passes {
+            self.sim
+                .charge(Phase::OrthIter, self.sim.cost().syrk(rows, cols));
+            self.sim
+                .charge(Phase::OrthIter, self.sim.cost().host_cholesky(rows));
+            self.sim
+                .charge(Phase::OrthIter, self.sim.cost().trsm(rows, cols));
+        }
+    }
+
+    fn adaptive_gemm_c(&mut self, l_new: usize) {
+        let wd = self.sim.resident_shape(l_new, self.n);
+        let mut c = self.sim.alloc(l_new, self.m);
+        let a = self.a_sim.as_ref().expect("begin() not called");
+        self.sim
+            .gemm(
+                Phase::GemmIter,
+                1.0,
+                &wd,
+                Trans::No,
+                a,
+                Trans::Yes,
+                0.0,
+                &mut c,
+            )
+            .expect("shape-consistent by construction");
+    }
+
+    fn adaptive_gemm_w(&mut self, l_new: usize) {
+        let cd = self.sim.resident_shape(l_new, self.m);
+        let mut w = self.sim.alloc(l_new, self.n);
+        let a = self.a_sim.as_ref().expect("begin() not called");
+        self.sim
+            .gemm(
+                Phase::GemmIter,
+                1.0,
+                &cd,
+                Trans::No,
+                a,
+                Trans::No,
+                0.0,
+                &mut w,
+            )
+            .expect("shape-consistent by construction");
+    }
+
+    fn adaptive_probe(&mut self, next_inc: usize, l_now: usize) {
+        // ε̃ = max row-residual (small GEMMs, charged as Other).
+        self.sim.charge(
+            Phase::Other,
+            self.sim.cost().gemm(next_inc, l_now, self.n)
+                + self.sim.cost().gemm(next_inc, self.n, l_now),
+        );
+    }
+
+    fn adaptive_finish(&mut self, k: usize) {
+        self.sim
+            .charge(Phase::Qrcp, self.sim.cost().gemv(k, self.n) * k as f64); // truncated QP3 skeleton
+        self.sim.charge(
+            Phase::Qr,
+            self.sim.cost().syrk(k, self.m) + self.sim.cost().trsm(k, self.m),
+        );
+    }
+
+    fn elapsed(&self) -> f64 {
+        self.sim.clock()
+    }
+
+    fn finish(&mut self) -> ExecReport {
+        let report = ExecReport {
+            seconds: self.sim.clock(),
+            timeline: self.sim.timeline().clone(),
+            launches: self.sim.launches,
+            syncs: self.sim.syncs,
+            comms: 0.0,
+            devices: 1,
+        };
+        for phase in Phase::ALL {
+            let secs = self.sim.timeline().get(phase);
+            if secs > 0.0 {
+                self.gpu.charge(phase, secs);
+            }
+        }
+        self.gpu.launches += self.sim.launches;
+        self.gpu.syncs += self.sim.syncs;
+        self.sim.reset();
+        self.a_sim = None;
+        report
+    }
+}

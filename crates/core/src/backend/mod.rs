@@ -1,0 +1,273 @@
+//! Execution backends for the randomized sampler.
+//!
+//! The paper evaluates the same algorithm (Figure 2b, and the adaptive
+//! Figure 3 loop) on several machines: one CPU, one GPU, several GPUs
+//! sharing a host, and a distributed-memory cluster. This module factors
+//! that variation behind the [`Executor`] trait so the algorithm itself
+//! exists **once**, in [`pipeline::run_fixed_rank`] (and once more for
+//! the adaptive loop in [`crate::adaptive`]).
+//!
+//! The split of responsibilities is strict:
+//!
+//! - The **pipeline owns all numerics.** Every value the algorithm
+//!   produces — the sampled matrix, the power-iteration updates, the
+//!   Step 2 pivoting, the tall-skinny QR — is computed on host matrices
+//!   with the same kernels the CPU reference uses. A consequence worth
+//!   the discipline: every computing backend returns **bit-identical**
+//!   factors for the same seed.
+//! - The **executor owns all accounting.** Each hook charges the
+//!   simulated machine with the kernels, collectives and barriers that
+//!   step costs on its hardware. The single- and multi-GPU executors do
+//!   this by driving the real `rlra-gpu` kernels on an internal dry-run
+//!   context and folding the result into the caller's context when the
+//!   run finishes; the cluster executor charges the caller's
+//!   (dry-run-only) cluster directly.
+//!
+//! # Examples
+//!
+//! Running the sampler on the CPU backend:
+//!
+//! ```
+//! use rand::SeedableRng;
+//! use rlra_core::backend::{run_fixed_rank, CpuExec, Input};
+//! use rlra_core::SamplerConfig;
+//! use rlra_matrix::{gaussian_mat, Mat};
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+//! let a = gaussian_mat(40, 20, &mut rng);
+//! let cfg = SamplerConfig::new(4).with_p(4);
+//! let mut exec = CpuExec::new();
+//! let (approx, report) = run_fixed_rank(&mut exec, Input::Values(&a), &cfg, &mut rng).unwrap();
+//! let approx = approx.unwrap();
+//! assert_eq!(approx.q.shape(), (40, 4));
+//! assert_eq!(report.devices, 0); // no accelerator involved
+//! ```
+//!
+//! Timing the same run on a simulated GPU (dry run, shape-only input):
+//!
+//! ```
+//! use rand::SeedableRng;
+//! use rlra_core::backend::{run_fixed_rank, GpuExec, Input};
+//! use rlra_core::SamplerConfig;
+//!
+//! let mut gpu = rlra_gpu::Gpu::k40c_dry();
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+//! let cfg = SamplerConfig::new(54).with_p(10).with_q(1);
+//! let mut exec = GpuExec::new(&mut gpu);
+//! let (approx, report) =
+//!     run_fixed_rank(&mut exec, Input::Shape(50_000, 2_500), &cfg, &mut rng).unwrap();
+//! assert!(approx.is_none()); // dry run: timing only
+//! assert!(report.seconds > 0.0);
+//! ```
+
+mod cluster;
+mod cpu;
+mod gpu;
+mod multi;
+mod pipeline;
+
+pub use cluster::ClusterExec;
+pub use cpu::CpuExec;
+pub use gpu::GpuExec;
+pub use multi::MultiGpuExec;
+pub use pipeline::run_fixed_rank;
+
+use crate::config::{SamplerConfig, Step2Kind};
+use rlra_fft::SrftScheme;
+use rlra_gpu::Timeline;
+use rlra_matrix::{Mat, Result};
+
+/// Unified timing report of one sampler run on any backend.
+///
+/// Replaces the per-backend `RunReport` / `MultiRunReport` /
+/// `ClusterRunReport` trio; those names remain as aliases.
+#[derive(Debug, Clone)]
+pub struct ExecReport {
+    /// Simulated wall-clock seconds (the slowest device).
+    pub seconds: f64,
+    /// Per-phase breakdown (PRNG / Sampling / GEMM (Iter) / Orth (Iter) /
+    /// QRCP / QR / Comms, matching the paper's stacked bars; max across
+    /// devices where several are involved).
+    pub timeline: Timeline,
+    /// Kernel launches issued (summed over devices).
+    pub launches: u64,
+    /// Host synchronizations (summed over devices).
+    pub syncs: u64,
+    /// Communication/host-transfer seconds (the paper's "Comms" bar;
+    /// inter-node seconds on the cluster backend, zero on CPU/single-GPU).
+    pub comms: f64,
+    /// Number of simulated devices involved (0 for the CPU backend).
+    pub devices: usize,
+}
+
+/// Input matrix for a sampler run: real values, or a shape for dry-run
+/// timing studies at sizes too large to materialize.
+#[derive(Debug, Clone, Copy)]
+pub enum Input<'a> {
+    /// Materialized host matrix.
+    Values(&'a Mat),
+    /// `(m, n)` shape only (dry-run timing).
+    Shape(usize, usize),
+}
+
+impl Input<'_> {
+    /// `(rows, cols)` of the input.
+    pub fn shape(&self) -> (usize, usize) {
+        match self {
+            Input::Values(a) => a.shape(),
+            Input::Shape(m, n) => (*m, *n),
+        }
+    }
+
+    /// The materialized values, when present.
+    pub fn values(&self) -> Option<&Mat> {
+        match self {
+            Input::Values(a) => Some(a),
+            Input::Shape(..) => None,
+        }
+    }
+}
+
+/// The kernel surface the sampler needs from an execution backend.
+///
+/// One hook per semantic step of Figure 2b (plus the Figure 3 adaptive
+/// hooks). The pipeline calls the hooks in algorithm order; each hook
+/// charges whatever kernels, collectives and barriers the step costs on
+/// that backend. Hooks never produce numeric values — see the
+/// [module docs](self) for the numerics/accounting split.
+///
+/// All shape arguments are redundant with the `(m, n)` passed to
+/// [`Executor::begin`] plus the configured `ℓ = k + p`; they are passed
+/// explicitly so a hook implementation reads like the kernel sequence it
+/// charges.
+pub trait Executor {
+    /// Short backend name (used in error messages).
+    fn name(&self) -> &'static str;
+
+    /// Whether this backend materializes values (compute mode). When
+    /// `false` the pipeline skips all numerics and returns `None` for
+    /// the approximation.
+    fn computes(&self) -> bool;
+
+    /// Validates backend-specific support for this request; called
+    /// before any work. `has_values` says whether the input carries
+    /// values (vs. shape only).
+    ///
+    /// # Errors
+    ///
+    /// [`rlra_matrix::MatrixError::Unsupported`] for a feature this
+    /// backend cannot run.
+    fn supports(&self, cfg: &SamplerConfig, has_values: bool) -> Result<()>;
+
+    /// Starts a run on an `m × n` input: distributes the (shape-only)
+    /// operand and snapshots whatever state `finish` diffs against.
+    fn begin(&mut self, m: usize, n: usize);
+
+    /// Step 1a, Gaussian: draw `Ω` (`ℓ × m`) and charge `B = Ω·A`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates kernel failures.
+    fn gaussian_sample(&mut self, l: usize) -> Result<()>;
+
+    /// Step 1a, FFT: charge the SRFT row sampling `B = Ω·A`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates kernel failures.
+    fn srft_sample_rows(&mut self, l: usize, scheme: SrftScheme) -> Result<()>;
+
+    /// Power iteration: row-orthonormalization of `B` (`ℓ × n`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates kernel failures.
+    fn orth_b(&mut self, l: usize, reorth: bool) -> Result<()>;
+
+    /// Power iteration: `C = B·Aᵀ` (`ℓ × m`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates kernel failures.
+    fn gemm_to_c(&mut self, l: usize) -> Result<()>;
+
+    /// Power iteration: row-orthonormalization of `C` (`ℓ × m`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates kernel failures.
+    fn orth_c(&mut self, l: usize, reorth: bool) -> Result<()>;
+
+    /// Power iteration: `B = C·A` (`ℓ × n`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates kernel failures.
+    fn gemm_to_b(&mut self, l: usize) -> Result<()>;
+
+    /// Step 2: rank the pivot columns of `B` (truncated QP3 or the
+    /// communication-avoiding tournament) and the `T = R̂₁:ₖ⁻¹·R̂ₖ₊₁:ₙ`
+    /// triangular solve.
+    ///
+    /// # Errors
+    ///
+    /// Propagates kernel failures.
+    fn step2_pivot(&mut self, kind: Step2Kind, l: usize, k: usize) -> Result<()>;
+
+    /// Step 3: gather `A·P₁:ₖ`, tall-skinny QR, and the triangular
+    /// finish.
+    ///
+    /// # Errors
+    ///
+    /// Propagates kernel failures.
+    fn tsqr(&mut self, k: usize, reorth: bool) -> Result<()>;
+
+    // --- Adaptive scheme (Figure 3) hooks -------------------------------
+
+    /// Whether the Figure 3 adaptive loop can run on this backend.
+    fn supports_adaptive(&self) -> bool {
+        false
+    }
+
+    /// Adaptive: draw an `ℓ_inc × m` block and charge `W = Ω·A`.
+    fn adaptive_draw(&mut self, l_inc: usize) {
+        let _ = l_inc;
+    }
+
+    /// Adaptive: block-orthogonalization of a `rows × cols` block
+    /// against an accepted basis of `l_prev` rows, plus its CholQR.
+    fn adaptive_orth(&mut self, rows: usize, cols: usize, l_prev: usize, reorth: bool) {
+        let _ = (rows, cols, l_prev, reorth);
+    }
+
+    /// Adaptive power iteration: `C = W·Aᵀ` (`l_new × m`).
+    fn adaptive_gemm_c(&mut self, l_new: usize) {
+        let _ = l_new;
+    }
+
+    /// Adaptive power iteration: `W = C·A` (`l_new × n`).
+    fn adaptive_gemm_w(&mut self, l_new: usize) {
+        let _ = l_new;
+    }
+
+    /// Adaptive: the residual-estimate probe against an `l_now`-row
+    /// basis.
+    fn adaptive_probe(&mut self, next_inc: usize, l_now: usize) {
+        let _ = (next_inc, l_now);
+    }
+
+    /// Adaptive fixed-accuracy finish: Steps 2–3 at `k = ℓ_final`.
+    fn adaptive_finish(&mut self, k: usize) {
+        let _ = k;
+    }
+
+    /// Simulated seconds elapsed since [`Executor::begin`].
+    fn elapsed(&self) -> f64 {
+        0.0
+    }
+
+    /// Ends the run: folds the accounting into the caller's context (for
+    /// backends that simulate internally) and returns the unified
+    /// report.
+    fn finish(&mut self) -> ExecReport;
+}

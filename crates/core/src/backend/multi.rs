@@ -1,0 +1,251 @@
+//! The multi-GPU backend (paper §4 and Figure 15).
+//!
+//! `A` is distributed block-row-wise; `Ω` and `C` follow the matching 1D
+//! block-column layout of `Aᵀ`. Sampling and the power-iteration
+//! multiplies are local GEMMs followed by host reductions; the small QR
+//! of the reduced `ℓ × n` matrix runs on the CPU and is broadcast back;
+//! CholQR of the distributed `C` uses the Figure 4 scheme.
+//!
+//! Like [`GpuExec`](super::GpuExec), all accounting runs on an internal
+//! dry-run [`MultiGpu`] and is folded into the caller's context by
+//! [`MultiGpu::absorb`] when the run finishes.
+
+use super::{ExecReport, Executor};
+use crate::config::{SamplerConfig, SamplingKind, Step2Kind};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rlra_blas::Trans;
+use rlra_fft::SrftScheme;
+use rlra_gpu::algos::{gpu_qp3_truncated, gpu_tournament_qrcp};
+use rlra_gpu::{DMat, ExecMode, MultiGpu, Phase};
+use rlra_matrix::{Mat, MatrixError, Result};
+
+/// Multi-GPU execution backend.
+pub struct MultiGpuExec<'a> {
+    mg: &'a mut MultiGpu,
+    sim: MultiGpu,
+    a_parts: Vec<DMat>,
+    b_bcast: Vec<DMat>,
+    c_parts: Vec<DMat>,
+    m: usize,
+    n: usize,
+}
+
+impl<'a> MultiGpuExec<'a> {
+    /// Creates the backend for the given (caller-owned) multi-GPU
+    /// context.
+    pub fn new(mg: &'a mut MultiGpu) -> Self {
+        let sim = MultiGpu::new(mg.ng(), mg.gpu(0).cost().spec().clone(), ExecMode::DryRun);
+        MultiGpuExec {
+            mg,
+            sim,
+            a_parts: Vec::new(),
+            b_bcast: Vec::new(),
+            c_parts: Vec::new(),
+            m: 0,
+            n: 0,
+        }
+    }
+
+    fn dummy_rng() -> StdRng {
+        StdRng::seed_from_u64(0)
+    }
+
+    /// Charges the host-side QR of the reduced `ℓ × n` sampled matrix
+    /// (CholQR flop count on the CPU, paper §4) to every GPU.
+    fn charge_host_rows_qr(&mut self, l: usize, reorth: bool) {
+        let passes = if reorth { 2.0 } else { 1.0 };
+        let flops = passes * 2.0 * l as f64 * l as f64 * self.n as f64;
+        let cost = self.sim.gpu(0).cost().clone();
+        let secs = cost.host_flops(flops) + cost.host_cholesky(l);
+        for i in 0..self.sim.ng() {
+            self.sim.gpu_mut(i).charge(Phase::OrthIter, secs);
+        }
+    }
+}
+
+impl Executor for MultiGpuExec<'_> {
+    fn name(&self) -> &'static str {
+        "multi-gpu"
+    }
+
+    fn computes(&self) -> bool {
+        self.mg.mode() == ExecMode::Compute
+    }
+
+    fn supports(&self, cfg: &SamplerConfig, has_values: bool) -> Result<()> {
+        if !matches!(cfg.sampling, SamplingKind::Gaussian) {
+            return Err(MatrixError::Unsupported {
+                backend: self.name(),
+                feature: "FFT (SRFT) sampling — the scaling study uses Gaussian sampling only"
+                    .into(),
+            });
+        }
+        let _ = has_values; // shape-only + compute is rejected centrally
+        Ok(())
+    }
+
+    fn begin(&mut self, m: usize, n: usize) {
+        self.m = m;
+        self.n = n;
+        self.a_parts = self.sim.distribute_rows_shape(m, n);
+    }
+
+    fn gaussian_sample(&mut self, l: usize) -> Result<()> {
+        // Ω is distributed in the block-column layout of Aᵀ: GPU i draws
+        // its own l × m_i chunk (independent cuRAND streams in parallel).
+        let mut b_parts = Vec::with_capacity(self.a_parts.len());
+        for (i, ap) in self.a_parts.iter().enumerate() {
+            let mi = ap.rows();
+            let gpu = self.sim.gpu_mut(i);
+            let omega_i = gpu.curand_gaussian(Phase::Prng, l, mi, &mut Self::dummy_rng());
+            let mut bi = gpu.alloc(l, self.n);
+            gpu.gemm(
+                Phase::Sampling,
+                1.0,
+                &omega_i,
+                Trans::No,
+                ap,
+                Trans::No,
+                0.0,
+                &mut bi,
+            )?;
+            b_parts.push(bi);
+        }
+        self.sim.reduce_to_host(Phase::Comms, &b_parts)?;
+        Ok(())
+    }
+
+    fn srft_sample_rows(&mut self, _l: usize, _scheme: SrftScheme) -> Result<()> {
+        Err(MatrixError::Unsupported {
+            backend: self.name(),
+            feature: "FFT (SRFT) sampling".into(),
+        })
+    }
+
+    fn orth_b(&mut self, l: usize, reorth: bool) -> Result<()> {
+        // QR of the small l × n matrix B on the CPU (paper §4), then
+        // broadcast the orthonormal factor.
+        self.charge_host_rows_qr(l, reorth);
+        self.b_bcast = self.sim.broadcast(Phase::Comms, &Mat::zeros(l, self.n));
+        Ok(())
+    }
+
+    fn gemm_to_c(&mut self, l: usize) -> Result<()> {
+        // C(i) = B · A(i)ᵀ — column-distributed like Aᵀ.
+        let mut c_parts = Vec::with_capacity(self.a_parts.len());
+        for (i, ap) in self.a_parts.iter().enumerate() {
+            let mi = ap.rows();
+            let gpu = self.sim.gpu_mut(i);
+            let mut ci = gpu.alloc(l, mi);
+            gpu.gemm(
+                Phase::GemmIter,
+                1.0,
+                &self.b_bcast[i],
+                Trans::No,
+                ap,
+                Trans::Yes,
+                0.0,
+                &mut ci,
+            )?;
+            c_parts.push(ci);
+        }
+        self.c_parts = c_parts;
+        Ok(())
+    }
+
+    fn orth_c(&mut self, _l: usize, reorth: bool) -> Result<()> {
+        // Distributed CholQR of C (Figure 4).
+        self.sim
+            .cholqr_rows_distributed(Phase::OrthIter, &mut self.c_parts, reorth)?;
+        Ok(())
+    }
+
+    fn gemm_to_b(&mut self, l: usize) -> Result<()> {
+        // B(i) = C(i) · A(i), reduce.
+        let mut b_next = Vec::with_capacity(self.a_parts.len());
+        for (i, ap) in self.a_parts.iter().enumerate() {
+            let gpu = self.sim.gpu_mut(i);
+            let mut bi = gpu.alloc(l, self.n);
+            gpu.gemm(
+                Phase::GemmIter,
+                1.0,
+                &self.c_parts[i],
+                Trans::No,
+                ap,
+                Trans::No,
+                0.0,
+                &mut bi,
+            )?;
+            b_next.push(bi);
+        }
+        self.sim.reduce_to_host(Phase::Comms, &b_next)?;
+        Ok(())
+    }
+
+    fn step2_pivot(&mut self, kind: Step2Kind, l: usize, k: usize) -> Result<()> {
+        {
+            let n = self.n;
+            let gpu0 = self.sim.gpu_mut(0);
+            let b_dev = gpu0.resident_shape(l, n);
+            match kind {
+                Step2Kind::Qp3 => {
+                    gpu_qp3_truncated(gpu0, Phase::Qrcp, &b_dev, k)?;
+                }
+                Step2Kind::Tournament => {
+                    gpu_tournament_qrcp(gpu0, Phase::Qrcp, &b_dev, k)?;
+                }
+            }
+            if n > k {
+                gpu0.charge(Phase::Qrcp, gpu0.cost().trsm(k, n - k));
+            }
+        }
+        self.sim.barrier();
+        Ok(())
+    }
+
+    fn tsqr(&mut self, k: usize, reorth: bool) -> Result<()> {
+        // Each GPU gathers its local rows of the k pivot columns, then
+        // the distributed tall-skinny CholQR of A·P₁:ₖ (Figure 4).
+        let chunks = self.sim.row_chunks(self.m);
+        let mut x_parts = Vec::with_capacity(chunks.len());
+        for (i, &(_, len)) in chunks.iter().enumerate() {
+            let gpu = self.sim.gpu_mut(i);
+            gpu.charge(Phase::Qr, gpu.cost().blas1(len * k, 2.0)); // gather copy
+            x_parts.push(gpu.resident_shape(len, k));
+        }
+        self.sim
+            .cholqr_tall_distributed(Phase::Qr, &mut x_parts, reorth)?;
+        // Triangular finish on GPU 0.
+        {
+            let n = self.n;
+            let gpu0 = self.sim.gpu_mut(0);
+            gpu0.charge(Phase::Qr, gpu0.cost().trsm(k, n));
+        }
+        self.sim.barrier();
+        Ok(())
+    }
+
+    fn finish(&mut self) -> ExecReport {
+        let ng = self.sim.ng();
+        let (mut launches, mut syncs) = (0u64, 0u64);
+        for i in 0..ng {
+            launches += self.sim.gpu(i).launches;
+            syncs += self.sim.gpu(i).syncs;
+        }
+        let report = ExecReport {
+            seconds: self.sim.time(),
+            timeline: self.sim.breakdown(),
+            launches,
+            syncs,
+            comms: self.sim.comms_time(),
+            devices: ng,
+        };
+        self.mg.absorb(&self.sim);
+        self.sim.reset();
+        self.a_parts.clear();
+        self.b_bcast.clear();
+        self.c_parts.clear();
+        report
+    }
+}

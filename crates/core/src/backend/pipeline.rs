@@ -1,0 +1,143 @@
+//! The fixed-rank sampling pipeline (paper Figure 2b), written once
+//! against the [`Executor`] trait.
+//!
+//! Numerics run here on host matrices — identically on every backend —
+//! while the executor hooks account for what each step costs on the
+//! backend's hardware. See the [module docs](super) for the contract.
+
+use super::{ExecReport, Executor, Input};
+use crate::config::{SamplerConfig, SamplingKind};
+use crate::power::power_iterate;
+use crate::result::LowRankApprox;
+use rand::Rng;
+use rlra_blas::Trans;
+use rlra_fft::SrftOperator;
+use rlra_matrix::{gaussian_mat, Mat, Result};
+
+/// Advances `rng` by exactly the draws of an `count`-variate standard
+/// normal fill, without materializing the buffer. Keeps dry runs
+/// seed-compatible with compute runs (and with each other across
+/// backends) at sizes too large to allocate.
+pub(crate) fn burn_standard_normal(rng: &mut impl Rng, count: usize) {
+    // Chunks must stay even: the polar method consumes the stream in
+    // pairs, and only the final (possibly odd) element may draw singly.
+    const CHUNK: usize = 1 << 16;
+    let mut buf = vec![0.0f64; CHUNK.min(count)];
+    let mut left = count;
+    while left >= CHUNK {
+        rlra_matrix::randn::fill_standard_normal(rng, &mut buf);
+        left -= CHUNK;
+    }
+    if left > 0 {
+        rlra_matrix::randn::fill_standard_normal(rng, &mut buf[..left]);
+    }
+}
+
+/// Runs the fixed-rank random sampling algorithm (Figure 2b) on the
+/// given execution backend.
+///
+/// Returns the approximation (on computing backends) and the unified
+/// timing report. The RNG stream is consumed identically on every
+/// backend — `ℓ·m` standard-normal draws for Gaussian sampling, the
+/// SRFT operator draws for FFT sampling — so a dry run and a compute run
+/// of the same experiment stay seed-compatible.
+///
+/// # Errors
+///
+/// Returns configuration errors from [`SamplerConfig::validate`],
+/// [`rlra_matrix::MatrixError::Unsupported`] for features the backend
+/// rejects, and propagates kernel failures.
+pub fn run_fixed_rank<E: Executor>(
+    exec: &mut E,
+    a: Input<'_>,
+    cfg: &SamplerConfig,
+    rng: &mut impl Rng,
+) -> Result<(Option<LowRankApprox>, ExecReport)> {
+    let (m, n) = a.shape();
+    cfg.validate(m, n)?;
+    exec.supports(cfg, a.values().is_some())?;
+    let compute = exec.computes();
+    if compute && a.values().is_none() {
+        return Err(rlra_matrix::MatrixError::Unsupported {
+            backend: exec.name(),
+            feature: "shape-only input in compute mode".into(),
+        });
+    }
+    let l = cfg.l();
+    let k = cfg.k;
+    exec.begin(m, n);
+
+    // --- Step 1a: sample B = Ω·A -------------------------------------------
+    let mut b_host: Option<Mat> = None;
+    match cfg.sampling {
+        SamplingKind::Gaussian => {
+            exec.gaussian_sample(l)?;
+            if compute {
+                let am = a.values().expect("computing backends require values");
+                let omega = gaussian_mat(l, m, rng);
+                let mut b = Mat::zeros(l, n);
+                rlra_blas::gemm(
+                    1.0,
+                    omega.as_ref(),
+                    Trans::No,
+                    am.as_ref(),
+                    Trans::No,
+                    0.0,
+                    b.as_mut(),
+                )?;
+                b_host = Some(b);
+            } else {
+                burn_standard_normal(rng, l * m);
+            }
+        }
+        SamplingKind::Fft(scheme) => {
+            let op = SrftOperator::new(m, l, scheme, rng)?;
+            exec.srft_sample_rows(l, scheme)?;
+            if compute {
+                let am = a.values().expect("computing backends require values");
+                b_host = Some(op.sample_rows(am)?);
+            }
+        }
+    }
+
+    // --- Step 1b: power iterations ------------------------------------------
+    for _ in 0..cfg.q {
+        exec.orth_b(l, cfg.reorth)?;
+        exec.gemm_to_c(l)?;
+        exec.orth_c(l, cfg.reorth)?;
+        exec.gemm_to_b(l)?;
+    }
+    if compute {
+        let am = a.values().expect("computing backends require values");
+        let empty_b = Mat::zeros(0, n);
+        let empty_c = Mat::zeros(0, m);
+        let (b, _c) = power_iterate(
+            am,
+            &empty_b,
+            &empty_c,
+            b_host.take().expect("sampled"),
+            cfg.q,
+            cfg.reorth,
+        )?;
+        b_host = Some(b);
+    }
+
+    // --- Steps 2 and 3 --------------------------------------------------------
+    exec.step2_pivot(cfg.step2, l, k)?;
+    exec.tsqr(k, cfg.reorth)?;
+    let report = exec.finish();
+
+    let approx = if compute {
+        let am = a.values().expect("computing backends require values");
+        Some(crate::fixed_rank::finish_from_sampled_with(
+            am,
+            b_host.as_ref().expect("sampled"),
+            k,
+            cfg.reorth,
+            cfg.step2,
+        )?)
+    } else {
+        None
+    };
+    Ok((approx, report))
+}

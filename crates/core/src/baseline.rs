@@ -12,7 +12,11 @@ use rlra_matrix::{Mat, Result};
 /// Propagates factorization errors (invalid `k`).
 pub fn qp3_low_rank(a: &Mat, k: usize) -> Result<LowRankApprox> {
     let res = rlra_lapack::qp3_blocked(a, k, rlra_lapack::qrcp::QP3_BLOCK)?;
-    Ok(LowRankApprox { q: res.q(), r: res.r(), perm: res.perm.clone() })
+    Ok(LowRankApprox {
+        q: res.q(),
+        r: res.r(),
+        perm: res.perm.clone(),
+    })
 }
 
 /// Rank-`k` approximation by truncated QP3 on the simulated GPU: charges
@@ -27,32 +31,18 @@ pub fn qp3_low_rank_gpu(gpu: &mut Gpu, a: &DMat, k: usize) -> Result<(Option<Low
     let t0 = gpu.clock();
     let res = rlra_gpu::algos::gpu_qp3_truncated(gpu, Phase::Qrcp, a, k)?;
     let elapsed = gpu.clock() - t0;
-    let approx = res
-        .result
-        .map(|r| LowRankApprox { q: r.q(), r: r.r(), perm: r.perm.clone() });
+    let approx = res.result.map(|r| LowRankApprox {
+        q: r.q(),
+        r: r.r(),
+        perm: r.perm.clone(),
+    });
     Ok((approx, elapsed))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
-    use rlra_blas::Trans;
-    use rlra_matrix::gaussian_mat;
-
-    fn decay_matrix(m: usize, n: usize, decay: f64, seed: u64) -> (Mat, Vec<f64>) {
-        let mut rng = StdRng::seed_from_u64(seed);
-        let r = m.min(n);
-        let spec: Vec<f64> = (0..r).map(|i| decay.powi(i as i32)).collect();
-        let x = rlra_lapack::form_q(&gaussian_mat(m, r, &mut rng));
-        let y = rlra_lapack::form_q(&gaussian_mat(n, r, &mut rng));
-        let xs = Mat::from_fn(m, r, |i, j| x[(i, j)] * spec[j]);
-        let mut a = Mat::zeros(m, n);
-        rlra_blas::gemm(1.0, xs.as_ref(), Trans::No, y.as_ref(), Trans::Yes, 0.0, a.as_mut())
-            .unwrap();
-        (a, spec)
-    }
+    use rlra_data::testmat::decay_matrix;
 
     #[test]
     fn qp3_truncation_error_near_sigma() {
@@ -60,7 +50,11 @@ mod tests {
         let k = 6;
         let lr = qp3_low_rank(&a, k).unwrap();
         let err = lr.error_spectral(&a).unwrap();
-        assert!(err < 20.0 * spec[k], "QP3 error {err:e} vs sigma {:e}", spec[k]);
+        assert!(
+            err < 20.0 * spec[k],
+            "QP3 error {err:e} vs sigma {:e}",
+            spec[k]
+        );
         assert!(err > 0.5 * spec[k]);
     }
 

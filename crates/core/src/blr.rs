@@ -213,7 +213,10 @@ impl BlrMatrix {
 
     /// Total stored entries across all tiles.
     pub fn stored_entries(&self) -> usize {
-        self.blocks.iter().flat_map(|r| r.iter().map(BlrBlock::stored_entries)).sum()
+        self.blocks
+            .iter()
+            .flat_map(|r| r.iter().map(BlrBlock::stored_entries))
+            .sum()
     }
 
     /// Compression ratio `dense / stored` (> 1 means compression won).
@@ -294,11 +297,15 @@ mod tests {
         let a = cauchy(256);
         let cfg = SamplerConfig::new(10).with_p(6).with_q(1);
         let blr = BlrMatrix::compress(&a, 4, &cfg, &mut rng(1)).unwrap();
-        assert!(blr.compression_ratio() > 1.5, "ratio {:.2}", blr.compression_ratio());
+        assert!(
+            blr.compression_ratio() > 1.5,
+            "ratio {:.2}",
+            blr.compression_ratio()
+        );
         let rec = blr.to_dense().unwrap();
-        let err = rlra_matrix::norms::spectral_norm(
-            rlra_matrix::ops::sub(&a, &rec).unwrap().as_ref(),
-        ) / rlra_matrix::norms::spectral_norm(a.as_ref());
+        let err =
+            rlra_matrix::norms::spectral_norm(rlra_matrix::ops::sub(&a, &rec).unwrap().as_ref())
+                / rlra_matrix::norms::spectral_norm(a.as_ref());
         assert!(err < 1e-6, "BLR reconstruction error {err:e}");
     }
 
@@ -311,7 +318,12 @@ mod tests {
         let y_blr = blr.matvec(&x).unwrap();
         let mut y_dense = vec![0.0; 128];
         rlra_blas::gemv(1.0, a.as_ref(), rlra_blas::Trans::No, &x, 0.0, &mut y_dense).unwrap();
-        let num: f64 = y_blr.iter().zip(&y_dense).map(|(a, b)| (a - b) * (a - b)).sum::<f64>().sqrt();
+        let num: f64 = y_blr
+            .iter()
+            .zip(&y_dense)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f64>()
+            .sqrt();
         let den = rlra_matrix::norms::vec_norm2(&y_dense);
         assert!(num / den < 1e-6, "matvec error {:e}", num / den);
     }
@@ -344,7 +356,8 @@ mod tests {
     #[test]
     fn matvec_length_checked() {
         let a = cauchy(64);
-        let blr = BlrMatrix::compress(&a, 2, &SamplerConfig::new(4).with_p(4), &mut rng(8)).unwrap();
+        let blr =
+            BlrMatrix::compress(&a, 2, &SamplerConfig::new(4).with_p(4), &mut rng(8)).unwrap();
         assert!(blr.matvec(&vec![0.0; 63]).is_err());
     }
 
@@ -355,15 +368,20 @@ mod tests {
         let blr = BlrMatrix::compress_adaptive(&a, 4, tol, &mut rng(20)).unwrap();
         // Operator error bounded by ~tiles * per-tile tolerance.
         let rec = blr.to_dense().unwrap();
-        let err = rlra_matrix::norms::spectral_norm(
-            rlra_matrix::ops::sub(&a, &rec).unwrap().as_ref(),
+        let err =
+            rlra_matrix::norms::spectral_norm(rlra_matrix::ops::sub(&a, &rec).unwrap().as_ref());
+        assert!(
+            err < 16.0 * tol,
+            "adaptive BLR error {err:e} vs tol {tol:e}"
         );
-        assert!(err < 16.0 * tol, "adaptive BLR error {err:e} vs tol {tol:e}");
         // Near-diagonal tiles need higher rank than far tiles.
         let ranks = blr.tile_ranks();
         let near = ranks[0][1].expect("off-diagonal neighbor compressed");
         let far = ranks[0][3].expect("far corner compressed");
-        assert!(far <= near, "far tile rank {far} should be <= near tile rank {near}");
+        assert!(
+            far <= near,
+            "far tile rank {far} should be <= near tile rank {near}"
+        );
         assert!(blr.compression_ratio() > 1.3);
     }
 
@@ -385,8 +403,15 @@ mod tests {
         let mild = kernel_matrix(Kernel::Cauchy { gamma: 8.0 }, &uniform_points(192));
         let sharp = kernel_matrix(Kernel::Gaussian { gamma: 400.0 }, &uniform_points(192));
         let cfg = SamplerConfig::new(6).with_p(4).with_q(1);
-        let r_mild = BlrMatrix::compress(&mild, 4, &cfg, &mut rng(9)).unwrap().compression_ratio();
-        let r_sharp = BlrMatrix::compress(&sharp, 4, &cfg, &mut rng(10)).unwrap().compression_ratio();
-        assert!(r_sharp >= r_mild * 0.9, "sharp {r_sharp:.2} vs mild {r_mild:.2}");
+        let r_mild = BlrMatrix::compress(&mild, 4, &cfg, &mut rng(9))
+            .unwrap()
+            .compression_ratio();
+        let r_sharp = BlrMatrix::compress(&sharp, 4, &cfg, &mut rng(10))
+            .unwrap()
+            .compression_ratio();
+        assert!(
+            r_sharp >= r_mild * 0.9,
+            "sharp {r_sharp:.2} vs mild {r_mild:.2}"
+        );
     }
 }

@@ -3,45 +3,38 @@
 //! sampling "increase on a computer with higher communication cost, like
 //! a distributed-memory computer").
 //!
-//! The layout extends §4's single-node scheme one level up: `A` is split
-//! block-row-wise across nodes (proportionally to their GPU counts) and
-//! again across each node's GPUs; the short-wide reductions run
-//! PCIe-locally first and then as α-β tree collectives over the
-//! interconnect. A distributed QP3 baseline is modeled alongside: it
-//! pays a **latency-bound all-reduce per pivot** (the pivot decision
-//! cannot be batched), which is exactly why its gap to random sampling
-//! widens with node count.
+//! Thin wrapper over the unified pipeline
+//! ([`crate::backend::run_fixed_rank`]) with the
+//! [`crate::backend::ClusterExec`] backend: `A` is split block-row-wise
+//! across nodes (proportionally to their GPU counts) and again across
+//! each node's GPUs; the short-wide reductions run PCIe-locally first
+//! and then as α-β tree collectives over the interconnect. A distributed
+//! QP3 baseline is modeled alongside ([`qp3_cluster_time`]): it pays a
+//! **latency-bound all-reduce per pivot** (the pivot decision cannot be
+//! batched), which is exactly why its gap to random sampling widens with
+//! node count.
 
-use crate::config::{SamplerConfig, SamplingKind};
+use crate::backend::{run_fixed_rank, ClusterExec, Input};
+use crate::config::SamplerConfig;
 use rand::Rng;
-use rlra_blas::Trans;
-use rlra_gpu::{Cluster, DMat, ExecMode, Phase, Timeline};
-use rlra_matrix::{Mat, MatrixError, Result};
+use rlra_gpu::{Cluster, Phase};
+use rlra_matrix::Result;
 
-/// Timing report of a cluster run.
-#[derive(Debug, Clone)]
-pub struct ClusterRunReport {
-    /// Simulated wall-clock seconds (slowest GPU anywhere).
-    pub seconds: f64,
-    /// Inter-node communication seconds.
-    pub comms_inter: f64,
-    /// Per-phase breakdown (max across nodes).
-    pub timeline: Timeline,
-    /// Nodes × GPUs-per-node used.
-    pub nodes: usize,
-    /// Total GPUs.
-    pub total_gpus: usize,
-}
+/// Timing report of a cluster run (the unified
+/// [`crate::backend::ExecReport`]; `comms` is the inter-node share and
+/// `devices` the total GPU count).
+pub type ClusterRunReport = crate::backend::ExecReport;
 
 /// Runs the fixed-rank sampler across a simulated cluster (timing-level;
-/// requires [`ExecMode::DryRun`] — the distributed numerics are already
-/// validated at the multi-GPU level, and the cluster study is about
-/// communication shape at scale).
+/// requires [`rlra_gpu::ExecMode::DryRun`] — the distributed numerics
+/// are already validated at the multi-GPU level, and the cluster study
+/// is about communication shape at scale).
 ///
 /// # Errors
 ///
-/// Returns configuration/parameter errors; only Gaussian sampling is
-/// supported.
+/// Returns configuration/parameter errors and
+/// [`rlra_matrix::MatrixError::Unsupported`] for FFT sampling or a
+/// compute-mode cluster.
 pub fn sample_fixed_rank_cluster(
     cluster: &mut Cluster,
     m: usize,
@@ -49,171 +42,9 @@ pub fn sample_fixed_rank_cluster(
     cfg: &SamplerConfig,
     rng: &mut impl Rng,
 ) -> Result<ClusterRunReport> {
-    cfg.validate(m, n)?;
-    if !matches!(cfg.sampling, SamplingKind::Gaussian) {
-        return Err(MatrixError::InvalidParameter {
-            name: "sampling",
-            message: "cluster path supports Gaussian sampling only".into(),
-        });
-    }
-    if cluster.mode() != ExecMode::DryRun {
-        return Err(MatrixError::InvalidParameter {
-            name: "cluster",
-            message: "cluster runs are timing studies; use ExecMode::DryRun".into(),
-        });
-    }
-    let l = cfg.l();
-    let k = cfg.k;
-    let nodes = cluster.nodes();
-    let t0 = cluster.time();
-
-    // --- Distribute A: node row blocks, then per-GPU blocks ----------------
-    let node_chunks = cluster.node_row_chunks(m);
-    let mut a_parts: Vec<Vec<DMat>> = Vec::with_capacity(nodes);
-    for (ni, &(_, len)) in node_chunks.iter().enumerate() {
-        let node = cluster.node_mut(ni);
-        a_parts.push(node.distribute_rows_shape(len, n));
-    }
-
-    // --- Step 1a: local sampling, node reduce, inter-node allreduce --------
-    let reduce_b = |cluster: &mut Cluster, a_parts: &[Vec<DMat>], rng: &mut dyn FnMut(&mut rlra_gpu::Gpu, usize) -> DMat, phase: Phase| -> Result<()> {
-        let mut node_bs = Vec::with_capacity(nodes);
-        for (ni, parts) in a_parts.iter().enumerate() {
-            let node = cluster.node_mut(ni);
-            let mut b_parts = Vec::with_capacity(node.ng());
-            for (gi, ap) in parts.iter().enumerate() {
-                let gpu = node.gpu_mut(gi);
-                let src = rng(gpu, ap.rows());
-                let mut bi = gpu.alloc(l, n);
-                gpu.gemm(phase, 1.0, &src, Trans::No, ap, Trans::No, 0.0, &mut bi)?;
-                b_parts.push(bi);
-            }
-            node_bs.push(node.reduce_to_host(Phase::Comms, &b_parts)?);
-        }
-        cluster.allreduce_host(Phase::Comms, &node_bs)?;
-        Ok(())
-    };
-
-    // Initial sampling: Ω chunks drawn per GPU.
-    {
-        let mut draw = |gpu: &mut rlra_gpu::Gpu, rows: usize| -> DMat {
-            gpu.charge(Phase::Prng, gpu.cost().curand(l * rows));
-            gpu.resident_shape(l, rows)
-        };
-        reduce_b(cluster, &a_parts, &mut draw, Phase::Sampling)?;
-    }
-    let _ = rng; // cluster runs are dry; the RNG stream is not consumed
-
-    // --- Step 1b: power iterations -----------------------------------------
-    for _ in 0..cfg.q {
-        // Host QR of B on node 0, broadcast over the interconnect, then
-        // PCIe-broadcast within each node.
-        {
-            let node0 = cluster.node_mut(0);
-            let cost = node0.gpu(0).cost().clone();
-            let passes = if cfg.reorth { 2.0 } else { 1.0 };
-            let secs = cost.host_flops(passes * 2.0 * (l * l * n) as f64) + cost.host_cholesky(l);
-            for g in 0..node0.ng() {
-                node0.gpu_mut(g).charge(Phase::OrthIter, secs);
-            }
-        }
-        cluster.broadcast_host(Phase::Comms, &Mat::zeros(l, n));
-        for ni in 0..nodes {
-            let node = cluster.node_mut(ni);
-            node.broadcast(Phase::Comms, &Mat::zeros(l, n));
-        }
-        // C(i) = B·A(i)ᵀ, distributed CholQR of C with a global Gram
-        // allreduce, then B(i) = C(i)·A(i) and the B reduction.
-        let mut node_gs = Vec::with_capacity(nodes);
-        for (ni, parts) in a_parts.iter().enumerate() {
-            let node = cluster.node_mut(ni);
-            let mut g_parts = Vec::with_capacity(node.ng());
-            for (gi, ap) in parts.iter().enumerate() {
-                let gpu = node.gpu_mut(gi);
-                let b_local = gpu.resident_shape(l, n);
-                let mut ci = gpu.alloc(l, ap.rows());
-                gpu.gemm(Phase::GemmIter, 1.0, &b_local, Trans::No, ap, Trans::Yes, 0.0, &mut ci)?;
-                let mut gi_mat = gpu.alloc(l, l);
-                gpu.syrk_full(Phase::OrthIter, 1.0, &ci, Trans::No, 0.0, &mut gi_mat)?;
-                g_parts.push(gi_mat);
-            }
-            node_gs.push(node.reduce_to_host(Phase::Comms, &g_parts)?);
-        }
-        cluster.allreduce_host(Phase::Comms, &node_gs)?;
-        // Cholesky of the l×l Gram replicated on every node's host, R̄
-        // broadcast intra-node, local TRSM + the next B GEMM.
-        for (ni, parts) in a_parts.iter().enumerate() {
-            let node = cluster.node_mut(ni);
-            {
-                let cost = node.gpu(0).cost().clone();
-                let secs = cost.host_cholesky(l);
-                for g in 0..node.ng() {
-                    node.gpu_mut(g).charge(Phase::OrthIter, secs);
-                }
-            }
-            node.broadcast(Phase::Comms, &Mat::zeros(l, l));
-            for (gi, ap) in parts.iter().enumerate() {
-                let gpu = node.gpu_mut(gi);
-                gpu.charge(Phase::OrthIter, gpu.cost().trsm(l, ap.rows()));
-            }
-        }
-        let mut noop = |gpu: &mut rlra_gpu::Gpu, rows: usize| -> DMat { gpu.resident_shape(l, rows) };
-        reduce_b(cluster, &a_parts, &mut noop, Phase::GemmIter)?;
-    }
-
-    // --- Step 2: QP3 of B on node 0, GPU 0 -----------------------------------
-    {
-        let node0 = cluster.node_mut(0);
-        let gpu0 = node0.gpu_mut(0);
-        let b_dev = gpu0.resident_shape(l, n);
-        rlra_gpu::algos::gpu_qp3_truncated(gpu0, Phase::Qrcp, &b_dev, k)?;
-        if n > k {
-            gpu0.charge(Phase::Qrcp, gpu0.cost().trsm(k, n - k));
-        }
-    }
-    // Broadcast the pivot list (tiny) to all nodes.
-    cluster.broadcast_host(Phase::Comms, &Mat::zeros(1, k.max(1)));
-
-    // --- Step 3: distributed tall-skinny CholQR of A·P₁:ₖ --------------------
-    let mut node_gs = Vec::with_capacity(nodes);
-    for (ni, parts) in a_parts.iter().enumerate() {
-        let node = cluster.node_mut(ni);
-        let mut g_parts = Vec::with_capacity(node.ng());
-        for (gi, ap) in parts.iter().enumerate() {
-            let gpu = node.gpu_mut(gi);
-            gpu.charge(Phase::Qr, gpu.cost().blas1(ap.rows() * k, 2.0)); // gather
-            let x = gpu.resident_shape(ap.rows(), k);
-            let mut g = gpu.alloc(k, k);
-            gpu.syrk_full(Phase::Qr, 1.0, &x, Trans::Yes, 0.0, &mut g)?;
-            g_parts.push(g);
-        }
-        node_gs.push(node.reduce_to_host(Phase::Comms, &g_parts)?);
-    }
-    cluster.allreduce_host(Phase::Comms, &node_gs)?;
-    for (ni, parts) in a_parts.iter().enumerate() {
-        let node = cluster.node_mut(ni);
-        {
-            let cost = node.gpu(0).cost().clone();
-            let secs = cost.host_cholesky(k);
-            for g in 0..node.ng() {
-                node.gpu_mut(g).charge(Phase::Qr, secs);
-            }
-        }
-        node.broadcast(Phase::Comms, &Mat::zeros(k, k));
-        for (gi, ap) in parts.iter().enumerate() {
-            let gpu = node.gpu_mut(gi);
-            gpu.charge(Phase::Qr, gpu.cost().trsm(k, ap.rows()));
-        }
-    }
-    cluster.barrier();
-
-    Ok(ClusterRunReport {
-        seconds: cluster.time() - t0,
-        comms_inter: cluster.inter_node_comms(),
-        timeline: cluster.breakdown(),
-        nodes,
-        total_gpus: cluster.total_gpus(),
-    })
+    let mut exec = ClusterExec::new(cluster);
+    let (_, report) = run_fixed_rank(&mut exec, Input::Shape(m, n), cfg, rng)?;
+    Ok(report)
 }
 
 /// Timing model of a **distributed truncated QP3** on the same cluster:
@@ -245,7 +76,9 @@ pub fn qp3_cluster_time(cluster: &mut Cluster, m: usize, n: usize, k: usize) -> 
             let node = cluster.node_mut(ni);
             for g in 0..node.ng() {
                 let gpu = node.gpu_mut(g);
-                let t = gpu.cost().gemv(m_local.saturating_sub(j / total_gpus).max(1), n - j)
+                let t = gpu
+                    .cost()
+                    .gemv(m_local.saturating_sub(j / total_gpus).max(1), n - j)
                     + gpu.cost().blas1(n - j, 2.0)
                     + 2.0 * gpu.cost().sync();
                 gpu.charge(Phase::Qrcp, t);
@@ -272,7 +105,7 @@ mod tests {
     use super::*;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
-    use rlra_gpu::{DeviceSpec, NetworkSpec};
+    use rlra_gpu::{DeviceSpec, ExecMode, NetworkSpec};
 
     fn cluster(nodes: usize, gpn: usize, net: NetworkSpec) -> Cluster {
         Cluster::new(nodes, gpn, DeviceSpec::k40c(), net, ExecMode::DryRun)
@@ -299,8 +132,8 @@ mod tests {
     fn inter_node_comms_grow_with_nodes_but_stay_minor() {
         let r2 = rs_time(2, 400_000);
         let r8 = rs_time(8, 400_000);
-        assert!(r8.comms_inter > r2.comms_inter);
-        assert!(r8.comms_inter / r8.seconds < 0.5, "comms should not dominate RS");
+        assert!(r8.comms > r2.comms);
+        assert!(r8.comms / r8.seconds < 0.5, "comms should not dominate RS");
     }
 
     #[test]
@@ -322,25 +155,46 @@ mod tests {
         let ratio = |net: NetworkSpec| -> f64 {
             let mut cl = cluster(4, 2, net.clone());
             let cfg = SamplerConfig::new(54).with_p(10).with_q(1);
-            let rs = sample_fixed_rank_cluster(&mut cl, 400_000, 2_500, &cfg, &mut StdRng::seed_from_u64(2))
-                .unwrap()
-                .seconds;
+            let rs = sample_fixed_rank_cluster(
+                &mut cl,
+                400_000,
+                2_500,
+                &cfg,
+                &mut StdRng::seed_from_u64(2),
+            )
+            .unwrap()
+            .seconds;
             let mut cl2 = cluster(4, 2, net);
             let qp3 = qp3_cluster_time(&mut cl2, 400_000, 2_500, 64);
             qp3 / rs
         };
         let ib = ratio(NetworkSpec::infiniband_fdr());
         let eth = ratio(NetworkSpec::ethernet_10g());
-        assert!(eth > ib, "10GbE should favor RS even more: IB {ib:.1}x vs Eth {eth:.1}x");
+        assert!(
+            eth > ib,
+            "10GbE should favor RS even more: IB {ib:.1}x vs Eth {eth:.1}x"
+        );
     }
 
     #[test]
     fn compute_mode_rejected() {
-        let mut cl = Cluster::new(2, 1, DeviceSpec::k40c(), NetworkSpec::infiniband_fdr(), ExecMode::Compute);
-        let cfg = SamplerConfig::new(8);
-        assert!(
-            sample_fixed_rank_cluster(&mut cl, 1_000, 200, &cfg, &mut StdRng::seed_from_u64(3))
-                .is_err()
+        let mut cl = Cluster::new(
+            2,
+            1,
+            DeviceSpec::k40c(),
+            NetworkSpec::infiniband_fdr(),
+            ExecMode::Compute,
         );
+        let cfg = SamplerConfig::new(8);
+        let err =
+            sample_fixed_rank_cluster(&mut cl, 1_000, 200, &cfg, &mut StdRng::seed_from_u64(3))
+                .unwrap_err();
+        assert!(matches!(
+            err,
+            rlra_matrix::MatrixError::Unsupported {
+                backend: "cluster",
+                ..
+            }
+        ));
     }
 }

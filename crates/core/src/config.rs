@@ -114,7 +114,10 @@ impl SamplerConfig {
         if l > m.min(n) {
             return Err(MatrixError::InvalidParameter {
                 name: "l",
-                message: format!("sampling dimension l = k + p = {l} exceeds min(m, n) = {}", m.min(n)),
+                message: format!(
+                    "sampling dimension l = k + p = {l} exceeds min(m, n) = {}",
+                    m.min(n)
+                ),
             });
         }
         Ok(())

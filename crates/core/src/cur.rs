@@ -44,9 +44,25 @@ impl CurDecomposition {
     /// Propagates shape errors.
     pub fn reconstruct(&self) -> Result<Mat> {
         let mut cu = Mat::zeros(self.c.rows(), self.u.cols());
-        gemm(1.0, self.c.as_ref(), Trans::No, self.u.as_ref(), Trans::No, 0.0, cu.as_mut())?;
+        gemm(
+            1.0,
+            self.c.as_ref(),
+            Trans::No,
+            self.u.as_ref(),
+            Trans::No,
+            0.0,
+            cu.as_mut(),
+        )?;
         let mut out = Mat::zeros(self.c.rows(), self.r.cols());
-        gemm(1.0, cu.as_ref(), Trans::No, self.r.as_ref(), Trans::No, 0.0, out.as_mut())?;
+        gemm(
+            1.0,
+            cu.as_ref(),
+            Trans::No,
+            self.r.as_ref(),
+            Trans::No,
+            0.0,
+            out.as_mut(),
+        )?;
         Ok(out)
     }
 
@@ -73,7 +89,11 @@ impl CurDecomposition {
 /// # Errors
 ///
 /// Returns configuration errors and propagates kernel failures.
-pub fn cur_decomposition(a: &Mat, cfg: &SamplerConfig, rng: &mut impl Rng) -> Result<CurDecomposition> {
+pub fn cur_decomposition(
+    a: &Mat,
+    cfg: &SamplerConfig,
+    rng: &mut impl Rng,
+) -> Result<CurDecomposition> {
     let (m, n) = a.shape();
     cfg.validate(m, n)?;
     let l = cfg.l();
@@ -82,7 +102,15 @@ pub fn cur_decomposition(a: &Mat, cfg: &SamplerConfig, rng: &mut impl Rng) -> Re
     // --- Column selection from the row sketch ------------------------------
     let omega = gaussian_mat(l, m, rng);
     let mut sketch_cols = Mat::zeros(l, n);
-    gemm(1.0, omega.as_ref(), Trans::No, a.as_ref(), Trans::No, 0.0, sketch_cols.as_mut())?;
+    gemm(
+        1.0,
+        omega.as_ref(),
+        Trans::No,
+        a.as_ref(),
+        Trans::No,
+        0.0,
+        sketch_cols.as_mut(),
+    )?;
     let col_pick = rlra_lapack::qp3_blocked(&sketch_cols, k, 16.min(k.max(1)))?;
     let col_indices: Vec<usize> = col_pick.perm.as_slice()[..k].to_vec();
 
@@ -90,7 +118,15 @@ pub fn cur_decomposition(a: &Mat, cfg: &SamplerConfig, rng: &mut impl Rng) -> Re
     let omega2 = gaussian_mat(l, n, rng);
     // sketch_rows = A · Ω2ᵀ (m × l); QRCP its transpose to rank rows.
     let mut sketch_rows = Mat::zeros(m, l);
-    gemm(1.0, a.as_ref(), Trans::No, omega2.as_ref(), Trans::Yes, 0.0, sketch_rows.as_mut())?;
+    gemm(
+        1.0,
+        a.as_ref(),
+        Trans::No,
+        omega2.as_ref(),
+        Trans::Yes,
+        0.0,
+        sketch_rows.as_mut(),
+    )?;
     let row_pick = rlra_lapack::qp3_blocked(&sketch_rows.transpose(), k, 16.min(k.max(1)))?;
     let row_indices: Vec<usize> = row_pick.perm.as_slice()[..k].to_vec();
 
@@ -105,7 +141,15 @@ pub fn cur_decomposition(a: &Mat, cfg: &SamplerConfig, rng: &mut impl Rng) -> Re
     // C⁺·A via QR of C: C = Q_c·R_c  ⟹  C⁺·A = R_c⁻¹·Q_cᵀ·A.
     let (qc, rc) = rlra_lapack::qr_factor(&c);
     let mut qca = Mat::zeros(k, n);
-    gemm(1.0, qc.as_ref(), Trans::Yes, a.as_ref(), Trans::No, 0.0, qca.as_mut())?;
+    gemm(
+        1.0,
+        qc.as_ref(),
+        Trans::Yes,
+        a.as_ref(),
+        Trans::No,
+        0.0,
+        qca.as_mut(),
+    )?;
     rlra_blas::trsm(
         rlra_blas::Side::Left,
         rlra_blas::UpLo::Upper,
@@ -125,7 +169,15 @@ pub fn cur_decomposition(a: &Mat, cfg: &SamplerConfig, rng: &mut impl Rng) -> Re
     // (C⁺A)·R⁺ via QR of Rᵀ: Rᵀ = Q_r·R_r  ⟹  R⁺ = Q_r·R_r⁻ᵀ.
     let (qr_, rr) = rlra_lapack::qr_factor(&r.transpose());
     let mut w = Mat::zeros(k, k);
-    gemm(1.0, qca.as_ref(), Trans::No, qr_.as_ref(), Trans::No, 0.0, w.as_mut())?;
+    gemm(
+        1.0,
+        qca.as_ref(),
+        Trans::No,
+        qr_.as_ref(),
+        Trans::No,
+        0.0,
+        w.as_mut(),
+    )?;
     rlra_blas::trsm(
         rlra_blas::Side::Right,
         rlra_blas::UpLo::Upper,
@@ -135,29 +187,19 @@ pub fn cur_decomposition(a: &Mat, cfg: &SamplerConfig, rng: &mut impl Rng) -> Re
         rr.as_ref(),
         w.as_mut(),
     )?;
-    Ok(CurDecomposition { col_indices, row_indices, c, u: w, r })
+    Ok(CurDecomposition {
+        col_indices,
+        row_indices,
+        c,
+        u: w,
+        r,
+    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
-
-    fn rng(seed: u64) -> StdRng {
-        StdRng::seed_from_u64(seed)
-    }
-
-    fn decay_matrix(m: usize, n: usize, decay: f64, seed: u64) -> (Mat, Vec<f64>) {
-        let r = m.min(n);
-        let spec: Vec<f64> = (0..r).map(|i| decay.powi(i as i32)).collect();
-        let x = rlra_lapack::form_q(&gaussian_mat(m, r, &mut rng(seed)));
-        let y = rlra_lapack::form_q(&gaussian_mat(n, r, &mut rng(seed + 1)));
-        let xs = Mat::from_fn(m, r, |i, j| x[(i, j)] * spec[j]);
-        let mut a = Mat::zeros(m, n);
-        gemm(1.0, xs.as_ref(), Trans::No, y.as_ref(), Trans::Yes, 0.0, a.as_mut()).unwrap();
-        (a, spec)
-    }
+    use rlra_data::testmat::{decay_matrix, rng};
 
     #[test]
     fn c_and_r_are_actual_slices_of_a() {
@@ -195,7 +237,11 @@ mod tests {
         let err = cur.error_spectral(&a).unwrap();
         // CUR is weaker than SVD truncation but must stay within a
         // modest factor on a decaying spectrum.
-        assert!(err < 60.0 * spec[k], "CUR error {err:e} vs sigma_k+1 {:e}", spec[k]);
+        assert!(
+            err < 60.0 * spec[k],
+            "CUR error {err:e} vs sigma_k+1 {:e}",
+            spec[k]
+        );
     }
 
     #[test]
@@ -203,7 +249,16 @@ mod tests {
         let x = gaussian_mat(30, 3, &mut rng(7));
         let y = gaussian_mat(3, 20, &mut rng(8));
         let mut a = Mat::zeros(30, 20);
-        gemm(1.0, x.as_ref(), Trans::No, y.as_ref(), Trans::No, 0.0, a.as_mut()).unwrap();
+        gemm(
+            1.0,
+            x.as_ref(),
+            Trans::No,
+            y.as_ref(),
+            Trans::No,
+            0.0,
+            a.as_mut(),
+        )
+        .unwrap();
         let cur = cur_decomposition(&a, &SamplerConfig::new(3).with_p(5), &mut rng(9)).unwrap();
         let err = cur.error_spectral(&a).unwrap();
         let scale = rlra_matrix::norms::spectral_norm(a.as_ref());
@@ -217,7 +272,11 @@ mod tests {
             *x *= 500.0;
         }
         let cur = cur_decomposition(&a, &SamplerConfig::new(3).with_p(5), &mut rng(11)).unwrap();
-        assert!(cur.col_indices.contains(&7), "dominant column must be kept: {:?}", cur.col_indices);
+        assert!(
+            cur.col_indices.contains(&7),
+            "dominant column must be kept: {:?}",
+            cur.col_indices
+        );
     }
 
     #[test]

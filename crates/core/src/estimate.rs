@@ -28,8 +28,24 @@ pub fn residual_estimate(block: &Mat, basis: &Mat) -> Result<f64> {
     if basis.rows() > 0 {
         // coeff = W Bᵀ  (l_inc × l), resid = W − coeff·B.
         let mut coeff = Mat::zeros(block.rows(), basis.rows());
-        rlra_blas::gemm(1.0, block.as_ref(), Trans::No, basis.as_ref(), Trans::Yes, 0.0, coeff.as_mut())?;
-        rlra_blas::gemm(-1.0, coeff.as_ref(), Trans::No, basis.as_ref(), Trans::No, 1.0, resid.as_mut())?;
+        rlra_blas::gemm(
+            1.0,
+            block.as_ref(),
+            Trans::No,
+            basis.as_ref(),
+            Trans::Yes,
+            0.0,
+            coeff.as_mut(),
+        )?;
+        rlra_blas::gemm(
+            -1.0,
+            coeff.as_ref(),
+            Trans::No,
+            basis.as_ref(),
+            Trans::No,
+            1.0,
+            resid.as_mut(),
+        )?;
     }
     let mut worst = 0.0f64;
     for i in 0..resid.rows() {
@@ -66,9 +82,25 @@ pub fn actual_error(a: &Mat, basis: &Mat) -> Result<f64> {
     }
     // P = A Bᵀ (m × l), resid = A − P B.
     let mut p = Mat::zeros(m, l);
-    rlra_blas::gemm(1.0, a.as_ref(), Trans::No, basis.as_ref(), Trans::Yes, 0.0, p.as_mut())?;
+    rlra_blas::gemm(
+        1.0,
+        a.as_ref(),
+        Trans::No,
+        basis.as_ref(),
+        Trans::Yes,
+        0.0,
+        p.as_mut(),
+    )?;
     let mut resid = a.clone();
-    rlra_blas::gemm(-1.0, p.as_ref(), Trans::No, basis.as_ref(), Trans::No, 1.0, resid.as_mut())?;
+    rlra_blas::gemm(
+        -1.0,
+        p.as_ref(),
+        Trans::No,
+        basis.as_ref(),
+        Trans::No,
+        1.0,
+        resid.as_mut(),
+    )?;
     Ok(rlra_matrix::norms::spectral_norm(resid.as_ref()))
 }
 
@@ -86,8 +118,16 @@ mod tests {
         // Block = rows already in span(basis).
         let coeff = gaussian_mat(2, 4, &mut rng);
         let mut block = Mat::zeros(2, 30);
-        rlra_blas::gemm(1.0, coeff.as_ref(), Trans::No, basis.as_ref(), Trans::No, 0.0, block.as_mut())
-            .unwrap();
+        rlra_blas::gemm(
+            1.0,
+            coeff.as_ref(),
+            Trans::No,
+            basis.as_ref(),
+            Trans::No,
+            0.0,
+            block.as_mut(),
+        )
+        .unwrap();
         let est = residual_estimate(&block, &basis).unwrap();
         assert!(est < 1e-12, "est = {est:e}");
     }
@@ -126,8 +166,16 @@ mod tests {
         let basis = crate::power::orth_rows(&gaussian_mat(6, 25, &mut rng), true).unwrap();
         let block_raw = gaussian_mat(8, 40, &mut rng);
         let mut block = Mat::zeros(8, 25);
-        rlra_blas::gemm(1.0, block_raw.as_ref(), Trans::No, a.as_ref(), Trans::No, 0.0, block.as_mut())
-            .unwrap();
+        rlra_blas::gemm(
+            1.0,
+            block_raw.as_ref(),
+            Trans::No,
+            a.as_ref(),
+            Trans::No,
+            0.0,
+            block.as_mut(),
+        )
+        .unwrap();
         // Normalize rows by sqrt(m) so the Gaussian test-vector scaling
         // matches the estimator's assumption E‖ω‖² = m.
         let est = residual_estimate(&block, &basis).unwrap() / (40f64).sqrt();

@@ -1,13 +1,18 @@
-//! CPU reference implementation of the fixed-rank randomized sampling
-//! algorithm (paper Figure 2b).
+//! CPU reference entry point of the fixed-rank randomized sampling
+//! algorithm (paper Figure 2b), plus the host-side finishing steps
+//! shared by every backend.
+//!
+//! The pipeline itself lives in [`crate::backend`]; this module keeps
+//! the [`sample_fixed_rank`] convenience wrapper (the
+//! [`crate::backend::CpuExec`] backend) and the Steps 2–3 host kernels
+//! ([`finish_from_sampled_with`]) that the pipeline calls on every
+//! computing backend.
 
-use crate::config::{SamplerConfig, SamplingKind, Step2Kind};
-use crate::power::power_iterate;
+use crate::config::{SamplerConfig, Step2Kind};
 use crate::result::LowRankApprox;
 use rand::Rng;
 use rlra_blas::{Diag, Side, Trans, UpLo};
-use rlra_fft::SrftOperator;
-use rlra_matrix::{gaussian_mat, Mat, Result};
+use rlra_matrix::{Mat, Result};
 
 /// Computes a rank-`k` approximation `A·P ≈ Q·R` by random sampling
 /// (Figure 2b of the paper), entirely on the CPU.
@@ -41,31 +46,15 @@ use rlra_matrix::{gaussian_mat, Mat, Result};
 ///
 /// Returns parameter errors from [`SamplerConfig::validate`] and
 /// propagates kernel failures.
-pub fn sample_fixed_rank(a: &Mat, cfg: &SamplerConfig, rng: &mut impl Rng) -> Result<LowRankApprox> {
-    let (m, n) = a.shape();
-    cfg.validate(m, n)?;
-    let l = cfg.l();
-
-    // Step 1a: sample B = Ω A.
-    let b = match cfg.sampling {
-        SamplingKind::Gaussian => {
-            let omega = gaussian_mat(l, m, rng);
-            let mut b = Mat::zeros(l, n);
-            rlra_blas::gemm(1.0, omega.as_ref(), Trans::No, a.as_ref(), Trans::No, 0.0, b.as_mut())?;
-            b
-        }
-        SamplingKind::Fft(scheme) => {
-            let op = SrftOperator::new(m, l, scheme, rng)?;
-            op.sample_rows(a)?
-        }
-    };
-
-    // Step 1b: power iterations.
-    let empty_b = Mat::zeros(0, n);
-    let empty_c = Mat::zeros(0, m);
-    let (b, _c) = power_iterate(a, &empty_b, &empty_c, b, cfg.q, cfg.reorth)?;
-
-    finish_from_sampled_with(a, &b, cfg.k, cfg.reorth, cfg.step2)
+pub fn sample_fixed_rank(
+    a: &Mat,
+    cfg: &SamplerConfig,
+    rng: &mut impl Rng,
+) -> Result<LowRankApprox> {
+    let mut exec = crate::backend::CpuExec::new();
+    let (approx, _report) =
+        crate::backend::run_fixed_rank(&mut exec, crate::backend::Input::Values(a), cfg, rng)?;
+    Ok(approx.expect("the CPU backend always computes"))
 }
 
 /// Steps 2 and 3 shared by the fixed-rank and fixed-accuracy paths:
@@ -124,7 +113,11 @@ pub fn finish_from_sampled_with(
 
     // Step 3: tall-skinny QR of A·P₁:ₖ.
     let ap1k = perm.apply_cols_truncated(a, k)?;
-    let (q, r_bar) = match if reorth { rlra_lapack::cholqr2(&ap1k) } else { rlra_lapack::cholqr(&ap1k) } {
+    let (q, r_bar) = match if reorth {
+        rlra_lapack::cholqr2(&ap1k)
+    } else {
+        rlra_lapack::cholqr(&ap1k)
+    } {
         Ok(qr) => qr,
         Err(rlra_matrix::MatrixError::NotPositiveDefinite { .. }) => rlra_lapack::qr_factor(&ap1k),
         Err(e) => return Err(e),
@@ -135,7 +128,15 @@ pub fn finish_from_sampled_with(
     r.set_submatrix(0, 0, &r_bar);
     if n > k {
         let mut rt = Mat::zeros(k, n - k);
-        rlra_blas::gemm(1.0, r_bar.as_ref(), Trans::No, t.as_ref(), Trans::No, 0.0, rt.as_mut())?;
+        rlra_blas::gemm(
+            1.0,
+            r_bar.as_ref(),
+            Trans::No,
+            t.as_ref(),
+            Trans::No,
+            0.0,
+            rt.as_mut(),
+        )?;
         r.set_submatrix(0, k, &rt);
     }
 
@@ -145,27 +146,11 @@ pub fn finish_from_sampled_with(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use crate::config::SamplingKind;
+    use rlra_data::testmat::{decay_matrix, rng};
     use rlra_fft::SrftScheme;
     use rlra_lapack::householder::orthogonality_error;
-
-    fn rng(seed: u64) -> StdRng {
-        StdRng::seed_from_u64(seed)
-    }
-
-    /// A = X Σ Yᵀ with σᵢ = decay^i, plus exact σ list.
-    fn decay_matrix(m: usize, n: usize, decay: f64, seed: u64) -> (Mat, Vec<f64>) {
-        let r = m.min(n);
-        let spec: Vec<f64> = (0..r).map(|i| decay.powi(i as i32)).collect();
-        let x = rlra_lapack::form_q(&gaussian_mat(m, r, &mut rng(seed)));
-        let y = rlra_lapack::form_q(&gaussian_mat(n, r, &mut rng(seed + 1)));
-        let xs = Mat::from_fn(m, r, |i, j| x[(i, j)] * spec[j]);
-        let mut a = Mat::zeros(m, n);
-        rlra_blas::gemm(1.0, xs.as_ref(), Trans::No, y.as_ref(), Trans::Yes, 0.0, a.as_mut())
-            .unwrap();
-        (a, spec)
-    }
+    use rlra_matrix::gaussian_mat;
 
     #[test]
     fn factors_have_expected_shapes_and_orthogonality() {
@@ -201,7 +186,10 @@ mod tests {
         let (a, _) = decay_matrix(100, 50, 0.9, 5);
         let err = |q: usize| {
             let cfg = SamplerConfig::new(6).with_p(4).with_q(q);
-            sample_fixed_rank(&a, &cfg, &mut rng(6)).unwrap().error_spectral(&a).unwrap()
+            sample_fixed_rank(&a, &cfg, &mut rng(6))
+                .unwrap()
+                .error_spectral(&a)
+                .unwrap()
         };
         let e0 = err(0);
         let e2 = err(2);
@@ -216,7 +204,10 @@ mod tests {
             (0..5)
                 .map(|s| {
                     let cfg = SamplerConfig::new(6).with_p(p);
-                    sample_fixed_rank(&a, &cfg, &mut rng(100 + s)).unwrap().error_spectral(&a).unwrap()
+                    sample_fixed_rank(&a, &cfg, &mut rng(100 + s))
+                        .unwrap()
+                        .error_spectral(&a)
+                        .unwrap()
                 })
                 .sum::<f64>()
                 / 5.0
@@ -237,13 +228,24 @@ mod tests {
         let x = gaussian_mat(m, r, &mut rng(8));
         let y = gaussian_mat(r, n, &mut rng(9));
         let mut a = Mat::zeros(m, n);
-        rlra_blas::gemm(1.0, x.as_ref(), Trans::No, y.as_ref(), Trans::No, 0.0, a.as_mut())
-            .unwrap();
+        rlra_blas::gemm(
+            1.0,
+            x.as_ref(),
+            Trans::No,
+            y.as_ref(),
+            Trans::No,
+            0.0,
+            a.as_mut(),
+        )
+        .unwrap();
         let cfg = SamplerConfig::new(r).with_p(4);
         let lr = sample_fixed_rank(&a, &cfg, &mut rng(10)).unwrap();
         let err = lr.error_spectral(&a).unwrap();
         let scale = rlra_matrix::norms::spectral_norm(a.as_ref());
-        assert!(err < 1e-10 * scale, "rank-{r} matrix must be captured exactly: {err:e}");
+        assert!(
+            err < 1e-10 * scale,
+            "rank-{r} matrix must be captured exactly: {err:e}"
+        );
     }
 
     #[test]
@@ -252,7 +254,9 @@ mod tests {
         let g = sample_fixed_rank(&a, &SamplerConfig::new(6).with_p(6), &mut rng(12)).unwrap();
         let f = sample_fixed_rank(
             &a,
-            &SamplerConfig::new(6).with_p(6).with_sampling(SamplingKind::Fft(SrftScheme::Full)),
+            &SamplerConfig::new(6)
+                .with_p(6)
+                .with_sampling(SamplingKind::Fft(SrftScheme::Full)),
             &mut rng(13),
         )
         .unwrap();
@@ -260,7 +264,10 @@ mod tests {
         let ef = f.error_spectral(&a).unwrap();
         // Same order of magnitude (paper §7: "FFT sampling gave the
         // approximation errors of the same order").
-        assert!(ef < 30.0 * spec[6] && eg < 30.0 * spec[6], "gaussian {eg:e}, fft {ef:e}");
+        assert!(
+            ef < 30.0 * spec[6] && eg < 30.0 * spec[6],
+            "gaussian {eg:e}, fft {ef:e}"
+        );
     }
 
     #[test]
@@ -287,7 +294,10 @@ mod tests {
             .unwrap()
             .error_spectral(&a)
             .unwrap();
-        assert!(e_ca < 10.0 * e_qp3 + 1e-14, "tournament {e_ca:e} vs qp3 {e_qp3:e}");
+        assert!(
+            e_ca < 10.0 * e_qp3 + 1e-14,
+            "tournament {e_ca:e} vs qp3 {e_qp3:e}"
+        );
         assert!(e_ca < 30.0 * spec[k]);
     }
 

@@ -1,28 +1,20 @@
 //! Single-GPU execution of the fixed-rank sampler with the paper's
 //! phase-by-phase time breakdown (Figures 11–14).
+//!
+//! Thin wrapper over the unified pipeline
+//! ([`crate::backend::run_fixed_rank`]) with the
+//! [`crate::backend::GpuExec`] backend.
 
-use crate::config::{SamplerConfig, SamplingKind, Step2Kind};
+use crate::backend::{run_fixed_rank, GpuExec, Input};
+use crate::config::SamplerConfig;
 use crate::result::LowRankApprox;
 use rand::Rng;
-use rlra_blas::{Diag, Side, Trans, UpLo};
-use rlra_fft::SrftOperator;
-use rlra_gpu::algos::{gpu_cholqr, gpu_cholqr_rows, gpu_qp3_truncated, gpu_tournament_qrcp};
-use rlra_gpu::{DMat, ExecMode, Gpu, Phase, Timeline};
-use rlra_matrix::{Mat, Result};
+use rlra_gpu::{DMat, ExecMode, Gpu};
+use rlra_matrix::Result;
 
-/// Timing report of one GPU run.
-#[derive(Debug, Clone)]
-pub struct RunReport {
-    /// Total simulated seconds.
-    pub seconds: f64,
-    /// Per-phase breakdown (PRNG / Sampling / GEMM (Iter) / Orth (Iter) /
-    /// QRCP / QR, matching the paper's stacked bars).
-    pub timeline: Timeline,
-    /// Kernel launches issued.
-    pub launches: u64,
-    /// Host synchronizations.
-    pub syncs: u64,
-}
+/// Timing report of one GPU run (the unified [`crate::backend::ExecReport`];
+/// `comms` is always zero and `devices` is 1 on this backend).
+pub type RunReport = crate::backend::ExecReport;
 
 /// Runs the fixed-rank random sampling algorithm (Figure 2b) on one
 /// simulated GPU. The input `a` must be resident on the device (the
@@ -42,152 +34,27 @@ pub fn sample_fixed_rank_gpu(
     cfg: &SamplerConfig,
     rng: &mut impl Rng,
 ) -> Result<(Option<LowRankApprox>, RunReport)> {
-    let (m, n) = a.shape();
-    cfg.validate(m, n)?;
-    let l = cfg.l();
-    let k = cfg.k;
-    let clock0 = gpu.clock();
-    let tl0 = gpu.timeline().clone();
-    let (launches0, syncs0) = (gpu.launches, gpu.syncs);
-
-    // --- Step 1a: sampling ------------------------------------------------
-    let mut b = match cfg.sampling {
-        SamplingKind::Gaussian => {
-            let omega = gpu.curand_gaussian(Phase::Prng, l, m, rng);
-            let mut b = gpu.alloc(l, n);
-            gpu.gemm(Phase::Sampling, 1.0, &omega, Trans::No, a, Trans::No, 0.0, &mut b)?;
-            b
-        }
-        SamplingKind::Fft(scheme) => {
-            let op = SrftOperator::new(m, l, scheme, rng)?;
-            gpu.cufft_sample_rows(Phase::Sampling, &op, a)?
+    let input = match gpu.mode() {
+        ExecMode::Compute => Input::Values(a.expect_values()),
+        ExecMode::DryRun => {
+            let (m, n) = a.shape();
+            Input::Shape(m, n)
         }
     };
-
-    // --- Step 1b: power iterations -----------------------------------------
-    for _ in 0..cfg.q {
-        let (bq, _) = gpu_cholqr_rows(gpu, Phase::OrthIter, &b, cfg.reorth)?;
-        let mut c = gpu.alloc(l, m);
-        gpu.gemm(Phase::GemmIter, 1.0, &bq, Trans::No, a, Trans::Yes, 0.0, &mut c)?;
-        let (cq, _) = gpu_cholqr_rows(gpu, Phase::OrthIter, &c, cfg.reorth)?;
-        let mut bnew = gpu.alloc(l, n);
-        gpu.gemm(Phase::GemmIter, 1.0, &cq, Trans::No, a, Trans::No, 0.0, &mut bnew)?;
-        b = bnew;
-    }
-
-    // --- Step 2: rank the pivot columns of B ---------------------------------
-    // Either the paper's truncated QP3 or the communication-avoiding
-    // tournament; both yield R̂ (upper-triangular leading block) + P.
-    let step2_host: Option<(Mat, rlra_matrix::ColPerm)> = match cfg.step2 {
-        Step2Kind::Qp3 => {
-            let qp3 = gpu_qp3_truncated(gpu, Phase::Qrcp, &b, k)?;
-            qp3.result.map(|res| (res.r(), res.perm.clone()))
-        }
-        Step2Kind::Tournament => {
-            let ca = gpu_tournament_qrcp(gpu, Phase::Qrcp, &b, k)?;
-            ca.map(|c| (c.r, c.perm))
-        }
-    };
-    // T = R̂₁:ₖ⁻¹·R̂ₖ₊₁:ₙ on the device (Line 9).
-    if n > k {
-        gpu.launches += 1;
-        gpu.charge(Phase::Qrcp, gpu.cost().trsm(k, n - k));
-    }
-
-    // --- Step 3: tall-skinny QR of A·P₁:ₖ -----------------------------------
-    // Gathering the k pivot columns is a device-side copy.
-    gpu.launches += 1;
-    gpu.charge(Phase::Qr, gpu.cost().blas1(m * k, 2.0));
-    let ap1k_dev: DMat = match gpu.mode() {
-        ExecMode::Compute => {
-            let (_, perm) = step2_host.as_ref().expect("compute mode has a Step-2 result");
-            let host = perm.apply_cols_truncated(a.expect_values(), k)?;
-            gpu.resident(&host)
-        }
-        ExecMode::DryRun => gpu.resident_shape(m, k),
-    };
-    let (q_dev, rbar_dev) = gpu_cholqr(gpu, Phase::Qr, &ap1k_dev, cfg.reorth)?;
-    // R = R̄·[I | T] (Line 10): triangular multiply on the device.
-    gpu.launches += 1;
-    gpu.charge(Phase::Qr, gpu.cost().trsm(k, n));
-
-    let report = RunReport {
-        seconds: gpu.clock() - clock0,
-        timeline: diff_timeline(gpu.timeline(), &tl0),
-        launches: gpu.launches - launches0,
-        syncs: gpu.syncs - syncs0,
-    };
-
-    // --- Assemble the host-side result (compute mode) -----------------------
-    let approx = match gpu.mode() {
-        ExecMode::DryRun => None,
-        ExecMode::Compute => {
-            let (r_hat, perm) = step2_host.expect("compute mode has a Step-2 result");
-            let r11 = r_hat.submatrix(0, 0, k, k);
-            let mut t = r_hat.submatrix(0, k, k, n - k);
-            if n > k {
-                rlra_blas::trsm(
-                    Side::Left,
-                    UpLo::Upper,
-                    Trans::No,
-                    Diag::NonUnit,
-                    1.0,
-                    r11.as_ref(),
-                    t.as_mut(),
-                )?;
-            }
-            let rbar = rbar_dev.expect_values();
-            let mut r = Mat::zeros(k, n);
-            r.set_submatrix(0, 0, rbar);
-            if n > k {
-                let mut rt = Mat::zeros(k, n - k);
-                rlra_blas::gemm(1.0, rbar.as_ref(), Trans::No, t.as_ref(), Trans::No, 0.0, rt.as_mut())?;
-                r.set_submatrix(0, k, &rt);
-            }
-            Some(LowRankApprox { q: q_dev.expect_values().clone(), r, perm })
-        }
-    };
-    Ok((approx, report))
-}
-
-/// Per-phase difference `after − before`.
-fn diff_timeline(after: &Timeline, before: &Timeline) -> Timeline {
-    let mut out = Timeline::new();
-    for phase in Phase::ALL {
-        let d = after.get(phase) - before.get(phase);
-        if d > 0.0 {
-            out.add(phase, d);
-        }
-    }
-    out
+    let mut exec = GpuExec::new(gpu);
+    run_fixed_rank(&mut exec, input, cfg, rng)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
-    use rlra_matrix::gaussian_mat;
-
-    fn rng(seed: u64) -> StdRng {
-        StdRng::seed_from_u64(seed)
-    }
-
-    fn decay_matrix(m: usize, n: usize, decay: f64, seed: u64) -> Mat {
-        let r = m.min(n);
-        let spec: Vec<f64> = (0..r).map(|i| decay.powi(i as i32)).collect();
-        let x = rlra_lapack::form_q(&gaussian_mat(m, r, &mut rng(seed)));
-        let y = rlra_lapack::form_q(&gaussian_mat(n, r, &mut rng(seed + 1)));
-        let xs = Mat::from_fn(m, r, |i, j| x[(i, j)] * spec[j]);
-        let mut a = Mat::zeros(m, n);
-        rlra_blas::gemm(1.0, xs.as_ref(), Trans::No, y.as_ref(), Trans::Yes, 0.0, a.as_mut())
-            .unwrap();
-        a
-    }
+    use crate::config::{SamplingKind, Step2Kind};
+    use rlra_data::testmat::{decay_matrix, rng};
+    use rlra_gpu::Phase;
 
     #[test]
     fn gpu_run_matches_cpu_numerics() {
-        let a = decay_matrix(50, 25, 0.5, 1);
+        let (a, _) = decay_matrix(50, 25, 0.5, 1);
         let cfg = SamplerConfig::new(5).with_p(3).with_q(1);
         // Same seed: identical Gaussian draws, identical result.
         let cpu = crate::fixed_rank::sample_fixed_rank(&a, &cfg, &mut rng(7)).unwrap();
@@ -206,16 +73,22 @@ mod tests {
         let mut gpu = Gpu::k40c_dry();
         let ad = gpu.resident_shape(50_000, 2_500);
         let cfg = SamplerConfig::new(54).with_p(10).with_q(1);
-        let (_, report) =
-            sample_fixed_rank_gpu(&mut gpu, &ad, &cfg, &mut rng(2)).unwrap();
-        for phase in [Phase::Prng, Phase::Sampling, Phase::GemmIter, Phase::OrthIter, Phase::Qrcp, Phase::Qr]
-        {
+        let (_, report) = sample_fixed_rank_gpu(&mut gpu, &ad, &cfg, &mut rng(2)).unwrap();
+        for phase in [
+            Phase::Prng,
+            Phase::Sampling,
+            Phase::GemmIter,
+            Phase::OrthIter,
+            Phase::Qrcp,
+            Phase::Qr,
+        ] {
             assert!(report.timeline.get(phase) > 0.0, "phase {phase:?} empty");
         }
         // Paper §9: at m = 50,000 the first step dominates and the GEMM
         // is ~75 % of the total; QRCP is small.
-        let gemm_frac =
-            (report.timeline.get(Phase::Sampling) + report.timeline.get(Phase::GemmIter)) / report.seconds;
+        let gemm_frac = (report.timeline.get(Phase::Sampling)
+            + report.timeline.get(Phase::GemmIter))
+            / report.seconds;
         assert!(gemm_frac > 0.5, "GEMM fraction {gemm_frac}");
     }
 
@@ -246,7 +119,10 @@ mod tests {
             let mut gpu = Gpu::k40c_dry();
             let ad = gpu.resident_shape(50_000, 2_500);
             let cfg = SamplerConfig::new(54).with_p(10).with_q(q);
-            sample_fixed_rank_gpu(&mut gpu, &ad, &cfg, &mut rng(4)).unwrap().1.seconds
+            sample_fixed_rank_gpu(&mut gpu, &ad, &cfg, &mut rng(4))
+                .unwrap()
+                .1
+                .seconds
         };
         let t0 = run(0);
         let t4 = run(4);
@@ -254,13 +130,18 @@ mod tests {
         // Increments per iteration should be nearly equal (Fig. 14).
         let d1 = t4 - t0;
         let d2 = t8 - t4;
-        assert!((d1 - d2).abs() / d1 < 0.05, "nonlinear growth: {d1} vs {d2}");
+        assert!(
+            (d1 - d2).abs() / d1 < 0.05,
+            "nonlinear growth: {d1} vs {d2}"
+        );
     }
 
     #[test]
     fn tournament_step2_gpu_matches_cpu() {
-        let a = decay_matrix(60, 30, 0.5, 9);
-        let cfg = SamplerConfig::new(5).with_p(5).with_step2(Step2Kind::Tournament);
+        let (a, _) = decay_matrix(60, 30, 0.5, 9);
+        let cfg = SamplerConfig::new(5)
+            .with_p(5)
+            .with_step2(Step2Kind::Tournament);
         let cpu = crate::fixed_rank::sample_fixed_rank(&a, &cfg, &mut rng(10)).unwrap();
         let mut gpu = Gpu::k40c();
         let ad = gpu.resident(&a);
@@ -279,7 +160,7 @@ mod tests {
 
     #[test]
     fn fft_sampling_path_runs() {
-        let a = decay_matrix(64, 20, 0.5, 5);
+        let (a, _) = decay_matrix(64, 20, 0.5, 5);
         let mut gpu = Gpu::k40c();
         let ad = gpu.resident(&a);
         let cfg = SamplerConfig::new(4)

@@ -205,7 +205,15 @@ fn build(
     let (u2, v2) = outer_factors(&a21, cfg, rng)?;
     let left = build(&a11, leaf_size, cfg, rng, depth + 1, levels)?;
     let right = build(&a22, leaf_size, cfg, rng, depth + 1, levels)?;
-    Ok(Node::Branch { left: Box::new(left), right: Box::new(right), split, u1, v1, u2, v2 })
+    Ok(Node::Branch {
+        left: Box::new(left),
+        right: Box::new(right),
+        split,
+        u1,
+        v1,
+        u2,
+        v2,
+    })
 }
 
 /// Rank-`k` outer-product factors `(U, V)` with `block ≈ U·Vᵀ`.
@@ -220,7 +228,15 @@ fn outer_factors(block: &Mat, cfg: &SamplerConfig, rng: &mut impl Rng) -> Result
 fn stored(node: &Node) -> usize {
     match node {
         Node::Leaf(d) => d.rows() * d.cols(),
-        Node::Branch { left, right, u1, v1, u2, v2, .. } => {
+        Node::Branch {
+            left,
+            right,
+            u1,
+            v1,
+            u2,
+            v2,
+            ..
+        } => {
             stored(left)
                 + stored(right)
                 + u1.rows() * u1.cols()
@@ -234,7 +250,15 @@ fn stored(node: &Node) -> usize {
 fn apply(node: &Node, x: &[f64], y: &mut [f64]) -> Result<()> {
     match node {
         Node::Leaf(d) => gemv(1.0, d.as_ref(), Trans::No, x, 1.0, y),
-        Node::Branch { left, right, split, u1, v1, u2, v2 } => {
+        Node::Branch {
+            left,
+            right,
+            split,
+            u1,
+            v1,
+            u2,
+            v2,
+        } => {
             let (x1, x2) = x.split_at(*split);
             {
                 let (y1, y2) = y.split_at_mut(*split);
@@ -259,7 +283,15 @@ fn apply(node: &Node, x: &[f64], y: &mut [f64]) -> Result<()> {
 fn dense(node: &Node) -> Result<Mat> {
     match node {
         Node::Leaf(d) => Ok(d.clone()),
-        Node::Branch { left, right, split, u1, v1, u2, v2 } => {
+        Node::Branch {
+            left,
+            right,
+            split,
+            u1,
+            v1,
+            u2,
+            v2,
+        } => {
             let dl = dense(left)?;
             let dr = dense(right)?;
             let n = dl.rows() + dr.rows();
@@ -267,10 +299,26 @@ fn dense(node: &Node) -> Result<Mat> {
             out.set_submatrix(0, 0, &dl);
             out.set_submatrix(*split, *split, &dr);
             let mut a12 = Mat::zeros(u1.rows(), v1.rows());
-            gemm(1.0, u1.as_ref(), Trans::No, v1.as_ref(), Trans::Yes, 0.0, a12.as_mut())?;
+            gemm(
+                1.0,
+                u1.as_ref(),
+                Trans::No,
+                v1.as_ref(),
+                Trans::Yes,
+                0.0,
+                a12.as_mut(),
+            )?;
             out.set_submatrix(0, *split, &a12);
             let mut a21 = Mat::zeros(u2.rows(), v2.rows());
-            gemm(1.0, u2.as_ref(), Trans::No, v2.as_ref(), Trans::Yes, 0.0, a21.as_mut())?;
+            gemm(
+                1.0,
+                u2.as_ref(),
+                Trans::No,
+                v2.as_ref(),
+                Trans::Yes,
+                0.0,
+                a21.as_mut(),
+            )?;
             out.set_submatrix(*split, 0, &a21);
             Ok(out)
         }
@@ -282,7 +330,15 @@ fn dense(node: &Node) -> Result<Mat> {
 fn solve_mat(node: &Node, b: &Mat) -> Result<Mat> {
     match node {
         Node::Leaf(d) => dense_solve(d, b),
-        Node::Branch { left, right, split, u1, v1, u2, v2 } => {
+        Node::Branch {
+            left,
+            right,
+            split,
+            u1,
+            v1,
+            u2,
+            v2,
+        } => {
             let n = b.rows();
             let nrhs = b.cols();
             let k1 = u1.cols();
@@ -314,20 +370,52 @@ fn solve_mat(node: &Node, b: &Mat) -> Result<Mat> {
             let mut c = Mat::identity(k1 + k2);
             {
                 let mut c12 = Mat::zeros(k1, k2);
-                gemm(1.0, v1.as_ref(), Trans::Yes, d2u2.as_ref(), Trans::No, 0.0, c12.as_mut())?;
+                gemm(
+                    1.0,
+                    v1.as_ref(),
+                    Trans::Yes,
+                    d2u2.as_ref(),
+                    Trans::No,
+                    0.0,
+                    c12.as_mut(),
+                )?;
                 c.set_submatrix(0, k1, &c12);
                 let mut c21 = Mat::zeros(k2, k1);
-                gemm(1.0, v2.as_ref(), Trans::Yes, d1u1.as_ref(), Trans::No, 0.0, c21.as_mut())?;
+                gemm(
+                    1.0,
+                    v2.as_ref(),
+                    Trans::Yes,
+                    d1u1.as_ref(),
+                    Trans::No,
+                    0.0,
+                    c21.as_mut(),
+                )?;
                 c.set_submatrix(k1, 0, &c21);
             }
             // w = Vᵀ D⁻¹ b: rows 1..k1 = V1ᵀ·D2⁻¹b2, rows k1.. = V2ᵀ·D1⁻¹b1.
             let mut w = Mat::zeros(k1 + k2, nrhs);
             {
                 let mut w1 = Mat::zeros(k1, nrhs);
-                gemm(1.0, v1.as_ref(), Trans::Yes, d2b.as_ref(), Trans::No, 0.0, w1.as_mut())?;
+                gemm(
+                    1.0,
+                    v1.as_ref(),
+                    Trans::Yes,
+                    d2b.as_ref(),
+                    Trans::No,
+                    0.0,
+                    w1.as_mut(),
+                )?;
                 w.set_submatrix(0, 0, &w1);
                 let mut w2 = Mat::zeros(k2, nrhs);
-                gemm(1.0, v2.as_ref(), Trans::Yes, d1b.as_ref(), Trans::No, 0.0, w2.as_mut())?;
+                gemm(
+                    1.0,
+                    v2.as_ref(),
+                    Trans::Yes,
+                    d1b.as_ref(),
+                    Trans::No,
+                    0.0,
+                    w2.as_mut(),
+                )?;
                 w.set_submatrix(k1, 0, &w2);
             }
             // y = C⁻¹ w (small dense solve).
@@ -338,10 +426,26 @@ fn solve_mat(node: &Node, b: &Mat) -> Result<Mat> {
             let mut x = Mat::zeros(n, nrhs);
             {
                 let mut x1 = d1b.clone();
-                gemm(-1.0, d1u1.as_ref(), Trans::No, y1.as_ref(), Trans::No, 1.0, x1.as_mut())?;
+                gemm(
+                    -1.0,
+                    d1u1.as_ref(),
+                    Trans::No,
+                    y1.as_ref(),
+                    Trans::No,
+                    1.0,
+                    x1.as_mut(),
+                )?;
                 x.set_submatrix(0, 0, &x1);
                 let mut x2 = d2b.clone();
-                gemm(-1.0, d2u2.as_ref(), Trans::No, y2.as_ref(), Trans::No, 1.0, x2.as_mut())?;
+                gemm(
+                    -1.0,
+                    d2u2.as_ref(),
+                    Trans::No,
+                    y2.as_ref(),
+                    Trans::No,
+                    1.0,
+                    x2.as_mut(),
+                )?;
                 x.set_submatrix(*split, 0, &x2);
             }
             Ok(x)
@@ -382,11 +486,15 @@ mod tests {
         let cfg = SamplerConfig::new(10).with_p(6).with_q(1);
         let h = HodlrMatrix::compress(&a, 64, &cfg, &mut rng(1)).unwrap();
         assert!(h.levels() >= 2, "256 with 64-leaves gives 2 levels");
-        assert!(h.compression_ratio() > 1.5, "ratio {:.2}", h.compression_ratio());
+        assert!(
+            h.compression_ratio() > 1.5,
+            "ratio {:.2}",
+            h.compression_ratio()
+        );
         let rec = h.to_dense().unwrap();
-        let err = rlra_matrix::norms::spectral_norm(
-            rlra_matrix::ops::sub(&a, &rec).unwrap().as_ref(),
-        ) / rlra_matrix::norms::spectral_norm(a.as_ref());
+        let err =
+            rlra_matrix::norms::spectral_norm(rlra_matrix::ops::sub(&a, &rec).unwrap().as_ref())
+                / rlra_matrix::norms::spectral_norm(a.as_ref());
         assert!(err < 1e-7, "HODLR reconstruction error {err:e}");
     }
 
@@ -399,9 +507,13 @@ mod tests {
         let y_h = h.matvec(&x).unwrap();
         let mut y_d = vec![0.0; 192];
         gemv(1.0, a.as_ref(), Trans::No, &x, 0.0, &mut y_d).unwrap();
-        let err: f64 =
-            y_h.iter().zip(&y_d).map(|(a, b)| (a - b) * (a - b)).sum::<f64>().sqrt()
-                / rlra_matrix::norms::vec_norm2(&y_d);
+        let err: f64 = y_h
+            .iter()
+            .zip(&y_d)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f64>()
+            .sqrt()
+            / rlra_matrix::norms::vec_norm2(&y_d);
         assert!(err < 1e-6, "matvec error {err:e}");
     }
 
@@ -431,7 +543,12 @@ mod tests {
         let b: Vec<f64> = (0..128).map(|i| (i as f64 * 0.31).cos()).collect();
         let x = h.solve(&b).unwrap();
         let hx = h.matvec(&x).unwrap();
-        let err: f64 = hx.iter().zip(&b).map(|(a, b)| (a - b) * (a - b)).sum::<f64>().sqrt()
+        let err: f64 = hx
+            .iter()
+            .zip(&b)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f64>()
+            .sqrt()
             / rlra_matrix::norms::vec_norm2(&b);
         assert!(err < 1e-10, "self-consistency {err:e}");
     }

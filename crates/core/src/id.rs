@@ -42,7 +42,15 @@ impl InterpolativeDecomposition {
     pub fn reconstruct(&self, a: &Mat) -> Result<Mat> {
         let skeleton = gather_cols(a, &self.col_indices);
         let mut out = Mat::zeros(a.rows(), self.coeffs.cols());
-        gemm(1.0, skeleton.as_ref(), Trans::No, self.coeffs.as_ref(), Trans::No, 0.0, out.as_mut())?;
+        gemm(
+            1.0,
+            skeleton.as_ref(),
+            Trans::No,
+            self.coeffs.as_ref(),
+            Trans::No,
+            0.0,
+            out.as_mut(),
+        )?;
         Ok(out)
     }
 
@@ -89,12 +97,27 @@ pub fn interpolative_decomposition(
         SamplingKind::Gaussian => {
             let omega = gaussian_mat(l, m, rng);
             let mut b = Mat::zeros(l, n);
-            gemm(1.0, omega.as_ref(), Trans::No, a.as_ref(), Trans::No, 0.0, b.as_mut())?;
+            gemm(
+                1.0,
+                omega.as_ref(),
+                Trans::No,
+                a.as_ref(),
+                Trans::No,
+                0.0,
+                b.as_mut(),
+            )?;
             b
         }
         SamplingKind::Fft(scheme) => SrftOperator::new(m, l, scheme, rng)?.sample_rows(a)?,
     };
-    let (b, _) = crate::power::power_iterate(a, &Mat::zeros(0, n), &Mat::zeros(0, m), b, cfg.q, cfg.reorth)?;
+    let (b, _) = crate::power::power_iterate(
+        a,
+        &Mat::zeros(0, n),
+        &Mat::zeros(0, m),
+        b,
+        cfg.q,
+        cfg.reorth,
+    )?;
 
     // Pivot on the sketch.
     let (r_hat, perm) = match cfg.step2 {
@@ -132,7 +155,10 @@ pub fn interpolative_decomposition(
     }
     // Undo the permutation so coeffs addresses original column order.
     let coeffs = perm.inverse().apply_cols(&x_permuted)?;
-    Ok(InterpolativeDecomposition { col_indices, coeffs })
+    Ok(InterpolativeDecomposition {
+        col_indices,
+        coeffs,
+    })
 }
 
 fn gather_cols(a: &Mat, cols: &[usize]) -> Mat {
@@ -146,28 +172,13 @@ fn gather_cols(a: &Mat, cols: &[usize]) -> Mat {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
-
-    fn rng(seed: u64) -> StdRng {
-        StdRng::seed_from_u64(seed)
-    }
-
-    fn decay_matrix(m: usize, n: usize, decay: f64, seed: u64) -> (Mat, Vec<f64>) {
-        let r = m.min(n);
-        let spec: Vec<f64> = (0..r).map(|i| decay.powi(i as i32)).collect();
-        let x = rlra_lapack::form_q(&gaussian_mat(m, r, &mut rng(seed)));
-        let y = rlra_lapack::form_q(&gaussian_mat(n, r, &mut rng(seed + 1)));
-        let xs = Mat::from_fn(m, r, |i, j| x[(i, j)] * spec[j]);
-        let mut a = Mat::zeros(m, n);
-        gemm(1.0, xs.as_ref(), Trans::No, y.as_ref(), Trans::Yes, 0.0, a.as_mut()).unwrap();
-        (a, spec)
-    }
+    use rlra_data::testmat::{decay_matrix, rng};
 
     #[test]
     fn identity_block_on_selected_columns() {
         let (a, _) = decay_matrix(50, 30, 0.6, 1);
-        let id = interpolative_decomposition(&a, &SamplerConfig::new(6).with_p(6), &mut rng(2)).unwrap();
+        let id =
+            interpolative_decomposition(&a, &SamplerConfig::new(6).with_p(6), &mut rng(2)).unwrap();
         assert_eq!(id.rank(), 6);
         // X restricted to the selected columns is the identity.
         for (r, &j) in id.col_indices.iter().enumerate() {
@@ -182,9 +193,14 @@ mod tests {
     fn error_within_factor_of_sigma() {
         let (a, spec) = decay_matrix(60, 40, 0.5, 3);
         let k = 7;
-        let id = interpolative_decomposition(&a, &SamplerConfig::new(k).with_p(8), &mut rng(4)).unwrap();
+        let id =
+            interpolative_decomposition(&a, &SamplerConfig::new(k).with_p(8), &mut rng(4)).unwrap();
         let err = id.error_spectral(&a).unwrap();
-        assert!(err < 60.0 * spec[k], "ID error {err:e} vs sigma {:e}", spec[k]);
+        assert!(
+            err < 60.0 * spec[k],
+            "ID error {err:e} vs sigma {:e}",
+            spec[k]
+        );
     }
 
     #[test]
@@ -192,8 +208,18 @@ mod tests {
         let x = gaussian_mat(30, 3, &mut rng(5));
         let y = gaussian_mat(3, 22, &mut rng(6));
         let mut a = Mat::zeros(30, 22);
-        gemm(1.0, x.as_ref(), Trans::No, y.as_ref(), Trans::No, 0.0, a.as_mut()).unwrap();
-        let id = interpolative_decomposition(&a, &SamplerConfig::new(3).with_p(5), &mut rng(7)).unwrap();
+        gemm(
+            1.0,
+            x.as_ref(),
+            Trans::No,
+            y.as_ref(),
+            Trans::No,
+            0.0,
+            a.as_mut(),
+        )
+        .unwrap();
+        let id =
+            interpolative_decomposition(&a, &SamplerConfig::new(3).with_p(5), &mut rng(7)).unwrap();
         let err = id.error_spectral(&a).unwrap();
         assert!(err < 1e-9 * rlra_matrix::norms::spectral_norm(a.as_ref()));
     }
@@ -201,7 +227,8 @@ mod tests {
     #[test]
     fn coefficients_stay_bounded() {
         let (a, _) = decay_matrix(80, 50, 0.7, 8);
-        let id = interpolative_decomposition(&a, &SamplerConfig::new(10).with_p(8), &mut rng(9)).unwrap();
+        let id = interpolative_decomposition(&a, &SamplerConfig::new(10).with_p(8), &mut rng(9))
+            .unwrap();
         // QRCP-based selection keeps interpolation coefficients modest.
         assert!(id.max_coeff() < 10.0, "max coeff {}", id.max_coeff());
     }
@@ -209,7 +236,9 @@ mod tests {
     #[test]
     fn tournament_step2_supported() {
         let (a, spec) = decay_matrix(70, 60, 0.6, 10);
-        let cfg = SamplerConfig::new(6).with_p(6).with_step2(Step2Kind::Tournament);
+        let cfg = SamplerConfig::new(6)
+            .with_p(6)
+            .with_step2(Step2Kind::Tournament);
         let id = interpolative_decomposition(&a, &cfg, &mut rng(11)).unwrap();
         assert!(id.error_spectral(&a).unwrap() < 60.0 * spec[6]);
     }
@@ -217,7 +246,8 @@ mod tests {
     #[test]
     fn distinct_indices() {
         let (a, _) = decay_matrix(40, 25, 0.5, 12);
-        let id = interpolative_decomposition(&a, &SamplerConfig::new(8).with_p(6), &mut rng(13)).unwrap();
+        let id = interpolative_decomposition(&a, &SamplerConfig::new(8).with_p(6), &mut rng(13))
+            .unwrap();
         let mut sorted = id.col_indices.clone();
         sorted.sort_unstable();
         sorted.dedup();

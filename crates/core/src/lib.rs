@@ -17,19 +17,25 @@
 //! 3. **QR** — a tall-skinny QR of `A·P₁:ₖ` (CholQR) produces `Q` and
 //!    `R = R̄·[I | T]`.
 //!
-//! Three execution paths are provided:
+//! The pipeline is written **once**, against the [`backend::Executor`]
+//! trait ([`backend::run_fixed_rank`]); four execution backends plug in:
 //!
-//! - [`fixed_rank::sample_fixed_rank`] — plain CPU reference,
-//! - [`gpu_exec::sample_fixed_rank_gpu`] — single simulated GPU with the
-//!   paper's phase-by-phase time breakdown (Figures 11–14),
-//! - [`multi::sample_fixed_rank_multi_gpu`] — the 1D block-row multi-GPU
-//!   variant of §4 (Figure 15),
+//! - [`backend::CpuExec`] — plain CPU reference,
+//! - [`backend::GpuExec`] — single simulated GPU with the paper's
+//!   phase-by-phase time breakdown (Figures 11–14),
+//! - [`backend::MultiGpuExec`] — the 1D block-row multi-GPU variant of §4
+//!   (Figure 15),
+//! - [`backend::ClusterExec`] — the distributed-memory extrapolation of
+//!   §11 (timing-only),
 //!
-//! plus the **adaptive sampling-size scheme** for the fixed-accuracy
-//! problem (the paper's Figure 3 and Figures 16–17) in [`adaptive`], and
-//! the deterministic truncated-QP3 **baseline** in [`baseline`].
+//! with thin compatibility wrappers in [`fixed_rank`], [`gpu_exec`],
+//! [`multi`] and [`cluster_exec`]. The **adaptive sampling-size scheme**
+//! for the fixed-accuracy problem (the paper's Figure 3 and Figures
+//! 16–17) lives in [`adaptive`], and the deterministic truncated-QP3
+//! **baseline** in [`baseline`].
 
 pub mod adaptive;
+pub mod backend;
 pub mod baseline;
 pub mod blr;
 pub mod cluster_exec;
@@ -43,20 +49,26 @@ pub mod id;
 pub mod multi;
 pub mod power;
 pub mod result;
-pub mod solvers;
 pub mod rsvd;
+pub mod solvers;
 
-pub use adaptive::{adaptive_sample, AdaptiveConfig, AdaptiveResult, AdaptiveStep, IncStrategy};
+pub use adaptive::{
+    adaptive_sample, adaptive_sample_exec, sample_fixed_accuracy, sample_fixed_accuracy_exec,
+    AdaptiveConfig, AdaptiveResult, AdaptiveStep, IncStrategy,
+};
+pub use backend::{
+    run_fixed_rank, ClusterExec, CpuExec, ExecReport, Executor, GpuExec, Input, MultiGpuExec,
+};
 pub use baseline::{qp3_low_rank, qp3_low_rank_gpu};
 pub use blr::{BlrBlock, BlrMatrix};
 pub use cluster_exec::{qp3_cluster_time, sample_fixed_rank_cluster, ClusterRunReport};
 pub use config::{SamplerConfig, SamplingKind, Step2Kind};
 pub use cur::{cur_decomposition, CurDecomposition};
-pub use fixed_rank::{finish_from_sampled, sample_fixed_rank};
+pub use fixed_rank::{finish_from_sampled, finish_from_sampled_with, sample_fixed_rank};
 pub use gpu_exec::{sample_fixed_rank_gpu, RunReport};
 pub use hodlr::HodlrMatrix;
 pub use id::{interpolative_decomposition, InterpolativeDecomposition};
-pub use multi::sample_fixed_rank_multi_gpu;
+pub use multi::{sample_fixed_rank_multi_gpu, scaling_report, HostInput, MultiRunReport};
 pub use result::LowRankApprox;
-pub use solvers::{identity_preconditioner, pcg, PcgResult};
 pub use rsvd::{randomized_svd, RandomizedSvd};
+pub use solvers::{identity_preconditioner, pcg, PcgResult};

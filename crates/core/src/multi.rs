@@ -1,51 +1,29 @@
 //! Multi-GPU execution of the fixed-rank sampler (paper §4 and
 //! Figure 15).
 //!
-//! `A` is distributed block-row-wise; `Ω` and `C` follow the matching 1D
-//! block-column layout of `Aᵀ`. Sampling and the power-iteration
-//! multiplies are local GEMMs followed by host reductions; the small QR
-//! of the reduced `ℓ × n` matrix runs on the CPU and is broadcast back;
-//! CholQR of the distributed `C` uses the Figure 4 scheme.
+//! Thin wrapper over the unified pipeline
+//! ([`crate::backend::run_fixed_rank`]) with the
+//! [`crate::backend::MultiGpuExec`] backend: `A` is distributed
+//! block-row-wise; `Ω` and `C` follow the matching 1D block-column
+//! layout of `Aᵀ`; the short-wide reductions run over the (simulated)
+//! PCIe bus.
 
-use crate::config::{SamplerConfig, SamplingKind};
+use crate::backend::{run_fixed_rank, Input, MultiGpuExec};
+use crate::config::SamplerConfig;
 use crate::result::LowRankApprox;
 use rand::Rng;
-use rlra_blas::{Diag, Side, Trans, UpLo};
-use rlra_gpu::{DMat, ExecMode, MultiGpu, Phase, Timeline};
-use rlra_matrix::{Mat, MatrixError, Result};
+use rlra_gpu::{ExecMode, MultiGpu};
+use rlra_matrix::Result;
 
-/// Timing report of a multi-GPU run.
-#[derive(Debug, Clone)]
-pub struct MultiRunReport {
-    /// Simulated wall-clock seconds (the slowest GPU).
-    pub seconds: f64,
-    /// Per-phase breakdown (max across GPUs; collective phases are
-    /// charged to every GPU so the max is exact for them).
-    pub timeline: Timeline,
-    /// Total communication/host time (the paper's "Comms" bar).
-    pub comms: f64,
-    /// Number of GPUs used.
-    pub ng: usize,
-}
+/// Timing report of a multi-GPU run (the unified
+/// [`crate::backend::ExecReport`]; `devices` is the GPU count and
+/// `comms` the paper's "Comms" bar).
+pub type MultiRunReport = crate::backend::ExecReport;
 
 /// Host-side input: real values for compute mode, or shape-only for dry
-/// runs at the paper's full sizes.
-#[derive(Debug, Clone, Copy)]
-pub enum HostInput<'a> {
-    /// Materialized matrix.
-    Values(&'a Mat),
-    /// `(m, n)` shape only (dry-run mode).
-    Shape(usize, usize),
-}
-
-impl HostInput<'_> {
-    fn shape(&self) -> (usize, usize) {
-        match self {
-            HostInput::Values(a) => a.shape(),
-            HostInput::Shape(m, n) => (*m, *n),
-        }
-    }
-}
+/// runs at the paper's full sizes. Alias of the unified
+/// [`crate::backend::Input`].
+pub type HostInput<'a> = Input<'a>;
 
 /// Runs fixed-rank random sampling across `mg.ng()` simulated GPUs.
 ///
@@ -54,185 +32,17 @@ impl HostInput<'_> {
 ///
 /// # Errors
 ///
-/// Returns configuration errors, a parameter error for FFT sampling, and
-/// propagates kernel failures. `HostInput::Shape` with a compute-mode
-/// context is also rejected.
+/// Returns configuration errors, [`rlra_matrix::MatrixError::Unsupported`]
+/// for FFT sampling or for `HostInput::Shape` with a compute-mode
+/// context, and propagates kernel failures.
 pub fn sample_fixed_rank_multi_gpu(
     mg: &mut MultiGpu,
     a: HostInput<'_>,
     cfg: &SamplerConfig,
     rng: &mut impl Rng,
 ) -> Result<(Option<LowRankApprox>, MultiRunReport)> {
-    let (m, n) = a.shape();
-    cfg.validate(m, n)?;
-    if !matches!(cfg.sampling, SamplingKind::Gaussian) {
-        return Err(MatrixError::InvalidParameter {
-            name: "sampling",
-            message: "multi-GPU path supports Gaussian sampling only".into(),
-        });
-    }
-    let compute = mg.mode() == ExecMode::Compute;
-    if compute && matches!(a, HostInput::Shape(..)) {
-        return Err(MatrixError::InvalidParameter {
-            name: "a",
-            message: "compute mode needs HostInput::Values".into(),
-        });
-    }
-    let l = cfg.l();
-    let k = cfg.k;
-    let ng = mg.ng();
-    let t0 = mg.time();
-
-    // --- Distribute A block-row-wise ---------------------------------------
-    let a_parts: Vec<DMat> = match a {
-        HostInput::Values(am) => mg.distribute_rows(am, false),
-        HostInput::Shape(m, n) => mg.distribute_rows_shape(m, n),
-    };
-
-    // --- Step 1a: local sampling, then reduction ----------------------------
-    // Ω is distributed in the block-column layout of Aᵀ: GPU i draws its
-    // own l × m_i chunk (independent cuRAND streams in parallel).
-    let mut b_parts = Vec::with_capacity(ng);
-    for (i, ap) in a_parts.iter().enumerate() {
-        let mi = ap.rows();
-        let gpu = mg.gpu_mut(i);
-        let omega_i = gpu.curand_gaussian(Phase::Prng, l, mi, rng);
-        let mut bi = gpu.alloc(l, n);
-        gpu.gemm(Phase::Sampling, 1.0, &omega_i, Trans::No, ap, Trans::No, 0.0, &mut bi)?;
-        b_parts.push(bi);
-    }
-    let mut b_host = mg.reduce_to_host(Phase::Comms, &b_parts)?;
-
-    // --- Step 1b: power iterations -------------------------------------------
-    for _ in 0..cfg.q {
-        // QR of the small l × n matrix B on the CPU (paper §4), then
-        // broadcast the orthonormal factor.
-        charge_host_rows_qr(mg, l, n, cfg.reorth);
-        if compute {
-            b_host = crate::power::orth_rows(&b_host, cfg.reorth)?;
-        }
-        let b_bcast = mg.broadcast(Phase::Comms, &b_host);
-        // C(i) = B · A(i)ᵀ — column-distributed like Aᵀ.
-        let mut c_parts = Vec::with_capacity(ng);
-        for (i, ap) in a_parts.iter().enumerate() {
-            let mi = ap.rows();
-            let gpu = mg.gpu_mut(i);
-            let mut ci = gpu.alloc(l, mi);
-            gpu.gemm(Phase::GemmIter, 1.0, &b_bcast[i], Trans::No, ap, Trans::Yes, 0.0, &mut ci)?;
-            c_parts.push(ci);
-        }
-        // Distributed CholQR of C (Figure 4).
-        mg.cholqr_rows_distributed(Phase::OrthIter, &mut c_parts, cfg.reorth)?;
-        // B(i) = C(i) · A(i), reduce.
-        let mut b_next = Vec::with_capacity(ng);
-        for (i, ap) in a_parts.iter().enumerate() {
-            let gpu = mg.gpu_mut(i);
-            let mut bi = gpu.alloc(l, n);
-            gpu.gemm(Phase::GemmIter, 1.0, &c_parts[i], Trans::No, ap, Trans::No, 0.0, &mut bi)?;
-            b_next.push(bi);
-        }
-        b_host = mg.reduce_to_host(Phase::Comms, &b_next)?;
-    }
-
-    // --- Step 2: truncated QP3 of B on GPU 0 ---------------------------------
-    let (qp3_host, t_part) = {
-        let gpu0 = mg.gpu_mut(0);
-        let b_dev =
-            if compute { gpu0.resident(&b_host) } else { gpu0.resident_shape(l, n) };
-        let qp3 = rlra_gpu::algos::gpu_qp3_truncated(gpu0, Phase::Qrcp, &b_dev, k)?;
-        if n > k {
-            gpu0.charge(Phase::Qrcp, gpu0.cost().trsm(k, n - k));
-        }
-        // Compute T on the host for the final assembly.
-        let t = qp3.result.as_ref().map(|res| -> Result<Mat> {
-            let r_hat = res.r();
-            let r11 = r_hat.submatrix(0, 0, k, k);
-            let mut t = r_hat.submatrix(0, k, k, n - k);
-            if n > k {
-                rlra_blas::trsm(Side::Left, UpLo::Upper, Trans::No, Diag::NonUnit, 1.0, r11.as_ref(), t.as_mut())?;
-            }
-            Ok(t)
-        });
-        let t = match t {
-            Some(Ok(t)) => Some(t),
-            Some(Err(e)) => return Err(e),
-            None => None,
-        };
-        (qp3.result, t)
-    };
-    mg.barrier();
-
-    // --- Step 3: distributed tall-skinny QR of A·P₁:ₖ -------------------------
-    // Each GPU gathers its local rows of the k pivot columns.
-    let mut x_parts = Vec::with_capacity(ng);
-    let chunks = mg.row_chunks(m);
-    for (i, &(start, len)) in chunks.iter().enumerate() {
-        let gpu = mg.gpu_mut(i);
-        gpu.charge(Phase::Qr, gpu.cost().blas1(len * k, 2.0)); // gather copy
-        let part = if compute {
-            let am = match a {
-                HostInput::Values(am) => am,
-                HostInput::Shape(..) => unreachable!("validated above"),
-            };
-            let perm = &qp3_host.as_ref().expect("compute mode").perm;
-            let block = am.submatrix(start, 0, len, n);
-            gpu.resident(&perm.apply_cols_truncated(&block, k)?)
-        } else {
-            gpu.resident_shape(len, k)
-        };
-        x_parts.push(part);
-    }
-    let r_bar = mg.cholqr_tall_distributed(Phase::Qr, &mut x_parts, cfg.reorth)?;
-    // Triangular finish on GPU 0.
-    {
-        let gpu0 = mg.gpu_mut(0);
-        gpu0.charge(Phase::Qr, gpu0.cost().trsm(k, n));
-    }
-    mg.barrier();
-
-    let report = MultiRunReport {
-        seconds: mg.time() - t0,
-        timeline: mg.breakdown(),
-        comms: mg.comms_time(),
-        ng,
-    };
-
-    let approx = if compute {
-        let qp3_host = qp3_host.expect("compute mode");
-        let t = t_part.expect("compute mode");
-        let perm = qp3_host.perm.clone();
-        // Q: concatenate the distributed row blocks.
-        let mut q = Mat::zeros(m, k);
-        let mut row = 0;
-        for p in &x_parts {
-            let pm = p.expect_values();
-            q.set_submatrix(row, 0, pm);
-            row += pm.rows();
-        }
-        let mut r = Mat::zeros(k, n);
-        r.set_submatrix(0, 0, &r_bar);
-        if n > k {
-            let mut rt = Mat::zeros(k, n - k);
-            rlra_blas::gemm(1.0, r_bar.as_ref(), Trans::No, t.as_ref(), Trans::No, 0.0, rt.as_mut())?;
-            r.set_submatrix(0, k, &rt);
-        }
-        Some(LowRankApprox { q, r, perm })
-    } else {
-        None
-    };
-    Ok((approx, report))
-}
-
-/// Charges the host-side QR of the reduced `l × n` sampled matrix
-/// (CholQR flop count on the CPU, paper §4) to every GPU.
-fn charge_host_rows_qr(mg: &mut MultiGpu, l: usize, n: usize, reorth: bool) {
-    let passes = if reorth { 2.0 } else { 1.0 };
-    let flops = passes * 2.0 * l as f64 * l as f64 * n as f64;
-    let cost = mg.gpu(0).cost().clone();
-    let secs = cost.host_flops(flops) + cost.host_cholesky(l);
-    for i in 0..mg.ng() {
-        mg.gpu_mut(i).charge(Phase::OrthIter, secs);
-    }
+    let mut exec = MultiGpuExec::new(mg);
+    run_fixed_rank(&mut exec, a, cfg, rng)
 }
 
 /// Convenience wrapper for dry-run scaling studies: returns only the
@@ -256,30 +66,13 @@ pub fn scaling_report(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use crate::config::SamplingKind;
+    use rlra_data::testmat::{decay_matrix, rng};
     use rlra_gpu::DeviceSpec;
-    use rlra_matrix::gaussian_mat;
-
-    fn rng(seed: u64) -> StdRng {
-        StdRng::seed_from_u64(seed)
-    }
-
-    fn decay_matrix(m: usize, n: usize, decay: f64, seed: u64) -> Mat {
-        let r = m.min(n);
-        let spec: Vec<f64> = (0..r).map(|i| decay.powi(i as i32)).collect();
-        let x = rlra_lapack::form_q(&gaussian_mat(m, r, &mut rng(seed)));
-        let y = rlra_lapack::form_q(&gaussian_mat(n, r, &mut rng(seed + 1)));
-        let xs = Mat::from_fn(m, r, |i, j| x[(i, j)] * spec[j]);
-        let mut a = Mat::zeros(m, n);
-        rlra_blas::gemm(1.0, xs.as_ref(), Trans::No, y.as_ref(), Trans::Yes, 0.0, a.as_mut())
-            .unwrap();
-        a
-    }
 
     #[test]
     fn multi_gpu_result_is_a_valid_low_rank_approx() {
-        let a = decay_matrix(60, 30, 0.5, 1);
+        let (a, _) = decay_matrix(60, 30, 0.5, 1);
         let cfg = SamplerConfig::new(5).with_p(3).with_q(1);
         let mut mg = MultiGpu::new(3, DeviceSpec::k40c(), ExecMode::Compute);
         let (lr, report) =
@@ -287,13 +80,14 @@ mod tests {
         let lr = lr.unwrap();
         assert_eq!(lr.q.shape(), (60, 5));
         assert!(rlra_lapack::householder::orthogonality_error(&lr.q) < 1e-10);
-        // Error comparable to a single-GPU run of the same config.
-        let err = lr.error_spectral(&a).unwrap();
-        let single = crate::fixed_rank::sample_fixed_rank(&a, &cfg, &mut rng(3)).unwrap();
-        let err_single = single.error_spectral(&a).unwrap();
-        assert!(err < err_single * 20.0 + 1e-12, "multi {err:e} vs single {err_single:e}");
+        // The unified pipeline runs the numerics on the host, so the
+        // result is identical to the single-GPU/CPU run of the same seed.
+        let single = crate::fixed_rank::sample_fixed_rank(&a, &cfg, &mut rng(2)).unwrap();
+        assert_eq!(lr.q, single.q);
+        assert_eq!(lr.r, single.r);
+        assert_eq!(lr.perm.as_slice(), single.perm.as_slice());
         assert!(report.comms > 0.0);
-        assert_eq!(report.ng, 3);
+        assert_eq!(report.devices, 3);
     }
 
     #[test]
@@ -302,9 +96,15 @@ mod tests {
         // reports overall speedups ≈ 2.4× (2 GPUs) and 3.8× (3 GPUs) —
         // superlinear because the GEMM chunks become less skinny.
         let cfg = SamplerConfig::new(54).with_p(10).with_q(1);
-        let t1 = scaling_report(1, 150_000, 2_500, &cfg, &mut rng(4)).unwrap().seconds;
-        let t2 = scaling_report(2, 150_000, 2_500, &cfg, &mut rng(4)).unwrap().seconds;
-        let t3 = scaling_report(3, 150_000, 2_500, &cfg, &mut rng(4)).unwrap().seconds;
+        let t1 = scaling_report(1, 150_000, 2_500, &cfg, &mut rng(4))
+            .unwrap()
+            .seconds;
+        let t2 = scaling_report(2, 150_000, 2_500, &cfg, &mut rng(4))
+            .unwrap()
+            .seconds;
+        let t3 = scaling_report(3, 150_000, 2_500, &cfg, &mut rng(4))
+            .unwrap()
+            .seconds;
         let s2 = t1 / t2;
         let s3 = t1 / t3;
         assert!(s2 > 1.8 && s2 < 3.2, "2-GPU speedup {s2:.2} (paper: 2.4)");
@@ -331,10 +131,16 @@ mod tests {
         let cfg = SamplerConfig::new(5)
             .with_p(3)
             .with_sampling(SamplingKind::Fft(rlra_fft::SrftScheme::Full));
-        assert!(
+        let err =
             sample_fixed_rank_multi_gpu(&mut mg, HostInput::Shape(100, 50), &cfg, &mut rng(6))
-                .is_err()
-        );
+                .unwrap_err();
+        assert!(matches!(
+            err,
+            rlra_matrix::MatrixError::Unsupported {
+                backend: "multi-gpu",
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -352,7 +158,9 @@ mod tests {
         // A 1-GPU MultiGpu run should cost about the same as the plain
         // single-GPU path (modulo the host-side reductions it performs).
         let cfg = SamplerConfig::new(54).with_p(10).with_q(1);
-        let t_multi = scaling_report(1, 50_000, 2_500, &cfg, &mut rng(8)).unwrap().seconds;
+        let t_multi = scaling_report(1, 50_000, 2_500, &cfg, &mut rng(8))
+            .unwrap()
+            .seconds;
         let mut gpu = rlra_gpu::Gpu::k40c_dry();
         let ad = gpu.resident_shape(50_000, 2_500);
         let (_, rep) =

@@ -52,13 +52,29 @@ pub fn power_iterate(
         b_new = orth_rows(&b_new, reorth)?;
         // C_new = B_new · Aᵀ  (ℓnew × m).
         let mut c = Mat::zeros(lnew, m);
-        rlra_blas::gemm(1.0, b_new.as_ref(), Trans::No, a.as_ref(), Trans::Yes, 0.0, c.as_mut())?;
+        rlra_blas::gemm(
+            1.0,
+            b_new.as_ref(),
+            Trans::No,
+            a.as_ref(),
+            Trans::Yes,
+            0.0,
+            c.as_mut(),
+        )?;
         // Orthogonalize C_new against accepted C rows, then internally.
         block_orth_rows(c_prev, &mut c, reorth)?;
         c_new = orth_rows(&c, reorth)?;
         // B_new = C_new · A  (ℓnew × n).
         let mut b = Mat::zeros(lnew, n);
-        rlra_blas::gemm(1.0, c_new.as_ref(), Trans::No, a.as_ref(), Trans::No, 0.0, b.as_mut())?;
+        rlra_blas::gemm(
+            1.0,
+            c_new.as_ref(),
+            Trans::No,
+            a.as_ref(),
+            Trans::No,
+            0.0,
+            b.as_mut(),
+        )?;
         b_new = b;
     }
     Ok((b_new, c_new))
@@ -67,7 +83,11 @@ pub fn power_iterate(
 /// Row-orthonormalizes a short-wide matrix with CholQR (falling back to
 /// Householder on breakdown, as the paper recommends).
 pub fn orth_rows(b: &Mat, reorth: bool) -> Result<Mat> {
-    let attempt = if reorth { rlra_lapack::cholqr_rows2(b) } else { rlra_lapack::cholqr_rows(b) };
+    let attempt = if reorth {
+        rlra_lapack::cholqr_rows2(b)
+    } else {
+        rlra_lapack::cholqr_rows(b)
+    };
     match attempt {
         Ok((q, _)) => Ok(q),
         Err(rlra_matrix::MatrixError::NotPositiveDefinite { .. }) => {
@@ -97,8 +117,16 @@ mod tests {
         let v = rlra_lapack::form_q(&gaussian_mat(n, spec.len(), &mut rng(seed + 1)));
         let us = Mat::from_fn(m, spec.len(), |i, j| u[(i, j)] * spec[j]);
         let mut a = Mat::zeros(m, n);
-        rlra_blas::gemm(1.0, us.as_ref(), Trans::No, v.as_ref(), Trans::Yes, 0.0, a.as_mut())
-            .unwrap();
+        rlra_blas::gemm(
+            1.0,
+            us.as_ref(),
+            Trans::No,
+            v.as_ref(),
+            Trans::Yes,
+            0.0,
+            a.as_mut(),
+        )
+        .unwrap();
         a
     }
 
@@ -136,8 +164,16 @@ mod tests {
         let l = 6;
         let omega = gaussian_mat(l, m, &mut rng(4));
         let mut b0 = Mat::zeros(l, n);
-        rlra_blas::gemm(1.0, omega.as_ref(), Trans::No, a.as_ref(), Trans::No, 0.0, b0.as_mut())
-            .unwrap();
+        rlra_blas::gemm(
+            1.0,
+            omega.as_ref(),
+            Trans::No,
+            a.as_ref(),
+            Trans::No,
+            0.0,
+            b0.as_mut(),
+        )
+        .unwrap();
         let empty_b = Mat::zeros(0, n);
         let empty_c = Mat::zeros(0, m);
 
@@ -145,11 +181,27 @@ mod tests {
             // ‖A − A BᵀB‖₂ with B row-orthonormalized.
             let q = orth_rows(b, true).unwrap();
             let mut abt = Mat::zeros(m, l);
-            rlra_blas::gemm(1.0, a.as_ref(), Trans::No, q.as_ref(), Trans::Yes, 0.0, abt.as_mut())
-                .unwrap();
+            rlra_blas::gemm(
+                1.0,
+                a.as_ref(),
+                Trans::No,
+                q.as_ref(),
+                Trans::Yes,
+                0.0,
+                abt.as_mut(),
+            )
+            .unwrap();
             let mut rec = Mat::zeros(m, n);
-            rlra_blas::gemm(1.0, abt.as_ref(), Trans::No, q.as_ref(), Trans::No, 0.0, rec.as_mut())
-                .unwrap();
+            rlra_blas::gemm(
+                1.0,
+                abt.as_ref(),
+                Trans::No,
+                q.as_ref(),
+                Trans::No,
+                0.0,
+                rec.as_mut(),
+            )
+            .unwrap();
             let diff = rlra_matrix::ops::sub(&a, &rec).unwrap();
             rlra_matrix::norms::spectral_norm(diff.as_ref())
         };
@@ -167,8 +219,15 @@ mod tests {
     fn q_zero_returns_input_unchanged() {
         let a = spectrum_matrix(20, 10, 0.5, 5);
         let b = gaussian_mat(3, 10, &mut rng(6));
-        let (b_out, c_out) = power_iterate(&a, &Mat::zeros(0, 10), &Mat::zeros(0, 20), b.clone(), 0, true)
-            .unwrap();
+        let (b_out, c_out) = power_iterate(
+            &a,
+            &Mat::zeros(0, 10),
+            &Mat::zeros(0, 20),
+            b.clone(),
+            0,
+            true,
+        )
+        .unwrap();
         assert_eq!(b_out, b);
         assert_eq!(c_out.rows(), 0);
     }
@@ -181,8 +240,16 @@ mod tests {
         // Accepted basis: 4 orthonormal rows of B and matching C rows.
         let b_prev = orth_rows(&gaussian_mat(4, n, &mut rng(8)), true).unwrap();
         let mut c_prev_raw = Mat::zeros(4, m);
-        rlra_blas::gemm(1.0, b_prev.as_ref(), Trans::No, a.as_ref(), Trans::Yes, 0.0, c_prev_raw.as_mut())
-            .unwrap();
+        rlra_blas::gemm(
+            1.0,
+            b_prev.as_ref(),
+            Trans::No,
+            a.as_ref(),
+            Trans::Yes,
+            0.0,
+            c_prev_raw.as_mut(),
+        )
+        .unwrap();
         let c_prev = orth_rows(&c_prev_raw, true).unwrap();
         let b_new = gaussian_mat(3, n, &mut rng(9));
         let (b_out, c_out) = power_iterate(&a, &b_prev, &c_prev, b_new, 1, true).unwrap();

@@ -26,8 +26,16 @@ impl LowRankApprox {
     /// in pivot order).
     pub fn reconstruct_permuted(&self) -> Mat {
         let mut out = Mat::zeros(self.q.rows(), self.r.cols());
-        rlra_blas::gemm(1.0, self.q.as_ref(), Trans::No, self.r.as_ref(), Trans::No, 0.0, out.as_mut())
-            .expect("factor shapes are consistent");
+        rlra_blas::gemm(
+            1.0,
+            self.q.as_ref(),
+            Trans::No,
+            self.r.as_ref(),
+            Trans::No,
+            0.0,
+            out.as_mut(),
+        )
+        .expect("factor shapes are consistent");
         out
     }
 

@@ -38,7 +38,15 @@ impl RandomizedSvd {
         let k = self.rank();
         let us = Mat::from_fn(self.u.rows(), k, |i, j| self.u[(i, j)] * self.sigma[j]);
         let mut out = Mat::zeros(self.u.rows(), self.v.rows());
-        gemm(1.0, us.as_ref(), Trans::No, self.v.as_ref(), Trans::Yes, 0.0, out.as_mut())?;
+        gemm(
+            1.0,
+            us.as_ref(),
+            Trans::No,
+            self.v.as_ref(),
+            Trans::Yes,
+            0.0,
+            out.as_mut(),
+        )?;
         Ok(out)
     }
 
@@ -73,18 +81,41 @@ pub fn randomized_svd(a: &Mat, cfg: &SamplerConfig, rng: &mut impl Rng) -> Resul
         SamplingKind::Gaussian => {
             let omega = gaussian_mat(l, m, rng);
             let mut b = Mat::zeros(l, n);
-            gemm(1.0, omega.as_ref(), Trans::No, a.as_ref(), Trans::No, 0.0, b.as_mut())?;
+            gemm(
+                1.0,
+                omega.as_ref(),
+                Trans::No,
+                a.as_ref(),
+                Trans::No,
+                0.0,
+                b.as_mut(),
+            )?;
             b
         }
         SamplingKind::Fft(scheme) => SrftOperator::new(m, l, scheme, rng)?.sample_rows(a)?,
     };
-    let (b, _) = power_iterate(a, &Mat::zeros(0, n), &Mat::zeros(0, m), b, cfg.q, cfg.reorth)?;
+    let (b, _) = power_iterate(
+        a,
+        &Mat::zeros(0, n),
+        &Mat::zeros(0, m),
+        b,
+        cfg.q,
+        cfg.reorth,
+    )?;
     // Row-orthonormal basis Q_B (l × n).
     let qb = orth_rows(&b, cfg.reorth)?;
 
     // Step 2: project A onto the basis: W = A·Q_Bᵀ (m × l).
     let mut w = Mat::zeros(m, l);
-    gemm(1.0, a.as_ref(), Trans::No, qb.as_ref(), Trans::Yes, 0.0, w.as_mut())?;
+    gemm(
+        1.0,
+        a.as_ref(),
+        Trans::No,
+        qb.as_ref(),
+        Trans::Yes,
+        0.0,
+        w.as_mut(),
+    )?;
 
     // Step 3: small SVD of W (Golub–Kahan — the projected matrix has
     // l columns, where bidiagonalization beats Jacobi sweeps), then
@@ -96,31 +127,23 @@ pub fn randomized_svd(a: &Mat, cfg: &SamplerConfig, rng: &mut impl Rng) -> Resul
     // V = Q_Bᵀ · V_small (n × kk).
     let vsmall = svd.v.columns(0, kk);
     let mut v = Mat::zeros(n, kk);
-    gemm(1.0, qb.as_ref(), Trans::Yes, vsmall.as_ref(), Trans::No, 0.0, v.as_mut())?;
+    gemm(
+        1.0,
+        qb.as_ref(),
+        Trans::Yes,
+        vsmall.as_ref(),
+        Trans::No,
+        0.0,
+        v.as_mut(),
+    )?;
     Ok(RandomizedSvd { u, sigma, v })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use rlra_data::testmat::{decay_matrix, rng};
     use rlra_lapack::householder::orthogonality_error;
-
-    fn rng(seed: u64) -> StdRng {
-        StdRng::seed_from_u64(seed)
-    }
-
-    fn decay_matrix(m: usize, n: usize, decay: f64, seed: u64) -> (Mat, Vec<f64>) {
-        let r = m.min(n);
-        let spec: Vec<f64> = (0..r).map(|i| decay.powi(i as i32)).collect();
-        let x = rlra_lapack::form_q(&gaussian_mat(m, r, &mut rng(seed)));
-        let y = rlra_lapack::form_q(&gaussian_mat(n, r, &mut rng(seed + 1)));
-        let xs = Mat::from_fn(m, r, |i, j| x[(i, j)] * spec[j]);
-        let mut a = Mat::zeros(m, n);
-        gemm(1.0, xs.as_ref(), Trans::No, y.as_ref(), Trans::Yes, 0.0, a.as_mut()).unwrap();
-        (a, spec)
-    }
 
     #[test]
     fn factors_orthonormal_and_sigma_sorted() {
@@ -179,7 +202,16 @@ mod tests {
         let x = gaussian_mat(40, 3, &mut rng(9));
         let y = gaussian_mat(3, 25, &mut rng(10));
         let mut a = Mat::zeros(40, 25);
-        gemm(1.0, x.as_ref(), Trans::No, y.as_ref(), Trans::No, 0.0, a.as_mut()).unwrap();
+        gemm(
+            1.0,
+            x.as_ref(),
+            Trans::No,
+            y.as_ref(),
+            Trans::No,
+            0.0,
+            a.as_mut(),
+        )
+        .unwrap();
         let cfg = SamplerConfig::new(3).with_p(5);
         let svd = randomized_svd(&a, &cfg, &mut rng(11)).unwrap();
         let err = svd.error_spectral(&a).unwrap();

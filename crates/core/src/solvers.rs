@@ -35,13 +35,7 @@ pub struct PcgResult {
 ///
 /// Returns [`MatrixError::DimensionMismatch`] on shape errors and
 /// propagates preconditioner failures.
-pub fn pcg<P>(
-    a: &Mat,
-    b: &[f64],
-    mut precond: P,
-    tol: f64,
-    max_iter: usize,
-) -> Result<PcgResult>
+pub fn pcg<P>(a: &Mat, b: &[f64], mut precond: P, tol: f64, max_iter: usize) -> Result<PcgResult>
 where
     P: FnMut(&[f64]) -> Result<Vec<f64>>,
 {
@@ -55,7 +49,12 @@ where
     }
     let bnorm = rlra_matrix::norms::vec_norm2(b);
     if bnorm == 0.0 {
-        return Ok(PcgResult { x: vec![0.0; n], iterations: 0, relative_residual: 0.0, converged: true });
+        return Ok(PcgResult {
+            x: vec![0.0; n],
+            iterations: 0,
+            relative_residual: 0.0,
+            converged: true,
+        });
     }
     let mut x = vec![0.0f64; n];
     let mut r = b.to_vec();
@@ -69,7 +68,9 @@ where
         if pap <= 0.0 {
             return Err(MatrixError::InvalidParameter {
                 name: "a",
-                message: format!("matrix is not positive definite (p'Ap = {pap:e} at iteration {it})"),
+                message: format!(
+                    "matrix is not positive definite (p'Ap = {pap:e} at iteration {it})"
+                ),
             });
         }
         let alpha = rz / pap;
@@ -93,7 +94,12 @@ where
         }
     }
     let rnorm = rlra_matrix::norms::vec_norm2(&r);
-    Ok(PcgResult { x, iterations: max_iter, relative_residual: rnorm / bnorm, converged: false })
+    Ok(PcgResult {
+        x,
+        iterations: max_iter,
+        relative_residual: rnorm / bnorm,
+        converged: false,
+    })
 }
 
 /// The trivial preconditioner `M = I` (plain CG).
@@ -125,7 +131,11 @@ mod tests {
     fn plain_cg_converges_on_spd() {
         let (a, b) = system(128);
         let res = pcg(&a, &b, identity_preconditioner, 1e-10, 2000).unwrap();
-        assert!(res.converged, "CG should converge: resid {:e}", res.relative_residual);
+        assert!(
+            res.converged,
+            "CG should converge: resid {:e}",
+            res.relative_residual
+        );
         // Verify against a direct solve.
         let x_direct = rlra_lapack::lu_solve(&a, &Mat::from_col_major(128, 1, b).unwrap()).unwrap();
         for (p, q) in res.x.iter().zip(x_direct.as_slice()) {

@@ -1,0 +1,139 @@
+//! Cross-backend equivalence: the unified pipeline must produce
+//! **bit-identical** factors on every computing backend, and the
+//! adaptive scheme must take the same trajectory on CPU and GPU.
+//!
+//! This is the acceptance test for the `Executor` refactor: the
+//! numerics live in one place ([`rlra_core::backend::run_fixed_rank`]),
+//! so the backends can only differ in what they *charge*, never in what
+//! they *compute*.
+
+use rlra_core::backend::{run_fixed_rank, CpuExec, GpuExec, Input, MultiGpuExec};
+use rlra_core::{
+    adaptive_sample, adaptive_sample_exec, AdaptiveConfig, SamplerConfig, SamplingKind, Step2Kind,
+};
+use rlra_data::testmat::{decay_matrix, exponent_matrix, rng};
+use rlra_gpu::{DeviceSpec, ExecMode, Gpu, MultiGpu};
+
+fn configs() -> Vec<SamplerConfig> {
+    vec![
+        SamplerConfig::new(5).with_p(3),
+        SamplerConfig::new(8).with_p(4).with_q(2),
+        SamplerConfig::new(6)
+            .with_p(6)
+            .with_step2(Step2Kind::Tournament),
+        SamplerConfig::new(7).with_p(5).with_q(1).without_reorth(),
+    ]
+}
+
+#[test]
+fn fixed_rank_factors_bit_identical_across_backends() {
+    let (a, _) = decay_matrix(90, 45, 0.6, 42);
+    for (ci, cfg) in configs().iter().enumerate() {
+        let seed = 100 + ci as u64;
+
+        let mut cpu = CpuExec::new();
+        let (cpu_lr, cpu_rep) =
+            run_fixed_rank(&mut cpu, Input::Values(&a), cfg, &mut rng(seed)).unwrap();
+        let cpu_lr = cpu_lr.unwrap();
+
+        let mut gpu = Gpu::k40c();
+        let mut ge = GpuExec::new(&mut gpu);
+        let (gpu_lr, gpu_rep) =
+            run_fixed_rank(&mut ge, Input::Values(&a), cfg, &mut rng(seed)).unwrap();
+        let gpu_lr = gpu_lr.unwrap();
+
+        let mut mg = MultiGpu::new(3, DeviceSpec::k40c(), ExecMode::Compute);
+        let mut me = MultiGpuExec::new(&mut mg);
+        let (multi_lr, multi_rep) =
+            run_fixed_rank(&mut me, Input::Values(&a), cfg, &mut rng(seed)).unwrap();
+        let multi_lr = multi_lr.unwrap();
+
+        // Bit-identical factors, not approximately equal.
+        assert_eq!(cpu_lr.q, gpu_lr.q, "config {ci}: Q cpu vs gpu");
+        assert_eq!(cpu_lr.r, gpu_lr.r, "config {ci}: R cpu vs gpu");
+        assert_eq!(
+            cpu_lr.perm.as_slice(),
+            gpu_lr.perm.as_slice(),
+            "config {ci}: perm"
+        );
+        assert_eq!(cpu_lr.q, multi_lr.q, "config {ci}: Q cpu vs multi");
+        assert_eq!(cpu_lr.r, multi_lr.r, "config {ci}: R cpu vs multi");
+        assert_eq!(
+            cpu_lr.perm.as_slice(),
+            multi_lr.perm.as_slice(),
+            "config {ci}: perm multi"
+        );
+
+        // The costs are backend-specific: CPU charges nothing, the
+        // simulated devices do.
+        assert_eq!(cpu_rep.seconds, 0.0);
+        assert_eq!(cpu_rep.devices, 0);
+        assert!(gpu_rep.seconds > 0.0);
+        assert_eq!(gpu_rep.devices, 1);
+        assert!(multi_rep.seconds > 0.0);
+        assert!(multi_rep.comms > 0.0);
+        assert_eq!(multi_rep.devices, 3);
+    }
+}
+
+#[test]
+fn fft_sampling_bit_identical_cpu_vs_gpu() {
+    let (a, _) = decay_matrix(64, 32, 0.55, 7);
+    let cfg = SamplerConfig::new(6)
+        .with_p(6)
+        .with_sampling(SamplingKind::Fft(rlra_fft::SrftScheme::Full));
+
+    let mut cpu = CpuExec::new();
+    let (cpu_lr, _) = run_fixed_rank(&mut cpu, Input::Values(&a), &cfg, &mut rng(3)).unwrap();
+    let mut gpu = Gpu::k40c();
+    let mut ge = GpuExec::new(&mut gpu);
+    let (gpu_lr, _) = run_fixed_rank(&mut ge, Input::Values(&a), &cfg, &mut rng(3)).unwrap();
+
+    let (c, g) = (cpu_lr.unwrap(), gpu_lr.unwrap());
+    assert_eq!(c.q, g.q);
+    assert_eq!(c.r, g.r);
+    assert_eq!(c.perm.as_slice(), g.perm.as_slice());
+}
+
+#[test]
+fn dry_run_timing_unaffected_by_backend_refactor_consumes_no_values() {
+    // Shape-only input on a dry-run GPU still yields the timing report,
+    // and the same seed gives the same simulated time (determinism).
+    let cfg = SamplerConfig::new(54).with_p(10).with_q(1);
+    let run = || {
+        let mut gpu = Gpu::k40c_dry();
+        let mut ge = GpuExec::new(&mut gpu);
+        let (lr, rep) =
+            run_fixed_rank(&mut ge, Input::Shape(50_000, 2_500), &cfg, &mut rng(5)).unwrap();
+        assert!(lr.is_none());
+        rep.seconds
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn adaptive_trajectory_identical_cpu_vs_gpu() {
+    let a = exponent_matrix(220, 64, 17);
+    let cfg = AdaptiveConfig {
+        l_max: 64,
+        ..AdaptiveConfig::new(2e-3, 8)
+    };
+
+    let mut gpu = Gpu::k40c();
+    let on_gpu = adaptive_sample(&mut gpu, &a, &cfg, &mut rng(23)).unwrap();
+    let mut cpu = CpuExec::new();
+    let (on_cpu, _rep) = adaptive_sample_exec(&mut cpu, &a, &cfg, &mut rng(23)).unwrap();
+
+    assert_eq!(on_cpu.l(), on_gpu.l(), "same final sample size l");
+    assert_eq!(on_cpu.converged, on_gpu.converged);
+    assert_eq!(on_cpu.steps.len(), on_gpu.steps.len());
+    for (c, g) in on_cpu.steps.iter().zip(on_gpu.steps.iter()) {
+        assert_eq!(c.l, g.l);
+        assert_eq!(
+            c.estimate.to_bits(),
+            g.estimate.to_bits(),
+            "bit-identical estimates"
+        );
+    }
+    assert_eq!(on_cpu.basis, on_gpu.basis);
+}

@@ -41,7 +41,12 @@ pub struct HapmapConfig {
 
 impl Default for HapmapConfig {
     fn default() -> Self {
-        HapmapConfig { snps: 2000, individuals: 506, populations: 4, fst: 0.1 }
+        HapmapConfig {
+            snps: 2000,
+            individuals: 506,
+            populations: 4,
+            fst: 0.1,
+        }
     }
 }
 
@@ -140,7 +145,12 @@ mod tests {
     }
 
     fn small_config() -> HapmapConfig {
-        HapmapConfig { snps: 300, individuals: 60, populations: 4, fst: 0.15 }
+        HapmapConfig {
+            snps: 300,
+            individuals: 60,
+            populations: 4,
+            fst: 0.15,
+        }
     }
 
     #[test]
@@ -201,7 +211,11 @@ mod tests {
             .map(|j| (1..k).map(|t| svd.v[(j, t)] * svd.sigma[t]).collect())
             .collect();
         let dist = |x: &[f64], y: &[f64]| -> f64 {
-            x.iter().zip(y).map(|(a, b)| (a - b) * (a - b)).sum::<f64>().sqrt()
+            x.iter()
+                .zip(y)
+                .map(|(a, b)| (a - b) * (a - b))
+                .sum::<f64>()
+                .sqrt()
         };
         let mut within = (0.0, 0usize);
         let mut between = (0.0, 0usize);

@@ -21,7 +21,10 @@ use std::path::Path;
 /// Returns [`MatrixError::InvalidParameter`] on malformed or unsupported
 /// content.
 pub fn parse_matrix_market(text: &str) -> Result<Mat> {
-    let bad = |message: String| MatrixError::InvalidParameter { name: "matrix-market", message };
+    let bad = |message: String| MatrixError::InvalidParameter {
+        name: "matrix-market",
+        message,
+    };
     let mut lines = text.lines();
     let header = lines.next().ok_or_else(|| bad("empty input".into()))?;
     let header_l = header.to_ascii_lowercase();
@@ -39,34 +42,49 @@ pub fn parse_matrix_market(text: &str) -> Result<Mat> {
         return Err(bad(format!("unsupported field `{field}` (only real)")));
     }
     if symmetry != "general" {
-        return Err(bad(format!("unsupported symmetry `{symmetry}` (only general)")));
+        return Err(bad(format!(
+            "unsupported symmetry `{symmetry}` (only general)"
+        )));
     }
     // Skip comments and blanks.
     let mut data_lines = lines.filter(|l| {
         let t = l.trim();
         !t.is_empty() && !t.starts_with('%')
     });
-    let size_line = data_lines.next().ok_or_else(|| bad("missing size line".into()))?;
+    let size_line = data_lines
+        .next()
+        .ok_or_else(|| bad("missing size line".into()))?;
     let dims: Vec<usize> = size_line
         .split_whitespace()
-        .map(|t| t.parse::<usize>().map_err(|e| bad(format!("bad size entry `{t}`: {e}"))))
+        .map(|t| {
+            t.parse::<usize>()
+                .map_err(|e| bad(format!("bad size entry `{t}`: {e}")))
+        })
         .collect::<Result<_>>()?;
     match layout {
         "array" => {
             if dims.len() != 2 {
-                return Err(bad(format!("array size line needs 2 entries, got {}", dims.len())));
+                return Err(bad(format!(
+                    "array size line needs 2 entries, got {}",
+                    dims.len()
+                )));
             }
             let (m, n) = (dims[0], dims[1]);
             let mut values = Vec::with_capacity(m * n);
             for line in data_lines {
                 for tok in line.split_whitespace() {
                     values.push(
-                        tok.parse::<f64>().map_err(|e| bad(format!("bad value `{tok}`: {e}")))?,
+                        tok.parse::<f64>()
+                            .map_err(|e| bad(format!("bad value `{tok}`: {e}")))?,
                     );
                 }
             }
             if values.len() != m * n {
-                return Err(bad(format!("expected {} values, found {}", m * n, values.len())));
+                return Err(bad(format!(
+                    "expected {} values, found {}",
+                    m * n,
+                    values.len()
+                )));
             }
             // MatrixMarket array data is column major — same as Mat.
             Mat::from_col_major(m, n, values)
@@ -86,12 +104,15 @@ pub fn parse_matrix_market(text: &str) -> Result<Mat> {
                 if toks.len() != 3 {
                     return Err(bad(format!("coordinate entry needs 3 tokens: `{line}`")));
                 }
-                let i: usize =
-                    toks[0].parse().map_err(|e| bad(format!("bad row `{}`: {e}", toks[0])))?;
-                let j: usize =
-                    toks[1].parse().map_err(|e| bad(format!("bad col `{}`: {e}", toks[1])))?;
-                let v: f64 =
-                    toks[2].parse().map_err(|e| bad(format!("bad value `{}`: {e}", toks[2])))?;
+                let i: usize = toks[0]
+                    .parse()
+                    .map_err(|e| bad(format!("bad row `{}`: {e}", toks[0])))?;
+                let j: usize = toks[1]
+                    .parse()
+                    .map_err(|e| bad(format!("bad col `{}`: {e}", toks[1])))?;
+                let v: f64 = toks[2]
+                    .parse()
+                    .map_err(|e| bad(format!("bad value `{}`: {e}", toks[2])))?;
                 if i == 0 || j == 0 || i > m || j > n {
                     return Err(bad(format!("entry ({i}, {j}) outside {m}x{n} (1-based)")));
                 }
@@ -187,8 +208,12 @@ mod tests {
 
     #[test]
     fn rejects_unsupported_variants() {
-        assert!(parse_matrix_market("%%MatrixMarket matrix array complex general\n1 1\n1 0\n").is_err());
-        assert!(parse_matrix_market("%%MatrixMarket matrix array real symmetric\n1 1\n1\n").is_err());
+        assert!(
+            parse_matrix_market("%%MatrixMarket matrix array complex general\n1 1\n1 0\n").is_err()
+        );
+        assert!(
+            parse_matrix_market("%%MatrixMarket matrix array real symmetric\n1 1\n1\n").is_err()
+        );
         assert!(parse_matrix_market("not a header\n1 1\n1\n").is_err());
         assert!(parse_matrix_market("").is_err());
     }
@@ -196,14 +221,19 @@ mod tests {
     #[test]
     fn rejects_malformed_data() {
         // Wrong count.
-        assert!(parse_matrix_market("%%MatrixMarket matrix array real general\n2 2\n1\n2\n3\n").is_err());
+        assert!(
+            parse_matrix_market("%%MatrixMarket matrix array real general\n2 2\n1\n2\n3\n")
+                .is_err()
+        );
         // Out-of-range coordinate.
         assert!(parse_matrix_market(
             "%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1.0\n"
         )
         .is_err());
         // Bad token.
-        assert!(parse_matrix_market("%%MatrixMarket matrix array real general\n1 1\nxyz\n").is_err());
+        assert!(
+            parse_matrix_market("%%MatrixMarket matrix array real general\n1 1\nxyz\n").is_err()
+        );
     }
 
     #[test]

@@ -75,12 +75,7 @@ pub fn uniform_points(n: usize) -> Vec<f64> {
 /// # Errors
 ///
 /// Propagates SVD failures.
-pub fn block_numerical_rank(
-    kernel: Kernel,
-    rows: &[f64],
-    cols: &[f64],
-    tol: f64,
-) -> Result<usize> {
+pub fn block_numerical_rank(kernel: Kernel, rows: &[f64], cols: &[f64], tol: f64) -> Result<usize> {
     if rows.is_empty() || cols.is_empty() {
         return Err(MatrixError::InvalidParameter {
             name: "points",
@@ -122,7 +117,10 @@ mod tests {
         // numerical rank is tiny compared to its size.
         let left: Vec<f64> = (0..60).map(|i| i as f64 / 200.0).collect(); // [0, 0.3)
         let right: Vec<f64> = (0..60).map(|i| 0.7 + i as f64 / 200.0).collect(); // [0.7, 1.0)
-        for kernel in [Kernel::Cauchy { gamma: 16.0 }, Kernel::Gaussian { gamma: 10.0 }] {
+        for kernel in [
+            Kernel::Cauchy { gamma: 16.0 },
+            Kernel::Gaussian { gamma: 10.0 },
+        ] {
             let rank = block_numerical_rank(kernel, &left, &right, 1e-10).unwrap();
             assert!(rank <= 12, "separated block rank {rank} should be small");
         }
@@ -176,12 +174,34 @@ mod tests {
         let q = rlra_lapack::tsqr(&b.transpose(), 64).unwrap().q.transpose();
         // Residual ‖K − K QᵀQ‖ ≈ sigma_15.
         let mut kq = rlra_matrix::Mat::zeros(80, 14);
-        rlra_blas::gemm(1.0, block.as_ref(), rlra_blas::Trans::No, q.as_ref(), rlra_blas::Trans::Yes, 0.0, kq.as_mut()).unwrap();
+        rlra_blas::gemm(
+            1.0,
+            block.as_ref(),
+            rlra_blas::Trans::No,
+            q.as_ref(),
+            rlra_blas::Trans::Yes,
+            0.0,
+            kq.as_mut(),
+        )
+        .unwrap();
         let mut rec = rlra_matrix::Mat::zeros(80, 60);
-        rlra_blas::gemm(1.0, kq.as_ref(), rlra_blas::Trans::No, q.as_ref(), rlra_blas::Trans::No, 0.0, rec.as_mut()).unwrap();
+        rlra_blas::gemm(
+            1.0,
+            kq.as_ref(),
+            rlra_blas::Trans::No,
+            q.as_ref(),
+            rlra_blas::Trans::No,
+            0.0,
+            rec.as_mut(),
+        )
+        .unwrap();
         let diff = rlra_matrix::ops::sub(&block, &rec).unwrap();
         let err = rlra_matrix::norms::spectral_norm(diff.as_ref());
-        assert!(err < 50.0 * sv[14].max(1e-300), "err {err:e} vs sigma_15 {:e}", sv[14]);
+        assert!(
+            err < 50.0 * sv[14].max(1e-300),
+            "err {err:e} vs sigma_15 {:e}",
+            sv[14]
+        );
     }
 
     #[test]

@@ -20,6 +20,7 @@ pub mod io;
 pub mod kernels;
 pub mod spectra;
 pub mod synthetic;
+pub mod testmat;
 
 pub use hapmap::{hapmap_like, HapmapConfig};
 pub use io::{parse_matrix_market, read_matrix_market, to_matrix_market, write_matrix_market};

@@ -37,7 +37,10 @@ impl Spectrum {
 /// (Table 1: `σ₀ = 1`, `σ₅₁ ≈ 8e−6` at n = 500... the paper reports
 /// `σₖ₊₁ = 8e−06` for k = 50, and indeed `51⁻³ ≈ 7.6e−6`).
 pub fn power_spectrum(n: usize) -> Spectrum {
-    Spectrum { name: "power", values: (0..n).map(|i| ((i + 1) as f64).powi(-3)).collect() }
+    Spectrum {
+        name: "power",
+        values: (0..n).map(|i| ((i + 1) as f64).powi(-3)).collect(),
+    }
 }
 
 /// The paper's **exponent** profile: `σᵢ = 10^{−i/10}`
@@ -94,13 +97,19 @@ mod tests {
 
     #[test]
     fn condition_of_flat_spectrum() {
-        let s = Spectrum { name: "flat", values: vec![2.0; 5] };
+        let s = Spectrum {
+            name: "flat",
+            values: vec![2.0; 5],
+        };
         assert_eq!(s.condition(), 1.0);
     }
 
     #[test]
     fn empty_spectrum_is_degenerate() {
-        let s = Spectrum { name: "empty", values: vec![] };
+        let s = Spectrum {
+            name: "empty",
+            values: vec![],
+        };
         assert_eq!(s.sigma0(), 0.0);
         assert!(s.condition().is_infinite());
     }

@@ -83,7 +83,10 @@ pub fn matrix_with_spectrum(
         0.0,
         a.as_mut(),
     )?;
-    let spectrum = Spectrum { name: spectrum.name, values: spectrum.values[..r].to_vec() };
+    let spectrum = Spectrum {
+        name: spectrum.name,
+        values: spectrum.values[..r].to_vec(),
+    };
     Ok(TestMatrix { a, spectrum })
 }
 
@@ -118,7 +121,10 @@ mod tests {
         let tm = matrix_with_spectrum(40, 15, &spec, &mut rng(3)).unwrap();
         let got = rlra_lapack::singular_values(&tm.a).unwrap();
         for (g, e) in got.iter().zip(&spec.values) {
-            assert!((g - e).abs() < 1e-12 * (1.0 + e), "got {g:e} expected {e:e}");
+            assert!(
+                (g - e).abs() < 1e-12 * (1.0 + e),
+                "got {g:e} expected {e:e}"
+            );
         }
     }
 
@@ -133,7 +139,10 @@ mod tests {
     #[test]
     fn short_spectrum_gives_low_rank() {
         // Only 3 singular values prescribed -> rank 3.
-        let spec = Spectrum { name: "rank3", values: vec![1.0, 0.5, 0.25] };
+        let spec = Spectrum {
+            name: "rank3",
+            values: vec![1.0, 0.5, 0.25],
+        };
         let tm = matrix_with_spectrum(30, 12, &spec, &mut rng(5)).unwrap();
         let s = rlra_lapack::singular_values(&tm.a).unwrap();
         assert!((s[2] - 0.25).abs() < 1e-12);

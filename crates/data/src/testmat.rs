@@ -1,0 +1,72 @@
+//! Shared test-matrix helpers for the workspace's unit tests.
+//!
+//! Every crate used to carry its own copy of these small generators;
+//! they live here once so that cross-backend tests are guaranteed to
+//! factor the *same* matrix.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rlra_blas::Trans;
+use rlra_matrix::{gaussian_mat, Mat};
+
+/// A deterministic test RNG.
+pub fn rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// `A = X·Σ·Yᵀ` with geometric spectrum `σᵢ = decay^i` and random
+/// orthogonal factors, plus the exact σ list.
+pub fn decay_matrix(m: usize, n: usize, decay: f64, seed: u64) -> (Mat, Vec<f64>) {
+    let r = m.min(n);
+    let spec: Vec<f64> = (0..r).map(|i| decay.powi(i as i32)).collect();
+    with_spectrum(m, n, &spec, seed)
+}
+
+/// Exponent-profile matrix `σᵢ = 10^{−i/10}` (the one the paper uses in
+/// §10 for the adaptive study).
+pub fn exponent_matrix(m: usize, n: usize, seed: u64) -> Mat {
+    let r = m.min(n);
+    let spec: Vec<f64> = (0..r).map(|i| 10f64.powf(-(i as f64) / 10.0)).collect();
+    with_spectrum(m, n, &spec, seed).0
+}
+
+fn with_spectrum(m: usize, n: usize, spec: &[f64], seed: u64) -> (Mat, Vec<f64>) {
+    let r = spec.len();
+    let x = rlra_lapack::form_q(&gaussian_mat(m, r, &mut rng(seed)));
+    let y = rlra_lapack::form_q(&gaussian_mat(n, r, &mut rng(seed + 1)));
+    let xs = Mat::from_fn(m, r, |i, j| x[(i, j)] * spec[j]);
+    let mut a = Mat::zeros(m, n);
+    rlra_blas::gemm(
+        1.0,
+        xs.as_ref(),
+        Trans::No,
+        y.as_ref(),
+        Trans::Yes,
+        0.0,
+        a.as_mut(),
+    )
+    .expect("conforming shapes by construction");
+    (a, spec.to_vec())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decay_matrix_is_deterministic_with_exact_spectrum() {
+        let (a, spec) = decay_matrix(30, 20, 0.5, 7);
+        let (b, _) = decay_matrix(30, 20, 0.5, 7);
+        assert_eq!(a, b);
+        assert_eq!(spec.len(), 20);
+        assert!((spec[0] - 1.0).abs() < 1e-15);
+        assert!((spec[1] - 0.5).abs() < 1e-15);
+    }
+
+    #[test]
+    fn exponent_matrix_shape_and_determinism() {
+        let a = exponent_matrix(25, 15, 3);
+        assert_eq!(a.shape(), (25, 15));
+        assert_eq!(a, exponent_matrix(25, 15, 3));
+    }
+}

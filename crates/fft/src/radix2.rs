@@ -147,8 +147,9 @@ mod tests {
 
     #[test]
     fn ifft_inverts_fft() {
-        let orig: Vec<Complex64> =
-            (0..64).map(|i| Complex64::new((i as f64).sin(), (i as f64 * 0.7).cos())).collect();
+        let orig: Vec<Complex64> = (0..64)
+            .map(|i| Complex64::new((i as f64).sin(), (i as f64 * 0.7).cos()))
+            .collect();
         let mut x = orig.clone();
         fft_inplace(&mut x);
         ifft_inplace(&mut x);
@@ -159,8 +160,9 @@ mod tests {
 
     #[test]
     fn parseval_identity() {
-        let x: Vec<Complex64> =
-            (0..128).map(|i| Complex64::new((i as f64 * 1.3).sin(), (i as f64 * 0.4).cos())).collect();
+        let x: Vec<Complex64> = (0..128)
+            .map(|i| Complex64::new((i as f64 * 1.3).sin(), (i as f64 * 0.4).cos()))
+            .collect();
         let time_energy: f64 = x.iter().map(|v| v.norm_sqr()).sum();
         let mut f = x;
         fft_inplace(&mut f);
@@ -171,8 +173,9 @@ mod tests {
     #[test]
     fn linearity() {
         let a: Vec<Complex64> = (0..16).map(|i| Complex64::from_real(i as f64)).collect();
-        let b: Vec<Complex64> =
-            (0..16).map(|i| Complex64::new(0.5 * i as f64, -(i as f64))).collect();
+        let b: Vec<Complex64> = (0..16)
+            .map(|i| Complex64::new(0.5 * i as f64, -(i as f64)))
+            .collect();
         let sum: Vec<Complex64> = a.iter().zip(&b).map(|(x, y)| *x + *y).collect();
         let (mut fa, mut fb, mut fs) = (a, b, sum);
         fft_inplace(&mut fa);

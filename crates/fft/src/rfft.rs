@@ -88,7 +88,10 @@ mod tests {
             let reference = fft_real_padded(&x);
             assert_eq!(fast.len(), reference.len());
             for (a, b) in fast.iter().zip(&reference) {
-                assert!((*a - *b).abs() < 1e-9 * (n as f64), "n = {n}: {a:?} vs {b:?}");
+                assert!(
+                    (*a - *b).abs() < 1e-9 * (n as f64),
+                    "n = {n}: {a:?} vs {b:?}"
+                );
             }
         }
     }

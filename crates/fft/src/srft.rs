@@ -82,9 +82,18 @@ impl SrftOperator {
             });
         }
         let m_pad = next_pow2(m);
-        let signs: Vec<f64> = (0..m).map(|_| if rng.gen::<bool>() { 1.0 } else { -1.0 }).collect();
-        let parts: Vec<ReIm> =
-            (0..l).map(|_| if rng.gen::<bool>() { ReIm::Re } else { ReIm::Im }).collect();
+        let signs: Vec<f64> = (0..m)
+            .map(|_| if rng.gen::<bool>() { 1.0 } else { -1.0 })
+            .collect();
+        let parts: Vec<ReIm> = (0..l)
+            .map(|_| {
+                if rng.gen::<bool>() {
+                    ReIm::Re
+                } else {
+                    ReIm::Im
+                }
+            })
+            .collect();
         let (freqs, stride) = match scheme {
             SrftScheme::Full => {
                 // Uniform sample without replacement (Floyd's algorithm is
@@ -106,7 +115,16 @@ impl SrftOperator {
                 (sel, stride)
             }
         };
-        Ok(SrftOperator { m, m_pad, l, signs, freqs, parts, scheme, stride })
+        Ok(SrftOperator {
+            m,
+            m_pad,
+            l,
+            signs,
+            freqs,
+            parts,
+            scheme,
+            stride,
+        })
     }
 
     /// Number of sampled rows `ℓ`.

@@ -68,7 +68,11 @@ pub fn gpu_cholqr(gpu: &mut Gpu, phase: Phase, b: &DMat, reorth: bool) -> Result
         ExecMode::DryRun => Ok((gpu.resident_shape(m, n), gpu.resident_shape(n, n))),
         ExecMode::Compute => {
             let bm = values_or_err(b, "gpu_cholqr")?;
-            let result = if reorth { rlra_lapack::cholqr2(bm) } else { rlra_lapack::cholqr(bm) };
+            let result = if reorth {
+                rlra_lapack::cholqr2(bm)
+            } else {
+                rlra_lapack::cholqr(bm)
+            };
             match result {
                 Ok((q, r)) => Ok((gpu.resident(&q), gpu.resident(&r))),
                 Err(MatrixError::NotPositiveDefinite { .. }) => {
@@ -99,7 +103,12 @@ fn charge_cholqr_pass(gpu: &mut Gpu, phase: Phase, n: usize, m: usize) {
 /// # Errors
 ///
 /// Propagates shape errors.
-pub fn gpu_cholqr_rows(gpu: &mut Gpu, phase: Phase, b: &DMat, reorth: bool) -> Result<(DMat, DMat)> {
+pub fn gpu_cholqr_rows(
+    gpu: &mut Gpu,
+    phase: Phase,
+    b: &DMat,
+    reorth: bool,
+) -> Result<(DMat, DMat)> {
     let (l, n) = b.shape();
     if l > n {
         return Err(MatrixError::DimensionMismatch {
@@ -119,8 +128,11 @@ pub fn gpu_cholqr_rows(gpu: &mut Gpu, phase: Phase, b: &DMat, reorth: bool) -> R
         ExecMode::DryRun => Ok((gpu.resident_shape(l, n), gpu.resident_shape(l, l))),
         ExecMode::Compute => {
             let bm = values_or_err(b, "gpu_cholqr_rows")?;
-            let result =
-                if reorth { rlra_lapack::cholqr_rows2(bm) } else { rlra_lapack::cholqr_rows(bm) };
+            let result = if reorth {
+                rlra_lapack::cholqr_rows2(bm)
+            } else {
+                rlra_lapack::cholqr_rows(bm)
+            };
             match result {
                 Ok((q, r)) => Ok((gpu.resident(&q), gpu.resident(&r))),
                 Err(MatrixError::NotPositiveDefinite { .. }) => {
@@ -184,7 +196,10 @@ fn charge_hhqr_like(gpu: &mut Gpu, phase: Phase, m: usize, n: usize, fusion: f64
             gpu.charge(phase, cost.blas1(mloc - c, 2.0)); // nrm2 (device-side)
             gpu.charge(phase, cost.blas1(mloc - c, 2.0)); // scale
             let width = nb - c;
-            gpu.charge(phase, (cost.gemv(mloc, width) + cost.ger(mloc, width)) * fusion);
+            gpu.charge(
+                phase,
+                (cost.gemv(mloc, width) + cost.ger(mloc, width)) * fusion,
+            );
         }
         // Trailing compact-WY update: W = VᵀC, W = TᵀW, C −= V·W.
         let ntrail = n - j - nb;
@@ -277,14 +292,24 @@ pub fn gpu_qp3_truncated(gpu: &mut Gpu, phase: Phase, a: &DMat, k: usize) -> Res
     }
     // Numerics first (compute mode) so the recompute count feeds the cost.
     let host_result = match gpu.mode() {
-        ExecMode::Compute => {
-            Some(rlra_lapack::qp3_blocked(values_or_err(a, "gpu_qp3_truncated")?, k, GPU_PANEL)?)
-        }
+        ExecMode::Compute => Some(rlra_lapack::qp3_blocked(
+            values_or_err(a, "gpu_qp3_truncated")?,
+            k,
+            GPU_PANEL,
+        )?),
         ExecMode::DryRun => None,
     };
-    let recomputes = host_result.as_ref().map(|r| r.stats.norm_recomputes).unwrap_or(0);
+    let recomputes = host_result
+        .as_ref()
+        .map(|r| r.stats.norm_recomputes)
+        .unwrap_or(0);
     charge_qp3(gpu, phase, m, n, k, recomputes);
-    Ok(GpuQrcp { result: host_result, m, n, k })
+    Ok(GpuQrcp {
+        result: host_result,
+        m,
+        n,
+        k,
+    })
 }
 
 /// Charges the cost skeleton of a truncated QP3 run.
@@ -313,7 +338,10 @@ fn charge_qp3(gpu: &mut Gpu, phase: Phase, m: usize, n: usize, k: usize, recompu
                 gpu.charge(phase, 2.0 * cost.gemv(mloc, c));
             }
             // Reflector generation (nrm2 + host tau + scale).
-            gpu.charge(phase, cost.blas1(mloc, 2.0) + cost.sync() + cost.blas1(mloc, 2.0));
+            gpu.charge(
+                phase,
+                cost.blas1(mloc, 2.0) + cost.sync() + cost.blas1(mloc, 2.0),
+            );
             // F column: full-trailing-width GEMV — the BLAS-2 half of
             // QP3's flops.
             if ntrail > 0 {
@@ -416,8 +444,11 @@ mod tests {
             let mut times = Vec::new();
             for which in 0..4 {
                 let mut gpu = if dry { Gpu::k40c_dry() } else { Gpu::k40c() };
-                let ad =
-                    if dry { gpu.resident_shape(80, 16) } else { gpu.resident(&a) };
+                let ad = if dry {
+                    gpu.resident_shape(80, 16)
+                } else {
+                    gpu.resident(&a)
+                };
                 match which {
                     0 => drop(gpu_cholqr(&mut gpu, Phase::Other, &ad, true).unwrap()),
                     1 => drop(gpu_hhqr(&mut gpu, Phase::Other, &ad).unwrap()),
@@ -532,7 +563,10 @@ pub fn gpu_tsqr(gpu: &mut Gpu, phase: Phase, a: &DMat, block_rows: usize) -> Res
     let levels = (leaves as f64).log2().ceil() as usize;
     for _ in 0..levels {
         gpu.launches += 1;
-        gpu.charge(phase, cost.launch() + 20.0 * (n * n * n) as f64 / (cost.spec().peak_dp_gflops * 1e9));
+        gpu.charge(
+            phase,
+            cost.launch() + 20.0 * (n * n * n) as f64 / (cost.spec().peak_dp_gflops * 1e9),
+        );
     }
     // Explicit Q formation: one more sweep of the same leaf work plus the
     // tree push-down GEMMs.
@@ -625,15 +659,19 @@ pub fn gpu_tournament_qrcp(
         cand = blocks * k;
     }
     // Final small QRCP + CholQR of the winners + R = Q^T A P.
-    gpu.charge(phase, 4.0 * m as f64 * (2 * k * k) as f64 / (0.5 * cost.gemm_gflops(k, 2 * k, m) * 1e9));
+    gpu.charge(
+        phase,
+        4.0 * m as f64 * (2 * k * k) as f64 / (0.5 * cost.gemm_gflops(k, 2 * k, m) * 1e9),
+    );
     charge_cholqr_pass(gpu, phase, k, m);
     charge_cholqr_pass(gpu, phase, k, m);
     gpu.charge(phase, cost.gemm(k, n, m));
     match gpu.mode() {
         ExecMode::DryRun => Ok(None),
-        ExecMode::Compute => {
-            Ok(Some(rlra_lapack::tournament_qrcp(values_or_err(a, "gpu_tournament_qrcp")?, k)?))
-        }
+        ExecMode::Compute => Ok(Some(rlra_lapack::tournament_qrcp(
+            values_or_err(a, "gpu_tournament_qrcp")?,
+            k,
+        )?)),
     }
 }
 
@@ -676,7 +714,12 @@ mod extended_tests {
         let ad = gpu.resident(&a);
         let (q, r) = gpu_tsqr(&mut gpu, Phase::Qr, &ad, 15).unwrap();
         assert!(orthogonality_error(q.expect_values()) < 1e-11);
-        let rec = rlra_blas::naive::gemm_ref(q.expect_values(), rlra_blas::Trans::No, r.expect_values(), rlra_blas::Trans::No);
+        let rec = rlra_blas::naive::gemm_ref(
+            q.expect_values(),
+            rlra_blas::Trans::No,
+            r.expect_values(),
+            rlra_blas::Trans::No,
+        );
         assert!(rec.approx_eq(&a, 1e-10));
     }
 
@@ -714,7 +757,10 @@ mod extended_tests {
             t_ca < t_qp3 / 2.0,
             "tournament {t_ca} should clearly beat QP3 {t_qp3} (fewer syncs)"
         );
-        assert!(g1.syncs < g2.syncs / 4, "and with far fewer synchronizations");
+        assert!(
+            g1.syncs < g2.syncs / 4,
+            "and with far fewer synchronizations"
+        );
     }
 
     #[test]
@@ -722,7 +768,9 @@ mod extended_tests {
         let mut gpu = Gpu::k40c();
         let a = pseudo(30, 25, 2);
         let ad = gpu.resident(&a);
-        let res = gpu_tournament_qrcp(&mut gpu, Phase::Qrcp, &ad, 5).unwrap().unwrap();
+        let res = gpu_tournament_qrcp(&mut gpu, Phase::Qrcp, &ad, 5)
+            .unwrap()
+            .unwrap();
         assert!(orthogonality_error(&res.q) < 1e-10);
     }
 }

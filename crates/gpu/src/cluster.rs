@@ -29,13 +29,21 @@ pub struct NetworkSpec {
 impl NetworkSpec {
     /// FDR InfiniBand, the 2015-era HPC interconnect (≈6.8 GB/s, ≈1.5 µs).
     pub fn infiniband_fdr() -> Self {
-        NetworkSpec { name: "InfiniBand FDR", latency_us: 1.5, bandwidth_gbs: 6.8 }
+        NetworkSpec {
+            name: "InfiniBand FDR",
+            latency_us: 1.5,
+            bandwidth_gbs: 6.8,
+        }
     }
 
     /// Commodity 10-gigabit Ethernet (≈1.1 GB/s, ≈25 µs) — the
     /// "higher communication cost" end of the spectrum.
     pub fn ethernet_10g() -> Self {
-        NetworkSpec { name: "10GbE", latency_us: 25.0, bandwidth_gbs: 1.1 }
+        NetworkSpec {
+            name: "10GbE",
+            latency_us: 25.0,
+            bandwidth_gbs: 1.1,
+        }
     }
 
     /// Time of one point-to-point message of `bytes`.
@@ -75,7 +83,9 @@ impl Cluster {
     ) -> Self {
         assert!(nodes > 0 && gpus_per_node > 0);
         Cluster {
-            nodes: (0..nodes).map(|_| MultiGpu::new(gpus_per_node, spec.clone(), mode)).collect(),
+            nodes: (0..nodes)
+                .map(|_| MultiGpu::new(gpus_per_node, spec.clone(), mode))
+                .collect(),
             net,
             mode,
             comms_inter: 0.0,
@@ -206,7 +216,6 @@ impl Cluster {
             let len = if i + 1 == self.nodes() {
                 m - start
             } else {
-                
                 m * (assigned + node.ng()) / total - start
             };
             out.push((start, len));
@@ -260,7 +269,13 @@ mod tests {
 
     #[test]
     fn allreduce_sums_across_nodes() {
-        let mut cl = Cluster::new(3, 1, DeviceSpec::k40c(), NetworkSpec::infiniband_fdr(), ExecMode::Compute);
+        let mut cl = Cluster::new(
+            3,
+            1,
+            DeviceSpec::k40c(),
+            NetworkSpec::infiniband_fdr(),
+            ExecMode::Compute,
+        );
         let parts: Vec<Mat> = (0..3).map(|i| Mat::filled(2, 2, (i + 1) as f64)).collect();
         let sum = cl.allreduce_host(Phase::Comms, &parts).unwrap();
         assert_eq!(sum, Mat::filled(2, 2, 6.0));
@@ -270,14 +285,26 @@ mod tests {
 
     #[test]
     fn single_node_collectives_are_free() {
-        let mut cl = Cluster::new(1, 2, DeviceSpec::k40c(), NetworkSpec::infiniband_fdr(), ExecMode::DryRun);
+        let mut cl = Cluster::new(
+            1,
+            2,
+            DeviceSpec::k40c(),
+            NetworkSpec::infiniband_fdr(),
+            ExecMode::DryRun,
+        );
         cl.allreduce_scalar(Phase::Comms);
         assert_eq!(cl.inter_node_comms(), 0.0);
     }
 
     #[test]
     fn node_row_chunks_cover() {
-        let cl = Cluster::new(3, 2, DeviceSpec::k40c(), NetworkSpec::infiniband_fdr(), ExecMode::DryRun);
+        let cl = Cluster::new(
+            3,
+            2,
+            DeviceSpec::k40c(),
+            NetworkSpec::infiniband_fdr(),
+            ExecMode::DryRun,
+        );
         let chunks = cl.node_row_chunks(100);
         assert_eq!(chunks.iter().map(|c| c.1).sum::<usize>(), 100);
         assert_eq!(chunks[0].0, 0);
@@ -288,7 +315,13 @@ mod tests {
 
     #[test]
     fn barrier_aligns_all_nodes() {
-        let mut cl = Cluster::new(2, 2, DeviceSpec::k40c(), NetworkSpec::infiniband_fdr(), ExecMode::DryRun);
+        let mut cl = Cluster::new(
+            2,
+            2,
+            DeviceSpec::k40c(),
+            NetworkSpec::infiniband_fdr(),
+            ExecMode::DryRun,
+        );
         cl.node_mut(0).gpu_mut(1).charge(Phase::Other, 0.5);
         cl.barrier();
         let t = cl.time();

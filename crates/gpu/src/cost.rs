@@ -82,7 +82,11 @@ impl CostModel {
         // curves are similar in shape across generations).
         let scale = self.spec.peak_dp_gflops / 1_430.0;
         let base = interp(GEMM_EFF_TABLE, small) * scale;
-        let aspect = if long > 50_000.0 { (long / 50_000.0).powf(-0.52) } else { 1.0 };
+        let aspect = if long > 50_000.0 {
+            (long / 50_000.0).powf(-0.52)
+        } else {
+            1.0
+        };
         (base * aspect).min(self.spec.peak_dp_gflops)
     }
 
@@ -249,7 +253,13 @@ mod tests {
         // Figure 18 of the paper: Gflop/s of the GEMM used by the
         // adaptive scheme (m = 50,000, n = 2,500).
         let m = model();
-        for (l, expect) in [(8usize, 123.3), (16, 247.0), (32, 489.5), (48, 597.8), (64, 778.5)] {
+        for (l, expect) in [
+            (8usize, 123.3),
+            (16, 247.0),
+            (32, 489.5),
+            (48, 597.8),
+            (64, 778.5),
+        ] {
             let got = m.gemm_gflops(l, 2500, 50_000);
             assert!(
                 (got - expect).abs() / expect < 0.01,
@@ -267,8 +277,16 @@ mod tests {
         let g75 = m.gemm_gflops(64, 2500, 75_000);
         let g50 = m.gemm_gflops(64, 2500, 50_000);
         assert!((g50 - 778.5).abs() < 1.0);
-        assert!((g75 / g50 - 630.0 / 760.0).abs() < 0.05, "75k ratio {}", g75 / g50);
-        assert!((g150 / g50 - 440.0 / 760.0).abs() < 0.05, "150k ratio {}", g150 / g50);
+        assert!(
+            (g75 / g50 - 630.0 / 760.0).abs() < 0.05,
+            "75k ratio {}",
+            g75 / g50
+        );
+        assert!(
+            (g150 / g50 - 440.0 / 760.0).abs() < 0.05,
+            "150k ratio {}",
+            g150 / g50
+        );
     }
 
     #[test]

@@ -60,15 +60,25 @@ impl DMat {
     /// Materialized values, panicking in dry-run mode. Call only on paths
     /// that are documented to require [`ExecMode::Compute`].
     pub fn expect_values(&self) -> &Mat {
-        self.data.as_ref().expect("DMat has no values (dry-run mode)")
+        self.data
+            .as_ref()
+            .expect("DMat has no values (dry-run mode)")
     }
 
     fn from_mat(m: Mat) -> Self {
-        DMat { rows: m.rows(), cols: m.cols(), data: Some(m) }
+        DMat {
+            rows: m.rows(),
+            cols: m.cols(),
+            data: Some(m),
+        }
     }
 
     fn shape_only(rows: usize, cols: usize) -> Self {
-        DMat { rows, cols, data: None }
+        DMat {
+            rows,
+            cols,
+            data: None,
+        }
     }
 }
 
@@ -89,7 +99,14 @@ pub struct Gpu {
 impl Gpu {
     /// Creates a simulated GPU from a device spec.
     pub fn new(spec: DeviceSpec, mode: ExecMode) -> Self {
-        Gpu { cost: CostModel::new(spec), mode, clock: 0.0, timeline: Timeline::new(), launches: 0, syncs: 0 }
+        Gpu {
+            cost: CostModel::new(spec),
+            mode,
+            clock: 0.0,
+            timeline: Timeline::new(),
+            launches: 0,
+            syncs: 0,
+        }
     }
 
     /// A K40c in compute mode — the default configuration for tests and
@@ -272,7 +289,14 @@ impl Gpu {
         if self.computing() {
             let am = a.expect_values();
             let cm = c.data.as_mut().expect("compute mode");
-            rlra_blas::syrk(alpha, am.as_ref(), trans, beta, cm.as_mut(), rlra_blas::UpLo::Upper)?;
+            rlra_blas::syrk(
+                alpha,
+                am.as_ref(),
+                trans,
+                beta,
+                cm.as_mut(),
+                rlra_blas::UpLo::Upper,
+            )?;
             // Mirror to the lower triangle.
             for j in 0..l {
                 for i in 0..j {
@@ -311,7 +335,15 @@ impl Gpu {
         if self.computing() {
             let tm = t.expect_values();
             let bm = b.data.as_mut().expect("compute mode");
-            rlra_blas::trsm(side, uplo, trans, rlra_blas::Diag::NonUnit, alpha, tm.as_ref(), bm.as_mut())?;
+            rlra_blas::trsm(
+                side,
+                uplo,
+                trans,
+                rlra_blas::Diag::NonUnit,
+                alpha,
+                tm.as_ref(),
+                bm.as_mut(),
+            )?;
         }
         Ok(())
     }
@@ -343,7 +375,15 @@ impl Gpu {
         if self.computing() {
             let tm = t.expect_values();
             let bm = b.data.as_mut().expect("compute mode");
-            rlra_blas::trmm(side, uplo, trans, rlra_blas::Diag::NonUnit, alpha, tm.as_ref(), bm.as_mut())?;
+            rlra_blas::trmm(
+                side,
+                uplo,
+                trans,
+                rlra_blas::Diag::NonUnit,
+                alpha,
+                tm.as_ref(),
+                bm.as_mut(),
+            )?;
         }
         Ok(())
     }
@@ -351,7 +391,13 @@ impl Gpu {
     // --- cuRAND / cuFFT ------------------------------------------------------
 
     /// Generates an `rows × cols` Gaussian matrix on the device (cuRAND).
-    pub fn curand_gaussian(&mut self, phase: Phase, rows: usize, cols: usize, rng: &mut impl Rng) -> DMat {
+    pub fn curand_gaussian(
+        &mut self,
+        phase: Phase,
+        rows: usize,
+        cols: usize,
+        rng: &mut impl Rng,
+    ) -> DMat {
         self.launches += 1;
         self.charge(phase, self.cost.curand(rows * cols));
         if self.computing() {
@@ -448,10 +494,21 @@ mod tests {
         let a = gpu.resident(&pseudo(8, 6, 1));
         let b = gpu.resident(&pseudo(6, 5, 2));
         let mut c = gpu.alloc(8, 5);
-        gpu.gemm(Phase::Sampling, 1.0, &a, Trans::No, &b, Trans::No, 0.0, &mut c).unwrap();
+        gpu.gemm(
+            Phase::Sampling,
+            1.0,
+            &a,
+            Trans::No,
+            &b,
+            Trans::No,
+            0.0,
+            &mut c,
+        )
+        .unwrap();
         assert!(gpu.clock() > 0.0);
         assert_eq!(gpu.timeline().get(Phase::Sampling), gpu.clock());
-        let expect = rlra_blas::naive::gemm_ref(a.expect_values(), Trans::No, b.expect_values(), Trans::No);
+        let expect =
+            rlra_blas::naive::gemm_ref(a.expect_values(), Trans::No, b.expect_values(), Trans::No);
         assert!(c.expect_values().approx_eq(&expect, 1e-12));
     }
 
@@ -468,7 +525,17 @@ mod tests {
                 ExecMode::DryRun => gpu.resident_shape(50, 30),
             };
             let mut c = gpu.alloc(100, 30);
-            gpu.gemm(Phase::GemmIter, 1.0, &a, Trans::No, &b, Trans::No, 0.0, &mut c).unwrap();
+            gpu.gemm(
+                Phase::GemmIter,
+                1.0,
+                &a,
+                Trans::No,
+                &b,
+                Trans::No,
+                0.0,
+                &mut c,
+            )
+            .unwrap();
             gpu.clock()
         };
         let t_compute = run(ExecMode::Compute);
@@ -489,7 +556,9 @@ mod tests {
         let a = gpu.resident_shape(3, 4);
         let b = gpu.resident_shape(5, 2);
         let mut c = gpu.alloc(3, 2);
-        assert!(gpu.gemm(Phase::Other, 1.0, &a, Trans::No, &b, Trans::No, 0.0, &mut c).is_err());
+        assert!(gpu
+            .gemm(Phase::Other, 1.0, &a, Trans::No, &b, Trans::No, 0.0, &mut c)
+            .is_err());
     }
 
     #[test]
@@ -497,7 +566,8 @@ mod tests {
         let mut gpu = Gpu::k40c();
         let a = gpu.resident(&pseudo(4, 9, 5));
         let mut g = gpu.alloc(4, 4);
-        gpu.syrk_full(Phase::OrthIter, 1.0, &a, Trans::No, 0.0, &mut g).unwrap();
+        gpu.syrk_full(Phase::OrthIter, 1.0, &a, Trans::No, 0.0, &mut g)
+            .unwrap();
         let gm = g.expect_values();
         for i in 0..4 {
             for j in 0..4 {
@@ -552,10 +622,26 @@ mod tests {
         let td = gpu.resident(&t);
         let b0 = pseudo(5, 3, 8);
         let mut bd = gpu.resident(&b0);
-        gpu.trmm(Phase::Qr, rlra_blas::Side::Left, rlra_blas::UpLo::Upper, Trans::No, 1.0, &td, &mut bd)
-            .unwrap();
-        gpu.trsm(Phase::Qr, rlra_blas::Side::Left, rlra_blas::UpLo::Upper, Trans::No, 1.0, &td, &mut bd)
-            .unwrap();
+        gpu.trmm(
+            Phase::Qr,
+            rlra_blas::Side::Left,
+            rlra_blas::UpLo::Upper,
+            Trans::No,
+            1.0,
+            &td,
+            &mut bd,
+        )
+        .unwrap();
+        gpu.trsm(
+            Phase::Qr,
+            rlra_blas::Side::Left,
+            rlra_blas::UpLo::Upper,
+            Trans::No,
+            1.0,
+            &td,
+            &mut bd,
+        )
+        .unwrap();
         assert!(bd.expect_values().approx_eq(&b0, 1e-10));
     }
 }

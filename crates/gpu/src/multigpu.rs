@@ -114,7 +114,11 @@ impl MultiGpu {
     /// Shape-only distribution for dry runs at paper scale.
     pub fn distribute_rows_shape(&mut self, m: usize, n: usize) -> Vec<DMat> {
         let chunks = self.row_chunks(m);
-        chunks.iter().enumerate().map(|(i, &(_, len))| self.gpus[i].resident_shape(len, n)).collect()
+        chunks
+            .iter()
+            .enumerate()
+            .map(|(i, &(_, len))| self.gpus[i].resident_shape(len, n))
+            .collect()
     }
 
     /// Advances every GPU clock by `secs`, charged to `phase`, and logs
@@ -237,7 +241,15 @@ impl MultiGpu {
             if self.mode == ExecMode::Compute {
                 // R_total = R_pass · R_total.
                 let mut tmp = Mat::zeros(l, l);
-                rlra_blas::gemm(1.0, r.as_ref(), Trans::No, r_total.as_ref(), Trans::No, 0.0, tmp.as_mut())?;
+                rlra_blas::gemm(
+                    1.0,
+                    r.as_ref(),
+                    Trans::No,
+                    r_total.as_ref(),
+                    Trans::No,
+                    0.0,
+                    tmp.as_mut(),
+                )?;
                 r_total = tmp;
             }
         }
@@ -296,7 +308,15 @@ impl MultiGpu {
             }
             if self.mode == ExecMode::Compute {
                 let mut tmp = Mat::zeros(n, n);
-                rlra_blas::gemm(1.0, r.as_ref(), Trans::No, r_total.as_ref(), Trans::No, 0.0, tmp.as_mut())?;
+                rlra_blas::gemm(
+                    1.0,
+                    r.as_ref(),
+                    Trans::No,
+                    r_total.as_ref(),
+                    Trans::No,
+                    0.0,
+                    tmp.as_mut(),
+                )?;
                 r_total = tmp;
             }
         }
@@ -326,6 +346,32 @@ impl MultiGpu {
             g.reset();
         }
         self.host_timeline = Timeline::new();
+    }
+
+    /// Folds the accounting of a finished simulation context into this one.
+    ///
+    /// Execution backends time a run on an internal dry-run `MultiGpu` and
+    /// then credit the caller's context with the result: every phase of every
+    /// simulated GPU timeline is charged onto the corresponding GPU here
+    /// (advancing its clock), launch/sync counters are added, and the host
+    /// timeline is merged. Both contexts must have the same GPU count.
+    pub fn absorb(&mut self, sim: &MultiGpu) {
+        assert_eq!(
+            self.gpus.len(),
+            sim.gpus.len(),
+            "absorb: GPU count mismatch"
+        );
+        for (g, s) in self.gpus.iter_mut().zip(&sim.gpus) {
+            for phase in Phase::ALL {
+                let secs = s.timeline().get(phase);
+                if secs > 0.0 {
+                    g.charge(phase, secs);
+                }
+            }
+            g.launches += s.launches;
+            g.syncs += s.syncs;
+        }
+        self.host_timeline.merge(&sim.host_timeline);
     }
 }
 
@@ -410,13 +456,26 @@ mod tests {
         let c1 = c.submatrix(0, 0, 6, 20);
         let c2 = c.submatrix(0, 20, 6, 20);
         let mut parts = vec![mg.gpu(0).resident(&c1), mg.gpu(1).resident(&c2)];
-        let r = mg.cholqr_rows_distributed(Phase::OrthIter, &mut parts, true).unwrap();
+        let r = mg
+            .cholqr_rows_distributed(Phase::OrthIter, &mut parts, true)
+            .unwrap();
         // Reassemble Q and check row orthonormality and R^T Q = C.
-        let q = parts[0].expect_values().hcat(parts[1].expect_values()).unwrap();
+        let q = parts[0]
+            .expect_values()
+            .hcat(parts[1].expect_values())
+            .unwrap();
         assert!(orthogonality_error(&q.transpose()) < 1e-12);
         let mut rec = Mat::zeros(6, 40);
-        rlra_blas::gemm(1.0, r.as_ref(), Trans::Yes, q.as_ref(), Trans::No, 0.0, rec.as_mut())
-            .unwrap();
+        rlra_blas::gemm(
+            1.0,
+            r.as_ref(),
+            Trans::Yes,
+            q.as_ref(),
+            Trans::No,
+            0.0,
+            rec.as_mut(),
+        )
+        .unwrap();
         assert!(rec.approx_eq(&c, 1e-10));
     }
 
@@ -433,22 +492,27 @@ mod tests {
             .enumerate()
             .map(|(i, &(s, l))| mg.gpu(i).resident(&c.submatrix(0, s, 5, l)))
             .collect();
-        mg.cholqr_rows_distributed(Phase::OrthIter, &mut parts, true).unwrap();
+        mg.cholqr_rows_distributed(Phase::OrthIter, &mut parts, true)
+            .unwrap();
         let q = parts[0]
             .expect_values()
             .hcat(parts[1].expect_values())
             .unwrap()
             .hcat(parts[2].expect_values())
             .unwrap();
-        assert!(q.approx_eq(&q_ref, 1e-10), "distributed and single-GPU Q differ");
+        assert!(
+            q.approx_eq(&q_ref, 1e-10),
+            "distributed and single-GPU Q differ"
+        );
     }
 
     #[test]
     fn comms_grow_with_gpu_count() {
         let run = |ng: usize| -> f64 {
             let mut mg = MultiGpu::new(ng, DeviceSpec::k40c(), ExecMode::DryRun);
-            let parts: Vec<DMat> =
-                (0..ng).map(|i| mg.gpu(i).resident_shape(64, 2500)).collect();
+            let parts: Vec<DMat> = (0..ng)
+                .map(|i| mg.gpu(i).resident_shape(64, 2500))
+                .collect();
             mg.reduce_to_host(Phase::Comms, &parts).unwrap();
             mg.comms_time()
         };
@@ -477,7 +541,9 @@ mod tall_tests {
         let mut mg = MultiGpu::new(3, DeviceSpec::k40c(), ExecMode::Compute);
         let x = pseudo(45, 6, 1);
         let mut parts = mg.distribute_rows(&x, false);
-        let r = mg.cholqr_tall_distributed(Phase::Qr, &mut parts, true).unwrap();
+        let r = mg
+            .cholqr_tall_distributed(Phase::Qr, &mut parts, true)
+            .unwrap();
         // Reassemble Q.
         let q = parts[0]
             .expect_values()
@@ -488,8 +554,16 @@ mod tall_tests {
         assert!(orthogonality_error(&q) < 1e-12);
         // Q R = X.
         let mut rec = Mat::zeros(45, 6);
-        rlra_blas::gemm(1.0, q.as_ref(), Trans::No, r.as_ref(), Trans::No, 0.0, rec.as_mut())
-            .unwrap();
+        rlra_blas::gemm(
+            1.0,
+            q.as_ref(),
+            Trans::No,
+            r.as_ref(),
+            Trans::No,
+            0.0,
+            rec.as_mut(),
+        )
+        .unwrap();
         assert!(rec.approx_eq(&x, 1e-10));
     }
 
@@ -499,8 +573,12 @@ mod tall_tests {
         let (q_ref, _) = rlra_lapack::cholqr2(&x).unwrap();
         let mut mg = MultiGpu::new(2, DeviceSpec::k40c(), ExecMode::Compute);
         let mut parts = mg.distribute_rows(&x, false);
-        mg.cholqr_tall_distributed(Phase::Qr, &mut parts, true).unwrap();
-        let q = parts[0].expect_values().vcat(parts[1].expect_values()).unwrap();
+        mg.cholqr_tall_distributed(Phase::Qr, &mut parts, true)
+            .unwrap();
+        let q = parts[0]
+            .expect_values()
+            .vcat(parts[1].expect_values())
+            .unwrap();
         assert!(q.approx_eq(&q_ref, 1e-10));
     }
 }

@@ -73,8 +73,10 @@ pub fn tournament_qrcp(a: &Mat, k: usize) -> Result<CaQrcp> {
     let block = gather_cols(a, &candidates);
     let kk = k.min(block.cols());
     let final_res = qrcp_column(&block, kk)?;
-    let selected: Vec<usize> =
-        final_res.perm.as_slice()[..kk].iter().map(|&local| candidates[local]).collect();
+    let selected: Vec<usize> = final_res.perm.as_slice()[..kk]
+        .iter()
+        .map(|&local| candidates[local])
+        .collect();
 
     // --- Build the permutation: selected first, the rest in order ---------
     let mut in_selected = vec![false; n];
@@ -93,7 +95,15 @@ pub fn tournament_qrcp(a: &Mat, k: usize) -> Result<CaQrcp> {
     };
     let ap = perm.apply_cols(a)?;
     let mut r = Mat::zeros(k, n);
-    gemm(1.0, q.as_ref(), Trans::Yes, ap.as_ref(), Trans::No, 0.0, r.as_mut())?;
+    gemm(
+        1.0,
+        q.as_ref(),
+        Trans::Yes,
+        ap.as_ref(),
+        Trans::No,
+        0.0,
+        r.as_mut(),
+    )?;
     Ok(CaQrcp { q, r, perm, rounds })
 }
 
@@ -106,7 +116,15 @@ impl CaQrcp {
     pub fn error_spectral(&self, a: &Mat) -> Result<f64> {
         let ap = self.perm.apply_cols(a)?;
         let mut rec = Mat::zeros(ap.rows(), ap.cols());
-        gemm(1.0, self.q.as_ref(), Trans::No, self.r.as_ref(), Trans::No, 0.0, rec.as_mut())?;
+        gemm(
+            1.0,
+            self.q.as_ref(),
+            Trans::No,
+            self.r.as_ref(),
+            Trans::No,
+            0.0,
+            rec.as_mut(),
+        )?;
         let diff = rlra_matrix::ops::sub(&ap, &rec)?;
         Ok(rlra_matrix::norms::spectral_norm(diff.as_ref()))
     }
@@ -145,7 +163,16 @@ mod tests {
         let y = crate::householder::form_q(&pseudo(n, spec.len(), seed + 1));
         let xs = Mat::from_fn(m, spec.len(), |i, j| x[(i, j)] * spec[j]);
         let mut a = Mat::zeros(m, n);
-        gemm(1.0, xs.as_ref(), Trans::No, y.as_ref(), Trans::Yes, 0.0, a.as_mut()).unwrap();
+        gemm(
+            1.0,
+            xs.as_ref(),
+            Trans::No,
+            y.as_ref(),
+            Trans::Yes,
+            0.0,
+            a.as_mut(),
+        )
+        .unwrap();
         (a, spec)
     }
 
@@ -195,10 +222,22 @@ mod tests {
         let x = pseudo(50, 3, 4);
         let y = pseudo(3, 40, 5);
         let mut a = Mat::zeros(50, 40);
-        gemm(1.0, x.as_ref(), Trans::No, y.as_ref(), Trans::No, 0.0, a.as_mut()).unwrap();
+        gemm(
+            1.0,
+            x.as_ref(),
+            Trans::No,
+            y.as_ref(),
+            Trans::No,
+            0.0,
+            a.as_mut(),
+        )
+        .unwrap();
         let res = tournament_qrcp(&a, 3).unwrap();
         let err = res.error_spectral(&a).unwrap();
-        assert!(err < 1e-10 * spectral_norm_mat(&a), "rank-3 must be exact: {err:e}");
+        assert!(
+            err < 1e-10 * spectral_norm_mat(&a),
+            "rank-3 must be exact: {err:e}"
+        );
     }
 
     #[test]
@@ -219,7 +258,11 @@ mod tests {
     fn many_rounds_deep_tree() {
         let (a, _) = decaying(30, 200, 0.8, 7);
         let res = tournament_qrcp(&a, 4).unwrap();
-        assert!(res.rounds >= 3, "200 cols / 8 per block needs a deep tree, got {}", res.rounds);
+        assert!(
+            res.rounds >= 3,
+            "200 cols / 8 per block needs a deep tree, got {}",
+            res.rounds
+        );
         assert!(orthogonality_error(&res.q) < 1e-11);
     }
 

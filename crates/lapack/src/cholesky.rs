@@ -98,7 +98,10 @@ mod tests {
         let mut g = Mat::identity(3);
         g[(2, 2)] = -1.0;
         let e = cholesky_upper(&g);
-        assert!(matches!(e, Err(MatrixError::NotPositiveDefinite { pivot: 2, .. })));
+        assert!(matches!(
+            e,
+            Err(MatrixError::NotPositiveDefinite { pivot: 2, .. })
+        ));
     }
 
     #[test]

@@ -36,7 +36,15 @@ pub fn cholqr(b: &Mat) -> Result<(Mat, Mat)> {
     mirror_upper(&mut g);
     let r = cholesky_upper(&g)?;
     let mut q = b.clone();
-    trsm(Side::Right, UpLo::Upper, Trans::No, Diag::NonUnit, 1.0, r.as_ref(), q.as_mut())?;
+    trsm(
+        Side::Right,
+        UpLo::Upper,
+        Trans::No,
+        Diag::NonUnit,
+        1.0,
+        r.as_ref(),
+        q.as_mut(),
+    )?;
     Ok((q, r))
 }
 
@@ -67,7 +75,15 @@ pub fn cholqr_rows(b: &Mat) -> Result<(Mat, Mat)> {
     mirror_upper(&mut g);
     let r = cholesky_upper(&g)?;
     let mut q = b.clone();
-    trsm(Side::Left, UpLo::Upper, Trans::Yes, Diag::NonUnit, 1.0, r.as_ref(), q.as_mut())?;
+    trsm(
+        Side::Left,
+        UpLo::Upper,
+        Trans::Yes,
+        Diag::NonUnit,
+        1.0,
+        r.as_ref(),
+        q.as_mut(),
+    )?;
     Ok((q, r))
 }
 
@@ -97,7 +113,15 @@ fn mirror_upper(g: &mut Mat) {
 /// triangular).
 fn merge_r(r2: &Mat, r1: &Mat) -> Result<Mat> {
     let mut r = Mat::zeros(r2.rows(), r1.cols());
-    gemm(1.0, r2.as_ref(), Trans::No, r1.as_ref(), Trans::No, 0.0, r.as_mut())?;
+    gemm(
+        1.0,
+        r2.as_ref(),
+        Trans::No,
+        r1.as_ref(),
+        Trans::No,
+        0.0,
+        r.as_mut(),
+    )?;
     Ok(r)
 }
 
@@ -194,7 +218,10 @@ mod tests {
         let mut b = pseudo(20, 4, 6);
         let c = b.col(0).to_vec();
         b.col_mut(3).copy_from_slice(&c);
-        assert!(matches!(cholqr(&b), Err(MatrixError::NotPositiveDefinite { .. })));
+        assert!(matches!(
+            cholqr(&b),
+            Err(MatrixError::NotPositiveDefinite { .. })
+        ));
     }
 
     #[test]

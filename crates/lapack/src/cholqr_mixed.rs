@@ -40,11 +40,20 @@ fn cholesky_upper_dd(g: &[Dd], n: usize) -> Result<Mat> {
         // floor rather than a clean non-positive value.
         let dd_noise = 16.0 * n as f64 * 2f64.powi(-104) * at(j, j).hi.abs();
         if d.hi <= dd_noise || !d.hi.is_finite() {
-            return Err(MatrixError::NotPositiveDefinite { pivot: j, value: d.hi });
+            return Err(MatrixError::NotPositiveDefinite {
+                pivot: j,
+                value: d.hi,
+            });
         }
         r[j * n + j] = d.sqrt();
     }
-    Ok(Mat::from_fn(n, n, |i, j| if i <= j { r[i * n + j].to_f64() } else { 0.0 }))
+    Ok(Mat::from_fn(n, n, |i, j| {
+        if i <= j {
+            r[i * n + j].to_f64()
+        } else {
+            0.0
+        }
+    }))
 }
 
 /// Mixed-precision CholQR of a tall-skinny `B` (`m × n`, `m ≥ n`):
@@ -76,7 +85,15 @@ pub fn cholqr_mixed(b: &Mat) -> Result<(Mat, Mat)> {
     }
     let r = cholesky_upper_dd(&g, n)?;
     let mut q = b.clone();
-    trsm(Side::Right, UpLo::Upper, Trans::No, Diag::NonUnit, 1.0, r.as_ref(), q.as_mut())?;
+    trsm(
+        Side::Right,
+        UpLo::Upper,
+        Trans::No,
+        Diag::NonUnit,
+        1.0,
+        r.as_ref(),
+        q.as_mut(),
+    )?;
     Ok((q, r))
 }
 
@@ -97,8 +114,9 @@ pub fn cholqr_rows_mixed(b: &Mat) -> Result<(Mat, Mat)> {
         });
     }
     // Row Gram matrix in doubled precision. Rows are strided; gather once.
-    let rows: Vec<Vec<f64>> =
-        (0..l).map(|i| (0..n).map(|j| b[(i, j)]).collect()).collect();
+    let rows: Vec<Vec<f64>> = (0..l)
+        .map(|i| (0..n).map(|j| b[(i, j)]).collect())
+        .collect();
     let mut g = vec![Dd::ZERO; l * l];
     for j in 0..l {
         for i in 0..=j {
@@ -109,7 +127,15 @@ pub fn cholqr_rows_mixed(b: &Mat) -> Result<(Mat, Mat)> {
     }
     let r = cholesky_upper_dd(&g, l)?;
     let mut q = b.clone();
-    trsm(Side::Left, UpLo::Upper, Trans::Yes, Diag::NonUnit, 1.0, r.as_ref(), q.as_mut())?;
+    trsm(
+        Side::Left,
+        UpLo::Upper,
+        Trans::Yes,
+        Diag::NonUnit,
+        1.0,
+        r.as_ref(),
+        q.as_mut(),
+    )?;
     Ok((q, r))
 }
 
@@ -135,10 +161,20 @@ mod tests {
     fn graded(m: usize, n: usize, decade_step: i32, seed: u64) -> Mat {
         let q0 = form_q(&pseudo(m, n, seed));
         let v = form_q(&pseudo(n, n, seed + 1));
-        let scaled = Mat::from_fn(m, n, |i, j| q0[(i, j)] * 10f64.powi(-decade_step * j as i32));
+        let scaled = Mat::from_fn(m, n, |i, j| {
+            q0[(i, j)] * 10f64.powi(-decade_step * j as i32)
+        });
         let mut a = Mat::zeros(m, n);
-        rlra_blas::gemm(1.0, scaled.as_ref(), Trans::No, v.as_ref(), Trans::Yes, 0.0, a.as_mut())
-            .unwrap();
+        rlra_blas::gemm(
+            1.0,
+            scaled.as_ref(),
+            Trans::No,
+            v.as_ref(),
+            Trans::Yes,
+            0.0,
+            a.as_mut(),
+        )
+        .unwrap();
         a
     }
 
@@ -164,7 +200,11 @@ mod tests {
         assert!(plain_bad, "plain CholQR should be in trouble at kappa 1e10");
         let (q, r) = cholqr_mixed(&a).unwrap();
         // O(eps * kappa) orthogonality: comfortably below 1e-4.
-        assert!(orthogonality_error(&q) < 1e-4, "mixed orth {}", orthogonality_error(&q));
+        assert!(
+            orthogonality_error(&q) < 1e-4,
+            "mixed orth {}",
+            orthogonality_error(&q)
+        );
         let rec = gemm_ref(&q, Trans::No, &r, Trans::No);
         assert!(max_abs_diff(&rec, &a).unwrap() < 1e-10);
     }
@@ -204,7 +244,10 @@ mod tests {
         let mut b = pseudo(20, 4, 6);
         let c0 = b.col(0).to_vec();
         b.col_mut(3).copy_from_slice(&c0);
-        assert!(matches!(cholqr_mixed(&b), Err(MatrixError::NotPositiveDefinite { .. })));
+        assert!(matches!(
+            cholqr_mixed(&b),
+            Err(MatrixError::NotPositiveDefinite { .. })
+        ));
     }
 
     #[test]

@@ -87,7 +87,10 @@ impl Dd {
     /// `self - other`.
     #[inline]
     pub fn sub(self, other: Dd) -> Dd {
-        self.add(Dd { hi: -other.hi, lo: -other.lo })
+        self.add(Dd {
+            hi: -other.hi,
+            lo: -other.lo,
+        })
     }
 
     /// `self * other`.
@@ -123,7 +126,10 @@ impl Dd {
     #[inline]
     pub fn sqrt(self) -> Dd {
         if self.hi <= 0.0 {
-            return Dd { hi: self.hi.sqrt(), lo: 0.0 }; // 0 or NaN propagates
+            return Dd {
+                hi: self.hi.sqrt(),
+                lo: 0.0,
+            }; // 0 or NaN propagates
         }
         let s1 = self.hi.sqrt();
         // s = s1 + (self - s1^2) / (2 s1).

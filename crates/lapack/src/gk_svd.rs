@@ -29,11 +29,19 @@ const MAX_ITER_PER_VALUE: usize = 75;
 pub fn svd_golub_kahan(a: &Mat) -> Result<Svd> {
     if a.rows() < a.cols() {
         let t = svd_golub_kahan(&a.transpose())?;
-        return Ok(Svd { u: t.v, sigma: t.sigma, v: t.u });
+        return Ok(Svd {
+            u: t.v,
+            sigma: t.sigma,
+            v: t.u,
+        });
     }
     let (m, n) = a.shape();
     if n == 0 {
-        return Ok(Svd { u: Mat::zeros(m, 0), sigma: vec![], v: Mat::zeros(0, 0) });
+        return Ok(Svd {
+            u: Mat::zeros(m, 0),
+            sigma: vec![],
+            v: Mat::zeros(0, 0),
+        });
     }
 
     // --- Phase 1: bidiagonalization A = U_b · B · V_bᵀ ----------------------
@@ -64,7 +72,11 @@ pub fn svd_golub_kahan(a: &Mat) -> Result<Svd> {
         uu.col_mut(dst).copy_from_slice(u.col(src));
         vv.col_mut(dst).copy_from_slice(v.col(src));
     }
-    Ok(Svd { u: uu, sigma, v: vv })
+    Ok(Svd {
+        u: uu,
+        sigma,
+        v: vv,
+    })
 }
 
 /// Householder bidiagonalization: returns the diagonal `d`, the
@@ -348,8 +360,16 @@ mod tests {
 
     fn check_full(a: &Mat, tol: f64) {
         let svd = svd_golub_kahan(a).unwrap();
-        assert!(orthogonality_error(&svd.u) < tol, "U orth {}", orthogonality_error(&svd.u));
-        assert!(orthogonality_error(&svd.v) < tol, "V orth {}", orthogonality_error(&svd.v));
+        assert!(
+            orthogonality_error(&svd.u) < tol,
+            "U orth {}",
+            orthogonality_error(&svd.u)
+        );
+        assert!(
+            orthogonality_error(&svd.v) < tol,
+            "V orth {}",
+            orthogonality_error(&svd.v)
+        );
         for w in svd.sigma.windows(2) {
             assert!(w[0] >= w[1] - 1e-14, "sigma not sorted: {:?}", svd.sigma);
         }
@@ -417,8 +437,16 @@ mod tests {
         let x = pseudo(20, 3, 7);
         let y = pseudo(3, 14, 8);
         let mut a = Mat::zeros(20, 14);
-        rlra_blas::gemm(1.0, x.as_ref(), rlra_blas::Trans::No, y.as_ref(), rlra_blas::Trans::No, 0.0, a.as_mut())
-            .unwrap();
+        rlra_blas::gemm(
+            1.0,
+            x.as_ref(),
+            rlra_blas::Trans::No,
+            y.as_ref(),
+            rlra_blas::Trans::No,
+            0.0,
+            a.as_mut(),
+        )
+        .unwrap();
         let svd = svd_golub_kahan(&a).unwrap();
         assert!(svd.sigma[2] > 1e-8);
         for &s in &svd.sigma[3..] {

@@ -116,8 +116,24 @@ pub fn block_orth_cols(v: &Mat, w: &mut Mat, reorth: bool) -> Result<Mat> {
             break;
         }
         let mut c = Mat::zeros(v.cols(), w.cols());
-        gemm(1.0, v.as_ref(), Trans::Yes, w.as_ref(), Trans::No, 0.0, c.as_mut())?;
-        gemm(-1.0, v.as_ref(), Trans::No, c.as_ref(), Trans::No, 1.0, w.as_mut())?;
+        gemm(
+            1.0,
+            v.as_ref(),
+            Trans::Yes,
+            w.as_ref(),
+            Trans::No,
+            0.0,
+            c.as_mut(),
+        )?;
+        gemm(
+            -1.0,
+            v.as_ref(),
+            Trans::No,
+            c.as_ref(),
+            Trans::No,
+            1.0,
+            w.as_mut(),
+        )?;
         rlra_matrix::ops::axpy_mat(1.0, &c, &mut total)?;
     }
     Ok(total)
@@ -148,8 +164,24 @@ pub fn block_orth_rows(v: &Mat, w: &mut Mat, reorth: bool) -> Result<Mat> {
             break;
         }
         let mut c = Mat::zeros(w.rows(), v.rows());
-        gemm(1.0, w.as_ref(), Trans::No, v.as_ref(), Trans::Yes, 0.0, c.as_mut())?;
-        gemm(-1.0, c.as_ref(), Trans::No, v.as_ref(), Trans::No, 1.0, w.as_mut())?;
+        gemm(
+            1.0,
+            w.as_ref(),
+            Trans::No,
+            v.as_ref(),
+            Trans::Yes,
+            0.0,
+            c.as_mut(),
+        )?;
+        gemm(
+            -1.0,
+            c.as_ref(),
+            Trans::No,
+            v.as_ref(),
+            Trans::No,
+            1.0,
+            w.as_mut(),
+        )?;
         rlra_matrix::ops::axpy_mat(1.0, &c, &mut total)?;
     }
     Ok(total)
@@ -220,7 +252,10 @@ mod tests {
         let (qm, _) = mgs(&a).unwrap();
         let ec = orthogonality_error(&qc);
         let em = orthogonality_error(&qm);
-        assert!(em <= ec * 1.5 + 1e-15, "MGS ({em:e}) should not be much worse than CGS ({ec:e})");
+        assert!(
+            em <= ec * 1.5 + 1e-15,
+            "MGS ({em:e}) should not be much worse than CGS ({ec:e})"
+        );
     }
 
     #[test]
@@ -262,7 +297,10 @@ mod tests {
             / rlra_matrix::norms::max_abs(w.as_ref()).max(1e-300);
         let e2 = rlra_matrix::norms::max_abs(gemm_ref(&v, Trans::Yes, &w2, Trans::No).as_ref())
             / rlra_matrix::norms::max_abs(w2.as_ref()).max(1e-300);
-        assert!(e2 <= e1 + 1e-15, "reorth should not be worse: {e2:e} vs {e1:e}");
+        assert!(
+            e2 <= e1 + 1e-15,
+            "reorth should not be worse: {e2:e} vs {e1:e}"
+        );
     }
 
     #[test]

@@ -161,8 +161,16 @@ fn apply_block_reflector_trans(factors: &Mat, j0: usize, k: usize, t: &Mat, mut 
         }
     }
     // W := T^T W
-    rlra_blas::trmm(Side::Left, UpLo::Upper, Trans::Yes, Diag::NonUnit, 1.0, t.as_ref(), w.as_mut())
-        .expect("trmm shapes are consistent by construction");
+    rlra_blas::trmm(
+        Side::Left,
+        UpLo::Upper,
+        Trans::Yes,
+        Diag::NonUnit,
+        1.0,
+        t.as_ref(),
+        w.as_mut(),
+    )
+    .expect("trmm shapes are consistent by construction");
     // C := C − V W
     for j in 0..n {
         let wj = w.col(j).to_vec();
@@ -285,8 +293,16 @@ pub fn form_q(a: &Mat) -> Mat {
 pub fn orthogonality_error(q: &Mat) -> f64 {
     let k = q.cols();
     let mut g = Mat::zeros(k, k);
-    gemm(1.0, q.as_ref(), Trans::Yes, q.as_ref(), Trans::No, 0.0, g.as_mut())
-        .expect("shapes consistent");
+    gemm(
+        1.0,
+        q.as_ref(),
+        Trans::Yes,
+        q.as_ref(),
+        Trans::No,
+        0.0,
+        g.as_mut(),
+    )
+    .expect("shapes consistent");
     let mut worst = 0.0f64;
     for j in 0..k {
         for i in 0..k {
@@ -321,7 +337,11 @@ mod tests {
         let v = [1.0, x[0], x[1]];
         let orig = [0.0, 3.0, 4.0];
         let w: f64 = v.iter().zip(&orig).map(|(a, b)| a * b).sum();
-        let result: Vec<f64> = orig.iter().zip(&v).map(|(o, vi)| o - tau * w * vi).collect();
+        let result: Vec<f64> = orig
+            .iter()
+            .zip(&v)
+            .map(|(o, vi)| o - tau * w * vi)
+            .collect();
         assert!((result[0] - beta).abs() < 1e-12);
         assert!(result[1].abs() < 1e-12);
         assert!(result[2].abs() < 1e-12);
@@ -348,7 +368,11 @@ mod tests {
             }
         }
         // Q orthonormal.
-        assert!(orthogonality_error(&q) < tol, "Q^T Q != I: {}", orthogonality_error(&q));
+        assert!(
+            orthogonality_error(&q) < tol,
+            "Q^T Q != I: {}",
+            orthogonality_error(&q)
+        );
         // Q R = A.
         let qr = gemm_ref(&q, rlra_blas::Trans::No, &r, rlra_blas::Trans::No);
         let d = max_abs_diff(&qr, a).unwrap();
@@ -408,7 +432,11 @@ mod tests {
                 if i <= j.min(7) {
                     assert!((c[(i, j)] - f[(i, j)]).abs() < 1e-11);
                 } else {
-                    assert!(c[(i, j)].abs() < 1e-11, "below-diagonal {i},{j} = {}", c[(i, j)]);
+                    assert!(
+                        c[(i, j)].abs() < 1e-11,
+                        "below-diagonal {i},{j} = {}",
+                        c[(i, j)]
+                    );
                 }
             }
         }

@@ -40,10 +40,10 @@ pub use ca_qrcp::{tournament_qrcp, CaQrcp};
 pub use cholesky::cholesky_upper;
 pub use cholqr::{cholqr, cholqr2, cholqr_rows, cholqr_rows2};
 pub use cholqr_mixed::{cholqr_mixed, cholqr_rows_mixed};
+pub use gk_svd::svd_golub_kahan;
 pub use gram_schmidt::{block_orth, block_orth_cols, block_orth_rows, cgs, mgs};
 pub use householder::{form_q, qr_factor, HouseholderQr};
 pub use lu::{lu_factor, lu_solve, Lu};
 pub use qrcp::{qp3_blocked, qrcp_column, QrcpResult};
-pub use gk_svd::svd_golub_kahan;
 pub use svd::{singular_values, svd_jacobi, Svd};
 pub use tsqr::{tsqr, Tsqr};

@@ -69,7 +69,10 @@ pub fn lu_factor(a: &Mat) -> Result<Lu> {
             }
         }
     }
-    Ok(Lu { factors: lu, pivots })
+    Ok(Lu {
+        factors: lu,
+        pivots,
+    })
 }
 
 impl Lu {
@@ -204,7 +207,10 @@ mod tests {
             let v = a[(1, j)];
             a[(3, j)] = v;
         }
-        assert!(matches!(lu_factor(&a), Err(MatrixError::SingularDiagonal { .. })));
+        assert!(matches!(
+            lu_factor(&a),
+            Err(MatrixError::SingularDiagonal { .. })
+        ));
     }
 
     #[test]

@@ -88,8 +88,16 @@ impl QrcpResult {
         let q = self.q();
         let r = self.r();
         let mut out = Mat::zeros(q.rows(), r.cols());
-        gemm(1.0, q.as_ref(), Trans::No, r.as_ref(), Trans::No, 0.0, out.as_mut())
-            .expect("shapes consistent");
+        gemm(
+            1.0,
+            q.as_ref(),
+            Trans::No,
+            r.as_ref(),
+            Trans::No,
+            0.0,
+            out.as_mut(),
+        )
+        .expect("shapes consistent");
         out
     }
 }
@@ -123,7 +131,10 @@ pub fn qrcp_column(a: &Mat, k: usize) -> Result<QrcpResult> {
     let mut f = a.clone();
     let mut perm = ColPerm::identity(n);
     let mut taus = Vec::with_capacity(k);
-    let mut stats = QrcpStats { panels: 1, ..Default::default() };
+    let mut stats = QrcpStats {
+        panels: 1,
+        ..Default::default()
+    };
 
     let mut pnorm: Vec<f64> = (0..n).map(|j| rlra_blas::nrm2(f.col(j))).collect();
     let mut onorm = pnorm.clone();
@@ -178,7 +189,13 @@ pub fn qrcp_column(a: &Mat, k: usize) -> Result<QrcpResult> {
             }
         }
     }
-    Ok(QrcpResult { factors: f, taus, perm, rank: k, stats })
+    Ok(QrcpResult {
+        factors: f,
+        taus,
+        perm,
+        rank: k,
+        stats,
+    })
 }
 
 /// Default panel width for [`qp3_blocked`].
@@ -219,14 +236,7 @@ pub fn qp3_blocked(a: &Mat, k: usize, nb: usize) -> Result<QrcpResult> {
     while offset < k {
         let panel_max = nb.min(k - offset);
         let factored = laqps_panel(
-            &mut f,
-            offset,
-            panel_max,
-            &mut pnorm,
-            &mut onorm,
-            &mut perm,
-            &mut taus,
-            &mut stats,
+            &mut f, offset, panel_max, &mut pnorm, &mut onorm, &mut perm, &mut taus, &mut stats,
         )?;
         stats.panels += 1;
         offset += factored;
@@ -234,7 +244,13 @@ pub fn qp3_blocked(a: &Mat, k: usize, nb: usize) -> Result<QrcpResult> {
         let _ = n;
     }
     taus.truncate(k);
-    Ok(QrcpResult { factors: f, taus, perm, rank: k, stats })
+    Ok(QrcpResult {
+        factors: f,
+        taus,
+        perm,
+        rank: k,
+        stats,
+    })
 }
 
 /// Factors up to `nb` columns starting at global column `offset`
@@ -255,8 +271,8 @@ fn laqps_panel(
 ) -> Result<usize> {
     let (m, n) = f.shape();
     let nloc = n - offset; // trailing width including panel
-    // F accumulates the deferred update: A_trailing ← A_trailing − V·Fᵀ.
-    // Row `j` of F corresponds to global column `offset + j`.
+                           // F accumulates the deferred update: A_trailing ← A_trailing − V·Fᵀ.
+                           // Row `j` of F corresponds to global column `offset + j`.
     let mut fmat = Mat::zeros(nloc, nb);
     let mut lsticc = false;
     let mut kdone = 0usize;
@@ -264,7 +280,7 @@ fn laqps_panel(
     while kdone < nb && !lsticc {
         let kk = kdone; // local panel index
         let rk = offset + kk; // global pivot row/column
-        // --- Pivot selection over downdated norms -----------------------
+                              // --- Pivot selection over downdated norms -----------------------
         let rel = rlra_blas::iamax(&pnorm[rk..]);
         let p = rk + rel;
         if p != rk {
@@ -377,12 +393,20 @@ fn laqps_panel(
     // --- Deferred trailing update: A ← A − V·Fᵀ (one GEMM) ---------------
     let first_trailing = offset + kdone;
     if first_trailing < n && first_trailing < m && kdone > 0 {
-        let v_snapshot = f.as_ref().submatrix(first_trailing, offset, m - first_trailing, kdone).to_mat();
+        let v_snapshot = f
+            .as_ref()
+            .submatrix(first_trailing, offset, m - first_trailing, kdone)
+            .to_mat();
         // Zero out nothing: v rows below the panel are exactly the stored
         // reflector tails.
         let fblock = fmat.submatrix(kdone, 0, nloc - kdone, kdone);
         let mut view = f.as_mut();
-        let trailing = view.submatrix_mut(first_trailing, first_trailing, m - first_trailing, n - first_trailing);
+        let trailing = view.submatrix_mut(
+            first_trailing,
+            first_trailing,
+            m - first_trailing,
+            n - first_trailing,
+        );
         gemm(
             -1.0,
             v_snapshot.as_ref(),
@@ -465,7 +489,11 @@ mod tests {
         let a = pseudo(30, 18, 2);
         let r1 = qrcp_column(&a, 18).unwrap();
         let r2 = qp3_blocked(&a, 18, 5).unwrap();
-        assert_eq!(r1.perm.as_slice(), r2.perm.as_slice(), "pivot sequences differ");
+        assert_eq!(
+            r1.perm.as_slice(),
+            r2.perm.as_slice(),
+            "pivot sequences differ"
+        );
         let d1 = r1.r_diag();
         let d2 = r2.r_diag();
         for (x, y) in d1.iter().zip(&d2) {
@@ -485,7 +513,16 @@ mod tests {
         let us = Mat::from_fn(m, n, |i, j| u[(i, j)] * sigma[j]);
         let a = {
             let mut t = Mat::zeros(m, n);
-            gemm(1.0, us.as_ref(), Trans::No, v.as_ref(), Trans::Yes, 0.0, t.as_mut()).unwrap();
+            gemm(
+                1.0,
+                us.as_ref(),
+                Trans::No,
+                v.as_ref(),
+                Trans::Yes,
+                0.0,
+                t.as_mut(),
+            )
+            .unwrap();
             t
         };
         let k = 6;
@@ -511,7 +548,16 @@ mod tests {
         let x = pseudo(m, 3, 5);
         let y = pseudo(3, n, 6);
         let mut a = Mat::zeros(m, n);
-        gemm(1.0, x.as_ref(), Trans::No, y.as_ref(), Trans::No, 0.0, a.as_mut()).unwrap();
+        gemm(
+            1.0,
+            x.as_ref(),
+            Trans::No,
+            y.as_ref(),
+            Trans::No,
+            0.0,
+            a.as_mut(),
+        )
+        .unwrap();
         for res in [qrcp_column(&a, 5).unwrap(), qp3_blocked(&a, 5, 2).unwrap()] {
             let d = res.r_diag();
             assert!(d[2] > 1e-8, "rank-3 should have 3 significant pivots");
@@ -548,13 +594,27 @@ mod tests {
         let m = 60;
         let n = 30;
         let q = crate::householder::form_q(&pseudo(m, n, 9));
-        let sigma: Vec<f64> = (0..n).map(|i| (1e-14f64).powf(i as f64 / n as f64)).collect();
+        let sigma: Vec<f64> = (0..n)
+            .map(|i| (1e-14f64).powf(i as f64 / n as f64))
+            .collect();
         let mut a = Mat::zeros(m, n);
         let v = crate::householder::form_q(&pseudo(n, n, 10));
         let us = Mat::from_fn(m, n, |i, j| q[(i, j)] * sigma[j]);
-        gemm(1.0, us.as_ref(), Trans::No, v.as_ref(), Trans::Yes, 0.0, a.as_mut()).unwrap();
+        gemm(
+            1.0,
+            us.as_ref(),
+            Trans::No,
+            v.as_ref(),
+            Trans::Yes,
+            0.0,
+            a.as_mut(),
+        )
+        .unwrap();
         let res = qrcp_column(&a, n).unwrap();
-        assert!(res.stats.norm_recomputes > 0, "expected at least one recompute");
+        assert!(
+            res.stats.norm_recomputes > 0,
+            "expected at least one recompute"
+        );
     }
 
     #[test]

@@ -78,7 +78,11 @@ const MAX_SWEEPS: usize = 60;
 pub fn svd_jacobi(a: &Mat) -> Result<Svd> {
     if a.rows() < a.cols() {
         let t = svd_jacobi(&a.transpose())?;
-        return Ok(Svd { u: t.v, sigma: t.sigma, v: t.u });
+        return Ok(Svd {
+            u: t.v,
+            sigma: t.sigma,
+            v: t.u,
+        });
     }
     let (m, n) = a.shape();
     let mut u = a.clone(); // becomes U·Σ column-wise
@@ -99,10 +103,7 @@ pub fn svd_jacobi(a: &Mat) -> Result<Svd> {
                 let app = rlra_blas::dot(u.col(p), u.col(p));
                 let aqq = rlra_blas::dot(u.col(q), u.col(q));
                 let apq = rlra_blas::dot(u.col(p), u.col(q));
-                if apq.abs() <= eps * (app * aqq).sqrt()
-                    || apq == 0.0
-                    || app <= dead
-                    || aqq <= dead
+                if apq.abs() <= eps * (app * aqq).sqrt() || apq == 0.0 || app <= dead || aqq <= dead
                 {
                     continue;
                 }
@@ -122,7 +123,10 @@ pub fn svd_jacobi(a: &Mat) -> Result<Svd> {
         }
     }
     if !converged {
-        return Err(MatrixError::NoConvergence { op: "svd_jacobi", iterations: MAX_SWEEPS });
+        return Err(MatrixError::NoConvergence {
+            op: "svd_jacobi",
+            iterations: MAX_SWEEPS,
+        });
     }
 
     // Extract singular values and normalize U's columns.
@@ -149,7 +153,11 @@ pub fn svd_jacobi(a: &Mat) -> Result<Svd> {
             vv[(i, dst)] = x;
         }
     }
-    Ok(Svd { u: uu, sigma, v: vv })
+    Ok(Svd {
+        u: uu,
+        sigma,
+        v: vv,
+    })
 }
 
 /// Applies the rotation `[c, s; -s, c]` to columns `p`, `q` of `x`.

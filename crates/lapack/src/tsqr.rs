@@ -133,7 +133,11 @@ pub fn tsqr(a: &Mat, block_rows: usize) -> Result<Tsqr> {
         let qi = mat_mul(leaf_q, factor)?;
         q.set_submatrix(start, 0, &qi);
     }
-    Ok(Tsqr { r: r_final, q, leaves })
+    Ok(Tsqr {
+        r: r_final,
+        q,
+        leaves,
+    })
 }
 
 /// Splits `m` rows into `parts` nearly equal chunks.
@@ -246,7 +250,11 @@ mod tests {
 
     fn check(a: &Mat, block_rows: usize, tol: f64) {
         let t = tsqr(a, block_rows).unwrap();
-        assert!(orthogonality_error(&t.q) < tol, "Q not orthonormal: {}", orthogonality_error(&t.q));
+        assert!(
+            orthogonality_error(&t.q) < tol,
+            "Q not orthonormal: {}",
+            orthogonality_error(&t.q)
+        );
         // R upper triangular with non-negative diagonal.
         for j in 0..t.r.cols() {
             for i in j + 1..t.r.rows() {
@@ -294,8 +302,14 @@ mod tests {
         let a = pseudo(48, 6, 6);
         let t = tsqr(&a, 12).unwrap();
         let (q_ref, r_ref) = qr_positive_diag(&a);
-        assert!(max_abs_diff(&t.r, &r_ref).unwrap() < 1e-10, "R differs from Householder");
-        assert!(max_abs_diff(&t.q, &q_ref).unwrap() < 1e-9, "Q differs from Householder");
+        assert!(
+            max_abs_diff(&t.r, &r_ref).unwrap() < 1e-10,
+            "R differs from Householder"
+        );
+        assert!(
+            max_abs_diff(&t.q, &q_ref).unwrap() < 1e-9,
+            "Q differs from Householder"
+        );
     }
 
     #[test]

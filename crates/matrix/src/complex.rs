@@ -37,13 +37,19 @@ impl Complex64 {
     /// `e^{iθ} = cos θ + i sin θ`.
     #[inline]
     pub fn cis(theta: f64) -> Self {
-        Complex64 { re: theta.cos(), im: theta.sin() }
+        Complex64 {
+            re: theta.cos(),
+            im: theta.sin(),
+        }
     }
 
     /// Complex conjugate.
     #[inline]
     pub fn conj(self) -> Self {
-        Complex64 { re: self.re, im: -self.im }
+        Complex64 {
+            re: self.re,
+            im: -self.im,
+        }
     }
 
     /// Modulus `|z|`.
@@ -67,7 +73,10 @@ impl Complex64 {
     /// Multiplies by a real scalar.
     #[inline]
     pub fn scale(self, s: f64) -> Self {
-        Complex64 { re: self.re * s, im: self.im * s }
+        Complex64 {
+            re: self.re * s,
+            im: self.im * s,
+        }
     }
 }
 
@@ -75,7 +84,10 @@ impl Add for Complex64 {
     type Output = Complex64;
     #[inline]
     fn add(self, rhs: Complex64) -> Complex64 {
-        Complex64 { re: self.re + rhs.re, im: self.im + rhs.im }
+        Complex64 {
+            re: self.re + rhs.re,
+            im: self.im + rhs.im,
+        }
     }
 }
 
@@ -83,7 +95,10 @@ impl Sub for Complex64 {
     type Output = Complex64;
     #[inline]
     fn sub(self, rhs: Complex64) -> Complex64 {
-        Complex64 { re: self.re - rhs.re, im: self.im - rhs.im }
+        Complex64 {
+            re: self.re - rhs.re,
+            im: self.im - rhs.im,
+        }
     }
 }
 
@@ -114,7 +129,10 @@ impl Neg for Complex64 {
     type Output = Complex64;
     #[inline]
     fn neg(self) -> Complex64 {
-        Complex64 { re: -self.re, im: -self.im }
+        Complex64 {
+            re: -self.re,
+            im: -self.im,
+        }
     }
 }
 

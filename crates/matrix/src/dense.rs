@@ -32,12 +32,20 @@ pub struct Mat {
 impl Mat {
     /// Creates a `rows × cols` matrix of zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Mat { data: vec![0.0; rows * cols], rows, cols }
+        Mat {
+            data: vec![0.0; rows * cols],
+            rows,
+            cols,
+        }
     }
 
     /// Creates a `rows × cols` matrix with every entry equal to `value`.
     pub fn filled(rows: usize, cols: usize, value: f64) -> Self {
-        Mat { data: vec![value; rows * cols], rows, cols }
+        Mat {
+            data: vec![value; rows * cols],
+            rows,
+            cols,
+        }
     }
 
     /// Creates the `n × n` identity matrix.
@@ -167,7 +175,11 @@ impl Mat {
     /// Panics if `j >= cols`.
     #[inline]
     pub fn col(&self, j: usize) -> &[f64] {
-        assert!(j < self.cols, "column index {j} out of bounds ({})", self.cols);
+        assert!(
+            j < self.cols,
+            "column index {j} out of bounds ({})",
+            self.cols
+        );
         &self.data[j * self.rows..(j + 1) * self.rows]
     }
 
@@ -178,7 +190,11 @@ impl Mat {
     /// Panics if `j >= cols`.
     #[inline]
     pub fn col_mut(&mut self, j: usize) -> &mut [f64] {
-        assert!(j < self.cols, "column index {j} out of bounds ({})", self.cols);
+        assert!(
+            j < self.cols,
+            "column index {j} out of bounds ({})",
+            self.cols
+        );
         &mut self.data[j * self.rows..(j + 1) * self.rows]
     }
 
@@ -189,7 +205,10 @@ impl Mat {
     ///
     /// Panics if the requested block extends past the matrix bounds.
     pub fn submatrix(&self, r0: usize, c0: usize, nrows: usize, ncols: usize) -> Mat {
-        assert!(r0 + nrows <= self.rows && c0 + ncols <= self.cols, "submatrix out of bounds");
+        assert!(
+            r0 + nrows <= self.rows && c0 + ncols <= self.cols,
+            "submatrix out of bounds"
+        );
         Mat::from_fn(nrows, ncols, |i, j| self[(r0 + i, c0 + j)])
     }
 
@@ -242,7 +261,11 @@ impl Mat {
         let mut data = Vec::with_capacity((self.cols + other.cols) * self.rows);
         data.extend_from_slice(&self.data);
         data.extend_from_slice(&other.data);
-        Ok(Mat { data, rows: self.rows, cols: self.cols + other.cols })
+        Ok(Mat {
+            data,
+            rows: self.rows,
+            cols: self.cols + other.cols,
+        })
     }
 
     /// Vertically concatenates `self` on top of `other`.
@@ -297,7 +320,10 @@ impl Index<(usize, usize)> for Mat {
 
     #[inline]
     fn index(&self, (i, j): (usize, usize)) -> &f64 {
-        debug_assert!(i < self.rows && j < self.cols, "index ({i}, {j}) out of bounds");
+        debug_assert!(
+            i < self.rows && j < self.cols,
+            "index ({i}, {j}) out of bounds"
+        );
         &self.data[i + j * self.rows]
     }
 }
@@ -305,7 +331,10 @@ impl Index<(usize, usize)> for Mat {
 impl IndexMut<(usize, usize)> for Mat {
     #[inline]
     fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
-        debug_assert!(i < self.rows && j < self.cols, "index ({i}, {j}) out of bounds");
+        debug_assert!(
+            i < self.rows && j < self.cols,
+            "index ({i}, {j}) out of bounds"
+        );
         &mut self.data[i + j * self.rows]
     }
 }

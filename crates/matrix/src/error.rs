@@ -49,13 +49,28 @@ pub enum MatrixError {
         /// Explanation of the constraint that was violated.
         message: String,
     },
+    /// A requested feature is not available on the execution backend that
+    /// received the request (e.g. FFT sampling on the multi-GPU backend).
+    Unsupported {
+        /// Name of the backend that rejected the request.
+        backend: &'static str,
+        /// Description of the unsupported feature or mode.
+        feature: String,
+    },
 }
 
 impl fmt::Display for MatrixError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            MatrixError::DimensionMismatch { op, expected, found } => {
-                write!(f, "{op}: dimension mismatch (expected {expected}, found {found})")
+            MatrixError::DimensionMismatch {
+                op,
+                expected,
+                found,
+            } => {
+                write!(
+                    f,
+                    "{op}: dimension mismatch (expected {expected}, found {found})"
+                )
             }
             MatrixError::IndexOutOfBounds { index, shape } => {
                 write!(
@@ -65,16 +80,25 @@ impl fmt::Display for MatrixError {
                 )
             }
             MatrixError::NotPositiveDefinite { pivot, value } => {
-                write!(f, "matrix not positive definite at pivot {pivot} (value {value:e})")
+                write!(
+                    f,
+                    "matrix not positive definite at pivot {pivot} (value {value:e})"
+                )
             }
             MatrixError::SingularDiagonal { index } => {
-                write!(f, "singular triangular factor: zero diagonal at index {index}")
+                write!(
+                    f,
+                    "singular triangular factor: zero diagonal at index {index}"
+                )
             }
             MatrixError::NoConvergence { op, iterations } => {
                 write!(f, "{op}: no convergence after {iterations} iterations")
             }
             MatrixError::InvalidParameter { name, message } => {
                 write!(f, "invalid parameter `{name}`: {message}")
+            }
+            MatrixError::Unsupported { backend, feature } => {
+                write!(f, "backend `{backend}` does not support {feature}")
             }
         }
     }
@@ -103,21 +127,41 @@ mod tests {
 
     #[test]
     fn display_out_of_bounds() {
-        let e = MatrixError::IndexOutOfBounds { index: (5, 1), shape: (2, 2) };
+        let e = MatrixError::IndexOutOfBounds {
+            index: (5, 1),
+            shape: (2, 2),
+        };
         assert!(e.to_string().contains("(5, 1)"));
     }
 
     #[test]
     fn display_not_positive_definite() {
-        let e = MatrixError::NotPositiveDefinite { pivot: 3, value: -1.0 };
+        let e = MatrixError::NotPositiveDefinite {
+            pivot: 3,
+            value: -1.0,
+        };
         assert!(e.to_string().contains("pivot 3"));
     }
 
     #[test]
     fn display_no_convergence() {
-        let e = MatrixError::NoConvergence { op: "jacobi_svd", iterations: 30 };
+        let e = MatrixError::NoConvergence {
+            op: "jacobi_svd",
+            iterations: 30,
+        };
         assert!(e.to_string().contains("jacobi_svd"));
         assert!(e.to_string().contains("30"));
+    }
+
+    #[test]
+    fn display_unsupported() {
+        let e = MatrixError::Unsupported {
+            backend: "multi-gpu",
+            feature: "FFT (SRFT) sampling".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("multi-gpu"));
+        assert!(s.contains("FFT"));
     }
 
     #[test]

@@ -21,14 +21,24 @@ fn check_same_shape(op: &'static str, a: &Mat, b: &Mat) -> Result<()> {
 /// Returns `a + b`.
 pub fn add(a: &Mat, b: &Mat) -> Result<Mat> {
     check_same_shape("add", a, b)?;
-    let data = a.as_slice().iter().zip(b.as_slice()).map(|(&x, &y)| x + y).collect();
+    let data = a
+        .as_slice()
+        .iter()
+        .zip(b.as_slice())
+        .map(|(&x, &y)| x + y)
+        .collect();
     Mat::from_col_major(a.rows(), a.cols(), data)
 }
 
 /// Returns `a - b`.
 pub fn sub(a: &Mat, b: &Mat) -> Result<Mat> {
     check_same_shape("sub", a, b)?;
-    let data = a.as_slice().iter().zip(b.as_slice()).map(|(&x, &y)| x - y).collect();
+    let data = a
+        .as_slice()
+        .iter()
+        .zip(b.as_slice())
+        .map(|(&x, &y)| x - y)
+        .collect();
     Mat::from_col_major(a.rows(), a.cols(), data)
 }
 
@@ -50,12 +60,20 @@ pub fn axpy_mat(alpha: f64, b: &Mat, a: &mut Mat) -> Result<()> {
 /// Returns the strictly upper-triangular copy of `a` including the
 /// diagonal (i.e. zeros out everything below the diagonal).
 pub fn triu(a: &Mat) -> Mat {
-    Mat::from_fn(a.rows(), a.cols(), |i, j| if i <= j { a[(i, j)] } else { 0.0 })
+    Mat::from_fn(
+        a.rows(),
+        a.cols(),
+        |i, j| if i <= j { a[(i, j)] } else { 0.0 },
+    )
 }
 
 /// Returns the lower-triangular copy of `a` including the diagonal.
 pub fn tril(a: &Mat) -> Mat {
-    Mat::from_fn(a.rows(), a.cols(), |i, j| if i >= j { a[(i, j)] } else { 0.0 })
+    Mat::from_fn(
+        a.rows(),
+        a.cols(),
+        |i, j| if i >= j { a[(i, j)] } else { 0.0 },
+    )
 }
 
 /// Maximum absolute difference between two same-shaped matrices; useful in

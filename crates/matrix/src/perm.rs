@@ -18,7 +18,9 @@ pub struct ColPerm {
 impl ColPerm {
     /// The identity permutation on `n` columns.
     pub fn identity(n: usize) -> Self {
-        ColPerm { perm: (0..n).collect() }
+        ColPerm {
+            perm: (0..n).collect(),
+        }
     }
 
     /// Builds a permutation from a forward map.

@@ -27,9 +27,19 @@ impl<'a> MatRef<'a> {
         if rows > 0 && cols > 0 {
             assert!(ld >= rows, "leading dimension {ld} < rows {rows}");
             let needed = (cols - 1) * ld + rows;
-            assert!(data.len() >= needed, "slice too short: {} < {}", data.len(), needed);
+            assert!(
+                data.len() >= needed,
+                "slice too short: {} < {}",
+                data.len(),
+                needed
+            );
         }
-        MatRef { data, rows, cols, ld }
+        MatRef {
+            data,
+            rows,
+            cols,
+            ld,
+        }
     }
 
     /// Number of rows.
@@ -85,10 +95,22 @@ impl<'a> MatRef<'a> {
     ///
     /// Panics if the window extends past the view bounds.
     pub fn submatrix(&self, r0: usize, c0: usize, nrows: usize, ncols: usize) -> MatRef<'a> {
-        assert!(r0 + nrows <= self.rows && c0 + ncols <= self.cols, "subview out of bounds");
+        assert!(
+            r0 + nrows <= self.rows && c0 + ncols <= self.cols,
+            "subview out of bounds"
+        );
         let offset = r0 + c0 * self.ld;
-        let end = if nrows > 0 && ncols > 0 { offset + (ncols - 1) * self.ld + nrows } else { offset };
-        MatRef { data: &self.data[offset..end.max(offset)], rows: nrows, cols: ncols, ld: self.ld }
+        let end = if nrows > 0 && ncols > 0 {
+            offset + (ncols - 1) * self.ld + nrows
+        } else {
+            offset
+        };
+        MatRef {
+            data: &self.data[offset..end.max(offset)],
+            rows: nrows,
+            cols: ncols,
+            ld: self.ld,
+        }
     }
 
     /// Subview of columns `c0..c0 + ncols` over all rows.
@@ -113,7 +135,10 @@ impl<'a> MatRef<'a> {
     /// Splits the view into columns `[0, mid)` and `[mid, cols)`.
     pub fn split_at_col(&self, mid: usize) -> (MatRef<'a>, MatRef<'a>) {
         assert!(mid <= self.cols);
-        (self.cols_block(0, mid), self.cols_block(mid, self.cols - mid))
+        (
+            self.cols_block(0, mid),
+            self.cols_block(mid, self.cols - mid),
+        )
     }
 }
 
@@ -137,9 +162,19 @@ impl<'a> MatMut<'a> {
         if rows > 0 && cols > 0 {
             assert!(ld >= rows, "leading dimension {ld} < rows {rows}");
             let needed = (cols - 1) * ld + rows;
-            assert!(data.len() >= needed, "slice too short: {} < {}", data.len(), needed);
+            assert!(
+                data.len() >= needed,
+                "slice too short: {} < {}",
+                data.len(),
+                needed
+            );
         }
-        MatMut { data, rows, cols, ld }
+        MatMut {
+            data,
+            rows,
+            cols,
+            ld,
+        }
     }
 
     /// Number of rows.
@@ -210,7 +245,12 @@ impl<'a> MatMut<'a> {
     /// original can be used again afterwards).
     #[inline]
     pub fn reborrow(&mut self) -> MatMut<'_> {
-        MatMut { data: self.data, rows: self.rows, cols: self.cols, ld: self.ld }
+        MatMut {
+            data: self.data,
+            rows: self.rows,
+            cols: self.cols,
+            ld: self.ld,
+        }
     }
 
     /// Mutable subview with top-left corner `(r0, c0)` and shape
@@ -219,10 +259,23 @@ impl<'a> MatMut<'a> {
     /// # Panics
     ///
     /// Panics if the window extends past the view bounds.
-    pub fn submatrix_mut(&mut self, r0: usize, c0: usize, nrows: usize, ncols: usize) -> MatMut<'_> {
-        assert!(r0 + nrows <= self.rows && c0 + ncols <= self.cols, "subview out of bounds");
+    pub fn submatrix_mut(
+        &mut self,
+        r0: usize,
+        c0: usize,
+        nrows: usize,
+        ncols: usize,
+    ) -> MatMut<'_> {
+        assert!(
+            r0 + nrows <= self.rows && c0 + ncols <= self.cols,
+            "subview out of bounds"
+        );
         let offset = r0 + c0 * self.ld;
-        let end = if nrows > 0 && ncols > 0 { offset + (ncols - 1) * self.ld + nrows } else { offset };
+        let end = if nrows > 0 && ncols > 0 {
+            offset + (ncols - 1) * self.ld + nrows
+        } else {
+            offset
+        };
         MatMut {
             data: &mut self.data[offset..end.max(offset)],
             rows: nrows,
@@ -240,9 +293,18 @@ impl<'a> MatMut<'a> {
     pub fn split_at_col_mut(&mut self, mid: usize) -> (MatMut<'_>, MatMut<'_>) {
         assert!(mid <= self.cols);
         let (left_data, right_data) = self.data.split_at_mut(mid * self.ld);
-        let left = MatMut { data: left_data, rows: self.rows, cols: mid, ld: self.ld };
-        let right =
-            MatMut { data: right_data, rows: self.rows, cols: self.cols - mid, ld: self.ld };
+        let left = MatMut {
+            data: left_data,
+            rows: self.rows,
+            cols: mid,
+            ld: self.ld,
+        };
+        let right = MatMut {
+            data: right_data,
+            rows: self.rows,
+            cols: self.cols - mid,
+            ld: self.ld,
+        };
         (left, right)
     }
 
@@ -253,9 +315,18 @@ impl<'a> MatMut<'a> {
     pub fn split_at_col(self, mid: usize) -> (MatMut<'a>, MatMut<'a>) {
         assert!(mid <= self.cols);
         let (left_data, right_data) = self.data.split_at_mut(mid * self.ld);
-        let left = MatMut { data: left_data, rows: self.rows, cols: mid, ld: self.ld };
-        let right =
-            MatMut { data: right_data, rows: self.rows, cols: self.cols - mid, ld: self.ld };
+        let left = MatMut {
+            data: left_data,
+            rows: self.rows,
+            cols: mid,
+            ld: self.ld,
+        };
+        let right = MatMut {
+            data: right_data,
+            rows: self.rows,
+            cols: self.cols - mid,
+            ld: self.ld,
+        };
         (left, right)
     }
 

@@ -39,7 +39,10 @@ pub struct CostEntry {
 
 impl CostEntry {
     fn add(self, other: CostEntry) -> CostEntry {
-        CostEntry { flops: self.flops + other.flops, words: self.words + other.words }
+        CostEntry {
+            flops: self.flops + other.flops,
+            words: self.words + other.words,
+        }
     }
 }
 
@@ -70,36 +73,54 @@ pub fn rs_step_cost(step: RsStep, d: Dims, fast_mem: f64) -> CostEntry {
             // One (ℓ×m)·(m×n) GEMM: communication-optimal blocked GEMM
             // moves 2·flops/√M words.
             let flops = 2.0 * l * m * n;
-            CostEntry { flops, words: flops / sqrt_m }
+            CostEntry {
+                flops,
+                words: flops / sqrt_m,
+            }
         }
         RsStep::SamplingFft => {
             // Full FFT of every column: n transforms of length m at
             // 5·m·log₂m flops each; FFT moves O(mn·log m / log M) words
             // (Figure 5, second row).
             let flops = n * 5.0 * m * m.log2();
-            CostEntry { flops, words: flops / 5.0 / fast_mem.log2() }
+            CostEntry {
+                flops,
+                words: flops / 5.0 / fast_mem.log2(),
+            }
         }
         RsStep::IterMult => {
             // 2q GEMMs of the same size as the sampling GEMM.
             let flops = 2.0 * q * (2.0 * l * m * n);
-            CostEntry { flops, words: flops / sqrt_m }
+            CostEntry {
+                flops,
+                words: flops / sqrt_m,
+            }
         }
         RsStep::IterOrth => {
             // Per iteration: CholQR of ℓ×n and ℓ×m (2·l²·(m+n) flops each
             // pass; Figure 5 writes O((m+n)ℓ²q)).
             let flops = 2.0 * q * 2.0 * l * l * (m + n);
-            CostEntry { flops, words: flops / sqrt_m }
+            CostEntry {
+                flops,
+                words: flops / sqrt_m,
+            }
         }
         RsStep::Qrcp => {
             // Truncated QP3 of the ℓ×n sampled matrix: O(nℓ²) ≈ O(n·ℓ²);
             // the paper's table writes O(n²) with ℓ treated as constant.
             let flops = 4.0 * n * l * k;
-            CostEntry { flops, words: flops } // BLAS-2 half: no reuse
+            CostEntry {
+                flops,
+                words: flops,
+            } // BLAS-2 half: no reuse
         }
         RsStep::Qr => {
             // CholQR of the m×k pivot block: 2mk² flops per pass.
             let flops = 2.0 * m * k * k;
-            CostEntry { flops, words: flops / sqrt_m }
+            CostEntry {
+                flops,
+                words: flops / sqrt_m,
+            }
         }
     }
 }
@@ -120,14 +141,20 @@ pub fn rs_total_cost(d: Dims, fast_mem: f64) -> CostEntry {
 pub fn qp3_cost(d: Dims) -> CostEntry {
     let (m, n, k) = (d.m as f64, d.n as f64, d.k as f64);
     let flops = 4.0 * m * n * k;
-    CostEntry { flops, words: 0.5 * flops + 0.5 * flops / 1e2 }
+    CostEntry {
+        flops,
+        words: 0.5 * flops + 0.5 * flops / 1e2,
+    }
 }
 
 /// Communication-avoiding QP3 (Figure 5: `O(mn(m+n))` flops,
 /// `O(mn²/M^{1/2})` words — it trades extra flops for blocked movement).
 pub fn caqp3_cost(d: Dims, fast_mem: f64) -> CostEntry {
     let (m, n) = (d.m as f64, d.n as f64);
-    CostEntry { flops: m * n * (m + n), words: m * n * n / fast_mem.sqrt() }
+    CostEntry {
+        flops: m * n * (m + n),
+        words: m * n * n / fast_mem.sqrt(),
+    }
 }
 
 #[cfg(test)]
@@ -137,17 +164,26 @@ mod tests {
     const M_FAST: f64 = 1.5e6; // ~12 MB of f64 (K40c L2-ish)
 
     fn dims() -> Dims {
-        Dims { m: 50_000, n: 2_500, k: 54, p: 10, q: 1 }
+        Dims {
+            m: 50_000,
+            n: 2_500,
+            k: 54,
+            p: 10,
+            q: 1,
+        }
     }
 
     #[test]
     fn totals_dominated_by_gemm() {
         let d = dims();
         let total = rs_total_cost(d, M_FAST);
-        let gemm = rs_step_cost(RsStep::SamplingGaussian, d, M_FAST)
-            .flops
+        let gemm = rs_step_cost(RsStep::SamplingGaussian, d, M_FAST).flops
             + rs_step_cost(RsStep::IterMult, d, M_FAST).flops;
-        assert!(gemm / total.flops > 0.9, "GEMM fraction {}", gemm / total.flops);
+        assert!(
+            gemm / total.flops > 0.9,
+            "GEMM fraction {}",
+            gemm / total.flops
+        );
     }
 
     #[test]
@@ -157,7 +193,12 @@ mod tests {
         let d = dims();
         let rs = rs_total_cost(d, M_FAST);
         let qp3 = qp3_cost(d);
-        assert!(rs.words < qp3.words / 50.0, "rs {} vs qp3 {}", rs.words, qp3.words);
+        assert!(
+            rs.words < qp3.words / 50.0,
+            "rs {} vs qp3 {}",
+            rs.words,
+            qp3.words
+        );
     }
 
     #[test]

@@ -145,14 +145,22 @@ mod tests {
         // simulation) must agree within a modest factor across shapes.
         let c = cost();
         let net = NetworkSpec::infiniband_fdr();
-        for (nodes, g, m) in [(1usize, 2usize, 200_000usize), (4, 2, 400_000), (8, 1, 400_000)] {
-            let dims = ClusterDims { nodes, gpus_per_node: g };
+        for (nodes, g, m) in [
+            (1usize, 2usize, 200_000usize),
+            (4, 2, 400_000),
+            (8, 1, 400_000),
+        ] {
+            let dims = ClusterDims {
+                nodes,
+                gpus_per_node: g,
+            };
             let est = rs_cluster_estimate(&c, &net, dims, m, 2_500, 64, 54, 1);
             let mut cl = Cluster::new(nodes, g, DeviceSpec::k40c(), net.clone(), ExecMode::DryRun);
             let cfg = SamplerConfig::new(54).with_p(10).with_q(1);
-            let sim = sample_fixed_rank_cluster(&mut cl, m, 2_500, &cfg, &mut StdRng::seed_from_u64(1))
-                .unwrap()
-                .seconds;
+            let sim =
+                sample_fixed_rank_cluster(&mut cl, m, 2_500, &cfg, &mut StdRng::seed_from_u64(1))
+                    .unwrap()
+                    .seconds;
             let ratio = est / sim;
             assert!(
                 ratio > 0.5 && ratio < 2.0,
@@ -166,7 +174,10 @@ mod tests {
         let c = cost();
         let net = NetworkSpec::infiniband_fdr();
         for nodes in [1usize, 4] {
-            let dims = ClusterDims { nodes, gpus_per_node: 2 };
+            let dims = ClusterDims {
+                nodes,
+                gpus_per_node: 2,
+            };
             let est = qp3_cluster_estimate(&c, &net, dims, 400_000, 2_500, 64);
             let mut cl = Cluster::new(nodes, 2, DeviceSpec::k40c(), net.clone(), ExecMode::DryRun);
             let sim = qp3_cluster_time(&mut cl, 400_000, 2_500, 64);
@@ -183,7 +194,10 @@ mod tests {
         let c = cost();
         let net = NetworkSpec::infiniband_fdr();
         let speedup = |nodes: usize| {
-            let dims = ClusterDims { nodes, gpus_per_node: 2 };
+            let dims = ClusterDims {
+                nodes,
+                gpus_per_node: 2,
+            };
             qp3_cluster_estimate(&c, &net, dims, 400_000, 2_500, 64)
                 / rs_cluster_estimate(&c, &net, dims, 400_000, 2_500, 64, 54, 1)
         };

@@ -26,7 +26,14 @@ impl Estimate {
 
 /// Estimated time and throughput of random sampling with Gaussian
 /// sampling, `ℓ = k + p` and `q` power iterations on an `m × n` matrix.
-pub fn estimated_rs(cost: &CostModel, m: usize, n: usize, l: usize, k: usize, q: usize) -> Estimate {
+pub fn estimated_rs(
+    cost: &CostModel,
+    m: usize,
+    n: usize,
+    l: usize,
+    k: usize,
+    q: usize,
+) -> Estimate {
     let mut secs = 0.0;
     // PRNG.
     secs += cost.curand(l * m);
@@ -51,7 +58,10 @@ pub fn estimated_rs(cost: &CostModel, m: usize, n: usize, l: usize, k: usize, q:
     let flops = 2.0 * (l * m * n) as f64 * (1.0 + 2.0 * q as f64)
         + 2.0 * (m * k * k) as f64
         + 4.0 * (n * l * k) as f64;
-    Estimate { flops, seconds: secs }
+    Estimate {
+        flops,
+        seconds: secs,
+    }
 }
 
 /// Estimated time and throughput of truncated QP3 with target rank `k`
@@ -72,7 +82,10 @@ pub fn estimated_qp3(cost: &CostModel, m: usize, n: usize, k: usize) -> Estimate
         }
     }
     let flops = rlra_blas::flops::qp3_flops(m, n, k) as f64;
-    Estimate { flops, seconds: secs }
+    Estimate {
+        flops,
+        seconds: secs,
+    }
 }
 
 #[cfg(test)]
@@ -91,9 +104,20 @@ mod tests {
         let c = cost();
         let e0 = estimated_rs(&c, 50_000, 2_500, 64, 54, 0);
         let e1 = estimated_rs(&c, 50_000, 2_500, 64, 54, 1);
-        assert!(e0.gflops() > 250.0 && e0.gflops() < 700.0, "q=0: {:.0}", e0.gflops());
-        assert!(e1.gflops() > 400.0 && e1.gflops() < 900.0, "q=1: {:.0}", e1.gflops());
-        assert!(e1.gflops() > e0.gflops(), "q=1 runs at higher Gflop/s (more BLAS-3 work)");
+        assert!(
+            e0.gflops() > 250.0 && e0.gflops() < 700.0,
+            "q=0: {:.0}",
+            e0.gflops()
+        );
+        assert!(
+            e1.gflops() > 400.0 && e1.gflops() < 900.0,
+            "q=1: {:.0}",
+            e1.gflops()
+        );
+        assert!(
+            e1.gflops() > e0.gflops(),
+            "q=1 runs at higher Gflop/s (more BLAS-3 work)"
+        );
     }
 
     #[test]
@@ -117,7 +141,10 @@ mod tests {
         for (q, lo, hi) in [(0usize, 6.0, 26.0), (1, 3.0, 13.0)] {
             let rs = estimated_rs(&c, 50_000, 2_500, 64, 54, q);
             let speedup = qp3.seconds / rs.seconds;
-            assert!(speedup > lo && speedup < hi, "q = {q}: estimated speedup {speedup:.1}");
+            assert!(
+                speedup > lo && speedup < hi,
+                "q = {q}: estimated speedup {speedup:.1}"
+            );
         }
     }
 

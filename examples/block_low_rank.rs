@@ -32,7 +32,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // rlra-data kernel library).
     let pts = rlra::data::uniform_points(n);
     let kernel = rlra::data::kernel_matrix(rlra::data::Kernel::Cauchy { gamma: 64.0 }, &pts);
-    println!("kernel matrix: {n} x {n}, {tiles} x {tiles} tiles of {}", n / tiles);
+    println!(
+        "kernel matrix: {n} x {n}, {tiles} x {tiles} tiles of {}",
+        n / tiles
+    );
 
     // Compress with the randomized sampler (one power iteration).
     let cfg = SamplerConfig::new(k).with_p(6).with_q(1);
@@ -50,16 +53,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Accuracy of the compressed operator.
     let rec = blr.to_dense()?;
-    let err = rlra::matrix::norms::spectral_norm(
-        rlra::matrix::ops::sub(&kernel, &rec)?.as_ref(),
-    ) / rlra::matrix::norms::spectral_norm(kernel.as_ref());
+    let err = rlra::matrix::norms::spectral_norm(rlra::matrix::ops::sub(&kernel, &rec)?.as_ref())
+        / rlra::matrix::norms::spectral_norm(kernel.as_ref());
     println!("operator error |K - BLR| / |K| = {err:.2e}");
 
     // Compressed matvec vs dense matvec.
     let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.013).sin()).collect();
     let t = std::time::Instant::now();
     let mut y_dense = vec![0.0; n];
-    rlra::blas::gemv(1.0, kernel.as_ref(), rlra::blas::Trans::No, &x, 0.0, &mut y_dense)?;
+    rlra::blas::gemv(
+        1.0,
+        kernel.as_ref(),
+        rlra::blas::Trans::No,
+        &x,
+        0.0,
+        &mut y_dense,
+    )?;
     let t_dense = t.elapsed();
     let t = std::time::Instant::now();
     let y_blr = blr.matvec(&x)?;

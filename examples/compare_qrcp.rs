@@ -17,7 +17,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A slowly decaying spectrum, where power iterations visibly help.
     let (m, n) = (2_000usize, 500usize);
     let values: Vec<f64> = (0..n).map(|i| 0.97f64.powi(i as i32)).collect();
-    let spec = rlra::data::Spectrum { name: "slow-decay", values };
+    let spec = rlra::data::Spectrum {
+        name: "slow-decay",
+        values,
+    };
     let tm = rlra::data::matrix_with_spectrum(m, n, &spec, &mut rng)?;
     let k = 30;
     println!("matrix: {m} x {n} `slow-decay` (sigma_i = 0.97^i), target rank k = {k}");
@@ -28,8 +31,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let (qp3, t_qp3) = qp3_low_rank_gpu(&mut gpu, &a_dev, k)?;
     let qp3 = qp3.expect("compute mode");
     let err_qp3 = qp3.relative_error(&tm.a, Some(tm.norm2()))?;
-    println!("\n  {:>10} {:>12} {:>14} {:>9}", "method", "error", "sim time", "speedup");
-    println!("  {:>10} {:>12.3e} {:>11.2} ms {:>9}", "QP3", err_qp3, t_qp3 * 1e3, "1.0x");
+    println!(
+        "\n  {:>10} {:>12} {:>14} {:>9}",
+        "method", "error", "sim time", "speedup"
+    );
+    println!(
+        "  {:>10} {:>12.3e} {:>11.2} ms {:>9}",
+        "QP3",
+        err_qp3,
+        t_qp3 * 1e3,
+        "1.0x"
+    );
 
     for q in [0usize, 1, 2, 4] {
         let cfg = SamplerConfig::new(k).with_q(q);

@@ -27,7 +27,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for i in 0..n {
         a[(i, i)] += 1.0;
     }
-    let b: Vec<f64> = pts.iter().map(|&x| (7.0 * x).sin() + 0.3 * (23.0 * x).cos()).collect();
+    let b: Vec<f64> = pts
+        .iter()
+        .map(|&x| (7.0 * x).sin() + 0.3 * (23.0 * x).cos())
+        .collect();
     println!("system: (K + I) x = b, n = {n} (exponential kernel)");
 
     // --- Hierarchical compression + direct solve ----------------------------
@@ -48,13 +51,32 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let t = std::time::Instant::now();
     let r = rlra::lapack::cholesky_upper(&a)?;
     let mut x_d = b.clone();
-    rlra::blas::trsv(r.as_ref(), rlra::blas::UpLo::Upper, rlra::blas::Trans::Yes, rlra::blas::Diag::NonUnit, &mut x_d)?;
-    rlra::blas::trsv(r.as_ref(), rlra::blas::UpLo::Upper, rlra::blas::Trans::No, rlra::blas::Diag::NonUnit, &mut x_d)?;
+    rlra::blas::trsv(
+        r.as_ref(),
+        rlra::blas::UpLo::Upper,
+        rlra::blas::Trans::Yes,
+        rlra::blas::Diag::NonUnit,
+        &mut x_d,
+    )?;
+    rlra::blas::trsv(
+        r.as_ref(),
+        rlra::blas::UpLo::Upper,
+        rlra::blas::Trans::No,
+        rlra::blas::Diag::NonUnit,
+        &mut x_d,
+    )?;
     let t_dense = t.elapsed();
 
     // --- Compare --------------------------------------------------------------
     let mut resid = b.clone();
-    rlra::blas::gemv(1.0, a.as_ref(), rlra::blas::Trans::No, &x_h, -1.0, &mut resid)?;
+    rlra::blas::gemv(
+        1.0,
+        a.as_ref(),
+        rlra::blas::Trans::No,
+        &x_h,
+        -1.0,
+        &mut resid,
+    )?;
     // resid = A x_h − b after the call above with beta = −1 flips sign of b.
     let rel_resid = rlra::matrix::norms::vec_norm2(&resid) / rlra::matrix::norms::vec_norm2(&b);
     let diff: f64 = x_h

@@ -24,14 +24,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         sample_fixed_rank_multi_gpu(&mut mg, HostInput::Values(&tm.a), &cfg, &mut rng)?;
     let approx = approx.expect("compute mode returns the factorization");
     let err = approx.relative_error(&tm.a, Some(tm.norm2()))?;
-    println!("  rank-12 relative error = {err:.2e}, comms = {:.1}% of simulated time",
-        100.0 * rep.comms / rep.seconds);
+    println!(
+        "  rank-12 relative error = {err:.2e}, comms = {:.1}% of simulated time",
+        100.0 * rep.comms / rep.seconds
+    );
 
     // --- Part 2: the paper's strong-scaling study (dry run, full size) ------
     let (m, n) = (150_000usize, 2_500usize);
     let cfg = SamplerConfig::new(54).with_p(10).with_q(1);
     println!("\nstrong scaling at the paper's size ((m; n) = ({m}; {n}), l;p;q = 64;10;1):");
-    println!("  {:>4} {:>12} {:>9} {:>9}", "n_g", "time", "speedup", "comms");
+    println!(
+        "  {:>4} {:>12} {:>9} {:>9}",
+        "n_g", "time", "speedup", "comms"
+    );
     let mut t1 = 0.0;
     for ng in 1..=3 {
         let rep = scaling_report(ng, m, n, &cfg, &mut rng)?;

@@ -24,10 +24,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut rng = StdRng::seed_from_u64(2015);
 
     // 3,000 SNPs × 200 individuals from 4 populations.
-    let cfg = HapmapConfig { snps: 3_000, individuals: 200, populations: 4, fst: 0.12 };
+    let cfg = HapmapConfig {
+        snps: 3_000,
+        individuals: 200,
+        populations: 4,
+        fst: 0.12,
+    };
     let a = hapmap_like(&cfg, &mut rng)?;
-    println!("genotype matrix: {} SNPs x {} individuals, {} populations (synthetic HapMap)",
-        cfg.snps, cfg.individuals, cfg.populations);
+    println!(
+        "genotype matrix: {} SNPs x {} individuals, {} populations (synthetic HapMap)",
+        cfg.snps, cfg.individuals, cfg.populations
+    );
 
     // Center the columns (remove the mean genotype) so the leading
     // directions capture population structure, not allele frequency.
@@ -52,7 +59,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Score: cluster purity against the true population labels.
     let truth: Vec<usize> = (0..cfg.individuals).map(|j| cfg.population_of(j)).collect();
     let purity = cluster_purity(&labels, &truth, cfg.populations);
-    println!("cluster purity vs. true populations: {:.1}%", purity * 100.0);
+    println!(
+        "cluster purity vs. true populations: {:.1}%",
+        purity * 100.0
+    );
     if purity > 0.9 {
         println!("populations recovered — the low-rank embedding separates the cohorts.");
     } else {
@@ -81,7 +91,9 @@ fn individual_coordinates(approx: &LowRankApprox) -> Vec<Vec<f64>> {
     let n = approx.r.cols();
     let inv = approx.perm.inverse();
     let r_unperm = inv.apply_cols(&approx.r).expect("permutation applies");
-    (0..n).map(|j| (0..k).map(|i| r_unperm[(i, j)]).collect()).collect()
+    (0..n)
+        .map(|j| (0..k).map(|i| r_unperm[(i, j)]).collect())
+        .collect()
 }
 
 /// Plain Lloyd's k-means on small data.
@@ -89,7 +101,9 @@ fn kmeans(points: &[Vec<f64>], kc: usize, iters: usize, rng: &mut StdRng) -> Vec
     let n = points.len();
     let dim = points[0].len();
     // Initialize centers with distinct random points.
-    let mut centers: Vec<Vec<f64>> = (0..kc).map(|_| points[rng.gen_range(0..n)].clone()).collect();
+    let mut centers: Vec<Vec<f64>> = (0..kc)
+        .map(|_| points[rng.gen_range(0..n)].clone())
+        .collect();
     let mut labels = vec![0usize; n];
     for _ in 0..iters {
         // Assign.
@@ -131,8 +145,12 @@ fn kmeans(points: &[Vec<f64>], kc: usize, iters: usize, rng: &mut StdRng) -> Vec
 fn cluster_purity(labels: &[usize], truth: &[usize], k: usize) -> f64 {
     let mut correct = 0usize;
     for c in 0..k {
-        let members: Vec<usize> =
-            labels.iter().enumerate().filter(|(_, &l)| l == c).map(|(i, _)| i).collect();
+        let members: Vec<usize> = labels
+            .iter()
+            .enumerate()
+            .filter(|(_, &l)| l == c)
+            .map(|(i, _)| i)
+            .collect();
         if members.is_empty() {
             continue;
         }

@@ -18,7 +18,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let (m, n) = (1_000usize, 300usize);
     let spec = rlra::data::power_spectrum(n);
     let tm = rlra::data::matrix_with_spectrum(m, n, &spec, &mut rng)?;
-    println!("matrix: {m} x {n}, spectrum `{}`, kappa(A) = {:.1e}", spec.name, spec.condition());
+    println!(
+        "matrix: {m} x {n}, spectrum `{}`, kappa(A) = {:.1e}",
+        spec.name,
+        spec.condition()
+    );
 
     let k = 20;
     let cfg = SamplerConfig::new(k); // p = 10, q = 0, Gaussian sampling
@@ -46,13 +50,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Use the approximation: fast matrix-vector products.
     let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.01).sin()).collect();
     let y = rs.apply(&x)?;
-    println!("\napplied A~ to a vector: |y| = {:.4}", rlra::matrix::norms::vec_norm2(&y));
+    println!(
+        "\napplied A~ to a vector: |y| = {:.4}",
+        rlra::matrix::norms::vec_norm2(&y)
+    );
 
     // And on the simulated K40c, the timing the paper reports:
     let mut gpu = Gpu::k40c();
     let a_dev = gpu.resident(&tm.a);
     let (_, report) = sample_fixed_rank_gpu(&mut gpu, &a_dev, &cfg, &mut rng)?;
-    println!("\nsimulated K40c time: {:.3} ms, breakdown:", report.seconds * 1e3);
+    println!(
+        "\nsimulated K40c time: {:.3} ms, breakdown:",
+        report.seconds * 1e3
+    );
     for (phase, secs) in report.timeline.breakdown() {
         println!("  {phase:>12}: {:.3} ms", secs * 1e3);
     }

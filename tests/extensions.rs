@@ -67,7 +67,10 @@ fn tournament_step2_full_pipeline() {
     let lr = sample_fixed_rank(&a, &cfg, &mut rng(8)).unwrap();
     assert!(rlra::lapack::householder::orthogonality_error(&lr.q) < 1e-10);
     let err = lr.error_spectral(&a).unwrap();
-    assert!(err < 40.0 * spec.sigma_after(k), "tournament pipeline error {err:e}");
+    assert!(
+        err < 40.0 * spec.sigma_after(k),
+        "tournament pipeline error {err:e}"
+    );
 }
 
 #[test]
@@ -119,7 +122,10 @@ fn cluster_study_reproduces_section11_prediction() {
     assert!(s4 > s1, "gap widens with nodes: {s1:.1} -> {s4:.1}");
     // And the slower network favors random sampling more.
     let s4_eth = speedup(4, NetworkSpec::ethernet_10g());
-    assert!(s4_eth > s4 * 0.95, "10GbE at least comparable: {s4_eth:.1} vs {s4:.1}");
+    assert!(
+        s4_eth > s4 * 0.95,
+        "10GbE at least comparable: {s4_eth:.1} vs {s4:.1}"
+    );
 }
 
 #[test]
@@ -141,7 +147,8 @@ fn dd_arithmetic_integrates_with_pipeline_scale_data() {
 fn interpolative_decomposition_end_to_end() {
     let (a, spec) = power_matrix(120, 70, 30);
     let k = 9;
-    let id = interpolative_decomposition(&a, &SamplerConfig::new(k).with_p(8), &mut rng(31)).unwrap();
+    let id =
+        interpolative_decomposition(&a, &SamplerConfig::new(k).with_p(8), &mut rng(31)).unwrap();
     assert_eq!(id.rank(), k);
     assert!(id.error_spectral(&a).unwrap() < 60.0 * spec.sigma_after(k));
     assert!(id.max_coeff() < 20.0);

@@ -45,11 +45,18 @@ fn headline_q1_speedup() {
 /// Figure 11: both times grow linearly in m, QP3 with the steeper slope.
 #[test]
 fn fig11_linear_growth_with_steeper_qp3_slope() {
-    let rs_slope = (rs_time(50_000, 2_500, 54, 10, 1) - rs_time(25_000, 2_500, 54, 10, 1)) / 25_000.0;
+    let rs_slope =
+        (rs_time(50_000, 2_500, 54, 10, 1) - rs_time(25_000, 2_500, 54, 10, 1)) / 25_000.0;
     let qp3_slope = (qp3_time(50_000, 2_500, 64) - qp3_time(25_000, 2_500, 64)) / 25_000.0;
-    assert!(qp3_slope > 4.0 * rs_slope, "QP3 slope {qp3_slope:e} vs RS {rs_slope:e}");
+    assert!(
+        qp3_slope > 4.0 * rs_slope,
+        "QP3 slope {qp3_slope:e} vs RS {rs_slope:e}"
+    );
     // Paper's fitted slopes: 9.34e-6 (QP3) and 1.15e-6 (RS) seconds/row.
-    assert!(qp3_slope > 4e-6 && qp3_slope < 2e-5, "QP3 slope {qp3_slope:e}");
+    assert!(
+        qp3_slope > 4e-6 && qp3_slope < 2e-5,
+        "QP3 slope {qp3_slope:e}"
+    );
     assert!(rs_slope > 4e-7 && rs_slope < 4e-6, "RS slope {rs_slope:e}");
 }
 
@@ -63,9 +70,16 @@ fn fig11_gemm_dominates_at_large_m() {
     let (_, rep) = sample_fixed_rank_gpu(&mut gpu, &a, &cfg, &mut rng(2)).unwrap();
     let gemm = rep.timeline.get(Phase::Sampling) + rep.timeline.get(Phase::GemmIter);
     let frac = gemm / rep.seconds;
-    assert!(frac > 0.6 && frac < 0.9, "GEMM fraction {frac:.2} (paper: ~0.75)");
+    assert!(
+        frac > 0.6 && frac < 0.9,
+        "GEMM fraction {frac:.2} (paper: ~0.75)"
+    );
     let step1 = gemm + rep.timeline.get(Phase::Prng) + rep.timeline.get(Phase::OrthIter);
-    assert!(step1 / rep.seconds > 0.7, "Step 1 fraction {:.2} (paper: ~0.78)", step1 / rep.seconds);
+    assert!(
+        step1 / rep.seconds > 0.7,
+        "Step 1 fraction {:.2} (paper: ~0.78)",
+        step1 / rep.seconds
+    );
 }
 
 /// Figure 14: random sampling beats QP3 for power iterations up to
@@ -94,7 +108,10 @@ fn fig15_strong_scaling_bands() {
     let r3 = scaling_report(3, 150_000, 2_500, &cfg, &mut rng(3)).unwrap();
     let s2 = r1.seconds / r2.seconds;
     let s3 = r1.seconds / r3.seconds;
-    assert!(s2 > 2.0, "2-GPU speedup {s2:.2} should be (super)linear (paper: 2.4, 2.8 GEMM)");
+    assert!(
+        s2 > 2.0,
+        "2-GPU speedup {s2:.2} should be (super)linear (paper: 2.4, 2.8 GEMM)"
+    );
     assert!(s3 > 3.0, "3-GPU speedup {s3:.2} (paper: 3.8, 5.1 GEMM)");
     assert!(r2.comms / r2.seconds < 0.05);
     assert!(r3.comms / r3.seconds < 0.08);
@@ -135,5 +152,8 @@ fn orthogonalization_is_cheap_relative_to_gemm() {
     let (_, rep) = sample_fixed_rank_gpu(&mut gpu, &a, &cfg, &mut rng(4)).unwrap();
     let orth = rep.timeline.get(Phase::OrthIter);
     let gemm = rep.timeline.get(Phase::GemmIter);
-    assert!(orth < 0.2 * gemm, "Orth {orth} should be a small fraction of GEMM {gemm}");
+    assert!(
+        orth < 0.2 * gemm,
+        "Orth {orth} should be a small fraction of GEMM {gemm}"
+    );
 }

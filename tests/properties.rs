@@ -9,7 +9,10 @@ use rlra::prelude::*;
 fn decay_matrix(m: usize, n: usize, decay: f64, seed: u64) -> (rlra::matrix::Mat, Vec<f64>) {
     let mut rng = StdRng::seed_from_u64(seed);
     let spec_values: Vec<f64> = (0..n.min(m)).map(|i| decay.powi(i as i32)).collect();
-    let spec = rlra::data::Spectrum { name: "prop", values: spec_values.clone() };
+    let spec = rlra::data::Spectrum {
+        name: "prop",
+        values: spec_values.clone(),
+    };
     let tm = rlra::data::matrix_with_spectrum(m, n, &spec, &mut rng).unwrap();
     (tm.a, spec_values)
 }

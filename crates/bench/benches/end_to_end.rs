@@ -1,6 +1,9 @@
 //! Criterion benchmarks of the full pipelines: random sampling (CPU and
 //! simulated-GPU paths) vs the truncated-QP3 baseline.
 
+// `criterion_group!` expands to an undocumented pub fn.
+#![allow(missing_docs)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -24,11 +27,11 @@ fn bench_pipelines(c: &mut Criterion) {
         let cfg = SamplerConfig::new(k).with_q(q);
         group.bench_with_input(BenchmarkId::new("random_sampling_cpu", q), &q, |b, _| {
             let mut rng = StdRng::seed_from_u64(1);
-            b.iter(|| sample_fixed_rank(&a, &cfg, &mut rng).unwrap())
+            b.iter(|| sample_fixed_rank(&a, &cfg, &mut rng).unwrap());
         });
     }
     group.bench_function("qp3_baseline_cpu", |b| {
-        b.iter(|| qp3_low_rank(&a, k).unwrap())
+        b.iter(|| qp3_low_rank(&a, k).unwrap());
     });
     group.bench_function("random_sampling_sim_gpu", |b| {
         let cfg = SamplerConfig::new(k);
@@ -37,7 +40,7 @@ fn bench_pipelines(c: &mut Criterion) {
             let mut gpu = Gpu::k40c();
             let ad = gpu.resident(&a);
             sample_fixed_rank_gpu(&mut gpu, &ad, &cfg, &mut rng).unwrap()
-        })
+        });
     });
     // Hierarchical compression + solve on a kernel system.
     group.bench_function("hodlr_compress_256", |b| {
@@ -49,7 +52,7 @@ fn bench_pipelines(c: &mut Criterion) {
         }
         let cfg = SamplerConfig::new(8).with_p(6).with_q(1);
         let mut rng = StdRng::seed_from_u64(4);
-        b.iter(|| rlra_core::HodlrMatrix::compress(&ker, 64, &cfg, &mut rng).unwrap())
+        b.iter(|| rlra_core::HodlrMatrix::compress(&ker, 64, &cfg, &mut rng).unwrap());
     });
     group.bench_function("hodlr_solve_256", |b| {
         let pts = rlra_data::uniform_points(256);
@@ -62,7 +65,7 @@ fn bench_pipelines(c: &mut Criterion) {
         let mut rng = StdRng::seed_from_u64(5);
         let h = rlra_core::HodlrMatrix::compress(&ker, 64, &cfg, &mut rng).unwrap();
         let rhs: Vec<f64> = (0..256).map(|i| (i as f64 * 0.1).sin()).collect();
-        b.iter(|| h.solve(&rhs).unwrap())
+        b.iter(|| h.solve(&rhs).unwrap());
     });
     // Dry-run timing at paper scale: measures the simulator's own
     // overhead (should be microseconds).
@@ -73,7 +76,7 @@ fn bench_pipelines(c: &mut Criterion) {
             let mut gpu = Gpu::k40c_dry();
             let ad = gpu.resident_shape(50_000, 2_500);
             sample_fixed_rank_gpu(&mut gpu, &ad, &cfg, &mut rng).unwrap()
-        })
+        });
     });
     group.finish();
 }

@@ -2,6 +2,9 @@
 //! schemes of the paper's Figure 7 (here as real CPU kernels) and the
 //! QRCP baselines.
 
+// `criterion_group!` expands to an undocumented pub fn.
+#![allow(missing_docs)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -13,25 +16,25 @@ fn bench_tall_skinny_qr(c: &mut Criterion) {
     let (m, n) = (4_000usize, 64usize);
     let a = gaussian_mat(m, n, &mut rng);
     group.bench_function(BenchmarkId::new("cholqr", format!("{m}x{n}")), |b| {
-        b.iter(|| rlra_lapack::cholqr(&a).unwrap())
+        b.iter(|| rlra_lapack::cholqr(&a).unwrap());
     });
     group.bench_function(BenchmarkId::new("cholqr2", format!("{m}x{n}")), |b| {
-        b.iter(|| rlra_lapack::cholqr2(&a).unwrap())
+        b.iter(|| rlra_lapack::cholqr2(&a).unwrap());
     });
     group.bench_function(BenchmarkId::new("hhqr", format!("{m}x{n}")), |b| {
-        b.iter(|| rlra_lapack::qr_factor(&a))
+        b.iter(|| rlra_lapack::qr_factor(&a));
     });
     group.bench_function(BenchmarkId::new("cgs", format!("{m}x{n}")), |b| {
-        b.iter(|| rlra_lapack::cgs(&a).unwrap())
+        b.iter(|| rlra_lapack::cgs(&a).unwrap());
     });
     group.bench_function(BenchmarkId::new("mgs", format!("{m}x{n}")), |b| {
-        b.iter(|| rlra_lapack::mgs(&a).unwrap())
+        b.iter(|| rlra_lapack::mgs(&a).unwrap());
     });
     group.bench_function(BenchmarkId::new("tsqr", format!("{m}x{n}")), |b| {
-        b.iter(|| rlra_lapack::tsqr(&a, 512).unwrap())
+        b.iter(|| rlra_lapack::tsqr(&a, 512).unwrap());
     });
     group.bench_function(BenchmarkId::new("cholqr_mixed", format!("{m}x{n}")), |b| {
-        b.iter(|| rlra_lapack::cholqr_mixed(&a).unwrap())
+        b.iter(|| rlra_lapack::cholqr_mixed(&a).unwrap());
     });
     group.finish();
 }
@@ -42,7 +45,7 @@ fn bench_qrcp(c: &mut Criterion) {
     let (m, n, k) = (1_000usize, 500usize, 64usize);
     let a = gaussian_mat(m, n, &mut rng);
     group.bench_function(BenchmarkId::new("column", format!("{m}x{n} k={k}")), |b| {
-        b.iter(|| rlra_lapack::qrcp_column(&a, k).unwrap())
+        b.iter(|| rlra_lapack::qrcp_column(&a, k).unwrap());
     });
     group.bench_function(
         BenchmarkId::new("qp3_blocked", format!("{m}x{n} k={k}")),
@@ -80,11 +83,11 @@ fn bench_cholesky_svd(c: &mut Criterion) {
         g
     };
     group.bench_function("cholesky_96", |b| {
-        b.iter(|| rlra_lapack::cholesky_upper(&g).unwrap())
+        b.iter(|| rlra_lapack::cholesky_upper(&g).unwrap());
     });
     let a = gaussian_mat(48, 32, &mut rng);
     group.bench_function("jacobi_svd_48x32", |b| {
-        b.iter(|| rlra_lapack::svd_jacobi(&a).unwrap())
+        b.iter(|| rlra_lapack::svd_jacobi(&a).unwrap());
     });
     group.finish();
 }

@@ -1,5 +1,8 @@
 //! Criterion benchmarks of the CPU BLAS kernels backing the simulation.
 
+// `criterion_group!` expands to an undocumented pub fn.
+#![allow(missing_docs)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -32,8 +35,8 @@ fn bench_gemm(c: &mut Criterion) {
                         0.0,
                         cmat.as_mut(),
                     )
-                    .unwrap()
-                })
+                    .unwrap();
+                });
             },
         );
     }
@@ -64,7 +67,7 @@ fn bench_dot(c: &mut Criterion) {
         let y: Vec<f64> = (0..n).map(|i| (i as f64).cos()).collect();
         group.throughput(Throughput::Elements(2 * n as u64));
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter(|| rlra_blas::dot(&x, &y))
+            b.iter(|| rlra_blas::dot(&x, &y));
         });
     }
     group.finish();

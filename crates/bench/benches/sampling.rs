@@ -1,6 +1,9 @@
 //! Criterion benchmarks of the sampling operators: Gaussian GEMM vs SRFT
 //! (full and pruned) — the real-CPU analogue of the paper's Figure 8.
 
+// `criterion_group!` expands to an undocumented pub fn.
+#![allow(missing_docs)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -27,16 +30,16 @@ fn bench_sampling(c: &mut Criterion) {
                     0.0,
                     bmat.as_mut(),
                 )
-                .unwrap()
-            })
+                .unwrap();
+            });
         });
         let full = SrftOperator::new(m, l, SrftScheme::Full, &mut rng).unwrap();
         group.bench_with_input(BenchmarkId::new("srft_full", l), &l, |b, _| {
-            b.iter(|| full.sample_rows(&a).unwrap())
+            b.iter(|| full.sample_rows(&a).unwrap());
         });
         let pruned = SrftOperator::new(m, l, SrftScheme::Pruned, &mut rng).unwrap();
         group.bench_with_input(BenchmarkId::new("srft_pruned", l), &l, |b, _| {
-            b.iter(|| pruned.sample_rows(&a).unwrap())
+            b.iter(|| pruned.sample_rows(&a).unwrap());
         });
     }
     group.finish();
@@ -46,7 +49,7 @@ fn bench_prng(c: &mut Criterion) {
     let mut group = c.benchmark_group("prng");
     group.bench_function("gaussian_64x4096", |b| {
         let mut rng = StdRng::seed_from_u64(2);
-        b.iter(|| gaussian_mat(64, 4_096, &mut rng))
+        b.iter(|| gaussian_mat(64, 4_096, &mut rng));
     });
     group.finish();
 }

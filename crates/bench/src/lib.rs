@@ -16,6 +16,8 @@
 //!   default they run at a reduced scale that preserves the spectra
 //!   (documented per binary), and accept `--full` for the paper's sizes.
 
+#![forbid(unsafe_code)]
+
 use std::fmt::Write as _;
 use std::fs;
 use std::path::PathBuf;
@@ -48,7 +50,7 @@ impl Table {
     pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
         Table {
             title: title.into(),
-            headers: headers.iter().map(|s| s.to_string()).collect(),
+            headers: headers.iter().map(ToString::to_string).collect(),
             rows: Vec::new(),
         }
     }
@@ -61,7 +63,7 @@ impl Table {
 
     /// Renders the table to a string.
     pub fn render(&self) -> String {
-        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
         for row in &self.rows {
             for (w, c) in widths.iter_mut().zip(row) {
                 *w = (*w).max(c.len());

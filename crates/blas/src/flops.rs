@@ -38,6 +38,18 @@ pub fn trmm_flops(n: usize, nrhs: usize) -> u64 {
     n as u64 * n as u64 * nrhs as u64
 }
 
+/// Flops of a triangular matrix-vector multiply with an `n × n`
+/// triangle: `n(n+1)/2` multiplies and `n(n−1)/2` adds, `n²` total.
+pub fn trmv_flops(n: usize) -> u64 {
+    n as u64 * n as u64
+}
+
+/// Flops of a triangular solve with an `n × n` triangle against a single
+/// right-hand side (same count as `trmv`).
+pub fn trsv_flops(n: usize) -> u64 {
+    n as u64 * n as u64
+}
+
 /// Flops of a dot product of length `n`.
 pub fn dot_flops(n: usize) -> u64 {
     2 * n as u64
@@ -82,6 +94,13 @@ mod tests {
     #[test]
     fn gemv_is_gemm_with_single_column() {
         assert_eq!(gemv_flops(7, 5), gemm_flops(7, 1, 5));
+    }
+
+    #[test]
+    fn triangular_vector_counts_match_matrix_counts() {
+        // trmv/trsv are the nrhs = 1 column of trmm/trsm.
+        assert_eq!(trmv_flops(64), trmm_flops(64, 1));
+        assert_eq!(trsv_flops(64), trsm_flops(64, 1));
     }
 
     #[test]

@@ -21,6 +21,8 @@
 //! [`MatRef`]: rlra_matrix::MatRef
 //! [`MatMut`]: rlra_matrix::MatMut
 
+#![forbid(unsafe_code)]
+
 pub mod flops;
 pub mod level1;
 pub mod level2;

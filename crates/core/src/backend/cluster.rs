@@ -34,6 +34,15 @@ pub struct ClusterExec<'a> {
     n: usize,
 }
 
+impl std::fmt::Debug for ClusterExec<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ClusterExec")
+            .field("m", &self.m)
+            .field("n", &self.n)
+            .finish_non_exhaustive()
+    }
+}
+
 impl<'a> ClusterExec<'a> {
     /// Creates the backend for the given (caller-owned) cluster.
     pub fn new(cluster: &'a mut Cluster) -> Self {

@@ -14,7 +14,7 @@ use rlra_blas::Trans;
 use rlra_fft::{SrftOperator, SrftScheme};
 use rlra_gpu::algos::{gpu_cholqr, gpu_cholqr_rows, gpu_qp3_truncated, gpu_tournament_qrcp};
 use rlra_gpu::{DMat, ExecMode, Gpu, Phase};
-use rlra_matrix::Result;
+use rlra_matrix::{MatrixError, Result};
 
 /// Single-GPU execution backend.
 pub struct GpuExec<'a> {
@@ -23,6 +23,15 @@ pub struct GpuExec<'a> {
     a_sim: Option<DMat>,
     m: usize,
     n: usize,
+}
+
+impl std::fmt::Debug for GpuExec<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GpuExec")
+            .field("m", &self.m)
+            .field("n", &self.n)
+            .finish_non_exhaustive()
+    }
 }
 
 impl<'a> GpuExec<'a> {
@@ -43,6 +52,16 @@ impl<'a> GpuExec<'a> {
     fn dummy_rng() -> StdRng {
         StdRng::seed_from_u64(0)
     }
+}
+
+/// The resident operand, present between `begin` and `finish`. A free
+/// function over the field (not a method) so the returned borrow stays
+/// disjoint from `self.sim`.
+fn resident(a_sim: &Option<DMat>) -> Result<&DMat> {
+    a_sim.as_ref().ok_or(MatrixError::Internal {
+        op: "GpuExec",
+        invariant: "stage hook called before begin()",
+    })
 }
 
 impl Executor for GpuExec<'_> {
@@ -69,7 +88,7 @@ impl Executor for GpuExec<'_> {
             .sim
             .curand_gaussian(Phase::Prng, l, self.m, &mut Self::dummy_rng());
         let mut b = self.sim.alloc(l, self.n);
-        let a = self.a_sim.as_ref().expect("begin() not called");
+        let a = resident(&self.a_sim)?;
         self.sim.gemm(
             Phase::Sampling,
             1.0,
@@ -85,7 +104,7 @@ impl Executor for GpuExec<'_> {
 
     fn srft_sample_rows(&mut self, l: usize, scheme: SrftScheme) -> Result<()> {
         let op = SrftOperator::new(self.m, l, scheme, &mut Self::dummy_rng())?;
-        let a = self.a_sim.as_ref().expect("begin() not called");
+        let a = resident(&self.a_sim)?;
         self.sim.cufft_sample_rows(Phase::Sampling, &op, a)?;
         Ok(())
     }
@@ -99,7 +118,7 @@ impl Executor for GpuExec<'_> {
     fn gemm_to_c(&mut self, l: usize) -> Result<()> {
         let bq = self.sim.resident_shape(l, self.n);
         let mut c = self.sim.alloc(l, self.m);
-        let a = self.a_sim.as_ref().expect("begin() not called");
+        let a = resident(&self.a_sim)?;
         self.sim.gemm(
             Phase::GemmIter,
             1.0,
@@ -122,7 +141,7 @@ impl Executor for GpuExec<'_> {
     fn gemm_to_b(&mut self, l: usize) -> Result<()> {
         let cq = self.sim.resident_shape(l, self.m);
         let mut b = self.sim.alloc(l, self.n);
-        let a = self.a_sim.as_ref().expect("begin() not called");
+        let a = resident(&self.a_sim)?;
         self.sim.gemm(
             Phase::GemmIter,
             1.0,
@@ -172,27 +191,32 @@ impl Executor for GpuExec<'_> {
         true
     }
 
-    fn adaptive_draw(&mut self, l_inc: usize) {
+    fn adaptive_draw(&mut self, l_inc: usize) -> Result<()> {
         let omega = self
             .sim
             .curand_gaussian(Phase::Prng, l_inc, self.m, &mut Self::dummy_rng());
         let mut w = self.sim.alloc(l_inc, self.n);
-        let a = self.a_sim.as_ref().expect("begin() not called");
-        self.sim
-            .gemm(
-                Phase::Sampling,
-                1.0,
-                &omega,
-                Trans::No,
-                a,
-                Trans::No,
-                0.0,
-                &mut w,
-            )
-            .expect("shape-consistent by construction");
+        let a = resident(&self.a_sim)?;
+        self.sim.gemm(
+            Phase::Sampling,
+            1.0,
+            &omega,
+            Trans::No,
+            a,
+            Trans::No,
+            0.0,
+            &mut w,
+        )?;
+        Ok(())
     }
 
-    fn adaptive_orth(&mut self, rows: usize, cols: usize, l_prev: usize, reorth: bool) {
+    fn adaptive_orth(
+        &mut self,
+        rows: usize,
+        cols: usize,
+        l_prev: usize,
+        reorth: bool,
+    ) -> Result<()> {
         // Block-orthogonalization against the accepted basis (two GEMMs
         // per pass) plus the block's own CholQR.
         let passes = if reorth { 2 } else { 1 };
@@ -212,60 +236,61 @@ impl Executor for GpuExec<'_> {
             self.sim
                 .charge(Phase::OrthIter, self.sim.cost().trsm(rows, cols));
         }
+        Ok(())
     }
 
-    fn adaptive_gemm_c(&mut self, l_new: usize) {
+    fn adaptive_gemm_c(&mut self, l_new: usize) -> Result<()> {
         let wd = self.sim.resident_shape(l_new, self.n);
         let mut c = self.sim.alloc(l_new, self.m);
-        let a = self.a_sim.as_ref().expect("begin() not called");
-        self.sim
-            .gemm(
-                Phase::GemmIter,
-                1.0,
-                &wd,
-                Trans::No,
-                a,
-                Trans::Yes,
-                0.0,
-                &mut c,
-            )
-            .expect("shape-consistent by construction");
+        let a = resident(&self.a_sim)?;
+        self.sim.gemm(
+            Phase::GemmIter,
+            1.0,
+            &wd,
+            Trans::No,
+            a,
+            Trans::Yes,
+            0.0,
+            &mut c,
+        )?;
+        Ok(())
     }
 
-    fn adaptive_gemm_w(&mut self, l_new: usize) {
+    fn adaptive_gemm_w(&mut self, l_new: usize) -> Result<()> {
         let cd = self.sim.resident_shape(l_new, self.m);
         let mut w = self.sim.alloc(l_new, self.n);
-        let a = self.a_sim.as_ref().expect("begin() not called");
-        self.sim
-            .gemm(
-                Phase::GemmIter,
-                1.0,
-                &cd,
-                Trans::No,
-                a,
-                Trans::No,
-                0.0,
-                &mut w,
-            )
-            .expect("shape-consistent by construction");
+        let a = resident(&self.a_sim)?;
+        self.sim.gemm(
+            Phase::GemmIter,
+            1.0,
+            &cd,
+            Trans::No,
+            a,
+            Trans::No,
+            0.0,
+            &mut w,
+        )?;
+        Ok(())
     }
 
-    fn adaptive_probe(&mut self, next_inc: usize, l_now: usize) {
+    fn adaptive_probe(&mut self, next_inc: usize, l_now: usize) -> Result<()> {
         // ε̃ = max row-residual (small GEMMs, charged as Other).
         self.sim.charge(
             Phase::Other,
             self.sim.cost().gemm(next_inc, l_now, self.n)
                 + self.sim.cost().gemm(next_inc, self.n, l_now),
         );
+        Ok(())
     }
 
-    fn adaptive_finish(&mut self, k: usize) {
+    fn adaptive_finish(&mut self, k: usize) -> Result<()> {
         self.sim
             .charge(Phase::Qrcp, self.sim.cost().gemv(k, self.n) * k as f64); // truncated QP3 skeleton
         self.sim.charge(
             Phase::Qr,
             self.sim.cost().syrk(k, self.m) + self.sim.cost().trsm(k, self.m),
         );
+        Ok(())
     }
 
     fn elapsed(&self) -> f64 {

@@ -110,7 +110,7 @@ pub enum Input<'a> {
     Shape(usize, usize),
 }
 
-impl Input<'_> {
+impl<'a> Input<'a> {
     /// `(rows, cols)` of the input.
     pub fn shape(&self) -> (usize, usize) {
         match self {
@@ -119,9 +119,10 @@ impl Input<'_> {
         }
     }
 
-    /// The materialized values, when present.
-    pub fn values(&self) -> Option<&Mat> {
-        match self {
+    /// The materialized values, when present. The borrow is the input's
+    /// own lifetime (`Input` is `Copy` over `&'a Mat`), not `&self`'s.
+    pub fn values(&self) -> Option<&'a Mat> {
+        match *self {
             Input::Values(a) => Some(a),
             Input::Shape(..) => None,
         }
@@ -230,35 +231,71 @@ pub trait Executor {
     }
 
     /// Adaptive: draw an `ℓ_inc × m` block and charge `W = Ω·A`.
-    fn adaptive_draw(&mut self, l_inc: usize) {
+    ///
+    /// # Errors
+    ///
+    /// Propagates kernel failures.
+    fn adaptive_draw(&mut self, l_inc: usize) -> Result<()> {
         let _ = l_inc;
+        Ok(())
     }
 
     /// Adaptive: block-orthogonalization of a `rows × cols` block
     /// against an accepted basis of `l_prev` rows, plus its CholQR.
-    fn adaptive_orth(&mut self, rows: usize, cols: usize, l_prev: usize, reorth: bool) {
+    ///
+    /// # Errors
+    ///
+    /// Propagates kernel failures.
+    fn adaptive_orth(
+        &mut self,
+        rows: usize,
+        cols: usize,
+        l_prev: usize,
+        reorth: bool,
+    ) -> Result<()> {
         let _ = (rows, cols, l_prev, reorth);
+        Ok(())
     }
 
     /// Adaptive power iteration: `C = W·Aᵀ` (`l_new × m`).
-    fn adaptive_gemm_c(&mut self, l_new: usize) {
+    ///
+    /// # Errors
+    ///
+    /// Propagates kernel failures.
+    fn adaptive_gemm_c(&mut self, l_new: usize) -> Result<()> {
         let _ = l_new;
+        Ok(())
     }
 
     /// Adaptive power iteration: `W = C·A` (`l_new × n`).
-    fn adaptive_gemm_w(&mut self, l_new: usize) {
+    ///
+    /// # Errors
+    ///
+    /// Propagates kernel failures.
+    fn adaptive_gemm_w(&mut self, l_new: usize) -> Result<()> {
         let _ = l_new;
+        Ok(())
     }
 
     /// Adaptive: the residual-estimate probe against an `l_now`-row
     /// basis.
-    fn adaptive_probe(&mut self, next_inc: usize, l_now: usize) {
+    ///
+    /// # Errors
+    ///
+    /// Propagates kernel failures.
+    fn adaptive_probe(&mut self, next_inc: usize, l_now: usize) -> Result<()> {
         let _ = (next_inc, l_now);
+        Ok(())
     }
 
     /// Adaptive fixed-accuracy finish: Steps 2–3 at `k = ℓ_final`.
-    fn adaptive_finish(&mut self, k: usize) {
+    ///
+    /// # Errors
+    ///
+    /// Propagates kernel failures.
+    fn adaptive_finish(&mut self, k: usize) -> Result<()> {
         let _ = k;
+        Ok(())
     }
 
     /// Simulated seconds elapsed since [`Executor::begin`].

@@ -31,6 +31,15 @@ pub struct MultiGpuExec<'a> {
     n: usize,
 }
 
+impl std::fmt::Debug for MultiGpuExec<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MultiGpuExec")
+            .field("m", &self.m)
+            .field("n", &self.n)
+            .finish_non_exhaustive()
+    }
+}
+
 impl<'a> MultiGpuExec<'a> {
     /// Creates the backend for the given (caller-owned) multi-GPU
     /// context.

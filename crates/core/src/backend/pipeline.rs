@@ -12,7 +12,7 @@ use crate::result::LowRankApprox;
 use rand::Rng;
 use rlra_blas::Trans;
 use rlra_fft::SrftOperator;
-use rlra_matrix::{gaussian_mat, Mat, Result};
+use rlra_matrix::{gaussian_mat, Mat, MatrixError, Result};
 
 /// Advances `rng` by exactly the draws of an `count`-variate standard
 /// normal fill, without materializing the buffer. Keeps dry runs
@@ -31,6 +31,32 @@ pub(crate) fn burn_standard_normal(rng: &mut impl Rng, count: usize) {
     if left > 0 {
         rlra_matrix::randn::fill_standard_normal(rng, &mut buf[..left]);
     }
+}
+
+/// The host operand of a compute-mode run. `run_fixed_rank` rejects
+/// shape-only inputs in compute mode at entry, so absence here is an
+/// internal invariant violation, not a user error.
+fn host_values<'a>(a: &Input<'a>) -> Result<&'a Mat> {
+    a.values().ok_or(MatrixError::Internal {
+        op: "run_fixed_rank",
+        invariant: "compute mode requires a values input (checked at entry)",
+    })
+}
+
+/// The sampled matrix `B`, populated by Step 1a on computing backends.
+fn sampled(b_host: Option<Mat>) -> Result<Mat> {
+    b_host.ok_or(MatrixError::Internal {
+        op: "run_fixed_rank",
+        invariant: "Step 1a populates B before later stages read it",
+    })
+}
+
+/// Borrowing flavor of [`sampled`].
+fn sampled_ref(b_host: &Option<Mat>) -> Result<&Mat> {
+    b_host.as_ref().ok_or(MatrixError::Internal {
+        op: "run_fixed_rank",
+        invariant: "Step 1a populates B before later stages read it",
+    })
 }
 
 /// Runs the fixed-rank random sampling algorithm (Figure 2b) on the
@@ -73,7 +99,7 @@ pub fn run_fixed_rank<E: Executor>(
         SamplingKind::Gaussian => {
             exec.gaussian_sample(l)?;
             if compute {
-                let am = a.values().expect("computing backends require values");
+                let am = host_values(&a)?;
                 let omega = gaussian_mat(l, m, rng);
                 let mut b = Mat::zeros(l, n);
                 rlra_blas::gemm(
@@ -94,7 +120,7 @@ pub fn run_fixed_rank<E: Executor>(
             let op = SrftOperator::new(m, l, scheme, rng)?;
             exec.srft_sample_rows(l, scheme)?;
             if compute {
-                let am = a.values().expect("computing backends require values");
+                let am = host_values(&a)?;
                 b_host = Some(op.sample_rows(am)?);
             }
         }
@@ -108,14 +134,14 @@ pub fn run_fixed_rank<E: Executor>(
         exec.gemm_to_b(l)?;
     }
     if compute {
-        let am = a.values().expect("computing backends require values");
+        let am = host_values(&a)?;
         let empty_b = Mat::zeros(0, n);
         let empty_c = Mat::zeros(0, m);
         let (b, _c) = power_iterate(
             am,
             &empty_b,
             &empty_c,
-            b_host.take().expect("sampled"),
+            sampled(b_host.take())?,
             cfg.q,
             cfg.reorth,
         )?;
@@ -128,10 +154,10 @@ pub fn run_fixed_rank<E: Executor>(
     let report = exec.finish();
 
     let approx = if compute {
-        let am = a.values().expect("computing backends require values");
+        let am = host_values(&a)?;
         Some(crate::fixed_rank::finish_from_sampled_with(
             am,
-            b_host.as_ref().expect("sampled"),
+            sampled_ref(&b_host)?,
             k,
             cfg.reorth,
             cfg.step2,

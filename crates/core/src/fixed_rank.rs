@@ -54,7 +54,10 @@ pub fn sample_fixed_rank(
     let mut exec = crate::backend::CpuExec::new();
     let (approx, _report) =
         crate::backend::run_fixed_rank(&mut exec, crate::backend::Input::Values(a), cfg, rng)?;
-    Ok(approx.expect("the CPU backend always computes"))
+    approx.ok_or(rlra_matrix::MatrixError::Internal {
+        op: "sample_fixed_rank",
+        invariant: "the CPU backend computes values",
+    })
 }
 
 /// Steps 2 and 3 shared by the fixed-rank and fixed-accuracy paths:

@@ -34,6 +34,8 @@
 //! 16–17) lives in [`adaptive`], and the deterministic truncated-QP3
 //! **baseline** in [`baseline`].
 
+#![forbid(unsafe_code)]
+
 pub mod adaptive;
 pub mod backend;
 pub mod baseline;

@@ -24,7 +24,12 @@ impl LowRankApprox {
 
     /// Reconstructs `Q·R` (the approximation of `A·P`, i.e. with columns
     /// in pivot order).
-    pub fn reconstruct_permuted(&self) -> Mat {
+    ///
+    /// # Errors
+    ///
+    /// Returns a dimension error if the factors were tampered with into
+    /// inconsistent shapes (impossible for algorithm-produced values).
+    pub fn reconstruct_permuted(&self) -> Result<Mat> {
         let mut out = Mat::zeros(self.q.rows(), self.r.cols());
         rlra_blas::gemm(
             1.0,
@@ -34,15 +39,18 @@ impl LowRankApprox {
             Trans::No,
             0.0,
             out.as_mut(),
-        )
-        .expect("factor shapes are consistent");
-        out
+        )?;
+        Ok(out)
     }
 
     /// Reconstructs the approximation of `A` itself (undoes the
     /// permutation): `Q·R·Pᵀ`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`LowRankApprox::reconstruct_permuted`] errors.
     pub fn reconstruct(&self) -> Result<Mat> {
-        let qr = self.reconstruct_permuted();
+        let qr = self.reconstruct_permuted()?;
         self.perm.inverse().apply_cols(&qr)
     }
 

@@ -15,6 +15,8 @@
 //!   The real HapMap bulk release is not redistributable here; DESIGN.md
 //!   documents the substitution.
 
+#![forbid(unsafe_code)]
+
 pub mod hapmap;
 pub mod io;
 pub mod kernels;

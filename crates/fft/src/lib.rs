@@ -17,6 +17,8 @@
 //!   a **pruned** scheme (compute only the selected rows; the paper notes
 //!   cuFFT cannot do this, and we provide it for the flop-count analysis).
 
+#![forbid(unsafe_code)]
+
 pub mod dft;
 pub mod radix2;
 pub mod rfft;

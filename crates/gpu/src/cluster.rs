@@ -99,7 +99,7 @@ impl Cluster {
 
     /// Total GPU count.
     pub fn total_gpus(&self) -> usize {
-        self.nodes.iter().map(|n| n.ng()).sum()
+        self.nodes.iter().map(super::multigpu::MultiGpu::ng).sum()
     }
 
     /// Execution mode.
@@ -124,7 +124,10 @@ impl Cluster {
 
     /// Simulated wall-clock: the slowest node.
     pub fn time(&self) -> f64 {
-        self.nodes.iter().map(|n| n.time()).fold(0.0, f64::max)
+        self.nodes
+            .iter()
+            .map(super::multigpu::MultiGpu::time)
+            .fold(0.0, f64::max)
     }
 
     /// Accumulated inter-node communication time.

@@ -226,8 +226,11 @@ fn small_output_discount(out_elems: usize) -> f64 {
 /// Piecewise-linear interpolation in a sorted `(x, y)` table (clamped at
 /// the ends).
 fn interp(table: &[(f64, f64)], x: f64) -> f64 {
-    if x <= table[0].0 {
-        return table[0].1;
+    let (Some(&(x_first, y_first)), Some(&(_, y_last))) = (table.first(), table.last()) else {
+        return 0.0; // empty table: nothing to interpolate
+    };
+    if x <= x_first {
+        return y_first;
     }
     for w in table.windows(2) {
         let (x0, y0) = w[0];
@@ -237,7 +240,7 @@ fn interp(table: &[(f64, f64)], x: f64) -> f64 {
             return y0 + t * (y1 - y0);
         }
     }
-    table.last().expect("table nonempty").1
+    y_last
 }
 
 #[cfg(test)]

@@ -58,11 +58,31 @@ impl DMat {
     }
 
     /// Materialized values, panicking in dry-run mode. Call only on paths
-    /// that are documented to require [`ExecMode::Compute`].
+    /// that are documented to require [`ExecMode::Compute`] (primarily
+    /// tests and examples; kernels use the fallible accessors).
     pub fn expect_values(&self) -> &Mat {
         self.data
             .as_ref()
+            // analyze: allow(panic, documented panicking accessor for compute-mode callers)
             .expect("DMat has no values (dry-run mode)")
+    }
+
+    /// Materialized values as an error in dry-run mode. Kernels call
+    /// this only under `computing()`, so absence is an internal
+    /// invariant break, not a caller mistake.
+    fn values_req(&self) -> Result<&Mat> {
+        self.data.as_ref().ok_or(MatrixError::Internal {
+            op: "DMat::values_req",
+            invariant: "compute-mode kernel read a dry-run buffer",
+        })
+    }
+
+    /// Mutable flavor of [`DMat::values_req`].
+    fn values_mut_req(&mut self) -> Result<&mut Mat> {
+        self.data.as_mut().ok_or(MatrixError::Internal {
+            op: "DMat::values_mut_req",
+            invariant: "compute-mode kernel wrote a dry-run buffer",
+        })
     }
 
     fn from_mat(m: Mat) -> Self {
@@ -253,9 +273,9 @@ impl Gpu {
         self.launches += 1;
         self.charge(phase, self.cost.gemm(m, n, ka));
         if self.computing() {
-            let am = a.expect_values();
-            let bm = b.expect_values();
-            let cm = c.data.as_mut().expect("compute mode");
+            let am = a.values_req()?;
+            let bm = b.values_req()?;
+            let cm = c.values_mut_req()?;
             rlra_blas::gemm(alpha, am.as_ref(), ta, bm.as_ref(), tb, beta, cm.as_mut())?;
         }
         Ok(())
@@ -287,8 +307,8 @@ impl Gpu {
         self.launches += 1;
         self.charge(phase, self.cost.syrk(l, k));
         if self.computing() {
-            let am = a.expect_values();
-            let cm = c.data.as_mut().expect("compute mode");
+            let am = a.values_req()?;
+            let cm = c.values_mut_req()?;
             rlra_blas::syrk(
                 alpha,
                 am.as_ref(),
@@ -333,8 +353,8 @@ impl Gpu {
         self.launches += 1;
         self.charge(phase, self.cost.trsm(l, nrhs));
         if self.computing() {
-            let tm = t.expect_values();
-            let bm = b.data.as_mut().expect("compute mode");
+            let tm = t.values_req()?;
+            let bm = b.values_mut_req()?;
             rlra_blas::trsm(
                 side,
                 uplo,
@@ -373,8 +393,8 @@ impl Gpu {
         self.launches += 1;
         self.charge(phase, self.cost.trsm(l, nrhs)); // same cost class as trsm
         if self.computing() {
-            let tm = t.expect_values();
-            let bm = b.data.as_mut().expect("compute mode");
+            let tm = t.values_req()?;
+            let bm = b.values_mut_req()?;
             rlra_blas::trmm(
                 side,
                 uplo,

@@ -42,6 +42,8 @@
 //! - [`multigpu`] — the 1D block-row multi-GPU context of §4 with
 //!   host-mediated reductions and broadcast.
 
+#![forbid(unsafe_code)]
+
 pub mod algos;
 pub mod cluster;
 pub mod cost;

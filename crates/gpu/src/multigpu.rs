@@ -61,7 +61,10 @@ impl MultiGpu {
 
     /// The current simulated wall-clock: the slowest GPU.
     pub fn time(&self) -> f64 {
-        self.gpus.iter().map(|g| g.clock()).fold(0.0, f64::max)
+        self.gpus
+            .iter()
+            .map(super::device::Gpu::clock)
+            .fold(0.0, f64::max)
     }
 
     /// Barrier: every GPU clock jumps to the maximum.

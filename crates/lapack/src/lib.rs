@@ -23,6 +23,8 @@
 //!   prescribed spectra and to measure exact singular values σₖ₊₁ for the
 //!   error bounds.
 
+#![forbid(unsafe_code)]
+
 pub mod ca_qrcp;
 pub mod cholesky;
 pub mod cholqr;

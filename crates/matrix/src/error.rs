@@ -57,6 +57,16 @@ pub enum MatrixError {
         /// Description of the unsupported feature or mode.
         feature: String,
     },
+    /// An internal invariant was violated (a state the caller cannot
+    /// cause through the public API). Library code returns this instead
+    /// of panicking so a serving deployment degrades to a failed request
+    /// rather than a dead worker.
+    Internal {
+        /// The operation whose invariant broke.
+        op: &'static str,
+        /// Description of the broken invariant.
+        invariant: &'static str,
+    },
 }
 
 impl fmt::Display for MatrixError {
@@ -99,6 +109,9 @@ impl fmt::Display for MatrixError {
             }
             MatrixError::Unsupported { backend, feature } => {
                 write!(f, "backend `{backend}` does not support {feature}")
+            }
+            MatrixError::Internal { op, invariant } => {
+                write!(f, "{op}: internal invariant violated ({invariant})")
             }
         }
     }
@@ -162,6 +175,17 @@ mod tests {
         let s = e.to_string();
         assert!(s.contains("multi-gpu"));
         assert!(s.contains("FFT"));
+    }
+
+    #[test]
+    fn display_internal() {
+        let e = MatrixError::Internal {
+            op: "run_fixed_rank",
+            invariant: "computing backend lost its host values",
+        };
+        let s = e.to_string();
+        assert!(s.contains("run_fixed_rank"));
+        assert!(s.contains("invariant"));
     }
 
     #[test]

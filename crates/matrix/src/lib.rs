@@ -18,6 +18,8 @@
 //! All matrices are column major: element `(i, j)` of a view with leading
 //! dimension `ld` lives at linear index `i + j * ld`.
 
+#![forbid(unsafe_code)]
+
 pub mod complex;
 pub mod dense;
 pub mod error;

@@ -6,6 +6,7 @@
 //! these to address panels and trailing submatrices without copying.
 
 use crate::dense::Mat;
+use std::fmt;
 
 /// Immutable view of a column-major matrix block.
 #[derive(Clone, Copy)]
@@ -14,6 +15,16 @@ pub struct MatRef<'a> {
     rows: usize,
     cols: usize,
     ld: usize,
+}
+
+impl fmt::Debug for MatRef<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MatRef")
+            .field("rows", &self.rows)
+            .field("cols", &self.cols)
+            .field("ld", &self.ld)
+            .finish_non_exhaustive()
+    }
 }
 
 impl<'a> MatRef<'a> {
@@ -148,6 +159,16 @@ pub struct MatMut<'a> {
     rows: usize,
     cols: usize,
     ld: usize,
+}
+
+impl fmt::Debug for MatMut<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MatMut")
+            .field("rows", &self.rows)
+            .field("cols", &self.cols)
+            .field("ld", &self.ld)
+            .finish_non_exhaustive()
+    }
 }
 
 impl<'a> MatMut<'a> {

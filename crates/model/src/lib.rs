@@ -11,6 +11,8 @@
 //!   times from the calibrated `rlra-gpu` cost model are composed into
 //!   end-to-end Gflop/s estimates for random sampling and truncated QP3.
 
+#![forbid(unsafe_code)]
+
 pub mod costs;
 pub mod distributed;
 pub mod gflops;

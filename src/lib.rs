@@ -38,6 +38,8 @@
 //! assert!(err < 30.0 * tm.sigma_after(10));
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub use rlra_blas as blas;
 pub use rlra_core as core;
 pub use rlra_data as data;

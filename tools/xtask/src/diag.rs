@@ -1,0 +1,35 @@
+//! Findings: what a lint reports, rendered as `file:line` diagnostics.
+
+use std::fmt;
+use std::path::PathBuf;
+
+/// One lint violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// File the violation is in.
+    pub file: PathBuf,
+    /// 1-based line.
+    pub line: u32,
+    /// Lint name (`cost`, `determinism`, `panic`, `flops`, `allow`).
+    pub lint: &'static str,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file.display(),
+            self.line,
+            self.lint,
+            self.message
+        )
+    }
+}
+
+/// Sorts findings by (file, line, lint) for stable output.
+pub fn sort(findings: &mut [Finding]) {
+    findings.sort_by(|a, b| (&a.file, a.line, a.lint).cmp(&(&b.file, b.line, b.lint)));
+}

@@ -1,0 +1,350 @@
+//! A minimal Rust lexer: just enough token structure for the invariant
+//! lints, with comments captured separately (the `// analyze: allow`
+//! escape hatch lives in comments, and doc-comment examples must never
+//! trip a lint).
+//!
+//! The container this repo grows in is offline, so the analyzer cannot
+//! depend on `syn`; the lints below only need identifier/punct streams
+//! with line numbers, which this hand-rolled lexer provides without any
+//! external crate.
+
+/// Token classes the lints distinguish.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword.
+    Ident,
+    /// Single punctuation character.
+    Punct,
+    /// String/char/number literal (content irrelevant to the lints).
+    Literal,
+    /// Lifetime (`'a`) or loop label.
+    Lifetime,
+}
+
+/// One lexed token.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// Token class.
+    pub kind: TokKind,
+    /// Source text (single char for punctuation).
+    pub text: String,
+    /// 1-based source line of the token's first character.
+    pub line: u32,
+}
+
+impl Tok {
+    /// Whether this token is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// Whether this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == 1 && self.text.starts_with(c)
+    }
+}
+
+/// A comment (line or block), captured for allow-annotation lookup.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// Raw text, including the `//` / `/*` markers.
+    pub text: String,
+}
+
+/// Lexer output: the token stream plus the comment side channel.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Tokens in source order.
+    pub toks: Vec<Tok>,
+    /// Comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+/// Lexes `src` into tokens and comments. Unterminated constructs are
+/// tolerated (consumed to end of input) — the analyzer must never panic
+/// on weird input, it reports on what it can see.
+pub fn lex(src: &str) -> Lexed {
+    let b: Vec<char> = src.chars().collect();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let n = b.len();
+
+    let is_id_start = |c: char| c.is_alphabetic() || c == '_';
+    let is_id_cont = |c: char| c.is_alphanumeric() || c == '_';
+
+    while i < n {
+        let c = b[i];
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Line comment (including /// and //! doc comments).
+        if c == '/' && i + 1 < n && b[i + 1] == '/' {
+            let start = i;
+            let start_line = line;
+            while i < n && b[i] != '\n' {
+                i += 1;
+            }
+            out.comments.push(Comment {
+                line: start_line,
+                text: b[start..i].iter().collect(),
+            });
+            continue;
+        }
+        // Block comment, nested.
+        if c == '/' && i + 1 < n && b[i + 1] == '*' {
+            let start = i;
+            let start_line = line;
+            let mut depth = 1;
+            i += 2;
+            while i < n && depth > 0 {
+                if b[i] == '\n' {
+                    line += 1;
+                }
+                if b[i] == '/' && i + 1 < n && b[i + 1] == '*' {
+                    depth += 1;
+                    i += 2;
+                } else if b[i] == '*' && i + 1 < n && b[i + 1] == '/' {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+            out.comments.push(Comment {
+                line: start_line,
+                text: b[start..i.min(n)].iter().collect(),
+            });
+            continue;
+        }
+        // Identifier — with lookahead for raw/byte string prefixes.
+        if is_id_start(c) {
+            let start = i;
+            while i < n && is_id_cont(b[i]) {
+                i += 1;
+            }
+            let text: String = b[start..i].iter().collect();
+            // r"..", r#".."#, b"..", br#".."#, b'x'
+            if (text == "r" || text == "b" || text == "br")
+                && i < n
+                && (b[i] == '"' || b[i] == '#' || (text == "b" && b[i] == '\''))
+            {
+                if b[i] == '\'' {
+                    // byte char literal
+                    i = consume_char_literal(&b, i, &mut line);
+                } else {
+                    i = consume_raw_string(&b, i, &mut line);
+                }
+                out.toks.push(Tok {
+                    kind: TokKind::Literal,
+                    text: String::new(),
+                    line,
+                });
+                continue;
+            }
+            out.toks.push(Tok {
+                kind: TokKind::Ident,
+                text,
+                line,
+            });
+            continue;
+        }
+        // Number literal.
+        if c.is_ascii_digit() {
+            let start_line = line;
+            i += 1;
+            while i < n {
+                let d = b[i];
+                let exp_sign = (d == '+' || d == '-')
+                    && matches!(b[i - 1], 'e' | 'E')
+                    && i >= 2
+                    && b[i - 2].is_ascii_digit();
+                if d.is_alphanumeric() || d == '_' || d == '.' || exp_sign {
+                    i += 1;
+                } else {
+                    break;
+                }
+            }
+            out.toks.push(Tok {
+                kind: TokKind::Literal,
+                text: String::new(),
+                line: start_line,
+            });
+            continue;
+        }
+        // String literal.
+        if c == '"' {
+            let start_line = line;
+            i += 1;
+            while i < n {
+                if b[i] == '\\' {
+                    i += 2;
+                    continue;
+                }
+                if b[i] == '\n' {
+                    line += 1;
+                }
+                if b[i] == '"' {
+                    i += 1;
+                    break;
+                }
+                i += 1;
+            }
+            out.toks.push(Tok {
+                kind: TokKind::Literal,
+                text: String::new(),
+                line: start_line,
+            });
+            continue;
+        }
+        // Char literal vs lifetime.
+        if c == '\'' {
+            // '\x' escape or 'a' (closing quote two ahead) => char literal.
+            let is_char = (i + 1 < n && b[i + 1] == '\\')
+                || (i + 2 < n && b[i + 2] == '\'' && b[i + 1] != '\'');
+            if is_char {
+                i = consume_char_literal(&b, i, &mut line);
+                out.toks.push(Tok {
+                    kind: TokKind::Literal,
+                    text: String::new(),
+                    line,
+                });
+            } else {
+                let start = i;
+                i += 1;
+                while i < n && is_id_cont(b[i]) {
+                    i += 1;
+                }
+                out.toks.push(Tok {
+                    kind: TokKind::Lifetime,
+                    text: b[start..i].iter().collect(),
+                    line,
+                });
+            }
+            continue;
+        }
+        // Single punctuation character.
+        out.toks.push(Tok {
+            kind: TokKind::Punct,
+            text: c.to_string(),
+            line,
+        });
+        i += 1;
+    }
+    out
+}
+
+/// Consumes a char/byte-char literal starting at the opening `'` (or at
+/// the `b` prefix's quote); returns the index past the closing quote.
+fn consume_char_literal(b: &[char], mut i: usize, line: &mut u32) -> usize {
+    debug_assert!(b[i] == '\'');
+    i += 1;
+    while i < b.len() {
+        if b[i] == '\\' {
+            i += 2;
+            continue;
+        }
+        if b[i] == '\n' {
+            *line += 1;
+        }
+        if b[i] == '\'' {
+            return i + 1;
+        }
+        i += 1;
+    }
+    i
+}
+
+/// Consumes a raw string starting at the `#`s or `"` after the `r`/`br`
+/// prefix; returns the index past the closing delimiter.
+fn consume_raw_string(b: &[char], mut i: usize, line: &mut u32) -> usize {
+    let mut hashes = 0usize;
+    while i < b.len() && b[i] == '#' {
+        hashes += 1;
+        i += 1;
+    }
+    if i >= b.len() || b[i] != '"' {
+        return i;
+    }
+    i += 1;
+    while i < b.len() {
+        if b[i] == '\n' {
+            *line += 1;
+        }
+        if b[i] == '"' {
+            let mut j = i + 1;
+            let mut seen = 0usize;
+            while j < b.len() && b[j] == '#' && seen < hashes {
+                seen += 1;
+                j += 1;
+            }
+            if seen == hashes {
+                return j;
+            }
+        }
+        i += 1;
+    }
+    i
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idents_and_puncts_with_lines() {
+        let l = lex("fn a() {\n  b.c();\n}\n");
+        let idents: Vec<&str> = l
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(idents, vec!["fn", "a", "b", "c"]);
+        let b = l.toks.iter().find(|t| t.is_ident("b")).unwrap();
+        assert_eq!(b.line, 2);
+    }
+
+    #[test]
+    fn comments_are_side_channel_not_tokens() {
+        let l = lex("// x.unwrap()\n/* panic! */ let y = 1;\n/// doc.expect(\"b\")\n");
+        assert_eq!(l.comments.len(), 3);
+        assert!(!l.toks.iter().any(|t| t.is_ident("unwrap")));
+        assert!(!l.toks.iter().any(|t| t.is_ident("panic")));
+        assert!(!l.toks.iter().any(|t| t.is_ident("expect")));
+    }
+
+    #[test]
+    fn strings_and_chars_hide_contents() {
+        let l = lex("let s = \"panic!(\\\")\"; let c = 'x'; let r = r#\"todo!()\"#;");
+        assert!(!l.toks.iter().any(|t| t.is_ident("panic")));
+        assert!(!l.toks.iter().any(|t| t.is_ident("todo")));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let l = lex("fn f<'a>(x: &'a str) -> &'a str { x }");
+        assert_eq!(
+            l.toks
+                .iter()
+                .filter(|t| t.kind == TokKind::Lifetime)
+                .count(),
+            3
+        );
+    }
+
+    #[test]
+    fn nested_block_comment() {
+        let l = lex("/* a /* b */ c */ fn f() {}");
+        assert_eq!(l.comments.len(), 1);
+        assert!(l.toks.iter().any(|t| t.is_ident("fn")));
+    }
+}

@@ -1,0 +1,123 @@
+//! # rlra-analyze
+//!
+//! Repo-specific static analysis for the rlra workspace, run as
+//! `cargo xtask analyze`. Four invariants the compiler cannot see:
+//!
+//! 1. **cost** — every simulated GPU kernel and every Executor stage
+//!    hook charges the analytic cost model (no free kernels).
+//! 2. **determinism** — no wall clock / entropy in library crates; the
+//!    simulated clock and seeded RNGs are the only legal sources.
+//! 3. **panic** — no `unwrap`/`expect`/`panic!`/`todo!` in the serving
+//!    crates' library code; errors are `MatrixError` returns.
+//! 4. **flops** — every BLAS level-2/3 routine has a flop formula in
+//!    `rlra-blas::flops`.
+//!
+//! Deliberate exceptions carry `// analyze: allow(lint, reason)` on or
+//! just above the offending line; an allow without a reason is itself
+//! reported. The analyzer is dependency-free (the build container is
+//! offline): a small hand-rolled lexer + item scanner stand in for
+//! `syn`, which is all these token-shaped invariants need.
+
+#![forbid(unsafe_code)]
+
+pub mod diag;
+pub mod lex;
+pub mod lints;
+pub mod scan;
+pub mod workspace;
+
+use diag::Finding;
+use scan::FileModel;
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+/// Loads and scans every file a lint needs, keyed by absolute path,
+/// reporting paths relative to `root`.
+struct Loader {
+    root: PathBuf,
+    cache: BTreeMap<PathBuf, FileModel>,
+}
+
+impl Loader {
+    fn new(root: &Path) -> Self {
+        Loader {
+            root: root.to_path_buf(),
+            cache: BTreeMap::new(),
+        }
+    }
+
+    fn load(&mut self, path: &Path) -> Result<&FileModel, String> {
+        if !self.cache.contains_key(path) {
+            let src = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+            let rel = path
+                .strip_prefix(&self.root)
+                .map(Path::to_path_buf)
+                .unwrap_or_else(|_| path.to_path_buf());
+            self.cache
+                .insert(path.to_path_buf(), FileModel::new(rel, &src));
+        }
+        Ok(&self.cache[path])
+    }
+
+    fn load_all(&mut self, paths: &[PathBuf]) -> Result<(), String> {
+        for p in paths {
+            self.load(p)?;
+        }
+        Ok(())
+    }
+
+    fn get_all(&self, paths: &[PathBuf]) -> Vec<&FileModel> {
+        paths.iter().filter_map(|p| self.cache.get(p)).collect()
+    }
+}
+
+/// Runs all four lints (plus the allow-reason check) on the workspace
+/// at `root`. Returns the sorted findings; empty means clean.
+///
+/// # Errors
+///
+/// Returns a message when a source file cannot be read.
+pub fn analyze(root: &Path) -> Result<Vec<Finding>, String> {
+    let mut loader = Loader::new(root);
+
+    let det_paths = workspace::determinism_files(root);
+    let panic_paths = workspace::panic_files(root);
+    let graph_paths = workspace::cost_graph_files(root);
+    let algo_paths = workspace::cost_algo_files(root);
+    let exec_paths = workspace::cost_executor_files(root);
+    let routine_paths = workspace::flops_routine_files(root);
+    let flops_path = workspace::flops_file(root);
+
+    loader.load_all(&det_paths)?;
+    loader.load_all(&panic_paths)?;
+    loader.load_all(&graph_paths)?;
+    loader.load_all(&algo_paths)?;
+    loader.load_all(&exec_paths)?;
+    loader.load_all(&routine_paths)?;
+    loader.load(&flops_path)?;
+
+    let mut findings = Vec::new();
+    for f in loader.get_all(&det_paths) {
+        findings.extend(lints::determinism::check(f));
+    }
+    for f in loader.get_all(&panic_paths) {
+        findings.extend(lints::panics::check(f));
+    }
+    findings.extend(lints::cost::check(
+        &loader.get_all(&algo_paths),
+        &loader.get_all(&exec_paths),
+        &loader.get_all(&graph_paths),
+    ));
+    findings.extend(lints::flops::check(
+        &loader.get_all(&routine_paths),
+        &loader.cache[&flops_path],
+    ));
+    for f in loader.cache.values() {
+        findings.extend(lints::check_allow_reasons(f));
+    }
+
+    diag::sort(&mut findings);
+    findings.dedup();
+    Ok(findings)
+}

@@ -1,0 +1,180 @@
+//! `cost` — kernel-cost pairing.
+//!
+//! The simulation's performance story rests on every simulated kernel
+//! charging the analytic cost model: a silently "free" kernel corrupts
+//! every figure. Two sets of functions carry that obligation:
+//!
+//! 1. every `pub fn` in `rlra-gpu::algos` (the timed GPU algorithms), and
+//! 2. every stage hook of an `impl Executor for ..` in
+//!    `rlra-core::backend`.
+//!
+//! A function satisfies the lint if its body — or any function it calls,
+//! transitively, within the analyzed files — reaches a `charge(..)` /
+//! `charge_*(..)` call. A hook that *refuses* the request with
+//! [`MatrixError::Unsupported`] is also fine: refused work is not free
+//! work, it never runs.
+//!
+//! Call resolution is by name (the analyzer has no type information); if
+//! several functions share a name, the callee is considered charging if
+//! any of them charges. That is deliberate: this lint hunts *free*
+//! kernels, and a false "charges" on a shared name is far cheaper than
+//! drowning the signal in false positives.
+
+use crate::diag::Finding;
+use crate::lex::TokKind;
+use crate::scan::{FileModel, FnInfo};
+use std::collections::{HashMap, HashSet};
+
+/// The Executor stage hooks that must charge (the non-stage methods —
+/// `name`, `computes`, `supports`, `begin`, `finish`, `elapsed`,
+/// `supports_adaptive` — manage lifecycle, not kernels).
+pub const STAGE_HOOKS: &[&str] = &[
+    "gaussian_sample",
+    "srft_sample_rows",
+    "orth_b",
+    "gemm_to_c",
+    "orth_c",
+    "gemm_to_b",
+    "step2_pivot",
+    "tsqr",
+    "adaptive_draw",
+    "adaptive_orth",
+    "adaptive_gemm_c",
+    "adaptive_gemm_w",
+    "adaptive_probe",
+    "adaptive_finish",
+];
+
+/// Whether a callee name is a direct charge.
+fn is_charge_name(name: &str) -> bool {
+    name == "charge" || name.starts_with("charge_")
+}
+
+/// Collects the names called in a function body (free calls, method
+/// calls, and path calls all reduce to "identifier followed by `(`"),
+/// plus whether the body directly charges or refuses with `Unsupported`.
+fn body_facts(file: &FileModel, f: &FnInfo) -> (HashSet<String>, bool) {
+    let mut calls = HashSet::new();
+    let mut direct = false;
+    let Some(body) = f.body.clone() else {
+        return (calls, false);
+    };
+    let toks = &file.lexed.toks[body];
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        if t.text == "Unsupported" {
+            direct = true;
+        }
+        let next_is_call = toks.get(i + 1).map(|t| t.is_punct('(')).unwrap_or(false);
+        if next_is_call {
+            if is_charge_name(&t.text) {
+                direct = true;
+            }
+            calls.insert(t.text.clone());
+        }
+    }
+    (calls, direct)
+}
+
+/// Name-keyed call graph over every function in `graph_files`.
+struct CallGraph {
+    /// name -> (called names, charges directly)
+    nodes: HashMap<String, (HashSet<String>, bool)>,
+}
+
+impl CallGraph {
+    fn build(graph_files: &[&FileModel]) -> Self {
+        let mut nodes: HashMap<String, (HashSet<String>, bool)> = HashMap::new();
+        for file in graph_files {
+            for f in &file.fns {
+                if f.in_test || f.body.is_none() {
+                    continue;
+                }
+                let (calls, direct) = body_facts(file, f);
+                let entry = nodes.entry(f.name.clone()).or_default();
+                entry.0.extend(calls);
+                entry.1 |= direct;
+            }
+        }
+        CallGraph { nodes }
+    }
+
+    /// Whether `name` (transitively) reaches a charge call.
+    fn reaches_charge(&self, name: &str, seen: &mut HashSet<String>) -> bool {
+        if is_charge_name(name) {
+            return true;
+        }
+        if !seen.insert(name.to_string()) {
+            return false;
+        }
+        let Some((calls, direct)) = self.nodes.get(name) else {
+            return false;
+        };
+        if *direct {
+            return true;
+        }
+        calls.iter().any(|c| self.reaches_charge(c, seen))
+    }
+}
+
+/// Runs the cost lint.
+///
+/// * `algo_files` — files whose **pub fns** must all charge
+///   (`rlra-gpu::algos`).
+/// * `executor_files` — files whose `impl Executor for ..` stage hooks
+///   must all charge (`rlra-core::backend`).
+/// * `graph_files` — everything indexed for transitive resolution
+///   (should be a superset of the other two).
+pub fn check(
+    algo_files: &[&FileModel],
+    executor_files: &[&FileModel],
+    graph_files: &[&FileModel],
+) -> Vec<Finding> {
+    let graph = CallGraph::build(graph_files);
+    let mut findings = Vec::new();
+
+    let mut check_fn = |file: &FileModel, f: &FnInfo, what: &str| {
+        let (calls, direct) = body_facts(file, f);
+        let charges = direct
+            || calls
+                .iter()
+                .any(|c| graph.reaches_charge(c, &mut HashSet::new()));
+        if !charges && file.allow_for_fn("cost", f).is_none() {
+            findings.push(Finding {
+                file: file.path.clone(),
+                line: f.line,
+                lint: "cost",
+                message: format!(
+                    "{what} `{}` never reaches a charge(..)/charge_* call — \
+                     a free simulated kernel corrupts every timing figure",
+                    f.name
+                ),
+            });
+        }
+    };
+
+    for file in algo_files {
+        for f in &file.fns {
+            if f.is_pub && !f.in_test && f.body.is_some() {
+                check_fn(file, f, "simulated kernel");
+            }
+        }
+    }
+    for file in executor_files {
+        for f in &file.fns {
+            if f.in_test || f.body.is_none() || f.in_trait_def {
+                continue;
+            }
+            let in_executor_impl = f
+                .impl_idx
+                .map(|i| file.impls[i].trait_name.as_deref() == Some("Executor"))
+                .unwrap_or(false);
+            if in_executor_impl && STAGE_HOOKS.contains(&f.name.as_str()) {
+                check_fn(file, f, "Executor stage hook");
+            }
+        }
+    }
+    findings
+}

@@ -1,0 +1,67 @@
+//! `determinism` — no wall clock, no entropy in library code.
+//!
+//! Every run must be bit-reproducible from its seed: the cross-backend
+//! equivalence tests (and every figure) depend on it. The simulated
+//! clock (`Gpu::clock`) is the only legal time source and seeded RNGs
+//! (`StdRng::seed_from_u64`) the only legal randomness source in
+//! library crates. Bench binaries (`src/bin/`) and `#[cfg(test)]` code
+//! may measure real time.
+
+use crate::diag::Finding;
+use crate::lex::TokKind;
+use crate::scan::FileModel;
+
+/// Identifiers that are forbidden anywhere they appear.
+const FORBIDDEN_IDENTS: &[(&str, &str)] = &[
+    ("thread_rng", "use a seeded RNG (`StdRng::seed_from_u64`)"),
+    ("from_entropy", "use a seeded RNG (`StdRng::seed_from_u64`)"),
+    ("SystemTime", "use the simulated clock (`Gpu::clock`)"),
+];
+
+/// Path segments (`a::b`) that are forbidden.
+const FORBIDDEN_PATHS: &[(&str, &str, &str)] = &[
+    ("Instant", "now", "use the simulated clock (`Gpu::clock`)"),
+    (
+        "rand",
+        "random",
+        "use a seeded RNG (`StdRng::seed_from_u64`)",
+    ),
+];
+
+/// Runs the determinism lint over one library source file.
+pub fn check(file: &FileModel) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let toks = &file.lexed.toks;
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident || file.in_test_range(i) {
+            continue;
+        }
+        let mut flag = |what: &str, fix: &str| {
+            if file.allow_at("determinism", t.line).is_none() {
+                findings.push(Finding {
+                    file: file.path.clone(),
+                    line: t.line,
+                    lint: "determinism",
+                    message: format!(
+                        "`{what}` breaks seed-reproducibility in library code — {fix}"
+                    ),
+                });
+            }
+        };
+        for (name, fix) in FORBIDDEN_IDENTS {
+            if t.text == *name {
+                flag(name, fix);
+            }
+        }
+        for (head, tail, fix) in FORBIDDEN_PATHS {
+            if t.text == *head
+                && toks.get(i + 1).map(|t| t.is_punct(':')).unwrap_or(false)
+                && toks.get(i + 2).map(|t| t.is_punct(':')).unwrap_or(false)
+                && toks.get(i + 3).map(|t| t.is_ident(tail)).unwrap_or(false)
+            {
+                flag(&format!("{head}::{tail}"), fix);
+            }
+        }
+    }
+    findings
+}

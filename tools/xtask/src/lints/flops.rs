@@ -1,0 +1,45 @@
+//! `flops` — flops-accounting coverage.
+//!
+//! The analytic cost model prices kernels from the flop formulas in
+//! `rlra-blas::flops`. A BLAS level-2/3 routine added without a matching
+//! `<routine>_flops` formula silently runs "free" in the model, so the
+//! lint requires one formula per public routine.
+
+use crate::diag::Finding;
+use crate::scan::FileModel;
+use std::collections::HashSet;
+
+/// Runs the flops-coverage lint: every top-level `pub fn <name>` in
+/// `routine_files` (level2.rs / level3.rs) needs `pub fn <name>_flops`
+/// in `flops_file`.
+pub fn check(routine_files: &[&FileModel], flops_file: &FileModel) -> Vec<Finding> {
+    let formulas: HashSet<&str> = flops_file
+        .fns
+        .iter()
+        .filter(|f| f.is_pub && !f.in_test)
+        .map(|f| f.name.as_str())
+        .collect();
+
+    let mut findings = Vec::new();
+    for file in routine_files {
+        for f in &file.fns {
+            if !f.is_pub || f.in_test || f.impl_idx.is_some() {
+                continue;
+            }
+            let wanted = format!("{}_flops", f.name);
+            if !formulas.contains(wanted.as_str()) && file.allow_for_fn("flops", f).is_none() {
+                findings.push(Finding {
+                    file: file.path.clone(),
+                    line: f.line,
+                    lint: "flops",
+                    message: format!(
+                        "BLAS routine `{}` has no `{wanted}` formula in rlra-blas::flops — \
+                         the cost model would price it as free",
+                        f.name
+                    ),
+                });
+            }
+        }
+    }
+    findings
+}

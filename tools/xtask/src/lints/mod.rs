@@ -1,0 +1,35 @@
+//! The four repo-specific invariant lints.
+//!
+//! | lint | invariant |
+//! |---|---|
+//! | `cost` | every simulated kernel / Executor stage hook charges the cost model |
+//! | `determinism` | no wall clock or entropy in library code |
+//! | `panic` | no `unwrap`/`expect`/`panic!`/`todo!` in library code |
+//! | `flops` | every BLAS level-2/3 routine has a flops formula |
+
+pub mod cost;
+pub mod determinism;
+pub mod flops;
+pub mod panics;
+
+use crate::diag::Finding;
+use crate::scan::FileModel;
+
+/// Reports malformed escape hatches: an `analyze: allow(..)` with no
+/// justification is itself a violation (the hatch exists to *record*
+/// why a site is exempt).
+pub fn check_allow_reasons(file: &FileModel) -> Vec<Finding> {
+    file.allows
+        .iter()
+        .filter(|a| a.reason.is_empty())
+        .map(|a| Finding {
+            file: file.path.clone(),
+            line: a.line,
+            lint: "allow",
+            message: format!(
+                "allow({}) without a justification — write `// analyze: allow({}, reason)`",
+                a.lint, a.lint
+            ),
+        })
+        .collect()
+}

@@ -1,0 +1,58 @@
+//! `panic` — panic-freedom in library code.
+//!
+//! `rlra-core`, `rlra-gpu`, `rlra-blas` and `rlra-model` are the crates
+//! a production service links against; a panic there takes down the
+//! whole worker. Library code must return [`MatrixError`] instead.
+//! `#[cfg(test)]` code is exempt; deliberate sites carry
+//! `// analyze: allow(panic, reason)`.
+//!
+//! [`MatrixError`]: ../../../crates/matrix/src/error.rs
+
+use crate::diag::Finding;
+use crate::lex::TokKind;
+use crate::scan::FileModel;
+
+/// Method calls that are forbidden (`.name(`).
+const FORBIDDEN_METHODS: &[&str] = &["unwrap", "expect"];
+
+/// Macros that are forbidden (`name!`).
+const FORBIDDEN_MACROS: &[&str] = &["panic", "todo", "unimplemented"];
+
+/// Runs the panic-freedom lint over one library source file.
+pub fn check(file: &FileModel) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let toks = &file.lexed.toks;
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident || file.in_test_range(i) {
+            continue;
+        }
+        let prev_dot = i > 0 && toks[i - 1].is_punct('.');
+        let next_paren = toks.get(i + 1).map(|t| t.is_punct('(')).unwrap_or(false);
+        let next_bang = toks.get(i + 1).map(|t| t.is_punct('!')).unwrap_or(false);
+
+        let violation = if prev_dot && next_paren && FORBIDDEN_METHODS.contains(&t.text.as_str()) {
+            Some(format!(
+                ".{}() panics — convert to a MatrixError return (`?`, ok_or, map_err)",
+                t.text
+            ))
+        } else if next_bang && FORBIDDEN_MACROS.contains(&t.text.as_str()) {
+            Some(format!(
+                "{}! panics — convert to a MatrixError return",
+                t.text
+            ))
+        } else {
+            None
+        };
+        if let Some(message) = violation {
+            if file.allow_at("panic", t.line).is_none() {
+                findings.push(Finding {
+                    file: file.path.clone(),
+                    line: t.line,
+                    lint: "panic",
+                    message,
+                });
+            }
+        }
+    }
+    findings
+}

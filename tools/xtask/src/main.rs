@@ -1,0 +1,75 @@
+//! `cargo xtask analyze` — the workspace invariant checker.
+//!
+//! Exit status: 0 clean, 1 violations found, 2 usage/IO error.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: cargo xtask analyze [--root <workspace-root>]
+
+Checks the repo-specific invariants (cost charging, determinism,
+panic-freedom, flops coverage). See DESIGN.md \"Enforced invariants\".";
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let mut root: Option<PathBuf> = None;
+    let mut saw_analyze = false;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "analyze" => saw_analyze = true,
+            "--root" => match args.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("--root needs a path\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument `{other}`\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if !saw_analyze {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    }
+
+    let root = match root {
+        Some(r) => r,
+        None => {
+            let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+            match rlra_analyze::workspace::find_root(&cwd) {
+                Some(r) => r,
+                None => {
+                    eprintln!("cannot locate the workspace root from {}", cwd.display());
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    };
+
+    match rlra_analyze::analyze(&root) {
+        Ok(findings) if findings.is_empty() => {
+            println!("rlra-analyze: workspace clean (cost, determinism, panic, flops)");
+            ExitCode::SUCCESS
+        }
+        Ok(findings) => {
+            for f in &findings {
+                eprintln!("{f}");
+            }
+            eprintln!("rlra-analyze: {} violation(s)", findings.len());
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("rlra-analyze: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,465 @@
+//! Item-level structure on top of the token stream: functions (with
+//! bodies as token ranges), `impl` blocks, `#[cfg(test)]` regions, and
+//! the `// analyze: allow(lint, reason)` escape-hatch annotations.
+
+use crate::lex::{lex, Lexed, Tok, TokKind};
+use std::ops::Range;
+use std::path::PathBuf;
+
+/// How far above an item an `analyze: allow` comment may sit (same line
+/// plus up to this many lines above, so attributes and a short doc line
+/// can come between the annotation and the item).
+pub const ALLOW_WINDOW: u32 = 3;
+
+/// An `impl` block.
+#[derive(Debug, Clone)]
+pub struct ImplInfo {
+    /// Trait being implemented (`None` for inherent impls).
+    pub trait_name: Option<String>,
+    /// 1-based line of the `impl` keyword.
+    pub line: u32,
+    /// Token range of the impl body (exclusive of the braces).
+    pub body: Range<usize>,
+}
+
+/// A function item.
+#[derive(Debug, Clone)]
+pub struct FnInfo {
+    /// Function name.
+    pub name: String,
+    /// Whether the declaration carries `pub` (any visibility scope).
+    pub is_pub: bool,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Token range of the body (exclusive of the braces); `None` for
+    /// bodyless declarations (trait method signatures).
+    pub body: Option<Range<usize>>,
+    /// Index into [`FileModel::impls`] of the enclosing impl, if any.
+    pub impl_idx: Option<usize>,
+    /// Inside a `#[cfg(test)]` module / carries `#[cfg(test)]`/`#[test]`.
+    pub in_test: bool,
+    /// Declared inside a `trait { .. }` definition (default methods).
+    pub in_trait_def: bool,
+}
+
+/// A parsed `// analyze: allow(lint, reason)` annotation.
+#[derive(Debug, Clone)]
+pub struct Allow {
+    /// 1-based line of the comment.
+    pub line: u32,
+    /// Lint name inside `allow(..)`.
+    pub lint: String,
+    /// Justification after the comma (may be empty — the analyzer
+    /// reports empty reasons).
+    pub reason: String,
+}
+
+/// Lexed + structurally scanned source file.
+#[derive(Debug)]
+pub struct FileModel {
+    /// Path the file was read from (repo-relative where possible).
+    pub path: PathBuf,
+    /// Token stream and comments.
+    pub lexed: Lexed,
+    /// All function items, in source order.
+    pub fns: Vec<FnInfo>,
+    /// All impl blocks, in source order.
+    pub impls: Vec<ImplInfo>,
+    /// Token ranges under `#[cfg(test)]` (modules, fns, impls).
+    pub test_ranges: Vec<Range<usize>>,
+    /// Escape-hatch annotations.
+    pub allows: Vec<Allow>,
+}
+
+impl FileModel {
+    /// Scans `src` (from `path`, used only for reporting).
+    pub fn new(path: PathBuf, src: &str) -> Self {
+        let lexed = lex(src);
+        let allows = parse_allows(&lexed);
+        let mut model = FileModel {
+            path,
+            lexed,
+            fns: Vec::new(),
+            impls: Vec::new(),
+            test_ranges: Vec::new(),
+            allows,
+        };
+        scan_items(&mut model);
+        model
+    }
+
+    /// Whether token index `idx` falls in a `#[cfg(test)]` region.
+    pub fn in_test_range(&self, idx: usize) -> bool {
+        self.test_ranges.iter().any(|r| r.contains(&idx))
+    }
+
+    /// Finds an allow annotation for `lint` attached at `line` (same
+    /// line or up to [`ALLOW_WINDOW`] lines above).
+    pub fn allow_at(&self, lint: &str, line: u32) -> Option<&Allow> {
+        self.allows.iter().find(|a| {
+            a.lint == lint && a.line <= line && line.saturating_sub(a.line) <= ALLOW_WINDOW
+        })
+    }
+
+    /// Like [`Self::allow_at`], but also accepts an annotation on the
+    /// enclosing impl (one annotation exempting a whole backend impl).
+    pub fn allow_for_fn(&self, lint: &str, f: &FnInfo) -> Option<&Allow> {
+        self.allow_at(lint, f.line).or_else(|| {
+            f.impl_idx
+                .and_then(|i| self.allow_at(lint, self.impls[i].line))
+        })
+    }
+}
+
+/// Extracts `analyze: allow(lint, reason)` annotations from comments.
+fn parse_allows(lexed: &Lexed) -> Vec<Allow> {
+    let mut out = Vec::new();
+    for c in &lexed.comments {
+        let Some(pos) = c.text.find("analyze:") else {
+            continue;
+        };
+        let rest = c.text[pos + "analyze:".len()..].trim_start();
+        let Some(args) = rest.strip_prefix("allow(") else {
+            continue;
+        };
+        let Some(close) = args.find(')') else {
+            continue;
+        };
+        let inner = &args[..close];
+        let (lint, reason) = match inner.split_once(',') {
+            Some((l, r)) => (l.trim().to_string(), r.trim().to_string()),
+            None => (inner.trim().to_string(), String::new()),
+        };
+        out.push(Allow {
+            line: c.line,
+            lint,
+            reason,
+        });
+    }
+    out
+}
+
+/// Scope kinds tracked while walking the brace structure.
+#[derive(Debug)]
+enum Scope {
+    /// Plain expression/statement block (or one we don't care about).
+    Block,
+    /// `mod name { .. }`; `test` is true under `#[cfg(test)]`.
+    Mod { test: bool, open: usize },
+    /// `impl .. { .. }`; index into `FileModel::impls`.
+    Impl { idx: usize, test: bool, open: usize },
+    /// `trait Name { .. }` definition body.
+    TraitDef,
+    /// Function body; index into `FileModel::fns`.
+    FnBody { idx: usize, test: bool, open: usize },
+}
+
+fn scan_items(model: &mut FileModel) {
+    let toks: &[Tok] = &model.lexed.toks;
+    let n = toks.len();
+    let mut i = 0usize;
+    let mut scopes: Vec<Scope> = Vec::new();
+    let mut saw_pub = false;
+    let mut pending_test_attr = false;
+
+    let enclosing_test = |scopes: &[Scope]| {
+        scopes.iter().any(|s| {
+            matches!(
+                s,
+                Scope::Mod { test: true, .. }
+                    | Scope::Impl { test: true, .. }
+                    | Scope::FnBody { test: true, .. }
+            )
+        })
+    };
+    let enclosing_trait_def =
+        |scopes: &[Scope]| scopes.iter().any(|s| matches!(s, Scope::TraitDef));
+    let enclosing_impl = |scopes: &[Scope]| {
+        scopes.iter().rev().find_map(|s| match s {
+            Scope::Impl { idx, .. } => Some(*idx),
+            _ => None,
+        })
+    };
+
+    while i < n {
+        let t = &toks[i];
+        match t.kind {
+            TokKind::Punct if t.is_punct('#') => {
+                // Attribute: #[..] attaches to the next item, #![..] is an
+                // inner attribute (skipped).
+                let inner = i + 1 < n && toks[i + 1].is_punct('!');
+                let open = i + if inner { 2 } else { 1 };
+                if open < n && toks[open].is_punct('[') {
+                    let close = match_delim(toks, open, '[', ']');
+                    if !inner {
+                        let has = |s: &str| toks[open + 1..close].iter().any(|t| t.is_ident(s));
+                        if (has("cfg") && has("test"))
+                            || (toks[open + 1..close].len() == 1 && has("test"))
+                            || (has("test") && has("proptest"))
+                        {
+                            pending_test_attr = true;
+                        }
+                    }
+                    i = close + 1;
+                } else {
+                    i += 1;
+                }
+            }
+            TokKind::Ident => match t.text.as_str() {
+                "pub" => {
+                    saw_pub = true;
+                    i += 1;
+                    // pub(crate) / pub(in path)
+                    if i < n && toks[i].is_punct('(') {
+                        i = match_delim(toks, i, '(', ')') + 1;
+                    }
+                }
+                "mod" => {
+                    let test = pending_test_attr || enclosing_test(&scopes);
+                    pending_test_attr = false;
+                    saw_pub = false;
+                    i += 1; // name
+                    while i < n && !toks[i].is_punct('{') && !toks[i].is_punct(';') {
+                        i += 1;
+                    }
+                    if i < n && toks[i].is_punct('{') {
+                        scopes.push(Scope::Mod { test, open: i });
+                    }
+                    i += 1;
+                }
+                "trait" => {
+                    pending_test_attr = false;
+                    saw_pub = false;
+                    while i < n && !toks[i].is_punct('{') && !toks[i].is_punct(';') {
+                        i += 1;
+                    }
+                    if i < n && toks[i].is_punct('{') {
+                        scopes.push(Scope::TraitDef);
+                    }
+                    i += 1;
+                }
+                "impl" => {
+                    let line = t.line;
+                    let test = pending_test_attr || enclosing_test(&scopes);
+                    pending_test_attr = false;
+                    saw_pub = false;
+                    // Collect the header up to the body brace; the trait
+                    // name (if any) is the last identifier before `for`.
+                    let mut trait_name: Option<String> = None;
+                    let mut last_ident: Option<String> = None;
+                    let mut paren = 0i32;
+                    i += 1;
+                    while i < n && !(toks[i].is_punct('{') && paren == 0) {
+                        if toks[i].is_punct('(') {
+                            paren += 1;
+                        } else if toks[i].is_punct(')') {
+                            paren -= 1;
+                        } else if toks[i].is_punct(';') {
+                            break; // `impl Trait for Type;` (unparsable junk) — bail
+                        } else if toks[i].kind == TokKind::Ident && paren == 0 {
+                            if toks[i].text == "for" && trait_name.is_none() {
+                                trait_name = last_ident.take();
+                            } else if toks[i].text != "where" {
+                                last_ident = Some(toks[i].text.clone());
+                            }
+                        }
+                        i += 1;
+                    }
+                    if i < n && toks[i].is_punct('{') {
+                        model.impls.push(ImplInfo {
+                            trait_name,
+                            line,
+                            body: 0..0, // patched when the scope closes
+                        });
+                        scopes.push(Scope::Impl {
+                            idx: model.impls.len() - 1,
+                            test,
+                            open: i,
+                        });
+                    }
+                    i += 1;
+                }
+                "fn" => {
+                    let line = t.line;
+                    let is_pub = saw_pub;
+                    let test = pending_test_attr || enclosing_test(&scopes);
+                    saw_pub = false;
+                    pending_test_attr = false;
+                    i += 1;
+                    let name = if i < n && toks[i].kind == TokKind::Ident {
+                        toks[i].text.clone()
+                    } else {
+                        String::new()
+                    };
+                    // Scan the signature for the body `{` or a `;`.
+                    let mut depth = 0i32;
+                    while i < n {
+                        let s = &toks[i];
+                        if s.is_punct('(') || s.is_punct('[') {
+                            depth += 1;
+                        } else if s.is_punct(')') || s.is_punct(']') {
+                            depth -= 1;
+                        } else if depth == 0 && s.is_punct(';') {
+                            model.fns.push(FnInfo {
+                                name,
+                                is_pub,
+                                line,
+                                body: None,
+                                impl_idx: enclosing_impl(&scopes),
+                                in_test: test,
+                                in_trait_def: enclosing_trait_def(&scopes),
+                            });
+                            i += 1;
+                            break;
+                        } else if depth == 0 && s.is_punct('{') {
+                            model.fns.push(FnInfo {
+                                name,
+                                is_pub,
+                                line,
+                                body: None, // patched when the scope closes
+                                impl_idx: enclosing_impl(&scopes),
+                                in_test: test,
+                                in_trait_def: enclosing_trait_def(&scopes),
+                            });
+                            scopes.push(Scope::FnBody {
+                                idx: model.fns.len() - 1,
+                                test,
+                                open: i,
+                            });
+                            i += 1;
+                            break;
+                        }
+                        i += 1;
+                    }
+                }
+                "macro_rules" => {
+                    // Skip the whole macro definition body.
+                    pending_test_attr = false;
+                    saw_pub = false;
+                    while i < n && !toks[i].is_punct('{') {
+                        i += 1;
+                    }
+                    if i < n {
+                        i = match_delim(toks, i, '{', '}') + 1;
+                    }
+                }
+                "struct" | "enum" | "union" | "const" | "static" | "type" | "use" | "extern" => {
+                    saw_pub = false;
+                    pending_test_attr = false;
+                    i += 1;
+                }
+                _ => i += 1,
+            },
+            TokKind::Punct if t.is_punct('{') => {
+                scopes.push(Scope::Block);
+                i += 1;
+            }
+            TokKind::Punct if t.is_punct('}') => {
+                match scopes.pop() {
+                    Some(Scope::Mod { test: true, open }) => {
+                        model.test_ranges.push(open..i + 1);
+                    }
+                    Some(Scope::Impl { idx, test, open }) => {
+                        model.impls[idx].body = open + 1..i;
+                        if test {
+                            model.test_ranges.push(open..i + 1);
+                        }
+                    }
+                    Some(Scope::FnBody { idx, test, open }) => {
+                        model.fns[idx].body = Some(open + 1..i);
+                        if test {
+                            model.test_ranges.push(open..i + 1);
+                        }
+                    }
+                    _ => {}
+                }
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+}
+
+/// Index of the delimiter matching `toks[open]` (which must be `open_c`);
+/// returns the last token index if unbalanced.
+fn match_delim(toks: &[Tok], open: usize, open_c: char, close_c: char) -> usize {
+    let mut depth = 0i32;
+    let mut i = open;
+    while i < toks.len() {
+        if toks[i].is_punct(open_c) {
+            depth += 1;
+        } else if toks[i].is_punct(close_c) {
+            depth -= 1;
+            if depth == 0 {
+                return i;
+            }
+        }
+        i += 1;
+    }
+    toks.len().saturating_sub(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model(src: &str) -> FileModel {
+        FileModel::new(PathBuf::from("test.rs"), src)
+    }
+
+    #[test]
+    fn finds_pub_fns_and_bodies() {
+        let m = model("pub fn a() { b(); }\nfn b() {}\n");
+        assert_eq!(m.fns.len(), 2);
+        assert!(m.fns[0].is_pub);
+        assert!(!m.fns[1].is_pub);
+        assert!(m.fns[0].body.is_some());
+    }
+
+    #[test]
+    fn cfg_test_mod_is_exempt() {
+        let m = model("fn lib() {}\n#[cfg(test)]\nmod tests {\n fn t() { x.unwrap(); }\n}\n");
+        assert!(!m.fns[0].in_test);
+        assert!(m.fns[1].in_test);
+        assert_eq!(m.test_ranges.len(), 2); // the mod and the fn body
+    }
+
+    #[test]
+    fn impl_trait_detection() {
+        let m = model(
+            "impl<'a> Executor for GpuExec<'a> { fn go(&self) {} }\nimpl Plain { fn p() {} }",
+        );
+        assert_eq!(m.impls.len(), 2);
+        assert_eq!(m.impls[0].trait_name.as_deref(), Some("Executor"));
+        assert_eq!(m.impls[1].trait_name, None);
+        assert_eq!(m.fns[0].impl_idx, Some(0));
+        assert_eq!(m.fns[1].impl_idx, Some(1));
+    }
+
+    #[test]
+    fn trait_default_methods_are_marked() {
+        let m = model("trait T { fn d(&self) { x(); } fn s(&self); }\nfn free() {}");
+        assert!(m.fns[0].in_trait_def);
+        assert!(m.fns[1].in_trait_def);
+        assert!(m.fns[1].body.is_none());
+        assert!(!m.fns[2].in_trait_def);
+    }
+
+    #[test]
+    fn allow_annotations_parse() {
+        let m = model("// analyze: allow(panic, table is const non-empty)\nfn f() {}\n");
+        assert_eq!(m.allows.len(), 1);
+        assert_eq!(m.allows[0].lint, "panic");
+        assert!(m.allows[0].reason.contains("const"));
+        assert!(m.allow_at("panic", 2).is_some());
+        assert!(m.allow_at("determinism", 2).is_none());
+        assert!(m.allow_at("panic", 2 + ALLOW_WINDOW + 1).is_none());
+    }
+
+    #[test]
+    fn test_attr_marks_fn() {
+        let m = model("#[test]\nfn t() { x.unwrap(); }\nfn lib() {}\n");
+        assert!(m.fns[0].in_test);
+        assert!(!m.fns[1].in_test);
+    }
+}

@@ -1,0 +1,113 @@
+//! Workspace layout: which files feed which lint.
+
+use std::path::{Path, PathBuf};
+
+/// Crates whose library code must be panic-free (the crates a serving
+/// deployment links against on its hot path).
+pub const PANIC_FREE_CRATES: &[&str] = &["core", "gpu", "blas", "model"];
+
+/// Recursively collects `.rs` files under `dir` (sorted for stable
+/// output). Missing directories yield an empty list.
+pub fn rs_files(dir: &Path) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    collect(dir, &mut out);
+    out.sort();
+    out
+}
+
+fn collect(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            collect(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// Whether `path` is a binary target (`src/bin/..`) — exempt from the
+/// determinism lint (bench binaries legitimately measure wall time).
+pub fn is_bin_target(path: &Path) -> bool {
+    path.components().any(|c| c.as_os_str() == "bin")
+}
+
+/// All library source files subject to the determinism lint: every
+/// workspace crate's `src/` plus the facade crate's `src/`, minus
+/// `src/bin/` targets (and minus the analyzer itself).
+pub fn determinism_files(root: &Path) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    let crates = root.join("crates");
+    if let Ok(entries) = std::fs::read_dir(&crates) {
+        let mut dirs: Vec<_> = entries.flatten().map(|e| e.path()).collect();
+        dirs.sort();
+        for dir in dirs {
+            out.extend(
+                rs_files(&dir.join("src"))
+                    .into_iter()
+                    .filter(|p| !is_bin_target(p)),
+            );
+        }
+    }
+    out.extend(rs_files(&root.join("src")));
+    out
+}
+
+/// Library source files subject to the panic-freedom lint.
+pub fn panic_files(root: &Path) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    for c in PANIC_FREE_CRATES {
+        out.extend(
+            rs_files(&root.join("crates").join(c).join("src"))
+                .into_iter()
+                .filter(|p| !is_bin_target(p)),
+        );
+    }
+    out
+}
+
+/// Files indexed for the cost lint's transitive call resolution.
+pub fn cost_graph_files(root: &Path) -> Vec<PathBuf> {
+    let mut out = rs_files(&root.join("crates/gpu/src"));
+    out.extend(rs_files(&root.join("crates/core/src/backend")));
+    out
+}
+
+/// Files whose pub fns are simulated kernels (must charge).
+pub fn cost_algo_files(root: &Path) -> Vec<PathBuf> {
+    vec![root.join("crates/gpu/src/algos.rs")]
+}
+
+/// Files holding `impl Executor for ..` stage hooks (must charge).
+pub fn cost_executor_files(root: &Path) -> Vec<PathBuf> {
+    rs_files(&root.join("crates/core/src/backend"))
+}
+
+/// BLAS routine files paired with the flops formula file.
+pub fn flops_routine_files(root: &Path) -> Vec<PathBuf> {
+    vec![
+        root.join("crates/blas/src/level2.rs"),
+        root.join("crates/blas/src/level3.rs"),
+    ]
+}
+
+/// The flops formula file.
+pub fn flops_file(root: &Path) -> PathBuf {
+    root.join("crates/blas/src/flops.rs")
+}
+
+/// Finds the workspace root: walks up from `start` until a directory
+/// holding both `Cargo.toml` and `crates/` appears.
+pub fn find_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start);
+    while let Some(d) = dir {
+        if d.join("Cargo.toml").is_file() && d.join("crates").is_dir() {
+            return Some(d.to_path_buf());
+        }
+        dir = d.parent();
+    }
+    None
+}

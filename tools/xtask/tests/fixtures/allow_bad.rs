@@ -1,0 +1,6 @@
+//! Fixture: an escape hatch without a justification — itself a finding.
+
+pub fn no_reason(v: Option<u32>) -> u32 {
+    // analyze: allow(panic)
+    v.unwrap()
+}

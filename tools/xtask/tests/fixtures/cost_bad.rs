@@ -1,0 +1,25 @@
+//! Fixture: kernels and stage hooks that never charge the cost model —
+//! all must be flagged by the cost lint.
+
+pub fn free_kernel(gpu: &mut Gpu, a: &DMat) -> DMat {
+    // Does real-shaped work but charges nothing.
+    gpu.alloc(a.rows(), a.cols())
+}
+
+pub fn free_via_helper(gpu: &mut Gpu) {
+    helper_without_charge(gpu);
+}
+
+fn helper_without_charge(_gpu: &mut Gpu) {}
+
+impl Executor for FreeExec {
+    fn gaussian_sample(&mut self, l: usize) -> Result<()> {
+        let _ = l;
+        Ok(())
+    }
+
+    fn tsqr(&mut self, k: usize, reorth: bool) -> Result<()> {
+        let _ = (k, reorth);
+        Ok(())
+    }
+}

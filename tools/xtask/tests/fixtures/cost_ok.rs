@@ -1,0 +1,45 @@
+//! Fixture: kernels and stage hooks that satisfy the cost lint — by
+//! charging directly, transitively, refusing with `Unsupported`, or via
+//! a justified allow.
+
+pub fn charges_directly(gpu: &mut Gpu, n: usize) {
+    gpu.charge(Phase::Other, gpu.cost().gemm(n, n, n));
+}
+
+pub fn charges_via_charge_helper(gpu: &mut Gpu, n: usize) {
+    charge_gram_pass(gpu, n);
+}
+
+fn charge_gram_pass(gpu: &mut Gpu, n: usize) {
+    gpu.charge(Phase::Other, gpu.cost().syrk(n, n));
+}
+
+pub fn charges_transitively(gpu: &mut Gpu, n: usize) {
+    middle_layer(gpu, n);
+}
+
+fn middle_layer(gpu: &mut Gpu, n: usize) {
+    charges_directly(gpu, n);
+}
+
+impl Executor for OkExec {
+    fn gaussian_sample(&mut self, l: usize) -> Result<()> {
+        charges_directly(&mut self.gpu, l);
+        Ok(())
+    }
+
+    fn srft_sample_rows(&mut self, l: usize, scheme: SrftScheme) -> Result<()> {
+        // Refusing work is not free work: an Unsupported return is legal.
+        let _ = (l, scheme);
+        Err(MatrixError::Unsupported {
+            backend: "fixture",
+            feature: "FFT sampling".into(),
+        })
+    }
+
+    // analyze: allow(cost, host numerics are the work on this backend)
+    fn tsqr(&mut self, k: usize, reorth: bool) -> Result<()> {
+        let _ = (k, reorth);
+        Ok(())
+    }
+}

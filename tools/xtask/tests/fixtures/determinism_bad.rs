@@ -1,0 +1,27 @@
+//! Fixture: every forbidden time/entropy source the determinism lint
+//! must flag in library code.
+
+use std::time::{Instant, SystemTime};
+
+pub fn wall_clock_timing() -> f64 {
+    let t0 = Instant::now();
+    t0.elapsed().as_secs_f64()
+}
+
+pub fn epoch_seed() -> u64 {
+    SystemTime::now().elapsed().unwrap_or_default().as_secs()
+}
+
+pub fn unseeded_rng() -> f64 {
+    let mut rng = rand::thread_rng();
+    rng.gen()
+}
+
+pub fn entropy_rng() -> u64 {
+    let rng = StdRng::from_entropy();
+    rng.next_u64()
+}
+
+pub fn free_function_random() -> f64 {
+    rand::random()
+}

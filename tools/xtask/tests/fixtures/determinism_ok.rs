@@ -1,0 +1,31 @@
+//! Fixture: legal patterns the determinism lint must NOT flag — seeded
+//! RNGs, test-only wall clocks, doc-comment examples, and a justified
+//! allow.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Seeded randomness is the legal source.
+///
+/// ```
+/// // Doc examples are comments to the lexer; even `Instant::now()`
+/// // here must not trip the lint.
+/// let t = std::time::Instant::now();
+/// ```
+pub fn seeded(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+// analyze: allow(determinism, host-side scratch seed is not observable in results)
+pub fn allowed_entropy() -> u64 {
+    SystemTime::now().elapsed().unwrap_or_default().as_secs()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_measure_real_time() {
+        let t0 = std::time::Instant::now();
+        assert!(t0.elapsed().as_secs() < 1_000);
+    }
+}

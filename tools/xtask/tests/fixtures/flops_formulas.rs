@@ -1,0 +1,5 @@
+//! Fixture: the flops formula file paired with `flops_routines.rs`.
+
+pub fn covered_flops(n: usize) -> u64 {
+    2 * n as u64 * n as u64
+}

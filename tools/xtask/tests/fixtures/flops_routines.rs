@@ -1,0 +1,19 @@
+//! Fixture: BLAS routines — `covered` has a formula in
+//! `flops_formulas.rs`, `uncovered` does not, `waived` carries an allow.
+
+pub fn covered(n: usize) -> usize {
+    n * n
+}
+
+pub fn uncovered(n: usize) -> usize {
+    n + n
+}
+
+// analyze: allow(flops, O(n) permutation move, negligible next to BLAS-3 work)
+pub fn waived(n: usize) -> usize {
+    n
+}
+
+fn private_helper(n: usize) -> usize {
+    n
+}

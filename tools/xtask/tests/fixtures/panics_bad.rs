@@ -1,0 +1,24 @@
+//! Fixture: every panic path the panic-freedom lint must flag in
+//! library code of the serving crates.
+
+pub fn unwraps(v: Option<u32>) -> u32 {
+    v.unwrap()
+}
+
+pub fn expects(v: Option<u32>) -> u32 {
+    v.expect("present by construction")
+}
+
+pub fn panics(flag: bool) {
+    if flag {
+        panic!("unreachable state");
+    }
+}
+
+pub fn unfinished() {
+    todo!()
+}
+
+pub fn unimplemented_stub() {
+    unimplemented!("later")
+}

@@ -1,0 +1,31 @@
+//! Fixture: patterns the panic-freedom lint must NOT flag — error
+//! returns, test-only unwraps, doc-comment examples, and a justified
+//! allow.
+
+use rlra_matrix::{MatrixError, Result};
+
+/// Returns an error instead of panicking.
+///
+/// ```
+/// // A doc example may unwrap freely:
+/// fallible(Some(3)).unwrap();
+/// ```
+pub fn fallible(v: Option<u32>) -> Result<u32> {
+    v.ok_or(MatrixError::Internal {
+        op: "fallible",
+        invariant: "value present",
+    })
+}
+
+pub fn allowed(v: Option<u32>) -> u32 {
+    // analyze: allow(panic, documented panicking accessor mirroring slice indexing)
+    v.expect("caller contract")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_unwrap() {
+        assert_eq!(super::fallible(Some(3)).unwrap(), 3);
+    }
+}

@@ -1,0 +1,115 @@
+//! Fixture tests: each lint must fire on its `*_bad.rs` fixture and
+//! stay silent on its `*_ok.rs` fixture — plus the keystone check that
+//! the real workspace is clean.
+
+use rlra_analyze::lints;
+use rlra_analyze::scan::FileModel;
+use std::path::{Path, PathBuf};
+
+fn fixture(name: &str) -> FileModel {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    let src = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("cannot read fixture {name}: {e}"));
+    FileModel::new(PathBuf::from(name), &src)
+}
+
+fn lints_of(findings: &[rlra_analyze::diag::Finding]) -> Vec<&str> {
+    findings.iter().map(|f| f.lint).collect()
+}
+
+#[test]
+fn determinism_flags_every_entropy_source() {
+    let file = fixture("determinism_bad.rs");
+    let findings = lints::determinism::check(&file);
+    // Instant::now, SystemTime (x2: use + call), thread_rng, from_entropy,
+    // rand::random.
+    assert!(
+        findings.len() >= 5,
+        "expected >= 5 determinism findings, got {findings:#?}"
+    );
+    assert!(lints_of(&findings).iter().all(|l| *l == "determinism"));
+}
+
+#[test]
+fn determinism_accepts_seeded_tests_docs_and_allows() {
+    let file = fixture("determinism_ok.rs");
+    let findings = lints::determinism::check(&file);
+    assert!(findings.is_empty(), "unexpected findings: {findings:#?}");
+}
+
+#[test]
+fn panics_flags_every_panic_path() {
+    let file = fixture("panics_bad.rs");
+    let findings = lints::panics::check(&file);
+    // unwrap, expect, panic!, todo!, unimplemented!.
+    assert_eq!(findings.len(), 5, "got {findings:#?}");
+    assert!(lints_of(&findings).iter().all(|l| *l == "panic"));
+}
+
+#[test]
+fn panics_accepts_results_tests_docs_and_allows() {
+    let file = fixture("panics_ok.rs");
+    let findings = lints::panics::check(&file);
+    assert!(findings.is_empty(), "unexpected findings: {findings:#?}");
+}
+
+#[test]
+fn cost_flags_free_kernels_and_hooks() {
+    let file = fixture("cost_bad.rs");
+    let files = [&file];
+    let findings = lints::cost::check(&files, &files, &files);
+    // free_kernel, free_via_helper, gaussian_sample, tsqr.
+    assert_eq!(findings.len(), 4, "got {findings:#?}");
+    assert!(lints_of(&findings).iter().all(|l| *l == "cost"));
+}
+
+#[test]
+fn cost_accepts_charges_refusals_and_allows() {
+    let file = fixture("cost_ok.rs");
+    let files = [&file];
+    let findings = lints::cost::check(&files, &files, &files);
+    assert!(findings.is_empty(), "unexpected findings: {findings:#?}");
+}
+
+#[test]
+fn flops_requires_a_formula_per_routine() {
+    let routines = fixture("flops_routines.rs");
+    let formulas = fixture("flops_formulas.rs");
+    let findings = lints::flops::check(&[&routines], &formulas);
+    // Only `uncovered`: `covered` has a formula, `waived` an allow, and
+    // the private helper is out of scope.
+    assert_eq!(findings.len(), 1, "got {findings:#?}");
+    assert!(findings[0].message.contains("uncovered"));
+}
+
+#[test]
+fn allow_without_reason_is_reported() {
+    let file = fixture("allow_bad.rs");
+    // The malformed allow still suppresses the panic finding...
+    assert!(lints::panics::check(&file).is_empty());
+    // ...but is itself reported.
+    let findings = lints::check_allow_reasons(&file);
+    assert_eq!(findings.len(), 1, "got {findings:#?}");
+    assert_eq!(findings[0].lint, "allow");
+}
+
+#[test]
+fn workspace_is_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("xtask lives two levels below the workspace root")
+        .to_path_buf();
+    let findings = rlra_analyze::analyze(&root).expect("analyze runs");
+    assert!(
+        findings.is_empty(),
+        "the workspace must satisfy its own invariants:\n{}",
+        findings
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

@@ -34,7 +34,8 @@ fn main() {
                 DeviceSpec::k40c(),
                 net.clone(),
                 ExecMode::DryRun,
-            );
+            )
+            .expect("cluster");
             let rep = sample_fixed_rank_cluster(&mut cl, m, n, &cfg, &mut StdRng::seed_from_u64(1))
                 .expect("cluster run");
             let mut cl2 = Cluster::new(
@@ -43,7 +44,8 @@ fn main() {
                 DeviceSpec::k40c(),
                 net.clone(),
                 ExecMode::DryRun,
-            );
+            )
+            .expect("cluster");
             let t_qp3 = qp3_cluster_time(&mut cl2, m, n, cfg.l());
             table.row(vec![
                 nodes.to_string(),

@@ -1,0 +1,170 @@
+//! What-if study: sketch-aware recovery vs full restart on a faulty
+//! simulated fleet.
+//!
+//! The paper's single-node runs finish in seconds, so device faults are
+//! a non-event there. At cluster scale (§11) and on long sweeps they are
+//! not: this study sweeps MTBF x fleet size with the deterministic
+//! [`FaultPlan::random`] generator and compares two responses to a
+//! fail-stop mid-run:
+//!
+//! - **recover** — the [`Recovering`] policy wrapper: redistribute the
+//!   lost device's block-rows to the survivors, re-draw only the lost
+//!   sketch rows, re-orthogonalize against the accepted basis, continue;
+//! - **restart** — abandon the run at the loss and rerun from scratch on
+//!   the survivor fleet (wasted elapsed time + a full fault-free run).
+//!
+//! Dry-run mode at (m; n) = (150,000; 2,500), (k; p; q) = (54; 10; 1).
+//! Pass `--smoke` for the reduced CI sweep.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rlra_bench::{fmt_time, Table};
+use rlra_core::backend::{run_fixed_rank, Input, MultiGpuExec, Recovering, RecoveryPolicy};
+use rlra_core::SamplerConfig;
+use rlra_gpu::{DeviceSpec, ExecMode, FaultPlan, MultiGpu};
+use rlra_matrix::{DeviceFaultKind, MatrixError};
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (m, n) = if smoke {
+        (60_000usize, 2_500usize)
+    } else {
+        (150_000usize, 2_500usize)
+    };
+    let cfg = SamplerConfig::new(54).with_p(10).with_q(1);
+    let fleets: &[usize] = if smoke { &[3] } else { &[2, 3, 4, 8] };
+    let mtbfs: &[u64] = if smoke { &[16] } else { &[4, 8, 16, 32] };
+    // Far past any launch ordinal a single run reaches; `random` stops
+    // scheduling once a device fail-stops.
+    let horizon = 64u64;
+    let transient_share = 0.5;
+
+    let fleet_time = |ng: usize| -> f64 {
+        let mut mg = MultiGpu::new(ng, DeviceSpec::k40c(), ExecMode::DryRun).expect("fleet");
+        let mut exec = MultiGpuExec::new(&mut mg).expect("exec");
+        let (_, rep) = run_fixed_rank(
+            &mut exec,
+            Input::Shape(m, n),
+            &cfg,
+            &mut StdRng::seed_from_u64(1),
+        )
+        .expect("fault-free run");
+        rep.seconds
+    };
+
+    let mut table = Table::new(
+        format!("What-if: recovery vs restart under random faults ({m} x {n}, k=54, q=1)"),
+        &[
+            "GPUs",
+            "MTBF",
+            "faults",
+            "retries",
+            "lost",
+            "fault-free",
+            "recovered",
+            "overhead",
+            "restart",
+            "saving",
+        ],
+    );
+    let mut cells = 0usize;
+    let mut recovered_cells = 0usize;
+    let mut always_cheaper = true;
+    for &ng in fleets {
+        let t_free = fleet_time(ng);
+        for &mtbf in mtbfs {
+            let plan = FaultPlan::random(1000 + ng as u64, ng, horizon, mtbf, transient_share);
+            let mut mg = MultiGpu::new(ng, DeviceSpec::k40c(), ExecMode::DryRun).expect("fleet");
+            mg.install_plan(&plan);
+            let exec = MultiGpuExec::new(&mut mg).expect("exec");
+            // A budget sized to the fault density: at MTBF 4 launches,
+            // clustered transients routinely exceed the default of 3.
+            let policy = RecoveryPolicy {
+                retry_budget: 8,
+                ..RecoveryPolicy::default()
+            };
+            let mut wrapped = Recovering::new(exec, policy);
+            let outcome = run_fixed_rank(
+                &mut wrapped,
+                Input::Shape(m, n),
+                &cfg,
+                &mut StdRng::seed_from_u64(1),
+            );
+            cells += 1;
+            match outcome {
+                Ok((_, rep)) => {
+                    let overhead = 100.0 * (rep.seconds - t_free) / t_free;
+                    let (restart, saving) = if rep.devices_lost > 0 {
+                        recovered_cells += 1;
+                        // Restart strategy: every second up to the last
+                        // loss is wasted, then a full fault-free run on
+                        // whatever fleet survives.
+                        let t_last = wrapped.loss_log().last().map(|&(_, t)| t).unwrap_or(0.0);
+                        let t_restart = t_last + fleet_time(ng - rep.devices_lost);
+                        always_cheaper &= rep.seconds < t_restart;
+                        (
+                            fmt_time(t_restart),
+                            format!("{:.1}%", 100.0 * (t_restart - rep.seconds) / t_restart),
+                        )
+                    } else {
+                        ("-".into(), "-".into())
+                    };
+                    table.row(vec![
+                        ng.to_string(),
+                        mtbf.to_string(),
+                        rep.faults_injected.to_string(),
+                        rep.retries.to_string(),
+                        rep.devices_lost.to_string(),
+                        fmt_time(t_free),
+                        fmt_time(rep.seconds),
+                        format!("{overhead:.1}%"),
+                        restart,
+                        saving,
+                    ]);
+                }
+                Err(e) => {
+                    let (lost, why) = match &e {
+                        MatrixError::Unsupported { .. } => ("all", "fleet lost"),
+                        MatrixError::DeviceFault {
+                            kind: DeviceFaultKind::Transient,
+                            ..
+                        } => ("-", "retry budget exhausted"),
+                        _ => ("-", "failed"),
+                    };
+                    table.row(vec![
+                        ng.to_string(),
+                        mtbf.to_string(),
+                        "-".into(),
+                        "-".into(),
+                        lost.into(),
+                        fmt_time(t_free),
+                        why.into(),
+                        "-".into(),
+                        "-".into(),
+                        "-".into(),
+                    ]);
+                }
+            }
+        }
+    }
+    table.print();
+    let _ = table.save_csv("whatif_faults");
+    assert!(recovered_cells > 0, "sweep never exercised a fail-stop");
+    assert!(
+        always_cheaper,
+        "degraded completion must always beat full restart"
+    );
+    println!(
+        "\nAcross {cells} MTBF x fleet cells, every fail-stop that left at least one survivor\n\
+         completed by redistribution + sketch-row re-draw, and degraded completion beat the\n\
+         full-restart alternative in every such cell. The margin is structural: restart pays\n\
+         the whole elapsed time again, while recovery only re-draws the lost Omega rows and\n\
+         re-orthogonalizes l x n panels — O(ln) work against the O(mn) sweep it preserves.\n\
+         The saving grows with how late the fault lands and shrinks with fleet size (losing\n\
+         one of 8 GPUs costs less capacity than one of 2). Transients are cheaper still:\n\
+         a backoff retry at microsecond scale, invisible next to the GEMM stream. The\n\
+         practical reading mirrors checkpointing folklore: at these run lengths a restart\n\
+         is affordable, but the moment runs stretch toward the MTBF — large m, many sweeps,\n\
+         big fleets — sketch-aware recovery is the difference between finishing and thrashing."
+    );
+}

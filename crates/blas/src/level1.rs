@@ -11,6 +11,7 @@
 /// Panics if the slices have different lengths.
 #[inline]
 pub fn dot(x: &[f64], y: &[f64]) -> f64 {
+    // analyze: allow(panic, documented slice-length contract on the hottest level-1 kernel; a Result here costs a branch per MGS inner product)
     assert_eq!(x.len(), y.len(), "dot: length mismatch");
     // Accumulate in four lanes to expose instruction-level parallelism
     // without changing the result enough to matter for our tolerances.
@@ -43,6 +44,7 @@ pub fn nrm2(x: &[f64]) -> f64 {
 /// Panics if the slices have different lengths.
 #[inline]
 pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    // analyze: allow(panic, documented slice-length contract mirroring copy_from_slice; axpy sits inside the QP3 column-update loop)
     assert_eq!(x.len(), y.len(), "axpy: length mismatch");
     if alpha == 0.0 {
         return;
@@ -81,6 +83,7 @@ pub fn iamax(x: &[f64]) -> usize {
 ///
 /// Panics if the slices have different lengths.
 pub fn swap(x: &mut [f64], y: &mut [f64]) {
+    // analyze: allow(panic, documented slice-length contract mirroring mem::swap on slices)
     assert_eq!(x.len(), y.len(), "swap: length mismatch");
     for (xi, yi) in x.iter_mut().zip(y.iter_mut()) {
         std::mem::swap(xi, yi);
@@ -93,6 +96,7 @@ pub fn swap(x: &mut [f64], y: &mut [f64]) {
 ///
 /// Panics if the slices have different lengths.
 pub fn copy(x: &[f64], y: &mut [f64]) {
+    // analyze: allow(panic, documented slice-length contract; copy_from_slice on the next line panics identically anyway)
     assert_eq!(x.len(), y.len(), "copy: length mismatch");
     y.copy_from_slice(x);
 }

@@ -16,6 +16,7 @@ use rlra_matrix::Mat;
 pub fn gemm_ref(a: &Mat, ta: Trans, b: &Mat, tb: Trans) -> Mat {
     let (m, ka) = ta.apply(a.rows(), a.cols());
     let (kb, n) = tb.apply(b.rows(), b.cols());
+    // analyze: allow(panic, documented shape contract on a test-oracle kernel; reference implementations keep the infallible BLAS signature)
     assert_eq!(ka, kb, "gemm_ref: inner dimension mismatch");
     let get_a = |i: usize, l: usize| match ta {
         Trans::No => a[(i, l)],
@@ -37,6 +38,7 @@ pub fn gemm_ref(a: &Mat, ta: Trans, b: &Mat, tb: Trans) -> Mat {
 /// Panics if `x` does not match the column count of `op(A)`.
 pub fn gemv_ref(a: &Mat, ta: Trans, x: &[f64]) -> Vec<f64> {
     let (m, k) = ta.apply(a.rows(), a.cols());
+    // analyze: allow(panic, documented shape contract on a test-oracle kernel; reference implementations keep the infallible BLAS signature)
     assert_eq!(k, x.len(), "gemv_ref: dimension mismatch");
     let get_a = |i: usize, l: usize| match ta {
         Trans::No => a[(i, l)],
@@ -56,7 +58,9 @@ pub fn gemv_ref(a: &Mat, ta: Trans, x: &[f64]) -> Vec<f64> {
 /// Panics if shapes are inconsistent.
 pub fn solve_dense_ref(t: &Mat, b: &[f64]) -> Vec<f64> {
     let n = t.rows();
+    // analyze: allow(panic, documented shape contract on a test-oracle kernel; reference implementations keep the infallible BLAS signature)
     assert_eq!(t.cols(), n);
+    // analyze: allow(panic, documented shape contract on a test-oracle kernel; reference implementations keep the infallible BLAS signature)
     assert_eq!(b.len(), n);
     // Dense LU without pivoting, adequate for the small well-conditioned
     // triangular factors used in tests.

@@ -168,7 +168,7 @@ pub fn adaptive_sample_exec<E: Executor>(
     rng: &mut impl Rng,
 ) -> Result<(AdaptiveResult, ExecReport)> {
     let result = adaptive_loop(exec, a, cfg, rng)?;
-    let report = exec.finish();
+    let report = exec.finish()?;
     Ok((result, report))
 }
 
@@ -415,7 +415,7 @@ pub fn sample_fixed_accuracy_exec<E: Executor>(
     let k = adaptive.l().min(a.cols());
     // Charge Steps 2–3 on the backend, then finish on the host.
     exec.adaptive_finish(k)?;
-    let report = exec.finish();
+    let report = exec.finish()?;
     let approx = crate::fixed_rank::finish_from_sampled(a, &adaptive.basis, k, cfg.reorth)?;
     Ok((approx, adaptive, report))
 }

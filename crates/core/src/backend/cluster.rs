@@ -24,12 +24,21 @@ use rlra_gpu::{Cluster, DMat, ExecMode, Phase};
 use rlra_matrix::{Mat, MatrixError, Result};
 
 /// Distributed-memory (cluster) execution backend. Timing-only.
+///
+/// `slots[ni][j]` is the GPU index (within node `ni`) that owns the
+/// `j`-th distributed part of that node's block of `A`; fail-stop
+/// recovery redistributes a node's block over its surviving GPUs.
 pub struct ClusterExec<'a> {
     cluster: &'a mut Cluster,
     a_parts: Vec<Vec<DMat>>,
+    slots: Vec<Vec<usize>>,
+    node_rows: Vec<usize>,
     t0: f64,
     launches0: u64,
     syncs0: u64,
+    faults0: u64,
+    recovery0: f64,
+    l: usize,
     m: usize,
     n: usize,
 }
@@ -49,12 +58,31 @@ impl<'a> ClusterExec<'a> {
         ClusterExec {
             cluster,
             a_parts: Vec::new(),
+            slots: Vec::new(),
+            node_rows: Vec::new(),
             t0: 0.0,
             launches0: 0,
             syncs0: 0,
+            faults0: 0,
+            recovery0: 0.0,
+            l: 0,
             m: 0,
             n: 0,
         }
+    }
+
+    /// First surviving GPU on node 0 (the paper's "root" device for the
+    /// small factorizations).
+    fn root_gpu(&self) -> Result<usize> {
+        self.cluster
+            .node(0)
+            .alive_indices()
+            .first()
+            .copied()
+            .ok_or(MatrixError::Internal {
+                op: "ClusterExec",
+                invariant: "node 0 has at least one surviving GPU",
+            })
     }
 
     fn counter_sums(&self) -> (u64, u64) {
@@ -83,8 +111,8 @@ impl<'a> ClusterExec<'a> {
         let mut node_bs = Vec::with_capacity(nodes);
         for (ni, parts) in self.a_parts.iter().enumerate() {
             let node = self.cluster.node_mut(ni);
-            let mut b_parts = Vec::with_capacity(node.ng());
-            for (gi, ap) in parts.iter().enumerate() {
+            let mut b_parts = Vec::with_capacity(parts.len());
+            for (ap, &gi) in parts.iter().zip(&self.slots[ni]) {
                 let gpu = node.gpu_mut(gi);
                 let s = src(gpu, ap.rows());
                 let mut bi = gpu.alloc(l, n);
@@ -132,16 +160,22 @@ impl Executor for ClusterExec<'_> {
         let (launches0, syncs0) = self.counter_sums();
         self.launches0 = launches0;
         self.syncs0 = syncs0;
+        self.faults0 = self.cluster.faults_injected();
+        self.recovery0 = self.cluster.breakdown().get(Phase::Recovery);
         let node_chunks = self.cluster.node_row_chunks(m);
         self.a_parts = Vec::with_capacity(node_chunks.len());
+        self.slots = Vec::with_capacity(node_chunks.len());
+        self.node_rows = node_chunks.iter().map(|&(_, len)| len).collect();
         for (ni, &(_, len)) in node_chunks.iter().enumerate() {
             let node = self.cluster.node_mut(ni);
             self.a_parts.push(node.distribute_rows_shape(len, n));
+            self.slots.push(node.alive_indices());
         }
     }
 
     fn gaussian_sample(&mut self, l: usize) -> Result<()> {
         // Ω chunks drawn per GPU (independent cuRAND streams).
+        self.l = l;
         let mut draw = |gpu: &mut rlra_gpu::Gpu, rows: usize| -> DMat {
             gpu.charge(Phase::Prng, gpu.cost().curand(l * rows));
             gpu.resident_shape(l, rows)
@@ -165,8 +199,8 @@ impl Executor for ClusterExec<'_> {
             let cost = node0.gpu(0).cost().clone();
             let passes = if reorth { 2.0 } else { 1.0 };
             let secs = cost.host_flops(passes * 2.0 * (l * l * n) as f64) + cost.host_cholesky(l);
-            for g in 0..node0.ng() {
-                node0.gpu_mut(g).charge(Phase::OrthIter, secs);
+            for g in node0.alive_indices() {
+                node0.gpu_mut(g).charge_raw(Phase::OrthIter, secs);
             }
         }
         self.cluster.broadcast_host(Phase::Comms, &Mat::zeros(l, n));
@@ -182,7 +216,7 @@ impl Executor for ClusterExec<'_> {
         let n = self.n;
         for (ni, parts) in self.a_parts.iter().enumerate() {
             let node = self.cluster.node_mut(ni);
-            for (gi, ap) in parts.iter().enumerate() {
+            for (ap, &gi) in parts.iter().zip(&self.slots[ni]) {
                 let gpu = node.gpu_mut(gi);
                 let b_local = gpu.resident_shape(l, n);
                 let mut ci = gpu.alloc(l, ap.rows());
@@ -210,8 +244,8 @@ impl Executor for ClusterExec<'_> {
         let mut node_gs = Vec::with_capacity(nodes);
         for (ni, parts) in self.a_parts.iter().enumerate() {
             let node = self.cluster.node_mut(ni);
-            let mut g_parts = Vec::with_capacity(node.ng());
-            for (gi, ap) in parts.iter().enumerate() {
+            let mut g_parts = Vec::with_capacity(parts.len());
+            for (ap, &gi) in parts.iter().zip(&self.slots[ni]) {
                 let gpu = node.gpu_mut(gi);
                 let ci = gpu.resident_shape(l, ap.rows());
                 let mut gi_mat = gpu.alloc(l, l);
@@ -226,12 +260,12 @@ impl Executor for ClusterExec<'_> {
             {
                 let cost = node.gpu(0).cost().clone();
                 let secs = cost.host_cholesky(l);
-                for g in 0..node.ng() {
-                    node.gpu_mut(g).charge(Phase::OrthIter, secs);
+                for g in node.alive_indices() {
+                    node.gpu_mut(g).charge_raw(Phase::OrthIter, secs);
                 }
             }
             node.broadcast(Phase::Comms, &Mat::zeros(l, l));
-            for (gi, ap) in parts.iter().enumerate() {
+            for (ap, &gi) in parts.iter().zip(&self.slots[ni]) {
                 let gpu = node.gpu_mut(gi);
                 gpu.charge(Phase::OrthIter, gpu.cost().trsm(l, ap.rows()));
             }
@@ -249,8 +283,9 @@ impl Executor for ClusterExec<'_> {
     fn step2_pivot(&mut self, kind: Step2Kind, l: usize, k: usize) -> Result<()> {
         let n = self.n;
         {
+            let root = self.root_gpu()?;
             let node0 = self.cluster.node_mut(0);
-            let gpu0 = node0.gpu_mut(0);
+            let gpu0 = node0.gpu_mut(root);
             let b_dev = gpu0.resident_shape(l, n);
             match kind {
                 Step2Kind::Qp3 => {
@@ -278,8 +313,8 @@ impl Executor for ClusterExec<'_> {
         let mut node_gs = Vec::with_capacity(nodes);
         for (ni, parts) in self.a_parts.iter().enumerate() {
             let node = self.cluster.node_mut(ni);
-            let mut g_parts = Vec::with_capacity(node.ng());
-            for (gi, ap) in parts.iter().enumerate() {
+            let mut g_parts = Vec::with_capacity(parts.len());
+            for (ap, &gi) in parts.iter().zip(&self.slots[ni]) {
                 let gpu = node.gpu_mut(gi);
                 gpu.charge(Phase::Qr, gpu.cost().blas1(ap.rows() * k, 2.0)); // gather
                 let x = gpu.resident_shape(ap.rows(), k);
@@ -295,12 +330,12 @@ impl Executor for ClusterExec<'_> {
             {
                 let cost = node.gpu(0).cost().clone();
                 let secs = cost.host_cholesky(k);
-                for g in 0..node.ng() {
-                    node.gpu_mut(g).charge(Phase::Qr, secs);
+                for g in node.alive_indices() {
+                    node.gpu_mut(g).charge_raw(Phase::Qr, secs);
                 }
             }
             node.broadcast(Phase::Comms, &Mat::zeros(k, k));
-            for (gi, ap) in parts.iter().enumerate() {
+            for (ap, &gi) in parts.iter().zip(&self.slots[ni]) {
                 let gpu = node.gpu_mut(gi);
                 gpu.charge(Phase::Qr, gpu.cost().trsm(k, ap.rows()));
             }
@@ -309,7 +344,72 @@ impl Executor for ClusterExec<'_> {
         Ok(())
     }
 
-    fn finish(&mut self) -> ExecReport {
+    fn elapsed(&self) -> f64 {
+        self.cluster.time() - self.t0
+    }
+
+    fn charge_recovery(&mut self, secs: f64) {
+        for ni in 0..self.cluster.nodes() {
+            let node = self.cluster.node_mut(ni);
+            for gi in node.alive_indices() {
+                node.gpu_mut(gi).charge_raw(Phase::Recovery, secs);
+            }
+        }
+    }
+
+    fn recover_device_loss(&mut self, device: usize, at: u64) -> Result<()> {
+        let Some((ni, gi)) = self.cluster.locate_device(device) else {
+            return Err(MatrixError::Internal {
+                op: "ClusterExec::recover_device_loss",
+                invariant: "faulted device index within the cluster",
+            });
+        };
+        {
+            let node = self.cluster.node_mut(ni);
+            if !node.gpu(gi).is_dead() {
+                node.gpu_mut(gi).mark_dead(device, at);
+            }
+        }
+        let survivors = self.cluster.node(ni).alive_indices();
+        if survivors.is_empty() {
+            return Err(MatrixError::Unsupported {
+                backend: self.name(),
+                feature: format!("device-loss recovery: node {ni} lost all its GPUs"),
+            });
+        }
+        // The node's block of A is redistributed over its survivors; only
+        // the dead GPU's rows move, its Ω rows are re-drawn, and the
+        // re-drawn sketch block is re-orthogonalized against the accepted
+        // basis — all charged to the Recovery phase on the survivors.
+        let lost_rows = self.slots[ni].iter().position(|&g| g == gi).map_or_else(
+            || self.node_rows[ni] / self.cluster.node(ni).ng().max(1),
+            |j| self.a_parts[ni][j].rows(),
+        );
+        let l = self.l.max(1);
+        let n = self.n;
+        let ns = survivors.len();
+        {
+            let node = self.cluster.node_mut(ni);
+            let cost = node.gpu(survivors[0]).cost().clone();
+            let reupload = cost.transfer(8 * (lost_rows * n) as u64);
+            let share = lost_rows.div_ceil(ns);
+            let redraw = cost.curand(l * share) + cost.gemm(l, n, share);
+            let reorth = cost.gemm(l, n, l)
+                + cost.gemm(l, l, n)
+                + cost.syrk(l, n)
+                + cost.host_cholesky(l)
+                + cost.trsm(l, n);
+            for &g in &survivors {
+                node.gpu_mut(g)
+                    .charge_raw(Phase::Recovery, reupload + redraw + reorth);
+            }
+            self.a_parts[ni] = node.distribute_rows_shape(self.node_rows[ni], n);
+            self.slots[ni] = node.alive_indices();
+        }
+        Ok(())
+    }
+
+    fn finish(&mut self) -> Result<ExecReport> {
         let (launches, syncs) = self.counter_sums();
         let report = ExecReport {
             seconds: self.cluster.time() - self.t0,
@@ -318,8 +418,14 @@ impl Executor for ClusterExec<'_> {
             syncs: syncs - self.syncs0,
             comms: self.cluster.inter_node_comms(),
             devices: self.cluster.total_gpus(),
+            faults_injected: self.cluster.faults_injected() - self.faults0,
+            retries: 0,
+            recovery_seconds: self.cluster.breakdown().get(Phase::Recovery) - self.recovery0,
+            devices_lost: 0,
         };
         self.a_parts.clear();
-        report
+        self.slots.clear();
+        self.node_rows.clear();
+        Ok(report)
     }
 }

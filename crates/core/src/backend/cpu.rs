@@ -70,14 +70,18 @@ impl Executor for CpuExec {
         true
     }
 
-    fn finish(&mut self) -> ExecReport {
-        ExecReport {
+    fn finish(&mut self) -> Result<ExecReport> {
+        Ok(ExecReport {
             seconds: 0.0,
             timeline: Timeline::new(),
             launches: 0,
             syncs: 0,
             comms: 0.0,
             devices: 0,
-        }
+            faults_injected: 0,
+            retries: 0,
+            recovery_seconds: 0.0,
+            devices_lost: 0,
+        })
     }
 }

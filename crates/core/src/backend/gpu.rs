@@ -36,8 +36,16 @@ impl std::fmt::Debug for GpuExec<'_> {
 
 impl<'a> GpuExec<'a> {
     /// Creates the backend for the given (caller-owned) GPU context.
+    ///
+    /// A fault injector installed on the caller's GPU is moved into the
+    /// internal simulator for the duration of the run (and moved back by
+    /// [`Executor::finish`]), so planned faults fire against the timed
+    /// launches.
     pub fn new(gpu: &'a mut Gpu) -> Self {
-        let sim = Gpu::new(gpu.cost().spec().clone(), ExecMode::DryRun);
+        let mut sim = Gpu::new(gpu.cost().spec().clone(), ExecMode::DryRun);
+        if let Some(inj) = gpu.take_injector() {
+            sim.set_injector(Some(inj));
+        }
         GpuExec {
             gpu,
             sim,
@@ -86,7 +94,7 @@ impl Executor for GpuExec<'_> {
     fn gaussian_sample(&mut self, l: usize) -> Result<()> {
         let omega = self
             .sim
-            .curand_gaussian(Phase::Prng, l, self.m, &mut Self::dummy_rng());
+            .curand_gaussian(Phase::Prng, l, self.m, &mut Self::dummy_rng())?;
         let mut b = self.sim.alloc(l, self.n);
         let a = resident(&self.a_sim)?;
         self.sim.gemm(
@@ -194,7 +202,7 @@ impl Executor for GpuExec<'_> {
     fn adaptive_draw(&mut self, l_inc: usize) -> Result<()> {
         let omega = self
             .sim
-            .curand_gaussian(Phase::Prng, l_inc, self.m, &mut Self::dummy_rng());
+            .curand_gaussian(Phase::Prng, l_inc, self.m, &mut Self::dummy_rng())?;
         let mut w = self.sim.alloc(l_inc, self.n);
         let a = resident(&self.a_sim)?;
         self.sim.gemm(
@@ -297,7 +305,13 @@ impl Executor for GpuExec<'_> {
         self.sim.clock()
     }
 
-    fn finish(&mut self) -> ExecReport {
+    fn charge_recovery(&mut self, secs: f64) {
+        // Backoff is wall-clock waiting, not kernel work: bypass any
+        // straggler slowdown.
+        self.sim.charge_raw(Phase::Recovery, secs);
+    }
+
+    fn finish(&mut self) -> Result<ExecReport> {
         let report = ExecReport {
             seconds: self.sim.clock(),
             timeline: self.sim.timeline().clone(),
@@ -305,17 +319,29 @@ impl Executor for GpuExec<'_> {
             syncs: self.sim.syncs,
             comms: 0.0,
             devices: 1,
+            faults_injected: self.sim.faults_injected(),
+            retries: 0,
+            recovery_seconds: self.sim.timeline().get(Phase::Recovery),
+            devices_lost: 0,
         };
         for phase in Phase::ALL {
             let secs = self.sim.timeline().get(phase);
             if secs > 0.0 {
-                self.gpu.charge(phase, secs);
+                // The sim already applied any straggler slowdown; fold the
+                // inflated seconds verbatim.
+                self.gpu.charge_raw(phase, secs);
             }
         }
         self.gpu.launches += self.sim.launches;
         self.gpu.syncs += self.sim.syncs;
+        if let Some((device, at)) = self.sim.dead_info() {
+            self.gpu.mark_dead(device, at);
+        }
+        if let Some(inj) = self.sim.take_injector() {
+            self.gpu.set_injector(Some(inj));
+        }
         self.sim.reset();
         self.a_sim = None;
-        report
+        Ok(report)
     }
 }

@@ -65,39 +65,56 @@ mod cpu;
 mod gpu;
 mod multi;
 mod pipeline;
+mod recovery;
 
 pub use cluster::ClusterExec;
 pub use cpu::CpuExec;
 pub use gpu::GpuExec;
 pub use multi::MultiGpuExec;
-pub use pipeline::run_fixed_rank;
+pub use pipeline::{run_fixed_rank, run_fixed_rank_with_recovery};
+pub use recovery::{Recovering, RecoveryPolicy};
 
 use crate::config::{SamplerConfig, Step2Kind};
 use rlra_fft::SrftScheme;
 use rlra_gpu::Timeline;
-use rlra_matrix::{Mat, Result};
+use rlra_matrix::{Mat, MatrixError, Result};
 
 /// Unified timing report of one sampler run on any backend.
 ///
 /// Replaces the per-backend `RunReport` / `MultiRunReport` /
 /// `ClusterRunReport` trio; those names remain as aliases.
-#[derive(Debug, Clone)]
+///
+/// `PartialEq` is exact (bit-level) on every field: the cross-backend
+/// tests use it to assert that a fault plan which fires no faults leaves
+/// the whole report — not just the factors — bit-identical.
+#[derive(Debug, Clone, PartialEq)]
 pub struct ExecReport {
     /// Simulated wall-clock seconds (the slowest device).
     pub seconds: f64,
     /// Per-phase breakdown (PRNG / Sampling / GEMM (Iter) / Orth (Iter) /
-    /// QRCP / QR / Comms, matching the paper's stacked bars; max across
-    /// devices where several are involved).
+    /// QRCP / QR / Comms / Recovery, matching the paper's stacked bars;
+    /// max across devices where several are involved).
     pub timeline: Timeline,
     /// Kernel launches issued (summed over devices).
     pub launches: u64,
     /// Host synchronizations (summed over devices).
     pub syncs: u64,
     /// Communication/host-transfer seconds (the paper's "Comms" bar;
-    /// inter-node seconds on the cluster backend, zero on CPU/single-GPU).
+    /// inter-node seconds on the cluster backend, zero on CPU/single-GPU
+    /// — an invariant asserted by the cross-backend equivalence tests).
     pub comms: f64,
     /// Number of simulated devices involved (0 for the CPU backend).
     pub devices: usize,
+    /// Injected fault events that fired during the run (all kinds).
+    pub faults_injected: u64,
+    /// Transient-fault retries performed by the recovery policy.
+    pub retries: u64,
+    /// Simulated seconds spent in the `Recovery` phase (backoff,
+    /// redistribution, sketch-row re-draw, re-orthogonalization).
+    pub recovery_seconds: f64,
+    /// Devices lost to fail-stop faults and recovered from by degrading
+    /// the fleet.
+    pub devices_lost: usize,
 }
 
 /// Input matrix for a sampler run: real values, or a shape for dry-run
@@ -303,8 +320,41 @@ pub trait Executor {
         0.0
     }
 
+    // --- Fault recovery hooks -------------------------------------------
+
+    /// Charges `secs` of simulated recovery time (retry backoff) to the
+    /// backend's surviving devices under [`rlra_gpu::Phase::Recovery`].
+    /// No-op on backends without a device clock (CPU).
+    fn charge_recovery(&mut self, secs: f64) {
+        let _ = secs;
+    }
+
+    /// Recovers from a fail-stop loss of `device` (reported at launch
+    /// ordinal `at`): redistribute the lost block-rows over the
+    /// survivors, re-draw the lost `Ω` rows, and re-orthogonalize them
+    /// against the accepted basis, charging it all to the `Recovery`
+    /// phase. After a successful return the failed stage hook can be
+    /// re-invoked against the degraded fleet.
+    ///
+    /// # Errors
+    ///
+    /// [`MatrixError::Unsupported`] on backends that cannot degrade
+    /// (CPU has no devices; a single GPU has no survivors).
+    fn recover_device_loss(&mut self, device: usize, at: u64) -> Result<()> {
+        let _ = (device, at);
+        Err(MatrixError::Unsupported {
+            backend: self.name(),
+            feature: "device-loss recovery (no surviving devices to degrade onto)".into(),
+        })
+    }
+
     /// Ends the run: folds the accounting into the caller's context (for
     /// backends that simulate internally) and returns the unified
     /// report.
-    fn finish(&mut self) -> ExecReport;
+    ///
+    /// # Errors
+    ///
+    /// Propagates accounting-fold failures (e.g. a simulation context
+    /// that no longer matches the caller's fleet).
+    fn finish(&mut self) -> Result<ExecReport>;
 }

@@ -21,12 +21,19 @@ use rlra_gpu::{DMat, ExecMode, MultiGpu, Phase};
 use rlra_matrix::{Mat, MatrixError, Result};
 
 /// Multi-GPU execution backend.
+///
+/// `slots[j]` is the device index that owns the `j`-th distributed part;
+/// it starts as `0..ng` and shrinks when a fail-stop fault kills a GPU
+/// and [`Executor::recover_device_loss`] redistributes over the
+/// survivors.
 pub struct MultiGpuExec<'a> {
     mg: &'a mut MultiGpu,
     sim: MultiGpu,
     a_parts: Vec<DMat>,
     b_bcast: Vec<DMat>,
     c_parts: Vec<DMat>,
+    slots: Vec<usize>,
+    l: usize,
     m: usize,
     n: usize,
 }
@@ -43,17 +50,36 @@ impl std::fmt::Debug for MultiGpuExec<'_> {
 impl<'a> MultiGpuExec<'a> {
     /// Creates the backend for the given (caller-owned) multi-GPU
     /// context.
-    pub fn new(mg: &'a mut MultiGpu) -> Self {
-        let sim = MultiGpu::new(mg.ng(), mg.gpu(0).cost().spec().clone(), ExecMode::DryRun);
-        MultiGpuExec {
+    ///
+    /// Fault injectors installed on the caller's GPUs are moved into the
+    /// internal simulator (and moved back by [`Executor::finish`]), and
+    /// pre-existing device losses carry over so a degraded fleet stays
+    /// degraded.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`MultiGpu::new`] failures.
+    pub fn new(mg: &'a mut MultiGpu) -> Result<Self> {
+        let mut sim = MultiGpu::new(mg.ng(), mg.gpu(0).cost().spec().clone(), ExecMode::DryRun)?;
+        for i in 0..mg.ng() {
+            if let Some(inj) = mg.gpu_mut(i).take_injector() {
+                sim.gpu_mut(i).set_injector(Some(inj));
+            }
+            if let Some((device, at)) = mg.gpu(i).dead_info() {
+                sim.gpu_mut(i).mark_dead(device, at);
+            }
+        }
+        Ok(MultiGpuExec {
             mg,
             sim,
             a_parts: Vec::new(),
             b_bcast: Vec::new(),
             c_parts: Vec::new(),
+            slots: Vec::new(),
+            l: 0,
             m: 0,
             n: 0,
-        }
+        })
     }
 
     fn dummy_rng() -> StdRng {
@@ -61,14 +87,15 @@ impl<'a> MultiGpuExec<'a> {
     }
 
     /// Charges the host-side QR of the reduced `ℓ × n` sampled matrix
-    /// (CholQR flop count on the CPU, paper §4) to every GPU.
+    /// (CholQR flop count on the CPU, paper §4) to every surviving GPU
+    /// (host work, so exempt from straggler scaling).
     fn charge_host_rows_qr(&mut self, l: usize, reorth: bool) {
         let passes = if reorth { 2.0 } else { 1.0 };
         let flops = passes * 2.0 * l as f64 * l as f64 * self.n as f64;
         let cost = self.sim.gpu(0).cost().clone();
         let secs = cost.host_flops(flops) + cost.host_cholesky(l);
-        for i in 0..self.sim.ng() {
-            self.sim.gpu_mut(i).charge(Phase::OrthIter, secs);
+        for gi in self.sim.alive_indices() {
+            self.sim.gpu_mut(gi).charge_raw(Phase::OrthIter, secs);
         }
     }
 }
@@ -98,16 +125,18 @@ impl Executor for MultiGpuExec<'_> {
         self.m = m;
         self.n = n;
         self.a_parts = self.sim.distribute_rows_shape(m, n);
+        self.slots = self.sim.alive_indices();
     }
 
     fn gaussian_sample(&mut self, l: usize) -> Result<()> {
         // Ω is distributed in the block-column layout of Aᵀ: GPU i draws
         // its own l × m_i chunk (independent cuRAND streams in parallel).
+        self.l = l;
         let mut b_parts = Vec::with_capacity(self.a_parts.len());
-        for (i, ap) in self.a_parts.iter().enumerate() {
+        for (ap, &gi) in self.a_parts.iter().zip(&self.slots) {
             let mi = ap.rows();
-            let gpu = self.sim.gpu_mut(i);
-            let omega_i = gpu.curand_gaussian(Phase::Prng, l, mi, &mut Self::dummy_rng());
+            let gpu = self.sim.gpu_mut(gi);
+            let omega_i = gpu.curand_gaussian(Phase::Prng, l, mi, &mut Self::dummy_rng())?;
             let mut bi = gpu.alloc(l, self.n);
             gpu.gemm(
                 Phase::Sampling,
@@ -143,14 +172,14 @@ impl Executor for MultiGpuExec<'_> {
     fn gemm_to_c(&mut self, l: usize) -> Result<()> {
         // C(i) = B · A(i)ᵀ — column-distributed like Aᵀ.
         let mut c_parts = Vec::with_capacity(self.a_parts.len());
-        for (i, ap) in self.a_parts.iter().enumerate() {
+        for ((j, ap), &gi) in self.a_parts.iter().enumerate().zip(&self.slots) {
             let mi = ap.rows();
-            let gpu = self.sim.gpu_mut(i);
+            let gpu = self.sim.gpu_mut(gi);
             let mut ci = gpu.alloc(l, mi);
             gpu.gemm(
                 Phase::GemmIter,
                 1.0,
-                &self.b_bcast[i],
+                &self.b_bcast[j],
                 Trans::No,
                 ap,
                 Trans::Yes,
@@ -173,13 +202,13 @@ impl Executor for MultiGpuExec<'_> {
     fn gemm_to_b(&mut self, l: usize) -> Result<()> {
         // B(i) = C(i) · A(i), reduce.
         let mut b_next = Vec::with_capacity(self.a_parts.len());
-        for (i, ap) in self.a_parts.iter().enumerate() {
-            let gpu = self.sim.gpu_mut(i);
+        for ((j, ap), &gi) in self.a_parts.iter().enumerate().zip(&self.slots) {
+            let gpu = self.sim.gpu_mut(gi);
             let mut bi = gpu.alloc(l, self.n);
             gpu.gemm(
                 Phase::GemmIter,
                 1.0,
-                &self.c_parts[i],
+                &self.c_parts[j],
                 Trans::No,
                 ap,
                 Trans::No,
@@ -195,7 +224,12 @@ impl Executor for MultiGpuExec<'_> {
     fn step2_pivot(&mut self, kind: Step2Kind, l: usize, k: usize) -> Result<()> {
         {
             let n = self.n;
-            let gpu0 = self.sim.gpu_mut(0);
+            // The small pivoted QR runs on the first surviving GPU.
+            let gi0 = self.slots.first().copied().ok_or(MatrixError::Internal {
+                op: "MultiGpuExec",
+                invariant: "at least one surviving GPU",
+            })?;
+            let gpu0 = self.sim.gpu_mut(gi0);
             let b_dev = gpu0.resident_shape(l, n);
             match kind {
                 Step2Kind::Qp3 => {
@@ -217,44 +251,139 @@ impl Executor for MultiGpuExec<'_> {
         // Each GPU gathers its local rows of the k pivot columns, then
         // the distributed tall-skinny CholQR of A·P₁:ₖ (Figure 4).
         let chunks = self.sim.row_chunks(self.m);
+        let alive = self.sim.alive_indices();
         let mut x_parts = Vec::with_capacity(chunks.len());
-        for (i, &(_, len)) in chunks.iter().enumerate() {
-            let gpu = self.sim.gpu_mut(i);
+        for (&(_, len), &gi) in chunks.iter().zip(&alive) {
+            let gpu = self.sim.gpu_mut(gi);
             gpu.charge(Phase::Qr, gpu.cost().blas1(len * k, 2.0)); // gather copy
             x_parts.push(gpu.resident_shape(len, k));
         }
         self.sim
             .cholqr_tall_distributed(Phase::Qr, &mut x_parts, reorth)?;
-        // Triangular finish on GPU 0.
+        // Triangular finish on the first surviving GPU.
         {
             let n = self.n;
-            let gpu0 = self.sim.gpu_mut(0);
+            let gi0 = alive.first().copied().ok_or(MatrixError::Internal {
+                op: "MultiGpuExec",
+                invariant: "at least one surviving GPU",
+            })?;
+            let gpu0 = self.sim.gpu_mut(gi0);
             gpu0.charge(Phase::Qr, gpu0.cost().trsm(k, n));
         }
         self.sim.barrier();
         Ok(())
     }
 
-    fn finish(&mut self) -> ExecReport {
+    fn elapsed(&self) -> f64 {
+        self.sim.time()
+    }
+
+    fn charge_recovery(&mut self, secs: f64) {
+        // Backoff is wall-clock waiting on every survivor, not kernel
+        // work: exempt from straggler scaling.
+        for gi in self.sim.alive_indices() {
+            self.sim.gpu_mut(gi).charge_raw(Phase::Recovery, secs);
+        }
+    }
+
+    fn recover_device_loss(&mut self, device: usize, at: u64) -> Result<()> {
+        if device >= self.sim.ng() {
+            return Err(MatrixError::Internal {
+                op: "MultiGpuExec::recover_device_loss",
+                invariant: "faulted device index within the fleet",
+            });
+        }
+        if !self.sim.gpu(device).is_dead() {
+            self.sim.gpu_mut(device).mark_dead(device, at);
+        }
+        let survivors = self.sim.alive_indices();
+        if survivors.is_empty() {
+            return Err(MatrixError::Unsupported {
+                backend: self.name(),
+                feature: "device-loss recovery with zero surviving GPUs".into(),
+            });
+        }
+        // Rows the dead GPU owned (its distributed block of A).
+        let lost_rows = self
+            .slots
+            .iter()
+            .position(|&gi| gi == device)
+            .map_or_else(|| self.m / self.sim.ng().max(1), |j| self.a_parts[j].rows());
+        let l = self.l.max(1);
+        let ns = survivors.len();
+        let cost = self.sim.gpu(survivors[0]).cost().clone();
+        // Sketch-aware recovery, charged to the Recovery phase on every
+        // survivor:
+        // 1. re-upload the lost block rows of A over PCIe,
+        let reupload = cost.transfer(8 * (lost_rows * self.n) as u64);
+        // 2. re-draw only the lost Ω rows (split over the survivors) and
+        //    re-form their sample contribution (Ω and the sketch are
+        //    i.i.d. Gaussian, so fresh rows are distributionally
+        //    exchangeable with the lost ones),
+        let share = lost_rows.div_ceil(ns);
+        let redraw = cost.curand(l * share) + cost.gemm(l, self.n, share);
+        // 3. re-orthogonalize the re-drawn block against the accepted
+        //    basis (one block-CGS pass: two projection GEMMs + CholQR).
+        let reorth = cost.gemm(l, self.n, l)
+            + cost.gemm(l, l, self.n)
+            + cost.syrk(l, self.n)
+            + cost.host_cholesky(l)
+            + cost.trsm(l, self.n);
+        for &gi in &survivors {
+            self.sim
+                .gpu_mut(gi)
+                .charge_raw(Phase::Recovery, reupload + redraw + reorth);
+        }
+        // Redistribute A over the survivors and refresh the slot map.
+        self.a_parts = self.sim.distribute_rows_shape(self.m, self.n);
+        self.slots = self.sim.alive_indices();
+        // Rebuild distributed intermediates for the shrunk fleet so the
+        // retried stage hook sees consistent shapes.
+        if !self.b_bcast.is_empty() {
+            self.b_bcast = self.sim.broadcast(Phase::Recovery, &Mat::zeros(l, self.n));
+        }
+        if !self.c_parts.is_empty() {
+            let mut c_parts = Vec::with_capacity(self.a_parts.len());
+            for (ap, &gi) in self.a_parts.iter().zip(&self.slots) {
+                let mi = ap.rows();
+                c_parts.push(self.sim.gpu_mut(gi).alloc(l, mi));
+            }
+            self.c_parts = c_parts;
+        }
+        Ok(())
+    }
+
+    fn finish(&mut self) -> Result<ExecReport> {
         let ng = self.sim.ng();
         let (mut launches, mut syncs) = (0u64, 0u64);
         for i in 0..ng {
             launches += self.sim.gpu(i).launches;
             syncs += self.sim.gpu(i).syncs;
         }
+        let timeline = self.sim.breakdown();
         let report = ExecReport {
             seconds: self.sim.time(),
-            timeline: self.sim.breakdown(),
+            recovery_seconds: timeline.get(Phase::Recovery),
+            timeline,
             launches,
             syncs,
             comms: self.sim.comms_time(),
             devices: ng,
+            faults_injected: self.sim.faults_injected(),
+            retries: 0,
+            devices_lost: 0,
         };
-        self.mg.absorb(&self.sim);
+        self.mg.absorb(&self.sim)?;
+        for i in 0..ng {
+            if let Some(inj) = self.sim.gpu_mut(i).take_injector() {
+                self.mg.gpu_mut(i).set_injector(Some(inj));
+            }
+        }
         self.sim.reset();
         self.a_parts.clear();
         self.b_bcast.clear();
         self.c_parts.clear();
-        report
+        self.slots.clear();
+        Ok(report)
     }
 }

@@ -151,7 +151,7 @@ pub fn run_fixed_rank<E: Executor>(
     // --- Steps 2 and 3 --------------------------------------------------------
     exec.step2_pivot(cfg.step2, l, k)?;
     exec.tsqr(k, cfg.reorth)?;
-    let report = exec.finish();
+    let report = exec.finish()?;
 
     let approx = if compute {
         let am = host_values(&a)?;
@@ -166,4 +166,30 @@ pub fn run_fixed_rank<E: Executor>(
         None
     };
     Ok((approx, report))
+}
+
+/// Runs [`run_fixed_rank`] under a fault-recovery policy: the executor is
+/// wrapped in [`super::Recovering`], which retries transient faults with
+/// simulated exponential backoff and degrades the fleet on fail-stop
+/// device losses. The report's `retries` / `devices_lost` /
+/// `recovery_seconds` fields record what recovery cost.
+///
+/// Host numerics are unaffected by recovery (they run here, on the
+/// host), so with the same seed the factors are identical to a
+/// fault-free run.
+///
+/// # Errors
+///
+/// Everything [`run_fixed_rank`] returns, plus faults that exhaust the
+/// retry budget or cannot be recovered (e.g. the last device of a
+/// backend failing).
+pub fn run_fixed_rank_with_recovery<E: Executor>(
+    exec: E,
+    policy: super::RecoveryPolicy,
+    a: Input<'_>,
+    cfg: &SamplerConfig,
+    rng: &mut impl Rng,
+) -> Result<(Option<LowRankApprox>, ExecReport)> {
+    let mut wrapped = super::Recovering::new(exec, policy);
+    run_fixed_rank(&mut wrapped, a, cfg, rng)
 }

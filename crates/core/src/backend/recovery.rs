@@ -1,0 +1,486 @@
+//! Fault recovery for the execution backends.
+//!
+//! [`Recovering`] wraps any [`Executor`] and intercepts the
+//! [`MatrixError::DeviceFault`] errors raised by injected faults
+//! (see `rlra_gpu::fault`):
+//!
+//! * **transient** faults (the ECC-retryable class) are retried in place
+//!   after a simulated exponential backoff, charged to the device clock
+//!   under the `Recovery` timeline phase — the device RNG stream is not
+//!   advanced by a faulted launch, so the retried launch draws the same
+//!   values and numerics are unaffected;
+//! * **fail-stop** device losses trigger
+//!   [`Executor::recover_device_loss`]: the backend redistributes the
+//!   lost block-rows over the survivors, re-draws only the lost `Ω`
+//!   rows, and re-orthogonalizes them against the accepted basis —
+//!   cheaper than a full restart because the sketch built so far is
+//!   kept (fresh i.i.d. Gaussian rows are distributionally exchangeable
+//!   with the lost ones, so the sketch quality guarantee is preserved);
+//! * **stragglers** never surface as errors (they only dilate the
+//!   faulted device's kernel time), so there is nothing to intercept.
+//!
+//! All of this is *accounting*: the pipeline's numerics run on the host
+//! and are bit-identical with or without recovery for the same seed.
+
+use super::{ExecReport, Executor};
+use crate::config::{SamplerConfig, Step2Kind};
+use rlra_fft::SrftScheme;
+use rlra_matrix::{DeviceFaultKind, MatrixError, Result};
+
+/// Retry/backoff policy for transient faults.
+#[derive(Debug, Clone)]
+pub struct RecoveryPolicy {
+    /// Consecutive transient retries allowed per stage hook before the
+    /// fault is propagated. A recovered device loss resets the count.
+    pub retry_budget: u32,
+    /// Simulated seconds of backoff before the first retry.
+    pub backoff_base: f64,
+    /// Multiplier applied to the backoff on each further retry.
+    pub backoff_factor: f64,
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> Self {
+        RecoveryPolicy {
+            retry_budget: 3,
+            // ~1 ms: the order of a cuRAND/ECC scrub turnaround, large
+            // against a kernel launch (~10 µs) but small against any
+            // GEMM at paper sizes.
+            backoff_base: 1e-3,
+            backoff_factor: 2.0,
+        }
+    }
+}
+
+impl RecoveryPolicy {
+    /// Backoff before retry number `attempt` (0-based): exponential in
+    /// the attempt.
+    pub fn backoff(&self, attempt: u32) -> f64 {
+        self.backoff_base * self.backoff_factor.powi(attempt.min(30) as i32)
+    }
+}
+
+/// An [`Executor`] wrapper that makes any backend fault-tolerant under
+/// the injected fault model. See the [module docs](self).
+#[derive(Debug)]
+pub struct Recovering<E: Executor> {
+    inner: E,
+    policy: RecoveryPolicy,
+    retries: u64,
+    devices_lost: usize,
+    /// `(device, simulated seconds elapsed when it was lost)` — the
+    /// restart-cost baseline in the what-if sweep prices a full restart
+    /// at each of these points.
+    loss_log: Vec<(usize, f64)>,
+}
+
+impl<E: Executor> Recovering<E> {
+    /// Wraps `inner` under `policy`.
+    pub fn new(inner: E, policy: RecoveryPolicy) -> Self {
+        Recovering {
+            inner,
+            policy,
+            retries: 0,
+            devices_lost: 0,
+            loss_log: Vec::new(),
+        }
+    }
+
+    /// Unwraps the inner executor.
+    pub fn into_inner(self) -> E {
+        self.inner
+    }
+
+    /// Transient retries performed so far.
+    pub fn retries(&self) -> u64 {
+        self.retries
+    }
+
+    /// Devices lost (and recovered from) so far.
+    pub fn devices_lost(&self) -> usize {
+        self.devices_lost
+    }
+
+    /// The device losses seen so far, with the simulated time at which
+    /// each struck.
+    pub fn loss_log(&self) -> &[(usize, f64)] {
+        &self.loss_log
+    }
+
+    /// Runs `op` against the inner executor, absorbing recoverable
+    /// faults per the policy.
+    ///
+    /// Recovery work itself launches kernels on the survivors, so a
+    /// fault can strike *during* another device's recovery: transients
+    /// there are retried like any other, and a nested fail-stop is
+    /// pushed onto a pending stack and recovered first (its survivors
+    /// are a subset of the original's, so the order is safe).
+    fn guard(&mut self, mut op: impl FnMut(&mut E) -> Result<()>) -> Result<()> {
+        let mut attempts = 0u32;
+        let mut pending: Vec<(usize, u64)> = Vec::new();
+        loop {
+            let result = if let Some(&(device, at)) = pending.last() {
+                let r = self.inner.recover_device_loss(device, at);
+                if r.is_ok() {
+                    pending.pop();
+                    self.devices_lost += 1;
+                    self.loss_log.push((device, self.inner.elapsed()));
+                    // The degraded fleet gets a fresh retry budget.
+                    attempts = 0;
+                    continue;
+                }
+                r
+            } else {
+                let r = op(&mut self.inner);
+                if r.is_ok() {
+                    return Ok(());
+                }
+                r
+            };
+            let Err(err) = result else { continue };
+            match err {
+                MatrixError::DeviceFault {
+                    kind: DeviceFaultKind::Transient,
+                    ..
+                } if attempts < self.policy.retry_budget => {
+                    let backoff = self.policy.backoff(attempts);
+                    attempts += 1;
+                    self.retries += 1;
+                    self.inner.charge_recovery(backoff);
+                }
+                MatrixError::DeviceFault {
+                    device,
+                    kind: DeviceFaultKind::FailStop,
+                    at,
+                } => {
+                    pending.push((device, at));
+                    attempts = 0;
+                }
+                e => return Err(e),
+            }
+        }
+    }
+}
+
+impl<E: Executor> Executor for Recovering<E> {
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+
+    fn computes(&self) -> bool {
+        self.inner.computes()
+    }
+
+    fn supports(&self, cfg: &SamplerConfig, has_values: bool) -> Result<()> {
+        self.inner.supports(cfg, has_values)
+    }
+
+    fn begin(&mut self, m: usize, n: usize) {
+        self.inner.begin(m, n);
+    }
+
+    fn gaussian_sample(&mut self, l: usize) -> Result<()> {
+        self.guard(|e| e.gaussian_sample(l))
+    }
+
+    fn srft_sample_rows(&mut self, l: usize, scheme: SrftScheme) -> Result<()> {
+        self.guard(|e| e.srft_sample_rows(l, scheme))
+    }
+
+    fn orth_b(&mut self, l: usize, reorth: bool) -> Result<()> {
+        self.guard(|e| e.orth_b(l, reorth))
+    }
+
+    fn gemm_to_c(&mut self, l: usize) -> Result<()> {
+        self.guard(|e| e.gemm_to_c(l))
+    }
+
+    fn orth_c(&mut self, l: usize, reorth: bool) -> Result<()> {
+        self.guard(|e| e.orth_c(l, reorth))
+    }
+
+    fn gemm_to_b(&mut self, l: usize) -> Result<()> {
+        self.guard(|e| e.gemm_to_b(l))
+    }
+
+    fn step2_pivot(&mut self, kind: Step2Kind, l: usize, k: usize) -> Result<()> {
+        self.guard(|e| e.step2_pivot(kind, l, k))
+    }
+
+    fn tsqr(&mut self, k: usize, reorth: bool) -> Result<()> {
+        self.guard(|e| e.tsqr(k, reorth))
+    }
+
+    fn supports_adaptive(&self) -> bool {
+        self.inner.supports_adaptive()
+    }
+
+    fn adaptive_draw(&mut self, l_inc: usize) -> Result<()> {
+        self.guard(|e| e.adaptive_draw(l_inc))
+    }
+
+    fn adaptive_orth(
+        &mut self,
+        rows: usize,
+        cols: usize,
+        l_prev: usize,
+        reorth: bool,
+    ) -> Result<()> {
+        self.guard(|e| e.adaptive_orth(rows, cols, l_prev, reorth))
+    }
+
+    fn adaptive_gemm_c(&mut self, l_new: usize) -> Result<()> {
+        self.guard(|e| e.adaptive_gemm_c(l_new))
+    }
+
+    fn adaptive_gemm_w(&mut self, l_new: usize) -> Result<()> {
+        self.guard(|e| e.adaptive_gemm_w(l_new))
+    }
+
+    fn adaptive_probe(&mut self, next_inc: usize, l_now: usize) -> Result<()> {
+        self.guard(|e| e.adaptive_probe(next_inc, l_now))
+    }
+
+    fn adaptive_finish(&mut self, k: usize) -> Result<()> {
+        self.guard(|e| e.adaptive_finish(k))
+    }
+
+    fn elapsed(&self) -> f64 {
+        self.inner.elapsed()
+    }
+
+    fn charge_recovery(&mut self, secs: f64) {
+        self.inner.charge_recovery(secs);
+    }
+
+    fn recover_device_loss(&mut self, device: usize, at: u64) -> Result<()> {
+        self.inner.recover_device_loss(device, at)
+    }
+
+    fn finish(&mut self) -> Result<ExecReport> {
+        let mut report = self.inner.finish()?;
+        report.retries += self.retries;
+        report.devices_lost += self.devices_lost;
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rlra_gpu::Timeline;
+
+    /// Scripted executor: fails `gaussian_sample` with the queued faults
+    /// in order, then succeeds. Records recovery calls.
+    struct Scripted {
+        faults: Vec<MatrixError>,
+        recovery_faults: Vec<MatrixError>,
+        recovered: Vec<(usize, u64)>,
+        backoff_charged: f64,
+        recoverable: bool,
+    }
+
+    impl Scripted {
+        fn new(faults: Vec<MatrixError>, recoverable: bool) -> Self {
+            Scripted {
+                faults,
+                recovery_faults: Vec::new(),
+                recovered: Vec::new(),
+                backoff_charged: 0.0,
+                recoverable,
+            }
+        }
+
+        /// Faults that strike *during* `recover_device_loss`, in order.
+        fn with_recovery_faults(mut self, faults: Vec<MatrixError>) -> Self {
+            self.recovery_faults = faults;
+            self
+        }
+    }
+
+    impl Executor for Scripted {
+        fn name(&self) -> &'static str {
+            "scripted"
+        }
+        fn computes(&self) -> bool {
+            false
+        }
+        fn supports(&self, _cfg: &SamplerConfig, _has_values: bool) -> Result<()> {
+            Ok(())
+        }
+        fn begin(&mut self, _m: usize, _n: usize) {}
+        fn gaussian_sample(&mut self, _l: usize) -> Result<()> {
+            if self.faults.is_empty() {
+                Ok(())
+            } else {
+                Err(self.faults.remove(0))
+            }
+        }
+        fn srft_sample_rows(&mut self, _l: usize, _scheme: SrftScheme) -> Result<()> {
+            Ok(())
+        }
+        fn orth_b(&mut self, _l: usize, _reorth: bool) -> Result<()> {
+            Ok(())
+        }
+        fn gemm_to_c(&mut self, _l: usize) -> Result<()> {
+            Ok(())
+        }
+        fn orth_c(&mut self, _l: usize, _reorth: bool) -> Result<()> {
+            Ok(())
+        }
+        fn gemm_to_b(&mut self, _l: usize) -> Result<()> {
+            Ok(())
+        }
+        fn step2_pivot(&mut self, _kind: Step2Kind, _l: usize, _k: usize) -> Result<()> {
+            Ok(())
+        }
+        fn tsqr(&mut self, _k: usize, _reorth: bool) -> Result<()> {
+            Ok(())
+        }
+        fn charge_recovery(&mut self, secs: f64) {
+            self.backoff_charged += secs;
+        }
+        fn recover_device_loss(&mut self, device: usize, at: u64) -> Result<()> {
+            if !self.recoverable {
+                return Err(MatrixError::Unsupported {
+                    backend: "scripted",
+                    feature: "device-loss recovery".into(),
+                });
+            }
+            if !self.recovery_faults.is_empty() {
+                return Err(self.recovery_faults.remove(0));
+            }
+            self.recovered.push((device, at));
+            Ok(())
+        }
+        fn finish(&mut self) -> Result<ExecReport> {
+            Ok(ExecReport {
+                seconds: 0.0,
+                timeline: Timeline::new(),
+                launches: 0,
+                syncs: 0,
+                comms: 0.0,
+                devices: 1,
+                faults_injected: 0,
+                retries: 0,
+                recovery_seconds: 0.0,
+                devices_lost: 0,
+            })
+        }
+    }
+
+    fn transient(at: u64) -> MatrixError {
+        MatrixError::DeviceFault {
+            device: 0,
+            kind: DeviceFaultKind::Transient,
+            at,
+        }
+    }
+
+    fn fail_stop(device: usize, at: u64) -> MatrixError {
+        MatrixError::DeviceFault {
+            device,
+            kind: DeviceFaultKind::FailStop,
+            at,
+        }
+    }
+
+    #[test]
+    fn transients_within_budget_are_retried_with_backoff() {
+        let inner = Scripted::new(vec![transient(1), transient(2)], true);
+        let mut rec = Recovering::new(inner, RecoveryPolicy::default());
+        rec.gaussian_sample(8).unwrap();
+        assert_eq!(rec.retries(), 2);
+        let policy = RecoveryPolicy::default();
+        let expected = policy.backoff(0) + policy.backoff(1);
+        assert!((rec.into_inner().backoff_charged - expected).abs() < 1e-15);
+    }
+
+    #[test]
+    fn exhausted_retry_budget_propagates_the_fault() {
+        let faults = (0..4).map(transient).collect();
+        let inner = Scripted::new(faults, true);
+        let policy = RecoveryPolicy {
+            retry_budget: 3,
+            ..RecoveryPolicy::default()
+        };
+        let mut rec = Recovering::new(inner, policy);
+        let err = rec.gaussian_sample(8).unwrap_err();
+        assert!(matches!(
+            err,
+            MatrixError::DeviceFault {
+                kind: DeviceFaultKind::Transient,
+                ..
+            }
+        ));
+        assert_eq!(rec.retries(), 3);
+    }
+
+    #[test]
+    fn fail_stop_recovers_and_is_counted_in_the_report() {
+        let inner = Scripted::new(vec![fail_stop(1, 42)], true);
+        let mut rec = Recovering::new(inner, RecoveryPolicy::default());
+        rec.gaussian_sample(8).unwrap();
+        assert_eq!(rec.devices_lost(), 1);
+        assert_eq!(rec.loss_log().len(), 1);
+        assert_eq!(rec.loss_log()[0].0, 1);
+        let report = rec.finish().unwrap();
+        assert_eq!(report.devices_lost, 1);
+        assert_eq!(report.retries, 0);
+        assert_eq!(rec.into_inner().recovered, vec![(1, 42)]);
+    }
+
+    #[test]
+    fn fail_stop_resets_the_transient_budget() {
+        // budget 1: transient, fail-stop, transient — the second
+        // transient only survives because the loss reset the budget.
+        let inner = Scripted::new(vec![transient(1), fail_stop(0, 2), transient(3)], true);
+        let policy = RecoveryPolicy {
+            retry_budget: 1,
+            ..RecoveryPolicy::default()
+        };
+        let mut rec = Recovering::new(inner, policy);
+        rec.gaussian_sample(8).unwrap();
+        assert_eq!(rec.retries(), 2);
+        assert_eq!(rec.devices_lost(), 1);
+    }
+
+    #[test]
+    fn faults_during_recovery_are_absorbed() {
+        // A fail-stop whose recovery is first interrupted by a transient
+        // (retried) and then by a second fail-stop (recovered first,
+        // nested), before finally going through.
+        let inner = Scripted::new(vec![fail_stop(0, 5)], true)
+            .with_recovery_faults(vec![transient(6), fail_stop(1, 6)]);
+        let mut rec = Recovering::new(inner, RecoveryPolicy::default());
+        rec.gaussian_sample(8).unwrap();
+        assert_eq!(rec.retries(), 1);
+        assert_eq!(rec.devices_lost(), 2);
+        // The nested loss completes its recovery before the original.
+        assert_eq!(rec.into_inner().recovered, vec![(1, 6), (0, 5)]);
+    }
+
+    #[test]
+    fn unrecoverable_loss_propagates() {
+        let inner = Scripted::new(vec![fail_stop(0, 7)], false);
+        let mut rec = Recovering::new(inner, RecoveryPolicy::default());
+        assert!(rec.gaussian_sample(8).is_err());
+    }
+
+    #[test]
+    fn non_fault_errors_pass_through() {
+        let inner = Scripted::new(
+            vec![MatrixError::Internal {
+                op: "x",
+                invariant: "y",
+            }],
+            true,
+        );
+        let mut rec = Recovering::new(inner, RecoveryPolicy::default());
+        assert!(matches!(
+            rec.gaussian_sample(8).unwrap_err(),
+            MatrixError::Internal { .. }
+        ));
+        assert_eq!(rec.retries(), 0);
+    }
+}

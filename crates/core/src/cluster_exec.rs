@@ -108,7 +108,7 @@ mod tests {
     use rlra_gpu::{DeviceSpec, ExecMode, NetworkSpec};
 
     fn cluster(nodes: usize, gpn: usize, net: NetworkSpec) -> Cluster {
-        Cluster::new(nodes, gpn, DeviceSpec::k40c(), net, ExecMode::DryRun)
+        Cluster::new(nodes, gpn, DeviceSpec::k40c(), net, ExecMode::DryRun).unwrap()
     }
 
     fn rs_time(nodes: usize, m: usize) -> ClusterRunReport {
@@ -184,7 +184,8 @@ mod tests {
             DeviceSpec::k40c(),
             NetworkSpec::infiniband_fdr(),
             ExecMode::Compute,
-        );
+        )
+        .unwrap();
         let cfg = SamplerConfig::new(8);
         let err =
             sample_fixed_rank_cluster(&mut cl, 1_000, 200, &cfg, &mut StdRng::seed_from_u64(3))

@@ -41,7 +41,7 @@ pub fn sample_fixed_rank_multi_gpu(
     cfg: &SamplerConfig,
     rng: &mut impl Rng,
 ) -> Result<(Option<LowRankApprox>, MultiRunReport)> {
-    let mut exec = MultiGpuExec::new(mg);
+    let mut exec = MultiGpuExec::new(mg)?;
     run_fixed_rank(&mut exec, a, cfg, rng)
 }
 
@@ -58,7 +58,7 @@ pub fn scaling_report(
     cfg: &SamplerConfig,
     rng: &mut impl Rng,
 ) -> Result<MultiRunReport> {
-    let mut mg = MultiGpu::new(ng, rlra_gpu::DeviceSpec::k40c(), ExecMode::DryRun);
+    let mut mg = MultiGpu::new(ng, rlra_gpu::DeviceSpec::k40c(), ExecMode::DryRun)?;
     let (_, report) = sample_fixed_rank_multi_gpu(&mut mg, HostInput::Shape(m, n), cfg, rng)?;
     Ok(report)
 }
@@ -74,7 +74,7 @@ mod tests {
     fn multi_gpu_result_is_a_valid_low_rank_approx() {
         let (a, _) = decay_matrix(60, 30, 0.5, 1);
         let cfg = SamplerConfig::new(5).with_p(3).with_q(1);
-        let mut mg = MultiGpu::new(3, DeviceSpec::k40c(), ExecMode::Compute);
+        let mut mg = MultiGpu::new(3, DeviceSpec::k40c(), ExecMode::Compute).unwrap();
         let (lr, report) =
             sample_fixed_rank_multi_gpu(&mut mg, HostInput::Values(&a), &cfg, &mut rng(2)).unwrap();
         let lr = lr.unwrap();
@@ -127,7 +127,7 @@ mod tests {
 
     #[test]
     fn rejects_fft_sampling() {
-        let mut mg = MultiGpu::new(2, DeviceSpec::k40c(), ExecMode::DryRun);
+        let mut mg = MultiGpu::new(2, DeviceSpec::k40c(), ExecMode::DryRun).unwrap();
         let cfg = SamplerConfig::new(5)
             .with_p(3)
             .with_sampling(SamplingKind::Fft(rlra_fft::SrftScheme::Full));
@@ -145,7 +145,7 @@ mod tests {
 
     #[test]
     fn compute_mode_requires_values() {
-        let mut mg = MultiGpu::new(2, DeviceSpec::k40c(), ExecMode::Compute);
+        let mut mg = MultiGpu::new(2, DeviceSpec::k40c(), ExecMode::Compute).unwrap();
         let cfg = SamplerConfig::new(5).with_p(3);
         assert!(
             sample_fixed_rank_multi_gpu(&mut mg, HostInput::Shape(100, 50), &cfg, &mut rng(7))

@@ -42,8 +42,8 @@ fn fixed_rank_factors_bit_identical_across_backends() {
             run_fixed_rank(&mut ge, Input::Values(&a), cfg, &mut rng(seed)).unwrap();
         let gpu_lr = gpu_lr.unwrap();
 
-        let mut mg = MultiGpu::new(3, DeviceSpec::k40c(), ExecMode::Compute);
-        let mut me = MultiGpuExec::new(&mut mg);
+        let mut mg = MultiGpu::new(3, DeviceSpec::k40c(), ExecMode::Compute).unwrap();
+        let mut me = MultiGpuExec::new(&mut mg).unwrap();
         let (multi_lr, multi_rep) =
             run_fixed_rank(&mut me, Input::Values(&a), cfg, &mut rng(seed)).unwrap();
         let multi_lr = multi_lr.unwrap();
@@ -73,7 +73,81 @@ fn fixed_rank_factors_bit_identical_across_backends() {
         assert!(multi_rep.seconds > 0.0);
         assert!(multi_rep.comms > 0.0);
         assert_eq!(multi_rep.devices, 3);
+
+        // Communication is exclusively a multi-device phenomenon: the
+        // CPU and single-GPU backends must report exactly zero comms.
+        assert_eq!(cpu_rep.comms, 0.0, "config {ci}: CPU comms must be 0");
+        assert_eq!(gpu_rep.comms, 0.0, "config {ci}: 1-GPU comms must be 0");
+
+        // No faults were injected anywhere.
+        for rep in [&cpu_rep, &gpu_rep, &multi_rep] {
+            assert_eq!(rep.faults_injected, 0);
+            assert_eq!(rep.retries, 0);
+            assert_eq!(rep.recovery_seconds, 0.0);
+            assert_eq!(rep.devices_lost, 0);
+        }
     }
+}
+
+/// A fault plan whose events never fire (scheduled far past the launch
+/// horizon) must leave both the factors and the *entire report* —
+/// clocks, timelines, counters — bit-identical to a run with no
+/// injector installed, on every computing backend.
+#[test]
+fn no_fire_fault_plan_is_bit_identical_to_no_injector_run() {
+    use rlra_gpu::FaultPlan;
+    let (a, _) = decay_matrix(90, 45, 0.6, 42);
+    let cfg = SamplerConfig::new(6).with_p(4).with_q(1);
+    let plan = FaultPlan::default()
+        .transient(0, 1_000_000)
+        .straggler(1, 1_000_000, 4.0)
+        .fail_stop(2, 1_000_000);
+
+    // Single GPU.
+    let run_gpu = |with_plan: bool| {
+        let mut gpu = Gpu::k40c();
+        if with_plan {
+            gpu.set_injector(Some(plan.injector_for(0)));
+        }
+        let mut ge = GpuExec::new(&mut gpu);
+        let (lr, rep) = run_fixed_rank(&mut ge, Input::Values(&a), &cfg, &mut rng(9)).unwrap();
+        (lr.unwrap(), rep)
+    };
+    let (lr_base, rep_base) = run_gpu(false);
+    let (lr_plan, rep_plan) = run_gpu(true);
+    assert_eq!(lr_base.q, lr_plan.q);
+    assert_eq!(lr_base.r, lr_plan.r);
+    assert_eq!(lr_base.perm.as_slice(), lr_plan.perm.as_slice());
+    assert_eq!(
+        rep_base, rep_plan,
+        "single-GPU report must be bit-identical"
+    );
+
+    // Multi-GPU.
+    let run_multi = |with_plan: bool| {
+        let mut mg = MultiGpu::new(3, DeviceSpec::k40c(), ExecMode::Compute).unwrap();
+        if with_plan {
+            mg.install_plan(&plan);
+        }
+        let mut me = MultiGpuExec::new(&mut mg).unwrap();
+        let (lr, rep) = run_fixed_rank(&mut me, Input::Values(&a), &cfg, &mut rng(9)).unwrap();
+        (lr.unwrap(), rep)
+    };
+    let (mlr_base, mrep_base) = run_multi(false);
+    let (mlr_plan, mrep_plan) = run_multi(true);
+    assert_eq!(mlr_base.q, mlr_plan.q);
+    assert_eq!(mlr_base.r, mlr_plan.r);
+    assert_eq!(mlr_base.perm.as_slice(), mlr_plan.perm.as_slice());
+    assert_eq!(
+        mrep_base, mrep_plan,
+        "multi-GPU report must be bit-identical"
+    );
+
+    // CPU for completeness: the backend ignores injectors entirely.
+    let mut cpu = CpuExec::new();
+    let (cpu_lr, cpu_rep) = run_fixed_rank(&mut cpu, Input::Values(&a), &cfg, &mut rng(9)).unwrap();
+    assert_eq!(cpu_lr.unwrap().q, lr_base.q);
+    assert_eq!(cpu_rep.faults_injected, 0);
 }
 
 #[test]

@@ -10,6 +10,7 @@
 //! cost separation that makes communication-avoiding algorithms matter.
 
 use crate::device::ExecMode;
+use crate::fault::FaultPlan;
 use crate::multigpu::MultiGpu;
 use crate::spec::DeviceSpec;
 use crate::timeline::{Phase, Timeline};
@@ -74,22 +75,34 @@ pub struct Cluster {
 
 impl Cluster {
     /// Builds a cluster of `nodes × gpus_per_node` identical GPUs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MatrixError::InvalidParameter`] when `nodes` or
+    /// `gpus_per_node` is zero.
     pub fn new(
         nodes: usize,
         gpus_per_node: usize,
         spec: DeviceSpec,
         net: NetworkSpec,
         mode: ExecMode,
-    ) -> Self {
-        assert!(nodes > 0 && gpus_per_node > 0);
-        Cluster {
+    ) -> Result<Self> {
+        if nodes == 0 || gpus_per_node == 0 {
+            return Err(MatrixError::InvalidParameter {
+                name: "nodes/gpus_per_node",
+                message: format!(
+                    "need at least one node and one GPU per node (got {nodes}x{gpus_per_node})"
+                ),
+            });
+        }
+        Ok(Cluster {
             nodes: (0..nodes)
                 .map(|_| MultiGpu::new(gpus_per_node, spec.clone(), mode))
-                .collect(),
+                .collect::<Result<Vec<_>>>()?,
             net,
             mode,
             comms_inter: 0.0,
-        }
+        })
     }
 
     /// Number of nodes.
@@ -97,9 +110,41 @@ impl Cluster {
         self.nodes.len()
     }
 
-    /// Total GPU count.
+    /// Total GPU count (including any lost to fail-stop faults).
     pub fn total_gpus(&self) -> usize {
         self.nodes.iter().map(super::multigpu::MultiGpu::ng).sum()
+    }
+
+    /// Installs per-device injectors from a fault plan. Devices are
+    /// numbered globally and sequentially: node `i`'s GPUs get ids
+    /// `[i·g, (i+1)·g)` for `g = gpus_per_node` — the same layout
+    /// [`Cluster::locate_device`] inverts.
+    pub fn install_plan(&mut self, plan: &FaultPlan) {
+        let mut id = 0;
+        for node in &mut self.nodes {
+            for g in 0..node.ng() {
+                node.gpu_mut(g).set_injector(Some(plan.injector_for(id)));
+                id += 1;
+            }
+        }
+    }
+
+    /// Maps a global device id (the numbering of
+    /// [`Cluster::install_plan`]) to `(node, gpu-in-node)`.
+    pub fn locate_device(&self, device: usize) -> Option<(usize, usize)> {
+        let mut base = 0;
+        for (ni, node) in self.nodes.iter().enumerate() {
+            if device < base + node.ng() {
+                return Some((ni, device - base));
+            }
+            base += node.ng();
+        }
+        None
+    }
+
+    /// Total fault events fired across the cluster.
+    pub fn faults_injected(&self) -> u64 {
+        self.nodes.iter().map(MultiGpu::faults_injected).sum()
     }
 
     /// Execution mode.
@@ -135,7 +180,8 @@ impl Cluster {
         self.comms_inter
     }
 
-    /// Global barrier: every GPU on every node jumps to the cluster max.
+    /// Global barrier: every surviving GPU on every node jumps to the
+    /// cluster max (waiting is not kernel work, so no straggler scaling).
     pub fn barrier(&mut self) {
         let t = self.time();
         for node in &mut self.nodes {
@@ -143,17 +189,23 @@ impl Cluster {
             let dt = t - node.time();
             if dt > 0.0 {
                 for g in 0..node.ng() {
-                    node.gpu_mut(g).charge(Phase::Other, dt);
+                    if !node.gpu(g).is_dead() {
+                        node.gpu_mut(g).charge_raw(Phase::Other, dt);
+                    }
                 }
             }
         }
     }
 
-    /// Charges an inter-node collective to every node and records it.
+    /// Charges an inter-node collective to every surviving GPU and
+    /// records it (network time is not device kernel work, so no
+    /// straggler scaling).
     fn charge_collective(&mut self, phase: Phase, secs: f64) {
         for node in &mut self.nodes {
             for g in 0..node.ng() {
-                node.gpu_mut(g).charge(phase, secs);
+                if !node.gpu(g).is_dead() {
+                    node.gpu_mut(g).charge_raw(phase, secs);
+                }
             }
         }
         self.comms_inter += secs;
@@ -167,7 +219,13 @@ impl Cluster {
     ///
     /// Returns [`MatrixError::DimensionMismatch`] if parts disagree.
     pub fn allreduce_host(&mut self, phase: Phase, parts: &[Mat]) -> Result<Mat> {
-        assert_eq!(parts.len(), self.nodes(), "one part per node");
+        if parts.len() != self.nodes() {
+            return Err(MatrixError::DimensionMismatch {
+                op: "Cluster::allreduce_host",
+                expected: format!("one part per node ({})", self.nodes()),
+                found: format!("{} parts", parts.len()),
+            });
+        }
         let (r, c) = parts[0].shape();
         for p in parts {
             if p.shape() != (r, c) {
@@ -278,7 +336,8 @@ mod tests {
             DeviceSpec::k40c(),
             NetworkSpec::infiniband_fdr(),
             ExecMode::Compute,
-        );
+        )
+        .unwrap();
         let parts: Vec<Mat> = (0..3).map(|i| Mat::filled(2, 2, (i + 1) as f64)).collect();
         let sum = cl.allreduce_host(Phase::Comms, &parts).unwrap();
         assert_eq!(sum, Mat::filled(2, 2, 6.0));
@@ -294,7 +353,8 @@ mod tests {
             DeviceSpec::k40c(),
             NetworkSpec::infiniband_fdr(),
             ExecMode::DryRun,
-        );
+        )
+        .unwrap();
         cl.allreduce_scalar(Phase::Comms);
         assert_eq!(cl.inter_node_comms(), 0.0);
     }
@@ -307,7 +367,8 @@ mod tests {
             DeviceSpec::k40c(),
             NetworkSpec::infiniband_fdr(),
             ExecMode::DryRun,
-        );
+        )
+        .unwrap();
         let chunks = cl.node_row_chunks(100);
         assert_eq!(chunks.iter().map(|c| c.1).sum::<usize>(), 100);
         assert_eq!(chunks[0].0, 0);
@@ -324,7 +385,8 @@ mod tests {
             DeviceSpec::k40c(),
             NetworkSpec::infiniband_fdr(),
             ExecMode::DryRun,
-        );
+        )
+        .unwrap();
         cl.node_mut(0).gpu_mut(1).charge(Phase::Other, 0.5);
         cl.barrier();
         let t = cl.time();

@@ -1,6 +1,7 @@
 //! The simulated GPU handle, device buffers, and cuBLAS-like kernels.
 
 use crate::cost::CostModel;
+use crate::fault::{FaultInjector, FaultKind};
 use crate::spec::DeviceSpec;
 use crate::timeline::{Phase, Timeline};
 use rand::Rng;
@@ -114,6 +115,12 @@ pub struct Gpu {
     pub launches: u64,
     /// Number of host synchronizations (diagnostics).
     pub syncs: u64,
+    /// Optional fault schedule polled before every kernel launch.
+    injector: Option<FaultInjector>,
+    /// Straggler cost multiplier (1.0 unless a straggler event fired).
+    slowdown: f64,
+    /// `(device, launch)` at which a fail-stop fired; set once, forever.
+    dead: Option<(usize, u64)>,
 }
 
 impl Gpu {
@@ -126,6 +133,9 @@ impl Gpu {
             timeline: Timeline::new(),
             launches: 0,
             syncs: 0,
+            injector: None,
+            slowdown: 1.0,
+            dead: None,
         }
     }
 
@@ -161,6 +171,10 @@ impl Gpu {
     }
 
     /// Resets the clock and timeline (keeps the mode and spec).
+    ///
+    /// Fault state is deliberately *not* reset: a lost device stays
+    /// lost, a straggler stays slow, and consumed injector events stay
+    /// consumed — faults model hardware, not per-run bookkeeping.
     pub fn reset(&mut self) {
         self.clock = 0.0;
         self.timeline = Timeline::new();
@@ -168,8 +182,104 @@ impl Gpu {
         self.syncs = 0;
     }
 
-    /// Charges `secs` of simulated time to `phase`.
+    // --- Fault injection ----------------------------------------------------
+
+    /// Installs (or clears) the fault injector polled before every
+    /// kernel launch.
+    pub fn set_injector(&mut self, injector: Option<FaultInjector>) {
+        self.injector = injector;
+    }
+
+    /// Removes and returns the installed injector, if any.
+    pub fn take_injector(&mut self) -> Option<FaultInjector> {
+        self.injector.take()
+    }
+
+    /// The installed injector, if any.
+    pub fn injector(&self) -> Option<&FaultInjector> {
+        self.injector.as_ref()
+    }
+
+    /// Number of fault events that have fired on this device.
+    pub fn faults_injected(&self) -> u64 {
+        self.injector
+            .as_ref()
+            .map(FaultInjector::fired)
+            .unwrap_or(0)
+    }
+
+    /// Whether a fail-stop fault has permanently killed this device.
+    pub fn is_dead(&self) -> bool {
+        self.dead.is_some()
+    }
+
+    /// `(device, launch)` of the fail-stop that killed this device.
+    pub fn dead_info(&self) -> Option<(usize, u64)> {
+        self.dead
+    }
+
+    /// Marks the device as lost (used to propagate a loss observed on a
+    /// simulation twin back onto the caller's device).
+    pub fn mark_dead(&mut self, device: usize, at: u64) {
+        self.dead = Some((device, at));
+    }
+
+    /// Current straggler cost multiplier (1.0 = nominal speed).
+    pub fn slowdown(&self) -> f64 {
+        self.slowdown
+    }
+
+    /// Polls the injector at the current launch counter. Called at the
+    /// top of every kernel; a dead device fails every launch.
+    fn poll_faults(&mut self) -> Result<()> {
+        if let Some((device, at)) = self.dead {
+            return Err(MatrixError::DeviceFault {
+                device,
+                kind: rlra_matrix::DeviceFaultKind::FailStop,
+                at,
+            });
+        }
+        let Some(inj) = self.injector.as_mut() else {
+            return Ok(());
+        };
+        while let Some(ev) = inj.poll(self.launches) {
+            match ev.kind {
+                FaultKind::Straggler { factor } => {
+                    self.slowdown = factor;
+                }
+                FaultKind::Transient => {
+                    return Err(MatrixError::DeviceFault {
+                        device: ev.device,
+                        kind: rlra_matrix::DeviceFaultKind::Transient,
+                        at: self.launches,
+                    });
+                }
+                FaultKind::FailStop => {
+                    let at = self.launches;
+                    self.dead = Some((ev.device, at));
+                    return Err(MatrixError::DeviceFault {
+                        device: ev.device,
+                        kind: rlra_matrix::DeviceFaultKind::FailStop,
+                        at,
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Charges `secs` of simulated time to `phase`, inflated by the
+    /// straggler multiplier when one is active.
     pub fn charge(&mut self, phase: Phase, secs: f64) {
+        let secs = secs * self.slowdown;
+        self.clock += secs;
+        self.timeline.add(phase, secs);
+    }
+
+    /// Charges `secs` without the straggler multiplier. Used for
+    /// barrier waits and for folding already-scaled simulated time from
+    /// an internal dry-run back into a caller device.
+    pub fn charge_raw(&mut self, phase: Phase, secs: f64) {
         self.clock += secs;
         self.timeline.add(phase, secs);
     }
@@ -270,6 +380,7 @@ impl Gpu {
                 found: format!("op(B) {kb}x{n}, C {}x{}", c.rows, c.cols),
             });
         }
+        self.poll_faults()?;
         self.launches += 1;
         self.charge(phase, self.cost.gemm(m, n, ka));
         if self.computing() {
@@ -304,6 +415,7 @@ impl Gpu {
                 found: format!("C {}x{}", c.rows, c.cols),
             });
         }
+        self.poll_faults()?;
         self.launches += 1;
         self.charge(phase, self.cost.syrk(l, k));
         if self.computing() {
@@ -350,6 +462,7 @@ impl Gpu {
             rlra_blas::Side::Left => b.cols,
             rlra_blas::Side::Right => b.rows,
         };
+        self.poll_faults()?;
         self.launches += 1;
         self.charge(phase, self.cost.trsm(l, nrhs));
         if self.computing() {
@@ -390,6 +503,7 @@ impl Gpu {
             rlra_blas::Side::Left => b.cols,
             rlra_blas::Side::Right => b.rows,
         };
+        self.poll_faults()?;
         self.launches += 1;
         self.charge(phase, self.cost.trsm(l, nrhs)); // same cost class as trsm
         if self.computing() {
@@ -411,24 +525,31 @@ impl Gpu {
     // --- cuRAND / cuFFT ------------------------------------------------------
 
     /// Generates an `rows × cols` Gaussian matrix on the device (cuRAND).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MatrixError::DeviceFault`] when an injected fault is
+    /// due. On a transient fault the RNG stream is *not* advanced, so a
+    /// retried launch draws the same values.
     pub fn curand_gaussian(
         &mut self,
         phase: Phase,
         rows: usize,
         cols: usize,
         rng: &mut impl Rng,
-    ) -> DMat {
+    ) -> Result<DMat> {
+        self.poll_faults()?;
         self.launches += 1;
         self.charge(phase, self.cost.curand(rows * cols));
         if self.computing() {
-            DMat::from_mat(rlra_matrix::gaussian_mat(rows, cols, rng))
+            Ok(DMat::from_mat(rlra_matrix::gaussian_mat(rows, cols, rng)))
         } else {
             // Keep the RNG stream position identical across modes so a
             // dry-run and a compute run of the same experiment stay
             // seed-compatible.
             let mut sink = vec![0.0f64; rows * cols];
             rlra_matrix::randn::fill_standard_normal(rng, &mut sink);
-            DMat::shape_only(rows, cols)
+            Ok(DMat::shape_only(rows, cols))
         }
     }
 
@@ -445,6 +566,7 @@ impl Gpu {
         op: &rlra_fft::SrftOperator,
         a: &DMat,
     ) -> Result<DMat> {
+        self.poll_faults()?;
         self.launches += 2;
         self.charge(phase, self.cost.fft_cols(op.padded_len(), a.rows));
         self.charge(phase, self.cost.blas1(op.rows() * a.rows, 2.0));
@@ -474,6 +596,7 @@ impl Gpu {
         op: &rlra_fft::SrftOperator,
         a: &DMat,
     ) -> Result<DMat> {
+        self.poll_faults()?;
         self.launches += 2; // batched FFT + gather
         self.charge(phase, self.cost.fft_cols(op.padded_len(), a.cols));
         self.charge(phase, self.cost.blas1(op.rows() * a.cols, 2.0));
@@ -612,8 +735,8 @@ mod tests {
         let mut g2 = Gpu::k40c_dry();
         let mut r1 = StdRng::seed_from_u64(9);
         let mut r2 = StdRng::seed_from_u64(9);
-        let _ = g1.curand_gaussian(Phase::Prng, 5, 5, &mut r1);
-        let _ = g2.curand_gaussian(Phase::Prng, 5, 5, &mut r2);
+        g1.curand_gaussian(Phase::Prng, 5, 5, &mut r1).unwrap();
+        g2.curand_gaussian(Phase::Prng, 5, 5, &mut r2).unwrap();
         // After the call both streams must be at the same position.
         let a: f64 = r1.gen();
         let b: f64 = r2.gen();
@@ -627,6 +750,99 @@ mod tests {
         gpu.reset();
         assert_eq!(gpu.clock(), 0.0);
         assert_eq!(gpu.timeline().total(), 0.0);
+    }
+
+    #[test]
+    fn transient_fault_fails_one_launch_then_clears() {
+        use crate::fault::FaultPlan;
+        let mut gpu = Gpu::k40c_dry();
+        gpu.set_injector(Some(FaultPlan::new().transient(0, 0).injector_for(0)));
+        let a = gpu.resident_shape(4, 4);
+        let b = gpu.resident_shape(4, 4);
+        let mut c = gpu.alloc(4, 4);
+        let err = gpu
+            .gemm(Phase::Other, 1.0, &a, Trans::No, &b, Trans::No, 0.0, &mut c)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            MatrixError::DeviceFault {
+                device: 0,
+                kind: rlra_matrix::DeviceFaultKind::Transient,
+                ..
+            }
+        ));
+        assert!(!gpu.is_dead());
+        // The retry succeeds: the event is consumed.
+        gpu.gemm(Phase::Other, 1.0, &a, Trans::No, &b, Trans::No, 0.0, &mut c)
+            .unwrap();
+        assert_eq!(gpu.faults_injected(), 1);
+    }
+
+    #[test]
+    fn fail_stop_kills_every_subsequent_launch() {
+        use crate::fault::FaultPlan;
+        let mut gpu = Gpu::k40c_dry();
+        gpu.set_injector(Some(FaultPlan::new().fail_stop(3, 1).injector_for(3)));
+        let a = gpu.resident_shape(4, 4);
+        let b = gpu.resident_shape(4, 4);
+        let mut c = gpu.alloc(4, 4);
+        gpu.gemm(Phase::Other, 1.0, &a, Trans::No, &b, Trans::No, 0.0, &mut c)
+            .unwrap();
+        for _ in 0..2 {
+            let err = gpu
+                .gemm(Phase::Other, 1.0, &a, Trans::No, &b, Trans::No, 0.0, &mut c)
+                .unwrap_err();
+            assert!(matches!(
+                err,
+                MatrixError::DeviceFault {
+                    device: 3,
+                    kind: rlra_matrix::DeviceFaultKind::FailStop,
+                    at: 1,
+                }
+            ));
+        }
+        assert!(gpu.is_dead());
+    }
+
+    #[test]
+    fn straggler_inflates_kernel_cost_without_failing() {
+        use crate::fault::FaultPlan;
+        let run = |factor: Option<f64>| -> f64 {
+            let mut gpu = Gpu::k40c_dry();
+            if let Some(fx) = factor {
+                gpu.set_injector(Some(FaultPlan::new().straggler(0, 0, fx).injector_for(0)));
+            }
+            let a = gpu.resident_shape(64, 64);
+            let b = gpu.resident_shape(64, 64);
+            let mut c = gpu.alloc(64, 64);
+            gpu.gemm(Phase::Other, 1.0, &a, Trans::No, &b, Trans::No, 0.0, &mut c)
+                .unwrap();
+            gpu.clock()
+        };
+        let nominal = run(None);
+        let slowed = run(Some(3.0));
+        assert!((slowed - 3.0 * nominal).abs() < 1e-15 * slowed.abs().max(1.0));
+    }
+
+    #[test]
+    fn no_fire_injector_changes_nothing() {
+        use crate::fault::FaultPlan;
+        let run = |inject: bool| -> (f64, Timeline, u64) {
+            let mut gpu = Gpu::k40c_dry();
+            if inject {
+                // Scheduled far beyond any launch this run performs.
+                gpu.set_injector(Some(
+                    FaultPlan::new().fail_stop(0, 1_000_000).injector_for(0),
+                ));
+            }
+            let a = gpu.resident_shape(16, 16);
+            let b = gpu.resident_shape(16, 16);
+            let mut c = gpu.alloc(16, 16);
+            gpu.gemm(Phase::Other, 1.0, &a, Trans::No, &b, Trans::No, 0.0, &mut c)
+                .unwrap();
+            (gpu.clock(), gpu.timeline().clone(), gpu.launches)
+        };
+        assert_eq!(run(false), run(true));
     }
 
     #[test]

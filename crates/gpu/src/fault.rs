@@ -1,0 +1,309 @@
+//! Deterministic fault injection for the simulated fleet.
+//!
+//! The paper's closing argument (§11) is that random sampling wins
+//! bigger as communication gets more expensive — the multi-GPU and
+//! cluster regimes where devices actually fail. This module lets the
+//! simulation schedule faults *deterministically*: a [`FaultPlan`] is a
+//! list of events pinned to per-device kernel-launch ordinals, either
+//! hand-built or drawn from an explicitly seeded `StdRng` (never from
+//! ambient entropy, so the workspace `determinism` lint and the
+//! bit-identical cross-backend tests keep holding).
+//!
+//! Three fault kinds model the failure modes that matter for a
+//! sketching pipeline:
+//!
+//! * [`FaultKind::Transient`] — one launch aborts (an ECC double-bit
+//!   error); the device survives and the launch can be retried.
+//! * [`FaultKind::FailStop`] — permanent device loss; every later
+//!   launch on that device fails.
+//! * [`FaultKind::Straggler`] — the device falls behind; its kernel
+//!   costs are multiplied by a factor from the event onward.
+//!
+//! A [`FaultInjector`] is the per-device consumable view of a plan: the
+//! device polls it before each kernel launch and surfaces due events as
+//! [`MatrixError::DeviceFault`](rlra_matrix::MatrixError). Recovery —
+//! retry budgets, backoff, fleet degradation — is the executor layer's
+//! job (`rlra-core::backend`), not the device's.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rlra_matrix::DeviceFaultKind;
+
+/// What an injected fault does to the device (scheduling-side view;
+/// the error-surface classification is
+/// [`DeviceFaultKind`](rlra_matrix::DeviceFaultKind)).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultKind {
+    /// One launch fails; a retry of the same launch succeeds.
+    Transient,
+    /// The device is lost; all subsequent launches fail.
+    FailStop,
+    /// Kernel costs on the device are multiplied by `factor` (>= 1.0)
+    /// from this event onward. Does not abort any launch.
+    Straggler {
+        /// Cost multiplier applied to subsequent kernel charges.
+        factor: f64,
+    },
+}
+
+impl FaultKind {
+    /// The error-surface classification of this fault.
+    pub fn classify(self) -> DeviceFaultKind {
+        match self {
+            FaultKind::Transient => DeviceFaultKind::Transient,
+            FaultKind::FailStop => DeviceFaultKind::FailStop,
+            FaultKind::Straggler { .. } => DeviceFaultKind::Straggler,
+        }
+    }
+}
+
+/// One scheduled fault: `kind` fires on `device` immediately before
+/// that device's `at_launch`-th kernel launch (0-based ordinal).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultEvent {
+    /// Global index of the device the fault targets.
+    pub device: usize,
+    /// Per-device kernel-launch ordinal at which the fault fires.
+    pub at_launch: u64,
+    /// What fires.
+    pub kind: FaultKind,
+}
+
+/// A deterministic schedule of fault events for a fleet.
+///
+/// Build one by hand with the [`transient`](FaultPlan::transient) /
+/// [`fail_stop`](FaultPlan::fail_stop) /
+/// [`straggler`](FaultPlan::straggler) builders, or draw a random plan
+/// from an explicit seed with [`random`](FaultPlan::random). Install it
+/// on a `Gpu`, `MultiGpu` or `Cluster`; devices without events in the
+/// plan behave exactly as if no plan were installed.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlan {
+    events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// An empty plan (fires nothing).
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Schedules a transient kernel failure.
+    pub fn transient(mut self, device: usize, at_launch: u64) -> Self {
+        self.events.push(FaultEvent {
+            device,
+            at_launch,
+            kind: FaultKind::Transient,
+        });
+        self
+    }
+
+    /// Schedules a fail-stop device loss.
+    pub fn fail_stop(mut self, device: usize, at_launch: u64) -> Self {
+        self.events.push(FaultEvent {
+            device,
+            at_launch,
+            kind: FaultKind::FailStop,
+        });
+        self
+    }
+
+    /// Schedules a straggler slowdown (`factor` >= 1.0 is clamped up).
+    pub fn straggler(mut self, device: usize, at_launch: u64, factor: f64) -> Self {
+        self.events.push(FaultEvent {
+            device,
+            at_launch,
+            kind: FaultKind::Straggler {
+                factor: factor.max(1.0),
+            },
+        });
+        self
+    }
+
+    /// Draws a random plan from an explicit seed: for each of `devices`
+    /// devices, launch ordinals in `[0, horizon)` fail independently
+    /// with probability `1 / mtbf_launches` (a geometric inter-arrival
+    /// — the discrete analogue of exponential MTBF). Each arrival is a
+    /// transient with probability `transient_share`, else a fail-stop.
+    ///
+    /// The draw is a pure function of its arguments; the same seed
+    /// always yields the same plan.
+    pub fn random(
+        seed: u64,
+        devices: usize,
+        horizon: u64,
+        mtbf_launches: u64,
+        transient_share: f64,
+    ) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut plan = FaultPlan::new();
+        let p = 1.0 / mtbf_launches.max(1) as f64;
+        for device in 0..devices {
+            let mut at: u64 = 0;
+            loop {
+                // Geometric inter-arrival via inverse CDF.
+                let u: f64 = rng.gen_range(0.0..1.0);
+                let gap = (1.0 - u).ln() / (1.0 - p).ln();
+                at = at.saturating_add((gap.max(0.0) as u64).saturating_add(1));
+                if at >= horizon {
+                    break;
+                }
+                let transient = rng.gen_range(0.0..1.0) < transient_share;
+                plan.events.push(FaultEvent {
+                    device,
+                    at_launch: at,
+                    kind: if transient {
+                        FaultKind::Transient
+                    } else {
+                        FaultKind::FailStop
+                    },
+                });
+                if !transient {
+                    break; // the device is gone; later events are moot
+                }
+            }
+        }
+        plan
+    }
+
+    /// All scheduled events.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// The per-device consumable injector for `device`: that device's
+    /// events, sorted by launch ordinal.
+    pub fn injector_for(&self, device: usize) -> FaultInjector {
+        let mut events: Vec<FaultEvent> = self
+            .events
+            .iter()
+            .copied()
+            .filter(|e| e.device == device)
+            .collect();
+        events.sort_by_key(|e| e.at_launch);
+        FaultInjector {
+            device,
+            events,
+            cursor: 0,
+            fired: 0,
+        }
+    }
+}
+
+/// Per-device consumable view of a [`FaultPlan`].
+///
+/// The owning device calls [`poll`](FaultInjector::poll) with its
+/// launch counter before each kernel launch; each event fires exactly
+/// once, in launch order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultInjector {
+    device: usize,
+    events: Vec<FaultEvent>,
+    cursor: usize,
+    fired: u64,
+}
+
+impl FaultInjector {
+    /// The global device index this injector is bound to.
+    pub fn device(&self) -> usize {
+        self.device
+    }
+
+    /// Number of events that have fired so far.
+    pub fn fired(&self) -> u64 {
+        self.fired
+    }
+
+    /// Returns the next event due at or before launch ordinal
+    /// `launches`, consuming it, or `None` if nothing is due.
+    pub fn poll(&mut self, launches: u64) -> Option<FaultEvent> {
+        let ev = *self.events.get(self.cursor)?;
+        if ev.at_launch <= launches {
+            self.cursor += 1;
+            self.fired += 1;
+            Some(ev)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_accumulate_events() {
+        let plan = FaultPlan::new()
+            .transient(0, 3)
+            .fail_stop(1, 10)
+            .straggler(2, 5, 2.5);
+        assert_eq!(plan.events().len(), 3);
+        assert_eq!(plan.events()[2].kind, FaultKind::Straggler { factor: 2.5 });
+    }
+
+    #[test]
+    fn straggler_factor_clamped_up() {
+        let plan = FaultPlan::new().straggler(0, 0, 0.25);
+        assert_eq!(plan.events()[0].kind, FaultKind::Straggler { factor: 1.0 });
+    }
+
+    #[test]
+    fn injector_fires_each_event_once_in_order() {
+        let plan = FaultPlan::new()
+            .transient(0, 7)
+            .transient(0, 2)
+            .fail_stop(1, 0);
+        let mut inj = plan.injector_for(0);
+        assert_eq!(inj.device(), 0);
+        assert!(inj.poll(1).is_none());
+        let first = inj.poll(2).expect("event due at launch 2");
+        assert_eq!(first.at_launch, 2);
+        assert!(inj.poll(3).is_none());
+        let second = inj.poll(100).expect("event due at launch 7");
+        assert_eq!(second.at_launch, 7);
+        assert!(inj.poll(1_000_000).is_none());
+        assert_eq!(inj.fired(), 2);
+    }
+
+    #[test]
+    fn injector_ignores_other_devices() {
+        let plan = FaultPlan::new().fail_stop(1, 0);
+        let mut inj = plan.injector_for(0);
+        assert!(inj.poll(u64::MAX).is_none());
+        assert_eq!(inj.fired(), 0);
+    }
+
+    #[test]
+    fn random_plan_is_deterministic_in_its_seed() {
+        let a = FaultPlan::random(42, 4, 10_000, 500, 0.5);
+        let b = FaultPlan::random(42, 4, 10_000, 500, 0.5);
+        let c = FaultPlan::random(43, 4, 10_000, 500, 0.5);
+        assert_eq!(a, b);
+        assert_ne!(a, c, "different seeds should give different plans");
+    }
+
+    #[test]
+    fn random_plan_stops_a_device_at_its_fail_stop() {
+        let plan = FaultPlan::random(7, 8, 100_000, 50, 0.3);
+        for d in 0..8 {
+            let evs: Vec<_> = plan.events().iter().filter(|e| e.device == d).collect();
+            for (i, e) in evs.iter().enumerate() {
+                if e.kind == FaultKind::FailStop {
+                    assert_eq!(i, evs.len() - 1, "no events after a fail-stop");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn classify_maps_onto_error_kinds() {
+        use rlra_matrix::DeviceFaultKind;
+        assert_eq!(FaultKind::Transient.classify(), DeviceFaultKind::Transient);
+        assert_eq!(FaultKind::FailStop.classify(), DeviceFaultKind::FailStop);
+        assert_eq!(
+            FaultKind::Straggler { factor: 2.0 }.classify(),
+            DeviceFaultKind::Straggler
+        );
+    }
+}

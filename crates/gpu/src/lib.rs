@@ -40,7 +40,10 @@
 //!   schemes the paper benchmarks (CholQR, HHQR, CGS, MGS) and of
 //!   truncated QP3,
 //! - [`multigpu`] — the 1D block-row multi-GPU context of §4 with
-//!   host-mediated reductions and broadcast.
+//!   host-mediated reductions and broadcast,
+//! - [`fault`] — deterministic, seed-driven fault injection (transient
+//!   kernel failures, fail-stop device loss, straggler slowdown) against
+//!   the simulated launch counters.
 
 #![forbid(unsafe_code)]
 
@@ -48,12 +51,14 @@ pub mod algos;
 pub mod cluster;
 pub mod cost;
 pub mod device;
+pub mod fault;
 pub mod multigpu;
 pub mod spec;
 pub mod timeline;
 
 pub use cluster::{Cluster, NetworkSpec};
 pub use device::{DMat, ExecMode, Gpu};
+pub use fault::{FaultEvent, FaultInjector, FaultKind, FaultPlan};
 pub use multigpu::MultiGpu;
 pub use spec::DeviceSpec;
 pub use timeline::{Phase, Timeline};

@@ -14,12 +14,18 @@
 //! to 4.3 % on three), then advance every clock past the host-side work.
 
 use crate::device::{DMat, ExecMode, Gpu};
+use crate::fault::FaultPlan;
 use crate::spec::DeviceSpec;
 use crate::timeline::{Phase, Timeline};
 use rlra_blas::Trans;
 use rlra_matrix::{Mat, MatrixError, Result};
 
 /// A single compute node with `n_g` simulated GPUs and a host.
+///
+/// GPUs can be lost mid-run to injected fail-stop faults; collectives
+/// and distribution helpers then operate on the **surviving** devices
+/// ([`MultiGpu::ng_alive`] of them), which is how the executor layer
+/// degrades gracefully instead of restarting.
 #[derive(Debug, Clone)]
 pub struct MultiGpu {
     gpus: Vec<Gpu>,
@@ -30,23 +36,60 @@ pub struct MultiGpu {
 
 impl MultiGpu {
     /// Creates a context with `ng` identical GPUs.
-    pub fn new(ng: usize, spec: DeviceSpec, mode: ExecMode) -> Self {
-        assert!(ng > 0, "need at least one GPU");
-        MultiGpu {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MatrixError::InvalidParameter`] when `ng == 0`.
+    pub fn new(ng: usize, spec: DeviceSpec, mode: ExecMode) -> Result<Self> {
+        if ng == 0 {
+            return Err(MatrixError::InvalidParameter {
+                name: "ng",
+                message: "need at least one GPU".into(),
+            });
+        }
+        Ok(MultiGpu {
             gpus: (0..ng).map(|_| Gpu::new(spec.clone(), mode)).collect(),
             mode,
             host_timeline: Timeline::new(),
-        }
+        })
     }
 
-    /// Number of GPUs.
+    /// Number of GPUs (including any lost to fail-stop faults).
     pub fn ng(&self) -> usize {
         self.gpus.len()
+    }
+
+    /// Number of surviving GPUs.
+    pub fn ng_alive(&self) -> usize {
+        self.gpus.iter().filter(|g| !g.is_dead()).count()
+    }
+
+    /// Indices of the surviving GPUs, in device order.
+    pub fn alive_indices(&self) -> Vec<usize> {
+        self.gpus
+            .iter()
+            .enumerate()
+            .filter(|(_, g)| !g.is_dead())
+            .map(|(i, _)| i)
+            .collect()
     }
 
     /// Execution mode.
     pub fn mode(&self) -> ExecMode {
         self.mode
+    }
+
+    /// Installs per-device injectors from a fault plan (device `i` of
+    /// this node receives the plan's events for device index `i`).
+    pub fn install_plan(&mut self, plan: &FaultPlan) {
+        for (i, g) in self.gpus.iter_mut().enumerate() {
+            g.set_injector(Some(plan.injector_for(i)));
+        }
+    }
+
+    /// Total fault events fired across the fleet.
+    pub fn faults_injected(&self) -> u64 {
+        self.gpus.iter().map(Gpu::faults_injected).sum()
     }
 
     /// Mutable access to GPU `i` for local kernel calls.
@@ -67,21 +110,26 @@ impl MultiGpu {
             .fold(0.0, f64::max)
     }
 
-    /// Barrier: every GPU clock jumps to the maximum.
+    /// Barrier: every surviving GPU clock jumps to the maximum.
     pub fn barrier(&mut self) {
         let t = self.time();
         for g in &mut self.gpus {
+            if g.is_dead() {
+                continue;
+            }
             let dt = t - g.clock();
             if dt > 0.0 {
-                g.charge(Phase::Other, dt);
+                // Waiting is not kernel work: exempt from straggler scaling.
+                g.charge_raw(Phase::Other, dt);
             }
         }
     }
 
-    /// Splits the row range `0..m` into `ng` nearly equal chunks;
-    /// returns `(start, len)` per GPU.
+    /// Splits the row range `0..m` into [`MultiGpu::ng_alive`] nearly
+    /// equal chunks; returns `(start, len)` per surviving GPU, in the
+    /// order of [`MultiGpu::alive_indices`].
     pub fn row_chunks(&self, m: usize) -> Vec<(usize, usize)> {
-        let ng = self.ng();
+        let ng = self.ng_alive().max(1);
         let base = m / ng;
         let extra = m % ng;
         let mut out = Vec::with_capacity(ng);
@@ -94,21 +142,23 @@ impl MultiGpu {
         out
     }
 
-    /// Distributes `a` block-row-wise: GPU `i` receives its chunk as a
-    /// resident matrix (the paper's experiments assume `A` already lives
-    /// in device memory; pass `charge_upload = true` to pay the PCIe cost
+    /// Distributes `a` block-row-wise over the surviving GPUs: the
+    /// `j`-th chunk goes to GPU `alive_indices()[j]` as a resident
+    /// matrix (the paper's experiments assume `A` already lives in
+    /// device memory; pass `charge_upload = true` to pay the PCIe cost
     /// explicitly).
     pub fn distribute_rows(&mut self, a: &Mat, charge_upload: bool) -> Vec<DMat> {
         let chunks = self.row_chunks(a.rows());
+        let alive = self.alive_indices();
         chunks
             .iter()
-            .enumerate()
-            .map(|(i, &(start, len))| {
+            .zip(alive)
+            .map(|(&(start, len), gi)| {
                 let block = a.submatrix(start, 0, len, a.cols());
                 if charge_upload {
-                    self.gpus[i].upload(Phase::Comms, &block)
+                    self.gpus[gi].upload(Phase::Comms, &block)
                 } else {
-                    self.gpus[i].resident(&block)
+                    self.gpus[gi].resident(&block)
                 }
             })
             .collect()
@@ -117,18 +167,23 @@ impl MultiGpu {
     /// Shape-only distribution for dry runs at paper scale.
     pub fn distribute_rows_shape(&mut self, m: usize, n: usize) -> Vec<DMat> {
         let chunks = self.row_chunks(m);
+        let alive = self.alive_indices();
         chunks
             .iter()
-            .enumerate()
-            .map(|(i, &(_, len))| self.gpus[i].resident_shape(len, n))
+            .zip(alive)
+            .map(|(&(_, len), gi)| self.gpus[gi].resident_shape(len, n))
             .collect()
     }
 
-    /// Advances every GPU clock by `secs`, charged to `phase`, and logs
-    /// it centrally (used for serialized host work all GPUs wait on).
+    /// Advances every surviving GPU clock by `secs`, charged to `phase`,
+    /// and logs it centrally (used for serialized host work all GPUs
+    /// wait on — host work is not subject to a device's straggler
+    /// multiplier).
     fn charge_all(&mut self, phase: Phase, secs: f64) {
         for g in &mut self.gpus {
-            g.charge(phase, secs);
+            if !g.is_dead() {
+                g.charge_raw(phase, secs);
+            }
         }
         self.host_timeline.add(phase, secs);
     }
@@ -142,7 +197,14 @@ impl MultiGpu {
     /// Returns [`MatrixError::DimensionMismatch`] if parts disagree in
     /// shape.
     pub fn reduce_to_host(&mut self, phase: Phase, parts: &[DMat]) -> Result<Mat> {
-        assert_eq!(parts.len(), self.ng(), "one part per GPU");
+        let ng = self.ng_alive();
+        if parts.len() != ng {
+            return Err(MatrixError::DimensionMismatch {
+                op: "MultiGpu::reduce_to_host",
+                expected: format!("one part per surviving GPU ({ng})"),
+                found: format!("{} parts", parts.len()),
+            });
+        }
         let (r, c) = parts[0].shape();
         for p in parts {
             if p.shape() != (r, c) {
@@ -156,8 +218,8 @@ impl MultiGpu {
         self.barrier();
         let bytes = parts[0].bytes();
         let cost = self.gpus[0].cost().clone();
-        let transfer_total = cost.transfer(bytes) * self.ng() as f64;
-        let host_sum = cost.host_reduce(bytes, self.ng());
+        let transfer_total = cost.transfer(bytes) * ng as f64;
+        let host_sum = cost.host_reduce(bytes, ng);
         self.charge_all(phase, transfer_total + host_sum);
         // Numerics.
         let mut acc = Mat::zeros(r, c);
@@ -169,16 +231,18 @@ impl MultiGpu {
         Ok(acc)
     }
 
-    /// Broadcast: uploads the same host matrix to every GPU (serialized
-    /// PCIe transfers).
+    /// Broadcast: uploads the same host matrix to every surviving GPU
+    /// (serialized PCIe transfers); one part per surviving GPU, in
+    /// [`MultiGpu::alive_indices`] order.
     pub fn broadcast(&mut self, phase: Phase, m: &Mat) -> Vec<DMat> {
         self.barrier();
         let bytes = 8 * (m.rows() * m.cols()) as u64;
         let cost = self.gpus[0].cost().clone();
-        self.charge_all(phase, cost.transfer(bytes) * self.ng() as f64);
+        self.charge_all(phase, cost.transfer(bytes) * self.ng_alive() as f64);
         let mode = self.mode;
         self.gpus
             .iter()
+            .filter(|g| !g.is_dead())
             .map(|g| match mode {
                 ExecMode::Compute => g.resident(m),
                 ExecMode::DryRun => g.resident_shape(m.rows(), m.cols()),
@@ -210,10 +274,11 @@ impl MultiGpu {
         let l = parts[0].rows();
         let mut r_total = Mat::identity(l);
         for _ in 0..passes {
+            let alive = self.alive_indices();
             // Local Gram blocks.
-            let mut gparts = Vec::with_capacity(self.ng());
-            for (i, p) in parts.iter().enumerate() {
-                let gpu = &mut self.gpus[i];
+            let mut gparts = Vec::with_capacity(alive.len());
+            for (p, &gi) in parts.iter().zip(&alive) {
+                let gpu = &mut self.gpus[gi];
                 let mut g = gpu.alloc(l, l);
                 gpu.syrk_full(phase, 1.0, p, Trans::No, 0.0, &mut g)?;
                 gparts.push(g);
@@ -229,15 +294,15 @@ impl MultiGpu {
             };
             // Broadcast R̄ and substitute locally.
             let rparts = self.broadcast(Phase::Comms, &r);
-            for (i, p) in parts.iter_mut().enumerate() {
-                let gpu = &mut self.gpus[i];
+            for ((p, &gi), rp) in parts.iter_mut().zip(&alive).zip(&rparts) {
+                let gpu = &mut self.gpus[gi];
                 gpu.trsm(
                     phase,
                     rlra_blas::Side::Left,
                     rlra_blas::UpLo::Upper,
                     Trans::Yes,
                     1.0,
-                    &rparts[i],
+                    rp,
                     p,
                 )?;
             }
@@ -281,9 +346,10 @@ impl MultiGpu {
         let n = parts[0].cols();
         let mut r_total = Mat::identity(n);
         for _ in 0..passes {
-            let mut gparts = Vec::with_capacity(self.ng());
-            for (i, p) in parts.iter().enumerate() {
-                let gpu = &mut self.gpus[i];
+            let alive = self.alive_indices();
+            let mut gparts = Vec::with_capacity(alive.len());
+            for (p, &gi) in parts.iter().zip(&alive) {
+                let gpu = &mut self.gpus[gi];
                 let mut g = gpu.alloc(n, n);
                 gpu.syrk_full(phase, 1.0, p, Trans::Yes, 0.0, &mut g)?;
                 gparts.push(g);
@@ -297,15 +363,15 @@ impl MultiGpu {
                 Mat::identity(n)
             };
             let rparts = self.broadcast(Phase::Comms, &r);
-            for (i, p) in parts.iter_mut().enumerate() {
-                let gpu = &mut self.gpus[i];
+            for ((p, &gi), rp) in parts.iter_mut().zip(&alive).zip(&rparts) {
+                let gpu = &mut self.gpus[gi];
                 gpu.trsm(
                     phase,
                     rlra_blas::Side::Right,
                     rlra_blas::UpLo::Upper,
                     Trans::No,
                     1.0,
-                    &rparts[i],
+                    rp,
                     p,
                 )?;
             }
@@ -356,25 +422,35 @@ impl MultiGpu {
     /// Execution backends time a run on an internal dry-run `MultiGpu` and
     /// then credit the caller's context with the result: every phase of every
     /// simulated GPU timeline is charged onto the corresponding GPU here
-    /// (advancing its clock), launch/sync counters are added, and the host
-    /// timeline is merged. Both contexts must have the same GPU count.
-    pub fn absorb(&mut self, sim: &MultiGpu) {
-        assert_eq!(
-            self.gpus.len(),
-            sim.gpus.len(),
-            "absorb: GPU count mismatch"
-        );
+    /// (advancing its clock; the sim time is already straggler-scaled, so
+    /// the fold is raw), launch/sync counters are added, device losses are
+    /// propagated, and the host timeline is merged.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MatrixError::Internal`] when the GPU counts differ.
+    pub fn absorb(&mut self, sim: &MultiGpu) -> Result<()> {
+        if self.gpus.len() != sim.gpus.len() {
+            return Err(MatrixError::Internal {
+                op: "MultiGpu::absorb",
+                invariant: "simulation and caller contexts have the same GPU count",
+            });
+        }
         for (g, s) in self.gpus.iter_mut().zip(&sim.gpus) {
             for phase in Phase::ALL {
                 let secs = s.timeline().get(phase);
                 if secs > 0.0 {
-                    g.charge(phase, secs);
+                    g.charge_raw(phase, secs);
                 }
             }
             g.launches += s.launches;
             g.syncs += s.syncs;
+            if let Some((device, at)) = s.dead_info() {
+                g.mark_dead(device, at);
+            }
         }
         self.host_timeline.merge(&sim.host_timeline);
+        Ok(())
     }
 }
 
@@ -394,7 +470,7 @@ mod tests {
     }
 
     fn ctx(ng: usize) -> MultiGpu {
-        MultiGpu::new(ng, DeviceSpec::k40c(), ExecMode::Compute)
+        MultiGpu::new(ng, DeviceSpec::k40c(), ExecMode::Compute).unwrap()
     }
 
     #[test]
@@ -510,9 +586,51 @@ mod tests {
     }
 
     #[test]
+    fn lost_gpu_drops_out_of_distribution_and_collectives() {
+        let mut mg = MultiGpu::new(3, DeviceSpec::k40c(), ExecMode::DryRun).unwrap();
+        mg.gpu_mut(1).mark_dead(1, 17);
+        assert_eq!(mg.ng(), 3);
+        assert_eq!(mg.ng_alive(), 2);
+        assert_eq!(mg.alive_indices(), vec![0, 2]);
+        // Distribution covers all rows over the two survivors.
+        let parts = mg.distribute_rows_shape(11, 4);
+        assert_eq!(parts.len(), 2);
+        assert_eq!(parts.iter().map(super::DMat::rows).sum::<usize>(), 11);
+        // Collectives accept one (equally-shaped) part per survivor.
+        let bparts: Vec<DMat> = mg
+            .alive_indices()
+            .iter()
+            .map(|&gi| mg.gpu(gi).resident_shape(4, 7))
+            .collect();
+        assert!(mg.reduce_to_host(Phase::Comms, &bparts).is_ok());
+        let dead_clock = mg.gpu(1).clock();
+        mg.barrier();
+        assert_eq!(mg.gpu(1).clock(), dead_clock, "dead clocks stay frozen");
+    }
+
+    #[test]
+    fn absorb_propagates_device_loss_and_counts() {
+        let mut caller = MultiGpu::new(2, DeviceSpec::k40c(), ExecMode::Compute).unwrap();
+        let mut sim = MultiGpu::new(2, DeviceSpec::k40c(), ExecMode::DryRun).unwrap();
+        sim.gpu_mut(0).charge(Phase::GemmIter, 1.5);
+        sim.gpu_mut(1).mark_dead(1, 3);
+        caller.absorb(&sim).unwrap();
+        assert_eq!(caller.gpu(0).timeline().get(Phase::GemmIter), 1.5);
+        assert!(caller.gpu(1).is_dead());
+        // Mismatched fleet sizes are an error, not a panic.
+        let wrong = MultiGpu::new(3, DeviceSpec::k40c(), ExecMode::DryRun).unwrap();
+        assert!(caller.absorb(&wrong).is_err());
+    }
+
+    #[test]
+    fn zero_gpus_is_an_error() {
+        assert!(MultiGpu::new(0, DeviceSpec::k40c(), ExecMode::DryRun).is_err());
+    }
+
+    #[test]
     fn comms_grow_with_gpu_count() {
         let run = |ng: usize| -> f64 {
-            let mut mg = MultiGpu::new(ng, DeviceSpec::k40c(), ExecMode::DryRun);
+            let mut mg = MultiGpu::new(ng, DeviceSpec::k40c(), ExecMode::DryRun).unwrap();
             let parts: Vec<DMat> = (0..ng)
                 .map(|i| mg.gpu(i).resident_shape(64, 2500))
                 .collect();
@@ -541,7 +659,7 @@ mod tall_tests {
 
     #[test]
     fn distributed_tall_cholqr_orthonormalizes() {
-        let mut mg = MultiGpu::new(3, DeviceSpec::k40c(), ExecMode::Compute);
+        let mut mg = MultiGpu::new(3, DeviceSpec::k40c(), ExecMode::Compute).unwrap();
         let x = pseudo(45, 6, 1);
         let mut parts = mg.distribute_rows(&x, false);
         let r = mg
@@ -574,7 +692,7 @@ mod tall_tests {
     fn distributed_tall_matches_single_device() {
         let x = pseudo(30, 4, 2);
         let (q_ref, _) = rlra_lapack::cholqr2(&x).unwrap();
-        let mut mg = MultiGpu::new(2, DeviceSpec::k40c(), ExecMode::Compute);
+        let mut mg = MultiGpu::new(2, DeviceSpec::k40c(), ExecMode::Compute).unwrap();
         let mut parts = mg.distribute_rows(&x, false);
         mg.cholqr_tall_distributed(Phase::Qr, &mut parts, true)
             .unwrap();

@@ -24,13 +24,16 @@ pub enum Phase {
     Qr,
     /// Inter-GPU / host communication.
     Comms,
+    /// Fault recovery: retry backoff, re-drawn sketch rows, block-row
+    /// redistribution and re-orthogonalization after a device loss.
+    Recovery,
     /// Everything else (allocation bookkeeping, small host work).
     Other,
 }
 
 impl Phase {
     /// All phases in display order.
-    pub const ALL: [Phase; 8] = [
+    pub const ALL: [Phase; 9] = [
         Phase::Prng,
         Phase::Sampling,
         Phase::GemmIter,
@@ -38,6 +41,7 @@ impl Phase {
         Phase::Qrcp,
         Phase::Qr,
         Phase::Comms,
+        Phase::Recovery,
         Phase::Other,
     ];
 
@@ -51,7 +55,8 @@ impl Phase {
             Phase::Qrcp => 4,
             Phase::Qr => 5,
             Phase::Comms => 6,
-            Phase::Other => 7,
+            Phase::Recovery => 7,
+            Phase::Other => 8,
         }
     }
 
@@ -65,6 +70,7 @@ impl Phase {
             Phase::Qrcp => "QRCP",
             Phase::Qr => "QR",
             Phase::Comms => "Comms",
+            Phase::Recovery => "Recovery",
             Phase::Other => "Other",
         }
     }
@@ -73,7 +79,7 @@ impl Phase {
 /// Accumulated simulated seconds per phase.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct Timeline {
-    seconds: [f64; 8],
+    seconds: [f64; 9],
 }
 
 impl Timeline {
@@ -185,5 +191,15 @@ mod tests {
     fn labels_match_paper_legend() {
         assert_eq!(Phase::GemmIter.label(), "GEMM (Iter)");
         assert_eq!(Phase::OrthIter.label(), "Orth (Iter)");
+    }
+
+    #[test]
+    fn recovery_phase_accumulates_like_any_other() {
+        let mut t = Timeline::new();
+        t.add(Phase::Recovery, 0.125);
+        t.add(Phase::Recovery, 0.125);
+        assert_eq!(t.get(Phase::Recovery), 0.25);
+        assert_eq!(t.total(), 0.25);
+        assert!(Phase::ALL.contains(&Phase::Recovery));
     }
 }

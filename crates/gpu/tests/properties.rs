@@ -142,7 +142,7 @@ proptest! {
         c in 1usize..10,
         seed in 0u64..500,
     ) {
-        let mut mg = MultiGpu::new(ng, DeviceSpec::k40c(), ExecMode::Compute);
+        let mut mg = MultiGpu::new(ng, DeviceSpec::k40c(), ExecMode::Compute).unwrap();
         let parts: Vec<_> = (0..ng)
             .map(|i| {
                 let m = Mat::from_fn(r, c, |x, y| ((x * 3 + y * 5 + i + seed as usize) % 7) as f64);
@@ -167,7 +167,7 @@ proptest! {
     ) {
         let ng2 = ng1 + 1;
         let time = |ng: usize| {
-            let mut mg = MultiGpu::new(ng, DeviceSpec::k40c(), ExecMode::DryRun);
+            let mut mg = MultiGpu::new(ng, DeviceSpec::k40c(), ExecMode::DryRun).unwrap();
             let parts = mg.distribute_rows_shape(m, 1_000);
             for (i, p) in parts.iter().enumerate() {
                 let gpu = mg.gpu_mut(i);

@@ -67,6 +67,47 @@ pub enum MatrixError {
         /// Description of the broken invariant.
         invariant: &'static str,
     },
+    /// A (simulated) device fault fired during execution. Raised by the
+    /// fault-injection machinery in `rlra-gpu`; a recovery policy in the
+    /// executor layer may retry (transients) or degrade the fleet
+    /// (fail-stop losses) instead of surfacing this to the caller.
+    DeviceFault {
+        /// Global index of the faulting device.
+        device: usize,
+        /// What kind of fault fired.
+        kind: DeviceFaultKind,
+        /// Kernel-launch ordinal on that device at which the fault fired.
+        at: u64,
+    },
+}
+
+/// Classification of an injected device fault (see `MatrixError::DeviceFault`).
+///
+/// The richer scheduling representation (e.g. the straggler's slowdown
+/// factor) lives with the injector in `rlra-gpu`; this enum is only the
+/// error-surface classification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DeviceFaultKind {
+    /// A retry-able transient kernel failure (e.g. an ECC double-bit
+    /// error aborting one launch). The device survives.
+    Transient,
+    /// Permanent device loss: every later launch on the device fails.
+    FailStop,
+    /// The device fell behind (thermal throttling, a bad PCIe link):
+    /// its kernel costs are inflated by a multiplier. Surfaced for
+    /// accounting; execution continues.
+    Straggler,
+}
+
+impl fmt::Display for DeviceFaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DeviceFaultKind::Transient => "transient kernel failure",
+            DeviceFaultKind::FailStop => "fail-stop device loss",
+            DeviceFaultKind::Straggler => "straggler slowdown",
+        };
+        f.write_str(s)
+    }
 }
 
 impl fmt::Display for MatrixError {
@@ -112,6 +153,9 @@ impl fmt::Display for MatrixError {
             }
             MatrixError::Internal { op, invariant } => {
                 write!(f, "{op}: internal invariant violated ({invariant})")
+            }
+            MatrixError::DeviceFault { device, kind, at } => {
+                write!(f, "device {device}: {kind} at launch {at}")
             }
         }
     }
@@ -186,6 +230,35 @@ mod tests {
         let s = e.to_string();
         assert!(s.contains("run_fixed_rank"));
         assert!(s.contains("invariant"));
+    }
+
+    #[test]
+    fn display_device_fault() {
+        let e = MatrixError::DeviceFault {
+            device: 2,
+            kind: DeviceFaultKind::FailStop,
+            at: 41,
+        };
+        let s = e.to_string();
+        assert!(s.contains("device 2"));
+        assert!(s.contains("fail-stop"));
+        assert!(s.contains("41"));
+    }
+
+    #[test]
+    fn device_fault_kinds_display_distinctly() {
+        let labels: Vec<String> = [
+            DeviceFaultKind::Transient,
+            DeviceFaultKind::FailStop,
+            DeviceFaultKind::Straggler,
+        ]
+        .iter()
+        .map(ToString::to_string)
+        .collect();
+        assert_eq!(labels.len(), 3);
+        assert!(labels.iter().all(|l| !l.is_empty()));
+        assert_ne!(labels[0], labels[1]);
+        assert_ne!(labels[1], labels[2]);
     }
 
     #[test]

@@ -31,7 +31,7 @@ pub mod view;
 
 pub use complex::Complex64;
 pub use dense::Mat;
-pub use error::{MatrixError, Result};
+pub use error::{DeviceFaultKind, MatrixError, Result};
 pub use perm::ColPerm;
 pub use randn::gaussian_mat;
 pub use view::{MatMut, MatRef};

@@ -155,7 +155,8 @@ mod tests {
                 gpus_per_node: g,
             };
             let est = rs_cluster_estimate(&c, &net, dims, m, 2_500, 64, 54, 1);
-            let mut cl = Cluster::new(nodes, g, DeviceSpec::k40c(), net.clone(), ExecMode::DryRun);
+            let mut cl =
+                Cluster::new(nodes, g, DeviceSpec::k40c(), net.clone(), ExecMode::DryRun).unwrap();
             let cfg = SamplerConfig::new(54).with_p(10).with_q(1);
             let sim =
                 sample_fixed_rank_cluster(&mut cl, m, 2_500, &cfg, &mut StdRng::seed_from_u64(1))
@@ -179,7 +180,8 @@ mod tests {
                 gpus_per_node: 2,
             };
             let est = qp3_cluster_estimate(&c, &net, dims, 400_000, 2_500, 64);
-            let mut cl = Cluster::new(nodes, 2, DeviceSpec::k40c(), net.clone(), ExecMode::DryRun);
+            let mut cl =
+                Cluster::new(nodes, 2, DeviceSpec::k40c(), net.clone(), ExecMode::DryRun).unwrap();
             let sim = qp3_cluster_time(&mut cl, 400_000, 2_500, 64);
             let ratio = est / sim;
             assert!(

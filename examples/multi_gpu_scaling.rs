@@ -19,7 +19,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let tm = rlra::data::matrix_with_spectrum(600, 200, &spec, &mut rng)?;
     let cfg = SamplerConfig::new(12).with_q(1);
     println!("numerics check on a 600 x 200 matrix across 3 simulated GPUs:");
-    let mut mg = MultiGpu::new(3, DeviceSpec::k40c(), ExecMode::Compute);
+    let mut mg = MultiGpu::new(3, DeviceSpec::k40c(), ExecMode::Compute).unwrap();
     let (approx, rep) =
         sample_fixed_rank_multi_gpu(&mut mg, HostInput::Values(&tm.a), &cfg, &mut rng)?;
     let approx = approx.expect("compute mode returns the factorization");

@@ -15,7 +15,7 @@ BINS=(
   fig15_multigpu fig16_adaptive fig17_adaptive_time fig18_gemm
   table5_costs
   ablation_orth ablation_pivoting ablation_oversampling ablation_sampling ablation_blr
-  whatif_comm_cost whatif_distributed whatif_future_gpus
+  whatif_comm_cost whatif_distributed whatif_future_gpus whatif_faults
 )
 
 cargo build --release -p rlra-bench --bins

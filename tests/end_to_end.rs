@@ -95,7 +95,7 @@ fn cpu_gpu_and_multigpu_paths_agree_numerically() {
     assert!(cpu.r.approx_eq(&gpu_lr.r, 1e-10));
 
     // Multi-GPU runs the same unified pipeline on the host: identical too.
-    let mut mg = MultiGpu::new(3, DeviceSpec::k40c(), ExecMode::Compute);
+    let mut mg = MultiGpu::new(3, DeviceSpec::k40c(), ExecMode::Compute).unwrap();
     let (multi, _) =
         sample_fixed_rank_multi_gpu(&mut mg, HostInput::Values(&tm.a), &cfg, &mut rng(7)).unwrap();
     let multi = multi.unwrap();

@@ -110,11 +110,12 @@ fn orthogonalization_schemes_interchangeable_in_power_iteration() {
 fn cluster_study_reproduces_section11_prediction() {
     let cfg = SamplerConfig::new(54).with_p(10).with_q(1);
     let speedup = |nodes: usize, net: NetworkSpec| -> f64 {
-        let mut cl = Cluster::new(nodes, 2, DeviceSpec::k40c(), net.clone(), ExecMode::DryRun);
+        let mut cl =
+            Cluster::new(nodes, 2, DeviceSpec::k40c(), net.clone(), ExecMode::DryRun).unwrap();
         let rs = sample_fixed_rank_cluster(&mut cl, 400_000, 2_500, &cfg, &mut rng(11))
             .unwrap()
             .seconds;
-        let mut cl2 = Cluster::new(nodes, 2, DeviceSpec::k40c(), net, ExecMode::DryRun);
+        let mut cl2 = Cluster::new(nodes, 2, DeviceSpec::k40c(), net, ExecMode::DryRun).unwrap();
         qp3_cluster_time(&mut cl2, 400_000, 2_500, 64) / rs
     };
     let s1 = speedup(1, NetworkSpec::infiniband_fdr());

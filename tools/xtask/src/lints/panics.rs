@@ -3,7 +3,9 @@
 //! `rlra-core`, `rlra-gpu`, `rlra-blas` and `rlra-model` are the crates
 //! a production service links against; a panic there takes down the
 //! whole worker. Library code must return [`MatrixError`] instead.
-//! `#[cfg(test)]` code is exempt; deliberate sites carry
+//! That includes the `assert!`/`assert_eq!`/`assert_ne!` family, which
+//! panics in release builds too (`debug_assert!` is fine: it compiles
+//! out). `#[cfg(test)]` code is exempt; deliberate sites carry
 //! `// analyze: allow(panic, reason)`.
 //!
 //! [`MatrixError`]: ../../../crates/matrix/src/error.rs
@@ -15,8 +17,17 @@ use crate::scan::FileModel;
 /// Method calls that are forbidden (`.name(`).
 const FORBIDDEN_METHODS: &[&str] = &["unwrap", "expect"];
 
-/// Macros that are forbidden (`name!`).
-const FORBIDDEN_MACROS: &[&str] = &["panic", "todo", "unimplemented"];
+/// Macros that are forbidden (`name!`). Matching is by exact name, so
+/// `debug_assert!` (compiled out of release builds) stays legal while
+/// the always-on `assert!` family does not.
+const FORBIDDEN_MACROS: &[&str] = &[
+    "panic",
+    "todo",
+    "unimplemented",
+    "assert",
+    "assert_eq",
+    "assert_ne",
+];
 
 /// Runs the panic-freedom lint over one library source file.
 pub fn check(file: &FileModel) -> Vec<Finding> {

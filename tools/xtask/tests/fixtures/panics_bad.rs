@@ -22,3 +22,15 @@ pub fn unfinished() {
 pub fn unimplemented_stub() {
     unimplemented!("later")
 }
+
+pub fn asserts(n: usize) {
+    assert!(n > 0, "n must be positive");
+}
+
+pub fn assert_eqs(a: usize, b: usize) {
+    assert_eq!(a, b, "dimension mismatch");
+}
+
+pub fn assert_nes(a: usize, b: usize) {
+    assert_ne!(a, b, "aliasing");
+}

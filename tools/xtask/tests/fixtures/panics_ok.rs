@@ -22,6 +22,18 @@ pub fn allowed(v: Option<u32>) -> u32 {
     v.expect("caller contract")
 }
 
+/// `debug_assert!` compiles out of release builds — legal everywhere.
+pub fn debug_checked(n: usize) -> usize {
+    debug_assert!(n > 0);
+    debug_assert_eq!(n % 2, 0);
+    n / 2
+}
+
+pub fn allowed_assert(n: usize) {
+    // analyze: allow(panic, documented precondition on a hot path where a Result would cost a branch per element)
+    assert!(n > 0, "caller contract");
+}
+
 #[cfg(test)]
 mod tests {
     #[test]

@@ -43,8 +43,9 @@ fn determinism_accepts_seeded_tests_docs_and_allows() {
 fn panics_flags_every_panic_path() {
     let file = fixture("panics_bad.rs");
     let findings = lints::panics::check(&file);
-    // unwrap, expect, panic!, todo!, unimplemented!.
-    assert_eq!(findings.len(), 5, "got {findings:#?}");
+    // unwrap, expect, panic!, todo!, unimplemented!, assert!,
+    // assert_eq!, assert_ne!.
+    assert_eq!(findings.len(), 8, "got {findings:#?}");
     assert!(lints_of(&findings).iter().all(|l| *l == "panic"));
 }
 

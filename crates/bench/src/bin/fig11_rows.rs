@@ -2,16 +2,21 @@
 //! (n = 2,500, (k; p; q) = (54; 10; 1)), with the per-phase breakdown of
 //! the random sampling run (PRNG / Sampling / GEMM (Iter) / Orth (Iter) /
 //! QRCP / QR).
+//!
+//! Pass `--trace <path>` / `--metrics <path>` to export the largest run
+//! as a Chrome trace / metrics JSON.
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use rlra_bench::{fmt_time, Table};
+use rlra_bench::{fmt_time, phase_cells, Table, TraceOpts};
 use rlra_core::{qp3_low_rank_gpu, sample_fixed_rank_gpu, SamplerConfig};
 use rlra_gpu::{Gpu, Phase};
+use rlra_trace::{Metrics, Tracer};
 
 fn main() {
     let n = 2_500usize;
     let cfg = SamplerConfig::new(54).with_p(10).with_q(1);
+    let opts = TraceOpts::from_args();
     let mut table = Table::new(
         format!("Figure 11: time vs rows m (n = {n}, k;p;q = 54;10;1)"),
         &[
@@ -28,30 +33,41 @@ fn main() {
         ],
     );
     let mut rng = StdRng::seed_from_u64(1);
+    let mut last_trace: Option<Tracer> = None;
+    let mut last_metrics = Metrics::default();
     for m in (5_000..=50_000).step_by(5_000) {
         let mut gpu = Gpu::k40c_dry();
+        // A fresh ring per size: the exported trace is the largest run.
+        gpu.set_tracer(opts.tracer());
         let a = gpu.resident_shape(m, n);
         let (_, rep) = sample_fixed_rank_gpu(&mut gpu, &a, &cfg, &mut rng).unwrap();
+        last_trace = gpu.take_tracer();
+        last_metrics = rep.metrics.clone();
         let mut gq = Gpu::k40c_dry();
         let aq = gq.resident_shape(m, n);
         let (_, t_qp3) = qp3_low_rank_gpu(&mut gq, &aq, cfg.l()).unwrap();
-        table.row(vec![
-            m.to_string(),
-            fmt_time(rep.timeline.get(Phase::Prng)),
-            fmt_time(rep.timeline.get(Phase::Sampling)),
-            fmt_time(rep.timeline.get(Phase::GemmIter)),
-            fmt_time(rep.timeline.get(Phase::OrthIter)),
-            fmt_time(rep.timeline.get(Phase::Qrcp)),
-            fmt_time(rep.timeline.get(Phase::Qr)),
-            fmt_time(rep.seconds),
-            fmt_time(t_qp3),
-            format!("{:.1}x", t_qp3 / rep.seconds),
-        ]);
+        let mut row = vec![m.to_string()];
+        row.extend(phase_cells(
+            &rep.timeline,
+            &[
+                Phase::Prng,
+                Phase::Sampling,
+                Phase::GemmIter,
+                Phase::OrthIter,
+                Phase::Qrcp,
+                Phase::Qr,
+            ],
+        ));
+        row.push(fmt_time(rep.seconds));
+        row.push(fmt_time(t_qp3));
+        row.push(format!("{:.1}x", t_qp3 / rep.seconds));
+        table.row(row);
     }
     table.print();
     if let Ok(p) = table.save_csv("fig11") {
         println!("[csv] {}", p.display());
     }
+    opts.export(last_trace.as_ref(), &last_metrics).unwrap();
     println!(
         "\nPaper reference: both grow linearly in m; QP3 ~ 9.34e-6*m + 0.0098 s,\n\
          RS ~ 1.15e-6*m + 0.0162 s; speedups up to 6.6x (q=1, avg 5.1x); at m = 50,000\n\

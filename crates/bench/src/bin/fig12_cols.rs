@@ -1,15 +1,20 @@
 //! Figure 12 — random sampling and QP3 time vs number of columns n
 //! (m = 50,000, (l; p; q) = (64; 10; 1)).
+//!
+//! Pass `--trace <path>` / `--metrics <path>` to export the largest run
+//! as a Chrome trace / metrics JSON.
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use rlra_bench::{fmt_time, Table};
+use rlra_bench::{fmt_time, phase_cells, Table, TraceOpts};
 use rlra_core::{qp3_low_rank_gpu, sample_fixed_rank_gpu, SamplerConfig};
 use rlra_gpu::{Gpu, Phase};
+use rlra_trace::{Metrics, Tracer};
 
 fn main() {
     let m = 50_000usize;
     let cfg = SamplerConfig::new(54).with_p(10).with_q(1);
+    let opts = TraceOpts::from_args();
     let mut table = Table::new(
         format!("Figure 12: time vs columns n (m = {m}, l;p;q = 64;10;1)"),
         &[
@@ -24,27 +29,32 @@ fn main() {
         ],
     );
     let mut rng = StdRng::seed_from_u64(1);
+    let mut last_trace: Option<Tracer> = None;
+    let mut last_metrics = Metrics::default();
     for n in (500..=5_000).step_by(500) {
         let mut gpu = Gpu::k40c_dry();
+        gpu.set_tracer(opts.tracer());
         let a = gpu.resident_shape(m, n);
         let (_, rep) = sample_fixed_rank_gpu(&mut gpu, &a, &cfg, &mut rng).unwrap();
+        last_trace = gpu.take_tracer();
+        last_metrics = rep.metrics.clone();
         let mut gq = Gpu::k40c_dry();
         let aq = gq.resident_shape(m, n);
         let (_, t_qp3) = qp3_low_rank_gpu(&mut gq, &aq, cfg.l()).unwrap();
-        table.row(vec![
-            n.to_string(),
-            fmt_time(rep.timeline.get(Phase::Sampling)),
-            fmt_time(rep.timeline.get(Phase::GemmIter)),
-            fmt_time(rep.timeline.get(Phase::Qrcp)),
-            fmt_time(rep.timeline.get(Phase::Qr)),
-            fmt_time(rep.seconds),
-            fmt_time(t_qp3),
-            format!("{:.1}x", t_qp3 / rep.seconds),
-        ]);
+        let mut row = vec![n.to_string()];
+        row.extend(phase_cells(
+            &rep.timeline,
+            &[Phase::Sampling, Phase::GemmIter, Phase::Qrcp, Phase::Qr],
+        ));
+        row.push(fmt_time(rep.seconds));
+        row.push(fmt_time(t_qp3));
+        row.push(format!("{:.1}x", t_qp3 / rep.seconds));
+        table.row(row);
     }
     table.print();
     if let Ok(p) = table.save_csv("fig12") {
         println!("[csv] {}", p.display());
     }
+    opts.export(last_trace.as_ref(), &last_metrics).unwrap();
     println!("\nPaper reference: QP3 time grows much faster with n than random sampling.");
 }

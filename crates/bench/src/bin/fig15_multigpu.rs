@@ -2,19 +2,25 @@
 //! ((m; n) = (150,000; 2,500), (l; p; q) = (64; 10; 1)), with the
 //! per-phase breakdown including inter-GPU communication, and the GEMM
 //! efficiency per chunk (the source of the superlinear GEMM speedup).
+//!
+//! Pass `--trace <path>` / `--metrics <path>` to export the 3-GPU run
+//! as a Chrome trace (one track per device plus the comms track) /
+//! metrics JSON.
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use rlra_bench::{fmt_gflops, fmt_time, Table};
-use rlra_core::multi::scaling_report;
+use rlra_bench::{fmt_gflops, fmt_time, phase_cells, Table, TraceOpts};
+use rlra_core::multi::{sample_fixed_rank_multi_gpu, HostInput};
 use rlra_core::SamplerConfig;
 use rlra_gpu::cost::CostModel;
-use rlra_gpu::{DeviceSpec, Phase};
+use rlra_gpu::{DeviceSpec, ExecMode, MultiGpu, Phase};
+use rlra_trace::{Metrics, Tracer};
 
 fn main() {
     let (m, n) = (150_000usize, 2_500usize);
     let cfg = SamplerConfig::new(54).with_p(10).with_q(1);
     let cost = CostModel::new(DeviceSpec::k40c());
+    let opts = TraceOpts::from_args();
 
     let mut table = Table::new(
         format!("Figure 15: strong scaling over GPUs ((m; n) = ({m}; {n}), l;p;q = 64;10;1)"),
@@ -33,33 +39,46 @@ fn main() {
     );
     let mut rng = StdRng::seed_from_u64(1);
     let mut t1 = 0.0f64;
+    let mut last_trace: Option<Tracer> = None;
+    let mut last_metrics = Metrics::default();
     for ng in 1..=3 {
-        let rep = scaling_report(ng, m, n, &cfg, &mut rng).unwrap();
+        let mut mg = MultiGpu::new(ng, DeviceSpec::k40c(), ExecMode::DryRun).unwrap();
+        // A fresh ring per fleet size: the exported trace is the 3-GPU run.
+        mg.set_tracer(opts.tracer());
+        let (_, rep) =
+            sample_fixed_rank_multi_gpu(&mut mg, HostInput::Shape(m, n), &cfg, &mut rng).unwrap();
+        last_trace = mg.take_tracer();
+        last_metrics = rep.metrics.clone();
         if ng == 1 {
             t1 = rep.seconds;
         }
         let chunk = m / ng;
-        table.row(vec![
-            ng.to_string(),
-            fmt_time(rep.timeline.get(Phase::Sampling)),
-            fmt_time(rep.timeline.get(Phase::GemmIter)),
-            fmt_time(rep.timeline.get(Phase::OrthIter)),
-            fmt_time(rep.timeline.get(Phase::Qrcp)),
-            fmt_time(rep.timeline.get(Phase::Qr)),
-            format!(
-                "{} ({:.1}%)",
-                fmt_time(rep.comms),
-                100.0 * rep.comms / rep.seconds
-            ),
-            fmt_time(rep.seconds),
-            format!("{:.1}x", t1 / rep.seconds),
-            fmt_gflops(cost.gemm_gflops(64, n, chunk)),
-        ]);
+        let mut row = vec![ng.to_string()];
+        row.extend(phase_cells(
+            &rep.timeline,
+            &[
+                Phase::Sampling,
+                Phase::GemmIter,
+                Phase::OrthIter,
+                Phase::Qrcp,
+                Phase::Qr,
+            ],
+        ));
+        row.push(format!(
+            "{} ({:.1}%)",
+            fmt_time(rep.comms),
+            100.0 * rep.comms / rep.seconds
+        ));
+        row.push(fmt_time(rep.seconds));
+        row.push(format!("{:.1}x", t1 / rep.seconds));
+        row.push(fmt_gflops(cost.gemm_gflops(64, n, chunk)));
+        table.row(row);
     }
     table.print();
     if let Ok(p) = table.save_csv("fig15") {
         println!("[csv] {}", p.display());
     }
+    opts.export(last_trace.as_ref(), &last_metrics).unwrap();
     println!(
         "\nPaper reference: overall speedups 2.4x (2 GPUs) and 3.8x (3 GPUs); GEMM speedups\n\
          superlinear (2.8x / 5.1x) because chunk GEMM runs at 440/630/760 Gflop/s for\n\

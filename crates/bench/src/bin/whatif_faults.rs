@@ -14,18 +14,22 @@
 //!   the survivor fleet (wasted elapsed time + a full fault-free run).
 //!
 //! Dry-run mode at (m; n) = (150,000; 2,500), (k; p; q) = (54; 10; 1).
-//! Pass `--smoke` for the reduced CI sweep.
+//! Pass `--smoke` for the reduced CI sweep, and `--metrics <path>` to
+//! export the metrics JSON of the last recovered run (the file's
+//! `recovery_seconds` is cross-checked against the report).
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use rlra_bench::{fmt_time, Table};
+use rlra_bench::{fmt_time, Table, TraceOpts};
 use rlra_core::backend::{run_fixed_rank, Input, MultiGpuExec, Recovering, RecoveryPolicy};
 use rlra_core::SamplerConfig;
 use rlra_gpu::{DeviceSpec, ExecMode, FaultPlan, MultiGpu};
 use rlra_matrix::{DeviceFaultKind, MatrixError};
+use rlra_trace::{metrics_json, parse_json, Metrics};
 
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
+    let opts = TraceOpts::from_args();
     let (m, n) = if smoke {
         (60_000usize, 2_500usize)
     } else {
@@ -70,6 +74,7 @@ fn main() {
     let mut cells = 0usize;
     let mut recovered_cells = 0usize;
     let mut always_cheaper = true;
+    let mut last_recovered: Option<(Metrics, f64)> = None;
     for &ng in fleets {
         let t_free = fleet_time(ng);
         for &mtbf in mtbfs {
@@ -96,6 +101,7 @@ fn main() {
                     let overhead = 100.0 * (rep.seconds - t_free) / t_free;
                     let (restart, saving) = if rep.devices_lost > 0 {
                         recovered_cells += 1;
+                        last_recovered = Some((rep.metrics.clone(), rep.recovery_seconds));
                         // Restart strategy: every second up to the last
                         // loss is wasted, then a full fault-free run on
                         // whatever fleet survives.
@@ -150,6 +156,28 @@ fn main() {
     table.print();
     let _ = table.save_csv("whatif_faults");
     assert!(recovered_cells > 0, "sweep never exercised a fail-stop");
+    if let Some(path) = &opts.metrics {
+        let (metrics, recovery_seconds) = last_recovered
+            .as_ref()
+            .expect("a recovered run to export metrics for");
+        std::fs::write(path, metrics_json(metrics)).expect("write metrics JSON");
+        // Round-trip check: the exported file must carry the same
+        // recovery_seconds the ExecReport reported.
+        let doc = std::fs::read_to_string(path).expect("read metrics JSON back");
+        let parsed = parse_json(&doc).expect("metrics JSON parses");
+        let rs = parsed
+            .get("recovery_seconds")
+            .and_then(rlra_trace::Json::as_num)
+            .expect("recovery_seconds key");
+        assert_eq!(
+            rs, *recovery_seconds,
+            "metrics recovery_seconds must equal the ExecReport field"
+        );
+        println!(
+            "[metrics] {} (recovery_seconds = {rs:.6} s, matches the report)",
+            path.display()
+        );
+    }
     assert!(
         always_cheaper,
         "degraded completion must always beat full restart"

@@ -18,6 +18,8 @@
 
 #![forbid(unsafe_code)]
 
+use rlra_gpu::{Phase, Timeline};
+use rlra_trace::{chrome_trace_json, metrics_json, Metrics, Tracer};
 use std::fmt::Write as _;
 use std::fs;
 use std::path::PathBuf;
@@ -35,6 +37,78 @@ impl BenchOpts {
         let full = std::env::args().any(|a| a == "--full");
         BenchOpts { full }
     }
+}
+
+/// Trace/metrics export options shared by the figure binaries
+/// (`--trace <path>` / `--metrics <path>`). The binaries attach a
+/// ring-buffer tracer to their largest run and export it on exit; load
+/// the trace file in `chrome://tracing` (or Perfetto) to see one track
+/// per device plus the comms and stage tracks.
+#[derive(Debug, Clone, Default)]
+pub struct TraceOpts {
+    /// Destination of the Chrome-trace JSON, if requested.
+    pub trace: Option<PathBuf>,
+    /// Destination of the metrics JSON, if requested.
+    pub metrics: Option<PathBuf>,
+}
+
+impl TraceOpts {
+    /// Ring-buffer capacity for `--trace` runs: the fig-scale runs emit
+    /// a few hundred events, so 64k keeps every event with room for the
+    /// fault sweeps.
+    const RING_CAPACITY: usize = 1 << 16;
+
+    /// Parses `--trace <path>` and `--metrics <path>` from the process
+    /// arguments.
+    pub fn from_args() -> Self {
+        let args: Vec<String> = std::env::args().collect();
+        let value_of = |flag: &str| {
+            args.iter()
+                .position(|a| a == flag)
+                .and_then(|i| args.get(i + 1))
+                .map(PathBuf::from)
+        };
+        TraceOpts {
+            trace: value_of("--trace"),
+            metrics: value_of("--metrics"),
+        }
+    }
+
+    /// Whether any export was requested.
+    pub fn enabled(&self) -> bool {
+        self.trace.is_some() || self.metrics.is_some()
+    }
+
+    /// A ring-buffer tracer when `--trace` was requested (fresh per
+    /// call, so each run starts with an empty event stream).
+    pub fn tracer(&self) -> Option<Tracer> {
+        self.trace
+            .as_ref()
+            .map(|_| Tracer::ring(Self::RING_CAPACITY))
+    }
+
+    /// Writes the requested export files and prints their paths.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn export(&self, tracer: Option<&Tracer>, metrics: &Metrics) -> std::io::Result<()> {
+        if let (Some(path), Some(t)) = (&self.trace, tracer) {
+            fs::write(path, chrome_trace_json(&t.events()))?;
+            println!("[trace] {}", path.display());
+        }
+        if let Some(path) = &self.metrics {
+            fs::write(path, metrics_json(metrics))?;
+            println!("[metrics] {}", path.display());
+        }
+        Ok(())
+    }
+}
+
+/// `fmt_time` cells for the given phases of a timeline — the shared
+/// per-phase row shape of the Figure 11/12/15 tables.
+pub fn phase_cells(timeline: &Timeline, phases: &[Phase]) -> Vec<String> {
+    phases.iter().map(|p| fmt_time(timeline.get(*p))).collect()
 }
 
 /// A printable results table that mirrors one of the paper's figures.

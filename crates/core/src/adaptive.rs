@@ -17,7 +17,7 @@
 //! also needs a computing backend, since the stopping decision reads the
 //! sampled values.
 
-use crate::backend::{ExecReport, Executor, GpuExec};
+use crate::backend::{staged, ExecReport, Executor, GpuExec};
 use crate::estimate::residual_estimate;
 use crate::result::LowRankApprox;
 use rand::Rng;
@@ -249,7 +249,9 @@ fn adaptive_loop<E: Executor>(
 
         // --- Draw the probe block and estimate the error ------------------
         let probe = draw_block(exec, a, next_inc, rng)?;
-        exec.adaptive_probe(next_inc, l_now)?;
+        staged(exec, "adaptive_probe", |e| {
+            e.adaptive_probe(next_inc, l_now)
+        })?;
         let estimate = residual_estimate(&probe, &basis)?;
 
         let actual = if cfg.track_actual {
@@ -296,7 +298,7 @@ fn adaptive_loop<E: Executor>(
 /// (same stream position, see [`crate::backend`]).
 fn draw_block<E: Executor>(exec: &mut E, a: &Mat, l_inc: usize, rng: &mut impl Rng) -> Result<Mat> {
     let (m, n) = a.shape();
-    exec.adaptive_draw(l_inc)?;
+    staged(exec, "adaptive_draw", |e| e.adaptive_draw(l_inc))?;
     let omega = gaussian_mat(l_inc, m, rng);
     let mut w = Mat::zeros(l_inc, n);
     rlra_blas::gemm(
@@ -326,14 +328,17 @@ fn expand_block<E: Executor>(
     let l_new = w.rows();
 
     // Orthogonalize the incoming block against the accepted basis.
-    exec.adaptive_orth(l_new, n, basis.rows(), cfg.reorth)?;
+    let l_prev = basis.rows();
+    staged(exec, "adaptive_orth", |e| {
+        e.adaptive_orth(l_new, n, l_prev, cfg.reorth)
+    })?;
     rlra_lapack::block_orth_rows(basis, &mut w, cfg.reorth)?;
     w = crate::power::orth_rows(&w, cfg.reorth)?;
 
     // Power iterations (Figure 2a with j > 1).
     for _ in 0..cfg.q {
         // C_new = W·Aᵀ.
-        exec.adaptive_gemm_c(l_new)?;
+        staged(exec, "adaptive_gemm_c", |e| e.adaptive_gemm_c(l_new))?;
         let mut c = Mat::zeros(l_new, m);
         rlra_blas::gemm(
             1.0,
@@ -344,12 +349,15 @@ fn expand_block<E: Executor>(
             0.0,
             c.as_mut(),
         )?;
-        exec.adaptive_orth(l_new, m, c_basis.rows(), cfg.reorth)?;
+        let c_prev = c_basis.rows();
+        staged(exec, "adaptive_orth", |e| {
+            e.adaptive_orth(l_new, m, c_prev, cfg.reorth)
+        })?;
         rlra_lapack::block_orth_rows(c_basis, &mut c, cfg.reorth)?;
         let c = crate::power::orth_rows(&c, cfg.reorth)?;
         *c_basis = c_basis.vcat(&c)?;
         // W = C·A.
-        exec.adaptive_gemm_w(l_new)?;
+        staged(exec, "adaptive_gemm_w", |e| e.adaptive_gemm_w(l_new))?;
         let mut wnew = Mat::zeros(l_new, n);
         rlra_blas::gemm(
             1.0,
@@ -362,7 +370,10 @@ fn expand_block<E: Executor>(
         )?;
         w = wnew;
         // Re-orthogonalize against the basis after the round trip.
-        exec.adaptive_orth(l_new, n, basis.rows(), cfg.reorth)?;
+        let b_prev = basis.rows();
+        staged(exec, "adaptive_orth", |e| {
+            e.adaptive_orth(l_new, n, b_prev, cfg.reorth)
+        })?;
         rlra_lapack::block_orth_rows(basis, &mut w, cfg.reorth)?;
         w = crate::power::orth_rows(&w, cfg.reorth)?;
     }
@@ -414,7 +425,7 @@ pub fn sample_fixed_accuracy_exec<E: Executor>(
     let adaptive = adaptive_loop(exec, a, cfg, rng)?;
     let k = adaptive.l().min(a.cols());
     // Charge Steps 2–3 on the backend, then finish on the host.
-    exec.adaptive_finish(k)?;
+    staged(exec, "adaptive_finish", |e| e.adaptive_finish(k))?;
     let report = exec.finish()?;
     let approx = crate::fixed_rank::finish_from_sampled(a, &adaptive.basis, k, cfg.reorth)?;
     Ok((approx, adaptive, report))

@@ -22,6 +22,7 @@ use rlra_fft::SrftScheme;
 use rlra_gpu::algos::{gpu_qp3_truncated, gpu_tournament_qrcp};
 use rlra_gpu::{Cluster, DMat, ExecMode, Phase};
 use rlra_matrix::{Mat, MatrixError, Result};
+use rlra_trace::{Metrics, Tracer};
 
 /// Distributed-memory (cluster) execution backend. Timing-only.
 ///
@@ -38,6 +39,7 @@ pub struct ClusterExec<'a> {
     syncs0: u64,
     faults0: u64,
     recovery0: f64,
+    metrics0: Metrics,
     l: usize,
     m: usize,
     n: usize,
@@ -65,6 +67,7 @@ impl<'a> ClusterExec<'a> {
             syncs0: 0,
             faults0: 0,
             recovery0: 0.0,
+            metrics0: Metrics::default(),
             l: 0,
             m: 0,
             n: 0,
@@ -162,6 +165,7 @@ impl Executor for ClusterExec<'_> {
         self.syncs0 = syncs0;
         self.faults0 = self.cluster.faults_injected();
         self.recovery0 = self.cluster.breakdown().get(Phase::Recovery);
+        self.metrics0 = self.cluster.metrics();
         let node_chunks = self.cluster.node_row_chunks(m);
         self.a_parts = Vec::with_capacity(node_chunks.len());
         self.slots = Vec::with_capacity(node_chunks.len());
@@ -348,6 +352,10 @@ impl Executor for ClusterExec<'_> {
         self.cluster.time() - self.t0
     }
 
+    fn tracer(&self) -> Option<Tracer> {
+        self.cluster.tracer()
+    }
+
     fn charge_recovery(&mut self, secs: f64) {
         for ni in 0..self.cluster.nodes() {
             let node = self.cluster.node_mut(ni);
@@ -422,6 +430,7 @@ impl Executor for ClusterExec<'_> {
             retries: 0,
             recovery_seconds: self.cluster.breakdown().get(Phase::Recovery) - self.recovery0,
             devices_lost: 0,
+            metrics: self.cluster.metrics().minus(&self.metrics0),
         };
         self.a_parts.clear();
         self.slots.clear();

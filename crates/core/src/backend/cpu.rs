@@ -82,6 +82,7 @@ impl Executor for CpuExec {
             retries: 0,
             recovery_seconds: 0.0,
             devices_lost: 0,
+            metrics: rlra_trace::Metrics::default(),
         })
     }
 }

@@ -15,6 +15,7 @@ use rlra_fft::{SrftOperator, SrftScheme};
 use rlra_gpu::algos::{gpu_cholqr, gpu_cholqr_rows, gpu_qp3_truncated, gpu_tournament_qrcp};
 use rlra_gpu::{DMat, ExecMode, Gpu, Phase};
 use rlra_matrix::{MatrixError, Result};
+use rlra_trace::{Metrics, Tracer};
 
 /// Single-GPU execution backend.
 pub struct GpuExec<'a> {
@@ -43,8 +44,14 @@ impl<'a> GpuExec<'a> {
     /// launches.
     pub fn new(gpu: &'a mut Gpu) -> Self {
         let mut sim = Gpu::new(gpu.cost().spec().clone(), ExecMode::DryRun);
+        sim.set_device(gpu.device());
         if let Some(inj) = gpu.take_injector() {
             sim.set_injector(Some(inj));
+        }
+        // Like the injector, the tracer observes the timed launches, so
+        // it follows them into the simulator (and back at finish).
+        if let Some(tr) = gpu.take_tracer() {
+            sim.set_tracer(Some(tr));
         }
         GpuExec {
             gpu,
@@ -175,23 +182,40 @@ impl Executor for GpuExec<'_> {
         }
         // T = R̂₁:ₖ⁻¹·R̂ₖ₊₁:ₙ on the device (Figure 2b, Line 9).
         if self.n > k {
-            self.sim.launches += 1;
-            self.sim
-                .charge(Phase::Qrcp, self.sim.cost().trsm(k, self.n - k));
+            let nrhs = self.n - k;
+            self.sim.charge_kernel(
+                Phase::Qrcp,
+                "trsm",
+                [k, nrhs, k],
+                (k * k * nrhs) as f64,
+                8.0 * (k * k / 2 + 2 * k * nrhs) as f64,
+                self.sim.cost().trsm(k, nrhs),
+            );
         }
         Ok(())
     }
 
     fn tsqr(&mut self, k: usize, reorth: bool) -> Result<()> {
         // Gathering the k pivot columns is a device-side copy.
-        self.sim.launches += 1;
-        self.sim
-            .charge(Phase::Qr, self.sim.cost().blas1(self.m * k, 2.0));
+        self.sim.charge_kernel(
+            Phase::Qr,
+            "gather",
+            [self.m, k, 0],
+            0.0,
+            16.0 * (self.m * k) as f64,
+            self.sim.cost().blas1(self.m * k, 2.0),
+        );
         let ap1k = self.sim.resident_shape(self.m, k);
         gpu_cholqr(&mut self.sim, Phase::Qr, &ap1k, reorth)?;
         // R = R̄·[I | T] (Line 10): triangular multiply on the device.
-        self.sim.launches += 1;
-        self.sim.charge(Phase::Qr, self.sim.cost().trsm(k, self.n));
+        self.sim.charge_kernel(
+            Phase::Qr,
+            "trmm",
+            [k, self.n, k],
+            (k * k * self.n) as f64,
+            8.0 * (k * k / 2 + 2 * k * self.n) as f64,
+            self.sim.cost().trsm(k, self.n),
+        );
         Ok(())
     }
 
@@ -305,6 +329,10 @@ impl Executor for GpuExec<'_> {
         self.sim.clock()
     }
 
+    fn tracer(&self) -> Option<Tracer> {
+        self.sim.tracer()
+    }
+
     fn charge_recovery(&mut self, secs: f64) {
         // Backoff is wall-clock waiting, not kernel work: bypass any
         // straggler slowdown.
@@ -323,6 +351,10 @@ impl Executor for GpuExec<'_> {
             retries: 0,
             recovery_seconds: self.sim.timeline().get(Phase::Recovery),
             devices_lost: 0,
+            metrics: Metrics {
+                devices: vec![self.sim.device_metrics()],
+                retries: 0,
+            },
         };
         for phase in Phase::ALL {
             let secs = self.sim.timeline().get(phase);
@@ -334,11 +366,15 @@ impl Executor for GpuExec<'_> {
         }
         self.gpu.launches += self.sim.launches;
         self.gpu.syncs += self.sim.syncs;
+        self.gpu.absorb_metrics(&self.sim);
         if let Some((device, at)) = self.sim.dead_info() {
             self.gpu.mark_dead(device, at);
         }
         if let Some(inj) = self.sim.take_injector() {
             self.gpu.set_injector(Some(inj));
+        }
+        if let Some(tr) = self.sim.take_tracer() {
+            self.gpu.set_tracer(Some(tr));
         }
         self.sim.reset();
         self.a_sim = None;

@@ -71,6 +71,7 @@ pub use cluster::ClusterExec;
 pub use cpu::CpuExec;
 pub use gpu::GpuExec;
 pub use multi::MultiGpuExec;
+pub(crate) use pipeline::staged;
 pub use pipeline::{run_fixed_rank, run_fixed_rank_with_recovery};
 pub use recovery::{Recovering, RecoveryPolicy};
 
@@ -78,6 +79,8 @@ use crate::config::{SamplerConfig, Step2Kind};
 use rlra_fft::SrftScheme;
 use rlra_gpu::Timeline;
 use rlra_matrix::{Mat, MatrixError, Result};
+use rlra_trace::{Metrics, Tracer};
+use std::fmt;
 
 /// Unified timing report of one sampler run on any backend.
 ///
@@ -115,6 +118,48 @@ pub struct ExecReport {
     /// Devices lost to fail-stop faults and recovered from by degrading
     /// the fleet.
     pub devices_lost: usize,
+    /// Per-device / per-kernel metrics accumulated during the run
+    /// (empty on the CPU backend).
+    pub metrics: Metrics,
+}
+
+impl fmt::Display for ExecReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "run: {:.6} s on {} device(s), {} launches, {} syncs",
+            self.seconds, self.devices, self.launches, self.syncs
+        )?;
+        for (label, secs) in self.timeline.breakdown() {
+            let pct = if self.seconds > 0.0 {
+                100.0 * secs / self.seconds
+            } else {
+                0.0
+            };
+            writeln!(f, "  {label:>12}: {secs:>12.6} s  {pct:5.1}%")?;
+        }
+        if self.comms > 0.0 {
+            writeln!(f, "  {:>12}: {:>12.6} s  (inter-node)", "Comms", self.comms)?;
+        }
+        if self.faults_injected > 0 || self.devices_lost > 0 || self.retries > 0 {
+            writeln!(
+                f,
+                "  faults: {} injected, {} retries, {} device(s) lost, {:.6} s recovering",
+                self.faults_injected, self.retries, self.devices_lost, self.recovery_seconds
+            )?;
+        }
+        for d in &self.metrics.devices {
+            writeln!(
+                f,
+                "  gpu{}: {:.1}% busy, {} launches, {:.1} MB over PCIe",
+                d.device,
+                100.0 * d.utilization(),
+                d.launches,
+                d.bytes_moved / 1e6
+            )?;
+        }
+        Ok(())
+    }
 }
 
 /// Input matrix for a sampler run: real values, or a shape for dry-run
@@ -318,6 +363,13 @@ pub trait Executor {
     /// Simulated seconds elapsed since [`Executor::begin`].
     fn elapsed(&self) -> f64 {
         0.0
+    }
+
+    /// The tracer observing this run, if one is installed on the
+    /// backend's devices (clones share the sink). The pipeline uses it
+    /// to emit stage-span events around the hooks.
+    fn tracer(&self) -> Option<Tracer> {
+        None
     }
 
     // --- Fault recovery hooks -------------------------------------------

@@ -19,6 +19,7 @@ use rlra_fft::SrftScheme;
 use rlra_gpu::algos::{gpu_qp3_truncated, gpu_tournament_qrcp};
 use rlra_gpu::{DMat, ExecMode, MultiGpu, Phase};
 use rlra_matrix::{Mat, MatrixError, Result};
+use rlra_trace::Tracer;
 
 /// Multi-GPU execution backend.
 ///
@@ -68,6 +69,11 @@ impl<'a> MultiGpuExec<'a> {
             if let Some((device, at)) = mg.gpu(i).dead_info() {
                 sim.gpu_mut(i).mark_dead(device, at);
             }
+        }
+        // The tracer follows the timed launches into the simulator (and
+        // back at finish), like the injectors.
+        if let Some(tr) = mg.take_tracer() {
+            sim.set_tracer(Some(tr));
         }
         Ok(MultiGpuExec {
             mg,
@@ -278,6 +284,10 @@ impl Executor for MultiGpuExec<'_> {
         self.sim.time()
     }
 
+    fn tracer(&self) -> Option<Tracer> {
+        self.sim.tracer()
+    }
+
     fn charge_recovery(&mut self, secs: f64) {
         // Backoff is wall-clock waiting on every survivor, not kernel
         // work: exempt from straggler scaling.
@@ -372,12 +382,16 @@ impl Executor for MultiGpuExec<'_> {
             faults_injected: self.sim.faults_injected(),
             retries: 0,
             devices_lost: 0,
+            metrics: self.sim.metrics(),
         };
         self.mg.absorb(&self.sim)?;
         for i in 0..ng {
             if let Some(inj) = self.sim.gpu_mut(i).take_injector() {
                 self.mg.gpu_mut(i).set_injector(Some(inj));
             }
+        }
+        if let Some(tr) = self.sim.take_tracer() {
+            self.mg.set_tracer(Some(tr));
         }
         self.sim.reset();
         self.a_parts.clear();

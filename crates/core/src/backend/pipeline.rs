@@ -13,6 +13,7 @@ use rand::Rng;
 use rlra_blas::Trans;
 use rlra_fft::SrftOperator;
 use rlra_matrix::{gaussian_mat, Mat, MatrixError, Result};
+use rlra_trace::TraceEvent;
 
 /// Advances `rng` by exactly the draws of an `count`-variate standard
 /// normal fill, without materializing the buffer. Keeps dry runs
@@ -31,6 +32,27 @@ pub(crate) fn burn_standard_normal(rng: &mut impl Rng, count: usize) {
     if left > 0 {
         rlra_matrix::randn::fill_standard_normal(rng, &mut buf[..left]);
     }
+}
+
+/// Runs one stage hook under a named span on the backend's tracer (when
+/// one is installed) — the stage track of the Chrome trace. The span
+/// brackets the simulated time the hook charged, faults and retries
+/// included.
+pub(crate) fn staged<E: Executor>(
+    exec: &mut E,
+    name: &'static str,
+    f: impl FnOnce(&mut E) -> Result<()>,
+) -> Result<()> {
+    let start = exec.elapsed();
+    let result = f(exec);
+    if let Some(t) = exec.tracer() {
+        t.emit(TraceEvent::Stage {
+            name,
+            start,
+            end: exec.elapsed(),
+        });
+    }
+    result
 }
 
 /// The host operand of a compute-mode run. `run_fixed_rank` rejects
@@ -97,7 +119,7 @@ pub fn run_fixed_rank<E: Executor>(
     let mut b_host: Option<Mat> = None;
     match cfg.sampling {
         SamplingKind::Gaussian => {
-            exec.gaussian_sample(l)?;
+            staged(exec, "gaussian_sample", |e| e.gaussian_sample(l))?;
             if compute {
                 let am = host_values(&a)?;
                 let omega = gaussian_mat(l, m, rng);
@@ -118,7 +140,7 @@ pub fn run_fixed_rank<E: Executor>(
         }
         SamplingKind::Fft(scheme) => {
             let op = SrftOperator::new(m, l, scheme, rng)?;
-            exec.srft_sample_rows(l, scheme)?;
+            staged(exec, "srft_sample_rows", |e| e.srft_sample_rows(l, scheme))?;
             if compute {
                 let am = host_values(&a)?;
                 b_host = Some(op.sample_rows(am)?);
@@ -128,10 +150,10 @@ pub fn run_fixed_rank<E: Executor>(
 
     // --- Step 1b: power iterations ------------------------------------------
     for _ in 0..cfg.q {
-        exec.orth_b(l, cfg.reorth)?;
-        exec.gemm_to_c(l)?;
-        exec.orth_c(l, cfg.reorth)?;
-        exec.gemm_to_b(l)?;
+        staged(exec, "orth_b", |e| e.orth_b(l, cfg.reorth))?;
+        staged(exec, "gemm_to_c", |e| e.gemm_to_c(l))?;
+        staged(exec, "orth_c", |e| e.orth_c(l, cfg.reorth))?;
+        staged(exec, "gemm_to_b", |e| e.gemm_to_b(l))?;
     }
     if compute {
         let am = host_values(&a)?;
@@ -149,8 +171,8 @@ pub fn run_fixed_rank<E: Executor>(
     }
 
     // --- Steps 2 and 3 --------------------------------------------------------
-    exec.step2_pivot(cfg.step2, l, k)?;
-    exec.tsqr(k, cfg.reorth)?;
+    staged(exec, "step2_pivot", |e| e.step2_pivot(cfg.step2, l, k))?;
+    staged(exec, "tsqr", |e| e.tsqr(k, cfg.reorth))?;
     let report = exec.finish()?;
 
     let approx = if compute {

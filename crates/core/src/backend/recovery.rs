@@ -26,6 +26,7 @@ use super::{ExecReport, Executor};
 use crate::config::{SamplerConfig, Step2Kind};
 use rlra_fft::SrftScheme;
 use rlra_matrix::{DeviceFaultKind, MatrixError, Result};
+use rlra_trace::{TraceEvent, Tracer};
 
 /// Retry/backoff policy for transient faults.
 #[derive(Debug, Clone)]
@@ -107,6 +108,17 @@ impl<E: Executor> Recovering<E> {
         &self.loss_log
     }
 
+    /// Emits a recovery event on the inner backend's tracer, if any.
+    fn trace_recovery(&self, device: usize, action: &'static str) {
+        if let Some(t) = self.inner.tracer() {
+            t.emit(TraceEvent::Recovery {
+                device,
+                action,
+                time: self.inner.elapsed(),
+            });
+        }
+    }
+
     /// Runs `op` against the inner executor, absorbing recoverable
     /// faults per the policy.
     ///
@@ -125,6 +137,7 @@ impl<E: Executor> Recovering<E> {
                     pending.pop();
                     self.devices_lost += 1;
                     self.loss_log.push((device, self.inner.elapsed()));
+                    self.trace_recovery(device, "device-loss-recovered");
                     // The degraded fleet gets a fresh retry budget.
                     attempts = 0;
                     continue;
@@ -140,6 +153,7 @@ impl<E: Executor> Recovering<E> {
             let Err(err) = result else { continue };
             match err {
                 MatrixError::DeviceFault {
+                    device,
                     kind: DeviceFaultKind::Transient,
                     ..
                 } if attempts < self.policy.retry_budget => {
@@ -147,6 +161,7 @@ impl<E: Executor> Recovering<E> {
                     attempts += 1;
                     self.retries += 1;
                     self.inner.charge_recovery(backoff);
+                    self.trace_recovery(device, "transient-retry");
                 }
                 MatrixError::DeviceFault {
                     device,
@@ -249,6 +264,10 @@ impl<E: Executor> Executor for Recovering<E> {
         self.inner.elapsed()
     }
 
+    fn tracer(&self) -> Option<Tracer> {
+        self.inner.tracer()
+    }
+
     fn charge_recovery(&mut self, secs: f64) {
         self.inner.charge_recovery(secs);
     }
@@ -261,6 +280,7 @@ impl<E: Executor> Executor for Recovering<E> {
         let mut report = self.inner.finish()?;
         report.retries += self.retries;
         report.devices_lost += self.devices_lost;
+        report.metrics.retries += self.retries;
         Ok(report)
     }
 }
@@ -365,6 +385,7 @@ mod tests {
                 retries: 0,
                 recovery_seconds: 0.0,
                 devices_lost: 0,
+                metrics: rlra_trace::Metrics::default(),
             })
         }
     }

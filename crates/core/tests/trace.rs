@@ -1,0 +1,154 @@
+//! Golden-trace tests: the event stream of a fixed-seed simulated run
+//! is deterministic (byte-identical Chrome export across repeats), the
+//! per-device event durations reconcile with the `Timeline` totals, and
+//! attaching a [`NullSink`] perturbs nothing — factors and the entire
+//! [`ExecReport`] stay bit-identical to a run with no sink at all.
+
+use rlra_core::backend::{run_fixed_rank, CpuExec, GpuExec, Input, MultiGpuExec};
+use rlra_core::SamplerConfig;
+use rlra_data::testmat::{decay_matrix, rng};
+use rlra_gpu::{DeviceSpec, ExecMode, Gpu, MultiGpu, Phase};
+use rlra_trace::{chrome_trace_json, parse_json, Json, TraceEvent, Tracer};
+
+/// One traced 2-GPU dry run at a paper-ish shape; returns the Chrome
+/// document, the raw events, and the report.
+fn traced_multi_run() -> (String, Vec<TraceEvent>, rlra_core::backend::ExecReport) {
+    let cfg = SamplerConfig::new(54).with_p(10).with_q(1);
+    let mut mg = MultiGpu::new(2, DeviceSpec::k40c(), ExecMode::DryRun).unwrap();
+    mg.set_tracer(Some(Tracer::ring(1 << 16)));
+    let mut me = MultiGpuExec::new(&mut mg).unwrap();
+    let (_, rep) =
+        run_fixed_rank(&mut me, Input::Shape(60_000, 2_500), &cfg, &mut rng(11)).unwrap();
+    let tracer = mg.take_tracer().expect("tracer given back at finish");
+    let events = tracer.events();
+    assert_eq!(tracer.dropped(), 0, "ring must not overflow in this run");
+    (chrome_trace_json(&events), events, rep)
+}
+
+#[test]
+fn golden_trace_byte_identical_across_repeated_runs() {
+    let (doc1, ev1, rep1) = traced_multi_run();
+    let (doc2, ev2, rep2) = traced_multi_run();
+    assert!(!ev1.is_empty());
+    assert_eq!(ev1, ev2, "event streams must match exactly");
+    assert_eq!(doc1, doc2, "Chrome export must be byte-identical");
+    assert_eq!(rep1, rep2, "reports must be bit-identical");
+}
+
+#[test]
+fn chrome_export_has_one_track_per_device_and_parses() {
+    let (doc, _, rep) = traced_multi_run();
+    let parsed = parse_json(&doc).expect("valid JSON");
+    let events = parsed
+        .get("traceEvents")
+        .and_then(|v| v.as_arr())
+        .expect("traceEvents array");
+    assert!(!events.is_empty());
+    // Every device owns a named track (thread_name metadata + at least
+    // one duration event with its tid), and the comms track exists.
+    for d in 0..rep.devices {
+        let tid = d as f64;
+        assert!(
+            events.iter().any(|e| {
+                e.get("ph").and_then(|v| v.as_str()) == Some("M")
+                    && e.get("tid").and_then(Json::as_num) == Some(tid)
+            }),
+            "device {d} must have thread_name metadata"
+        );
+        assert!(
+            events.iter().any(|e| {
+                e.get("ph").and_then(|v| v.as_str()) == Some("X")
+                    && e.get("tid").and_then(Json::as_num) == Some(tid)
+            }),
+            "device {d} must have duration events"
+        );
+    }
+}
+
+#[test]
+fn per_device_event_durations_reconcile_with_the_timeline() {
+    let (_, events, rep) = traced_multi_run();
+    // For every phase: each device's event durations sum to that
+    // device's timeline entry, and the report keeps the max across
+    // devices (the breakdown convention). Barriers make waits explicit,
+    // so nothing is lost between events and accumulators.
+    for phase in Phase::ALL {
+        let per_device: Vec<f64> = (0..rep.devices)
+            .map(|d| {
+                events
+                    .iter()
+                    .filter(|e| {
+                        e.charged_device() == Some(d) && e.charged_phase() == Some(phase.label())
+                    })
+                    .map(TraceEvent::duration)
+                    .sum()
+            })
+            .collect();
+        let traced = per_device.iter().fold(0.0f64, |a, &b| a.max(b));
+        let reported = rep.timeline.get(phase);
+        assert!(
+            (traced - reported).abs() <= 1e-9 * reported.max(1e-9),
+            "{}: traced {traced} vs reported {reported}",
+            phase.label()
+        );
+    }
+    // And in total: the busiest device's event time is the run time.
+    let total: f64 = (0..rep.devices)
+        .map(|d| {
+            events
+                .iter()
+                .filter(|e| e.charged_device() == Some(d))
+                .map(TraceEvent::duration)
+                .sum()
+        })
+        .fold(0.0, f64::max);
+    assert!((total - rep.seconds).abs() <= 1e-9 * rep.seconds);
+}
+
+/// Attaching a `NullSink` must be observationally free: factors and the
+/// whole report (clock, timeline, metrics, counters) bit-identical to a
+/// run with no tracer installed, on every computing backend.
+#[test]
+fn null_sink_run_bit_identical_to_no_sink_run() {
+    let (a, _) = decay_matrix(90, 45, 0.6, 42);
+    let cfg = SamplerConfig::new(6).with_p(4).with_q(1);
+
+    // Single GPU, compute mode.
+    let run_gpu = |traced: bool| {
+        let mut gpu = Gpu::k40c();
+        if traced {
+            gpu.set_tracer(Some(Tracer::null()));
+        }
+        let mut ge = GpuExec::new(&mut gpu);
+        let (lr, rep) = run_fixed_rank(&mut ge, Input::Values(&a), &cfg, &mut rng(9)).unwrap();
+        (lr.unwrap(), rep)
+    };
+    let (lr_base, rep_base) = run_gpu(false);
+    let (lr_null, rep_null) = run_gpu(true);
+    assert_eq!(lr_base.q, lr_null.q);
+    assert_eq!(lr_base.r, lr_null.r);
+    assert_eq!(lr_base.perm.as_slice(), lr_null.perm.as_slice());
+    assert_eq!(rep_base, rep_null, "single-GPU report must not change");
+
+    // Multi-GPU, compute mode.
+    let run_multi = |traced: bool| {
+        let mut mg = MultiGpu::new(3, DeviceSpec::k40c(), ExecMode::Compute).unwrap();
+        if traced {
+            mg.set_tracer(Some(Tracer::null()));
+        }
+        let mut me = MultiGpuExec::new(&mut mg).unwrap();
+        let (lr, rep) = run_fixed_rank(&mut me, Input::Values(&a), &cfg, &mut rng(9)).unwrap();
+        (lr.unwrap(), rep)
+    };
+    let (mlr_base, mrep_base) = run_multi(false);
+    let (mlr_null, mrep_null) = run_multi(true);
+    assert_eq!(mlr_base.q, mlr_null.q);
+    assert_eq!(mlr_base.r, mlr_null.r);
+    assert_eq!(mlr_base.perm.as_slice(), mlr_null.perm.as_slice());
+    assert_eq!(mrep_base, mrep_null, "multi-GPU report must not change");
+
+    // CPU for completeness: no tracer to attach, factors still match.
+    let mut cpu = CpuExec::new();
+    let (cpu_lr, _) = run_fixed_rank(&mut cpu, Input::Values(&a), &cfg, &mut rng(9)).unwrap();
+    assert_eq!(cpu_lr.unwrap().q, lr_base.q);
+}

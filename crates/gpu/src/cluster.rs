@@ -15,6 +15,7 @@ use crate::multigpu::MultiGpu;
 use crate::spec::DeviceSpec;
 use crate::timeline::{Phase, Timeline};
 use rlra_matrix::{Mat, MatrixError, Result};
+use rlra_trace::{Metrics, TraceEvent, Tracer};
 
 /// An α-β interconnect model.
 #[derive(Debug, Clone, PartialEq)]
@@ -71,6 +72,7 @@ pub struct Cluster {
     net: NetworkSpec,
     mode: ExecMode,
     comms_inter: f64,
+    tracer: Option<Tracer>,
 }
 
 impl Cluster {
@@ -95,14 +97,58 @@ impl Cluster {
                 ),
             });
         }
+        let mut boxes = (0..nodes)
+            .map(|_| MultiGpu::new(gpus_per_node, spec.clone(), mode))
+            .collect::<Result<Vec<_>>>()?;
+        // Renumber devices globally (node i owns [i·g, (i+1)·g)) so traces
+        // and metrics from different nodes never collide on an ordinal.
+        for (ni, node) in boxes.iter_mut().enumerate() {
+            for g in 0..node.ng() {
+                node.gpu_mut(g).set_device(ni * gpus_per_node + g);
+            }
+        }
         Ok(Cluster {
-            nodes: (0..nodes)
-                .map(|_| MultiGpu::new(gpus_per_node, spec.clone(), mode))
-                .collect::<Result<Vec<_>>>()?,
+            nodes: boxes,
             net,
             mode,
             comms_inter: 0.0,
+            tracer: None,
         })
+    }
+
+    /// Installs (or clears) a shared tracer on every node and device;
+    /// the cluster itself uses it for the inter-node comms track.
+    pub fn set_tracer(&mut self, tracer: Option<Tracer>) {
+        for node in &mut self.nodes {
+            node.set_tracer(tracer.clone());
+        }
+        self.tracer = tracer;
+    }
+
+    /// Removes and returns the installed tracer (clearing every node).
+    pub fn take_tracer(&mut self) -> Option<Tracer> {
+        for node in &mut self.nodes {
+            node.set_tracer(None);
+        }
+        self.tracer.take()
+    }
+
+    /// The installed tracer, if any (clones share the sink).
+    pub fn tracer(&self) -> Option<Tracer> {
+        self.tracer.clone()
+    }
+
+    /// Cluster-wide metrics: every device of every node, in global
+    /// device order.
+    pub fn metrics(&self) -> Metrics {
+        Metrics {
+            devices: self
+                .nodes
+                .iter()
+                .flat_map(|n| n.metrics().devices)
+                .collect(),
+            retries: 0,
+        }
     }
 
     /// Number of nodes.
@@ -190,7 +236,7 @@ impl Cluster {
             if dt > 0.0 {
                 for g in 0..node.ng() {
                     if !node.gpu(g).is_dead() {
-                        node.gpu_mut(g).charge_raw(Phase::Other, dt);
+                        node.gpu_mut(g).charge_wait(Phase::Other, dt);
                     }
                 }
             }
@@ -201,6 +247,7 @@ impl Cluster {
     /// records it (network time is not device kernel work, so no
     /// straggler scaling).
     fn charge_collective(&mut self, phase: Phase, secs: f64) {
+        let start = self.time();
         for node in &mut self.nodes {
             for g in 0..node.ng() {
                 if !node.gpu(g).is_dead() {
@@ -209,6 +256,20 @@ impl Cluster {
             }
         }
         self.comms_inter += secs;
+        self.trace_network(phase, start, secs);
+    }
+
+    /// Emits the network-track annotation for one inter-node collective
+    /// (the per-device shares are traced as `Span`s by the charge loop).
+    fn trace_network(&self, phase: Phase, start: f64, secs: f64) {
+        if let Some(t) = &self.tracer {
+            t.emit(TraceEvent::Comms {
+                scope: "network",
+                phase: phase.label(),
+                start,
+                end: start + secs,
+            });
+        }
     }
 
     /// All-reduce of equal-shaped per-node host matrices: the numerical

@@ -7,6 +7,8 @@ use crate::timeline::{Phase, Timeline};
 use rand::Rng;
 use rlra_blas::Trans;
 use rlra_matrix::{Mat, MatrixError, Result};
+use rlra_trace::{DeviceMetrics, KernelStats, TraceEvent, Tracer};
+use std::collections::BTreeMap;
 
 /// Whether kernels actually compute or only account time.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -121,6 +123,38 @@ pub struct Gpu {
     slowdown: f64,
     /// `(device, launch)` at which a fail-stop fired; set once, forever.
     dead: Option<(usize, u64)>,
+    /// Ordinal of this device within its fleet (0 for standalone GPUs;
+    /// globally numbered across cluster nodes).
+    device: usize,
+    /// Optional trace sink. Absent tracing costs one branch per charge.
+    tracer: Option<Tracer>,
+    /// Simulated seconds spent idling at barriers (subset of `clock`).
+    waits: f64,
+    /// Per-kernel metrics counters. Always on (independent of the
+    /// tracer) so traced and untraced runs report identical metrics.
+    kernels: BTreeMap<&'static str, KernelStats>,
+    /// Bytes moved over PCIe (uploads + downloads).
+    bytes_moved: f64,
+}
+
+/// What a charge was for — determines the metrics counters touched and
+/// the kind of [`TraceEvent`] emitted.
+#[derive(Clone, Copy)]
+enum Charge {
+    /// Generic simulated time (launch/sync overheads, host folds,
+    /// per-device shares of collective work).
+    Span,
+    /// Idle time at a barrier.
+    Wait,
+    /// A named kernel launch.
+    Kernel {
+        name: &'static str,
+        dims: [usize; 3],
+        flops: f64,
+        bytes: f64,
+    },
+    /// A PCIe transfer.
+    Transfer { bytes: f64 },
 }
 
 impl Gpu {
@@ -136,6 +170,11 @@ impl Gpu {
             injector: None,
             slowdown: 1.0,
             dead: None,
+            device: 0,
+            tracer: None,
+            waits: 0.0,
+            kernels: BTreeMap::new(),
+            bytes_moved: 0.0,
         }
     }
 
@@ -170,7 +209,8 @@ impl Gpu {
         self.mode
     }
 
-    /// Resets the clock and timeline (keeps the mode and spec).
+    /// Resets the clock, timeline, and metrics counters (keeps the mode
+    /// and spec).
     ///
     /// Fault state is deliberately *not* reset: a lost device stays
     /// lost, a straggler stays slow, and consumed injector events stay
@@ -180,6 +220,75 @@ impl Gpu {
         self.timeline = Timeline::new();
         self.launches = 0;
         self.syncs = 0;
+        self.waits = 0.0;
+        self.kernels.clear();
+        self.bytes_moved = 0.0;
+    }
+
+    // --- Observability ------------------------------------------------------
+
+    /// Ordinal of this device within its fleet.
+    pub fn device(&self) -> usize {
+        self.device
+    }
+
+    /// Sets the fleet ordinal (multi-GPU and cluster contexts number
+    /// their devices at construction).
+    pub fn set_device(&mut self, device: usize) {
+        self.device = device;
+    }
+
+    /// Installs (or clears) the trace sink events are emitted to.
+    pub fn set_tracer(&mut self, tracer: Option<Tracer>) {
+        self.tracer = tracer;
+    }
+
+    /// Removes and returns the installed tracer, if any.
+    pub fn take_tracer(&mut self) -> Option<Tracer> {
+        self.tracer.take()
+    }
+
+    /// The installed tracer, if any (clones share the sink).
+    pub fn tracer(&self) -> Option<Tracer> {
+        self.tracer.clone()
+    }
+
+    /// Snapshot of this device's metrics: busy/idle split, PCIe bytes,
+    /// per-phase seconds, and per-kernel counters, with the calibrated
+    /// peaks for roofline comparisons.
+    pub fn device_metrics(&self) -> DeviceMetrics {
+        let spec = self.cost.spec();
+        let mut phase_seconds = BTreeMap::new();
+        for p in Phase::ALL {
+            let secs = self.timeline.get(p);
+            if secs != 0.0 {
+                phase_seconds.insert(p.label(), secs);
+            }
+        }
+        DeviceMetrics {
+            device: self.device,
+            name: spec.name,
+            launches: self.launches,
+            syncs: self.syncs,
+            busy_seconds: self.clock - self.waits,
+            wait_seconds: self.waits,
+            bytes_moved: self.bytes_moved,
+            peak_gflops: spec.peak_dp_gflops,
+            peak_gbs: spec.mem_bandwidth_gbs,
+            phase_seconds,
+            kernels: self.kernels.clone(),
+        }
+    }
+
+    /// Folds another device's metrics counters into this one (used when
+    /// an executor's internal dry-run twin is absorbed into the caller's
+    /// device, so repeated runs keep accumulating).
+    pub fn absorb_metrics(&mut self, other: &Gpu) {
+        self.waits += other.waits;
+        self.bytes_moved += other.bytes_moved;
+        for (name, stats) in &other.kernels {
+            self.kernels.entry(name).or_default().merge(stats);
+        }
     }
 
     // --- Fault injection ----------------------------------------------------
@@ -243,11 +352,23 @@ impl Gpu {
             return Ok(());
         };
         while let Some(ev) = inj.poll(self.launches) {
+            let trace_fault = |tracer: &Option<Tracer>, kind: &'static str, at: u64, clock: f64| {
+                if let Some(t) = tracer {
+                    t.emit(TraceEvent::Fault {
+                        device: ev.device,
+                        kind,
+                        at_launch: at,
+                        time: clock,
+                    });
+                }
+            };
             match ev.kind {
                 FaultKind::Straggler { factor } => {
+                    trace_fault(&self.tracer, "straggler", self.launches, self.clock);
                     self.slowdown = factor;
                 }
                 FaultKind::Transient => {
+                    trace_fault(&self.tracer, "transient", self.launches, self.clock);
                     return Err(MatrixError::DeviceFault {
                         device: ev.device,
                         kind: rlra_matrix::DeviceFaultKind::Transient,
@@ -256,6 +377,7 @@ impl Gpu {
                 }
                 FaultKind::FailStop => {
                     let at = self.launches;
+                    trace_fault(&self.tracer, "fail-stop", at, self.clock);
                     self.dead = Some((ev.device, at));
                     return Err(MatrixError::DeviceFault {
                         device: ev.device,
@@ -268,26 +390,135 @@ impl Gpu {
         Ok(())
     }
 
+    /// The one funnel through which simulated time is accrued: advances
+    /// the clock, adds to the timeline, updates the metrics counters,
+    /// and emits exactly one trace event per charge — which is what
+    /// keeps per-device event durations and `Timeline` totals equal by
+    /// construction (the `trace` lint in `cargo xtask analyze` pins
+    /// every clock/timeline mutation to an emitting function).
+    fn accrue(&mut self, phase: Phase, secs: f64, charge: Charge) {
+        let start = self.clock;
+        self.clock += secs;
+        self.timeline.add(phase, secs);
+        match charge {
+            Charge::Span => {}
+            Charge::Wait => self.waits += secs,
+            Charge::Kernel {
+                name, flops, bytes, ..
+            } => {
+                let k = self.kernels.entry(name).or_default();
+                k.launches += 1;
+                k.seconds += secs;
+                k.flops += flops;
+                k.bytes += bytes;
+            }
+            Charge::Transfer { bytes } => self.bytes_moved += bytes,
+        }
+        if let Some(t) = &self.tracer {
+            let device = self.device;
+            let phase = phase.label();
+            let end = self.clock;
+            t.emit(match charge {
+                Charge::Span => TraceEvent::Span {
+                    device,
+                    phase,
+                    start,
+                    end,
+                },
+                Charge::Wait => TraceEvent::Wait {
+                    device,
+                    phase,
+                    start,
+                    end,
+                },
+                Charge::Kernel {
+                    name,
+                    dims,
+                    flops,
+                    bytes,
+                } => TraceEvent::Kernel {
+                    device,
+                    name,
+                    phase,
+                    dims,
+                    flops,
+                    bytes,
+                    start,
+                    end,
+                },
+                Charge::Transfer { bytes } => TraceEvent::Transfer {
+                    device,
+                    phase,
+                    bytes,
+                    start,
+                    end,
+                },
+            });
+        }
+    }
+
     /// Charges `secs` of simulated time to `phase`, inflated by the
     /// straggler multiplier when one is active.
     pub fn charge(&mut self, phase: Phase, secs: f64) {
         let secs = secs * self.slowdown;
-        self.clock += secs;
-        self.timeline.add(phase, secs);
+        self.accrue(phase, secs, Charge::Span);
     }
 
     /// Charges `secs` without the straggler multiplier. Used for
-    /// barrier waits and for folding already-scaled simulated time from
-    /// an internal dry-run back into a caller device.
+    /// folding already-scaled simulated time from an internal dry-run
+    /// back into a caller device.
     pub fn charge_raw(&mut self, phase: Phase, secs: f64) {
-        self.clock += secs;
-        self.timeline.add(phase, secs);
+        self.accrue(phase, secs, Charge::Span);
+    }
+
+    /// Charges `secs` of *idle* time (a barrier wait for stragglers):
+    /// counted in the clock and timeline like any charge, but tracked
+    /// as waiting in the metrics and traced as a `Wait` event.
+    pub fn charge_wait(&mut self, phase: Phase, secs: f64) {
+        self.accrue(phase, secs, Charge::Wait);
+    }
+
+    /// Charges one launch of the named kernel: counts it (globally and
+    /// per kernel name), applies the straggler multiplier, and traces a
+    /// `Kernel` event carrying the dims/flops/bytes attribution.
+    pub fn charge_kernel(
+        &mut self,
+        phase: Phase,
+        name: &'static str,
+        dims: [usize; 3],
+        flops: f64,
+        bytes: f64,
+        secs: f64,
+    ) {
+        self.launches += 1;
+        let secs = secs * self.slowdown;
+        self.accrue(
+            phase,
+            secs,
+            Charge::Kernel {
+                name,
+                dims,
+                flops,
+                bytes,
+            },
+        );
+    }
+
+    /// Charges a PCIe transfer of `bytes` bytes to `phase`.
+    fn charge_transfer(&mut self, phase: Phase, bytes: u64) {
+        let secs = self.cost.transfer(bytes) * self.slowdown;
+        self.accrue(
+            phase,
+            secs,
+            Charge::Transfer {
+                bytes: bytes as f64,
+            },
+        );
     }
 
     /// Charges one kernel launch to `phase`.
     pub fn charge_launch(&mut self, phase: Phase) {
-        self.launches += 1;
-        self.charge(phase, self.cost.launch());
+        self.charge_kernel(phase, "launch", [0; 3], 0.0, 0.0, self.cost.launch());
     }
 
     /// Charges one host synchronization to `phase`.
@@ -307,7 +538,7 @@ impl Gpu {
     /// `phase`).
     pub fn upload(&mut self, phase: Phase, m: &Mat) -> DMat {
         let bytes = 8 * m.rows() as u64 * m.cols() as u64;
-        self.charge(phase, self.cost.transfer(bytes));
+        self.charge_transfer(phase, bytes);
         if self.computing() {
             DMat::from_mat(m.clone())
         } else {
@@ -345,7 +576,7 @@ impl Gpu {
     /// Downloads a device matrix to the host (PCIe transfer charged).
     /// Returns zeros in dry-run mode.
     pub fn download(&mut self, phase: Phase, d: &DMat) -> Mat {
-        self.charge(phase, self.cost.transfer(d.bytes()));
+        self.charge_transfer(phase, d.bytes());
         match &d.data {
             Some(m) => m.clone(),
             None => Mat::zeros(d.rows, d.cols),
@@ -381,8 +612,16 @@ impl Gpu {
             });
         }
         self.poll_faults()?;
-        self.launches += 1;
-        self.charge(phase, self.cost.gemm(m, n, ka));
+        let flops = 2.0 * m as f64 * n as f64 * ka as f64;
+        let bytes = 8.0 * (m as f64 * ka as f64 + ka as f64 * n as f64 + 2.0 * m as f64 * n as f64);
+        self.charge_kernel(
+            phase,
+            "gemm",
+            [m, n, ka],
+            flops,
+            bytes,
+            self.cost.gemm(m, n, ka),
+        );
         if self.computing() {
             let am = a.values_req()?;
             let bm = b.values_req()?;
@@ -416,8 +655,9 @@ impl Gpu {
             });
         }
         self.poll_faults()?;
-        self.launches += 1;
-        self.charge(phase, self.cost.syrk(l, k));
+        let flops = l as f64 * l as f64 * k as f64;
+        let bytes = 8.0 * (l as f64 * k as f64 + l as f64 * l as f64);
+        self.charge_kernel(phase, "syrk", [l, l, k], flops, bytes, self.cost.syrk(l, k));
         if self.computing() {
             let am = a.values_req()?;
             let cm = c.values_mut_req()?;
@@ -463,8 +703,16 @@ impl Gpu {
             rlra_blas::Side::Right => b.rows,
         };
         self.poll_faults()?;
-        self.launches += 1;
-        self.charge(phase, self.cost.trsm(l, nrhs));
+        let flops = l as f64 * l as f64 * nrhs as f64;
+        let bytes = 8.0 * (l as f64 * l as f64 / 2.0 + 2.0 * l as f64 * nrhs as f64);
+        self.charge_kernel(
+            phase,
+            "trsm",
+            [l, nrhs, l],
+            flops,
+            bytes,
+            self.cost.trsm(l, nrhs),
+        );
         if self.computing() {
             let tm = t.values_req()?;
             let bm = b.values_mut_req()?;
@@ -504,8 +752,17 @@ impl Gpu {
             rlra_blas::Side::Right => b.rows,
         };
         self.poll_faults()?;
-        self.launches += 1;
-        self.charge(phase, self.cost.trsm(l, nrhs)); // same cost class as trsm
+        let flops = l as f64 * l as f64 * nrhs as f64;
+        let bytes = 8.0 * (l as f64 * l as f64 / 2.0 + 2.0 * l as f64 * nrhs as f64);
+        // Same cost class as trsm.
+        self.charge_kernel(
+            phase,
+            "trmm",
+            [l, nrhs, l],
+            flops,
+            bytes,
+            self.cost.trsm(l, nrhs),
+        );
         if self.computing() {
             let tm = t.values_req()?;
             let bm = b.values_mut_req()?;
@@ -539,8 +796,15 @@ impl Gpu {
         rng: &mut impl Rng,
     ) -> Result<DMat> {
         self.poll_faults()?;
-        self.launches += 1;
-        self.charge(phase, self.cost.curand(rows * cols));
+        let bytes = 8.0 * rows as f64 * cols as f64;
+        self.charge_kernel(
+            phase,
+            "curand",
+            [rows, cols, 0],
+            0.0,
+            bytes,
+            self.cost.curand(rows * cols),
+        );
         if self.computing() {
             Ok(DMat::from_mat(rlra_matrix::gaussian_mat(rows, cols, rng)))
         } else {
@@ -567,9 +831,25 @@ impl Gpu {
         a: &DMat,
     ) -> Result<DMat> {
         self.poll_faults()?;
-        self.launches += 2;
-        self.charge(phase, self.cost.fft_cols(op.padded_len(), a.rows));
-        self.charge(phase, self.cost.blas1(op.rows() * a.rows, 2.0));
+        let len = op.padded_len();
+        let fft_flops = 5.0 * len as f64 * (len as f64).log2() * a.rows as f64;
+        self.charge_kernel(
+            phase,
+            "fft",
+            [len, a.rows, 0],
+            fft_flops,
+            16.0 * len as f64 * a.rows as f64,
+            self.cost.fft_cols(len, a.rows),
+        );
+        let gathered = op.rows() * a.rows;
+        self.charge_kernel(
+            phase,
+            "gather",
+            [op.rows(), a.rows, 0],
+            0.0,
+            16.0 * gathered as f64,
+            self.cost.blas1(gathered, 2.0),
+        );
         if self.computing() {
             Ok(DMat::from_mat(op.sample_cols(a.expect_values())?))
         } else {
@@ -597,9 +877,26 @@ impl Gpu {
         a: &DMat,
     ) -> Result<DMat> {
         self.poll_faults()?;
-        self.launches += 2; // batched FFT + gather
-        self.charge(phase, self.cost.fft_cols(op.padded_len(), a.cols));
-        self.charge(phase, self.cost.blas1(op.rows() * a.cols, 2.0));
+        // Batched FFT + gather.
+        let len = op.padded_len();
+        let fft_flops = 5.0 * len as f64 * (len as f64).log2() * a.cols as f64;
+        self.charge_kernel(
+            phase,
+            "fft",
+            [len, a.cols, 0],
+            fft_flops,
+            16.0 * len as f64 * a.cols as f64,
+            self.cost.fft_cols(len, a.cols),
+        );
+        let gathered = op.rows() * a.cols;
+        self.charge_kernel(
+            phase,
+            "gather",
+            [op.rows(), a.cols, 0],
+            0.0,
+            16.0 * gathered as f64,
+            self.cost.blas1(gathered, 2.0),
+        );
         if self.computing() {
             Ok(DMat::from_mat(op.sample_rows(a.expect_values())?))
         } else {

@@ -19,6 +19,7 @@ use crate::spec::DeviceSpec;
 use crate::timeline::{Phase, Timeline};
 use rlra_blas::Trans;
 use rlra_matrix::{Mat, MatrixError, Result};
+use rlra_trace::{Metrics, TraceEvent, Tracer};
 
 /// A single compute node with `n_g` simulated GPUs and a host.
 ///
@@ -32,6 +33,9 @@ pub struct MultiGpu {
     mode: ExecMode,
     /// Host-side and communication time, tracked centrally.
     host_timeline: Timeline,
+    /// Trace handle for the collective-comms track (the same sink the
+    /// per-device tracers share).
+    tracer: Option<Tracer>,
 }
 
 impl MultiGpu {
@@ -48,10 +52,47 @@ impl MultiGpu {
             });
         }
         Ok(MultiGpu {
-            gpus: (0..ng).map(|_| Gpu::new(spec.clone(), mode)).collect(),
+            gpus: (0..ng)
+                .map(|i| {
+                    let mut g = Gpu::new(spec.clone(), mode);
+                    g.set_device(i);
+                    g
+                })
+                .collect(),
             mode,
             host_timeline: Timeline::new(),
+            tracer: None,
         })
+    }
+
+    /// Installs (or clears) a shared tracer on the node and every GPU;
+    /// all devices then emit into the same event stream.
+    pub fn set_tracer(&mut self, tracer: Option<Tracer>) {
+        for g in &mut self.gpus {
+            g.set_tracer(tracer.clone());
+        }
+        self.tracer = tracer;
+    }
+
+    /// Removes and returns the installed tracer (clearing every GPU).
+    pub fn take_tracer(&mut self) -> Option<Tracer> {
+        for g in &mut self.gpus {
+            g.set_tracer(None);
+        }
+        self.tracer.take()
+    }
+
+    /// The installed tracer, if any (clones share the sink).
+    pub fn tracer(&self) -> Option<Tracer> {
+        self.tracer.clone()
+    }
+
+    /// Metrics registry snapshot: one entry per GPU, in device order.
+    pub fn metrics(&self) -> Metrics {
+        Metrics {
+            devices: self.gpus.iter().map(Gpu::device_metrics).collect(),
+            retries: 0,
+        }
     }
 
     /// Number of GPUs (including any lost to fail-stop faults).
@@ -120,7 +161,7 @@ impl MultiGpu {
             let dt = t - g.clock();
             if dt > 0.0 {
                 // Waiting is not kernel work: exempt from straggler scaling.
-                g.charge_raw(Phase::Other, dt);
+                g.charge_wait(Phase::Other, dt);
             }
         }
     }
@@ -180,12 +221,28 @@ impl MultiGpu {
     /// wait on — host work is not subject to a device's straggler
     /// multiplier).
     fn charge_all(&mut self, phase: Phase, secs: f64) {
+        let start = self.time();
         for g in &mut self.gpus {
             if !g.is_dead() {
                 g.charge_raw(phase, secs);
             }
         }
         self.host_timeline.add(phase, secs);
+        self.trace_collective(phase, start, secs);
+    }
+
+    /// Emits the comms-track annotation for a serialized host step. The
+    /// per-device shares are traced as `Span`s by `charge_all`, so this
+    /// event annotates rather than double-counts.
+    fn trace_collective(&self, phase: Phase, start: f64, secs: f64) {
+        if let Some(t) = &self.tracer {
+            t.emit(TraceEvent::Comms {
+                scope: "host",
+                phase: phase.label(),
+                start,
+                end: start + secs,
+            });
+        }
     }
 
     /// Reduction: downloads one equally-shaped part from every GPU and
@@ -445,10 +502,12 @@ impl MultiGpu {
             }
             g.launches += s.launches;
             g.syncs += s.syncs;
+            g.absorb_metrics(s);
             if let Some((device, at)) = s.dead_info() {
                 g.mark_dead(device, at);
             }
         }
+        // analyze: allow(trace, folds an already-traced simulation whose events the sim devices emitted)
         self.host_timeline.merge(&sim.host_timeline);
         Ok(())
     }

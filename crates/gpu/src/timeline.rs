@@ -32,7 +32,10 @@ pub enum Phase {
 }
 
 impl Phase {
-    /// All phases in display order.
+    /// All phases in display order — the single source of truth for the
+    /// accumulator layout: [`Phase::index`] is *derived* from position
+    /// here, and the [`Timeline`] array length is [`Phase::COUNT`], so
+    /// adding a phase cannot desynchronize them.
     pub const ALL: [Phase; 9] = [
         Phase::Prng,
         Phase::Sampling,
@@ -45,19 +48,24 @@ impl Phase {
         Phase::Other,
     ];
 
-    /// Stable index used for the accumulator array.
-    fn index(self) -> usize {
-        match self {
-            Phase::Prng => 0,
-            Phase::Sampling => 1,
-            Phase::GemmIter => 2,
-            Phase::OrthIter => 3,
-            Phase::Qrcp => 4,
-            Phase::Qr => 5,
-            Phase::Comms => 6,
-            Phase::Recovery => 7,
-            Phase::Other => 8,
+    /// Number of phases (and length of the [`Timeline`] accumulator).
+    pub const COUNT: usize = Phase::ALL.len();
+
+    /// Stable index used for the accumulator array: the position in
+    /// [`Phase::ALL`]. Evaluated at compile time for constant phases.
+    ///
+    /// A variant missing from `ALL` would fall through to the last
+    /// slot; the `index_is_position_in_all` test rules that out for
+    /// every variant.
+    const fn index(self) -> usize {
+        let mut i = 0;
+        while i < Phase::ALL.len() {
+            if Phase::ALL[i] as usize == self as usize {
+                return i;
+            }
+            i += 1;
         }
+        Phase::ALL.len() - 1
     }
 
     /// Display label (matches the paper's legends).
@@ -79,7 +87,7 @@ impl Phase {
 /// Accumulated simulated seconds per phase.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct Timeline {
-    seconds: [f64; 9],
+    seconds: [f64; Phase::COUNT],
 }
 
 impl Timeline {
@@ -191,6 +199,39 @@ mod tests {
     fn labels_match_paper_legend() {
         assert_eq!(Phase::GemmIter.label(), "GEMM (Iter)");
         assert_eq!(Phase::OrthIter.label(), "Orth (Iter)");
+    }
+
+    #[test]
+    fn index_is_position_in_all() {
+        // `index()` must be the position in `ALL` for every variant;
+        // the exhaustive list below is what makes the check total (the
+        // compiler rejects it if a new variant is added but not listed).
+        let every = [
+            Phase::Prng,
+            Phase::Sampling,
+            Phase::GemmIter,
+            Phase::OrthIter,
+            Phase::Qrcp,
+            Phase::Qr,
+            Phase::Comms,
+            Phase::Recovery,
+            Phase::Other,
+        ];
+        assert_eq!(every.len(), Phase::COUNT);
+        for p in every {
+            assert!(Phase::ALL.contains(&p));
+        }
+        for (i, p) in Phase::ALL.iter().enumerate() {
+            assert_eq!(p.index(), i, "{:?} desynchronized from ALL", p);
+        }
+        // Distinct slots for distinct phases.
+        let mut t = Timeline::new();
+        for (i, p) in Phase::ALL.iter().enumerate() {
+            t.add(*p, (i + 1) as f64);
+        }
+        for (i, p) in Phase::ALL.iter().enumerate() {
+            assert_eq!(t.get(*p), (i + 1) as f64);
+        }
     }
 
     #[test]

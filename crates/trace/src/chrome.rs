@@ -1,0 +1,275 @@
+//! Chrome Trace Event Format export.
+//!
+//! The emitted document is a `{"traceEvents": [...]}` object of
+//! complete (`"ph":"X"`) and instant (`"ph":"i"`) events — the format
+//! understood by `chrome://tracing` and <https://ui.perfetto.dev>. One
+//! track (`tid`) per simulated device, plus dedicated tracks for
+//! collective comms and pipeline stages. Timestamps are simulated
+//! microseconds, so the export of a fixed-seed run is byte-stable.
+
+use crate::event::TraceEvent;
+use crate::json::{escape_json, num_json};
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+
+/// Track id for collective-comms annotations.
+pub const COMMS_TID: usize = 9998;
+/// Track id for pipeline stage spans.
+pub const STAGE_TID: usize = 9999;
+
+fn us(secs: f64) -> String {
+    num_json(secs * 1e6)
+}
+
+fn push_complete(
+    out: &mut String,
+    tid: usize,
+    name: &str,
+    cat: &str,
+    start: f64,
+    end: f64,
+    args: &str,
+) {
+    let _ = write!(
+        out,
+        "{{\"ph\":\"X\",\"pid\":0,\"tid\":{tid},\"ts\":{},\"dur\":{},\
+         \"name\":\"{}\",\"cat\":\"{}\"{}{}}}",
+        us(start),
+        us(end - start),
+        escape_json(name),
+        escape_json(cat),
+        if args.is_empty() { "" } else { ",\"args\":{" },
+        if args.is_empty() {
+            String::new()
+        } else {
+            format!("{args}}}")
+        },
+    );
+}
+
+fn push_instant(out: &mut String, tid: usize, name: &str, cat: &str, time: f64, args: &str) {
+    let _ = write!(
+        out,
+        "{{\"ph\":\"i\",\"s\":\"t\",\"pid\":0,\"tid\":{tid},\"ts\":{},\
+         \"name\":\"{}\",\"cat\":\"{}\"{}{}}}",
+        us(time),
+        escape_json(name),
+        escape_json(cat),
+        if args.is_empty() { "" } else { ",\"args\":{" },
+        if args.is_empty() {
+            String::new()
+        } else {
+            format!("{args}}}")
+        },
+    );
+}
+
+/// Renders an event stream as Chrome-trace JSON.
+///
+/// Tracks are announced with `thread_name` metadata: `"GPU <i>"` per
+/// device seen in the stream, `"Comms"` ([`COMMS_TID`]) and `"Stages"`
+/// ([`STAGE_TID`]) when those event kinds occur.
+pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
+    let mut devices: BTreeSet<usize> = BTreeSet::new();
+    let mut has_comms = false;
+    let mut has_stages = false;
+    for ev in events {
+        match ev {
+            TraceEvent::Comms { .. } => has_comms = true,
+            TraceEvent::Stage { .. } => has_stages = true,
+            TraceEvent::Fault { device, .. } | TraceEvent::Recovery { device, .. } => {
+                devices.insert(*device);
+            }
+            _ => {
+                if let Some(d) = ev.charged_device() {
+                    devices.insert(d);
+                }
+            }
+        }
+    }
+
+    let mut out = String::from("{\"traceEvents\":[");
+    let mut first = true;
+    let mut sep = |out: &mut String| {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+    };
+
+    for d in &devices {
+        sep(&mut out);
+        let _ = write!(
+            out,
+            "{{\"ph\":\"M\",\"pid\":0,\"tid\":{d},\"name\":\"thread_name\",\
+             \"args\":{{\"name\":\"GPU {d}\"}}}}",
+        );
+    }
+    if has_comms {
+        sep(&mut out);
+        let _ = write!(
+            out,
+            "{{\"ph\":\"M\",\"pid\":0,\"tid\":{COMMS_TID},\"name\":\"thread_name\",\
+             \"args\":{{\"name\":\"Comms\"}}}}",
+        );
+    }
+    if has_stages {
+        sep(&mut out);
+        let _ = write!(
+            out,
+            "{{\"ph\":\"M\",\"pid\":0,\"tid\":{STAGE_TID},\"name\":\"thread_name\",\
+             \"args\":{{\"name\":\"Stages\"}}}}",
+        );
+    }
+
+    for ev in events {
+        sep(&mut out);
+        match *ev {
+            TraceEvent::Kernel {
+                device,
+                name,
+                phase,
+                dims,
+                flops,
+                bytes,
+                start,
+                end,
+            } => {
+                let args = format!(
+                    "\"dims\":\"{}x{}x{}\",\"flops\":{},\"bytes\":{}",
+                    dims[0],
+                    dims[1],
+                    dims[2],
+                    num_json(flops),
+                    num_json(bytes)
+                );
+                push_complete(&mut out, device, name, phase, start, end, &args);
+            }
+            TraceEvent::Span {
+                device,
+                phase,
+                start,
+                end,
+            } => push_complete(&mut out, device, "span", phase, start, end, ""),
+            TraceEvent::Wait {
+                device,
+                phase,
+                start,
+                end,
+            } => push_complete(&mut out, device, "wait", phase, start, end, ""),
+            TraceEvent::Transfer {
+                device,
+                phase,
+                bytes,
+                start,
+                end,
+            } => {
+                let args = format!("\"bytes\":{}", num_json(bytes));
+                push_complete(&mut out, device, "transfer", phase, start, end, &args);
+            }
+            TraceEvent::Comms {
+                scope,
+                phase,
+                start,
+                end,
+            } => push_complete(&mut out, COMMS_TID, scope, phase, start, end, ""),
+            TraceEvent::Stage { name, start, end } => {
+                push_complete(&mut out, STAGE_TID, name, "stage", start, end, "");
+            }
+            TraceEvent::Fault {
+                device,
+                kind,
+                at_launch,
+                time,
+            } => {
+                let name = format!("fault:{kind}");
+                let args = format!("\"at_launch\":{at_launch}");
+                push_instant(&mut out, device, &name, "fault", time, &args);
+            }
+            TraceEvent::Recovery {
+                device,
+                action,
+                time,
+            } => {
+                let name = format!("recovery:{action}");
+                push_instant(&mut out, device, &name, "recovery", time, "");
+            }
+        }
+    }
+    out.push_str("]}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse_json;
+
+    #[test]
+    fn export_parses_and_has_one_track_per_device() {
+        let events = vec![
+            TraceEvent::Kernel {
+                device: 0,
+                name: "gemm",
+                phase: "Sampling",
+                dims: [8, 4, 2],
+                flops: 128.0,
+                bytes: 512.0,
+                start: 0.0,
+                end: 1e-3,
+            },
+            TraceEvent::Wait {
+                device: 1,
+                phase: "Other",
+                start: 0.0,
+                end: 5e-4,
+            },
+            TraceEvent::Comms {
+                scope: "host",
+                phase: "Comms",
+                start: 1e-3,
+                end: 2e-3,
+            },
+            TraceEvent::Stage {
+                name: "orth_b",
+                start: 0.0,
+                end: 2e-3,
+            },
+            TraceEvent::Fault {
+                device: 1,
+                kind: "transient",
+                at_launch: 3,
+                time: 4e-4,
+            },
+        ];
+        let doc = chrome_trace_json(&events);
+        let j = parse_json(&doc).unwrap();
+        let evs = j.get("traceEvents").unwrap().as_arr().unwrap();
+        // 4 metadata (GPU 0, GPU 1, Comms, Stages) + 5 events.
+        assert_eq!(evs.len(), 9);
+        let names: Vec<&str> = evs
+            .iter()
+            .filter(|e| e.get("ph").and_then(Json::as_str) == Some("M"))
+            .filter_map(|e| e.get("args")?.get("name")?.as_str())
+            .collect();
+        assert_eq!(names, vec!["GPU 0", "GPU 1", "Comms", "Stages"]);
+        let gemm = evs
+            .iter()
+            .find(|e| e.get("name").and_then(Json::as_str) == Some("gemm"))
+            .unwrap();
+        assert_eq!(gemm.get("dur").unwrap().as_num().unwrap(), 1e3);
+        assert_eq!(
+            gemm.get("args").unwrap().get("dims").unwrap().as_str(),
+            Some("8x4x2")
+        );
+    }
+
+    use crate::json::Json;
+
+    #[test]
+    fn empty_stream_is_still_valid_json() {
+        let doc = chrome_trace_json(&[]);
+        let j = parse_json(&doc).unwrap();
+        assert_eq!(j.get("traceEvents").unwrap().as_arr().unwrap().len(), 0);
+    }
+}

@@ -1,0 +1,193 @@
+//! The structured trace event emitted at every cost-model charge.
+
+/// One record in the event stream of a simulated run.
+///
+/// All times are simulated seconds on the owning device's clock.
+/// Device-attributed duration events (`Kernel`, `Span`, `Wait`,
+/// `Transfer`) are emitted exactly once per `Timeline` charge, so for
+/// any device and phase their durations sum to that device's timeline
+/// total — the invariant the golden-trace tests pin.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceEvent {
+    /// A named kernel launch (cuBLAS/cuRAND/cuFFT-like).
+    Kernel {
+        /// Device the kernel ran on.
+        device: usize,
+        /// Kernel name (`"gemm"`, `"curand"`, ...).
+        name: &'static str,
+        /// Phase label the time was charged to.
+        phase: &'static str,
+        /// Problem dimensions `(m, n, k)`; unused trailing dims are 0.
+        dims: [usize; 3],
+        /// Double-precision flops the kernel accounts for.
+        flops: f64,
+        /// Bytes the kernel streams through device memory.
+        bytes: f64,
+        /// Simulated start time (seconds).
+        start: f64,
+        /// Simulated end time (seconds).
+        end: f64,
+    },
+    /// A generic charge that is not a named kernel (host-side folds,
+    /// per-device shares of collective work, launch/sync overheads).
+    Span {
+        /// Device charged.
+        device: usize,
+        /// Phase label the time was charged to.
+        phase: &'static str,
+        /// Simulated start time (seconds).
+        start: f64,
+        /// Simulated end time (seconds).
+        end: f64,
+    },
+    /// Idle time: a device waiting on a barrier for stragglers.
+    Wait {
+        /// Device that sat idle.
+        device: usize,
+        /// Phase label the wait was charged to.
+        phase: &'static str,
+        /// Simulated start time (seconds).
+        start: f64,
+        /// Simulated end time (seconds).
+        end: f64,
+    },
+    /// A host<->device PCIe transfer.
+    Transfer {
+        /// Device transferring.
+        device: usize,
+        /// Phase label the transfer was charged to.
+        phase: &'static str,
+        /// Bytes moved over the bus.
+        bytes: f64,
+        /// Simulated start time (seconds).
+        start: f64,
+        /// Simulated end time (seconds).
+        end: f64,
+    },
+    /// A collective communication step (reduce/broadcast across the
+    /// devices of a node, or across nodes of a cluster). Rendered on a
+    /// dedicated comms track; the per-device shares are already
+    /// reported as `Span`s, so `Comms` events annotate rather than
+    /// double-count.
+    Comms {
+        /// `"host"` (intra-node, over PCIe) or `"network"` (inter-node).
+        scope: &'static str,
+        /// Phase label the collective was charged to.
+        phase: &'static str,
+        /// Simulated start time (seconds, fleet clock).
+        start: f64,
+        /// Simulated end time (seconds, fleet clock).
+        end: f64,
+    },
+    /// A pipeline stage span (`Executor` hook), on the stage track.
+    Stage {
+        /// Stage hook name (`"gaussian_sample"`, `"tsqr"`, ...).
+        name: &'static str,
+        /// Executor-relative simulated start time (seconds).
+        start: f64,
+        /// Executor-relative simulated end time (seconds).
+        end: f64,
+    },
+    /// An injected fault firing on a device (instant mark).
+    Fault {
+        /// Device the fault fired on.
+        device: usize,
+        /// Fault kind label (`"transient"`, `"fail-stop"`,
+        /// `"straggler"`).
+        kind: &'static str,
+        /// Launch ordinal at which the fault fired.
+        at_launch: u64,
+        /// Simulated time of the fault (seconds).
+        time: f64,
+    },
+    /// A recovery action taken by the `Recovering` policy wrapper
+    /// (instant mark).
+    Recovery {
+        /// Device the action concerned.
+        device: usize,
+        /// Action label (`"transient-retry"`, `"device-loss-recovered"`).
+        action: &'static str,
+        /// Simulated time of the action (seconds).
+        time: f64,
+    },
+}
+
+impl TraceEvent {
+    /// The device a *device-attributed duration event* charges, if any.
+    ///
+    /// `Comms`/`Stage` annotations and instant marks return `None` —
+    /// they must not be counted toward per-device busy time.
+    pub fn charged_device(&self) -> Option<usize> {
+        match *self {
+            TraceEvent::Kernel { device, .. }
+            | TraceEvent::Span { device, .. }
+            | TraceEvent::Wait { device, .. }
+            | TraceEvent::Transfer { device, .. } => Some(device),
+            _ => None,
+        }
+    }
+
+    /// Phase label for device-attributed duration events.
+    pub fn charged_phase(&self) -> Option<&'static str> {
+        match *self {
+            TraceEvent::Kernel { phase, .. }
+            | TraceEvent::Span { phase, .. }
+            | TraceEvent::Wait { phase, .. }
+            | TraceEvent::Transfer { phase, .. } => Some(phase),
+            _ => None,
+        }
+    }
+
+    /// Duration in simulated seconds (0 for instant marks).
+    pub fn duration(&self) -> f64 {
+        match *self {
+            TraceEvent::Kernel { start, end, .. }
+            | TraceEvent::Span { start, end, .. }
+            | TraceEvent::Wait { start, end, .. }
+            | TraceEvent::Transfer { start, end, .. }
+            | TraceEvent::Comms { start, end, .. }
+            | TraceEvent::Stage { start, end, .. } => end - start,
+            TraceEvent::Fault { .. } | TraceEvent::Recovery { .. } => 0.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charged_device_covers_exactly_the_duration_events() {
+        let kernel = TraceEvent::Kernel {
+            device: 2,
+            name: "gemm",
+            phase: "Sampling",
+            dims: [4, 5, 6],
+            flops: 240.0,
+            bytes: 592.0,
+            start: 0.0,
+            end: 1.0,
+        };
+        assert_eq!(kernel.charged_device(), Some(2));
+        assert_eq!(kernel.charged_phase(), Some("Sampling"));
+        assert_eq!(kernel.duration(), 1.0);
+
+        let comms = TraceEvent::Comms {
+            scope: "host",
+            phase: "Comms",
+            start: 0.0,
+            end: 0.5,
+        };
+        assert_eq!(comms.charged_device(), None);
+        assert_eq!(comms.duration(), 0.5);
+
+        let fault = TraceEvent::Fault {
+            device: 0,
+            kind: "transient",
+            at_launch: 7,
+            time: 0.25,
+        };
+        assert_eq!(fault.charged_device(), None);
+        assert_eq!(fault.duration(), 0.0);
+    }
+}

@@ -1,0 +1,43 @@
+//! Event-level observability for the simulated GPU substrate.
+//!
+//! The paper's whole performance argument is a profiling story (per-phase
+//! stacked bars, Gflop/s rooflines), but the nine coarse [`Phase`] totals
+//! of `rlra-gpu::Timeline` cannot show individual kernel launches,
+//! per-device idle gaps, comms overlap, or where recovery time goes.
+//! This crate adds that event level without perturbing the simulation:
+//!
+//! - [`TraceEvent`] — one structured record per cost-model charge
+//!   (kernel launch, generic span, barrier wait, PCIe transfer), plus
+//!   collective comms, pipeline stage spans, and fault/recovery marks;
+//! - [`TraceSink`] — where events go: [`NullSink`] (drop everything) or
+//!   [`RingBufferSink`] (keep the latest `capacity` events in order);
+//! - [`Tracer`] — a cheap clonable handle shared by every device of a
+//!   run; absent (`Option::None`) tracing costs one branch per charge;
+//! - [`Metrics`] / [`DeviceMetrics`] / [`KernelStats`] — the aggregated
+//!   registry (launches, busy/idle seconds, achieved Gflop/s and GB/s
+//!   vs the calibrated peaks, bytes moved) that backends surface in
+//!   `ExecReport::metrics`;
+//! - exporters — [`chrome_trace_json`] (open in `chrome://tracing` or
+//!   [Perfetto](https://ui.perfetto.dev)), [`metrics_json`], and the
+//!   terminal [`roofline_summary`].
+//!
+//! Timestamps are **simulated seconds** from the device cost model, so
+//! the event stream of a fixed-seed run is fully deterministic and can
+//! be pinned byte-for-byte by golden tests.
+//!
+//! ("Phase" above refers to `rlra_gpu::Phase`; this crate stays
+//! dependency-free and carries phases as their `&'static str` labels.)
+
+pub mod chrome;
+pub mod event;
+pub mod json;
+pub mod metrics;
+pub mod roofline;
+pub mod sink;
+
+pub use chrome::chrome_trace_json;
+pub use event::TraceEvent;
+pub use json::{parse_json, Json};
+pub use metrics::{metrics_json, DeviceMetrics, KernelStats, Metrics};
+pub use roofline::roofline_summary;
+pub use sink::{NullSink, RingBufferSink, TraceSink, Tracer};

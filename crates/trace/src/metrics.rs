@@ -1,0 +1,338 @@
+//! The aggregated per-device / per-kernel metrics registry.
+//!
+//! Counters are accumulated *inside* the simulated devices (always on,
+//! independent of whether a [`crate::Tracer`] is attached), so a run
+//! with a [`crate::NullSink`] reports metrics bit-identical to an
+//! untraced run.
+
+use crate::json::{escape_json, num_json};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Aggregated counters for one named kernel on one device.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct KernelStats {
+    /// Number of launches.
+    pub launches: u64,
+    /// Simulated seconds spent in the kernel.
+    pub seconds: f64,
+    /// Double-precision flops accounted to the kernel.
+    pub flops: f64,
+    /// Bytes streamed through device memory.
+    pub bytes: f64,
+}
+
+impl KernelStats {
+    /// Achieved Gflop/s over the kernel's accumulated time.
+    pub fn achieved_gflops(&self) -> f64 {
+        if self.seconds > 0.0 {
+            self.flops / self.seconds / 1e9
+        } else {
+            0.0
+        }
+    }
+
+    /// Achieved GB/s over the kernel's accumulated time.
+    pub fn achieved_gbs(&self) -> f64 {
+        if self.seconds > 0.0 {
+            self.bytes / self.seconds / 1e9
+        } else {
+            0.0
+        }
+    }
+
+    /// Adds another accumulator into this one.
+    pub fn merge(&mut self, other: &KernelStats) {
+        self.launches += other.launches;
+        self.seconds += other.seconds;
+        self.flops += other.flops;
+        self.bytes += other.bytes;
+    }
+
+    /// Counter difference `self - earlier` (both from the same device,
+    /// `earlier` snapshotted first).
+    pub fn minus(&self, earlier: &KernelStats) -> KernelStats {
+        KernelStats {
+            launches: self.launches - earlier.launches,
+            seconds: self.seconds - earlier.seconds,
+            flops: self.flops - earlier.flops,
+            bytes: self.bytes - earlier.bytes,
+        }
+    }
+}
+
+/// Metrics for one simulated device.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DeviceMetrics {
+    /// Device ordinal within the run (globally numbered on clusters).
+    pub device: usize,
+    /// Device spec name (e.g. `"Tesla K40c"`).
+    pub name: &'static str,
+    /// Kernel launches issued (including unnamed algorithmic launches).
+    pub launches: u64,
+    /// Host synchronizations.
+    pub syncs: u64,
+    /// Simulated seconds the device was doing charged work.
+    pub busy_seconds: f64,
+    /// Simulated seconds the device sat idle at barriers.
+    pub wait_seconds: f64,
+    /// Bytes moved over PCIe (uploads + downloads).
+    pub bytes_moved: f64,
+    /// Calibrated peak double-precision Gflop/s of the device model.
+    pub peak_gflops: f64,
+    /// Calibrated peak memory bandwidth (GB/s) of the device model.
+    pub peak_gbs: f64,
+    /// Per-phase charged seconds, keyed by phase label.
+    pub phase_seconds: BTreeMap<&'static str, f64>,
+    /// Per-kernel counters, keyed by kernel name.
+    pub kernels: BTreeMap<&'static str, KernelStats>,
+}
+
+impl DeviceMetrics {
+    /// Total simulated wall time (busy + idle).
+    pub fn total_seconds(&self) -> f64 {
+        self.busy_seconds + self.wait_seconds
+    }
+
+    /// Busy fraction of total time (1.0 for an always-busy device).
+    pub fn utilization(&self) -> f64 {
+        let total = self.total_seconds();
+        if total > 0.0 {
+            self.busy_seconds / total
+        } else {
+            0.0
+        }
+    }
+
+    /// Counter difference `self - earlier` for executors that account
+    /// against a shared device by snapshotting at `begin`.
+    pub fn minus(&self, earlier: &DeviceMetrics) -> DeviceMetrics {
+        let mut out = DeviceMetrics {
+            device: self.device,
+            name: self.name,
+            launches: self.launches - earlier.launches,
+            syncs: self.syncs - earlier.syncs,
+            busy_seconds: self.busy_seconds - earlier.busy_seconds,
+            wait_seconds: self.wait_seconds - earlier.wait_seconds,
+            bytes_moved: self.bytes_moved - earlier.bytes_moved,
+            peak_gflops: self.peak_gflops,
+            peak_gbs: self.peak_gbs,
+            phase_seconds: BTreeMap::new(),
+            kernels: BTreeMap::new(),
+        };
+        for (label, secs) in &self.phase_seconds {
+            let delta = secs - earlier.phase_seconds.get(label).copied().unwrap_or(0.0);
+            if delta != 0.0 {
+                out.phase_seconds.insert(label, delta);
+            }
+        }
+        for (name, stats) in &self.kernels {
+            let delta = stats.minus(&earlier.kernels.get(name).copied().unwrap_or_default());
+            if delta != KernelStats::default() {
+                out.kernels.insert(name, delta);
+            }
+        }
+        out
+    }
+}
+
+/// The metrics registry for one run: one entry per device, plus
+/// run-level recovery counters.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Metrics {
+    /// Per-device metrics, ordered by device ordinal.
+    pub devices: Vec<DeviceMetrics>,
+    /// Transient-fault retries performed by the recovery policy.
+    pub retries: u64,
+}
+
+impl Metrics {
+    /// Total kernel launches across all devices.
+    pub fn total_launches(&self) -> u64 {
+        self.devices.iter().map(|d| d.launches).sum()
+    }
+
+    /// Seconds charged to the `Recovery` phase: the maximum over
+    /// devices, matching how multi-device timelines are reduced (the
+    /// devices proceed in lockstep through barriers).
+    pub fn recovery_seconds(&self) -> f64 {
+        self.devices
+            .iter()
+            .map(|d| d.phase_seconds.get("Recovery").copied().unwrap_or(0.0))
+            .fold(0.0, f64::max)
+    }
+
+    /// Per-device counter difference (`self` observed after `earlier`;
+    /// devices are matched by position).
+    pub fn minus(&self, earlier: &Metrics) -> Metrics {
+        let devices = self
+            .devices
+            .iter()
+            .enumerate()
+            .map(|(i, d)| match earlier.devices.get(i) {
+                Some(e) => d.minus(e),
+                None => d.clone(),
+            })
+            .collect();
+        Metrics {
+            devices,
+            retries: self.retries - earlier.retries.min(self.retries),
+        }
+    }
+}
+
+/// Renders the registry as a machine-readable JSON document.
+pub fn metrics_json(m: &Metrics) -> String {
+    let mut out = String::new();
+    out.push('{');
+    let _ = write!(
+        out,
+        "\"retries\":{},\"total_launches\":{},\"recovery_seconds\":{},\"devices\":[",
+        m.retries,
+        m.total_launches(),
+        num_json(m.recovery_seconds())
+    );
+    for (i, d) in m.devices.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"device\":{},\"name\":\"{}\",\"launches\":{},\"syncs\":{},\
+             \"busy_seconds\":{},\"wait_seconds\":{},\"bytes_moved\":{},\
+             \"peak_gflops\":{},\"peak_gbs\":{},\"utilization\":{},",
+            d.device,
+            escape_json(d.name),
+            d.launches,
+            d.syncs,
+            num_json(d.busy_seconds),
+            num_json(d.wait_seconds),
+            num_json(d.bytes_moved),
+            num_json(d.peak_gflops),
+            num_json(d.peak_gbs),
+            num_json(d.utilization()),
+        );
+        out.push_str("\"phase_seconds\":{");
+        for (j, (label, secs)) in d.phase_seconds.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{}\":{}", escape_json(label), num_json(*secs));
+        }
+        out.push_str("},\"kernels\":{");
+        for (j, (name, k)) in d.kernels.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\"{}\":{{\"launches\":{},\"seconds\":{},\"flops\":{},\"bytes\":{},\
+                 \"gflops\":{},\"gbs\":{}}}",
+                escape_json(name),
+                k.launches,
+                num_json(k.seconds),
+                num_json(k.flops),
+                num_json(k.bytes),
+                num_json(k.achieved_gflops()),
+                num_json(k.achieved_gbs()),
+            );
+        }
+        out.push_str("}}");
+    }
+    out.push_str("]}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse_json;
+
+    fn sample() -> Metrics {
+        let mut d = DeviceMetrics {
+            device: 0,
+            name: "Tesla K40c",
+            launches: 10,
+            syncs: 2,
+            busy_seconds: 0.9,
+            wait_seconds: 0.1,
+            bytes_moved: 1024.0,
+            peak_gflops: 1430.0,
+            peak_gbs: 288.0,
+            ..DeviceMetrics::default()
+        };
+        d.phase_seconds.insert("Sampling", 0.6);
+        d.phase_seconds.insert("Recovery", 0.3);
+        d.kernels.insert(
+            "gemm",
+            KernelStats {
+                launches: 4,
+                seconds: 0.5,
+                flops: 2.5e11,
+                bytes: 4e9,
+            },
+        );
+        Metrics {
+            devices: vec![d],
+            retries: 1,
+        }
+    }
+
+    #[test]
+    fn achieved_rates_and_utilization() {
+        let m = sample();
+        let d = &m.devices[0];
+        assert!((d.utilization() - 0.9).abs() < 1e-12);
+        let k = &d.kernels["gemm"];
+        assert!((k.achieved_gflops() - 500.0).abs() < 1e-9);
+        assert!((k.achieved_gbs() - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn minus_recovers_the_increment() {
+        let earlier = sample();
+        let mut later = sample();
+        later.devices[0].launches += 5;
+        later.devices[0].busy_seconds += 0.5;
+        *later.devices[0].phase_seconds.get_mut("Sampling").unwrap() += 0.5;
+        later.devices[0]
+            .kernels
+            .get_mut("gemm")
+            .unwrap()
+            .merge(&KernelStats {
+                launches: 5,
+                seconds: 0.5,
+                flops: 1e9,
+                bytes: 1e6,
+            });
+        let delta = later.minus(&earlier);
+        let d = &delta.devices[0];
+        assert_eq!(d.launches, 5);
+        assert!((d.busy_seconds - 0.5).abs() < 1e-12);
+        let sampling = d.phase_seconds.get("Sampling").copied().unwrap();
+        assert!((sampling - 0.5).abs() < 1e-12);
+        assert_eq!(d.phase_seconds.get("Recovery"), None);
+        assert_eq!(d.kernels["gemm"].launches, 5);
+        assert_eq!(delta.retries, 0);
+    }
+
+    #[test]
+    fn json_export_parses_and_carries_recovery_seconds() {
+        let m = sample();
+        let doc = metrics_json(&m);
+        let j = parse_json(&doc).unwrap();
+        assert_eq!(
+            j.get("recovery_seconds").unwrap().as_num().unwrap(),
+            m.recovery_seconds()
+        );
+        let devices = j.get("devices").unwrap().as_arr().unwrap();
+        assert_eq!(devices.len(), 1);
+        let gemm = devices[0]
+            .get("kernels")
+            .unwrap()
+            .get("gemm")
+            .unwrap()
+            .clone();
+        assert_eq!(gemm.get("launches").unwrap().as_num().unwrap(), 4.0);
+    }
+}

@@ -1,0 +1,132 @@
+//! Terminal roofline / utilization summary.
+
+use crate::metrics::Metrics;
+use std::fmt::Write as _;
+
+fn fmt_secs(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.3} s")
+    } else if s >= 1e-3 {
+        format!("{:.3} ms", s * 1e3)
+    } else {
+        format!("{:.3} us", s * 1e6)
+    }
+}
+
+fn fmt_bytes(b: f64) -> String {
+    if b >= 1e9 {
+        format!("{:.2} GB", b / 1e9)
+    } else if b >= 1e6 {
+        format!("{:.2} MB", b / 1e6)
+    } else {
+        format!("{:.2} kB", b / 1e3)
+    }
+}
+
+/// Renders the metrics registry as an aligned terminal summary: one
+/// block per device with busy/idle utilization, then a per-kernel
+/// roofline table (achieved Gflop/s and GB/s against the calibrated
+/// device peaks). The "% peak" columns are the roofline reading: a
+/// kernel near its flops peak is compute-bound, one near the bandwidth
+/// peak is memory-bound.
+pub fn roofline_summary(m: &Metrics) -> String {
+    let mut out = String::new();
+    for d in &m.devices {
+        let _ = writeln!(
+            out,
+            "device {} ({}): busy {} ({:.1}%), idle {}, {} over PCIe, {} launches, {} syncs",
+            d.device,
+            d.name,
+            fmt_secs(d.busy_seconds),
+            100.0 * d.utilization(),
+            fmt_secs(d.wait_seconds),
+            fmt_bytes(d.bytes_moved),
+            d.launches,
+            d.syncs,
+        );
+        if d.kernels.is_empty() {
+            continue;
+        }
+        let _ = writeln!(
+            out,
+            "  {:<10} {:>8} {:>12} {:>10} {:>7} {:>10} {:>7}",
+            "kernel", "launches", "time", "Gflop/s", "%peak", "GB/s", "%peak"
+        );
+        for (name, k) in &d.kernels {
+            let gf = k.achieved_gflops();
+            let gb = k.achieved_gbs();
+            let pf = if d.peak_gflops > 0.0 {
+                100.0 * gf / d.peak_gflops
+            } else {
+                0.0
+            };
+            let pb = if d.peak_gbs > 0.0 {
+                100.0 * gb / d.peak_gbs
+            } else {
+                0.0
+            };
+            let _ = writeln!(
+                out,
+                "  {:<10} {:>8} {:>12} {:>10.1} {:>6.1}% {:>10.1} {:>6.1}%",
+                name,
+                k.launches,
+                fmt_secs(k.seconds),
+                gf,
+                pf,
+                gb,
+                pb,
+            );
+        }
+    }
+    if m.retries > 0 {
+        let _ = writeln!(out, "recovery: {} transient retries", m.retries);
+    }
+    if out.is_empty() {
+        out.push_str("no devices recorded\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{DeviceMetrics, KernelStats};
+
+    #[test]
+    fn summary_mentions_each_device_and_kernel() {
+        let mut d = DeviceMetrics {
+            device: 1,
+            name: "Tesla K40c",
+            launches: 7,
+            busy_seconds: 2.0,
+            wait_seconds: 0.5,
+            bytes_moved: 3e9,
+            peak_gflops: 1430.0,
+            peak_gbs: 288.0,
+            ..DeviceMetrics::default()
+        };
+        d.kernels.insert(
+            "gemm",
+            KernelStats {
+                launches: 3,
+                seconds: 1.5,
+                flops: 1.2e12,
+                bytes: 9e9,
+            },
+        );
+        let m = Metrics {
+            devices: vec![d],
+            retries: 2,
+        };
+        let text = roofline_summary(&m);
+        assert!(text.contains("device 1 (Tesla K40c)"));
+        assert!(text.contains("gemm"));
+        assert!(text.contains("80.0%"), "utilization: {text}");
+        assert!(text.contains("transient retries"));
+    }
+
+    #[test]
+    fn empty_metrics_do_not_panic() {
+        assert!(roofline_summary(&Metrics::default()).contains("no devices"));
+    }
+}

@@ -1,0 +1,188 @@
+//! Trace sinks and the shared [`Tracer`] handle.
+
+use crate::event::TraceEvent;
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::{Arc, Mutex};
+
+/// Destination for trace events.
+///
+/// Implementations must be cheap: the simulated devices call
+/// [`TraceSink::record`] once per cost-model charge.
+pub trait TraceSink {
+    /// Record one event. Events arrive in the deterministic order the
+    /// single-threaded simulation produced them.
+    fn record(&mut self, ev: TraceEvent);
+
+    /// The retained events, oldest first (empty for sinks that do not
+    /// retain anything).
+    fn events(&mut self) -> &[TraceEvent] {
+        &[]
+    }
+
+    /// Number of events dropped because the sink was full.
+    fn dropped(&self) -> u64 {
+        0
+    }
+}
+
+/// Discards every event. Attaching a `NullSink` exercises the full
+/// emission path while keeping runs bit-identical to untraced ones.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    fn record(&mut self, _ev: TraceEvent) {}
+}
+
+/// Keeps the most recent `capacity` events in arrival order.
+#[derive(Debug, Clone)]
+pub struct RingBufferSink {
+    buf: VecDeque<TraceEvent>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl RingBufferSink {
+    /// A ring buffer retaining up to `capacity` events (min 1).
+    pub fn new(capacity: usize) -> Self {
+        RingBufferSink {
+            buf: VecDeque::new(),
+            capacity: capacity.max(1),
+            dropped: 0,
+        }
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether no events have been retained.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+}
+
+impl TraceSink for RingBufferSink {
+    fn record(&mut self, ev: TraceEvent) {
+        if self.buf.len() == self.capacity {
+            self.buf.pop_front();
+            self.dropped += 1;
+        }
+        self.buf.push_back(ev);
+    }
+
+    fn events(&mut self) -> &[TraceEvent] {
+        self.buf.make_contiguous()
+    }
+
+    fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+/// Clonable handle to a shared [`TraceSink`].
+///
+/// Every device of a run (and the internal dry-run twins the executors
+/// drive) clones the same `Tracer`, so the whole run lands in one
+/// stream. Cloning shares the sink; the handle itself is one `Arc`.
+#[derive(Clone)]
+pub struct Tracer {
+    sink: Arc<Mutex<Box<dyn TraceSink + Send>>>,
+}
+
+impl fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Tracer").finish_non_exhaustive()
+    }
+}
+
+impl Tracer {
+    /// A tracer retaining the latest `capacity` events in a ring buffer.
+    pub fn ring(capacity: usize) -> Self {
+        Tracer::new(Box::new(RingBufferSink::new(capacity)))
+    }
+
+    /// A tracer that drops every event (exercises the emission path
+    /// without retaining anything).
+    pub fn null() -> Self {
+        Tracer::new(Box::new(NullSink))
+    }
+
+    /// A tracer over a caller-provided sink.
+    pub fn new(sink: Box<dyn TraceSink + Send>) -> Self {
+        Tracer {
+            sink: Arc::new(Mutex::new(sink)),
+        }
+    }
+
+    /// Records one event. A poisoned lock (a panic while recording)
+    /// silently drops the event rather than propagating the panic into
+    /// library code.
+    pub fn emit(&self, ev: TraceEvent) {
+        if let Ok(mut sink) = self.sink.lock() {
+            sink.record(ev);
+        }
+    }
+
+    /// Snapshot of the retained events, oldest first (empty for
+    /// non-retaining sinks).
+    pub fn events(&self) -> Vec<TraceEvent> {
+        match self.sink.lock() {
+            Ok(mut sink) => sink.events().to_vec(),
+            Err(_) => Vec::new(),
+        }
+    }
+
+    /// Number of events dropped because the sink was full.
+    pub fn dropped(&self) -> u64 {
+        match self.sink.lock() {
+            Ok(sink) => sink.dropped(),
+            Err(_) => 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mark(t: f64) -> TraceEvent {
+        TraceEvent::Recovery {
+            device: 0,
+            action: "transient-retry",
+            time: t,
+        }
+    }
+
+    #[test]
+    fn ring_buffer_keeps_latest_in_order() {
+        let tracer = Tracer::ring(3);
+        for i in 0..5 {
+            tracer.emit(mark(i as f64));
+        }
+        let evs = tracer.events();
+        assert_eq!(evs.len(), 3);
+        assert_eq!(evs, vec![mark(2.0), mark(3.0), mark(4.0)]);
+        assert_eq!(tracer.dropped(), 2);
+    }
+
+    #[test]
+    fn null_sink_retains_nothing() {
+        let tracer = Tracer::null();
+        tracer.emit(mark(1.0));
+        assert!(tracer.events().is_empty());
+        assert_eq!(tracer.dropped(), 0);
+    }
+
+    #[test]
+    fn clones_share_one_stream() {
+        let tracer = Tracer::ring(16);
+        let other = tracer.clone();
+        tracer.emit(mark(1.0));
+        other.emit(mark(2.0));
+        assert_eq!(tracer.events().len(), 2);
+        assert_eq!(other.events(), tracer.events());
+    }
+}

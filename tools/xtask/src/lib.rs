@@ -1,7 +1,7 @@
 //! # rlra-analyze
 //!
 //! Repo-specific static analysis for the rlra workspace, run as
-//! `cargo xtask analyze`. Four invariants the compiler cannot see:
+//! `cargo xtask analyze`. Five invariants the compiler cannot see:
 //!
 //! 1. **cost** — every simulated GPU kernel and every Executor stage
 //!    hook charges the analytic cost model (no free kernels).
@@ -11,6 +11,9 @@
 //!    crates' library code; errors are `MatrixError` returns.
 //! 4. **flops** — every BLAS level-2/3 routine has a flop formula in
 //!    `rlra-blas::flops`.
+//! 5. **trace** — every clock/timeline charging site in `rlra-gpu`
+//!    also emits a trace event, so the event stream stays complete
+//!    and the golden-trace reconciliation holds.
 //!
 //! Deliberate exceptions carry `// analyze: allow(lint, reason)` on or
 //! just above the offending line; an allow without a reason is itself
@@ -72,7 +75,7 @@ impl Loader {
     }
 }
 
-/// Runs all four lints (plus the allow-reason check) on the workspace
+/// Runs all five lints (plus the allow-reason check) on the workspace
 /// at `root`. Returns the sorted findings; empty means clean.
 ///
 /// # Errors
@@ -82,6 +85,7 @@ pub fn analyze(root: &Path) -> Result<Vec<Finding>, String> {
     let mut loader = Loader::new(root);
 
     let det_paths = workspace::determinism_files(root);
+    let trace_paths = workspace::trace_files(root);
     let panic_paths = workspace::panic_files(root);
     let graph_paths = workspace::cost_graph_files(root);
     let algo_paths = workspace::cost_algo_files(root);
@@ -90,6 +94,7 @@ pub fn analyze(root: &Path) -> Result<Vec<Finding>, String> {
     let flops_path = workspace::flops_file(root);
 
     loader.load_all(&det_paths)?;
+    loader.load_all(&trace_paths)?;
     loader.load_all(&panic_paths)?;
     loader.load_all(&graph_paths)?;
     loader.load_all(&algo_paths)?;
@@ -103,6 +108,9 @@ pub fn analyze(root: &Path) -> Result<Vec<Finding>, String> {
     }
     for f in loader.get_all(&panic_paths) {
         findings.extend(lints::panics::check(f));
+    }
+    for f in loader.get_all(&trace_paths) {
+        findings.extend(lints::trace::check(f));
     }
     findings.extend(lints::cost::check(
         &loader.get_all(&algo_paths),

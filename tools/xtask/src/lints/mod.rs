@@ -1,4 +1,4 @@
-//! The four repo-specific invariant lints.
+//! The five repo-specific invariant lints.
 //!
 //! | lint | invariant |
 //! |---|---|
@@ -6,11 +6,13 @@
 //! | `determinism` | no wall clock or entropy in library code |
 //! | `panic` | no `unwrap`/`expect`/`panic!`/`todo!` in library code |
 //! | `flops` | every BLAS level-2/3 routine has a flops formula |
+//! | `trace` | every clock/timeline charging site emits a trace event |
 
 pub mod cost;
 pub mod determinism;
 pub mod flops;
 pub mod panics;
+pub mod trace;
 
 use crate::diag::Finding;
 use crate::scan::FileModel;

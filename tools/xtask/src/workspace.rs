@@ -86,6 +86,15 @@ pub fn cost_executor_files(root: &Path) -> Vec<PathBuf> {
     rs_files(&root.join("crates/core/src/backend"))
 }
 
+/// Files subject to the trace lint: the `rlra-gpu` library sources,
+/// where every clock/timeline/comms accumulator lives.
+pub fn trace_files(root: &Path) -> Vec<PathBuf> {
+    rs_files(&root.join("crates/gpu/src"))
+        .into_iter()
+        .filter(|p| !is_bin_target(p))
+        .collect()
+}
+
 /// BLAS routine files paired with the flops formula file.
 pub fn flops_routine_files(root: &Path) -> Vec<PathBuf> {
     vec![

@@ -1,0 +1,21 @@
+// Fixture: charging sites that never reach the tracer — the trace lint
+// must fire on each function.
+
+impl Gpu {
+    /// Advances the timeline without emitting: untraced charge.
+    fn silent_timeline(&mut self, phase: Phase, secs: f64) {
+        self.timeline.add(phase, secs);
+    }
+
+    /// Advances the clock without emitting: untraced charge.
+    fn silent_clock(&mut self, secs: f64) {
+        self.clock += secs;
+    }
+}
+
+impl Cluster {
+    /// Accumulates comms without emitting: untraced charge.
+    fn silent_comms(&mut self, secs: f64) {
+        self.comms_inter += secs;
+    }
+}

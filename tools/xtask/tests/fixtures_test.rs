@@ -86,6 +86,22 @@ fn flops_requires_a_formula_per_routine() {
 }
 
 #[test]
+fn trace_flags_silent_charging_sites() {
+    let file = fixture("trace_bad.rs");
+    let findings = lints::trace::check(&file);
+    // silent_timeline, silent_clock, silent_comms.
+    assert_eq!(findings.len(), 3, "got {findings:#?}");
+    assert!(lints_of(&findings).iter().all(|l| *l == "trace"));
+}
+
+#[test]
+fn trace_accepts_emits_helpers_allows_and_tests() {
+    let file = fixture("trace_ok.rs");
+    let findings = lints::trace::check(&file);
+    assert!(findings.is_empty(), "unexpected findings: {findings:#?}");
+}
+
+#[test]
 fn allow_without_reason_is_reported() {
     let file = fixture("allow_bad.rs");
     // The malformed allow still suppresses the panic finding...

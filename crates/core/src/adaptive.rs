@@ -17,7 +17,7 @@
 //! also needs a computing backend, since the stopping decision reads the
 //! sampled values.
 
-use crate::backend::{staged, ExecReport, Executor, GpuExec};
+use crate::backend::{staged, ExecReport, Executor, GpuExec, NumericGuard};
 use crate::estimate::residual_estimate;
 use crate::result::LowRankApprox;
 use rand::Rng;
@@ -167,8 +167,30 @@ pub fn adaptive_sample_exec<E: Executor>(
     cfg: &AdaptiveConfig,
     rng: &mut impl Rng,
 ) -> Result<(AdaptiveResult, ExecReport)> {
-    let result = adaptive_loop(exec, a, cfg, rng)?;
-    let report = exec.finish()?;
+    let mut guard = NumericGuard::default();
+    adaptive_sample_exec_with_guard(exec, a, cfg, rng, &mut guard)
+}
+
+/// As [`adaptive_sample_exec`], with an explicit [`NumericGuard`] so the
+/// caller controls the orthogonalization fallback policy of the
+/// expansion steps and can read the breakdown counters afterwards.
+///
+/// # Errors
+///
+/// As [`adaptive_sample_exec`], plus
+/// [`MatrixError::NumericalBreakdown`] when the guard's ladder is capped
+/// below the rung a breakdown needs.
+pub fn adaptive_sample_exec_with_guard<E: Executor>(
+    exec: &mut E,
+    a: &Mat,
+    cfg: &AdaptiveConfig,
+    rng: &mut impl Rng,
+    guard: &mut NumericGuard,
+) -> Result<(AdaptiveResult, ExecReport)> {
+    let result = adaptive_loop(exec, a, cfg, rng, guard)?;
+    guard.drain(exec)?;
+    let mut report = exec.finish()?;
+    guard.fold_into(&mut report);
     Ok((result, report))
 }
 
@@ -203,6 +225,7 @@ fn adaptive_loop<E: Executor>(
     a: &Mat,
     cfg: &AdaptiveConfig,
     rng: &mut impl Rng,
+    guard: &mut NumericGuard,
 ) -> Result<AdaptiveResult> {
     cfg.validate()?;
     if !exec.supports_adaptive() {
@@ -235,7 +258,7 @@ fn adaptive_loop<E: Executor>(
 
     loop {
         // --- Expand: refine W with POWER and fold it into the basis ------
-        let w_refined = expand_block(exec, a, &basis, &mut c_basis, w, cfg)?;
+        let w_refined = expand_block(exec, a, &basis, &mut c_basis, w, cfg, guard)?;
         let l_used = w_refined.rows();
         basis = basis.vcat(&w_refined)?;
         let l_now = basis.rows();
@@ -323,6 +346,7 @@ fn expand_block<E: Executor>(
     c_basis: &mut Mat,
     mut w: Mat,
     cfg: &AdaptiveConfig,
+    guard: &mut NumericGuard,
 ) -> Result<Mat> {
     let (m, n) = a.shape();
     let l_new = w.rows();
@@ -333,7 +357,8 @@ fn expand_block<E: Executor>(
         e.adaptive_orth(l_new, n, l_prev, cfg.reorth)
     })?;
     rlra_lapack::block_orth_rows(basis, &mut w, cfg.reorth)?;
-    w = crate::power::orth_rows(&w, cfg.reorth)?;
+    w = guard.ladder_rows("adaptive_orth", &w, cfg.reorth)?;
+    guard.drain(exec)?;
 
     // Power iterations (Figure 2a with j > 1).
     for _ in 0..cfg.q {
@@ -354,7 +379,8 @@ fn expand_block<E: Executor>(
             e.adaptive_orth(l_new, m, c_prev, cfg.reorth)
         })?;
         rlra_lapack::block_orth_rows(c_basis, &mut c, cfg.reorth)?;
-        let c = crate::power::orth_rows(&c, cfg.reorth)?;
+        let c = guard.ladder_rows("adaptive_orth", &c, cfg.reorth)?;
+        guard.drain(exec)?;
         *c_basis = c_basis.vcat(&c)?;
         // W = C·A.
         staged(exec, "adaptive_gemm_w", |e| e.adaptive_gemm_w(l_new))?;
@@ -375,7 +401,8 @@ fn expand_block<E: Executor>(
             e.adaptive_orth(l_new, n, b_prev, cfg.reorth)
         })?;
         rlra_lapack::block_orth_rows(basis, &mut w, cfg.reorth)?;
-        w = crate::power::orth_rows(&w, cfg.reorth)?;
+        w = guard.ladder_rows("adaptive_orth", &w, cfg.reorth)?;
+        guard.drain(exec)?;
     }
     Ok(w)
 }
@@ -422,12 +449,23 @@ pub fn sample_fixed_accuracy_exec<E: Executor>(
     cfg: &AdaptiveConfig,
     rng: &mut impl Rng,
 ) -> Result<(LowRankApprox, AdaptiveResult, ExecReport)> {
-    let adaptive = adaptive_loop(exec, a, cfg, rng)?;
+    let mut guard = NumericGuard::default();
+    let adaptive = adaptive_loop(exec, a, cfg, rng, &mut guard)?;
     let k = adaptive.l().min(a.cols());
-    // Charge Steps 2–3 on the backend, then finish on the host.
+    // Charge Steps 2–3 on the backend, finish on the host (through the
+    // guard's ladder), then settle the accounting.
     staged(exec, "adaptive_finish", |e| e.adaptive_finish(k))?;
-    let report = exec.finish()?;
-    let approx = crate::fixed_rank::finish_from_sampled(a, &adaptive.basis, k, cfg.reorth)?;
+    let approx = crate::fixed_rank::finish_from_sampled_guarded(
+        a,
+        &adaptive.basis,
+        k,
+        cfg.reorth,
+        crate::config::Step2Kind::Qp3,
+        &mut guard,
+    )?;
+    guard.drain(exec)?;
+    let mut report = exec.finish()?;
+    guard.fold_into(&mut report);
     Ok((approx, adaptive, report))
 }
 

@@ -430,6 +430,9 @@ impl Executor for ClusterExec<'_> {
             retries: 0,
             recovery_seconds: self.cluster.breakdown().get(Phase::Recovery) - self.recovery0,
             devices_lost: 0,
+            breakdowns: 0,
+            fallbacks: 0,
+            ladder_histogram: [0; 3],
             metrics: self.cluster.metrics().minus(&self.metrics0),
         };
         self.a_parts.clear();

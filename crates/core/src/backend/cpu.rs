@@ -82,6 +82,9 @@ impl Executor for CpuExec {
             retries: 0,
             recovery_seconds: 0.0,
             devices_lost: 0,
+            breakdowns: 0,
+            fallbacks: 0,
+            ladder_histogram: [0; 3],
             metrics: rlra_trace::Metrics::default(),
         })
     }

@@ -325,6 +325,67 @@ impl Executor for GpuExec<'_> {
         Ok(())
     }
 
+    fn charge_fallback(
+        &mut self,
+        rows: usize,
+        cols: usize,
+        rung: super::Rung,
+        _reorth: bool,
+    ) -> Result<()> {
+        // The Gram side of the block is its short dimension (rows for
+        // the short-wide power-iteration blocks, cols for the tall
+        // Step-3 operand).
+        let s = rows.min(cols);
+        let long = rows.max(cols);
+        match rung {
+            super::Rung::CholQr => {}
+            super::Rung::ShiftedCholQr2 => {
+                // Shifted pass + two corrective passes; the diagonal
+                // shift itself is a BLAS-1 sweep of the Gram diagonal.
+                self.sim
+                    .charge(Phase::OrthIter, self.sim.cost().blas1(s, 2.0));
+                for _ in 0..3 {
+                    self.sim
+                        .charge(Phase::OrthIter, self.sim.cost().syrk(s, long));
+                    self.sim
+                        .charge(Phase::OrthIter, self.sim.cost().host_cholesky(s));
+                    self.sim
+                        .charge(Phase::OrthIter, self.sim.cost().trsm(s, long));
+                }
+            }
+            super::Rung::Householder => {
+                let block = self.sim.resident_shape(long, s);
+                rlra_gpu::algos::gpu_hhqr(&mut self.sim, Phase::OrthIter, &block)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn charge_health_check(&mut self, rows: usize, cols: usize) -> Result<()> {
+        // One streaming read of the block with a device-side reduction.
+        self.sim.charge_kernel(
+            Phase::Other,
+            "health_scan",
+            [rows, cols, 0],
+            (rows * cols) as f64,
+            8.0 * (rows * cols) as f64,
+            self.sim.cost().blas1_reduce(rows * cols),
+        );
+        Ok(())
+    }
+
+    fn verify_probe(&mut self, probes: usize, k: usize) -> Result<()> {
+        // Posterior residual probe: Ω·A, Ω·Q and (Ω·Q)·R — three thin
+        // GEMMs, charged as Other like the adaptive probe.
+        self.sim.charge(
+            Phase::Other,
+            self.sim.cost().gemm(probes, self.n, self.m)
+                + self.sim.cost().gemm(probes, k, self.m)
+                + self.sim.cost().gemm(probes, self.n, k),
+        );
+        Ok(())
+    }
+
     fn elapsed(&self) -> f64 {
         self.sim.clock()
     }
@@ -351,9 +412,13 @@ impl Executor for GpuExec<'_> {
             retries: 0,
             recovery_seconds: self.sim.timeline().get(Phase::Recovery),
             devices_lost: 0,
+            breakdowns: 0,
+            fallbacks: 0,
+            ladder_histogram: [0; 3],
             metrics: Metrics {
                 devices: vec![self.sim.device_metrics()],
                 retries: 0,
+                fallbacks: 0,
             },
         };
         for phase in Phase::ALL {

@@ -1,0 +1,565 @@
+//! The numerical-robustness guard: breakdown detection, the
+//! orthogonalization fallback ladder, and between-stage health checks.
+//!
+//! The guard mirrors how [`super::Recovering`] wraps *device* faults,
+//! but for *numerical* faults: a CholQR Gram matrix losing positive
+//! definiteness, a NaN-poisoned block, a norm explosion. It is a
+//! host-side state object threaded through the guarded host numerics
+//! (the pipeline, the power iteration, the Step-3 tall QR), because the
+//! numerics/accounting split of the [module docs](super) still holds —
+//! the guard *detects and repairs on the host*, then charges the
+//! executor for the extra kernels each repair would have cost.
+//!
+//! # The ladder
+//!
+//! Orthogonalizations start on the fast rung and escalate only on
+//! breakdown:
+//!
+//! 1. **CholQR** (with the configured re-orthogonalization pass) — the
+//!    paper's choice; squares the condition number in the Gram matrix.
+//! 2. **Shifted CholQR2** — a shifted Cholesky pass that tolerates
+//!    `κ ≈ 1/√(shift·ε)`, followed by two plain corrective passes.
+//! 3. **Householder QR** — unconditionally stable, slowest.
+//!
+//! A run in which no rung breaks executes byte-for-byte the same
+//! kernels as before this layer existed, charges nothing extra, and
+//! reports all-zero guard counters — the bit-identity invariant the
+//! cross-backend tests pin.
+//!
+//! Charges are buffered ([`NumericGuard::drain`] pushes them into the
+//! executor's cost hooks and trace stream between stages) and the
+//! counters fold into the final [`ExecReport`] via
+//! [`NumericGuard::fold_into`]. The guard never touches `retries` —
+//! device-fault accounting belongs to [`super::Recovering`] alone, so
+//! composing both injectors in one run cannot double-count.
+
+use super::{ExecReport, Executor};
+use rlra_matrix::{Mat, MatrixError, Result};
+use rlra_trace::TraceEvent;
+
+/// One rung of the orthogonalization fallback ladder, cheapest first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rung {
+    /// Plain CholQR (one or two Gram/Cholesky/solve passes).
+    CholQr,
+    /// Shifted CholQR2: shifted first pass plus two corrective passes.
+    ShiftedCholQr2,
+    /// Householder QR: unconditionally backward stable.
+    Householder,
+}
+
+impl Rung {
+    /// Ladder position: 0 = CholQR, 1 = shifted CholQR2, 2 = Householder.
+    pub fn index(self) -> usize {
+        match self {
+            Rung::CholQr => 0,
+            Rung::ShiftedCholQr2 => 1,
+            Rung::Householder => 2,
+        }
+    }
+
+    /// Short label used in traces and reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Rung::CholQr => "cholqr",
+            Rung::ShiftedCholQr2 => "shifted-cholqr2",
+            Rung::Householder => "householder",
+        }
+    }
+
+    fn next(self) -> Option<Rung> {
+        match self {
+            Rung::CholQr => Some(Rung::ShiftedCholQr2),
+            Rung::ShiftedCholQr2 => Some(Rung::Householder),
+            Rung::Householder => None,
+        }
+    }
+}
+
+/// Tuning knobs of the numeric guard. The default policy preserves
+/// bit-identity on healthy runs: the full ladder is available but rung
+/// 0 is exactly the pre-guard kernel sequence, and health checks are
+/// off (they cost a streaming read per stage).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NumericPolicy {
+    /// Highest rung the ladder may escalate to. `Rung::CholQr` disables
+    /// fallbacks entirely (breakdowns surface as errors).
+    pub max_rung: Rung,
+    /// Scale of the diagonal shift in rung 1, in units of
+    /// `ε·trace(G)`. Larger shifts rescue worse conditioning but leave
+    /// more work for the corrective passes.
+    pub shift_scale: f64,
+    /// Run NaN/Inf and norm-explosion scans between pipeline stages.
+    pub health_checks: bool,
+    /// A block whose max-magnitude entry exceeds `explosion_factor`
+    /// times the input scale fails the health check.
+    pub explosion_factor: f64,
+}
+
+impl Default for NumericPolicy {
+    fn default() -> Self {
+        NumericPolicy {
+            max_rung: Rung::Householder,
+            shift_scale: 100.0,
+            health_checks: false,
+            explosion_factor: 1e8,
+        }
+    }
+}
+
+/// A buffered accounting event, pushed to the executor on
+/// [`NumericGuard::drain`]. Buffering keeps the guarded host numerics
+/// free of executor borrows.
+#[derive(Debug, Clone, Copy)]
+enum GuardCharge {
+    Breakdown {
+        stage: &'static str,
+        rung: Rung,
+    },
+    Fallback {
+        stage: &'static str,
+        rows: usize,
+        cols: usize,
+        rung: Rung,
+        reorth: bool,
+    },
+    Health {
+        stage: &'static str,
+        rows: usize,
+        cols: usize,
+        ok: bool,
+    },
+}
+
+/// Breakdown/fallback state of one guarded run. See the [module
+/// docs](self) for the contract.
+#[derive(Debug, Clone, Default)]
+pub struct NumericGuard {
+    /// The escalation policy.
+    pub policy: NumericPolicy,
+    breakdowns: u64,
+    fallbacks: u64,
+    histogram: [u64; 3],
+    pending: Vec<GuardCharge>,
+}
+
+impl NumericGuard {
+    /// A guard with the given escalation policy.
+    pub fn new(policy: NumericPolicy) -> Self {
+        NumericGuard {
+            policy,
+            ..NumericGuard::default()
+        }
+    }
+
+    /// Numerical breakdowns detected so far (failed rungs, poisoned or
+    /// exploding blocks).
+    pub fn breakdowns(&self) -> u64 {
+        self.breakdowns
+    }
+
+    /// Ladder escalations performed so far (one per rung climbed).
+    pub fn fallbacks(&self) -> u64 {
+        self.fallbacks
+    }
+
+    /// Successful orthogonalizations per rung `[cholqr, shifted, hhqr]`.
+    /// Rung-0 successes are not counted — they are the bit-identical
+    /// fast path — so a healthy run reads `[0, 0, 0]`.
+    pub fn ladder_histogram(&self) -> [u64; 3] {
+        self.histogram
+    }
+
+    fn record_breakdown(&mut self, stage: &'static str, rung: Rung) {
+        self.breakdowns += 1;
+        self.pending.push(GuardCharge::Breakdown { stage, rung });
+    }
+
+    fn record_fallback(&mut self, stage: &'static str, b: &Mat, rung: Rung, reorth: bool) {
+        self.fallbacks += 1;
+        self.pending.push(GuardCharge::Fallback {
+            stage,
+            rows: b.rows(),
+            cols: b.cols(),
+            rung,
+            reorth,
+        });
+    }
+
+    fn escalate(&mut self, stage: &'static str, from: Rung) -> Result<Rung> {
+        self.record_breakdown(stage, from);
+        match from.next() {
+            Some(next) if next <= self.policy.max_rung => Ok(next),
+            _ => Err(MatrixError::NumericalBreakdown {
+                stage,
+                detail: "orthogonalization ladder exhausted",
+            }),
+        }
+    }
+
+    /// Row-orthonormalizes a short-wide block through the ladder:
+    /// CholQR (rung 0, exactly the pre-guard kernels), shifted CholQR2,
+    /// Householder QR of the transpose. Every escalation is counted,
+    /// buffered for cost charging, and visible in the histogram.
+    ///
+    /// # Errors
+    ///
+    /// [`MatrixError::NumericalBreakdown`] when every rung up to
+    /// `policy.max_rung` breaks; propagates non-breakdown kernel errors.
+    pub fn ladder_rows(&mut self, stage: &'static str, b: &Mat, reorth: bool) -> Result<Mat> {
+        let attempt = if reorth {
+            rlra_lapack::cholqr_rows2(b)
+        } else {
+            rlra_lapack::cholqr_rows(b)
+        };
+        match attempt {
+            Ok((q, _)) => Ok(q),
+            Err(MatrixError::NotPositiveDefinite { .. }) => {
+                self.escalate(stage, Rung::CholQr)?;
+                self.record_fallback(stage, b, Rung::ShiftedCholQr2, reorth);
+                match rlra_lapack::shifted_cholqr_rows2(b, self.policy.shift_scale) {
+                    Ok((q, _)) => {
+                        self.histogram[Rung::ShiftedCholQr2.index()] += 1;
+                        Ok(q)
+                    }
+                    Err(MatrixError::NotPositiveDefinite { .. }) => {
+                        self.escalate(stage, Rung::ShiftedCholQr2)?;
+                        self.record_fallback(stage, b, Rung::Householder, reorth);
+                        self.histogram[Rung::Householder.index()] += 1;
+                        Ok(rlra_lapack::form_q(&b.transpose()).transpose())
+                    }
+                    Err(e) => Err(e),
+                }
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Tall-skinny flavor of the ladder, returning both factors (the
+    /// Step-3 finish needs `R`): CholQR, shifted CholQR2, Householder
+    /// `qr_factor`.
+    ///
+    /// # Errors
+    ///
+    /// As [`NumericGuard::ladder_rows`].
+    pub fn ladder_tall(
+        &mut self,
+        stage: &'static str,
+        b: &Mat,
+        reorth: bool,
+    ) -> Result<(Mat, Mat)> {
+        let attempt = if reorth {
+            rlra_lapack::cholqr2(b)
+        } else {
+            rlra_lapack::cholqr(b)
+        };
+        match attempt {
+            Ok(qr) => Ok(qr),
+            Err(MatrixError::NotPositiveDefinite { .. }) => {
+                self.escalate(stage, Rung::CholQr)?;
+                self.record_fallback(stage, b, Rung::ShiftedCholQr2, reorth);
+                match rlra_lapack::shifted_cholqr2(b, self.policy.shift_scale) {
+                    Ok(qr) => {
+                        self.histogram[Rung::ShiftedCholQr2.index()] += 1;
+                        Ok(qr)
+                    }
+                    Err(MatrixError::NotPositiveDefinite { .. }) => {
+                        self.escalate(stage, Rung::ShiftedCholQr2)?;
+                        self.record_fallback(stage, b, Rung::Householder, reorth);
+                        self.histogram[Rung::Householder.index()] += 1;
+                        Ok(rlra_lapack::qr_factor(b))
+                    }
+                    Err(e) => Err(e),
+                }
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Between-stage health check: NaN/Inf scan plus a norm-explosion
+    /// test against `scale` (the input's max magnitude). A no-op unless
+    /// `policy.health_checks` is on; when on, the streaming read is
+    /// buffered for cost charging whether or not the block passes.
+    ///
+    /// # Errors
+    ///
+    /// [`MatrixError::NumericalBreakdown`] on a non-finite entry or a
+    /// max magnitude above `explosion_factor · scale`.
+    pub fn health_check(&mut self, stage: &'static str, block: &Mat, scale: f64) -> Result<()> {
+        if !self.policy.health_checks {
+            return Ok(());
+        }
+        let (rows, cols) = block.shape();
+        let mut finite = true;
+        let mut max = 0.0f64;
+        for i in 0..rows {
+            for j in 0..cols {
+                let v = block[(i, j)];
+                if !v.is_finite() {
+                    finite = false;
+                }
+                max = max.max(v.abs());
+            }
+        }
+        let exploded = scale > 0.0 && max > self.policy.explosion_factor * scale;
+        let ok = finite && !exploded;
+        self.pending.push(GuardCharge::Health {
+            stage,
+            rows,
+            cols,
+            ok,
+        });
+        if !finite {
+            self.breakdowns += 1;
+            return Err(MatrixError::NumericalBreakdown {
+                stage,
+                detail: "non-finite block",
+            });
+        }
+        if exploded {
+            self.breakdowns += 1;
+            return Err(MatrixError::NumericalBreakdown {
+                stage,
+                detail: "norm explosion",
+            });
+        }
+        Ok(())
+    }
+
+    /// Pushes the buffered charges into the executor's cost hooks and
+    /// trace stream (instant marks on the stage track, stamped at the
+    /// executor's current simulated time). Call between stages and
+    /// before [`Executor::finish`], so escalation costs land inside the
+    /// run's timeline.
+    ///
+    /// # Errors
+    ///
+    /// Propagates kernel failures from the charge hooks.
+    pub fn drain<E: Executor + ?Sized>(&mut self, exec: &mut E) -> Result<()> {
+        for charge in std::mem::take(&mut self.pending) {
+            match charge {
+                GuardCharge::Breakdown { stage, rung } => {
+                    if let Some(t) = exec.tracer() {
+                        t.emit(TraceEvent::Breakdown {
+                            stage,
+                            rung: rung.index() as u8,
+                            time: exec.elapsed(),
+                        });
+                    }
+                }
+                GuardCharge::Fallback {
+                    stage,
+                    rows,
+                    cols,
+                    rung,
+                    reorth,
+                } => {
+                    exec.charge_fallback(rows, cols, rung, reorth)?;
+                    if let Some(t) = exec.tracer() {
+                        t.emit(TraceEvent::Fallback {
+                            stage,
+                            rung: rung.index() as u8,
+                            time: exec.elapsed(),
+                        });
+                    }
+                }
+                GuardCharge::Health {
+                    stage,
+                    rows,
+                    cols,
+                    ok,
+                } => {
+                    exec.charge_health_check(rows, cols)?;
+                    if let Some(t) = exec.tracer() {
+                        t.emit(TraceEvent::HealthCheck {
+                            stage,
+                            ok,
+                            time: exec.elapsed(),
+                        });
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Folds the guard counters into a finished report (and its metrics
+    /// registry). Never touches `retries` — device-fault retry
+    /// accounting belongs exclusively to [`super::Recovering`].
+    pub fn fold_into(&self, report: &mut ExecReport) {
+        report.breakdowns += self.breakdowns;
+        report.fallbacks += self.fallbacks;
+        for (slot, count) in report.ladder_histogram.iter_mut().zip(self.histogram) {
+            *slot += count;
+        }
+        report.metrics.fallbacks += self.fallbacks;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use rlra_lapack::householder::orthogonality_error;
+    use rlra_matrix::gaussian_mat;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn healthy_input_stays_on_rung_zero() {
+        let b = gaussian_mat(5, 30, &mut rng(1));
+        let mut g = NumericGuard::default();
+        let q = g.ladder_rows("orth_b", &b, true).unwrap();
+        assert!(orthogonality_error(&q.transpose()) < 1e-12);
+        assert_eq!(g.breakdowns(), 0);
+        assert_eq!(g.fallbacks(), 0);
+        assert_eq!(g.ladder_histogram(), [0, 0, 0]);
+        // Bit-identity with the raw rung-0 kernel.
+        let (q0, _) = rlra_lapack::cholqr_rows2(&b).unwrap();
+        assert_eq!(q, q0);
+    }
+
+    #[test]
+    fn near_deficiency_escalates_to_shifted_rung() {
+        // Almost-duplicated row: plain CholQR breaks, the shifted rung
+        // rescues it.
+        let mut b = gaussian_mat(4, 30, &mut rng(2));
+        let noise = gaussian_mat(1, 30, &mut rng(3));
+        for j in 0..30 {
+            b[(3, j)] = b[(0, j)] + 1e-9 * noise[(0, j)];
+        }
+        assert!(rlra_lapack::cholqr_rows2(&b).is_err());
+        let mut g = NumericGuard::default();
+        let q = g.ladder_rows("orth_b", &b, true).unwrap();
+        assert_eq!(q.shape(), (4, 30));
+        assert!(orthogonality_error(&q.transpose()) < 1e-9);
+        assert_eq!(g.breakdowns(), 1);
+        assert_eq!(g.fallbacks(), 1);
+        assert_eq!(g.ladder_histogram(), [0, 1, 0]);
+    }
+
+    #[test]
+    fn exact_deficiency_escalates_to_householder() {
+        let mut b = gaussian_mat(4, 20, &mut rng(4));
+        for j in 0..20 {
+            b[(3, j)] = b[(0, j)];
+        }
+        let mut g = NumericGuard::default();
+        let q = g.ladder_rows("orth_c", &b, true).unwrap();
+        assert_eq!(q.shape(), (4, 20));
+        assert_eq!(g.breakdowns(), 2);
+        assert_eq!(g.fallbacks(), 2);
+        assert_eq!(g.ladder_histogram(), [0, 0, 1]);
+    }
+
+    #[test]
+    fn capped_ladder_surfaces_the_breakdown() {
+        let mut b = gaussian_mat(4, 20, &mut rng(5));
+        for j in 0..20 {
+            b[(3, j)] = b[(0, j)];
+        }
+        let mut g = NumericGuard::new(NumericPolicy {
+            max_rung: Rung::CholQr,
+            ..NumericPolicy::default()
+        });
+        let err = g.ladder_rows("orth_b", &b, true).unwrap_err();
+        assert!(matches!(
+            err,
+            MatrixError::NumericalBreakdown {
+                stage: "orth_b",
+                ..
+            }
+        ));
+        assert_eq!(g.breakdowns(), 1);
+        assert_eq!(g.fallbacks(), 0);
+    }
+
+    #[test]
+    fn tall_ladder_reconstructs_through_the_shifted_rung() {
+        let mut b = gaussian_mat(30, 4, &mut rng(6));
+        let noise = gaussian_mat(30, 1, &mut rng(7));
+        for i in 0..30 {
+            b[(i, 3)] = b[(i, 0)] + 1e-9 * noise[(i, 0)];
+        }
+        let mut g = NumericGuard::default();
+        let (q, r) = g.ladder_tall("tsqr", &b, true).unwrap();
+        assert_eq!(g.ladder_histogram(), [0, 1, 0]);
+        // Q·R reproduces B.
+        let mut qr = Mat::zeros(30, 4);
+        rlra_blas::gemm(
+            1.0,
+            q.as_ref(),
+            rlra_blas::Trans::No,
+            r.as_ref(),
+            rlra_blas::Trans::No,
+            0.0,
+            qr.as_mut(),
+        )
+        .unwrap();
+        let diff = rlra_matrix::ops::sub(&b, &qr).unwrap();
+        assert!(rlra_matrix::norms::max_abs(diff.as_ref()) < 1e-8);
+        assert!(orthogonality_error(&q) < 1e-10);
+    }
+
+    #[test]
+    fn health_check_is_a_noop_by_default() {
+        let mut g = NumericGuard::default();
+        let poisoned = Mat::from_fn(3, 3, |i, j| if i == j { f64::NAN } else { 1.0 });
+        assert!(g.health_check("gemm_to_c", &poisoned, 1.0).is_ok());
+        assert_eq!(g.breakdowns(), 0);
+    }
+
+    #[test]
+    fn health_check_catches_nan_and_explosion() {
+        let mut g = NumericGuard::new(NumericPolicy {
+            health_checks: true,
+            explosion_factor: 1e3,
+            ..NumericPolicy::default()
+        });
+        let poisoned = Mat::from_fn(3, 3, |i, j| if (i, j) == (1, 2) { f64::NAN } else { 1.0 });
+        let err = g.health_check("gemm_to_c", &poisoned, 1.0).unwrap_err();
+        assert!(matches!(
+            err,
+            MatrixError::NumericalBreakdown {
+                detail: "non-finite block",
+                ..
+            }
+        ));
+        let huge = Mat::from_fn(2, 2, |_, _| 1e7);
+        let err = g.health_check("gemm_to_b", &huge, 1.0).unwrap_err();
+        assert!(matches!(
+            err,
+            MatrixError::NumericalBreakdown {
+                detail: "norm explosion",
+                ..
+            }
+        ));
+        assert_eq!(g.breakdowns(), 2);
+        let fine = Mat::from_fn(2, 2, |_, _| 0.5);
+        assert!(g.health_check("orth_b", &fine, 1.0).is_ok());
+    }
+
+    #[test]
+    fn fold_into_updates_report_counters_but_never_retries() {
+        let mut b = gaussian_mat(4, 20, &mut rng(8));
+        for j in 0..20 {
+            b[(3, j)] = b[(0, j)];
+        }
+        let mut g = NumericGuard::default();
+        g.ladder_rows("orth_b", &b, false).unwrap();
+        let mut exec = super::super::CpuExec::new();
+        exec.begin(4, 20);
+        g.drain(&mut exec).unwrap();
+        let mut report = exec.finish().unwrap();
+        report.retries = 7;
+        g.fold_into(&mut report);
+        assert_eq!(report.breakdowns, 2);
+        assert_eq!(report.fallbacks, 2);
+        assert_eq!(report.ladder_histogram, [0, 0, 1]);
+        assert_eq!(report.metrics.fallbacks, 2);
+        assert_eq!(report.retries, 7, "guard must not touch device retries");
+    }
+}

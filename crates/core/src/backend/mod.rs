@@ -63,6 +63,7 @@
 mod cluster;
 mod cpu;
 mod gpu;
+mod guard;
 mod multi;
 mod pipeline;
 mod recovery;
@@ -70,9 +71,13 @@ mod recovery;
 pub use cluster::ClusterExec;
 pub use cpu::CpuExec;
 pub use gpu::GpuExec;
+pub use guard::{NumericGuard, NumericPolicy, Rung};
 pub use multi::MultiGpuExec;
 pub(crate) use pipeline::staged;
-pub use pipeline::{run_fixed_rank, run_fixed_rank_with_recovery};
+pub use pipeline::{
+    run_fixed_rank, run_fixed_rank_verified, run_fixed_rank_with_guard,
+    run_fixed_rank_with_recovery,
+};
 pub use recovery::{Recovering, RecoveryPolicy};
 
 use crate::config::{SamplerConfig, Step2Kind};
@@ -118,6 +123,18 @@ pub struct ExecReport {
     /// Devices lost to fail-stop faults and recovered from by degrading
     /// the fleet.
     pub devices_lost: usize,
+    /// Numerical breakdowns detected by the guard layer (a CholQR rung
+    /// failing, a non-finite block, a norm explosion).
+    pub breakdowns: u64,
+    /// Orthogonalization fallback-ladder escalations (one per rung
+    /// actually climbed; 0 on a healthy run).
+    pub fallbacks: u64,
+    /// How many guarded orthogonalizations *succeeded* at each ladder
+    /// rung: `[CholQR, shifted CholQR2, Householder QR]`. A healthy run
+    /// has everything in rung 0 — except that rung-0 successes are not
+    /// counted (they are the bit-identical fast path), so a healthy run
+    /// shows `[0, 0, 0]`.
+    pub ladder_histogram: [u64; 3],
     /// Per-device / per-kernel metrics accumulated during the run
     /// (empty on the CPU backend).
     pub metrics: Metrics,
@@ -146,6 +163,17 @@ impl fmt::Display for ExecReport {
                 f,
                 "  faults: {} injected, {} retries, {} device(s) lost, {:.6} s recovering",
                 self.faults_injected, self.retries, self.devices_lost, self.recovery_seconds
+            )?;
+        }
+        if self.breakdowns > 0 || self.fallbacks > 0 {
+            writeln!(
+                f,
+                "  numerics: {} breakdown(s), {} fallback(s), ladder [cholqr {}, shifted {}, hhqr {}]",
+                self.breakdowns,
+                self.fallbacks,
+                self.ladder_histogram[0],
+                self.ladder_histogram[1],
+                self.ladder_histogram[2]
             )?;
         }
         for d in &self.metrics.devices {
@@ -357,6 +385,51 @@ pub trait Executor {
     /// Propagates kernel failures.
     fn adaptive_finish(&mut self, k: usize) -> Result<()> {
         let _ = k;
+        Ok(())
+    }
+
+    // --- Numeric guard hooks --------------------------------------------
+
+    /// Charges one fallback-ladder escalation: re-running the
+    /// orthogonalization of a `rows × cols` block at `rung` (1 = shifted
+    /// CholQR2, three Gram/solve passes; 2 = Householder QR). No-op on
+    /// backends without a device clock; the host numerics were already
+    /// done by the guard.
+    ///
+    /// # Errors
+    ///
+    /// Propagates kernel failures.
+    fn charge_fallback(
+        &mut self,
+        rows: usize,
+        cols: usize,
+        rung: Rung,
+        reorth: bool,
+    ) -> Result<()> {
+        let _ = (rows, cols, rung, reorth);
+        Ok(())
+    }
+
+    /// Charges one between-stage health check (NaN/Inf scan +
+    /// norm-explosion test) over a `rows × cols` block: one streaming
+    /// read of the block.
+    ///
+    /// # Errors
+    ///
+    /// Propagates kernel failures.
+    fn charge_health_check(&mut self, rows: usize, cols: usize) -> Result<()> {
+        let _ = (rows, cols);
+        Ok(())
+    }
+
+    /// Verified-accuracy pass: charges the posterior error probe
+    /// (`probes` Gaussian rows against the rank-`k` factors).
+    ///
+    /// # Errors
+    ///
+    /// Propagates kernel failures.
+    fn verify_probe(&mut self, probes: usize, k: usize) -> Result<()> {
+        let _ = (probes, k);
         Ok(())
     }
 

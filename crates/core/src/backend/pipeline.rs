@@ -5,15 +5,23 @@
 //! while the executor hooks account for what each step costs on the
 //! backend's hardware. See the [module docs](super) for the contract.
 
-use super::{ExecReport, Executor, Input};
+use super::{ExecReport, Executor, Input, NumericGuard};
 use crate::config::{SamplerConfig, SamplingKind};
-use crate::power::power_iterate;
+use crate::power::power_iterate_guarded;
 use crate::result::LowRankApprox;
 use rand::Rng;
 use rlra_blas::Trans;
 use rlra_fft::SrftOperator;
 use rlra_matrix::{gaussian_mat, Mat, MatrixError, Result};
 use rlra_trace::TraceEvent;
+
+/// Gaussian probe rows of the verified-accuracy posterior estimate.
+const VERIFY_PROBES: usize = 8;
+/// Attempt budget of the verified-accuracy retry (including the first).
+const VERIFY_MAX_ATTEMPTS: usize = 3;
+/// Failure probability fed to the `c_ad` constant of the posterior
+/// bound (paper §10).
+const VERIFY_GAMMA: f64 = 0.01;
 
 /// Advances `rng` by exactly the draws of an `count`-variate standard
 /// normal fill, without materializing the buffer. Keeps dry runs
@@ -101,24 +109,89 @@ pub fn run_fixed_rank<E: Executor>(
     cfg: &SamplerConfig,
     rng: &mut impl Rng,
 ) -> Result<(Option<LowRankApprox>, ExecReport)> {
+    let mut guard = NumericGuard::default();
+    run_fixed_rank_with_guard(exec, a, cfg, rng, &mut guard)
+}
+
+/// As [`run_fixed_rank`], with an explicit [`NumericGuard`] so the
+/// caller controls the escalation policy (ladder cap, shift scale,
+/// health checks) and can read the breakdown counters afterwards. The
+/// guard's counters are folded into the returned report.
+///
+/// Use a fresh guard per run: [`NumericGuard::fold_into`] folds the
+/// guard's *cumulative* counters.
+///
+/// # Errors
+///
+/// Everything [`run_fixed_rank`] returns, plus
+/// [`MatrixError::NumericalBreakdown`] when the ladder or a health
+/// check gives up.
+pub fn run_fixed_rank_with_guard<E: Executor>(
+    exec: &mut E,
+    a: Input<'_>,
+    cfg: &SamplerConfig,
+    rng: &mut impl Rng,
+    guard: &mut NumericGuard,
+) -> Result<(Option<LowRankApprox>, ExecReport)> {
     let (m, n) = a.shape();
     cfg.validate(m, n)?;
     exec.supports(cfg, a.values().is_some())?;
-    let compute = exec.computes();
-    if compute && a.values().is_none() {
-        return Err(rlra_matrix::MatrixError::Unsupported {
+    if exec.computes() && a.values().is_none() {
+        return Err(MatrixError::Unsupported {
             backend: exec.name(),
             feature: "shape-only input in compute mode".into(),
         });
     }
+    exec.begin(m, n);
+    let approx = attempt_fixed_rank(exec, a, cfg, rng, guard)?;
+    guard.drain(exec)?;
+    let mut report = exec.finish()?;
+    guard.fold_into(&mut report);
+    Ok((approx, report))
+}
+
+/// Runs a guard health check and immediately drains the guard, so the
+/// check is charged/traced even when it fails the run.
+fn checked<E: Executor>(
+    exec: &mut E,
+    guard: &mut NumericGuard,
+    stage: &'static str,
+    block: &Mat,
+    scale: f64,
+) -> Result<()> {
+    let verdict = guard.health_check(stage, block, scale);
+    guard.drain(exec)?;
+    verdict
+}
+
+/// One pass of the Figure 2b pipeline body: stage hooks plus guarded
+/// host numerics, *without* `begin`/`finish`, so the verified-accuracy
+/// retry can run several attempts against one executor and settle the
+/// accounting once.
+fn attempt_fixed_rank<E: Executor>(
+    exec: &mut E,
+    a: Input<'_>,
+    cfg: &SamplerConfig,
+    rng: &mut impl Rng,
+    guard: &mut NumericGuard,
+) -> Result<Option<LowRankApprox>> {
+    let (m, n) = a.shape();
+    let compute = exec.computes();
     let l = cfg.l();
     let k = cfg.k;
-    exec.begin(m, n);
+    // Health checks compare block magnitudes against the input scale.
+    let scale = if compute && guard.policy.health_checks {
+        rlra_matrix::norms::max_abs(host_values(&a)?.as_ref())
+    } else {
+        0.0
+    };
 
     // --- Step 1a: sample B = Ω·A -------------------------------------------
     let mut b_host: Option<Mat> = None;
+    let sample_stage: &'static str;
     match cfg.sampling {
         SamplingKind::Gaussian => {
+            sample_stage = "gaussian_sample";
             staged(exec, "gaussian_sample", |e| e.gaussian_sample(l))?;
             if compute {
                 let am = host_values(&a)?;
@@ -139,6 +212,7 @@ pub fn run_fixed_rank<E: Executor>(
             }
         }
         SamplingKind::Fft(scheme) => {
+            sample_stage = "srft_sample_rows";
             let op = SrftOperator::new(m, l, scheme, rng)?;
             staged(exec, "srft_sample_rows", |e| e.srft_sample_rows(l, scheme))?;
             if compute {
@@ -146,6 +220,9 @@ pub fn run_fixed_rank<E: Executor>(
                 b_host = Some(op.sample_rows(am)?);
             }
         }
+    }
+    if compute {
+        checked(exec, guard, sample_stage, sampled_ref(&b_host)?, scale)?;
     }
 
     // --- Step 1b: power iterations ------------------------------------------
@@ -159,35 +236,181 @@ pub fn run_fixed_rank<E: Executor>(
         let am = host_values(&a)?;
         let empty_b = Mat::zeros(0, n);
         let empty_c = Mat::zeros(0, m);
-        let (b, _c) = power_iterate(
+        let (b, _c) = power_iterate_guarded(
             am,
             &empty_b,
             &empty_c,
             sampled(b_host.take())?,
             cfg.q,
             cfg.reorth,
+            guard,
         )?;
+        guard.drain(exec)?;
+        if cfg.q > 0 {
+            checked(exec, guard, "gemm_to_b", &b, scale)?;
+        }
         b_host = Some(b);
     }
 
     // --- Steps 2 and 3 --------------------------------------------------------
     staged(exec, "step2_pivot", |e| e.step2_pivot(cfg.step2, l, k))?;
     staged(exec, "tsqr", |e| e.tsqr(k, cfg.reorth))?;
-    let report = exec.finish()?;
-
     let approx = if compute {
         let am = host_values(&a)?;
-        Some(crate::fixed_rank::finish_from_sampled_with(
+        let approx = crate::fixed_rank::finish_from_sampled_guarded(
             am,
             sampled_ref(&b_host)?,
             k,
             cfg.reorth,
             cfg.step2,
-        )?)
+            guard,
+        )?;
+        guard.drain(exec)?;
+        checked(exec, guard, "tsqr", &approx.q, scale)?;
+        Some(approx)
     } else {
         None
     };
-    Ok((approx, report))
+    Ok(approx)
+}
+
+/// Randomized posterior bound on the factorization error `‖A·P − Q·R‖`:
+/// `probes` Gaussian row probes of the residual, certified with the
+/// paper's `c_ad·√(2/π)` constant (§10, eq. 4). `O(probes · m·n)` —
+/// two thin GEMMs, no `m × n` residual is materialized.
+fn posterior_error_bound(
+    a: &Mat,
+    approx: &LowRankApprox,
+    probes: usize,
+    rng: &mut impl Rng,
+) -> Result<f64> {
+    let (m, n) = a.shape();
+    let k = approx.q.cols();
+    let omega = gaussian_mat(probes, m, rng);
+    // Ω·(A·P) = (Ω·A)·P  (probes × n).
+    let mut oa = Mat::zeros(probes, n);
+    rlra_blas::gemm(
+        1.0,
+        omega.as_ref(),
+        Trans::No,
+        a.as_ref(),
+        Trans::No,
+        0.0,
+        oa.as_mut(),
+    )?;
+    let mut resid = approx.perm.apply_cols(&oa)?;
+    // Ω·Q·R  (probes × n), subtracted in place.
+    let mut oq = Mat::zeros(probes, k);
+    rlra_blas::gemm(
+        1.0,
+        omega.as_ref(),
+        Trans::No,
+        approx.q.as_ref(),
+        Trans::No,
+        0.0,
+        oq.as_mut(),
+    )?;
+    rlra_blas::gemm(
+        -1.0,
+        oq.as_ref(),
+        Trans::No,
+        approx.r.as_ref(),
+        Trans::No,
+        1.0,
+        resid.as_mut(),
+    )?;
+    let mut worst = 0.0f64;
+    for i in 0..probes {
+        let row_sq: f64 = (0..n).map(|j| resid[(i, j)].powi(2)).sum();
+        worst = worst.max(row_sq.sqrt());
+    }
+    // Probe rows have E‖ω‖² = m; normalize so the estimate targets the
+    // residual's spectral norm rather than √m times it.
+    let estimate = worst / (m as f64).sqrt();
+    let cad = crate::estimate::cad(VERIFY_GAMMA, m.min(n), probes);
+    Ok(crate::estimate::error_bound_from_estimate(estimate, cad))
+}
+
+/// Runs [`run_fixed_rank`] with a **verified-accuracy retry**: after the
+/// pipeline finishes, a randomized posterior estimate of the
+/// factorization error `‖A·P − Q·R‖` is checked against `tol`. On a
+/// miss, the sampler is bounded-retried against the same executor — the
+/// next attempt re-draws `Ω` (the RNG stream simply continues) and bumps
+/// the oversampling `p` when the shapes still allow it — before failing
+/// with [`MatrixError::AccuracyNotReached`].
+///
+/// Every attempt's kernels (and the posterior probes, via
+/// [`Executor::verify_probe`]) are charged to the one executor, so the
+/// returned report prices the retries.
+///
+/// # Errors
+///
+/// Everything [`run_fixed_rank_with_guard`] returns, plus
+/// [`MatrixError::Unsupported`] on non-computing backends (the check
+/// reads values) and [`MatrixError::AccuracyNotReached`] when the
+/// attempt budget is exhausted.
+pub fn run_fixed_rank_verified<E: Executor>(
+    exec: &mut E,
+    a: Input<'_>,
+    cfg: &SamplerConfig,
+    rng: &mut impl Rng,
+    tol: f64,
+    guard: &mut NumericGuard,
+) -> Result<(LowRankApprox, ExecReport)> {
+    let (m, n) = a.shape();
+    cfg.validate(m, n)?;
+    // NaN must fail this check too, hence the negated comparison.
+    #[allow(clippy::neg_cmp_op_on_partial_ord)]
+    if !(tol > 0.0) {
+        return Err(MatrixError::InvalidParameter {
+            name: "tol",
+            message: format!("tolerance must be positive, got {tol}"),
+        });
+    }
+    exec.supports(cfg, a.values().is_some())?;
+    if !exec.computes() || a.values().is_none() {
+        return Err(MatrixError::Unsupported {
+            backend: exec.name(),
+            feature: "verified accuracy — the posterior estimate reads values".into(),
+        });
+    }
+    exec.begin(m, n);
+    let mut attempt_cfg = *cfg;
+    let mut best = f64::INFINITY;
+    for _ in 0..VERIFY_MAX_ATTEMPTS {
+        let approx = attempt_fixed_rank(exec, a, &attempt_cfg, rng, guard)?.ok_or(
+            MatrixError::Internal {
+                op: "run_fixed_rank_verified",
+                invariant: "computing backends return an approximation",
+            },
+        )?;
+        staged(exec, "verify_probe", |e| {
+            e.verify_probe(VERIFY_PROBES, attempt_cfg.k)
+        })?;
+        let am = host_values(&a)?;
+        let bound = posterior_error_bound(am, &approx, VERIFY_PROBES, rng)?;
+        best = best.min(bound);
+        if bound <= tol {
+            guard.drain(exec)?;
+            let mut report = exec.finish()?;
+            guard.fold_into(&mut report);
+            return Ok((approx, report));
+        }
+        // Retry with a fresh Ω (the stream continues) and, when the
+        // shapes allow, more oversampling — the Figure 3 lever for a
+        // subspace that came up short.
+        let bumped = attempt_cfg.with_p(attempt_cfg.p + attempt_cfg.k.max(1));
+        if bumped.validate(m, n).is_ok() {
+            attempt_cfg = bumped;
+        }
+    }
+    guard.drain(exec)?;
+    exec.finish()?;
+    Err(MatrixError::AccuracyNotReached {
+        achieved: best,
+        required: tol,
+        attempts: VERIFY_MAX_ATTEMPTS,
+    })
 }
 
 /// Runs [`run_fixed_rank`] under a fault-recovery policy: the executor is

@@ -260,6 +260,24 @@ impl<E: Executor> Executor for Recovering<E> {
         self.guard(|e| e.adaptive_finish(k))
     }
 
+    fn charge_fallback(
+        &mut self,
+        rows: usize,
+        cols: usize,
+        rung: super::Rung,
+        reorth: bool,
+    ) -> Result<()> {
+        self.guard(|e| e.charge_fallback(rows, cols, rung, reorth))
+    }
+
+    fn charge_health_check(&mut self, rows: usize, cols: usize) -> Result<()> {
+        self.guard(|e| e.charge_health_check(rows, cols))
+    }
+
+    fn verify_probe(&mut self, probes: usize, k: usize) -> Result<()> {
+        self.guard(|e| e.verify_probe(probes, k))
+    }
+
     fn elapsed(&self) -> f64 {
         self.inner.elapsed()
     }
@@ -385,6 +403,9 @@ mod tests {
                 retries: 0,
                 recovery_seconds: 0.0,
                 devices_lost: 0,
+                breakdowns: 0,
+                fallbacks: 0,
+                ladder_histogram: [0; 3],
                 metrics: rlra_trace::Metrics::default(),
             })
         }

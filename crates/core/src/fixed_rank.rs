@@ -84,6 +84,29 @@ pub fn finish_from_sampled_with(
     reorth: bool,
     step2: Step2Kind,
 ) -> Result<LowRankApprox> {
+    let mut guard = crate::backend::NumericGuard::default();
+    finish_from_sampled_guarded(a, b, k, reorth, step2, &mut guard)
+}
+
+/// As [`finish_from_sampled_with`], with an explicit
+/// [`crate::backend::NumericGuard`]: the Step-3 tall-skinny QR runs
+/// through the guard's orthogonalization fallback ladder, so a
+/// rank-deficient pivot block is repaired *and counted* instead of
+/// silently rescued.
+///
+/// # Errors
+///
+/// Propagates kernel failures, plus
+/// [`rlra_matrix::MatrixError::NumericalBreakdown`] when the guard's
+/// ladder is capped below the rung the breakdown needs.
+pub fn finish_from_sampled_guarded(
+    a: &Mat,
+    b: &Mat,
+    k: usize,
+    reorth: bool,
+    step2: Step2Kind,
+    guard: &mut crate::backend::NumericGuard,
+) -> Result<LowRankApprox> {
     let n = a.cols();
     // Step 2: rank the pivot columns of the sampled matrix. Both methods
     // yield R̂ (k × n, upper-triangular leading block, pivot order) and
@@ -114,17 +137,9 @@ pub fn finish_from_sampled_with(
         )?;
     }
 
-    // Step 3: tall-skinny QR of A·P₁:ₖ.
+    // Step 3: tall-skinny QR of A·P₁:ₖ, through the fallback ladder.
     let ap1k = perm.apply_cols_truncated(a, k)?;
-    let (q, r_bar) = match if reorth {
-        rlra_lapack::cholqr2(&ap1k)
-    } else {
-        rlra_lapack::cholqr(&ap1k)
-    } {
-        Ok(qr) => qr,
-        Err(rlra_matrix::MatrixError::NotPositiveDefinite { .. }) => rlra_lapack::qr_factor(&ap1k),
-        Err(e) => return Err(e),
-    };
+    let (q, r_bar) = guard.ladder_tall("tsqr", &ap1k, reorth)?;
 
     // R = R̄ · [I | T]  =  [R̄ | R̄·T].
     let mut r = Mat::zeros(k, n);

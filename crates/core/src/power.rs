@@ -10,6 +10,7 @@
 //! (`B₁:ⱼ₋₁`, `C₁:ⱼ₋₁`) with the block Gram–Schmidt `BOrth`, which is what
 //! lets the adaptive scheme grow the subspace incrementally.
 
+use crate::backend::NumericGuard;
 use rlra_blas::Trans;
 use rlra_lapack::gram_schmidt::block_orth_rows;
 use rlra_matrix::{Mat, Result};
@@ -39,9 +40,31 @@ pub fn power_iterate(
     a: &Mat,
     b_prev: &Mat,
     c_prev: &Mat,
+    b_new: Mat,
+    q: usize,
+    reorth: bool,
+) -> Result<(Mat, Mat)> {
+    let mut guard = NumericGuard::default();
+    power_iterate_guarded(a, b_prev, c_prev, b_new, q, reorth, &mut guard)
+}
+
+/// As [`power_iterate`], with an explicit [`NumericGuard`] so ladder
+/// escalations inside the iteration are counted, charged and traced by
+/// the caller (the pipeline drains the guard between stages).
+///
+/// # Errors
+///
+/// As [`power_iterate`], plus
+/// [`rlra_matrix::MatrixError::NumericalBreakdown`] when the guard's
+/// ladder is capped below the rung a breakdown needs.
+pub fn power_iterate_guarded(
+    a: &Mat,
+    b_prev: &Mat,
+    c_prev: &Mat,
     mut b_new: Mat,
     q: usize,
     reorth: bool,
+    guard: &mut NumericGuard,
 ) -> Result<(Mat, Mat)> {
     let (m, n) = a.shape();
     let lnew = b_new.rows();
@@ -49,7 +72,7 @@ pub fn power_iterate(
     for _ in 0..q {
         // Orthogonalize B_new against accepted rows, then internally.
         block_orth_rows(b_prev, &mut b_new, reorth)?;
-        b_new = orth_rows(&b_new, reorth)?;
+        b_new = guard.ladder_rows("orth_b", &b_new, reorth)?;
         // C_new = B_new · Aᵀ  (ℓnew × m).
         let mut c = Mat::zeros(lnew, m);
         rlra_blas::gemm(
@@ -63,7 +86,7 @@ pub fn power_iterate(
         )?;
         // Orthogonalize C_new against accepted C rows, then internally.
         block_orth_rows(c_prev, &mut c, reorth)?;
-        c_new = orth_rows(&c, reorth)?;
+        c_new = guard.ladder_rows("orth_c", &c, reorth)?;
         // B_new = C_new · A  (ℓnew × n).
         let mut b = Mat::zeros(lnew, n);
         rlra_blas::gemm(
@@ -80,22 +103,16 @@ pub fn power_iterate(
     Ok((b_new, c_new))
 }
 
-/// Row-orthonormalizes a short-wide matrix with CholQR (falling back to
-/// Householder on breakdown, as the paper recommends).
+/// Row-orthonormalizes a short-wide matrix with CholQR, escalating
+/// through the guard's fallback ladder on breakdown (shifted CholQR2,
+/// then Householder — the stable repair the paper recommends).
+///
+/// Convenience wrapper over [`NumericGuard::ladder_rows`] with a local
+/// default guard: escalations still happen but are not reported. Code
+/// running under an executor should use the guarded ladder directly so
+/// fallbacks are counted, charged and traced.
 pub fn orth_rows(b: &Mat, reorth: bool) -> Result<Mat> {
-    let attempt = if reorth {
-        rlra_lapack::cholqr_rows2(b)
-    } else {
-        rlra_lapack::cholqr_rows(b)
-    };
-    match attempt {
-        Ok((q, _)) => Ok(q),
-        Err(rlra_matrix::MatrixError::NotPositiveDefinite { .. }) => {
-            // Householder QR of the transpose gives orthonormal rows.
-            Ok(rlra_lapack::form_q(&b.transpose()).transpose())
-        }
-        Err(e) => Err(e),
-    }
+    NumericGuard::default().ladder_rows("orth_rows", b, reorth)
 }
 
 #[cfg(test)]

@@ -79,12 +79,15 @@ fn fixed_rank_factors_bit_identical_across_backends() {
         assert_eq!(cpu_rep.comms, 0.0, "config {ci}: CPU comms must be 0");
         assert_eq!(gpu_rep.comms, 0.0, "config {ci}: 1-GPU comms must be 0");
 
-        // No faults were injected anywhere.
+        // No faults were injected and the numeric guard never fired.
         for rep in [&cpu_rep, &gpu_rep, &multi_rep] {
             assert_eq!(rep.faults_injected, 0);
             assert_eq!(rep.retries, 0);
             assert_eq!(rep.recovery_seconds, 0.0);
             assert_eq!(rep.devices_lost, 0);
+            assert_eq!(rep.breakdowns, 0);
+            assert_eq!(rep.fallbacks, 0);
+            assert_eq!(rep.ladder_histogram, [0, 0, 0]);
         }
     }
 }
@@ -150,6 +153,165 @@ fn no_fire_fault_plan_is_bit_identical_to_no_injector_run() {
     assert_eq!(cpu_rep.faults_injected, 0);
 }
 
+/// On a healthy input the ladder policy is *inert*: a guard capped at
+/// rung 0 and a guard with the full ladder enabled must produce
+/// bit-identical factors AND a bit-identical **entire report** —
+/// clocks, timelines, counters — on every computing backend. This is
+/// the acceptance criterion that installing the guard cannot perturb
+/// runs that never break down.
+#[test]
+fn inert_guard_leaves_factors_and_full_report_bit_identical() {
+    use rlra_core::backend::{run_fixed_rank_with_guard, NumericGuard, NumericPolicy, Rung};
+    let (a, _) = decay_matrix(90, 45, 0.6, 42);
+    let cfg = SamplerConfig::new(6).with_p(4).with_q(1);
+
+    let policies = || {
+        [
+            NumericPolicy {
+                max_rung: Rung::CholQr,
+                ..NumericPolicy::default()
+            },
+            NumericPolicy::default(),
+        ]
+    };
+
+    // CPU.
+    let run_cpu = |policy: NumericPolicy| {
+        let mut exec = CpuExec::new();
+        let mut guard = NumericGuard::new(policy);
+        let (lr, rep) =
+            run_fixed_rank_with_guard(&mut exec, Input::Values(&a), &cfg, &mut rng(11), &mut guard)
+                .unwrap();
+        (lr.unwrap(), rep)
+    };
+    let [capped, full] = policies().map(run_cpu);
+    assert_eq!(capped.0.q, full.0.q);
+    assert_eq!(capped.0.r, full.0.r);
+    assert_eq!(capped.1, full.1, "CPU report must be policy-independent");
+
+    // Single GPU.
+    let run_gpu = |policy: NumericPolicy| {
+        let mut gpu = Gpu::k40c();
+        let mut exec = GpuExec::new(&mut gpu);
+        let mut guard = NumericGuard::new(policy);
+        let (lr, rep) =
+            run_fixed_rank_with_guard(&mut exec, Input::Values(&a), &cfg, &mut rng(11), &mut guard)
+                .unwrap();
+        (lr.unwrap(), rep)
+    };
+    let [capped, full] = policies().map(run_gpu);
+    assert_eq!(capped.0.q, full.0.q);
+    assert_eq!(capped.0.r, full.0.r);
+    assert_eq!(capped.1, full.1, "GPU report must be policy-independent");
+
+    // Multi-GPU.
+    let run_multi = |policy: NumericPolicy| {
+        let mut mg = MultiGpu::new(3, DeviceSpec::k40c(), ExecMode::Compute).unwrap();
+        let mut exec = MultiGpuExec::new(&mut mg).unwrap();
+        let mut guard = NumericGuard::new(policy);
+        let (lr, rep) =
+            run_fixed_rank_with_guard(&mut exec, Input::Values(&a), &cfg, &mut rng(11), &mut guard)
+                .unwrap();
+        (lr.unwrap(), rep)
+    };
+    let [capped, full] = policies().map(run_multi);
+    assert_eq!(capped.0.q, full.0.q);
+    assert_eq!(capped.0.r, full.0.r);
+    assert_eq!(
+        capped.1, full.1,
+        "multi-GPU report must be policy-independent"
+    );
+}
+
+/// A near-singular sketch (numerical rank 8 under an l = 16 sample)
+/// must complete via the fallback ladder on every computing backend,
+/// with bit-identical factors and **identical ladder histograms** — the
+/// escalation decisions are host-side numerics, so the backends cannot
+/// diverge on when or how far to escalate.
+#[test]
+fn near_singular_sketch_escalates_identically_across_backends() {
+    use rlra_core::backend::{run_fixed_rank_with_guard, NumericGuard, NumericPolicy, Rung};
+    use rlra_data::{near_deficient_spectrum, synthetic::matrix_with_spectrum};
+    use rlra_matrix::MatrixError;
+
+    let spectrum = near_deficient_spectrum(45, 8, 1e-8);
+    let a = matrix_with_spectrum(90, 45, &spectrum, &mut rng(7))
+        .unwrap()
+        .a;
+    let cfg = SamplerConfig::new(12).with_p(4).with_q(1);
+
+    let mut results = Vec::new();
+
+    let mut cpu = CpuExec::new();
+    let mut guard = NumericGuard::default();
+    let (lr, rep) =
+        run_fixed_rank_with_guard(&mut cpu, Input::Values(&a), &cfg, &mut rng(13), &mut guard)
+            .unwrap();
+    results.push(("cpu", lr.unwrap(), rep));
+
+    let mut gpu = Gpu::k40c();
+    let mut ge = GpuExec::new(&mut gpu);
+    let mut guard = NumericGuard::default();
+    let (lr, rep) =
+        run_fixed_rank_with_guard(&mut ge, Input::Values(&a), &cfg, &mut rng(13), &mut guard)
+            .unwrap();
+    results.push(("gpu", lr.unwrap(), rep));
+
+    let mut mg = MultiGpu::new(3, DeviceSpec::k40c(), ExecMode::Compute).unwrap();
+    let mut me = MultiGpuExec::new(&mut mg).unwrap();
+    let mut guard = NumericGuard::default();
+    let (lr, rep) =
+        run_fixed_rank_with_guard(&mut me, Input::Values(&a), &cfg, &mut rng(13), &mut guard)
+            .unwrap();
+    results.push(("multi", lr.unwrap(), rep));
+
+    let (_, lr0, rep0) = &results[0];
+    assert!(
+        rep0.fallbacks > 0,
+        "the deficient sketch must exercise the ladder"
+    );
+    assert!(rep0.breakdowns > 0);
+    for (name, lr, rep) in &results[1..] {
+        assert_eq!(lr0.q, lr.q, "{name}: Q must match CPU");
+        assert_eq!(lr0.r, lr.r, "{name}: R must match CPU");
+        assert_eq!(rep0.breakdowns, rep.breakdowns, "{name}: breakdowns");
+        assert_eq!(rep0.fallbacks, rep.fallbacks, "{name}: fallbacks");
+        assert_eq!(
+            rep0.ladder_histogram, rep.ladder_histogram,
+            "{name}: ladder histogram"
+        );
+    }
+    // The escalations landed on the shifted rung and the factors are
+    // still an accurate rank-12 approximation (error ~ tail).
+    assert!(rep0.ladder_histogram[1] > 0, "shifted rung used");
+    let err = lr0.error_spectral(&a).unwrap();
+    assert!(err < 1e-6, "recovered approximation accurate: {err:.3e}");
+
+    // With the ladder capped at rung 0 the same input is a hard error —
+    // the pre-guard behavior — on every backend, at the same stage.
+    let capped = NumericPolicy {
+        max_rung: Rung::CholQr,
+        ..NumericPolicy::default()
+    };
+    let mut cpu = CpuExec::new();
+    let mut guard = NumericGuard::new(capped);
+    let err_cpu =
+        run_fixed_rank_with_guard(&mut cpu, Input::Values(&a), &cfg, &mut rng(13), &mut guard)
+            .unwrap_err();
+    let mut gpu = Gpu::k40c();
+    let mut ge = GpuExec::new(&mut gpu);
+    let mut guard = NumericGuard::new(capped);
+    let err_gpu =
+        run_fixed_rank_with_guard(&mut ge, Input::Values(&a), &cfg, &mut rng(13), &mut guard)
+            .unwrap_err();
+    for e in [&err_cpu, &err_gpu] {
+        assert!(
+            matches!(e, MatrixError::NumericalBreakdown { stage, .. } if *stage == "orth_b"),
+            "rung-0 cap must surface the breakdown: {e}"
+        );
+    }
+}
+
 #[test]
 fn fft_sampling_bit_identical_cpu_vs_gpu() {
     let (a, _) = decay_matrix(64, 32, 0.55, 7);
@@ -210,4 +372,98 @@ fn adaptive_trajectory_identical_cpu_vs_gpu() {
         );
     }
     assert_eq!(on_cpu.basis, on_gpu.basis);
+}
+
+/// Verified accuracy: the posterior estimate certifies an easily
+/// reachable tolerance in one attempt, rejects a non-positive
+/// tolerance up front, refuses timing-only backends, and exhausts its
+/// bounded retries with [`MatrixError::AccuracyNotReached`] when the
+/// tolerance is unreachable at the configured rank.
+#[test]
+fn verified_run_certifies_or_exhausts_bounded_retries() {
+    use rlra_core::backend::{run_fixed_rank_verified, NumericGuard};
+    use rlra_matrix::MatrixError;
+
+    // Fast decay: rank 8 + oversampling reaches 1e-2 comfortably.
+    let (a, _) = decay_matrix(90, 45, 0.5, 42);
+    let cfg = SamplerConfig::new(8).with_p(4).with_q(1);
+    let mut cpu = CpuExec::new();
+    let mut guard = NumericGuard::default();
+    let (lr, rep) = run_fixed_rank_verified(
+        &mut cpu,
+        Input::Values(&a),
+        &cfg,
+        &mut rng(21),
+        1e-2,
+        &mut guard,
+    )
+    .unwrap();
+    let err = lr.error_spectral(&a).unwrap();
+    assert!(
+        err < 1e-2,
+        "certified factors meet the tolerance: {err:.3e}"
+    );
+    assert_eq!(rep.breakdowns, 0, "healthy input never fires the guard");
+
+    // A non-positive tolerance is rejected before any work happens.
+    let mut guard = NumericGuard::default();
+    assert!(matches!(
+        run_fixed_rank_verified(
+            &mut cpu,
+            Input::Values(&a),
+            &cfg,
+            &mut rng(21),
+            0.0,
+            &mut guard
+        ),
+        Err(MatrixError::InvalidParameter { name: "tol", .. })
+    ));
+
+    // Timing-only backends cannot verify (no values to probe).
+    let mut gpu = Gpu::k40c_dry();
+    let mut ge = GpuExec::new(&mut gpu);
+    let mut guard = NumericGuard::default();
+    assert!(matches!(
+        run_fixed_rank_verified(
+            &mut ge,
+            Input::Shape(4_000, 500),
+            &cfg,
+            &mut rng(21),
+            1e-2,
+            &mut guard
+        ),
+        Err(MatrixError::Unsupported { .. })
+    ));
+
+    // Slow decay (σᵢ = 10^{-i/10}): rank 8 leaves a ~10^{-0.8} tail, so
+    // tol 1e-9 is unreachable no matter how the sketch is re-drawn. The
+    // retry loop must stop at its bounded attempt count, reporting the
+    // best achieved estimate.
+    let a = exponent_matrix(120, 60, 17);
+    let mut cpu = CpuExec::new();
+    let mut guard = NumericGuard::default();
+    let err = run_fixed_rank_verified(
+        &mut cpu,
+        Input::Values(&a),
+        &cfg,
+        &mut rng(21),
+        1e-9,
+        &mut guard,
+    )
+    .unwrap_err();
+    match err {
+        MatrixError::AccuracyNotReached {
+            achieved,
+            required,
+            attempts,
+        } => {
+            assert_eq!(attempts, 3, "bounded retry budget");
+            assert_eq!(required, 1e-9);
+            assert!(
+                achieved > required,
+                "best estimate {achieved:.3e} honestly above the tolerance"
+            );
+        }
+        other => panic!("expected AccuracyNotReached, got {other}"),
+    }
 }

@@ -189,6 +189,72 @@ fn straggler_dilates_the_run_without_failing_it() {
     );
 }
 
+/// Combined device **and** numerical faults in one run must not
+/// double-count: a transient launch fault is a `retry`, a ladder
+/// escalation is a `fallback`, and each counter — in the report and in
+/// the exported metrics — sees only its own kind.
+#[test]
+fn combined_device_and_numeric_faults_do_not_double_count() {
+    use rlra_core::backend::{run_fixed_rank_with_guard, NumericGuard};
+    use rlra_data::{near_deficient_spectrum, synthetic::matrix_with_spectrum};
+
+    // Numerically hostile input: rank 8 under an l = 16 sketch.
+    let spectrum = near_deficient_spectrum(45, 8, 1e-8);
+    let a = matrix_with_spectrum(90, 45, &spectrum, &mut rng(7))
+        .unwrap()
+        .a;
+    let cfg = SamplerConfig::new(12).with_p(4).with_q(1);
+
+    // Reference: numerical faults only, no injector.
+    let mut gpu0 = Gpu::k40c();
+    let mut e0 = GpuExec::new(&mut gpu0);
+    let mut guard0 = NumericGuard::default();
+    let (lr0, rep0) =
+        run_fixed_rank_with_guard(&mut e0, Input::Values(&a), &cfg, &mut rng(5), &mut guard0)
+            .unwrap();
+    assert!(rep0.fallbacks > 0, "deficient sketch exercises the ladder");
+    assert_eq!(rep0.retries, 0, "no device faults, no retries");
+
+    // Same run plus a transient device fault, absorbed by Recovering.
+    let mut gpu = Gpu::k40c();
+    gpu.set_injector(Some(FaultPlan::default().transient(0, 2).injector_for(0)));
+    let exec = GpuExec::new(&mut gpu);
+    let mut wrapped = Recovering::new(exec, RecoveryPolicy::default());
+    let mut guard = NumericGuard::default();
+    let (lr, rep) = run_fixed_rank_with_guard(
+        &mut wrapped,
+        Input::Values(&a),
+        &cfg,
+        &mut rng(5),
+        &mut guard,
+    )
+    .unwrap();
+
+    // Each fault kind lands in exactly its own counter.
+    assert_eq!(
+        rep.retries, 1,
+        "one transient retry, not inflated by the ladder"
+    );
+    assert_eq!(rep.faults_injected, 1);
+    assert_eq!(
+        rep.fallbacks, rep0.fallbacks,
+        "ladder escalations unchanged by the device fault"
+    );
+    assert_eq!(rep.breakdowns, rep0.breakdowns);
+    assert_eq!(rep.ladder_histogram, rep0.ladder_histogram);
+
+    // The exported metrics agree with the report field-for-field.
+    for r in [&rep0, &rep] {
+        assert_eq!(r.metrics.retries, r.retries, "metrics.retries mirror");
+        assert_eq!(r.metrics.fallbacks, r.fallbacks, "metrics.fallbacks mirror");
+    }
+
+    // Neither fault kind perturbs the numerics.
+    let (lr, lr0) = (lr.unwrap(), lr0.unwrap());
+    assert_eq!(lr.q, lr0.q);
+    assert_eq!(lr.r, lr0.r);
+}
+
 /// Degraded completion must beat the full-restart alternative in
 /// simulated seconds: restart pays the time already elapsed at the loss
 /// plus a whole fault-free run on the survivor fleet.

@@ -7,6 +7,9 @@
 //!   (`σᵢ = 10^{−i/10}`) singular-value profiles,
 //! - [`synthetic`] — matrices `A = X·Σ·Yᵀ` with prescribed spectra and
 //!   random orthogonal factors,
+//! - [`numeric_faults`] — deterministic numerical fault injection
+//!   (near-rank-deficient spectra, NaN-poisoned blocks, pathological
+//!   scaling) for exercising the breakdown guards,
 //! - [`hapmap`] — a synthetic substitute for the International HapMap
 //!   genotype matrix: a Balding–Nichols population-structure model
 //!   producing 0/1/2 allele-count matrices whose spectral signature (a
@@ -20,6 +23,7 @@
 pub mod hapmap;
 pub mod io;
 pub mod kernels;
+pub mod numeric_faults;
 pub mod spectra;
 pub mod synthetic;
 pub mod testmat;
@@ -27,6 +31,7 @@ pub mod testmat;
 pub use hapmap::{hapmap_like, HapmapConfig};
 pub use io::{parse_matrix_market, read_matrix_market, to_matrix_market, write_matrix_market};
 pub use kernels::{interaction_block, kernel_matrix, uniform_points, Kernel};
+pub use numeric_faults::{near_deficient_spectrum, pathological_row_scaling, poison_nan_block};
 pub use spectra::{
     exponent_spectrum, low_rank_plus_noise_spectrum, power_spectrum, staircase_spectrum, Spectrum,
 };

@@ -1,0 +1,139 @@
+//! Deterministic *numerical* fault injection — the numeric counterpart
+//! of the fleet-level `FaultPlan`.
+//!
+//! Where `rlra-core`'s fault injector kills simulated devices, the
+//! generators here corrupt the *data*: graded near-rank-deficient
+//! spectra (a condition-number knob that drives CholQR toward
+//! breakdown), NaN-poisoned blocks (a payload the health checks must
+//! catch before it propagates), and pathological row scaling (dynamic
+//! range that squares into the Gram matrix). Everything is a pure
+//! function of its arguments — the same inputs produce bit-identical
+//! faults on every backend, which is what lets the cross-backend tests
+//! assert identical ladder histograms.
+
+use crate::spectra::Spectrum;
+use rlra_matrix::{Mat, MatrixError, Result};
+
+/// A spectrum with `rank` healthy singular values (`σᵢ = 1/(1+i)`)
+/// followed by a flat tail at `tail` — the condition-number knob:
+/// `κ = 1/tail`. At `tail ≈ 1e−7` the squared conditioning of the Gram
+/// matrix (`κ² ≈ 1e14`) sits at plain CholQR's breakdown edge; at
+/// `1e−9` it is square into round-off and only the shifted rung
+/// survives; at `≲ 1e−12` even the shifted rung rejects the rescue and
+/// the ladder escalates to Householder.
+pub fn near_deficient_spectrum(n: usize, rank: usize, tail: f64) -> Spectrum {
+    Spectrum {
+        name: "near-deficient",
+        values: (0..n)
+            .map(|i| {
+                if i < rank {
+                    1.0 / (1.0 + i as f64)
+                } else {
+                    tail
+                }
+            })
+            .collect(),
+    }
+}
+
+/// Overwrites the `rows × cols` block of `a` at `(row0, col0)` with NaN —
+/// the poisoned-payload fault the between-stage health checks exist to
+/// catch.
+///
+/// # Errors
+///
+/// Returns [`MatrixError::InvalidParameter`] when the block does not fit
+/// inside `a`.
+pub fn poison_nan_block(
+    a: &mut Mat,
+    row0: usize,
+    col0: usize,
+    rows: usize,
+    cols: usize,
+) -> Result<()> {
+    if row0 + rows > a.rows() || col0 + cols > a.cols() {
+        return Err(MatrixError::InvalidParameter {
+            name: "poison_nan_block",
+            message: format!(
+                "block {rows}x{cols} at ({row0}, {col0}) exceeds the {}x{} matrix",
+                a.rows(),
+                a.cols()
+            ),
+        });
+    }
+    for i in row0..row0 + rows {
+        for j in col0..col0 + cols {
+            a[(i, j)] = f64::NAN;
+        }
+    }
+    Ok(())
+}
+
+/// Grades the rows of `a` across `decades` orders of magnitude (row `i`
+/// scaled by `10^{−decades·i/(m−1)}`) — pathological dynamic range that
+/// *squares* into the Gram matrix, so CholQR feels `10^{2·decades}`.
+pub fn pathological_row_scaling(a: &mut Mat, decades: f64) {
+    let m = a.rows();
+    if m < 2 {
+        return;
+    }
+    let n = a.cols();
+    for i in 0..m {
+        let s = 10f64.powf(-decades * i as f64 / (m - 1) as f64);
+        for j in 0..n {
+            a[(i, j)] *= s;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rlra_matrix::gaussian_mat;
+
+    #[test]
+    fn near_deficient_condition_knob() {
+        let s = near_deficient_spectrum(10, 4, 1e-9);
+        assert_eq!(s.values.len(), 10);
+        assert_eq!(s.values[3], 0.25);
+        for &v in &s.values[4..] {
+            assert_eq!(v, 1e-9);
+        }
+        assert!((s.condition() - 1e9).abs() / 1e9 < 1e-12);
+    }
+
+    #[test]
+    fn poison_block_is_exact_and_bounded() {
+        let mut a = Mat::zeros(6, 8);
+        poison_nan_block(&mut a, 1, 2, 2, 3).unwrap();
+        let nans = (0..6)
+            .flat_map(|i| (0..8).map(move |j| (i, j)))
+            .filter(|&(i, j)| a[(i, j)].is_nan())
+            .count();
+        assert_eq!(nans, 6);
+        assert!(a[(0, 0)] == 0.0 && a[(3, 5)] == 0.0);
+        assert!(poison_nan_block(&mut a, 5, 0, 2, 1).is_err());
+        assert!(poison_nan_block(&mut a, 0, 7, 1, 2).is_err());
+    }
+
+    #[test]
+    fn row_scaling_grades_across_decades() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut a = gaussian_mat(5, 7, &mut StdRng::seed_from_u64(3));
+        let orig_last: Vec<f64> = (0..7).map(|j| a[(4, j)]).collect();
+        pathological_row_scaling(&mut a, 8.0);
+        for (j, &o) in orig_last.iter().enumerate() {
+            assert!((a[(4, j)] - o * 1e-8).abs() <= 1e-20 + 1e-12 * o.abs());
+        }
+        // Row 0 untouched.
+        assert_eq!(10f64.powf(0.0), 1.0);
+    }
+
+    #[test]
+    fn deterministic_by_construction() {
+        let s1 = near_deficient_spectrum(20, 5, 1e-7);
+        let s2 = near_deficient_spectrum(20, 5, 1e-7);
+        assert_eq!(s1, s2);
+    }
+}

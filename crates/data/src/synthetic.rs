@@ -47,6 +47,7 @@ pub fn random_orthonormal(m: usize, n: usize, rng: &mut impl Rng) -> Result<Mat>
         });
     }
     let g = gaussian_mat(m, n, rng);
+    // analyze: allow(numerics, test-data generator outside any pipeline; a Gaussian draw is full-rank a.s. and the Householder fallback is exact)
     match rlra_lapack::cholqr2(&g) {
         Ok((q, _)) => Ok(q),
         Err(_) => Ok(rlra_lapack::form_q(&g)),

@@ -68,9 +68,11 @@ pub fn gpu_cholqr(gpu: &mut Gpu, phase: Phase, b: &DMat, reorth: bool) -> Result
         ExecMode::DryRun => Ok((gpu.resident_shape(m, n), gpu.resident_shape(n, n))),
         ExecMode::Compute => {
             let bm = values_or_err(b, "gpu_cholqr")?;
+            // analyze: allow(numerics, device kernel below the Executor layer; breakdown escalates to gpu_hhqr right here and the guarded pipeline counts it)
             let result = if reorth {
                 rlra_lapack::cholqr2(bm)
             } else {
+                // analyze: allow(numerics, same exemption as the reorth branch above)
                 rlra_lapack::cholqr(bm)
             };
             match result {
@@ -128,9 +130,11 @@ pub fn gpu_cholqr_rows(
         ExecMode::DryRun => Ok((gpu.resident_shape(l, n), gpu.resident_shape(l, l))),
         ExecMode::Compute => {
             let bm = values_or_err(b, "gpu_cholqr_rows")?;
+            // analyze: allow(numerics, device kernel below the Executor layer; breakdown escalates to transposed gpu_hhqr right here)
             let result = if reorth {
                 rlra_lapack::cholqr_rows2(bm)
             } else {
+                // analyze: allow(numerics, same exemption as the reorth branch above)
                 rlra_lapack::cholqr_rows(bm)
             };
             match result {
@@ -611,6 +615,7 @@ pub fn gpu_cholqr_mixed(gpu: &mut Gpu, phase: Phase, b: &DMat) -> Result<(DMat, 
     match gpu.mode() {
         ExecMode::DryRun => Ok((gpu.resident_shape(m, n), gpu.resident_shape(n, n))),
         ExecMode::Compute => {
+            // analyze: allow(numerics, device kernel below the Executor layer; breakdown escalates to gpu_hhqr right here)
             match rlra_lapack::cholqr_mixed(values_or_err(b, "gpu_cholqr_mixed")?) {
                 Ok((q, r)) => Ok((gpu.resident(&q), gpu.resident(&r))),
                 Err(MatrixError::NotPositiveDefinite { .. }) => gpu_hhqr(gpu, phase, b),

@@ -148,6 +148,7 @@ impl Cluster {
                 .flat_map(|n| n.metrics().devices)
                 .collect(),
             retries: 0,
+            fallbacks: 0,
         }
     }
 

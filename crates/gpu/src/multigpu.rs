@@ -92,6 +92,7 @@ impl MultiGpu {
         Metrics {
             devices: self.gpus.iter().map(Gpu::device_metrics).collect(),
             retries: 0,
+            fallbacks: 0,
         }
     }
 

@@ -13,6 +13,32 @@ use rlra_matrix::{Mat, MatrixError, Result};
 /// non-positive, which is how CholQR detects breakdown on numerically
 /// rank-deficient Gram matrices.
 pub fn cholesky_upper(g: &Mat) -> Result<Mat> {
+    cholesky_upper_rel_tol(g, 0.0)
+}
+
+/// [`cholesky_upper`] with a *relative cancellation guard*: a pivot that
+/// the elimination cancels to below `64·n·ε` of its own diagonal entry
+/// `g[j,j]` is round-off, not data — the column is numerically in the
+/// span of its predecessors even if the pivot happens to round positive.
+///
+/// The sign-only check of plain Cholesky makes CholQR breakdown detection
+/// a coin flip on exactly singular Gram matrices (the true pivot is `0`,
+/// the computed one is `±O(ε‖G‖)`); the relative guard makes it
+/// deterministic. The criterion is local (against `g[j,j]`, not
+/// `max g[i,i]`), so legitimately graded matrices — small columns that
+/// stay independent — are untouched: their pivots are small but do not
+/// *cancel*.
+///
+/// # Errors
+///
+/// Returns [`MatrixError::NotPositiveDefinite`] when a pivot fails the
+/// guard.
+pub fn cholesky_upper_guarded(g: &Mat) -> Result<Mat> {
+    let n = g.rows() as f64;
+    cholesky_upper_rel_tol(g, 64.0 * n * f64::EPSILON)
+}
+
+fn cholesky_upper_rel_tol(g: &Mat, rel_tol: f64) -> Result<Mat> {
     let n = g.rows();
     if g.cols() != n {
         return Err(MatrixError::DimensionMismatch {
@@ -35,7 +61,7 @@ pub fn cholesky_upper(g: &Mat) -> Result<Mat> {
         for k in 0..j {
             d -= r[(k, j)] * r[(k, j)];
         }
-        if d <= 0.0 || !d.is_finite() {
+        if d <= rel_tol * g[(j, j)].abs() || !d.is_finite() {
             return Err(MatrixError::NotPositiveDefinite { pivot: j, value: d });
         }
         r[(j, j)] = d.sqrt();

@@ -16,7 +16,7 @@
 //! reorthogonalization" ([`cholqr2`]/[`cholqr_rows2`]) inside the power
 //! iteration.
 
-use crate::cholesky::cholesky_upper;
+use crate::cholesky::{cholesky_upper, cholesky_upper_guarded};
 use rlra_blas::{gemm, syrk, trsm, Diag, Side, Trans, UpLo};
 use rlra_matrix::{Mat, Result};
 
@@ -34,7 +34,7 @@ pub fn cholqr(b: &Mat) -> Result<(Mat, Mat)> {
     let mut g = Mat::zeros(n, n);
     syrk(1.0, b.as_ref(), Trans::Yes, 0.0, g.as_mut(), UpLo::Upper)?;
     mirror_upper(&mut g);
-    let r = cholesky_upper(&g)?;
+    let r = cholesky_upper_guarded(&g)?;
     let mut q = b.clone();
     trsm(
         Side::Right,
@@ -73,7 +73,7 @@ pub fn cholqr_rows(b: &Mat) -> Result<(Mat, Mat)> {
     let mut g = Mat::zeros(l, l);
     syrk(1.0, b.as_ref(), Trans::No, 0.0, g.as_mut(), UpLo::Upper)?;
     mirror_upper(&mut g);
-    let r = cholesky_upper(&g)?;
+    let r = cholesky_upper_guarded(&g)?;
     let mut q = b.clone();
     trsm(
         Side::Left,
@@ -96,6 +96,127 @@ pub fn cholqr_rows2(b: &Mat) -> Result<(Mat, Mat)> {
     let (q2, r2) = cholqr_rows(&q1)?;
     // B = R1^T Q1 and Q1 = R2^T Q2 ⟹ B = (R2 R1)^T Q2.
     Ok((q2, merge_r(&r2, &r1)?))
+}
+
+/// Diagonal shift for a Gram matrix: `scale · ε · trace(G)`.
+///
+/// `trace(G) = ‖B‖_F²` bounds `‖B‖₂²` from above, so the shift follows
+/// the shifted-CholeskyQR recipe (a small multiple of `u·‖B‖₂²`) without
+/// needing a norm estimate; `scale` absorbs the dimension-dependent
+/// constant and is a policy knob.
+fn gram_shift(g: &Mat, scale: f64) -> f64 {
+    let n = g.rows();
+    let trace: f64 = (0..n).map(|i| g[(i, i)]).sum();
+    scale * f64::EPSILON * trace.max(f64::MIN_POSITIVE)
+}
+
+/// One shifted CholQR pass of a tall-skinny `B`: Cholesky-factors
+/// `G + σI` instead of `G`, trading exactness of `R` for a positive
+/// definite factorization on nearly rank-deficient input.
+fn shifted_pass(b: &Mat, shift_scale: f64) -> Result<(Mat, Mat)> {
+    let n = b.cols();
+    let mut g = Mat::zeros(n, n);
+    syrk(1.0, b.as_ref(), Trans::Yes, 0.0, g.as_mut(), UpLo::Upper)?;
+    mirror_upper(&mut g);
+    let shift = gram_shift(&g, shift_scale);
+    for i in 0..n {
+        g[(i, i)] += shift;
+    }
+    let r = cholesky_upper(&g)?;
+    let mut q = b.clone();
+    trsm(
+        Side::Right,
+        UpLo::Upper,
+        Trans::No,
+        Diag::NonUnit,
+        1.0,
+        r.as_ref(),
+        q.as_mut(),
+    )?;
+    Ok((q, r))
+}
+
+/// One shifted CholQR pass of a short-wide `B` (rows flavor).
+fn shifted_pass_rows(b: &Mat, shift_scale: f64) -> Result<(Mat, Mat)> {
+    let l = b.rows();
+    let mut g = Mat::zeros(l, l);
+    syrk(1.0, b.as_ref(), Trans::No, 0.0, g.as_mut(), UpLo::Upper)?;
+    mirror_upper(&mut g);
+    let shift = gram_shift(&g, shift_scale);
+    for i in 0..l {
+        g[(i, i)] += shift;
+    }
+    let r = cholesky_upper(&g)?;
+    let mut q = b.clone();
+    trsm(
+        Side::Left,
+        UpLo::Upper,
+        Trans::Yes,
+        Diag::NonUnit,
+        1.0,
+        r.as_ref(),
+        q.as_mut(),
+    )?;
+    Ok((q, r))
+}
+
+/// Smallest acceptable diagonal of the first corrective pass. The shifted
+/// pass maps a direction with singular value `σ` to `σ/√(σ² + σ_shift)`
+/// in `Q₁`: genuine data that plain CholQR merely *rounded away*
+/// (`σ ≳ √ε·‖B‖`) lands at `≳ √(1/scale) ≫ √ε`, while a direction that
+/// is pure round-off noise (`σ ~ ε·‖B‖`, i.e. exact rank deficiency)
+/// lands near `√ε`. A threshold a few decades above `√ε ≈ 1.5e-8`
+/// separates the two regimes.
+const SHIFTED_MIN_DIAG: f64 = 1e-6;
+
+/// Rejects a corrective-pass `R` whose diagonal shows the shifted pass
+/// normalized a noise direction (deficiency below the shift level).
+fn check_rescue_diag(r: &Mat) -> Result<()> {
+    for i in 0..r.rows() {
+        let d = r[(i, i)].abs();
+        if d < SHIFTED_MIN_DIAG {
+            return Err(rlra_matrix::MatrixError::NotPositiveDefinite { pivot: i, value: d });
+        }
+    }
+    Ok(())
+}
+
+/// Shifted CholQR with full reorthogonalization, the breakdown-tolerant
+/// rung of the orthogonalization fallback ladder (tall-skinny flavor):
+/// a shifted first pass that cannot break down on merely *near*-singular
+/// input, followed by two plain corrective passes (the shifted-CholeskyQR3
+/// recipe — one pass leaves `ε·κ(Q₁)²` orthogonality error, the second
+/// takes it to machine precision), with all triangular factors merged so
+/// `Q·R = B` still holds (the shift perturbs only the intermediates).
+///
+/// # Errors
+///
+/// Returns [`rlra_matrix::MatrixError::NotPositiveDefinite`] when `B` is
+/// rank deficient *below* the shift level (the shifted pass would then
+/// normalize round-off noise, detected by a collapsed diagonal in the
+/// first corrective pass); callers escalate to Householder QR.
+pub fn shifted_cholqr2(b: &Mat, shift_scale: f64) -> Result<(Mat, Mat)> {
+    let (q1, r1) = shifted_pass(b, shift_scale)?;
+    let (q2, r2) = cholqr(&q1)?;
+    check_rescue_diag(&r2)?;
+    let (q3, r3) = cholqr(&q2)?;
+    Ok((q3, merge_r(&r3, &merge_r(&r2, &r1)?)?))
+}
+
+/// Shifted CholQR with full reorthogonalization, short-wide flavor — the
+/// rows companion of [`shifted_cholqr2`]: `(Q, R)` with orthonormal rows
+/// and `Rᵀ·Q = B`.
+///
+/// # Errors
+///
+/// Returns [`rlra_matrix::MatrixError::NotPositiveDefinite`] when `B` is
+/// rank deficient below the shift level.
+pub fn shifted_cholqr_rows2(b: &Mat, shift_scale: f64) -> Result<(Mat, Mat)> {
+    let (q1, r1) = shifted_pass_rows(b, shift_scale)?;
+    let (q2, r2) = cholqr_rows(&q1)?;
+    check_rescue_diag(&r2)?;
+    let (q3, r3) = cholqr_rows(&q2)?;
+    Ok((q3, merge_r(&r3, &merge_r(&r2, &r1)?)?))
 }
 
 /// Copies the upper triangle into the lower one, making `g` symmetric.
@@ -222,6 +343,73 @@ mod tests {
             cholqr(&b),
             Err(MatrixError::NotPositiveDefinite { .. })
         ));
+    }
+
+    #[test]
+    fn shifted_cholqr2_survives_near_rank_deficiency() {
+        // col3 = col0 + 1e-9·noise: the Gram matrix squares that to a
+        // 1e-18 pivot, below ε·trace — plain CholQR breaks down, the
+        // shifted rung does not.
+        let mut b = pseudo(40, 4, 9);
+        let noise = pseudo(40, 1, 10);
+        let c: Vec<f64> = b
+            .col(0)
+            .iter()
+            .zip(noise.col(0))
+            .map(|(x, e)| x + 1e-9 * e)
+            .collect();
+        b.col_mut(3).copy_from_slice(&c);
+        assert!(matches!(
+            cholqr(&b),
+            Err(MatrixError::NotPositiveDefinite { .. })
+        ));
+        let (q, r) = shifted_cholqr2(&b, 100.0).unwrap();
+        assert!(orthogonality_error(&q) < 1e-10);
+        let qr = gemm_ref(&q, Trans::No, &r, Trans::No);
+        assert!(max_abs_diff(&qr, &b).unwrap() < 1e-9);
+    }
+
+    #[test]
+    fn shifted_cholqr_rows2_survives_near_rank_deficiency() {
+        let mut b = pseudo(4, 30, 11);
+        let noise = pseudo(1, 30, 14);
+        let r0: Vec<f64> = (0..30).map(|j| b[(0, j)]).collect();
+        for (j, v) in r0.iter().enumerate() {
+            b[(3, j)] = v + 1e-9 * noise[(0, j)];
+        }
+        assert!(matches!(
+            cholqr_rows(&b),
+            Err(MatrixError::NotPositiveDefinite { .. })
+        ));
+        let (q, r) = shifted_cholqr_rows2(&b, 100.0).unwrap();
+        let qt = q.transpose();
+        assert!(orthogonality_error(&qt) < 1e-10);
+        let rtq = gemm_ref(&r, Trans::Yes, &q, Trans::No);
+        assert!(max_abs_diff(&rtq, &b).unwrap() < 1e-9);
+    }
+
+    #[test]
+    fn shifted_cholqr2_still_breaks_on_exact_deficiency() {
+        // Exact duplicate column: the shifted first pass yields an exactly
+        // singular Q1 and the reorthogonalization pass must report it.
+        let mut b = pseudo(20, 4, 12);
+        let c = b.col(0).to_vec();
+        b.col_mut(3).copy_from_slice(&c);
+        assert!(matches!(
+            shifted_cholqr2(&b, 100.0),
+            Err(MatrixError::NotPositiveDefinite { .. })
+        ));
+    }
+
+    #[test]
+    fn shifted_cholqr2_matches_cholqr2_on_well_conditioned_input() {
+        // On healthy input the shift is an O(ε) perturbation of R; Q and
+        // the reconstruction agree with the unshifted path to fp noise.
+        let b = pseudo(50, 6, 13);
+        let (qs, rs) = shifted_cholqr2(&b, 100.0).unwrap();
+        let (qp, rp) = cholqr2(&b).unwrap();
+        assert!(max_abs_diff(&qs, &qp).unwrap() < 1e-10);
+        assert!(max_abs_diff(&rs, &rp).unwrap() < 1e-10);
     }
 
     #[test]

@@ -39,8 +39,10 @@ pub mod svd;
 pub mod tsqr;
 
 pub use ca_qrcp::{tournament_qrcp, CaQrcp};
-pub use cholesky::cholesky_upper;
-pub use cholqr::{cholqr, cholqr2, cholqr_rows, cholqr_rows2};
+pub use cholesky::{cholesky_upper, cholesky_upper_guarded};
+pub use cholqr::{
+    cholqr, cholqr2, cholqr_rows, cholqr_rows2, shifted_cholqr2, shifted_cholqr_rows2,
+};
 pub use cholqr_mixed::{cholqr_mixed, cholqr_rows_mixed};
 pub use gk_svd::svd_golub_kahan;
 pub use gram_schmidt::{block_orth, block_orth_cols, block_orth_rows, cgs, mgs};

@@ -79,6 +79,28 @@ pub enum MatrixError {
         /// Kernel-launch ordinal on that device at which the fault fired.
         at: u64,
     },
+    /// A numerical breakdown (rank deficiency below every ladder rung,
+    /// a non-finite block, or a norm explosion) that the orthogonalization
+    /// fallback ladder could not absorb. Carries where it was detected so
+    /// the guard's report and the error agree.
+    NumericalBreakdown {
+        /// Pipeline stage at which the breakdown was detected.
+        stage: &'static str,
+        /// What was detected (`non-finite block`, `norm explosion`,
+        /// `ladder exhausted`, ...).
+        detail: &'static str,
+    },
+    /// The verified-accuracy pass measured a posterior error estimate
+    /// above the requested tolerance and the bounded retry budget could
+    /// not close the gap.
+    AccuracyNotReached {
+        /// Posterior error estimate of the best attempt.
+        achieved: f64,
+        /// The tolerance the caller requested.
+        required: f64,
+        /// Number of full attempts made (including the first).
+        attempts: usize,
+    },
 }
 
 /// Classification of an injected device fault (see `MatrixError::DeviceFault`).
@@ -156,6 +178,20 @@ impl fmt::Display for MatrixError {
             }
             MatrixError::DeviceFault { device, kind, at } => {
                 write!(f, "device {device}: {kind} at launch {at}")
+            }
+            MatrixError::NumericalBreakdown { stage, detail } => {
+                write!(f, "numerical breakdown at stage `{stage}`: {detail}")
+            }
+            MatrixError::AccuracyNotReached {
+                achieved,
+                required,
+                attempts,
+            } => {
+                write!(
+                    f,
+                    "accuracy not reached after {attempts} attempts: \
+                     posterior estimate {achieved:e} above tolerance {required:e}"
+                )
             }
         }
     }
@@ -259,6 +295,30 @@ mod tests {
         assert!(labels.iter().all(|l| !l.is_empty()));
         assert_ne!(labels[0], labels[1]);
         assert_ne!(labels[1], labels[2]);
+    }
+
+    #[test]
+    fn display_numerical_breakdown() {
+        let e = MatrixError::NumericalBreakdown {
+            stage: "orth_b",
+            detail: "ladder exhausted",
+        };
+        let s = e.to_string();
+        assert!(s.contains("orth_b"));
+        assert!(s.contains("ladder exhausted"));
+    }
+
+    #[test]
+    fn display_accuracy_not_reached() {
+        let e = MatrixError::AccuracyNotReached {
+            achieved: 3e-2,
+            required: 1e-6,
+            attempts: 3,
+        };
+        let s = e.to_string();
+        assert!(s.contains("3 attempts"));
+        assert!(s.contains("3e-2"));
+        assert!(s.contains("1e-6"));
     }
 
     #[test]

@@ -76,7 +76,10 @@ pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
     for ev in events {
         match ev {
             TraceEvent::Comms { .. } => has_comms = true,
-            TraceEvent::Stage { .. } => has_stages = true,
+            TraceEvent::Stage { .. }
+            | TraceEvent::Breakdown { .. }
+            | TraceEvent::Fallback { .. }
+            | TraceEvent::HealthCheck { .. } => has_stages = true,
             TraceEvent::Fault { device, .. } | TraceEvent::Recovery { device, .. } => {
                 devices.insert(*device);
             }
@@ -194,6 +197,21 @@ pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
                 let name = format!("recovery:{action}");
                 push_instant(&mut out, device, &name, "recovery", time, "");
             }
+            TraceEvent::Breakdown { stage, rung, time } => {
+                let name = format!("breakdown:{stage}");
+                let args = format!("\"rung\":{rung}");
+                push_instant(&mut out, STAGE_TID, &name, "numeric", time, &args);
+            }
+            TraceEvent::Fallback { stage, rung, time } => {
+                let name = format!("fallback:{stage}");
+                let args = format!("\"rung\":{rung}");
+                push_instant(&mut out, STAGE_TID, &name, "numeric", time, &args);
+            }
+            TraceEvent::HealthCheck { stage, ok, time } => {
+                let name = format!("health:{stage}");
+                let args = format!("\"ok\":{ok}");
+                push_instant(&mut out, STAGE_TID, &name, "numeric", time, &args);
+            }
         }
     }
     out.push_str("]}");
@@ -265,6 +283,54 @@ mod tests {
     }
 
     use crate::json::Json;
+
+    #[test]
+    fn numeric_guard_marks_land_on_the_stage_track() {
+        let events = vec![
+            TraceEvent::Breakdown {
+                stage: "orth_b",
+                rung: 0,
+                time: 1e-3,
+            },
+            TraceEvent::Fallback {
+                stage: "orth_b",
+                rung: 1,
+                time: 1e-3,
+            },
+            TraceEvent::HealthCheck {
+                stage: "gemm_to_c",
+                ok: true,
+                time: 2e-3,
+            },
+        ];
+        let doc = chrome_trace_json(&events);
+        let j = parse_json(&doc).unwrap();
+        let evs = j.get("traceEvents").unwrap().as_arr().unwrap();
+        // 1 metadata (Stages) + 3 instant marks.
+        assert_eq!(evs.len(), 4);
+        for e in evs.iter().skip(1) {
+            assert_eq!(e.get("ph").and_then(Json::as_str), Some("i"));
+            assert_eq!(
+                e.get("tid").and_then(Json::as_num),
+                Some(STAGE_TID as f64),
+                "guard marks are host-side: they belong on the stage track"
+            );
+        }
+        let names: Vec<&str> = evs
+            .iter()
+            .skip(1)
+            .filter_map(|e| e.get("name").and_then(Json::as_str))
+            .collect();
+        assert_eq!(
+            names,
+            vec!["breakdown:orth_b", "fallback:orth_b", "health:gemm_to_c"]
+        );
+        let fb = &evs[2];
+        assert_eq!(
+            fb.get("args").unwrap().get("rung").and_then(Json::as_num),
+            Some(1.0)
+        );
+    }
 
     #[test]
     fn empty_stream_is_still_valid_json() {

@@ -110,6 +110,39 @@ pub enum TraceEvent {
         /// Simulated time of the action (seconds).
         time: f64,
     },
+    /// A numerical breakdown detected by the guard layer — a CholQR rung
+    /// failing, a non-finite block, or a norm explosion (instant mark on
+    /// the stage track; the host numerics own the detection).
+    Breakdown {
+        /// Pipeline stage at which the breakdown was detected.
+        stage: &'static str,
+        /// Ladder rung index that broke (0 = CholQR), or the rung active
+        /// when a health check tripped.
+        rung: u8,
+        /// Simulated time of the detection (seconds).
+        time: f64,
+    },
+    /// A fallback-ladder escalation: the guard re-ran an
+    /// orthogonalization one rung up (instant mark on the stage track).
+    Fallback {
+        /// Pipeline stage being re-run.
+        stage: &'static str,
+        /// Rung index escalated *to* (1 = shifted CholQR2,
+        /// 2 = Householder QR).
+        rung: u8,
+        /// Simulated time of the escalation (seconds).
+        time: f64,
+    },
+    /// A between-stage health check (NaN/Inf scan + norm-explosion test)
+    /// run by the guard layer (instant mark on the stage track).
+    HealthCheck {
+        /// Pipeline stage the checked block came from.
+        stage: &'static str,
+        /// Whether the block passed.
+        ok: bool,
+        /// Simulated time of the check (seconds).
+        time: f64,
+    },
 }
 
 impl TraceEvent {
@@ -147,7 +180,11 @@ impl TraceEvent {
             | TraceEvent::Transfer { start, end, .. }
             | TraceEvent::Comms { start, end, .. }
             | TraceEvent::Stage { start, end, .. } => end - start,
-            TraceEvent::Fault { .. } | TraceEvent::Recovery { .. } => 0.0,
+            TraceEvent::Fault { .. }
+            | TraceEvent::Recovery { .. }
+            | TraceEvent::Breakdown { .. }
+            | TraceEvent::Fallback { .. }
+            | TraceEvent::HealthCheck { .. } => 0.0,
         }
     }
 }

@@ -144,6 +144,9 @@ pub struct Metrics {
     pub devices: Vec<DeviceMetrics>,
     /// Transient-fault retries performed by the recovery policy.
     pub retries: u64,
+    /// Orthogonalization fallback-ladder escalations performed by the
+    /// numeric guard (one per rung actually climbed).
+    pub fallbacks: u64,
 }
 
 impl Metrics {
@@ -177,6 +180,7 @@ impl Metrics {
         Metrics {
             devices,
             retries: self.retries - earlier.retries.min(self.retries),
+            fallbacks: self.fallbacks - earlier.fallbacks.min(self.fallbacks),
         }
     }
 }
@@ -187,8 +191,10 @@ pub fn metrics_json(m: &Metrics) -> String {
     out.push('{');
     let _ = write!(
         out,
-        "\"retries\":{},\"total_launches\":{},\"recovery_seconds\":{},\"devices\":[",
+        "\"retries\":{},\"fallbacks\":{},\"total_launches\":{},\"recovery_seconds\":{},\
+         \"devices\":[",
         m.retries,
+        m.fallbacks,
         m.total_launches(),
         num_json(m.recovery_seconds())
     );
@@ -275,6 +281,7 @@ mod tests {
         Metrics {
             devices: vec![d],
             retries: 1,
+            fallbacks: 2,
         }
     }
 
@@ -314,6 +321,7 @@ mod tests {
         assert_eq!(d.phase_seconds.get("Recovery"), None);
         assert_eq!(d.kernels["gemm"].launches, 5);
         assert_eq!(delta.retries, 0);
+        assert_eq!(delta.fallbacks, 0);
     }
 
     #[test]
@@ -325,6 +333,7 @@ mod tests {
             j.get("recovery_seconds").unwrap().as_num().unwrap(),
             m.recovery_seconds()
         );
+        assert_eq!(j.get("fallbacks").unwrap().as_num().unwrap(), 2.0);
         let devices = j.get("devices").unwrap().as_arr().unwrap();
         assert_eq!(devices.len(), 1);
         let gemm = devices[0]

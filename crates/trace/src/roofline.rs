@@ -117,6 +117,7 @@ mod tests {
         let m = Metrics {
             devices: vec![d],
             retries: 2,
+            fallbacks: 0,
         };
         let text = roofline_summary(&m);
         assert!(text.contains("device 1 (Tesla K40c)"));

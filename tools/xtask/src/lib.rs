@@ -1,7 +1,7 @@
 //! # rlra-analyze
 //!
 //! Repo-specific static analysis for the rlra workspace, run as
-//! `cargo xtask analyze`. Five invariants the compiler cannot see:
+//! `cargo xtask analyze`. Six invariants the compiler cannot see:
 //!
 //! 1. **cost** — every simulated GPU kernel and every Executor stage
 //!    hook charges the analytic cost model (no free kernels).
@@ -14,6 +14,10 @@
 //! 5. **trace** — every clock/timeline charging site in `rlra-gpu`
 //!    also emits a trace event, so the event stream stays complete
 //!    and the golden-trace reconciliation holds.
+//! 6. **numerics** — every CholQR call site in library code goes
+//!    through the `NumericGuard` fallback ladder (counted, traced,
+//!    policy-controlled), so breakdowns can neither abort a rescuable
+//!    run nor escalate silently.
 //!
 //! Deliberate exceptions carry `// analyze: allow(lint, reason)` on or
 //! just above the offending line; an allow without a reason is itself
@@ -75,7 +79,7 @@ impl Loader {
     }
 }
 
-/// Runs all five lints (plus the allow-reason check) on the workspace
+/// Runs all six lints (plus the allow-reason check) on the workspace
 /// at `root`. Returns the sorted findings; empty means clean.
 ///
 /// # Errors
@@ -92,6 +96,7 @@ pub fn analyze(root: &Path) -> Result<Vec<Finding>, String> {
     let exec_paths = workspace::cost_executor_files(root);
     let routine_paths = workspace::flops_routine_files(root);
     let flops_path = workspace::flops_file(root);
+    let numerics_paths = workspace::numerics_files(root);
 
     loader.load_all(&det_paths)?;
     loader.load_all(&trace_paths)?;
@@ -101,6 +106,7 @@ pub fn analyze(root: &Path) -> Result<Vec<Finding>, String> {
     loader.load_all(&exec_paths)?;
     loader.load_all(&routine_paths)?;
     loader.load(&flops_path)?;
+    loader.load_all(&numerics_paths)?;
 
     let mut findings = Vec::new();
     for f in loader.get_all(&det_paths) {
@@ -121,6 +127,9 @@ pub fn analyze(root: &Path) -> Result<Vec<Finding>, String> {
         &loader.get_all(&routine_paths),
         &loader.cache[&flops_path],
     ));
+    for f in loader.get_all(&numerics_paths) {
+        findings.extend(lints::numerics::check(f));
+    }
     for f in loader.cache.values() {
         findings.extend(lints::check_allow_reasons(f));
     }

@@ -43,6 +43,7 @@ pub const STAGE_HOOKS: &[&str] = &[
     "adaptive_gemm_w",
     "adaptive_probe",
     "adaptive_finish",
+    "verify_probe",
 ];
 
 /// Whether a callee name is a direct charge.

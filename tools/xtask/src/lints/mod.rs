@@ -1,4 +1,4 @@
-//! The five repo-specific invariant lints.
+//! The six repo-specific invariant lints.
 //!
 //! | lint | invariant |
 //! |---|---|
@@ -7,10 +7,12 @@
 //! | `panic` | no `unwrap`/`expect`/`panic!`/`todo!` in library code |
 //! | `flops` | every BLAS level-2/3 routine has a flops formula |
 //! | `trace` | every clock/timeline charging site emits a trace event |
+//! | `numerics` | every CholQR call site goes through the guard ladder |
 
 pub mod cost;
 pub mod determinism;
 pub mod flops;
+pub mod numerics;
 pub mod panics;
 pub mod trace;
 

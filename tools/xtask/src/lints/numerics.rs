@@ -1,0 +1,69 @@
+//! `numerics` — raw CholQR call sites must go through the guard ladder.
+//!
+//! PR 5's robustness story rests on every orthogonalization in the
+//! pipeline being able to *escalate*: CholQR breaks down on rank-deficient
+//! blocks, and a call site that invokes it raw either aborts the whole
+//! run on an input the shifted rung would have rescued, or — worse —
+//! escalates silently, skewing the `breakdowns`/`fallbacks` accounting
+//! that the what-if studies and the exported metrics rely on.
+//!
+//! Library code must therefore reach the kernels through
+//! `NumericGuard::ladder_rows`/`ladder_tall` (which count, trace and
+//! charge each rung), or carry an explicit
+//! `// analyze: allow(numerics, reason)` explaining why the raw call is
+//! sound (e.g. distributed CholQR schemes that reduce a Gram matrix
+//! across devices, where the host-side guard re-runs the factorization
+//! anyway).
+//!
+//! The lint is token-shaped: an identifier starting with `cholqr` or
+//! `shifted_cholqr` followed by `(` is a call site; `fn`-definitions and
+//! `#[cfg(test)]` regions are skipped. `rlra-lapack` (which defines the
+//! kernels) and the guard module itself (which *is* the ladder) are
+//! excluded from the scanned file set.
+
+use crate::diag::Finding;
+use crate::lex::TokKind;
+use crate::scan::FileModel;
+
+/// Whether an identifier names a CholQR-family kernel.
+fn is_cholqr_name(name: &str) -> bool {
+    name.starts_with("cholqr") || name.starts_with("shifted_cholqr")
+}
+
+/// Runs the numerics lint on one file.
+pub fn check(file: &FileModel) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let toks = &file.lexed.toks;
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident || !is_cholqr_name(&t.text) {
+            continue;
+        }
+        // Only calls: the identifier must open an argument list. Mentions
+        // in `use` paths or signatures don't invoke the kernel.
+        if !toks.get(i + 1).map(|n| n.is_punct('(')).unwrap_or(false) {
+            continue;
+        }
+        // `fn cholqr_rows_distributed(..)` defines, it doesn't call.
+        if i > 0 && toks[i - 1].is_ident("fn") {
+            continue;
+        }
+        if file.in_test_range(i) {
+            continue;
+        }
+        if file.allow_at("numerics", t.line).is_some() {
+            continue;
+        }
+        findings.push(Finding {
+            file: file.path.clone(),
+            line: t.line,
+            lint: "numerics",
+            message: format!(
+                "raw `{}` call bypasses the orthogonalization fallback ladder — \
+                 route it through `NumericGuard::ladder_rows`/`ladder_tall` or \
+                 justify with `// analyze: allow(numerics, reason)`",
+                t.text
+            ),
+        });
+    }
+    findings
+}

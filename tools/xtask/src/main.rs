@@ -10,8 +10,8 @@ use std::process::ExitCode;
 const USAGE: &str = "usage: cargo xtask analyze [--root <workspace-root>]
 
 Checks the repo-specific invariants (cost charging, determinism,
-panic-freedom, flops coverage, trace completeness). See DESIGN.md
-\"Enforced invariants\".";
+panic-freedom, flops coverage, trace completeness, guarded numerics).
+See DESIGN.md \"Enforced invariants\".";
 
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
@@ -58,7 +58,9 @@ fn main() -> ExitCode {
 
     match rlra_analyze::analyze(&root) {
         Ok(findings) if findings.is_empty() => {
-            println!("rlra-analyze: workspace clean (cost, determinism, panic, flops, trace)");
+            println!(
+                "rlra-analyze: workspace clean (cost, determinism, panic, flops, trace, numerics)"
+            );
             ExitCode::SUCCESS
         }
         Ok(findings) => {

@@ -86,6 +86,23 @@ pub fn cost_executor_files(root: &Path) -> Vec<PathBuf> {
     rs_files(&root.join("crates/core/src/backend"))
 }
 
+/// Files subject to the numerics lint: library sources of the crates
+/// that *consume* the CholQR kernels. `rlra-lapack` (which defines them)
+/// and `rlra-core::backend::guard` (which is the ladder itself) are
+/// exempt.
+pub fn numerics_files(root: &Path) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    for c in ["core", "gpu", "data"] {
+        out.extend(
+            rs_files(&root.join("crates").join(c).join("src"))
+                .into_iter()
+                .filter(|p| !is_bin_target(p)),
+        );
+    }
+    out.retain(|p| !p.ends_with("backend/guard.rs"));
+    out
+}
+
 /// Files subject to the trace lint: the `rlra-gpu` library sources,
 /// where every clock/timeline/comms accumulator lives.
 pub fn trace_files(root: &Path) -> Vec<PathBuf> {

@@ -1,0 +1,17 @@
+//! Fixture: raw CholQR call sites the numerics lint must flag.
+
+pub fn run_power_step(b: &Mat) -> Result<Mat> {
+    // Raw rows-flavor call, no guard, no allow.
+    let (q, _) = rlra_lapack::cholqr_rows2(b)?;
+    Ok(q)
+}
+
+pub fn finish_step(b: &Mat) -> Result<(Mat, Mat)> {
+    // Raw tall-flavor call.
+    rlra_lapack::cholqr2(b)
+}
+
+pub fn shifted_directly(b: &Mat) -> Result<(Mat, Mat)> {
+    // Even the shifted rung must come from the ladder, not be dialed in.
+    rlra_lapack::shifted_cholqr2(b, 100.0)
+}

@@ -1,0 +1,27 @@
+//! Fixture: CholQR mentions the numerics lint must NOT flag.
+
+use rlra_lapack::{cholqr, cholqr_rows2};
+
+/// Doc mention of cholqr_rows2(..) in prose is not a call.
+pub fn guarded_site(guard: &mut NumericGuard, b: &Mat) -> Result<Mat> {
+    // The ladder is the sanctioned route.
+    guard.ladder_rows("orth_b", b, true)
+}
+
+// A definition of a cholqr-named scheme is not a call site.
+pub fn cholqr_rows_distributed(parts: &mut [DMat]) -> Result<()> {
+    Ok(())
+}
+
+pub fn justified(b: &Mat) -> Result<(Mat, Mat)> {
+    // analyze: allow(numerics, kernel microbenchmark outside any pipeline)
+    rlra_lapack::cholqr2(b)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn direct_kernel_checks_are_fine() {
+        let _ = rlra_lapack::cholqr_rows2(&b).unwrap();
+    }
+}

@@ -113,6 +113,22 @@ fn allow_without_reason_is_reported() {
 }
 
 #[test]
+fn numerics_flags_raw_cholqr_calls() {
+    let file = fixture("numerics_bad.rs");
+    let findings = lints::numerics::check(&file);
+    // cholqr_rows2, cholqr2, shifted_cholqr2.
+    assert_eq!(findings.len(), 3, "got {findings:#?}");
+    assert!(lints_of(&findings).iter().all(|l| *l == "numerics"));
+}
+
+#[test]
+fn numerics_accepts_ladder_defs_tests_and_allows() {
+    let file = fixture("numerics_ok.rs");
+    let findings = lints::numerics::check(&file);
+    assert!(findings.is_empty(), "unexpected findings: {findings:#?}");
+}
+
+#[test]
 fn workspace_is_clean() {
     let root = Path::new(env!("CARGO_MANIFEST_DIR"))
         .ancestors()

@@ -1,22 +1,30 @@
 //! Figure 16 — convergence of the adaptive-ℓ scheme: error estimate ε̃
 //! vs selected sampling size ℓ for static increments ℓ_inc ∈ {8, 16, 32,
 //! 64}, plus the actual error (real factorizations on the exponent
-//! matrix; q = 0, ε = 1e-12).
+//! matrix; q = 0, ε = 1e-12), and the restart-vs-incremental finish cost
+//! at each increment.
 //!
 //! Default scale m = 5,000, n = 500 (the convergence trajectory depends
 //! on the spectrum, which is preserved); `--full` runs the paper's
-//! 50,000 × 2,500 (slow on CPU).
+//! 50,000 × 2,500 (slow on CPU); `--smoke` runs a fast 1,200 × 240 CI
+//! pass. In every mode the two finish modes are run on the same seed and
+//! asserted to produce the identical `(ℓ, ε̃)` trajectory — the restart
+//! path is the equivalence oracle for the incremental one.
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rlra_bench::{BenchOpts, Table};
-use rlra_core::{adaptive_sample, AdaptiveConfig, IncStrategy};
+use rlra_core::{
+    adaptive_sample, sample_fixed_accuracy_exec, AdaptiveConfig, FinishMode, GpuExec, IncStrategy,
+};
 use rlra_data::{exponent_spectrum, matrix_with_spectrum};
 use rlra_gpu::Gpu;
 
 fn main() {
     let opts = BenchOpts::from_args();
-    let (m, n) = if opts.full {
+    let (m, n) = if opts.smoke {
+        (1_200, 240)
+    } else if opts.full {
         (50_000, 2_500)
     } else {
         (5_000, 500)
@@ -25,7 +33,13 @@ fn main() {
     // the estimator (n*eps_mach*|A|*|omega| ~ 5e-12 at the paper's scale);
     // at the reduced default scale the floor is ~1e-11, so the default
     // tolerance is raised accordingly. --full restores the paper's value.
-    let tol = if opts.full { 1e-12 } else { 1e-10 };
+    let tol = if opts.smoke {
+        1e-9
+    } else if opts.full {
+        1e-12
+    } else {
+        1e-10
+    };
     let mut rng = StdRng::seed_from_u64(2015);
     let spec = exponent_spectrum(n.min(m));
     let tm = matrix_with_spectrum(m, n, &spec, &mut rng).expect("generator");
@@ -43,6 +57,7 @@ fn main() {
             inc: IncStrategy::Static(l_inc),
             l_max: 512.min(n),
             track_actual: true,
+            finish: FinishMode::Incremental,
         };
         let res = adaptive_sample(&mut gpu, &tm.a, &cfg, &mut rng).expect("adaptive run");
         for (i, s) in res.steps.iter().enumerate() {
@@ -61,8 +76,60 @@ fn main() {
         );
         let _ = table.save_csv(&format!("fig16_linc{l_inc}"));
     }
+
+    // Restart vs incremental finish, same seed per increment: the
+    // trajectory is identical by construction (the extension consumes no
+    // RNG and never touches the basis); only the modeled cost differs —
+    // the incremental finish drops the Step-2 re-run term.
+    let mut cmp = Table::new(
+        format!("Figure 16b: finish cost, restart vs incremental, exponent {m} x {n}"),
+        &["l_inc", "final l", "restart s", "incremental s", "saved"],
+    );
+    for l_inc in [8usize, 16, 32, 64] {
+        let run = |finish: FinishMode| {
+            let mut gpu = Gpu::k40c();
+            let mut exec = GpuExec::new(&mut gpu);
+            let cfg = AdaptiveConfig {
+                tol,
+                q: 0,
+                reorth: true,
+                inc: IncStrategy::Static(l_inc),
+                l_max: 512.min(n),
+                track_actual: false,
+                finish,
+            };
+            let mut mode_rng = StdRng::seed_from_u64(2015 + l_inc as u64);
+            let (_, res, report) = sample_fixed_accuracy_exec(&mut exec, &tm.a, &cfg, &mut mode_rng)
+                .expect("fixed-accuracy run");
+            let trajectory: Vec<(usize, f64)> = res.steps.iter().map(|s| (s.l, s.estimate)).collect();
+            (res.l(), trajectory, report.seconds)
+        };
+        let (l_res, traj_res, sim_res) = run(FinishMode::Restart);
+        let (l_inc_mode, traj_inc, sim_inc) = run(FinishMode::Incremental);
+        assert_eq!(
+            l_res, l_inc_mode,
+            "finish modes must select the same final l"
+        );
+        assert_eq!(
+            traj_res, traj_inc,
+            "finish modes must walk the identical (l, estimate) trajectory"
+        );
+        cmp.row(vec![
+            l_inc.to_string(),
+            l_res.to_string(),
+            format!("{sim_res:.4e}"),
+            format!("{sim_inc:.4e}"),
+            format!("{:.1}%", (1.0 - sim_inc / sim_res) * 100.0),
+        ]);
+    }
+    cmp.print();
+    let _ = cmp.save_csv("fig16_finish_cost");
+
     println!(
         "\nPaper reference: estimates are 1-2 orders above the actual error; the l_inc = 8\n\
-         estimates are slightly worse (larger c_ad); all converge around l ~ 140-160."
+         estimates are slightly worse (larger c_ad); all converge around l ~ 140-160.\n\
+         The incremental finish replaces the restart's Step-2 re-run with per-step panel\n\
+         extensions; it wins at moderate-to-large increments, while at small l_inc the\n\
+         repeated trailing-sample updates (one per accepted block) erode the saving."
     );
 }

@@ -29,14 +29,74 @@ use std::path::PathBuf;
 pub struct BenchOpts {
     /// Run the numerical experiments at the paper's full sizes.
     pub full: bool,
+    /// Run a fast reduced-scale pass (CI smoke). Takes precedence over
+    /// `full` when both flags are given.
+    pub smoke: bool,
 }
 
 impl BenchOpts {
-    /// Parses `--full` from the process arguments.
+    /// Parses `--full` and `--smoke` from the process arguments.
     pub fn from_args() -> Self {
         let full = std::env::args().any(|a| a == "--full");
-        BenchOpts { full }
+        let smoke = std::env::args().any(|a| a == "--smoke");
+        BenchOpts { full, smoke }
     }
+}
+
+/// One measured configuration for a repo-root `BENCH_*.json` file
+/// (ROADMAP: wall-clock benchmark trajectory tracked per PR).
+#[derive(Debug, Clone)]
+pub struct BenchRecord {
+    /// Configuration label, e.g. `static l_inc=32/incremental`.
+    pub config: String,
+    /// Real wall-clock seconds of the host run.
+    pub wall_s: f64,
+    /// Modeled simulated seconds reported by the executor.
+    pub modeled_s: f64,
+}
+
+/// Serializes bench records as `BENCH_<name>.json` in `dir`.
+///
+/// Hand-rolled JSON — the workspace deliberately has no serde
+/// dependency; labels are ASCII and contain no characters needing
+/// escaping.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn write_bench_json_at(
+    dir: &std::path::Path,
+    name: &str,
+    records: &[BenchRecord],
+) -> std::io::Result<PathBuf> {
+    let path = dir.join(format!("BENCH_{name}.json"));
+    let mut s = String::new();
+    let _ = writeln!(s, "{{");
+    let _ = writeln!(s, "  \"bench\": \"{name}\",");
+    let _ = writeln!(s, "  \"records\": [");
+    for (i, r) in records.iter().enumerate() {
+        let comma = if i + 1 < records.len() { "," } else { "" };
+        let _ = writeln!(
+            s,
+            "    {{ \"config\": \"{}\", \"wall_s\": {:.6}, \"modeled_s\": {:.6} }}{comma}",
+            r.config, r.wall_s, r.modeled_s
+        );
+    }
+    let _ = writeln!(s, "  ]");
+    let _ = writeln!(s, "}}");
+    fs::write(&path, s)?;
+    Ok(path)
+}
+
+/// Writes `BENCH_<name>.json` into the current directory — the
+/// workspace root under `cargo run`, which is where the per-PR bench
+/// trajectory is tracked.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn write_bench_json(name: &str, records: &[BenchRecord]) -> std::io::Result<PathBuf> {
+    write_bench_json_at(std::path::Path::new("."), name, records)
 }
 
 /// Trace/metrics export options shared by the figure binaries
@@ -231,5 +291,31 @@ mod tests {
         assert_eq!(fmt_time(0.5e-4), "50.0 us");
         assert_eq!(fmt_time(0.0125), "12.50 ms");
         assert_eq!(fmt_time(2.0), "2.000 s");
+    }
+
+    #[test]
+    fn bench_json_round_trips_records() {
+        let dir = std::env::temp_dir().join("rlra_bench_json_test");
+        fs::create_dir_all(&dir).unwrap();
+        let records = vec![
+            BenchRecord {
+                config: "static l_inc=8/restart".into(),
+                wall_s: 0.25,
+                modeled_s: 0.001625,
+            },
+            BenchRecord {
+                config: "static l_inc=8/incremental".into(),
+                wall_s: 0.24,
+                modeled_s: 0.001125,
+            },
+        ];
+        let path = write_bench_json_at(&dir, "adaptive_test", &records).unwrap();
+        let body = fs::read_to_string(&path).unwrap();
+        assert!(body.contains("\"bench\": \"adaptive_test\""));
+        assert!(body.contains("\"config\": \"static l_inc=8/restart\""));
+        assert!(body.contains("\"modeled_s\": 0.001125"));
+        // Exactly one record separator comma between the two objects.
+        assert_eq!(body.matches("},").count(), 1);
+        let _ = fs::remove_file(&path);
     }
 }

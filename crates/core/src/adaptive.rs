@@ -17,13 +17,27 @@
 //! also needs a computing backend, since the stopping decision reads the
 //! sampled values.
 
-use crate::backend::{staged, ExecReport, Executor, GpuExec, NumericGuard};
+use crate::backend::{incremental_extend, staged, ExecReport, Executor, GpuExec, NumericGuard};
 use crate::estimate::residual_estimate;
+use crate::fixed_rank::IncrementalFactors;
 use crate::result::LowRankApprox;
 use rand::Rng;
 use rlra_blas::Trans;
 use rlra_gpu::Gpu;
 use rlra_matrix::{gaussian_mat, Mat, MatrixError, Result};
+
+/// Smallest increment the interpolated strategy will schedule: below
+/// this the per-step fixed costs (draw, probe, orthogonalization
+/// launches) dominate and the expansion crawls.
+pub const INC_MIN: usize = 4;
+/// Floor on the geometric-growth cap `2·ℓ_inc_prev` of the interpolated
+/// strategy, so a run that bottomed out at a tiny increment can still
+/// accelerate instead of being stuck doubling from 1.
+pub const INC_GROWTH_MIN_CAP: usize = 8;
+/// Largest increment the interpolated strategy will schedule: a single
+/// huge jump can overshoot past the point where new sample blocks are
+/// numerically rank deficient (see the stagnation guard in the loop).
+pub const INC_MAX: usize = 256;
 
 /// How `ℓ_inc` evolves between steps.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -31,11 +45,28 @@ pub enum IncStrategy {
     /// Constant increment (`f(ℓ, ℓ_inc) = ℓ_inc`).
     Static(usize),
     /// Start at `init`, then extrapolate the target subspace size from
-    /// the previous two (ℓ, log ε̃) points (clamped to `[4, 256]`).
+    /// the previous two (ℓ, log ε̃) points (clamped to
+    /// [`INC_MIN`]`..=`[`INC_MAX`]).
     Interpolated {
         /// Initial increment.
         init: usize,
     },
+}
+
+/// How the fixed-accuracy run turns the grown subspace into `A·P ≈ Q·R`
+/// factors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FinishMode {
+    /// Extend the Q/R/permutation factors by one panel per accepted
+    /// sample block (sample-driven pivot selection plus exact projection
+    /// blocks), so the finish is a permutation/assembly-only
+    /// finalization.
+    #[default]
+    Incremental,
+    /// Grow-then-restart: re-run Steps 2–3 from scratch at
+    /// `k = ℓ_final`. Kept as the equivalence oracle for the incremental
+    /// path (same trajectory, same final rank, higher modeled cost).
+    Restart,
 }
 
 impl IncStrategy {
@@ -62,11 +93,14 @@ pub struct AdaptiveConfig {
     /// Also record the exact error `‖A − A·BᵀB‖₂` per step (offline
     /// diagnostic, Figure 16's dashed line; `O(mnl)` per step).
     pub track_actual: bool,
+    /// How the fixed-accuracy entry points finish the run (ignored by
+    /// the basis-only entry points, which never build factors).
+    pub finish: FinishMode,
 }
 
 impl AdaptiveConfig {
     /// Paper-style defaults: `ε = 1e−12`, `q = 0`, reorthogonalized,
-    /// static `ℓ_inc = init`, cap at 512.
+    /// static `ℓ_inc = init`, cap at 512, incremental finish.
     pub fn new(tol: f64, l_init: usize) -> Self {
         AdaptiveConfig {
             tol,
@@ -75,6 +109,7 @@ impl AdaptiveConfig {
             inc: IncStrategy::Static(l_init),
             l_max: 512,
             track_actual: false,
+            finish: FinishMode::Incremental,
         }
     }
 
@@ -187,7 +222,7 @@ pub fn adaptive_sample_exec_with_guard<E: Executor>(
     rng: &mut impl Rng,
     guard: &mut NumericGuard,
 ) -> Result<(AdaptiveResult, ExecReport)> {
-    let result = adaptive_loop(exec, a, cfg, rng, guard)?;
+    let result = adaptive_loop(exec, a, cfg, rng, guard, None)?;
     guard.drain(exec)?;
     let mut report = exec.finish()?;
     guard.fold_into(&mut report);
@@ -220,12 +255,19 @@ pub fn adaptive_sample(
 /// The shared adaptive loop: host numerics, backend cost hooks. Does not
 /// call [`Executor::finish`], so callers can append further charges
 /// (e.g. the fixed-accuracy finishing steps) to the same run.
+///
+/// When `factors` is provided (the incremental finish mode), every
+/// accepted block also extends the `A·P ≈ Q·R` factors by one panel via
+/// [`incremental_extend`] — the extension consumes no RNG and never
+/// touches the basis, so the `(ℓ, ε̃)` trajectory is bit-identical with
+/// and without it.
 fn adaptive_loop<E: Executor>(
     exec: &mut E,
     a: &Mat,
     cfg: &AdaptiveConfig,
     rng: &mut impl Rng,
     guard: &mut NumericGuard,
+    mut factors: Option<&mut IncrementalFactors>,
 ) -> Result<AdaptiveResult> {
     cfg.validate()?;
     if !exec.supports_adaptive() {
@@ -262,6 +304,9 @@ fn adaptive_loop<E: Executor>(
         let l_used = w_refined.rows();
         basis = basis.vcat(&w_refined)?;
         let l_now = basis.rows();
+        if let Some(f) = factors.as_deref_mut() {
+            incremental_extend(exec, f, a, &w_refined, cfg.reorth, guard)?;
+        }
 
         // --- Choose the next increment -----------------------------------
         let next_inc = match cfg.inc {
@@ -423,21 +468,26 @@ fn interpolate_inc(steps: &[AdaptiveStep], tol: f64, l_now: usize, prev_inc: usi
     #[allow(clippy::neg_cmp_op_on_partial_ord)]
     if !(slope < 0.0) || !slope.is_finite() {
         // No progress measured: grow geometrically.
-        return (prev_inc * 2).clamp(4, 256);
+        return (prev_inc * 2).clamp(INC_MIN, INC_MAX);
     }
     let target_l = x1 + (tol.log10() - y1) / slope;
     let inc = (target_l - l_now as f64).ceil();
     // Grow at most geometrically: the early slope underestimates the
     // asymptotic decay rate, and a single huge jump can overshoot past
     // the point where new sample blocks are numerically rank deficient.
-    let cap = (prev_inc * 2).clamp(8, 256);
-    (inc as isize).clamp(4, cap as isize) as usize
+    let cap = (prev_inc * 2).clamp(INC_GROWTH_MIN_CAP, INC_MAX);
+    (inc as isize).clamp(INC_MIN as isize, cap as isize) as usize
 }
 
 /// Solves the fixed-accuracy problem end to end on the given backend:
-/// grows the subspace adaptively, then completes Steps 2–3 of random
-/// sampling with `k = ℓ_final` to return the `A·P ≈ Q·R` factorization
-/// alongside the history and the backend's timing report.
+/// grows the subspace adaptively and returns the `A·P ≈ Q·R`
+/// factorization alongside the history and the backend's timing report.
+///
+/// In the default [`FinishMode::Incremental`], the factors are extended
+/// by one panel per accepted block inside the loop and the finish is
+/// assembly-only — the restart's Step-2 re-run term is gone from the
+/// report. [`FinishMode::Restart`] keeps the grow-then-restart finish
+/// (Steps 2–3 from scratch at `k = ℓ_final`) as the equivalence oracle.
 ///
 /// # Errors
 ///
@@ -450,19 +500,37 @@ pub fn sample_fixed_accuracy_exec<E: Executor>(
     rng: &mut impl Rng,
 ) -> Result<(LowRankApprox, AdaptiveResult, ExecReport)> {
     let mut guard = NumericGuard::default();
-    let adaptive = adaptive_loop(exec, a, cfg, rng, &mut guard)?;
-    let k = adaptive.l().min(a.cols());
-    // Charge Steps 2–3 on the backend, finish on the host (through the
-    // guard's ladder), then settle the accounting.
-    staged(exec, "adaptive_finish", |e| e.adaptive_finish(k))?;
-    let approx = crate::fixed_rank::finish_from_sampled_guarded(
-        a,
-        &adaptive.basis,
-        k,
-        cfg.reorth,
-        crate::config::Step2Kind::Qp3,
-        &mut guard,
-    )?;
+    let (approx, adaptive) = match cfg.finish {
+        FinishMode::Incremental => {
+            let (m, n) = a.shape();
+            let mut factors = IncrementalFactors::new(m, n);
+            let adaptive = adaptive_loop(exec, a, cfg, rng, &mut guard, Some(&mut factors))?;
+            // Flush the reserved sample block (one last extension with an
+            // empty fresh block), then assemble. The stage event marks
+            // where the restart's Step-2 re-run used to be; only the
+            // final panel's update hooks are charged under it.
+            staged(exec, "adaptive_finish", |e| {
+                incremental_extend(e, &mut factors, a, &Mat::zeros(0, n), cfg.reorth, &mut guard)
+            })?;
+            (factors.finalize()?, adaptive)
+        }
+        FinishMode::Restart => {
+            let adaptive = adaptive_loop(exec, a, cfg, rng, &mut guard, None)?;
+            let k = adaptive.l().min(a.cols());
+            // Charge Steps 2–3 on the backend, finish on the host
+            // (through the guard's ladder).
+            staged(exec, "adaptive_finish", |e| e.adaptive_finish(k))?;
+            let approx = crate::fixed_rank::finish_from_sampled_guarded(
+                a,
+                &adaptive.basis,
+                k,
+                cfg.reorth,
+                crate::config::Step2Kind::Qp3,
+                &mut guard,
+            )?;
+            (approx, adaptive)
+        }
+    };
     guard.drain(exec)?;
     let mut report = exec.finish()?;
     guard.fold_into(&mut report);
@@ -567,11 +635,9 @@ mod tests {
             let mut gpu = Gpu::k40c();
             let cfg = AdaptiveConfig {
                 tol: 1e-6,
-                q: 0,
-                reorth: true,
                 inc,
                 l_max: 60,
-                track_actual: false,
+                ..AdaptiveConfig::new(1e-6, 8)
             };
             let res = adaptive_sample(&mut gpu, &a, &cfg, &mut rng(10)).unwrap();
             (res.converged, res.steps.len())
@@ -644,6 +710,110 @@ mod tests {
             &mut rng(19)
         )
         .is_err());
+    }
+
+    #[test]
+    fn nan_slope_falls_back_to_geometric_growth() {
+        let step = |l: usize, estimate: f64| AdaptiveStep {
+            l,
+            l_inc: 0,
+            estimate,
+            sim_time: 0.0,
+            actual_error: None,
+        };
+        // Identical (ℓ, ε̃) points give a 0/0 = NaN slope: the fallback
+        // must double the previous increment within [INC_MIN, INC_MAX].
+        let stuck = vec![step(16, 1e-3), step(16, 1e-3)];
+        assert_eq!(interpolate_inc(&stuck, 1e-9, 16, 8), 16);
+        assert_eq!(interpolate_inc(&stuck, 1e-9, 16, 1), INC_MIN);
+        assert_eq!(interpolate_inc(&stuck, 1e-9, 16, 200), INC_MAX);
+        // Zero and positive slopes (no progress) land in the same branch.
+        let flat = vec![step(8, 1e-3), step(16, 1e-3)];
+        assert_eq!(interpolate_inc(&flat, 1e-9, 16, 8), 16);
+        let rising = vec![step(8, 1e-4), step(16, 1e-3)];
+        assert_eq!(interpolate_inc(&rising, 1e-9, 16, 8), 16);
+        // Fewer than two steps: keep the previous increment as-is.
+        assert_eq!(interpolate_inc(&[], 1e-9, 16, 8), 8);
+        assert_eq!(interpolate_inc(&[step(8, 1e-3)], 1e-9, 8, 8), 8);
+    }
+
+    #[test]
+    fn l_max_cap_returns_honest_nonconverged_result_on_both_finishes() {
+        // A full-rank Gaussian matrix cannot reach 1e-12, so the run must
+        // stop at the cap with an honest history on both finish modes.
+        let a = rlra_matrix::gaussian_mat(60, 40, &mut rng(31));
+        for finish in [FinishMode::Incremental, FinishMode::Restart] {
+            let mut gpu = Gpu::k40c();
+            let mut exec = GpuExec::new(&mut gpu);
+            let cfg = AdaptiveConfig {
+                l_max: 16,
+                finish,
+                ..AdaptiveConfig::new(1e-12, 8)
+            };
+            let (approx, adaptive, report) =
+                sample_fixed_accuracy_exec(&mut exec, &a, &cfg, &mut rng(32)).unwrap();
+            assert!(!adaptive.converged, "{finish:?}: full rank cannot converge");
+            assert!(adaptive.l() <= cfg.l_max);
+            assert!(!adaptive.steps.is_empty(), "{finish:?}: history intact");
+            for s in &adaptive.steps {
+                assert!(s.estimate.is_finite());
+            }
+            assert_eq!(approx.q.rows(), 60);
+            assert_eq!(approx.q.cols(), adaptive.l());
+            assert_eq!(approx.r.shape(), (adaptive.l(), 40));
+            assert!(report.seconds > 0.0);
+        }
+    }
+
+    #[test]
+    fn incremental_finish_matches_restart_and_is_cheaper() {
+        // Acceptance check of the incremental pipeline: same trajectory
+        // and final rank as the restart oracle, same accuracy class, and
+        // strictly lower modeled cost — the Step-2 re-run term (a QP3
+        // skeleton at k = ℓ_final, the dominant Qrcp charge) is gone.
+        let a = exponent_matrix(1200, 240, 23);
+        let tol = 1e-9;
+        let run = |finish: FinishMode| {
+            let mut gpu = Gpu::k40c();
+            let mut exec = GpuExec::new(&mut gpu);
+            let cfg = AdaptiveConfig {
+                finish,
+                ..AdaptiveConfig::new(tol, 32)
+            };
+            sample_fixed_accuracy_exec(&mut exec, &a, &cfg, &mut rng(24)).unwrap()
+        };
+        let (inc_approx, inc_adaptive, inc_report) = run(FinishMode::Incremental);
+        let (res_approx, res_adaptive, res_report) = run(FinishMode::Restart);
+        // Identical (ℓ, ε̃) trajectory: the factor extension consumes no
+        // RNG and never touches the basis.
+        assert!(inc_adaptive.converged && res_adaptive.converged);
+        assert_eq!(inc_adaptive.l(), res_adaptive.l());
+        assert_eq!(inc_adaptive.steps.len(), res_adaptive.steps.len());
+        for (i, r) in inc_adaptive.steps.iter().zip(&res_adaptive.steps) {
+            assert_eq!(i.l, r.l);
+            assert_eq!(i.estimate, r.estimate);
+        }
+        // Same rank, same accuracy class (the incremental trailing block
+        // is interpolated from per-step samples; the documented tolerance
+        // is the same ×100 slack the restart finish gets).
+        assert_eq!(inc_approx.q.shape(), res_approx.q.shape());
+        let err_inc = inc_approx.error_spectral(&a).unwrap();
+        let err_res = res_approx.error_spectral(&a).unwrap();
+        assert!(err_inc < tol * 100.0, "incremental error {err_inc:e}");
+        assert!(err_res < tol * 100.0, "restart error {err_res:e}");
+        // Strictly cheaper in total and in the Qrcp phase specifically.
+        assert!(
+            inc_report.seconds < res_report.seconds,
+            "incremental {:.6e} s should beat restart {:.6e} s",
+            inc_report.seconds,
+            res_report.seconds
+        );
+        let inc_qrcp = inc_report.timeline.get(rlra_gpu::Phase::Qrcp);
+        let res_qrcp = res_report.timeline.get(rlra_gpu::Phase::Qrcp);
+        assert!(
+            inc_qrcp < res_qrcp,
+            "incremental Qrcp {inc_qrcp:.6e} s should beat restart {res_qrcp:.6e} s"
+        );
     }
 
     #[test]

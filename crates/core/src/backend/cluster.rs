@@ -348,6 +348,111 @@ impl Executor for ClusterExec<'_> {
         Ok(())
     }
 
+    fn adaptive_update_pivot(&mut self, l_rows: usize, n_trail: usize, k_b: usize) -> Result<()> {
+        if n_trail == 0 || k_b == 0 {
+            return Ok(());
+        }
+        // The sample panel is host-replicated on node 0 after the sample
+        // allreduce: the trailing-sample update (QR of the lead block
+        // plus two projection gemms) and the truncated QP3 run there,
+        // and the pivot order crosses the interconnect and then each
+        // node's PCIe.
+        let k_done = self.n - n_trail;
+        {
+            let node0 = self.cluster.node_mut(0);
+            let cost = node0.gpu(0).cost().clone();
+            let secs = cost.host_flops(4.0 * (l_rows * k_done) as f64 * k_done as f64)
+                + cost.host_flops(4.0 * (l_rows * k_done) as f64 * n_trail as f64)
+                + cost.host_flops(4.0 * (l_rows * k_b) as f64 * n_trail as f64);
+            for g in node0.alive_indices() {
+                node0.gpu_mut(g).charge_raw(Phase::Qrcp, secs);
+            }
+        }
+        self.cluster
+            .broadcast_host(Phase::Comms, &Mat::zeros(1, n_trail));
+        for ni in 0..self.cluster.nodes() {
+            let node = self.cluster.node_mut(ni);
+            node.broadcast(Phase::Comms, &Mat::zeros(1, n_trail));
+        }
+        Ok(())
+    }
+
+    fn adaptive_update_panel(&mut self, k_b: usize, k_done: usize) -> Result<()> {
+        if k_b == 0 {
+            return Ok(());
+        }
+        // Mirror of `tsqr` at panel width: gather the k_b new pivot
+        // columns per GPU, project against the accepted panels, and run
+        // one two-level reduction of the stacked coefficient + Gram block
+        // ((k_done + k_b) × k_b per GPU), then the replicated Cholesky,
+        // intra-node broadcast and local TRSMs.
+        let nodes = self.cluster.nodes();
+        let mut node_gs = Vec::with_capacity(nodes);
+        for (ni, parts) in self.a_parts.iter().enumerate() {
+            let node = self.cluster.node_mut(ni);
+            let mut g_parts = Vec::with_capacity(parts.len());
+            for (ap, &gi) in parts.iter().zip(&self.slots[ni]) {
+                let gpu = node.gpu_mut(gi);
+                gpu.charge(Phase::Qr, gpu.cost().blas1(ap.rows() * k_b, 2.0)); // gather
+                if k_done > 0 {
+                    // Two projection passes ("twice is enough").
+                    for _ in 0..2 {
+                        gpu.charge(Phase::Qr, gpu.cost().gemm(k_done, k_b, ap.rows()));
+                        gpu.charge(Phase::Qr, gpu.cost().gemm(ap.rows(), k_b, k_done));
+                    }
+                }
+                // GEMM-formed Gram: the SYRK tile shape is too small at
+                // panel widths to keep the device busy.
+                gpu.charge(Phase::Qr, gpu.cost().gemm(k_b, k_b, ap.rows()));
+                g_parts.push(gpu.alloc(k_done + k_b, k_b));
+            }
+            node_gs.push(node.reduce_to_host(Phase::Comms, &g_parts)?);
+        }
+        self.cluster.allreduce_host(Phase::Comms, &node_gs)?;
+        for (ni, parts) in self.a_parts.iter().enumerate() {
+            let node = self.cluster.node_mut(ni);
+            {
+                let cost = node.gpu(0).cost().clone();
+                let secs = cost.host_cholesky(k_b);
+                for g in node.alive_indices() {
+                    node.gpu_mut(g).charge_raw(Phase::Qr, secs);
+                }
+            }
+            node.broadcast(Phase::Comms, &Mat::zeros(k_b, k_b));
+            for (ap, &gi) in parts.iter().zip(&self.slots[ni]) {
+                let gpu = node.gpu_mut(gi);
+                gpu.charge(Phase::Qr, gpu.cost().trsm(k_b, ap.rows()));
+            }
+        }
+        self.cluster.barrier();
+        Ok(())
+    }
+
+    fn adaptive_update_trailing(&mut self, k_b: usize, n_trail: usize) -> Result<()> {
+        if k_b == 0 || n_trail <= k_b {
+            return Ok(());
+        }
+        // Exact trailing coupling Q_newᵀ·A_rest: each GPU's row block
+        // contributes a k_b × n_rest partial product, assembled by one
+        // two-level reduction (intra-node, then across the interconnect).
+        let n_rest = n_trail - k_b;
+        let mut node_ts = Vec::with_capacity(self.cluster.nodes());
+        for (ni, parts) in self.a_parts.iter().enumerate() {
+            let node = self.cluster.node_mut(ni);
+            let mut t_parts = Vec::with_capacity(parts.len());
+            for (ap, &gi) in parts.iter().zip(&self.slots[ni]) {
+                let gpu = node.gpu_mut(gi);
+                gpu.charge(Phase::Qr, gpu.cost().blas1(ap.rows() * n_rest, 2.0)); // gather
+                gpu.charge(Phase::Qr, gpu.cost().gemm(k_b, n_rest, ap.rows()));
+                t_parts.push(gpu.alloc(k_b, n_rest));
+            }
+            node_ts.push(node.reduce_to_host(Phase::Comms, &t_parts)?);
+        }
+        self.cluster.allreduce_host(Phase::Comms, &node_ts)?;
+        self.cluster.barrier();
+        Ok(())
+    }
+
     fn elapsed(&self) -> f64 {
         self.cluster.time() - self.t0
     }

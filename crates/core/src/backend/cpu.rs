@@ -70,6 +70,18 @@ impl Executor for CpuExec {
         true
     }
 
+    fn adaptive_update_pivot(&mut self, _l_rows: usize, _n_trail: usize, _k_b: usize) -> Result<()> {
+        Ok(())
+    }
+
+    fn adaptive_update_panel(&mut self, _k_b: usize, _k_done: usize) -> Result<()> {
+        Ok(())
+    }
+
+    fn adaptive_update_trailing(&mut self, _k_b: usize, _n_trail: usize) -> Result<()> {
+        Ok(())
+    }
+
     fn finish(&mut self) -> Result<ExecReport> {
         Ok(ExecReport {
             seconds: 0.0,

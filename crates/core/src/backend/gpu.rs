@@ -325,6 +325,95 @@ impl Executor for GpuExec<'_> {
         Ok(())
     }
 
+    fn adaptive_update_pivot(&mut self, l_rows: usize, n_trail: usize, k_b: usize) -> Result<()> {
+        if n_trail == 0 || k_b == 0 {
+            return Ok(());
+        }
+        // Hybrid QP3 (paper §6): the accumulated sample panel is device
+        // resident, so the trailing-sample update runs there — CholQR of
+        // the l_rows × k_done lead block and the two projection gemms
+        // that downdate the trailing columns. Only the downdated
+        // l_rows × n_trail panel is downloaded for the truncated blocked
+        // QP3 on the host (it is too skinny to pivot on the device), and
+        // the pivot order comes back up.
+        let k_done = self.n - n_trail;
+        if k_done > 0 {
+            self.sim.charge(
+                Phase::Qrcp,
+                self.sim.cost().syrk(k_done, l_rows)
+                    + self.sim.cost().host_cholesky(k_done)
+                    + self.sim.cost().trsm(k_done, l_rows)
+                    + self.sim.cost().gemm(k_done, n_trail, l_rows)
+                    + self.sim.cost().gemm(l_rows, n_trail, k_done),
+            );
+        }
+        self.sim.charge(
+            Phase::Qrcp,
+            self.sim.cost().transfer(8 * (l_rows * n_trail) as u64)
+                + self
+                    .sim
+                    .cost()
+                    .host_flops(4.0 * (l_rows * k_b) as f64 * n_trail as f64)
+                + self.sim.cost().transfer(8 * n_trail as u64),
+        );
+        Ok(())
+    }
+
+    fn adaptive_update_panel(&mut self, k_b: usize, k_done: usize) -> Result<()> {
+        if k_b == 0 {
+            return Ok(());
+        }
+        // Gather the k_b new pivot columns of A (device-side copy).
+        self.sim.charge_kernel(
+            Phase::Qr,
+            "gather",
+            [self.m, k_b, 0],
+            0.0,
+            16.0 * (self.m * k_b) as f64,
+            self.sim.cost().blas1(self.m * k_b, 2.0),
+        );
+        // Project against the accepted panels, twice ("twice is
+        // enough"): coef = Qᵀ·panel, panel -= Q·coef, per pass.
+        if k_done > 0 {
+            for _ in 0..2 {
+                self.sim
+                    .charge(Phase::Qr, self.sim.cost().gemm(k_done, k_b, self.m));
+                self.sim
+                    .charge(Phase::Qr, self.sim.cost().gemm(self.m, k_b, k_done));
+            }
+        }
+        // CholQR of the m × k_b remainder; the Gram matrix is formed with
+        // GEMM, not SYRK — at panel widths the SYRK tile shape is too
+        // small to keep the device busy.
+        self.sim
+            .charge(Phase::Qr, self.sim.cost().gemm(k_b, k_b, self.m));
+        self.sim
+            .charge(Phase::Qr, self.sim.cost().host_cholesky(k_b));
+        self.sim.charge(Phase::Qr, self.sim.cost().trsm(k_b, self.m));
+        Ok(())
+    }
+
+    fn adaptive_update_trailing(&mut self, k_b: usize, n_trail: usize) -> Result<()> {
+        if k_b == 0 || n_trail <= k_b {
+            return Ok(());
+        }
+        // Exact trailing coupling Q_newᵀ·A_rest: gather the still-trailing
+        // columns of A (device-side copy), then one wide GEMM with the
+        // tall inner dimension m.
+        let n_rest = n_trail - k_b;
+        self.sim.charge_kernel(
+            Phase::Qr,
+            "gather",
+            [self.m, n_rest, 0],
+            0.0,
+            16.0 * (self.m * n_rest) as f64,
+            self.sim.cost().blas1(self.m * n_rest, 2.0),
+        );
+        self.sim
+            .charge(Phase::Qr, self.sim.cost().gemm(k_b, n_rest, self.m));
+        Ok(())
+    }
+
     fn charge_fallback(
         &mut self,
         rows: usize,

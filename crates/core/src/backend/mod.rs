@@ -73,7 +73,7 @@ pub use cpu::CpuExec;
 pub use gpu::GpuExec;
 pub use guard::{NumericGuard, NumericPolicy, Rung};
 pub use multi::MultiGpuExec;
-pub(crate) use pipeline::staged;
+pub(crate) use pipeline::{incremental_extend, staged};
 pub use pipeline::{
     run_fixed_rank, run_fixed_rank_verified, run_fixed_rank_with_guard,
     run_fixed_rank_with_recovery,
@@ -378,13 +378,58 @@ pub trait Executor {
         Ok(())
     }
 
-    /// Adaptive fixed-accuracy finish: Steps 2–3 at `k = ℓ_final`.
+    /// Adaptive fixed-accuracy finish: Steps 2–3 at `k = ℓ_final`
+    /// (restart mode). In incremental mode this hook is *not* called —
+    /// the finish flushes the reserved sample block through one last
+    /// [`Executor::adaptive_update_pivot`]/panel/trailing charge under
+    /// the `adaptive_finish` stage, then assembles at zero extra cost.
     ///
     /// # Errors
     ///
     /// Propagates kernel failures.
     fn adaptive_finish(&mut self, k: usize) -> Result<()> {
         let _ = k;
+        Ok(())
+    }
+
+    /// Incremental update: the trailing-sample update (QR of the
+    /// `l_rows × k_done` accepted lead block of the sample buffer plus
+    /// two projection gemms that downdate the trailing columns),
+    /// followed by truncated QP3 of the downdated `l_rows × n_trail`
+    /// panel keeping `k_b` pivots. `l_rows` grows by one sample block
+    /// per step — the within-block oversampling of the pivot selection
+    /// (the newest block is held in reserve and only steers pivots).
+    ///
+    /// # Errors
+    ///
+    /// Propagates kernel failures.
+    fn adaptive_update_pivot(&mut self, l_rows: usize, n_trail: usize, k_b: usize) -> Result<()> {
+        let _ = (l_rows, n_trail, k_b);
+        Ok(())
+    }
+
+    /// Incremental update: gather the `k_b` new pivot columns of `A`,
+    /// project them against the `k_done` accepted columns (two passes —
+    /// "twice is enough"), and orthonormalize the remainder (CholQR
+    /// panel).
+    ///
+    /// # Errors
+    ///
+    /// Propagates kernel failures.
+    fn adaptive_update_panel(&mut self, k_b: usize, k_done: usize) -> Result<()> {
+        let _ = (k_b, k_done);
+        Ok(())
+    }
+
+    /// Incremental update: the exact trailing coupling
+    /// `Q_newᵀ·A_rest` (`k_b × (n_trail − k_b)`, inner dimension `m`)
+    /// extending `R`'s new rows over the still-trailing columns.
+    ///
+    /// # Errors
+    ///
+    /// Propagates kernel failures.
+    fn adaptive_update_trailing(&mut self, k_b: usize, n_trail: usize) -> Result<()> {
+        let _ = (k_b, n_trail);
         Ok(())
     }
 

@@ -282,6 +282,238 @@ impl Executor for MultiGpuExec<'_> {
         Ok(())
     }
 
+    fn supports_adaptive(&self) -> bool {
+        true
+    }
+
+    fn adaptive_draw(&mut self, l_inc: usize) -> Result<()> {
+        // Each GPU draws its l_inc × m_i chunk of the new Ω rows and
+        // forms its sample contribution; the block reduces to the host.
+        self.l += l_inc;
+        let mut w_parts = Vec::with_capacity(self.a_parts.len());
+        for (ap, &gi) in self.a_parts.iter().zip(&self.slots) {
+            let mi = ap.rows();
+            let gpu = self.sim.gpu_mut(gi);
+            let omega_i = gpu.curand_gaussian(Phase::Prng, l_inc, mi, &mut Self::dummy_rng())?;
+            let mut wi = gpu.alloc(l_inc, self.n);
+            gpu.gemm(
+                Phase::Sampling,
+                1.0,
+                &omega_i,
+                Trans::No,
+                ap,
+                Trans::No,
+                0.0,
+                &mut wi,
+            )?;
+            w_parts.push(wi);
+        }
+        self.sim.reduce_to_host(Phase::Comms, &w_parts)?;
+        Ok(())
+    }
+
+    fn adaptive_orth(
+        &mut self,
+        rows: usize,
+        cols: usize,
+        l_prev: usize,
+        reorth: bool,
+    ) -> Result<()> {
+        // The accepted basis and the new block are host-resident between
+        // steps (they arrive via the sample reduction): block-CGS
+        // projection plus the block's CholQR run on the CPU, stalling
+        // every survivor equally.
+        let passes = if reorth { 2.0 } else { 1.0 };
+        let flops = passes
+            * (4.0 * (rows * l_prev) as f64 * cols as f64
+                + 2.0 * (rows * rows) as f64 * cols as f64);
+        let cost = self.sim.gpu(0).cost().clone();
+        let secs = cost.host_flops(flops) + cost.host_cholesky(rows);
+        for gi in self.sim.alive_indices() {
+            self.sim.gpu_mut(gi).charge_raw(Phase::OrthIter, secs);
+        }
+        Ok(())
+    }
+
+    fn adaptive_gemm_c(&mut self, l_new: usize) -> Result<()> {
+        // Broadcast the refined block, then C(i) = W · A(i)ᵀ.
+        self.b_bcast = self.sim.broadcast(Phase::Comms, &Mat::zeros(l_new, self.n));
+        let mut c_parts = Vec::with_capacity(self.a_parts.len());
+        for ((j, ap), &gi) in self.a_parts.iter().enumerate().zip(&self.slots) {
+            let mi = ap.rows();
+            let gpu = self.sim.gpu_mut(gi);
+            let mut ci = gpu.alloc(l_new, mi);
+            gpu.gemm(
+                Phase::GemmIter,
+                1.0,
+                &self.b_bcast[j],
+                Trans::No,
+                ap,
+                Trans::Yes,
+                0.0,
+                &mut ci,
+            )?;
+            c_parts.push(ci);
+        }
+        self.c_parts = c_parts;
+        Ok(())
+    }
+
+    fn adaptive_gemm_w(&mut self, l_new: usize) -> Result<()> {
+        // W(i) = C(i) · A(i), reduce back to the host.
+        let mut w_next = Vec::with_capacity(self.a_parts.len());
+        for ((j, ap), &gi) in self.a_parts.iter().enumerate().zip(&self.slots) {
+            let gpu = self.sim.gpu_mut(gi);
+            let mut wi = gpu.alloc(l_new, self.n);
+            gpu.gemm(
+                Phase::GemmIter,
+                1.0,
+                &self.c_parts[j],
+                Trans::No,
+                ap,
+                Trans::No,
+                0.0,
+                &mut wi,
+            )?;
+            w_next.push(wi);
+        }
+        self.sim.reduce_to_host(Phase::Comms, &w_next)?;
+        Ok(())
+    }
+
+    fn adaptive_probe(&mut self, next_inc: usize, l_now: usize) -> Result<()> {
+        // The residual probe runs on the host-resident sketch.
+        let cost = self.sim.gpu(0).cost().clone();
+        let secs = cost.host_flops(4.0 * (next_inc * l_now) as f64 * self.n as f64);
+        for gi in self.sim.alive_indices() {
+            self.sim.gpu_mut(gi).charge_raw(Phase::Other, secs);
+        }
+        Ok(())
+    }
+
+    fn adaptive_finish(&mut self, k: usize) -> Result<()> {
+        // Restart oracle: truncated QP3 skeleton of the final ℓ × n
+        // sketch on the first surviving GPU, then the distributed
+        // tall-skinny CholQR of A·P₁:ₖ.
+        {
+            let n = self.n;
+            let gi0 = self.slots.first().copied().ok_or(MatrixError::Internal {
+                op: "MultiGpuExec",
+                invariant: "at least one surviving GPU",
+            })?;
+            let gpu0 = self.sim.gpu_mut(gi0);
+            gpu0.charge(Phase::Qrcp, gpu0.cost().gemv(k, n) * k as f64);
+            if n > k {
+                gpu0.charge(Phase::Qrcp, gpu0.cost().trsm(k, n - k));
+            }
+        }
+        let chunks = self.sim.row_chunks(self.m);
+        let alive = self.sim.alive_indices();
+        let mut g_parts = Vec::with_capacity(chunks.len());
+        for (&(_, len), &gi) in chunks.iter().zip(&alive) {
+            let gpu = self.sim.gpu_mut(gi);
+            gpu.charge(Phase::Qr, gpu.cost().blas1(len * k, 2.0)); // gather copy
+            gpu.charge(Phase::Qr, gpu.cost().syrk(k, len));
+            g_parts.push(gpu.alloc(k, k));
+        }
+        self.sim.reduce_to_host(Phase::Comms, &g_parts)?;
+        let cost = self.sim.gpu(0).cost().clone();
+        let chol = cost.host_cholesky(k);
+        for gi in self.sim.alive_indices() {
+            self.sim.gpu_mut(gi).charge_raw(Phase::Qr, chol);
+        }
+        self.sim.broadcast(Phase::Comms, &Mat::zeros(k, k));
+        for (&(_, len), &gi) in chunks.iter().zip(&alive) {
+            let gpu = self.sim.gpu_mut(gi);
+            gpu.charge(Phase::Qr, gpu.cost().trsm(k, len));
+        }
+        self.sim.barrier();
+        Ok(())
+    }
+
+    fn adaptive_update_pivot(&mut self, l_rows: usize, n_trail: usize, k_b: usize) -> Result<()> {
+        if n_trail == 0 || k_b == 0 {
+            return Ok(());
+        }
+        // The sample panel is host-resident (it arrived via the sample
+        // reduction): the trailing-sample update (QR of the lead block
+        // plus two projection gemms) and the truncated QP3 run on the
+        // CPU and the pivot order is broadcast.
+        let k_done = self.n - n_trail;
+        let cost = self.sim.gpu(0).cost().clone();
+        let qp3 = cost.host_flops(4.0 * (l_rows * k_done) as f64 * k_done as f64)
+            + cost.host_flops(4.0 * (l_rows * k_done) as f64 * n_trail as f64)
+            + cost.host_flops(4.0 * (l_rows * k_b) as f64 * n_trail as f64);
+        for gi in self.sim.alive_indices() {
+            self.sim.gpu_mut(gi).charge_raw(Phase::Qrcp, qp3);
+        }
+        self.sim.broadcast(Phase::Comms, &Mat::zeros(1, n_trail));
+        Ok(())
+    }
+
+    fn adaptive_update_panel(&mut self, k_b: usize, k_done: usize) -> Result<()> {
+        if k_b == 0 {
+            return Ok(());
+        }
+        // Each GPU gathers its local rows of the k_b new pivot columns,
+        // projects them against the accepted panels, and contributes its
+        // share of the projection coefficients and the Gram matrix to one
+        // reduction (a (k_done + k_b) × k_b block per device).
+        let chunks = self.sim.row_chunks(self.m);
+        let alive = self.sim.alive_indices();
+        let mut parts = Vec::with_capacity(chunks.len());
+        for (&(_, len), &gi) in chunks.iter().zip(&alive) {
+            let gpu = self.sim.gpu_mut(gi);
+            gpu.charge(Phase::Qr, gpu.cost().blas1(len * k_b, 2.0)); // gather copy
+            if k_done > 0 {
+                // Two projection passes ("twice is enough").
+                for _ in 0..2 {
+                    gpu.charge(Phase::Qr, gpu.cost().gemm(k_done, k_b, len));
+                    gpu.charge(Phase::Qr, gpu.cost().gemm(len, k_b, k_done));
+                }
+            }
+            // GEMM-formed Gram: at panel widths the SYRK tile shape is
+            // too small to keep the device busy.
+            gpu.charge(Phase::Qr, gpu.cost().gemm(k_b, k_b, len));
+            parts.push(gpu.alloc(k_done + k_b, k_b));
+        }
+        self.sim.reduce_to_host(Phase::Comms, &parts)?;
+        let cost = self.sim.gpu(0).cost().clone();
+        let chol = cost.host_cholesky(k_b);
+        for gi in self.sim.alive_indices() {
+            self.sim.gpu_mut(gi).charge_raw(Phase::Qr, chol);
+        }
+        self.sim.broadcast(Phase::Comms, &Mat::zeros(k_b, k_b));
+        for (&(_, len), &gi) in chunks.iter().zip(&alive) {
+            let gpu = self.sim.gpu_mut(gi);
+            gpu.charge(Phase::Qr, gpu.cost().trsm(k_b, len));
+        }
+        self.sim.barrier();
+        Ok(())
+    }
+
+    fn adaptive_update_trailing(&mut self, k_b: usize, n_trail: usize) -> Result<()> {
+        if k_b == 0 || n_trail <= k_b {
+            return Ok(());
+        }
+        // Exact trailing coupling Q_newᵀ·A_rest: each GPU gathers its
+        // local rows of the still-trailing columns and contributes a
+        // k_b × n_rest partial product to one reduction.
+        let n_rest = n_trail - k_b;
+        let chunks = self.sim.row_chunks(self.m);
+        let alive = self.sim.alive_indices();
+        let mut parts = Vec::with_capacity(chunks.len());
+        for (&(_, len), &gi) in chunks.iter().zip(&alive) {
+            let gpu = self.sim.gpu_mut(gi);
+            gpu.charge(Phase::Qr, gpu.cost().blas1(len * n_rest, 2.0)); // gather copy
+            gpu.charge(Phase::Qr, gpu.cost().gemm(k_b, n_rest, len));
+            parts.push(gpu.alloc(k_b, n_rest));
+        }
+        self.sim.reduce_to_host(Phase::Comms, &parts)?;
+        self.sim.barrier();
+        Ok(())
+    }
+
     fn charge_fallback(
         &mut self,
         rows: usize,

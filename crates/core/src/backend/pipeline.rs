@@ -63,6 +63,50 @@ pub(crate) fn staged<E: Executor>(
     result
 }
 
+/// One incremental factor-extension step of the fixed-accuracy pipeline:
+/// stages the three `adaptive_update_*` cost hooks (pivot selection on
+/// the accumulated trailing residual sample, gathered-panel projection +
+/// CholQR, exact trailing `R` coupling), then runs the host numerics through
+/// [`crate::fixed_rank::IncrementalFactors::extend`] with the panel QR on
+/// the guard's ladder, and drains the guard so escalations are charged
+/// and traced where they happened.
+///
+/// The panel width `k_b` is deterministic from the shapes (the step
+/// accepts the columns backed by the previously buffered rows; the fresh
+/// block `w` is only stacked in reserve as the next step's oversampling),
+/// so the hooks are charged up front and the numerics run once. A
+/// buffer-only step (`k_b == 0`, e.g. the very first block) charges
+/// nothing — stacking the permuted rows is bookkeeping, not device work.
+pub(crate) fn incremental_extend<E: Executor>(
+    exec: &mut E,
+    factors: &mut crate::fixed_rank::IncrementalFactors,
+    a: &Mat,
+    w: &Mat,
+    reorth: bool,
+    guard: &mut NumericGuard,
+) -> Result<()> {
+    let (k_done, n_trail, k_b) = factors.step_dims();
+    if k_b > 0 {
+        // Pivot selection runs on the whole accumulated residual sample
+        // (the downdated prior blocks plus the fresh one), so its row
+        // count grows with every step — that growth is the within-block
+        // oversampling.
+        let l_rows = factors.sample_rows() + w.rows();
+        staged(exec, "adaptive_update_pivot", |e| {
+            e.adaptive_update_pivot(l_rows, n_trail, k_b)
+        })?;
+        staged(exec, "adaptive_update_panel", |e| {
+            e.adaptive_update_panel(k_b, k_done)
+        })?;
+        staged(exec, "adaptive_update_trailing", |e| {
+            e.adaptive_update_trailing(k_b, n_trail)
+        })?;
+    }
+    factors.extend(a, w, reorth, guard)?;
+    guard.drain(exec)?;
+    Ok(())
+}
+
 /// The host operand of a compute-mode run. `run_fixed_rank` rejects
 /// shape-only inputs in compute mode at entry, so absence here is an
 /// internal invariant violation, not a user error.

@@ -154,6 +154,7 @@ impl BlrMatrix {
             inc: crate::adaptive::IncStrategy::Interpolated { init: 4 },
             l_max: tile / 2,
             track_actual: false,
+            finish: crate::adaptive::FinishMode::Incremental,
         };
         let dense_entries = tile * tile;
         let mut blocks = Vec::with_capacity(tiles);

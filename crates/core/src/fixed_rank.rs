@@ -161,6 +161,218 @@ pub fn finish_from_sampled_guarded(
     Ok(LowRankApprox { q, r, perm })
 }
 
+/// Incrementally grown `A·P ≈ Q·R` factors for the fixed-accuracy
+/// pipeline: instead of re-running Steps 2–3 from scratch at the final
+/// rank (the restart finish above), each accepted sample block extends
+/// the factors by one `k_b ≤ b` column panel — sample-driven pivot
+/// selection ([`rlra_lapack::sample_panel_step`]) plus exact projection
+/// blocks ([`rlra_lapack::extend_r`]) — so the finish is a
+/// permutation/assembly-only [`Self::finalize`].
+///
+/// The numerics are host-side and consume no RNG, so the factors are
+/// bit-identical across computing backends for the same sample stream.
+#[derive(Debug, Clone)]
+pub struct IncrementalFactors {
+    q: Mat,
+    r: Mat,
+    /// Accumulated sample buffer: every buffered sample block's raw
+    /// rows, kept in the current global pivot order. Each step downdates
+    /// its trailing columns against the accepted leading columns (the
+    /// trailing-sample update, recomputed from scratch so later-arriving
+    /// rows are covered too) before ranking pivots. Its growing row
+    /// count is the within-block oversampling of the pivot selection.
+    s_resid: Mat,
+    perm: Vec<usize>,
+    k_done: usize,
+    m: usize,
+    n: usize,
+}
+
+impl IncrementalFactors {
+    /// Empty factors for an `m × n` operand.
+    pub fn new(m: usize, n: usize) -> Self {
+        IncrementalFactors {
+            q: Mat::zeros(m, 0),
+            r: Mat::zeros(0, n),
+            s_resid: Mat::zeros(0, n),
+            perm: (0..n).collect(),
+            k_done: 0,
+            m,
+            n,
+        }
+    }
+
+    /// Columns accepted so far.
+    pub fn k_done(&self) -> usize {
+        self.k_done
+    }
+
+    /// Rows of the accumulated residual sample buffer (before the
+    /// current step's block is stacked on).
+    pub fn sample_rows(&self) -> usize {
+        self.s_resid.rows()
+    }
+
+    /// `(k_done, n_trail, k_b)` for the next extension step: accepted
+    /// columns, trailing (not yet accepted) columns, and the panel width
+    /// the step accepts. A step holds the newest sample block in reserve
+    /// as pivot oversampling and accepts the columns backed by the
+    /// previously buffered rows
+    /// (`k_b = min(sample_rows − k_done, n_trail, m − k_done)`); the
+    /// finishing flush ([`Self::extend`] with an empty block) accepts
+    /// the reserve too.
+    pub fn step_dims(&self) -> (usize, usize, usize) {
+        let n_trail = self.n - self.k_done;
+        let pending = self.s_resid.rows() - self.k_done;
+        let k_b = pending.min(n_trail).min(self.m - self.k_done.min(self.m));
+        (self.k_done, n_trail, k_b)
+    }
+
+    /// Extends the factors by one panel. The fresh sample block `w`
+    /// (`b × n`, row-orthonormal against the prior sketch; may be empty
+    /// for the finishing flush) is stacked onto the downdated residual
+    /// sample and held in reserve; the step accepts the `k_b` columns
+    /// backed by the *previously* buffered rows, so the truncated QP3
+    /// that picks the pivots always sees one extra block of sample rows
+    /// (the within-block oversampling that keeps a block's last pivots
+    /// reliable). The gathered `A` panel is projected against the
+    /// accepted `Q` and orthonormalized through the guard's ladder
+    /// (stage `"adaptive_update_panel"`), and `R` grows by the exact
+    /// coefficients plus the exact trailing coupling `Q_newᵀ·A_rest`
+    /// (so the assembled factor is `R = Qᵀ·A·P` to working precision —
+    /// the sample only picks the pivots).
+    ///
+    /// Returns the accepted panel width `k_b` (0 on the first step,
+    /// which only buffers, and when the factors are already full).
+    ///
+    /// # Errors
+    ///
+    /// Propagates kernel failures and
+    /// [`rlra_matrix::MatrixError::NumericalBreakdown`] when the guard's
+    /// ladder is capped below the rung a degenerate panel needs.
+    pub fn extend(
+        &mut self,
+        a: &Mat,
+        w: &Mat,
+        reorth: bool,
+        guard: &mut crate::backend::NumericGuard,
+    ) -> Result<usize> {
+        let (k_done, n_trail, k_b) = self.step_dims();
+        // Stack the fresh sample rows (in the current pivot order) onto
+        // the downdated residual sample — the next step's oversampling.
+        if w.rows() > 0 {
+            let w_perm = Mat::from_fn(w.rows(), self.n, |i, j| w[(i, self.perm[j])]);
+            self.s_resid = self.s_resid.vcat(&w_perm)?;
+        }
+        if k_b == 0 {
+            return Ok(0);
+        }
+        let l_rows = self.s_resid.rows();
+        // Trailing-sample update: project the trailing sample columns
+        // against the accepted leading sample columns so QP3 ranks only
+        // what the accepted columns have *not* captured. Recomputed from
+        // scratch each step (Householder QR of the lead block plus two
+        // gemms) so the reserve rows stacked after earlier acceptances
+        // are downdated too — a compounded per-step update would leave
+        // them raw and let already-captured content steer the pivots.
+        let mut s_trail = self.s_resid.submatrix(0, k_done, l_rows, n_trail);
+        if k_done > 0 {
+            let s_lead = self.s_resid.submatrix(0, 0, l_rows, k_done);
+            let (q_s, _) = rlra_lapack::qr_factor(&s_lead);
+            let mut proj = Mat::zeros(q_s.cols(), n_trail);
+            rlra_blas::gemm(
+                1.0,
+                q_s.as_ref(),
+                Trans::Yes,
+                s_trail.as_ref(),
+                Trans::No,
+                0.0,
+                proj.as_mut(),
+            )?;
+            rlra_blas::gemm(
+                -1.0,
+                q_s.as_ref(),
+                Trans::No,
+                proj.as_ref(),
+                Trans::No,
+                1.0,
+                s_trail.as_mut(),
+            )?;
+        }
+        let step = rlra_lapack::sample_panel_step(&s_trail, k_b, rlra_lapack::qrcp::QP3_BLOCK)?;
+        // Fold the local pivot order into the global permutation and into
+        // the trailing columns of R and the residual sample.
+        let old_trail = self.perm[k_done..].to_vec();
+        for (j, &pj) in step.perm.iter().enumerate() {
+            self.perm[k_done + j] = old_trail[pj];
+        }
+        if k_done > 0 {
+            let r_old = self.r.clone();
+            self.r = Mat::from_fn(k_done, self.n, |i, j| {
+                if j < k_done {
+                    r_old[(i, j)]
+                } else {
+                    r_old[(i, k_done + step.perm[j - k_done])]
+                }
+            });
+        }
+        let s_old = self.s_resid.clone();
+        self.s_resid = Mat::from_fn(l_rows, self.n, |i, j| {
+            if j < k_done {
+                s_old[(i, j)]
+            } else {
+                s_old[(i, k_done + step.perm[j - k_done])]
+            }
+        });
+        // Gather the accepted pivot columns of A, project them against
+        // the accepted panels, and orthonormalize the remainder. The
+        // projection always runs twice ("twice is enough"): late panels
+        // are nearly inside span(Q), and a single block-CGS pass leaves
+        // an in-span component of order `u·‖panel‖` that the residual's
+        // normalization blows up into a loss of basis orthogonality.
+        let mut panel = Mat::from_fn(self.m, k_b, |i, j| a[(i, self.perm[k_done + j])]);
+        let coef = rlra_lapack::block_orth_cols(&self.q, &mut panel, true)?;
+        let (q_new, r_new) = guard.ladder_tall("adaptive_update_panel", &panel, reorth)?;
+        // Exact trailing coupling: one tall gemm against the not-yet
+        // accepted columns keeps every entry of R an inner product with A.
+        let n_rest = n_trail - k_b;
+        let mut trail = Mat::zeros(k_b, n_rest);
+        if n_rest > 0 {
+            let a_rest =
+                Mat::from_fn(self.m, n_rest, |i, j| a[(i, self.perm[k_done + k_b + j])]);
+            rlra_blas::gemm(
+                1.0,
+                q_new.as_ref(),
+                Trans::Yes,
+                a_rest.as_ref(),
+                Trans::No,
+                0.0,
+                trail.as_mut(),
+            )?;
+        }
+        self.q = self.q.hcat(&q_new)?;
+        self.r = rlra_lapack::extend_r(&self.r, &coef, &r_new, &trail)?;
+        self.k_done += k_b;
+        Ok(k_b)
+    }
+
+    /// Finalizes the factors into a [`LowRankApprox`] — permutation
+    /// validation and assembly only; no Step-2 re-run.
+    ///
+    /// # Errors
+    ///
+    /// Propagates permutation-validation failures (an internal invariant;
+    /// the folds in [`Self::extend`] keep the map a permutation).
+    pub fn finalize(self) -> Result<LowRankApprox> {
+        let perm = rlra_matrix::ColPerm::from_vec(self.perm)?;
+        Ok(LowRankApprox {
+            q: self.q,
+            r: self.r,
+            perm,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

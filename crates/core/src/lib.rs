@@ -56,7 +56,7 @@ pub mod solvers;
 
 pub use adaptive::{
     adaptive_sample, adaptive_sample_exec, sample_fixed_accuracy, sample_fixed_accuracy_exec,
-    AdaptiveConfig, AdaptiveResult, AdaptiveStep, IncStrategy,
+    AdaptiveConfig, AdaptiveResult, AdaptiveStep, FinishMode, IncStrategy,
 };
 pub use backend::{
     run_fixed_rank, ClusterExec, CpuExec, ExecReport, Executor, GpuExec, Input, MultiGpuExec,
@@ -66,7 +66,9 @@ pub use blr::{BlrBlock, BlrMatrix};
 pub use cluster_exec::{qp3_cluster_time, sample_fixed_rank_cluster, ClusterRunReport};
 pub use config::{SamplerConfig, SamplingKind, Step2Kind};
 pub use cur::{cur_decomposition, CurDecomposition};
-pub use fixed_rank::{finish_from_sampled, finish_from_sampled_with, sample_fixed_rank};
+pub use fixed_rank::{
+    finish_from_sampled, finish_from_sampled_with, sample_fixed_rank, IncrementalFactors,
+};
 pub use gpu_exec::{sample_fixed_rank_gpu, RunReport};
 pub use hodlr::HodlrMatrix;
 pub use id::{interpolative_decomposition, InterpolativeDecomposition};

@@ -9,7 +9,8 @@
 
 use rlra_core::backend::{run_fixed_rank, CpuExec, GpuExec, Input, MultiGpuExec};
 use rlra_core::{
-    adaptive_sample, adaptive_sample_exec, AdaptiveConfig, SamplerConfig, SamplingKind, Step2Kind,
+    adaptive_sample, adaptive_sample_exec, sample_fixed_accuracy_exec, AdaptiveConfig,
+    SamplerConfig, SamplingKind, Step2Kind,
 };
 use rlra_data::testmat::{decay_matrix, exponent_matrix, rng};
 use rlra_gpu::{DeviceSpec, ExecMode, Gpu, MultiGpu};
@@ -372,6 +373,75 @@ fn adaptive_trajectory_identical_cpu_vs_gpu() {
         );
     }
     assert_eq!(on_cpu.basis, on_gpu.basis);
+}
+
+/// The incremental fixed-accuracy pipeline is pure host numerics behind
+/// backend cost hooks: CPU, single-GPU and multi-GPU must produce
+/// bit-identical factors, walk the identical `(ℓ, ε̃)` trajectory, and
+/// fire the guard's orthogonalization ladder identically. Only the
+/// modeled charges may differ.
+#[test]
+fn incremental_fixed_accuracy_factors_bit_identical_across_backends() {
+    // Estimate ~ sqrt(m)·sigma_l = 12.2·10^{-l/10}: tol 1e-3 is reached
+    // at l = 48 of the 60-column exponent profile, inside l_max.
+    let a = exponent_matrix(150, 60, 77);
+    let cfg = AdaptiveConfig {
+        l_max: 60,
+        ..AdaptiveConfig::new(1e-3, 16)
+    };
+    assert_eq!(cfg.finish, rlra_core::FinishMode::Incremental);
+
+    let mut cpu = CpuExec::new();
+    let (cpu_lr, cpu_res, cpu_rep) =
+        sample_fixed_accuracy_exec(&mut cpu, &a, &cfg, &mut rng(55)).unwrap();
+
+    let mut gpu = Gpu::k40c();
+    let mut ge = GpuExec::new(&mut gpu);
+    let (gpu_lr, gpu_res, gpu_rep) =
+        sample_fixed_accuracy_exec(&mut ge, &a, &cfg, &mut rng(55)).unwrap();
+
+    let mut mg = MultiGpu::new(3, DeviceSpec::k40c(), ExecMode::Compute).unwrap();
+    let mut me = MultiGpuExec::new(&mut mg).unwrap();
+    let (multi_lr, multi_res, multi_rep) =
+        sample_fixed_accuracy_exec(&mut me, &a, &cfg, &mut rng(55)).unwrap();
+
+    assert!(cpu_res.converged, "tolerance reachable within l_max");
+
+    // Bit-identical factors on every backend.
+    for (name, lr) in [("gpu", &gpu_lr), ("multi", &multi_lr)] {
+        assert_eq!(cpu_lr.q, lr.q, "Q cpu vs {name}");
+        assert_eq!(cpu_lr.r, lr.r, "R cpu vs {name}");
+        assert_eq!(cpu_lr.perm.as_slice(), lr.perm.as_slice(), "perm cpu vs {name}");
+    }
+
+    // Identical trajectory, bit for bit.
+    for (name, res) in [("gpu", &gpu_res), ("multi", &multi_res)] {
+        assert_eq!(cpu_res.steps.len(), res.steps.len(), "steps cpu vs {name}");
+        for (c, o) in cpu_res.steps.iter().zip(res.steps.iter()) {
+            assert_eq!(c.l, o.l);
+            assert_eq!(c.estimate.to_bits(), o.estimate.to_bits());
+        }
+        assert_eq!(cpu_res.converged, res.converged);
+    }
+
+    // The guard saw the same panels everywhere, so the ladder histogram
+    // is a backend invariant.
+    assert_eq!(cpu_rep.ladder_histogram, gpu_rep.ladder_histogram);
+    assert_eq!(cpu_rep.ladder_histogram, multi_rep.ladder_histogram);
+
+    // Charges stay backend-specific: comms exist only on multi-GPU.
+    assert_eq!(cpu_rep.seconds, 0.0);
+    assert_eq!(cpu_rep.comms, 0.0);
+    assert_eq!(gpu_rep.comms, 0.0, "1-GPU comms must be 0");
+    assert!(gpu_rep.seconds > 0.0);
+    assert!(multi_rep.seconds > 0.0);
+    assert!(multi_rep.comms > 0.0);
+    assert_eq!(multi_rep.devices, 3);
+
+    // The factors actually approximate A at the requested tolerance
+    // (the estimate overshoots the true error, see Figure 16).
+    let err = cpu_lr.error_spectral(&a).unwrap();
+    assert!(err <= cfg.tol, "reconstruction error {err:.3e}");
 }
 
 /// Verified accuracy: the posterior estimate certifies an easily

@@ -1,0 +1,220 @@
+//! Incremental blocked rank-revealing QR building blocks (the
+//! sample-driven pivot selection of Duersch–Gu, arXiv:1509.06820, in the
+//! blocked RRF shape of Martinsson–Voronin, arXiv:1503.07157).
+//!
+//! The fixed-accuracy sampler grows its subspace by `b` rows at a time;
+//! instead of re-running the pivoted factorization from scratch at the
+//! final size, each accepted sample block selects the next `k_b ≤ b`
+//! pivot columns *from the trailing (not yet accepted) columns only* and
+//! the `A·P ≈ Q·R` factors are extended by one panel:
+//!
+//! 1. [`sample_panel_step`] — truncated QP3 of the `l × n_trail`
+//!    trailing *residual* sample panel `Ŝ` (the downdated prior sample
+//!    blocks stacked with the fresh one, so the row count — and with it
+//!    the within-block oversampling — grows every step), yielding the
+//!    local pivot order and the interpolation `T_w = R̂₁₁⁻¹·R̂₁₂` that
+//!    downdates the still-trailing sample columns
+//!    (`Ŝ_rest ← Ŝ_rest − Ŝ_sel·T_w`, the trailing-sample update);
+//! 2. the caller projects the `k_b` new pivot columns of `A` against the
+//!    accepted `Q` panels and orthonormalizes the remainder (core's
+//!    guarded ladder);
+//! 3. [`extend_r`] — grows `R` by the panel's rows: the exact projection
+//!    coefficients over the accepted columns, the panel's own triangular
+//!    factor on the diagonal, and the exact trailing coupling
+//!    `Q_newᵀ·A_rest` over the still-trailing columns.
+//!
+//! Because every block of `R` is an exact inner product against `A`, the
+//! assembled factor satisfies `R = Qᵀ·A·P` to working precision and the
+//! approximation error is exactly the projection residual
+//! `‖(I − QQᵀ)A‖` — the sample never contaminates the factor values, it
+//! only orders the columns.
+
+use crate::qrcp::qp3_blocked;
+use rlra_blas::{Diag, Side, Trans, UpLo};
+use rlra_matrix::{Mat, MatrixError, Result};
+
+/// Result of one blocked QRCP panel step on a trailing residual-sample
+/// panel.
+#[derive(Debug, Clone)]
+pub struct SamplePanelStep {
+    /// Local pivot order over the `n_trail` trailing columns (position
+    /// `j` of the permuted panel is column `perm[j]` of the input).
+    pub perm: Vec<usize>,
+    /// Accepted panel width (the truncation rank of the step).
+    pub k_b: usize,
+    /// Interpolation factor `T_w = R̂₁₁⁻¹·R̂₁₂`
+    /// (`k_b × (n_trail − k_b)`), expressing the still-trailing sample
+    /// columns in the newly accepted ones — the downdate factor of the
+    /// trailing-sample update `Ŝ_rest ← Ŝ_rest − Ŝ_sel·T_w`.
+    pub t_w: Mat,
+}
+
+/// Truncated QP3 of an `l × n_trail` trailing residual-sample panel `Ŝ`:
+/// ranks the trailing columns, keeps the leading `k_b` pivots, and
+/// solves for the interpolation `T_w` that downdates the rest (the
+/// trailing-sample update of the incremental pipeline).
+///
+/// `nb` is the QP3 panel width (clamped to `k_b` internally).
+///
+/// # Errors
+///
+/// Returns [`MatrixError::InvalidParameter`] when `k_b` exceeds
+/// `min(l, n_trail)` or `nb == 0`, and propagates kernel failures.
+pub fn sample_panel_step(w_trail: &Mat, k_b: usize, nb: usize) -> Result<SamplePanelStep> {
+    let n_trail = w_trail.cols();
+    if k_b == 0 || n_trail == 0 {
+        return Ok(SamplePanelStep {
+            perm: (0..n_trail).collect(),
+            k_b: 0,
+            t_w: Mat::zeros(0, n_trail),
+        });
+    }
+    let qrcp = qp3_blocked(w_trail, k_b, nb.min(k_b))?;
+    let r_hat = qrcp.r();
+    let mut t_w = Mat::zeros(k_b, n_trail - k_b);
+    if n_trail > k_b {
+        let r11 = r_hat.submatrix(0, 0, k_b, k_b);
+        t_w = r_hat.submatrix(0, k_b, k_b, n_trail - k_b);
+        rlra_blas::trsm(
+            Side::Left,
+            UpLo::Upper,
+            Trans::No,
+            Diag::NonUnit,
+            1.0,
+            r11.as_ref(),
+            t_w.as_mut(),
+        )?;
+    }
+    Ok(SamplePanelStep {
+        perm: qrcp.perm.as_slice().to_vec(),
+        k_b,
+        t_w,
+    })
+}
+
+/// Extends a `k_done × n` triangular factor `R` by one `k_b`-column
+/// panel, returning the `(k_done + k_b) × n` factor:
+///
+/// - columns `k_done .. k_done + k_b` of the existing rows are replaced
+///   by the exact projection coefficients `coef = Qᵀ·A_panel`
+///   (`k_done × k_b`);
+/// - the new rows carry the panel's own triangular factor `r_new`
+///   (`k_b × k_b`) on the diagonal block and the exact trailing coupling
+///   `trail = Q_newᵀ·A_rest` (`k_b × n_rest`) over the trailing columns.
+///
+/// Expects `R`'s trailing columns already permuted into the step's local
+/// pivot order (see [`sample_panel_step`]), and `trail` gathered in that
+/// same order.
+///
+/// # Errors
+///
+/// Returns [`MatrixError::DimensionMismatch`] when the block shapes are
+/// inconsistent.
+pub fn extend_r(r: &Mat, coef: &Mat, r_new: &Mat, trail: &Mat) -> Result<Mat> {
+    let (k_done, n) = r.shape();
+    let k_b = r_new.rows();
+    let n_rest = n - n.min(k_done + k_b);
+    if coef.shape() != (k_done, k_b) || r_new.cols() != k_b || trail.shape() != (k_b, n_rest) {
+        return Err(MatrixError::DimensionMismatch {
+            op: "extend_r",
+            expected: format!("coef {k_done}×{k_b}, r_new {k_b}×{k_b}, trail {k_b}×{n_rest}"),
+            found: format!(
+                "coef {:?}, r_new {:?}, trail {:?}",
+                coef.shape(),
+                r_new.shape(),
+                trail.shape()
+            ),
+        });
+    }
+    let mut out = Mat::zeros(k_done + k_b, n);
+    out.set_submatrix(0, 0, r);
+    out.set_submatrix(0, k_done, coef);
+    out.set_submatrix(k_done, k_done, r_new);
+    if n_rest > 0 {
+        out.set_submatrix(k_done, k_done + k_b, trail);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rlra_matrix::gaussian_mat;
+
+    fn rng(seed: u64) -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn panel_step_matches_direct_qp3() {
+        let w = gaussian_mat(6, 20, &mut rng(1));
+        let step = sample_panel_step(&w, 4, 32).unwrap();
+        let direct = qp3_blocked(&w, 4, 4).unwrap();
+        assert_eq!(step.k_b, 4);
+        assert_eq!(step.perm, direct.perm.as_slice());
+        assert_eq!(step.t_w.shape(), (4, 16));
+        // T_w solves R̂₁₁·T = R̂₁₂ for the same factorization.
+        let r_hat = direct.r();
+        let r11 = r_hat.submatrix(0, 0, 4, 4);
+        let mut lhs = Mat::zeros(4, 16);
+        rlra_blas::gemm(
+            1.0,
+            r11.as_ref(),
+            Trans::No,
+            step.t_w.as_ref(),
+            Trans::No,
+            0.0,
+            lhs.as_mut(),
+        )
+        .unwrap();
+        let r12 = r_hat.submatrix(0, 4, 4, 16);
+        for i in 0..4 {
+            for j in 0..16 {
+                assert!((lhs[(i, j)] - r12[(i, j)]).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_panels_are_empty_steps() {
+        let w = gaussian_mat(4, 10, &mut rng(2));
+        let step = sample_panel_step(&w, 0, 32).unwrap();
+        assert_eq!(step.k_b, 0);
+        assert_eq!(step.perm, (0..10).collect::<Vec<_>>());
+        let empty = Mat::zeros(4, 0);
+        let step = sample_panel_step(&empty, 2, 32).unwrap();
+        assert_eq!(step.k_b, 0);
+    }
+
+    #[test]
+    fn extend_r_assembles_the_blocks() {
+        // R (2×6), panel of width 2, two trailing columns.
+        let r = Mat::from_fn(2, 6, |i, j| (10 * i + j) as f64);
+        let coef = Mat::from_fn(2, 2, |i, j| (i + j) as f64 + 0.5);
+        let r_new = Mat::from_fn(2, 2, |i, j| if i <= j { 1.0 + j as f64 } else { 0.0 });
+        let trail = Mat::from_fn(2, 2, |i, j| 4.0 + (i * 2 + j) as f64);
+        let out = extend_r(&r, &coef, &r_new, &trail).unwrap();
+        assert_eq!(out.shape(), (4, 6));
+        // Old rows keep their leading columns, get coef at 2..4.
+        assert_eq!(out[(0, 0)], 0.0);
+        assert_eq!(out[(1, 1)], 11.0);
+        assert_eq!(out[(0, 2)], 0.5);
+        assert_eq!(out[(1, 3)], 2.5);
+        // New rows: zero lead, r_new diagonal block, trail block verbatim.
+        assert_eq!(out[(2, 0)], 0.0);
+        assert_eq!(out[(2, 2)], 1.0);
+        assert_eq!(out[(3, 3)], 2.0);
+        assert_eq!(out[(2, 4)], 4.0);
+        assert_eq!(out[(3, 5)], 7.0);
+    }
+
+    #[test]
+    fn extend_r_rejects_mismatched_blocks() {
+        let r = Mat::zeros(2, 6);
+        let coef = Mat::zeros(3, 2); // wrong rows
+        let r_new = Mat::zeros(2, 2);
+        let trail = Mat::zeros(2, 2);
+        assert!(extend_r(&r, &coef, &r_new, &trail).is_err());
+    }
+}

@@ -33,6 +33,7 @@ pub mod dd;
 pub mod gk_svd;
 pub mod gram_schmidt;
 pub mod householder;
+pub mod inc_qr;
 pub mod lu;
 pub mod qrcp;
 pub mod svd;
@@ -47,6 +48,7 @@ pub use cholqr_mixed::{cholqr_mixed, cholqr_rows_mixed};
 pub use gk_svd::svd_golub_kahan;
 pub use gram_schmidt::{block_orth, block_orth_cols, block_orth_rows, cgs, mgs};
 pub use householder::{form_q, qr_factor, HouseholderQr};
+pub use inc_qr::{extend_r, sample_panel_step, SamplePanelStep};
 pub use lu::{lu_factor, lu_solve, Lu};
 pub use qrcp::{qp3_blocked, qrcp_column, QrcpResult};
 pub use svd::{singular_values, svd_jacobi, Svd};

@@ -31,6 +31,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             inc: IncStrategy::Interpolated { init: 8 },
             l_max: n,
             track_actual: false,
+            finish: FinishMode::Incremental,
         };
         let (approx, adaptive) = sample_fixed_accuracy(&mut gpu, &tm.a, &cfg, &mut rng)?;
         let err = approx.relative_error(&tm.a, Some(tm.norm2()))?;

@@ -53,10 +53,10 @@ pub use rlra_perfmodel as perfmodel;
 pub mod prelude {
     pub use rlra_core::{
         adaptive_sample, cur_decomposition, interpolative_decomposition, qp3_low_rank,
-        randomized_svd, sample_fixed_rank, sample_fixed_rank_gpu, sample_fixed_rank_multi_gpu,
-        AdaptiveConfig, BlrMatrix, CurDecomposition, HodlrMatrix, IncStrategy,
-        InterpolativeDecomposition, LowRankApprox, RandomizedSvd, SamplerConfig, SamplingKind,
-        Step2Kind,
+        randomized_svd, sample_fixed_accuracy, sample_fixed_rank, sample_fixed_rank_gpu,
+        sample_fixed_rank_multi_gpu, AdaptiveConfig, BlrMatrix, CurDecomposition, FinishMode,
+        HodlrMatrix, IncStrategy, InterpolativeDecomposition, LowRankApprox, RandomizedSvd,
+        SamplerConfig, SamplingKind, Step2Kind,
     };
     pub use rlra_gpu::{DeviceSpec, ExecMode, Gpu, MultiGpu, Phase};
     pub use rlra_matrix::{ColPerm, Mat};

@@ -43,6 +43,9 @@ pub const STAGE_HOOKS: &[&str] = &[
     "adaptive_gemm_w",
     "adaptive_probe",
     "adaptive_finish",
+    "adaptive_update_pivot",
+    "adaptive_update_panel",
+    "adaptive_update_trailing",
     "verify_probe",
 ];
 

@@ -22,4 +22,11 @@ impl Executor for FreeExec {
         let _ = (k, reorth);
         Ok(())
     }
+
+    fn adaptive_update_panel(&mut self, k_b: usize, k_done: usize) -> Result<()> {
+        // The incremental panel step is real device work; silently
+        // skipping the charge must be flagged.
+        let _ = (k_b, k_done);
+        Ok(())
+    }
 }

@@ -42,4 +42,19 @@ impl Executor for OkExec {
         let _ = (k, reorth);
         Ok(())
     }
+
+    fn adaptive_update_pivot(&mut self, b: usize, n_trail: usize, k_b: usize) -> Result<()> {
+        let _ = (b, k_b);
+        charges_directly(&mut self.gpu, n_trail);
+        Ok(())
+    }
+
+    fn adaptive_update_trailing(&mut self, k_b: usize, n_trail: usize) -> Result<()> {
+        // Refusing work is not free work: an Unsupported return is legal.
+        let _ = (k_b, n_trail);
+        Err(MatrixError::Unsupported {
+            backend: "fixture",
+            feature: "incremental trailing update".into(),
+        })
+    }
 }

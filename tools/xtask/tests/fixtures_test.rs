@@ -61,8 +61,9 @@ fn cost_flags_free_kernels_and_hooks() {
     let file = fixture("cost_bad.rs");
     let files = [&file];
     let findings = lints::cost::check(&files, &files, &files);
-    // free_kernel, free_via_helper, gaussian_sample, tsqr.
-    assert_eq!(findings.len(), 4, "got {findings:#?}");
+    // free_kernel, free_via_helper, gaussian_sample, tsqr,
+    // adaptive_update_panel.
+    assert_eq!(findings.len(), 5, "got {findings:#?}");
     assert!(lints_of(&findings).iter().all(|l| *l == "cost"));
 }
 

@@ -99,9 +99,11 @@ fn main() {
                 finish,
             };
             let mut mode_rng = StdRng::seed_from_u64(2015 + l_inc as u64);
-            let (_, res, report) = sample_fixed_accuracy_exec(&mut exec, &tm.a, &cfg, &mut mode_rng)
-                .expect("fixed-accuracy run");
-            let trajectory: Vec<(usize, f64)> = res.steps.iter().map(|s| (s.l, s.estimate)).collect();
+            let (_, res, report) =
+                sample_fixed_accuracy_exec(&mut exec, &tm.a, &cfg, &mut mode_rng)
+                    .expect("fixed-accuracy run");
+            let trajectory: Vec<(usize, f64)> =
+                res.steps.iter().map(|s| (s.l, s.estimate)).collect();
             (res.l(), trajectory, report.seconds)
         };
         let (l_res, traj_res, sim_res) = run(FinishMode::Restart);

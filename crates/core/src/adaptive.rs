@@ -510,7 +510,14 @@ pub fn sample_fixed_accuracy_exec<E: Executor>(
             // where the restart's Step-2 re-run used to be; only the
             // final panel's update hooks are charged under it.
             staged(exec, "adaptive_finish", |e| {
-                incremental_extend(e, &mut factors, a, &Mat::zeros(0, n), cfg.reorth, &mut guard)
+                incremental_extend(
+                    e,
+                    &mut factors,
+                    a,
+                    &Mat::zeros(0, n),
+                    cfg.reorth,
+                    &mut guard,
+                )
             })?;
             (factors.finalize()?, adaptive)
         }

@@ -453,6 +453,84 @@ impl Executor for ClusterExec<'_> {
         Ok(())
     }
 
+    fn charge_fallback(
+        &mut self,
+        rows: usize,
+        cols: usize,
+        rung: super::Rung,
+        _reorth: bool,
+    ) -> Result<()> {
+        // The multi-GPU rescue shapes, one level up: the Gram/shift work
+        // is host-replicated per node and stalls every survivor equally
+        // (exempt from straggler scaling, like the reduced host QR).
+        let s = rows.min(cols);
+        let long = rows.max(cols);
+        for ni in 0..self.cluster.nodes() {
+            let node = self.cluster.node_mut(ni);
+            let cost = node.gpu(0).cost().clone();
+            let secs = match rung {
+                super::Rung::CholQr => return Ok(()),
+                super::Rung::ShiftedCholQr2 => {
+                    cost.blas1(s, 2.0)
+                        + 3.0 * (cost.syrk(s, long) + cost.host_cholesky(s) + cost.trsm(s, long))
+                }
+                super::Rung::Householder => {
+                    cost.transfer(8 * (rows * cols) as u64)
+                        + cost.host_flops(4.0 * long as f64 * s as f64 * s as f64)
+                }
+            };
+            for g in node.alive_indices() {
+                node.gpu_mut(g).charge_raw(Phase::OrthIter, secs);
+            }
+        }
+        Ok(())
+    }
+
+    fn charge_health_check(&mut self, rows: usize, cols: usize) -> Result<()> {
+        // The scanned block is host-replicated between stages; one
+        // streaming reduction per node, stalling its survivors.
+        for ni in 0..self.cluster.nodes() {
+            let node = self.cluster.node_mut(ni);
+            let secs = node.gpu(0).cost().host_flops((rows * cols) as f64);
+            for g in node.alive_indices() {
+                node.gpu_mut(g).charge_raw(Phase::Other, secs);
+            }
+        }
+        Ok(())
+    }
+
+    fn verify_probe(&mut self, probes: usize, k: usize) -> Result<()> {
+        // Probe GEMMs against each GPU's row slice of A, the partial
+        // products reduced per node and allreduced over the interconnect,
+        // then the thin host products against Q and R replicated per
+        // node.
+        let n = self.n;
+        let mut node_ps = Vec::with_capacity(self.cluster.nodes());
+        for (ni, parts) in self.a_parts.iter().enumerate() {
+            let node = self.cluster.node_mut(ni);
+            let mut p_parts = Vec::with_capacity(parts.len());
+            for (ap, &gi) in parts.iter().zip(&self.slots[ni]) {
+                let gpu = node.gpu_mut(gi);
+                gpu.charge(Phase::Other, gpu.cost().gemm(probes, n, ap.rows()));
+                p_parts.push(gpu.alloc(probes, n));
+            }
+            node_ps.push(node.reduce_to_host(Phase::Comms, &p_parts)?);
+        }
+        self.cluster.allreduce_host(Phase::Comms, &node_ps)?;
+        for ni in 0..self.cluster.nodes() {
+            let node = self.cluster.node_mut(ni);
+            let secs = node
+                .gpu(0)
+                .cost()
+                .host_flops(2.0 * probes as f64 * k as f64 * (self.m + n) as f64);
+            for g in node.alive_indices() {
+                node.gpu_mut(g).charge_raw(Phase::Other, secs);
+            }
+        }
+        self.cluster.barrier();
+        Ok(())
+    }
+
     fn elapsed(&self) -> f64 {
         self.cluster.time() - self.t0
     }

@@ -70,7 +70,46 @@ impl Executor for CpuExec {
         true
     }
 
-    fn adaptive_update_pivot(&mut self, _l_rows: usize, _n_trail: usize, _k_b: usize) -> Result<()> {
+    // Every hook is implemented explicitly (not left to the trait's
+    // silent defaults) so the hook-parity lint can tell a deliberate
+    // host no-op from a forgotten backend impl.
+
+    fn adaptive_draw(&mut self, _l_inc: usize) -> Result<()> {
+        Ok(())
+    }
+
+    fn adaptive_orth(
+        &mut self,
+        _rows: usize,
+        _cols: usize,
+        _l_prev: usize,
+        _reorth: bool,
+    ) -> Result<()> {
+        Ok(())
+    }
+
+    fn adaptive_gemm_c(&mut self, _l_new: usize) -> Result<()> {
+        Ok(())
+    }
+
+    fn adaptive_gemm_w(&mut self, _l_new: usize) -> Result<()> {
+        Ok(())
+    }
+
+    fn adaptive_probe(&mut self, _next_inc: usize, _l_now: usize) -> Result<()> {
+        Ok(())
+    }
+
+    fn adaptive_finish(&mut self, _k: usize) -> Result<()> {
+        Ok(())
+    }
+
+    fn adaptive_update_pivot(
+        &mut self,
+        _l_rows: usize,
+        _n_trail: usize,
+        _k_b: usize,
+    ) -> Result<()> {
         Ok(())
     }
 
@@ -81,6 +120,26 @@ impl Executor for CpuExec {
     fn adaptive_update_trailing(&mut self, _k_b: usize, _n_trail: usize) -> Result<()> {
         Ok(())
     }
+
+    fn charge_fallback(
+        &mut self,
+        _rows: usize,
+        _cols: usize,
+        _rung: super::Rung,
+        _reorth: bool,
+    ) -> Result<()> {
+        Ok(())
+    }
+
+    fn charge_health_check(&mut self, _rows: usize, _cols: usize) -> Result<()> {
+        Ok(())
+    }
+
+    fn verify_probe(&mut self, _probes: usize, _k: usize) -> Result<()> {
+        Ok(())
+    }
+
+    fn charge_recovery(&mut self, _secs: f64) {}
 
     fn finish(&mut self) -> Result<ExecReport> {
         Ok(ExecReport {

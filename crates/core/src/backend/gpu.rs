@@ -389,7 +389,8 @@ impl Executor for GpuExec<'_> {
             .charge(Phase::Qr, self.sim.cost().gemm(k_b, k_b, self.m));
         self.sim
             .charge(Phase::Qr, self.sim.cost().host_cholesky(k_b));
-        self.sim.charge(Phase::Qr, self.sim.cost().trsm(k_b, self.m));
+        self.sim
+            .charge(Phase::Qr, self.sim.cost().trsm(k_b, self.m));
         Ok(())
     }
 

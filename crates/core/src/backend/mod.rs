@@ -325,8 +325,7 @@ pub trait Executor {
     /// # Errors
     ///
     /// Propagates kernel failures.
-    fn adaptive_draw(&mut self, l_inc: usize) -> Result<()> {
-        let _ = l_inc;
+    fn adaptive_draw(&mut self, _l_inc: usize) -> Result<()> {
         Ok(())
     }
 
@@ -338,12 +337,11 @@ pub trait Executor {
     /// Propagates kernel failures.
     fn adaptive_orth(
         &mut self,
-        rows: usize,
-        cols: usize,
-        l_prev: usize,
-        reorth: bool,
+        _rows: usize,
+        _cols: usize,
+        _l_prev: usize,
+        _reorth: bool,
     ) -> Result<()> {
-        let _ = (rows, cols, l_prev, reorth);
         Ok(())
     }
 
@@ -352,8 +350,7 @@ pub trait Executor {
     /// # Errors
     ///
     /// Propagates kernel failures.
-    fn adaptive_gemm_c(&mut self, l_new: usize) -> Result<()> {
-        let _ = l_new;
+    fn adaptive_gemm_c(&mut self, _l_new: usize) -> Result<()> {
         Ok(())
     }
 
@@ -362,8 +359,7 @@ pub trait Executor {
     /// # Errors
     ///
     /// Propagates kernel failures.
-    fn adaptive_gemm_w(&mut self, l_new: usize) -> Result<()> {
-        let _ = l_new;
+    fn adaptive_gemm_w(&mut self, _l_new: usize) -> Result<()> {
         Ok(())
     }
 
@@ -373,8 +369,7 @@ pub trait Executor {
     /// # Errors
     ///
     /// Propagates kernel failures.
-    fn adaptive_probe(&mut self, next_inc: usize, l_now: usize) -> Result<()> {
-        let _ = (next_inc, l_now);
+    fn adaptive_probe(&mut self, _next_inc: usize, _l_now: usize) -> Result<()> {
         Ok(())
     }
 
@@ -387,8 +382,7 @@ pub trait Executor {
     /// # Errors
     ///
     /// Propagates kernel failures.
-    fn adaptive_finish(&mut self, k: usize) -> Result<()> {
-        let _ = k;
+    fn adaptive_finish(&mut self, _k: usize) -> Result<()> {
         Ok(())
     }
 
@@ -403,8 +397,12 @@ pub trait Executor {
     /// # Errors
     ///
     /// Propagates kernel failures.
-    fn adaptive_update_pivot(&mut self, l_rows: usize, n_trail: usize, k_b: usize) -> Result<()> {
-        let _ = (l_rows, n_trail, k_b);
+    fn adaptive_update_pivot(
+        &mut self,
+        _l_rows: usize,
+        _n_trail: usize,
+        _k_b: usize,
+    ) -> Result<()> {
         Ok(())
     }
 
@@ -416,8 +414,7 @@ pub trait Executor {
     /// # Errors
     ///
     /// Propagates kernel failures.
-    fn adaptive_update_panel(&mut self, k_b: usize, k_done: usize) -> Result<()> {
-        let _ = (k_b, k_done);
+    fn adaptive_update_panel(&mut self, _k_b: usize, _k_done: usize) -> Result<()> {
         Ok(())
     }
 
@@ -428,8 +425,7 @@ pub trait Executor {
     /// # Errors
     ///
     /// Propagates kernel failures.
-    fn adaptive_update_trailing(&mut self, k_b: usize, n_trail: usize) -> Result<()> {
-        let _ = (k_b, n_trail);
+    fn adaptive_update_trailing(&mut self, _k_b: usize, _n_trail: usize) -> Result<()> {
         Ok(())
     }
 
@@ -446,12 +442,11 @@ pub trait Executor {
     /// Propagates kernel failures.
     fn charge_fallback(
         &mut self,
-        rows: usize,
-        cols: usize,
-        rung: Rung,
-        reorth: bool,
+        _rows: usize,
+        _cols: usize,
+        _rung: Rung,
+        _reorth: bool,
     ) -> Result<()> {
-        let _ = (rows, cols, rung, reorth);
         Ok(())
     }
 
@@ -462,8 +457,7 @@ pub trait Executor {
     /// # Errors
     ///
     /// Propagates kernel failures.
-    fn charge_health_check(&mut self, rows: usize, cols: usize) -> Result<()> {
-        let _ = (rows, cols);
+    fn charge_health_check(&mut self, _rows: usize, _cols: usize) -> Result<()> {
         Ok(())
     }
 
@@ -473,8 +467,7 @@ pub trait Executor {
     /// # Errors
     ///
     /// Propagates kernel failures.
-    fn verify_probe(&mut self, probes: usize, k: usize) -> Result<()> {
-        let _ = (probes, k);
+    fn verify_probe(&mut self, _probes: usize, _k: usize) -> Result<()> {
         Ok(())
     }
 
@@ -495,9 +488,7 @@ pub trait Executor {
     /// Charges `secs` of simulated recovery time (retry backoff) to the
     /// backend's surviving devices under [`rlra_gpu::Phase::Recovery`].
     /// No-op on backends without a device clock (CPU).
-    fn charge_recovery(&mut self, secs: f64) {
-        let _ = secs;
-    }
+    fn charge_recovery(&mut self, _secs: f64) {}
 
     /// Recovers from a fail-stop loss of `device` (reported at launch
     /// ordinal `at`): redistribute the lost block-rows over the
@@ -510,8 +501,7 @@ pub trait Executor {
     ///
     /// [`MatrixError::Unsupported`] on backends that cannot degrade
     /// (CPU has no devices; a single GPU has no survivors).
-    fn recover_device_loss(&mut self, device: usize, at: u64) -> Result<()> {
-        let _ = (device, at);
+    fn recover_device_loss(&mut self, _device: usize, _at: u64) -> Result<()> {
         Err(MatrixError::Unsupported {
             backend: self.name(),
             feature: "device-loss recovery (no surviving devices to degrade onto)".into(),

@@ -115,7 +115,8 @@ impl Executor for MultiGpuExec<'_> {
         self.mg.mode() == ExecMode::Compute
     }
 
-    fn supports(&self, cfg: &SamplerConfig, has_values: bool) -> Result<()> {
+    // shape-only + compute is rejected centrally, so `has_values` is moot
+    fn supports(&self, cfg: &SamplerConfig, _has_values: bool) -> Result<()> {
         if !matches!(cfg.sampling, SamplingKind::Gaussian) {
             return Err(MatrixError::Unsupported {
                 backend: self.name(),
@@ -123,7 +124,6 @@ impl Executor for MultiGpuExec<'_> {
                     .into(),
             });
         }
-        let _ = has_values; // shape-only + compute is rejected centrally
         Ok(())
     }
 

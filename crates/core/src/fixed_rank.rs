@@ -338,8 +338,7 @@ impl IncrementalFactors {
         let n_rest = n_trail - k_b;
         let mut trail = Mat::zeros(k_b, n_rest);
         if n_rest > 0 {
-            let a_rest =
-                Mat::from_fn(self.m, n_rest, |i, j| a[(i, self.perm[k_done + k_b + j])]);
+            let a_rest = Mat::from_fn(self.m, n_rest, |i, j| a[(i, self.perm[k_done + k_b + j])]);
             rlra_blas::gemm(
                 1.0,
                 q_new.as_ref(),

@@ -1,7 +1,7 @@
 //! The low-rank factorization returned by every algorithm in this crate.
 
 use rlra_blas::Trans;
-use rlra_matrix::{ColPerm, Mat, Result};
+use rlra_matrix::{ColPerm, Mat, MatrixError, Result};
 
 /// A rank-`k` approximation `A·P ≈ Q·R` (the paper's equation (1)):
 /// `Q` is `m × k` with orthonormal columns, `R` is `k × n` upper
@@ -88,13 +88,19 @@ impl LowRankApprox {
     pub fn apply(&self, x: &[f64]) -> Result<Vec<f64>> {
         let n = self.r.cols();
         let k = self.rank();
+        if x.len() != n {
+            return Err(MatrixError::DimensionMismatch {
+                op: "LowRankApprox::apply",
+                expected: format!("x.len() == {n}"),
+                found: format!("x.len() == {}", x.len()),
+            });
+        }
         // P^T x: entry j of the permuted vector is x[perm[j]].
         let px: Vec<f64> = self.perm.as_slice().iter().map(|&j| x[j]).collect();
         let mut rx = vec![0.0; k];
         rlra_blas::gemv(1.0, self.r.as_ref(), Trans::No, &px, 0.0, &mut rx)?;
         let mut y = vec![0.0; self.q.rows()];
         rlra_blas::gemv(1.0, self.q.as_ref(), Trans::No, &rx, 0.0, &mut y)?;
-        let _ = n;
         Ok(y)
     }
 }

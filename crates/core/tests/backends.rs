@@ -411,7 +411,11 @@ fn incremental_fixed_accuracy_factors_bit_identical_across_backends() {
     for (name, lr) in [("gpu", &gpu_lr), ("multi", &multi_lr)] {
         assert_eq!(cpu_lr.q, lr.q, "Q cpu vs {name}");
         assert_eq!(cpu_lr.r, lr.r, "R cpu vs {name}");
-        assert_eq!(cpu_lr.perm.as_slice(), lr.perm.as_slice(), "perm cpu vs {name}");
+        assert_eq!(
+            cpu_lr.perm.as_slice(),
+            lr.perm.as_slice(),
+            "perm cpu vs {name}"
+        );
     }
 
     // Identical trajectory, bit for bit.

@@ -1,0 +1,142 @@
+//! Baseline diffing: `cargo xtask analyze --diff` compares the current
+//! findings against the checked-in baseline
+//! (`tools/xtask/analyze-baseline.json`) and fails only on
+//! *regressions* — findings not present in the baseline. Keys are the
+//! `(file, lint, message)` triple **without** line numbers, so
+//! unrelated edits that shift code around don't churn the baseline.
+//!
+//! The intended steady state is an empty baseline (the workspace is
+//! clean); the mechanism exists so a genuinely hard-to-fix finding can
+//! be parked deliberately — visible in review as a baseline edit —
+//! instead of blocking every CI run or being waved off with a
+//! low-quality allow.
+
+use crate::diag::Finding;
+use crate::output::Record;
+use std::collections::HashMap;
+use std::path::Path;
+
+/// The workspace-relative location of the checked-in baseline.
+pub const BASELINE_PATH: &str = "tools/xtask/analyze-baseline.json";
+
+/// A baseline comparison: what regressed and what got fixed.
+#[derive(Debug, Default)]
+pub struct Diff {
+    /// Findings not covered by the baseline (failures).
+    pub regressions: Vec<Record>,
+    /// Baseline entries no longer observed (informational — the
+    /// baseline can be shrunk).
+    pub fixed: Vec<Record>,
+}
+
+fn key(r: &Record) -> (String, String, String) {
+    (r.file.clone(), r.lint.clone(), r.message.clone())
+}
+
+/// Multiset-diffs `current` findings against `baseline` records.
+pub fn diff(current: &[Finding], baseline: &[Record]) -> Diff {
+    let mut pool: HashMap<(String, String, String), usize> = HashMap::new();
+    for b in baseline {
+        *pool.entry(key(b)).or_insert(0) += 1;
+    }
+    let mut out = Diff::default();
+    for f in current {
+        let r = Record::from(f);
+        match pool.get_mut(&key(&r)) {
+            Some(n) if *n > 0 => *n -= 1,
+            _ => out.regressions.push(r),
+        }
+    }
+    // Whatever remains unconsumed in the pool was fixed.
+    for b in baseline {
+        if let Some(n) = pool.get_mut(&key(b)) {
+            if *n > 0 {
+                *n -= 1;
+                out.fixed.push(b.clone());
+            }
+        }
+    }
+    out
+}
+
+/// Loads the baseline file (analyzer JSON).
+///
+/// # Errors
+///
+/// Returns a message when the file is unreadable or malformed.
+pub fn load(path: &Path) -> Result<Vec<Record>, String> {
+    let src = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read baseline {}: {e}", path.display()))?;
+    crate::output::from_json(&src).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+/// Writes `findings` as a fresh baseline.
+///
+/// # Errors
+///
+/// Returns a message when the file cannot be written.
+pub fn write(path: &Path, findings: &[Finding]) -> Result<(), String> {
+    std::fs::write(path, crate::output::to_json(findings, None))
+        .map_err(|e| format!("cannot write baseline {}: {e}", path.display()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn finding(file: &str, line: u32, lint: &'static str, message: &str) -> Finding {
+        Finding {
+            file: PathBuf::from(file),
+            line,
+            lint,
+            message: message.to_string(),
+        }
+    }
+
+    #[test]
+    fn line_shifts_do_not_regress() {
+        let baseline = vec![Record {
+            file: "a.rs".into(),
+            line: 10,
+            lint: "cost".into(),
+            message: "free kernel".into(),
+        }];
+        let current = vec![finding("a.rs", 99, "cost", "free kernel")];
+        let d = diff(&current, &baseline);
+        assert!(d.regressions.is_empty());
+        assert!(d.fixed.is_empty());
+    }
+
+    #[test]
+    fn new_findings_regress_and_fixed_ones_surface() {
+        let baseline = vec![Record {
+            file: "a.rs".into(),
+            line: 1,
+            lint: "cost".into(),
+            message: "old".into(),
+        }];
+        let current = vec![finding("b.rs", 2, "trace", "new")];
+        let d = diff(&current, &baseline);
+        assert_eq!(d.regressions.len(), 1);
+        assert_eq!(d.regressions[0].file, "b.rs");
+        assert_eq!(d.fixed.len(), 1);
+        assert_eq!(d.fixed[0].file, "a.rs");
+    }
+
+    #[test]
+    fn duplicates_are_multiset_counted() {
+        let baseline = vec![Record {
+            file: "a.rs".into(),
+            line: 1,
+            lint: "cost".into(),
+            message: "dup".into(),
+        }];
+        let current = vec![
+            finding("a.rs", 1, "cost", "dup"),
+            finding("a.rs", 2, "cost", "dup"),
+        ];
+        let d = diff(&current, &baseline);
+        assert_eq!(d.regressions.len(), 1); // second copy is new
+    }
+}

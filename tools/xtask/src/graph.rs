@@ -1,0 +1,538 @@
+//! Whole-workspace call graph: one pass over every library
+//! [`FileModel`], `use`-aware call resolution, and transitive
+//! reachability facts (charges, trace emits, entropy carriers) with
+//! cycle handling.
+//!
+//! Resolution is *precise-first*: a free call prefers a same-file
+//! definition, then an exact `use`-imported path, and only then falls
+//! back to the global name match; method calls (no receiver types
+//! without a type system) always take the global union of same-named
+//! functions. The fallback is deliberately permissive — the lints built
+//! on the graph hunt *missing* obligations (free kernels, untraced
+//! charges), where a false "satisfied" on a shared name is far cheaper
+//! than drowning the signal in false positives.
+
+use crate::lints::determinism::{carriers_in, Carrier};
+use crate::resolve::{module_path, normalize_use, use_for_alias, ModulePath};
+use crate::scan::{FileModel, FnInfo};
+use std::collections::{HashMap, VecDeque};
+use std::path::{Path, PathBuf};
+
+/// Index of a function node in [`Graph::nodes`].
+pub type NodeId = usize;
+
+/// Whether a callee name is a direct cost-model charge.
+pub fn is_charge_name(name: &str) -> bool {
+    name == "charge" || name.starts_with("charge_")
+}
+
+/// Whether a callee name counts as feeding the tracer.
+pub fn is_emit_name(name: &str) -> bool {
+    name == "emit" || name.starts_with("trace")
+}
+
+/// Keywords that can precede `(` without being calls.
+const NON_CALL_IDENTS: &[&str] = &[
+    "if", "while", "match", "for", "loop", "return", "in", "move", "else", "let", "mut", "ref",
+    "unsafe", "as", "fn", "impl", "dyn", "where", "break", "continue", "await", "async", "pub",
+    "use", "crate", "super",
+];
+
+/// One call site inside a function body.
+#[derive(Debug, Clone)]
+pub struct CallSite {
+    /// Callee name (the identifier before `(`).
+    pub name: String,
+    /// Nearest `::` qualifier segment (`cost` in `cost::gemm(..)`,
+    /// `Self` in `Self::helper(..)`), if any.
+    pub qual: Option<String>,
+    /// Whether the call is a method call (`recv.name(..)`).
+    pub is_method: bool,
+    /// Token index of the callee identifier in the file's stream.
+    pub tok: usize,
+    /// 1-based line.
+    pub line: u32,
+}
+
+/// A function in the graph with its locally computed facts.
+#[derive(Debug)]
+pub struct Node {
+    /// Index into [`Graph::files`].
+    pub file: usize,
+    /// Index into that file's [`FileModel::fns`].
+    pub fn_idx: usize,
+    /// Function name (for diagnostics and name-keyed resolution).
+    pub name: String,
+    /// Body calls `charge(..)` / `charge_*(..)` directly.
+    pub direct_charge: bool,
+    /// Body refuses with `MatrixError::Unsupported` (refused work is
+    /// not free work — it never runs).
+    pub direct_refusal: bool,
+    /// Body calls `emit(..)` / `trace*(..)` directly.
+    pub direct_emit: bool,
+    /// First clock/timeline accumulation site in the body, if any
+    /// (`<..>timeline.add(`, `clock +=`, `comms_inter +=`).
+    pub trace_charge_line: Option<u32>,
+    /// Entropy/wall-clock tokens in the body.
+    pub carriers: Vec<Carrier>,
+    /// Call sites, in body order.
+    pub calls: Vec<CallSite>,
+}
+
+/// The workspace call graph.
+#[derive(Debug)]
+pub struct Graph<'a> {
+    /// The indexed files.
+    pub files: Vec<&'a FileModel>,
+    /// Crate/module location of each file (parallel to `files`).
+    pub modules: Vec<ModulePath>,
+    /// All non-test function nodes.
+    pub nodes: Vec<Node>,
+    node_at: HashMap<(PathBuf, usize), NodeId>,
+    by_name: HashMap<String, Vec<NodeId>>,
+    by_file_name: HashMap<(usize, String), Vec<NodeId>>,
+    file_by_abs: HashMap<Vec<String>, Vec<usize>>,
+    edges: Vec<Vec<NodeId>>,
+    reach_charge: Vec<bool>,
+    reach_emit: Vec<bool>,
+    entropy_src: Vec<Option<NodeId>>,
+}
+
+/// Extracts the body facts of one function.
+fn body_facts(file: &FileModel, f: &FnInfo) -> Option<Node> {
+    let body = f.body.clone()?;
+    let toks = &file.lexed.toks;
+    let mut node = Node {
+        file: 0,
+        fn_idx: 0,
+        name: f.name.clone(),
+        direct_charge: false,
+        direct_refusal: false,
+        direct_emit: false,
+        trace_charge_line: None,
+        carriers: carriers_in(file, body.clone()),
+        calls: Vec::new(),
+    };
+    for i in body.clone() {
+        let t = &toks[i];
+        if t.kind != crate::lex::TokKind::Ident {
+            continue;
+        }
+        if t.text == "Unsupported" {
+            node.direct_refusal = true;
+        }
+        let at = |k: usize| toks.get(i + k).filter(|_| body.contains(&(i + k)));
+        // Trace charging sites: `<..>timeline.add(`, `clock +=`,
+        // `comms_inter +=`.
+        let timeline_add = t.text.ends_with("timeline")
+            && at(1).map(|t| t.is_punct('.')).unwrap_or(false)
+            && at(2).map(|t| t.is_ident("add")).unwrap_or(false)
+            && at(3).map(|t| t.is_punct('(')).unwrap_or(false);
+        let accum_add = (t.text == "clock" || t.text == "comms_inter")
+            && at(1).map(|t| t.is_punct('+')).unwrap_or(false)
+            && at(2).map(|t| t.is_punct('=')).unwrap_or(false);
+        if (timeline_add || accum_add) && node.trace_charge_line.is_none() {
+            node.trace_charge_line = Some(t.line);
+        }
+        // Calls: identifier directly followed by `(`.
+        if !at(1).map(|t| t.is_punct('(')).unwrap_or(false) {
+            continue;
+        }
+        if NON_CALL_IDENTS.contains(&t.text.as_str()) {
+            continue;
+        }
+        if is_charge_name(&t.text) {
+            node.direct_charge = true;
+        }
+        if is_emit_name(&t.text) {
+            node.direct_emit = true;
+        }
+        let prev = |k: usize| {
+            (i >= k)
+                .then(|| &toks[i - k])
+                .filter(|_| i - k >= body.start)
+        };
+        let is_method = prev(1).map(|t| t.is_punct('.')).unwrap_or(false);
+        let qual = if prev(1).map(|t| t.is_punct(':')).unwrap_or(false)
+            && prev(2).map(|t| t.is_punct(':')).unwrap_or(false)
+        {
+            prev(3)
+                .filter(|t| t.kind == crate::lex::TokKind::Ident)
+                .map(|t| t.text.clone())
+        } else {
+            None
+        };
+        node.calls.push(CallSite {
+            name: t.text.clone(),
+            qual,
+            is_method,
+            tok: i,
+            line: t.line,
+        });
+    }
+    Some(node)
+}
+
+impl<'a> Graph<'a> {
+    /// Builds the graph over `files` (library sources, already scanned).
+    pub fn build(files: Vec<&'a FileModel>) -> Self {
+        let modules: Vec<ModulePath> = files.iter().map(|f| module_path(&f.path)).collect();
+
+        let mut nodes: Vec<Node> = Vec::new();
+        let mut node_at = HashMap::new();
+        for (fi, file) in files.iter().enumerate() {
+            for (ji, f) in file.fns.iter().enumerate() {
+                if f.in_test {
+                    continue;
+                }
+                let Some(mut node) = body_facts(file, f) else {
+                    continue;
+                };
+                node.file = fi;
+                node.fn_idx = ji;
+                node_at.insert((file.path.clone(), ji), nodes.len());
+                nodes.push(node);
+            }
+        }
+
+        // Name indices for resolution.
+        let mut by_name: HashMap<String, Vec<NodeId>> = HashMap::new();
+        let mut by_file_name: HashMap<(usize, String), Vec<NodeId>> = HashMap::new();
+        for (id, node) in nodes.iter().enumerate() {
+            by_name.entry(node.name.clone()).or_default().push(id);
+            by_file_name
+                .entry((node.file, node.name.clone()))
+                .or_default()
+                .push(id);
+        }
+        let mut file_by_abs: HashMap<Vec<String>, Vec<usize>> = HashMap::new();
+        for (fi, m) in modules.iter().enumerate() {
+            file_by_abs.entry(m.abs()).or_default().push(fi);
+        }
+
+        let mut graph = Graph {
+            files,
+            modules,
+            nodes,
+            node_at,
+            by_name,
+            by_file_name,
+            file_by_abs,
+            edges: Vec::new(),
+            reach_charge: Vec::new(),
+            reach_emit: Vec::new(),
+            entropy_src: Vec::new(),
+        };
+
+        let edges: Vec<Vec<NodeId>> = graph
+            .nodes
+            .iter()
+            .map(|node| {
+                let mut out: Vec<NodeId> = node
+                    .calls
+                    .iter()
+                    .flat_map(|c| graph.resolve_call(node.file, c))
+                    .collect();
+                out.sort_unstable();
+                out.dedup();
+                out
+            })
+            .collect();
+        graph.edges = edges;
+
+        // Reverse-BFS reachability from seed sets (cycle-safe: each
+        // node is enqueued at most once).
+        let mut rev: Vec<Vec<NodeId>> = vec![Vec::new(); graph.nodes.len()];
+        for (from, outs) in graph.edges.iter().enumerate() {
+            for to in outs {
+                rev[*to].push(from);
+            }
+        }
+        let reach_src = |seed: &dyn Fn(&Node) -> bool| -> Vec<Option<NodeId>> {
+            let mut src: Vec<Option<NodeId>> = vec![None; graph.nodes.len()];
+            let mut queue: VecDeque<NodeId> = VecDeque::new();
+            for (id, n) in graph.nodes.iter().enumerate() {
+                if seed(n) {
+                    src[id] = Some(id);
+                    queue.push_back(id);
+                }
+            }
+            while let Some(id) = queue.pop_front() {
+                let origin = src[id];
+                for caller in &rev[id] {
+                    if src[*caller].is_none() {
+                        src[*caller] = origin;
+                        queue.push_back(*caller);
+                    }
+                }
+            }
+            src
+        };
+
+        graph.reach_charge = reach_src(&|n: &Node| n.direct_charge || n.direct_refusal)
+            .iter()
+            .map(Option::is_some)
+            .collect();
+        graph.reach_emit = reach_src(&|n: &Node| n.direct_emit)
+            .iter()
+            .map(Option::is_some)
+            .collect();
+        graph.entropy_src = reach_src(&|n: &Node| n.carriers.iter().any(|c| c.allowed));
+
+        graph
+    }
+
+    /// Resolves one call site from the file at index `fi` to candidate
+    /// callee nodes, precise-first (see the module docs).
+    pub fn resolve_call(&self, fi: usize, call: &CallSite) -> Vec<NodeId> {
+        let in_files = |fis: &[usize], name: &str| -> Vec<NodeId> {
+            fis.iter()
+                .flat_map(|f| {
+                    self.by_file_name
+                        .get(&(*f, name.to_string()))
+                        .map(Vec::as_slice)
+                        .unwrap_or(&[])
+                })
+                .copied()
+                .collect()
+        };
+        let global = || {
+            self.by_name
+                .get(call.name.as_str())
+                .cloned()
+                .unwrap_or_default()
+        };
+        if call.is_method {
+            return global();
+        }
+        if let Some(q) = &call.qual {
+            if q == "Self" || q == "self" {
+                let same = in_files(&[fi], &call.name);
+                return if same.is_empty() { global() } else { same };
+            }
+            // `use`-imported module or type qualifier.
+            if let Some(decl) = use_for_alias(self.files[fi], q) {
+                let abs = normalize_use(decl, &self.modules[fi]);
+                if let Some(fis) = self.file_by_abs.get(&abs) {
+                    let found = in_files(fis, &call.name);
+                    if !found.is_empty() {
+                        return found;
+                    }
+                }
+                // The import may name a type inside a module file
+                // (`use a::cpu::CpuExec; CpuExec::new()`).
+                if abs.len() > 1 {
+                    if let Some(fis) = self.file_by_abs.get(&abs[..abs.len() - 1]) {
+                        let found = in_files(fis, &call.name);
+                        if !found.is_empty() {
+                            return found;
+                        }
+                    }
+                }
+            }
+            // Qualifier matching a module file name or crate ident.
+            let fis: Vec<usize> = self
+                .modules
+                .iter()
+                .enumerate()
+                .filter(|(_, m)| {
+                    m.modules.last().map(String::as_str) == Some(q.as_str())
+                        || (m.crate_ident == *q && m.modules.is_empty())
+                })
+                .map(|(i, _)| i)
+                .collect();
+            let found = in_files(&fis, &call.name);
+            if !found.is_empty() {
+                return found;
+            }
+            return global(); // type-qualified (`GpuExec::new`)
+        }
+        // Unqualified: same file, then exact import, then global.
+        let same = in_files(&[fi], &call.name);
+        if !same.is_empty() {
+            return same;
+        }
+        if let Some(decl) = use_for_alias(self.files[fi], &call.name) {
+            let abs = normalize_use(decl, &self.modules[fi]);
+            if let (Some(target_name), true) = (abs.last(), abs.len() > 1) {
+                if let Some(fis) = self.file_by_abs.get(&abs[..abs.len() - 1]) {
+                    let found = in_files(fis, target_name);
+                    if !found.is_empty() {
+                        return found;
+                    }
+                }
+            }
+        }
+        global()
+    }
+
+    /// All node ids.
+    pub fn node_ids(&self) -> std::ops::Range<NodeId> {
+        0..self.nodes.len()
+    }
+
+    /// Node for the `fn_idx`-th function of the file at `path`
+    /// (workspace-relative), if indexed.
+    pub fn node_id(&self, path: &Path, fn_idx: usize) -> Option<NodeId> {
+        self.node_at.get(&(path.to_path_buf(), fn_idx)).copied()
+    }
+
+    /// The node record.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id]
+    }
+
+    /// The file a node lives in.
+    pub fn file_of(&self, id: NodeId) -> &FileModel {
+        self.files[self.nodes[id].file]
+    }
+
+    /// The scanned function record of a node.
+    pub fn fn_info(&self, id: NodeId) -> &FnInfo {
+        &self.file_of(id).fns[self.nodes[id].fn_idx]
+    }
+
+    /// Resolved callees of a node.
+    pub fn callees(&self, id: NodeId) -> &[NodeId] {
+        &self.edges[id]
+    }
+
+    /// Whether the node (transitively) reaches a `charge*` call or an
+    /// `Unsupported` refusal.
+    pub fn reaches_charge(&self, id: NodeId) -> bool {
+        self.reach_charge[id]
+    }
+
+    /// Whether the node (transitively) reaches a trace emit.
+    pub fn reaches_emit(&self, id: NodeId) -> bool {
+        self.reach_emit[id]
+    }
+
+    /// The allowed entropy-carrier node this node (transitively)
+    /// reaches, if any (itself, when it carries).
+    pub fn entropy_source(&self, id: NodeId) -> Option<NodeId> {
+        self.entropy_src[id]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn fm(path: &str, src: &str) -> FileModel {
+        FileModel::new(PathBuf::from(path), src)
+    }
+
+    #[test]
+    fn transitive_charge_crosses_files_via_use() {
+        let a = fm(
+            "crates/gpu/src/algos.rs",
+            "use crate::device::spend;\npub fn kernel(g: &Gpu) { spend(g); }\n\
+             pub fn free_kernel(g: &Gpu) { helper(g); }\nfn helper(_g: &Gpu) {}\n",
+        );
+        let b = fm(
+            "crates/gpu/src/device.rs",
+            "pub fn spend(g: &Gpu) { g.charge_raw(1.0); }\n",
+        );
+        let g = Graph::build(vec![&a, &b]);
+        let kernel = g.node_id(Path::new("crates/gpu/src/algos.rs"), 0).unwrap();
+        let free = g.node_id(Path::new("crates/gpu/src/algos.rs"), 1).unwrap();
+        assert!(g.reaches_charge(kernel));
+        assert!(!g.reaches_charge(free));
+    }
+
+    #[test]
+    fn cycles_terminate_and_do_not_charge() {
+        let a = fm(
+            "crates/gpu/src/a.rs",
+            "pub fn ping(x: u32) { pong(x); }\npub fn pong(x: u32) { ping(x); }\n",
+        );
+        let g = Graph::build(vec![&a]);
+        assert!(!g.reaches_charge(0));
+        assert!(!g.reaches_charge(1));
+    }
+
+    #[test]
+    fn same_file_definition_shadows_global() {
+        // `helper` exists in both files; only b's charges. a's call must
+        // resolve to a's own (non-charging) helper.
+        let a = fm(
+            "crates/gpu/src/a.rs",
+            "pub fn kernel() { helper(); }\nfn helper() {}\n",
+        );
+        let b = fm(
+            "crates/gpu/src/b.rs",
+            "pub fn other() { helper(); }\nfn helper() { charge_raw(1.0); }\n",
+        );
+        let g = Graph::build(vec![&a, &b]);
+        let kernel = g.node_id(Path::new("crates/gpu/src/a.rs"), 0).unwrap();
+        let other = g.node_id(Path::new("crates/gpu/src/b.rs"), 0).unwrap();
+        assert!(!g.reaches_charge(kernel));
+        assert!(g.reaches_charge(other));
+    }
+
+    #[test]
+    fn method_calls_take_global_union() {
+        let a = fm(
+            "crates/core/src/backend/cluster.rs",
+            "impl Executor for ClusterExec { fn tsqr(&self) { self.panel(); } }\n\
+             impl ClusterExec { fn panel(&self) { charge(1.0); } }\n",
+        );
+        let g = Graph::build(vec![&a]);
+        let tsqr = g
+            .node_id(Path::new("crates/core/src/backend/cluster.rs"), 0)
+            .unwrap();
+        assert!(g.reaches_charge(tsqr));
+    }
+
+    #[test]
+    fn refusal_counts_as_charge() {
+        let a = fm(
+            "crates/core/src/backend/cpu.rs",
+            "impl Executor for CpuExec { fn tsqr(&self) -> Result<(), MatrixError> { \
+             Err(MatrixError::Unsupported(\"no tsqr\")) } }\n",
+        );
+        let g = Graph::build(vec![&a]);
+        assert!(g.reaches_charge(0));
+    }
+
+    #[test]
+    fn emit_reachability_is_transitive() {
+        let a = fm(
+            "crates/gpu/src/device.rs",
+            "pub fn accrue(&mut self, s: f64) { self.clock += s; self.note(s); }\n\
+             fn note(&self, s: f64) { self.trace_event(s); }\n\
+             pub fn silent(&mut self, s: f64) { self.clock += s; }\n",
+        );
+        let g = Graph::build(vec![&a]);
+        assert_eq!(g.node(0).trace_charge_line, Some(1));
+        assert!(g.reaches_emit(0));
+        assert!(g.node(2).trace_charge_line.is_some());
+        assert!(!g.reaches_emit(2));
+    }
+
+    #[test]
+    fn entropy_flows_from_allowed_carriers() {
+        let a = fm(
+            "crates/trace/src/export.rs",
+            "// analyze: allow(determinism, export timestamps are cosmetic)\n\
+             pub fn wall_stamp() -> f64 { SystemTime::now() }\n\
+             pub fn caller() -> f64 { wall_stamp() }\n\
+             pub fn clean() -> f64 { 0.0 }\n",
+        );
+        let g = Graph::build(vec![&a]);
+        let stamp = g
+            .node_id(Path::new("crates/trace/src/export.rs"), 0)
+            .unwrap();
+        let caller = g
+            .node_id(Path::new("crates/trace/src/export.rs"), 1)
+            .unwrap();
+        let clean = g
+            .node_id(Path::new("crates/trace/src/export.rs"), 2)
+            .unwrap();
+        assert_eq!(g.entropy_source(stamp), Some(stamp));
+        assert_eq!(g.entropy_source(caller), Some(stamp));
+        assert_eq!(g.entropy_source(clean), None);
+    }
+}

@@ -42,6 +42,20 @@ impl Tok {
     pub fn is_punct(&self, c: char) -> bool {
         self.kind == TokKind::Punct && self.text.len() == 1 && self.text.starts_with(c)
     }
+
+    /// For a string-literal token, the content between the quotes (the
+    /// `r`/`b` prefix, `#` fences and quotes are stripped; escape
+    /// sequences are left as written). `None` for any other token.
+    pub fn str_content(&self) -> Option<&str> {
+        if self.kind != TokKind::Literal {
+            return None;
+        }
+        let t = self.text.strip_prefix('b').unwrap_or(&self.text);
+        let t = t.strip_prefix('r').unwrap_or(t);
+        let t = t.trim_matches('#');
+        let t = t.strip_prefix('"')?;
+        t.strip_suffix('"').or(Some(t))
+    }
 }
 
 /// A comment (line or block), captured for allow-annotation lookup.
@@ -125,18 +139,36 @@ pub fn lex(src: &str) -> Lexed {
             });
             continue;
         }
-        // Identifier — with lookahead for raw/byte string prefixes.
+        // Identifier — with lookahead for raw/byte string prefixes and
+        // raw identifiers (`r#fn`).
         if is_id_start(c) {
             let start = i;
             while i < n && is_id_cont(b[i]) {
                 i += 1;
             }
             let text: String = b[start..i].iter().collect();
+            // Raw identifier `r#name`: exactly one `#` followed by an
+            // identifier start (a raw *string* has `"` after its `#`s).
+            // Keep the `r#` prefix in the token text so a raw identifier
+            // never collides with the keyword it escapes.
+            if text == "r" && i + 1 < n && b[i] == '#' && is_id_start(b[i + 1]) {
+                i += 1; // the '#'
+                while i < n && is_id_cont(b[i]) {
+                    i += 1;
+                }
+                out.toks.push(Tok {
+                    kind: TokKind::Ident,
+                    text: b[start..i].iter().collect(),
+                    line,
+                });
+                continue;
+            }
             // r"..", r#".."#, b"..", br#".."#, b'x'
             if (text == "r" || text == "b" || text == "br")
                 && i < n
                 && (b[i] == '"' || b[i] == '#' || (text == "b" && b[i] == '\''))
             {
+                let start_line = line;
                 if b[i] == '\'' {
                     // byte char literal
                     i = consume_char_literal(&b, i, &mut line);
@@ -145,8 +177,8 @@ pub fn lex(src: &str) -> Lexed {
                 }
                 out.toks.push(Tok {
                     kind: TokKind::Literal,
-                    text: String::new(),
-                    line,
+                    text: b[start..i.min(n)].iter().collect(),
+                    line: start_line,
                 });
                 continue;
             }
@@ -159,6 +191,7 @@ pub fn lex(src: &str) -> Lexed {
         }
         // Number literal.
         if c.is_ascii_digit() {
+            let start = i;
             let start_line = line;
             i += 1;
             while i < n {
@@ -175,13 +208,17 @@ pub fn lex(src: &str) -> Lexed {
             }
             out.toks.push(Tok {
                 kind: TokKind::Literal,
-                text: String::new(),
+                text: b[start..i].iter().collect(),
                 line: start_line,
             });
             continue;
         }
-        // String literal.
+        // String literal. The raw source text (quotes included) is kept
+        // on the token — the flops-signature lint reads kernel-name
+        // strings — but the token kind stays `Literal`, so contents can
+        // never match an identifier-shaped lint pattern.
         if c == '"' {
+            let start = i;
             let start_line = line;
             i += 1;
             while i < n {
@@ -200,7 +237,7 @@ pub fn lex(src: &str) -> Lexed {
             }
             out.toks.push(Tok {
                 kind: TokKind::Literal,
-                text: String::new(),
+                text: b[start..i.min(n)].iter().collect(),
                 line: start_line,
             });
             continue;
@@ -211,11 +248,13 @@ pub fn lex(src: &str) -> Lexed {
             let is_char = (i + 1 < n && b[i + 1] == '\\')
                 || (i + 2 < n && b[i + 2] == '\'' && b[i + 1] != '\'');
             if is_char {
+                let start = i;
+                let start_line = line;
                 i = consume_char_literal(&b, i, &mut line);
                 out.toks.push(Tok {
                     kind: TokKind::Literal,
-                    text: String::new(),
-                    line,
+                    text: b[start..i.min(n)].iter().collect(),
+                    line: start_line,
                 });
             } else {
                 let start = i;
@@ -346,5 +385,81 @@ mod tests {
         let l = lex("/* a /* b */ c */ fn f() {}");
         assert_eq!(l.comments.len(), 1);
         assert!(l.toks.iter().any(|t| t.is_ident("fn")));
+    }
+
+    #[test]
+    fn raw_identifiers_do_not_open_raw_strings() {
+        // `r#fn` once mis-lexed as a raw-string opener, swallowing `#`
+        // and leaving a bare `fn` keyword in the stream.
+        let l = lex("fn r#fn() { r#loop(); }\nfn after() {}\n");
+        assert!(l.toks.iter().any(|t| t.is_ident("after")));
+        assert!(l
+            .toks
+            .iter()
+            .any(|t| t.kind == TokKind::Ident && t.text == "r#fn"));
+        assert!(l
+            .toks
+            .iter()
+            .any(|t| t.kind == TokKind::Ident && t.text == "r#loop"));
+        // The escaped keyword must not collide with the real `fn`s.
+        assert_eq!(l.toks.iter().filter(|t| t.is_ident("fn")).count(), 2);
+    }
+
+    #[test]
+    fn byte_char_literals_are_literals() {
+        let l = lex(r"let a = b'x'; let q = b'\''; let nl = b'\n'; done();");
+        assert!(l.toks.iter().any(|t| t.is_ident("done")));
+        assert_eq!(
+            l.toks.iter().filter(|t| t.kind == TokKind::Literal).count(),
+            3
+        );
+    }
+
+    #[test]
+    fn nested_raw_strings_close_on_matching_fence() {
+        // The inner `"#` must not close an `r##"…"##` string.
+        let l = lex("let s = r##\"contains \"# inner panic!()\"##; after();");
+        assert!(l.toks.iter().any(|t| t.is_ident("after")));
+        assert!(!l.toks.iter().any(|t| t.is_ident("panic")));
+        let lit = l
+            .toks
+            .iter()
+            .find(|t| t.kind == TokKind::Literal)
+            .expect("raw string lexed");
+        assert_eq!(lit.str_content(), Some("contains \"# inner panic!()"));
+    }
+
+    #[test]
+    fn lifetime_vs_char_ambiguities() {
+        // 'a as a lifetime, 'a' as a char, b'a' as a byte char, all in
+        // one stream, must not desynchronize the lexer.
+        let l = lex(
+            "fn f<'a>(x: &'a str, y: &'a str) -> char { let c = 'a'; let b = b'a'; c }\nfn g() {}",
+        );
+        assert!(l.toks.iter().any(|t| t.is_ident("g")));
+        assert_eq!(
+            l.toks
+                .iter()
+                .filter(|t| t.kind == TokKind::Lifetime)
+                .count(),
+            3
+        );
+        assert_eq!(
+            l.toks.iter().filter(|t| t.kind == TokKind::Literal).count(),
+            2
+        );
+    }
+
+    #[test]
+    fn string_literal_content_is_kept_but_opaque() {
+        let l = lex("charge(\"gemm\", 2);");
+        let lit = l
+            .toks
+            .iter()
+            .find(|t| t.kind == TokKind::Literal && t.text.starts_with('"'))
+            .expect("string lexed");
+        assert_eq!(lit.str_content(), Some("gemm"));
+        // Content must never surface as an identifier token.
+        assert!(!l.toks.iter().any(|t| t.is_ident("gemm")));
     }
 }

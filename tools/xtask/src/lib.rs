@@ -1,77 +1,116 @@
 //! # rlra-analyze
 //!
 //! Repo-specific static analysis for the rlra workspace, run as
-//! `cargo xtask analyze`. Six invariants the compiler cannot see:
+//! `cargo xtask analyze`. Nine invariants the compiler cannot see:
 //!
 //! 1. **cost** — every simulated GPU kernel and every Executor stage
-//!    hook charges the analytic cost model (no free kernels).
+//!    hook *reaches* a cost-model charge, directly or through any
+//!    callee on the whole-workspace call graph (no free kernels).
 //! 2. **determinism** — no wall clock / entropy in library crates; the
-//!    simulated clock and seeded RNGs are the only legal sources.
+//!    simulated clock and seeded RNGs are the only legal sources. An
+//!    `allow(determinism, ..)` is site-local: callers that reach an
+//!    allowed carrier need their own allow (flow layer, on the graph).
 //! 3. **panic** — no `unwrap`/`expect`/`panic!`/`todo!` in the serving
 //!    crates' library code; errors are `MatrixError` returns.
 //! 4. **flops** — every BLAS level-2/3 routine has a flop formula in
 //!    `rlra-blas::flops`.
 //! 5. **trace** — every clock/timeline charging site in `rlra-gpu`
-//!    also emits a trace event, so the event stream stays complete
-//!    and the golden-trace reconciliation holds.
+//!    reaches a trace emit (directly or through callees), so the event
+//!    stream stays complete and the golden-trace reconciliation holds.
 //! 6. **numerics** — every CholQR call site in library code goes
 //!    through the `NumericGuard` fallback ladder (counted, traced,
 //!    policy-controlled), so breakdowns can neither abort a rescuable
 //!    run nor escalate silently.
+//! 7. **hook_parity** — every silently-defaulted `Executor` hook is
+//!    implemented on all four backends (cpu/gpu/multi/cluster), so a
+//!    deleted backend impl cannot make its work free.
+//! 8. **flops_sig** — every `charge_kernel` site prices with the
+//!    cost-model method its kernel name demands, at the model's arity,
+//!    with dims wiring that agrees (no gemm charged as trsm).
+//! 9. **discard** — no `let _ = ..` and no dropped `Result` statements
+//!    on the serving path; a swallowed error defeats the
+//!    breakdown-recovery ladder.
 //!
 //! Deliberate exceptions carry `// analyze: allow(lint, reason)` on or
 //! just above the offending line; an allow without a reason is itself
 //! reported. The analyzer is dependency-free (the build container is
 //! offline): a small hand-rolled lexer + item scanner stand in for
-//! `syn`, which is all these token-shaped invariants need.
+//! `syn`, and [`graph`] builds the interprocedural layer on top of
+//! them. Files load in parallel ([`par`], over `rayon::join`); pass
+//! [`Options::serial`] to force the sequential path (the findings are
+//! identical — order is restored by the final sort either way).
+//!
+//! Output formats: human diagnostics, versioned JSON, and SARIF 2.1.0
+//! ([`output`]); regression gating against a checked-in baseline
+//! ([`baseline`]).
 
 #![forbid(unsafe_code)]
 
+pub mod baseline;
 pub mod diag;
+pub mod graph;
 pub mod lex;
 pub mod lints;
+pub mod output;
+pub mod par;
+pub mod resolve;
 pub mod scan;
 pub mod workspace;
 
 use diag::Finding;
+use graph::Graph;
 use scan::FileModel;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashSet};
 use std::path::{Path, PathBuf};
+use std::time::Instant;
+use workspace::Scope;
 
-/// Loads and scans every file a lint needs, keyed by absolute path,
-/// reporting paths relative to `root`.
-struct Loader {
-    root: PathBuf,
+/// Analyzer knobs.
+#[derive(Debug, Default, Clone)]
+pub struct Options {
+    /// Load and scan files sequentially instead of via `rayon::join`
+    /// (for the parallel==serial equivalence check and debugging).
+    pub serial: bool,
+}
+
+/// An analysis run: the findings plus per-phase wall time.
+#[derive(Debug)]
+pub struct Analysis {
+    /// Sorted, deduplicated findings; empty means clean.
+    pub findings: Vec<Finding>,
+    /// `(phase, seconds)` — file loading, graph construction, and each
+    /// lint, in execution order.
+    pub timings: Vec<(String, f64)>,
+}
+
+/// All scanned files, keyed by absolute path, reporting
+/// workspace-relative paths.
+struct Loaded {
     cache: BTreeMap<PathBuf, FileModel>,
 }
 
-impl Loader {
-    fn new(root: &Path) -> Self {
-        Loader {
-            root: root.to_path_buf(),
-            cache: BTreeMap::new(),
-        }
-    }
-
-    fn load(&mut self, path: &Path) -> Result<&FileModel, String> {
-        if !self.cache.contains_key(path) {
-            let src = std::fs::read_to_string(path)
-                .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
-            let rel = path
-                .strip_prefix(&self.root)
+impl Loaded {
+    /// Loads every path (absolute), in parallel unless `serial`.
+    fn load(root: &Path, paths: &[PathBuf], serial: bool) -> Result<Self, String> {
+        let one = |p: &PathBuf| -> Result<FileModel, String> {
+            let src = std::fs::read_to_string(p)
+                .map_err(|e| format!("cannot read {}: {e}", p.display()))?;
+            let rel = p
+                .strip_prefix(root)
                 .map(Path::to_path_buf)
-                .unwrap_or_else(|_| path.to_path_buf());
-            self.cache
-                .insert(path.to_path_buf(), FileModel::new(rel, &src));
+                .unwrap_or_else(|_| p.clone());
+            Ok(FileModel::new(rel, &src))
+        };
+        let models: Vec<Result<FileModel, String>> = if serial {
+            paths.iter().map(one).collect()
+        } else {
+            par::par_map(paths, &one)
+        };
+        let mut cache = BTreeMap::new();
+        for (p, m) in paths.iter().zip(models) {
+            cache.insert(p.clone(), m?);
         }
-        Ok(&self.cache[path])
-    }
-
-    fn load_all(&mut self, paths: &[PathBuf]) -> Result<(), String> {
-        for p in paths {
-            self.load(p)?;
-        }
-        Ok(())
+        Ok(Loaded { cache })
     }
 
     fn get_all(&self, paths: &[PathBuf]) -> Vec<&FileModel> {
@@ -79,62 +118,139 @@ impl Loader {
     }
 }
 
-/// Runs all six lints (plus the allow-reason check) on the workspace
+/// Runs all nine lints (plus the allow-reason check) on the workspace
 /// at `root`. Returns the sorted findings; empty means clean.
 ///
 /// # Errors
 ///
 /// Returns a message when a source file cannot be read.
 pub fn analyze(root: &Path) -> Result<Vec<Finding>, String> {
-    let mut loader = Loader::new(root);
+    analyze_with(root, &Options::default()).map(|a| a.findings)
+}
 
-    let det_paths = workspace::determinism_files(root);
-    let trace_paths = workspace::trace_files(root);
-    let panic_paths = workspace::panic_files(root);
-    let graph_paths = workspace::cost_graph_files(root);
-    let algo_paths = workspace::cost_algo_files(root);
-    let exec_paths = workspace::cost_executor_files(root);
-    let routine_paths = workspace::flops_routine_files(root);
-    let flops_path = workspace::flops_file(root);
-    let numerics_paths = workspace::numerics_files(root);
+/// [`analyze`], with knobs and per-phase timings.
+///
+/// # Errors
+///
+/// Returns a message when a source file cannot be read.
+pub fn analyze_with(root: &Path, opts: &Options) -> Result<Analysis, String> {
+    let mut timings: Vec<(String, f64)> = Vec::new();
+    let timed = |timings: &mut Vec<(String, f64)>, phase: &str, t0: Instant| {
+        timings.push((phase.to_string(), t0.elapsed().as_secs_f64()));
+    };
 
-    loader.load_all(&det_paths)?;
-    loader.load_all(&trace_paths)?;
-    loader.load_all(&panic_paths)?;
-    loader.load_all(&graph_paths)?;
-    loader.load_all(&algo_paths)?;
-    loader.load_all(&exec_paths)?;
-    loader.load_all(&routine_paths)?;
-    loader.load(&flops_path)?;
-    loader.load_all(&numerics_paths)?;
+    // One union load over every scope (the graph scope is a superset,
+    // but scopes outside `crates/` — none today — would extend it).
+    let t0 = Instant::now();
+    let scope_paths = |s: Scope| workspace::files_for(root, s);
+    let det_paths = scope_paths(Scope::Determinism);
+    let panic_paths = scope_paths(Scope::Panic);
+    let trace_paths = scope_paths(Scope::Trace);
+    let numerics_paths = scope_paths(Scope::Numerics);
+    let algo_paths = scope_paths(Scope::CostAlgos);
+    let exec_paths = scope_paths(Scope::CostExecutors);
+    let routine_paths = scope_paths(Scope::FlopsRoutines);
+    let formula_paths = scope_paths(Scope::FlopsFormulas);
+    let discard_paths = scope_paths(Scope::Discard);
+    let parity_paths = scope_paths(Scope::HookParity);
+    let flops_sig_paths = scope_paths(Scope::FlopsSig);
+    let graph_paths = scope_paths(Scope::Graph);
+
+    let mut union: Vec<PathBuf> = Vec::new();
+    for set in [
+        &det_paths,
+        &panic_paths,
+        &trace_paths,
+        &numerics_paths,
+        &algo_paths,
+        &exec_paths,
+        &routine_paths,
+        &formula_paths,
+        &discard_paths,
+        &parity_paths,
+        &flops_sig_paths,
+        &graph_paths,
+    ] {
+        union.extend(set.iter().cloned());
+    }
+    union.sort();
+    union.dedup();
+    let loaded = Loaded::load(root, &union, opts.serial)?;
+    timed(&mut timings, "load", t0);
+
+    let t0 = Instant::now();
+    let graph = Graph::build(loaded.get_all(&graph_paths));
+    timed(&mut timings, "graph", t0);
 
     let mut findings = Vec::new();
-    for f in loader.get_all(&det_paths) {
+
+    let t0 = Instant::now();
+    for f in loaded.get_all(&det_paths) {
         findings.extend(lints::determinism::check(f));
     }
-    for f in loader.get_all(&panic_paths) {
+    let det_scope: HashSet<&Path> = loaded
+        .get_all(&det_paths)
+        .iter()
+        .map(|f| f.path.as_path())
+        .collect();
+    findings.extend(lints::determinism::check_flow(&graph, &det_scope));
+    timed(&mut timings, "determinism", t0);
+
+    let t0 = Instant::now();
+    for f in loaded.get_all(&panic_paths) {
         findings.extend(lints::panics::check(f));
     }
-    for f in loader.get_all(&trace_paths) {
-        findings.extend(lints::trace::check(f));
-    }
+    timed(&mut timings, "panic", t0);
+
+    let t0 = Instant::now();
+    findings.extend(lints::trace::check(&graph, &loaded.get_all(&trace_paths)));
+    timed(&mut timings, "trace", t0);
+
+    let t0 = Instant::now();
     findings.extend(lints::cost::check(
-        &loader.get_all(&algo_paths),
-        &loader.get_all(&exec_paths),
-        &loader.get_all(&graph_paths),
+        &graph,
+        &loaded.get_all(&algo_paths),
+        &loaded.get_all(&exec_paths),
     ));
-    findings.extend(lints::flops::check(
-        &loader.get_all(&routine_paths),
-        &loader.cache[&flops_path],
-    ));
-    for f in loader.get_all(&numerics_paths) {
+    timed(&mut timings, "cost", t0);
+
+    let t0 = Instant::now();
+    if let Some(formulas) = formula_paths.first().and_then(|p| loaded.cache.get(p)) {
+        findings.extend(lints::flops::check(
+            &loaded.get_all(&routine_paths),
+            formulas,
+        ));
+    }
+    timed(&mut timings, "flops", t0);
+
+    let t0 = Instant::now();
+    for f in loaded.get_all(&numerics_paths) {
         findings.extend(lints::numerics::check(f));
     }
-    for f in loader.cache.values() {
+    timed(&mut timings, "numerics", t0);
+
+    let t0 = Instant::now();
+    findings.extend(lints::hook_parity::check(&loaded.get_all(&parity_paths)));
+    timed(&mut timings, "hook_parity", t0);
+
+    let t0 = Instant::now();
+    findings.extend(lints::flops_sig::check(&loaded.get_all(&flops_sig_paths)));
+    timed(&mut timings, "flops_sig", t0);
+
+    let t0 = Instant::now();
+    findings.extend(lints::discard::check(
+        &graph,
+        &loaded.get_all(&discard_paths),
+    ));
+    timed(&mut timings, "discard", t0);
+
+    let t0 = Instant::now();
+    for f in loaded.cache.values() {
         findings.extend(lints::check_allow_reasons(f));
     }
+    timed(&mut timings, "allow", t0);
 
     diag::sort(&mut findings);
     findings.dedup();
-    Ok(findings)
+    Ok(Analysis { findings, timings })
 }

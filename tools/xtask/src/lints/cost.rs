@@ -5,29 +5,28 @@
 //! every figure. Two sets of functions carry that obligation:
 //!
 //! 1. every `pub fn` in `rlra-gpu::algos` (the timed GPU algorithms), and
-//! 2. every stage hook of an `impl Executor for ..` in
+//! 2. every stage or charge hook of an `impl Executor for ..` in
 //!    `rlra-core::backend`.
 //!
-//! A function satisfies the lint if its body — or any function it calls,
-//! transitively, within the analyzed files — reaches a `charge(..)` /
-//! `charge_*(..)` call. A hook that *refuses* the request with
-//! [`MatrixError::Unsupported`] is also fine: refused work is not free
-//! work, it never runs.
+//! "Charges" is a whole-workspace interprocedural fact on the call
+//! graph: a function satisfies the lint if its body — or any function
+//! it resolves to, transitively, across crates — reaches a
+//! `charge(..)` / `charge_*(..)` call. A hook that *refuses* the
+//! request with [`MatrixError::Unsupported`] is also fine: refused work
+//! is not free work, it never runs.
 //!
-//! Call resolution is by name (the analyzer has no type information); if
-//! several functions share a name, the callee is considered charging if
-//! any of them charges. That is deliberate: this lint hunts *free*
-//! kernels, and a false "charges" on a shared name is far cheaper than
-//! drowning the signal in false positives.
+//! The graph's name-keyed fallback is deliberately permissive (see
+//! [`crate::graph`]): this lint hunts *free* kernels, and a false
+//! "charges" on a shared name is far cheaper than drowning the signal
+//! in false positives.
 
 use crate::diag::Finding;
-use crate::lex::TokKind;
-use crate::scan::{FileModel, FnInfo};
-use std::collections::{HashMap, HashSet};
+use crate::graph::Graph;
+use crate::scan::FileModel;
 
 /// The Executor stage hooks that must charge (the non-stage methods —
 /// `name`, `computes`, `supports`, `begin`, `finish`, `elapsed`,
-/// `supports_adaptive` — manage lifecycle, not kernels).
+/// `supports_adaptive`, `tracer` — manage lifecycle, not kernels).
 pub const STAGE_HOOKS: &[&str] = &[
     "gaussian_sample",
     "srft_sample_rows",
@@ -49,102 +48,36 @@ pub const STAGE_HOOKS: &[&str] = &[
     "verify_probe",
 ];
 
-/// Whether a callee name is a direct charge.
-fn is_charge_name(name: &str) -> bool {
-    name == "charge" || name.starts_with("charge_")
-}
+/// The guard/recovery charge hooks: same obligation as the stage hooks
+/// (an uncharged fallback or health check is free work), kept separate
+/// because they price *exceptional* paths.
+pub const CHARGE_HOOKS: &[&str] = &["charge_fallback", "charge_health_check", "charge_recovery"];
 
-/// Collects the names called in a function body (free calls, method
-/// calls, and path calls all reduce to "identifier followed by `(`"),
-/// plus whether the body directly charges or refuses with `Unsupported`.
-fn body_facts(file: &FileModel, f: &FnInfo) -> (HashSet<String>, bool) {
-    let mut calls = HashSet::new();
-    let mut direct = false;
-    let Some(body) = f.body.clone() else {
-        return (calls, false);
-    };
-    let toks = &file.lexed.toks[body];
-    for (i, t) in toks.iter().enumerate() {
-        if t.kind != TokKind::Ident {
-            continue;
-        }
-        if t.text == "Unsupported" {
-            direct = true;
-        }
-        let next_is_call = toks.get(i + 1).map(|t| t.is_punct('(')).unwrap_or(false);
-        if next_is_call {
-            if is_charge_name(&t.text) {
-                direct = true;
-            }
-            calls.insert(t.text.clone());
-        }
-    }
-    (calls, direct)
-}
-
-/// Name-keyed call graph over every function in `graph_files`.
-struct CallGraph {
-    /// name -> (called names, charges directly)
-    nodes: HashMap<String, (HashSet<String>, bool)>,
-}
-
-impl CallGraph {
-    fn build(graph_files: &[&FileModel]) -> Self {
-        let mut nodes: HashMap<String, (HashSet<String>, bool)> = HashMap::new();
-        for file in graph_files {
-            for f in &file.fns {
-                if f.in_test || f.body.is_none() {
-                    continue;
-                }
-                let (calls, direct) = body_facts(file, f);
-                let entry = nodes.entry(f.name.clone()).or_default();
-                entry.0.extend(calls);
-                entry.1 |= direct;
-            }
-        }
-        CallGraph { nodes }
-    }
-
-    /// Whether `name` (transitively) reaches a charge call.
-    fn reaches_charge(&self, name: &str, seen: &mut HashSet<String>) -> bool {
-        if is_charge_name(name) {
-            return true;
-        }
-        if !seen.insert(name.to_string()) {
-            return false;
-        }
-        let Some((calls, direct)) = self.nodes.get(name) else {
-            return false;
-        };
-        if *direct {
-            return true;
-        }
-        calls.iter().any(|c| self.reaches_charge(c, seen))
-    }
+/// Whether `name` is a cost-lint obligation on an Executor impl.
+pub fn is_obligated_hook(name: &str) -> bool {
+    STAGE_HOOKS.contains(&name) || CHARGE_HOOKS.contains(&name)
 }
 
 /// Runs the cost lint.
 ///
+/// * `graph` — the workspace call graph (must index the files below).
 /// * `algo_files` — files whose **pub fns** must all charge
 ///   (`rlra-gpu::algos`).
-/// * `executor_files` — files whose `impl Executor for ..` stage hooks
-///   must all charge (`rlra-core::backend`).
-/// * `graph_files` — everything indexed for transitive resolution
-///   (should be a superset of the other two).
+/// * `executor_files` — files whose `impl Executor for ..` hooks must
+///   all charge (`rlra-core::backend`).
 pub fn check(
+    graph: &Graph<'_>,
     algo_files: &[&FileModel],
     executor_files: &[&FileModel],
-    graph_files: &[&FileModel],
 ) -> Vec<Finding> {
-    let graph = CallGraph::build(graph_files);
     let mut findings = Vec::new();
 
-    let mut check_fn = |file: &FileModel, f: &FnInfo, what: &str| {
-        let (calls, direct) = body_facts(file, f);
-        let charges = direct
-            || calls
-                .iter()
-                .any(|c| graph.reaches_charge(c, &mut HashSet::new()));
+    let mut check_fn = |file: &FileModel, fn_idx: usize, what: &str| {
+        let f = &file.fns[fn_idx];
+        let charges = graph
+            .node_id(&file.path, fn_idx)
+            .map(|id| graph.reaches_charge(id))
+            .unwrap_or(false);
         if !charges && file.allow_for_fn("cost", f).is_none() {
             findings.push(Finding {
                 file: file.path.clone(),
@@ -160,23 +93,23 @@ pub fn check(
     };
 
     for file in algo_files {
-        for f in &file.fns {
+        for (i, f) in file.fns.iter().enumerate() {
             if f.is_pub && !f.in_test && f.body.is_some() {
-                check_fn(file, f, "simulated kernel");
+                check_fn(file, i, "simulated kernel");
             }
         }
     }
     for file in executor_files {
-        for f in &file.fns {
+        for (i, f) in file.fns.iter().enumerate() {
             if f.in_test || f.body.is_none() || f.in_trait_def {
                 continue;
             }
             let in_executor_impl = f
                 .impl_idx
-                .map(|i| file.impls[i].trait_name.as_deref() == Some("Executor"))
+                .map(|j| file.impls[j].trait_name.as_deref() == Some("Executor"))
                 .unwrap_or(false);
-            if in_executor_impl && STAGE_HOOKS.contains(&f.name.as_str()) {
-                check_fn(file, f, "Executor stage hook");
+            if in_executor_impl && is_obligated_hook(&f.name) {
+                check_fn(file, i, "Executor stage hook");
             }
         }
     }

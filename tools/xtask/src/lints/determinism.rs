@@ -6,10 +6,23 @@
 //! (`StdRng::seed_from_u64`) the only legal randomness source in
 //! library crates. Bench binaries (`src/bin/`) and `#[cfg(test)]` code
 //! may measure real time.
+//!
+//! Two layers:
+//!
+//! 1. **Direct** ([`check`]) — any forbidden token in a scoped file is
+//!    flagged unless it carries an `allow(determinism, reason)`.
+//! 2. **Flow** ([`check_flow`], over the call graph) — an allow is
+//!    site-local, not transitive: a library function that *calls* an
+//!    allowed entropy/wall-clock carrier pulls nondeterminism into code
+//!    the carrier's justification never covered, so every caller needs
+//!    its own allow (or to stop calling the carrier).
 
 use crate::diag::Finding;
+use crate::graph::Graph;
 use crate::lex::TokKind;
 use crate::scan::FileModel;
+use std::collections::HashSet;
+use std::ops::Range;
 
 /// Identifiers that are forbidden anywhere they appear.
 const FORBIDDEN_IDENTS: &[(&str, &str)] = &[
@@ -28,29 +41,40 @@ const FORBIDDEN_PATHS: &[(&str, &str, &str)] = &[
     ),
 ];
 
-/// Runs the determinism lint over one library source file.
-pub fn check(file: &FileModel) -> Vec<Finding> {
-    let mut findings = Vec::new();
+/// One occurrence of a forbidden entropy/wall-clock token.
+#[derive(Debug, Clone)]
+pub struct Carrier {
+    /// 1-based line of the token.
+    pub line: u32,
+    /// What was found (`SystemTime`, `Instant::now`, …).
+    pub what: String,
+    /// Advice for the finding message.
+    pub fix: &'static str,
+    /// Whether an `allow(determinism, ..)` covers the site.
+    pub allowed: bool,
+}
+
+/// Scans `range` of `file`'s token stream for forbidden entropy and
+/// wall-clock sources. `#[cfg(test)]` regions never carry.
+pub fn carriers_in(file: &FileModel, range: Range<usize>) -> Vec<Carrier> {
+    let mut out = Vec::new();
     let toks = &file.lexed.toks;
-    for (i, t) in toks.iter().enumerate() {
+    for i in range {
+        let t = &toks[i];
         if t.kind != TokKind::Ident || file.in_test_range(i) {
             continue;
         }
-        let mut flag = |what: &str, fix: &str| {
-            if file.allow_at("determinism", t.line).is_none() {
-                findings.push(Finding {
-                    file: file.path.clone(),
-                    line: t.line,
-                    lint: "determinism",
-                    message: format!(
-                        "`{what}` breaks seed-reproducibility in library code — {fix}"
-                    ),
-                });
-            }
+        let mut push = |what: String, fix: &'static str| {
+            out.push(Carrier {
+                line: t.line,
+                what,
+                fix,
+                allowed: file.allow_at("determinism", t.line).is_some(),
+            });
         };
         for (name, fix) in FORBIDDEN_IDENTS {
             if t.text == *name {
-                flag(name, fix);
+                push((*name).to_string(), fix);
             }
         }
         for (head, tail, fix) in FORBIDDEN_PATHS {
@@ -59,9 +83,68 @@ pub fn check(file: &FileModel) -> Vec<Finding> {
                 && toks.get(i + 2).map(|t| t.is_punct(':')).unwrap_or(false)
                 && toks.get(i + 3).map(|t| t.is_ident(tail)).unwrap_or(false)
             {
-                flag(&format!("{head}::{tail}"), fix);
+                push(format!("{head}::{tail}"), fix);
             }
         }
+    }
+    out
+}
+
+/// Runs the direct determinism lint over one library source file.
+pub fn check(file: &FileModel) -> Vec<Finding> {
+    carriers_in(file, 0..file.lexed.toks.len())
+        .into_iter()
+        .filter(|c| !c.allowed)
+        .map(|c| Finding {
+            file: file.path.clone(),
+            line: c.line,
+            lint: "determinism",
+            message: format!(
+                "`{}` breaks seed-reproducibility in library code — {}",
+                c.what, c.fix
+            ),
+        })
+        .collect()
+}
+
+/// Runs the interprocedural flow check: library functions that reach an
+/// *allowed* entropy/wall-clock carrier through calls are flagged
+/// unless they carry their own allow. `scoped` restricts the flagged
+/// callers to the determinism file scope (the carrier may sit anywhere
+/// in the graph).
+pub fn check_flow(graph: &Graph<'_>, scoped: &HashSet<&std::path::Path>) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for id in graph.node_ids() {
+        let file = graph.file_of(id);
+        if !scoped.contains(file.path.as_path()) {
+            continue;
+        }
+        let Some(src) = graph.entropy_source(id) else {
+            continue;
+        };
+        if src == id {
+            continue; // the carrier itself is covered by its own allow
+        }
+        let f = graph.fn_info(id);
+        if file.allow_for_fn("determinism", f).is_some() {
+            continue;
+        }
+        let carrier_file = graph.file_of(src);
+        let carrier = graph.node(src);
+        findings.push(Finding {
+            file: file.path.clone(),
+            line: f.line,
+            lint: "determinism",
+            message: format!(
+                "`{}` transitively reaches the wall-clock/entropy carrier `{}` \
+                 ({}:{}) — the carrier's allow is site-local; callers need \
+                 their own allow(determinism, ..) or a simulated-clock path",
+                f.name,
+                carrier.name,
+                carrier_file.path.display(),
+                graph.fn_info(src).line,
+            ),
+        });
     }
     findings
 }

@@ -1,0 +1,184 @@
+//! `discard` — serving-path crates may not throw away `Result`s.
+//!
+//! The numerical self-healing work (breakdown guards, fallback ladder,
+//! verified-accuracy retry) only functions if errors *propagate*: a
+//! `let _ = fallible();` or a bare `fallible();` statement converts a
+//! detected breakdown into silent wrong answers, which is strictly
+//! worse than the panic the panic lint already forbids. Two shapes are
+//! flagged in library (non-test) code of the serving-path crates:
+//!
+//! - **`let _ = expr;`** — explicit discard. The exact `_` binding
+//!   only; `let _guard = ..` keeps the value alive and is fine.
+//! - **bare `Result` statements** — a call in statement position whose
+//!   value is dropped (`foo(x);` where `foo` returns `Result`).
+//!   Resolution rides the workspace call graph: free calls resolve
+//!   precise-first; method calls take the global same-name union and
+//!   are flagged only when **every** candidate returns `Result`
+//!   (without receiver types, a split vote proves nothing). Unknown
+//!   callees (std, closures) are skipped — the lint hunts the repo's
+//!   own fallible APIs.
+//!
+//! Intentional discards carry `// analyze: allow(discard, reason)`.
+
+use crate::diag::Finding;
+use crate::graph::Graph;
+use crate::lex::{Tok, TokKind};
+use crate::scan::FileModel;
+
+/// Token index of the matching open delimiter for the close at `k`,
+/// scanning backwards.
+fn matching_open(toks: &[Tok], k: usize) -> Option<usize> {
+    let mut depth = 0usize;
+    for j in (0..=k).rev() {
+        let t = &toks[j];
+        if t.is_punct(')') || t.is_punct(']') || t.is_punct('}') {
+            depth += 1;
+        } else if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+            depth -= 1;
+            if depth == 0 {
+                return Some(j);
+            }
+        }
+    }
+    None
+}
+
+/// Token index just past the matching close of the `(` at `open`.
+fn matching_close(toks: &[Tok], open: usize) -> usize {
+    let mut depth = 0usize;
+    for (k, t) in toks.iter().enumerate().skip(open) {
+        if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('}') {
+            depth -= 1;
+            if depth == 0 {
+                return k + 1;
+            }
+        }
+    }
+    toks.len()
+}
+
+/// Walks from the callee ident at `i` back to the head of its receiver
+/// chain (`self.sim.charge(..)` → the `self` token), staying inside
+/// `lo..`.
+fn chain_head(toks: &[Tok], i: usize, lo: usize) -> usize {
+    let mut j = i;
+    loop {
+        if j <= lo {
+            return j;
+        }
+        let prev = &toks[j - 1];
+        if prev.is_punct('.') {
+            // Skip the primary before the dot: `?`, a close delimiter
+            // (back to its open), or an identifier/literal.
+            let mut k = j - 1;
+            if k > lo && toks[k - 1].is_punct('?') {
+                k -= 1;
+            }
+            if k > lo && (toks[k - 1].is_punct(')') || toks[k - 1].is_punct(']')) {
+                match matching_open(toks, k - 1) {
+                    Some(open) if open >= lo => {
+                        j = open;
+                        continue;
+                    }
+                    _ => return j,
+                }
+            }
+            if k > lo
+                && (toks[k - 1].kind == TokKind::Ident || toks[k - 1].kind == TokKind::Literal)
+            {
+                j = k - 1;
+                continue;
+            }
+            return j;
+        }
+        // `::` path segments: `module::helper(..)` → the first segment.
+        if j >= lo + 3
+            && prev.is_punct(':')
+            && toks[j - 2].is_punct(':')
+            && toks[j - 3].kind == TokKind::Ident
+        {
+            j -= 3;
+            continue;
+        }
+        return j;
+    }
+}
+
+/// Runs the discard lint over the serving-path files, using `graph` to
+/// resolve which dropped calls return `Result`.
+pub fn check(graph: &Graph<'_>, files: &[&FileModel]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for file in files {
+        let toks = &file.lexed.toks;
+
+        // Shape 1: `let _ = expr;`
+        for (i, t) in toks.iter().enumerate() {
+            if t.is_ident("let")
+                && toks.get(i + 1).map(|n| n.is_ident("_")).unwrap_or(false)
+                && toks.get(i + 2).map(|n| n.is_punct('=')).unwrap_or(false)
+                && !toks.get(i + 3).map(|n| n.is_punct('=')).unwrap_or(false)
+                && !file.in_test_range(i)
+                && file.allow_at("discard", t.line).is_none()
+            {
+                findings.push(Finding {
+                    file: file.path.clone(),
+                    line: t.line,
+                    lint: "discard",
+                    message: "`let _ = ..` discards a value on the serving path — bind it, \
+                              propagate it, or carry an allow(discard, reason)"
+                        .into(),
+                });
+            }
+        }
+
+        // Shape 2: bare `Result` call statements.
+        for (fi, f) in file.fns.iter().enumerate() {
+            if f.in_test {
+                continue;
+            }
+            let Some(body) = &f.body else { continue };
+            let Some(id) = graph.node_id(&file.path, fi) else {
+                continue;
+            };
+            for call in &graph.node(id).calls {
+                let end = matching_close(toks, call.tok + 1);
+                if !toks.get(end).map(|t| t.is_punct(';')).unwrap_or(false) {
+                    continue; // value is consumed (or `?`-propagated)
+                }
+                let head = chain_head(toks, call.tok, body.start);
+                let at_stmt_start = head == body.start + 1
+                    || toks
+                        .get(head.wrapping_sub(1))
+                        .map(|t| t.is_punct(';') || t.is_punct('{') || t.is_punct('}'))
+                        .unwrap_or(false);
+                if !at_stmt_start {
+                    continue;
+                }
+                let candidates = graph.resolve_call(graph.node(id).file, call);
+                if candidates.is_empty() {
+                    continue; // unknown callee (std, closure): skip
+                }
+                let all_result = candidates.iter().all(|c| graph.fn_info(*c).returns_result);
+                if !all_result {
+                    continue;
+                }
+                if file.allow_at("discard", call.line).is_some() {
+                    continue;
+                }
+                findings.push(Finding {
+                    file: file.path.clone(),
+                    line: call.line,
+                    lint: "discard",
+                    message: format!(
+                        "`{}(..)` returns Result but the value is dropped — a swallowed \
+                         error defeats the breakdown-recovery ladder",
+                        call.name
+                    ),
+                });
+            }
+        }
+    }
+    findings
+}

@@ -1,0 +1,332 @@
+//! `flops_sig` — kernel charge sites pass a *matching* cost expression.
+//!
+//! `Gpu::charge_kernel(phase, name, dims, flops, bytes, secs)` is the
+//! funnel every simulated kernel's accounting goes through, but nothing
+//! ties the `name`/`dims` a site reports to the `secs` expression it
+//! computes: a gemm charged with `cost.trsm(..)` compiles, traces, and
+//! quietly skews every figure the paper's Fig. 11–17 breakdowns rest
+//! on. This lint pins the pairing:
+//!
+//! - every `charge_kernel(..)` call passes exactly six arguments, with
+//!   a **literal** kernel name known to the pricing table below;
+//! - the `secs` argument calls the cost-model method the table assigns
+//!   to that kernel name (`"gemm"` must price via `CostModel::gemm`,
+//!   not `trsm`);
+//! - the cost call's arity matches the model's signature — arities are
+//!   **derived** from the `impl CostModel` in scope, so the lint can
+//!   never drift from the model it guards;
+//! - for dimensional routines (gemm/syrk/trsm/fft), every plain-ident
+//!   argument of the cost call also appears in the `dims` array —
+//!   catching swapped or stale dimension wiring. Element-count
+//!   routines (`blas1`, `curand`, ..) are exempt: they take products,
+//!   not dims.
+//!
+//! A general sweep also checks the arity of *every* `cost.method(..)` /
+//! `cost().method(..)` call in scope against the derived signature, so
+//! sites that charge outside the funnel (`charge(phase, cost.gemm(..))`)
+//! get the same arity guarantee.
+//!
+//! Sites that intentionally deviate carry
+//! `// analyze: allow(flops_sig, reason)`.
+
+use crate::diag::Finding;
+use crate::lex::{Tok, TokKind};
+use crate::scan::FileModel;
+use std::collections::HashMap;
+use std::ops::Range;
+
+/// Kernel name → required cost-model method, and whether the routine is
+/// *dimensional* (its cost args are matrix dims that must agree with
+/// the reported `dims` array) or an element-count routine (exempt from
+/// the dims check).
+pub const KERNEL_PRICING: &[(&str, &str, bool)] = &[
+    ("gemm", "gemm", true),
+    ("syrk", "syrk", true),
+    ("trsm", "trsm", true),
+    // trmm is priced as a triangular multiply at trsm cost (same flop
+    // count, same bandwidth shape).
+    ("trmm", "trsm", true),
+    ("launch", "launch", false),
+    ("curand", "curand", false),
+    ("fft", "fft_cols", true),
+    ("gather", "blas1", false),
+    ("health_scan", "blas1_reduce", false),
+];
+
+/// `CostModel` constructors/accessors that are not pricing methods.
+const COST_ACCESSORS: &[&str] = &["new", "spec"];
+
+/// Derives `method name → arity` from the `impl CostModel` block(s) in
+/// `model_file`: the public pricing methods and their parameter counts
+/// (receiver excluded). Deriving from source means the lint follows the
+/// model when a signature changes instead of silently checking a stale
+/// table.
+fn model_arities(model_file: &FileModel) -> HashMap<String, usize> {
+    let mut arities = HashMap::new();
+    for (j, im) in model_file.impls.iter().enumerate() {
+        if im.trait_name.is_some() || im.self_type.as_deref() != Some("CostModel") {
+            continue;
+        }
+        for f in &model_file.fns {
+            if f.impl_idx == Some(j)
+                && f.is_pub
+                && !f.in_test
+                && !COST_ACCESSORS.contains(&f.name.as_str())
+            {
+                arities.insert(f.name.clone(), f.param_count);
+            }
+        }
+    }
+    arities
+}
+
+/// Token index just past the matching close of the delimiter opened at
+/// `open` (`(`/`[`/`{`), or `toks.len()` if unbalanced.
+fn matching_close(toks: &[Tok], open: usize) -> usize {
+    let mut depth = 0usize;
+    for (k, t) in toks.iter().enumerate().skip(open) {
+        if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('}') {
+            depth -= 1;
+            if depth == 0 {
+                return k + 1;
+            }
+        }
+    }
+    toks.len()
+}
+
+/// Splits the argument list opened at token `open` into top-level
+/// comma-separated token ranges. Empty when the list is `()`.
+fn split_args(toks: &[Tok], open: usize) -> Vec<Range<usize>> {
+    let end = matching_close(toks, open);
+    let inner = open + 1..end.saturating_sub(1);
+    let mut args = Vec::new();
+    let mut depth = 0usize;
+    let mut start = inner.start;
+    for k in inner.clone() {
+        let t = &toks[k];
+        if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('}') {
+            depth = depth.saturating_sub(1);
+        } else if t.is_punct(',') && depth == 0 {
+            args.push(start..k);
+            start = k + 1;
+        }
+    }
+    if start < inner.end {
+        args.push(start..inner.end);
+    }
+    args
+}
+
+/// The first `.method(` cost-model call inside `range`, as
+/// `(method name token index, method name)` — the method must be one of
+/// the derived model methods and the range must mention `cost`.
+fn cost_call_in(
+    toks: &[Tok],
+    range: &Range<usize>,
+    arities: &HashMap<String, usize>,
+) -> Option<(usize, String)> {
+    let mentions_cost = toks[range.clone()].iter().any(|t| t.is_ident("cost"));
+    if !mentions_cost {
+        return None;
+    }
+    for k in range.clone() {
+        let t = &toks[k];
+        if t.kind == TokKind::Ident
+            && arities.contains_key(&t.text)
+            && k > range.start
+            && toks[k - 1].is_punct('.')
+            && toks.get(k + 1).map(|n| n.is_punct('(')).unwrap_or(false)
+        {
+            return Some((k, t.text.clone()));
+        }
+    }
+    None
+}
+
+/// Runs the flops-signature lint over the scope files (the cost-model
+/// file is located in-scope by its `impl CostModel` block, so fixtures
+/// exercise the same path as the workspace).
+pub fn check(files: &[&FileModel]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let arities: HashMap<String, usize> =
+        files
+            .iter()
+            .map(|f| model_arities(f))
+            .fold(HashMap::new(), |mut acc, m| {
+                acc.extend(m);
+                acc
+            });
+    if arities.is_empty() {
+        return findings; // no cost model in scope — nothing to pair against
+    }
+
+    for file in files {
+        let toks = &file.lexed.toks;
+        for (i, t) in toks.iter().enumerate() {
+            if file.in_test_range(i) {
+                continue;
+            }
+            if t.is_ident("charge_kernel")
+                && toks.get(i + 1).map(|n| n.is_punct('(')).unwrap_or(false)
+            {
+                if i > 0 && toks[i - 1].is_ident("fn") {
+                    continue; // the funnel's own definition
+                }
+                if file.allow_at("flops_sig", t.line).is_some() {
+                    continue;
+                }
+                check_site(file, i, &arities, &mut findings);
+            }
+            // General arity sweep: `cost.method(..)` / `cost().method(..)`.
+            if t.kind == TokKind::Ident
+                && arities.contains_key(&t.text)
+                && i > 0
+                && toks[i - 1].is_punct('.')
+                && toks.get(i + 1).map(|n| n.is_punct('(')).unwrap_or(false)
+            {
+                let recv_is_cost = (i >= 2 && toks[i - 2].is_ident("cost"))
+                    || (i >= 4
+                        && toks[i - 2].is_punct(')')
+                        && toks[i - 3].is_punct('(')
+                        && toks[i - 4].is_ident("cost"));
+                if !recv_is_cost || file.allow_at("flops_sig", t.line).is_some() {
+                    continue;
+                }
+                let want = arities[&t.text];
+                let got = split_args(toks, i + 1).len();
+                if got != want {
+                    findings.push(Finding {
+                        file: file.path.clone(),
+                        line: t.line,
+                        lint: "flops_sig",
+                        message: format!(
+                            "cost-model call `{}` passes {got} argument(s) but \
+                             `CostModel::{}` takes {want}",
+                            t.text, t.text
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    findings
+}
+
+/// Checks one `charge_kernel(..)` call site (callee ident at `i`).
+fn check_site(
+    file: &FileModel,
+    i: usize,
+    arities: &HashMap<String, usize>,
+    findings: &mut Vec<Finding>,
+) {
+    let toks = &file.lexed.toks;
+    let line = toks[i].line;
+    let mut push = |line: u32, message: String| {
+        findings.push(Finding {
+            file: file.path.clone(),
+            line,
+            lint: "flops_sig",
+            message,
+        });
+    };
+    let args = split_args(toks, i + 1);
+    if args.len() != 6 {
+        push(
+            line,
+            format!(
+                "charge_kernel takes 6 arguments (phase, name, dims, flops, bytes, secs); \
+                 this site passes {}",
+                args.len()
+            ),
+        );
+        return;
+    }
+    // Kernel name: a single literal string.
+    let name_arg = &args[1];
+    let name = (name_arg.len() == 1)
+        .then(|| toks[name_arg.start].str_content())
+        .flatten();
+    let Some(name) = name else {
+        push(
+            line,
+            "charge_kernel's kernel name must be a literal string so the \
+             flops↔charge pairing is checkable"
+                .into(),
+        );
+        return;
+    };
+    let Some((_, method, dimensional)) =
+        KERNEL_PRICING.iter().find(|(k, _, _)| *k == name).copied()
+    else {
+        push(
+            line,
+            format!(
+                "unknown kernel name \"{name}\" — register it in \
+                 flops_sig::KERNEL_PRICING with its cost-model method"
+            ),
+        );
+        return;
+    };
+    // The secs argument must price via the assigned model method.
+    let Some((mtok, got_method)) = cost_call_in(toks, &args[5], arities) else {
+        push(
+            line,
+            format!(
+                "charge_kernel(\"{name}\", ..) secs argument never calls the cost \
+                 model — a hand-rolled duration dodges the analytic model"
+            ),
+        );
+        return;
+    };
+    if got_method != method {
+        push(
+            toks[mtok].line,
+            format!(
+                "kernel \"{name}\" priced with `CostModel::{got_method}` — the pricing \
+                 table assigns `CostModel::{method}`"
+            ),
+        );
+        return;
+    }
+    let cost_args = split_args(toks, mtok + 1);
+    let want = arities[&got_method];
+    if cost_args.len() != want {
+        push(
+            toks[mtok].line,
+            format!(
+                "cost-model call `{got_method}` passes {} argument(s) but \
+                 `CostModel::{got_method}` takes {want}",
+                cost_args.len()
+            ),
+        );
+        return;
+    }
+    // Dims agreement for dimensional routines: every plain-ident cost
+    // argument must appear in the reported dims array.
+    if dimensional {
+        let dims_idents: Vec<&str> = toks[args[2].clone()]
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.as_str())
+            .collect();
+        for ca in &cost_args {
+            if ca.len() == 1 && toks[ca.start].kind == TokKind::Ident {
+                let ident = toks[ca.start].text.as_str();
+                if !dims_idents.contains(&ident) {
+                    push(
+                        toks[ca.start].line,
+                        format!(
+                            "kernel \"{name}\" cost argument `{ident}` does not appear \
+                             in the reported dims array — dimension wiring disagrees"
+                        ),
+                    );
+                }
+            }
+        }
+    }
+}

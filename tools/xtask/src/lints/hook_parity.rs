@@ -1,0 +1,198 @@
+//! `hook_parity` — every silently-defaulted `Executor` hook is
+//! implemented on all four backends.
+//!
+//! The `Executor` trait has two kinds of methods: *required* ones
+//! (bodiless — the compiler forces every backend to implement them) and
+//! *defaulted* ones. Most defaults are **silent no-ops** (`Ok(())`):
+//! they exist so adding a hook doesn't break every backend at once,
+//! but they also mean a backend that forgets to implement a hook gets
+//! free work — the paper's Fig. 11–17 cost breakdowns silently lose a
+//! kernel on that backend and no test fails. This lint closes the gap:
+//!
+//! - Every silently-defaulted hook (returns `()`/`Result<()>`, default
+//!   body neither charges nor refuses) must be implemented on every
+//!   backend in the table below, unless the hook is gated off (the
+//!   `adaptive_*` hooks are only required where `supports_adaptive`
+//!   returns `true`) or the impl header carries an
+//!   `allow(hook_parity, reason)`.
+//! - Every such hook must also be registered in the cost lint's
+//!   obligation lists ([`super::cost::STAGE_HOOKS`] /
+//!   [`super::cost::CHARGE_HOOKS`]) so its impls are charged-checked —
+//!   a new hook cannot dodge both lints.
+//!
+//! Whether each *present* impl actually reaches a charge is the cost
+//! lint's job (same obligation list, interprocedural on the graph);
+//! this lint is about *presence*, which is exactly what deleting a
+//! backend's charging impl violates.
+//!
+//! Accessor defaults (`supports_adaptive`, `elapsed`, `tracer` — they
+//! return values, not work) and refusing defaults (`recover_device_loss`
+//! returns `Unsupported`) are exempt: neither can silently lose a
+//! charge.
+
+use crate::diag::Finding;
+use crate::lex::TokKind;
+use crate::scan::FileModel;
+
+/// The four backends that must implement every silent-default hook:
+/// `(backend label, implementing type)`. The delegating
+/// `Recovering<E>` wrapper and test doubles are deliberately absent.
+pub const BACKENDS: &[(&str, &str)] = &[
+    ("cpu", "CpuExec"),
+    ("gpu", "GpuExec"),
+    ("multi", "MultiGpuExec"),
+    ("cluster", "ClusterExec"),
+];
+
+/// The trait whose hooks are checked.
+const TRAIT_NAME: &str = "Executor";
+
+/// A parity-required hook parsed from the trait definition.
+struct Hook {
+    name: String,
+    line: u32,
+    /// Only required where `supports_adaptive` returns `true`.
+    gated_by_adaptive: bool,
+}
+
+/// Whether a body token range contains the ident `what`.
+fn body_has_ident(file: &FileModel, body: &std::ops::Range<usize>, what: &str) -> bool {
+    file.lexed.toks[body.clone()]
+        .iter()
+        .any(|t| t.is_ident(what))
+}
+
+/// Extracts the parity-required hooks from the trait-definition file:
+/// defaulted methods returning `()`/`Result<()>` whose default body
+/// neither charges nor refuses.
+fn parity_hooks(trait_file: &FileModel) -> Vec<Hook> {
+    let mut hooks = Vec::new();
+    for f in &trait_file.fns {
+        if !f.in_trait_def || f.in_test {
+            continue;
+        }
+        let Some(body) = &f.body else {
+            continue; // bodiless: the compiler enforces implementation
+        };
+        if !f.returns_unit_or_result() {
+            continue; // accessor default (bool/f64/Option): no work to lose
+        }
+        let refuses = body_has_ident(trait_file, body, "Unsupported");
+        let charges = trait_file.lexed.toks[body.clone()]
+            .iter()
+            .any(|t| t.kind == TokKind::Ident && crate::graph::is_charge_name(&t.text));
+        if refuses || charges {
+            continue; // the default already accounts (or refuses) the work
+        }
+        hooks.push(Hook {
+            name: f.name.clone(),
+            line: f.line,
+            gated_by_adaptive: f.name.starts_with("adaptive_"),
+        });
+    }
+    hooks
+}
+
+/// Runs the hook-parity lint over the `rlra-core::backend` files. The
+/// trait definition is located by content (`trait Executor { .. }`), so
+/// fixtures exercise the same code path as the workspace.
+pub fn check(files: &[&FileModel]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+
+    // Locate the trait definition file.
+    let trait_file = files.iter().find(|f| {
+        f.lexed
+            .toks
+            .windows(2)
+            .any(|w| w[0].is_ident("trait") && w[1].is_ident(TRAIT_NAME))
+    });
+    let Some(trait_file) = trait_file else {
+        return findings; // no trait in scope — nothing to check
+    };
+    let hooks = parity_hooks(trait_file);
+
+    // Registration check: every parity-required hook must be a cost-lint
+    // obligation, so its impls are charge-checked too.
+    for h in &hooks {
+        if !super::cost::is_obligated_hook(&h.name)
+            && trait_file.allow_at("hook_parity", h.line).is_none()
+        {
+            findings.push(Finding {
+                file: trait_file.path.clone(),
+                line: h.line,
+                lint: "hook_parity",
+                message: format!(
+                    "Executor hook `{}` has a silent default but is not registered in \
+                     the cost lint's STAGE_HOOKS/CHARGE_HOOKS — its impls would never \
+                     be charge-checked",
+                    h.name
+                ),
+            });
+        }
+    }
+
+    // Presence check per backend.
+    for (label, ty) in BACKENDS {
+        // Executor impls for this backend type (excluding test doubles).
+        let impls: Vec<(&&FileModel, usize)> = files
+            .iter()
+            .flat_map(|file| {
+                file.impls
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, im)| {
+                        im.trait_name.as_deref() == Some(TRAIT_NAME)
+                            && im.self_type.as_deref() == Some(*ty)
+                            && !file.in_test_range(im.body.start)
+                    })
+                    .map(move |(j, _)| (file, j))
+            })
+            .collect();
+        if impls.is_empty() {
+            continue; // a backend absent from this scope is not "deleted"
+        }
+        let has_hook = |name: &str| {
+            impls.iter().any(|(file, j)| {
+                file.fns
+                    .iter()
+                    .any(|f| f.impl_idx == Some(*j) && f.name == name && !f.in_test)
+            })
+        };
+        let adaptive_on = impls.iter().any(|(file, j)| {
+            file.fns.iter().any(|f| {
+                f.impl_idx == Some(*j)
+                    && f.name == "supports_adaptive"
+                    && f.body
+                        .as_ref()
+                        .map(|b| body_has_ident(file, b, "true"))
+                        .unwrap_or(false)
+            })
+        });
+        for h in &hooks {
+            if h.gated_by_adaptive && !adaptive_on {
+                continue;
+            }
+            if has_hook(&h.name) {
+                continue;
+            }
+            let allowed = impls
+                .iter()
+                .any(|(file, j)| file.allow_at("hook_parity", file.impls[*j].line).is_some());
+            if allowed {
+                continue;
+            }
+            let (file, j) = impls[0];
+            findings.push(Finding {
+                file: file.path.clone(),
+                line: file.impls[j].line,
+                lint: "hook_parity",
+                message: format!(
+                    "backend `{label}` ({ty}) does not implement Executor hook `{}` — \
+                     the silent trait default makes its work free on this backend",
+                    h.name
+                ),
+            });
+        }
+    }
+    findings
+}

@@ -1,17 +1,27 @@
-//! The six repo-specific invariant lints.
+//! The nine repo-specific invariant lints.
 //!
 //! | lint | invariant |
 //! |---|---|
-//! | `cost` | every simulated kernel / Executor stage hook charges the cost model |
-//! | `determinism` | no wall clock or entropy in library code |
+//! | `cost` | every simulated kernel / Executor stage hook reaches a charge (interprocedural) |
+//! | `determinism` | no wall clock or entropy in library code, nor reached through callees |
 //! | `panic` | no `unwrap`/`expect`/`panic!`/`todo!` in library code |
 //! | `flops` | every BLAS level-2/3 routine has a flops formula |
-//! | `trace` | every clock/timeline charging site emits a trace event |
+//! | `trace` | every clock/timeline charging site reaches a trace emit (interprocedural) |
 //! | `numerics` | every CholQR call site goes through the guard ladder |
+//! | `hook_parity` | every silent-default Executor hook is implemented on all four backends |
+//! | `flops_sig` | every kernel charge site passes the matching cost-model expression |
+//! | `discard` | no `let _ =` / dropped `Result` on the serving path |
+//!
+//! `cost`, `trace`, `determinism` (flow layer), and `discard` consume
+//! the whole-workspace call graph ([`crate::graph`]); the rest are
+//! single-file token checks.
 
 pub mod cost;
 pub mod determinism;
+pub mod discard;
 pub mod flops;
+pub mod flops_sig;
+pub mod hook_parity;
 pub mod numerics;
 pub mod panics;
 pub mod trace;

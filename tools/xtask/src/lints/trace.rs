@@ -14,77 +14,44 @@
 //! - `clock +=` — a direct simulated-clock advance,
 //! - `comms_inter +=` — a direct comms accumulation.
 //!
-//! A function containing a charging site satisfies the lint if its body
-//! also reaches the tracer: an `emit(..)` call or a `trace*(..)` helper
-//! call. Folds of an *already-traced* simulation (where the sim's
-//! devices emitted the events) are exempted with
+//! A function containing a charging site satisfies the lint if it
+//! reaches the tracer — an `emit(..)` call or a `trace*(..)` helper —
+//! directly **or through any callee on the workspace call graph** (a
+//! charging funnel whose emit lives in a helper is fine; the event
+//! still fires). Folds of an *already-traced* simulation (where the
+//! sim's devices emitted the events) are exempted with
 //! `// analyze: allow(trace, reason)`.
 
 use crate::diag::Finding;
-use crate::lex::TokKind;
-use crate::scan::{FileModel, FnInfo};
+use crate::graph::Graph;
+use crate::scan::FileModel;
 
-/// Whether a callee name counts as feeding the tracer.
-fn is_emit_name(name: &str) -> bool {
-    name == "emit" || name.starts_with("trace")
-}
-
-/// First charging-site line in `f`'s body, if any, plus whether the
-/// body reaches the tracer.
-fn body_facts(file: &FileModel, f: &FnInfo) -> (Option<u32>, bool) {
-    let Some(body) = f.body.clone() else {
-        return (None, false);
-    };
-    let toks = &file.lexed.toks[body];
-    let mut charge_line = None;
-    let mut emits = false;
-    for (i, t) in toks.iter().enumerate() {
-        if t.kind != TokKind::Ident {
-            continue;
-        }
-        let next = |k: usize| toks.get(i + k);
-        // `<..>timeline.add(` — the identifier spelling catches both
-        // `self.timeline` and `host_timeline` receivers.
-        let timeline_add = t.text.ends_with("timeline")
-            && next(1).map(|t| t.is_punct('.')).unwrap_or(false)
-            && next(2).map(|t| t.is_ident("add")).unwrap_or(false)
-            && next(3).map(|t| t.is_punct('(')).unwrap_or(false);
-        // `clock +=` / `comms_inter +=` (single-char puncts: '+' '=').
-        let accum_add = (t.text == "clock" || t.text == "comms_inter")
-            && next(1).map(|t| t.is_punct('+')).unwrap_or(false)
-            && next(2).map(|t| t.is_punct('=')).unwrap_or(false);
-        if (timeline_add || accum_add) && charge_line.is_none() {
-            charge_line = Some(t.line);
-        }
-        if is_emit_name(&t.text) && next(1).map(|t| t.is_punct('(')).unwrap_or(false) {
-            emits = true;
-        }
-    }
-    (charge_line, emits)
-}
-
-/// Runs the trace lint over one `rlra-gpu` library source file.
-pub fn check(file: &FileModel) -> Vec<Finding> {
+/// Runs the trace lint over the `rlra-gpu` library files.
+pub fn check(graph: &Graph<'_>, files: &[&FileModel]) -> Vec<Finding> {
     let mut findings = Vec::new();
-    for f in &file.fns {
-        if f.in_test || f.body.is_none() {
-            continue;
-        }
-        let (charge_line, emits) = body_facts(file, f);
-        let Some(line) = charge_line else {
-            continue;
-        };
-        if !emits && file.allow_for_fn("trace", f).is_none() {
-            findings.push(Finding {
-                file: file.path.clone(),
-                line,
-                lint: "trace",
-                message: format!(
-                    "`{}` charges a clock/timeline without emitting a trace event — \
-                     an untraced charge breaks the event-stream/Timeline reconciliation",
-                    f.name
-                ),
-            });
+    for file in files {
+        for (i, f) in file.fns.iter().enumerate() {
+            if f.in_test || f.body.is_none() {
+                continue;
+            }
+            let Some(id) = graph.node_id(&file.path, i) else {
+                continue;
+            };
+            let Some(line) = graph.node(id).trace_charge_line else {
+                continue;
+            };
+            if !graph.reaches_emit(id) && file.allow_for_fn("trace", f).is_none() {
+                findings.push(Finding {
+                    file: file.path.clone(),
+                    line,
+                    lint: "trace",
+                    message: format!(
+                        "`{}` charges a clock/timeline without reaching a trace emit — \
+                         an untraced charge breaks the event-stream/Timeline reconciliation",
+                        f.name
+                    ),
+                });
+            }
         }
     }
     findings

@@ -1,48 +1,106 @@
 //! `cargo xtask analyze` — the workspace invariant checker.
 //!
-//! Exit status: 0 clean, 1 violations found, 2 usage/IO error.
+//! Exit status: 0 clean (or no regressions in `--diff` mode), 1
+//! violations/regressions found, 2 usage/IO error.
+//!
+//! Machine-readable documents (`--format json|sarif`) go to stdout;
+//! human diagnostics and progress go to stderr, so
+//! `cargo xtask analyze --format sarif > out.sarif` stays clean.
 
 #![forbid(unsafe_code)]
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-const USAGE: &str = "usage: cargo xtask analyze [--root <workspace-root>]
+const USAGE: &str = "usage: cargo xtask analyze [options]
 
 Checks the repo-specific invariants (cost charging, determinism,
-panic-freedom, flops coverage, trace completeness, guarded numerics).
-See DESIGN.md \"Enforced invariants\".";
+panic-freedom, flops coverage, trace completeness, guarded numerics,
+backend hook parity, flops/charge signatures, no discarded Results).
+See DESIGN.md \"Enforced invariants\".
 
-fn main() -> ExitCode {
+options:
+  --root <dir>        workspace root (default: walk up from cwd)
+  --format <fmt>      human (default) | json | sarif; json/sarif print
+                      the full findings document to stdout
+  --diff              compare findings against the checked-in baseline;
+                      fail only on regressions (new findings)
+  --baseline <file>   baseline location (default:
+                      <root>/tools/xtask/analyze-baseline.json)
+  --write-baseline    rewrite the baseline from the current findings
+  --timing            report per-lint wall time on stderr
+  --serial            disable parallel file loading";
+
+#[derive(Default)]
+struct Cli {
+    root: Option<PathBuf>,
+    format: Format,
+    diff: bool,
+    baseline: Option<PathBuf>,
+    write_baseline: bool,
+    timing: bool,
+    serial: bool,
+}
+
+#[derive(Default, PartialEq, Clone, Copy)]
+enum Format {
+    #[default]
+    Human,
+    Json,
+    Sarif,
+}
+
+fn parse_cli() -> Result<Cli, String> {
     let mut args = std::env::args().skip(1);
-    let mut root: Option<PathBuf> = None;
+    let mut cli = Cli::default();
     let mut saw_analyze = false;
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "analyze" => saw_analyze = true,
-            "--root" => match args.next() {
-                Some(p) => root = Some(PathBuf::from(p)),
-                None => {
-                    eprintln!("--root needs a path\n{USAGE}");
-                    return ExitCode::from(2);
-                }
-            },
+            "--root" => {
+                cli.root = Some(PathBuf::from(args.next().ok_or("--root needs a path")?));
+            }
+            "--format" => {
+                cli.format = match args.next().as_deref() {
+                    Some("human") => Format::Human,
+                    Some("json") => Format::Json,
+                    Some("sarif") => Format::Sarif,
+                    Some(other) => {
+                        return Err(format!("unknown format `{other}`"));
+                    }
+                    None => return Err("--format needs human|json|sarif".into()),
+                };
+            }
+            "--diff" => cli.diff = true,
+            "--baseline" => {
+                cli.baseline = Some(PathBuf::from(args.next().ok_or("--baseline needs a path")?));
+            }
+            "--write-baseline" => cli.write_baseline = true,
+            "--timing" => cli.timing = true,
+            "--serial" => cli.serial = true,
             "--help" | "-h" => {
                 println!("{USAGE}");
-                return ExitCode::SUCCESS;
+                std::process::exit(0);
             }
-            other => {
-                eprintln!("unknown argument `{other}`\n{USAGE}");
-                return ExitCode::from(2);
-            }
+            other => return Err(format!("unknown argument `{other}`")),
         }
     }
     if !saw_analyze {
-        eprintln!("{USAGE}");
-        return ExitCode::from(2);
+        return Err("expected the `analyze` subcommand".into());
     }
+    Ok(cli)
+}
 
-    let root = match root {
+fn main() -> ExitCode {
+    let cli = match parse_cli() {
+        Ok(cli) => cli,
+        Err(e) => {
+            eprintln!("{e}\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let root = match cli.root.clone() {
         Some(r) => r,
         None => {
             let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
@@ -56,23 +114,104 @@ fn main() -> ExitCode {
         }
     };
 
-    match rlra_analyze::analyze(&root) {
-        Ok(findings) if findings.is_empty() => {
-            println!(
-                "rlra-analyze: workspace clean (cost, determinism, panic, flops, trace, numerics)"
-            );
-            ExitCode::SUCCESS
-        }
-        Ok(findings) => {
-            for f in &findings {
-                eprintln!("{f}");
-            }
-            eprintln!("rlra-analyze: {} violation(s)", findings.len());
-            ExitCode::FAILURE
-        }
+    let opts = rlra_analyze::Options { serial: cli.serial };
+    let analysis = match rlra_analyze::analyze_with(&root, &opts) {
+        Ok(a) => a,
         Err(e) => {
             eprintln!("rlra-analyze: {e}");
-            ExitCode::from(2)
+            return ExitCode::from(2);
         }
+    };
+    let findings = &analysis.findings;
+
+    if cli.timing {
+        eprintln!("rlra-analyze timings:");
+        for (phase, secs) in &analysis.timings {
+            eprintln!("  {phase:<12} {:8.1} ms", secs * 1e3);
+        }
+    }
+
+    // Machine documents always carry the *full* findings set; baseline
+    // diffing only decides the exit status.
+    match cli.format {
+        Format::Human => {}
+        Format::Json => {
+            let timings = cli.timing.then_some(analysis.timings.as_slice());
+            print!("{}", rlra_analyze::output::to_json(findings, timings));
+        }
+        Format::Sarif => print!("{}", rlra_analyze::output::to_sarif(findings)),
+    }
+
+    let baseline_path = cli
+        .baseline
+        .clone()
+        .unwrap_or_else(|| root.join(rlra_analyze::baseline::BASELINE_PATH));
+
+    if cli.write_baseline {
+        if let Err(e) = rlra_analyze::baseline::write(&baseline_path, findings) {
+            eprintln!("rlra-analyze: {e}");
+            return ExitCode::from(2);
+        }
+        eprintln!(
+            "rlra-analyze: wrote baseline ({} finding(s)) to {}",
+            findings.len(),
+            baseline_path.display()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    if cli.diff {
+        let baseline = match rlra_analyze::baseline::load(&baseline_path) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("rlra-analyze: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let diff = rlra_analyze::baseline::diff(findings, &baseline);
+        for r in &diff.regressions {
+            eprintln!(
+                "{}:{}: [{}] {} (regression)",
+                r.file, r.line, r.lint, r.message
+            );
+        }
+        if !diff.fixed.is_empty() {
+            eprintln!(
+                "rlra-analyze: {} baseline entr{} no longer observed — shrink the baseline",
+                diff.fixed.len(),
+                if diff.fixed.len() == 1 {
+                    "y is"
+                } else {
+                    "ies are"
+                }
+            );
+        }
+        return if diff.regressions.is_empty() {
+            eprintln!(
+                "rlra-analyze: no regressions against {} ({} finding(s) total)",
+                baseline_path.display(),
+                findings.len()
+            );
+            ExitCode::SUCCESS
+        } else {
+            eprintln!("rlra-analyze: {} regression(s)", diff.regressions.len());
+            ExitCode::FAILURE
+        };
+    }
+
+    if findings.is_empty() {
+        eprintln!(
+            "rlra-analyze: workspace clean (cost, determinism, panic, flops, trace, \
+             numerics, hook_parity, flops_sig, discard)"
+        );
+        ExitCode::SUCCESS
+    } else {
+        if cli.format == Format::Human {
+            for f in findings {
+                eprintln!("{f}");
+            }
+        }
+        eprintln!("rlra-analyze: {} violation(s)", findings.len());
+        ExitCode::FAILURE
     }
 }

@@ -1,0 +1,485 @@
+//! Machine-readable output: versioned JSON and SARIF 2.1.0 rendering of
+//! findings, plus a minimal JSON reader for round-tripping the checked
+//! in baseline. Both are hand-rolled — the analyzer stays
+//! dependency-free (the build container is offline).
+
+use crate::diag::Finding;
+use std::fmt::Write as _;
+
+/// The JSON schema version `to_json` emits (bump on breaking change;
+/// `from_json` accepts only this version).
+pub const JSON_VERSION: u64 = 1;
+
+/// An owned finding, as read back from JSON (the live [`Finding`] keeps
+/// its lint name as `&'static str`, which deserialization cannot
+/// produce).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Record {
+    /// Workspace-relative file.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Lint name.
+    pub lint: String,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl From<&Finding> for Record {
+    fn from(f: &Finding) -> Self {
+        Record {
+            file: f.file.display().to_string(),
+            line: f.line,
+            lint: f.lint.to_string(),
+            message: f.message.clone(),
+        }
+    }
+}
+
+/// Escapes `s` for a JSON string literal.
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders findings (and optional per-lint timings, in seconds) as the
+/// analyzer's versioned JSON document.
+pub fn to_json(findings: &[Finding], timings: Option<&[(String, f64)]>) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"version\": {JSON_VERSION},");
+    out.push_str("  \"tool\": \"rlra-analyze\",\n");
+    out.push_str("  \"findings\": [");
+    for (i, f) in findings.iter().enumerate() {
+        let sep = if i == 0 { "\n" } else { ",\n" };
+        let _ = write!(
+            out,
+            "{sep}    {{\"file\": \"{}\", \"line\": {}, \"lint\": \"{}\", \"message\": \"{}\"}}",
+            esc(&f.file.display().to_string()),
+            f.line,
+            esc(f.lint),
+            esc(&f.message)
+        );
+    }
+    if findings.is_empty() {
+        out.push(']');
+    } else {
+        out.push_str("\n  ]");
+    }
+    if let Some(timings) = timings {
+        out.push_str(",\n  \"timings\": {");
+        for (i, (lint, secs)) in timings.iter().enumerate() {
+            let sep = if i == 0 { "\n" } else { ",\n" };
+            let _ = write!(out, "{sep}    \"{}\": {:.6}", esc(lint), secs);
+        }
+        if timings.is_empty() {
+            out.push('}');
+        } else {
+            out.push_str("\n  }");
+        }
+    }
+    out.push_str("\n}\n");
+    out
+}
+
+/// Renders findings as a SARIF 2.1.0 log (one run, one rule per lint).
+pub fn to_sarif(findings: &[Finding]) -> String {
+    let mut rules: Vec<&str> = findings.iter().map(|f| f.lint).collect();
+    rules.sort_unstable();
+    rules.dedup();
+
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n");
+    out.push_str("  \"version\": \"2.1.0\",\n");
+    out.push_str("  \"runs\": [\n    {\n");
+    out.push_str("      \"tool\": {\n        \"driver\": {\n");
+    out.push_str("          \"name\": \"rlra-analyze\",\n");
+    out.push_str("          \"informationUri\": \"DESIGN.md\",\n          \"rules\": [");
+    for (i, r) in rules.iter().enumerate() {
+        let sep = if i == 0 { "\n" } else { ",\n" };
+        let _ = write!(
+            out,
+            "{sep}            {{\"id\": \"{}\", \"name\": \"{}\"}}",
+            esc(r),
+            esc(r)
+        );
+    }
+    if rules.is_empty() {
+        out.push_str("]\n");
+    } else {
+        out.push_str("\n          ]\n");
+    }
+    out.push_str("        }\n      },\n");
+    out.push_str("      \"results\": [");
+    for (i, f) in findings.iter().enumerate() {
+        let sep = if i == 0 { "\n" } else { ",\n" };
+        let _ = write!(
+            out,
+            "{sep}        {{\n          \"ruleId\": \"{}\",\n          \"level\": \"error\",\n          \"message\": {{\"text\": \"{}\"}},\n          \"locations\": [\n            {{\"physicalLocation\": {{\"artifactLocation\": {{\"uri\": \"{}\"}}, \"region\": {{\"startLine\": {}}}}}}}\n          ]\n        }}",
+            esc(f.lint),
+            esc(&f.message),
+            esc(&f.file.display().to_string()),
+            f.line.max(1)
+        );
+    }
+    if findings.is_empty() {
+        out.push_str("]\n");
+    } else {
+        out.push_str("\n      ]\n");
+    }
+    out.push_str("    }\n  ]\n}\n");
+    out
+}
+
+/// A parsed JSON value (just enough for the analyzer's own documents).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any number (parsed as f64).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in source order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Member lookup on objects.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string value, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric value, if this is a number.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b" \t\n\r".contains(b))
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected `{}` at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.lit("true", Json::Bool(true)),
+            Some(b'f') => self.lit("false", Json::Bool(false)),
+            Some(b'n') => self.lit("null", Json::Null),
+            Some(_) => self.number(),
+            None => Err("unexpected end of input".into()),
+        }
+    }
+
+    fn lit(&mut self, word: &str, v: Json) -> Result<Json, String> {
+        self.skip_ws();
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(format!("expected `{word}` at byte {}", self.pos))
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        let start = self.pos;
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_digit() || b"+-.eE".contains(b))
+        {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .map(Json::Num)
+            .ok_or_else(|| format!("bad number at byte {start}"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos) {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.bytes.get(self.pos) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or("bad \\u escape")?;
+                            // Surrogate pairs are not emitted by `esc`;
+                            // map lone surrogates to the replacement char.
+                            out.push(char::from_u32(hex).unwrap_or('\u{fffd}'));
+                            self.pos += 4;
+                        }
+                        _ => return Err("bad escape".into()),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Copy one UTF-8 scalar.
+                    let s = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| "invalid UTF-8 in string")?;
+                    let c = s.chars().next().ok_or("unterminated string")?;
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(format!("expected `,` or `]` at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut members = Vec::new();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(members));
+        }
+        loop {
+            let key = self.string()?;
+            self.expect(b':')?;
+            members.push((key, self.value()?));
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(members));
+                }
+                _ => return Err(format!("expected `,` or `}}` at byte {}", self.pos)),
+            }
+        }
+    }
+}
+
+/// Parses an arbitrary JSON document.
+///
+/// # Errors
+///
+/// Returns a position-annotated message on malformed input.
+pub fn parse_json(s: &str) -> Result<Json, String> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing content at byte {}", p.pos));
+    }
+    Ok(v)
+}
+
+/// Reads an analyzer JSON document back into finding records.
+///
+/// # Errors
+///
+/// Rejects malformed JSON, a missing/mismatched `version`, or findings
+/// lacking the required fields.
+pub fn from_json(s: &str) -> Result<Vec<Record>, String> {
+    let doc = parse_json(s)?;
+    let version = doc
+        .get("version")
+        .and_then(Json::as_num)
+        .ok_or("missing `version`")?;
+    if version != JSON_VERSION as f64 {
+        return Err(format!(
+            "unsupported analyzer JSON version {version} (expected {JSON_VERSION})"
+        ));
+    }
+    let findings = doc
+        .get("findings")
+        .and_then(Json::as_arr)
+        .ok_or("missing `findings` array")?;
+    findings
+        .iter()
+        .map(|f| {
+            Ok(Record {
+                file: f
+                    .get("file")
+                    .and_then(Json::as_str)
+                    .ok_or("finding without `file`")?
+                    .to_string(),
+                line: f
+                    .get("line")
+                    .and_then(Json::as_num)
+                    .ok_or("finding without `line`")? as u32,
+                lint: f
+                    .get("lint")
+                    .and_then(Json::as_str)
+                    .ok_or("finding without `lint`")?
+                    .to_string(),
+                message: f
+                    .get("message")
+                    .and_then(Json::as_str)
+                    .ok_or("finding without `message`")?
+                    .to_string(),
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn sample() -> Vec<Finding> {
+        vec![
+            Finding {
+                file: PathBuf::from("crates/gpu/src/algos.rs"),
+                line: 10,
+                lint: "cost",
+                message: "free kernel with \"quotes\" and\nnewline".into(),
+            },
+            Finding {
+                file: PathBuf::from("crates/core/src/backend/cpu.rs"),
+                line: 3,
+                lint: "discard",
+                message: "dropped Result".into(),
+            },
+        ]
+    }
+
+    #[test]
+    fn json_roundtrips() {
+        let findings = sample();
+        let doc = to_json(&findings, Some(&[("cost".to_string(), 0.25)]));
+        let records = from_json(&doc).unwrap();
+        let expect: Vec<Record> = findings.iter().map(Record::from).collect();
+        assert_eq!(records, expect);
+    }
+
+    #[test]
+    fn empty_json_roundtrips() {
+        let records = from_json(&to_json(&[], None)).unwrap();
+        assert!(records.is_empty());
+    }
+
+    #[test]
+    fn sarif_is_wellformed_json_with_results() {
+        let doc = to_sarif(&sample());
+        let parsed = parse_json(&doc).unwrap();
+        assert_eq!(parsed.get("version").and_then(Json::as_str), Some("2.1.0"));
+        let runs = parsed.get("runs").and_then(Json::as_arr).unwrap();
+        let results = runs[0].get("results").and_then(Json::as_arr).unwrap();
+        assert_eq!(results.len(), 2);
+        assert_eq!(
+            results[0].get("ruleId").and_then(Json::as_str),
+            Some("cost")
+        );
+    }
+
+    #[test]
+    fn version_mismatch_is_rejected() {
+        let doc = to_json(&[], None).replace("\"version\": 1", "\"version\": 99");
+        assert!(from_json(&doc).is_err());
+    }
+}

@@ -1,0 +1,38 @@
+//! Order-preserving parallel map over slices, built on `rayon::join`
+//! divide-and-conquer (the only primitive the offline rayon stub
+//! provides — under the stub both halves run sequentially, so the
+//! analyzer behaves identically with or without real parallelism).
+
+/// Below this length the split overhead outweighs the win.
+const THRESHOLD: usize = 8;
+
+/// Maps `f` over `items`, splitting recursively across rayon workers.
+/// The output order matches the input order regardless of scheduling.
+pub fn par_map<T, U, F>(items: &[T], f: &F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    if items.len() <= THRESHOLD {
+        return items.iter().map(f).collect();
+    }
+    let (lo, hi) = items.split_at(items.len() / 2);
+    let (mut left, right) = rayon::join(|| par_map(lo, f), || par_map(hi, f));
+    left.extend(right);
+    left
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn order_is_preserved_across_the_threshold() {
+        for n in [0usize, 1, THRESHOLD, THRESHOLD + 1, 100] {
+            let items: Vec<usize> = (0..n).collect();
+            let out = par_map(&items, &|x| x * 2);
+            assert_eq!(out, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+        }
+    }
+}

@@ -1,0 +1,162 @@
+//! Path resolution: maps workspace-relative file paths to crate idents
+//! and module paths, and normalizes `use` paths to absolute segment
+//! lists so the call graph can resolve qualified and imported calls.
+
+use crate::scan::{FileModel, UseDecl};
+use std::path::Path;
+
+/// Crate directory (under `crates/`) → crate ident as it appears in
+/// `use` paths. The facade crate lives at the workspace root `src/`.
+const CRATE_IDENTS: &[(&str, &str)] = &[
+    ("bench", "rlra_bench"),
+    ("blas", "rlra_blas"),
+    ("core", "rlra_core"),
+    ("data", "rlra_data"),
+    ("fft", "rlra_fft"),
+    ("gpu", "rlra_gpu"),
+    ("lapack", "rlra_lapack"),
+    ("matrix", "rlra_matrix"),
+    ("model", "rlra_perfmodel"),
+    ("trace", "rlra_trace"),
+];
+
+/// Where a file sits in the crate graph: its crate ident plus the
+/// module path from the crate root (`crates/core/src/backend/cpu.rs`
+/// → crate `rlra_core`, modules `["backend", "cpu"]`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModulePath {
+    /// Crate ident (`rlra_gpu`, `rlra_core`, …; `rlra` for the facade).
+    pub crate_ident: String,
+    /// Module segments from the crate root (empty for `lib.rs`).
+    pub modules: Vec<String>,
+}
+
+impl ModulePath {
+    /// Absolute segments: crate ident followed by the module path.
+    pub fn abs(&self) -> Vec<String> {
+        let mut v = vec![self.crate_ident.clone()];
+        v.extend(self.modules.iter().cloned());
+        v
+    }
+}
+
+/// Derives the [`ModulePath`] for a workspace-relative `.rs` path.
+/// Unknown layouts (fixtures, tools) fall back to a crate ident derived
+/// from the leading path component.
+pub fn module_path(rel: &Path) -> ModulePath {
+    let comps: Vec<String> = rel
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy().into_owned())
+        .collect();
+    let (crate_ident, rest) = match comps.first().map(String::as_str) {
+        Some("crates") if comps.len() >= 3 && comps[2] == "src" => {
+            let ident = CRATE_IDENTS
+                .iter()
+                .find(|(dir, _)| *dir == comps[1])
+                .map(|(_, ident)| (*ident).to_string())
+                .unwrap_or_else(|| format!("rlra_{}", comps[1]));
+            (ident, &comps[3..])
+        }
+        Some("src") => ("rlra".to_string(), &comps[1..]),
+        Some(first) => (first.to_string(), &comps[1..]),
+        None => ("rlra".to_string(), &comps[..0]),
+    };
+    let mut modules = Vec::new();
+    for (i, c) in rest.iter().enumerate() {
+        let last = i + 1 == rest.len();
+        if last {
+            let stem = c.strip_suffix(".rs").unwrap_or(c);
+            if stem != "lib" && stem != "mod" && stem != "main" {
+                modules.push(stem.to_string());
+            }
+        } else {
+            modules.push(c.clone());
+        }
+    }
+    ModulePath {
+        crate_ident,
+        modules,
+    }
+}
+
+/// Normalizes a `use` path to absolute segments: `crate::` becomes the
+/// current crate ident, `self::` the current module, `super::` the
+/// parent module. Already-absolute paths (external crate idents) pass
+/// through unchanged.
+pub fn normalize_use(decl: &UseDecl, at: &ModulePath) -> Vec<String> {
+    let mut segs = decl.segments.clone();
+    match segs.first().map(String::as_str) {
+        Some("crate") => {
+            segs.splice(..1, [at.crate_ident.clone()]);
+        }
+        Some("self") => {
+            segs.splice(..1, at.abs());
+        }
+        Some("super") => {
+            let mut parent = at.abs();
+            while segs.first().map(String::as_str) == Some("super") {
+                segs.remove(0);
+                if parent.len() > 1 {
+                    parent.pop();
+                }
+            }
+            parent.extend(segs);
+            segs = parent;
+        }
+        _ => {}
+    }
+    segs
+}
+
+/// Finds the use declaration in `file` binding local name `alias`
+/// (exact-alias imports only; glob imports are not consulted — the
+/// graph falls back to a global name match for those).
+pub fn use_for_alias<'a>(file: &'a FileModel, alias: &str) -> Option<&'a UseDecl> {
+    file.uses.iter().find(|u| u.alias == alias)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn module_paths_follow_layout() {
+        let m = module_path(Path::new("crates/core/src/backend/cpu.rs"));
+        assert_eq!(m.crate_ident, "rlra_core");
+        assert_eq!(m.modules, ["backend", "cpu"]);
+        let m = module_path(Path::new("crates/core/src/backend/mod.rs"));
+        assert_eq!(m.modules, ["backend"]);
+        let m = module_path(Path::new("crates/gpu/src/lib.rs"));
+        assert_eq!(m.crate_ident, "rlra_gpu");
+        assert!(m.modules.is_empty());
+        let m = module_path(Path::new("crates/model/src/roofline.rs"));
+        assert_eq!(m.crate_ident, "rlra_perfmodel");
+        let m = module_path(Path::new("src/pipeline.rs"));
+        assert_eq!(m.crate_ident, "rlra");
+        assert_eq!(m.modules, ["pipeline"]);
+    }
+
+    #[test]
+    fn use_paths_normalize() {
+        let at = module_path(Path::new("crates/core/src/backend/cpu.rs"));
+        let n = |segs: &[&str]| {
+            normalize_use(
+                &UseDecl {
+                    segments: segs.iter().map(ToString::to_string).collect(),
+                    alias: String::new(),
+                },
+                &at,
+            )
+        };
+        assert_eq!(
+            n(&["crate", "result", "Frame"]),
+            ["rlra_core", "result", "Frame"]
+        );
+        assert_eq!(n(&["super", "guard"]), ["rlra_core", "backend", "guard"]);
+        assert_eq!(n(&["rlra_gpu", "algos"]), ["rlra_gpu", "algos"]);
+        assert_eq!(
+            n(&["self", "helpers"]),
+            ["rlra_core", "backend", "cpu", "helpers"]
+        );
+    }
+}

@@ -16,6 +16,9 @@ pub const ALLOW_WINDOW: u32 = 3;
 pub struct ImplInfo {
     /// Trait being implemented (`None` for inherent impls).
     pub trait_name: Option<String>,
+    /// Base name of the implementing type (`GpuExec` for
+    /// `impl Executor for GpuExec<'_>`).
+    pub self_type: Option<String>,
     /// 1-based line of the `impl` keyword.
     pub line: u32,
     /// Token range of the impl body (exclusive of the braces).
@@ -40,6 +43,32 @@ pub struct FnInfo {
     pub in_test: bool,
     /// Declared inside a `trait { .. }` definition (default methods).
     pub in_trait_def: bool,
+    /// Number of declared parameters, excluding any `self` receiver.
+    pub param_count: usize,
+    /// Whether the signature declares a return type (`-> ..`).
+    pub has_return_type: bool,
+    /// Whether the declared return type mentions `Result`.
+    pub returns_result: bool,
+}
+
+impl FnInfo {
+    /// Whether the function returns `()` or `Result<()>` — the shape of
+    /// a charging hook (work happens for effect, nothing is handed
+    /// back), as opposed to an accessor returning a value.
+    pub fn returns_unit_or_result(&self) -> bool {
+        !self.has_return_type || self.returns_result
+    }
+}
+
+/// One `use` declaration leaf: `segments` is the full imported path and
+/// `alias` the name it binds locally (`*` for glob imports).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UseDecl {
+    /// Full path segments, e.g. `["rlra_gpu", "algos", "gpu_cholqr"]`.
+    pub segments: Vec<String>,
+    /// Locally bound name (the last segment unless renamed with `as`);
+    /// `*` for glob imports, where `segments` is the module prefix.
+    pub alias: String,
 }
 
 /// A parsed `// analyze: allow(lint, reason)` annotation.
@@ -69,6 +98,8 @@ pub struct FileModel {
     pub test_ranges: Vec<Range<usize>>,
     /// Escape-hatch annotations.
     pub allows: Vec<Allow>,
+    /// Flattened `use` declarations (one entry per imported leaf).
+    pub uses: Vec<UseDecl>,
 }
 
 impl FileModel {
@@ -83,6 +114,7 @@ impl FileModel {
             impls: Vec::new(),
             test_ranges: Vec::new(),
             allows,
+            uses: Vec::new(),
         };
         scan_items(&mut model);
         model
@@ -243,24 +275,46 @@ fn scan_items(model: &mut FileModel) {
                     let test = pending_test_attr || enclosing_test(&scopes);
                     pending_test_attr = false;
                     saw_pub = false;
-                    // Collect the header up to the body brace; the trait
-                    // name (if any) is the last identifier before `for`.
+                    // Collect the header up to the body brace. The trait
+                    // name (if any) is the last top-level identifier
+                    // before `for`; the self type is the last top-level
+                    // identifier after it (or overall, for inherent
+                    // impls). Generic arguments are excluded by angle
+                    // depth so `impl<E: Executor> T for Recovering<E>`
+                    // yields (`T`, `Recovering`).
                     let mut trait_name: Option<String> = None;
                     let mut last_ident: Option<String> = None;
                     let mut paren = 0i32;
+                    let mut angle = 0i32;
+                    let mut in_where = false;
                     i += 1;
                     while i < n && !(toks[i].is_punct('{') && paren == 0) {
-                        if toks[i].is_punct('(') {
+                        let s = &toks[i];
+                        if s.is_punct('-') && i + 1 < n && toks[i + 1].is_punct('>') {
+                            i += 2; // `->` in an `Fn()` bound, not an angle close
+                            continue;
+                        }
+                        if s.is_punct('(') {
                             paren += 1;
-                        } else if toks[i].is_punct(')') {
+                        } else if s.is_punct(')') {
                             paren -= 1;
-                        } else if toks[i].is_punct(';') {
+                        } else if s.is_punct('<') {
+                            angle += 1;
+                        } else if s.is_punct('>') {
+                            angle -= 1;
+                        } else if s.is_punct(';') {
                             break; // `impl Trait for Type;` (unparsable junk) — bail
-                        } else if toks[i].kind == TokKind::Ident && paren == 0 {
-                            if toks[i].text == "for" && trait_name.is_none() {
-                                trait_name = last_ident.take();
-                            } else if toks[i].text != "where" {
-                                last_ident = Some(toks[i].text.clone());
+                        } else if s.kind == TokKind::Ident && paren == 0 && angle == 0 && !in_where
+                        {
+                            match s.text.as_str() {
+                                "for" => {
+                                    if trait_name.is_none() {
+                                        trait_name = last_ident.take();
+                                    }
+                                }
+                                "where" => in_where = true,
+                                "mut" | "dyn" | "const" | "unsafe" => {}
+                                other => last_ident = Some(other.to_string()),
                             }
                         }
                         i += 1;
@@ -268,6 +322,7 @@ fn scan_items(model: &mut FileModel) {
                     if i < n && toks[i].is_punct('{') {
                         model.impls.push(ImplInfo {
                             trait_name,
+                            self_type: last_ident,
                             line,
                             body: 0..0, // patched when the scope closes
                         });
@@ -291,27 +346,55 @@ fn scan_items(model: &mut FileModel) {
                     } else {
                         String::new()
                     };
-                    // Scan the signature for the body `{` or a `;`.
+                    // Scan the signature for the body `{` or a `;`,
+                    // recording the parameter-list range and the return
+                    // type along the way. Angle depth distinguishes the
+                    // parameter parens from parens inside generic bounds
+                    // (`fn f<T: Fn(usize)>(x: T)`).
                     let mut depth = 0i32;
+                    let mut angle = 0i32;
+                    let mut params: Option<Range<usize>> = None;
+                    let mut params_open: Option<usize> = None;
+                    let mut has_return_type = false;
+                    let mut returns_result = false;
+                    let mut in_where = false;
                     while i < n {
                         let s = &toks[i];
+                        if s.is_punct('-') && i + 1 < n && toks[i + 1].is_punct('>') {
+                            if depth == 0 && angle == 0 {
+                                has_return_type = true;
+                            }
+                            i += 2;
+                            continue;
+                        }
                         if s.is_punct('(') || s.is_punct('[') {
+                            if s.is_punct('(') && depth == 0 && angle == 0 && params.is_none() {
+                                params_open = Some(i);
+                            }
                             depth += 1;
                         } else if s.is_punct(')') || s.is_punct(']') {
                             depth -= 1;
-                        } else if depth == 0 && s.is_punct(';') {
-                            model.fns.push(FnInfo {
-                                name,
-                                is_pub,
-                                line,
-                                body: None,
-                                impl_idx: enclosing_impl(&scopes),
-                                in_test: test,
-                                in_trait_def: enclosing_trait_def(&scopes),
-                            });
-                            i += 1;
-                            break;
-                        } else if depth == 0 && s.is_punct('{') {
+                            if s.is_punct(')') && depth == 0 && params.is_none() {
+                                if let Some(open) = params_open.take() {
+                                    params = Some(open + 1..i);
+                                }
+                            }
+                        } else if s.is_punct('<') {
+                            angle += 1;
+                        } else if s.is_punct('>') {
+                            angle -= 1;
+                        } else if depth == 0 && s.kind == TokKind::Ident {
+                            if s.text == "where" {
+                                in_where = true;
+                            } else if has_return_type && !in_where && s.text == "Result" {
+                                returns_result = true;
+                            }
+                        } else if depth == 0 && (s.is_punct(';') || s.is_punct('{')) {
+                            let with_body = s.is_punct('{');
+                            let param_count = params
+                                .as_ref()
+                                .map(|r| count_params(&toks[r.clone()]))
+                                .unwrap_or(0);
                             model.fns.push(FnInfo {
                                 name,
                                 is_pub,
@@ -320,12 +403,17 @@ fn scan_items(model: &mut FileModel) {
                                 impl_idx: enclosing_impl(&scopes),
                                 in_test: test,
                                 in_trait_def: enclosing_trait_def(&scopes),
+                                param_count,
+                                has_return_type,
+                                returns_result,
                             });
-                            scopes.push(Scope::FnBody {
-                                idx: model.fns.len() - 1,
-                                test,
-                                open: i,
-                            });
+                            if with_body {
+                                scopes.push(Scope::FnBody {
+                                    idx: model.fns.len() - 1,
+                                    test,
+                                    open: i,
+                                });
+                            }
                             i += 1;
                             break;
                         }
@@ -343,7 +431,22 @@ fn scan_items(model: &mut FileModel) {
                         i = match_delim(toks, i, '{', '}') + 1;
                     }
                 }
-                "struct" | "enum" | "union" | "const" | "static" | "type" | "use" | "extern" => {
+                "use" => {
+                    saw_pub = false;
+                    pending_test_attr = false;
+                    // Parse the use tree by peeking ahead WITHOUT
+                    // consuming tokens: lints that pattern-match the raw
+                    // stream (determinism) rely on import paths staying
+                    // visible.
+                    let mut end = i + 1;
+                    while end < n && !toks[end].is_punct(';') {
+                        end += 1;
+                    }
+                    let mut cursor = i + 1;
+                    parse_use_tree(&toks[..end], &mut cursor, &mut Vec::new(), &mut model.uses);
+                    i += 1;
+                }
+                "struct" | "enum" | "union" | "const" | "static" | "type" | "extern" => {
                     saw_pub = false;
                     pending_test_attr = false;
                     i += 1;
@@ -378,6 +481,117 @@ fn scan_items(model: &mut FileModel) {
             _ => i += 1,
         }
     }
+}
+
+/// Counts declared parameters in a parameter-list token slice (the
+/// tokens between the signature parens), excluding any `self` receiver.
+/// Commas inside nested parens, brackets, or generic angles do not
+/// count (`x: HashMap<K, V>` is one parameter).
+fn count_params(toks: &[Tok]) -> usize {
+    if toks.is_empty() {
+        return 0;
+    }
+    let mut commas = 0usize;
+    let (mut depth, mut angle) = (0i32, 0i32);
+    let mut k = 0usize;
+    while k < toks.len() {
+        let t = &toks[k];
+        if t.is_punct('-') && k + 1 < toks.len() && toks[k + 1].is_punct('>') {
+            k += 2; // `->` inside an `Fn()` bound
+            continue;
+        }
+        if t.is_punct('(') || t.is_punct('[') {
+            depth += 1;
+        } else if t.is_punct(')') || t.is_punct(']') {
+            depth -= 1;
+        } else if t.is_punct('<') {
+            angle += 1;
+        } else if t.is_punct('>') {
+            angle -= 1;
+        } else if t.is_punct(',') && depth == 0 && angle == 0 {
+            commas += 1;
+        }
+        k += 1;
+    }
+    let mut count = commas + 1;
+    if toks.last().map(|t| t.is_punct(',')).unwrap_or(false) {
+        count -= 1; // trailing comma
+    }
+    // Skip a `&'a mut self` / `mut self` / `self: Pin<..>` receiver.
+    let mut k = 0usize;
+    while k < toks.len()
+        && (toks[k].is_punct('&') || toks[k].kind == TokKind::Lifetime || toks[k].is_ident("mut"))
+    {
+        k += 1;
+    }
+    if k < toks.len() && toks[k].is_ident("self") {
+        count = count.saturating_sub(1);
+    }
+    count
+}
+
+/// Recursive-descent parse of one `use` tree (`a::b::{c, d as e, f::*}`)
+/// into flat [`UseDecl`] leaves. `i` is advanced past the consumed
+/// tokens; `prefix` carries the path segments accumulated so far.
+fn parse_use_tree(toks: &[Tok], i: &mut usize, prefix: &mut Vec<String>, out: &mut Vec<UseDecl>) {
+    let base = prefix.len();
+    let n = toks.len();
+    loop {
+        if *i >= n {
+            break;
+        }
+        if toks[*i].is_punct('{') {
+            *i += 1;
+            while *i < n && !toks[*i].is_punct('}') {
+                parse_use_tree(toks, i, prefix, out);
+                if *i < n && toks[*i].is_punct(',') {
+                    *i += 1;
+                }
+            }
+            if *i < n {
+                *i += 1; // '}'
+            }
+            break;
+        }
+        if toks[*i].is_punct('*') {
+            out.push(UseDecl {
+                segments: prefix.clone(),
+                alias: "*".to_string(),
+            });
+            *i += 1;
+            break;
+        }
+        if toks[*i].kind != TokKind::Ident {
+            *i += 1; // leading `::` or stray punctuation
+            continue;
+        }
+        let seg = toks[*i].text.clone();
+        *i += 1;
+        let more = *i + 1 < n && toks[*i].is_punct(':') && toks[*i + 1].is_punct(':');
+        if more {
+            prefix.push(seg);
+            *i += 2;
+            continue;
+        }
+        // Leaf segment: `self` in a group re-imports the prefix module.
+        let mut alias = seg.clone();
+        let mut segments = prefix.clone();
+        if seg == "self" {
+            alias = prefix.last().cloned().unwrap_or(seg);
+        } else {
+            segments.push(seg);
+        }
+        if *i < n && toks[*i].is_ident("as") {
+            *i += 1;
+            if *i < n && toks[*i].kind == TokKind::Ident {
+                alias = toks[*i].text.clone();
+                *i += 1;
+            }
+        }
+        out.push(UseDecl { segments, alias });
+        break;
+    }
+    prefix.truncate(base);
 }
 
 /// Index of the delimiter matching `toks[open]` (which must be `open_c`);
@@ -461,5 +675,84 @@ mod tests {
         let m = model("#[test]\nfn t() { x.unwrap(); }\nfn lib() {}\n");
         assert!(m.fns[0].in_test);
         assert!(!m.fns[1].in_test);
+    }
+
+    #[test]
+    fn impl_self_type_is_recorded() {
+        let m = model(
+            "impl<'a> Executor for GpuExec<'a> { }\n\
+             impl<E: Executor> Executor for Recovering<E> { }\n\
+             impl Plain { }\n\
+             impl Trait for rlra_core::backend::ClusterExec where Self: Sized { }\n",
+        );
+        assert_eq!(m.impls[0].self_type.as_deref(), Some("GpuExec"));
+        assert_eq!(m.impls[1].self_type.as_deref(), Some("Recovering"));
+        assert_eq!(m.impls[1].trait_name.as_deref(), Some("Executor"));
+        assert_eq!(m.impls[2].self_type.as_deref(), Some("Plain"));
+        assert_eq!(m.impls[3].self_type.as_deref(), Some("ClusterExec"));
+    }
+
+    #[test]
+    fn signature_details_are_recorded() {
+        let m = model(
+            "fn a() {}\n\
+             fn b(x: usize, m: HashMap<K, V>) -> f64 { 0.0 }\n\
+             fn c(&mut self, dims: [usize; 3]) -> Result<(), Error> { Ok(()) }\n\
+             fn d<T: Fn(usize, usize) -> bool>(f: T) {}\n\
+             trait T { fn e(&self, a: A, b: B); }\n",
+        );
+        let by = |n: &str| m.fns.iter().find(|f| f.name == n).unwrap();
+        assert_eq!(by("a").param_count, 0);
+        assert!(!by("a").has_return_type);
+        assert!(by("a").returns_unit_or_result());
+        assert_eq!(by("b").param_count, 2);
+        assert!(by("b").has_return_type);
+        assert!(!by("b").returns_result);
+        assert!(!by("b").returns_unit_or_result());
+        assert_eq!(by("c").param_count, 1);
+        assert!(by("c").returns_result);
+        assert!(by("c").returns_unit_or_result());
+        assert_eq!(by("d").param_count, 1);
+        assert!(!by("d").has_return_type);
+        assert_eq!(by("e").param_count, 2);
+        assert!(by("e").body.is_none());
+    }
+
+    #[test]
+    fn use_declarations_flatten() {
+        let m = model(
+            "use rlra_gpu::algos::gpu_cholqr;\n\
+             use rlra_core::backend::{Executor, cpu::CpuExec as Host, self};\n\
+             use crate::lints::*;\n\
+             fn f() {}\n",
+        );
+        let u = &m.uses;
+        assert!(u.contains(&UseDecl {
+            segments: vec!["rlra_gpu".into(), "algos".into(), "gpu_cholqr".into()],
+            alias: "gpu_cholqr".into(),
+        }));
+        assert!(u.contains(&UseDecl {
+            segments: vec!["rlra_core".into(), "backend".into(), "Executor".into()],
+            alias: "Executor".into(),
+        }));
+        assert!(u.contains(&UseDecl {
+            segments: vec![
+                "rlra_core".into(),
+                "backend".into(),
+                "cpu".into(),
+                "CpuExec".into(),
+            ],
+            alias: "Host".into(),
+        }));
+        assert!(u.contains(&UseDecl {
+            segments: vec!["rlra_core".into(), "backend".into()],
+            alias: "backend".into(),
+        }));
+        assert!(u.contains(&UseDecl {
+            segments: vec!["crate".into(), "lints".into()],
+            alias: "*".into(),
+        }));
+        // The import tokens stay in the stream for pattern lints.
+        assert!(m.lexed.toks.iter().any(|t| t.is_ident("gpu_cholqr")));
     }
 }

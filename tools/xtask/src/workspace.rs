@@ -1,10 +1,237 @@
-//! Workspace layout: which files feed which lint.
+//! Workspace layout: one declarative scope table mapping each lint to
+//! the files it runs over. Every lint consumes [`files_for`]; the table
+//! is the single place the repo's layout assumptions live.
 
 use std::path::{Path, PathBuf};
 
-/// Crates whose library code must be panic-free (the crates a serving
-/// deployment links against on its hot path).
+/// Crates whose library code must be panic-free and may not discard
+/// `Result`s (the crates a serving deployment links against on its hot
+/// path).
 pub const PANIC_FREE_CRATES: &[&str] = &["core", "gpu", "blas", "model"];
+
+/// The lint scopes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scope {
+    /// No wall clock / entropy: every crate's library sources.
+    Determinism,
+    /// No panics: serving-path crates.
+    Panic,
+    /// Charging sites must emit trace events: `rlra-gpu` sources.
+    Trace,
+    /// CholQR goes through the guard ladder: consumer crates.
+    Numerics,
+    /// Simulated kernels that must charge: `rlra-gpu::algos`.
+    CostAlgos,
+    /// Executor stage hooks that must charge: `rlra-core::backend`.
+    CostExecutors,
+    /// BLAS routines needing flop formulas.
+    FlopsRoutines,
+    /// The flop-formula file itself.
+    FlopsFormulas,
+    /// No ignored `Result`s: serving-path crates.
+    Discard,
+    /// Backend hook parity: `rlra-core::backend` (trait + impls).
+    HookParity,
+    /// Kernel charge sites must pass matching cost expressions.
+    FlopsSig,
+    /// Everything indexed for the call graph (superset of the rest).
+    Graph,
+}
+
+/// One contiguous slice of the workspace.
+#[derive(Debug)]
+pub struct FileSet {
+    /// Crate dirs under `crates/`; empty means every crate dir plus
+    /// the facade crate at the workspace root.
+    pub crates: &'static [&'static str],
+    /// Path under each crate's `src/` — a subdir, a file, or "" for
+    /// the whole source tree.
+    pub part: &'static str,
+}
+
+/// A scope's file selection.
+#[derive(Debug)]
+pub struct ScopeSpec {
+    /// Which lint scope this row defines.
+    pub scope: Scope,
+    /// Union of workspace slices.
+    pub sets: &'static [FileSet],
+    /// Drop `src/bin/` targets (bench binaries legitimately measure
+    /// wall time and print).
+    pub exclude_bins: bool,
+    /// Path suffixes excluded from the scope.
+    pub exclude_suffixes: &'static [&'static str],
+}
+
+const ALL: FileSet = FileSet {
+    crates: &[],
+    part: "",
+};
+
+/// The scope table: every lint's file selection in one place.
+pub const SCOPES: &[ScopeSpec] = &[
+    ScopeSpec {
+        scope: Scope::Determinism,
+        sets: &[ALL],
+        exclude_bins: true,
+        exclude_suffixes: &[],
+    },
+    ScopeSpec {
+        scope: Scope::Panic,
+        sets: &[FileSet {
+            crates: PANIC_FREE_CRATES,
+            part: "",
+        }],
+        exclude_bins: true,
+        exclude_suffixes: &[],
+    },
+    ScopeSpec {
+        scope: Scope::Trace,
+        sets: &[FileSet {
+            crates: &["gpu"],
+            part: "",
+        }],
+        exclude_bins: true,
+        exclude_suffixes: &[],
+    },
+    ScopeSpec {
+        scope: Scope::Numerics,
+        sets: &[FileSet {
+            crates: &["core", "gpu", "data"],
+            part: "",
+        }],
+        exclude_bins: true,
+        // rlra-lapack (defines the kernels) is out of scope; the guard
+        // module IS the ladder.
+        exclude_suffixes: &["backend/guard.rs"],
+    },
+    ScopeSpec {
+        scope: Scope::CostAlgos,
+        sets: &[FileSet {
+            crates: &["gpu"],
+            part: "algos.rs",
+        }],
+        exclude_bins: false,
+        exclude_suffixes: &[],
+    },
+    ScopeSpec {
+        scope: Scope::CostExecutors,
+        sets: &[FileSet {
+            crates: &["core"],
+            part: "backend",
+        }],
+        exclude_bins: false,
+        exclude_suffixes: &[],
+    },
+    ScopeSpec {
+        scope: Scope::FlopsRoutines,
+        sets: &[
+            FileSet {
+                crates: &["blas"],
+                part: "level2.rs",
+            },
+            FileSet {
+                crates: &["blas"],
+                part: "level3.rs",
+            },
+        ],
+        exclude_bins: false,
+        exclude_suffixes: &[],
+    },
+    ScopeSpec {
+        scope: Scope::FlopsFormulas,
+        sets: &[FileSet {
+            crates: &["blas"],
+            part: "flops.rs",
+        }],
+        exclude_bins: false,
+        exclude_suffixes: &[],
+    },
+    ScopeSpec {
+        scope: Scope::Discard,
+        sets: &[FileSet {
+            crates: PANIC_FREE_CRATES,
+            part: "",
+        }],
+        exclude_bins: true,
+        exclude_suffixes: &[],
+    },
+    ScopeSpec {
+        scope: Scope::HookParity,
+        sets: &[FileSet {
+            crates: &["core"],
+            part: "backend",
+        }],
+        exclude_bins: false,
+        exclude_suffixes: &[],
+    },
+    ScopeSpec {
+        scope: Scope::FlopsSig,
+        sets: &[
+            FileSet {
+                crates: &["gpu"],
+                part: "",
+            },
+            FileSet {
+                crates: &["core"],
+                part: "backend",
+            },
+        ],
+        exclude_bins: true,
+        exclude_suffixes: &[],
+    },
+    ScopeSpec {
+        scope: Scope::Graph,
+        sets: &[ALL],
+        exclude_bins: true,
+        exclude_suffixes: &[],
+    },
+];
+
+/// Files a scope covers, sorted and deduplicated.
+pub fn files_for(root: &Path, scope: Scope) -> Vec<PathBuf> {
+    let spec = SCOPES
+        .iter()
+        .find(|s| s.scope == scope)
+        .expect("every Scope has a table row");
+    let mut out = Vec::new();
+    for set in spec.sets {
+        let mut roots: Vec<PathBuf> = Vec::new();
+        if set.crates.is_empty() {
+            if let Ok(entries) = std::fs::read_dir(root.join("crates")) {
+                let mut dirs: Vec<_> = entries.flatten().map(|e| e.path()).collect();
+                dirs.sort();
+                roots.extend(dirs.into_iter().map(|d| d.join("src")));
+            }
+            roots.push(root.join("src"));
+        } else {
+            for c in set.crates {
+                roots.push(root.join("crates").join(c).join("src"));
+            }
+        }
+        for r in roots {
+            let target = if set.part.is_empty() {
+                r
+            } else {
+                r.join(set.part)
+            };
+            if target.extension().is_some_and(|e| e == "rs") {
+                if target.is_file() {
+                    out.push(target);
+                }
+            } else {
+                out.extend(rs_files(&target));
+            }
+        }
+    }
+    if spec.exclude_bins {
+        out.retain(|p| !is_bin_target(p));
+    }
+    out.retain(|p| !spec.exclude_suffixes.iter().any(|s| p.ends_with(s)));
+    out.sort();
+    out.dedup();
+    out
+}
 
 /// Recursively collects `.rs` files under `dir` (sorted for stable
 /// output). Missing directories yield an empty list.
@@ -33,96 +260,6 @@ fn collect(dir: &Path, out: &mut Vec<PathBuf>) {
 /// determinism lint (bench binaries legitimately measure wall time).
 pub fn is_bin_target(path: &Path) -> bool {
     path.components().any(|c| c.as_os_str() == "bin")
-}
-
-/// All library source files subject to the determinism lint: every
-/// workspace crate's `src/` plus the facade crate's `src/`, minus
-/// `src/bin/` targets (and minus the analyzer itself).
-pub fn determinism_files(root: &Path) -> Vec<PathBuf> {
-    let mut out = Vec::new();
-    let crates = root.join("crates");
-    if let Ok(entries) = std::fs::read_dir(&crates) {
-        let mut dirs: Vec<_> = entries.flatten().map(|e| e.path()).collect();
-        dirs.sort();
-        for dir in dirs {
-            out.extend(
-                rs_files(&dir.join("src"))
-                    .into_iter()
-                    .filter(|p| !is_bin_target(p)),
-            );
-        }
-    }
-    out.extend(rs_files(&root.join("src")));
-    out
-}
-
-/// Library source files subject to the panic-freedom lint.
-pub fn panic_files(root: &Path) -> Vec<PathBuf> {
-    let mut out = Vec::new();
-    for c in PANIC_FREE_CRATES {
-        out.extend(
-            rs_files(&root.join("crates").join(c).join("src"))
-                .into_iter()
-                .filter(|p| !is_bin_target(p)),
-        );
-    }
-    out
-}
-
-/// Files indexed for the cost lint's transitive call resolution.
-pub fn cost_graph_files(root: &Path) -> Vec<PathBuf> {
-    let mut out = rs_files(&root.join("crates/gpu/src"));
-    out.extend(rs_files(&root.join("crates/core/src/backend")));
-    out
-}
-
-/// Files whose pub fns are simulated kernels (must charge).
-pub fn cost_algo_files(root: &Path) -> Vec<PathBuf> {
-    vec![root.join("crates/gpu/src/algos.rs")]
-}
-
-/// Files holding `impl Executor for ..` stage hooks (must charge).
-pub fn cost_executor_files(root: &Path) -> Vec<PathBuf> {
-    rs_files(&root.join("crates/core/src/backend"))
-}
-
-/// Files subject to the numerics lint: library sources of the crates
-/// that *consume* the CholQR kernels. `rlra-lapack` (which defines them)
-/// and `rlra-core::backend::guard` (which is the ladder itself) are
-/// exempt.
-pub fn numerics_files(root: &Path) -> Vec<PathBuf> {
-    let mut out = Vec::new();
-    for c in ["core", "gpu", "data"] {
-        out.extend(
-            rs_files(&root.join("crates").join(c).join("src"))
-                .into_iter()
-                .filter(|p| !is_bin_target(p)),
-        );
-    }
-    out.retain(|p| !p.ends_with("backend/guard.rs"));
-    out
-}
-
-/// Files subject to the trace lint: the `rlra-gpu` library sources,
-/// where every clock/timeline/comms accumulator lives.
-pub fn trace_files(root: &Path) -> Vec<PathBuf> {
-    rs_files(&root.join("crates/gpu/src"))
-        .into_iter()
-        .filter(|p| !is_bin_target(p))
-        .collect()
-}
-
-/// BLAS routine files paired with the flops formula file.
-pub fn flops_routine_files(root: &Path) -> Vec<PathBuf> {
-    vec![
-        root.join("crates/blas/src/level2.rs"),
-        root.join("crates/blas/src/level3.rs"),
-    ]
-}
-
-/// The flops formula file.
-pub fn flops_file(root: &Path) -> PathBuf {
-    root.join("crates/blas/src/flops.rs")
 }
 
 /// Finds the workspace root: walks up from `start` until a directory

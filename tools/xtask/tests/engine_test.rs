@@ -1,0 +1,158 @@
+//! Engine-level integration tests: the machine-readable outputs round-
+//! trip end to end, the baseline diff gates regressions, the parallel
+//! loader agrees with the serial one, and the cost lint's obligation
+//! lists cannot go stale against the real `Executor` trait.
+
+use rlra_analyze::diag::Finding;
+use rlra_analyze::scan::FileModel;
+use rlra_analyze::{baseline, lints, output, Options};
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("xtask lives two levels below the workspace root")
+        .to_path_buf()
+}
+
+#[test]
+fn parallel_and_serial_loading_agree() {
+    let root = workspace_root();
+    let par = rlra_analyze::analyze_with(&root, &Options { serial: false })
+        .expect("parallel analysis runs");
+    let ser =
+        rlra_analyze::analyze_with(&root, &Options { serial: true }).expect("serial analysis runs");
+    assert_eq!(
+        par.findings, ser.findings,
+        "parallel file loading must not change the findings"
+    );
+}
+
+#[test]
+fn baseline_diff_passes_clean_and_fails_on_a_seeded_regression() {
+    let root = workspace_root();
+    let current = rlra_analyze::analyze(&root).expect("analyze runs");
+    let base = baseline::load(&root.join(baseline::BASELINE_PATH))
+        .expect("the checked-in baseline parses");
+
+    // The checked-in baseline matches the tree: no regressions.
+    let clean = baseline::diff(&current, &base);
+    assert!(
+        clean.regressions.is_empty(),
+        "unexpected regressions: {:#?}",
+        clean.regressions
+    );
+
+    // Seed a regression (the finding a deleted backend charge would
+    // produce) and the diff must fail.
+    let mut seeded = current.clone();
+    seeded.push(Finding {
+        file: PathBuf::from("crates/core/src/backend/gpu_exec.rs"),
+        line: 40,
+        lint: "hook_parity",
+        message: "backend `gpu` (GpuExec) does not implement Executor hook \
+                  `charge_fallback` — the silent trait default makes its work \
+                  free on this backend"
+            .into(),
+    });
+    let broken = baseline::diff(&seeded, &base);
+    assert_eq!(
+        broken.regressions.len(),
+        1,
+        "the seeded finding must surface as a regression"
+    );
+    assert_eq!(broken.regressions[0].lint, "hook_parity");
+}
+
+#[test]
+fn obligation_lists_match_the_real_executor_trait() {
+    // Every STAGE_HOOKS/CHARGE_HOOKS entry must name a method of the
+    // real `Executor` trait — a renamed hook with a stale obligation
+    // entry would silently stop being charge-checked. (The converse —
+    // every silent-default hook is obligated — is the hook_parity
+    // lint's registration check, exercised by `workspace_is_clean`.)
+    let path = workspace_root().join("crates/core/src/backend/mod.rs");
+    let src = std::fs::read_to_string(&path).expect("backend/mod.rs exists");
+    let model = FileModel::new(PathBuf::from("crates/core/src/backend/mod.rs"), &src);
+    let trait_fns: Vec<&str> = model
+        .fns
+        .iter()
+        .filter(|f| f.in_trait_def && !f.in_test)
+        .map(|f| f.name.as_str())
+        .collect();
+    assert!(
+        !trait_fns.is_empty(),
+        "the Executor trait definition must be scannable"
+    );
+    for hook in lints::cost::STAGE_HOOKS
+        .iter()
+        .chain(lints::cost::CHARGE_HOOKS)
+    {
+        assert!(
+            trait_fns.contains(hook),
+            "obligated hook `{hook}` is not a method of the Executor trait — \
+             stale entry in STAGE_HOOKS/CHARGE_HOOKS"
+        );
+    }
+}
+
+#[test]
+fn cli_json_document_round_trips() {
+    let root = workspace_root();
+    let out = Command::new(env!("CARGO_BIN_EXE_rlra-analyze"))
+        .args(["analyze", "--format", "json", "--root"])
+        .arg(&root)
+        .output()
+        .expect("the analyzer binary runs");
+    assert!(out.status.success(), "analyzer failed: {out:?}");
+    let stdout = String::from_utf8(out.stdout).expect("json output is utf-8");
+    let records = output::from_json(&stdout).expect("the CLI's json parses back");
+    assert!(
+        records.is_empty(),
+        "the workspace is clean, so the document carries no findings: {records:#?}"
+    );
+}
+
+#[test]
+fn cli_sarif_document_is_wellformed() {
+    let root = workspace_root();
+    let out = Command::new(env!("CARGO_BIN_EXE_rlra-analyze"))
+        .args(["analyze", "--format", "sarif", "--root"])
+        .arg(&root)
+        .output()
+        .expect("the analyzer binary runs");
+    assert!(out.status.success(), "analyzer failed: {out:?}");
+    let stdout = String::from_utf8(out.stdout).expect("sarif output is utf-8");
+    let doc = output::parse_json(&stdout).expect("the SARIF document is valid JSON");
+    assert_eq!(
+        doc.get("version").and_then(|v| v.as_str()),
+        Some("2.1.0"),
+        "SARIF version pinned"
+    );
+    let driver = doc
+        .get("runs")
+        .and_then(|r| r.as_arr())
+        .and_then(|runs| runs.first())
+        .and_then(|run| run.get("tool"))
+        .and_then(|t| t.get("driver"))
+        .and_then(|d| d.get("name"))
+        .and_then(|n| n.as_str());
+    assert_eq!(driver, Some("rlra-analyze"));
+}
+
+#[test]
+fn cli_diff_against_the_checked_in_baseline_is_clean() {
+    let root = workspace_root();
+    let out = Command::new(env!("CARGO_BIN_EXE_rlra-analyze"))
+        .args(["analyze", "--diff", "--root"])
+        .arg(&root)
+        .output()
+        .expect("the analyzer binary runs");
+    assert!(
+        out.status.success(),
+        "`analyze --diff` must pass against the checked-in baseline: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}

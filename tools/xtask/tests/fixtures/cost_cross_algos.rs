@@ -1,0 +1,17 @@
+// Fixture (graph path `crates/gpu/src/algos.rs`): a simulated kernel
+// that charges only through a helper in ANOTHER file, resolved via the
+// `use` import — the per-file lint would flag it; the interprocedural
+// lint must not. `free_pass` is the in-file control that must fire.
+
+use crate::device::charge_helper;
+
+/// Charges via the imported helper: clean under the graph lint.
+pub fn fused_pass(g: &mut Gpu, l: usize) {
+    charge_helper(g, l);
+}
+
+/// Charges nothing anywhere: must be flagged.
+pub fn free_pass(g: &mut Gpu, l: usize) {
+    let w = l * 2;
+    g.note(w);
+}

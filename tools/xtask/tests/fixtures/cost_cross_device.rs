@@ -1,0 +1,7 @@
+// Fixture (graph path `crates/gpu/src/device.rs`): the charging helper
+// `cost_cross_algos.rs` imports.
+
+/// The actual charge lives here.
+pub fn charge_helper(g: &mut Gpu, l: usize) {
+    g.charge(Phase::Other, g.cost().blas1(l, 1.0));
+}

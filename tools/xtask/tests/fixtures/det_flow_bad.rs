@@ -1,0 +1,18 @@
+// Fixture: an allow(determinism) is site-local — a caller that pulls
+// the allowed wall-clock carrier into unannotated code must be flagged
+// by the flow check (the direct check stays silent).
+
+// analyze: allow(determinism, bench banner only; figures never read this value)
+fn wall_seconds() -> f64 {
+    Instant::now().elapsed().as_secs_f64()
+}
+
+pub struct Report {
+    pub wall: f64,
+}
+
+/// Calls the allowed carrier without its own allow: the carrier's
+/// justification ("bench banner only") never covered this path.
+pub fn annotate(report: &mut Report) {
+    report.wall = wall_seconds();
+}

@@ -1,0 +1,21 @@
+// Fixture: flow-check shapes that must pass — the carrier itself (its
+// own allow covers it) and a caller that carries its own allow.
+
+// analyze: allow(determinism, bench banner only; figures never read this value)
+fn wall_seconds() -> f64 {
+    Instant::now().elapsed().as_secs_f64()
+}
+
+pub struct Report {
+    pub wall: f64,
+}
+
+// analyze: allow(determinism, the banner is cosmetic; every figure uses the simulated clock)
+pub fn annotate(report: &mut Report) {
+    report.wall = wall_seconds();
+}
+
+/// Never touches the carrier: nothing to flag.
+pub fn summarize(report: &Report) -> f64 {
+    report.wall * 0.0
+}

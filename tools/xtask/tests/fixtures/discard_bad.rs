@@ -1,0 +1,30 @@
+// Fixture: every discard shape the lint must flag — an explicit
+// `let _ =`, a bare free-call statement, and a bare method-call
+// statement whose every same-name candidate returns Result.
+
+pub struct Device {
+    healthy: bool,
+}
+
+impl Device {
+    fn sync(&mut self) -> Result<()> {
+        if self.healthy {
+            Ok(())
+        } else {
+            Err(MatrixError::Breakdown { what: "device" })
+        }
+    }
+}
+
+fn refresh(dev: &mut Device) -> Result<()> {
+    dev.sync()
+}
+
+pub fn run(dev: &mut Device) {
+    // Explicit discard of a fallible sync.
+    let _ = dev.sync();
+    // Bare free call: `refresh` returns Result, the value is dropped.
+    refresh(dev);
+    // Bare method call: every `sync` in the graph returns Result.
+    dev.sync();
+}

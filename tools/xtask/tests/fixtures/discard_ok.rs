@@ -1,0 +1,64 @@
+// Fixture: every consumed-Result shape the discard lint must accept —
+// `?`-propagation, bindings, split-vote method calls, unit returns,
+// unknown callees, allows, and test code.
+
+pub struct Device {
+    healthy: bool,
+}
+
+pub struct Host;
+
+impl Device {
+    fn sync(&mut self) -> Result<()> {
+        if self.healthy {
+            Ok(())
+        } else {
+            Err(MatrixError::Breakdown { what: "device" })
+        }
+    }
+}
+
+impl Host {
+    /// Same name as `Device::sync` but infallible: the name union has a
+    /// split vote, so bare calls to `sync` cannot be flagged.
+    fn sync(&mut self) {
+        self.flushed = true;
+    }
+}
+
+fn refresh(dev: &mut Device) -> Result<()> {
+    dev.sync()
+}
+
+fn log_step(step: usize) {
+    let _unused = step;
+}
+
+pub fn run(dev: &mut Device, host: &mut Host) -> Result<()> {
+    // Propagated.
+    refresh(dev)?;
+    // Bound, then propagated.
+    let report = dev.sync();
+    report?;
+    // Split vote: `sync` resolves to both a Result and a unit fn.
+    host.sync();
+    // Unit return: nothing to discard.
+    log_step(1);
+    // Unknown callee (not in the graph): skipped.
+    external_flush(host);
+    // analyze: allow(discard, best-effort telemetry flush; a failed flush must not abort the solve)
+    dev.sync();
+    // analyze: allow(discard, shape-only probe; only the side effect matters)
+    let _ = dev.sync();
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_drop_results() {
+        let mut d = Device { healthy: true };
+        d.sync();
+        let _ = d.sync();
+    }
+}

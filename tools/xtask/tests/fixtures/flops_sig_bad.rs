@@ -1,0 +1,92 @@
+// Fixture: every flops-signature failure — mispriced kernels, arity
+// drift, dynamic names, unknown kernels, malformed sites, hand-rolled
+// durations, and stale dimension wiring.
+
+pub struct CostModel {
+    gflops: f64,
+}
+
+impl CostModel {
+    pub fn new(gflops: f64) -> Self {
+        CostModel { gflops }
+    }
+    pub fn gemm(&self, m: usize, n: usize, k: usize) -> f64 {
+        2.0 * m as f64 * n as f64 * k as f64 / self.gflops
+    }
+    pub fn trsm(&self, n: usize, nrhs: usize) -> f64 {
+        n as f64 * n as f64 * nrhs as f64 / self.gflops
+    }
+    pub fn blas1(&self, elems: usize, ops: f64) -> f64 {
+        ops * elems as f64 / self.gflops
+    }
+}
+
+impl Gpu {
+    /// A gemm priced with the trsm formula: method mismatch.
+    pub fn mispriced(&mut self, m: usize, n: usize, k: usize) {
+        self.charge_kernel(
+            Phase::SampleGemm,
+            "gemm",
+            [m, n, k],
+            0.0,
+            0.0,
+            self.cost.trsm(m, n),
+        );
+    }
+
+    /// Correct method, wrong arity: the model's gemm takes three dims.
+    pub fn wrong_arity(&mut self, m: usize, n: usize, k: usize) {
+        self.charge_kernel(
+            Phase::SampleGemm,
+            "gemm",
+            [m, n, k],
+            0.0,
+            0.0,
+            self.cost.gemm(m, n),
+        );
+    }
+
+    /// Non-literal kernel name: the pairing cannot be checked.
+    pub fn dynamic_name(&mut self, name: &'static str, m: usize) {
+        self.charge_kernel(Phase::Other, name, [m, m, 0], 0.0, 0.0, self.cost.blas1(m, 1.0));
+    }
+
+    /// Kernel name absent from the pricing table.
+    pub fn unknown_kernel(&mut self, m: usize) {
+        self.charge_kernel(
+            Phase::Other,
+            "warp_reduce",
+            [m, 0, 0],
+            0.0,
+            0.0,
+            self.cost.blas1(m, 1.0),
+        );
+    }
+
+    /// The funnel takes six arguments; this site passes four.
+    pub fn four_args(&mut self, m: usize) {
+        self.charge_kernel(Phase::Other, "gemm", [m, m, m], 0.0);
+    }
+
+    /// Hand-rolled duration: the cost model is never consulted.
+    pub fn hand_priced(&mut self, l: usize, k: usize) {
+        self.charge_kernel(Phase::Step2, "trsm", [l, k, 0], 0.0, 0.0, 2.5e-4);
+    }
+
+    /// Dimensional routine whose cost arg `k` is not a reported dim.
+    pub fn stale_dims(&mut self, l: usize, nrhs: usize, k: usize) {
+        self.charge_kernel(
+            Phase::Step2,
+            "trsm",
+            [l, nrhs, 0],
+            0.0,
+            0.0,
+            self.cost.trsm(k, nrhs),
+        );
+    }
+
+    /// Out-of-funnel charge with the wrong arity: the sweep catches it.
+    pub fn sweep_arity(&mut self, n: usize) {
+        self.charge(Phase::Other, self.cost.blas1(n));
+    }
+}

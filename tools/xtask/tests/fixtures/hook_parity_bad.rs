@@ -1,0 +1,86 @@
+// Fixture: the two hook-parity failures — a silent-default hook missing
+// from a backend (the "deleted backend charge" scenario), and a
+// silent-default hook that is not registered as a cost-lint obligation.
+
+trait Executor {
+    fn tsqr(&mut self, k: usize, reorth: bool) -> Result<()>;
+
+    /// Silent default, registered in CHARGE_HOOKS.
+    fn charge_fallback(&mut self, rows: usize, cols: usize) -> Result<()> {
+        Ok(())
+    }
+
+    /// Silent default, registered in STAGE_HOOKS.
+    fn verify_probe(&mut self, probes: usize, k: usize) -> Result<()> {
+        Ok(())
+    }
+
+    /// Silent default that is NOT in STAGE_HOOKS/CHARGE_HOOKS: its
+    /// impls would never be charge-checked. Must be reported.
+    fn charge_mystery(&mut self, n: usize) -> Result<()> {
+        Ok(())
+    }
+}
+
+impl Executor for CpuExec {
+    fn tsqr(&mut self, _k: usize, _reorth: bool) -> Result<()> {
+        Ok(())
+    }
+    fn charge_fallback(&mut self, _rows: usize, _cols: usize) -> Result<()> {
+        Ok(())
+    }
+    fn verify_probe(&mut self, _probes: usize, _k: usize) -> Result<()> {
+        Ok(())
+    }
+    fn charge_mystery(&mut self, _n: usize) -> Result<()> {
+        Ok(())
+    }
+}
+
+// The "deleted backend charge": this backend's `charge_fallback` impl
+// was removed, so the silent trait default makes fallback work free on
+// the GPU — exactly the regression the lint exists to catch.
+impl Executor for GpuExec {
+    fn tsqr(&mut self, k: usize, reorth: bool) -> Result<()> {
+        self.charge(Phase::Step2, self.cost().tsqr(k, reorth));
+        Ok(())
+    }
+    fn verify_probe(&mut self, probes: usize, k: usize) -> Result<()> {
+        self.charge(Phase::Other, self.cost().gemm(probes, k, k));
+        Ok(())
+    }
+    fn charge_mystery(&mut self, n: usize) -> Result<()> {
+        self.charge(Phase::Other, self.cost().blas1(n, 1.0));
+        Ok(())
+    }
+}
+
+impl Executor for MultiGpuExec {
+    fn tsqr(&mut self, _k: usize, _reorth: bool) -> Result<()> {
+        Ok(())
+    }
+    fn charge_fallback(&mut self, _rows: usize, _cols: usize) -> Result<()> {
+        Ok(())
+    }
+    fn verify_probe(&mut self, _probes: usize, _k: usize) -> Result<()> {
+        Ok(())
+    }
+    fn charge_mystery(&mut self, _n: usize) -> Result<()> {
+        Ok(())
+    }
+}
+
+impl Executor for ClusterExec {
+    fn tsqr(&mut self, _k: usize, _reorth: bool) -> Result<()> {
+        Ok(())
+    }
+    fn charge_fallback(&mut self, _rows: usize, _cols: usize) -> Result<()> {
+        Ok(())
+    }
+    fn verify_probe(&mut self, _probes: usize, _k: usize) -> Result<()> {
+        Ok(())
+    }
+    fn charge_mystery(&mut self, _n: usize) -> Result<()> {
+        Ok(())
+    }
+}

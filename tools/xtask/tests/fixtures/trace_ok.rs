@@ -32,6 +32,27 @@ impl MultiGpu {
     }
 }
 
+impl Gpu {
+    /// Charges, with the emit two calls away: the lint must walk the
+    /// call graph (`accrue_comms` → `note_comms` → `emit`) rather than
+    /// demand the emit in the charging function itself.
+    fn accrue_comms(&mut self, secs: f64) {
+        self.comms_inter += secs;
+        self.note_comms(secs);
+    }
+
+    /// Not a `trace*`-named helper, not an `emit` call site name — only
+    /// the graph edge proves `accrue_comms` is traced.
+    fn note_comms(&self, secs: f64) {
+        if let Some(t) = &self.tracer {
+            t.emit(TraceEvent::Point {
+                device: self.device,
+                at: secs,
+            });
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     #[test]

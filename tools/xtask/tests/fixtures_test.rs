@@ -1,21 +1,34 @@
 //! Fixture tests: each lint must fire on its `*_bad.rs` fixture and
 //! stay silent on its `*_ok.rs` fixture — plus the keystone check that
 //! the real workspace is clean.
+//!
+//! The graph-based lints (cost, trace, determinism flow, discard) build
+//! a [`Graph`] over the fixture files, so the tests exercise the same
+//! interprocedural machinery the workspace run uses.
 
+use rlra_analyze::diag::Finding;
+use rlra_analyze::graph::Graph;
 use rlra_analyze::lints;
 use rlra_analyze::scan::FileModel;
+use std::collections::HashSet;
 use std::path::{Path, PathBuf};
 
 fn fixture(name: &str) -> FileModel {
+    fixture_at(name, name)
+}
+
+/// Loads a fixture under a caller-chosen repo-relative path, so the
+/// graph's `use`-resolution sees workspace-shaped module paths.
+fn fixture_at(name: &str, rel: &str) -> FileModel {
     let path = Path::new(env!("CARGO_MANIFEST_DIR"))
         .join("tests/fixtures")
         .join(name);
     let src = std::fs::read_to_string(&path)
         .unwrap_or_else(|e| panic!("cannot read fixture {name}: {e}"));
-    FileModel::new(PathBuf::from(name), &src)
+    FileModel::new(PathBuf::from(rel), &src)
 }
 
-fn lints_of(findings: &[rlra_analyze::diag::Finding]) -> Vec<&str> {
+fn lints_of(findings: &[Finding]) -> Vec<&str> {
     findings.iter().map(|f| f.lint).collect()
 }
 
@@ -40,6 +53,30 @@ fn determinism_accepts_seeded_tests_docs_and_allows() {
 }
 
 #[test]
+fn determinism_flow_flags_callers_of_allowed_carriers() {
+    let file = fixture("det_flow_bad.rs");
+    // The carrier's own allow satisfies the direct check...
+    assert!(lints::determinism::check(&file).is_empty());
+    // ...but the caller pulls the wall clock into unannotated code.
+    let graph = Graph::build(vec![&file]);
+    let scoped: HashSet<&Path> = [file.path.as_path()].into();
+    let findings = lints::determinism::check_flow(&graph, &scoped);
+    assert_eq!(findings.len(), 1, "got {findings:#?}");
+    assert!(findings[0].message.contains("annotate") || findings[0].line > 0);
+    assert!(findings[0].message.contains("wall_seconds"));
+}
+
+#[test]
+fn determinism_flow_accepts_callers_with_their_own_allow() {
+    let file = fixture("det_flow_ok.rs");
+    assert!(lints::determinism::check(&file).is_empty());
+    let graph = Graph::build(vec![&file]);
+    let scoped: HashSet<&Path> = [file.path.as_path()].into();
+    let findings = lints::determinism::check_flow(&graph, &scoped);
+    assert!(findings.is_empty(), "unexpected findings: {findings:#?}");
+}
+
+#[test]
 fn panics_flags_every_panic_path() {
     let file = fixture("panics_bad.rs");
     let findings = lints::panics::check(&file);
@@ -60,7 +97,8 @@ fn panics_accepts_results_tests_docs_and_allows() {
 fn cost_flags_free_kernels_and_hooks() {
     let file = fixture("cost_bad.rs");
     let files = [&file];
-    let findings = lints::cost::check(&files, &files, &files);
+    let graph = Graph::build(vec![&file]);
+    let findings = lints::cost::check(&graph, &files, &files);
     // free_kernel, free_via_helper, gaussian_sample, tsqr,
     // adaptive_update_panel.
     assert_eq!(findings.len(), 5, "got {findings:#?}");
@@ -71,8 +109,23 @@ fn cost_flags_free_kernels_and_hooks() {
 fn cost_accepts_charges_refusals_and_allows() {
     let file = fixture("cost_ok.rs");
     let files = [&file];
-    let findings = lints::cost::check(&files, &files, &files);
+    let graph = Graph::build(vec![&file]);
+    let findings = lints::cost::check(&graph, &files, &files);
     assert!(findings.is_empty(), "unexpected findings: {findings:#?}");
+}
+
+#[test]
+fn cost_resolves_charges_across_files_via_use() {
+    // `fused_pass` charges only through a helper in another file,
+    // imported with `use crate::device::charge_helper` — per-file
+    // analysis would flag it; the graph must not. `free_pass` is the
+    // in-file control proving the lint still fires.
+    let algos = fixture_at("cost_cross_algos.rs", "crates/gpu/src/algos.rs");
+    let device = fixture_at("cost_cross_device.rs", "crates/gpu/src/device.rs");
+    let graph = Graph::build(vec![&algos, &device]);
+    let findings = lints::cost::check(&graph, &[&algos], &[]);
+    assert_eq!(findings.len(), 1, "got {findings:#?}");
+    assert!(findings[0].message.contains("free_pass"));
 }
 
 #[test]
@@ -89,7 +142,8 @@ fn flops_requires_a_formula_per_routine() {
 #[test]
 fn trace_flags_silent_charging_sites() {
     let file = fixture("trace_bad.rs");
-    let findings = lints::trace::check(&file);
+    let graph = Graph::build(vec![&file]);
+    let findings = lints::trace::check(&graph, &[&file]);
     // silent_timeline, silent_clock, silent_comms.
     assert_eq!(findings.len(), 3, "got {findings:#?}");
     assert!(lints_of(&findings).iter().all(|l| *l == "trace"));
@@ -97,8 +151,93 @@ fn trace_flags_silent_charging_sites() {
 
 #[test]
 fn trace_accepts_emits_helpers_allows_and_tests() {
+    // Includes the transitive case: `accrue_comms` charges and only
+    // reaches `emit` through `note_comms` on the call graph.
     let file = fixture("trace_ok.rs");
-    let findings = lints::trace::check(&file);
+    let graph = Graph::build(vec![&file]);
+    let findings = lints::trace::check(&graph, &[&file]);
+    assert!(findings.is_empty(), "unexpected findings: {findings:#?}");
+}
+
+#[test]
+fn hook_parity_flags_deleted_impls_and_unregistered_hooks() {
+    let file = fixture("hook_parity_bad.rs");
+    let findings = lints::hook_parity::check(&[&file]);
+    assert_eq!(findings.len(), 2, "got {findings:#?}");
+    // The silent default that dodges the cost lint's obligation lists.
+    assert!(
+        findings
+            .iter()
+            .any(|f| f.message.contains("charge_mystery") && f.message.contains("not registered")),
+        "missing registration finding: {findings:#?}"
+    );
+    // The deleted backend charge: GpuExec lost its charge_fallback.
+    assert!(
+        findings
+            .iter()
+            .any(|f| f.message.contains("charge_fallback") && f.message.contains("`gpu`")),
+        "missing deleted-impl finding: {findings:#?}"
+    );
+}
+
+#[test]
+fn hook_parity_accepts_impls_gates_allows_and_exempt_defaults() {
+    let file = fixture("hook_parity_ok.rs");
+    let findings = lints::hook_parity::check(&[&file]);
+    assert!(findings.is_empty(), "unexpected findings: {findings:#?}");
+}
+
+#[test]
+fn flops_sig_flags_every_mispairing() {
+    let file = fixture("flops_sig_bad.rs");
+    let mut findings = lints::flops_sig::check(&[&file]);
+    rlra_analyze::diag::sort(&mut findings);
+    findings.dedup(); // the site check and the sweep agree on arity drift
+                      // mispriced, wrong_arity, dynamic_name, unknown_kernel, four_args,
+                      // hand_priced, stale_dims, sweep_arity.
+    assert_eq!(findings.len(), 8, "got {findings:#?}");
+    assert!(lints_of(&findings).iter().all(|l| *l == "flops_sig"));
+    for needle in [
+        "the pricing table assigns `CostModel::gemm`",
+        "must be a literal string",
+        "unknown kernel name \"warp_reduce\"",
+        "this site passes 4",
+        "never calls the cost model",
+        "does not appear in the reported dims",
+        "passes 1 argument(s) but `CostModel::blas1` takes 2",
+    ] {
+        assert!(
+            findings.iter().any(|f| f.message.contains(needle)),
+            "no finding matching {needle:?}: {findings:#?}"
+        );
+    }
+}
+
+#[test]
+fn flops_sig_accepts_matched_pairings_allows_and_tests() {
+    let file = fixture("flops_sig_ok.rs");
+    let findings = lints::flops_sig::check(&[&file]);
+    assert!(findings.is_empty(), "unexpected findings: {findings:#?}");
+}
+
+#[test]
+fn discard_flags_dropped_results() {
+    let file = fixture("discard_bad.rs");
+    let graph = Graph::build(vec![&file]);
+    let findings = lints::discard::check(&graph, &[&file]);
+    // let _ = dev.sync(), bare refresh(dev), bare dev.sync().
+    assert_eq!(findings.len(), 3, "got {findings:#?}");
+    assert!(lints_of(&findings).iter().all(|l| *l == "discard"));
+    assert!(findings.iter().any(|f| f.message.contains("let _")));
+    assert!(findings.iter().any(|f| f.message.contains("`refresh(..)`")));
+    assert!(findings.iter().any(|f| f.message.contains("`sync(..)`")));
+}
+
+#[test]
+fn discard_accepts_consumed_results_splits_allows_and_tests() {
+    let file = fixture("discard_ok.rs");
+    let graph = Graph::build(vec![&file]);
+    let findings = lints::discard::check(&graph, &[&file]);
     assert!(findings.is_empty(), "unexpected findings: {findings:#?}");
 }
 

@@ -1,0 +1,153 @@
+//! Property tests for the hand-rolled lexer: random token sequences
+//! round-trip through `lex`, and adversarial character soup never
+//! panics or produces out-of-range line numbers. The analyzer's nine
+//! lints all sit on this token stream, so the lexer must stay total.
+
+use proptest::prelude::*;
+use rlra_analyze::lex::{lex, TokKind};
+
+/// One vocabulary entry: source text, the token kinds it must lex to,
+/// and whether it must be followed by a newline (line comments swallow
+/// the rest of their line).
+struct Vocab {
+    src: &'static str,
+    kinds: &'static [TokKind],
+    needs_newline: bool,
+}
+
+const VOCAB: &[Vocab] = &[
+    Vocab {
+        src: "fn",
+        kinds: &[TokKind::Ident],
+        needs_newline: false,
+    },
+    Vocab {
+        src: "r#match",
+        kinds: &[TokKind::Ident],
+        needs_newline: false,
+    },
+    Vocab {
+        src: "charge_kernel",
+        kinds: &[TokKind::Ident],
+        needs_newline: false,
+    },
+    Vocab {
+        src: "'a",
+        kinds: &[TokKind::Lifetime],
+        needs_newline: false,
+    },
+    Vocab {
+        src: "'x'",
+        kinds: &[TokKind::Literal],
+        needs_newline: false,
+    },
+    Vocab {
+        src: "b'\\''",
+        kinds: &[TokKind::Literal],
+        needs_newline: false,
+    },
+    Vocab {
+        src: "\"a \\\" quote\"",
+        kinds: &[TokKind::Literal],
+        needs_newline: false,
+    },
+    Vocab {
+        src: "r#\"raw \" inner\"#",
+        kinds: &[TokKind::Literal],
+        needs_newline: false,
+    },
+    Vocab {
+        src: "42",
+        kinds: &[TokKind::Literal],
+        needs_newline: false,
+    },
+    Vocab {
+        src: "::",
+        kinds: &[TokKind::Punct, TokKind::Punct],
+        needs_newline: false,
+    },
+    Vocab {
+        src: "(",
+        kinds: &[TokKind::Punct],
+        needs_newline: false,
+    },
+    Vocab {
+        src: "}",
+        kinds: &[TokKind::Punct],
+        needs_newline: false,
+    },
+    Vocab {
+        src: "// panic! inside a comment",
+        kinds: &[],
+        needs_newline: true,
+    },
+    Vocab {
+        src: "/* todo! in a block */",
+        kinds: &[],
+        needs_newline: false,
+    },
+];
+
+/// Characters for the adversarial soup: quote openers, fences, escapes
+/// and prefix letters in every broken combination.
+const SOUP: &[char] = &[
+    '"', '\'', '#', 'r', 'b', '\\', '/', '*', 'x', '1', '(', ')', '{', '}', ':', '.', ' ', '\n',
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn vocabulary_sequences_round_trip(
+        picks in proptest::collection::vec(0usize..14, 0usize..40),
+        seps in proptest::collection::vec(0usize..3, 0usize..40),
+    ) {
+        let mut src = String::new();
+        let mut expected: Vec<TokKind> = Vec::new();
+        for (j, &p) in picks.iter().enumerate() {
+            let v = &VOCAB[p];
+            src.push_str(v.src);
+            expected.extend_from_slice(v.kinds);
+            let sep = if v.needs_newline {
+                "\n"
+            } else {
+                ["\n", " ", "\t "][seps.get(j).copied().unwrap_or(0)]
+            };
+            src.push_str(sep);
+        }
+        let lexed = lex(&src);
+        let got: Vec<TokKind> = lexed.toks.iter().map(|t| t.kind).collect();
+        prop_assert_eq!(&got, &expected);
+        // Identifier texts survive verbatim (the lints match on them).
+        let idents_in: Vec<&str> = picks
+            .iter()
+            .filter(|&&p| VOCAB[p].kinds == [TokKind::Ident])
+            .map(|&p| VOCAB[p].src)
+            .collect();
+        let idents_out: Vec<&str> = lexed
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.as_str())
+            .collect();
+        prop_assert_eq!(idents_out, idents_in);
+    }
+
+    #[test]
+    fn character_soup_never_panics_and_lines_stay_ordered(
+        chars in proptest::collection::vec(0usize..18, 0usize..120),
+    ) {
+        let src: String = chars.iter().map(|&c| SOUP[c]).collect();
+        let lexed = lex(&src); // must not panic on any input
+        let line_count = src.lines().count() as u32 + 1;
+        let mut prev = 1u32;
+        for t in &lexed.toks {
+            prop_assert!(t.line >= prev, "line numbers regressed: {:?}", lexed.toks);
+            prop_assert!(t.line <= line_count, "line out of range: {:?}", t);
+            prev = t.line;
+        }
+        // Lexing is deterministic: the same soup lexes identically.
+        let again = lex(&src);
+        prop_assert_eq!(lexed.toks.len(), again.toks.len());
+    }
+}

@@ -58,6 +58,7 @@ fn main() {
             l_max: 512.min(n),
             track_actual: true,
             finish: FinishMode::Incremental,
+            deadline: None,
         };
         let res = adaptive_sample(&mut gpu, &tm.a, &cfg, &mut rng).expect("adaptive run");
         for (i, s) in res.steps.iter().enumerate() {
@@ -97,6 +98,7 @@ fn main() {
                 l_max: 512.min(n),
                 track_actual: false,
                 finish,
+                deadline: None,
             };
             let mut mode_rng = StdRng::seed_from_u64(2015 + l_inc as u64);
             let (_, res, report) =

@@ -69,6 +69,7 @@ fn main() {
                 l_max: 512.min(n),
                 track_actual: false,
                 finish: FinishMode::Incremental,
+                deadline: None,
             };
             let res = adaptive_sample(&mut gpu, &tm.a, &cfg, &mut rng).expect("adaptive run");
             let t_total = res.steps.last().map(|s| s.sim_time).unwrap_or(0.0);

@@ -1,0 +1,212 @@
+//! What-if study: durable adaptive runs under deadline budgets.
+//!
+//! The paper's runs are fire-and-forget; a production sampler is not.
+//! This study prices the durability machinery of `rlra-core` on a
+//! computing GPU backend:
+//!
+//! 1. **Checkpoint overhead** — the same fixed-accuracy job is run
+//!    plain and durable (a snapshot at every sample-block boundary);
+//!    the factors must be bit-identical and the table reports what the
+//!    snapshots cost in simulated wall-clock.
+//! 2. **Deadline budgets** — the durable job is re-run under budgets
+//!    set to fractions of its own fault-free wall. An overrun returns
+//!    [`MatrixError::DeadlineExceeded`] plus a deadline-truncated
+//!    partial result: the factors assembled from the last accepted
+//!    basis and the posterior error estimate that certifies them.
+//! 3. **Resume** — every overrun snapshot is resumed on a fresh
+//!    executor with the budget lifted, and the finished factors *and*
+//!    the full `ExecReport` are asserted bit-identical to the
+//!    uninterrupted durable run (the PR's durability contract).
+//!
+//! Default scale m = 4,000, n = 500 on the exponent-decay spectrum;
+//! `--smoke` runs a fast 800 x 160 CI pass.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rlra_bench::{fmt_time, BenchOpts, Table};
+use rlra_core::{
+    resume_fixed_accuracy, sample_fixed_accuracy_durable, sample_fixed_accuracy_exec,
+    AdaptiveConfig, CheckpointPlan, CountingRng, Deadline, Durability, GpuExec,
+};
+use rlra_data::{exponent_spectrum, matrix_with_spectrum};
+use rlra_gpu::Gpu;
+use rlra_matrix::MatrixError;
+
+const SEED: u64 = 2015;
+
+fn rng() -> StdRng {
+    StdRng::seed_from_u64(SEED)
+}
+
+fn main() {
+    let opts = BenchOpts::from_args();
+    let (m, n, tol) = if opts.smoke {
+        (800usize, 160usize, 1e-9)
+    } else {
+        (4_000usize, 500usize, 1e-10)
+    };
+    let cfg = AdaptiveConfig::new(tol, 16);
+    let spec = exponent_spectrum(n.min(m));
+    let tm = matrix_with_spectrum(m, n, &spec, &mut rng()).expect("generator");
+    let a = &tm.a;
+
+    // ---- 1. Plain vs durable: what do the snapshots cost? -----------
+    let mut gpu = Gpu::k40c();
+    let mut exec = GpuExec::new(&mut gpu);
+    let (plain_approx, plain_res, plain_rep) =
+        sample_fixed_accuracy_exec(&mut exec, a, &cfg, &mut rng()).expect("plain run");
+
+    let mut gpu = Gpu::k40c();
+    let mut exec = GpuExec::new(&mut gpu);
+    let mut crng = CountingRng::new(rng());
+    let mut dur = Durability::new(CheckpointPlan::always());
+    let (approx, res, rep) = sample_fixed_accuracy_durable(&mut exec, a, &cfg, &mut crng, &mut dur)
+        .expect("durable run")
+        .complete()
+        .expect("no kill was planned");
+    assert_eq!(approx.q, plain_approx.q, "durable Q must match plain");
+    assert_eq!(approx.r, plain_approx.r, "durable R must match plain");
+    assert_eq!(res.steps.len(), plain_res.steps.len());
+    let overhead = 100.0 * (rep.seconds - plain_rep.seconds) / plain_rep.seconds;
+    let snap_bytes = dur.latest().map_or(0, |(_, b)| b.len());
+    let mut head = Table::new(
+        format!("What-if: checkpoint overhead, adaptive exponent {m} x {n}, eps = {tol:.0e}"),
+        &["mode", "wall", "rank", "snapshots", "snapshot size"],
+    );
+    head.row(vec![
+        "plain".into(),
+        fmt_time(plain_rep.seconds),
+        plain_approx.rank().to_string(),
+        "0".into(),
+        "-".into(),
+    ]);
+    head.row(vec![
+        "durable".into(),
+        fmt_time(rep.seconds),
+        approx.rank().to_string(),
+        dur.snapshots().len().to_string(),
+        format!("{:.1} KiB", snap_bytes as f64 / 1024.0),
+    ]);
+    head.print();
+    let _ = head.save_csv("whatif_deadlines_overhead");
+    println!(
+        "   checkpoint overhead = {overhead:.2}% of the plain wall \
+         ({} boundaries, factors bit-identical)",
+        dur.snapshots().len()
+    );
+    assert!(
+        dur.snapshots().len() >= 2,
+        "the sweep needs several boundaries to stop at"
+    );
+
+    // ---- 2. Deadline budgets: overrun, partial, resume --------------
+    let fractions: &[f64] = if opts.smoke {
+        &[0.5]
+    } else {
+        &[0.25, 0.5, 0.75]
+    };
+    let mut table = Table::new(
+        format!(
+            "What-if: deadline budgets as fractions of the durable wall ({})",
+            fmt_time(rep.seconds)
+        ),
+        &[
+            "budget",
+            "outcome",
+            "stopped at",
+            "snap",
+            "partial rank",
+            "estimate",
+            "resume",
+        ],
+    );
+    let mut overruns = 0usize;
+    for &frac in fractions {
+        let budget = frac * rep.seconds;
+        let mut bcfg = cfg;
+        bcfg.deadline = Some(Deadline::new(budget));
+        let mut gpu = Gpu::k40c();
+        let mut exec = GpuExec::new(&mut gpu);
+        let mut crng = CountingRng::new(rng());
+        let mut bdur = Durability::new(CheckpointPlan::always());
+        let outcome = sample_fixed_accuracy_durable(&mut exec, a, &bcfg, &mut crng, &mut bdur);
+        match outcome {
+            Ok(out) => {
+                let (bapprox, _, brep) = out.complete().expect("no kill was planned");
+                assert_eq!(bapprox.q, approx.q, "a met budget changes nothing");
+                table.row(vec![
+                    format!("{:.0}% ({})", 100.0 * frac, fmt_time(budget)),
+                    "met".into(),
+                    fmt_time(brep.seconds),
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                ]);
+            }
+            Err(MatrixError::DeadlineExceeded {
+                snapshot,
+                budget: b,
+                elapsed,
+            }) => {
+                overruns += 1;
+                assert!(elapsed > b, "overrun must report elapsed past the budget");
+                let partial = bdur
+                    .take_partial()
+                    .expect("an overrun must leave a partial result");
+                assert_eq!(partial.snapshot, snapshot);
+                let papprox = partial
+                    .approx
+                    .expect("a computing backend builds partial factors");
+                assert!(
+                    partial.estimate.is_finite() && partial.estimate > 0.0,
+                    "the posterior estimate certifies the partial factors"
+                );
+                // Resume with the budget lifted: bit-identical finish.
+                let sealed = bdur
+                    .get(snapshot)
+                    .expect("the overrun snapshot was recorded")
+                    .to_vec();
+                let mut gpu = Gpu::k40c();
+                let mut exec = GpuExec::new(&mut gpu);
+                let mut rdur = Durability::new(CheckpointPlan::always());
+                let (rapprox, rres, rrep) =
+                    resume_fixed_accuracy(&mut exec, a, &cfg, rng(), &sealed, &mut rdur)
+                        .expect("resume after overrun")
+                        .complete()
+                        .expect("no kill was planned");
+                assert_eq!(rapprox.q, approx.q, "resumed Q after overrun");
+                assert_eq!(rapprox.r, approx.r, "resumed R after overrun");
+                assert_eq!(rres.steps.len(), res.steps.len());
+                assert_eq!(rrep, rep, "resumed ExecReport after overrun");
+                table.row(vec![
+                    format!("{:.0}% ({})", 100.0 * frac, fmt_time(budget)),
+                    "OVERRUN".into(),
+                    fmt_time(elapsed),
+                    snapshot.to_string(),
+                    papprox.rank().to_string(),
+                    format!("{:.2e}", partial.estimate),
+                    "bit-identical".into(),
+                ]);
+            }
+            Err(e) => panic!("unexpected failure under budget {budget:.4}: {e}"),
+        }
+    }
+    table.print();
+    let _ = table.save_csv("whatif_deadlines");
+    assert!(
+        overruns > 0,
+        "the sweep must exercise at least one deadline overrun"
+    );
+    println!(
+        "\nAcross {} budgets, every overrun stopped at a checkpoint boundary, handed back\n\
+         the factors accepted so far with a posterior error estimate (anytime behavior:\n\
+         tighter budgets return earlier, coarser factors), and the overrun snapshot\n\
+         resumed on a fresh executor to the uninterrupted run's factors and ExecReport,\n\
+         bit for bit. The snapshots themselves cost {overhead:.2}% of the plain wall at\n\
+         this reduced scale — the durability tax is the PCIe drain of the basis panels\n\
+         at each boundary, and it shrinks as m grows against the O(mn) sampling sweep\n\
+         it protects.",
+        fractions.len()
+    );
+}

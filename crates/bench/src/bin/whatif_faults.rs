@@ -13,6 +13,15 @@
 //! - **restart** — abandon the run at the loss and rerun from scratch on
 //!   the survivor fleet (wasted elapsed time + a full fault-free run).
 //!
+//! A second sweep covers **stragglers**: one device of the fleet slows
+//! down by a factor mid-run, and the recovery policy's watchdog (see
+//! [`RecoveryPolicy::straggler_threshold`]) speculatively re-dispatches
+//! its block-rows to the survivors — first finisher wins, the loser is
+//! cancelled and its cost charged. Each slowdown factor is run with the
+//! watchdog off and on, reporting the wall saved and whether each arm
+//! meets a deadline budget; mitigation must beat no-mitigation in every
+//! cell with factor >= 2.
+//!
 //! Dry-run mode at (m; n) = (150,000; 2,500), (k; p; q) = (54; 10; 1).
 //! Pass `--smoke` for the reduced CI sweep, and `--metrics <path>` to
 //! export the metrics JSON of the last recovered run (the file's
@@ -43,13 +52,13 @@ fn main() {
     let horizon = 64u64;
     let transient_share = 0.5;
 
-    let fleet_time = |ng: usize| -> f64 {
+    let fleet_time = |ng: usize, cfg: &SamplerConfig| -> f64 {
         let mut mg = MultiGpu::new(ng, DeviceSpec::k40c(), ExecMode::DryRun).expect("fleet");
         let mut exec = MultiGpuExec::new(&mut mg).expect("exec");
         let (_, rep) = run_fixed_rank(
             &mut exec,
             Input::Shape(m, n),
-            &cfg,
+            cfg,
             &mut StdRng::seed_from_u64(1),
         )
         .expect("fault-free run");
@@ -76,7 +85,7 @@ fn main() {
     let mut always_cheaper = true;
     let mut last_recovered: Option<(Metrics, f64)> = None;
     for &ng in fleets {
-        let t_free = fleet_time(ng);
+        let t_free = fleet_time(ng, &cfg);
         for &mtbf in mtbfs {
             let plan = FaultPlan::random(1000 + ng as u64, ng, horizon, mtbf, transient_share);
             let mut mg = MultiGpu::new(ng, DeviceSpec::k40c(), ExecMode::DryRun).expect("fleet");
@@ -106,7 +115,7 @@ fn main() {
                         // loss is wasted, then a full fault-free run on
                         // whatever fleet survives.
                         let t_last = wrapped.loss_log().last().map(|&(_, t)| t).unwrap_or(0.0);
-                        let t_restart = t_last + fleet_time(ng - rep.devices_lost);
+                        let t_restart = t_last + fleet_time(ng - rep.devices_lost, &cfg);
                         always_cheaper &= rep.seconds < t_restart;
                         (
                             fmt_time(t_restart),
@@ -182,6 +191,106 @@ fn main() {
         always_cheaper,
         "degraded completion must always beat full restart"
     );
+    // ---- Straggler sweep: watchdog re-dispatch on vs off ------------
+    // A long-tail config (q=8) so the one-time re-dispatch fetch of the
+    // straggler's A-panel amortizes over the remaining power-iteration
+    // passes; with q=1 the fetch dominates and racing never pays. Four
+    // GPUs rather than three for the same reason: quarantining one of
+    // four costs the survivors 4/3 of nominal per pass (occupancy makes
+    // it a bit more), a margin a 2x straggler comfortably loses to,
+    // while one of three leaves the survivors nearly as slow as the
+    // straggler itself.
+    let ng = 4usize;
+    let scfg = SamplerConfig::new(54).with_p(10).with_q(8);
+    let t_free = fleet_time(ng, &scfg);
+    // A generous budget a healthy run clears easily: the unmitigated
+    // straggler arm drags the whole tail at the slowdown factor, while
+    // the mitigated arm pays ~3/2 nominal after quarantining one of 3.
+    let deadline_budget = 1.75 * t_free;
+    let factors: &[f64] = if smoke {
+        &[2.0, 4.0]
+    } else {
+        &[1.5, 2.0, 4.0, 8.0]
+    };
+    let mut stable = Table::new(
+        format!(
+            "What-if: straggler re-dispatch, {ng} GPUs, q=8, one slows at launch 1 \
+             (budget = 1.75x fault-free)"
+        ),
+        &[
+            "slowdown", "watchdog", "wall", "overhead", "specs", "saved", "deadline",
+        ],
+    );
+    let mut mitigation_wins = true;
+    let mut misses = [0usize; 2];
+    let mut arms = 0usize;
+    for &factor in factors {
+        let mut walls = [0.0f64; 2];
+        for (mi, &mitigate) in [false, true].iter().enumerate() {
+            let plan = FaultPlan::new().straggler(2, 1, factor);
+            let mut mg = MultiGpu::new(ng, DeviceSpec::k40c(), ExecMode::DryRun).expect("fleet");
+            mg.install_plan(&plan);
+            let exec = MultiGpuExec::new(&mut mg).expect("exec");
+            let policy = RecoveryPolicy {
+                straggler_threshold: mitigate.then_some(1.5),
+                ..RecoveryPolicy::default()
+            };
+            let mut wrapped = Recovering::new(exec, policy);
+            let (_, rep) = run_fixed_rank(
+                &mut wrapped,
+                Input::Shape(m, n),
+                &scfg,
+                &mut StdRng::seed_from_u64(1),
+            )
+            .expect("straggler run");
+            walls[mi] = rep.seconds;
+            let miss = rep.seconds > deadline_budget;
+            if miss {
+                misses[mi] += 1;
+            }
+            stable.row(vec![
+                format!("{factor:.1}x"),
+                if mitigate { "on" } else { "off" }.into(),
+                fmt_time(rep.seconds),
+                format!("{:.1}%", 100.0 * (rep.seconds - t_free) / t_free),
+                rep.speculations.to_string(),
+                fmt_time(wrapped.speculation_saved()),
+                if miss { "MISS" } else { "met" }.into(),
+            ]);
+            if mitigate {
+                assert_eq!(
+                    rep.speculations,
+                    u64::from(factor >= 2.0),
+                    "the watchdog races a >=2x straggler exactly once \
+                     (and leaves a mild 1.5x one alone)"
+                );
+            } else {
+                assert_eq!(rep.speculations, 0, "watchdog off must never speculate");
+            }
+        }
+        arms += 1;
+        if factor >= 2.0 {
+            mitigation_wins &= walls[1] < walls[0];
+        }
+    }
+    stable.print();
+    let _ = stable.save_csv("whatif_faults_stragglers");
+    assert!(
+        mitigation_wins,
+        "speculative re-dispatch must beat no-mitigation in every cell with factor >= 2"
+    );
+    println!(
+        "\nStraggler deadline-miss rate over {arms} slowdown factors: \
+         {}/{arms} unmitigated, {}/{arms} mitigated.\n\
+         The watchdog converts a tail dragged at the straggler's pace into one speculative\n\
+         race: the survivors re-run its block-rows at nominal speed, the slow copy is\n\
+         cancelled and charged, and the device is quarantined — so the remaining launches\n\
+         pay the redistribution cost (4/3 of nominal for one of four) instead of the\n\
+         slowdown factor. Mild stragglers below the policy threshold are left alone:\n\
+         racing them would cost more than it saves.",
+        misses[0], misses[1]
+    );
+
     println!(
         "\nAcross {cells} MTBF x fleet cells, every fail-stop that left at least one survivor\n\
          completed by redistribution + sketch-row re-draw, and degraded completion beat the\n\

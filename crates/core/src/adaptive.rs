@@ -18,6 +18,7 @@
 //! sampled values.
 
 use crate::backend::{incremental_extend, staged, ExecReport, Executor, GpuExec, NumericGuard};
+use crate::checkpoint::Deadline;
 use crate::estimate::residual_estimate;
 use crate::fixed_rank::IncrementalFactors;
 use crate::result::LowRankApprox;
@@ -96,6 +97,13 @@ pub struct AdaptiveConfig {
     /// How the fixed-accuracy entry points finish the run (ignored by
     /// the basis-only entry points, which never build factors).
     pub finish: FinishMode,
+    /// Simulated wall-clock budget, enforced by the *durable* entry
+    /// points at checkpoint boundaries (see
+    /// [`crate::durable::sample_fixed_accuracy_durable`]): on overrun
+    /// the run returns [`MatrixError::DeadlineExceeded`] and leaves a
+    /// checkpointed partial result behind. Ignored by the non-durable
+    /// entry points, which have no boundaries to check at.
+    pub deadline: Option<Deadline>,
 }
 
 impl AdaptiveConfig {
@@ -110,6 +118,7 @@ impl AdaptiveConfig {
             l_max: 512,
             track_actual: false,
             finish: FinishMode::Incremental,
+            deadline: None,
         }
     }
 
@@ -154,7 +163,11 @@ impl AdaptiveConfig {
 }
 
 /// One step of the adaptive scheme.
-#[derive(Debug, Clone)]
+///
+/// `PartialEq` is exact (bit-level) on the floats: the durability tests
+/// use it to assert that a resumed run reproduces the uninterrupted
+/// trajectory identically.
+#[derive(Debug, Clone, PartialEq)]
 pub struct AdaptiveStep {
     /// Accepted subspace size `ℓ` after the expansion.
     pub l: usize,
@@ -169,7 +182,7 @@ pub struct AdaptiveStep {
 }
 
 /// Result of the adaptive sampling run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AdaptiveResult {
     /// Row-orthonormal basis `B₁:ℓ` of the sampled subspace (`ℓ × n`).
     pub basis: Mat,
@@ -269,96 +282,176 @@ fn adaptive_loop<E: Executor>(
     guard: &mut NumericGuard,
     mut factors: Option<&mut IncrementalFactors>,
 ) -> Result<AdaptiveResult> {
-    cfg.validate()?;
-    if !exec.supports_adaptive() {
-        return Err(MatrixError::Unsupported {
-            backend: exec.name(),
-            feature: "the adaptive fixed-accuracy scheme".into(),
-        });
+    let mut cur = AdaptiveCursor::start(exec, a, cfg, rng)?;
+    let converged = loop {
+        match adaptive_step(exec, a, cfg, rng, guard, factors.as_deref_mut(), &mut cur)? {
+            StepOutcome::Continue => {}
+            StepOutcome::Converged => break true,
+            StepOutcome::Stopped => break false,
+        }
+    };
+    Ok(cur.into_result(converged))
+}
+
+/// The mutable state of the adaptive loop between iterations — exactly
+/// what an [`crate::checkpoint::AdaptiveSnapshot`] captures at a
+/// sample-block boundary, which is what lets the durable and plain entry
+/// points drive the *same* [`adaptive_step`] and stay bit-identical.
+pub(crate) struct AdaptiveCursor {
+    /// Accepted row basis so far.
+    pub(crate) basis: Mat,
+    /// Power-iteration companion basis.
+    pub(crate) c_basis: Mat,
+    /// The pending (drawn but not yet folded) sample block.
+    pub(crate) w: Mat,
+    /// Increment of the pending block.
+    pub(crate) l_inc: usize,
+    /// Best residual estimate seen so far (divergence guard).
+    pub(crate) best_estimate: f64,
+    /// Trajectory so far.
+    pub(crate) steps: Vec<AdaptiveStep>,
+    /// Sim-time origin of the run (the executor's elapsed clock at
+    /// entry), subtracted from every step stamp.
+    pub(crate) t0: f64,
+}
+
+/// What one [`adaptive_step`] decided.
+pub(crate) enum StepOutcome {
+    /// Keep going: the cursor holds the next pending block.
+    Continue,
+    /// Terminal: the estimate reached the tolerance.
+    Converged,
+    /// Terminal: the stagnation guard or the size cap stopped the run
+    /// short of the tolerance.
+    Stopped,
+}
+
+impl AdaptiveCursor {
+    /// Validates the configuration and backend, begins the run, and
+    /// draws the first candidate block.
+    pub(crate) fn start<E: Executor>(
+        exec: &mut E,
+        a: &Mat,
+        cfg: &AdaptiveConfig,
+        rng: &mut impl Rng,
+    ) -> Result<Self> {
+        cfg.validate()?;
+        Self::check_backend(exec)?;
+        let (m, n) = a.shape();
+        let t0 = exec.elapsed();
+        exec.begin(m, n);
+        let l_inc = cfg.inc.initial().min(cfg.l_max);
+        let w = draw_block(exec, a, l_inc, rng)?;
+        Ok(AdaptiveCursor {
+            basis: Mat::zeros(0, n),
+            c_basis: Mat::zeros(0, m),
+            w,
+            l_inc,
+            best_estimate: f64::INFINITY,
+            steps: Vec::new(),
+            t0,
+        })
     }
-    if !exec.computes() {
-        return Err(MatrixError::Unsupported {
-            backend: exec.name(),
-            feature: "adaptive sampling in dry-run mode — the stopping decision reads values"
-                .into(),
-        });
+
+    /// The backend gate shared by fresh starts and resumes.
+    pub(crate) fn check_backend<E: Executor>(exec: &E) -> Result<()> {
+        if !exec.supports_adaptive() {
+            return Err(MatrixError::Unsupported {
+                backend: exec.name(),
+                feature: "the adaptive fixed-accuracy scheme".into(),
+            });
+        }
+        if !exec.computes() {
+            return Err(MatrixError::Unsupported {
+                backend: exec.name(),
+                feature: "adaptive sampling in dry-run mode — the stopping decision reads values"
+                    .into(),
+            });
+        }
+        Ok(())
     }
+
+    /// Finishes the run into the public result.
+    pub(crate) fn into_result(self, converged: bool) -> AdaptiveResult {
+        AdaptiveResult {
+            basis: self.basis,
+            steps: self.steps,
+            converged,
+        }
+    }
+}
+
+/// One iteration of the adaptive loop (Figure 3): fold the pending block
+/// into the basis, extend the incremental factors, draw and probe the
+/// next block, and decide whether to continue. Both the plain and the
+/// durable drivers call this — the durable one checkpoints between
+/// `Continue` outcomes.
+pub(crate) fn adaptive_step<E: Executor>(
+    exec: &mut E,
+    a: &Mat,
+    cfg: &AdaptiveConfig,
+    rng: &mut impl Rng,
+    guard: &mut NumericGuard,
+    factors: Option<&mut IncrementalFactors>,
+    cur: &mut AdaptiveCursor,
+) -> Result<StepOutcome> {
     let (m, n) = a.shape();
-    let t0 = exec.elapsed();
-    exec.begin(m, n);
 
-    // Accepted basis (rows of B) and its C companion.
-    let mut basis = Mat::zeros(0, n);
-    let mut c_basis = Mat::zeros(0, m);
-    let mut steps: Vec<AdaptiveStep> = Vec::new();
-    let mut l_inc = cfg.inc.initial().min(cfg.l_max);
-
-    // First candidate block W = Ω·A.
-    let mut w = draw_block(exec, a, l_inc, rng)?;
-    let mut converged = false;
-    let mut best_estimate = f64::INFINITY;
-
-    loop {
-        // --- Expand: refine W with POWER and fold it into the basis ------
-        let w_refined = expand_block(exec, a, &basis, &mut c_basis, w, cfg, guard)?;
-        let l_used = w_refined.rows();
-        basis = basis.vcat(&w_refined)?;
-        let l_now = basis.rows();
-        if let Some(f) = factors.as_deref_mut() {
-            incremental_extend(exec, f, a, &w_refined, cfg.reorth, guard)?;
-        }
-
-        // --- Choose the next increment -----------------------------------
-        let next_inc = match cfg.inc {
-            IncStrategy::Static(v) => v,
-            IncStrategy::Interpolated { .. } => interpolate_inc(&steps, cfg.tol, l_now, l_inc),
-        };
-        let next_inc = next_inc.clamp(1, cfg.l_max.saturating_sub(l_now).max(1));
-
-        // --- Draw the probe block and estimate the error ------------------
-        let probe = draw_block(exec, a, next_inc, rng)?;
-        staged(exec, "adaptive_probe", |e| {
-            e.adaptive_probe(next_inc, l_now)
-        })?;
-        let estimate = residual_estimate(&probe, &basis)?;
-
-        let actual = if cfg.track_actual {
-            Some(crate::estimate::actual_error(a, &basis)?)
-        } else {
-            None
-        };
-        steps.push(AdaptiveStep {
-            l: l_now,
-            l_inc: l_used,
-            estimate,
-            sim_time: exec.elapsed() - t0,
-            actual_error: actual,
-        });
-
-        if estimate <= cfg.tol {
-            converged = true;
-            break;
-        }
-        // Stagnation guard: once the subspace captures A to roundoff, new
-        // blocks are numerically rank deficient and the estimate bottoms
-        // out at the floating-point noise floor (≈ n·ε·‖A‖·‖ω‖) and then
-        // climbs as noise pollutes the basis. Folding such blocks in
-        // would only corrupt orthogonality, so stop.
-        best_estimate = best_estimate.min(estimate);
-        if estimate > 10.0 * best_estimate {
-            break;
-        }
-        if l_now + next_inc > cfg.l_max || l_now + next_inc > n.min(m) {
-            break;
-        }
-        w = probe;
-        l_inc = next_inc;
+    // --- Expand: refine W with POWER and fold it into the basis ------
+    let w = std::mem::replace(&mut cur.w, Mat::zeros(0, n));
+    let w_refined = expand_block(exec, a, &cur.basis, &mut cur.c_basis, w, cfg, guard)?;
+    let l_used = w_refined.rows();
+    cur.basis = cur.basis.vcat(&w_refined)?;
+    let l_now = cur.basis.rows();
+    if let Some(f) = factors {
+        incremental_extend(exec, f, a, &w_refined, cfg.reorth, guard)?;
     }
-    Ok(AdaptiveResult {
-        basis,
-        steps,
-        converged,
-    })
+
+    // --- Choose the next increment -----------------------------------
+    let next_inc = match cfg.inc {
+        IncStrategy::Static(v) => v,
+        IncStrategy::Interpolated { .. } => interpolate_inc(&cur.steps, cfg.tol, l_now, cur.l_inc),
+    };
+    let next_inc = next_inc.clamp(1, cfg.l_max.saturating_sub(l_now).max(1));
+
+    // --- Draw the probe block and estimate the error ------------------
+    let probe = draw_block(exec, a, next_inc, rng)?;
+    staged(exec, "adaptive_probe", |e| {
+        e.adaptive_probe(next_inc, l_now)
+    })?;
+    let estimate = residual_estimate(&probe, &cur.basis)?;
+
+    let actual = if cfg.track_actual {
+        Some(crate::estimate::actual_error(a, &cur.basis)?)
+    } else {
+        None
+    };
+    cur.steps.push(AdaptiveStep {
+        l: l_now,
+        l_inc: l_used,
+        estimate,
+        sim_time: exec.elapsed() - cur.t0,
+        actual_error: actual,
+    });
+
+    if estimate <= cfg.tol {
+        return Ok(StepOutcome::Converged);
+    }
+    // Stagnation guard: once the subspace captures A to roundoff, new
+    // blocks are numerically rank deficient and the estimate bottoms
+    // out at the floating-point noise floor (≈ n·ε·‖A‖·‖ω‖) and then
+    // climbs as noise pollutes the basis. Folding such blocks in
+    // would only corrupt orthogonality, so stop.
+    cur.best_estimate = cur.best_estimate.min(estimate);
+    if estimate > 10.0 * cur.best_estimate {
+        return Ok(StepOutcome::Stopped);
+    }
+    if l_now + next_inc > cfg.l_max || l_now + next_inc > n.min(m) {
+        return Ok(StepOutcome::Stopped);
+    }
+    cur.w = probe;
+    cur.l_inc = next_inc;
+    Ok(StepOutcome::Continue)
 }
 
 /// Draws `l_inc` Gaussian rows and samples them through `A`: the backend
@@ -500,48 +593,58 @@ pub fn sample_fixed_accuracy_exec<E: Executor>(
     rng: &mut impl Rng,
 ) -> Result<(LowRankApprox, AdaptiveResult, ExecReport)> {
     let mut guard = NumericGuard::default();
-    let (approx, adaptive) = match cfg.finish {
-        FinishMode::Incremental => {
-            let (m, n) = a.shape();
-            let mut factors = IncrementalFactors::new(m, n);
-            let adaptive = adaptive_loop(exec, a, cfg, rng, &mut guard, Some(&mut factors))?;
+    let (m, n) = a.shape();
+    let mut factors = match cfg.finish {
+        FinishMode::Incremental => Some(IncrementalFactors::new(m, n)),
+        FinishMode::Restart => None,
+    };
+    let adaptive = adaptive_loop(exec, a, cfg, rng, &mut guard, factors.as_mut())?;
+    let approx = finish_fixed_accuracy(exec, a, cfg, &mut guard, &adaptive, factors)?;
+    guard.drain(exec)?;
+    let mut report = exec.finish()?;
+    guard.fold_into(&mut report);
+    Ok((approx, adaptive, report))
+}
+
+/// Turns a finished adaptive run into the `A·P ≈ Q·R` factors —
+/// incremental assembly when `factors` were grown in the loop, the
+/// grow-then-restart finish otherwise. Shared by the plain and durable
+/// fixed-accuracy drivers so the two charge identically.
+pub(crate) fn finish_fixed_accuracy<E: Executor>(
+    exec: &mut E,
+    a: &Mat,
+    cfg: &AdaptiveConfig,
+    guard: &mut NumericGuard,
+    adaptive: &AdaptiveResult,
+    factors: Option<IncrementalFactors>,
+) -> Result<LowRankApprox> {
+    match factors {
+        Some(mut factors) => {
             // Flush the reserved sample block (one last extension with an
             // empty fresh block), then assemble. The stage event marks
             // where the restart's Step-2 re-run used to be; only the
             // final panel's update hooks are charged under it.
+            let n = a.cols();
             staged(exec, "adaptive_finish", |e| {
-                incremental_extend(
-                    e,
-                    &mut factors,
-                    a,
-                    &Mat::zeros(0, n),
-                    cfg.reorth,
-                    &mut guard,
-                )
+                incremental_extend(e, &mut factors, a, &Mat::zeros(0, n), cfg.reorth, guard)
             })?;
-            (factors.finalize()?, adaptive)
+            factors.finalize()
         }
-        FinishMode::Restart => {
-            let adaptive = adaptive_loop(exec, a, cfg, rng, &mut guard, None)?;
+        None => {
             let k = adaptive.l().min(a.cols());
             // Charge Steps 2–3 on the backend, finish on the host
             // (through the guard's ladder).
             staged(exec, "adaptive_finish", |e| e.adaptive_finish(k))?;
-            let approx = crate::fixed_rank::finish_from_sampled_guarded(
+            crate::fixed_rank::finish_from_sampled_guarded(
                 a,
                 &adaptive.basis,
                 k,
                 cfg.reorth,
                 crate::config::Step2Kind::Qp3,
-                &mut guard,
-            )?;
-            (approx, adaptive)
+                guard,
+            )
         }
-    };
-    guard.drain(exec)?;
-    let mut report = exec.finish()?;
-    guard.fold_into(&mut report);
-    Ok((approx, adaptive, report))
+    }
 }
 
 /// Solves the fixed-accuracy problem end to end on a simulated GPU.

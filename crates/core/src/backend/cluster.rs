@@ -548,6 +548,89 @@ impl Executor for ClusterExec<'_> {
         }
     }
 
+    fn charge_speculation(&mut self, device: usize, secs: f64) {
+        // The cancelled racer's in-flight work lands on the device that
+        // ran it (global numbering), raw.
+        if let Some((ni, gi)) = self.cluster.locate_device(device) {
+            self.cluster
+                .node_mut(ni)
+                .gpu_mut(gi)
+                .charge_raw(Phase::Recovery, secs);
+        }
+    }
+
+    fn device_load(&self) -> Vec<(usize, f64, u64)> {
+        // Every schedulable device in the cluster, globally numbered.
+        let mut out = Vec::new();
+        for ni in 0..self.cluster.nodes() {
+            let node = self.cluster.node(ni);
+            for gi in node.alive_indices() {
+                let m = node.gpu(gi).device_metrics();
+                out.push((m.device, m.busy_seconds, m.launches));
+            }
+        }
+        out
+    }
+
+    fn checkpoint_hook(&mut self, bytes: u64) -> Result<()> {
+        // Every node drains at the global barrier; each serializes its
+        // snapshot shard through its host (PCIe gather + serialization
+        // pass), then the tiny job manifest crosses the interconnect.
+        self.cluster.barrier();
+        for ni in 0..self.cluster.nodes() {
+            let node = self.cluster.node_mut(ni);
+            let cost = node.gpu(0).cost().clone();
+            let secs = cost.transfer(bytes) + cost.host_flops(bytes as f64);
+            for g in node.alive_indices() {
+                node.gpu_mut(g).charge_raw(Phase::Other, secs);
+            }
+        }
+        self.cluster.broadcast_host(Phase::Comms, &Mat::zeros(1, 8));
+        Ok(())
+    }
+
+    fn export_account(&mut self) -> Result<Vec<u8>> {
+        let mut w = crate::checkpoint::SnapWriter::new();
+        crate::checkpoint::write_cluster_account(&mut w, &self.cluster.export_account());
+        Ok(w.into_bytes())
+    }
+
+    fn restore_account(&mut self, bytes: &[u8]) -> Result<()> {
+        let mut r = crate::checkpoint::SnapReader::new(bytes);
+        let acc = crate::checkpoint::read_cluster_account(&mut r)?;
+        if r.remaining() != 0 {
+            return Err(MatrixError::CheckpointCorrupt {
+                detail: "trailing bytes in cluster account blob",
+            });
+        }
+        self.cluster.restore_account(&acc)?;
+        // This backend reports diffs against begin()-time baselines.
+        // Durable cluster jobs start on a freshly reset cluster (the
+        // durable-entry contract), so the original baselines were zero:
+        // reset them here so the resumed diff spans the whole job.
+        self.t0 = 0.0;
+        self.launches0 = 0;
+        self.syncs0 = 0;
+        self.faults0 = 0;
+        self.recovery0 = 0.0;
+        self.metrics0 = Metrics::default();
+        // The snapshot may carry dead or quarantined devices this
+        // cluster did not know about: re-derive the distribution.
+        if self.m > 0 {
+            let node_chunks = self.cluster.node_row_chunks(self.m);
+            self.a_parts = Vec::with_capacity(node_chunks.len());
+            self.slots = Vec::with_capacity(node_chunks.len());
+            self.node_rows = node_chunks.iter().map(|&(_, len)| len).collect();
+            let n = self.n;
+            for (ni, &(_, len)) in node_chunks.iter().enumerate() {
+                let node = self.cluster.node_mut(ni);
+                self.a_parts.push(node.distribute_rows_shape(len, n));
+                self.slots.push(node.alive_indices());
+            }
+        }
+        Ok(())
+    }
+
     fn recover_device_loss(&mut self, device: usize, at: u64) -> Result<()> {
         let Some((ni, gi)) = self.cluster.locate_device(device) else {
             return Err(MatrixError::Internal {
@@ -616,6 +699,7 @@ impl Executor for ClusterExec<'_> {
             breakdowns: 0,
             fallbacks: 0,
             ladder_histogram: [0; 3],
+            speculations: 0,
             metrics: self.cluster.metrics().minus(&self.metrics0),
         };
         self.a_parts.clear();

@@ -141,6 +141,27 @@ impl Executor for CpuExec {
 
     fn charge_recovery(&mut self, _secs: f64) {}
 
+    fn charge_speculation(&mut self, _device: usize, _secs: f64) {}
+
+    fn checkpoint_hook(&mut self, _bytes: u64) -> Result<()> {
+        Ok(())
+    }
+
+    fn export_account(&mut self) -> Result<Vec<u8>> {
+        // No clocks, no counters: the CPU account is the empty blob.
+        Ok(Vec::new())
+    }
+
+    fn restore_account(&mut self, bytes: &[u8]) -> Result<()> {
+        if bytes.is_empty() {
+            Ok(())
+        } else {
+            Err(rlra_matrix::MatrixError::CheckpointCorrupt {
+                detail: "cpu account blob must be empty",
+            })
+        }
+    }
+
     fn finish(&mut self) -> Result<ExecReport> {
         Ok(ExecReport {
             seconds: 0.0,
@@ -156,6 +177,7 @@ impl Executor for CpuExec {
             breakdowns: 0,
             fallbacks: 0,
             ladder_histogram: [0; 3],
+            speculations: 0,
             metrics: rlra_trace::Metrics::default(),
         })
     }

@@ -490,6 +490,44 @@ impl Executor for GpuExec<'_> {
         self.sim.charge_raw(Phase::Recovery, secs);
     }
 
+    fn charge_speculation(&mut self, _device: usize, secs: f64) {
+        // Cancelled speculative work is wall time the fleet really
+        // spent; on a single device it lands with the other recovery
+        // overhead (no straggler scaling — the loser is already gone).
+        self.sim.charge_raw(Phase::Recovery, secs);
+    }
+
+    fn device_load(&self) -> Vec<(usize, f64, u64)> {
+        let m = self.sim.device_metrics();
+        vec![(m.device, m.busy_seconds, m.launches)]
+    }
+
+    fn checkpoint_hook(&mut self, bytes: u64) -> Result<()> {
+        // Drain the device, then stream the snapshot through the host:
+        // one sync plus a host-side serialization pass over the payload.
+        self.sim.charge_sync(Phase::Other);
+        let secs = self.sim.cost().host_flops(bytes as f64);
+        self.sim.charge_raw(Phase::Other, secs);
+        Ok(())
+    }
+
+    fn export_account(&mut self) -> Result<Vec<u8>> {
+        let mut w = crate::checkpoint::SnapWriter::new();
+        crate::checkpoint::write_device_account(&mut w, &self.sim.export_account());
+        Ok(w.into_bytes())
+    }
+
+    fn restore_account(&mut self, bytes: &[u8]) -> Result<()> {
+        let mut r = crate::checkpoint::SnapReader::new(bytes);
+        let acc = crate::checkpoint::read_device_account(&mut r)?;
+        if r.remaining() != 0 {
+            return Err(MatrixError::CheckpointCorrupt {
+                detail: "trailing bytes in gpu account blob",
+            });
+        }
+        self.sim.restore_account(&acc)
+    }
+
     fn finish(&mut self) -> Result<ExecReport> {
         let report = ExecReport {
             seconds: self.sim.clock(),
@@ -505,6 +543,7 @@ impl Executor for GpuExec<'_> {
             breakdowns: 0,
             fallbacks: 0,
             ladder_histogram: [0; 3],
+            speculations: 0,
             metrics: Metrics {
                 devices: vec![self.sim.device_metrics()],
                 retries: 0,

@@ -170,6 +170,16 @@ impl NumericGuard {
         self.histogram
     }
 
+    /// Rebuilds the cumulative counters from a checkpoint snapshot. Only
+    /// the counters are durable state: buffered charges are always
+    /// drained to the executor before a snapshot is written, so `pending`
+    /// is empty at every checkpoint boundary.
+    pub fn restore_counters(&mut self, breakdowns: u64, fallbacks: u64, histogram: [u64; 3]) {
+        self.breakdowns = breakdowns;
+        self.fallbacks = fallbacks;
+        self.histogram = histogram;
+    }
+
     fn record_breakdown(&mut self, stage: &'static str, rung: Rung) {
         self.breakdowns += 1;
         self.pending.push(GuardCharge::Breakdown { stage, rung });

@@ -73,7 +73,10 @@ pub use cpu::CpuExec;
 pub use gpu::GpuExec;
 pub use guard::{NumericGuard, NumericPolicy, Rung};
 pub use multi::MultiGpuExec;
-pub(crate) use pipeline::{incremental_extend, staged};
+pub(crate) use pipeline::{
+    fixed_rank_finish_stage, fixed_rank_power_stage, fixed_rank_sample_stage, incremental_extend,
+    input_scale, posterior_error_bound, staged,
+};
 pub use pipeline::{
     run_fixed_rank, run_fixed_rank_verified, run_fixed_rank_with_guard,
     run_fixed_rank_with_recovery,
@@ -135,6 +138,9 @@ pub struct ExecReport {
     /// counted (they are the bit-identical fast path), so a healthy run
     /// shows `[0, 0, 0]`.
     pub ladder_histogram: [u64; 3],
+    /// Speculative straggler re-dispatches performed by the recovery
+    /// policy's watchdog (see [`Executor::mitigate_straggler`]).
+    pub speculations: u64,
     /// Per-device / per-kernel metrics accumulated during the run
     /// (empty on the CPU backend).
     pub metrics: Metrics,
@@ -163,6 +169,13 @@ impl fmt::Display for ExecReport {
                 f,
                 "  faults: {} injected, {} retries, {} device(s) lost, {:.6} s recovering",
                 self.faults_injected, self.retries, self.devices_lost, self.recovery_seconds
+            )?;
+        }
+        if self.speculations > 0 {
+            writeln!(
+                f,
+                "  stragglers: {} speculative re-dispatch(es)",
+                self.speculations
             )?;
         }
         if self.breakdowns > 0 || self.fallbacks > 0 {
@@ -489,6 +502,88 @@ pub trait Executor {
     /// backend's surviving devices under [`rlra_gpu::Phase::Recovery`].
     /// No-op on backends without a device clock (CPU).
     fn charge_recovery(&mut self, _secs: f64) {}
+
+    /// Charges `secs` of simulated seconds for a *losing* speculative
+    /// re-dispatch branch on `device` under
+    /// [`rlra_gpu::Phase::Recovery`]: work that ran but whose result was
+    /// discarded when the other branch finished first. No-op on backends
+    /// without a device clock (CPU).
+    fn charge_speculation(&mut self, _device: usize, _secs: f64) {}
+
+    /// Per-device load report for the straggler watchdog:
+    /// `(device index, busy seconds, kernel launches)` for every device
+    /// still alive. Empty on backends without a device clock.
+    fn device_load(&self) -> Vec<(usize, f64, u64)> {
+        Vec::new()
+    }
+
+    /// Speculatively re-dispatches the straggling `device`'s block-rows
+    /// onto the surviving devices, racing the two branches: whichever
+    /// finishes first wins, the loser's work is cancelled and charged
+    /// through [`Executor::charge_speculation`]. On a survivors' win the
+    /// straggler is quarantined and its rows stay redistributed. Returns
+    /// the simulated wall-clock seconds the decision saved (0 when the
+    /// straggler wins the race and nothing changes).
+    ///
+    /// # Errors
+    ///
+    /// [`MatrixError::Unsupported`] on backends that cannot
+    /// re-dispatch (CPU has no devices; a single GPU has no survivors).
+    fn mitigate_straggler(&mut self, _device: usize) -> Result<f64> {
+        Err(MatrixError::Unsupported {
+            backend: self.name(),
+            feature: "straggler re-dispatch (no surviving devices to race)".into(),
+        })
+    }
+
+    // --- Durability hooks -----------------------------------------------
+
+    /// Charges one checkpoint boundary: serializing `bytes` of numeric
+    /// run state host-side and draining it to stable storage (modeled
+    /// PCIe/network drain on device-backed executors). Checkpointing is
+    /// never free; the durable runners call this before exporting the
+    /// accounting snapshot, so the snapshot's clocks *include* the
+    /// checkpoint's own cost.
+    ///
+    /// # Errors
+    ///
+    /// Propagates kernel failures.
+    fn checkpoint_hook(&mut self, _bytes: u64) -> Result<()> {
+        Ok(())
+    }
+
+    /// Serializes the backend's *absolute* accounting state (clocks,
+    /// timelines, launch/sync counters, kernel stats) into an opaque
+    /// blob, embedded in every checkpoint snapshot. Restoring it with
+    /// [`Executor::restore_account`] on a freshly begun run reproduces
+    /// the uninterrupted run's report bit for bit.
+    ///
+    /// # Errors
+    ///
+    /// [`MatrixError::Unsupported`] on backends without durable
+    /// accounting.
+    fn export_account(&mut self) -> Result<Vec<u8>> {
+        Err(MatrixError::Unsupported {
+            backend: self.name(),
+            feature: "accounting export (durable checkpoints)".into(),
+        })
+    }
+
+    /// Overwrites the backend's accounting state with a blob produced by
+    /// [`Executor::export_account`] (called between
+    /// [`Executor::begin`] and the first resumed stage hook).
+    ///
+    /// # Errors
+    ///
+    /// [`MatrixError::Unsupported`] on backends without durable
+    /// accounting; [`MatrixError::CheckpointCorrupt`] when the blob does
+    /// not decode against this backend's fleet.
+    fn restore_account(&mut self, _bytes: &[u8]) -> Result<()> {
+        Err(MatrixError::Unsupported {
+            backend: self.name(),
+            feature: "accounting restore (durable checkpoints)".into(),
+        })
+    }
 
     /// Recovers from a fail-stop loss of `device` (reported at launch
     /// ordinal `at`): redistribute the lost block-rows over the

@@ -19,7 +19,15 @@ use rlra_fft::SrftScheme;
 use rlra_gpu::algos::{gpu_qp3_truncated, gpu_tournament_qrcp};
 use rlra_gpu::{DMat, ExecMode, MultiGpu, Phase};
 use rlra_matrix::{Mat, MatrixError, Result};
-use rlra_trace::Tracer;
+use rlra_trace::{TraceEvent, Tracer};
+
+/// Projection window of the straggler race, in partition passes: the
+/// watchdog prices quarantining a persistently slow device against this
+/// many remaining `ℓ × n × m_d` passes (≈ the pipeline tail of a
+/// mid-range power-iteration sweep, 4 passes per iteration). One pass
+/// would never out-run the one-time block-row re-upload; the tail is
+/// what the quarantine actually spares.
+const SPECULATION_TAIL: usize = 16;
 
 /// Multi-GPU execution backend.
 ///
@@ -68,6 +76,9 @@ impl<'a> MultiGpuExec<'a> {
             }
             if let Some((device, at)) = mg.gpu(i).dead_info() {
                 sim.gpu_mut(i).mark_dead(device, at);
+            }
+            if mg.gpu(i).is_quarantined() {
+                sim.gpu_mut(i).quarantine();
             }
         }
         // The tracer follows the timed launches into the simulator (and
@@ -593,6 +604,173 @@ impl Executor for MultiGpuExec<'_> {
         }
     }
 
+    fn charge_speculation(&mut self, device: usize, secs: f64) {
+        // The cancelled racer's in-flight work is real wall time; it
+        // lands on the device that ran it, raw (the race already priced
+        // in any slowdown).
+        if device < self.sim.ng() {
+            self.sim.gpu_mut(device).charge_raw(Phase::Recovery, secs);
+        }
+    }
+
+    fn device_load(&self) -> Vec<(usize, f64, u64)> {
+        // Only devices still scheduling work: a quarantined straggler
+        // must not re-trigger the watchdog.
+        self.sim
+            .alive_indices()
+            .into_iter()
+            .map(|gi| {
+                let m = self.sim.gpu(gi).device_metrics();
+                (gi, m.busy_seconds, m.launches)
+            })
+            .collect()
+    }
+
+    fn mitigate_straggler(&mut self, device: usize) -> Result<f64> {
+        if device >= self.sim.ng() {
+            return Err(MatrixError::Internal {
+                op: "MultiGpuExec::mitigate_straggler",
+                invariant: "straggler device index within the fleet",
+            });
+        }
+        if self.sim.gpu(device).is_dead() || self.sim.gpu(device).is_quarantined() {
+            return Ok(0.0);
+        }
+        let survivors: Vec<usize> = self
+            .sim
+            .alive_indices()
+            .into_iter()
+            .filter(|&gi| gi != device)
+            .collect();
+        if survivors.is_empty() {
+            return Err(MatrixError::Unsupported {
+                backend: self.name(),
+                feature: "straggler re-dispatch (no surviving devices to race)".into(),
+            });
+        }
+        // Race economics. A straggler *stays* slow, so the watchdog is
+        // not racing a single kernel: quarantining the device spares its
+        // whole remaining share of the run. The projection window is
+        // `SPECULATION_TAIL` partition passes (the pipeline tail of a
+        // mid-range power-iteration sweep): keeping the straggler costs
+        // its slowdown times the nominal per-pass GEMM for that window,
+        // while quarantining costs a one-time re-upload of its block
+        // rows plus the window at the survivors' *post-quarantine*
+        // partition size — `ceil(m / survivors)` rows each, priced
+        // through the cost model rather than scaled linearly, because
+        // occupancy makes the bigger partition more than
+        // proportionally slower.
+        let m_d = self
+            .slots
+            .iter()
+            .position(|&gi| gi == device)
+            .map_or_else(|| self.m / self.sim.ng().max(1), |j| self.a_parts[j].rows());
+        let l = self.l.max(1);
+        let cost = self.sim.gpu(survivors[0]).cost().clone();
+        let w_nom = cost.gemm(l, self.n.max(1), m_d.max(1));
+        let m_new = self.m.div_ceil(survivors.len()).max(1);
+        let w_new = cost.gemm(l, self.n.max(1), m_new);
+        let redo = m_d.div_ceil(survivors.len()).max(1);
+        let w_redo = cost.gemm(l, self.n.max(1), redo);
+        let t_fetch = cost.transfer(8 * (m_d * self.n) as u64);
+        let tail = SPECULATION_TAIL as f64;
+        let t_straggler = self.sim.gpu(device).slowdown().max(1.0) * w_nom * tail;
+        let t_surv = t_fetch + w_new * tail;
+        // What the race costs when it is decided: the fetch plus the
+        // straggler's in-flight block redone in shares by the
+        // survivors. The spared (or dragged) tail is then realized by
+        // the ordinary stage hooks on the redistributed partitions —
+        // charging the projection here would double-count it.
+        let t_cancel = t_fetch + w_redo;
+        let start = self.sim.time();
+        if t_surv < t_straggler {
+            // Survivors win: cancel the straggler's in-flight block
+            // (charging the time it ran before cancellation), quarantine
+            // it, and redistribute its rows over the winners.
+            self.charge_speculation(device, t_cancel);
+            self.sim.gpu_mut(device).quarantine();
+            for &gi in &survivors {
+                self.sim.gpu_mut(gi).charge_raw(Phase::Recovery, t_cancel);
+            }
+            self.a_parts = self.sim.distribute_rows_shape(self.m, self.n);
+            self.slots = self.sim.alive_indices();
+            if !self.b_bcast.is_empty() {
+                self.b_bcast = self.sim.broadcast(Phase::Recovery, &Mat::zeros(l, self.n));
+            }
+            if !self.c_parts.is_empty() {
+                let mut c_parts = Vec::with_capacity(self.a_parts.len());
+                for (ap, &gi) in self.a_parts.iter().zip(&self.slots) {
+                    let mi = ap.rows();
+                    c_parts.push(self.sim.gpu_mut(gi).alloc(l, mi));
+                }
+                self.c_parts = c_parts;
+            }
+            let saved = t_straggler - t_surv;
+            if let Some(t) = self.sim.tracer() {
+                t.emit(TraceEvent::Speculation {
+                    device,
+                    outcome: "survivors-won",
+                    saved,
+                    time: start,
+                });
+            }
+            Ok(saved)
+        } else {
+            // The straggler beats the projection (tiny blocks or a mild
+            // slowdown): its in-flight pass lands first, the speculative
+            // copies are cancelled, and the survivors are charged the
+            // aborted fetch + redo. No quarantine, nothing saved.
+            for &gi in &survivors {
+                self.charge_speculation(gi, t_cancel);
+            }
+            if let Some(t) = self.sim.tracer() {
+                t.emit(TraceEvent::Speculation {
+                    device,
+                    outcome: "straggler-won",
+                    saved: 0.0,
+                    time: start,
+                });
+            }
+            Ok(0.0)
+        }
+    }
+
+    fn checkpoint_hook(&mut self, bytes: u64) -> Result<()> {
+        // Every survivor drains at a barrier, then the host gathers the
+        // device-resident share over PCIe and serializes the snapshot.
+        self.sim.barrier();
+        let cost = self.sim.gpu(0).cost().clone();
+        let secs = cost.transfer(bytes) + cost.host_flops(bytes as f64);
+        for gi in self.sim.alive_indices() {
+            self.sim.gpu_mut(gi).charge_raw(Phase::Other, secs);
+        }
+        Ok(())
+    }
+
+    fn export_account(&mut self) -> Result<Vec<u8>> {
+        let mut w = crate::checkpoint::SnapWriter::new();
+        crate::checkpoint::write_fleet_account(&mut w, &self.sim.export_account());
+        Ok(w.into_bytes())
+    }
+
+    fn restore_account(&mut self, bytes: &[u8]) -> Result<()> {
+        let mut r = crate::checkpoint::SnapReader::new(bytes);
+        let acc = crate::checkpoint::read_fleet_account(&mut r)?;
+        if r.remaining() != 0 {
+            return Err(MatrixError::CheckpointCorrupt {
+                detail: "trailing bytes in fleet account blob",
+            });
+        }
+        self.sim.restore_account(&acc)?;
+        // The snapshot may carry dead or quarantined devices this fresh
+        // simulator did not know about: re-derive the distribution.
+        if self.m > 0 {
+            self.a_parts = self.sim.distribute_rows_shape(self.m, self.n);
+            self.slots = self.sim.alive_indices();
+        }
+        Ok(())
+    }
+
     fn recover_device_loss(&mut self, device: usize, at: u64) -> Result<()> {
         if device >= self.sim.ng() {
             return Err(MatrixError::Internal {
@@ -682,6 +860,7 @@ impl Executor for MultiGpuExec<'_> {
             breakdowns: 0,
             fallbacks: 0,
             ladder_histogram: [0; 3],
+            speculations: 0,
             metrics: self.sim.metrics(),
         };
         self.mg.absorb(&self.sim)?;

@@ -219,18 +219,36 @@ fn attempt_fixed_rank<E: Executor>(
     rng: &mut impl Rng,
     guard: &mut NumericGuard,
 ) -> Result<Option<LowRankApprox>> {
+    let scale = input_scale(&a, exec.computes(), guard)?;
+    let b_host = fixed_rank_sample_stage(exec, &a, cfg, rng, guard, scale)?;
+    let b_host = fixed_rank_power_stage(exec, &a, cfg, guard, scale, b_host)?;
+    fixed_rank_finish_stage(exec, &a, cfg, guard, scale, b_host)
+}
+
+/// The input magnitude the guard's health checks compare block norms
+/// against (zero when checks are off or the run is shape-only).
+pub(crate) fn input_scale(a: &Input<'_>, compute: bool, guard: &NumericGuard) -> Result<f64> {
+    if compute && guard.policy.health_checks {
+        Ok(rlra_matrix::norms::max_abs(host_values(a)?.as_ref()))
+    } else {
+        Ok(0.0)
+    }
+}
+
+/// Step 1a of the Figure 2b pipeline: sample `B = Ω·A` (plus the health
+/// check of the sampled block). Returns the sampled matrix on computing
+/// backends.
+pub(crate) fn fixed_rank_sample_stage<E: Executor>(
+    exec: &mut E,
+    a: &Input<'_>,
+    cfg: &SamplerConfig,
+    rng: &mut impl Rng,
+    guard: &mut NumericGuard,
+    scale: f64,
+) -> Result<Option<Mat>> {
     let (m, n) = a.shape();
     let compute = exec.computes();
     let l = cfg.l();
-    let k = cfg.k;
-    // Health checks compare block magnitudes against the input scale.
-    let scale = if compute && guard.policy.health_checks {
-        rlra_matrix::norms::max_abs(host_values(&a)?.as_ref())
-    } else {
-        0.0
-    };
-
-    // --- Step 1a: sample B = Ω·A -------------------------------------------
     let mut b_host: Option<Mat> = None;
     let sample_stage: &'static str;
     match cfg.sampling {
@@ -238,7 +256,7 @@ fn attempt_fixed_rank<E: Executor>(
             sample_stage = "gaussian_sample";
             staged(exec, "gaussian_sample", |e| e.gaussian_sample(l))?;
             if compute {
-                let am = host_values(&a)?;
+                let am = host_values(a)?;
                 let omega = gaussian_mat(l, m, rng);
                 let mut b = Mat::zeros(l, n);
                 rlra_blas::gemm(
@@ -260,7 +278,7 @@ fn attempt_fixed_rank<E: Executor>(
             let op = SrftOperator::new(m, l, scheme, rng)?;
             staged(exec, "srft_sample_rows", |e| e.srft_sample_rows(l, scheme))?;
             if compute {
-                let am = host_values(&a)?;
+                let am = host_values(a)?;
                 b_host = Some(op.sample_rows(am)?);
             }
         }
@@ -268,8 +286,22 @@ fn attempt_fixed_rank<E: Executor>(
     if compute {
         checked(exec, guard, sample_stage, sampled_ref(&b_host)?, scale)?;
     }
+    Ok(b_host)
+}
 
-    // --- Step 1b: power iterations ------------------------------------------
+/// Step 1b of the Figure 2b pipeline: `q` power iterations refining the
+/// sampled matrix (plus the health check of the refined block).
+pub(crate) fn fixed_rank_power_stage<E: Executor>(
+    exec: &mut E,
+    a: &Input<'_>,
+    cfg: &SamplerConfig,
+    guard: &mut NumericGuard,
+    scale: f64,
+    mut b_host: Option<Mat>,
+) -> Result<Option<Mat>> {
+    let (m, n) = a.shape();
+    let compute = exec.computes();
+    let l = cfg.l();
     for _ in 0..cfg.q {
         staged(exec, "orth_b", |e| e.orth_b(l, cfg.reorth))?;
         staged(exec, "gemm_to_c", |e| e.gemm_to_c(l))?;
@@ -277,7 +309,7 @@ fn attempt_fixed_rank<E: Executor>(
         staged(exec, "gemm_to_b", |e| e.gemm_to_b(l))?;
     }
     if compute {
-        let am = host_values(&a)?;
+        let am = host_values(a)?;
         let empty_b = Mat::zeros(0, n);
         let empty_c = Mat::zeros(0, m);
         let (b, _c) = power_iterate_guarded(
@@ -295,12 +327,26 @@ fn attempt_fixed_rank<E: Executor>(
         }
         b_host = Some(b);
     }
+    Ok(b_host)
+}
 
-    // --- Steps 2 and 3 --------------------------------------------------------
+/// Steps 2 and 3 of the Figure 2b pipeline: pivot selection on the
+/// sampled matrix and the tall-skinny QR of the selected columns.
+pub(crate) fn fixed_rank_finish_stage<E: Executor>(
+    exec: &mut E,
+    a: &Input<'_>,
+    cfg: &SamplerConfig,
+    guard: &mut NumericGuard,
+    scale: f64,
+    b_host: Option<Mat>,
+) -> Result<Option<LowRankApprox>> {
+    let compute = exec.computes();
+    let l = cfg.l();
+    let k = cfg.k;
     staged(exec, "step2_pivot", |e| e.step2_pivot(cfg.step2, l, k))?;
     staged(exec, "tsqr", |e| e.tsqr(k, cfg.reorth))?;
     let approx = if compute {
-        let am = host_values(&a)?;
+        let am = host_values(a)?;
         let approx = crate::fixed_rank::finish_from_sampled_guarded(
             am,
             sampled_ref(&b_host)?,
@@ -322,7 +368,7 @@ fn attempt_fixed_rank<E: Executor>(
 /// `probes` Gaussian row probes of the residual, certified with the
 /// paper's `c_ad·√(2/π)` constant (§10, eq. 4). `O(probes · m·n)` —
 /// two thin GEMMs, no `m × n` residual is materialized.
-fn posterior_error_bound(
+pub(crate) fn posterior_error_bound(
     a: &Mat,
     approx: &LowRankApprox,
     probes: usize,

@@ -17,7 +17,11 @@
 //!   kept (fresh i.i.d. Gaussian rows are distributionally exchangeable
 //!   with the lost ones, so the sketch quality guarantee is preserved);
 //! * **stragglers** never surface as errors (they only dilate the
-//!   faulted device's kernel time), so there is nothing to intercept.
+//!   faulted device's kernel time), so a *watchdog* samples
+//!   [`Executor::device_load`] at stage boundaries instead: a device
+//!   whose per-launch cost exceeds a policy multiple of the fleet
+//!   median is handed to [`Executor::mitigate_straggler`], which races
+//!   a speculative re-dispatch of its block-rows against it.
 //!
 //! All of this is *accounting*: the pipeline's numerics run on the host
 //! and are bit-identical with or without recovery for the same seed.
@@ -38,6 +42,22 @@ pub struct RecoveryPolicy {
     pub backoff_base: f64,
     /// Multiplier applied to the backoff on each further retry.
     pub backoff_factor: f64,
+    /// Half-width of the deterministic jitter band around each backoff,
+    /// as a fraction of it (`0.1` = ±10%). Jitter decorrelates the
+    /// retry storms of devices that fault in lockstep; it is seeded
+    /// from [`RecoveryPolicy::jitter_salt`] and the wrapper's retry
+    /// ordinal — never from ambient entropy — so runs stay
+    /// reproducible, and fault-free runs (which charge no backoff at
+    /// all) are bit-identical whatever the salt.
+    pub jitter_frac: f64,
+    /// Seed mixed into the jitter hash; vary it across fleet members so
+    /// their retry schedules decohere.
+    pub jitter_salt: u64,
+    /// Straggler watchdog trip point: a device whose per-launch cost
+    /// exceeds this multiple of the fleet median is speculatively
+    /// re-dispatched via [`Executor::mitigate_straggler`]. `None`
+    /// disables the watchdog.
+    pub straggler_threshold: Option<f64>,
 }
 
 impl Default for RecoveryPolicy {
@@ -49,15 +69,39 @@ impl Default for RecoveryPolicy {
             // GEMM at paper sizes.
             backoff_base: 1e-3,
             backoff_factor: 2.0,
+            jitter_frac: 0.1,
+            jitter_salt: 0,
+            straggler_threshold: None,
         }
     }
 }
 
+/// SplitMix64 finalizer: a tiny, well-mixed hash used to derive the
+/// backoff jitter deterministically from `(salt, draw ordinal)`.
+fn splitmix64(seed: u64) -> u64 {
+    let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
 impl RecoveryPolicy {
     /// Backoff before retry number `attempt` (0-based): exponential in
-    /// the attempt.
+    /// the attempt, before jitter.
     pub fn backoff(&self, attempt: u32) -> f64 {
         self.backoff_base * self.backoff_factor.powi(attempt.min(30) as i32)
+    }
+
+    /// The backoff actually charged for retry `attempt` when it is the
+    /// `draw`-th retry of the run overall: [`RecoveryPolicy::backoff`]
+    /// scaled by a deterministic jitter in
+    /// `[1 − jitter_frac, 1 + jitter_frac)` hashed from
+    /// `(jitter_salt, draw)`.
+    pub fn jittered_backoff(&self, attempt: u32, draw: u64) -> f64 {
+        let h = splitmix64(self.jitter_salt ^ draw.wrapping_mul(0xA076_1D64_78BD_642F));
+        // 53 mantissa bits → uniform in [0, 1).
+        let u = (h >> 11) as f64 / (1u64 << 53) as f64;
+        self.backoff(attempt) * (1.0 + self.jitter_frac * (2.0 * u - 1.0))
     }
 }
 
@@ -73,6 +117,20 @@ pub struct Recovering<E: Executor> {
     /// restart-cost baseline in the what-if sweep prices a full restart
     /// at each of these points.
     loss_log: Vec<(usize, f64)>,
+    /// Retry ordinal across the whole run — the jitter draw counter.
+    jitter_draws: u64,
+    /// Speculative re-dispatches attempted by the watchdog (or handed
+    /// in explicitly).
+    speculations: u64,
+    /// Simulated wall-clock seconds the successful speculations saved.
+    speculation_saved: f64,
+    /// Cleared the first time the backend refuses
+    /// [`Executor::mitigate_straggler`] as unsupported, so the watchdog
+    /// stops probing it.
+    watchdog_armed: bool,
+    /// Devices already raced once — a straggler that *wins* its race
+    /// stays slow but is not raced again.
+    speculated: Vec<usize>,
 }
 
 impl<E: Executor> Recovering<E> {
@@ -84,6 +142,11 @@ impl<E: Executor> Recovering<E> {
             retries: 0,
             devices_lost: 0,
             loss_log: Vec::new(),
+            jitter_draws: 0,
+            speculations: 0,
+            speculation_saved: 0.0,
+            watchdog_armed: true,
+            speculated: Vec::new(),
         }
     }
 
@@ -106,6 +169,66 @@ impl<E: Executor> Recovering<E> {
     /// each struck.
     pub fn loss_log(&self) -> &[(usize, f64)] {
         &self.loss_log
+    }
+
+    /// Speculative straggler re-dispatches attempted so far.
+    pub fn speculations(&self) -> u64 {
+        self.speculations
+    }
+
+    /// Simulated wall-clock seconds saved by won speculations so far.
+    pub fn speculation_saved(&self) -> f64 {
+        self.speculation_saved
+    }
+
+    /// Races a speculative re-dispatch against `device` on the inner
+    /// backend, counting the attempt and any savings.
+    fn speculate_on(&mut self, device: usize) -> Result<f64> {
+        self.speculated.push(device);
+        let saved = self.inner.mitigate_straggler(device)?;
+        self.speculations += 1;
+        self.speculation_saved += saved;
+        Ok(saved)
+    }
+
+    /// Straggler watchdog, run after every successful stage hook: trips
+    /// when some device's per-launch cost exceeds the policy multiple
+    /// of the fleet median. Backends that refuse the mitigation disarm
+    /// it for the rest of the run.
+    fn watchdog(&mut self) -> Result<()> {
+        let Some(threshold) = self.policy.straggler_threshold else {
+            return Ok(());
+        };
+        if !self.watchdog_armed {
+            return Ok(());
+        }
+        let per_launch: Vec<(usize, f64)> = self
+            .inner
+            .device_load()
+            .into_iter()
+            .filter(|&(_, _, launches)| launches > 0)
+            .map(|(d, busy, launches)| (d, busy / launches as f64))
+            .collect();
+        if per_launch.len() < 2 {
+            return Ok(());
+        }
+        let mut costs: Vec<f64> = per_launch.iter().map(|&(_, c)| c).collect();
+        costs.sort_by(f64::total_cmp);
+        let median = costs[costs.len() / 2];
+        let Some(&(device, worst)) = per_launch.iter().max_by(|a, b| a.1.total_cmp(&b.1)) else {
+            return Ok(());
+        };
+        if median <= 0.0 || worst <= threshold * median || self.speculated.contains(&device) {
+            return Ok(());
+        }
+        match self.speculate_on(device) {
+            Ok(_) => Ok(()),
+            Err(MatrixError::Unsupported { .. }) => {
+                self.watchdog_armed = false;
+                Ok(())
+            }
+            Err(e) => Err(e),
+        }
     }
 
     /// Emits a recovery event on the inner backend's tracer, if any.
@@ -146,6 +269,7 @@ impl<E: Executor> Recovering<E> {
             } else {
                 let r = op(&mut self.inner);
                 if r.is_ok() {
+                    self.watchdog()?;
                     return Ok(());
                 }
                 r
@@ -157,7 +281,8 @@ impl<E: Executor> Recovering<E> {
                     kind: DeviceFaultKind::Transient,
                     ..
                 } if attempts < self.policy.retry_budget => {
-                    let backoff = self.policy.backoff(attempts);
+                    let backoff = self.policy.jittered_backoff(attempts, self.jitter_draws);
+                    self.jitter_draws += 1;
                     attempts += 1;
                     self.retries += 1;
                     self.inner.charge_recovery(backoff);
@@ -260,6 +385,18 @@ impl<E: Executor> Executor for Recovering<E> {
         self.guard(|e| e.adaptive_finish(k))
     }
 
+    fn adaptive_update_pivot(&mut self, l_rows: usize, n_trail: usize, k_b: usize) -> Result<()> {
+        self.guard(|e| e.adaptive_update_pivot(l_rows, n_trail, k_b))
+    }
+
+    fn adaptive_update_panel(&mut self, k_b: usize, k_done: usize) -> Result<()> {
+        self.guard(|e| e.adaptive_update_panel(k_b, k_done))
+    }
+
+    fn adaptive_update_trailing(&mut self, k_b: usize, n_trail: usize) -> Result<()> {
+        self.guard(|e| e.adaptive_update_trailing(k_b, n_trail))
+    }
+
     fn charge_fallback(
         &mut self,
         rows: usize,
@@ -290,6 +427,83 @@ impl<E: Executor> Executor for Recovering<E> {
         self.inner.charge_recovery(secs);
     }
 
+    fn charge_speculation(&mut self, device: usize, secs: f64) {
+        self.inner.charge_speculation(device, secs);
+    }
+
+    fn device_load(&self) -> Vec<(usize, f64, u64)> {
+        self.inner.device_load()
+    }
+
+    fn mitigate_straggler(&mut self, device: usize) -> Result<f64> {
+        self.speculate_on(device)
+    }
+
+    fn checkpoint_hook(&mut self, bytes: u64) -> Result<()> {
+        self.guard(|e| e.checkpoint_hook(bytes))
+    }
+
+    fn export_account(&mut self) -> Result<Vec<u8>> {
+        // The wrapper carries run state of its own (retry and
+        // speculation counters feed the final report), so the blob is
+        // the wrapper's counters followed by the inner backend's blob.
+        let inner = self.inner.export_account()?;
+        let mut w = crate::checkpoint::SnapWriter::new();
+        w.write_u64(self.retries);
+        w.write_usize(self.devices_lost);
+        w.write_usize(self.loss_log.len());
+        for &(device, at) in &self.loss_log {
+            w.write_usize(device);
+            w.write_f64(at);
+        }
+        w.write_u64(self.jitter_draws);
+        w.write_u64(self.speculations);
+        w.write_f64(self.speculation_saved);
+        w.write_bool(self.watchdog_armed);
+        w.write_usizes(&self.speculated);
+        w.write_bytes(&inner);
+        Ok(w.into_bytes())
+    }
+
+    fn restore_account(&mut self, bytes: &[u8]) -> Result<()> {
+        let mut r = crate::checkpoint::SnapReader::new(bytes);
+        let retries = r.read_u64()?;
+        let devices_lost = r.read_usize()?;
+        let n_losses = r.read_usize()?;
+        if n_losses > r.remaining() {
+            return Err(MatrixError::CheckpointCorrupt {
+                detail: "recovery loss log length implausible",
+            });
+        }
+        let mut loss_log = Vec::with_capacity(n_losses);
+        for _ in 0..n_losses {
+            let device = r.read_usize()?;
+            let at = r.read_f64()?;
+            loss_log.push((device, at));
+        }
+        let jitter_draws = r.read_u64()?;
+        let speculations = r.read_u64()?;
+        let speculation_saved = r.read_f64()?;
+        let watchdog_armed = r.read_bool()?;
+        let speculated = r.read_usizes()?;
+        let inner = r.read_bytes()?;
+        if r.remaining() != 0 {
+            return Err(MatrixError::CheckpointCorrupt {
+                detail: "trailing bytes in recovery account blob",
+            });
+        }
+        self.inner.restore_account(&inner)?;
+        self.retries = retries;
+        self.devices_lost = devices_lost;
+        self.loss_log = loss_log;
+        self.jitter_draws = jitter_draws;
+        self.speculations = speculations;
+        self.speculation_saved = speculation_saved;
+        self.watchdog_armed = watchdog_armed;
+        self.speculated = speculated;
+        Ok(())
+    }
+
     fn recover_device_loss(&mut self, device: usize, at: u64) -> Result<()> {
         self.inner.recover_device_loss(device, at)
     }
@@ -298,6 +512,7 @@ impl<E: Executor> Executor for Recovering<E> {
         let mut report = self.inner.finish()?;
         report.retries += self.retries;
         report.devices_lost += self.devices_lost;
+        report.speculations += self.speculations;
         report.metrics.retries += self.retries;
         Ok(report)
     }
@@ -316,6 +531,9 @@ mod tests {
         recovered: Vec<(usize, u64)>,
         backoff_charged: f64,
         recoverable: bool,
+        load: Vec<(usize, f64, u64)>,
+        mitigated: Vec<usize>,
+        mitigable: bool,
     }
 
     impl Scripted {
@@ -326,7 +544,17 @@ mod tests {
                 recovered: Vec::new(),
                 backoff_charged: 0.0,
                 recoverable,
+                load: Vec::new(),
+                mitigated: Vec::new(),
+                mitigable: false,
             }
+        }
+
+        /// Fixed per-device load the watchdog will observe.
+        fn with_load(mut self, load: Vec<(usize, f64, u64)>, mitigable: bool) -> Self {
+            self.load = load;
+            self.mitigable = mitigable;
+            self
         }
 
         /// Faults that strike *during* `recover_device_loss`, in order.
@@ -391,6 +619,19 @@ mod tests {
             self.recovered.push((device, at));
             Ok(())
         }
+        fn device_load(&self) -> Vec<(usize, f64, u64)> {
+            self.load.clone()
+        }
+        fn mitigate_straggler(&mut self, device: usize) -> Result<f64> {
+            if !self.mitigable {
+                return Err(MatrixError::Unsupported {
+                    backend: "scripted",
+                    feature: "straggler re-dispatch".into(),
+                });
+            }
+            self.mitigated.push(device);
+            Ok(1.5)
+        }
         fn finish(&mut self) -> Result<ExecReport> {
             Ok(ExecReport {
                 seconds: 0.0,
@@ -406,6 +647,7 @@ mod tests {
                 breakdowns: 0,
                 fallbacks: 0,
                 ladder_histogram: [0; 3],
+                speculations: 0,
                 metrics: rlra_trace::Metrics::default(),
             })
         }
@@ -434,8 +676,80 @@ mod tests {
         rec.gaussian_sample(8).unwrap();
         assert_eq!(rec.retries(), 2);
         let policy = RecoveryPolicy::default();
-        let expected = policy.backoff(0) + policy.backoff(1);
+        let expected = policy.jittered_backoff(0, 0) + policy.jittered_backoff(1, 1);
         assert!((rec.into_inner().backoff_charged - expected).abs() < 1e-15);
+    }
+
+    #[test]
+    fn jittered_backoff_is_deterministic_and_banded() {
+        let policy = RecoveryPolicy::default();
+        for draw in 0..64u64 {
+            let a = policy.jittered_backoff(1, draw);
+            let b = policy.jittered_backoff(1, draw);
+            assert_eq!(a.to_bits(), b.to_bits(), "jitter must be a pure function");
+            let base = policy.backoff(1);
+            assert!(a >= base * (1.0 - policy.jitter_frac));
+            assert!(a < base * (1.0 + policy.jitter_frac));
+        }
+        // Different draws (and salts) actually decorrelate.
+        assert_ne!(
+            policy.jittered_backoff(0, 0).to_bits(),
+            policy.jittered_backoff(0, 1).to_bits()
+        );
+        let salted = RecoveryPolicy {
+            jitter_salt: 7,
+            ..RecoveryPolicy::default()
+        };
+        assert_ne!(
+            policy.jittered_backoff(0, 0).to_bits(),
+            salted.jittered_backoff(0, 0).to_bits()
+        );
+    }
+
+    #[test]
+    fn watchdog_races_the_straggler_once() {
+        // Device 2 runs each launch 5× the fleet median; threshold 3.
+        let load = vec![(0, 10.0, 10), (1, 11.0, 10), (2, 50.0, 10)];
+        let inner = Scripted::new(Vec::new(), true).with_load(load, true);
+        let policy = RecoveryPolicy {
+            straggler_threshold: Some(3.0),
+            ..RecoveryPolicy::default()
+        };
+        let mut rec = Recovering::new(inner, policy);
+        rec.gaussian_sample(8).unwrap();
+        // Load is unchanged on the scripted backend, but the device was
+        // already raced: the second boundary must not re-trip.
+        rec.orth_b(8, false).unwrap();
+        assert_eq!(rec.speculations(), 1);
+        assert!((rec.speculation_saved() - 1.5).abs() < 1e-15);
+        let report = rec.finish().unwrap();
+        assert_eq!(report.speculations, 1);
+        assert_eq!(rec.into_inner().mitigated, vec![2]);
+    }
+
+    #[test]
+    fn watchdog_disarms_on_unsupported_backends() {
+        let load = vec![(0, 10.0, 10), (1, 50.0, 10)];
+        let inner = Scripted::new(Vec::new(), true).with_load(load, false);
+        let policy = RecoveryPolicy {
+            straggler_threshold: Some(3.0),
+            ..RecoveryPolicy::default()
+        };
+        let mut rec = Recovering::new(inner, policy);
+        // The refusal is absorbed, the run continues, nothing counted.
+        rec.gaussian_sample(8).unwrap();
+        rec.orth_b(8, false).unwrap();
+        assert_eq!(rec.speculations(), 0);
+    }
+
+    #[test]
+    fn watchdog_off_by_default_never_probes() {
+        let load = vec![(0, 10.0, 10), (1, 500.0, 10)];
+        let inner = Scripted::new(Vec::new(), true).with_load(load, true);
+        let mut rec = Recovering::new(inner, RecoveryPolicy::default());
+        rec.gaussian_sample(8).unwrap();
+        assert_eq!(rec.speculations(), 0);
+        assert!(rec.into_inner().mitigated.is_empty());
     }
 
     #[test]

@@ -155,6 +155,7 @@ impl BlrMatrix {
             l_max: tile / 2,
             track_actual: false,
             finish: crate::adaptive::FinishMode::Incremental,
+            deadline: None,
         };
         let dense_entries = tile * tile;
         let mut blocks = Vec::with_capacity(tiles);

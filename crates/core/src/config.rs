@@ -1,5 +1,6 @@
 //! Configuration of the fixed-rank sampler.
 
+use crate::checkpoint::Deadline;
 use rlra_fft::SrftScheme;
 use rlra_matrix::{MatrixError, Result};
 
@@ -45,6 +46,13 @@ pub struct SamplerConfig {
     pub reorth: bool,
     /// Step-2 pivot-selection algorithm.
     pub step2: Step2Kind,
+    /// Simulated wall-clock budget, enforced by the *durable* pipeline
+    /// (see [`crate::durable::run_fixed_rank_durable`]) at its
+    /// checkpoint boundaries: on overrun the run returns
+    /// [`MatrixError::DeadlineExceeded`](rlra_matrix::MatrixError) and
+    /// leaves a checkpointed partial result behind. Ignored by the
+    /// non-durable entry points.
+    pub deadline: Option<Deadline>,
 }
 
 impl SamplerConfig {
@@ -58,7 +66,14 @@ impl SamplerConfig {
             sampling: SamplingKind::Gaussian,
             reorth: true,
             step2: Step2Kind::Qp3,
+            deadline: None,
         }
+    }
+
+    /// Sets the durable-run deadline budget.
+    pub fn with_deadline(mut self, deadline: Deadline) -> Self {
+        self.deadline = Some(deadline);
+        self
     }
 
     /// Sets the oversampling parameter.

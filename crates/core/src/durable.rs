@@ -1,0 +1,649 @@
+//! Durable drivers: checkpointed, deadline-bounded, resumable runs.
+//!
+//! These entry points wrap the same numerics as the plain pipelines —
+//! [`crate::adaptive::sample_fixed_accuracy_exec`] and
+//! [`crate::backend::run_fixed_rank`] — but write a versioned
+//! [`crate::checkpoint`] snapshot at every boundary (each accepted
+//! sample block of the adaptive loop; the sample and power stage
+//! boundaries of the fixed-rank pipeline) and check the run's
+//! [`Deadline`](crate::checkpoint::Deadline) budget there.
+//!
+//! The durability contract:
+//!
+//! - **Bit-identical resume.** Killing a durable run at *any* boundary
+//!   (via [`CheckpointPlan::kill_after`]) and resuming from the
+//!   snapshot on a fresh executor of the same backend produces factors
+//!   *and* an [`ExecReport`] identical to the uninterrupted durable
+//!   run — the snapshot carries the numeric state, the RNG stream
+//!   position, the guard counters and the executor's absolute clocks,
+//!   and the checkpoint charge itself is folded in *before* the
+//!   account is captured.
+//! - **Fresh executors.** Both the original durable run and every
+//!   resume must start on a freshly constructed (or freshly reset, for
+//!   the cluster backend) executor: the snapshot stores *absolute*
+//!   clocks, so a pre-used executor would double-count.
+//! - **Deadline overruns are checkpointed.** When the simulated clock
+//!   overruns the configured budget at a boundary, the run writes the
+//!   snapshot, assembles a best-effort partial result with a posterior
+//!   error estimate into [`Durability::take_partial`], and returns
+//!   [`MatrixError::DeadlineExceeded`] naming the snapshot to resume
+//!   from (with a longer budget).
+
+use crate::adaptive::{
+    adaptive_step, finish_fixed_accuracy, AdaptiveConfig, AdaptiveCursor, AdaptiveResult,
+    FinishMode, StepOutcome,
+};
+use crate::backend::{
+    fixed_rank_finish_stage, fixed_rank_power_stage, fixed_rank_sample_stage, input_scale,
+    posterior_error_bound, ExecReport, Executor, Input, NumericGuard,
+};
+use crate::checkpoint::{
+    checkpoint_boundary, AdaptiveSnapshot, CountingRng, Durability, DurableOutcome,
+    FixedRankSnapshot, FixedRankStage, GuardCounters, Partial, SnapshotKind,
+};
+use crate::config::SamplerConfig;
+use crate::fixed_rank::IncrementalFactors;
+use crate::result::LowRankApprox;
+use rand::RngCore;
+use rlra_matrix::{Mat, MatrixError, Result};
+
+/// The completed value of a durable fixed-accuracy run.
+pub type FixedAccuracyOutput = (LowRankApprox, AdaptiveResult, ExecReport);
+
+/// The completed value of a durable fixed-rank run.
+pub type FixedRankOutput = (Option<LowRankApprox>, ExecReport);
+
+// ---------------------------------------------------------------------
+// Fixed accuracy (adaptive)
+// ---------------------------------------------------------------------
+
+/// Runs the fixed-accuracy (adaptive) scheme durably: a checkpoint is
+/// written after every accepted sample block, the deadline (if
+/// `cfg.deadline` is set) is checked there, and the run can be killed
+/// at a chosen snapshot via the [`Durability`]'s plan.
+///
+/// `exec` must be freshly constructed (see the module docs). The RNG is
+/// a [`CountingRng`] so the snapshot can record the stream position.
+///
+/// # Errors
+///
+/// Everything [`crate::adaptive::sample_fixed_accuracy_exec`] returns,
+/// plus [`MatrixError::DeadlineExceeded`] on a budget overrun (the
+/// partial result is left in `dur`).
+pub fn sample_fixed_accuracy_durable<E: Executor, R: RngCore>(
+    exec: &mut E,
+    a: &Mat,
+    cfg: &AdaptiveConfig,
+    rng: &mut CountingRng<R>,
+    dur: &mut Durability,
+) -> Result<DurableOutcome<FixedAccuracyOutput>> {
+    let (m, n) = a.shape();
+    let mut guard = NumericGuard::default();
+    let factors = match cfg.finish {
+        FinishMode::Incremental => Some(IncrementalFactors::new(m, n)),
+        FinishMode::Restart => None,
+    };
+    let cur = AdaptiveCursor::start(exec, a, cfg, rng)?;
+    drive_fixed_accuracy(exec, a, cfg, rng, dur, &mut guard, factors, cur)
+}
+
+/// Resumes a fixed-accuracy run from a sealed [`AdaptiveSnapshot`] on a
+/// *fresh* executor of the same backend, continuing bit-identically to
+/// the uninterrupted run.
+///
+/// `fresh_rng` must be seeded exactly as the original run's RNG was —
+/// the snapshot's recorded draw count fast-forwards it to the boundary.
+///
+/// # Errors
+///
+/// [`MatrixError::CheckpointCorrupt`] when the snapshot fails
+/// validation or does not match `a`/`cfg`; otherwise everything
+/// [`sample_fixed_accuracy_durable`] returns.
+pub fn resume_fixed_accuracy<E: Executor, R: RngCore>(
+    exec: &mut E,
+    a: &Mat,
+    cfg: &AdaptiveConfig,
+    fresh_rng: R,
+    sealed: &[u8],
+    dur: &mut Durability,
+) -> Result<DurableOutcome<FixedAccuracyOutput>> {
+    cfg.validate()?;
+    AdaptiveCursor::check_backend(exec)?;
+    let snap = AdaptiveSnapshot::open(sealed)?;
+    let (m, n) = a.shape();
+    if snap.m != m || snap.n != n {
+        return Err(corrupt("snapshot operand shape does not match the input"));
+    }
+    let factors = match (cfg.finish, snap.factors) {
+        (FinishMode::Incremental, Some(f)) => Some(f),
+        (FinishMode::Restart, None) => None,
+        _ => {
+            return Err(corrupt(
+                "snapshot finish mode does not match the configuration",
+            ))
+        }
+    };
+    let t0 = exec.elapsed();
+    exec.begin(m, n);
+    exec.restore_account(&snap.account)?;
+    let mut rng = CountingRng::resume(fresh_rng, snap.rng_drawn);
+    let mut guard = NumericGuard::default();
+    snap.guard.restore(&mut guard);
+    dur.align_after(snap.id);
+    let cur = AdaptiveCursor {
+        basis: snap.basis,
+        c_basis: snap.c_basis,
+        w: snap.w,
+        l_inc: snap.l_inc,
+        best_estimate: snap.best_estimate,
+        steps: snap.steps,
+        t0,
+    };
+    drive_fixed_accuracy(exec, a, cfg, &mut rng, dur, &mut guard, factors, cur)
+}
+
+/// The checkpointed loop shared by the fresh and resumed entry points.
+#[allow(clippy::too_many_arguments)]
+fn drive_fixed_accuracy<E: Executor, R: RngCore>(
+    exec: &mut E,
+    a: &Mat,
+    cfg: &AdaptiveConfig,
+    rng: &mut CountingRng<R>,
+    dur: &mut Durability,
+    guard: &mut NumericGuard,
+    mut factors: Option<IncrementalFactors>,
+    mut cur: AdaptiveCursor,
+) -> Result<DurableOutcome<FixedAccuracyOutput>> {
+    let converged = loop {
+        match adaptive_step(exec, a, cfg, rng, guard, factors.as_mut(), &mut cur)? {
+            StepOutcome::Continue => {
+                guard.drain(exec)?;
+                let id = adaptive_boundary(exec, dur, a, &cur, factors.as_ref(), guard, rng)?;
+                if dur.plan().kill_after == Some(id) {
+                    return Ok(DurableOutcome::Suspended { snapshot: id });
+                }
+                if let Some(deadline) = cfg.deadline {
+                    let elapsed = exec.elapsed() - cur.t0;
+                    if deadline.exceeded(elapsed) {
+                        let estimate = cur.steps.last().map_or(f64::INFINITY, |s| s.estimate);
+                        let approx = partial_from_basis(a, &cur.basis, cfg.reorth);
+                        dur.set_partial(Partial {
+                            approx,
+                            estimate,
+                            snapshot: id,
+                        });
+                        return Err(MatrixError::DeadlineExceeded {
+                            snapshot: id,
+                            budget: deadline.seconds,
+                            elapsed,
+                        });
+                    }
+                }
+            }
+            StepOutcome::Converged => break true,
+            StepOutcome::Stopped => break false,
+        }
+    };
+    let adaptive = cur.into_result(converged);
+    let approx = finish_fixed_accuracy(exec, a, cfg, guard, &adaptive, factors)?;
+    guard.drain(exec)?;
+    let mut report = exec.finish()?;
+    guard.fold_into(&mut report);
+    Ok(DurableOutcome::Complete((approx, adaptive, report)))
+}
+
+/// Writes one adaptive sample-block boundary snapshot.
+fn adaptive_boundary<E: Executor, R: RngCore>(
+    exec: &mut E,
+    dur: &mut Durability,
+    a: &Mat,
+    cur: &AdaptiveCursor,
+    factors: Option<&IncrementalFactors>,
+    guard: &NumericGuard,
+    rng: &CountingRng<R>,
+) -> Result<u64> {
+    let (m, n) = a.shape();
+    let mut snap = AdaptiveSnapshot {
+        id: 0,
+        m,
+        n,
+        basis: cur.basis.clone(),
+        c_basis: cur.c_basis.clone(),
+        w: cur.w.clone(),
+        l_inc: cur.l_inc,
+        best_estimate: cur.best_estimate,
+        steps: cur.steps.clone(),
+        factors: factors.cloned(),
+        guard: GuardCounters::capture(guard),
+        rng_drawn: rng.drawn(),
+        account: Vec::new(),
+    };
+    let bytes = snap.numeric_bytes();
+    checkpoint_boundary(exec, dur, SnapshotKind::Adaptive, bytes, |id, account| {
+        snap.id = id;
+        snap.account = account;
+        snap.to_bytes()
+    })
+}
+
+/// Best-effort host-side factorization of the accepted basis for a
+/// deadline-truncated partial result (`None` when nothing was accepted
+/// yet or the finish itself breaks down — the snapshot still resumes).
+fn partial_from_basis(a: &Mat, basis: &Mat, reorth: bool) -> Option<LowRankApprox> {
+    if basis.rows() == 0 {
+        return None;
+    }
+    let k = basis.rows().min(a.cols());
+    let mut guard = NumericGuard::default();
+    crate::fixed_rank::finish_from_sampled_guarded(
+        a,
+        basis,
+        k,
+        reorth,
+        crate::config::Step2Kind::Qp3,
+        &mut guard,
+    )
+    .ok()
+}
+
+// ---------------------------------------------------------------------
+// Fixed rank
+// ---------------------------------------------------------------------
+
+/// Runs the fixed-rank (Figure 2b) pipeline durably: a checkpoint is
+/// written after the sample stage and after the power stage, the
+/// deadline (if `cfg.deadline` is set) is checked there, and the run
+/// can be killed at a chosen snapshot via the [`Durability`]'s plan.
+///
+/// Works on every backend the plain pipeline supports, including the
+/// dry-run ones (the snapshot then carries no sketch, only clocks and
+/// the RNG position).
+///
+/// # Errors
+///
+/// Everything [`crate::backend::run_fixed_rank`] returns, plus
+/// [`MatrixError::DeadlineExceeded`] on a budget overrun (the partial
+/// result is left in `dur`).
+pub fn run_fixed_rank_durable<E: Executor, R: RngCore>(
+    exec: &mut E,
+    a: Input<'_>,
+    cfg: &SamplerConfig,
+    rng: &mut CountingRng<R>,
+    dur: &mut Durability,
+) -> Result<DurableOutcome<FixedRankOutput>> {
+    let (m, n) = a.shape();
+    cfg.validate(m, n)?;
+    exec.supports(cfg, a.values().is_some())?;
+    if exec.computes() && a.values().is_none() {
+        return Err(MatrixError::Unsupported {
+            backend: exec.name(),
+            feature: "shape-only input in compute mode".into(),
+        });
+    }
+    let t0 = exec.elapsed();
+    exec.begin(m, n);
+    let mut guard = NumericGuard::default();
+    let scale = input_scale(&a, exec.computes(), &guard)?;
+    let b = fixed_rank_sample_stage(exec, &a, cfg, rng, &mut guard, scale)?;
+    if let Some(id) = fixed_rank_boundary(
+        exec,
+        dur,
+        cfg,
+        &a,
+        FixedRankStage::Sampled,
+        &b,
+        &guard,
+        rng,
+        t0,
+    )? {
+        return Ok(DurableOutcome::Suspended { snapshot: id });
+    }
+    finish_fixed_rank_durable(exec, a, cfg, rng, dur, guard, scale, b, t0)
+}
+
+/// Resumes a fixed-rank run from a sealed [`FixedRankSnapshot`] on a
+/// *fresh* executor of the same backend, continuing bit-identically to
+/// the uninterrupted run.
+///
+/// # Errors
+///
+/// [`MatrixError::CheckpointCorrupt`] when the snapshot fails
+/// validation or does not match `a`/`cfg`/the backend; otherwise
+/// everything [`run_fixed_rank_durable`] returns.
+pub fn resume_fixed_rank<E: Executor, R: RngCore>(
+    exec: &mut E,
+    a: Input<'_>,
+    cfg: &SamplerConfig,
+    fresh_rng: R,
+    sealed: &[u8],
+    dur: &mut Durability,
+) -> Result<DurableOutcome<FixedRankOutput>> {
+    let (m, n) = a.shape();
+    cfg.validate(m, n)?;
+    exec.supports(cfg, a.values().is_some())?;
+    if exec.computes() && a.values().is_none() {
+        return Err(MatrixError::Unsupported {
+            backend: exec.name(),
+            feature: "shape-only input in compute mode".into(),
+        });
+    }
+    let snap = FixedRankSnapshot::open(sealed)?;
+    if snap.m != m || snap.n != n {
+        return Err(corrupt("snapshot operand shape does not match the input"));
+    }
+    if snap.l != cfg.l() {
+        return Err(corrupt(
+            "snapshot sampling dimension does not match the configuration",
+        ));
+    }
+    if exec.computes() && snap.b_host.is_none() {
+        return Err(corrupt(
+            "snapshot has no sketch but the backend computes values",
+        ));
+    }
+    if !exec.computes() && snap.b_host.is_some() {
+        return Err(corrupt(
+            "snapshot carries a sketch but the backend is dry-run",
+        ));
+    }
+    let t0 = exec.elapsed();
+    exec.begin(m, n);
+    exec.restore_account(&snap.account)?;
+    let mut rng = CountingRng::resume(fresh_rng, snap.rng_drawn);
+    let mut guard = NumericGuard::default();
+    snap.guard.restore(&mut guard);
+    dur.align_after(snap.id);
+    let scale = input_scale(&a, exec.computes(), &guard)?;
+    match snap.stage {
+        FixedRankStage::Sampled => {
+            finish_fixed_rank_durable(exec, a, cfg, &mut rng, dur, guard, scale, snap.b_host, t0)
+        }
+        FixedRankStage::Powered => {
+            complete_fixed_rank(exec, a, cfg, dur, guard, scale, snap.b_host)
+        }
+    }
+}
+
+/// Everything after the sample-stage boundary: power stage, its
+/// boundary, and the finish. Shared by the fresh run and the
+/// resume-from-`Sampled` path.
+#[allow(clippy::too_many_arguments)]
+fn finish_fixed_rank_durable<E: Executor, R: RngCore>(
+    exec: &mut E,
+    a: Input<'_>,
+    cfg: &SamplerConfig,
+    rng: &mut CountingRng<R>,
+    dur: &mut Durability,
+    mut guard: NumericGuard,
+    scale: f64,
+    b: Option<Mat>,
+    t0: f64,
+) -> Result<DurableOutcome<FixedRankOutput>> {
+    let b = fixed_rank_power_stage(exec, &a, cfg, &mut guard, scale, b)?;
+    if let Some(id) = fixed_rank_boundary(
+        exec,
+        dur,
+        cfg,
+        &a,
+        FixedRankStage::Powered,
+        &b,
+        &guard,
+        rng,
+        t0,
+    )? {
+        return Ok(DurableOutcome::Suspended { snapshot: id });
+    }
+    complete_fixed_rank(exec, a, cfg, dur, guard, scale, b)
+}
+
+/// The final (never-checkpointed) stage plus report assembly.
+fn complete_fixed_rank<E: Executor>(
+    exec: &mut E,
+    a: Input<'_>,
+    cfg: &SamplerConfig,
+    _dur: &mut Durability,
+    mut guard: NumericGuard,
+    scale: f64,
+    b: Option<Mat>,
+) -> Result<DurableOutcome<FixedRankOutput>> {
+    let approx = fixed_rank_finish_stage(exec, &a, cfg, &mut guard, scale, b)?;
+    guard.drain(exec)?;
+    let mut report = exec.finish()?;
+    guard.fold_into(&mut report);
+    Ok(DurableOutcome::Complete((approx, report)))
+}
+
+/// Writes one fixed-rank stage boundary snapshot, applies the kill
+/// plan (returns `Some(id)` when the run must suspend here) and the
+/// deadline budget.
+#[allow(clippy::too_many_arguments)]
+fn fixed_rank_boundary<E: Executor, R: RngCore>(
+    exec: &mut E,
+    dur: &mut Durability,
+    cfg: &SamplerConfig,
+    a: &Input<'_>,
+    stage: FixedRankStage,
+    b_host: &Option<Mat>,
+    guard: &NumericGuard,
+    rng: &mut CountingRng<R>,
+    t0: f64,
+) -> Result<Option<u64>> {
+    let (m, n) = a.shape();
+    let mut snap = FixedRankSnapshot {
+        id: 0,
+        m,
+        n,
+        l: cfg.l(),
+        stage,
+        b_host: b_host.clone(),
+        guard: GuardCounters::capture(guard),
+        rng_drawn: rng.drawn(),
+        account: Vec::new(),
+    };
+    let bytes = snap.numeric_bytes();
+    let id = checkpoint_boundary(exec, dur, SnapshotKind::FixedRank, bytes, |id, account| {
+        snap.id = id;
+        snap.account = account;
+        snap.to_bytes()
+    })?;
+    if dur.plan().kill_after == Some(id) {
+        return Ok(Some(id));
+    }
+    if let Some(deadline) = cfg.deadline {
+        let elapsed = exec.elapsed() - t0;
+        if deadline.exceeded(elapsed) {
+            let partial = fixed_rank_partial(a, cfg, b_host, rng, id);
+            dur.set_partial(partial);
+            return Err(MatrixError::DeadlineExceeded {
+                snapshot: id,
+                budget: deadline.seconds,
+                elapsed,
+            });
+        }
+    }
+    Ok(None)
+}
+
+/// Best-effort partial result at a fixed-rank deadline overrun: finish
+/// the current sketch on the host and certify it with the posterior
+/// probe bound (`None`/infinite on dry-run backends or when the finish
+/// breaks down).
+fn fixed_rank_partial<R: RngCore>(
+    a: &Input<'_>,
+    cfg: &SamplerConfig,
+    b_host: &Option<Mat>,
+    rng: &mut CountingRng<R>,
+    id: u64,
+) -> Partial {
+    const PARTIAL_PROBES: usize = 8;
+    let (approx, estimate) = match (a.values(), b_host) {
+        (Some(am), Some(b)) => {
+            let mut guard = NumericGuard::default();
+            match crate::fixed_rank::finish_from_sampled_guarded(
+                am,
+                b,
+                cfg.k.min(b.rows()),
+                cfg.reorth,
+                cfg.step2,
+                &mut guard,
+            ) {
+                Ok(approx) => {
+                    let est = posterior_error_bound(am, &approx, PARTIAL_PROBES, rng)
+                        .unwrap_or(f64::INFINITY);
+                    (Some(approx), est)
+                }
+                Err(_) => (None, f64::INFINITY),
+            }
+        }
+        _ => (None, f64::INFINITY),
+    };
+    Partial {
+        approx,
+        estimate,
+        snapshot: id,
+    }
+}
+
+fn corrupt(detail: &'static str) -> MatrixError {
+    MatrixError::CheckpointCorrupt { detail }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::GpuExec;
+    use crate::checkpoint::{CheckpointPlan, Deadline};
+    use rlra_data::testmat::{decay_matrix, rng};
+    use rlra_gpu::Gpu;
+
+    #[test]
+    fn durable_fixed_rank_matches_plain_numerics() {
+        let (a, _) = decay_matrix(60, 40, 0.6, 42);
+        let cfg = SamplerConfig::new(10).with_p(5);
+
+        let mut plain_gpu = Gpu::k40c();
+        let mut plain_exec = GpuExec::new(&mut plain_gpu);
+        let (plain, _) =
+            crate::backend::run_fixed_rank(&mut plain_exec, Input::Values(&a), &cfg, &mut rng(3))
+                .unwrap_or_else(|e| panic!("plain run failed: {e}"));
+
+        let mut gpu = Gpu::k40c();
+        let mut exec = GpuExec::new(&mut gpu);
+        let mut crng = CountingRng::new(rng(3));
+        let mut dur = Durability::new(CheckpointPlan::always());
+        let out = run_fixed_rank_durable(&mut exec, Input::Values(&a), &cfg, &mut crng, &mut dur)
+            .unwrap_or_else(|e| panic!("durable run failed: {e}"));
+        let (durable, _) = out
+            .complete()
+            .unwrap_or_else(|| panic!("durable run suspended unexpectedly"));
+
+        let p = plain.unwrap_or_else(|| panic!("plain produced no factors"));
+        let d = durable.unwrap_or_else(|| panic!("durable produced no factors"));
+        assert_eq!(p.q, d.q, "Q factors must be bit-identical");
+        assert_eq!(p.r, d.r, "R factors must be bit-identical");
+        assert_eq!(dur.snapshots().len(), 2, "one snapshot per stage boundary");
+    }
+
+    #[test]
+    fn fixed_rank_deadline_overrun_leaves_partial() {
+        let (a, _) = decay_matrix(60, 40, 0.6, 42);
+        let cfg = SamplerConfig::new(10)
+            .with_p(5)
+            .with_q(2)
+            .with_deadline(Deadline::new(1e-12));
+        let mut gpu = Gpu::k40c();
+        let mut exec = GpuExec::new(&mut gpu);
+        let mut crng = CountingRng::new(rng(3));
+        let mut dur = Durability::new(CheckpointPlan::always());
+        let err = run_fixed_rank_durable(&mut exec, Input::Values(&a), &cfg, &mut crng, &mut dur)
+            .err()
+            .unwrap_or_else(|| panic!("expected a deadline overrun"));
+        let MatrixError::DeadlineExceeded { snapshot, .. } = err else {
+            panic!("expected DeadlineExceeded, got {err}");
+        };
+        let partial = dur
+            .take_partial()
+            .unwrap_or_else(|| panic!("overrun must leave a partial result"));
+        assert_eq!(partial.snapshot, snapshot);
+        assert!(partial.approx.is_some(), "computing backend builds factors");
+        assert!(
+            partial.estimate.is_finite(),
+            "posterior estimate must certify the partial factors"
+        );
+        assert!(dur.get(snapshot).is_some(), "the snapshot is resumable");
+    }
+
+    #[test]
+    fn resume_rejects_mismatched_operand() {
+        let (a, _) = decay_matrix(60, 40, 0.6, 42);
+        let cfg = SamplerConfig::new(10).with_p(5);
+        let mut gpu = Gpu::k40c();
+        let mut exec = GpuExec::new(&mut gpu);
+        let mut crng = CountingRng::new(rng(3));
+        let mut dur = Durability::new(CheckpointPlan::kill_after(1));
+        let out = run_fixed_rank_durable(&mut exec, Input::Values(&a), &cfg, &mut crng, &mut dur)
+            .unwrap_or_else(|e| panic!("durable run failed: {e}"));
+        let id = out
+            .suspended()
+            .unwrap_or_else(|| panic!("kill plan must suspend the run"));
+        let sealed = dur
+            .get(id)
+            .unwrap_or_else(|| panic!("missing snapshot"))
+            .to_vec();
+
+        let (b, _) = decay_matrix(50, 40, 0.6, 42);
+        let mut gpu2 = Gpu::k40c();
+        let mut exec2 = GpuExec::new(&mut gpu2);
+        let mut dur2 = Durability::new(CheckpointPlan::always());
+        let err = resume_fixed_rank(
+            &mut exec2,
+            Input::Values(&b),
+            &cfg,
+            rng(3),
+            &sealed,
+            &mut dur2,
+        )
+        .err()
+        .unwrap_or_else(|| panic!("shape mismatch must be rejected"));
+        assert!(matches!(err, MatrixError::CheckpointCorrupt { .. }));
+    }
+
+    #[test]
+    fn adaptive_durable_completes_and_checkpoints() {
+        let (a, _) = decay_matrix(60, 40, 0.6, 42);
+        let cfg = AdaptiveConfig::new(1e-8, 8);
+        let mut gpu = Gpu::k40c();
+        let mut exec = GpuExec::new(&mut gpu);
+        let mut crng = CountingRng::new(rng(5));
+        let mut dur = Durability::new(CheckpointPlan::always());
+        let out = sample_fixed_accuracy_durable(&mut exec, &a, &cfg, &mut crng, &mut dur)
+            .unwrap_or_else(|e| panic!("durable adaptive run failed: {e}"));
+        let (_, adaptive, _) = out
+            .complete()
+            .unwrap_or_else(|| panic!("run suspended unexpectedly"));
+        assert!(adaptive.converged);
+        assert!(
+            !dur.snapshots().is_empty(),
+            "each accepted block writes a boundary snapshot"
+        );
+    }
+
+    #[test]
+    fn adaptive_deadline_overrun_reports_snapshot() {
+        let (a, _) = decay_matrix(60, 40, 0.6, 42);
+        let mut cfg = AdaptiveConfig::new(1e-14, 4);
+        cfg.deadline = Some(Deadline::new(1e-12));
+        let mut gpu = Gpu::k40c();
+        let mut exec = GpuExec::new(&mut gpu);
+        let mut crng = CountingRng::new(rng(5));
+        let mut dur = Durability::new(CheckpointPlan::always());
+        let err = sample_fixed_accuracy_durable(&mut exec, &a, &cfg, &mut crng, &mut dur)
+            .err()
+            .unwrap_or_else(|| panic!("expected a deadline overrun"));
+        assert!(matches!(err, MatrixError::DeadlineExceeded { .. }));
+        let partial = dur
+            .take_partial()
+            .unwrap_or_else(|| panic!("overrun must leave a partial result"));
+        assert!(partial.approx.is_some());
+    }
+}

@@ -202,6 +202,45 @@ impl IncrementalFactors {
         }
     }
 
+    /// Checkpoint export: borrows the full durable state,
+    /// `(q, r, s_resid, perm, k_done, m, n)`. Together with
+    /// [`Self::from_parts`] this is the serialization surface of the
+    /// durability layer; the fields themselves stay private.
+    pub(crate) fn parts(&self) -> (&Mat, &Mat, &Mat, &[usize], usize, usize, usize) {
+        (
+            &self.q,
+            &self.r,
+            &self.s_resid,
+            &self.perm,
+            self.k_done,
+            self.m,
+            self.n,
+        )
+    }
+
+    /// Rebuilds factors from checkpointed parts (see [`Self::parts`]).
+    /// Shapes are taken on trust here; a corrupt snapshot is caught by
+    /// the checkpoint layer's checksum before this is reached.
+    pub(crate) fn from_parts(
+        q: Mat,
+        r: Mat,
+        s_resid: Mat,
+        perm: Vec<usize>,
+        k_done: usize,
+        m: usize,
+        n: usize,
+    ) -> Self {
+        IncrementalFactors {
+            q,
+            r,
+            s_resid,
+            perm,
+            k_done,
+            m,
+            n,
+        }
+    }
+
     /// Columns accepted so far.
     pub fn k_done(&self) -> usize {
         self.k_done

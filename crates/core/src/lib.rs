@@ -40,9 +40,11 @@ pub mod adaptive;
 pub mod backend;
 pub mod baseline;
 pub mod blr;
+pub mod checkpoint;
 pub mod cluster_exec;
 pub mod config;
 pub mod cur;
+pub mod durable;
 pub mod estimate;
 pub mod fixed_rank;
 pub mod gpu_exec;
@@ -63,9 +65,16 @@ pub use backend::{
 };
 pub use baseline::{qp3_low_rank, qp3_low_rank_gpu};
 pub use blr::{BlrBlock, BlrMatrix};
+pub use checkpoint::{
+    AdaptiveSnapshot, CheckpointPlan, CountingRng, Deadline, Durability, DurableOutcome,
+    FixedRankSnapshot, FixedRankStage, GuardCounters, Partial, SnapshotKind,
+};
 pub use cluster_exec::{qp3_cluster_time, sample_fixed_rank_cluster, ClusterRunReport};
 pub use config::{SamplerConfig, SamplingKind, Step2Kind};
 pub use cur::{cur_decomposition, CurDecomposition};
+pub use durable::{
+    resume_fixed_accuracy, resume_fixed_rank, run_fixed_rank_durable, sample_fixed_accuracy_durable,
+};
 pub use fixed_rank::{
     finish_from_sampled, finish_from_sampled_with, sample_fixed_rank, IncrementalFactors,
 };

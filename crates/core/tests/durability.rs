@@ -1,0 +1,352 @@
+//! Durability acceptance: kill a durable run at **every** checkpoint
+//! boundary, resume each kill from its snapshot on a fresh executor,
+//! and require the resumed factors *and the full [`ExecReport`]* to be
+//! bit-identical to the uninterrupted durable run — on every backend.
+//!
+//! This is the crash-consistency contract of the checkpoint subsystem:
+//! a snapshot carries the numeric state, the RNG stream position, the
+//! guard counters and the executor's absolute clocks, so a resume
+//! continues as if the kill never happened.
+
+use rlra_core::backend::{CpuExec, ExecReport, GpuExec, Input, MultiGpuExec};
+use rlra_core::checkpoint::{CheckpointPlan, CountingRng, Durability};
+use rlra_core::durable::{
+    resume_fixed_accuracy, resume_fixed_rank, run_fixed_rank_durable, sample_fixed_accuracy_durable,
+};
+use rlra_core::{AdaptiveConfig, AdaptiveResult, Deadline, LowRankApprox, SamplerConfig};
+use rlra_data::testmat::{decay_matrix, rng};
+use rlra_gpu::{Cluster, DeviceSpec, ExecMode, Gpu, MultiGpu, NetworkSpec};
+use rlra_matrix::{Mat, MatrixError};
+
+const SEED: u64 = 41;
+
+fn operand() -> Mat {
+    decay_matrix(90, 45, 0.6, 42).0
+}
+
+fn adaptive_cfg() -> AdaptiveConfig {
+    AdaptiveConfig::new(1e-8, 8)
+}
+
+fn assert_reports_match(a: &ExecReport, b: &ExecReport, what: &str) {
+    assert_eq!(a, b, "{what}: full ExecReport must be bit-identical");
+}
+
+/// Uninterrupted durable fixed-accuracy run → (result, snapshots).
+#[allow(clippy::type_complexity)]
+fn adaptive_reference<E: rlra_core::backend::Executor>(
+    exec: &mut E,
+    a: &Mat,
+) -> (
+    (LowRankApprox, AdaptiveResult, ExecReport),
+    Vec<(u64, Vec<u8>)>,
+) {
+    let mut crng = CountingRng::new(rng(SEED));
+    let mut dur = Durability::new(CheckpointPlan::always());
+    let out = sample_fixed_accuracy_durable(exec, a, &adaptive_cfg(), &mut crng, &mut dur)
+        .unwrap_or_else(|e| panic!("uninterrupted run failed: {e}"));
+    let full = out
+        .complete()
+        .unwrap_or_else(|| panic!("uninterrupted run suspended"));
+    (full, dur.snapshots().to_vec())
+}
+
+/// Kill the fixed-accuracy run at boundary `kill`, then resume and
+/// compare against the reference on a fresh executor built by `make`.
+fn adaptive_kill_resume_case<E, F>(make: F, what: &str)
+where
+    E: rlra_core::backend::Executor,
+    F: Fn() -> E,
+{
+    let a = operand();
+    let cfg = adaptive_cfg();
+    let mut reference_exec = make();
+    let ((ref_approx, ref_adaptive, ref_report), snapshots) =
+        adaptive_reference(&mut reference_exec, &a);
+    assert!(
+        snapshots.len() >= 2,
+        "{what}: the run must cross at least two boundaries to test resume"
+    );
+
+    for (kill_id, _) in &snapshots {
+        // Killed leg: identical run, suspended right after `kill_id`.
+        let mut exec = make();
+        let mut crng = CountingRng::new(rng(SEED));
+        let mut dur = Durability::new(CheckpointPlan::kill_after(*kill_id));
+        let out = sample_fixed_accuracy_durable(&mut exec, &a, &cfg, &mut crng, &mut dur)
+            .unwrap_or_else(|e| panic!("{what}: killed leg failed: {e}"));
+        let suspended = out
+            .suspended()
+            .unwrap_or_else(|| panic!("{what}: kill at {kill_id} did not suspend"));
+        assert_eq!(suspended, *kill_id);
+        let sealed = dur
+            .get(*kill_id)
+            .unwrap_or_else(|| panic!("{what}: snapshot {kill_id} missing"))
+            .to_vec();
+
+        // Resumed leg: fresh executor, fresh seeded RNG.
+        let mut exec2 = make();
+        let mut dur2 = Durability::new(CheckpointPlan::always());
+        let out2 = resume_fixed_accuracy(&mut exec2, &a, &cfg, rng(SEED), &sealed, &mut dur2)
+            .unwrap_or_else(|e| panic!("{what}: resume from {kill_id} failed: {e}"));
+        let (approx, adaptive, report) = out2
+            .complete()
+            .unwrap_or_else(|| panic!("{what}: resume from {kill_id} suspended"));
+
+        assert_eq!(
+            approx.q, ref_approx.q,
+            "{what}: Q after resume from boundary {kill_id}"
+        );
+        assert_eq!(
+            approx.r, ref_approx.r,
+            "{what}: R after resume from boundary {kill_id}"
+        );
+        assert_eq!(
+            approx.perm.as_slice(),
+            ref_approx.perm.as_slice(),
+            "{what}: perm after resume from boundary {kill_id}"
+        );
+        assert_eq!(
+            adaptive, ref_adaptive,
+            "{what}: adaptive trajectory after resume from boundary {kill_id}"
+        );
+        assert_reports_match(
+            &report,
+            &ref_report,
+            &format!("{what}: resume from boundary {kill_id}"),
+        );
+
+        // The resumed run re-numbers the remaining boundaries exactly.
+        let expected_rest: Vec<u64> = snapshots
+            .iter()
+            .map(|(id, _)| *id)
+            .filter(|id| id > kill_id)
+            .collect();
+        let resumed_ids: Vec<u64> = dur2.snapshots().iter().map(|(id, _)| *id).collect();
+        assert_eq!(
+            resumed_ids, expected_rest,
+            "{what}: resumed boundary numbering after {kill_id}"
+        );
+    }
+}
+
+#[test]
+fn adaptive_kill_resume_bit_identical_on_gpu() {
+    adaptive_kill_resume_case(
+        || {
+            let gpu = Box::leak(Box::new(Gpu::k40c()));
+            GpuExec::new(gpu)
+        },
+        "gpu",
+    );
+}
+
+#[test]
+fn adaptive_kill_resume_bit_identical_on_cpu() {
+    adaptive_kill_resume_case(CpuExec::new, "cpu");
+}
+
+#[test]
+fn adaptive_kill_resume_bit_identical_on_three_gpus() {
+    adaptive_kill_resume_case(
+        || {
+            let mg = Box::leak(Box::new(
+                MultiGpu::new(3, DeviceSpec::k40c(), ExecMode::Compute)
+                    .unwrap_or_else(|e| panic!("fleet construction failed: {e}")),
+            ));
+            MultiGpuExec::new(mg).unwrap_or_else(|e| panic!("executor construction failed: {e}"))
+        },
+        "multi-gpu",
+    );
+}
+
+#[test]
+fn fixed_rank_kill_resume_bit_identical_on_cluster() {
+    let cfg = SamplerConfig::new(8).with_p(4).with_q(2);
+
+    let make_cluster = || {
+        Cluster::new(
+            3,
+            2,
+            DeviceSpec::k40c(),
+            NetworkSpec::infiniband_fdr(),
+            ExecMode::DryRun,
+        )
+        .unwrap_or_else(|e| panic!("cluster construction failed: {e}"))
+    };
+
+    // Uninterrupted reference (dry-run: no factors, timing only).
+    let mut cl = make_cluster();
+    let mut exec = rlra_core::backend::ClusterExec::new(&mut cl);
+    let mut crng = CountingRng::new(rng(SEED));
+    let mut dur = Durability::new(CheckpointPlan::always());
+    let out = run_fixed_rank_durable(&mut exec, Input::Shape(90, 45), &cfg, &mut crng, &mut dur)
+        .unwrap_or_else(|e| panic!("uninterrupted cluster run failed: {e}"));
+    let (_, ref_report) = out
+        .complete()
+        .unwrap_or_else(|| panic!("uninterrupted cluster run suspended"));
+    let snapshots = dur.snapshots().to_vec();
+    assert_eq!(snapshots.len(), 2, "sample + power boundaries");
+
+    for (kill_id, _) in &snapshots {
+        let mut cl = make_cluster();
+        let mut exec = rlra_core::backend::ClusterExec::new(&mut cl);
+        let mut crng = CountingRng::new(rng(SEED));
+        let mut dur = Durability::new(CheckpointPlan::kill_after(*kill_id));
+        let out =
+            run_fixed_rank_durable(&mut exec, Input::Shape(90, 45), &cfg, &mut crng, &mut dur)
+                .unwrap_or_else(|e| panic!("killed cluster leg failed: {e}"));
+        assert_eq!(out.suspended(), Some(*kill_id));
+        let sealed = dur
+            .get(*kill_id)
+            .unwrap_or_else(|| panic!("snapshot {kill_id} missing"))
+            .to_vec();
+
+        let mut cl2 = make_cluster();
+        let mut exec2 = rlra_core::backend::ClusterExec::new(&mut cl2);
+        let mut dur2 = Durability::new(CheckpointPlan::always());
+        let out2 = resume_fixed_rank(
+            &mut exec2,
+            Input::Shape(90, 45),
+            &cfg,
+            rng(SEED),
+            &sealed,
+            &mut dur2,
+        )
+        .unwrap_or_else(|e| panic!("cluster resume from {kill_id} failed: {e}"));
+        let (approx, report) = out2
+            .complete()
+            .unwrap_or_else(|| panic!("cluster resume from {kill_id} suspended"));
+        assert!(approx.is_none(), "dry-run backends produce no factors");
+        assert_reports_match(
+            &report,
+            &ref_report,
+            &format!("cluster resume from boundary {kill_id}"),
+        );
+    }
+}
+
+#[test]
+fn fixed_rank_kill_resume_bit_identical_on_gpu() {
+    let a = operand();
+    let cfg = SamplerConfig::new(8).with_p(4).with_q(2);
+
+    let mut gpu = Gpu::k40c();
+    let mut exec = GpuExec::new(&mut gpu);
+    let mut crng = CountingRng::new(rng(SEED));
+    let mut dur = Durability::new(CheckpointPlan::always());
+    let out = run_fixed_rank_durable(&mut exec, Input::Values(&a), &cfg, &mut crng, &mut dur)
+        .unwrap_or_else(|e| panic!("uninterrupted run failed: {e}"));
+    let (ref_approx, ref_report) = out
+        .complete()
+        .unwrap_or_else(|| panic!("uninterrupted run suspended"));
+    let ref_approx = ref_approx.unwrap_or_else(|| panic!("computing backend must factor"));
+    let snapshots = dur.snapshots().to_vec();
+    assert_eq!(snapshots.len(), 2, "sample + power boundaries");
+
+    for (kill_id, _) in &snapshots {
+        let mut gpu = Gpu::k40c();
+        let mut exec = GpuExec::new(&mut gpu);
+        let mut crng = CountingRng::new(rng(SEED));
+        let mut dur = Durability::new(CheckpointPlan::kill_after(*kill_id));
+        let out = run_fixed_rank_durable(&mut exec, Input::Values(&a), &cfg, &mut crng, &mut dur)
+            .unwrap_or_else(|e| panic!("killed leg failed: {e}"));
+        assert_eq!(out.suspended(), Some(*kill_id));
+        let sealed = dur
+            .get(*kill_id)
+            .unwrap_or_else(|| panic!("snapshot {kill_id} missing"))
+            .to_vec();
+
+        let mut gpu2 = Gpu::k40c();
+        let mut exec2 = GpuExec::new(&mut gpu2);
+        let mut dur2 = Durability::new(CheckpointPlan::always());
+        let out2 = resume_fixed_rank(
+            &mut exec2,
+            Input::Values(&a),
+            &cfg,
+            rng(SEED),
+            &sealed,
+            &mut dur2,
+        )
+        .unwrap_or_else(|e| panic!("resume from {kill_id} failed: {e}"));
+        let (approx, report) = out2
+            .complete()
+            .unwrap_or_else(|| panic!("resume from {kill_id} suspended"));
+        let approx = approx.unwrap_or_else(|| panic!("resumed run must factor"));
+        assert_eq!(approx.q, ref_approx.q, "Q after resume from {kill_id}");
+        assert_eq!(approx.r, ref_approx.r, "R after resume from {kill_id}");
+        assert_reports_match(
+            &report,
+            &ref_report,
+            &format!("fixed-rank resume from boundary {kill_id}"),
+        );
+    }
+}
+
+#[test]
+fn deadline_bounded_run_returns_partial_with_estimate() {
+    let a = operand();
+    // A budget past the first boundary but far short of the full run.
+    let mut gpu = Gpu::k40c();
+    let mut exec = GpuExec::new(&mut gpu);
+    let mut crng = CountingRng::new(rng(SEED));
+    let mut dur = Durability::new(CheckpointPlan::always());
+    let full = sample_fixed_accuracy_durable(&mut exec, &a, &adaptive_cfg(), &mut crng, &mut dur)
+        .unwrap_or_else(|e| panic!("reference run failed: {e}"))
+        .complete()
+        .unwrap_or_else(|| panic!("reference run suspended"));
+    let full_seconds = full.2.seconds;
+
+    let mut cfg = adaptive_cfg();
+    cfg.deadline = Some(Deadline::new(full_seconds * 0.25));
+    let mut gpu2 = Gpu::k40c();
+    let mut exec2 = GpuExec::new(&mut gpu2);
+    let mut crng2 = CountingRng::new(rng(SEED));
+    let mut dur2 = Durability::new(CheckpointPlan::always());
+    let err = sample_fixed_accuracy_durable(&mut exec2, &a, &cfg, &mut crng2, &mut dur2)
+        .err()
+        .unwrap_or_else(|| panic!("a quarter budget must overrun"));
+    let MatrixError::DeadlineExceeded {
+        snapshot,
+        budget,
+        elapsed,
+    } = err
+    else {
+        panic!("expected DeadlineExceeded, got {err}");
+    };
+    assert!(elapsed > budget);
+    let partial = dur2
+        .take_partial()
+        .unwrap_or_else(|| panic!("overrun must leave a partial result"));
+    assert_eq!(partial.snapshot, snapshot);
+    let partial_approx = partial
+        .approx
+        .unwrap_or_else(|| panic!("computing backend must build partial factors"));
+    assert!(
+        partial.estimate.is_finite() && partial.estimate > 0.0,
+        "posterior estimate must certify the partial factors"
+    );
+    assert!(partial_approx.rank() > 0);
+
+    // The overrun boundary resumes to the full bit-identical result.
+    let sealed = dur2
+        .get(snapshot)
+        .unwrap_or_else(|| panic!("overrun snapshot missing"))
+        .to_vec();
+    let mut gpu3 = Gpu::k40c();
+    let mut exec3 = GpuExec::new(&mut gpu3);
+    let mut dur3 = Durability::new(CheckpointPlan::always());
+    let resumed = resume_fixed_accuracy(
+        &mut exec3,
+        &a,
+        &adaptive_cfg(),
+        rng(SEED),
+        &sealed,
+        &mut dur3,
+    )
+    .unwrap_or_else(|e| panic!("resume after overrun failed: {e}"))
+    .complete()
+    .unwrap_or_else(|| panic!("resume after overrun suspended"));
+    assert_eq!(resumed.0.q, full.0.q, "Q after deadline-overrun resume");
+    assert_eq!(resumed.2, full.2, "report after deadline-overrun resume");
+}

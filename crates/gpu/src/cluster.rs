@@ -11,7 +11,7 @@
 
 use crate::device::ExecMode;
 use crate::fault::FaultPlan;
-use crate::multigpu::MultiGpu;
+use crate::multigpu::{FleetAccount, MultiGpu};
 use crate::spec::DeviceSpec;
 use crate::timeline::{Phase, Timeline};
 use rlra_matrix::{Mat, MatrixError, Result};
@@ -62,6 +62,17 @@ impl NetworkSpec {
         let rounds = (p as f64).log2().ceil();
         rounds * self.message(bytes)
     }
+}
+
+/// Accounting snapshot of a whole cluster: one [`FleetAccount`] per
+/// node plus the inter-node communication total. Produced by
+/// [`Cluster::export_account`] for durable checkpoints.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterAccount {
+    /// Per-node accounts, in node order.
+    pub nodes: Vec<FleetAccount>,
+    /// Accumulated inter-node communication seconds.
+    pub inter_node_comms: f64,
 }
 
 /// A simulated cluster: `nodes` boxes of `gpus_per_node` GPUs each,
@@ -236,7 +247,7 @@ impl Cluster {
             let dt = t - node.time();
             if dt > 0.0 {
                 for g in 0..node.ng() {
-                    if !node.gpu(g).is_dead() {
+                    if !node.gpu(g).is_dead() && !node.gpu(g).is_quarantined() {
                         node.gpu_mut(g).charge_wait(Phase::Other, dt);
                     }
                 }
@@ -251,7 +262,7 @@ impl Cluster {
         let start = self.time();
         for node in &mut self.nodes {
             for g in 0..node.ng() {
-                if !node.gpu(g).is_dead() {
+                if !node.gpu(g).is_dead() && !node.gpu(g).is_quarantined() {
                     node.gpu_mut(g).charge_raw(phase, secs);
                 }
             }
@@ -356,6 +367,35 @@ impl Cluster {
         self.comms_inter = 0.0;
     }
 
+    /// Accounting snapshot of the whole cluster: one [`FleetAccount`]
+    /// per node plus the accumulated inter-node communication time.
+    pub fn export_account(&self) -> ClusterAccount {
+        ClusterAccount {
+            nodes: self.nodes.iter().map(MultiGpu::export_account).collect(),
+            inter_node_comms: self.comms_inter,
+        }
+    }
+
+    /// Overwrites the cluster's accounting state from a snapshot taken
+    /// by [`Cluster::export_account`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MatrixError::CheckpointCorrupt`] when the node count
+    /// (or any node's GPU count) does not match this cluster.
+    pub fn restore_account(&mut self, acc: &ClusterAccount) -> Result<()> {
+        if acc.nodes.len() != self.nodes.len() {
+            return Err(MatrixError::CheckpointCorrupt {
+                detail: "cluster snapshot node count does not match this cluster",
+            });
+        }
+        for (node, a) in self.nodes.iter_mut().zip(&acc.nodes) {
+            node.restore_account(a)?;
+        }
+        self.comms_inter = acc.inter_node_comms;
+        Ok(())
+    }
+
     /// Per-phase breakdown: element-wise max across nodes.
     pub fn breakdown(&self) -> Timeline {
         let mut t = self.nodes[0].breakdown();
@@ -437,6 +477,36 @@ mod tests {
         for w in chunks.windows(2) {
             assert_eq!(w[0].0 + w[0].1, w[1].0);
         }
+    }
+
+    #[test]
+    fn cluster_account_round_trips_through_restore() {
+        let mut cl = Cluster::new(
+            2,
+            2,
+            DeviceSpec::k40c(),
+            NetworkSpec::infiniband_fdr(),
+            ExecMode::DryRun,
+        )
+        .unwrap();
+        cl.node_mut(0).gpu_mut(1).charge(Phase::GemmIter, 0.75);
+        cl.allreduce_scalar(Phase::Comms);
+        let acc = cl.export_account();
+        cl.node_mut(1).gpu_mut(0).charge(Phase::Qr, 3.0);
+        cl.allreduce_scalar(Phase::Comms);
+        cl.restore_account(&acc).unwrap();
+        assert_eq!(cl.export_account(), acc);
+        assert_eq!(cl.inter_node_comms(), acc.inter_node_comms);
+        // A cluster of the wrong shape is a clean error.
+        let mut other = Cluster::new(
+            3,
+            2,
+            DeviceSpec::k40c(),
+            NetworkSpec::infiniband_fdr(),
+            ExecMode::DryRun,
+        )
+        .unwrap();
+        assert!(other.restore_account(&acc).is_err());
     }
 
     #[test]

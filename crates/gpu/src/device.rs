@@ -135,6 +135,10 @@ pub struct Gpu {
     kernels: BTreeMap<&'static str, KernelStats>,
     /// Bytes moved over PCIe (uploads + downloads).
     bytes_moved: f64,
+    /// Set when the straggler watchdog quarantined this device: it is
+    /// alive (not fail-stopped) but excluded from redistribution
+    /// targets and barriers.
+    quarantined: bool,
 }
 
 /// What a charge was for — determines the metrics counters touched and
@@ -157,6 +161,45 @@ enum Charge {
     Transfer { bytes: f64 },
 }
 
+/// Point-in-time copy of one device's absolute accounting state —
+/// the per-device unit of a durable checkpoint's executor account.
+///
+/// Kernel names are owned strings here (the live counters key on
+/// `&'static str`); [`Gpu::restore_account`] re-interns them against
+/// the simulator's known-kernel table, rejecting foreign names.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceAccount {
+    /// Simulated device clock (seconds).
+    pub clock: f64,
+    /// Per-phase timeline seconds, indexed like [`Phase::ALL`].
+    pub phases: [f64; Phase::COUNT],
+    /// Kernel launches issued.
+    pub launches: u64,
+    /// Host synchronizations.
+    pub syncs: u64,
+    /// Seconds spent idling at barriers (subset of `clock`).
+    pub waits: f64,
+    /// Bytes moved over PCIe.
+    pub bytes_moved: f64,
+    /// Straggler cost multiplier in effect.
+    pub slowdown: f64,
+    /// Whether the straggler watchdog quarantined the device.
+    pub quarantined: bool,
+    /// `(device, launch)` of a fail-stop loss, if one fired.
+    pub dead: Option<(usize, u64)>,
+    /// Per-kernel metrics counters, sorted by name.
+    pub kernels: Vec<(String, KernelStats)>,
+}
+
+/// Maps a serialized kernel name back to the simulator's static name
+/// table (the names [`Gpu::charge_kernel`] is ever called with).
+fn intern_kernel_name(name: &str) -> Option<&'static str> {
+    const KNOWN: &[&str] = &[
+        "curand", "fft", "gather", "gemm", "launch", "syrk", "trmm", "trsm",
+    ];
+    KNOWN.iter().find(|k| **k == name).copied()
+}
+
 impl Gpu {
     /// Creates a simulated GPU from a device spec.
     pub fn new(spec: DeviceSpec, mode: ExecMode) -> Self {
@@ -175,6 +218,7 @@ impl Gpu {
             waits: 0.0,
             kernels: BTreeMap::new(),
             bytes_moved: 0.0,
+            quarantined: false,
         }
     }
 
@@ -289,6 +333,82 @@ impl Gpu {
         for (name, stats) in &other.kernels {
             self.kernels.entry(name).or_default().merge(stats);
         }
+    }
+
+    // --- Durable accounting snapshots ---------------------------------------
+
+    /// Captures this device's *absolute* accounting state for a
+    /// checkpoint snapshot. Restoring it with [`Gpu::restore_account`]
+    /// on a reset device reproduces clock, timeline, counters and
+    /// kernel metrics exactly, which is what lets a resumed run report
+    /// bit-identically to an uninterrupted one.
+    pub fn export_account(&self) -> DeviceAccount {
+        let mut phases = [0.0; Phase::COUNT];
+        for (slot, p) in phases.iter_mut().zip(Phase::ALL) {
+            *slot = self.timeline.get(p);
+        }
+        DeviceAccount {
+            clock: self.clock,
+            phases,
+            launches: self.launches,
+            syncs: self.syncs,
+            waits: self.waits,
+            bytes_moved: self.bytes_moved,
+            slowdown: self.slowdown,
+            quarantined: self.quarantined,
+            dead: self.dead,
+            kernels: self
+                .kernels
+                .iter()
+                .map(|(name, stats)| ((*name).to_string(), *stats))
+                .collect(),
+        }
+    }
+
+    /// Overwrites this device's accounting state with a captured
+    /// account. The charges behind the restored clocks were traced by
+    /// the run that exported the account, so nothing is re-emitted here
+    /// (re-emitting would double-count the event stream).
+    ///
+    /// # Errors
+    ///
+    /// [`MatrixError::CheckpointCorrupt`] when the account names a
+    /// kernel this simulator never charges (a corrupt or foreign blob).
+    pub fn restore_account(&mut self, acc: &DeviceAccount) -> Result<()> {
+        let mut restored = BTreeMap::new();
+        for (name, stats) in &acc.kernels {
+            let interned = intern_kernel_name(name).ok_or(MatrixError::CheckpointCorrupt {
+                detail: "unknown kernel name in device account",
+            })?;
+            restored.insert(interned, *stats);
+        }
+        self.clock = acc.clock;
+        let mut tl = Timeline::new();
+        for (slot, p) in acc.phases.iter().zip(Phase::ALL) {
+            tl.add(p, *slot);
+        }
+        self.timeline = tl;
+        self.launches = acc.launches;
+        self.syncs = acc.syncs;
+        self.waits = acc.waits;
+        self.bytes_moved = acc.bytes_moved;
+        self.slowdown = acc.slowdown;
+        self.quarantined = acc.quarantined;
+        self.dead = acc.dead;
+        self.kernels = restored;
+        Ok(())
+    }
+
+    /// Whether the straggler watchdog quarantined this device.
+    pub fn is_quarantined(&self) -> bool {
+        self.quarantined
+    }
+
+    /// Quarantines the device: it stays alive (its clock and metrics
+    /// survive into the report) but fleet schedulers exclude it from
+    /// redistribution targets and barriers from now on.
+    pub fn quarantine(&mut self) {
+        self.quarantined = true;
     }
 
     // --- Fault injection ----------------------------------------------------

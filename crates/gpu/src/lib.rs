@@ -56,9 +56,9 @@ pub mod multigpu;
 pub mod spec;
 pub mod timeline;
 
-pub use cluster::{Cluster, NetworkSpec};
-pub use device::{DMat, ExecMode, Gpu};
+pub use cluster::{Cluster, ClusterAccount, NetworkSpec};
+pub use device::{DMat, DeviceAccount, ExecMode, Gpu};
 pub use fault::{FaultEvent, FaultInjector, FaultKind, FaultPlan};
-pub use multigpu::MultiGpu;
+pub use multigpu::{FleetAccount, MultiGpu};
 pub use spec::DeviceSpec;
 pub use timeline::{Phase, Timeline};

@@ -13,7 +13,7 @@
 //! paper's measured communication fraction grows from 1.6 % on two GPUs
 //! to 4.3 % on three), then advance every clock past the host-side work.
 
-use crate::device::{DMat, ExecMode, Gpu};
+use crate::device::{DMat, DeviceAccount, ExecMode, Gpu};
 use crate::fault::FaultPlan;
 use crate::spec::DeviceSpec;
 use crate::timeline::{Phase, Timeline};
@@ -36,6 +36,17 @@ pub struct MultiGpu {
     /// Trace handle for the collective-comms track (the same sink the
     /// per-device tracers share).
     tracer: Option<Tracer>,
+}
+
+/// Accounting snapshot of a whole node: one [`DeviceAccount`] per GPU
+/// (in device order) plus the host-side per-phase totals. Produced by
+/// [`MultiGpu::export_account`] for durable checkpoints.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetAccount {
+    /// Per-device accounts, in device order (dead devices included).
+    pub gpus: Vec<DeviceAccount>,
+    /// Host/communication timeline totals, indexed like [`Phase::ALL`].
+    pub host_phases: [f64; Phase::COUNT],
 }
 
 impl MultiGpu {
@@ -101,19 +112,25 @@ impl MultiGpu {
         self.gpus.len()
     }
 
-    /// Number of surviving GPUs.
+    /// Number of GPUs still scheduling work: neither lost to a
+    /// fail-stop fault nor quarantined by the straggler watchdog.
     pub fn ng_alive(&self) -> usize {
-        self.gpus.iter().filter(|g| !g.is_dead()).count()
+        self.gpus.iter().filter(|g| Self::schedulable(g)).count()
     }
 
-    /// Indices of the surviving GPUs, in device order.
+    /// Indices of the GPUs still scheduling work, in device order
+    /// (excludes both dead and quarantined devices).
     pub fn alive_indices(&self) -> Vec<usize> {
         self.gpus
             .iter()
             .enumerate()
-            .filter(|(_, g)| !g.is_dead())
+            .filter(|(_, g)| Self::schedulable(g))
             .map(|(i, _)| i)
             .collect()
+    }
+
+    fn schedulable(g: &Gpu) -> bool {
+        !g.is_dead() && !g.is_quarantined()
     }
 
     /// Execution mode.
@@ -152,11 +169,21 @@ impl MultiGpu {
             .fold(0.0, f64::max)
     }
 
-    /// Barrier: every surviving GPU clock jumps to the maximum.
+    /// Barrier: every schedulable GPU clock jumps to the fleet maximum.
+    ///
+    /// The target is the slowest *schedulable* device: dead and
+    /// quarantined clocks are frozen and do not drag the survivors
+    /// forward (a quarantined straggler's inflated clock is exactly
+    /// what speculation is escaping).
     pub fn barrier(&mut self) {
-        let t = self.time();
+        let t = self
+            .gpus
+            .iter()
+            .filter(|g| Self::schedulable(g))
+            .map(Gpu::clock)
+            .fold(0.0, f64::max);
         for g in &mut self.gpus {
-            if g.is_dead() {
+            if !Self::schedulable(g) {
                 continue;
             }
             let dt = t - g.clock();
@@ -224,7 +251,7 @@ impl MultiGpu {
     fn charge_all(&mut self, phase: Phase, secs: f64) {
         let start = self.time();
         for g in &mut self.gpus {
-            if !g.is_dead() {
+            if Self::schedulable(g) {
                 g.charge_raw(phase, secs);
             }
         }
@@ -300,7 +327,7 @@ impl MultiGpu {
         let mode = self.mode;
         self.gpus
             .iter()
-            .filter(|g| !g.is_dead())
+            .filter(|g| Self::schedulable(g))
             .map(|g| match mode {
                 ExecMode::Compute => g.resident(m),
                 ExecMode::DryRun => g.resident_shape(m.rows(), m.cols()),
@@ -475,6 +502,47 @@ impl MultiGpu {
         self.host_timeline = Timeline::new();
     }
 
+    /// Accounting snapshot of the whole node: every device plus the
+    /// centrally tracked host/communication timeline.
+    pub fn export_account(&self) -> FleetAccount {
+        let mut host_phases = [0.0; Phase::COUNT];
+        for (slot, phase) in host_phases.iter_mut().zip(Phase::ALL) {
+            *slot = self.host_timeline.get(phase);
+        }
+        FleetAccount {
+            gpus: self.gpus.iter().map(Gpu::export_account).collect(),
+            host_phases,
+        }
+    }
+
+    /// Overwrites the node's accounting state from a snapshot taken by
+    /// [`MultiGpu::export_account`]. Restores each device first (so a
+    /// per-device failure leaves the host timeline untouched), then
+    /// rebuilds the host timeline from the recorded per-phase totals.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MatrixError::CheckpointCorrupt`] when the GPU counts
+    /// differ or a device snapshot names an unknown kernel.
+    pub fn restore_account(&mut self, acc: &FleetAccount) -> Result<()> {
+        if acc.gpus.len() != self.gpus.len() {
+            return Err(MatrixError::CheckpointCorrupt {
+                detail: "fleet snapshot gpu count does not match this node",
+            });
+        }
+        for (g, a) in self.gpus.iter_mut().zip(&acc.gpus) {
+            g.restore_account(a)?;
+        }
+        let mut host = Timeline::new();
+        for (phase, &secs) in Phase::ALL.into_iter().zip(&acc.host_phases) {
+            if secs > 0.0 {
+                host.add(phase, secs);
+            }
+        }
+        self.host_timeline = host;
+        Ok(())
+    }
+
     /// Folds the accounting of a finished simulation context into this one.
     ///
     /// Execution backends time a run on an internal dry-run `MultiGpu` and
@@ -506,6 +574,9 @@ impl MultiGpu {
             g.absorb_metrics(s);
             if let Some((device, at)) = s.dead_info() {
                 g.mark_dead(device, at);
+            }
+            if s.is_quarantined() {
+                g.quarantine();
             }
         }
         // analyze: allow(trace, folds an already-traced simulation whose events the sim devices emitted)
@@ -680,6 +751,46 @@ mod tests {
         // Mismatched fleet sizes are an error, not a panic.
         let wrong = MultiGpu::new(3, DeviceSpec::k40c(), ExecMode::DryRun).unwrap();
         assert!(caller.absorb(&wrong).is_err());
+    }
+
+    #[test]
+    fn quarantined_gpu_leaves_the_schedulable_fleet_with_a_frozen_clock() {
+        let mut mg = MultiGpu::new(3, DeviceSpec::k40c(), ExecMode::DryRun).unwrap();
+        mg.gpu_mut(1).charge(Phase::GemmIter, 5.0);
+        mg.gpu_mut(1).quarantine();
+        assert_eq!(mg.ng(), 3);
+        assert_eq!(mg.ng_alive(), 2);
+        assert_eq!(mg.alive_indices(), vec![0, 2]);
+        // The straggler's inflated clock must not drag survivors forward.
+        mg.barrier();
+        assert_eq!(mg.gpu(0).clock(), 0.0);
+        assert_eq!(mg.gpu(2).clock(), 0.0);
+        assert_eq!(mg.gpu(1).clock(), 5.0, "quarantined clock stays frozen");
+        // Wall clock still remembers the time the straggler really spent.
+        assert_eq!(mg.time(), 5.0);
+        // Collectives skip it too.
+        let parts = mg.distribute_rows_shape(10, 4);
+        assert_eq!(parts.len(), 2);
+        mg.reduce_to_host(Phase::Comms, &parts).unwrap();
+        assert_eq!(mg.gpu(1).clock(), 5.0);
+    }
+
+    #[test]
+    fn fleet_account_round_trips_through_restore() {
+        let mut mg = MultiGpu::new(2, DeviceSpec::k40c(), ExecMode::DryRun).unwrap();
+        mg.gpu_mut(0).charge(Phase::Sampling, 0.25);
+        mg.gpu_mut(1).charge(Phase::GemmIter, 0.5);
+        let parts = mg.distribute_rows_shape(8, 8);
+        mg.reduce_to_host(Phase::Comms, &parts).unwrap();
+        let acc = mg.export_account();
+        // Diverge, then restore: state must match the snapshot exactly.
+        mg.gpu_mut(0).charge(Phase::Qrcp, 9.0);
+        mg.restore_account(&acc).unwrap();
+        assert_eq!(mg.export_account(), acc);
+        assert_eq!(mg.comms_time(), acc.host_phases[Phase::Comms as usize]);
+        // A fleet of the wrong size is a clean error.
+        let mut other = MultiGpu::new(3, DeviceSpec::k40c(), ExecMode::DryRun).unwrap();
+        assert!(other.restore_account(&acc).is_err());
     }
 
     #[test]

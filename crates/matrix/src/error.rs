@@ -101,6 +101,25 @@ pub enum MatrixError {
         /// Number of full attempts made (including the first).
         attempts: usize,
     },
+    /// A deadline-budgeted run overran its simulated wall-clock budget.
+    /// The run was checkpointed before surfacing this, so the caller can
+    /// retrieve the partial result (and its posterior error estimate)
+    /// under the carried snapshot id, or resume the job later.
+    DeadlineExceeded {
+        /// Id of the snapshot written at the overrun boundary.
+        snapshot: u64,
+        /// The simulated-seconds budget that was exceeded.
+        budget: f64,
+        /// Simulated seconds actually elapsed when the overrun was caught.
+        elapsed: f64,
+    },
+    /// A checkpoint snapshot failed validation (bad magic, unknown
+    /// version, truncation, or a checksum mismatch). Corrupt snapshots
+    /// are always surfaced as this error — never as a panic.
+    CheckpointCorrupt {
+        /// What failed while decoding the snapshot.
+        detail: &'static str,
+    },
 }
 
 /// Classification of an injected device fault (see `MatrixError::DeviceFault`).
@@ -192,6 +211,20 @@ impl fmt::Display for MatrixError {
                     "accuracy not reached after {attempts} attempts: \
                      posterior estimate {achieved:e} above tolerance {required:e}"
                 )
+            }
+            MatrixError::DeadlineExceeded {
+                snapshot,
+                budget,
+                elapsed,
+            } => {
+                write!(
+                    f,
+                    "deadline exceeded: {elapsed:.6}s elapsed against a {budget:.6}s \
+                     budget (partial result checkpointed as snapshot {snapshot})"
+                )
+            }
+            MatrixError::CheckpointCorrupt { detail } => {
+                write!(f, "checkpoint corrupt: {detail}")
             }
         }
     }
@@ -319,6 +352,29 @@ mod tests {
         assert!(s.contains("3 attempts"));
         assert!(s.contains("3e-2"));
         assert!(s.contains("1e-6"));
+    }
+
+    #[test]
+    fn display_deadline_exceeded() {
+        let e = MatrixError::DeadlineExceeded {
+            snapshot: 7,
+            budget: 2.5,
+            elapsed: 3.0,
+        };
+        let s = e.to_string();
+        assert!(s.contains("deadline exceeded"));
+        assert!(s.contains("snapshot 7"));
+        assert!(s.contains("2.5"));
+    }
+
+    #[test]
+    fn display_checkpoint_corrupt() {
+        let e = MatrixError::CheckpointCorrupt {
+            detail: "checksum mismatch",
+        };
+        let s = e.to_string();
+        assert!(s.contains("checkpoint corrupt"));
+        assert!(s.contains("checksum mismatch"));
     }
 
     #[test]

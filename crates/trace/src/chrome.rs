@@ -79,8 +79,11 @@ pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
             TraceEvent::Stage { .. }
             | TraceEvent::Breakdown { .. }
             | TraceEvent::Fallback { .. }
-            | TraceEvent::HealthCheck { .. } => has_stages = true,
-            TraceEvent::Fault { device, .. } | TraceEvent::Recovery { device, .. } => {
+            | TraceEvent::HealthCheck { .. }
+            | TraceEvent::Checkpoint { .. } => has_stages = true,
+            TraceEvent::Fault { device, .. }
+            | TraceEvent::Recovery { device, .. }
+            | TraceEvent::Speculation { device, .. } => {
                 devices.insert(*device);
             }
             _ => {
@@ -211,6 +214,21 @@ pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
                 let name = format!("health:{stage}");
                 let args = format!("\"ok\":{ok}");
                 push_instant(&mut out, STAGE_TID, &name, "numeric", time, &args);
+            }
+            TraceEvent::Checkpoint { id, bytes, time } => {
+                let name = format!("checkpoint:{id}");
+                let args = format!("\"bytes\":{bytes}");
+                push_instant(&mut out, STAGE_TID, &name, "durability", time, &args);
+            }
+            TraceEvent::Speculation {
+                device,
+                outcome,
+                saved,
+                time,
+            } => {
+                let name = format!("speculation:{outcome}");
+                let args = format!("\"saved\":{}", num_json(saved));
+                push_instant(&mut out, device, &name, "durability", time, &args);
             }
         }
     }

@@ -143,6 +143,31 @@ pub enum TraceEvent {
         /// Simulated time of the check (seconds).
         time: f64,
     },
+    /// A durability snapshot written at a run boundary (instant mark on
+    /// the stage track). The serialization/drain cost it implies is
+    /// already charged through `checkpoint_hook`, so this annotates
+    /// rather than double-counts.
+    Checkpoint {
+        /// Monotonic snapshot id within the run.
+        id: u64,
+        /// Size of the numeric payload the snapshot drained (bytes).
+        bytes: u64,
+        /// Simulated time the snapshot was written (seconds).
+        time: f64,
+    },
+    /// A speculative re-dispatch of a straggling device's block-rows
+    /// (instant mark). The winner/loser accounting is charged through
+    /// `charge_speculation`; this records the scheduling decision.
+    Speculation {
+        /// The straggling device whose work was re-dispatched.
+        device: usize,
+        /// Outcome label (`"survivors-won"`, `"straggler-won"`).
+        outcome: &'static str,
+        /// Simulated wall-clock seconds the re-dispatch saved.
+        saved: f64,
+        /// Simulated time of the decision (seconds).
+        time: f64,
+    },
 }
 
 impl TraceEvent {
@@ -184,7 +209,9 @@ impl TraceEvent {
             | TraceEvent::Recovery { .. }
             | TraceEvent::Breakdown { .. }
             | TraceEvent::Fallback { .. }
-            | TraceEvent::HealthCheck { .. } => 0.0,
+            | TraceEvent::HealthCheck { .. }
+            | TraceEvent::Checkpoint { .. }
+            | TraceEvent::Speculation { .. } => 0.0,
         }
     }
 }
@@ -226,5 +253,26 @@ mod tests {
         };
         assert_eq!(fault.charged_device(), None);
         assert_eq!(fault.duration(), 0.0);
+    }
+
+    #[test]
+    fn durability_events_are_instant_marks() {
+        let ckpt = TraceEvent::Checkpoint {
+            id: 3,
+            bytes: 4096,
+            time: 1.5,
+        };
+        assert_eq!(ckpt.charged_device(), None);
+        assert_eq!(ckpt.charged_phase(), None);
+        assert_eq!(ckpt.duration(), 0.0);
+
+        let spec = TraceEvent::Speculation {
+            device: 1,
+            outcome: "survivors-won",
+            saved: 0.25,
+            time: 2.0,
+        };
+        assert_eq!(spec.charged_device(), None);
+        assert_eq!(spec.duration(), 0.0);
     }
 }

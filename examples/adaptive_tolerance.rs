@@ -32,6 +32,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             l_max: n,
             track_actual: false,
             finish: FinishMode::Incremental,
+            deadline: None,
         };
         let (approx, adaptive) = sample_fixed_accuracy(&mut gpu, &tm.a, &cfg, &mut rng)?;
         let err = approx.relative_error(&tm.a, Some(tm.norm2()))?;

@@ -46,12 +46,18 @@ pub const STAGE_HOOKS: &[&str] = &[
     "adaptive_update_panel",
     "adaptive_update_trailing",
     "verify_probe",
+    "checkpoint_hook",
 ];
 
 /// The guard/recovery charge hooks: same obligation as the stage hooks
 /// (an uncharged fallback or health check is free work), kept separate
 /// because they price *exceptional* paths.
-pub const CHARGE_HOOKS: &[&str] = &["charge_fallback", "charge_health_check", "charge_recovery"];
+pub const CHARGE_HOOKS: &[&str] = &[
+    "charge_fallback",
+    "charge_health_check",
+    "charge_recovery",
+    "charge_speculation",
+];
 
 /// Whether `name` is a cost-lint obligation on an Executor impl.
 pub fn is_obligated_hook(name: &str) -> bool {

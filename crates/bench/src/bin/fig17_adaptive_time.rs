@@ -11,7 +11,7 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use rlra_bench::{write_bench_json, BenchOpts, BenchRecord, Table};
+use rlra_bench::{write_bench_json, BenchOpts, BenchRecord, Table, WallPercentiles};
 use rlra_core::{
     adaptive_sample, sample_fixed_accuracy_exec, AdaptiveConfig, FinishMode, GpuExec, IncStrategy,
 };
@@ -97,18 +97,28 @@ fn main() {
 
             // End-to-end fixed-accuracy solve under both finish modes,
             // same seed, so the trajectories match and only the finish
-            // cost differs. Wall-clock + modeled seconds go to the
-            // repo-root BENCH_adaptive.json.
+            // cost differs. Each mode repeats a few times for wall
+            // percentiles (the modeled seconds are bit-identical across
+            // repeats); median wall + percentiles + modeled seconds go
+            // to the repo-root BENCH_adaptive.json (schema v2).
+            let reps = if opts.smoke { 3 } else { 5 };
             let run = |finish: FinishMode| {
-                let mut gpu = Gpu::k40c();
-                let mut exec = GpuExec::new(&mut gpu);
-                let cfg = AdaptiveConfig { finish, ..cfg };
-                let mut mode_rng = StdRng::seed_from_u64(2015 + init as u64);
-                let t0 = Instant::now();
-                let (_, res, report) =
-                    sample_fixed_accuracy_exec(&mut exec, &tm.a, &cfg, &mut mode_rng)
-                        .expect("fixed-accuracy run");
-                (res.l(), t0.elapsed().as_secs_f64(), report.seconds)
+                let mut walls = Vec::with_capacity(reps);
+                let mut last = (0usize, 0.0f64);
+                for _ in 0..reps {
+                    let mut gpu = Gpu::k40c();
+                    let mut exec = GpuExec::new(&mut gpu);
+                    let cfg = AdaptiveConfig { finish, ..cfg };
+                    let mut mode_rng = StdRng::seed_from_u64(2015 + init as u64);
+                    let t0 = Instant::now();
+                    let (_, res, report) =
+                        sample_fixed_accuracy_exec(&mut exec, &tm.a, &cfg, &mut mode_rng)
+                            .expect("fixed-accuracy run");
+                    walls.push(t0.elapsed().as_secs_f64());
+                    last = (res.l(), report.seconds);
+                }
+                let pct = WallPercentiles::from_samples(&walls).expect("reps >= 1");
+                (last.0, pct, last.1)
             };
             let (l_res, wall_res, sim_res) = run(FinishMode::Restart);
             let (l_inc_mode, wall_inc, sim_inc) = run(FinishMode::Incremental);
@@ -122,13 +132,15 @@ fn main() {
             ]);
             records.push(BenchRecord {
                 config: format!("{label}/restart"),
-                wall_s: wall_res,
+                wall_s: wall_res.p50,
                 modeled_s: sim_res,
+                wall: Some(wall_res),
             });
             records.push(BenchRecord {
                 config: format!("{label}/incremental"),
-                wall_s: wall_inc,
+                wall_s: wall_inc.p50,
                 modeled_s: sim_inc,
+                wall: Some(wall_inc),
             });
         }
     }

@@ -1,0 +1,138 @@
+//! Hot-path profile — the telemetry export behind the perf-regression
+//! gate (`cargo xtask tracediff`).
+//!
+//! Runs the fixed-rank GPU pipeline end to end a few times with the
+//! wall-clock funnel armed, then writes the repo-root
+//! `BENCH_hotpaths.json`: the **modeled** per-kernel seconds / launches
+//! / flops and per-phase breakdown (bit-identical across repeats, so
+//! CI gates on them), plus the **wall** percentiles of every
+//! `rlra_wall_*` histogram the funnel filled (informational — host
+//! noise; gate with `tracediff --wall` only on pinned hardware).
+//! `--smoke` runs the reduced CI size that generated the checked-in
+//! baseline.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rlra_bench::{BenchOpts, WallPercentiles, BENCH_SCHEMA_VERSION};
+use rlra_core::{run_fixed_rank, GpuExec, Input, SamplerConfig};
+use rlra_data::{exponent_spectrum, matrix_with_spectrum};
+use rlra_gpu::Gpu;
+use rlra_obs::{names, roofline_summary, walltime};
+use rlra_trace::json::escape_json;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+fn main() {
+    let opts = BenchOpts::from_args();
+    let (m, n, k) = if opts.smoke {
+        (1_000, 200, 32)
+    } else if opts.full {
+        (20_000, 2_000, 128)
+    } else {
+        (4_000, 600, 64)
+    };
+    let reps = if opts.smoke { 3 } else { 5 };
+
+    let mut rng = StdRng::seed_from_u64(2015);
+    let spec = exponent_spectrum(n.min(m));
+    let tm = matrix_with_spectrum(m, n, &spec, &mut rng).expect("generator");
+    let cfg = SamplerConfig::new(k).with_p(8).with_q(1);
+
+    // Arm the funnel: the rlra-blas / rlra-lapack hot paths (gemm, the
+    // CholQR ladder rungs, sample_panel_step) feed their histograms
+    // from inside the pipeline; the end-to-end scope is recorded here.
+    let registry = walltime::enable();
+
+    let mut last_report = None;
+    for _ in 0..reps {
+        let mut gpu = Gpu::k40c();
+        let mut exec = GpuExec::new(&mut gpu);
+        let mut run_rng = StdRng::seed_from_u64(7);
+        let _t = walltime::scoped(names::WALL_PIPELINE_SECONDS);
+        let (_, report) =
+            run_fixed_rank(&mut exec, Input::Values(&tm.a), &cfg, &mut run_rng).expect("pipeline");
+        last_report = Some(report);
+    }
+    walltime::disable();
+    let report = last_report.expect("reps >= 1");
+
+    // Modeled side: per-kernel stats summed over devices + the phase
+    // breakdown. Deterministic across repeats (same seed, simulated
+    // clock), so the last repeat stands for all of them.
+    let mut kernels: BTreeMap<&str, (u64, f64, f64)> = BTreeMap::new();
+    for dev in &report.metrics.devices {
+        for (name, st) in &dev.kernels {
+            let e = kernels.entry(name).or_insert((0, 0.0, 0.0));
+            e.0 += st.launches;
+            e.1 += st.seconds;
+            e.2 += st.flops;
+        }
+    }
+    let phases = report.timeline.breakdown();
+
+    // Wall side: percentiles of every histogram the funnel recorded.
+    let snap = registry.snapshot();
+    let mut wall: Vec<(String, u64, WallPercentiles)> = Vec::new();
+    for ((name, label), h) in &snap.hists {
+        let series = if label.is_empty() {
+            name.clone()
+        } else {
+            format!("{name}[{label}]")
+        };
+        if let Some(p) = WallPercentiles::from_histogram(h) {
+            wall.push((series, h.count(), p));
+        }
+    }
+
+    let mut s = String::new();
+    let _ = writeln!(s, "{{");
+    let _ = writeln!(s, "  \"bench\": \"hotpaths\",");
+    let _ = writeln!(s, "  \"schema_version\": {BENCH_SCHEMA_VERSION},");
+    let _ = writeln!(s, "  \"modeled\": {{");
+    let _ = writeln!(s, "    \"kernels\": {{");
+    for (i, (name, (launches, seconds, flops))) in kernels.iter().enumerate() {
+        let comma = if i + 1 < kernels.len() { "," } else { "" };
+        let _ = writeln!(
+            s,
+            "      \"{}\": {{ \"seconds\": {seconds:.9}, \"launches\": {launches}, \
+             \"flops\": {flops:.0} }}{comma}",
+            escape_json(name)
+        );
+    }
+    let _ = writeln!(s, "    }},");
+    let _ = writeln!(s, "    \"phases\": {{");
+    for (i, (phase, secs)) in phases.iter().enumerate() {
+        let comma = if i + 1 < phases.len() { "," } else { "" };
+        let _ = writeln!(s, "      \"{}\": {secs:.9}{comma}", escape_json(phase));
+    }
+    let _ = writeln!(s, "    }}");
+    let _ = writeln!(s, "  }},");
+    let _ = writeln!(s, "  \"wall\": {{");
+    for (i, (series, count, p)) in wall.iter().enumerate() {
+        let comma = if i + 1 < wall.len() { "," } else { "" };
+        let _ = writeln!(
+            s,
+            "    \"{}\": {{ \"count\": {count}, \"p50\": {:.6}, \"p99\": {:.6}, \
+             \"p999\": {:.6} }}{comma}",
+            escape_json(series),
+            p.p50,
+            p.p99,
+            p.p999
+        );
+    }
+    let _ = writeln!(s, "  }}");
+    let _ = writeln!(s, "}}");
+
+    let path = std::path::Path::new("BENCH_hotpaths.json");
+    match std::fs::write(path, s) {
+        Ok(()) => println!("[bench] {}", path.display()),
+        Err(e) => eprintln!("[bench] could not write BENCH_hotpaths.json: {e}"),
+    }
+
+    println!(
+        "hotpaths: {m} x {n}, k = {k} (+8 oversampling), q = 1, {reps} repeats; \
+         modeled {:.4}s end to end",
+        report.seconds
+    );
+    print!("{}", roofline_summary(&snap));
+}

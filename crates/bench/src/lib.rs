@@ -43,16 +43,68 @@ impl BenchOpts {
     }
 }
 
+/// Schema version stamped into every `BENCH_*.json` document. v2 adds
+/// `schema_version` itself plus optional per-record wall-clock
+/// percentiles; v1 consumers keyed on `config`/`wall_s`/`modeled_s`,
+/// which are unchanged.
+pub const BENCH_SCHEMA_VERSION: u32 = 2;
+
+/// Wall-clock percentiles over repeated runs of one configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct WallPercentiles {
+    /// Median wall seconds.
+    pub p50: f64,
+    /// 99th-percentile wall seconds.
+    pub p99: f64,
+    /// 99.9th-percentile wall seconds.
+    pub p999: f64,
+}
+
+impl WallPercentiles {
+    /// Nearest-rank percentiles of raw samples (exact — for the small
+    /// repeat counts the figure binaries run). `None` when empty.
+    pub fn from_samples(samples: &[f64]) -> Option<Self> {
+        if samples.is_empty() {
+            return None;
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(f64::total_cmp);
+        let at = |q: f64| {
+            let rank = (q * sorted.len() as f64).ceil() as usize;
+            sorted[rank.clamp(1, sorted.len()) - 1]
+        };
+        Some(WallPercentiles {
+            p50: at(0.50),
+            p99: at(0.99),
+            p999: at(0.999),
+        })
+    }
+
+    /// Percentiles of a streaming [`rlra_obs::LogHistogram`]
+    /// (log-bucketed — what the wall-clock funnel records).
+    pub fn from_histogram(h: &rlra_obs::LogHistogram) -> Option<Self> {
+        Some(WallPercentiles {
+            p50: h.quantile(0.50)?,
+            p99: h.quantile(0.99)?,
+            p999: h.quantile(0.999)?,
+        })
+    }
+}
+
 /// One measured configuration for a repo-root `BENCH_*.json` file
 /// (ROADMAP: wall-clock benchmark trajectory tracked per PR).
 #[derive(Debug, Clone)]
 pub struct BenchRecord {
     /// Configuration label, e.g. `static l_inc=32/incremental`.
     pub config: String,
-    /// Real wall-clock seconds of the host run.
+    /// Real wall-clock seconds of the host run (the median when the
+    /// binary repeats the run).
     pub wall_s: f64,
     /// Modeled simulated seconds reported by the executor.
     pub modeled_s: f64,
+    /// Wall percentiles across repeats (schema v2; omitted from the
+    /// JSON when absent).
+    pub wall: Option<WallPercentiles>,
 }
 
 /// Serializes bench records as `BENCH_<name>.json` in `dir`.
@@ -73,12 +125,19 @@ pub fn write_bench_json_at(
     let mut s = String::new();
     let _ = writeln!(s, "{{");
     let _ = writeln!(s, "  \"bench\": \"{name}\",");
+    let _ = writeln!(s, "  \"schema_version\": {BENCH_SCHEMA_VERSION},");
     let _ = writeln!(s, "  \"records\": [");
     for (i, r) in records.iter().enumerate() {
         let comma = if i + 1 < records.len() { "," } else { "" };
+        let wall = r.wall.map_or_else(String::new, |w| {
+            format!(
+                ", \"wall_p50\": {:.6}, \"wall_p99\": {:.6}, \"wall_p999\": {:.6}",
+                w.p50, w.p99, w.p999
+            )
+        });
         let _ = writeln!(
             s,
-            "    {{ \"config\": \"{}\", \"wall_s\": {:.6}, \"modeled_s\": {:.6} }}{comma}",
+            "    {{ \"config\": \"{}\", \"wall_s\": {:.6}, \"modeled_s\": {:.6}{wall} }}{comma}",
             r.config, r.wall_s, r.modeled_s
         );
     }
@@ -302,20 +361,37 @@ mod tests {
                 config: "static l_inc=8/restart".into(),
                 wall_s: 0.25,
                 modeled_s: 0.001625,
+                wall: WallPercentiles::from_samples(&[0.26, 0.25, 0.31]),
             },
             BenchRecord {
                 config: "static l_inc=8/incremental".into(),
                 wall_s: 0.24,
                 modeled_s: 0.001125,
+                wall: None,
             },
         ];
         let path = write_bench_json_at(&dir, "adaptive_test", &records).unwrap();
         let body = fs::read_to_string(&path).unwrap();
         assert!(body.contains("\"bench\": \"adaptive_test\""));
+        assert!(body.contains("\"schema_version\": 2"));
         assert!(body.contains("\"config\": \"static l_inc=8/restart\""));
         assert!(body.contains("\"modeled_s\": 0.001125"));
+        // v2 percentiles ride on the record that measured them ...
+        assert!(body.contains("\"wall_p50\": 0.260000"));
+        assert!(body.contains("\"wall_p999\": 0.310000"));
+        // ... and are omitted (not nulled) where absent.
+        assert_eq!(body.matches("wall_p50").count(), 1);
         // Exactly one record separator comma between the two objects.
         assert_eq!(body.matches("},").count(), 1);
         let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn wall_percentiles_from_samples_are_nearest_rank() {
+        let p = WallPercentiles::from_samples(&[0.3, 0.1, 0.2, 0.4]).unwrap();
+        assert!((p.p50 - 0.2).abs() < 1e-12);
+        assert!((p.p99 - 0.4).abs() < 1e-12);
+        assert!((p.p999 - 0.4).abs() < 1e-12);
+        assert!(WallPercentiles::from_samples(&[]).is_none());
     }
 }

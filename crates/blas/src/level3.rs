@@ -62,6 +62,7 @@ pub fn gemm(
     if m == 0 || n == 0 {
         return Ok(());
     }
+    let _wall = rlra_obs::walltime::scoped(rlra_obs::names::WALL_GEMM_SECONDS);
     gemm_rec(alpha, a, ta, b, tb, beta, c, ka);
     Ok(())
 }

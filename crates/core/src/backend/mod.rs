@@ -98,7 +98,7 @@ use std::fmt;
 /// `PartialEq` is exact (bit-level) on every field: the cross-backend
 /// tests use it to assert that a fault plan which fires no faults leaves
 /// the whole report — not just the factors — bit-identical.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct ExecReport {
     /// Simulated wall-clock seconds (the slowest device).
     pub seconds: f64,

@@ -51,6 +51,7 @@ pub mod gpu_exec;
 pub mod hodlr;
 pub mod id;
 pub mod multi;
+pub mod observe;
 pub mod power;
 pub mod result;
 pub mod rsvd;
@@ -82,6 +83,7 @@ pub use gpu_exec::{sample_fixed_rank_gpu, RunReport};
 pub use hodlr::HodlrMatrix;
 pub use id::{interpolative_decomposition, InterpolativeDecomposition};
 pub use multi::{sample_fixed_rank_multi_gpu, scaling_report, HostInput, MultiRunReport};
+pub use observe::{incident_of, postmortem_dir, report_json, FlightDeck};
 pub use result::LowRankApprox;
 pub use rsvd::{randomized_svd, RandomizedSvd};
 pub use solvers::{identity_preconditioner, pcg, PcgResult};

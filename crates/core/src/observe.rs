@@ -1,0 +1,249 @@
+//! Telemetry wiring for executor runs: the [`FlightDeck`].
+//!
+//! `rlra-obs` deliberately sits *below* `rlra-core` in the crate DAG
+//! (so the kernels it instruments can depend on it); this module is the
+//! glue that points the other way. A [`FlightDeck`] bundles the three
+//! observe-only instruments into one handle:
+//!
+//! - a metric [`Registry`] fed live by a [`RegistrySink`] on the run's
+//!   tracer and, after the run, by [`FlightDeck::observe_report`];
+//! - a [`FlightRecorder`] teed into the same tracer, keeping each
+//!   device's recent events for postmortems;
+//! - a postmortem dump path: classify a [`MatrixError`] into an
+//!   incident, and write a bundle (event tail + registry snapshot +
+//!   [`report_json`] + checkpoint pointer) next to the run.
+//!
+//! Everything stays observe-only — arming a deck changes neither the
+//! factors nor any field of the [`ExecReport`] (pinned by
+//! `tests/trace.rs` on every backend).
+
+use crate::backend::ExecReport;
+use rlra_matrix::MatrixError;
+use rlra_obs::{
+    names, registry_json, FanoutSink, FlightRecorder, Incident, Registry, RegistrySink,
+};
+use rlra_trace::json::num_json;
+use rlra_trace::{metrics_json, Tracer};
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Default per-device ring capacity of a deck's flight recorder.
+pub const DEFAULT_RING_CAPACITY: usize = 512;
+
+/// Renders an [`ExecReport`] as a JSON document (every scalar field,
+/// the per-phase timeline breakdown, and the embedded metrics
+/// registry). Postmortem bundles store this as `report.json`;
+/// reconciliation tests parse it back with `rlra_trace::parse_json`.
+pub fn report_json(rep: &ExecReport) -> String {
+    let mut out = format!(
+        "{{\"seconds\":{},\"launches\":{},\"syncs\":{},\"comms\":{},\"devices\":{},\
+         \"faults_injected\":{},\"retries\":{},\"recovery_seconds\":{},\"devices_lost\":{},\
+         \"breakdowns\":{},\"fallbacks\":{},\"ladder_histogram\":[{},{},{}],\
+         \"speculations\":{},\"timeline\":{{",
+        num_json(rep.seconds),
+        rep.launches,
+        rep.syncs,
+        num_json(rep.comms),
+        rep.devices,
+        rep.faults_injected,
+        rep.retries,
+        num_json(rep.recovery_seconds),
+        rep.devices_lost,
+        rep.breakdowns,
+        rep.fallbacks,
+        rep.ladder_histogram[0],
+        rep.ladder_histogram[1],
+        rep.ladder_histogram[2],
+        rep.speculations,
+    );
+    for (i, (label, secs)) in rep.timeline.breakdown().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\"{}\":{}",
+            rlra_trace::json::escape_json(label),
+            num_json(*secs)
+        ));
+    }
+    out.push_str(&format!("}},\"metrics\":{}}}", metrics_json(&rep.metrics)));
+    out
+}
+
+/// Classifies an error into a postmortem incident kind, with the
+/// checkpoint pointer when the error carries one. Errors that are not
+/// run-level incidents (dimension mismatches, invalid parameters, ...)
+/// return `None` — they do not warrant a bundle.
+pub fn incident_of(err: &MatrixError) -> Option<(&'static str, Option<u64>)> {
+    match *err {
+        MatrixError::DeviceFault { .. } => Some(("device-fault", None)),
+        MatrixError::NumericalBreakdown { .. } => Some(("numerical-breakdown", None)),
+        MatrixError::DeadlineExceeded { snapshot, .. } => {
+            Some(("deadline-exceeded", Some(snapshot)))
+        }
+        _ => None,
+    }
+}
+
+/// The directory postmortem bundles land in: `$RLRA_POSTMORTEM_DIR`
+/// when set, else `target/postmortem`.
+pub fn postmortem_dir() -> PathBuf {
+    match std::env::var_os("RLRA_POSTMORTEM_DIR") {
+        Some(dir) => PathBuf::from(dir),
+        None => PathBuf::from("target/postmortem"),
+    }
+}
+
+/// Armed telemetry for one or more executor runs: registry + flight
+/// recorder + postmortem dumping, behind a single handle.
+#[derive(Debug, Clone)]
+pub struct FlightDeck {
+    registry: Registry,
+    recorder: FlightRecorder,
+}
+
+impl Default for FlightDeck {
+    fn default() -> Self {
+        FlightDeck::new(DEFAULT_RING_CAPACITY)
+    }
+}
+
+impl FlightDeck {
+    /// A deck whose flight recorder keeps `ring_capacity` events per
+    /// device track.
+    pub fn new(ring_capacity: usize) -> Self {
+        FlightDeck {
+            registry: Registry::new(),
+            recorder: FlightRecorder::new(ring_capacity),
+        }
+    }
+
+    /// Handle to the deck's metric registry.
+    pub fn registry(&self) -> Registry {
+        self.registry.clone()
+    }
+
+    /// Handle to the deck's flight recorder.
+    pub fn recorder(&self) -> FlightRecorder {
+        self.recorder.clone()
+    }
+
+    /// A tracer that tees every cost-model charge into the registry's
+    /// time-series *and* the flight recorder's rings. Attach it via
+    /// `set_tracer` on any simulated backend.
+    pub fn tracer(&self) -> Tracer {
+        Tracer::new(Box::new(FanoutSink::new(vec![
+            Box::new(RegistrySink::new(self.registry.clone())),
+            self.recorder.sink(),
+        ])))
+    }
+
+    /// Folds a finished run's report into the registry: the per-device
+    /// / per-kernel aggregates plus the end-to-end run histogram.
+    pub fn observe_report(&self, rep: &ExecReport) {
+        self.registry.ingest_metrics(&rep.metrics);
+        self.registry.observe(names::RUN_SECONDS, "", rep.seconds);
+    }
+
+    /// If `err` is a run-level incident, writes a postmortem bundle
+    /// into `dir` and returns the paths written (`MANIFEST.json`
+    /// first); non-incident errors return `Ok(None)` without touching
+    /// the filesystem. Pass the partial/last [`ExecReport`] when one
+    /// survived the failure so the bundle can carry `report.json`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors from writing the bundle.
+    pub fn dump_on_error(
+        &self,
+        err: &MatrixError,
+        report: Option<&ExecReport>,
+        dir: &Path,
+    ) -> io::Result<Option<Vec<PathBuf>>> {
+        let Some((kind, checkpoint)) = incident_of(err) else {
+            return Ok(None);
+        };
+        let detail = err.to_string();
+        let metrics_doc = registry_json(&self.registry.snapshot());
+        let report_doc = report.map(report_json);
+        let incident = Incident {
+            kind,
+            detail: &detail,
+            checkpoint,
+            report_json: report_doc.as_deref(),
+            metrics_json: Some(&metrics_doc),
+        };
+        self.recorder.dump_postmortem(dir, &incident).map(Some)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rlra_trace::parse_json;
+
+    #[test]
+    fn report_json_parses_and_carries_every_scalar() {
+        let rep = ExecReport {
+            seconds: 1.5,
+            retries: 2,
+            faults_injected: 3,
+            recovery_seconds: 0.25,
+            ladder_histogram: [0, 1, 0],
+            ..ExecReport::default()
+        };
+        let doc = report_json(&rep);
+        let j = parse_json(&doc).expect("report_json must parse");
+        assert_eq!(j.get("seconds").unwrap().as_num(), Some(1.5));
+        assert_eq!(j.get("retries").unwrap().as_num(), Some(2.0));
+        assert_eq!(j.get("recovery_seconds").unwrap().as_num(), Some(0.25));
+        let ladder = j.get("ladder_histogram").unwrap().as_arr().unwrap();
+        assert_eq!(ladder.len(), 3);
+        assert_eq!(ladder[1].as_num(), Some(1.0));
+        assert!(j.get("metrics").unwrap().get("devices").is_some());
+    }
+
+    #[test]
+    fn incident_classification_covers_the_three_kinds() {
+        use rlra_matrix::DeviceFaultKind;
+        assert_eq!(
+            incident_of(&MatrixError::DeviceFault {
+                device: 1,
+                kind: DeviceFaultKind::FailStop,
+                at: 4,
+            }),
+            Some(("device-fault", None))
+        );
+        assert_eq!(
+            incident_of(&MatrixError::NumericalBreakdown {
+                stage: "tsqr",
+                detail: "ladder exhausted",
+            }),
+            Some(("numerical-breakdown", None))
+        );
+        assert_eq!(
+            incident_of(&MatrixError::DeadlineExceeded {
+                snapshot: 7,
+                budget: 1.0,
+                elapsed: 1.2,
+            }),
+            Some(("deadline-exceeded", Some(7)))
+        );
+        assert_eq!(
+            incident_of(&MatrixError::SingularDiagonal { index: 0 }),
+            None
+        );
+    }
+
+    #[test]
+    fn non_incident_errors_write_nothing() {
+        let deck = FlightDeck::default();
+        let dir = std::env::temp_dir().join("rlra_observe_noop_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let out = deck
+            .dump_on_error(&MatrixError::SingularDiagonal { index: 0 }, None, &dir)
+            .unwrap();
+        assert!(out.is_none());
+        assert!(!dir.exists());
+    }
+}

@@ -1,0 +1,237 @@
+//! Flight-recorder postmortems, end to end: a fixed-seed fail-stop run
+//! with an armed [`FlightDeck`] dumps a bundle whose manifest, event
+//! tail, and metrics snapshot reconcile exactly with what the tracer
+//! streamed and what the [`ExecReport`] says; deadline overruns carry
+//! the checkpoint pointer a resumed run would load; and the bundle
+//! directory honors the `$RLRA_POSTMORTEM_DIR` override.
+
+use rlra_core::backend::{
+    run_fixed_rank, run_fixed_rank_with_recovery, ExecReport, GpuExec, Input, MultiGpuExec,
+    RecoveryPolicy,
+};
+use rlra_core::{
+    postmortem_dir, report_json, CheckpointPlan, CountingRng, Deadline, Durability, FlightDeck,
+    SamplerConfig,
+};
+use rlra_data::testmat::{decay_matrix, rng};
+use rlra_gpu::{DeviceSpec, ExecMode, FaultPlan, Gpu, MultiGpu};
+use rlra_matrix::MatrixError;
+use rlra_obs::names;
+use rlra_trace::{parse_json, Json};
+
+fn test_dir(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(name);
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn count_events_of(events: &Json, kind: &str) -> usize {
+    events
+        .get("events")
+        .and_then(Json::as_arr)
+        .map_or(0, |arr| {
+            arr.iter()
+                .filter(|e| e.get("type").and_then(|t| t.as_str()) == Some(kind))
+                .count()
+        })
+}
+
+/// A fail-stop with no recovery policy kills the run; the deck turns
+/// the error into a bundle whose manifest and event tail agree with
+/// the recorder and the live registry.
+#[test]
+fn fail_stop_dumps_a_reconciling_postmortem_bundle() {
+    let (a, _) = decay_matrix(90, 45, 0.6, 42);
+    let cfg = SamplerConfig::new(6).with_p(4).with_q(1);
+    let deck = FlightDeck::default();
+
+    let mut gpu = Gpu::k40c();
+    gpu.set_injector(Some(FaultPlan::default().fail_stop(0, 4).injector_for(0)));
+    gpu.set_tracer(Some(deck.tracer()));
+    let mut exec = GpuExec::new(&mut gpu);
+    let err = run_fixed_rank(&mut exec, Input::Values(&a), &cfg, &mut rng(9))
+        .expect_err("fail-stop without recovery must kill the run");
+    assert!(
+        matches!(err, MatrixError::DeviceFault { .. }),
+        "expected a device fault, got {err}"
+    );
+
+    let dir = test_dir("rlra_postmortem_failstop");
+    let written = deck
+        .dump_on_error(&err, None, &dir)
+        .expect("bundle write must succeed")
+        .expect("a device fault is a run-level incident");
+    assert!(written[0].ends_with("MANIFEST.json"));
+
+    let manifest = parse_json(&std::fs::read_to_string(&written[0]).unwrap()).unwrap();
+    assert_eq!(
+        manifest.get("incident").unwrap().as_str(),
+        Some("device-fault")
+    );
+    assert_eq!(manifest.get("checkpoint"), Some(&Json::Null));
+    assert_eq!(
+        manifest.get("events_retained").unwrap().as_num(),
+        Some(deck.recorder().len() as f64),
+        "manifest tail size must match the recorder"
+    );
+
+    // Nothing was evicted at this scale, so the bundle's event tail is
+    // the *complete* stream — it must reconcile with the registry the
+    // same tracer fed: one recorded kernel event per kernel-histogram
+    // sample, and the injected fault seen by both.
+    assert_eq!(deck.recorder().dropped(), 0);
+    let events = parse_json(&std::fs::read_to_string(dir.join("events.json")).unwrap()).unwrap();
+    let snap = deck.registry().snapshot();
+    let hist_samples: u64 = snap
+        .hist_family(names::SIM_KERNEL_SECONDS)
+        .iter()
+        .map(|(_, h)| h.count())
+        .sum();
+    assert_eq!(count_events_of(&events, "kernel") as u64, hist_samples);
+    assert_eq!(count_events_of(&events, "fault"), 1);
+    let faults: u64 = snap
+        .counter_family(names::SIM_FAULTS_TOTAL)
+        .iter()
+        .map(|(_, c)| *c)
+        .sum();
+    assert_eq!(faults, 1);
+
+    // The metrics snapshot in the bundle is the versioned registry doc.
+    let metrics = parse_json(&std::fs::read_to_string(dir.join("metrics.json")).unwrap()).unwrap();
+    assert_eq!(
+        metrics.get("schema_version").unwrap().as_num(),
+        Some(rlra_obs::REGISTRY_SCHEMA_VERSION as f64),
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A recovered fail-stop completes with a report; folding that report
+/// into the deck and dumping a bundle around it must reconcile exactly
+/// — counter for counter, second for second — with the `ExecReport`.
+#[test]
+fn recovered_run_bundle_reconciles_exactly_with_the_exec_report() {
+    let (a, _) = decay_matrix(90, 45, 0.6, 42);
+    let cfg = SamplerConfig::new(6).with_p(4).with_q(2);
+    let deck = FlightDeck::default();
+
+    let mut mg = MultiGpu::new(3, DeviceSpec::k40c(), ExecMode::Compute).unwrap();
+    mg.install_plan(&FaultPlan::default().fail_stop(1, 4));
+    mg.set_tracer(Some(deck.tracer()));
+    let exec = MultiGpuExec::new(&mut mg).unwrap();
+    let (_, rep) = run_fixed_rank_with_recovery(
+        exec,
+        RecoveryPolicy::default(),
+        Input::Values(&a),
+        &cfg,
+        &mut rng(3),
+    )
+    .unwrap();
+    assert_eq!(rep.devices_lost, 1);
+    deck.observe_report(&rep);
+
+    // Live event stream and folded aggregates agree with the report.
+    let snap = deck.registry().snapshot();
+    let sum_counters =
+        |name: &str| -> u64 { snap.counter_family(name).iter().map(|(_, c)| *c).sum() };
+    assert_eq!(sum_counters(names::SIM_FAULTS_TOTAL), rep.faults_injected);
+    assert_eq!(sum_counters(names::RUNS_TOTAL), 1);
+    assert_eq!(sum_counters(names::RUN_RETRIES_TOTAL), rep.retries);
+    assert_eq!(sum_counters(names::RUN_FALLBACKS_TOTAL), rep.fallbacks);
+    assert_eq!(sum_counters(names::DEVICE_LAUNCHES_TOTAL), rep.launches);
+    assert_eq!(
+        snap.gauge(names::RUN_RECOVERY_SECONDS, ""),
+        Some(rep.recovery_seconds)
+    );
+
+    // An operator dumping a bundle after the incident gets a
+    // `report.json` that parses back to the report, field for field.
+    let dir = test_dir("rlra_postmortem_recovered");
+    let incident = MatrixError::DeviceFault {
+        device: 1,
+        kind: rlra_matrix::DeviceFaultKind::FailStop,
+        at: 4,
+    };
+    deck.dump_on_error(&incident, Some(&rep), &dir)
+        .expect("bundle write must succeed")
+        .expect("device fault is an incident");
+    let doc = parse_json(&std::fs::read_to_string(dir.join("report.json")).unwrap()).unwrap();
+    let num = |k: &str| doc.get(k).and_then(Json::as_num).unwrap();
+    assert_eq!(num("seconds"), rep.seconds);
+    assert_eq!(num("launches"), rep.launches as f64);
+    assert_eq!(num("retries"), rep.retries as f64);
+    assert_eq!(num("recovery_seconds"), rep.recovery_seconds);
+    assert_eq!(num("devices_lost"), rep.devices_lost as f64);
+    assert_eq!(num("faults_injected"), rep.faults_injected as f64);
+    // ... and the rendered document is stable: rendering the same
+    // report twice is byte-identical (the golden-postmortem property).
+    assert_eq!(report_json(&rep), report_json(&rep));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A blown deadline is an incident whose bundle names the snapshot a
+/// resumed run would load.
+#[test]
+fn deadline_overrun_bundle_carries_the_checkpoint_pointer() {
+    let (a, _) = decay_matrix(60, 40, 0.6, 42);
+    let cfg = SamplerConfig::new(10)
+        .with_p(5)
+        .with_q(2)
+        .with_deadline(Deadline::new(1e-12));
+    let deck = FlightDeck::default();
+
+    let mut gpu = Gpu::k40c();
+    gpu.set_tracer(Some(deck.tracer()));
+    let mut exec = GpuExec::new(&mut gpu);
+    let mut crng = CountingRng::new(rng(3));
+    let mut dur = Durability::new(CheckpointPlan::always());
+    let err =
+        rlra_core::run_fixed_rank_durable(&mut exec, Input::Values(&a), &cfg, &mut crng, &mut dur)
+            .expect_err("a 1e-12s budget must blow at the first boundary");
+    let MatrixError::DeadlineExceeded { snapshot, .. } = err else {
+        panic!("expected DeadlineExceeded, got {err}");
+    };
+
+    let dir = test_dir("rlra_postmortem_deadline");
+    let written = deck
+        .dump_on_error(&err, None, &dir)
+        .unwrap()
+        .expect("deadline overrun is an incident");
+    let manifest = parse_json(&std::fs::read_to_string(&written[0]).unwrap()).unwrap();
+    assert_eq!(
+        manifest.get("incident").unwrap().as_str(),
+        Some("deadline-exceeded")
+    );
+    assert_eq!(
+        manifest.get("checkpoint").unwrap().as_num(),
+        Some(snapshot as f64),
+        "the bundle must point at the resumable snapshot"
+    );
+    assert!(dur.get(snapshot).is_some(), "and the snapshot exists");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Non-incident errors never write bundles, and the bundle directory
+/// is `$RLRA_POSTMORTEM_DIR` when set.
+#[test]
+fn postmortem_dir_honors_the_env_override() {
+    let deck = FlightDeck::default();
+    let none = deck
+        .dump_on_error(
+            &MatrixError::SingularDiagonal { index: 0 },
+            Some(&ExecReport::default()),
+            &test_dir("rlra_postmortem_never"),
+        )
+        .unwrap();
+    assert!(none.is_none(), "a dimension error is not an incident");
+
+    std::env::set_var("RLRA_POSTMORTEM_DIR", "/tmp/rlra_pm_override");
+    assert_eq!(
+        postmortem_dir(),
+        std::path::PathBuf::from("/tmp/rlra_pm_override")
+    );
+    std::env::remove_var("RLRA_POSTMORTEM_DIR");
+    assert_eq!(
+        postmortem_dir(),
+        std::path::PathBuf::from("target/postmortem")
+    );
+}

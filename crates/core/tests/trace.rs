@@ -4,10 +4,11 @@
 //! attaching a [`NullSink`] perturbs nothing — factors and the entire
 //! [`ExecReport`] stay bit-identical to a run with no sink at all.
 
-use rlra_core::backend::{run_fixed_rank, CpuExec, GpuExec, Input, MultiGpuExec};
-use rlra_core::SamplerConfig;
+use rlra_core::backend::{run_fixed_rank, ClusterExec, CpuExec, GpuExec, Input, MultiGpuExec};
+use rlra_core::{FlightDeck, SamplerConfig};
 use rlra_data::testmat::{decay_matrix, rng};
-use rlra_gpu::{DeviceSpec, ExecMode, Gpu, MultiGpu, Phase};
+use rlra_gpu::{Cluster, DeviceSpec, ExecMode, Gpu, MultiGpu, NetworkSpec, Phase};
+use rlra_obs::{names, walltime};
 use rlra_trace::{chrome_trace_json, parse_json, Json, TraceEvent, Tracer};
 
 /// One traced 2-GPU dry run at a paper-ish shape; returns the Chrome
@@ -151,4 +152,90 @@ fn null_sink_run_bit_identical_to_no_sink_run() {
     let mut cpu = CpuExec::new();
     let (cpu_lr, _) = run_fixed_rank(&mut cpu, Input::Values(&a), &cfg, &mut rng(9)).unwrap();
     assert_eq!(cpu_lr.unwrap().q, lr_base.q);
+}
+
+/// The whole telemetry stack armed — a [`FlightDeck`] tracer (registry
+/// sink + flight recorder) on the backend *and* the wall-clock funnel
+/// enabled — must be just as free as a `NullSink`: factors and the
+/// entire report bit-identical to an uninstrumented run, on all four
+/// backends. This is the issue's acceptance criterion for `rlra-obs`.
+#[test]
+fn armed_flight_deck_keeps_runs_bit_identical_on_all_backends() {
+    let (a, _) = decay_matrix(90, 45, 0.6, 42);
+    let cfg = SamplerConfig::new(6).with_p(4).with_q(1);
+    let deck = FlightDeck::default();
+
+    // Baselines with everything off.
+    let run_gpu = |deck: Option<&FlightDeck>| {
+        let mut gpu = Gpu::k40c();
+        gpu.set_tracer(deck.map(FlightDeck::tracer));
+        let mut ge = GpuExec::new(&mut gpu);
+        let (lr, rep) = run_fixed_rank(&mut ge, Input::Values(&a), &cfg, &mut rng(9)).unwrap();
+        (lr.unwrap(), rep)
+    };
+    let run_multi = |deck: Option<&FlightDeck>| {
+        let mut mg = MultiGpu::new(3, DeviceSpec::k40c(), ExecMode::Compute).unwrap();
+        mg.set_tracer(deck.map(FlightDeck::tracer));
+        let mut me = MultiGpuExec::new(&mut mg).unwrap();
+        let (lr, rep) = run_fixed_rank(&mut me, Input::Values(&a), &cfg, &mut rng(9)).unwrap();
+        (lr.unwrap(), rep)
+    };
+    let run_cluster = |deck: Option<&FlightDeck>| {
+        let mut cl = Cluster::new(
+            2,
+            2,
+            DeviceSpec::k40c(),
+            NetworkSpec::infiniband_fdr(),
+            ExecMode::DryRun,
+        )
+        .unwrap();
+        cl.set_tracer(deck.map(FlightDeck::tracer));
+        let mut ce = ClusterExec::new(&mut cl);
+        let (_, rep) = run_fixed_rank(&mut ce, Input::Shape(90, 45), &cfg, &mut rng(9)).unwrap();
+        rep
+    };
+    let run_cpu = || {
+        let mut cpu = CpuExec::new();
+        let (lr, rep) = run_fixed_rank(&mut cpu, Input::Values(&a), &cfg, &mut rng(9)).unwrap();
+        (lr.unwrap(), rep)
+    };
+
+    let (glr0, grep0) = run_gpu(None);
+    let (mlr0, mrep0) = run_multi(None);
+    let crep0 = run_cluster(None);
+    let (plr0, prep0) = run_cpu();
+
+    // Arm everything: deck tracers on the simulated backends, the
+    // wall-clock funnel globally (its scopes fire inside the blas /
+    // lapack hot paths on every backend, including CPU).
+    let _registry = walltime::enable();
+    let (glr1, grep1) = run_gpu(Some(&deck));
+    let (mlr1, mrep1) = run_multi(Some(&deck));
+    let crep1 = run_cluster(Some(&deck));
+    let (plr1, prep1) = run_cpu();
+    walltime::disable();
+
+    assert_eq!(glr0.q, glr1.q);
+    assert_eq!(glr0.r, glr1.r);
+    assert_eq!(glr0.perm.as_slice(), glr1.perm.as_slice());
+    assert_eq!(grep0, grep1, "single-GPU report must not change");
+    assert_eq!(mlr0.q, mlr1.q);
+    assert_eq!(mlr0.r, mlr1.r);
+    assert_eq!(mrep0, mrep1, "multi-GPU report must not change");
+    assert_eq!(crep0, crep1, "cluster report must not change");
+    assert_eq!(plr0.q, plr1.q);
+    assert_eq!(plr0.r, plr1.r);
+    assert_eq!(prep0, prep1, "CPU report must not change");
+
+    // And the telemetry was live, not a no-op: the deck's registry
+    // holds per-kernel latency series and the recorder kept a tail.
+    let snap = deck.registry().snapshot();
+    assert!(
+        !snap.hist_family(names::SIM_KERNEL_SECONDS).is_empty(),
+        "armed registry must have streamed kernel events"
+    );
+    assert!(
+        !deck.recorder().is_empty(),
+        "flight recorder must hold a tail"
+    );
 }

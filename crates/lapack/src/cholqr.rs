@@ -30,6 +30,8 @@ use rlra_matrix::{Mat, Result};
 /// Gram matrix is numerically rank deficient (CholQR breakdown; callers
 /// fall back to Householder QR as the paper recommends).
 pub fn cholqr(b: &Mat) -> Result<(Mat, Mat)> {
+    let _wall =
+        rlra_obs::walltime::scoped_labeled(rlra_obs::names::WALL_CHOLQR_SECONDS, "rung=\"cholqr\"");
     let n = b.cols();
     let mut g = Mat::zeros(n, n);
     syrk(1.0, b.as_ref(), Trans::Yes, 0.0, g.as_mut(), UpLo::Upper)?;
@@ -52,6 +54,10 @@ pub fn cholqr(b: &Mat) -> Result<(Mat, Mat)> {
 /// twice and merges the triangular factors, restoring orthogonality to
 /// machine precision for matrices with `κ(B) ≲ 1/√ε`.
 pub fn cholqr2(b: &Mat) -> Result<(Mat, Mat)> {
+    let _wall = rlra_obs::walltime::scoped_labeled(
+        rlra_obs::names::WALL_CHOLQR_SECONDS,
+        "rung=\"cholqr2\"",
+    );
     let (q1, r1) = cholqr(b)?;
     let (q2, r2) = cholqr(&q1)?;
     Ok((q2, merge_r(&r2, &r1)?))
@@ -69,6 +75,10 @@ pub fn cholqr2(b: &Mat) -> Result<(Mat, Mat)> {
 /// Propagates [`rlra_matrix::MatrixError::NotPositiveDefinite`] on
 /// breakdown.
 pub fn cholqr_rows(b: &Mat) -> Result<(Mat, Mat)> {
+    let _wall = rlra_obs::walltime::scoped_labeled(
+        rlra_obs::names::WALL_CHOLQR_SECONDS,
+        "rung=\"cholqr_rows\"",
+    );
     let l = b.rows();
     let mut g = Mat::zeros(l, l);
     syrk(1.0, b.as_ref(), Trans::No, 0.0, g.as_mut(), UpLo::Upper)?;
@@ -92,6 +102,10 @@ pub fn cholqr_rows(b: &Mat) -> Result<(Mat, Mat)> {
 /// ("we orthogonalized both sampled matrices using CholQR with one full
 /// reorthogonalization", §6).
 pub fn cholqr_rows2(b: &Mat) -> Result<(Mat, Mat)> {
+    let _wall = rlra_obs::walltime::scoped_labeled(
+        rlra_obs::names::WALL_CHOLQR_SECONDS,
+        "rung=\"cholqr_rows2\"",
+    );
     let (q1, r1) = cholqr_rows(b)?;
     let (q2, r2) = cholqr_rows(&q1)?;
     // B = R1^T Q1 and Q1 = R2^T Q2 ⟹ B = (R2 R1)^T Q2.
@@ -196,6 +210,10 @@ fn check_rescue_diag(r: &Mat) -> Result<()> {
 /// normalize round-off noise, detected by a collapsed diagonal in the
 /// first corrective pass); callers escalate to Householder QR.
 pub fn shifted_cholqr2(b: &Mat, shift_scale: f64) -> Result<(Mat, Mat)> {
+    let _wall = rlra_obs::walltime::scoped_labeled(
+        rlra_obs::names::WALL_CHOLQR_SECONDS,
+        "rung=\"shifted_cholqr2\"",
+    );
     let (q1, r1) = shifted_pass(b, shift_scale)?;
     let (q2, r2) = cholqr(&q1)?;
     check_rescue_diag(&r2)?;
@@ -212,6 +230,10 @@ pub fn shifted_cholqr2(b: &Mat, shift_scale: f64) -> Result<(Mat, Mat)> {
 /// Returns [`rlra_matrix::MatrixError::NotPositiveDefinite`] when `B` is
 /// rank deficient below the shift level.
 pub fn shifted_cholqr_rows2(b: &Mat, shift_scale: f64) -> Result<(Mat, Mat)> {
+    let _wall = rlra_obs::walltime::scoped_labeled(
+        rlra_obs::names::WALL_CHOLQR_SECONDS,
+        "rung=\"shifted_cholqr_rows2\"",
+    );
     let (q1, r1) = shifted_pass_rows(b, shift_scale)?;
     let (q2, r2) = cholqr_rows(&q1)?;
     check_rescue_diag(&r2)?;

@@ -61,6 +61,7 @@ pub struct SamplePanelStep {
 /// Returns [`MatrixError::InvalidParameter`] when `k_b` exceeds
 /// `min(l, n_trail)` or `nb == 0`, and propagates kernel failures.
 pub fn sample_panel_step(w_trail: &Mat, k_b: usize, nb: usize) -> Result<SamplePanelStep> {
+    let _wall = rlra_obs::walltime::scoped(rlra_obs::names::WALL_SAMPLE_PANEL_SECONDS);
     let n_trail = w_trail.cols();
     if k_b == 0 || n_trail == 0 {
         return Ok(SamplePanelStep {

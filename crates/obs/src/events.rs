@@ -1,0 +1,337 @@
+//! Flat JSON serialization of trace-event streams.
+//!
+//! The Chrome-trace exporter in `rlra-trace` renders for a timeline
+//! viewer; postmortem bundles instead want every field of every event,
+//! self-describing and greppable. [`events_json`] emits one object per
+//! event with a `"type"` tag and the variant's own field names, in
+//! stream order.
+
+use rlra_trace::json::{escape_json, num_json};
+use rlra_trace::TraceEvent;
+use std::fmt::Write as _;
+
+/// Renders one event as a self-describing JSON object.
+pub fn event_json(ev: &TraceEvent) -> String {
+    let mut o = String::new();
+    match *ev {
+        TraceEvent::Kernel {
+            device,
+            name,
+            phase,
+            dims,
+            flops,
+            bytes,
+            start,
+            end,
+        } => {
+            let _ = write!(
+                o,
+                "{{\"type\":\"kernel\",\"device\":{},\"name\":\"{}\",\"phase\":\"{}\",\
+                 \"dims\":[{},{},{}],\"flops\":{},\"bytes\":{},\"start\":{},\"end\":{}}}",
+                device,
+                escape_json(name),
+                escape_json(phase),
+                dims[0],
+                dims[1],
+                dims[2],
+                num_json(flops),
+                num_json(bytes),
+                num_json(start),
+                num_json(end),
+            );
+        }
+        TraceEvent::Span {
+            device,
+            phase,
+            start,
+            end,
+        } => {
+            let _ = write!(
+                o,
+                "{{\"type\":\"span\",\"device\":{},\"phase\":\"{}\",\"start\":{},\"end\":{}}}",
+                device,
+                escape_json(phase),
+                num_json(start),
+                num_json(end),
+            );
+        }
+        TraceEvent::Wait {
+            device,
+            phase,
+            start,
+            end,
+        } => {
+            let _ = write!(
+                o,
+                "{{\"type\":\"wait\",\"device\":{},\"phase\":\"{}\",\"start\":{},\"end\":{}}}",
+                device,
+                escape_json(phase),
+                num_json(start),
+                num_json(end),
+            );
+        }
+        TraceEvent::Transfer {
+            device,
+            phase,
+            bytes,
+            start,
+            end,
+        } => {
+            let _ = write!(
+                o,
+                "{{\"type\":\"transfer\",\"device\":{},\"phase\":\"{}\",\"bytes\":{},\
+                 \"start\":{},\"end\":{}}}",
+                device,
+                escape_json(phase),
+                num_json(bytes),
+                num_json(start),
+                num_json(end),
+            );
+        }
+        TraceEvent::Comms {
+            scope,
+            phase,
+            start,
+            end,
+        } => {
+            let _ = write!(
+                o,
+                "{{\"type\":\"comms\",\"scope\":\"{}\",\"phase\":\"{}\",\"start\":{},\"end\":{}}}",
+                escape_json(scope),
+                escape_json(phase),
+                num_json(start),
+                num_json(end),
+            );
+        }
+        TraceEvent::Stage { name, start, end } => {
+            let _ = write!(
+                o,
+                "{{\"type\":\"stage\",\"name\":\"{}\",\"start\":{},\"end\":{}}}",
+                escape_json(name),
+                num_json(start),
+                num_json(end),
+            );
+        }
+        TraceEvent::Fault {
+            device,
+            kind,
+            at_launch,
+            time,
+        } => {
+            let _ = write!(
+                o,
+                "{{\"type\":\"fault\",\"device\":{},\"kind\":\"{}\",\"at_launch\":{},\
+                 \"time\":{}}}",
+                device,
+                escape_json(kind),
+                at_launch,
+                num_json(time),
+            );
+        }
+        TraceEvent::Recovery {
+            device,
+            action,
+            time,
+        } => {
+            let _ = write!(
+                o,
+                "{{\"type\":\"recovery\",\"device\":{},\"action\":\"{}\",\"time\":{}}}",
+                device,
+                escape_json(action),
+                num_json(time),
+            );
+        }
+        TraceEvent::Breakdown { stage, rung, time } => {
+            let _ = write!(
+                o,
+                "{{\"type\":\"breakdown\",\"stage\":\"{}\",\"rung\":{},\"time\":{}}}",
+                escape_json(stage),
+                rung,
+                num_json(time),
+            );
+        }
+        TraceEvent::Fallback { stage, rung, time } => {
+            let _ = write!(
+                o,
+                "{{\"type\":\"fallback\",\"stage\":\"{}\",\"rung\":{},\"time\":{}}}",
+                escape_json(stage),
+                rung,
+                num_json(time),
+            );
+        }
+        TraceEvent::HealthCheck { stage, ok, time } => {
+            let _ = write!(
+                o,
+                "{{\"type\":\"health_check\",\"stage\":\"{}\",\"ok\":{},\"time\":{}}}",
+                escape_json(stage),
+                ok,
+                num_json(time),
+            );
+        }
+        TraceEvent::Checkpoint { id, bytes, time } => {
+            let _ = write!(
+                o,
+                "{{\"type\":\"checkpoint\",\"id\":{},\"bytes\":{},\"time\":{}}}",
+                id,
+                bytes,
+                num_json(time),
+            );
+        }
+        TraceEvent::Speculation {
+            device,
+            outcome,
+            saved,
+            time,
+        } => {
+            let _ = write!(
+                o,
+                "{{\"type\":\"speculation\",\"device\":{},\"outcome\":\"{}\",\"saved\":{},\
+                 \"time\":{}}}",
+                device,
+                escape_json(outcome),
+                num_json(saved),
+                num_json(time),
+            );
+        }
+    }
+    o
+}
+
+/// Renders an event stream as a JSON document:
+/// `{"count": N, "dropped": D, "events": [...]}` in stream order.
+pub fn events_json(events: &[TraceEvent], dropped: u64) -> String {
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "{{\"count\":{},\"dropped\":{},\"events\":[",
+        events.len(),
+        dropped
+    );
+    for (i, ev) in events.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&event_json(ev));
+    }
+    out.push_str("]}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rlra_trace::parse_json;
+
+    #[test]
+    fn every_variant_serializes_to_parseable_tagged_json() {
+        let events = vec![
+            TraceEvent::Kernel {
+                device: 0,
+                name: "gemm",
+                phase: "Sampling",
+                dims: [4, 5, 6],
+                flops: 240.0,
+                bytes: 592.0,
+                start: 0.0,
+                end: 1.0,
+            },
+            TraceEvent::Span {
+                device: 0,
+                phase: "Launch",
+                start: 1.0,
+                end: 1.1,
+            },
+            TraceEvent::Wait {
+                device: 1,
+                phase: "Barrier",
+                start: 1.0,
+                end: 1.2,
+            },
+            TraceEvent::Transfer {
+                device: 0,
+                phase: "Upload",
+                bytes: 4096.0,
+                start: 0.0,
+                end: 0.1,
+            },
+            TraceEvent::Comms {
+                scope: "host",
+                phase: "Comms",
+                start: 2.0,
+                end: 2.5,
+            },
+            TraceEvent::Stage {
+                name: "tsqr",
+                start: 0.0,
+                end: 3.0,
+            },
+            TraceEvent::Fault {
+                device: 1,
+                kind: "fail-stop",
+                at_launch: 4,
+                time: 1.5,
+            },
+            TraceEvent::Recovery {
+                device: 1,
+                action: "device-loss-recovered",
+                time: 1.6,
+            },
+            TraceEvent::Breakdown {
+                stage: "tsqr",
+                rung: 0,
+                time: 1.7,
+            },
+            TraceEvent::Fallback {
+                stage: "tsqr",
+                rung: 1,
+                time: 1.8,
+            },
+            TraceEvent::HealthCheck {
+                stage: "tsqr",
+                ok: true,
+                time: 1.9,
+            },
+            TraceEvent::Checkpoint {
+                id: 2,
+                bytes: 8192,
+                time: 2.0,
+            },
+            TraceEvent::Speculation {
+                device: 2,
+                outcome: "survivors-won",
+                saved: 0.25,
+                time: 2.1,
+            },
+        ];
+        let doc = events_json(&events, 7);
+        let j = parse_json(&doc).expect("events_json must parse");
+        assert_eq!(j.get("count").unwrap().as_num().unwrap(), 13.0);
+        assert_eq!(j.get("dropped").unwrap().as_num().unwrap(), 7.0);
+        let arr = j.get("events").unwrap().as_arr().unwrap();
+        assert_eq!(arr.len(), events.len());
+        let tags: Vec<_> = arr
+            .iter()
+            .map(|e| e.get("type").unwrap().as_str().unwrap().to_string())
+            .collect();
+        assert_eq!(
+            tags,
+            [
+                "kernel",
+                "span",
+                "wait",
+                "transfer",
+                "comms",
+                "stage",
+                "fault",
+                "recovery",
+                "breakdown",
+                "fallback",
+                "health_check",
+                "checkpoint",
+                "speculation"
+            ]
+        );
+        assert_eq!(arr[6].get("kind").unwrap().as_str().unwrap(), "fail-stop");
+        assert_eq!(arr[11].get("bytes").unwrap().as_num().unwrap(), 8192.0);
+    }
+}

@@ -1,0 +1,224 @@
+//! Exposition: rendering a registry [`Snapshot`] for scrapers and
+//! tooling.
+//!
+//! Two formats:
+//!
+//! - [`prometheus_text`]: the Prometheus text exposition format —
+//!   counters and gauges as-is, histograms as summaries with exact
+//!   p50/p99/p999 plus `_sum`/`_count`, info series as constant-`1`
+//!   gauges with a `value=` label.
+//! - [`registry_json`]: a schema-versioned JSON document that
+//!   round-trips every family exactly (histograms embed their full
+//!   bucket state), consumed by postmortem bundles and
+//!   `cargo xtask tracediff`.
+
+use crate::hist::LogHistogram;
+use crate::registry::Snapshot;
+use rlra_trace::json::{escape_json, num_json};
+use std::fmt::Write as _;
+
+/// Schema version stamped into [`registry_json`] documents. Bump on
+/// any structural change.
+pub const REGISTRY_SCHEMA_VERSION: u64 = 1;
+
+fn series(name: &str, label: &str) -> String {
+    if label.is_empty() {
+        name.to_string()
+    } else {
+        format!("{name}{{{label}}}")
+    }
+}
+
+fn series_extra(name: &str, label: &str, extra: &str) -> String {
+    if label.is_empty() {
+        format!("{name}{{{extra}}}")
+    } else {
+        format!("{name}{{{label},{extra}}}")
+    }
+}
+
+/// Renders the snapshot in the Prometheus text exposition format.
+pub fn prometheus_text(snap: &Snapshot) -> String {
+    let mut out = String::new();
+    let mut last_type: Option<(String, &'static str)> = None;
+    let mut type_line = |out: &mut String, name: &str, kind: &'static str| {
+        let fresh = !matches!(&last_type, Some((n, _)) if n == name);
+        if fresh {
+            let _ = writeln!(out, "# TYPE {name} {kind}");
+            last_type = Some((name.to_string(), kind));
+        }
+    };
+    for ((name, label), v) in &snap.counters {
+        type_line(&mut out, name, "counter");
+        let _ = writeln!(out, "{} {v}", series(name, label));
+    }
+    for ((name, label), v) in &snap.gauges {
+        type_line(&mut out, name, "gauge");
+        let _ = writeln!(out, "{} {}", series(name, label), num_json(*v));
+    }
+    for ((name, label), v) in &snap.infos {
+        type_line(&mut out, name, "gauge");
+        let _ = writeln!(
+            out,
+            "{} 1",
+            series_extra(name, label, &format!("value=\"{}\"", v)),
+        );
+    }
+    for ((name, label), h) in &snap.hists {
+        type_line(&mut out, name, "summary");
+        for (q, qv) in [(0.5, h.p50()), (0.99, h.p99()), (0.999, h.p999())] {
+            let _ = writeln!(
+                out,
+                "{} {}",
+                series_extra(name, label, &format!("quantile=\"{q}\"")),
+                num_json(qv.unwrap_or(0.0)),
+            );
+        }
+        let _ = writeln!(
+            out,
+            "{} {}",
+            series(&format!("{name}_sum"), label),
+            num_json(h.sum())
+        );
+        let _ = writeln!(
+            out,
+            "{} {}",
+            series(&format!("{name}_count"), label),
+            h.count()
+        );
+    }
+    out
+}
+
+fn json_map<V>(
+    out: &mut String,
+    key: &str,
+    entries: impl Iterator<Item = ((String, String), V)>,
+    mut render: impl FnMut(&V) -> String,
+) {
+    let _ = write!(out, "\"{key}\":{{");
+    for (i, ((name, label), v)) in entries.enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "\"{}\":{}",
+            escape_json(&series(&name, &label)),
+            render(&v)
+        );
+    }
+    out.push('}');
+}
+
+/// Renders the snapshot as a schema-versioned JSON document.
+///
+/// Layout: `{"schema_version": 1, "counters": {series: n, ...},
+/// "gauges": {...}, "infos": {...}, "hists": {series: <histogram
+/// object>, ...}}` where each series key is `name` or `name{labels}`
+/// and histogram objects are exactly [`LogHistogram::to_json`].
+pub fn registry_json(snap: &Snapshot) -> String {
+    let mut out = String::new();
+    let _ = write!(out, "{{\"schema_version\":{REGISTRY_SCHEMA_VERSION},");
+    json_map(
+        &mut out,
+        "counters",
+        snap.counters.iter().map(|(k, v)| (k.clone(), *v)),
+        std::string::ToString::to_string,
+    );
+    out.push(',');
+    json_map(
+        &mut out,
+        "gauges",
+        snap.gauges.iter().map(|(k, v)| (k.clone(), *v)),
+        |v| num_json(*v),
+    );
+    out.push(',');
+    json_map(
+        &mut out,
+        "infos",
+        snap.infos.iter().map(|(k, v)| (k.clone(), v.clone())),
+        |v| format!("\"{}\"", escape_json(v)),
+    );
+    out.push(',');
+    json_map(
+        &mut out,
+        "hists",
+        snap.hists.iter().map(|(k, v)| (k.clone(), v.clone())),
+        LogHistogram::to_json,
+    );
+    out.push('}');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::names;
+    use crate::registry::Registry;
+    use rlra_trace::parse_json;
+
+    fn populated() -> Snapshot {
+        let reg = Registry::new();
+        reg.counter_add(names::RUNS_TOTAL, "", 3);
+        reg.counter_add(names::SIM_FAULTS_TOTAL, "kind=\"transient\"", 2);
+        reg.gauge_set(names::DEVICE_BUSY_SECONDS, "device=\"0\"", 1.25);
+        reg.set_info(names::DEVICE_INFO, "device=\"0\"", "Tesla K40c");
+        for v in [0.1, 0.2, 0.4] {
+            reg.observe(names::SIM_KERNEL_SECONDS, "kernel=\"gemm\"", v);
+        }
+        reg.snapshot()
+    }
+
+    #[test]
+    fn prometheus_text_has_types_series_and_quantiles() {
+        let text = prometheus_text(&populated());
+        assert!(text.contains("# TYPE rlra_runs_total counter"));
+        assert!(text.contains("rlra_runs_total 3"));
+        assert!(text.contains("rlra_sim_faults_total{kind=\"transient\"} 2"));
+        assert!(text.contains("# TYPE rlra_device_busy_seconds gauge"));
+        assert!(text.contains("rlra_device_busy_seconds{device=\"0\"} 1.25"));
+        assert!(text.contains("rlra_device_info{device=\"0\",value=\"Tesla K40c\"} 1"));
+        assert!(text.contains("# TYPE rlra_sim_kernel_seconds summary"));
+        assert!(text.contains("rlra_sim_kernel_seconds{kernel=\"gemm\",quantile=\"0.5\"}"));
+        assert!(text.contains("rlra_sim_kernel_seconds_count{kernel=\"gemm\"} 3"));
+        // Exactly one TYPE line per family.
+        assert_eq!(
+            text.matches("# TYPE rlra_sim_kernel_seconds summary")
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn registry_json_is_versioned_and_parses_back() {
+        let snap = populated();
+        let doc = registry_json(&snap);
+        let j = parse_json(&doc).expect("registry_json must parse");
+        assert_eq!(
+            j.get("schema_version").unwrap().as_num().unwrap() as u64,
+            REGISTRY_SCHEMA_VERSION
+        );
+        assert_eq!(
+            j.get("counters")
+                .unwrap()
+                .get("rlra_runs_total")
+                .unwrap()
+                .as_num(),
+            Some(3.0)
+        );
+        let hist = j
+            .get("hists")
+            .unwrap()
+            .get("rlra_sim_kernel_seconds{kernel=\"gemm\"}")
+            .expect("histogram series present");
+        let back = LogHistogram::from_parsed(hist).unwrap();
+        assert_eq!(back.count(), 3);
+        assert_eq!(
+            back,
+            *snap
+                .hist(names::SIM_KERNEL_SECONDS, "kernel=\"gemm\"")
+                .unwrap()
+        );
+    }
+}

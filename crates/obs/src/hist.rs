@@ -1,0 +1,315 @@
+//! Log-bucketed streaming histograms with exact quantile queries.
+//!
+//! The serving scheduler (ROADMAP item 1) and the hot-path bench need
+//! p50/p99/p999 over unbounded streams of latencies without retaining
+//! samples. [`LogHistogram`] buckets values on a logarithmic grid
+//! (HDR-histogram style): the bucket index of a value is a pure
+//! function of the value, so merging two histograms is a plain
+//! per-bucket count addition — associative and commutative by
+//! construction, which is what lets per-run histograms from many
+//! workers fold into one fleet-wide distribution in any order.
+//!
+//! Resolution is [`SUBBUCKETS`] buckets per power of two (~9% relative
+//! error per bucket edge), and quantile answers are clamped into the
+//! exact observed `[min, max]` range, so a reported quantile is never
+//! outside the recorded values.
+
+use rlra_trace::json::num_json;
+use rlra_trace::{parse_json, Json};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Log-grid resolution: buckets per power of two.
+pub const SUBBUCKETS: i32 = 8;
+
+/// Bucket index that collects non-positive (and non-finite) samples.
+const FLOOR_BUCKET: i32 = i32::MIN;
+
+/// A mergeable log-bucketed histogram over non-negative `f64` samples.
+///
+/// Tracks exact `count`, `sum`, `min`, and `max` alongside the bucket
+/// counts, so means are exact and quantiles are bucket-resolution
+/// estimates clamped into the observed range.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LogHistogram {
+    buckets: BTreeMap<i32, u64>,
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+/// The log-grid bucket index of `v` (pure in `v`, shared by every
+/// histogram — the merge-compatibility invariant).
+fn bucket_of(v: f64) -> i32 {
+    if !v.is_finite() || v <= 0.0 {
+        return FLOOR_BUCKET;
+    }
+    (v.log2() * f64::from(SUBBUCKETS)).floor() as i32
+}
+
+/// Upper edge of bucket `i` — the representative value quantile
+/// queries report for ranks landing in the bucket.
+fn bucket_upper(i: i32) -> f64 {
+    if i == FLOOR_BUCKET {
+        return 0.0;
+    }
+    ((f64::from(i) + 1.0) / f64::from(SUBBUCKETS)).exp2()
+}
+
+impl LogHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LogHistogram::default()
+    }
+
+    /// Records one sample. Non-finite and non-positive samples land in
+    /// a dedicated floor bucket (reported as 0.0 by quantiles).
+    pub fn record(&mut self, v: f64) {
+        let v = if v.is_finite() { v } else { 0.0 };
+        *self.buckets.entry(bucket_of(v)).or_insert(0) += 1;
+        if self.count == 0 {
+            self.min = v;
+            self.max = v;
+        } else {
+            self.min = self.min.min(v);
+            self.max = self.max.max(v);
+        }
+        self.count += 1;
+        self.sum += v;
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact sum of recorded samples.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Smallest recorded sample (`None` when empty).
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest recorded sample (`None` when empty).
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Exact mean of recorded samples (`None` when empty).
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum / self.count as f64)
+    }
+
+    /// The `q`-quantile (`0.0 ..= 1.0`), or `None` when empty.
+    ///
+    /// Walks the bucket grid to the bucket holding the
+    /// `ceil(q * count)`-th smallest sample and reports that bucket's
+    /// upper edge, clamped into the exact `[min, max]` observed — so
+    /// the answer is never outside the recorded values.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, n) in &self.buckets {
+            seen += n;
+            if seen >= rank {
+                return Some(bucket_upper(*i).clamp(self.min, self.max));
+            }
+        }
+        Some(self.max)
+    }
+
+    /// Median (p50).
+    pub fn p50(&self) -> Option<f64> {
+        self.quantile(0.50)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&self) -> Option<f64> {
+        self.quantile(0.99)
+    }
+
+    /// 99.9th percentile.
+    pub fn p999(&self) -> Option<f64> {
+        self.quantile(0.999)
+    }
+
+    /// Folds `other` into `self` (per-bucket count addition; exact
+    /// summaries combine exactly).
+    pub fn merge(&mut self, other: &LogHistogram) {
+        if other.count == 0 {
+            return;
+        }
+        for (i, n) in &other.buckets {
+            *self.buckets.entry(*i).or_insert(0) += n;
+        }
+        if self.count == 0 {
+            self.min = other.min;
+            self.max = other.max;
+        } else {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+    }
+
+    /// Serializes the histogram as a JSON object that [`LogHistogram::from_json`]
+    /// reconstructs exactly (shortest-round-trip float formatting).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"buckets\":{{",
+            self.count,
+            num_json(self.sum),
+            num_json(self.min),
+            num_json(self.max),
+        );
+        for (j, (i, n)) in self.buckets.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{i}\":{n}");
+        }
+        out.push_str("}}");
+        out
+    }
+
+    /// Parses a document produced by [`LogHistogram::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a message on malformed JSON or missing/mistyped fields.
+    pub fn from_json(doc: &str) -> Result<LogHistogram, String> {
+        let j = parse_json(doc)?;
+        Self::from_parsed(&j)
+    }
+
+    /// [`LogHistogram::from_json`] over an already-parsed [`Json`] value.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message on missing or mistyped fields.
+    pub fn from_parsed(j: &Json) -> Result<LogHistogram, String> {
+        let num = |k: &str| {
+            j.get(k)
+                .and_then(Json::as_num)
+                .ok_or_else(|| format!("histogram field `{k}` missing or not a number"))
+        };
+        let mut h = LogHistogram {
+            count: num("count")? as u64,
+            sum: num("sum")?,
+            min: num("min")?,
+            max: num("max")?,
+            buckets: BTreeMap::new(),
+        };
+        let Some(Json::Obj(members)) = j.get("buckets") else {
+            return Err("histogram field `buckets` missing or not an object".into());
+        };
+        for (k, v) in members {
+            let i: i32 = k.parse().map_err(|_| format!("bad bucket index `{k}`"))?;
+            let n = v
+                .as_num()
+                .ok_or_else(|| format!("bucket `{k}` count not a number"))?;
+            h.buckets.insert(i, n as u64);
+        }
+        Ok(h)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantiles_stay_inside_the_recorded_range() {
+        let mut h = LogHistogram::new();
+        for v in [0.001, 0.002, 0.004, 0.1, 3.0] {
+            h.record(v);
+        }
+        for q in [0.0, 0.1, 0.5, 0.9, 0.99, 0.999, 1.0] {
+            let x = h.quantile(q).unwrap();
+            assert!((0.001..=3.0).contains(&x), "q={q} gave {x}");
+        }
+        assert_eq!(h.quantile(1.0), Some(3.0));
+        assert_eq!(h.count(), 5);
+        assert!((h.sum() - 3.107).abs() < 1e-12);
+    }
+
+    /// Equality up to float-summation order: buckets, count, min, and
+    /// max combine exactly; `sum` may differ in the last ulp because
+    /// merge adds partial sums in a different order than sequential
+    /// recording.
+    fn assert_same_distribution(a: &LogHistogram, b: &LogHistogram) {
+        assert_eq!(a.buckets, b.buckets);
+        assert_eq!(a.count, b.count);
+        assert_eq!(a.min(), b.min());
+        assert_eq!(a.max(), b.max());
+        assert!((a.sum - b.sum).abs() <= 1e-12 * a.sum.abs().max(1.0));
+    }
+
+    #[test]
+    fn merge_equals_recording_everything_into_one() {
+        let xs = [1e-6, 5e-4, 0.02, 0.02, 1.7, 44.0];
+        let mut all = LogHistogram::new();
+        let mut a = LogHistogram::new();
+        let mut b = LogHistogram::new();
+        for (i, v) in xs.iter().enumerate() {
+            all.record(*v);
+            if i % 2 == 0 {
+                a.record(*v);
+            } else {
+                b.record(*v);
+            }
+        }
+        let mut merged = a.clone();
+        merged.merge(&b);
+        assert_same_distribution(&merged, &all);
+        let mut swapped = b;
+        swapped.merge(&a);
+        // Merge in either order lands on the identical histogram:
+        // per-bucket addition is commutative.
+        assert_eq!(swapped.buckets, merged.buckets);
+        assert_same_distribution(&swapped, &all);
+    }
+
+    #[test]
+    fn json_round_trip_is_exact() {
+        let mut h = LogHistogram::new();
+        for v in [0.0, 1.25e-7, 0.33, 100.0, f64::NAN] {
+            h.record(v);
+        }
+        let doc = h.to_json();
+        let back = LogHistogram::from_json(&doc).unwrap();
+        assert_eq!(back, h);
+        assert_eq!(back.to_json(), doc);
+    }
+
+    #[test]
+    fn empty_histogram_has_no_quantiles() {
+        let h = LogHistogram::new();
+        assert_eq!(h.quantile(0.5), None);
+        assert_eq!(h.min(), None);
+        assert_eq!(h.mean(), None);
+        let back = LogHistogram::from_json(&h.to_json()).unwrap();
+        assert_eq!(back, h);
+    }
+
+    #[test]
+    fn floor_bucket_collects_non_positive_samples() {
+        let mut h = LogHistogram::new();
+        h.record(0.0);
+        h.record(-3.0);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.quantile(0.5), Some(0.0));
+        assert!(h.quantile(1.0).unwrap() <= 0.0);
+    }
+}

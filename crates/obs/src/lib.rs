@@ -1,0 +1,41 @@
+//! `rlra-obs` — continuous fleet telemetry for the simulated runs.
+//!
+//! `rlra-trace` answers "what happened inside one run"; this crate
+//! answers "how is the fleet doing across runs": a process-wide metric
+//! [`Registry`] of counters, gauges, and mergeable log-bucketed
+//! [`LogHistogram`]s with exact p50/p99/p999, fed from three sources —
+//!
+//! 1. the simulated cost funnel, streamed event-by-event through a
+//!    [`RegistrySink`] tracer adapter,
+//! 2. finished-run aggregates, folded in via
+//!    [`Registry::ingest_metrics`], and
+//! 3. real wall-clock timings from the [`walltime`] funnel — the
+//!    workspace's single sanctioned `Instant::now` site, contained so
+//!    time flows into histograms and never back into numerics.
+//!
+//! Snapshots expose as Prometheus text ([`prometheus_text`]) or a
+//! schema-versioned JSON document ([`registry_json`]), and render as a
+//! terminal [`roofline_summary`]. A [`FlightRecorder`] keeps bounded
+//! per-device rings of recent trace events and writes postmortem
+//! bundles on faults, breakdowns, and blown deadlines.
+//!
+//! Everything here is observe-only: attaching any of it to a run keeps
+//! factors and the full `ExecReport` bit-identical to an
+//! uninstrumented run — the invariant `crates/core/tests/trace.rs`
+//! pins on every backend.
+
+pub mod events;
+pub mod expo;
+pub mod hist;
+pub mod names;
+pub mod recorder;
+pub mod registry;
+pub mod roofline;
+pub mod walltime;
+
+pub use events::{event_json, events_json};
+pub use expo::{prometheus_text, registry_json, REGISTRY_SCHEMA_VERSION};
+pub use hist::{LogHistogram, SUBBUCKETS};
+pub use recorder::{FlightRecorder, Incident};
+pub use registry::{label1, label2, FanoutSink, Registry, RegistrySink, Snapshot};
+pub use roofline::roofline_summary;

@@ -1,0 +1,140 @@
+//! The registered metric-name table.
+//!
+//! Every metric recorded anywhere in the workspace MUST name itself
+//! through one of these constants — `cargo xtask analyze` (the
+//! `metrics` lint) rejects ad-hoc string literals at record sites and
+//! names that do not resolve to this table. One table means the
+//! Prometheus scrape surface is enumerable, rename refactors are
+//! single-file, and two subsystems can never fork the same series
+//! under two spellings.
+
+/// Simulated per-kernel latency distribution (histogram, `kernel=` label).
+pub const SIM_KERNEL_SECONDS: &str = "rlra_sim_kernel_seconds";
+/// Simulated per-stage latency distribution (histogram, `stage=` label).
+pub const SIM_STAGE_SECONDS: &str = "rlra_sim_stage_seconds";
+/// Simulated per-phase charge distribution (histogram, `phase=` label).
+pub const SIM_PHASE_SECONDS: &str = "rlra_sim_phase_seconds";
+/// Injected fault marks seen in the event stream (counter, `kind=` label).
+pub const SIM_FAULTS_TOTAL: &str = "rlra_sim_faults_total";
+/// Recovery actions seen in the event stream (counter, `action=` label).
+pub const SIM_RECOVERIES_TOTAL: &str = "rlra_sim_recoveries_total";
+/// Numerical breakdown marks (counter, `stage=` label).
+pub const SIM_BREAKDOWNS_TOTAL: &str = "rlra_sim_breakdowns_total";
+/// Fallback-ladder escalations (counter, `stage=` label).
+pub const SIM_FALLBACKS_TOTAL: &str = "rlra_sim_fallbacks_total";
+/// Guard health checks (counter, `ok=` label).
+pub const SIM_HEALTH_CHECKS_TOTAL: &str = "rlra_sim_health_checks_total";
+/// Durability snapshots written (counter).
+pub const SIM_CHECKPOINTS_TOTAL: &str = "rlra_sim_checkpoints_total";
+/// Bytes drained into durability snapshots (counter).
+pub const SIM_CHECKPOINT_BYTES_TOTAL: &str = "rlra_sim_checkpoint_bytes_total";
+/// Speculative straggler re-dispatches (counter, `outcome=` label).
+pub const SIM_SPECULATIONS_TOTAL: &str = "rlra_sim_speculations_total";
+
+/// Per-device busy seconds from a finished run (gauge, `device=` label).
+pub const DEVICE_BUSY_SECONDS: &str = "rlra_device_busy_seconds";
+/// Per-device barrier-idle seconds (gauge, `device=` label).
+pub const DEVICE_WAIT_SECONDS: &str = "rlra_device_wait_seconds";
+/// Per-device PCIe bytes moved (gauge, `device=` label).
+pub const DEVICE_BYTES_MOVED: &str = "rlra_device_bytes_moved";
+/// Calibrated peak double-precision Gflop/s (gauge, `device=` label).
+pub const DEVICE_PEAK_GFLOPS: &str = "rlra_device_peak_gflops";
+/// Calibrated peak memory bandwidth GB/s (gauge, `device=` label).
+pub const DEVICE_PEAK_GBS: &str = "rlra_device_peak_gbs";
+/// Kernel launches issued per device (counter, `device=` label).
+pub const DEVICE_LAUNCHES_TOTAL: &str = "rlra_device_launches_total";
+/// Host synchronizations per device (counter, `device=` label).
+pub const DEVICE_SYNCS_TOTAL: &str = "rlra_device_syncs_total";
+/// Device model name (info, `device=` label).
+pub const DEVICE_INFO: &str = "rlra_device_info";
+
+/// Aggregated launches per device/kernel pair (counter,
+/// `device=`+`kernel=` labels).
+pub const KERNEL_LAUNCHES_TOTAL: &str = "rlra_kernel_launches_total";
+/// Aggregated simulated seconds per device/kernel pair (gauge).
+pub const KERNEL_SECONDS_TOTAL: &str = "rlra_kernel_seconds_total";
+/// Aggregated flops per device/kernel pair (gauge).
+pub const KERNEL_FLOPS_TOTAL: &str = "rlra_kernel_flops_total";
+/// Aggregated bytes per device/kernel pair (gauge).
+pub const KERNEL_BYTES_TOTAL: &str = "rlra_kernel_bytes_total";
+
+/// Runs ingested into the registry (counter).
+pub const RUNS_TOTAL: &str = "rlra_runs_total";
+/// Transient-fault retries across ingested runs (counter).
+pub const RUN_RETRIES_TOTAL: &str = "rlra_run_retries_total";
+/// Fallback-ladder escalations across ingested runs (counter).
+pub const RUN_FALLBACKS_TOTAL: &str = "rlra_run_fallbacks_total";
+/// Recovery-phase seconds of the most recently ingested run (gauge).
+pub const RUN_RECOVERY_SECONDS: &str = "rlra_run_recovery_seconds";
+/// End-to-end simulated seconds of ingested runs (histogram).
+pub const RUN_SECONDS: &str = "rlra_run_seconds";
+
+/// Wall-clock seconds per `rlra_blas::gemm` call (histogram).
+pub const WALL_GEMM_SECONDS: &str = "rlra_wall_gemm_seconds";
+/// Wall-clock seconds per CholQR ladder-rung call (histogram,
+/// `rung=` label).
+pub const WALL_CHOLQR_SECONDS: &str = "rlra_wall_cholqr_seconds";
+/// Wall-clock seconds per `sample_panel_step` call (histogram).
+pub const WALL_SAMPLE_PANEL_SECONDS: &str = "rlra_wall_sample_panel_seconds";
+/// Wall-clock seconds per end-to-end pipeline run (histogram,
+/// recorded by benches).
+pub const WALL_PIPELINE_SECONDS: &str = "rlra_wall_pipeline_seconds";
+
+/// Every registered metric name — the single enumeration the `metrics`
+/// lint checks record sites against and the exposition tests walk.
+pub const ALL: &[&str] = &[
+    SIM_KERNEL_SECONDS,
+    SIM_STAGE_SECONDS,
+    SIM_PHASE_SECONDS,
+    SIM_FAULTS_TOTAL,
+    SIM_RECOVERIES_TOTAL,
+    SIM_BREAKDOWNS_TOTAL,
+    SIM_FALLBACKS_TOTAL,
+    SIM_HEALTH_CHECKS_TOTAL,
+    SIM_CHECKPOINTS_TOTAL,
+    SIM_CHECKPOINT_BYTES_TOTAL,
+    SIM_SPECULATIONS_TOTAL,
+    DEVICE_BUSY_SECONDS,
+    DEVICE_WAIT_SECONDS,
+    DEVICE_BYTES_MOVED,
+    DEVICE_PEAK_GFLOPS,
+    DEVICE_PEAK_GBS,
+    DEVICE_LAUNCHES_TOTAL,
+    DEVICE_SYNCS_TOTAL,
+    DEVICE_INFO,
+    KERNEL_LAUNCHES_TOTAL,
+    KERNEL_SECONDS_TOTAL,
+    KERNEL_FLOPS_TOTAL,
+    KERNEL_BYTES_TOTAL,
+    RUNS_TOTAL,
+    RUN_RETRIES_TOTAL,
+    RUN_FALLBACKS_TOTAL,
+    RUN_RECOVERY_SECONDS,
+    RUN_SECONDS,
+    WALL_GEMM_SECONDS,
+    WALL_CHOLQR_SECONDS,
+    WALL_SAMPLE_PANEL_SECONDS,
+    WALL_PIPELINE_SECONDS,
+];
+
+#[cfg(test)]
+mod tests {
+    use super::ALL;
+
+    #[test]
+    fn names_are_unique_prometheus_safe_and_prefixed() {
+        let mut seen = std::collections::BTreeSet::new();
+        for name in ALL {
+            assert!(seen.insert(*name), "duplicate metric name {name}");
+            assert!(
+                name.starts_with("rlra_"),
+                "{name} must carry the rlra_ prefix"
+            );
+            assert!(
+                name.bytes()
+                    .all(|b| b.is_ascii_lowercase() || b.is_ascii_digit() || b == b'_'),
+                "{name} must be a bare prometheus identifier"
+            );
+        }
+    }
+}

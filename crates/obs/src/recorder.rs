@@ -1,0 +1,384 @@
+//! The fault flight recorder and postmortem bundle writer.
+//!
+//! A [`FlightRecorder`] keeps a bounded ring of recent trace events
+//! *per device* (plus one ring for device-less marks: stages, comms,
+//! checkpoints), so a long healthy run cannot evict the short window
+//! that matters when a device finally faults — each device's last
+//! moments survive independently of how chatty the others were.
+//!
+//! On an incident (`DeviceFault`, `NumericalBreakdown`,
+//! `DeadlineExceeded`), [`FlightRecorder::dump_postmortem`] writes a
+//! self-contained bundle directory:
+//!
+//! - `MANIFEST.json` — incident kind/detail, checkpoint pointer (for
+//!   deadline incidents, the snapshot id a resumed run would load),
+//!   per-ring event counts, and the file list;
+//! - `events.json` — the merged event tail in emission order;
+//! - `metrics.json` — a registry snapshot ([`crate::registry_json`]);
+//! - `report.json` — the run's `ExecReport` (pre-rendered by the
+//!   caller; `rlra-obs` stays below `rlra-core` in the crate DAG).
+//!
+//! Like [`crate::Registry`], the recorder is a cheap clonable handle:
+//! keep one clone, box another into the run's tracer (directly or via
+//! [`crate::FanoutSink`]), and dump from the kept clone after the run
+//! errors out.
+
+use rlra_trace::{TraceEvent, TraceSink};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+
+/// Ring key: a device ordinal, or the device-less mark track.
+const GLOBAL_TRACK: usize = usize::MAX;
+
+#[derive(Debug, Default)]
+struct Ring {
+    events: std::collections::VecDeque<(u64, TraceEvent)>,
+    dropped: u64,
+}
+
+#[derive(Debug)]
+struct Inner {
+    rings: BTreeMap<usize, Ring>,
+    capacity: usize,
+    seq: u64,
+}
+
+/// Bounded per-device flight recorder over the trace-event stream.
+#[derive(Debug, Clone)]
+pub struct FlightRecorder {
+    inner: Arc<Mutex<Inner>>,
+}
+
+/// Incident descriptor for a postmortem bundle.
+#[derive(Debug, Clone, Default)]
+pub struct Incident<'a> {
+    /// Incident kind (`"device-fault"`, `"numerical-breakdown"`,
+    /// `"deadline-exceeded"`).
+    pub kind: &'a str,
+    /// Human-readable detail (usually the error's `Display` text).
+    pub detail: &'a str,
+    /// Durability snapshot id a resumed run would load, when the
+    /// incident carries one (`DeadlineExceeded`).
+    pub checkpoint: Option<u64>,
+    /// Pre-rendered `ExecReport` JSON, when a report survived.
+    pub report_json: Option<&'a str>,
+    /// Pre-rendered registry snapshot JSON ([`crate::registry_json`]).
+    pub metrics_json: Option<&'a str>,
+}
+
+/// The track an event is recorded on: its charged/marked device, or
+/// the global track for device-less annotations.
+fn track_of(ev: &TraceEvent) -> usize {
+    match *ev {
+        TraceEvent::Kernel { device, .. }
+        | TraceEvent::Span { device, .. }
+        | TraceEvent::Wait { device, .. }
+        | TraceEvent::Transfer { device, .. }
+        | TraceEvent::Fault { device, .. }
+        | TraceEvent::Recovery { device, .. }
+        | TraceEvent::Speculation { device, .. } => device,
+        TraceEvent::Comms { .. }
+        | TraceEvent::Stage { .. }
+        | TraceEvent::Breakdown { .. }
+        | TraceEvent::Fallback { .. }
+        | TraceEvent::HealthCheck { .. }
+        | TraceEvent::Checkpoint { .. } => GLOBAL_TRACK,
+    }
+}
+
+impl FlightRecorder {
+    /// A recorder retaining the latest `capacity_per_device` events on
+    /// each device track (min 1).
+    pub fn new(capacity_per_device: usize) -> Self {
+        FlightRecorder {
+            inner: Arc::new(Mutex::new(Inner {
+                rings: BTreeMap::new(),
+                capacity: capacity_per_device.max(1),
+                seq: 0,
+            })),
+        }
+    }
+
+    /// A boxed sink feeding this recorder, for
+    /// `Tracer::new`/[`crate::FanoutSink`].
+    pub fn sink(&self) -> Box<dyn TraceSink + Send> {
+        Box::new(RecorderSink {
+            recorder: self.clone(),
+        })
+    }
+
+    /// Records one event (called by the sink adapter).
+    pub fn ingest(&self, ev: TraceEvent) {
+        if let Ok(mut g) = self.inner.lock() {
+            let seq = g.seq;
+            g.seq += 1;
+            let capacity = g.capacity;
+            let ring = g.rings.entry(track_of(&ev)).or_default();
+            if ring.events.len() == capacity {
+                ring.events.pop_front();
+                ring.dropped += 1;
+            }
+            ring.events.push_back((seq, ev));
+        }
+    }
+
+    /// The retained tail across all tracks, merged back into emission
+    /// order.
+    pub fn tail(&self) -> Vec<TraceEvent> {
+        match self.inner.lock() {
+            Ok(g) => {
+                let mut all: Vec<(u64, TraceEvent)> = g
+                    .rings
+                    .values()
+                    .flat_map(|r| r.events.iter().cloned())
+                    .collect();
+                all.sort_by_key(|(seq, _)| *seq);
+                all.into_iter().map(|(_, ev)| ev).collect()
+            }
+            Err(_) => Vec::new(),
+        }
+    }
+
+    /// Total events evicted across all tracks.
+    pub fn dropped(&self) -> u64 {
+        self.inner
+            .lock()
+            .map(|g| g.rings.values().map(|r| r.dropped).sum())
+            .unwrap_or(0)
+    }
+
+    /// Number of currently retained events across all tracks.
+    pub fn len(&self) -> usize {
+        self.inner
+            .lock()
+            .map(|g| g.rings.values().map(|r| r.events.len()).sum())
+            .unwrap_or(0)
+    }
+
+    /// Whether nothing has been retained.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Writes a postmortem bundle for `incident` into `dir` (created
+    /// if missing) and returns the paths written, `MANIFEST.json`
+    /// first.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors from creating the directory or
+    /// writing the bundle files.
+    pub fn dump_postmortem(&self, dir: &Path, incident: &Incident<'_>) -> io::Result<Vec<PathBuf>> {
+        std::fs::create_dir_all(dir)?;
+        let mut written = Vec::new();
+
+        let tail = self.tail();
+        let events_doc = crate::events::events_json(&tail, self.dropped());
+        let events_path = dir.join("events.json");
+        std::fs::write(&events_path, &events_doc)?;
+
+        let mut files = vec!["events.json".to_string()];
+        if let Some(doc) = incident.metrics_json {
+            std::fs::write(dir.join("metrics.json"), doc)?;
+            files.push("metrics.json".to_string());
+        }
+        if let Some(doc) = incident.report_json {
+            std::fs::write(dir.join("report.json"), doc)?;
+            files.push("report.json".to_string());
+        }
+
+        let per_track: Vec<(usize, usize, u64)> = match self.inner.lock() {
+            Ok(g) => g
+                .rings
+                .iter()
+                .map(|(t, r)| (*t, r.events.len(), r.dropped))
+                .collect(),
+            Err(_) => Vec::new(),
+        };
+
+        let mut manifest = String::new();
+        let _ = write!(
+            manifest,
+            "{{\"schema_version\":1,\"incident\":\"{}\",\"detail\":\"{}\",",
+            rlra_trace::json::escape_json(incident.kind),
+            rlra_trace::json::escape_json(incident.detail),
+        );
+        match incident.checkpoint {
+            Some(id) => {
+                let _ = write!(manifest, "\"checkpoint\":{id},");
+            }
+            None => manifest.push_str("\"checkpoint\":null,"),
+        }
+        let _ = write!(
+            manifest,
+            "\"events_retained\":{},\"events_dropped\":{},\"tracks\":[",
+            tail.len(),
+            self.dropped()
+        );
+        for (i, (track, len, dropped)) in per_track.iter().enumerate() {
+            if i > 0 {
+                manifest.push(',');
+            }
+            let label = if *track == GLOBAL_TRACK {
+                "\"global\"".to_string()
+            } else {
+                track.to_string()
+            };
+            let _ = write!(
+                manifest,
+                "{{\"track\":{label},\"retained\":{len},\"dropped\":{dropped}}}"
+            );
+        }
+        manifest.push_str("],\"files\":[");
+        for (i, f) in files.iter().enumerate() {
+            if i > 0 {
+                manifest.push(',');
+            }
+            let _ = write!(manifest, "\"{f}\"");
+        }
+        manifest.push_str("]}");
+
+        let manifest_path = dir.join("MANIFEST.json");
+        std::fs::write(&manifest_path, &manifest)?;
+        written.push(manifest_path);
+        written.push(events_path);
+        for f in &files[1..] {
+            written.push(dir.join(f));
+        }
+        Ok(written)
+    }
+}
+
+/// `TraceSink` adapter over a [`FlightRecorder`] handle.
+#[derive(Debug)]
+struct RecorderSink {
+    recorder: FlightRecorder,
+}
+
+impl TraceSink for RecorderSink {
+    fn record(&mut self, ev: TraceEvent) {
+        self.recorder.ingest(ev);
+    }
+
+    fn dropped(&self) -> u64 {
+        self.recorder.dropped()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rlra_trace::parse_json;
+
+    fn kernel(device: usize, launch: usize) -> TraceEvent {
+        TraceEvent::Kernel {
+            device,
+            name: "gemm",
+            phase: "Sampling",
+            dims: [8, 8, 8],
+            flops: 1024.0,
+            bytes: 1536.0,
+            start: launch as f64,
+            end: launch as f64 + 0.5,
+        }
+    }
+
+    #[test]
+    fn per_device_rings_keep_each_devices_tail() {
+        let rec = FlightRecorder::new(2);
+        // Device 0 is chatty; device 1 faults after two launches.
+        for i in 0..10 {
+            rec.ingest(kernel(0, i));
+        }
+        rec.ingest(kernel(1, 100));
+        rec.ingest(TraceEvent::Fault {
+            device: 1,
+            kind: "fail-stop",
+            at_launch: 1,
+            time: 101.0,
+        });
+        let tail = rec.tail();
+        // Device 0 kept only its last 2, device 1 kept both of its events.
+        assert_eq!(tail.len(), 4);
+        assert_eq!(rec.dropped(), 8);
+        assert!(matches!(tail[3], TraceEvent::Fault { device: 1, .. }));
+        // Merged tail is in emission order.
+        assert_eq!(tail[0], kernel(0, 8));
+        assert_eq!(tail[1], kernel(0, 9));
+        assert_eq!(tail[2], kernel(1, 100));
+    }
+
+    #[test]
+    fn postmortem_bundle_round_trips() {
+        let rec = FlightRecorder::new(8);
+        rec.ingest(kernel(0, 0));
+        rec.ingest(TraceEvent::Checkpoint {
+            id: 3,
+            bytes: 4096,
+            time: 0.9,
+        });
+        rec.ingest(TraceEvent::Fault {
+            device: 0,
+            kind: "fail-stop",
+            at_launch: 1,
+            time: 1.0,
+        });
+
+        let dir = std::env::temp_dir().join("rlra_obs_postmortem_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let written = rec
+            .dump_postmortem(
+                &dir,
+                &Incident {
+                    kind: "deadline-exceeded",
+                    detail: "deadline exceeded: budget 1.0s, snapshot 3",
+                    checkpoint: Some(3),
+                    report_json: Some("{\"seconds\":1.0}"),
+                    metrics_json: Some("{\"schema_version\":1}"),
+                },
+            )
+            .unwrap();
+        assert_eq!(written.len(), 4);
+        assert!(written[0].ends_with("MANIFEST.json"));
+
+        let manifest = parse_json(&std::fs::read_to_string(&written[0]).unwrap()).unwrap();
+        assert_eq!(
+            manifest.get("incident").unwrap().as_str().unwrap(),
+            "deadline-exceeded"
+        );
+        assert_eq!(manifest.get("checkpoint").unwrap().as_num().unwrap(), 3.0);
+        assert_eq!(
+            manifest.get("events_retained").unwrap().as_num().unwrap(),
+            3.0
+        );
+        let files = manifest.get("files").unwrap().as_arr().unwrap();
+        assert_eq!(files.len(), 3);
+
+        let events =
+            parse_json(&std::fs::read_to_string(dir.join("events.json")).unwrap()).unwrap();
+        let arr = events.get("events").unwrap().as_arr().unwrap();
+        assert_eq!(arr.len(), 3);
+        assert_eq!(arr[2].get("type").unwrap().as_str().unwrap(), "fault");
+        assert_eq!(
+            std::fs::read_to_string(dir.join("report.json")).unwrap(),
+            "{\"seconds\":1.0}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn sink_adapter_feeds_the_shared_recorder() {
+        let rec = FlightRecorder::new(4);
+        let mut sink = rec.sink();
+        sink.record(kernel(2, 0));
+        assert_eq!(rec.len(), 1);
+        assert!(!rec.is_empty());
+        assert!(matches!(
+            rec.tail()[0],
+            TraceEvent::Kernel { device: 2, .. }
+        ));
+    }
+}

@@ -1,0 +1,448 @@
+//! The process-wide metric registry and its cost-funnel adapter.
+//!
+//! A [`Registry`] is a cheap clonable handle over one shared store of
+//! counters, gauges, [`LogHistogram`]s, and info strings, keyed by
+//! `(name, label)` — `name` must come from [`crate::names`] (enforced
+//! by the `metrics` analyzer lint) and `label` is a rendered
+//! Prometheus label set such as `device="0",kernel="gemm"`.
+//!
+//! Two feeds fill it:
+//!
+//! - [`RegistrySink`] implements `rlra_trace::TraceSink`, so attaching
+//!   it as (part of) a run's tracer streams every cost-model charge —
+//!   kernel launches, stage spans, faults, recoveries, checkpoints —
+//!   into latency histograms and counters *as the run executes*;
+//! - [`Registry::ingest_metrics`] folds a finished run's aggregated
+//!   `rlra_trace::Metrics` into per-device/per-kernel totals — the one
+//!   aggregation bridge the roofline summary reads from.
+//!
+//! Recording never touches the simulated clock or the numerics, so a
+//! run with a registry attached stays bit-identical to one without.
+
+use crate::hist::LogHistogram;
+use crate::names;
+use rlra_trace::{Metrics, TraceEvent, TraceSink};
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+/// One `(metric name, rendered label set)` key.
+pub type Key = (String, String);
+
+#[derive(Debug, Default)]
+struct Inner {
+    counters: BTreeMap<Key, u64>,
+    gauges: BTreeMap<Key, f64>,
+    hists: BTreeMap<Key, LogHistogram>,
+    infos: BTreeMap<Key, String>,
+}
+
+/// An immutable point-in-time copy of a registry's contents, consumed
+/// by the exposition renderers and the roofline summary.
+#[derive(Debug, Clone, Default)]
+pub struct Snapshot {
+    /// Monotonic counters.
+    pub counters: BTreeMap<Key, u64>,
+    /// Last-write-wins gauges.
+    pub gauges: BTreeMap<Key, f64>,
+    /// Streaming histograms.
+    pub hists: BTreeMap<Key, LogHistogram>,
+    /// Informational string series (device names, versions).
+    pub infos: BTreeMap<Key, String>,
+}
+
+impl Snapshot {
+    /// Gauge value for `(name, label)`, if recorded.
+    pub fn gauge(&self, name: &str, label: &str) -> Option<f64> {
+        self.gauges
+            .get(&(name.to_string(), label.to_string()))
+            .copied()
+    }
+
+    /// Counter value for `(name, label)`, if recorded.
+    pub fn counter(&self, name: &str, label: &str) -> Option<u64> {
+        self.counters
+            .get(&(name.to_string(), label.to_string()))
+            .copied()
+    }
+
+    /// Histogram for `(name, label)`, if recorded.
+    pub fn hist(&self, name: &str, label: &str) -> Option<&LogHistogram> {
+        self.hists.get(&(name.to_string(), label.to_string()))
+    }
+
+    /// All `(label, value)` gauge entries of one metric family, in
+    /// label order.
+    pub fn gauge_family<'a>(&'a self, name: &str) -> Vec<(&'a str, f64)> {
+        self.gauges
+            .iter()
+            .filter(|((n, _), _)| n == name)
+            .map(|((_, l), v)| (l.as_str(), *v))
+            .collect()
+    }
+
+    /// All `(label, value)` counter entries of one metric family.
+    pub fn counter_family<'a>(&'a self, name: &str) -> Vec<(&'a str, u64)> {
+        self.counters
+            .iter()
+            .filter(|((n, _), _)| n == name)
+            .map(|((_, l), v)| (l.as_str(), *v))
+            .collect()
+    }
+
+    /// All `(label, histogram)` entries of one metric family.
+    pub fn hist_family<'a>(&'a self, name: &str) -> Vec<(&'a str, &'a LogHistogram)> {
+        self.hists
+            .iter()
+            .filter(|((n, _), _)| n == name)
+            .map(|((_, l), h)| (l.as_str(), h))
+            .collect()
+    }
+}
+
+/// Clonable handle to one shared metric store.
+#[derive(Debug, Clone, Default)]
+pub struct Registry {
+    inner: Arc<Mutex<Inner>>,
+}
+
+/// Renders a one-dimension label set (`device="0"`).
+pub fn label1(key: &str, value: impl std::fmt::Display) -> String {
+    format!("{key}=\"{value}\"")
+}
+
+/// Renders a two-dimension label set (`device="0",kernel="gemm"`).
+pub fn label2(
+    k1: &str,
+    v1: impl std::fmt::Display,
+    k2: &str,
+    v2: impl std::fmt::Display,
+) -> String {
+    format!("{k1}=\"{v1}\",{k2}=\"{v2}\"")
+}
+
+impl Registry {
+    /// A fresh, empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    fn with<R>(&self, f: impl FnOnce(&mut Inner) -> R) -> Option<R> {
+        self.inner.lock().ok().map(|mut g| f(&mut g))
+    }
+
+    /// Adds `by` to the counter `(name, label)`.
+    pub fn counter_add(&self, name: &'static str, label: &str, by: u64) {
+        self.with(|i| {
+            *i.counters
+                .entry((name.to_string(), label.to_string()))
+                .or_insert(0) += by;
+        });
+    }
+
+    /// Sets the gauge `(name, label)`.
+    pub fn gauge_set(&self, name: &'static str, label: &str, v: f64) {
+        self.with(|i| {
+            i.gauges.insert((name.to_string(), label.to_string()), v);
+        });
+    }
+
+    /// Adds `v` to the gauge `(name, label)` (0 when unset).
+    pub fn gauge_add(&self, name: &'static str, label: &str, v: f64) {
+        self.with(|i| {
+            *i.gauges
+                .entry((name.to_string(), label.to_string()))
+                .or_insert(0.0) += v;
+        });
+    }
+
+    /// Records `v` into the histogram `(name, label)`.
+    pub fn observe(&self, name: &'static str, label: &str, v: f64) {
+        self.with(|i| {
+            i.hists
+                .entry((name.to_string(), label.to_string()))
+                .or_default()
+                .record(v);
+        });
+    }
+
+    /// Sets the info series `(name, label)`.
+    pub fn set_info(&self, name: &'static str, label: &str, value: &str) {
+        self.with(|i| {
+            i.infos
+                .insert((name.to_string(), label.to_string()), value.to_string());
+        });
+    }
+
+    /// Point-in-time copy of everything recorded so far.
+    pub fn snapshot(&self) -> Snapshot {
+        self.with(|i| Snapshot {
+            counters: i.counters.clone(),
+            gauges: i.gauges.clone(),
+            hists: i.hists.clone(),
+            infos: i.infos.clone(),
+        })
+        .unwrap_or_default()
+    }
+
+    /// Streams one trace event into the time-series families — the
+    /// body of the [`RegistrySink`] adapter, usable directly when the
+    /// events were captured elsewhere (e.g. a ring buffer).
+    pub fn ingest_event(&self, ev: &TraceEvent) {
+        match *ev {
+            TraceEvent::Kernel {
+                name, start, end, ..
+            } => {
+                self.observe(
+                    names::SIM_KERNEL_SECONDS,
+                    &label1("kernel", name),
+                    end - start,
+                );
+            }
+            TraceEvent::Span {
+                phase, start, end, ..
+            }
+            | TraceEvent::Wait {
+                phase, start, end, ..
+            }
+            | TraceEvent::Transfer {
+                phase, start, end, ..
+            }
+            | TraceEvent::Comms {
+                phase, start, end, ..
+            } => {
+                self.observe(
+                    names::SIM_PHASE_SECONDS,
+                    &label1("phase", phase),
+                    end - start,
+                );
+            }
+            TraceEvent::Stage { name, start, end } => {
+                self.observe(
+                    names::SIM_STAGE_SECONDS,
+                    &label1("stage", name),
+                    end - start,
+                );
+            }
+            TraceEvent::Fault { kind, .. } => {
+                self.counter_add(names::SIM_FAULTS_TOTAL, &label1("kind", kind), 1);
+            }
+            TraceEvent::Recovery { action, .. } => {
+                self.counter_add(names::SIM_RECOVERIES_TOTAL, &label1("action", action), 1);
+            }
+            TraceEvent::Breakdown { stage, .. } => {
+                self.counter_add(names::SIM_BREAKDOWNS_TOTAL, &label1("stage", stage), 1);
+            }
+            TraceEvent::Fallback { stage, .. } => {
+                self.counter_add(names::SIM_FALLBACKS_TOTAL, &label1("stage", stage), 1);
+            }
+            TraceEvent::HealthCheck { ok, .. } => {
+                self.counter_add(names::SIM_HEALTH_CHECKS_TOTAL, &label1("ok", ok), 1);
+            }
+            TraceEvent::Checkpoint { bytes, .. } => {
+                self.counter_add(names::SIM_CHECKPOINTS_TOTAL, "", 1);
+                self.counter_add(names::SIM_CHECKPOINT_BYTES_TOTAL, "", bytes);
+            }
+            TraceEvent::Speculation { outcome, .. } => {
+                self.counter_add(
+                    names::SIM_SPECULATIONS_TOTAL,
+                    &label1("outcome", outcome),
+                    1,
+                );
+            }
+        }
+    }
+
+    /// Folds a finished run's aggregated metrics into the per-device /
+    /// per-kernel total families. This is the **single** place kernel
+    /// aggregates cross from the per-run `Metrics` world into the
+    /// cross-run registry; the roofline summary reads only these.
+    pub fn ingest_metrics(&self, m: &Metrics) {
+        for d in &m.devices {
+            let dl = label1("device", d.device);
+            self.gauge_set(names::DEVICE_BUSY_SECONDS, &dl, d.busy_seconds);
+            self.gauge_set(names::DEVICE_WAIT_SECONDS, &dl, d.wait_seconds);
+            self.gauge_set(names::DEVICE_BYTES_MOVED, &dl, d.bytes_moved);
+            self.gauge_set(names::DEVICE_PEAK_GFLOPS, &dl, d.peak_gflops);
+            self.gauge_set(names::DEVICE_PEAK_GBS, &dl, d.peak_gbs);
+            self.counter_add(names::DEVICE_LAUNCHES_TOTAL, &dl, d.launches);
+            self.counter_add(names::DEVICE_SYNCS_TOTAL, &dl, d.syncs);
+            self.set_info(names::DEVICE_INFO, &dl, d.name);
+            for (kname, k) in &d.kernels {
+                let kl = label2("device", d.device, "kernel", kname);
+                self.counter_add(names::KERNEL_LAUNCHES_TOTAL, &kl, k.launches);
+                self.gauge_add(names::KERNEL_SECONDS_TOTAL, &kl, k.seconds);
+                self.gauge_add(names::KERNEL_FLOPS_TOTAL, &kl, k.flops);
+                self.gauge_add(names::KERNEL_BYTES_TOTAL, &kl, k.bytes);
+            }
+        }
+        self.counter_add(names::RUNS_TOTAL, "", 1);
+        self.counter_add(names::RUN_RETRIES_TOTAL, "", m.retries);
+        self.counter_add(names::RUN_FALLBACKS_TOTAL, "", m.fallbacks);
+        self.gauge_set(names::RUN_RECOVERY_SECONDS, "", m.recovery_seconds());
+    }
+}
+
+/// `TraceSink` adapter: attach (a clone of) this as a run's tracer
+/// sink and every cost-model charge lands in the registry as it
+/// happens.
+#[derive(Debug, Clone)]
+pub struct RegistrySink {
+    registry: Registry,
+}
+
+impl RegistrySink {
+    /// A sink feeding `registry`.
+    pub fn new(registry: Registry) -> Self {
+        RegistrySink { registry }
+    }
+}
+
+impl TraceSink for RegistrySink {
+    fn record(&mut self, ev: TraceEvent) {
+        self.registry.ingest_event(&ev);
+    }
+}
+
+/// Tees events into several sinks (registry + flight recorder is the
+/// armed-telemetry configuration).
+pub struct FanoutSink {
+    sinks: Vec<Box<dyn TraceSink + Send>>,
+}
+
+impl std::fmt::Debug for FanoutSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FanoutSink")
+            .field("sinks", &self.sinks.len())
+            .finish()
+    }
+}
+
+impl FanoutSink {
+    /// A fanout over `sinks`, in delivery order.
+    pub fn new(sinks: Vec<Box<dyn TraceSink + Send>>) -> Self {
+        FanoutSink { sinks }
+    }
+}
+
+impl TraceSink for FanoutSink {
+    fn record(&mut self, ev: TraceEvent) {
+        for s in &mut self.sinks {
+            s.record(ev.clone());
+        }
+    }
+
+    fn events(&mut self) -> &[TraceEvent] {
+        // Delegate to the first sink that actually retains events
+        // (ring buffers retain; registry/null sinks do not).
+        match self.sinks.iter_mut().position(|s| !s.events().is_empty()) {
+            Some(i) => self.sinks[i].events(),
+            None => &[],
+        }
+    }
+
+    fn dropped(&self) -> u64 {
+        self.sinks.iter().map(|s| s.dropped()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_land_in_the_expected_families() {
+        let reg = Registry::new();
+        let mut sink = RegistrySink::new(reg.clone());
+        sink.record(TraceEvent::Kernel {
+            device: 0,
+            name: "gemm",
+            phase: "Sampling",
+            dims: [8, 8, 8],
+            flops: 1024.0,
+            bytes: 1536.0,
+            start: 0.0,
+            end: 0.25,
+        });
+        sink.record(TraceEvent::Fault {
+            device: 1,
+            kind: "transient",
+            at_launch: 3,
+            time: 0.5,
+        });
+        let snap = reg.snapshot();
+        let h = snap
+            .hist(crate::names::SIM_KERNEL_SECONDS, "kernel=\"gemm\"")
+            .expect("kernel histogram");
+        assert_eq!(h.count(), 1);
+        assert_eq!(
+            snap.counter(crate::names::SIM_FAULTS_TOTAL, "kind=\"transient\""),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn ingest_metrics_is_the_roofline_bridge() {
+        use rlra_trace::{DeviceMetrics, KernelStats};
+        let mut d = DeviceMetrics {
+            device: 2,
+            name: "Tesla K40c",
+            launches: 5,
+            syncs: 1,
+            busy_seconds: 1.5,
+            wait_seconds: 0.5,
+            bytes_moved: 1e9,
+            peak_gflops: 1430.0,
+            peak_gbs: 288.0,
+            ..DeviceMetrics::default()
+        };
+        d.kernels.insert(
+            "gemm",
+            KernelStats {
+                launches: 3,
+                seconds: 1.0,
+                flops: 5e11,
+                bytes: 2e9,
+            },
+        );
+        let m = Metrics {
+            devices: vec![d],
+            retries: 1,
+            fallbacks: 0,
+        };
+        let reg = Registry::new();
+        reg.ingest_metrics(&m);
+        let snap = reg.snapshot();
+        assert_eq!(
+            snap.gauge(crate::names::DEVICE_BUSY_SECONDS, "device=\"2\""),
+            Some(1.5)
+        );
+        assert_eq!(
+            snap.counter(
+                crate::names::KERNEL_LAUNCHES_TOTAL,
+                "device=\"2\",kernel=\"gemm\""
+            ),
+            Some(3)
+        );
+        assert_eq!(
+            snap.gauge(crate::names::RUN_RECOVERY_SECONDS, ""),
+            Some(0.0)
+        );
+        // A second ingest accumulates counters but pins gauges.
+        reg.ingest_metrics(&m);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter(crate::names::RUNS_TOTAL, ""), Some(2));
+        assert_eq!(
+            snap.gauge(crate::names::DEVICE_BUSY_SECONDS, "device=\"2\""),
+            Some(1.5)
+        );
+    }
+
+    #[test]
+    fn clones_share_one_store() {
+        let a = Registry::new();
+        let b = a.clone();
+        a.counter_add(crate::names::RUNS_TOTAL, "", 1);
+        b.counter_add(crate::names::RUNS_TOTAL, "", 2);
+        assert_eq!(a.snapshot().counter(crate::names::RUNS_TOTAL, ""), Some(3));
+    }
+}

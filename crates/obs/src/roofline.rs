@@ -1,0 +1,288 @@
+//! Terminal roofline / utilization summary, read from the registry.
+//!
+//! Earlier revisions aggregated per-kernel counters twice: once in the
+//! per-run `rlra_trace::Metrics` registry and again inside the
+//! summary renderer. The renderer now reads a [`Snapshot`] of the
+//! metric [`crate::Registry`] — fill one via
+//! [`crate::Registry::ingest_metrics`] (or the streaming
+//! [`crate::RegistrySink`]) and every consumer (Prometheus scrape,
+//! postmortem bundle, this summary) sees the same numbers from the
+//! same aggregation.
+
+use crate::hist::LogHistogram;
+use crate::names;
+use crate::registry::Snapshot;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+fn fmt_secs(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.3} s")
+    } else if s >= 1e-3 {
+        format!("{:.3} ms", s * 1e3)
+    } else {
+        format!("{:.3} us", s * 1e6)
+    }
+}
+
+fn fmt_bytes(b: f64) -> String {
+    if b >= 1e9 {
+        format!("{:.2} GB", b / 1e9)
+    } else if b >= 1e6 {
+        format!("{:.2} MB", b / 1e6)
+    } else {
+        format!("{:.2} kB", b / 1e3)
+    }
+}
+
+/// The value of `key` in a rendered label set
+/// (`device="0",kernel="gemm"`), if present.
+fn label_value<'a>(label: &'a str, key: &str) -> Option<&'a str> {
+    for part in label.split(',') {
+        if let Some(rest) = part.strip_prefix(key) {
+            if let Some(v) = rest.strip_prefix("=\"") {
+                return v.strip_suffix('"');
+            }
+        }
+    }
+    None
+}
+
+/// The device ordinal a single-dimension `device="N"` label names.
+fn device_of(label: &str) -> Option<usize> {
+    label_value(label, "device")?.parse().ok()
+}
+
+#[derive(Default)]
+struct KernelRow {
+    launches: u64,
+    seconds: f64,
+    flops: f64,
+    bytes: f64,
+}
+
+/// Renders the registry snapshot as an aligned terminal summary: one
+/// block per device with busy/idle utilization, then a per-kernel
+/// roofline table (achieved Gflop/s and GB/s against the calibrated
+/// device peaks). The "% peak" columns are the roofline reading: a
+/// kernel near its flops peak is compute-bound, one near the bandwidth
+/// peak is memory-bound. When the wall-clock funnel recorded hot-path
+/// histograms, a final block reports their p50/p99/p999.
+pub fn roofline_summary(snap: &Snapshot) -> String {
+    let mut out = String::new();
+
+    let mut devices: Vec<usize> = snap
+        .gauge_family(names::DEVICE_BUSY_SECONDS)
+        .iter()
+        .filter_map(|(l, _)| device_of(l))
+        .collect();
+    devices.sort_unstable();
+    devices.dedup();
+
+    // Per-device/per-kernel rows, folded from the KERNEL_* families.
+    let mut kernels: BTreeMap<usize, BTreeMap<String, KernelRow>> = BTreeMap::new();
+    let mut fold = |entries: Vec<(&str, f64)>, set: fn(&mut KernelRow, f64)| {
+        for (label, v) in entries {
+            let (Some(dev), Some(kname)) = (device_of(label), label_value(label, "kernel")) else {
+                continue;
+            };
+            set(
+                kernels
+                    .entry(dev)
+                    .or_default()
+                    .entry(kname.to_string())
+                    .or_default(),
+                v,
+            );
+        }
+    };
+    fold(
+        snap.counter_family(names::KERNEL_LAUNCHES_TOTAL)
+            .into_iter()
+            .map(|(l, v)| (l, v as f64))
+            .collect(),
+        |r, v| r.launches = v as u64,
+    );
+    fold(snap.gauge_family(names::KERNEL_SECONDS_TOTAL), |r, v| {
+        r.seconds = v;
+    });
+    fold(snap.gauge_family(names::KERNEL_FLOPS_TOTAL), |r, v| {
+        r.flops = v;
+    });
+    fold(snap.gauge_family(names::KERNEL_BYTES_TOTAL), |r, v| {
+        r.bytes = v;
+    });
+
+    for dev in &devices {
+        let dl = crate::registry::label1("device", dev);
+        let busy = snap.gauge(names::DEVICE_BUSY_SECONDS, &dl).unwrap_or(0.0);
+        let wait = snap.gauge(names::DEVICE_WAIT_SECONDS, &dl).unwrap_or(0.0);
+        let moved = snap.gauge(names::DEVICE_BYTES_MOVED, &dl).unwrap_or(0.0);
+        let peak_gflops = snap.gauge(names::DEVICE_PEAK_GFLOPS, &dl).unwrap_or(0.0);
+        let peak_gbs = snap.gauge(names::DEVICE_PEAK_GBS, &dl).unwrap_or(0.0);
+        let launches = snap.counter(names::DEVICE_LAUNCHES_TOTAL, &dl).unwrap_or(0);
+        let syncs = snap.counter(names::DEVICE_SYNCS_TOTAL, &dl).unwrap_or(0);
+        let name = snap
+            .infos
+            .get(&(names::DEVICE_INFO.to_string(), dl.clone()))
+            .map_or("?", String::as_str);
+        let total = busy + wait;
+        let util = if total > 0.0 { busy / total } else { 0.0 };
+        let _ = writeln!(
+            out,
+            "device {} ({}): busy {} ({:.1}%), idle {}, {} over PCIe, {} launches, {} syncs",
+            dev,
+            name,
+            fmt_secs(busy),
+            100.0 * util,
+            fmt_secs(wait),
+            fmt_bytes(moved),
+            launches,
+            syncs,
+        );
+        let Some(rows) = kernels.get(dev) else {
+            continue;
+        };
+        if rows.is_empty() {
+            continue;
+        }
+        let _ = writeln!(
+            out,
+            "  {:<10} {:>8} {:>12} {:>10} {:>7} {:>10} {:>7}",
+            "kernel", "launches", "time", "Gflop/s", "%peak", "GB/s", "%peak"
+        );
+        for (kname, k) in rows {
+            let (gf, gb) = if k.seconds > 0.0 {
+                (k.flops / k.seconds / 1e9, k.bytes / k.seconds / 1e9)
+            } else {
+                (0.0, 0.0)
+            };
+            let pf = if peak_gflops > 0.0 {
+                100.0 * gf / peak_gflops
+            } else {
+                0.0
+            };
+            let pb = if peak_gbs > 0.0 {
+                100.0 * gb / peak_gbs
+            } else {
+                0.0
+            };
+            let _ = writeln!(
+                out,
+                "  {:<10} {:>8} {:>12} {:>10.1} {:>6.1}% {:>10.1} {:>6.1}%",
+                kname,
+                k.launches,
+                fmt_secs(k.seconds),
+                gf,
+                pf,
+                gb,
+                pb,
+            );
+        }
+    }
+
+    let retries = snap.counter(names::RUN_RETRIES_TOTAL, "").unwrap_or(0);
+    if retries > 0 {
+        let _ = writeln!(out, "recovery: {} transient retries", retries);
+    }
+
+    let wall: Vec<(&'static str, &str, &LogHistogram)> = [
+        names::WALL_GEMM_SECONDS,
+        names::WALL_CHOLQR_SECONDS,
+        names::WALL_SAMPLE_PANEL_SECONDS,
+        names::WALL_PIPELINE_SECONDS,
+    ]
+    .into_iter()
+    .flat_map(|n| snap.hist_family(n).into_iter().map(move |(l, h)| (n, l, h)))
+    .filter(|(_, _, h)| h.count() > 0)
+    .collect();
+    if !wall.is_empty() {
+        let _ = writeln!(out, "wall-clock hot paths ({} series):", wall.len());
+        let _ = writeln!(
+            out,
+            "  {:<34} {:>8} {:>12} {:>12} {:>12}",
+            "metric", "count", "p50", "p99", "p999"
+        );
+        for (n, l, h) in wall {
+            let series = if l.is_empty() {
+                n.to_string()
+            } else {
+                format!("{n}{{{l}}}")
+            };
+            let _ = writeln!(
+                out,
+                "  {:<34} {:>8} {:>12} {:>12} {:>12}",
+                series,
+                h.count(),
+                fmt_secs(h.p50().unwrap_or(0.0)),
+                fmt_secs(h.p99().unwrap_or(0.0)),
+                fmt_secs(h.p999().unwrap_or(0.0)),
+            );
+        }
+    }
+
+    if out.is_empty() {
+        out.push_str("no devices recorded\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+    use rlra_trace::{DeviceMetrics, KernelStats, Metrics};
+
+    #[test]
+    fn summary_mentions_each_device_and_kernel() {
+        let mut d = DeviceMetrics {
+            device: 1,
+            name: "Tesla K40c",
+            launches: 7,
+            busy_seconds: 2.0,
+            wait_seconds: 0.5,
+            bytes_moved: 3e9,
+            peak_gflops: 1430.0,
+            peak_gbs: 288.0,
+            ..DeviceMetrics::default()
+        };
+        d.kernels.insert(
+            "gemm",
+            KernelStats {
+                launches: 3,
+                seconds: 1.5,
+                flops: 1.2e12,
+                bytes: 9e9,
+            },
+        );
+        let m = Metrics {
+            devices: vec![d],
+            retries: 2,
+            fallbacks: 0,
+        };
+        let reg = Registry::new();
+        reg.ingest_metrics(&m);
+        let text = roofline_summary(&reg.snapshot());
+        assert!(text.contains("device 1 (Tesla K40c)"));
+        assert!(text.contains("gemm"));
+        assert!(text.contains("80.0%"), "utilization: {text}");
+        assert!(text.contains("transient retries"));
+    }
+
+    #[test]
+    fn empty_snapshot_does_not_panic() {
+        assert!(roofline_summary(&Snapshot::default()).contains("no devices"));
+    }
+
+    #[test]
+    fn wall_histograms_get_their_own_block() {
+        let reg = Registry::new();
+        for v in [0.001, 0.002, 0.004] {
+            reg.observe(crate::names::WALL_GEMM_SECONDS, "", v);
+        }
+        let text = roofline_summary(&reg.snapshot());
+        assert!(text.contains("wall-clock hot paths"));
+        assert!(text.contains("rlra_wall_gemm_seconds"));
+        assert!(text.contains("p999"));
+    }
+}

@@ -1,0 +1,134 @@
+//! The wall-clock profiling funnel — the **only** sanctioned
+//! wall-time source in the workspace.
+//!
+//! The determinism analyzer (`cargo xtask analyze`) forbids
+//! `Instant::now` everywhere in library code because wall time leaking
+//! into numerics or the cost model would break bit-reproducibility.
+//! Profiling still needs real timings, so this module is the single
+//! exemption, kept safe by *containment*: wall time flows **in** to the
+//! global registry's histograms and never flows **out** — no public
+//! function here returns an `f64`, `Duration`, or `Instant`, so
+//! instrumented code cannot read the clock back and numerics cannot
+//! depend on it. The analyzer's `metrics` pass checks both halves
+//! (this file is the one allowed carrier; its public surface must stay
+//! time-opaque).
+//!
+//! Instrumentation is a scope guard:
+//!
+//! ```
+//! use rlra_obs::{names, walltime};
+//! let _t = walltime::scoped(names::WALL_GEMM_SECONDS);
+//! // ... hot path ...
+//! // drop records elapsed seconds into the global registry
+//! ```
+//!
+//! Profiling is off by default (guards are created disarmed and never
+//! touch the clock), so library users pay one relaxed atomic load per
+//! instrumented call until [`enable`] arms the funnel.
+
+use crate::registry::Registry;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
+/// Arms the funnel: subsequently created scopes record wall time.
+/// Returns a handle to the global registry the samples land in.
+pub fn enable() -> Registry {
+    ENABLED.store(true, Ordering::Relaxed);
+    global().clone()
+}
+
+/// Disarms the funnel. Scopes created while disarmed never read the
+/// clock; already-armed live scopes still record on drop.
+pub fn disable() {
+    ENABLED.store(false, Ordering::Relaxed);
+}
+
+/// Whether the funnel is currently armed.
+pub fn is_enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Handle to the global registry wall samples land in (also reachable
+/// from [`enable`]'s return value).
+pub fn registry() -> Registry {
+    global().clone()
+}
+
+/// An armed-or-disarmed wall-clock scope; records elapsed seconds into
+/// the global registry when dropped.
+#[derive(Debug)]
+pub struct WallScope {
+    name: &'static str,
+    label: &'static str,
+    start: Option<Instant>,
+}
+
+/// Starts a wall-clock scope for metric `name` (a
+/// [`crate::names`] constant). Disarmed (and free) unless [`enable`]
+/// was called.
+pub fn scoped(name: &'static str) -> WallScope {
+    scoped_labeled(name, "")
+}
+
+/// [`scoped`] with a static label set (e.g. `rung="cholqr2"`).
+pub fn scoped_labeled(name: &'static str, label: &'static str) -> WallScope {
+    let start = if is_enabled() {
+        // analyze: allow(determinism, the single sanctioned wall-clock read; containment keeps it write-only into the registry)
+        Some(Instant::now())
+    } else {
+        None
+    };
+    WallScope { name, label, start }
+}
+
+impl Drop for WallScope {
+    fn drop(&mut self) {
+        if let Some(start) = self.start {
+            global().observe(self.name, self.label, start.elapsed().as_secs_f64());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::names;
+
+    #[test]
+    fn disarmed_scopes_record_nothing_and_armed_scopes_record() {
+        // One test owns the whole enable/disable cycle (global state).
+        disable();
+        drop(scoped(names::WALL_PIPELINE_SECONDS));
+        let before = registry()
+            .snapshot()
+            .hist(names::WALL_PIPELINE_SECONDS, "")
+            .map_or(0, crate::hist::LogHistogram::count);
+        assert_eq!(before, 0);
+
+        let reg = enable();
+        drop(scoped(names::WALL_PIPELINE_SECONDS));
+        drop(scoped_labeled(
+            names::WALL_CHOLQR_SECONDS,
+            "rung=\"cholqr2\"",
+        ));
+        disable();
+        drop(scoped(names::WALL_PIPELINE_SECONDS));
+
+        let snap = reg.snapshot();
+        let h = snap.hist(names::WALL_PIPELINE_SECONDS, "").unwrap();
+        assert_eq!(h.count(), 1);
+        assert!(h.min().unwrap() >= 0.0);
+        let c = snap
+            .hist(names::WALL_CHOLQR_SECONDS, "rung=\"cholqr2\"")
+            .unwrap();
+        assert_eq!(c.count(), 1);
+    }
+}

@@ -1,0 +1,121 @@
+//! Property-based tests for the streaming [`LogHistogram`]: merging is
+//! associative and commutative (the fleet-fold invariant — per-run
+//! histograms from many workers must collapse into one distribution in
+//! any order), quantile queries are monotone and clamped into the
+//! observed range, and the JSON export round-trips exactly.
+
+use proptest::collection::vec as pvec;
+use proptest::prelude::*;
+use rlra_obs::LogHistogram;
+
+/// Latency-shaped samples: up to a minute, plus the zero and
+/// subnormal-range edge cases the floor bucket absorbs.
+fn with_edge_cases(mut xs: Vec<f64>, zeros: usize, tinies: usize) -> Vec<f64> {
+    xs.extend(std::iter::repeat_n(0.0, zeros));
+    xs.extend(std::iter::repeat_n(1e-300, tinies));
+    xs
+}
+
+fn hist_of(samples: &[f64]) -> LogHistogram {
+    let mut h = LogHistogram::new();
+    for &s in samples {
+        h.record(s);
+    }
+    h
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn merge_is_commutative(
+        xs in pvec(0.0f64..60.0, 0..64),
+        ys in pvec(0.0f64..60.0, 0..64),
+        zeros in 0usize..3,
+        tinies in 0usize..3,
+    ) {
+        let a = hist_of(&with_edge_cases(xs, zeros, tinies));
+        let b = hist_of(&ys);
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        prop_assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn merge_is_associative_and_matches_the_one_pass_fold(
+        xs in pvec(0.0f64..60.0, 0..48),
+        ys in pvec(0.0f64..60.0, 0..48),
+        zs in pvec(0.0f64..60.0, 0..48),
+        zeros in 0usize..3,
+    ) {
+        let xs = with_edge_cases(xs, zeros, zeros);
+        let (a, b, c) = (hist_of(&xs), hist_of(&ys), hist_of(&zs));
+
+        // (a + b) + c
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        // a + (b + c)
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a;
+        right.merge(&bc);
+
+        // The distribution state — bucket counts (probed through the
+        // whole quantile curve), count, min, max — is exactly
+        // fold-order independent; the exact `sum` is an f64 fold, so
+        // it is only associative to rounding.
+        let all: Vec<f64> = xs.iter().chain(&ys).chain(&zs).copied().collect();
+        let one_pass = hist_of(&all);
+        for h in [&right, &one_pass] {
+            prop_assert_eq!(left.count(), h.count());
+            prop_assert_eq!(left.min(), h.min());
+            prop_assert_eq!(left.max(), h.max());
+            for q in [0.0, 0.25, 0.5, 0.9, 0.99, 0.999, 1.0] {
+                prop_assert_eq!(left.quantile(q), h.quantile(q));
+            }
+            let (s1, s2) = (left.sum(), h.sum());
+            prop_assert!((s1 - s2).abs() <= 1e-12 * s1.abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn quantiles_are_monotone_and_within_the_observed_range(
+        xs in pvec(0.0f64..60.0, 1..128),
+        qs in pvec(0.0f64..1.0, 2..8),
+    ) {
+        let h = hist_of(&xs);
+        let (lo, hi) = (h.min().unwrap(), h.max().unwrap());
+
+        // Walk the quantile curve in order, ending at the exact top.
+        let mut sorted = qs;
+        sorted.push(1.0);
+        sorted.sort_by(f64::total_cmp);
+        let mut prev = f64::NEG_INFINITY;
+        for q in sorted {
+            let v = h.quantile(q).unwrap();
+            prop_assert!(v >= prev, "quantile({}) = {} dropped below {}", q, v, prev);
+            prop_assert!(
+                v >= lo && v <= hi,
+                "quantile({}) = {} outside [{}, {}]", q, v, lo, hi
+            );
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn json_export_round_trips_exactly(
+        xs in pvec(0.0f64..60.0, 0..96),
+        zeros in 0usize..3,
+        tinies in 0usize..3,
+    ) {
+        let h = hist_of(&with_edge_cases(xs, zeros, tinies));
+        let back = LogHistogram::from_json(&h.to_json()).unwrap();
+        prop_assert_eq!(&h, &back);
+        // And the round-tripped copy keeps answering identically.
+        prop_assert_eq!(h.count(), back.count());
+        prop_assert_eq!(h.quantile(0.999), back.quantile(0.999));
+    }
+}

@@ -18,8 +18,9 @@
 //!   vs the calibrated peaks, bytes moved) that backends surface in
 //!   `ExecReport::metrics`;
 //! - exporters — [`chrome_trace_json`] (open in `chrome://tracing` or
-//!   [Perfetto](https://ui.perfetto.dev)), [`metrics_json`], and the
-//!   terminal [`roofline_summary`].
+//!   [Perfetto](https://ui.perfetto.dev)) and [`metrics_json`]. The
+//!   terminal roofline summary lives in `rlra-obs`
+//!   (`roofline_summary`), reading from the cross-run metric registry.
 //!
 //! Timestamps are **simulated seconds** from the device cost model, so
 //! the event stream of a fixed-seed run is fully deterministic and can
@@ -32,12 +33,10 @@ pub mod chrome;
 pub mod event;
 pub mod json;
 pub mod metrics;
-pub mod roofline;
 pub mod sink;
 
 pub use chrome::chrome_trace_json;
 pub use event::TraceEvent;
 pub use json::{parse_json, Json};
 pub use metrics::{metrics_json, DeviceMetrics, KernelStats, Metrics};
-pub use roofline::roofline_summary;
 pub use sink::{NullSink, RingBufferSink, TraceSink, Tracer};

@@ -1,0 +1,50 @@
+//! Flight-recorder walkthrough: arm a [`FlightDeck`] on a simulated GPU,
+//! inject a fail-stop mid-run, and dump the postmortem bundle an
+//! operator would read — `MANIFEST.json`, the event tail, the metrics
+//! snapshot — into `target/postmortem` (or `$RLRA_POSTMORTEM_DIR`).
+//!
+//! ```text
+//! cargo run --release --example postmortem_dump
+//! ```
+//!
+//! CI runs this after the perf-smoke gate and uploads the bundle as an
+//! artifact, so every pipeline leaves an inspectable incident trail.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rlra::prelude::*;
+use rlra_core::backend::{run_fixed_rank, GpuExec, Input};
+use rlra_core::{postmortem_dir, FlightDeck};
+use rlra_data::testmat::decay_matrix;
+use rlra_gpu::FaultPlan;
+use rlra_obs::prometheus_text;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let (a, _) = decay_matrix(400, 120, 0.6, 42);
+    let cfg = SamplerConfig::new(16).with_p(8).with_q(1);
+
+    // The deck tees every event into the live registry and a bounded
+    // flight recorder; the injector kills device 0 at its 6th launch.
+    let deck = FlightDeck::default();
+    let mut gpu = Gpu::k40c();
+    gpu.set_injector(Some(FaultPlan::default().fail_stop(0, 6).injector_for(0)));
+    gpu.set_tracer(Some(deck.tracer()));
+
+    let mut exec = GpuExec::new(&mut gpu);
+    let mut rng = StdRng::seed_from_u64(9);
+    let err = run_fixed_rank(&mut exec, Input::Values(&a), &cfg, &mut rng)
+        .expect_err("the injected fail-stop must kill the un-recovered run");
+    println!("incident: {err}");
+
+    let dir = postmortem_dir();
+    let written = deck
+        .dump_on_error(&err, None, &dir)?
+        .expect("a device fault is a run-level incident");
+    for path in &written {
+        println!("[postmortem] {}", path.display());
+    }
+
+    // What a scrape of the same registry would have served.
+    println!("\n{}", prometheus_text(&deck.registry().snapshot()));
+    Ok(())
+}

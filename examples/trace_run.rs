@@ -14,7 +14,8 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rlra::prelude::*;
 use rlra_core::multi::{sample_fixed_rank_multi_gpu, HostInput};
-use rlra_trace::{chrome_trace_json, metrics_json, parse_json, roofline_summary, Tracer};
+use rlra_obs::{roofline_summary, FanoutSink, Registry, RegistrySink};
+use rlra_trace::{chrome_trace_json, metrics_json, parse_json, RingBufferSink, Tracer};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The Figure 15 experiment on two simulated GPUs, with a tracer
@@ -23,7 +24,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let (m, n) = (150_000usize, 2_500usize);
     let cfg = SamplerConfig::new(54).with_p(10).with_q(1);
     let mut mg = MultiGpu::new(2, DeviceSpec::k40c(), ExecMode::DryRun)?;
-    mg.set_tracer(Some(Tracer::ring(1 << 16)));
+    // Tee the event stream: a ring buffer retains events for the Chrome
+    // export, while a RegistrySink streams the same charges into the
+    // cross-run metric registry as they happen.
+    let registry = Registry::new();
+    mg.set_tracer(Some(Tracer::new(Box::new(FanoutSink::new(vec![
+        Box::new(RingBufferSink::new(1 << 16)),
+        Box::new(RegistrySink::new(registry.clone())),
+    ])))));
     let mut rng = StdRng::seed_from_u64(1);
     let (_, rep) = sample_fixed_rank_multi_gpu(&mut mg, HostInput::Shape(m, n), &cfg, &mut rng)?;
 
@@ -65,7 +73,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         rep.seconds
     );
 
-    println!("{}", roofline_summary(&rep.metrics));
+    // The roofline summary reads the registry: fold the finished run's
+    // aggregates in, next to the streamed per-event histograms.
+    registry.ingest_metrics(&rep.metrics);
+    println!("{}", roofline_summary(&registry.snapshot()));
     println!("[trace]   {} ({n_events} events)", trace_path.display());
     println!("[metrics] {}", metrics_path.display());
     println!("\nopen the trace in chrome://tracing or https://ui.perfetto.dev");

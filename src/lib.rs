@@ -16,6 +16,7 @@
 //! | [`core`] | the paper's algorithm: fixed-rank + adaptive random sampling |
 //! | [`data`] | test-matrix generators (power/exponent spectra, HapMap-like) |
 //! | [`perfmodel`] | the analytic cost model (paper Figures 5 and 10) |
+//! | [`obs`] | fleet telemetry: metric registry, wall-clock profiling, flight recorder |
 //!
 //! ## Quickstart
 //!
@@ -47,6 +48,7 @@ pub use rlra_fft as fft;
 pub use rlra_gpu as gpu;
 pub use rlra_lapack as lapack;
 pub use rlra_matrix as matrix;
+pub use rlra_obs as obs;
 pub use rlra_perfmodel as perfmodel;
 
 /// The most common imports for downstream users.

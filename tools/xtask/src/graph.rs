@@ -277,7 +277,17 @@ impl<'a> Graph<'a> {
             .iter()
             .map(Option::is_some)
             .collect();
-        graph.entropy_src = reach_src(&|n: &Node| n.carriers.iter().any(|c| c.allowed));
+        // The wall-clock funnel file is exempt from entropy flow: its
+        // allowed `Instant::now` is write-only into the metric registry
+        // (the `metrics` lint enforces containment), so callers of
+        // instrumented hot paths are not poisoned.
+        let funnel: Vec<bool> = graph
+            .files
+            .iter()
+            .map(|f| crate::workspace::is_wall_funnel(&f.path))
+            .collect();
+        graph.entropy_src =
+            reach_src(&|n: &Node| !funnel[n.file] && n.carriers.iter().any(|c| c.allowed));
 
         graph
     }

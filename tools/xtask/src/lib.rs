@@ -1,7 +1,7 @@
 //! # rlra-analyze
 //!
 //! Repo-specific static analysis for the rlra workspace, run as
-//! `cargo xtask analyze`. Nine invariants the compiler cannot see:
+//! `cargo xtask analyze`. Ten invariants the compiler cannot see:
 //!
 //! 1. **cost** — every simulated GPU kernel and every Executor stage
 //!    hook *reaches* a cost-model charge, directly or through any
@@ -30,6 +30,11 @@
 //! 9. **discard** — no `let _ = ..` and no dropped `Result` statements
 //!    on the serving path; a swallowed error defeats the
 //!    breakdown-recovery ladder.
+//! 10. **metrics** — telemetry record sites name their series through
+//!     the registered `obs::names` table (which stays complete), and
+//!     the wall-clock funnel — the one determinism exemption — keeps a
+//!     time-opaque public surface, so wall time flows into the registry
+//!     and never out.
 //!
 //! Deliberate exceptions carry `// analyze: allow(lint, reason)` on or
 //! just above the offending line; an allow without a reason is itself
@@ -42,7 +47,10 @@
 //!
 //! Output formats: human diagnostics, versioned JSON, and SARIF 2.1.0
 //! ([`output`]); regression gating against a checked-in baseline
-//! ([`baseline`]).
+//! ([`baseline`]). The binary also hosts `cargo xtask tracediff`
+//! ([`tracediff`]) — the telemetry perf gate that aligns two
+//! metrics/bench/Chrome-trace JSON exports and fails on modeled-time
+//! regressions past a threshold.
 
 #![forbid(unsafe_code)]
 
@@ -55,6 +63,7 @@ pub mod output;
 pub mod par;
 pub mod resolve;
 pub mod scan;
+pub mod tracediff;
 pub mod workspace;
 
 use diag::Finding;
@@ -118,7 +127,7 @@ impl Loaded {
     }
 }
 
-/// Runs all nine lints (plus the allow-reason check) on the workspace
+/// Runs all ten lints (plus the allow-reason check) on the workspace
 /// at `root`. Returns the sorted findings; empty means clean.
 ///
 /// # Errors
@@ -154,6 +163,8 @@ pub fn analyze_with(root: &Path, opts: &Options) -> Result<Analysis, String> {
     let discard_paths = scope_paths(Scope::Discard);
     let parity_paths = scope_paths(Scope::HookParity);
     let flops_sig_paths = scope_paths(Scope::FlopsSig);
+    let metrics_paths = scope_paths(Scope::Metrics);
+    let metrics_names_paths = scope_paths(Scope::MetricsNames);
     let graph_paths = scope_paths(Scope::Graph);
 
     let mut union: Vec<PathBuf> = Vec::new();
@@ -169,6 +180,8 @@ pub fn analyze_with(root: &Path, opts: &Options) -> Result<Analysis, String> {
         &discard_paths,
         &parity_paths,
         &flops_sig_paths,
+        &metrics_paths,
+        &metrics_names_paths,
         &graph_paths,
     ] {
         union.extend(set.iter().cloned());
@@ -243,6 +256,16 @@ pub fn analyze_with(root: &Path, opts: &Options) -> Result<Analysis, String> {
         &loaded.get_all(&discard_paths),
     ));
     timed(&mut timings, "discard", t0);
+
+    let t0 = Instant::now();
+    let names_file = metrics_names_paths
+        .first()
+        .and_then(|p| loaded.cache.get(p));
+    findings.extend(lints::metrics::check(
+        &loaded.get_all(&metrics_paths),
+        names_file,
+    ));
+    timed(&mut timings, "metrics", t0);
 
     let t0 = Instant::now();
     for f in loaded.cache.values() {

@@ -1,0 +1,381 @@
+//! `metrics` — telemetry-surface hygiene.
+//!
+//! Three halves of one contract around `rlra-obs`:
+//!
+//! 1. **Registered names** — every metric record site (`observe`,
+//!    `counter_add`, `gauge_set`, `gauge_add`, `set_info`, `scoped`,
+//!    `scoped_labeled`) names its series through a constant from
+//!    `rlra_obs::names`. An inline string literal, or a constant the
+//!    table does not define, forks the scrape surface under an
+//!    unregistered spelling.
+//! 2. **Complete table** — every name constant in `obs::names` appears
+//!    in the `ALL` enumeration (and `ALL` references only defined
+//!    constants), so exposition tests and dashboards can walk the whole
+//!    surface.
+//! 3. **Contained funnel** — the wall-clock funnel
+//!    (`obs/src/walltime.rs`) is the one file the determinism analysis
+//!    exempts; in exchange its public surface must stay time-opaque (no
+//!    `pub fn` returning `f64`/`Duration`/`Instant`/..), and no other
+//!    file in the telemetry scope may carry an `allow(determinism)`
+//!    hatch. Wall time flows in, never out.
+
+use crate::diag::Finding;
+use crate::lex::{Tok, TokKind};
+use crate::scan::FileModel;
+use crate::workspace::is_wall_funnel;
+use std::collections::BTreeSet;
+
+/// Functions whose first argument is a metric name.
+const RECORD_FNS: &[&str] = &[
+    "observe",
+    "counter_add",
+    "gauge_set",
+    "gauge_add",
+    "set_info",
+    "scoped",
+    "scoped_labeled",
+];
+
+/// Return types a `pub fn` in the funnel file may not expose.
+const TIME_SHAPED: &[&str] = &["f64", "f32", "Duration", "Instant", "SystemTime"];
+
+/// Runs the metrics lint over the telemetry scope. `names_file` is the
+/// `obs::names` table when present (fixture workspaces may omit it —
+/// record sites then only reject inline literals).
+pub fn check(files: &[&FileModel], names_file: Option<&FileModel>) -> Vec<Finding> {
+    let table = names_file.map(names_table);
+    let mut findings = Vec::new();
+    if let Some(nf) = names_file {
+        findings.extend(check_names_table(nf));
+    }
+    for file in files {
+        findings.extend(check_record_sites(file, table.as_ref()));
+        if is_wall_funnel(&file.path) {
+            findings.extend(check_funnel_surface(file));
+        } else {
+            findings.extend(check_funnel_exclusive(file));
+        }
+    }
+    findings
+}
+
+/// The name constants the table defines: every `pub const X: .. = "..";`.
+fn names_table(file: &FileModel) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    let toks = &file.lexed.toks;
+    for (i, t) in toks.iter().enumerate() {
+        if !t.is_ident("const") || file.in_test_range(i) {
+            continue;
+        }
+        let Some(name) = toks.get(i + 1).filter(|t| t.kind == TokKind::Ident) else {
+            continue;
+        };
+        // Value is a single string literal (skips `ALL`, whose value is
+        // an array).
+        let Some(eq) = toks[i..].iter().position(|t| t.is_punct('=')) else {
+            continue;
+        };
+        if toks
+            .get(i + eq + 1)
+            .is_some_and(|t| t.str_content().is_some())
+        {
+            out.insert(name.text.clone());
+        }
+    }
+    out
+}
+
+/// Table completeness: every defined constant is enumerated in `ALL`,
+/// and `ALL` only references defined constants.
+fn check_names_table(file: &FileModel) -> Vec<Finding> {
+    let defined = names_table(file);
+    let toks = &file.lexed.toks;
+    let mut findings = Vec::new();
+
+    // Locate `const ALL` and collect the identifiers inside its value.
+    let mut enumerated: BTreeSet<String> = BTreeSet::new();
+    let mut all_line = None;
+    for (i, t) in toks.iter().enumerate() {
+        if t.is_ident("const") && toks.get(i + 1).is_some_and(|n| n.is_ident("ALL")) {
+            all_line = Some(t.line);
+            for t in toks[i + 2..].iter().take_while(|t| !t.is_punct(';')) {
+                if t.kind == TokKind::Ident && defined.contains(&t.text) {
+                    enumerated.insert(t.text.clone());
+                } else if t.kind == TokKind::Ident
+                    && t.text.chars().all(|c| c.is_ascii_uppercase() || c == '_')
+                    && !t.is_ident("ALL")
+                {
+                    findings.push(Finding {
+                        file: file.path.clone(),
+                        line: t.line,
+                        lint: "metrics",
+                        message: format!(
+                            "`ALL` references `{}`, which is not a name constant in this table",
+                            t.text
+                        ),
+                    });
+                }
+            }
+            break;
+        }
+    }
+    let Some(all_line) = all_line else {
+        return vec![Finding {
+            file: file.path.clone(),
+            line: 1,
+            lint: "metrics",
+            message: "the names table has no `ALL` enumeration — exposition tests cannot \
+                      walk the metric surface"
+                .to_string(),
+        }];
+    };
+    for name in defined.difference(&enumerated) {
+        findings.push(Finding {
+            file: file.path.clone(),
+            line: all_line,
+            lint: "metrics",
+            message: format!(
+                "name constant `{name}` is missing from `ALL` — the metric surface is no \
+                 longer enumerable"
+            ),
+        });
+    }
+    findings
+}
+
+/// Record sites: the first argument of a record fn must be (or contain)
+/// a table constant — never an inline string literal, never an
+/// unregistered SCREAMING_CASE constant.
+fn check_record_sites(file: &FileModel, table: Option<&BTreeSet<String>>) -> Vec<Finding> {
+    let toks = &file.lexed.toks;
+    let mut findings = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident || !RECORD_FNS.contains(&t.text.as_str()) {
+            continue;
+        }
+        if !toks.get(i + 1).is_some_and(|p| p.is_punct('(')) {
+            continue;
+        }
+        // A definition (`fn observe(..)`), not a call.
+        if i > 0 && toks[i - 1].is_ident("fn") {
+            continue;
+        }
+        if file.in_test_range(i) || file.allow_at("metrics", t.line).is_some() {
+            continue;
+        }
+        let arg = first_arg(&toks[i + 2..]);
+        if arg.is_empty() {
+            continue;
+        }
+        let upper = arg.iter().rev().find(|t| {
+            t.kind == TokKind::Ident
+                && t.text.len() > 1
+                && t.text.chars().all(|c| c.is_ascii_uppercase() || c == '_')
+        });
+        match upper {
+            Some(c) => {
+                if let Some(table) = table {
+                    if !table.contains(&c.text) {
+                        findings.push(Finding {
+                            file: file.path.clone(),
+                            line: t.line,
+                            lint: "metrics",
+                            message: format!(
+                                "`{}` records metric `{}`, which is not in the registered \
+                                 `obs::names` table",
+                                t.text, c.text
+                            ),
+                        });
+                    }
+                }
+            }
+            None => {
+                if arg[0].str_content().is_some() {
+                    findings.push(Finding {
+                        file: file.path.clone(),
+                        line: t.line,
+                        lint: "metrics",
+                        message: format!(
+                            "`{}` names its metric with an inline string literal — use a \
+                             constant from `obs::names` so the scrape surface stays \
+                             enumerable",
+                            t.text
+                        ),
+                    });
+                }
+                // A lowercase identifier (plumbing forwarding a name it
+                // received) is accepted; the table test pins its source.
+            }
+        }
+    }
+    findings
+}
+
+/// Tokens of the first call argument: everything up to the matching
+/// depth-0 `,` or `)`.
+fn first_arg(toks: &[Tok]) -> &[Tok] {
+    let mut depth = 0usize;
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind == TokKind::Punct {
+            match t.text.as_str() {
+                "(" | "[" | "{" => depth += 1,
+                ")" | "]" | "}" if depth == 0 => return &toks[..i],
+                ")" | "]" | "}" => depth -= 1,
+                "," if depth == 0 => return &toks[..i],
+                _ => {}
+            }
+        }
+    }
+    toks
+}
+
+/// The funnel's public surface must stay time-opaque: no `pub fn`
+/// returning a time-shaped type.
+fn check_funnel_surface(file: &FileModel) -> Vec<Finding> {
+    let toks = &file.lexed.toks;
+    let mut findings = Vec::new();
+    for f in &file.fns {
+        if !f.is_pub || f.in_test || !f.has_return_type {
+            continue;
+        }
+        let Some(body) = &f.body else { continue };
+        // Signature tokens: from the `fn` keyword back from the body
+        // start to the body open.
+        let fn_kw = (0..body.start).rev().find(|&j| {
+            toks[j].is_ident("fn") && toks.get(j + 1).is_some_and(|n| n.is_ident(&f.name))
+        });
+        let Some(fn_kw) = fn_kw else { continue };
+        let sig = &toks[fn_kw..body.start];
+        let Some(arrow) = sig
+            .windows(2)
+            .position(|w| w[0].is_punct('-') && w[1].is_punct('>'))
+        else {
+            continue;
+        };
+        if let Some(bad) = sig[arrow..]
+            .iter()
+            .find(|t| t.kind == TokKind::Ident && TIME_SHAPED.contains(&t.text.as_str()))
+        {
+            findings.push(Finding {
+                file: file.path.clone(),
+                line: f.line,
+                lint: "metrics",
+                message: format!(
+                    "wall-clock funnel fn `{}` returns `{}` — the funnel must stay \
+                     write-only (wall time flows into the registry, never out)",
+                    f.name, bad.text
+                ),
+            });
+        }
+    }
+    findings
+}
+
+/// Only the funnel file may hold a determinism escape hatch inside the
+/// telemetry scope — a second sanctioned clock would defeat the
+/// containment argument.
+fn check_funnel_exclusive(file: &FileModel) -> Vec<Finding> {
+    file.allows
+        .iter()
+        .filter(|a| a.lint == "determinism")
+        .map(|a| Finding {
+            file: file.path.clone(),
+            line: a.line,
+            lint: "metrics",
+            message: "allow(determinism) outside the wall-clock funnel — obs/src/walltime.rs \
+                      is the single sanctioned clock in telemetry scope"
+                .to_string(),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn fm(path: &str, src: &str) -> FileModel {
+        FileModel::new(PathBuf::from(path), src)
+    }
+
+    fn names_fm() -> FileModel {
+        fm(
+            "crates/obs/src/names.rs",
+            "pub const A_TOTAL: &str = \"rlra_a_total\";\n\
+             pub const B_SECONDS: &str = \"rlra_b_seconds\";\n\
+             pub const ALL: &[&str] = &[A_TOTAL, B_SECONDS];\n",
+        )
+    }
+
+    #[test]
+    fn literal_name_fires_and_constant_passes() {
+        let names = names_fm();
+        let bad = fm(
+            "crates/core/src/x.rs",
+            "pub fn f(r: &Registry) { r.counter_add(\"rlra_adhoc_total\", \"\", 1.0); }\n",
+        );
+        let ok = fm(
+            "crates/core/src/y.rs",
+            "pub fn f(r: &Registry) { r.counter_add(names::A_TOTAL, \"\", 1.0); }\n",
+        );
+        let f = check(&[&bad, &ok], Some(&names));
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("inline string literal"));
+    }
+
+    #[test]
+    fn unregistered_constant_fires() {
+        let names = names_fm();
+        let bad = fm(
+            "crates/core/src/x.rs",
+            "pub fn f(r: &Registry) { r.observe(names::C_SECONDS, \"\", 1.0); }\n",
+        );
+        let f = check(&[&bad], Some(&names));
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("not in the registered"));
+    }
+
+    #[test]
+    fn missing_all_entry_fires() {
+        let names = fm(
+            "crates/obs/src/names.rs",
+            "pub const A_TOTAL: &str = \"rlra_a_total\";\n\
+             pub const B_SECONDS: &str = \"rlra_b_seconds\";\n\
+             pub const ALL: &[&str] = &[A_TOTAL];\n",
+        );
+        let f = check(&[], Some(&names));
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("B_SECONDS"));
+        assert!(f[0].message.contains("missing from `ALL`"));
+    }
+
+    #[test]
+    fn funnel_leak_and_foreign_determinism_allow_fire() {
+        let funnel = fm(
+            "crates/obs/src/walltime.rs",
+            "pub fn elapsed() -> f64 { 0.0 }\npub fn registry() -> Registry { g() }\n",
+        );
+        let foreign = fm(
+            "crates/core/src/x.rs",
+            "// analyze: allow(determinism, sneaky second clock)\n\
+             pub fn f() {}\n",
+        );
+        let f = check(&[&funnel, &foreign], None);
+        assert_eq!(f.len(), 2);
+        assert!(f.iter().any(|d| d.message.contains("returns `f64`")));
+        assert!(f
+            .iter()
+            .any(|d| d.message.contains("single sanctioned clock")));
+    }
+
+    #[test]
+    fn definitions_and_tests_are_exempt() {
+        let defs = fm(
+            "crates/obs/src/registry.rs",
+            "impl Registry { pub fn observe(&self, name: &str, label: &str, v: f64) {} }\n\
+             #[cfg(test)]\nmod tests {\n\
+             #[test]\nfn t() { r.observe(\"adhoc\", \"\", 1.0); }\n}\n",
+        );
+        assert!(check(&[&defs], None).is_empty());
+    }
+}

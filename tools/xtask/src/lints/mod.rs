@@ -1,4 +1,4 @@
-//! The nine repo-specific invariant lints.
+//! The ten repo-specific invariant lints.
 //!
 //! | lint | invariant |
 //! |---|---|
@@ -11,6 +11,7 @@
 //! | `hook_parity` | every silent-default Executor hook is implemented on all four backends |
 //! | `flops_sig` | every kernel charge site passes the matching cost-model expression |
 //! | `discard` | no `let _ =` / dropped `Result` on the serving path |
+//! | `metrics` | record sites use registered `obs::names` constants; the wall-clock funnel stays write-only |
 //!
 //! `cost`, `trace`, `determinism` (flow layer), and `discard` consume
 //! the whole-workspace call graph ([`crate::graph`]); the rest are
@@ -22,6 +23,7 @@ pub mod discard;
 pub mod flops;
 pub mod flops_sig;
 pub mod hook_parity;
+pub mod metrics;
 pub mod numerics;
 pub mod panics;
 pub mod trace;

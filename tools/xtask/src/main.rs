@@ -1,7 +1,8 @@
-//! `cargo xtask analyze` — the workspace invariant checker.
+//! `cargo xtask analyze` — the workspace invariant checker — and
+//! `cargo xtask tracediff` — the telemetry perf-regression gate.
 //!
-//! Exit status: 0 clean (or no regressions in `--diff` mode), 1
-//! violations/regressions found, 2 usage/IO error.
+//! Exit status: 0 clean (or no regressions in `--diff`/tracediff mode),
+//! 1 violations/regressions found, 2 usage/IO error.
 //!
 //! Machine-readable documents (`--format json|sarif`) go to stdout;
 //! human diagnostics and progress go to stderr, so
@@ -16,7 +17,8 @@ const USAGE: &str = "usage: cargo xtask analyze [options]
 
 Checks the repo-specific invariants (cost charging, determinism,
 panic-freedom, flops coverage, trace completeness, guarded numerics,
-backend hook parity, flops/charge signatures, no discarded Results).
+backend hook parity, flops/charge signatures, no discarded Results,
+registered metric names / contained wall-clock funnel).
 See DESIGN.md \"Enforced invariants\".
 
 options:
@@ -29,7 +31,17 @@ options:
                       <root>/tools/xtask/analyze-baseline.json)
   --write-baseline    rewrite the baseline from the current findings
   --timing            report per-lint wall time on stderr
-  --serial            disable parallel file loading";
+  --serial            disable parallel file loading
+
+usage: cargo xtask tracediff <baseline.json> <current.json> [options]
+
+Aligns two telemetry JSON exports (BENCH_*.json, BENCH_hotpaths.json,
+metrics JSON, or Chrome trace) and fails when a modeled series grew
+past the threshold. Wall-clock series are informational unless --wall.
+
+options:
+  --threshold <pct>   gate threshold in percent (default: 10)
+  --wall              gate wall-clock series too (host noise!)";
 
 #[derive(Default)]
 struct Cli {
@@ -48,6 +60,62 @@ enum Format {
     Human,
     Json,
     Sarif,
+}
+
+fn run_tracediff(args: &[String]) -> ExitCode {
+    let mut opts = rlra_analyze::tracediff::DiffOpts::default();
+    let mut paths: Vec<&String> = Vec::new();
+    let mut i = 0usize;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--threshold" => {
+                let Some(v) = args.get(i + 1).and_then(|v| v.parse::<f64>().ok()) else {
+                    eprintln!("--threshold needs a number\n{USAGE}");
+                    return ExitCode::from(2);
+                };
+                opts.threshold_pct = v;
+                i += 2;
+            }
+            "--wall" => {
+                opts.wall = true;
+                i += 1;
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other if other.starts_with('-') => {
+                eprintln!("unknown argument `{other}`\n{USAGE}");
+                return ExitCode::from(2);
+            }
+            _ => {
+                paths.push(&args[i]);
+                i += 1;
+            }
+        }
+    }
+    let [baseline, current] = paths.as_slice() else {
+        eprintln!("tracediff needs exactly two files\n{USAGE}");
+        return ExitCode::from(2);
+    };
+    let read = |p: &String| std::fs::read_to_string(p).map_err(|e| format!("cannot read {p}: {e}"));
+    let report = read(baseline)
+        .and_then(|b| read(current).map(|c| (b, c)))
+        .and_then(|(b, c)| rlra_analyze::tracediff::diff_docs(&b, &c, &opts));
+    match report {
+        Ok(rep) => {
+            eprint!("{}", rep.render());
+            if rep.regressions == 0 {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("rlra-analyze tracediff: {e}");
+            ExitCode::from(2)
+        }
+    }
 }
 
 fn parse_cli() -> Result<Cli, String> {
@@ -92,6 +160,11 @@ fn parse_cli() -> Result<Cli, String> {
 }
 
 fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.first().is_some_and(|a| a == "tracediff") {
+        return run_tracediff(&argv[1..]);
+    }
+
     let cli = match parse_cli() {
         Ok(cli) => cli,
         Err(e) => {
@@ -202,7 +275,7 @@ fn main() -> ExitCode {
     if findings.is_empty() {
         eprintln!(
             "rlra-analyze: workspace clean (cost, determinism, panic, flops, trace, \
-             numerics, hook_parity, flops_sig, discard)"
+             numerics, hook_parity, flops_sig, discard, metrics)"
         );
         ExitCode::SUCCESS
     } else {

@@ -1,0 +1,437 @@
+//! `cargo xtask tracediff` — the perf-regression gate.
+//!
+//! Aligns two telemetry JSON documents (a checked-in baseline and a
+//! fresh run) series-by-series and reports the deltas. The documents
+//! may be any of the workspace's export formats, detected by their top
+//! keys:
+//!
+//! - **bench** (`"records"`) — repo-root `BENCH_*.json` written by
+//!   `rlra-bench`: per-config `modeled_s` is gated, `wall_s` and the
+//!   wall percentiles are informational (host noise) unless `--wall`;
+//! - **hotpaths** (`"modeled"`) — `BENCH_hotpaths.json`: per-kernel
+//!   modeled seconds/launches and per-phase seconds are gated, the
+//!   `"wall"` block is informational unless `--wall`;
+//! - **metrics** (`"devices"`) — `rlra_trace::metrics_json`: per-device
+//!   busy/wait seconds, per-phase seconds, and per-kernel seconds are
+//!   gated (all modeled);
+//! - **chrome trace** (`"traceEvents"`) — summed `dur` per event name,
+//!   gated.
+//!
+//! A series is a **regression** when it is gated and its value grew by
+//! more than the threshold (default 10%); series that shrink, appear,
+//! or disappear are reported but do not fail the gate (a new kernel is
+//! a review concern, not a perf regression). Identical documents always
+//! pass.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use rlra_trace::json::{parse_json, Json};
+
+/// Default regression threshold, in percent.
+pub const DEFAULT_THRESHOLD_PCT: f64 = 10.0;
+
+/// Gate options.
+#[derive(Debug, Clone, Copy)]
+pub struct DiffOpts {
+    /// Fail when a gated series grows by more than this many percent.
+    pub threshold_pct: f64,
+    /// Gate wall-clock series too (off by default: host noise).
+    pub wall: bool,
+}
+
+impl Default for DiffOpts {
+    fn default() -> Self {
+        DiffOpts {
+            threshold_pct: DEFAULT_THRESHOLD_PCT,
+            wall: false,
+        }
+    }
+}
+
+/// One extracted series: a value plus whether the gate applies to it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Series {
+    value: f64,
+    gated: bool,
+}
+
+/// One aligned delta between baseline and current.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Delta {
+    /// Series key, e.g. `kernel/gemm/seconds`.
+    pub key: String,
+    /// Baseline value (`None` when the series is new).
+    pub base: Option<f64>,
+    /// Current value (`None` when the series disappeared).
+    pub cur: Option<f64>,
+    /// Relative change in percent (`None` for added/removed series or a
+    /// zero baseline with zero current).
+    pub pct: Option<f64>,
+    /// Whether this series grew past the threshold — a gate failure.
+    pub regression: bool,
+}
+
+/// The aligned diff of two documents.
+#[derive(Debug)]
+pub struct DiffReport {
+    /// Every aligned series, sorted by key; unchanged ones included.
+    pub deltas: Vec<Delta>,
+    /// Number of gate failures (`deltas` entries with `regression`).
+    pub regressions: usize,
+}
+
+impl DiffReport {
+    /// Renders the report for stderr: changed series first, then a
+    /// one-line summary.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for d in &self.deltas {
+            let changed =
+                d.pct.is_some_and(|p| p.abs() > 1e-9) || d.base.is_none() || d.cur.is_none();
+            if !changed {
+                continue;
+            }
+            let marker = if d.regression { "REGRESSION" } else { "info" };
+            let _ = match (d.base, d.cur) {
+                (Some(b), Some(c)) => writeln!(
+                    out,
+                    "  [{marker}] {}: {b:.6e} -> {c:.6e} ({:+.1}%)",
+                    d.key,
+                    d.pct.unwrap_or(0.0)
+                ),
+                (None, Some(c)) => writeln!(out, "  [{marker}] {}: added ({c:.6e})", d.key),
+                (Some(b), None) => writeln!(out, "  [{marker}] {}: removed (was {b:.6e})", d.key),
+                (None, None) => Ok(()),
+            };
+        }
+        let _ = writeln!(
+            out,
+            "tracediff: {} series compared, {} regression(s)",
+            self.deltas.len(),
+            self.regressions
+        );
+        out
+    }
+}
+
+/// Diffs two telemetry documents (JSON text).
+///
+/// # Errors
+///
+/// Returns a message when either document fails to parse or has an
+/// unrecognized shape.
+pub fn diff_docs(baseline: &str, current: &str, opts: &DiffOpts) -> Result<DiffReport, String> {
+    let base = extract(baseline).map_err(|e| format!("baseline: {e}"))?;
+    let cur = extract(current).map_err(|e| format!("current: {e}"))?;
+
+    let mut keys: Vec<&String> = base.keys().chain(cur.keys()).collect();
+    keys.sort();
+    keys.dedup();
+
+    let mut deltas = Vec::new();
+    let mut regressions = 0usize;
+    for key in keys {
+        let b = base.get(key);
+        let c = cur.get(key);
+        let gated = b.or(c).is_some_and(|s| s.gated || opts.wall);
+        let (pct, regression) = match (b, c) {
+            (Some(b), Some(c)) => {
+                let pct = if b.value.abs() > 0.0 {
+                    Some((c.value - b.value) / b.value * 100.0)
+                } else if c.value.abs() > 0.0 {
+                    Some(f64::INFINITY)
+                } else {
+                    None
+                };
+                let reg = gated && pct.is_some_and(|p| p > opts.threshold_pct);
+                (pct, reg)
+            }
+            _ => (None, false),
+        };
+        regressions += usize::from(regression);
+        deltas.push(Delta {
+            key: key.clone(),
+            base: b.map(|s| s.value),
+            cur: c.map(|s| s.value),
+            pct,
+            regression,
+        });
+    }
+    Ok(DiffReport {
+        deltas,
+        regressions,
+    })
+}
+
+/// Parses a document and extracts its comparable series.
+fn extract(doc: &str) -> Result<BTreeMap<String, Series>, String> {
+    let j = parse_json(doc)?;
+    if j.get("records").is_some() {
+        Ok(extract_bench(&j))
+    } else if j.get("modeled").is_some() {
+        Ok(extract_hotpaths(&j))
+    } else if j.get("devices").is_some() {
+        Ok(extract_metrics(&j))
+    } else if j.get("traceEvents").is_some() {
+        Ok(extract_chrome(&j))
+    } else {
+        Err(
+            "unrecognized document shape (expected one of: bench `records`, \
+             hotpaths `modeled`, metrics `devices`, chrome `traceEvents`)"
+                .to_string(),
+        )
+    }
+}
+
+/// Object members, when `j` is an object.
+fn members(j: &Json) -> &[(String, Json)] {
+    match j {
+        Json::Obj(m) => m,
+        _ => &[],
+    }
+}
+
+fn extract_bench(j: &Json) -> BTreeMap<String, Series> {
+    let mut out = BTreeMap::new();
+    for rec in j.get("records").and_then(Json::as_arr).unwrap_or(&[]) {
+        let Some(config) = rec.get("config").and_then(Json::as_str) else {
+            continue;
+        };
+        for (field, gated) in [
+            ("modeled_s", true),
+            ("wall_s", false),
+            ("wall_p50", false),
+            ("wall_p99", false),
+            ("wall_p999", false),
+        ] {
+            if let Some(v) = rec.get(field).and_then(Json::as_num) {
+                out.insert(
+                    format!("bench/{config}/{field}"),
+                    Series { value: v, gated },
+                );
+            }
+        }
+    }
+    out
+}
+
+fn extract_hotpaths(j: &Json) -> BTreeMap<String, Series> {
+    let mut out = BTreeMap::new();
+    let modeled = j.get("modeled");
+    for (kernel, stats) in modeled
+        .and_then(|m| m.get("kernels"))
+        .map_or(&[][..], members)
+    {
+        for (field, v) in members(stats) {
+            if let Some(v) = v.as_num() {
+                out.insert(
+                    format!("kernel/{kernel}/{field}"),
+                    Series {
+                        value: v,
+                        gated: true,
+                    },
+                );
+            }
+        }
+    }
+    for (phase, v) in modeled
+        .and_then(|m| m.get("phases"))
+        .map_or(&[][..], members)
+    {
+        if let Some(v) = v.as_num() {
+            out.insert(
+                format!("phase/{phase}"),
+                Series {
+                    value: v,
+                    gated: true,
+                },
+            );
+        }
+    }
+    for (series, stats) in j.get("wall").map_or(&[][..], members) {
+        for (field, v) in members(stats) {
+            if let Some(v) = v.as_num() {
+                out.insert(
+                    format!("wall/{series}/{field}"),
+                    Series {
+                        value: v,
+                        gated: false,
+                    },
+                );
+            }
+        }
+    }
+    out
+}
+
+fn extract_metrics(j: &Json) -> BTreeMap<String, Series> {
+    let mut out = BTreeMap::new();
+    for dev in j.get("devices").and_then(Json::as_arr).unwrap_or(&[]) {
+        let id = dev
+            .get("device")
+            .and_then(Json::as_num)
+            .map_or_else(|| "?".to_string(), |d| format!("{d}"));
+        for field in ["busy_seconds", "wait_seconds", "bytes_moved"] {
+            if let Some(v) = dev.get(field).and_then(Json::as_num) {
+                out.insert(
+                    format!("device/{id}/{field}"),
+                    Series {
+                        value: v,
+                        gated: true,
+                    },
+                );
+            }
+        }
+        for (phase, v) in dev.get("phase_seconds").map_or(&[][..], members) {
+            if let Some(v) = v.as_num() {
+                let key = format!("device/{id}/phase/{phase}");
+                out.insert(
+                    key,
+                    Series {
+                        value: v,
+                        gated: true,
+                    },
+                );
+            }
+        }
+        for (kernel, stats) in dev.get("kernels").map_or(&[][..], members) {
+            for field in ["seconds", "launches", "flops"] {
+                if let Some(v) = stats.get(field).and_then(Json::as_num) {
+                    out.insert(
+                        format!("device/{id}/kernel/{kernel}/{field}"),
+                        Series {
+                            value: v,
+                            gated: true,
+                        },
+                    );
+                }
+            }
+        }
+    }
+    out
+}
+
+fn extract_chrome(j: &Json) -> BTreeMap<String, Series> {
+    let mut out: BTreeMap<String, Series> = BTreeMap::new();
+    for ev in j.get("traceEvents").and_then(Json::as_arr).unwrap_or(&[]) {
+        let (Some(name), Some(dur)) = (
+            ev.get("name").and_then(Json::as_str),
+            ev.get("dur").and_then(Json::as_num),
+        ) else {
+            continue;
+        };
+        out.entry(format!("event/{name}/dur_us"))
+            .or_insert(Series {
+                value: 0.0,
+                gated: true,
+            })
+            .value += dur;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BENCH: &str = r#"{
+        "bench": "adaptive", "schema_version": 2,
+        "records": [
+            { "config": "a/restart", "wall_s": 0.04, "modeled_s": 0.0030 },
+            { "config": "a/incremental", "wall_s": 0.05, "modeled_s": 0.0050 }
+        ]
+    }"#;
+
+    #[test]
+    fn identical_documents_pass_clean() {
+        let rep = diff_docs(BENCH, BENCH, &DiffOpts::default()).unwrap();
+        assert_eq!(rep.regressions, 0);
+        assert_eq!(rep.deltas.len(), 4);
+        assert!(rep.deltas.iter().all(|d| d.pct == Some(0.0)));
+    }
+
+    #[test]
+    fn seeded_regression_fails_the_gate_and_wall_noise_does_not() {
+        // modeled_s of one config grows 66% (gated); wall_s doubles
+        // (informational).
+        let cur = BENCH
+            .replace("0.0030", "0.0050")
+            .replace("\"wall_s\": 0.04", "\"wall_s\": 0.08");
+        let rep = diff_docs(BENCH, &cur, &DiffOpts::default()).unwrap();
+        assert_eq!(rep.regressions, 1, "{:#?}", rep.deltas);
+        let reg = rep.deltas.iter().find(|d| d.regression).unwrap();
+        assert_eq!(reg.key, "bench/a/restart/modeled_s");
+        // --wall arms the host-time series too.
+        let rep = diff_docs(
+            BENCH,
+            &cur,
+            &DiffOpts {
+                wall: true,
+                ..DiffOpts::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(rep.regressions, 2);
+    }
+
+    #[test]
+    fn improvements_and_small_drifts_pass() {
+        let cur = BENCH
+            .replace("0.0030", "0.0010") // large improvement
+            .replace("0.0050", "0.00052"); // +4%, under the 10% gate
+        let rep = diff_docs(BENCH, &cur, &DiffOpts::default()).unwrap();
+        assert_eq!(rep.regressions, 0, "{:#?}", rep.deltas);
+    }
+
+    #[test]
+    fn metrics_documents_align_kernels_and_phases() {
+        let base = r#"{"retries":0,"fallbacks":0,"total_launches":3,"recovery_seconds":0,
+            "devices":[{"device":0,"name":"K40c","launches":3,"syncs":1,
+              "busy_seconds":1.0,"wait_seconds":0.1,"bytes_moved":8.0,
+              "peak_gflops":1430,"peak_gbs":288,"utilization":0.9,
+              "phase_seconds":{"Sample":0.6,"Factor":0.4},
+              "kernels":{"gemm":{"launches":2,"seconds":0.8,"flops":1e9,"bytes":4.0,"gflops":1.2,"gbs":0.1}}}]}"#;
+        let cur = base.replace("\"seconds\":0.8", "\"seconds\":1.2");
+        let rep = diff_docs(base, &cur, &DiffOpts::default()).unwrap();
+        assert_eq!(rep.regressions, 1, "{:#?}", rep.deltas);
+        assert!(rep
+            .deltas
+            .iter()
+            .any(|d| d.key == "device/0/kernel/gemm/seconds" && d.regression));
+    }
+
+    #[test]
+    fn chrome_traces_sum_dur_per_name() {
+        let base = r#"{"traceEvents":[
+            {"name":"gemm","ph":"X","ts":0,"dur":5.0},
+            {"name":"gemm","ph":"X","ts":10,"dur":5.0},
+            {"name":"syrk","ph":"X","ts":20,"dur":2.0}]}"#;
+        let cur = base.replace("\"dur\":2.0", "\"dur\":4.0");
+        let rep = diff_docs(base, &cur, &DiffOpts::default()).unwrap();
+        assert_eq!(rep.regressions, 1);
+        assert!(rep
+            .deltas
+            .iter()
+            .any(|d| d.key == "event/syrk/dur_us" && d.regression));
+        assert!(rep
+            .deltas
+            .iter()
+            .any(|d| d.key == "event/gemm/dur_us" && d.pct == Some(0.0)));
+    }
+
+    #[test]
+    fn added_and_removed_series_inform_but_do_not_gate() {
+        let cur = BENCH.replace("a/incremental", "b/incremental");
+        let rep = diff_docs(BENCH, &cur, &DiffOpts::default()).unwrap();
+        assert_eq!(rep.regressions, 0, "{:#?}", rep.deltas);
+        assert!(rep.deltas.iter().any(|d| d.base.is_none()));
+        assert!(rep.deltas.iter().any(|d| d.cur.is_none()));
+    }
+
+    #[test]
+    fn unrecognized_shapes_error() {
+        assert!(diff_docs("{\"x\":1}", "{\"x\":1}", &DiffOpts::default()).is_err());
+        assert!(diff_docs("not json", "{}", &DiffOpts::default()).is_err());
+    }
+}

@@ -9,6 +9,17 @@ use std::path::{Path, PathBuf};
 /// path).
 pub const PANIC_FREE_CRATES: &[&str] = &["core", "gpu", "blas", "model"];
 
+/// The wall-clock profiling funnel — the one file in library code
+/// sanctioned to read `Instant::now` (write-only into the metric
+/// registry). The determinism flow analysis skips carriers here, and
+/// the `metrics` lint enforces the containment contract in return.
+pub const WALL_FUNNEL_SUFFIX: &str = "obs/src/walltime.rs";
+
+/// Whether `path` is the sanctioned wall-clock funnel file.
+pub fn is_wall_funnel(path: &Path) -> bool {
+    path.ends_with(WALL_FUNNEL_SUFFIX)
+}
+
 /// The lint scopes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Scope {
@@ -34,6 +45,11 @@ pub enum Scope {
     HookParity,
     /// Kernel charge sites must pass matching cost expressions.
     FlopsSig,
+    /// Metric record sites use registered names; the wall funnel stays
+    /// time-opaque: `rlra-obs` plus the instrumented crates.
+    Metrics,
+    /// The metric-name constants table itself (`obs::names`).
+    MetricsNames,
     /// Everything indexed for the call graph (superset of the rest).
     Graph,
 }
@@ -178,6 +194,24 @@ pub const SCOPES: &[ScopeSpec] = &[
             },
         ],
         exclude_bins: true,
+        exclude_suffixes: &[],
+    },
+    ScopeSpec {
+        scope: Scope::Metrics,
+        sets: &[FileSet {
+            crates: &["obs", "blas", "lapack", "core"],
+            part: "",
+        }],
+        exclude_bins: true,
+        exclude_suffixes: &[],
+    },
+    ScopeSpec {
+        scope: Scope::MetricsNames,
+        sets: &[FileSet {
+            crates: &["obs"],
+            part: "names.rs",
+        }],
+        exclude_bins: false,
         exclude_suffixes: &[],
     },
     ScopeSpec {

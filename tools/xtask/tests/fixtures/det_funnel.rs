@@ -1,0 +1,15 @@
+// Fixture: the wall-clock funnel file is exempt from entropy flow —
+// callers of its allowed carrier are not poisoned (graph-level
+// exemption; the metrics lint enforces containment in exchange). The
+// same content loaded anywhere else must still poison its callers.
+
+// analyze: allow(determinism, the sanctioned wall-clock read)
+pub fn scoped() -> WallScope {
+    WallScope {
+        start: Some(Instant::now()),
+    }
+}
+
+pub fn gemm_hot_path() {
+    let _wall = scoped();
+}

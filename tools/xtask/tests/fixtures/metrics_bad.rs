@@ -1,0 +1,17 @@
+//! Fixture: telemetry-surface violations the metrics lint must flag.
+
+/// An inline literal forks the scrape surface under an unregistered
+/// spelling.
+pub fn adhoc_name(r: &Registry) {
+    r.counter_add("rlra_adhoc_total", "", 1.0);
+}
+
+/// A constant the table does not define.
+pub fn unregistered(r: &Registry) {
+    r.observe(names::NOT_IN_TABLE_SECONDS, "", 0.5);
+}
+
+// analyze: allow(determinism, a second clock outside the funnel)
+pub fn sneaky_clock() -> f64 {
+    Instant::now().elapsed().as_secs_f64()
+}

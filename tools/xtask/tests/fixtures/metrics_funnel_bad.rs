@@ -1,0 +1,22 @@
+//! Fixture: a wall-clock funnel whose public surface leaks time —
+//! loaded at the funnel path by the test.
+
+/// Leaks elapsed seconds: instrumented code could read the clock back.
+pub fn elapsed_seconds() -> f64 {
+    0.0
+}
+
+/// Leaks a Duration.
+pub fn peek() -> std::time::Duration {
+    std::time::Duration::ZERO
+}
+
+/// Opaque handles stay fine.
+pub fn registry() -> Registry {
+    global().clone()
+}
+
+/// Private fns are not part of the surface.
+fn last_sample() -> f64 {
+    0.0
+}

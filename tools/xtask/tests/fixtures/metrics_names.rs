@@ -1,0 +1,9 @@
+//! Fixture: a well-formed metric-name table (complete `ALL`).
+
+/// Test counter.
+pub const A_TOTAL: &str = "rlra_a_total";
+/// Test histogram.
+pub const B_SECONDS: &str = "rlra_b_seconds";
+
+/// The enumeration the metrics lint checks record sites against.
+pub const ALL: &[&str] = &[A_TOTAL, B_SECONDS];

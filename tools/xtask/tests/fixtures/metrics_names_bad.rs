@@ -1,0 +1,8 @@
+//! Fixture: a names table whose `ALL` enumeration has drifted — one
+//! constant is missing from it, and it references a constant that no
+//! longer exists.
+
+pub const A_TOTAL: &str = "rlra_a_total";
+pub const B_SECONDS: &str = "rlra_b_seconds";
+
+pub const ALL: &[&str] = &[A_TOTAL, REMOVED_GAUGE];

@@ -1,0 +1,30 @@
+//! Fixture: record sites the metrics lint must accept.
+
+use rlra_obs::names;
+
+pub fn registered(r: &Registry) {
+    r.counter_add(names::A_TOTAL, "", 1.0);
+    r.observe(rlra_obs::names::B_SECONDS, "", 0.5);
+}
+
+/// Plumbing that forwards a name it received is fine — the table and
+/// its callers pin the source.
+pub fn forward(r: &Registry, name: &'static str) {
+    r.observe(name, "", 1.0);
+}
+
+/// A definition is not a record site.
+pub fn counter_add(_name: &str, _label: &str, _v: f64) {}
+
+pub fn waived(r: &Registry) {
+    // analyze: allow(metrics, migration shim exporting a legacy spelling)
+    r.gauge_set("legacy_name", "", 2.0);
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn adhoc_names_in_tests_are_fine() {
+        r.observe("scratch", "", 1.0);
+    }
+}

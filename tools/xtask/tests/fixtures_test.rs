@@ -269,6 +269,80 @@ fn numerics_accepts_ladder_defs_tests_and_allows() {
 }
 
 #[test]
+fn metrics_flags_literals_unregistered_names_and_foreign_clocks() {
+    let names = fixture_at("metrics_names.rs", "crates/obs/src/names.rs");
+    let file = fixture_at("metrics_bad.rs", "crates/core/src/telemetry.rs");
+    let findings = lints::metrics::check(&[&file], Some(&names));
+    // Inline literal, unregistered constant, allow(determinism) outside
+    // the funnel.
+    assert_eq!(findings.len(), 3, "got {findings:#?}");
+    assert!(lints_of(&findings).iter().all(|l| *l == "metrics"));
+    assert!(findings
+        .iter()
+        .any(|f| f.message.contains("inline string literal")));
+    assert!(findings
+        .iter()
+        .any(|f| f.message.contains("NOT_IN_TABLE_SECONDS")));
+    assert!(findings
+        .iter()
+        .any(|f| f.message.contains("single sanctioned clock")));
+}
+
+#[test]
+fn metrics_accepts_constants_forwarding_defs_tests_and_allows() {
+    let names = fixture_at("metrics_names.rs", "crates/obs/src/names.rs");
+    let file = fixture_at("metrics_ok.rs", "crates/core/src/telemetry.rs");
+    let findings = lints::metrics::check(&[&file], Some(&names));
+    assert!(findings.is_empty(), "unexpected findings: {findings:#?}");
+}
+
+#[test]
+fn metrics_flags_a_drifted_names_table() {
+    let names = fixture_at("metrics_names_bad.rs", "crates/obs/src/names.rs");
+    let findings = lints::metrics::check(&[], Some(&names));
+    // B_SECONDS missing from ALL; ALL references REMOVED_GAUGE.
+    assert_eq!(findings.len(), 2, "got {findings:#?}");
+    assert!(findings
+        .iter()
+        .any(|f| f.message.contains("`B_SECONDS` is missing from `ALL`")));
+    assert!(findings.iter().any(|f| f.message.contains("REMOVED_GAUGE")));
+}
+
+#[test]
+fn metrics_flags_a_time_leaking_funnel_surface() {
+    let funnel = fixture_at("metrics_funnel_bad.rs", "crates/obs/src/walltime.rs");
+    let findings = lints::metrics::check(&[&funnel], None);
+    // elapsed_seconds -> f64, peek -> Duration; registry() and the
+    // private fn stay silent.
+    assert_eq!(findings.len(), 2, "got {findings:#?}");
+    assert!(findings
+        .iter()
+        .any(|f| f.message.contains("`elapsed_seconds` returns `f64`")));
+    assert!(findings
+        .iter()
+        .any(|f| f.message.contains("`peek` returns `Duration`")));
+}
+
+#[test]
+fn determinism_flow_exempts_the_wall_funnel() {
+    // At the funnel path, the allowed carrier does not seed entropy
+    // flow: callers of instrumented hot paths stay clean.
+    let funnel = fixture_at("det_funnel.rs", "crates/obs/src/walltime.rs");
+    let graph = Graph::build(vec![&funnel]);
+    let scoped: HashSet<&Path> = [funnel.path.as_path()].into();
+    let findings = lints::determinism::check_flow(&graph, &scoped);
+    assert!(findings.is_empty(), "unexpected findings: {findings:#?}");
+
+    // The identical content anywhere else still poisons its callers.
+    let elsewhere = fixture_at("det_funnel.rs", "crates/gpu/src/clock.rs");
+    let graph = Graph::build(vec![&elsewhere]);
+    let scoped: HashSet<&Path> = [elsewhere.path.as_path()].into();
+    let findings = lints::determinism::check_flow(&graph, &scoped);
+    assert_eq!(findings.len(), 1, "got {findings:#?}");
+    assert!(findings[0].message.contains("gemm_hot_path"));
+}
+
+#[test]
 fn workspace_is_clean() {
     let root = Path::new(env!("CARGO_MANIFEST_DIR"))
         .ancestors()

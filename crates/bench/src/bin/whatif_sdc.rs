@@ -1,0 +1,341 @@
+//! What-if study: ABFT checksums vs silent data corruption on a
+//! simulated fleet.
+//!
+//! GPU memory at fleet scale sees silent bit flips that no ECC scrubber
+//! or fail-stop detector reports: the kernel completes, the wrong
+//! number flows into the factors. This study injects deterministic
+//! [`SdcPlan`] corruption into compute-mode runs and compares the three
+//! responses the integrity layer offers:
+//!
+//! - **off** — no checksums: corruption sails through and the run
+//!   silently returns wrong factors (the escape counter is the only
+//!   witness);
+//! - **detect-only** — checksum verification aborts the run at the
+//!   first corrupted panel with a [`MatrixError::SilentCorruption`];
+//! - **correct** — a single poisoned element is repaired in place from
+//!   the checksum pair (one length-k inner product), wider damage
+//!   re-runs the kernel under a bounded budget;
+//! - **rollback** — the durable pipeline's escalation: detected
+//!   corruption rolls the stage back to the last boundary snapshot and
+//!   re-runs it (wasted work stays on the clock).
+//!
+//! The first sweep covers corruption rate x fleet size with the
+//! seed-deterministic [`SdcPlan::random`] generator over the protected
+//! buffer funnel, asserting full detection coverage of applied events
+//! and zero undetected escapes in every armed cell. The second is the
+//! cost question: for a single flip, localized correction must beat the
+//! checkpoint rollback in every cell — correction redoes one inner
+//! product, rollback redoes a stage.
+//!
+//! Pass `--smoke` for the reduced CI sweep, and `--metrics <path>` to
+//! export the last corrected run's report JSON (its `sdc_*` fields are
+//! cross-checked against the in-memory [`ExecReport`]).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rlra_bench::{fmt_time, Table, TraceOpts};
+use rlra_core::backend::{
+    run_fixed_rank_protected, Input, IntegrityGuard, IntegrityMode, IntegrityPolicy, MultiGpuExec,
+    NumericGuard,
+};
+use rlra_core::{
+    report_json, CheckpointPlan, CountingRng, Durability, DurableOutcome, ExecReport,
+    LowRankApprox, SamplerConfig,
+};
+use rlra_data::testmat::decay_matrix;
+use rlra_gpu::{DeviceSpec, ExecMode, MultiGpu, SdcPlan};
+use rlra_matrix::{Mat, MatrixError};
+use rlra_trace::{parse_json, Json};
+
+/// The resident buffers the fixed-rank integrity funnel covers.
+const FUNNEL: &[&str] = &["sketch", "power_b", "power_c", "orth_b", "orth_c", "tsqr"];
+
+struct Armed {
+    approx: Option<LowRankApprox>,
+    report: ExecReport,
+    detected: u64,
+    corrected: u64,
+    escapes: u64,
+    latent: usize,
+}
+
+fn armed_run(
+    a: &Mat,
+    cfg: &SamplerConfig,
+    ng: usize,
+    plan: Option<&SdcPlan>,
+    mode: IntegrityMode,
+) -> Result<Armed, MatrixError> {
+    let mut mg = MultiGpu::new(ng, DeviceSpec::k40c(), ExecMode::Compute).expect("fleet");
+    if let Some(plan) = plan {
+        mg.install_sdc_plan(plan);
+    }
+    let mut exec = MultiGpuExec::new(&mut mg).expect("exec");
+    let mut guard = NumericGuard::default();
+    let mut iguard = IntegrityGuard::new(IntegrityPolicy::with_mode(mode));
+    let out = run_fixed_rank_protected(
+        &mut exec,
+        Input::Values(a),
+        cfg,
+        &mut StdRng::seed_from_u64(1),
+        &mut guard,
+        &mut iguard,
+    );
+    let (detected, corrected, escapes) = (iguard.detected(), iguard.corrected(), iguard.escapes());
+    let latent = iguard.queued();
+    out.map(|(approx, report)| Armed {
+        approx,
+        report,
+        detected,
+        corrected,
+        escapes,
+        latent,
+    })
+}
+
+fn rollback_run(a: &Mat, cfg: &SamplerConfig, ng: usize, plan: &SdcPlan) -> Armed {
+    let mut mg = MultiGpu::new(ng, DeviceSpec::k40c(), ExecMode::Compute).expect("fleet");
+    mg.install_sdc_plan(plan);
+    let mut exec = MultiGpuExec::new(&mut mg).expect("exec");
+    let mut rng = CountingRng::new(StdRng::seed_from_u64(1));
+    let mut dur = Durability::new(CheckpointPlan::always());
+    // Detect-only: the guard may not repair in place, so every detection
+    // escalates to the boundary rollback.
+    let mut iguard = IntegrityGuard::new(IntegrityPolicy::with_mode(IntegrityMode::DetectOnly));
+    let out = rlra_core::run_fixed_rank_durable_protected(
+        &mut exec,
+        Input::Values(a),
+        cfg,
+        &mut rng,
+        &mut dur,
+        &mut iguard,
+    )
+    .expect("rollback must absorb the corruption");
+    let (detected, corrected, escapes) = (iguard.detected(), iguard.corrected(), iguard.escapes());
+    let latent = iguard.queued();
+    let (approx, report) = match out {
+        DurableOutcome::Complete(v) => v,
+        DurableOutcome::Suspended { .. } => unreachable!("no kill plan installed"),
+    };
+    Armed {
+        approx,
+        report,
+        detected,
+        corrected,
+        escapes,
+        latent,
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let opts = TraceOpts::from_args();
+    let (m, n) = if smoke {
+        (600usize, 200usize)
+    } else {
+        (1200usize, 400usize)
+    };
+    let cfg = SamplerConfig::new(24).with_p(8).with_q(1);
+    let (a, _) = decay_matrix(m, n, 0.6, 42);
+
+    let fleets: &[usize] = if smoke { &[2] } else { &[1, 2, 4] };
+    // Mean launches between corruption events; the horizon comfortably
+    // spans a full run so higher rates land several events per device.
+    let horizon = 48u64;
+    let rates: &[u64] = if smoke { &[12] } else { &[48, 12, 6] };
+
+    // ---- Sweep 1: corruption rate x fleet, detect-only vs correct ----
+    let mut table = Table::new(
+        format!("What-if: SDC coverage, {m} x {n}, k=24, q=1 (random exponent flips)"),
+        &[
+            "GPUs",
+            "MTBE",
+            "scheduled",
+            "fired",
+            "applied",
+            "detected",
+            "corrected",
+            "escapes",
+            "coverage",
+            "detect-only",
+        ],
+    );
+    let mut corrupted_cells = 0usize;
+    let mut aborted_cells = 0usize;
+    let mut last_correct: Option<ExecReport> = None;
+    for &ng in fleets {
+        for &mtbe in rates {
+            let plan = SdcPlan::random(2000 + ng as u64 + mtbe, ng, horizon, mtbe, FUNNEL);
+            let fixed = armed_run(&a, &cfg, ng, Some(&plan), IntegrityMode::Correct)
+                .expect("correcting run must complete");
+            assert_eq!(
+                fixed.escapes, 0,
+                "no applied corruption may slip past an armed verifier"
+            );
+            assert_eq!(
+                fixed.corrected, fixed.detected,
+                "under Correct every detection must be repaired"
+            );
+            assert_eq!(fixed.report.sdc_detected, fixed.detected);
+            // Events that actually poisoned a protected panel; the rest
+            // fired after their stage retired and stayed queued against
+            // dead data (several can land in one panel, so `detected`
+            // counts flagged panels, not applied events).
+            let applied = fixed.report.sdc_injected as usize - fixed.latent;
+            if applied > 0 {
+                corrupted_cells += 1;
+                last_correct = Some(fixed.report.clone());
+            }
+            let detect = match armed_run(&a, &cfg, ng, Some(&plan), IntegrityMode::DetectOnly) {
+                Ok(_) => "clean".to_string(),
+                Err(MatrixError::SilentCorruption { kernel, .. }) => {
+                    aborted_cells += 1;
+                    format!("abort@{kernel}")
+                }
+                Err(e) => panic!("unexpected detect-only failure: {e}"),
+            };
+            let coverage = if applied > 0 {
+                format!(
+                    "{:.0}%",
+                    100.0 * (applied as u64 - fixed.escapes) as f64 / applied as f64
+                )
+            } else {
+                "-".into()
+            };
+            table.row(vec![
+                ng.to_string(),
+                mtbe.to_string(),
+                plan.events().len().to_string(),
+                fixed.report.sdc_injected.to_string(),
+                applied.to_string(),
+                fixed.detected.to_string(),
+                fixed.corrected.to_string(),
+                fixed.escapes.to_string(),
+                coverage,
+                detect,
+            ]);
+        }
+    }
+    table.print();
+    let _ = table.save_csv("whatif_sdc");
+    assert!(corrupted_cells > 0, "sweep never applied a corruption");
+    assert!(aborted_cells > 0, "detect-only never tripped");
+
+    // ---- Sweep 2: single flip — off vs correct vs rollback -----------
+    let mut costs = Table::new(
+        "What-if: one exponent flip in the power GEMM — localized correction vs rollback"
+            .to_string(),
+        &[
+            "GPUs",
+            "fault-free",
+            "unprotected",
+            "corrected",
+            "overhead",
+            "rollback",
+            "overhead",
+            "roll/corr",
+        ],
+    );
+    let mut last_corrected: Option<ExecReport> = None;
+    for &ng in fleets {
+        let base = armed_run(&a, &cfg, ng, None, IntegrityMode::Correct)
+            .expect("armed fault-free run must complete");
+        let t_free = base.report.seconds;
+        let q_free = base.approx.as_ref().expect("factors").q.clone();
+
+        // The cost cell: one flip in the power GEMM's output panel,
+        // where the checksum pair localizes the element and repairs it
+        // with a single length-k inner product.
+        let flip_gemm = SdcPlan::new().bit_flip(0, 0, "power_c", 3, 5, 54);
+        // The hazard cell: one flip in the factor panel Q itself — the
+        // corruption that reaches the caller if nobody verifies.
+        let flip_q = SdcPlan::new().bit_flip(0, 0, "tsqr", 3, 5, 54);
+
+        // Unprotected: the corruption is applied and nobody looks — the
+        // run "succeeds" and hands back silently wrong factors.
+        let off = armed_run(&a, &cfg, ng, Some(&flip_q), IntegrityMode::Off)
+            .expect("unprotected run cannot fail — that is the problem");
+        assert_eq!(off.escapes, 1, "the flip must land and escape unseen");
+        assert_ne!(
+            off.approx.as_ref().expect("factors").q,
+            q_free,
+            "an undetected factor-panel flip must silently change Q"
+        );
+
+        let corr = armed_run(&a, &cfg, ng, Some(&flip_gemm), IntegrityMode::Correct)
+            .expect("corrected run must complete");
+        assert_eq!(corr.report.sdc_detected, 1);
+        assert_eq!(corr.report.sdc_corrected, 1);
+        assert_eq!(corr.report.sdc_rollbacks, 0);
+        assert_eq!(
+            corr.approx.as_ref().expect("factors").q,
+            q_free,
+            "in-place correction must restore bit-identical factors"
+        );
+
+        let roll = rollback_run(&a, &cfg, ng, &flip_gemm);
+        assert_eq!(roll.report.sdc_rollbacks, 1);
+        assert_eq!(roll.corrected, 0, "detect-only repairs nothing in place");
+        assert_eq!(
+            roll.approx.as_ref().expect("factors").q,
+            q_free,
+            "stage re-run from the boundary must restore bit-identical factors"
+        );
+
+        let (t_corr, t_roll) = (corr.report.seconds, roll.report.seconds);
+        assert!(
+            t_corr < t_roll,
+            "localized correction must beat rollback in every single-flip cell \
+             ({ng} GPUs: {t_corr} vs {t_roll})"
+        );
+        costs.row(vec![
+            ng.to_string(),
+            fmt_time(t_free),
+            fmt_time(off.report.seconds),
+            fmt_time(t_corr),
+            format!("{:.2}%", 100.0 * (t_corr - t_free) / t_free),
+            fmt_time(t_roll),
+            format!("{:.2}%", 100.0 * (t_roll - t_free) / t_free),
+            format!("{:.2}x", t_roll / t_corr),
+        ]);
+        last_corrected = Some(corr.report.clone());
+    }
+    costs.print();
+    let _ = costs.save_csv("whatif_sdc_costs");
+
+    if let Some(path) = &opts.metrics {
+        let rep = last_corrected
+            .as_ref()
+            .or(last_correct.as_ref())
+            .expect("a corrected run to export");
+        std::fs::write(path, report_json(rep)).expect("write report JSON");
+        // Round-trip check: the exported document must carry the exact
+        // sdc counters of the in-memory report.
+        let doc = std::fs::read_to_string(path).expect("read report JSON back");
+        let parsed = parse_json(&doc).expect("report JSON parses");
+        let field = |k: &str| parsed.get(k).and_then(Json::as_num).expect("sdc field");
+        assert_eq!(field("sdc_injected"), rep.sdc_injected as f64);
+        assert_eq!(field("sdc_detected"), rep.sdc_detected as f64);
+        assert_eq!(field("sdc_corrected"), rep.sdc_corrected as f64);
+        assert_eq!(field("sdc_rollbacks"), rep.sdc_rollbacks as f64);
+        println!(
+            "[metrics] {} (sdc_detected = {}, matches the report)",
+            path.display(),
+            rep.sdc_detected
+        );
+    }
+
+    println!(
+        "\nEvery exponent-region flip that reached a protected panel was caught — zero\n\
+         escapes across the sweep — and under the correcting policy every detection was\n\
+         repaired without failing the run. The cost table shows why localized correction\n\
+         is the right default: repairing one element recomputes a single length-k inner\n\
+         product from the checksum pair, while the rollback alternative re-runs a whole\n\
+         stage from the boundary snapshot (and pays the checkpoint writes to have that\n\
+         boundary at all). Both restore bit-identical factors; the unprotected arm is the\n\
+         cautionary column — cheapest wall clock of all, silently wrong answer. Detection\n\
+         is the\n\
+         cheap part (one checksum row per GEMM, O(mn) against the O(mnk) kernel it\n\
+         guards); the policy choice only prices what happens after."
+    );
+}

@@ -1,0 +1,452 @@
+//! ABFT checksum encode/verify helpers for GEMM.
+//!
+//! Algorithm-based fault tolerance (Huang & Abraham) protects a product
+//! `C = α·op(A)·op(B)` by carrying one extra checksum row and column:
+//! the row vector `eᵀ·op(A)·op(B)` predicts the column sums of `C`, and
+//! the column vector `op(A)·op(B)·e` predicts its row sums. A silent
+//! single-element corruption of `C` perturbs exactly one column sum and
+//! one row sum, so the mismatch pair *localizes* the poisoned entry —
+//! which can then be recomputed from a single length-`k` inner product
+//! instead of re-running the whole GEMM.
+//!
+//! Rather than physically appending the checksum row/column to the
+//! operands (which would perturb every downstream shape), this module
+//! keeps them side-band in a [`GemmChecksum`]: the arithmetic is the
+//! same `(k + 1)`-row encoded multiply the ABFT literature describes,
+//! just stored next to the panel instead of under it.
+//!
+//! The single-entry recompute in [`correct_entry`] deliberately goes
+//! back through [`crate::gemm`] on 1×k / k×1 *views* of the original
+//! operands so that the corrected value is **bit-identical** to what a
+//! fault-free GEMM would have produced: the cache-blocked kernel
+//! accumulates every output entry serially over `k` in increasing block
+//! order, and that order is invariant to the output's column/row
+//! partitioning, so a 1×1 output walks the exact same additions.
+
+use crate::level1::dot;
+use crate::Trans;
+use rlra_matrix::{Mat, MatMut, MatRef, MatrixError, Result};
+
+/// Outcome of a checksum verification pass over a GEMM output panel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Row and column sums both match the encoded references.
+    Clean,
+    /// Exactly one column sum and one row sum disagree: the corruption
+    /// is localized to entry `(row, col)` and can be corrected in place.
+    Single {
+        /// Row index of the poisoned entry in the output panel.
+        row: usize,
+        /// Column index of the poisoned entry in the output panel.
+        col: usize,
+    },
+    /// More than one row or column disagrees (or a mismatch could not be
+    /// localized to a single entry): the panel must be recomputed.
+    Wider,
+}
+
+/// Side-band checksum references for one `C = α·op(A)·op(B)` product.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GemmChecksum {
+    /// `α·eᵀ·op(A)·op(B)` — predicted column sums of `C`, length `n`.
+    col_ref: Vec<f64>,
+    /// `α·op(A)·op(B)·e` — predicted row sums of `C`, length `m`.
+    row_ref: Vec<f64>,
+    /// Inner dimension of the product, kept for tolerance scaling.
+    k: usize,
+}
+
+/// Flops charged for encoding the checksum references of an `m×n×k`
+/// GEMM: the two operand-sum reductions plus the two rank-1 products.
+pub const fn encode_flops(m: usize, n: usize, k: usize) -> u64 {
+    (3 * m * k + 3 * k * n) as u64
+}
+
+/// Flops charged for verifying an `m×n` output panel against its
+/// references: one pass of column sums and one of row sums.
+pub const fn verify_flops(m: usize, n: usize) -> u64 {
+    (2 * m * n) as u64
+}
+
+/// `eᵀ·op(A)`: sums over the rows of `op(A)`, one entry per op-column.
+fn op_col_sums(a: MatRef<'_>, ta: Trans) -> Vec<f64> {
+    match ta {
+        // Column l of A is contiguous; sum each.
+        Trans::No => (0..a.cols()).map(|l| a.col(l).iter().sum()).collect(),
+        // op(A) = Aᵀ: its column l is row l of A.
+        Trans::Yes => {
+            let mut s = vec![0.0f64; a.rows()];
+            for j in 0..a.cols() {
+                for (sl, &v) in s.iter_mut().zip(a.col(j)) {
+                    *sl += v;
+                }
+            }
+            s
+        }
+    }
+}
+
+/// `op(B)·e`: sums over the columns of `op(B)`, one entry per op-row.
+fn op_row_sums(b: MatRef<'_>, tb: Trans) -> Vec<f64> {
+    match tb {
+        Trans::No => {
+            let mut t = vec![0.0f64; b.rows()];
+            for j in 0..b.cols() {
+                for (tl, &v) in t.iter_mut().zip(b.col(j)) {
+                    *tl += v;
+                }
+            }
+            t
+        }
+        Trans::Yes => (0..b.cols()).map(|l| b.col(l).iter().sum()).collect(),
+    }
+}
+
+/// Encodes the checksum references for `C = α·op(A)·op(B)` (the `β = 0`
+/// form every protected kernel in the pipeline uses).
+///
+/// # Errors
+///
+/// Returns [`MatrixError::DimensionMismatch`] if the inner dimensions of
+/// `op(A)` and `op(B)` disagree.
+pub fn encode(
+    alpha: f64,
+    a: MatRef<'_>,
+    ta: Trans,
+    b: MatRef<'_>,
+    tb: Trans,
+) -> Result<GemmChecksum> {
+    let (m, ka) = ta.apply(a.rows(), a.cols());
+    let (kb, n) = tb.apply(b.rows(), b.cols());
+    if ka != kb {
+        return Err(MatrixError::DimensionMismatch {
+            op: "checksum_encode",
+            expected: format!("op(A) {m}x{ka} · op(B) {ka}x{n}"),
+            found: format!("op(A) {m}x{ka}, op(B) {kb}x{n}"),
+        });
+    }
+    let s = op_col_sums(a, ta); // length k
+    let t = op_row_sums(b, tb); // length k
+    let col_ref = match tb {
+        Trans::No => (0..n).map(|j| alpha * dot(&s, b.col(j))).collect(),
+        Trans::Yes => (0..n)
+            .map(|j| {
+                let mut acc = 0.0;
+                for (l, &sl) in s.iter().enumerate() {
+                    acc += sl * b.get(j, l);
+                }
+                alpha * acc
+            })
+            .collect(),
+    };
+    let row_ref = match ta {
+        Trans::No => (0..m)
+            .map(|i| {
+                let mut acc = 0.0;
+                for (l, &tl) in t.iter().enumerate() {
+                    acc += a.get(i, l) * tl;
+                }
+                alpha * acc
+            })
+            .collect(),
+        Trans::Yes => (0..m).map(|i| alpha * dot(a.col(i), &t)).collect(),
+    };
+    Ok(GemmChecksum {
+        col_ref,
+        row_ref,
+        k: ka,
+    })
+}
+
+impl GemmChecksum {
+    /// The expected output shape `(m, n)` these references cover.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.row_ref.len(), self.col_ref.len())
+    }
+
+    /// Absolute mismatch threshold for column `j` of `c`.
+    ///
+    /// The references and the actual sums accumulate `k·m` products in
+    /// different association orders, so honest rounding drift is bounded
+    /// by `(k + m)·ε` times the magnitudes involved; `tolerance` is the
+    /// caller's safety factor on top (the integrity policy default is a
+    /// generous 64).
+    pub fn col_threshold(&self, c: MatRef<'_>, j: usize, tolerance: f64) -> f64 {
+        let scale: f64 = c.col(j).iter().map(|v| v.abs()).sum::<f64>() + self.col_ref[j].abs();
+        tolerance * f64::EPSILON * (self.k + c.rows()) as f64 * scale
+    }
+
+    /// Absolute mismatch threshold for row `i` of `c` (see
+    /// [`Self::col_threshold`]).
+    pub fn row_threshold(&self, c: MatRef<'_>, i: usize, tolerance: f64) -> f64 {
+        let mut scale = self.row_ref[i].abs();
+        for j in 0..c.cols() {
+            scale += c.get(i, j).abs();
+        }
+        tolerance * f64::EPSILON * (self.k + c.cols()) as f64 * scale
+    }
+
+    /// Verifies an output panel against the encoded references.
+    ///
+    /// Returns [`Verdict::Single`] only when exactly one column sum *and*
+    /// exactly one row sum disagree — the signature of a single corrupted
+    /// entry. Any other mismatch pattern (including a column firing
+    /// without a localizable row) is reported as [`Verdict::Wider`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c`'s shape does not match the encoded product.
+    // analyze: allow(panic, shape is fixed by the encode call two lines above every use; a Result here would double-wrap the hot verify path)
+    pub fn verify(&self, c: MatRef<'_>, tolerance: f64) -> Verdict {
+        let (m, n) = self.shape();
+        assert_eq!(c.shape(), (m, n), "checksum verify: shape mismatch");
+        let mut bad_col = None;
+        let mut bad_cols = 0usize;
+        for j in 0..n {
+            let sum: f64 = c.col(j).iter().sum();
+            if (sum - self.col_ref[j]).abs() > self.col_threshold(c, j, tolerance) {
+                bad_col = Some(j);
+                bad_cols += 1;
+            }
+        }
+        let mut bad_row = None;
+        let mut bad_rows = 0usize;
+        for i in 0..m {
+            let mut sum = 0.0;
+            for j in 0..n {
+                sum += c.get(i, j);
+            }
+            if (sum - self.row_ref[i]).abs() > self.row_threshold(c, i, tolerance) {
+                bad_row = Some(i);
+                bad_rows += 1;
+            }
+        }
+        match (bad_rows, bad_cols) {
+            (0, 0) => Verdict::Clean,
+            (1, 1) => Verdict::Single {
+                row: bad_row.unwrap_or(0),
+                col: bad_col.unwrap_or(0),
+            },
+            _ => Verdict::Wider,
+        }
+    }
+}
+
+/// Recomputes the single entry `(row, col)` of `C = α·op(A)·op(B)` from
+/// the original operands, bit-identically to a fault-free full GEMM.
+///
+/// The recompute routes through [`crate::gemm`] on a 1×k (or k×1) view
+/// of `op`-row `row` of `A` and a k×1 (or 1×k) view of `op`-column `col`
+/// of `B`, taken *in storage order* so the kernel walks the same memory
+/// and the same `KC`-block accumulation sequence as the full product.
+///
+/// # Errors
+///
+/// Returns [`MatrixError::DimensionMismatch`] if the operand shapes are
+/// inconsistent or `(row, col)` is out of range for the product.
+#[allow(clippy::too_many_arguments)] // mirrors the gemm operand list plus the localized entry
+pub fn correct_entry(
+    alpha: f64,
+    a: MatRef<'_>,
+    ta: Trans,
+    b: MatRef<'_>,
+    tb: Trans,
+    c: &mut MatMut<'_>,
+    row: usize,
+    col: usize,
+) -> Result<()> {
+    let (m, k) = ta.apply(a.rows(), a.cols());
+    let (_, n) = tb.apply(b.rows(), b.cols());
+    if row >= m || col >= n {
+        return Err(MatrixError::DimensionMismatch {
+            op: "checksum_correct",
+            expected: format!("entry within {m}x{n}"),
+            found: format!("({row}, {col})"),
+        });
+    }
+    let a_row = match ta {
+        Trans::No => a.submatrix(row, 0, 1, k),
+        Trans::Yes => a.submatrix(0, row, k, 1),
+    };
+    let b_col = match tb {
+        Trans::No => b.submatrix(0, col, k, 1),
+        Trans::Yes => b.submatrix(col, 0, 1, k),
+    };
+    let mut cell = Mat::zeros(1, 1);
+    crate::level3::gemm(alpha, a_row, ta, b_col, tb, 0.0, cell.as_mut())?;
+    c.set(row, col, cell[(0, 0)]);
+    Ok(())
+}
+
+/// Flips bit `bit` (0 = mantissa LSB, 62 = top exponent bit, 63 = sign)
+/// of the IEEE-754 representation of `x` — the canonical single-event
+/// upset model the SDC injector applies to resident buffers.
+pub fn flip_bit(x: f64, bit: u8) -> f64 {
+    f64::from_bits(x.to_bits() ^ (1u64 << u32::from(bit.min(63))))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rlra_matrix::Mat;
+
+    fn pseudo(rows: usize, cols: usize, seed: u64) -> Mat {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+        Mat::from_fn(rows, cols, |_, _| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            // Bounded away from zero so exponent-bit flips always produce
+            // a delta far above the rounding tolerance.
+            1.0 + (state % 1000) as f64 / 1000.0
+        })
+    }
+
+    fn product(alpha: f64, a: &Mat, ta: Trans, b: &Mat, tb: Trans) -> (Mat, GemmChecksum) {
+        let (m, _) = ta.apply(a.rows(), a.cols());
+        let (_, n) = tb.apply(b.rows(), b.cols());
+        let mut c = Mat::zeros(m, n);
+        crate::level3::gemm(alpha, a.as_ref(), ta, b.as_ref(), tb, 0.0, c.as_mut()).unwrap();
+        let cs = encode(alpha, a.as_ref(), ta, b.as_ref(), tb).unwrap();
+        (c, cs)
+    }
+
+    #[test]
+    fn clean_product_verifies_clean_for_all_transposes() {
+        for (ta, tb) in [
+            (Trans::No, Trans::No),
+            (Trans::Yes, Trans::No),
+            (Trans::No, Trans::Yes),
+            (Trans::Yes, Trans::Yes),
+        ] {
+            let (m, n, k) = (17, 11, 29);
+            let a = match ta {
+                Trans::No => pseudo(m, k, 1),
+                Trans::Yes => pseudo(k, m, 1),
+            };
+            let b = match tb {
+                Trans::No => pseudo(k, n, 2),
+                Trans::Yes => pseudo(n, k, 2),
+            };
+            let (c, cs) = product(1.5, &a, ta, &b, tb);
+            assert_eq!(cs.shape(), (m, n));
+            assert_eq!(cs.verify(c.as_ref(), 64.0), Verdict::Clean);
+        }
+    }
+
+    #[test]
+    fn single_flip_is_localized_and_corrected_bit_identically() {
+        for (ta, tb) in [
+            (Trans::No, Trans::No),
+            (Trans::Yes, Trans::No),
+            (Trans::No, Trans::Yes),
+            (Trans::Yes, Trans::Yes),
+        ] {
+            let (m, n, k) = (300, 9, 520); // k spans multiple KC blocks
+            let a = match ta {
+                Trans::No => pseudo(m, k, 3),
+                Trans::Yes => pseudo(k, m, 3),
+            };
+            let b = match tb {
+                Trans::No => pseudo(k, n, 4),
+                Trans::Yes => pseudo(n, k, 4),
+            };
+            let (clean, cs) = product(1.0, &a, ta, &b, tb);
+            let mut c = clean.clone();
+            let (pi, pj) = (137 % m, 7 % n);
+            c[(pi, pj)] = flip_bit(c[(pi, pj)], 54);
+            assert_eq!(
+                cs.verify(c.as_ref(), 64.0),
+                Verdict::Single { row: pi, col: pj }
+            );
+            let mut cm = c.as_mut();
+            correct_entry(1.0, a.as_ref(), ta, b.as_ref(), tb, &mut cm, pi, pj).unwrap();
+            // Bit-identical, not merely close: the corrected entry must
+            // equal the fault-free GEMM's bits exactly.
+            assert_eq!(c[(pi, pj)].to_bits(), clean[(pi, pj)].to_bits());
+            assert_eq!(cs.verify(c.as_ref(), 64.0), Verdict::Clean);
+        }
+    }
+
+    #[test]
+    fn correction_is_bit_identical_through_the_parallel_split() {
+        // Wide enough (n > 64, flops > 2^20) that the full GEMM forks.
+        let (m, n, k) = (96, 200, 96);
+        let a = pseudo(m, k, 5);
+        let b = pseudo(k, n, 6);
+        let (clean, _) = product(2.0, &a, Trans::No, &b, Trans::No);
+        let mut c = clean.clone();
+        c[(40, 150)] = flip_bit(c[(40, 150)], 62);
+        let mut cm = c.as_mut();
+        correct_entry(
+            2.0,
+            a.as_ref(),
+            Trans::No,
+            b.as_ref(),
+            Trans::No,
+            &mut cm,
+            40,
+            150,
+        )
+        .unwrap();
+        assert_eq!(c[(40, 150)].to_bits(), clean[(40, 150)].to_bits());
+    }
+
+    #[test]
+    fn two_flips_in_distinct_rows_and_columns_report_wider() {
+        let (m, n, k) = (20, 10, 15);
+        let a = pseudo(m, k, 7);
+        let b = pseudo(k, n, 8);
+        let (mut c, cs) = product(1.0, &a, Trans::No, &b, Trans::No);
+        c[(3, 2)] = flip_bit(c[(3, 2)], 55);
+        c[(9, 6)] = flip_bit(c[(9, 6)], 55);
+        assert_eq!(cs.verify(c.as_ref(), 64.0), Verdict::Wider);
+    }
+
+    #[test]
+    fn sub_tolerance_perturbation_does_not_fire() {
+        let (m, n, k) = (20, 10, 15);
+        let a = pseudo(m, k, 9);
+        let b = pseudo(k, n, 10);
+        let (mut c, cs) = product(1.0, &a, Trans::No, &b, Trans::No);
+        let thr = cs.col_threshold(c.as_ref(), 4, 64.0);
+        c[(5, 4)] += thr * 1e-3;
+        assert_eq!(cs.verify(c.as_ref(), 64.0), Verdict::Clean);
+    }
+
+    #[test]
+    fn encode_rejects_inner_mismatch_and_correct_rejects_out_of_range() {
+        let a = Mat::zeros(3, 4);
+        let b = Mat::zeros(5, 2);
+        assert!(encode(1.0, a.as_ref(), Trans::No, b.as_ref(), Trans::No).is_err());
+        let b = Mat::zeros(4, 2);
+        let mut c = Mat::zeros(3, 2);
+        let mut cm = c.as_mut();
+        assert!(correct_entry(
+            1.0,
+            a.as_ref(),
+            Trans::No,
+            b.as_ref(),
+            Trans::No,
+            &mut cm,
+            3,
+            0
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn flip_bit_round_trips_and_clamps() {
+        let x = -1234.5678e-9;
+        assert_eq!(flip_bit(flip_bit(x, 17), 17).to_bits(), x.to_bits());
+        assert_eq!(flip_bit(1.0, 63), -1.0);
+        // Out-of-range bit indices clamp to the sign bit.
+        assert_eq!(flip_bit(1.0, 200), -1.0);
+    }
+
+    #[test]
+    fn flop_estimates_are_symmetric_in_the_operands() {
+        assert_eq!(encode_flops(10, 20, 30), encode_flops(20, 10, 30));
+        assert_eq!(verify_flops(10, 20), verify_flops(20, 10));
+    }
+}

@@ -23,12 +23,14 @@
 
 #![forbid(unsafe_code)]
 
+pub mod checksum;
 pub mod flops;
 pub mod level1;
 pub mod level2;
 pub mod level3;
 pub mod naive;
 
+pub use checksum::{GemmChecksum, Verdict};
 pub use level1::{axpy, copy, dot, iamax, nrm2, scal, swap};
 pub use level2::{gemv, ger, trmv, trsv};
 pub use level3::{gemm, syrk, trmm, trsm};

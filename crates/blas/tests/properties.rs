@@ -4,6 +4,7 @@
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use rlra_blas::checksum::{correct_entry, encode, flip_bit, Verdict};
 use rlra_blas::naive::{gemm_ref, gemv_ref};
 use rlra_blas::{gemm, gemv, syrk, trmm, trsm, Diag, Side, Trans, UpLo};
 use rlra_matrix::{ops::max_abs_diff, Mat};
@@ -121,6 +122,79 @@ proptest! {
         trsm(side, uplo, trans, diag, 1.0, t.as_ref(), b.as_mut()).unwrap();
         let d = max_abs_diff(&b, &b0).unwrap();
         prop_assert!(d < 1e-9, "diff = {d}");
+    }
+
+    #[test]
+    fn checksum_round_trip_detects_flips_and_corrects_bit_identically(
+        m in 1usize..32,
+        n in 1usize..32,
+        k in 1usize..48,
+        ta in trans_strategy(),
+        tb in trans_strategy(),
+        seed in 0u64..1000,
+        flip_row in 0usize..1_000_000,
+        flip_col in 0usize..1_000_000,
+        bit in 52u8..63,
+    ) {
+        // Entries bounded away from zero (in [1, 2)) so an exponent-bit
+        // flip's delta always dominates the rounding-noise tolerance.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut positive = |rows: usize, cols: usize| {
+            Mat::from_fn(rows, cols, |_, _| rng.gen_range(1.0..2.0))
+        };
+        let a = match ta {
+            Trans::No => positive(m, k),
+            Trans::Yes => positive(k, m),
+        };
+        let b = match tb {
+            Trans::No => positive(k, n),
+            Trans::Yes => positive(n, k),
+        };
+        let mut clean = Mat::zeros(m, n);
+        gemm(1.0, a.as_ref(), ta, b.as_ref(), tb, 0.0, clean.as_mut()).unwrap();
+        let cs = encode(1.0, a.as_ref(), ta, b.as_ref(), tb).unwrap();
+        prop_assert_eq!(cs.verify(clean.as_ref(), 64.0), Verdict::Clean);
+
+        // A random single-element exponent-region flip is always
+        // detected, localized, and corrected to the exact clean bits.
+        let (pi, pj) = (flip_row % m, flip_col % n);
+        let mut c = clean.clone();
+        c[(pi, pj)] = flip_bit(c[(pi, pj)], bit);
+        prop_assert_eq!(
+            cs.verify(c.as_ref(), 64.0),
+            Verdict::Single { row: pi, col: pj }
+        );
+        let mut cm = c.as_mut();
+        correct_entry(1.0, a.as_ref(), ta, b.as_ref(), tb, &mut cm, pi, pj).unwrap();
+        prop_assert_eq!(c[(pi, pj)].to_bits(), clean[(pi, pj)].to_bits());
+        prop_assert_eq!(cs.verify(c.as_ref(), 64.0), Verdict::Clean);
+    }
+
+    #[test]
+    fn checksum_never_fires_below_tolerance(
+        m in 1usize..32,
+        n in 1usize..32,
+        k in 1usize..48,
+        seed in 0u64..1000,
+        prow in 0usize..1_000_000,
+        pcol in 0usize..1_000_000,
+        frac in 0.0f64..0.2,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = random_mat(&mut rng, m, k);
+        let b = random_mat(&mut rng, k, n);
+        let mut c = Mat::zeros(m, n);
+        gemm(1.0, a.as_ref(), Trans::No, b.as_ref(), Trans::No, 0.0, c.as_mut()).unwrap();
+        let cs = encode(1.0, a.as_ref(), Trans::No, b.as_ref(), Trans::No).unwrap();
+        // Perturb one entry by a fraction of the smaller of the two
+        // mismatch thresholds: genuine rounding drift of this size must
+        // never be flagged as corruption.
+        let (pi, pj) = (prow % m, pcol % n);
+        let delta = frac
+            * cs.col_threshold(c.as_ref(), pj, 64.0)
+                .min(cs.row_threshold(c.as_ref(), pi, 64.0));
+        c[(pi, pj)] += delta;
+        prop_assert_eq!(cs.verify(c.as_ref(), 64.0), Verdict::Clean);
     }
 
     #[test]

@@ -17,7 +17,9 @@
 //! also needs a computing backend, since the stopping decision reads the
 //! sampled values.
 
-use crate::backend::{incremental_extend, staged, ExecReport, Executor, GpuExec, NumericGuard};
+use crate::backend::{
+    incremental_extend, staged, ExecReport, Executor, GpuExec, IntegrityGuard, NumericGuard,
+};
 use crate::checkpoint::Deadline;
 use crate::estimate::residual_estimate;
 use crate::fixed_rank::IncrementalFactors;
@@ -235,7 +237,8 @@ pub fn adaptive_sample_exec_with_guard<E: Executor>(
     rng: &mut impl Rng,
     guard: &mut NumericGuard,
 ) -> Result<(AdaptiveResult, ExecReport)> {
-    let result = adaptive_loop(exec, a, cfg, rng, guard, None)?;
+    let mut iguard = IntegrityGuard::default();
+    let result = adaptive_loop(exec, a, cfg, rng, guard, &mut iguard, None)?;
     guard.drain(exec)?;
     let mut report = exec.finish()?;
     guard.fold_into(&mut report);
@@ -274,17 +277,28 @@ pub fn adaptive_sample(
 /// [`incremental_extend`] — the extension consumes no RNG and never
 /// touches the basis, so the `(ℓ, ε̃)` trajectory is bit-identical with
 /// and without it.
+#[allow(clippy::too_many_arguments)]
 fn adaptive_loop<E: Executor>(
     exec: &mut E,
     a: &Mat,
     cfg: &AdaptiveConfig,
     rng: &mut impl Rng,
     guard: &mut NumericGuard,
+    iguard: &mut IntegrityGuard,
     mut factors: Option<&mut IncrementalFactors>,
 ) -> Result<AdaptiveResult> {
-    let mut cur = AdaptiveCursor::start(exec, a, cfg, rng)?;
+    let mut cur = AdaptiveCursor::start(exec, a, cfg, rng, iguard)?;
     let converged = loop {
-        match adaptive_step(exec, a, cfg, rng, guard, factors.as_deref_mut(), &mut cur)? {
+        match adaptive_step(
+            exec,
+            a,
+            cfg,
+            rng,
+            guard,
+            iguard,
+            factors.as_deref_mut(),
+            &mut cur,
+        )? {
             StepOutcome::Continue => {}
             StepOutcome::Converged => break true,
             StepOutcome::Stopped => break false,
@@ -334,6 +348,7 @@ impl AdaptiveCursor {
         a: &Mat,
         cfg: &AdaptiveConfig,
         rng: &mut impl Rng,
+        iguard: &mut IntegrityGuard,
     ) -> Result<Self> {
         cfg.validate()?;
         Self::check_backend(exec)?;
@@ -341,7 +356,7 @@ impl AdaptiveCursor {
         let t0 = exec.elapsed();
         exec.begin(m, n);
         let l_inc = cfg.inc.initial().min(cfg.l_max);
-        let w = draw_block(exec, a, l_inc, rng)?;
+        let w = draw_block(exec, a, l_inc, rng, iguard)?;
         Ok(AdaptiveCursor {
             basis: Mat::zeros(0, n),
             c_basis: Mat::zeros(0, m),
@@ -386,12 +401,14 @@ impl AdaptiveCursor {
 /// next block, and decide whether to continue. Both the plain and the
 /// durable drivers call this — the durable one checkpoints between
 /// `Continue` outcomes.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn adaptive_step<E: Executor>(
     exec: &mut E,
     a: &Mat,
     cfg: &AdaptiveConfig,
     rng: &mut impl Rng,
     guard: &mut NumericGuard,
+    iguard: &mut IntegrityGuard,
     factors: Option<&mut IncrementalFactors>,
     cur: &mut AdaptiveCursor,
 ) -> Result<StepOutcome> {
@@ -399,12 +416,12 @@ pub(crate) fn adaptive_step<E: Executor>(
 
     // --- Expand: refine W with POWER and fold it into the basis ------
     let w = std::mem::replace(&mut cur.w, Mat::zeros(0, n));
-    let w_refined = expand_block(exec, a, &cur.basis, &mut cur.c_basis, w, cfg, guard)?;
+    let w_refined = expand_block(exec, a, &cur.basis, &mut cur.c_basis, w, cfg, guard, iguard)?;
     let l_used = w_refined.rows();
     cur.basis = cur.basis.vcat(&w_refined)?;
     let l_now = cur.basis.rows();
     if let Some(f) = factors {
-        incremental_extend(exec, f, a, &w_refined, cfg.reorth, guard)?;
+        incremental_extend(exec, f, a, &w_refined, cfg.reorth, guard, iguard)?;
     }
 
     // --- Choose the next increment -----------------------------------
@@ -415,7 +432,7 @@ pub(crate) fn adaptive_step<E: Executor>(
     let next_inc = next_inc.clamp(1, cfg.l_max.saturating_sub(l_now).max(1));
 
     // --- Draw the probe block and estimate the error ------------------
-    let probe = draw_block(exec, a, next_inc, rng)?;
+    let probe = draw_block(exec, a, next_inc, rng, iguard)?;
     staged(exec, "adaptive_probe", |e| {
         e.adaptive_probe(next_inc, l_now)
     })?;
@@ -457,26 +474,37 @@ pub(crate) fn adaptive_step<E: Executor>(
 /// Draws `l_inc` Gaussian rows and samples them through `A`: the backend
 /// charges the PRNG + Sampling phases, the values come from the host
 /// (same stream position, see [`crate::backend`]).
-fn draw_block<E: Executor>(exec: &mut E, a: &Mat, l_inc: usize, rng: &mut impl Rng) -> Result<Mat> {
+fn draw_block<E: Executor>(
+    exec: &mut E,
+    a: &Mat,
+    l_inc: usize,
+    rng: &mut impl Rng,
+    iguard: &mut IntegrityGuard,
+) -> Result<Mat> {
     let (m, n) = a.shape();
     staged(exec, "adaptive_draw", |e| e.adaptive_draw(l_inc))?;
+    iguard.sync(exec);
     let omega = gaussian_mat(l_inc, m, rng);
     let mut w = Mat::zeros(l_inc, n);
-    rlra_blas::gemm(
+    let protected = iguard.gemm_protected(
+        "adaptive_draw",
+        "sketch",
         1.0,
-        omega.as_ref(),
+        &omega,
         Trans::No,
-        a.as_ref(),
+        a,
         Trans::No,
-        0.0,
-        w.as_mut(),
-    )?;
+        &mut w,
+    );
+    iguard.drain(exec)?;
+    protected?;
     Ok(w)
 }
 
 /// Folds a new block into the subspace: orthogonalize against the
 /// accepted basis, run `q` power iterations, and row-orthonormalize.
 /// Returns the refined (row-orthonormal) block.
+#[allow(clippy::too_many_arguments)]
 fn expand_block<E: Executor>(
     exec: &mut E,
     a: &Mat,
@@ -485,6 +513,7 @@ fn expand_block<E: Executor>(
     mut w: Mat,
     cfg: &AdaptiveConfig,
     guard: &mut NumericGuard,
+    iguard: &mut IntegrityGuard,
 ) -> Result<Mat> {
     let (m, n) = a.shape();
     let l_new = w.rows();
@@ -494,43 +523,56 @@ fn expand_block<E: Executor>(
     staged(exec, "adaptive_orth", |e| {
         e.adaptive_orth(l_new, n, l_prev, cfg.reorth)
     })?;
+    iguard.sync(exec);
     rlra_lapack::block_orth_rows(basis, &mut w, cfg.reorth)?;
-    w = guard.ladder_rows("adaptive_orth", &w, cfg.reorth)?;
+    let w_in = w;
+    w = iguard.orth_protected("adaptive_orth", "orth_b", || {
+        guard.ladder_rows("adaptive_orth", &w_in, cfg.reorth)
+    })?;
     guard.drain(exec)?;
+    iguard.drain(exec)?;
 
     // Power iterations (Figure 2a with j > 1).
     for _ in 0..cfg.q {
         // C_new = W·Aᵀ.
         staged(exec, "adaptive_gemm_c", |e| e.adaptive_gemm_c(l_new))?;
+        iguard.sync(exec);
         let mut c = Mat::zeros(l_new, m);
-        rlra_blas::gemm(
+        iguard.gemm_protected(
+            "adaptive_gemm_c",
+            "power_c",
             1.0,
-            w.as_ref(),
+            &w,
             Trans::No,
-            a.as_ref(),
+            a,
             Trans::Yes,
-            0.0,
-            c.as_mut(),
+            &mut c,
         )?;
         let c_prev = c_basis.rows();
         staged(exec, "adaptive_orth", |e| {
             e.adaptive_orth(l_new, m, c_prev, cfg.reorth)
         })?;
+        iguard.sync(exec);
         rlra_lapack::block_orth_rows(c_basis, &mut c, cfg.reorth)?;
-        let c = guard.ladder_rows("adaptive_orth", &c, cfg.reorth)?;
+        let c = iguard.orth_protected("adaptive_orth", "orth_c", || {
+            guard.ladder_rows("adaptive_orth", &c, cfg.reorth)
+        })?;
         guard.drain(exec)?;
+        iguard.drain(exec)?;
         *c_basis = c_basis.vcat(&c)?;
         // W = C·A.
         staged(exec, "adaptive_gemm_w", |e| e.adaptive_gemm_w(l_new))?;
+        iguard.sync(exec);
         let mut wnew = Mat::zeros(l_new, n);
-        rlra_blas::gemm(
+        iguard.gemm_protected(
+            "adaptive_gemm_w",
+            "power_b",
             1.0,
-            c.as_ref(),
+            &c,
             Trans::No,
-            a.as_ref(),
+            a,
             Trans::No,
-            0.0,
-            wnew.as_mut(),
+            &mut wnew,
         )?;
         w = wnew;
         // Re-orthogonalize against the basis after the round trip.
@@ -538,9 +580,14 @@ fn expand_block<E: Executor>(
         staged(exec, "adaptive_orth", |e| {
             e.adaptive_orth(l_new, n, b_prev, cfg.reorth)
         })?;
+        iguard.sync(exec);
         rlra_lapack::block_orth_rows(basis, &mut w, cfg.reorth)?;
-        w = guard.ladder_rows("adaptive_orth", &w, cfg.reorth)?;
+        let w_in = w;
+        w = iguard.orth_protected("adaptive_orth", "orth_b", || {
+            guard.ladder_rows("adaptive_orth", &w_in, cfg.reorth)
+        })?;
         guard.drain(exec)?;
+        iguard.drain(exec)?;
     }
     Ok(w)
 }
@@ -592,17 +639,54 @@ pub fn sample_fixed_accuracy_exec<E: Executor>(
     cfg: &AdaptiveConfig,
     rng: &mut impl Rng,
 ) -> Result<(LowRankApprox, AdaptiveResult, ExecReport)> {
+    let mut iguard = IntegrityGuard::default();
+    sample_fixed_accuracy_protected(exec, a, cfg, rng, &mut iguard)
+}
+
+/// As [`sample_fixed_accuracy_exec`], with an explicit [`IntegrityGuard`]
+/// arming the ABFT integrity layer over the adaptive funnel: the sketch
+/// and probe draws (buffer `"sketch"`), the expansion GEMMs (`"power_c"`
+/// / `"power_b"`), the CholQR ladder rungs (`"orth_b"` / `"orth_c"`) and
+/// the accepted [`rlra_lapack::sample_panel_step`] panels (`"panel"`)
+/// run checksum-guarded, and the report's `sdc_*` counters record what
+/// happened. With the default disarmed guard this is
+/// [`sample_fixed_accuracy_exec`] exactly.
+///
+/// On an integrity failure the guard is drained before the error
+/// returns, so the detection work that failed the run is still charged
+/// and traced on the executor.
+///
+/// # Errors
+///
+/// Everything [`sample_fixed_accuracy_exec`] returns, plus
+/// [`rlra_matrix::MatrixError::SilentCorruption`] when corruption is
+/// detected under [`crate::backend::IntegrityMode::DetectOnly`] or
+/// exhausts the correction budget.
+pub fn sample_fixed_accuracy_protected<E: Executor>(
+    exec: &mut E,
+    a: &Mat,
+    cfg: &AdaptiveConfig,
+    rng: &mut impl Rng,
+    iguard: &mut IntegrityGuard,
+) -> Result<(LowRankApprox, AdaptiveResult, ExecReport)> {
     let mut guard = NumericGuard::default();
     let (m, n) = a.shape();
     let mut factors = match cfg.finish {
         FinishMode::Incremental => Some(IncrementalFactors::new(m, n)),
         FinishMode::Restart => None,
     };
-    let adaptive = adaptive_loop(exec, a, cfg, rng, &mut guard, factors.as_mut())?;
-    let approx = finish_fixed_accuracy(exec, a, cfg, &mut guard, &adaptive, factors)?;
+    let attempt = adaptive_loop(exec, a, cfg, rng, &mut guard, iguard, factors.as_mut()).and_then(
+        |adaptive| {
+            finish_fixed_accuracy(exec, a, cfg, &mut guard, iguard, &adaptive, factors)
+                .map(|approx| (approx, adaptive))
+        },
+    );
     guard.drain(exec)?;
+    iguard.drain(exec)?;
+    let (approx, adaptive) = attempt?;
     let mut report = exec.finish()?;
     guard.fold_into(&mut report);
+    iguard.fold_into(&mut report);
     Ok((approx, adaptive, report))
 }
 
@@ -615,6 +699,7 @@ pub(crate) fn finish_fixed_accuracy<E: Executor>(
     a: &Mat,
     cfg: &AdaptiveConfig,
     guard: &mut NumericGuard,
+    iguard: &mut IntegrityGuard,
     adaptive: &AdaptiveResult,
     factors: Option<IncrementalFactors>,
 ) -> Result<LowRankApprox> {
@@ -626,7 +711,15 @@ pub(crate) fn finish_fixed_accuracy<E: Executor>(
             // final panel's update hooks are charged under it.
             let n = a.cols();
             staged(exec, "adaptive_finish", |e| {
-                incremental_extend(e, &mut factors, a, &Mat::zeros(0, n), cfg.reorth, guard)
+                incremental_extend(
+                    e,
+                    &mut factors,
+                    a,
+                    &Mat::zeros(0, n),
+                    cfg.reorth,
+                    guard,
+                    iguard,
+                )
             })?;
             factors.finalize()
         }

@@ -15,7 +15,7 @@
 //! therefore charges the caller's cluster directly rather than
 //! simulating internally.
 
-use super::{ExecReport, Executor};
+use super::{ExecReport, Executor, IntegrityOutcome};
 use crate::config::{SamplerConfig, SamplingKind, Step2Kind};
 use rlra_blas::Trans;
 use rlra_fft::SrftScheme;
@@ -38,6 +38,7 @@ pub struct ClusterExec<'a> {
     launches0: u64,
     syncs0: u64,
     faults0: u64,
+    sdc0: u64,
     recovery0: f64,
     metrics0: Metrics,
     l: usize,
@@ -66,6 +67,7 @@ impl<'a> ClusterExec<'a> {
             launches0: 0,
             syncs0: 0,
             faults0: 0,
+            sdc0: 0,
             recovery0: 0.0,
             metrics0: Metrics::default(),
             l: 0,
@@ -164,6 +166,7 @@ impl Executor for ClusterExec<'_> {
         self.launches0 = launches0;
         self.syncs0 = syncs0;
         self.faults0 = self.cluster.faults_injected();
+        self.sdc0 = self.cluster.sdc_injected();
         self.recovery0 = self.cluster.breakdown().get(Phase::Recovery);
         self.metrics0 = self.cluster.metrics();
         let node_chunks = self.cluster.node_row_chunks(m);
@@ -499,6 +502,126 @@ impl Executor for ClusterExec<'_> {
         Ok(())
     }
 
+    fn charge_checksum_encode(&mut self, m: usize, n: usize, k: usize) -> Result<()> {
+        // Each GPU encodes the references of its share of the inner
+        // dimension alongside its partial product; the reference digests
+        // then cross the interconnect so every node verifies against the
+        // same pair.
+        let total: usize = self.slots.iter().map(Vec::len).sum();
+        let share = k.div_ceil(total.max(1)).max(1);
+        for (ni, slots) in self.slots.iter().enumerate() {
+            let node = self.cluster.node_mut(ni);
+            for &gi in slots {
+                let gpu = node.gpu_mut(gi);
+                gpu.charge_kernel(
+                    Phase::Integrity,
+                    "abft",
+                    [m, n, share],
+                    rlra_blas::checksum::encode_flops(m, n, share) as f64,
+                    8.0 * (m * share + share * n + m + n) as f64,
+                    gpu.cost().blas1_reduce(m * share)
+                        + gpu.cost().blas1_reduce(share * n)
+                        + gpu.cost().gemv(share, n)
+                        + gpu.cost().gemv(m, share),
+                );
+            }
+        }
+        self.cluster
+            .broadcast_host(Phase::Comms, &Mat::zeros(1, (m + n).max(1)));
+        Ok(())
+    }
+
+    fn verify_integrity(
+        &mut self,
+        m: usize,
+        n: usize,
+        k: usize,
+        outcome: IntegrityOutcome,
+    ) -> Result<()> {
+        // Each GPU sweeps the column/row digests of its partial panel;
+        // the digest vectors ride the same two-level reduction as the
+        // panel, and the replicated host compare stalls every survivor.
+        let mut node_ds = Vec::with_capacity(self.cluster.nodes());
+        for (ni, slots) in self.slots.iter().enumerate() {
+            let node = self.cluster.node_mut(ni);
+            let mut d_parts = Vec::with_capacity(slots.len());
+            for &gi in slots {
+                let gpu = node.gpu_mut(gi);
+                gpu.charge_kernel(
+                    Phase::Integrity,
+                    "abft",
+                    [m, n, 0],
+                    rlra_blas::checksum::verify_flops(m, n) as f64,
+                    8.0 * (m * n) as f64,
+                    gpu.cost().blas1_reduce(m * n) * 2.0,
+                );
+                d_parts.push(gpu.alloc(1, (m + n).max(1)));
+            }
+            node_ds.push(node.reduce_to_host(Phase::Comms, &d_parts)?);
+        }
+        self.cluster.allreduce_host(Phase::Comms, &node_ds)?;
+        for ni in 0..self.cluster.nodes() {
+            let node = self.cluster.node_mut(ni);
+            let secs = node.gpu(0).cost().host_flops((m + n) as f64);
+            for g in node.alive_indices() {
+                node.gpu_mut(g).charge_raw(Phase::Integrity, secs);
+            }
+        }
+        match outcome {
+            IntegrityOutcome::Clean => {}
+            IntegrityOutcome::Corrected => {
+                // The repair runs on node 0's host-replicated panel (one
+                // length-k inner product, a single-entry write-back, a
+                // re-verify sweep); the corrected entry then crosses the
+                // interconnect so every replica agrees.
+                let node0 = self.cluster.node_mut(0);
+                let cost = node0.gpu(0).cost().clone();
+                let secs = cost.host_flops(2.0 * k.max(1) as f64)
+                    + cost.host_flops(rlra_blas::checksum::verify_flops(m, n) as f64);
+                for g in node0.alive_indices() {
+                    node0.gpu_mut(g).charge_raw(Phase::Integrity, secs);
+                }
+                self.cluster.broadcast_host(Phase::Comms, &Mat::zeros(1, 1));
+            }
+            IntegrityOutcome::Rerun => {
+                // Re-run the distributed product (k > 0) or the CholQR
+                // pass that produced the block (k == 0), then the
+                // replicated host re-verify.
+                let total: usize = self.slots.iter().map(Vec::len).sum();
+                let share = k.div_ceil(total.max(1)).max(1);
+                for (ni, slots) in self.slots.iter().enumerate() {
+                    let node = self.cluster.node_mut(ni);
+                    for &gi in slots {
+                        let gpu = node.gpu_mut(gi);
+                        let redo = if k > 0 {
+                            gpu.cost().gemm(m, n, share)
+                        } else {
+                            gpu.cost().syrk(m, n)
+                                + gpu.cost().host_cholesky(m)
+                                + gpu.cost().trsm(m, n)
+                        };
+                        gpu.charge(Phase::Integrity, redo);
+                    }
+                }
+                for ni in 0..self.cluster.nodes() {
+                    let node = self.cluster.node_mut(ni);
+                    let secs = node
+                        .gpu(0)
+                        .cost()
+                        .host_flops(rlra_blas::checksum::verify_flops(m, n) as f64);
+                    for g in node.alive_indices() {
+                        node.gpu_mut(g).charge_raw(Phase::Integrity, secs);
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn take_sdc_events(&mut self) -> Vec<rlra_gpu::SdcEvent> {
+        self.cluster.drain_sdc_events()
+    }
+
     fn verify_probe(&mut self, probes: usize, k: usize) -> Result<()> {
         // Probe GEMMs against each GPU's row slice of A, the partial
         // products reduced per node and allreduced over the interconnect,
@@ -612,6 +735,7 @@ impl Executor for ClusterExec<'_> {
         self.launches0 = 0;
         self.syncs0 = 0;
         self.faults0 = 0;
+        self.sdc0 = 0;
         self.recovery0 = 0.0;
         self.metrics0 = Metrics::default();
         // The snapshot may carry dead or quarantined devices this
@@ -700,6 +824,10 @@ impl Executor for ClusterExec<'_> {
             fallbacks: 0,
             ladder_histogram: [0; 3],
             speculations: 0,
+            sdc_injected: self.cluster.sdc_injected() - self.sdc0,
+            sdc_detected: 0,
+            sdc_corrected: 0,
+            sdc_rollbacks: 0,
             metrics: self.cluster.metrics().minus(&self.metrics0),
         };
         self.a_parts.clear();

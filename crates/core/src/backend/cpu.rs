@@ -1,20 +1,41 @@
 //! The CPU reference backend: numerics only, no device accounting.
 
-use super::{ExecReport, Executor};
+use super::{ExecReport, Executor, IntegrityOutcome};
 use crate::config::SamplerConfig;
 use rlra_fft::SrftScheme;
-use rlra_gpu::Timeline;
+use rlra_gpu::{SdcEvent, SdcInjector, Timeline};
 use rlra_matrix::Result;
 
 /// Host-only execution: the pipeline's numerics *are* the work, so every
 /// hook is a no-op and the report is empty.
+///
+/// The one piece of device machinery the CPU backend does carry is an
+/// optional [`SdcInjector`]: silent corruption is a *data* fault, not an
+/// accounting artifact, so the cross-backend bit-identity tests need to
+/// fire the same deterministic events here as on the simulated devices.
+/// With no launch stream to watch, the injector is polled once per
+/// [`Executor::take_sdc_events`] call with an advancing ordinal — plans
+/// aimed at the CPU backend use `at_launch: 0` so events fire at the
+/// first guarded sync.
 #[derive(Debug, Default)]
-pub struct CpuExec;
+pub struct CpuExec {
+    /// Planned silent-corruption events for this (device-less) run.
+    sdc: Option<SdcInjector>,
+    /// Poll ordinal standing in for the launch counter devices have.
+    polls: u64,
+}
 
 impl CpuExec {
     /// Creates the CPU backend.
     pub fn new() -> Self {
-        CpuExec
+        CpuExec::default()
+    }
+
+    /// Installs (or clears) a silent-data-corruption injector; mirrors
+    /// [`rlra_gpu::Gpu::set_sdc_injector`] so tests and benches can arm
+    /// every backend the same way.
+    pub fn set_sdc_injector(&mut self, sdc: Option<SdcInjector>) {
+        self.sdc = sdc;
     }
 }
 
@@ -139,6 +160,31 @@ impl Executor for CpuExec {
         Ok(())
     }
 
+    fn charge_checksum_encode(&mut self, _m: usize, _n: usize, _k: usize) -> Result<()> {
+        Ok(())
+    }
+
+    fn verify_integrity(
+        &mut self,
+        _m: usize,
+        _n: usize,
+        _k: usize,
+        _outcome: IntegrityOutcome,
+    ) -> Result<()> {
+        Ok(())
+    }
+
+    fn take_sdc_events(&mut self) -> Vec<SdcEvent> {
+        let mut fired = Vec::new();
+        if let Some(sdc) = self.sdc.as_mut() {
+            while let Some(ev) = sdc.poll(self.polls) {
+                fired.push(ev);
+            }
+        }
+        self.polls += 1;
+        fired
+    }
+
     fn charge_recovery(&mut self, _secs: f64) {}
 
     fn charge_speculation(&mut self, _device: usize, _secs: f64) {}
@@ -178,6 +224,10 @@ impl Executor for CpuExec {
             fallbacks: 0,
             ladder_histogram: [0; 3],
             speculations: 0,
+            sdc_injected: self.sdc.as_ref().map(SdcInjector::fired).unwrap_or(0),
+            sdc_detected: 0,
+            sdc_corrected: 0,
+            sdc_rollbacks: 0,
             metrics: rlra_trace::Metrics::default(),
         })
     }

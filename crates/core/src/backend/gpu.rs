@@ -6,7 +6,7 @@
 //! only decides whether the pipeline materializes values; the cost
 //! accounting is identical either way.
 
-use super::{ExecReport, Executor};
+use super::{ExecReport, Executor, IntegrityOutcome};
 use crate::config::{SamplerConfig, Step2Kind};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -47,6 +47,10 @@ impl<'a> GpuExec<'a> {
         sim.set_device(gpu.device());
         if let Some(inj) = gpu.take_injector() {
             sim.set_injector(Some(inj));
+        }
+        // The SDC injector watches the same timed launch stream.
+        if let Some(sdc) = gpu.take_sdc_injector() {
+            sim.set_sdc_injector(Some(sdc));
         }
         // Like the injector, the tracer observes the timed launches, so
         // it follows them into the simulator (and back at finish).
@@ -464,6 +468,81 @@ impl Executor for GpuExec<'_> {
         Ok(())
     }
 
+    fn charge_checksum_encode(&mut self, m: usize, n: usize, k: usize) -> Result<()> {
+        // Two operand-sum reductions plus the two rank-1 reference
+        // products, all on the device alongside the protected GEMM.
+        self.sim.charge_kernel(
+            Phase::Integrity,
+            "abft",
+            [m, n, k],
+            rlra_blas::checksum::encode_flops(m, n, k) as f64,
+            8.0 * (m * k + k * n + m + n) as f64,
+            self.sim.cost().blas1_reduce(m * k)
+                + self.sim.cost().blas1_reduce(k * n)
+                + self.sim.cost().gemv(k, n)
+                + self.sim.cost().gemv(m, k),
+        );
+        Ok(())
+    }
+
+    fn verify_integrity(
+        &mut self,
+        m: usize,
+        n: usize,
+        k: usize,
+        outcome: IntegrityOutcome,
+    ) -> Result<()> {
+        // Device-side column- and row-sum sweeps over the output panel,
+        // then a PCIe download of both digest vectors for the host
+        // compare against the encoded references.
+        self.sim.charge_kernel(
+            Phase::Integrity,
+            "abft",
+            [m, n, 0],
+            rlra_blas::checksum::verify_flops(m, n) as f64,
+            8.0 * (m * n) as f64,
+            self.sim.cost().blas1_reduce(m * n) * 2.0,
+        );
+        self.sim.charge(
+            Phase::Integrity,
+            self.sim.cost().transfer(8 * (m + n) as u64),
+        );
+        match outcome {
+            IntegrityOutcome::Clean => {}
+            IntegrityOutcome::Corrected => {
+                // Localized repair: one length-k inner product, a
+                // single-entry upload, and the re-verify sweep.
+                self.sim.charge(
+                    Phase::Integrity,
+                    self.sim.cost().blas1_reduce(k.max(1))
+                        + self.sim.cost().transfer(8)
+                        + self.sim.cost().blas1_reduce(m * n) * 2.0,
+                );
+            }
+            IntegrityOutcome::Rerun => {
+                // Full re-execution of the poisoned product (k > 0) or
+                // of the CholQR pass that produced the block (k == 0),
+                // plus the re-verify sweep.
+                let redo = if k > 0 {
+                    self.sim.cost().gemm(m, n, k)
+                } else {
+                    self.sim.cost().syrk(m, n)
+                        + self.sim.cost().host_cholesky(m)
+                        + self.sim.cost().trsm(m, n)
+                };
+                self.sim.charge(
+                    Phase::Integrity,
+                    redo + self.sim.cost().blas1_reduce(m * n) * 2.0,
+                );
+            }
+        }
+        Ok(())
+    }
+
+    fn take_sdc_events(&mut self) -> Vec<rlra_gpu::SdcEvent> {
+        self.sim.drain_sdc_events()
+    }
+
     fn verify_probe(&mut self, probes: usize, k: usize) -> Result<()> {
         // Posterior residual probe: Ω·A, Ω·Q and (Ω·Q)·R — three thin
         // GEMMs, charged as Other like the adaptive probe.
@@ -544,6 +623,10 @@ impl Executor for GpuExec<'_> {
             fallbacks: 0,
             ladder_histogram: [0; 3],
             speculations: 0,
+            sdc_injected: self.sim.sdc_injected(),
+            sdc_detected: 0,
+            sdc_corrected: 0,
+            sdc_rollbacks: 0,
             metrics: Metrics {
                 devices: vec![self.sim.device_metrics()],
                 retries: 0,
@@ -566,6 +649,13 @@ impl Executor for GpuExec<'_> {
         }
         if let Some(inj) = self.sim.take_injector() {
             self.gpu.set_injector(Some(inj));
+        }
+        // Undrained SDC events (fired but never consumed by a guard) go
+        // back to the caller so nothing is silently dropped; the
+        // injector follows them home.
+        self.gpu.requeue_sdc_events(self.sim.drain_sdc_events());
+        if let Some(sdc) = self.sim.take_sdc_injector() {
+            self.gpu.set_sdc_injector(Some(sdc));
         }
         if let Some(tr) = self.sim.take_tracer() {
             self.gpu.set_tracer(Some(tr));

@@ -1,0 +1,808 @@
+//! The ABFT integrity guard: silent-data-corruption application,
+//! checksum-guarded kernels, and localized correction.
+//!
+//! Device faults abort launches ([`super::Recovering`] retries them) and
+//! numerical breakdowns surface as errors ([`super::NumericGuard`]
+//! escalates its ladder) — but a *silent* corruption does neither: a bit
+//! flips in a resident buffer, the launch reports success, and the wrong
+//! numbers sail into the factors. This guard closes that gap with
+//! algorithm-based fault tolerance (Huang & Abraham): every protected
+//! GEMM carries side-band checksum references
+//! ([`rlra_blas::checksum::GemmChecksum`]), every protected
+//! orthogonalization verifies its unit-row-norm invariant, and a caught
+//! single-element corruption is repaired *in place* from the
+//! column/row-checksum pair — recomputing only the poisoned entry's
+//! inner product, bit-identically to the fault-free kernel — instead of
+//! re-running the whole launch.
+//!
+//! The guard follows the numerics/accounting split of the [module
+//! docs](super): corruption is applied and detected *on the host*
+//! (deterministically, so every computing backend sees bit-identical
+//! poison and bit-identical repairs), while the costs — checksum
+//! encodes, verification passes including the PCIe digest download,
+//! corrections, re-runs — are buffered and charged through the
+//! [`Executor::charge_checksum_encode`] /
+//! [`Executor::verify_integrity`] hook pair on
+//! [`IntegrityGuard::drain`].
+//!
+//! # Escalation ladder
+//!
+//! 1. **Clean** — references match; nothing extra beyond the verify.
+//! 2. **Single-element** — exactly one row sum and one column sum
+//!    disagree; under [`IntegrityMode::Correct`] the entry is recomputed
+//!    from a length-`k` inner product and re-verified.
+//! 3. **Wider** (or a correction that did not re-verify) — the full
+//!    kernel is re-run under a bounded budget
+//!    ([`IntegrityPolicy::rerun_budget`]).
+//! 4. **Exhausted** (or [`IntegrityMode::DetectOnly`]) — the run fails
+//!    with [`MatrixError::SilentCorruption`]; the durable layer may then
+//!    roll back to the last checkpoint
+//!    ([`IntegrityGuard::note_rollback`]).
+//!
+//! The default policy is [`IntegrityMode::Off`]: nothing is encoded,
+//! verified or charged, and an unprotected run stays bit-identical —
+//! factors *and* full report — to one predating this layer. An armed
+//! fault-free run keeps bit-identical factors (verification only reads
+//! the panels) and is itself deterministic: two armed runs with the same
+//! plan agree bit-for-bit on factors and full report.
+
+use super::{ExecReport, Executor};
+use rlra_blas::checksum::{correct_entry, encode, flip_bit, Verdict};
+use rlra_blas::Trans;
+use rlra_gpu::{SdcEvent, SdcKind};
+use rlra_matrix::{Mat, MatrixError, Result};
+use rlra_trace::TraceEvent;
+
+/// What the integrity layer does with a detected corruption.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum IntegrityMode {
+    /// Checksums disarmed: nothing encoded, verified or charged. The
+    /// default — runs are bit-identical to the pre-integrity pipeline.
+    #[default]
+    Off,
+    /// Verify every protected kernel; surface any corruption as
+    /// [`MatrixError::SilentCorruption`] without repairing it.
+    DetectOnly,
+    /// Verify, correct single-element corruption in place, and re-run
+    /// the kernel (bounded) for anything wider.
+    Correct,
+}
+
+/// Tuning knobs of the integrity guard.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IntegrityPolicy {
+    /// Arming mode (default [`IntegrityMode::Off`]).
+    pub mode: IntegrityMode,
+    /// Safety factor on the checksum mismatch threshold, in units of
+    /// the `(k + m)·ε`-scaled rounding bound (see
+    /// [`rlra_blas::checksum::GemmChecksum::col_threshold`]). Honest
+    /// rounding drift must never fire, so the default is a generous 64.
+    pub tolerance: f64,
+    /// How many full kernel re-runs a non-localizable corruption may
+    /// consume before the guard gives up and surfaces the error.
+    pub rerun_budget: usize,
+}
+
+impl Default for IntegrityPolicy {
+    fn default() -> Self {
+        IntegrityPolicy {
+            mode: IntegrityMode::Off,
+            tolerance: 64.0,
+            rerun_budget: 2,
+        }
+    }
+}
+
+impl IntegrityPolicy {
+    /// A policy with the given mode and default knobs.
+    pub fn with_mode(mode: IntegrityMode) -> Self {
+        IntegrityPolicy {
+            mode,
+            ..IntegrityPolicy::default()
+        }
+    }
+}
+
+/// What a verification pass concluded — and therefore what it cost on
+/// top of the two checksum reductions (see
+/// [`Executor::verify_integrity`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IntegrityOutcome {
+    /// References matched; only the verification itself was performed.
+    Clean,
+    /// A single poisoned entry was recomputed from a length-`k` inner
+    /// product and the panel re-verified.
+    Corrected,
+    /// The whole kernel was re-executed and the panel re-verified.
+    Rerun,
+}
+
+impl IntegrityOutcome {
+    /// Short label used in traces and reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            IntegrityOutcome::Clean => "clean",
+            IntegrityOutcome::Corrected => "corrected",
+            IntegrityOutcome::Rerun => "rerun",
+        }
+    }
+}
+
+/// A buffered accounting event, pushed to the executor on
+/// [`IntegrityGuard::drain`]. Buffering keeps the protected host
+/// numerics free of executor borrows, exactly like
+/// [`super::NumericGuard`]'s charges.
+#[derive(Debug, Clone, Copy)]
+enum IntegrityCharge {
+    /// Checksum references of an `m×n×k` product were encoded.
+    Encode { m: usize, n: usize, k: usize },
+    /// An `m×n` panel (inner dimension `k`) was verified, with the
+    /// given outcome on top.
+    Verify {
+        m: usize,
+        n: usize,
+        k: usize,
+        outcome: IntegrityOutcome,
+    },
+    /// A lifecycle mark for the trace stream (no cost of its own).
+    Mark {
+        device: usize,
+        stage: &'static str,
+        action: &'static str,
+        at_launch: u64,
+    },
+}
+
+/// Integrity state of one protected run. See the [module docs](self)
+/// for the contract.
+#[derive(Debug, Clone, Default)]
+pub struct IntegrityGuard {
+    /// The detection/correction policy.
+    pub policy: IntegrityPolicy,
+    detected: u64,
+    corrected: u64,
+    rollbacks: u64,
+    escapes: u64,
+    /// Fired-but-unapplied corruption events, synced from the executor's
+    /// injectors and consumed by buffer name as protected kernels run.
+    queue: Vec<SdcEvent>,
+    pending: Vec<IntegrityCharge>,
+}
+
+impl IntegrityGuard {
+    /// A guard with the given policy.
+    pub fn new(policy: IntegrityPolicy) -> Self {
+        IntegrityGuard {
+            policy,
+            ..IntegrityGuard::default()
+        }
+    }
+
+    /// Whether checksums are armed (any mode but [`IntegrityMode::Off`]).
+    pub fn armed(&self) -> bool {
+        self.policy.mode != IntegrityMode::Off
+    }
+
+    /// Corruptions the verification passes caught so far.
+    pub fn detected(&self) -> u64 {
+        self.detected
+    }
+
+    /// Detected corruptions repaired (in-place entry recompute or
+    /// bounded kernel re-run) so far.
+    pub fn corrected(&self) -> u64 {
+        self.corrected
+    }
+
+    /// Detected corruptions escalated to a checkpoint rollback so far
+    /// (counted by the durable layer via
+    /// [`IntegrityGuard::note_rollback`]).
+    pub fn rollbacks(&self) -> u64 {
+        self.rollbacks
+    }
+
+    /// Corruptions that were *applied* to a protected buffer but slipped
+    /// past verification (disarmed guard, or a perturbation below the
+    /// working-precision tolerance). The `whatif_sdc` coverage sweep
+    /// asserts this stays zero for exponent-region flips in
+    /// funnel-covered kernels.
+    pub fn escapes(&self) -> u64 {
+        self.escapes
+    }
+
+    /// Pulls the corruption events the backend's injectors have fired
+    /// since the last call into the guard's queue. The pipeline syncs
+    /// after every stage hook, so events land before the protected host
+    /// kernel that consumes their buffer runs.
+    pub fn sync<E: Executor + ?Sized>(&mut self, exec: &mut E) {
+        self.queue.append(&mut exec.take_sdc_events());
+    }
+
+    /// Events still queued (fired by an injector, not yet applied to a
+    /// protected buffer — e.g. a plan naming a buffer outside the
+    /// protected funnel, which by construction poisons dead data).
+    pub fn queued(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Drains the queued events targeting `buffer`.
+    fn take_events_for(&mut self, buffer: &str) -> Vec<SdcEvent> {
+        let mut hit = Vec::new();
+        let mut keep = Vec::new();
+        for ev in self.queue.drain(..) {
+            if ev.buffer == buffer {
+                hit.push(ev);
+            } else {
+                keep.push(ev);
+            }
+        }
+        self.queue = keep;
+        hit
+    }
+
+    /// Applies drained events to the host panel (indices reduced modulo
+    /// the shape, as [`SdcEvent`] documents) and marks each injection.
+    fn apply_events(&mut self, stage: &'static str, c: &mut Mat, events: &[SdcEvent]) {
+        let (m, n) = c.shape();
+        if m == 0 || n == 0 {
+            return;
+        }
+        for ev in events {
+            let (i, j) = (ev.row % m, ev.col % n);
+            let poisoned = match ev.kind {
+                SdcKind::BitFlip { bit } => flip_bit(c[(i, j)], bit),
+                SdcKind::Perturb { scale } => c[(i, j)] * (1.0 + scale),
+            };
+            c[(i, j)] = poisoned;
+            self.pending.push(IntegrityCharge::Mark {
+                device: ev.device,
+                stage,
+                action: "injected",
+                at_launch: ev.at_launch,
+            });
+        }
+    }
+
+    fn mark(&mut self, stage: &'static str, action: &'static str, events: &[SdcEvent]) {
+        let (device, at_launch) = events
+            .first()
+            .map(|e| (e.device, e.at_launch))
+            .unwrap_or((0, 0));
+        self.pending.push(IntegrityCharge::Mark {
+            device,
+            stage,
+            action,
+            at_launch,
+        });
+    }
+
+    fn corruption_error(
+        stage: &'static str,
+        events: &[SdcEvent],
+        location: (usize, usize),
+    ) -> MatrixError {
+        MatrixError::SilentCorruption {
+            device: events.first().map(|e| e.device).unwrap_or(0),
+            kernel: stage,
+            location,
+        }
+    }
+
+    /// Runs the protected product `C = α·op(A)·op(B)` (the `β = 0` form
+    /// every pipeline GEMM uses), applies any corruption events queued
+    /// against `buffer` to the output, and — when armed — encodes the
+    /// checksum references and verifies the panel, correcting or
+    /// re-running per the policy.
+    ///
+    /// On success the output is bit-identical to a fault-free GEMM: the
+    /// in-place correction routes through the same kernel on views
+    /// ([`rlra_blas::checksum::correct_entry`]), and a re-run simply
+    /// recomputes the product with the corruption already consumed.
+    ///
+    /// # Errors
+    ///
+    /// [`MatrixError::SilentCorruption`] when corruption is detected
+    /// under [`IntegrityMode::DetectOnly`], or when correction and the
+    /// bounded re-runs fail to produce a clean panel; propagates kernel
+    /// errors. On error, drain the guard before returning to the user
+    /// so the verification work is still charged and traced.
+    #[allow(clippy::too_many_arguments)]
+    pub fn gemm_protected(
+        &mut self,
+        stage: &'static str,
+        buffer: &'static str,
+        alpha: f64,
+        a: &Mat,
+        ta: Trans,
+        b: &Mat,
+        tb: Trans,
+        c: &mut Mat,
+    ) -> Result<()> {
+        rlra_blas::gemm(alpha, a.as_ref(), ta, b.as_ref(), tb, 0.0, c.as_mut())?;
+        let events = self.take_events_for(buffer);
+        self.apply_events(stage, c, &events);
+        if !self.armed() {
+            self.escapes += events.len() as u64;
+            return Ok(());
+        }
+        let (m, n) = c.shape();
+        let k = ta.apply(a.rows(), a.cols()).1;
+        let refs = encode(alpha, a.as_ref(), ta, b.as_ref(), tb)?;
+        self.pending.push(IntegrityCharge::Encode { m, n, k });
+        match refs.verify(c.as_ref(), self.policy.tolerance) {
+            Verdict::Clean => {
+                // Applied corruption that verification cannot see (a
+                // sub-tolerance perturbation) escapes — counted, so the
+                // coverage sweep can report it honestly.
+                self.escapes += events.len() as u64;
+                self.pending.push(IntegrityCharge::Verify {
+                    m,
+                    n,
+                    k,
+                    outcome: IntegrityOutcome::Clean,
+                });
+                Ok(())
+            }
+            Verdict::Single { row, col } => {
+                self.detected += 1;
+                self.mark(stage, "detected", &events);
+                if self.policy.mode != IntegrityMode::Correct {
+                    self.pending.push(IntegrityCharge::Verify {
+                        m,
+                        n,
+                        k,
+                        outcome: IntegrityOutcome::Clean,
+                    });
+                    return Err(Self::corruption_error(stage, &events, (row, col)));
+                }
+                let mut cm = c.as_mut();
+                correct_entry(alpha, a.as_ref(), ta, b.as_ref(), tb, &mut cm, row, col)?;
+                if refs.verify(c.as_ref(), self.policy.tolerance) == Verdict::Clean {
+                    self.corrected += 1;
+                    self.pending.push(IntegrityCharge::Verify {
+                        m,
+                        n,
+                        k,
+                        outcome: IntegrityOutcome::Corrected,
+                    });
+                    self.mark(stage, "corrected", &events);
+                    Ok(())
+                } else {
+                    // The localized repair did not re-verify (a second
+                    // corruption hid in the same row/column pair):
+                    // escalate to the bounded re-run.
+                    self.rerun_gemm(stage, &events, alpha, a, ta, b, tb, c, &refs, (row, col))
+                }
+            }
+            Verdict::Wider => {
+                self.detected += 1;
+                self.mark(stage, "detected", &events);
+                if self.policy.mode != IntegrityMode::Correct {
+                    self.pending.push(IntegrityCharge::Verify {
+                        m,
+                        n,
+                        k,
+                        outcome: IntegrityOutcome::Clean,
+                    });
+                    return Err(Self::corruption_error(stage, &events, (0, 0)));
+                }
+                self.rerun_gemm(stage, &events, alpha, a, ta, b, tb, c, &refs, (0, 0))
+            }
+        }
+    }
+
+    /// Bounded full re-execution of a protected GEMM whose corruption
+    /// could not be corrected in place.
+    #[allow(clippy::too_many_arguments)]
+    fn rerun_gemm(
+        &mut self,
+        stage: &'static str,
+        events: &[SdcEvent],
+        alpha: f64,
+        a: &Mat,
+        ta: Trans,
+        b: &Mat,
+        tb: Trans,
+        c: &mut Mat,
+        refs: &rlra_blas::GemmChecksum,
+        location: (usize, usize),
+    ) -> Result<()> {
+        let (m, n) = c.shape();
+        let k = ta.apply(a.rows(), a.cols()).1;
+        for _ in 0..self.policy.rerun_budget {
+            rlra_blas::gemm(alpha, a.as_ref(), ta, b.as_ref(), tb, 0.0, c.as_mut())?;
+            self.pending.push(IntegrityCharge::Verify {
+                m,
+                n,
+                k,
+                outcome: IntegrityOutcome::Rerun,
+            });
+            if refs.verify(c.as_ref(), self.policy.tolerance) == Verdict::Clean {
+                self.corrected += 1;
+                self.mark(stage, "rerun", events);
+                return Ok(());
+            }
+        }
+        Err(Self::corruption_error(stage, events, location))
+    }
+
+    /// Runs a protected orthogonalization: `compute` produces a
+    /// row-orthonormal block (typically through the numeric guard's
+    /// ladder), corruption events queued against `buffer` are applied to
+    /// it, and — when armed — its unit-row-norm invariant is verified.
+    /// ABFT's entry-localizing checksum pair does not survive the
+    /// Cholesky/inverse chain inside CholQR, so a detected corruption
+    /// here always escalates straight to the bounded re-run (the events
+    /// are already consumed, so one re-run reproduces the fault-free
+    /// block bit-identically).
+    ///
+    /// # Errors
+    ///
+    /// As [`IntegrityGuard::gemm_protected`].
+    pub fn orth_protected(
+        &mut self,
+        stage: &'static str,
+        buffer: &'static str,
+        mut compute: impl FnMut() -> Result<Mat>,
+    ) -> Result<Mat> {
+        let mut q = compute()?;
+        let events = self.take_events_for(buffer);
+        self.apply_events(stage, &mut q, &events);
+        if !self.armed() {
+            self.escapes += events.len() as u64;
+            return Ok(q);
+        }
+        let (m, n) = q.shape();
+        if let Some(bad_row) = Self::row_norm_defect(&q, self.policy.tolerance) {
+            self.detected += 1;
+            self.mark(stage, "detected", &events);
+            if self.policy.mode != IntegrityMode::Correct {
+                self.pending.push(IntegrityCharge::Verify {
+                    m,
+                    n,
+                    k: 0,
+                    outcome: IntegrityOutcome::Clean,
+                });
+                return Err(Self::corruption_error(stage, &events, (bad_row, 0)));
+            }
+            for _ in 0..self.policy.rerun_budget {
+                q = compute()?;
+                self.pending.push(IntegrityCharge::Verify {
+                    m,
+                    n,
+                    k: 0,
+                    outcome: IntegrityOutcome::Rerun,
+                });
+                if Self::row_norm_defect(&q, self.policy.tolerance).is_none() {
+                    self.corrected += 1;
+                    self.mark(stage, "rerun", &events);
+                    return Ok(q);
+                }
+            }
+            return Err(Self::corruption_error(stage, &events, (bad_row, 0)));
+        }
+        self.escapes += events.len() as u64;
+        self.pending.push(IntegrityCharge::Verify {
+            m,
+            n,
+            k: 0,
+            outcome: IntegrityOutcome::Clean,
+        });
+        Ok(q)
+    }
+
+    /// First row of a supposedly row-orthonormal block whose norm
+    /// deviates from 1 beyond the rounding tolerance, if any.
+    fn row_norm_defect(q: &Mat, tolerance: f64) -> Option<usize> {
+        let (m, n) = q.shape();
+        for i in 0..m {
+            let norm_sq: f64 = (0..n).map(|j| q[(i, j)].powi(2)).sum();
+            if (norm_sq - 1.0).abs() > tolerance * f64::EPSILON * (n as f64) {
+                return Some(i);
+            }
+        }
+        None
+    }
+
+    /// Dry-run counterpart of the protected kernels: consumes the
+    /// events queued against `buffer` (marking the injections — the sim
+    /// fired them even though there is no data to poison) and, when
+    /// armed, charges the encode + clean-verify pair so an armed dry
+    /// run's report prices the same integrity work as an armed
+    /// fault-free compute run.
+    pub fn protect_shape(
+        &mut self,
+        stage: &'static str,
+        buffer: &'static str,
+        m: usize,
+        n: usize,
+        k: usize,
+    ) {
+        let events = self.take_events_for(buffer);
+        for ev in &events {
+            self.pending.push(IntegrityCharge::Mark {
+                device: ev.device,
+                stage,
+                action: "injected",
+                at_launch: ev.at_launch,
+            });
+        }
+        if !self.armed() {
+            return;
+        }
+        if k > 0 {
+            self.pending.push(IntegrityCharge::Encode { m, n, k });
+        }
+        self.pending.push(IntegrityCharge::Verify {
+            m,
+            n,
+            k,
+            outcome: IntegrityOutcome::Clean,
+        });
+    }
+
+    /// Records a checkpoint rollback forced by unrecoverable corruption
+    /// (the durable layer calls this after restoring the snapshot).
+    pub fn note_rollback(&mut self, stage: &'static str, device: usize, at_launch: u64) {
+        self.rollbacks += 1;
+        self.pending.push(IntegrityCharge::Mark {
+            device,
+            stage,
+            action: "rollback",
+            at_launch,
+        });
+    }
+
+    /// Pushes the buffered charges into the executor's integrity hooks
+    /// and trace stream. Call between stages and before
+    /// [`Executor::finish`] — and before propagating a
+    /// [`MatrixError::SilentCorruption`], so the detection work that
+    /// failed the run is still priced inside it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates kernel failures from the charge hooks.
+    pub fn drain<E: Executor + ?Sized>(&mut self, exec: &mut E) -> Result<()> {
+        for charge in std::mem::take(&mut self.pending) {
+            match charge {
+                IntegrityCharge::Encode { m, n, k } => {
+                    exec.charge_checksum_encode(m, n, k)?;
+                }
+                IntegrityCharge::Verify { m, n, k, outcome } => {
+                    exec.verify_integrity(m, n, k, outcome)?;
+                }
+                IntegrityCharge::Mark {
+                    device,
+                    stage,
+                    action,
+                    at_launch,
+                } => {
+                    if let Some(t) = exec.tracer() {
+                        t.emit(TraceEvent::Sdc {
+                            device,
+                            stage,
+                            action,
+                            at_launch,
+                            time: exec.elapsed(),
+                        });
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Folds the guard counters into a finished report. `sdc_injected`
+    /// is *not* folded here — it comes from the device injectors at
+    /// [`Executor::finish`] — and `retries` is never touched
+    /// (device-fault accounting belongs to [`super::Recovering`], so
+    /// composing both injectors in one run cannot double-count).
+    pub fn fold_into(&self, report: &mut ExecReport) {
+        report.sdc_detected += self.detected;
+        report.sdc_corrected += self.corrected;
+        report.sdc_rollbacks += self.rollbacks;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rlra_gpu::SdcPlan;
+
+    fn pseudo(rows: usize, cols: usize, seed: u64) -> Mat {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+        Mat::from_fn(rows, cols, |_, _| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            1.0 + (state % 1000) as f64 / 1000.0
+        })
+    }
+
+    fn queue_events(guard: &mut IntegrityGuard, plan: &SdcPlan) {
+        guard.queue.extend(plan.events().iter().copied());
+    }
+
+    fn protected_product(
+        guard: &mut IntegrityGuard,
+        m: usize,
+        n: usize,
+        k: usize,
+    ) -> (Result<()>, Mat, Mat) {
+        let a = pseudo(m, k, 1);
+        let b = pseudo(k, n, 2);
+        let mut clean = Mat::zeros(m, n);
+        rlra_blas::gemm(
+            1.0,
+            a.as_ref(),
+            Trans::No,
+            b.as_ref(),
+            Trans::No,
+            0.0,
+            clean.as_mut(),
+        )
+        .unwrap();
+        let mut c = Mat::zeros(m, n);
+        let r = guard.gemm_protected(
+            "sketch",
+            "sketch",
+            1.0,
+            &a,
+            Trans::No,
+            &b,
+            Trans::No,
+            &mut c,
+        );
+        (r, c, clean)
+    }
+
+    #[test]
+    fn disarmed_guard_applies_events_and_counts_escapes() {
+        let mut g = IntegrityGuard::default();
+        assert!(!g.armed());
+        queue_events(&mut g, &SdcPlan::new().bit_flip(0, 0, "sketch", 3, 4, 54));
+        let (r, c, clean) = protected_product(&mut g, 12, 8, 16);
+        r.unwrap();
+        assert_ne!(c, clean, "disarmed corruption must land in the output");
+        assert_eq!(g.escapes(), 1);
+        assert_eq!(g.detected(), 0);
+    }
+
+    #[test]
+    fn armed_guard_corrects_single_flip_bit_identically() {
+        let mut g = IntegrityGuard::new(IntegrityPolicy::with_mode(IntegrityMode::Correct));
+        queue_events(&mut g, &SdcPlan::new().bit_flip(2, 9, "sketch", 3, 4, 54));
+        let (r, c, clean) = protected_product(&mut g, 12, 8, 16);
+        r.unwrap();
+        assert_eq!(c, clean, "corrected output must be bit-identical");
+        assert_eq!(g.detected(), 1);
+        assert_eq!(g.corrected(), 1);
+        assert_eq!(g.escapes(), 0);
+    }
+
+    #[test]
+    fn detect_only_surfaces_silent_corruption_with_location() {
+        let mut g = IntegrityGuard::new(IntegrityPolicy::with_mode(IntegrityMode::DetectOnly));
+        queue_events(&mut g, &SdcPlan::new().bit_flip(5, 11, "sketch", 3, 4, 54));
+        let (r, _, _) = protected_product(&mut g, 12, 8, 16);
+        let err = r.unwrap_err();
+        assert!(matches!(
+            err,
+            MatrixError::SilentCorruption {
+                device: 5,
+                kernel: "sketch",
+                location: (3, 4),
+            }
+        ));
+        assert_eq!(g.detected(), 1);
+        assert_eq!(g.corrected(), 0);
+    }
+
+    #[test]
+    fn wider_corruption_escalates_to_rerun() {
+        let mut g = IntegrityGuard::new(IntegrityPolicy::with_mode(IntegrityMode::Correct));
+        queue_events(
+            &mut g,
+            &SdcPlan::new()
+                .bit_flip(0, 0, "sketch", 1, 1, 54)
+                .bit_flip(0, 0, "sketch", 5, 6, 54),
+        );
+        let (r, c, clean) = protected_product(&mut g, 12, 8, 16);
+        r.unwrap();
+        assert_eq!(c, clean, "re-run output must be bit-identical");
+        assert_eq!(g.detected(), 1);
+        assert_eq!(g.corrected(), 1);
+    }
+
+    #[test]
+    fn events_target_their_buffer_only() {
+        let mut g = IntegrityGuard::new(IntegrityPolicy::with_mode(IntegrityMode::Correct));
+        queue_events(&mut g, &SdcPlan::new().bit_flip(0, 0, "power_b", 1, 1, 54));
+        let (r, c, clean) = protected_product(&mut g, 12, 8, 16);
+        r.unwrap();
+        assert_eq!(c, clean, "event for another buffer must not fire here");
+        assert_eq!(g.detected(), 0);
+        assert_eq!(g.queued(), 1, "the event stays queued for its buffer");
+    }
+
+    #[test]
+    fn sub_tolerance_perturbation_escapes_and_is_counted() {
+        let mut g = IntegrityGuard::new(IntegrityPolicy::with_mode(IntegrityMode::Correct));
+        queue_events(&mut g, &SdcPlan::new().perturb(0, 0, "sketch", 3, 4, 1e-17));
+        let (r, _, _) = protected_product(&mut g, 12, 8, 16);
+        r.unwrap();
+        assert_eq!(g.detected(), 0);
+        assert_eq!(g.escapes(), 1);
+    }
+
+    #[test]
+    fn orth_protected_reruns_a_poisoned_block() {
+        let mut g = IntegrityGuard::new(IntegrityPolicy::with_mode(IntegrityMode::Correct));
+        queue_events(&mut g, &SdcPlan::new().bit_flip(1, 3, "orth_b", 2, 5, 58));
+        let raw = pseudo(4, 20, 3);
+        let clean = crate::backend::NumericGuard::default()
+            .ladder_rows("orth_b", &raw, true)
+            .unwrap();
+        let q = g
+            .orth_protected("orth_b", "orth_b", || {
+                crate::backend::NumericGuard::default().ladder_rows("orth_b", &raw, true)
+            })
+            .unwrap();
+        assert_eq!(q, clean, "re-run block must be bit-identical");
+        assert_eq!(g.detected(), 1);
+        assert_eq!(g.corrected(), 1);
+    }
+
+    #[test]
+    fn orth_protected_clean_block_charges_one_verify() {
+        let mut g = IntegrityGuard::new(IntegrityPolicy::with_mode(IntegrityMode::Correct));
+        let raw = pseudo(4, 20, 4);
+        let q = g
+            .orth_protected("orth_b", "orth_b", || {
+                crate::backend::NumericGuard::default().ladder_rows("orth_b", &raw, true)
+            })
+            .unwrap();
+        assert_eq!(q.shape(), (4, 20));
+        assert_eq!(g.detected(), 0);
+        assert_eq!(g.pending.len(), 1, "exactly the clean verify charge");
+    }
+
+    #[test]
+    fn drain_charges_and_fold_never_touches_retries() {
+        let mut g = IntegrityGuard::new(IntegrityPolicy::with_mode(IntegrityMode::Correct));
+        queue_events(&mut g, &SdcPlan::new().bit_flip(0, 0, "sketch", 3, 4, 54));
+        let (r, _, _) = protected_product(&mut g, 12, 8, 16);
+        r.unwrap();
+        let mut exec = super::super::CpuExec::new();
+        exec.begin(12, 8);
+        g.drain(&mut exec).unwrap();
+        assert!(g.pending.is_empty());
+        let mut report = exec.finish().unwrap();
+        report.retries = 7;
+        g.fold_into(&mut report);
+        assert_eq!(report.sdc_detected, 1);
+        assert_eq!(report.sdc_corrected, 1);
+        assert_eq!(report.sdc_rollbacks, 0);
+        assert_eq!(report.retries, 7, "guard must not touch device retries");
+    }
+
+    #[test]
+    fn note_rollback_counts_and_marks() {
+        let mut g = IntegrityGuard::new(IntegrityPolicy::with_mode(IntegrityMode::Correct));
+        g.note_rollback("sample_block", 2, 17);
+        assert_eq!(g.rollbacks(), 1);
+        let mut report = ExecReport::default();
+        g.fold_into(&mut report);
+        assert_eq!(report.sdc_rollbacks, 1);
+    }
+
+    #[test]
+    fn protect_shape_charges_armed_only() {
+        let mut off = IntegrityGuard::default();
+        off.protect_shape("sketch", "sketch", 10, 5, 20);
+        assert!(off.pending.is_empty());
+        let mut armed = IntegrityGuard::new(IntegrityPolicy::with_mode(IntegrityMode::Correct));
+        armed.protect_shape("sketch", "sketch", 10, 5, 20);
+        assert_eq!(armed.pending.len(), 2, "encode + clean verify");
+    }
+}

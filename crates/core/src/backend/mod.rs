@@ -64,6 +64,7 @@ mod cluster;
 mod cpu;
 mod gpu;
 mod guard;
+mod integrity;
 mod multi;
 mod pipeline;
 mod recovery;
@@ -72,13 +73,14 @@ pub use cluster::ClusterExec;
 pub use cpu::CpuExec;
 pub use gpu::GpuExec;
 pub use guard::{NumericGuard, NumericPolicy, Rung};
+pub use integrity::{IntegrityGuard, IntegrityMode, IntegrityOutcome, IntegrityPolicy};
 pub use multi::MultiGpuExec;
 pub(crate) use pipeline::{
     fixed_rank_finish_stage, fixed_rank_power_stage, fixed_rank_sample_stage, incremental_extend,
     input_scale, posterior_error_bound, staged,
 };
 pub use pipeline::{
-    run_fixed_rank, run_fixed_rank_verified, run_fixed_rank_with_guard,
+    run_fixed_rank, run_fixed_rank_protected, run_fixed_rank_verified, run_fixed_rank_with_guard,
     run_fixed_rank_with_recovery,
 };
 pub use recovery::{Recovering, RecoveryPolicy};
@@ -141,6 +143,16 @@ pub struct ExecReport {
     /// Speculative straggler re-dispatches performed by the recovery
     /// policy's watchdog (see [`Executor::mitigate_straggler`]).
     pub speculations: u64,
+    /// Silent-data-corruption events the SDC injector actually applied
+    /// to resident buffers during the run (whether or not detected).
+    pub sdc_injected: u64,
+    /// Corruptions the checksum verification pass caught.
+    pub sdc_detected: u64,
+    /// Detected corruptions repaired in place from the checksum pair
+    /// (single-entry recompute or bounded kernel re-run).
+    pub sdc_corrected: u64,
+    /// Detected corruptions that escalated to a checkpoint rollback.
+    pub sdc_rollbacks: u64,
     /// Per-device / per-kernel metrics accumulated during the run
     /// (empty on the CPU backend).
     pub metrics: Metrics,
@@ -176,6 +188,13 @@ impl fmt::Display for ExecReport {
                 f,
                 "  stragglers: {} speculative re-dispatch(es)",
                 self.speculations
+            )?;
+        }
+        if self.sdc_injected > 0 || self.sdc_detected > 0 {
+            writeln!(
+                f,
+                "  integrity: {} corruption(s) injected, {} detected, {} corrected in place, {} rollback(s)",
+                self.sdc_injected, self.sdc_detected, self.sdc_corrected, self.sdc_rollbacks
             )?;
         }
         if self.breakdowns > 0 || self.fallbacks > 0 {
@@ -482,6 +501,53 @@ pub trait Executor {
     /// Propagates kernel failures.
     fn verify_probe(&mut self, _probes: usize, _k: usize) -> Result<()> {
         Ok(())
+    }
+
+    // --- Integrity (ABFT) hooks -------------------------------------------
+
+    /// Charges encoding the ABFT checksum references of an `m×n×k`
+    /// protected product: the two operand-sum reductions plus the two
+    /// rank-1 reference products (see [`rlra_blas::checksum::encode`]).
+    /// No-op on backends without a device clock; the host arithmetic was
+    /// already done by the integrity guard.
+    ///
+    /// # Errors
+    ///
+    /// Propagates kernel failures.
+    fn charge_checksum_encode(&mut self, _m: usize, _n: usize, _k: usize) -> Result<()> {
+        Ok(())
+    }
+
+    /// Charges verifying an `m×n` protected output panel (inner
+    /// dimension `k`) against its checksum references, plus whatever the
+    /// verification `outcome` cost on top: a
+    /// [`IntegrityOutcome::Corrected`] adds the single-entry length-`k`
+    /// recompute and re-verify; a [`IntegrityOutcome::Rerun`] adds a full
+    /// re-execution of the `m×n×k` product. Device-backed executors also
+    /// charge the host-side digest comparison (PCIe download of the two
+    /// reference vectors); the cluster broadcasts the reference digests
+    /// so every node agrees on the verdict.
+    ///
+    /// # Errors
+    ///
+    /// Propagates kernel failures.
+    fn verify_integrity(
+        &mut self,
+        _m: usize,
+        _n: usize,
+        _k: usize,
+        _outcome: IntegrityOutcome,
+    ) -> Result<()> {
+        Ok(())
+    }
+
+    /// Drains the silent-data-corruption events the backend's SDC
+    /// injectors have fired since the last call. The integrity guard
+    /// applies each drained event to the named host buffer it protects —
+    /// keeping the corruption itself deterministic and bit-exact across
+    /// backends. Backends without injectors return an empty vector.
+    fn take_sdc_events(&mut self) -> Vec<rlra_gpu::SdcEvent> {
+        Vec::new()
     }
 
     /// Simulated seconds elapsed since [`Executor::begin`].

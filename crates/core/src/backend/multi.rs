@@ -10,7 +10,7 @@
 //! dry-run [`MultiGpu`] and is folded into the caller's context by
 //! [`MultiGpu::absorb`] when the run finishes.
 
-use super::{ExecReport, Executor};
+use super::{ExecReport, Executor, IntegrityOutcome};
 use crate::config::{SamplerConfig, SamplingKind, Step2Kind};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -28,6 +28,12 @@ use rlra_trace::{TraceEvent, Tracer};
 /// would never out-run the one-time block-row re-upload; the tail is
 /// what the quarantine actually spares.
 const SPECULATION_TAIL: usize = 16;
+
+/// Per-survivor share of a distributed inner dimension (at least 1 so
+/// degenerate shapes still price a minimal sweep).
+fn share_of(k: usize, survivors: usize) -> usize {
+    k.div_ceil(survivors.max(1)).max(1)
+}
 
 /// Multi-GPU execution backend.
 ///
@@ -73,6 +79,9 @@ impl<'a> MultiGpuExec<'a> {
         for i in 0..mg.ng() {
             if let Some(inj) = mg.gpu_mut(i).take_injector() {
                 sim.gpu_mut(i).set_injector(Some(inj));
+            }
+            if let Some(sdc) = mg.gpu_mut(i).take_sdc_injector() {
+                sim.gpu_mut(i).set_sdc_injector(Some(sdc));
             }
             if let Some((device, at)) = mg.gpu(i).dead_info() {
                 sim.gpu_mut(i).mark_dead(device, at);
@@ -570,6 +579,93 @@ impl Executor for MultiGpuExec<'_> {
         Ok(())
     }
 
+    fn charge_checksum_encode(&mut self, m: usize, n: usize, k: usize) -> Result<()> {
+        // The protected products are formed as per-device partial GEMMs
+        // over row chunks of the inner dimension, so each survivor
+        // encodes the references of its own share; the partial reference
+        // vectors merge in the same host reduction as the panel itself.
+        let alive = self.sim.alive_indices();
+        let share = share_of(k, alive.len());
+        for gi in alive {
+            let gpu = self.sim.gpu_mut(gi);
+            gpu.charge_kernel(
+                Phase::Integrity,
+                "abft",
+                [m, n, share],
+                rlra_blas::checksum::encode_flops(m, n, share) as f64,
+                8.0 * (m * share + share * n + m + n) as f64,
+                gpu.cost().blas1_reduce(m * share)
+                    + gpu.cost().blas1_reduce(share * n)
+                    + gpu.cost().gemv(share, n)
+                    + gpu.cost().gemv(m, share),
+            );
+        }
+        Ok(())
+    }
+
+    fn verify_integrity(
+        &mut self,
+        m: usize,
+        n: usize,
+        k: usize,
+        outcome: IntegrityOutcome,
+    ) -> Result<()> {
+        // Each survivor sweeps the column/row digests of its partial
+        // panel and ships the two reference vectors to the host, which
+        // folds and compares them next to the panel reduction.
+        let alive = self.sim.alive_indices();
+        for &gi in &alive {
+            let gpu = self.sim.gpu_mut(gi);
+            gpu.charge_kernel(
+                Phase::Integrity,
+                "abft",
+                [m, n, 0],
+                rlra_blas::checksum::verify_flops(m, n) as f64,
+                8.0 * (m * n) as f64,
+                gpu.cost().blas1_reduce(m * n) * 2.0,
+            );
+            gpu.charge(Phase::Integrity, gpu.cost().transfer(8 * (m + n) as u64));
+        }
+        let cost = self.sim.gpu(0).cost().clone();
+        match outcome {
+            IntegrityOutcome::Clean => {}
+            IntegrityOutcome::Corrected => {
+                // The repair happens on the host-resident reduced panel:
+                // one length-k inner product, a single-entry write-back,
+                // and a host re-verify sweep — stalling every survivor.
+                let secs = cost.host_flops(2.0 * k.max(1) as f64)
+                    + cost.transfer(8)
+                    + cost.host_flops(rlra_blas::checksum::verify_flops(m, n) as f64);
+                for gi in self.sim.alive_indices() {
+                    self.sim.gpu_mut(gi).charge_raw(Phase::Integrity, secs);
+                }
+            }
+            IntegrityOutcome::Rerun => {
+                // Re-run the distributed product (k > 0) or the CholQR
+                // pass that produced the block (k == 0), then host
+                // re-verify.
+                for gi in self.sim.alive_indices() {
+                    let gpu = self.sim.gpu_mut(gi);
+                    let redo = if k > 0 {
+                        gpu.cost().gemm(m, n, share_of(k, alive.len()))
+                    } else {
+                        gpu.cost().syrk(m, n) + gpu.cost().host_cholesky(m) + gpu.cost().trsm(m, n)
+                    };
+                    gpu.charge(Phase::Integrity, redo);
+                }
+                let reverify = cost.host_flops(rlra_blas::checksum::verify_flops(m, n) as f64);
+                for gi in self.sim.alive_indices() {
+                    self.sim.gpu_mut(gi).charge_raw(Phase::Integrity, reverify);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn take_sdc_events(&mut self) -> Vec<rlra_gpu::SdcEvent> {
+        self.sim.drain_sdc_events()
+    }
+
     fn verify_probe(&mut self, probes: usize, k: usize) -> Result<()> {
         // Probe GEMMs against the distributed A, plus the thin host-side
         // products against Q and R.
@@ -861,12 +957,26 @@ impl Executor for MultiGpuExec<'_> {
             fallbacks: 0,
             ladder_histogram: [0; 3],
             speculations: 0,
+            sdc_injected: self.sim.sdc_injected(),
+            sdc_detected: 0,
+            sdc_corrected: 0,
+            sdc_rollbacks: 0,
             metrics: self.sim.metrics(),
         };
         self.mg.absorb(&self.sim)?;
+        // Undrained SDC events go home to the device that fired them;
+        // the injectors follow.
+        for ev in self.sim.drain_sdc_events() {
+            if ev.device < ng {
+                self.mg.gpu_mut(ev.device).requeue_sdc_events(vec![ev]);
+            }
+        }
         for i in 0..ng {
             if let Some(inj) = self.sim.gpu_mut(i).take_injector() {
                 self.mg.gpu_mut(i).set_injector(Some(inj));
+            }
+            if let Some(sdc) = self.sim.gpu_mut(i).take_sdc_injector() {
+                self.mg.gpu_mut(i).set_sdc_injector(Some(sdc));
             }
         }
         if let Some(tr) = self.sim.take_tracer() {

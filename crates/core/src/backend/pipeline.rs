@@ -5,9 +5,9 @@
 //! while the executor hooks account for what each step costs on the
 //! backend's hardware. See the [module docs](super) for the contract.
 
-use super::{ExecReport, Executor, Input, NumericGuard};
+use super::{ExecReport, Executor, Input, IntegrityGuard, NumericGuard};
 use crate::config::{SamplerConfig, SamplingKind};
-use crate::power::power_iterate_guarded;
+use crate::power::power_iterate_protected;
 use crate::result::LowRankApprox;
 use rand::Rng;
 use rlra_blas::Trans;
@@ -77,6 +77,14 @@ pub(crate) fn staged<E: Executor>(
 /// so the hooks are charged up front and the numerics run once. A
 /// buffer-only step (`k_b == 0`, e.g. the very first block) charges
 /// nothing — stacking the permuted rows is bookkeeping, not device work.
+///
+/// The accepted `Q` panel (the [`rlra_lapack::sample_panel_step`]
+/// output after projection and the ladder QR) is the integrity guard's
+/// `"panel"` buffer: queued corruption events land on it and, when the
+/// guard is armed, its column-orthonormality is verified — a defect
+/// escalates per the policy (re-materialize, else surface
+/// [`rlra_matrix::MatrixError::SilentCorruption`] for the durable
+/// layer's rollback).
 pub(crate) fn incremental_extend<E: Executor>(
     exec: &mut E,
     factors: &mut crate::fixed_rank::IncrementalFactors,
@@ -84,6 +92,7 @@ pub(crate) fn incremental_extend<E: Executor>(
     w: &Mat,
     reorth: bool,
     guard: &mut NumericGuard,
+    iguard: &mut IntegrityGuard,
 ) -> Result<()> {
     let (k_done, n_trail, k_b) = factors.step_dims();
     if k_b > 0 {
@@ -102,8 +111,20 @@ pub(crate) fn incremental_extend<E: Executor>(
             e.adaptive_update_trailing(k_b, n_trail)
         })?;
     }
-    factors.extend(a, w, reorth, guard)?;
+    iguard.sync(exec);
+    let accepted = factors.extend(a, w, reorth, guard)?;
     guard.drain(exec)?;
+    if accepted > 0 {
+        // The panel is column-orthonormal, so its transpose satisfies
+        // the row-norm invariant the orth verification checks; the
+        // clean host copy makes the escalation re-run a bit-identical
+        // re-materialization.
+        let clean = factors.last_panel(accepted);
+        let verified =
+            iguard.orth_protected("adaptive_update_panel", "panel", || Ok(clean.transpose()));
+        iguard.drain(exec)?;
+        factors.set_last_panel(accepted, &verified?.transpose());
+    }
     Ok(())
 }
 
@@ -177,6 +198,38 @@ pub fn run_fixed_rank_with_guard<E: Executor>(
     rng: &mut impl Rng,
     guard: &mut NumericGuard,
 ) -> Result<(Option<LowRankApprox>, ExecReport)> {
+    let mut iguard = IntegrityGuard::default();
+    run_fixed_rank_protected(exec, a, cfg, rng, guard, &mut iguard)
+}
+
+/// As [`run_fixed_rank_with_guard`], with an explicit [`IntegrityGuard`]
+/// arming the ABFT integrity layer: the sketch GEMM (buffer `"sketch"`),
+/// the power-iteration GEMMs (`"power_c"` / `"power_b"`), the CholQR
+/// ladder rungs (`"orth_b"` / `"orth_c"`) and the final factor panel
+/// (`"tsqr"`) run checksum-guarded, injected corruption is detected and
+/// corrected or escalated per the guard's policy, and the report's
+/// `sdc_*` counters record what happened. With the default disarmed
+/// guard this is [`run_fixed_rank_with_guard`] exactly — factors *and*
+/// report stay bit-identical.
+///
+/// On an integrity failure the guard is drained before the error
+/// returns, so the detection work that failed the run is still charged
+/// and traced on the executor.
+///
+/// # Errors
+///
+/// Everything [`run_fixed_rank_with_guard`] returns, plus
+/// [`MatrixError::SilentCorruption`] when corruption is detected under
+/// [`super::IntegrityMode::DetectOnly`] or exhausts the correction
+/// budget.
+pub fn run_fixed_rank_protected<E: Executor>(
+    exec: &mut E,
+    a: Input<'_>,
+    cfg: &SamplerConfig,
+    rng: &mut impl Rng,
+    guard: &mut NumericGuard,
+    iguard: &mut IntegrityGuard,
+) -> Result<(Option<LowRankApprox>, ExecReport)> {
     let (m, n) = a.shape();
     cfg.validate(m, n)?;
     exec.supports(cfg, a.values().is_some())?;
@@ -187,10 +240,13 @@ pub fn run_fixed_rank_with_guard<E: Executor>(
         });
     }
     exec.begin(m, n);
-    let approx = attempt_fixed_rank(exec, a, cfg, rng, guard)?;
+    let attempt = attempt_fixed_rank(exec, a, cfg, rng, guard, iguard);
     guard.drain(exec)?;
+    iguard.drain(exec)?;
+    let approx = attempt?;
     let mut report = exec.finish()?;
     guard.fold_into(&mut report);
+    iguard.fold_into(&mut report);
     Ok((approx, report))
 }
 
@@ -218,11 +274,12 @@ fn attempt_fixed_rank<E: Executor>(
     cfg: &SamplerConfig,
     rng: &mut impl Rng,
     guard: &mut NumericGuard,
+    iguard: &mut IntegrityGuard,
 ) -> Result<Option<LowRankApprox>> {
     let scale = input_scale(&a, exec.computes(), guard)?;
-    let b_host = fixed_rank_sample_stage(exec, &a, cfg, rng, guard, scale)?;
-    let b_host = fixed_rank_power_stage(exec, &a, cfg, guard, scale, b_host)?;
-    fixed_rank_finish_stage(exec, &a, cfg, guard, scale, b_host)
+    let b_host = fixed_rank_sample_stage(exec, &a, cfg, rng, guard, iguard, scale)?;
+    let b_host = fixed_rank_power_stage(exec, &a, cfg, guard, iguard, scale, b_host)?;
+    fixed_rank_finish_stage(exec, &a, cfg, guard, iguard, scale, b_host)
 }
 
 /// The input magnitude the guard's health checks compare block norms
@@ -244,6 +301,7 @@ pub(crate) fn fixed_rank_sample_stage<E: Executor>(
     cfg: &SamplerConfig,
     rng: &mut impl Rng,
     guard: &mut NumericGuard,
+    iguard: &mut IntegrityGuard,
     scale: f64,
 ) -> Result<Option<Mat>> {
     let (m, n) = a.shape();
@@ -255,28 +313,39 @@ pub(crate) fn fixed_rank_sample_stage<E: Executor>(
         SamplingKind::Gaussian => {
             sample_stage = "gaussian_sample";
             staged(exec, "gaussian_sample", |e| e.gaussian_sample(l))?;
+            iguard.sync(exec);
             if compute {
                 let am = host_values(a)?;
                 let omega = gaussian_mat(l, m, rng);
                 let mut b = Mat::zeros(l, n);
-                rlra_blas::gemm(
+                let protected = iguard.gemm_protected(
+                    "gaussian_sample",
+                    "sketch",
                     1.0,
-                    omega.as_ref(),
+                    &omega,
                     Trans::No,
-                    am.as_ref(),
+                    am,
                     Trans::No,
-                    0.0,
-                    b.as_mut(),
-                )?;
+                    &mut b,
+                );
+                iguard.drain(exec)?;
+                protected?;
                 b_host = Some(b);
             } else {
                 burn_standard_normal(rng, l * m);
+                iguard.protect_shape("gaussian_sample", "sketch", l, n, m);
+                iguard.drain(exec)?;
             }
         }
         SamplingKind::Fft(scheme) => {
+            // The SRFT sample is not a GEMM, so it sits outside the ABFT
+            // funnel: events aimed at its output stay queued (dead data
+            // by construction) and the coverage sweep reports them as
+            // unapplied rather than silently escaped.
             sample_stage = "srft_sample_rows";
             let op = SrftOperator::new(m, l, scheme, rng)?;
             staged(exec, "srft_sample_rows", |e| e.srft_sample_rows(l, scheme))?;
+            iguard.sync(exec);
             if compute {
                 let am = host_values(a)?;
                 b_host = Some(op.sample_rows(am)?);
@@ -296,6 +365,7 @@ pub(crate) fn fixed_rank_power_stage<E: Executor>(
     a: &Input<'_>,
     cfg: &SamplerConfig,
     guard: &mut NumericGuard,
+    iguard: &mut IntegrityGuard,
     scale: f64,
     mut b_host: Option<Mat>,
 ) -> Result<Option<Mat>> {
@@ -308,11 +378,12 @@ pub(crate) fn fixed_rank_power_stage<E: Executor>(
         staged(exec, "orth_c", |e| e.orth_c(l, cfg.reorth))?;
         staged(exec, "gemm_to_b", |e| e.gemm_to_b(l))?;
     }
+    iguard.sync(exec);
     if compute {
         let am = host_values(a)?;
         let empty_b = Mat::zeros(0, n);
         let empty_c = Mat::zeros(0, m);
-        let (b, _c) = power_iterate_guarded(
+        let protected = power_iterate_protected(
             am,
             &empty_b,
             &empty_c,
@@ -320,12 +391,27 @@ pub(crate) fn fixed_rank_power_stage<E: Executor>(
             cfg.q,
             cfg.reorth,
             guard,
-        )?;
+            iguard,
+        );
         guard.drain(exec)?;
+        iguard.drain(exec)?;
+        let (b, _c) = protected?;
         if cfg.q > 0 {
             checked(exec, guard, "gemm_to_b", &b, scale)?;
         }
         b_host = Some(b);
+    } else {
+        // Mirror the protected compute iteration's integrity charges so
+        // an armed dry run prices the same work as an armed fault-free
+        // compute run: orth verify, checksummed C GEMM, orth verify,
+        // checksummed B GEMM — per power iteration.
+        for _ in 0..cfg.q {
+            iguard.protect_shape("orth_b", "orth_b", l, n, 0);
+            iguard.protect_shape("gemm_to_c", "power_c", l, m, n);
+            iguard.protect_shape("orth_c", "orth_c", l, m, 0);
+            iguard.protect_shape("gemm_to_b", "power_b", l, n, m);
+        }
+        iguard.drain(exec)?;
     }
     Ok(b_host)
 }
@@ -337,6 +423,7 @@ pub(crate) fn fixed_rank_finish_stage<E: Executor>(
     a: &Input<'_>,
     cfg: &SamplerConfig,
     guard: &mut NumericGuard,
+    iguard: &mut IntegrityGuard,
     scale: f64,
     b_host: Option<Mat>,
 ) -> Result<Option<LowRankApprox>> {
@@ -345,9 +432,10 @@ pub(crate) fn fixed_rank_finish_stage<E: Executor>(
     let k = cfg.k;
     staged(exec, "step2_pivot", |e| e.step2_pivot(cfg.step2, l, k))?;
     staged(exec, "tsqr", |e| e.tsqr(k, cfg.reorth))?;
+    iguard.sync(exec);
     let approx = if compute {
         let am = host_values(a)?;
-        let approx = crate::fixed_rank::finish_from_sampled_guarded(
+        let mut approx = crate::fixed_rank::finish_from_sampled_guarded(
             am,
             sampled_ref(&b_host)?,
             k,
@@ -356,9 +444,19 @@ pub(crate) fn fixed_rank_finish_stage<E: Executor>(
             guard,
         )?;
         guard.drain(exec)?;
+        // The factor panel Q is column-orthonormal, so its transpose
+        // satisfies the row-norm invariant the orth verification
+        // checks; the clean host copy makes the escalation re-run a
+        // bit-identical re-materialization.
+        let clean_q = approx.q.clone();
+        let verified = iguard.orth_protected("tsqr", "tsqr", || Ok(clean_q.transpose()));
+        iguard.drain(exec)?;
+        approx.q = verified?.transpose();
         checked(exec, guard, "tsqr", &approx.q, scale)?;
         Some(approx)
     } else {
+        iguard.protect_shape("tsqr", "tsqr", k, a.shape().0, 0);
+        iguard.drain(exec)?;
         None
     };
     Ok(approx)
@@ -467,8 +565,12 @@ pub fn run_fixed_rank_verified<E: Executor>(
     exec.begin(m, n);
     let mut attempt_cfg = *cfg;
     let mut best = f64::INFINITY;
+    // The verified retry predates the integrity layer; it runs with the
+    // checksums disarmed (a caller who wants both composes the
+    // protected entry with its own posterior check).
+    let mut iguard = IntegrityGuard::default();
     for _ in 0..VERIFY_MAX_ATTEMPTS {
-        let approx = attempt_fixed_rank(exec, a, &attempt_cfg, rng, guard)?.ok_or(
+        let approx = attempt_fixed_rank(exec, a, &attempt_cfg, rng, guard, &mut iguard)?.ok_or(
             MatrixError::Internal {
                 op: "run_fixed_rank_verified",
                 invariant: "computing backends return an approximation",

@@ -296,6 +296,27 @@ impl<E: Executor> Recovering<E> {
                     pending.push((device, at));
                     attempts = 0;
                 }
+                // Silent corruption is a *data* fault, not a launch
+                // fault: the kernel completed, so re-running it here
+                // would charge a backoff for nothing, count a retry for
+                // work the integrity guard already accounts as a
+                // correction or re-run, and — worse — re-execute healthy
+                // stages around a still-poisoned buffer. It surfaces
+                // unchanged for the `IntegrityPolicy` escalation ladder
+                // (localized correction → bounded re-run → checkpoint
+                // rollback).
+                MatrixError::SilentCorruption {
+                    device,
+                    kernel,
+                    location,
+                } => {
+                    self.trace_recovery(device, "integrity-escalation");
+                    return Err(MatrixError::SilentCorruption {
+                        device,
+                        kernel,
+                        location,
+                    });
+                }
                 e => return Err(e),
             }
         }
@@ -413,6 +434,24 @@ impl<E: Executor> Executor for Recovering<E> {
 
     fn verify_probe(&mut self, probes: usize, k: usize) -> Result<()> {
         self.guard(|e| e.verify_probe(probes, k))
+    }
+
+    fn charge_checksum_encode(&mut self, m: usize, n: usize, k: usize) -> Result<()> {
+        self.guard(|e| e.charge_checksum_encode(m, n, k))
+    }
+
+    fn verify_integrity(
+        &mut self,
+        m: usize,
+        n: usize,
+        k: usize,
+        outcome: super::IntegrityOutcome,
+    ) -> Result<()> {
+        self.guard(|e| e.verify_integrity(m, n, k, outcome))
+    }
+
+    fn take_sdc_events(&mut self) -> Vec<rlra_gpu::SdcEvent> {
+        self.inner.take_sdc_events()
     }
 
     fn elapsed(&self) -> f64 {
@@ -648,6 +687,10 @@ mod tests {
                 fallbacks: 0,
                 ladder_histogram: [0; 3],
                 speculations: 0,
+                sdc_injected: 0,
+                sdc_detected: 0,
+                sdc_corrected: 0,
+                sdc_rollbacks: 0,
                 metrics: rlra_trace::Metrics::default(),
             })
         }
@@ -821,6 +864,38 @@ mod tests {
         let inner = Scripted::new(vec![fail_stop(0, 7)], false);
         let mut rec = Recovering::new(inner, RecoveryPolicy::default());
         assert!(rec.gaussian_sample(8).is_err());
+    }
+
+    #[test]
+    fn silent_corruption_is_never_transient_retried() {
+        // The double-counting seam: a corruption repair belongs to the
+        // integrity guard's `sdc_corrected`, never to `retries` — if the
+        // wrapper absorbed it as a transient, the same incident would be
+        // billed twice (a backoff here, a correction there) and healthy
+        // stages would re-run around a still-poisoned buffer.
+        let inner = Scripted::new(
+            vec![MatrixError::SilentCorruption {
+                device: 3,
+                kernel: "sketch",
+                location: (1, 2),
+            }],
+            true,
+        );
+        let mut rec = Recovering::new(inner, RecoveryPolicy::default());
+        let err = rec.gaussian_sample(8).unwrap_err();
+        assert!(matches!(
+            err,
+            MatrixError::SilentCorruption {
+                device: 3,
+                kernel: "sketch",
+                location: (1, 2),
+            }
+        ));
+        assert_eq!(rec.retries(), 0);
+        let report = rec.finish().unwrap();
+        assert_eq!(report.retries, 0);
+        assert_eq!(report.sdc_corrected, 0);
+        assert_eq!(rec.into_inner().backoff_charged, 0.0);
     }
 
     #[test]

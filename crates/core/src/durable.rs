@@ -35,7 +35,7 @@ use crate::adaptive::{
 };
 use crate::backend::{
     fixed_rank_finish_stage, fixed_rank_power_stage, fixed_rank_sample_stage, input_scale,
-    posterior_error_bound, ExecReport, Executor, Input, NumericGuard,
+    posterior_error_bound, ExecReport, Executor, Input, IntegrityGuard, NumericGuard,
 };
 use crate::checkpoint::{
     checkpoint_boundary, AdaptiveSnapshot, CountingRng, Durability, DurableOutcome,
@@ -52,6 +52,12 @@ pub type FixedAccuracyOutput = (LowRankApprox, AdaptiveResult, ExecReport);
 
 /// The completed value of a durable fixed-rank run.
 pub type FixedRankOutput = (Option<LowRankApprox>, ExecReport);
+
+/// How many times an unrecoverable silent corruption may roll a stage
+/// back to the last boundary snapshot before the run fails. The wasted
+/// attempts stay on the executor's clocks — a rollback is priced as the
+/// lost work plus the redo.
+const SDC_ROLLBACK_ATTEMPTS: usize = 2;
 
 // ---------------------------------------------------------------------
 // Fixed accuracy (adaptive)
@@ -79,12 +85,23 @@ pub fn sample_fixed_accuracy_durable<E: Executor, R: RngCore>(
 ) -> Result<DurableOutcome<FixedAccuracyOutput>> {
     let (m, n) = a.shape();
     let mut guard = NumericGuard::default();
+    let mut iguard = IntegrityGuard::default();
     let factors = match cfg.finish {
         FinishMode::Incremental => Some(IncrementalFactors::new(m, n)),
         FinishMode::Restart => None,
     };
-    let cur = AdaptiveCursor::start(exec, a, cfg, rng)?;
-    drive_fixed_accuracy(exec, a, cfg, rng, dur, &mut guard, factors, cur)
+    let cur = AdaptiveCursor::start(exec, a, cfg, rng, &mut iguard)?;
+    drive_fixed_accuracy(
+        exec,
+        a,
+        cfg,
+        rng,
+        dur,
+        &mut guard,
+        &mut iguard,
+        factors,
+        cur,
+    )
 }
 
 /// Resumes a fixed-accuracy run from a sealed [`AdaptiveSnapshot`] on a
@@ -139,7 +156,18 @@ pub fn resume_fixed_accuracy<E: Executor, R: RngCore>(
         steps: snap.steps,
         t0,
     };
-    drive_fixed_accuracy(exec, a, cfg, &mut rng, dur, &mut guard, factors, cur)
+    let mut iguard = IntegrityGuard::default();
+    drive_fixed_accuracy(
+        exec,
+        a,
+        cfg,
+        &mut rng,
+        dur,
+        &mut guard,
+        &mut iguard,
+        factors,
+        cur,
+    )
 }
 
 /// The checkpointed loop shared by the fresh and resumed entry points.
@@ -151,11 +179,12 @@ fn drive_fixed_accuracy<E: Executor, R: RngCore>(
     rng: &mut CountingRng<R>,
     dur: &mut Durability,
     guard: &mut NumericGuard,
+    iguard: &mut IntegrityGuard,
     mut factors: Option<IncrementalFactors>,
     mut cur: AdaptiveCursor,
 ) -> Result<DurableOutcome<FixedAccuracyOutput>> {
     let converged = loop {
-        match adaptive_step(exec, a, cfg, rng, guard, factors.as_mut(), &mut cur)? {
+        match adaptive_step(exec, a, cfg, rng, guard, iguard, factors.as_mut(), &mut cur)? {
             StepOutcome::Continue => {
                 guard.drain(exec)?;
                 let id = adaptive_boundary(exec, dur, a, &cur, factors.as_ref(), guard, rng)?;
@@ -185,10 +214,12 @@ fn drive_fixed_accuracy<E: Executor, R: RngCore>(
         }
     };
     let adaptive = cur.into_result(converged);
-    let approx = finish_fixed_accuracy(exec, a, cfg, guard, &adaptive, factors)?;
+    let approx = finish_fixed_accuracy(exec, a, cfg, guard, iguard, &adaptive, factors)?;
     guard.drain(exec)?;
+    iguard.drain(exec)?;
     let mut report = exec.finish()?;
     guard.fold_into(&mut report);
+    iguard.fold_into(&mut report);
     Ok(DurableOutcome::Complete((approx, adaptive, report)))
 }
 
@@ -271,6 +302,36 @@ pub fn run_fixed_rank_durable<E: Executor, R: RngCore>(
     rng: &mut CountingRng<R>,
     dur: &mut Durability,
 ) -> Result<DurableOutcome<FixedRankOutput>> {
+    let mut iguard = IntegrityGuard::default();
+    run_fixed_rank_durable_protected(exec, a, cfg, rng, dur, &mut iguard)
+}
+
+/// As [`run_fixed_rank_durable`], with an explicit [`IntegrityGuard`]
+/// arming the ABFT integrity layer — and closing its escalation ladder
+/// with the checkpoint rollback: a silent corruption the guard could
+/// not (or, under detect-only, may not) repair locally rolls the stage
+/// back to the last boundary snapshot — sketch, guard counters — and
+/// re-runs it under a bounded budget ([`SDC_ROLLBACK_ATTEMPTS`] retries)
+/// before the run fails. Each rollback is counted in the report's
+/// `sdc_rollbacks`; the wasted attempt's charges stay on the executor's
+/// clocks, so the report prices the rollback as lost work plus redo.
+///
+/// Corruption in the sample stage itself (before the first boundary)
+/// has no snapshot to roll back to and fails the run directly.
+///
+/// # Errors
+///
+/// Everything [`run_fixed_rank_durable`] returns, plus
+/// [`MatrixError::SilentCorruption`] when the rollback budget is
+/// exhausted (or no boundary exists yet).
+pub fn run_fixed_rank_durable_protected<E: Executor, R: RngCore>(
+    exec: &mut E,
+    a: Input<'_>,
+    cfg: &SamplerConfig,
+    rng: &mut CountingRng<R>,
+    dur: &mut Durability,
+    iguard: &mut IntegrityGuard,
+) -> Result<DurableOutcome<FixedRankOutput>> {
     let (m, n) = a.shape();
     cfg.validate(m, n)?;
     exec.supports(cfg, a.values().is_some())?;
@@ -284,8 +345,8 @@ pub fn run_fixed_rank_durable<E: Executor, R: RngCore>(
     exec.begin(m, n);
     let mut guard = NumericGuard::default();
     let scale = input_scale(&a, exec.computes(), &guard)?;
-    let b = fixed_rank_sample_stage(exec, &a, cfg, rng, &mut guard, scale)?;
-    if let Some(id) = fixed_rank_boundary(
+    let b = fixed_rank_sample_stage(exec, &a, cfg, rng, &mut guard, iguard, scale)?;
+    let (id, suspend) = fixed_rank_boundary(
         exec,
         dur,
         cfg,
@@ -295,10 +356,23 @@ pub fn run_fixed_rank_durable<E: Executor, R: RngCore>(
         &guard,
         rng,
         t0,
-    )? {
+    )?;
+    if suspend {
         return Ok(DurableOutcome::Suspended { snapshot: id });
     }
-    finish_fixed_rank_durable(exec, a, cfg, rng, dur, guard, scale, b, t0)
+    finish_fixed_rank_durable(
+        exec,
+        a,
+        cfg,
+        rng,
+        dur,
+        guard,
+        iguard,
+        scale,
+        b,
+        Some(id),
+        t0,
+    )
 }
 
 /// Resumes a fixed-rank run from a sealed [`FixedRankSnapshot`] on a
@@ -354,13 +428,34 @@ pub fn resume_fixed_rank<E: Executor, R: RngCore>(
     snap.guard.restore(&mut guard);
     dur.align_after(snap.id);
     let scale = input_scale(&a, exec.computes(), &guard)?;
+    // Resume runs disarmed: the snapshot being resumed lives outside
+    // `dur`, so there is no boundary to roll back to here.
+    let mut iguard = IntegrityGuard::default();
     match snap.stage {
-        FixedRankStage::Sampled => {
-            finish_fixed_rank_durable(exec, a, cfg, &mut rng, dur, guard, scale, snap.b_host, t0)
-        }
-        FixedRankStage::Powered => {
-            complete_fixed_rank(exec, a, cfg, dur, guard, scale, snap.b_host)
-        }
+        FixedRankStage::Sampled => finish_fixed_rank_durable(
+            exec,
+            a,
+            cfg,
+            &mut rng,
+            dur,
+            guard,
+            &mut iguard,
+            scale,
+            snap.b_host,
+            None,
+            t0,
+        ),
+        FixedRankStage::Powered => complete_fixed_rank(
+            exec,
+            a,
+            cfg,
+            dur,
+            guard,
+            &mut iguard,
+            scale,
+            snap.b_host,
+            None,
+        ),
     }
 }
 
@@ -375,12 +470,16 @@ fn finish_fixed_rank_durable<E: Executor, R: RngCore>(
     rng: &mut CountingRng<R>,
     dur: &mut Durability,
     mut guard: NumericGuard,
+    iguard: &mut IntegrityGuard,
     scale: f64,
     b: Option<Mat>,
+    rollback: Option<u64>,
     t0: f64,
 ) -> Result<DurableOutcome<FixedRankOutput>> {
-    let b = fixed_rank_power_stage(exec, &a, cfg, &mut guard, scale, b)?;
-    if let Some(id) = fixed_rank_boundary(
+    let b = with_sdc_rollback(exec, &mut guard, iguard, dur, rollback, b, |e, g, ig, b| {
+        fixed_rank_power_stage(e, &a, cfg, g, ig, scale, b)
+    })?;
+    let (id, suspend) = fixed_rank_boundary(
         exec,
         dur,
         cfg,
@@ -390,32 +489,93 @@ fn finish_fixed_rank_durable<E: Executor, R: RngCore>(
         &guard,
         rng,
         t0,
-    )? {
+    )?;
+    if suspend {
         return Ok(DurableOutcome::Suspended { snapshot: id });
     }
-    complete_fixed_rank(exec, a, cfg, dur, guard, scale, b)
+    complete_fixed_rank(exec, a, cfg, dur, guard, iguard, scale, b, Some(id))
 }
 
 /// The final (never-checkpointed) stage plus report assembly.
+#[allow(clippy::too_many_arguments)]
 fn complete_fixed_rank<E: Executor>(
     exec: &mut E,
     a: Input<'_>,
     cfg: &SamplerConfig,
-    _dur: &mut Durability,
+    dur: &mut Durability,
     mut guard: NumericGuard,
+    iguard: &mut IntegrityGuard,
     scale: f64,
     b: Option<Mat>,
+    rollback: Option<u64>,
 ) -> Result<DurableOutcome<FixedRankOutput>> {
-    let approx = fixed_rank_finish_stage(exec, &a, cfg, &mut guard, scale, b)?;
+    let approx = with_sdc_rollback(exec, &mut guard, iguard, dur, rollback, b, |e, g, ig, b| {
+        fixed_rank_finish_stage(e, &a, cfg, g, ig, scale, b)
+    })?;
     guard.drain(exec)?;
+    iguard.drain(exec)?;
     let mut report = exec.finish()?;
     guard.fold_into(&mut report);
+    iguard.fold_into(&mut report);
     Ok(DurableOutcome::Complete((approx, report)))
 }
 
+/// Runs one fixed-rank stage under the integrity guard's rollback
+/// escalation: on [`MatrixError::SilentCorruption`] the boundary
+/// snapshot is reopened, the sketch and numeric-guard counters are
+/// restored from it, the rollback is counted on the integrity guard,
+/// and the stage re-runs under the [`SDC_ROLLBACK_ATTEMPTS`] budget.
+/// The failed attempt's charges stay on the executor — a rollback is
+/// priced as the lost work plus the redo.
+fn with_sdc_rollback<E: Executor, T>(
+    exec: &mut E,
+    guard: &mut NumericGuard,
+    iguard: &mut IntegrityGuard,
+    dur: &Durability,
+    boundary: Option<u64>,
+    mut b: Option<Mat>,
+    mut stage: impl FnMut(&mut E, &mut NumericGuard, &mut IntegrityGuard, Option<Mat>) -> Result<T>,
+) -> Result<T> {
+    let mut rollbacks = 0;
+    loop {
+        match stage(exec, guard, iguard, b.take()) {
+            Ok(out) => return Ok(out),
+            Err(MatrixError::SilentCorruption {
+                device,
+                kernel,
+                location,
+            }) if rollbacks < SDC_ROLLBACK_ATTEMPTS => {
+                let err = MatrixError::SilentCorruption {
+                    device,
+                    kernel,
+                    location,
+                };
+                // No boundary yet, or the snapshot is gone (a resumed
+                // run's boundary lives outside this `dur`): the ladder
+                // is exhausted, surface the corruption.
+                let Some(snap) = boundary.and_then(|id| reopen_fixed_rank(dur, id)) else {
+                    return Err(err);
+                };
+                rollbacks += 1;
+                b = snap.b_host;
+                snap.guard.restore(guard);
+                iguard.note_rollback(kernel, device, 0);
+                iguard.drain(exec)?;
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// Reopens a sealed fixed-rank boundary snapshot for a rollback.
+fn reopen_fixed_rank(dur: &Durability, id: u64) -> Option<FixedRankSnapshot> {
+    FixedRankSnapshot::open(dur.get(id)?).ok()
+}
+
 /// Writes one fixed-rank stage boundary snapshot, applies the kill
-/// plan (returns `Some(id)` when the run must suspend here) and the
-/// deadline budget.
+/// plan and the deadline budget. Returns the snapshot id plus whether
+/// the run must suspend at this boundary; the id also serves as the
+/// rollback point for SDC escalation in the following stage.
 #[allow(clippy::too_many_arguments)]
 fn fixed_rank_boundary<E: Executor, R: RngCore>(
     exec: &mut E,
@@ -427,7 +587,7 @@ fn fixed_rank_boundary<E: Executor, R: RngCore>(
     guard: &NumericGuard,
     rng: &mut CountingRng<R>,
     t0: f64,
-) -> Result<Option<u64>> {
+) -> Result<(u64, bool)> {
     let (m, n) = a.shape();
     let mut snap = FixedRankSnapshot {
         id: 0,
@@ -447,7 +607,7 @@ fn fixed_rank_boundary<E: Executor, R: RngCore>(
         snap.to_bytes()
     })?;
     if dur.plan().kill_after == Some(id) {
-        return Ok(Some(id));
+        return Ok((id, true));
     }
     if let Some(deadline) = cfg.deadline {
         let elapsed = exec.elapsed() - t0;
@@ -461,7 +621,7 @@ fn fixed_rank_boundary<E: Executor, R: RngCore>(
             });
         }
     }
-    Ok(None)
+    Ok((id, false))
 }
 
 /// Best-effort partial result at a fixed-rank deadline overrun: finish

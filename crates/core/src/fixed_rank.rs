@@ -267,6 +267,19 @@ impl IncrementalFactors {
         (self.k_done, n_trail, k_b)
     }
 
+    /// The `k_b` newest accepted columns of `Q` (the panel the last
+    /// [`Self::extend`] appended) as a standalone matrix — read by the
+    /// integrity guard's panel verification.
+    pub(crate) fn last_panel(&self, k_b: usize) -> Mat {
+        self.q.submatrix(0, self.k_done - k_b, self.m, k_b)
+    }
+
+    /// Writes a (corrected) panel back over the `k_b` newest accepted
+    /// columns of `Q`.
+    pub(crate) fn set_last_panel(&mut self, k_b: usize, panel: &Mat) {
+        self.q.set_submatrix(0, self.k_done - k_b, panel);
+    }
+
     /// Extends the factors by one panel. The fresh sample block `w`
     /// (`b × n`, row-orthonormal against the prior sketch; may be empty
     /// for the finishing flush) is stacked onto the downdated residual

@@ -59,7 +59,8 @@ pub mod solvers;
 
 pub use adaptive::{
     adaptive_sample, adaptive_sample_exec, sample_fixed_accuracy, sample_fixed_accuracy_exec,
-    AdaptiveConfig, AdaptiveResult, AdaptiveStep, FinishMode, IncStrategy,
+    sample_fixed_accuracy_protected, AdaptiveConfig, AdaptiveResult, AdaptiveStep, FinishMode,
+    IncStrategy,
 };
 pub use backend::{
     run_fixed_rank, ClusterExec, CpuExec, ExecReport, Executor, GpuExec, Input, MultiGpuExec,
@@ -74,7 +75,8 @@ pub use cluster_exec::{qp3_cluster_time, sample_fixed_rank_cluster, ClusterRunRe
 pub use config::{SamplerConfig, SamplingKind, Step2Kind};
 pub use cur::{cur_decomposition, CurDecomposition};
 pub use durable::{
-    resume_fixed_accuracy, resume_fixed_rank, run_fixed_rank_durable, sample_fixed_accuracy_durable,
+    resume_fixed_accuracy, resume_fixed_rank, run_fixed_rank_durable,
+    run_fixed_rank_durable_protected, sample_fixed_accuracy_durable,
 };
 pub use fixed_rank::{
     finish_from_sampled, finish_from_sampled_with, sample_fixed_rank, IncrementalFactors,

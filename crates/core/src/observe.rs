@@ -39,7 +39,8 @@ pub fn report_json(rep: &ExecReport) -> String {
         "{{\"seconds\":{},\"launches\":{},\"syncs\":{},\"comms\":{},\"devices\":{},\
          \"faults_injected\":{},\"retries\":{},\"recovery_seconds\":{},\"devices_lost\":{},\
          \"breakdowns\":{},\"fallbacks\":{},\"ladder_histogram\":[{},{},{}],\
-         \"speculations\":{},\"timeline\":{{",
+         \"speculations\":{},\"sdc_injected\":{},\"sdc_detected\":{},\
+         \"sdc_corrected\":{},\"sdc_rollbacks\":{},\"timeline\":{{",
         num_json(rep.seconds),
         rep.launches,
         rep.syncs,
@@ -55,6 +56,10 @@ pub fn report_json(rep: &ExecReport) -> String {
         rep.ladder_histogram[1],
         rep.ladder_histogram[2],
         rep.speculations,
+        rep.sdc_injected,
+        rep.sdc_detected,
+        rep.sdc_corrected,
+        rep.sdc_rollbacks,
     );
     for (i, (label, secs)) in rep.timeline.breakdown().iter().enumerate() {
         if i > 0 {
@@ -81,6 +86,7 @@ pub fn incident_of(err: &MatrixError) -> Option<(&'static str, Option<u64>)> {
         MatrixError::DeadlineExceeded { snapshot, .. } => {
             Some(("deadline-exceeded", Some(snapshot)))
         }
+        MatrixError::SilentCorruption { .. } => Some(("silent-corruption", None)),
         _ => None,
     }
 }
@@ -143,6 +149,14 @@ impl FlightDeck {
     pub fn observe_report(&self, rep: &ExecReport) {
         self.registry.ingest_metrics(&rep.metrics);
         self.registry.observe(names::RUN_SECONDS, "", rep.seconds);
+        self.registry
+            .counter_add(names::RUN_SDC_INJECTED_TOTAL, "", rep.sdc_injected);
+        self.registry
+            .counter_add(names::RUN_SDC_DETECTED_TOTAL, "", rep.sdc_detected);
+        self.registry
+            .counter_add(names::RUN_SDC_CORRECTED_TOTAL, "", rep.sdc_corrected);
+        self.registry
+            .counter_add(names::RUN_SDC_ROLLBACKS_TOTAL, "", rep.sdc_rollbacks);
     }
 
     /// If `err` is a run-level incident, writes a postmortem bundle
@@ -190,6 +204,10 @@ mod tests {
             faults_injected: 3,
             recovery_seconds: 0.25,
             ladder_histogram: [0, 1, 0],
+            sdc_injected: 4,
+            sdc_detected: 3,
+            sdc_corrected: 2,
+            sdc_rollbacks: 1,
             ..ExecReport::default()
         };
         let doc = report_json(&rep);
@@ -197,6 +215,10 @@ mod tests {
         assert_eq!(j.get("seconds").unwrap().as_num(), Some(1.5));
         assert_eq!(j.get("retries").unwrap().as_num(), Some(2.0));
         assert_eq!(j.get("recovery_seconds").unwrap().as_num(), Some(0.25));
+        assert_eq!(j.get("sdc_injected").unwrap().as_num(), Some(4.0));
+        assert_eq!(j.get("sdc_detected").unwrap().as_num(), Some(3.0));
+        assert_eq!(j.get("sdc_corrected").unwrap().as_num(), Some(2.0));
+        assert_eq!(j.get("sdc_rollbacks").unwrap().as_num(), Some(1.0));
         let ladder = j.get("ladder_histogram").unwrap().as_arr().unwrap();
         assert_eq!(ladder.len(), 3);
         assert_eq!(ladder[1].as_num(), Some(1.0));
@@ -204,7 +226,7 @@ mod tests {
     }
 
     #[test]
-    fn incident_classification_covers_the_three_kinds() {
+    fn incident_classification_covers_the_four_kinds() {
         use rlra_matrix::DeviceFaultKind;
         assert_eq!(
             incident_of(&MatrixError::DeviceFault {
@@ -228,6 +250,14 @@ mod tests {
                 elapsed: 1.2,
             }),
             Some(("deadline-exceeded", Some(7)))
+        );
+        assert_eq!(
+            incident_of(&MatrixError::SilentCorruption {
+                device: 2,
+                kernel: "gemm_to_c",
+                location: (1, 3),
+            }),
+            Some(("silent-corruption", None))
         );
         assert_eq!(
             incident_of(&MatrixError::SingularDiagonal { index: 0 }),

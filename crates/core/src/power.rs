@@ -10,7 +10,7 @@
 //! (`B₁:ⱼ₋₁`, `C₁:ⱼ₋₁`) with the block Gram–Schmidt `BOrth`, which is what
 //! lets the adaptive scheme grow the subspace incrementally.
 
-use crate::backend::NumericGuard;
+use crate::backend::{IntegrityGuard, NumericGuard};
 use rlra_blas::Trans;
 use rlra_lapack::gram_schmidt::block_orth_rows;
 use rlra_matrix::{Mat, Result};
@@ -61,10 +61,37 @@ pub fn power_iterate_guarded(
     a: &Mat,
     b_prev: &Mat,
     c_prev: &Mat,
+    b_new: Mat,
+    q: usize,
+    reorth: bool,
+    guard: &mut NumericGuard,
+) -> Result<(Mat, Mat)> {
+    let mut iguard = IntegrityGuard::default();
+    power_iterate_protected(a, b_prev, c_prev, b_new, q, reorth, guard, &mut iguard)
+}
+
+/// As [`power_iterate_guarded`], with an explicit [`IntegrityGuard`] so
+/// the iteration's GEMMs carry ABFT checksum references (buffers
+/// `"power_c"` / `"power_b"`) and the CholQR ladder rungs verify their
+/// row-norm invariant (buffers `"orth_b"` / `"orth_c"`). With the
+/// default disarmed guard this is bit-identical to the unprotected
+/// iteration.
+///
+/// # Errors
+///
+/// As [`power_iterate_guarded`], plus
+/// [`rlra_matrix::MatrixError::SilentCorruption`] when the integrity
+/// guard detects corruption it cannot (or may not) repair.
+#[allow(clippy::too_many_arguments)]
+pub fn power_iterate_protected(
+    a: &Mat,
+    b_prev: &Mat,
+    c_prev: &Mat,
     mut b_new: Mat,
     q: usize,
     reorth: bool,
     guard: &mut NumericGuard,
+    iguard: &mut IntegrityGuard,
 ) -> Result<(Mat, Mat)> {
     let (m, n) = a.shape();
     let lnew = b_new.rows();
@@ -72,31 +99,38 @@ pub fn power_iterate_guarded(
     for _ in 0..q {
         // Orthogonalize B_new against accepted rows, then internally.
         block_orth_rows(b_prev, &mut b_new, reorth)?;
-        b_new = guard.ladder_rows("orth_b", &b_new, reorth)?;
+        let w = b_new;
+        b_new = iguard.orth_protected("orth_b", "orth_b", || {
+            guard.ladder_rows("orth_b", &w, reorth)
+        })?;
         // C_new = B_new · Aᵀ  (ℓnew × m).
         let mut c = Mat::zeros(lnew, m);
-        rlra_blas::gemm(
+        iguard.gemm_protected(
+            "gemm_to_c",
+            "power_c",
             1.0,
-            b_new.as_ref(),
+            &b_new,
             Trans::No,
-            a.as_ref(),
+            a,
             Trans::Yes,
-            0.0,
-            c.as_mut(),
+            &mut c,
         )?;
         // Orthogonalize C_new against accepted C rows, then internally.
         block_orth_rows(c_prev, &mut c, reorth)?;
-        c_new = guard.ladder_rows("orth_c", &c, reorth)?;
+        c_new = iguard.orth_protected("orth_c", "orth_c", || {
+            guard.ladder_rows("orth_c", &c, reorth)
+        })?;
         // B_new = C_new · A  (ℓnew × n).
         let mut b = Mat::zeros(lnew, n);
-        rlra_blas::gemm(
+        iguard.gemm_protected(
+            "gemm_to_b",
+            "power_b",
             1.0,
-            c_new.as_ref(),
+            &c_new,
             Trans::No,
-            a.as_ref(),
+            a,
             Trans::No,
-            0.0,
-            b.as_mut(),
+            &mut b,
         )?;
         b_new = b;
     }

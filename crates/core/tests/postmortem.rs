@@ -6,7 +6,8 @@
 //! directory honors the `$RLRA_POSTMORTEM_DIR` override.
 
 use rlra_core::backend::{
-    run_fixed_rank, run_fixed_rank_with_recovery, ExecReport, GpuExec, Input, MultiGpuExec,
+    run_fixed_rank, run_fixed_rank_protected, run_fixed_rank_with_recovery, ExecReport, GpuExec,
+    Input, IntegrityGuard, IntegrityMode, IntegrityPolicy, MultiGpuExec, NumericGuard,
     RecoveryPolicy,
 };
 use rlra_core::{
@@ -14,7 +15,7 @@ use rlra_core::{
     SamplerConfig,
 };
 use rlra_data::testmat::{decay_matrix, rng};
-use rlra_gpu::{DeviceSpec, ExecMode, FaultPlan, Gpu, MultiGpu};
+use rlra_gpu::{DeviceSpec, ExecMode, FaultPlan, Gpu, MultiGpu, SdcPlan};
 use rlra_matrix::MatrixError;
 use rlra_obs::names;
 use rlra_trace::{parse_json, Json};
@@ -165,6 +166,72 @@ fn recovered_run_bundle_reconciles_exactly_with_the_exec_report() {
     // ... and the rendered document is stable: rendering the same
     // report twice is byte-identical (the golden-postmortem property).
     assert_eq!(report_json(&rep), report_json(&rep));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Detect-only silent corruption kills the run; the deck classifies it
+/// as a `silent-corruption` incident whose bundle carries the sdc marks
+/// the drained integrity guard traced before the error surfaced.
+#[test]
+fn silent_corruption_dumps_a_postmortem_bundle() {
+    let (a, _) = decay_matrix(90, 45, 0.6, 42);
+    let cfg = SamplerConfig::new(6).with_p(4).with_q(1);
+    let deck = FlightDeck::default();
+
+    let mut gpu = Gpu::k40c();
+    gpu.set_sdc_injector(Some(
+        SdcPlan::new()
+            .bit_flip(0, 0, "power_c", 1, 2, 51)
+            .injector_for(0),
+    ));
+    gpu.set_tracer(Some(deck.tracer()));
+    let mut exec = GpuExec::new(&mut gpu);
+    let mut guard = NumericGuard::default();
+    let mut iguard = IntegrityGuard::new(IntegrityPolicy::with_mode(IntegrityMode::DetectOnly));
+    let err = run_fixed_rank_protected(
+        &mut exec,
+        Input::Values(&a),
+        &cfg,
+        &mut rng(9),
+        &mut guard,
+        &mut iguard,
+    )
+    .expect_err("detect-only corruption must kill the run");
+    let MatrixError::SilentCorruption { kernel, device, .. } = err else {
+        panic!("expected SilentCorruption, got {err}");
+    };
+    assert_eq!(kernel, "gemm_to_c");
+    assert_eq!(device, 0);
+
+    let dir = test_dir("rlra_postmortem_sdc");
+    let written = deck
+        .dump_on_error(&err, None, &dir)
+        .expect("bundle write must succeed")
+        .expect("silent corruption is a run-level incident");
+    let manifest = parse_json(&std::fs::read_to_string(&written[0]).unwrap()).unwrap();
+    assert_eq!(
+        manifest.get("incident").unwrap().as_str(),
+        Some("silent-corruption")
+    );
+    assert_eq!(manifest.get("checkpoint"), Some(&Json::Null));
+
+    // The guard drained before the error surfaced, so the bundle's
+    // event tail carries the injected+detected marks and the live
+    // registry counted them under the action label.
+    let events = parse_json(&std::fs::read_to_string(dir.join("events.json")).unwrap()).unwrap();
+    assert!(
+        count_events_of(&events, "sdc") >= 2,
+        "expected injected and detected sdc marks in the event tail"
+    );
+    let snap = deck.registry().snapshot();
+    assert_eq!(
+        snap.counter(names::SIM_SDC_EVENTS_TOTAL, "action=\"injected\""),
+        Some(1)
+    );
+    assert_eq!(
+        snap.counter(names::SIM_SDC_EVENTS_TOTAL, "action=\"detected\""),
+        Some(1)
+    );
     let _ = std::fs::remove_dir_all(&dir);
 }
 

@@ -1,0 +1,344 @@
+//! ABFT acceptance tests: the integrity guard's headline invariants on
+//! every backend.
+//!
+//! - An **armed, fault-free** protected run yields factors bit-identical
+//!   to the unguarded pipeline — protection changes charges, never
+//!   numerics.
+//! - A **single bit-flip** in the power-iteration GEMM is detected,
+//!   localized, and corrected in place: the corrected factors are
+//!   bit-identical to the fault-free run, on CPU, single-GPU, and
+//!   multi-GPU, and all three backends agree bit for bit.
+//! - A **no-fire** [`SdcPlan`] leaves the factors *and the entire
+//!   report* bit-identical to a run with no plan installed.
+//! - Detect-only mode aborts with the corrupting kernel named; on the
+//!   durable path the same detection escalates to a checkpoint rollback
+//!   that still recovers bit-identical factors.
+//! - The timing-only cluster backend prices the integrity funnel and
+//!   counts injections without any numeric effect.
+
+use rlra_core::backend::{
+    run_fixed_rank, run_fixed_rank_protected, ClusterExec, CpuExec, ExecReport, Executor, GpuExec,
+    Input, IntegrityGuard, IntegrityMode, IntegrityPolicy, MultiGpuExec, NumericGuard,
+};
+use rlra_core::{
+    run_fixed_rank_durable_protected, CheckpointPlan, CountingRng, Durability, DurableOutcome,
+    LowRankApprox, SamplerConfig,
+};
+use rlra_data::testmat::{decay_matrix, rng};
+use rlra_gpu::{Cluster, DeviceSpec, ExecMode, Gpu, MultiGpu, NetworkSpec, SdcPlan};
+use rlra_matrix::{Mat, MatrixError};
+
+const SEED: u64 = 9;
+
+fn test_input() -> (Mat, SamplerConfig) {
+    let (a, _) = decay_matrix(90, 45, 0.6, 42);
+    (a, SamplerConfig::new(6).with_p(4).with_q(1))
+}
+
+fn guard(mode: IntegrityMode) -> IntegrityGuard {
+    IntegrityGuard::new(IntegrityPolicy::with_mode(mode))
+}
+
+/// One protected compute run on an already-armed executor.
+fn protected<E: Executor>(
+    exec: &mut E,
+    a: &Mat,
+    cfg: &SamplerConfig,
+    mode: IntegrityMode,
+) -> (LowRankApprox, ExecReport) {
+    let mut ng = NumericGuard::default();
+    let mut ig = guard(mode);
+    let (lr, rep) = run_fixed_rank_protected(
+        exec,
+        Input::Values(a),
+        cfg,
+        &mut rng(SEED),
+        &mut ng,
+        &mut ig,
+    )
+    .expect("protected run");
+    (lr.expect("compute backend returns factors"), rep)
+}
+
+/// A single always-detectable flip in the power-iteration GEMM output.
+fn flip_gemm() -> SdcPlan {
+    SdcPlan::new().bit_flip(0, 0, "power_c", 3, 5, 54)
+}
+
+#[test]
+fn armed_fault_free_factors_bit_identical_to_unguarded() {
+    let (a, cfg) = test_input();
+
+    let check = |lr_plain: &LowRankApprox, lr_armed: &LowRankApprox, rep: &ExecReport, name| {
+        assert_eq!(lr_plain.q, lr_armed.q, "{name}: Q");
+        assert_eq!(lr_plain.r, lr_armed.r, "{name}: R");
+        assert_eq!(lr_plain.perm.as_slice(), lr_armed.perm.as_slice(), "{name}");
+        assert_eq!(rep.sdc_injected, 0, "{name}: nothing injected");
+        assert_eq!(rep.sdc_detected, 0, "{name}: nothing detected");
+        assert_eq!(rep.sdc_corrected, 0, "{name}: nothing corrected");
+    };
+
+    let mut cpu = CpuExec::new();
+    let (lr, _) = run_fixed_rank(&mut cpu, Input::Values(&a), &cfg, &mut rng(SEED)).unwrap();
+    let lr_plain = lr.unwrap();
+    let mut cpu = CpuExec::new();
+    let (lr_armed, rep) = protected(&mut cpu, &a, &cfg, IntegrityMode::Correct);
+    check(&lr_plain, &lr_armed, &rep, "cpu");
+
+    let mut gpu = Gpu::k40c();
+    let mut ge = GpuExec::new(&mut gpu);
+    let (lr_armed, rep) = protected(&mut ge, &a, &cfg, IntegrityMode::Correct);
+    check(&lr_plain, &lr_armed, &rep, "gpu");
+    // Protection is visible only in the charges: the armed run prices
+    // the checksum funnel on top of the same kernels.
+    let mut gpu = Gpu::k40c();
+    let mut ge = GpuExec::new(&mut gpu);
+    let (_, rep_plain) = run_fixed_rank(&mut ge, Input::Values(&a), &cfg, &mut rng(SEED)).unwrap();
+    assert!(rep.seconds > rep_plain.seconds, "checksum work is charged");
+
+    let mut mg = MultiGpu::new(3, DeviceSpec::k40c(), ExecMode::Compute).unwrap();
+    let mut me = MultiGpuExec::new(&mut mg).unwrap();
+    let (lr_armed, rep) = protected(&mut me, &a, &cfg, IntegrityMode::Correct);
+    check(&lr_plain, &lr_armed, &rep, "multi");
+}
+
+#[test]
+fn single_gemm_flip_corrected_bit_identically_on_every_backend() {
+    let (a, cfg) = test_input();
+    let plan = flip_gemm();
+    let mut corrected: Vec<(&str, LowRankApprox)> = Vec::new();
+
+    // CPU reference for the fault-free factors.
+    let mut cpu = CpuExec::new();
+    let (lr_free, _) = protected(&mut cpu, &a, &cfg, IntegrityMode::Correct);
+
+    let check = |lr: &LowRankApprox, rep: &ExecReport, name| {
+        assert_eq!(rep.sdc_injected, 1, "{name}: one event fired");
+        assert_eq!(rep.sdc_detected, 1, "{name}: one detection");
+        assert_eq!(rep.sdc_corrected, 1, "{name}: corrected in place");
+        assert_eq!(rep.sdc_rollbacks, 0, "{name}: no escalation");
+        assert_eq!(lr_free.q, lr.q, "{name}: corrected Q bit-identical");
+        assert_eq!(lr_free.r, lr.r, "{name}: corrected R bit-identical");
+        assert_eq!(lr_free.perm.as_slice(), lr.perm.as_slice(), "{name}");
+    };
+
+    let mut cpu = CpuExec::new();
+    cpu.set_sdc_injector(Some(plan.injector_for(0)));
+    let (lr, rep) = protected(&mut cpu, &a, &cfg, IntegrityMode::Correct);
+    check(&lr, &rep, "cpu");
+    corrected.push(("cpu", lr));
+
+    let mut gpu = Gpu::k40c();
+    gpu.set_sdc_injector(Some(plan.injector_for(0)));
+    let mut ge = GpuExec::new(&mut gpu);
+    let (lr, rep) = protected(&mut ge, &a, &cfg, IntegrityMode::Correct);
+    check(&lr, &rep, "gpu");
+    corrected.push(("gpu", lr));
+
+    let mut mg = MultiGpu::new(3, DeviceSpec::k40c(), ExecMode::Compute).unwrap();
+    mg.install_sdc_plan(&plan);
+    let mut me = MultiGpuExec::new(&mut mg).unwrap();
+    let (lr, rep) = protected(&mut me, &a, &cfg, IntegrityMode::Correct);
+    check(&lr, &rep, "multi");
+    corrected.push(("multi", lr));
+
+    // And the three corrected runs agree with each other, bit for bit.
+    let (_, first) = &corrected[0];
+    for (name, lr) in &corrected[1..] {
+        assert_eq!(first.q, lr.q, "cpu vs {name}: corrected Q");
+        assert_eq!(first.r, lr.r, "cpu vs {name}: corrected R");
+    }
+}
+
+#[test]
+fn detect_only_aborts_naming_the_corrupting_kernel() {
+    let (a, cfg) = test_input();
+    let plan = flip_gemm();
+
+    let mut cpu = CpuExec::new();
+    cpu.set_sdc_injector(Some(plan.injector_for(0)));
+    let mut gpu = Gpu::k40c();
+    gpu.set_sdc_injector(Some(plan.injector_for(0)));
+    let mut ge = GpuExec::new(&mut gpu);
+
+    let mut errs = Vec::new();
+    let mut ng = NumericGuard::default();
+    let mut ig = guard(IntegrityMode::DetectOnly);
+    errs.push(
+        run_fixed_rank_protected(
+            &mut cpu,
+            Input::Values(&a),
+            &cfg,
+            &mut rng(SEED),
+            &mut ng,
+            &mut ig,
+        )
+        .expect_err("cpu detect-only must abort"),
+    );
+    let mut ng = NumericGuard::default();
+    let mut ig = guard(IntegrityMode::DetectOnly);
+    errs.push(
+        run_fixed_rank_protected(
+            &mut ge,
+            Input::Values(&a),
+            &cfg,
+            &mut rng(SEED),
+            &mut ng,
+            &mut ig,
+        )
+        .expect_err("gpu detect-only must abort"),
+    );
+    for err in errs {
+        assert!(
+            matches!(
+                err,
+                MatrixError::SilentCorruption {
+                    device: 0,
+                    kernel: "gemm_to_c",
+                    ..
+                }
+            ),
+            "abort must attribute the corrupting kernel: {err}"
+        );
+    }
+}
+
+#[test]
+fn no_fire_sdc_plan_leaves_factors_and_full_report_bit_identical() {
+    let (a, cfg) = test_input();
+    // Scheduled far past any launch ordinal this problem size reaches.
+    let plan = SdcPlan::new().bit_flip(0, 1_000_000, "power_c", 3, 5, 54);
+
+    let run_gpu = |with_plan: bool| {
+        let mut gpu = Gpu::k40c();
+        if with_plan {
+            gpu.set_sdc_injector(Some(plan.injector_for(0)));
+        }
+        let mut ge = GpuExec::new(&mut gpu);
+        protected(&mut ge, &a, &cfg, IntegrityMode::Correct)
+    };
+    let (lr_base, rep_base) = run_gpu(false);
+    let (lr_plan, rep_plan) = run_gpu(true);
+    assert_eq!(lr_base.q, lr_plan.q);
+    assert_eq!(lr_base.r, lr_plan.r);
+    assert_eq!(
+        rep_base, rep_plan,
+        "single-GPU report must be bit-identical"
+    );
+
+    let run_multi = |with_plan: bool| {
+        let mut mg = MultiGpu::new(3, DeviceSpec::k40c(), ExecMode::Compute).unwrap();
+        if with_plan {
+            mg.install_sdc_plan(&plan);
+        }
+        let mut me = MultiGpuExec::new(&mut mg).unwrap();
+        protected(&mut me, &a, &cfg, IntegrityMode::Correct)
+    };
+    let (mlr_base, mrep_base) = run_multi(false);
+    let (mlr_plan, mrep_plan) = run_multi(true);
+    assert_eq!(mlr_base.q, mlr_plan.q);
+    assert_eq!(mlr_base.r, mlr_plan.r);
+    assert_eq!(
+        mrep_base, mrep_plan,
+        "multi-GPU report must be bit-identical"
+    );
+}
+
+#[test]
+fn detect_only_rollback_recovers_bit_identical_factors_durably() {
+    let (a, cfg) = test_input();
+
+    let run = |with_plan: bool| {
+        let mut gpu = Gpu::k40c();
+        if with_plan {
+            gpu.set_sdc_injector(Some(flip_gemm().injector_for(0)));
+        }
+        let mut ge = GpuExec::new(&mut gpu);
+        let mut crng = CountingRng::new(rng(SEED));
+        let mut dur = Durability::new(CheckpointPlan::always());
+        // Detect-only: the guard may not repair in place, so the
+        // detection escalates to the boundary rollback.
+        let mut ig = guard(IntegrityMode::DetectOnly);
+        let out = run_fixed_rank_durable_protected(
+            &mut ge,
+            Input::Values(&a),
+            &cfg,
+            &mut crng,
+            &mut dur,
+            &mut ig,
+        )
+        .expect("rollback must absorb the corruption");
+        match out {
+            DurableOutcome::Complete((lr, rep)) => (lr.expect("factors"), rep),
+            DurableOutcome::Suspended { .. } => unreachable!("no kill plan installed"),
+        }
+    };
+
+    let (lr_free, rep_free) = run(false);
+    assert_eq!(rep_free.sdc_rollbacks, 0);
+    let (lr_roll, rep_roll) = run(true);
+    assert_eq!(rep_roll.sdc_injected, 1, "one event fired");
+    assert_eq!(rep_roll.sdc_detected, 1, "one detection");
+    assert_eq!(
+        rep_roll.sdc_corrected, 0,
+        "detect-only never repairs in place"
+    );
+    assert_eq!(rep_roll.sdc_rollbacks, 1, "recovered via the checkpoint");
+    assert_eq!(lr_free.q, lr_roll.q, "rolled-back Q bit-identical");
+    assert_eq!(lr_free.r, lr_roll.r, "rolled-back R bit-identical");
+    assert_eq!(lr_free.perm.as_slice(), lr_roll.perm.as_slice());
+    // The redone stage is priced: the rollback run costs strictly more.
+    assert!(
+        rep_roll.seconds > rep_free.seconds,
+        "lost work stays billed"
+    );
+}
+
+#[test]
+fn cluster_dry_run_prices_integrity_and_counts_injections() {
+    let cfg = SamplerConfig::new(6).with_p(4).with_q(1);
+    let make = || {
+        Cluster::new(
+            3,
+            2,
+            DeviceSpec::k40c(),
+            NetworkSpec::infiniband_fdr(),
+            ExecMode::DryRun,
+        )
+        .unwrap()
+    };
+    let run = |cl: &mut Cluster, mode: Option<IntegrityMode>| {
+        let mut ce = ClusterExec::new(cl);
+        let mut ng = NumericGuard::default();
+        let mut ig = mode.map(guard).unwrap_or_default();
+        let (lr, rep) = run_fixed_rank_protected(
+            &mut ce,
+            Input::Shape(90, 45),
+            &cfg,
+            &mut rng(SEED),
+            &mut ng,
+            &mut ig,
+        )
+        .expect("dry cluster run");
+        assert!(lr.is_none(), "timing-only backend returns no factors");
+        rep
+    };
+
+    let mut cl = make();
+    let rep_off = run(&mut cl, None);
+    let mut cl = make();
+    let rep_armed = run(&mut cl, Some(IntegrityMode::Correct));
+    assert!(
+        rep_armed.seconds > rep_off.seconds,
+        "the checksum funnel is priced on the timing backend"
+    );
+
+    // A fired plan on the dry path is counted but has no numeric or
+    // timing effect: there are no values to corrupt or verify.
+    let mut cl = make();
+    cl.install_sdc_plan(&flip_gemm());
+    let rep_fired = run(&mut cl, Some(IntegrityMode::Correct));
+    assert_eq!(rep_fired.sdc_injected, 1, "the injector fired");
+    assert_eq!(rep_fired.sdc_detected, 0, "nothing to verify shape-only");
+    assert_eq!(rep_fired.seconds, rep_armed.seconds, "timing unchanged");
+}

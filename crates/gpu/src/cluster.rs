@@ -10,7 +10,7 @@
 //! cost separation that makes communication-avoiding algorithms matter.
 
 use crate::device::ExecMode;
-use crate::fault::FaultPlan;
+use crate::fault::{FaultPlan, SdcEvent, SdcPlan};
 use crate::multigpu::{FleetAccount, MultiGpu};
 use crate::spec::DeviceSpec;
 use crate::timeline::{Phase, Timeline};
@@ -203,6 +203,35 @@ impl Cluster {
     /// Total fault events fired across the cluster.
     pub fn faults_injected(&self) -> u64 {
         self.nodes.iter().map(MultiGpu::faults_injected).sum()
+    }
+
+    /// Installs per-device SDC injectors from a corruption plan, using
+    /// the same global sequential device numbering as
+    /// [`Cluster::install_plan`].
+    pub fn install_sdc_plan(&mut self, plan: &SdcPlan) {
+        let mut id = 0;
+        for node in &mut self.nodes {
+            for g in 0..node.ng() {
+                node.gpu_mut(g)
+                    .set_sdc_injector(Some(plan.injector_for(id)));
+                id += 1;
+            }
+        }
+    }
+
+    /// Total SDC events fired across the cluster.
+    pub fn sdc_injected(&self) -> u64 {
+        self.nodes.iter().map(MultiGpu::sdc_injected).sum()
+    }
+
+    /// Drains the fired-but-unapplied SDC events of every device, in
+    /// global device order.
+    pub fn drain_sdc_events(&mut self) -> Vec<SdcEvent> {
+        let mut out = Vec::new();
+        for node in &mut self.nodes {
+            out.append(&mut node.drain_sdc_events());
+        }
+        out
     }
 
     /// Execution mode.

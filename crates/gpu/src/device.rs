@@ -1,7 +1,7 @@
 //! The simulated GPU handle, device buffers, and cuBLAS-like kernels.
 
 use crate::cost::CostModel;
-use crate::fault::{FaultInjector, FaultKind};
+use crate::fault::{FaultInjector, FaultKind, SdcEvent, SdcInjector};
 use crate::spec::DeviceSpec;
 use crate::timeline::{Phase, Timeline};
 use rand::Rng;
@@ -119,6 +119,13 @@ pub struct Gpu {
     pub syncs: u64,
     /// Optional fault schedule polled before every kernel launch.
     injector: Option<FaultInjector>,
+    /// Optional silent-data-corruption schedule, polled alongside the
+    /// fault injector. Due events never abort a launch; they queue in
+    /// `sdc_fired` for the integrity layer to apply and account.
+    sdc: Option<SdcInjector>,
+    /// SDC events that have fired but are not yet drained by the
+    /// integrity layer.
+    sdc_fired: Vec<SdcEvent>,
     /// Straggler cost multiplier (1.0 unless a straggler event fired).
     slowdown: f64,
     /// `(device, launch)` at which a fail-stop fired; set once, forever.
@@ -195,7 +202,7 @@ pub struct DeviceAccount {
 /// table (the names [`Gpu::charge_kernel`] is ever called with).
 fn intern_kernel_name(name: &str) -> Option<&'static str> {
     const KNOWN: &[&str] = &[
-        "curand", "fft", "gather", "gemm", "launch", "syrk", "trmm", "trsm",
+        "abft", "curand", "fft", "gather", "gemm", "launch", "syrk", "trmm", "trsm",
     ];
     KNOWN.iter().find(|k| **k == name).copied()
 }
@@ -211,6 +218,8 @@ impl Gpu {
             launches: 0,
             syncs: 0,
             injector: None,
+            sdc: None,
+            sdc_fired: Vec::new(),
             slowdown: 1.0,
             dead: None,
             device: 0,
@@ -437,6 +446,41 @@ impl Gpu {
             .unwrap_or(0)
     }
 
+    /// Installs (or clears) the silent-data-corruption injector polled
+    /// alongside the fault injector before every kernel launch.
+    pub fn set_sdc_injector(&mut self, sdc: Option<SdcInjector>) {
+        self.sdc = sdc;
+    }
+
+    /// Removes and returns the installed SDC injector, if any.
+    pub fn take_sdc_injector(&mut self) -> Option<SdcInjector> {
+        self.sdc.take()
+    }
+
+    /// The installed SDC injector, if any.
+    pub fn sdc_injector(&self) -> Option<&SdcInjector> {
+        self.sdc.as_ref()
+    }
+
+    /// Number of SDC events that have fired on this device.
+    pub fn sdc_injected(&self) -> u64 {
+        self.sdc.as_ref().map(SdcInjector::fired).unwrap_or(0)
+    }
+
+    /// Drains the SDC events that have fired but not yet been applied.
+    /// The integrity layer calls this to learn which resident buffers
+    /// were poisoned; an unarmed run never calls it, and the queued
+    /// events then (correctly) change nothing.
+    pub fn drain_sdc_events(&mut self) -> Vec<SdcEvent> {
+        std::mem::take(&mut self.sdc_fired)
+    }
+
+    /// Re-queues SDC events (used when an executor's internal dry-run
+    /// twin hands undrained events back to the caller's device).
+    pub fn requeue_sdc_events(&mut self, mut events: Vec<SdcEvent>) {
+        self.sdc_fired.append(&mut events);
+    }
+
     /// Whether a fail-stop fault has permanently killed this device.
     pub fn is_dead(&self) -> bool {
         self.dead.is_some()
@@ -467,6 +511,13 @@ impl Gpu {
                 kind: rlra_matrix::DeviceFaultKind::FailStop,
                 at,
             });
+        }
+        // Silent corruption first: it never aborts the launch, so a
+        // transient firing at the same ordinal must not mask it.
+        if let Some(sdc) = self.sdc.as_mut() {
+            while let Some(ev) = sdc.poll(self.launches) {
+                self.sdc_fired.push(ev);
+            }
         }
         let Some(inj) = self.injector.as_mut() else {
             return Ok(());
@@ -1250,6 +1301,56 @@ mod tests {
                 // Scheduled far beyond any launch this run performs.
                 gpu.set_injector(Some(
                     FaultPlan::new().fail_stop(0, 1_000_000).injector_for(0),
+                ));
+            }
+            let a = gpu.resident_shape(16, 16);
+            let b = gpu.resident_shape(16, 16);
+            let mut c = gpu.alloc(16, 16);
+            gpu.gemm(Phase::Other, 1.0, &a, Trans::No, &b, Trans::No, 0.0, &mut c)
+                .unwrap();
+            (gpu.clock(), gpu.timeline().clone(), gpu.launches)
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn sdc_events_queue_silently_and_never_abort_launches() {
+        use crate::fault::{SdcKind, SdcPlan};
+        let mut gpu = Gpu::k40c_dry();
+        gpu.set_sdc_injector(Some(
+            SdcPlan::new()
+                .bit_flip(0, 0, "sketch", 2, 3, 54)
+                .perturb(0, 1, "power_b", 0, 0, 1e-3)
+                .injector_for(0),
+        ));
+        let a = gpu.resident_shape(16, 16);
+        let b = gpu.resident_shape(16, 16);
+        let mut c = gpu.alloc(16, 16);
+        // Two launches: both SDC events fall due, neither errors.
+        for _ in 0..2 {
+            gpu.gemm(Phase::Other, 1.0, &a, Trans::No, &b, Trans::No, 0.0, &mut c)
+                .unwrap();
+        }
+        assert_eq!(gpu.sdc_injected(), 2);
+        assert_eq!(gpu.faults_injected(), 0);
+        let events = gpu.drain_sdc_events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].buffer, "sketch");
+        assert_eq!(events[0].kind, SdcKind::BitFlip { bit: 54 });
+        assert_eq!(events[1].buffer, "power_b");
+        assert!(gpu.drain_sdc_events().is_empty(), "drain consumes");
+    }
+
+    #[test]
+    fn no_fire_sdc_injector_changes_nothing() {
+        use crate::fault::SdcPlan;
+        let run = |inject: bool| -> (f64, Timeline, u64) {
+            let mut gpu = Gpu::k40c_dry();
+            if inject {
+                gpu.set_sdc_injector(Some(
+                    SdcPlan::new()
+                        .bit_flip(0, 1_000_000, "sketch", 0, 0, 54)
+                        .injector_for(0),
                 ));
             }
             let a = gpu.resident_shape(16, 16);

@@ -228,6 +228,223 @@ impl FaultInjector {
     }
 }
 
+/// What a silent-data-corruption event does to the poisoned element.
+///
+/// Unlike [`FaultKind`], an SDC never aborts a launch or surfaces an
+/// error from the device: the corrupted value flows onward unless a
+/// checksum-armed consumer detects it (`rlra-core`'s integrity guard).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SdcKind {
+    /// XOR one bit of the IEEE-754 representation (`bit` in `0..64`).
+    BitFlip {
+        /// Bit index into the `f64` bit pattern (0 = LSB of mantissa).
+        bit: u8,
+    },
+    /// Multiply the element by `1 + scale` — models a kernel that
+    /// quietly returned a wrong (but finite) number.
+    Perturb {
+        /// Relative perturbation applied to the element.
+        scale: f64,
+    },
+}
+
+/// One scheduled silent corruption: the element at `(row, col)` of the
+/// resident buffer named `buffer` on `device` is poisoned at that
+/// device's `at_launch`-th kernel launch (0-based ordinal). Row/column
+/// indices are taken modulo the buffer's actual shape at apply time, so
+/// a plan written without knowing exact panel sizes still lands inside
+/// the buffer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SdcEvent {
+    /// Global index of the device whose buffer is poisoned.
+    pub device: usize,
+    /// Per-device kernel-launch ordinal at which the corruption lands.
+    pub at_launch: u64,
+    /// Name of the resident buffer targeted (`"sketch"`, `"power_b"`,
+    /// `"power_c"`, `"orth_b"`, `"orth_c"`, `"panel"`, ...).
+    pub buffer: &'static str,
+    /// Row index into the buffer (reduced modulo its row count).
+    pub row: usize,
+    /// Column index into the buffer (reduced modulo its column count).
+    pub col: usize,
+    /// How the element is corrupted.
+    pub kind: SdcKind,
+}
+
+/// A deterministic schedule of silent-data-corruption events.
+///
+/// Mirrors [`FaultPlan`]: build by hand with
+/// [`bit_flip`](SdcPlan::bit_flip) / [`perturb`](SdcPlan::perturb), or
+/// draw from an explicit seed with [`random`](SdcPlan::random). Install
+/// it on a `Gpu`, `MultiGpu` or `Cluster` via their `install_sdc_plan`;
+/// an empty plan leaves every run bit-identical to an uninstrumented
+/// one.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SdcPlan {
+    events: Vec<SdcEvent>,
+}
+
+impl SdcPlan {
+    /// An empty plan (corrupts nothing).
+    pub fn new() -> Self {
+        SdcPlan::default()
+    }
+
+    /// Schedules a single-bit flip (`bit` clamped into `0..64`).
+    pub fn bit_flip(
+        mut self,
+        device: usize,
+        at_launch: u64,
+        buffer: &'static str,
+        row: usize,
+        col: usize,
+        bit: u8,
+    ) -> Self {
+        self.events.push(SdcEvent {
+            device,
+            at_launch,
+            buffer,
+            row,
+            col,
+            kind: SdcKind::BitFlip { bit: bit.min(63) },
+        });
+        self
+    }
+
+    /// Schedules a scaled perturbation of one element.
+    #[allow(clippy::too_many_arguments)]
+    pub fn perturb(
+        mut self,
+        device: usize,
+        at_launch: u64,
+        buffer: &'static str,
+        row: usize,
+        col: usize,
+        scale: f64,
+    ) -> Self {
+        self.events.push(SdcEvent {
+            device,
+            at_launch,
+            buffer,
+            row,
+            col,
+            kind: SdcKind::Perturb { scale },
+        });
+        self
+    }
+
+    /// Draws a random plan from an explicit seed: for each of `devices`
+    /// devices, launch ordinals in `[0, horizon)` corrupt independently
+    /// with probability `1 / mtbe_launches` (geometric inter-arrival,
+    /// the same discretized-MTBF model as [`FaultPlan::random`]). Each
+    /// arrival picks a buffer from `buffers` uniformly, a position in a
+    /// large virtual grid (reduced modulo the real shape at apply
+    /// time), and an exponent-region bit to flip — the class a checksum
+    /// must always catch.
+    ///
+    /// The draw is a pure function of its arguments.
+    pub fn random(
+        seed: u64,
+        devices: usize,
+        horizon: u64,
+        mtbe_launches: u64,
+        buffers: &[&'static str],
+    ) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut plan = SdcPlan::new();
+        if buffers.is_empty() {
+            return plan;
+        }
+        let p = 1.0 / mtbe_launches.max(1) as f64;
+        for device in 0..devices {
+            let mut at: u64 = 0;
+            loop {
+                let u: f64 = rng.gen_range(0.0..1.0);
+                let gap = (1.0 - u).ln() / (1.0 - p).ln();
+                at = at.saturating_add((gap.max(0.0) as u64).saturating_add(1));
+                if at >= horizon {
+                    break;
+                }
+                let buffer = buffers[rng.gen_range(0..buffers.len())];
+                plan.events.push(SdcEvent {
+                    device,
+                    at_launch: at,
+                    buffer,
+                    row: rng.gen_range(0..1usize << 20),
+                    col: rng.gen_range(0..1usize << 20),
+                    // Exponent bits 52..=62: flips a checksum can never
+                    // confuse with rounding noise.
+                    kind: SdcKind::BitFlip {
+                        bit: rng.gen_range(52..63) as u8,
+                    },
+                });
+            }
+        }
+        plan
+    }
+
+    /// All scheduled events.
+    pub fn events(&self) -> &[SdcEvent] {
+        &self.events
+    }
+
+    /// The per-device consumable injector for `device`: that device's
+    /// events, sorted by launch ordinal.
+    pub fn injector_for(&self, device: usize) -> SdcInjector {
+        let mut events: Vec<SdcEvent> = self
+            .events
+            .iter()
+            .copied()
+            .filter(|e| e.device == device)
+            .collect();
+        events.sort_by_key(|e| e.at_launch);
+        SdcInjector {
+            device,
+            events,
+            cursor: 0,
+            fired: 0,
+        }
+    }
+}
+
+/// Per-device consumable view of an [`SdcPlan`].
+///
+/// The owning device polls it alongside its [`FaultInjector`]; due
+/// events are queued silently (corruption never aborts a launch) for
+/// the integrity layer to apply against the named buffers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SdcInjector {
+    device: usize,
+    events: Vec<SdcEvent>,
+    cursor: usize,
+    fired: u64,
+}
+
+impl SdcInjector {
+    /// The global device index this injector is bound to.
+    pub fn device(&self) -> usize {
+        self.device
+    }
+
+    /// Number of events that have fired so far.
+    pub fn fired(&self) -> u64 {
+        self.fired
+    }
+
+    /// Returns the next event due at or before launch ordinal
+    /// `launches`, consuming it, or `None` if nothing is due.
+    pub fn poll(&mut self, launches: u64) -> Option<SdcEvent> {
+        let ev = *self.events.get(self.cursor)?;
+        if ev.at_launch <= launches {
+            self.cursor += 1;
+            self.fired += 1;
+            Some(ev)
+        } else {
+            None
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -294,6 +511,53 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn sdc_builders_accumulate_and_clamp() {
+        let plan = SdcPlan::new()
+            .bit_flip(0, 3, "sketch", 1, 2, 77)
+            .perturb(1, 5, "power_b", 0, 0, 1e-3);
+        assert_eq!(plan.events().len(), 2);
+        assert_eq!(plan.events()[0].kind, SdcKind::BitFlip { bit: 63 });
+        assert_eq!(plan.events()[1].kind, SdcKind::Perturb { scale: 1e-3 });
+    }
+
+    #[test]
+    fn sdc_injector_fires_each_event_once_in_order() {
+        let plan = SdcPlan::new()
+            .bit_flip(0, 7, "sketch", 0, 0, 54)
+            .bit_flip(0, 2, "sketch", 1, 1, 54)
+            .bit_flip(1, 0, "power_b", 0, 0, 54);
+        let mut inj = plan.injector_for(0);
+        assert_eq!(inj.device(), 0);
+        assert!(inj.poll(1).is_none());
+        let first = inj.poll(2).expect("event due at launch 2");
+        assert_eq!(first.at_launch, 2);
+        assert!(inj.poll(3).is_none());
+        let second = inj.poll(100).expect("event due at launch 7");
+        assert_eq!(second.at_launch, 7);
+        assert!(inj.poll(1_000_000).is_none());
+        assert_eq!(inj.fired(), 2);
+    }
+
+    #[test]
+    fn sdc_random_plan_is_deterministic_and_flips_exponent_bits() {
+        let bufs = &["sketch", "power_b", "power_c"];
+        let a = SdcPlan::random(42, 4, 10_000, 500, bufs);
+        let b = SdcPlan::random(42, 4, 10_000, 500, bufs);
+        let c = SdcPlan::random(43, 4, 10_000, 500, bufs);
+        assert_eq!(a, b);
+        assert_ne!(a, c, "different seeds should give different plans");
+        assert!(!a.events().is_empty());
+        for e in a.events() {
+            let SdcKind::BitFlip { bit } = e.kind else {
+                panic!("random SDC plans only schedule bit flips");
+            };
+            assert!((52..63).contains(&bit), "exponent-region flips only");
+            assert!(bufs.contains(&e.buffer));
+        }
+        assert_eq!(SdcPlan::random(1, 2, 100, 4, &[]).events().len(), 0);
     }
 
     #[test]

@@ -58,7 +58,9 @@ pub mod timeline;
 
 pub use cluster::{Cluster, ClusterAccount, NetworkSpec};
 pub use device::{DMat, DeviceAccount, ExecMode, Gpu};
-pub use fault::{FaultEvent, FaultInjector, FaultKind, FaultPlan};
+pub use fault::{
+    FaultEvent, FaultInjector, FaultKind, FaultPlan, SdcEvent, SdcInjector, SdcKind, SdcPlan,
+};
 pub use multigpu::{FleetAccount, MultiGpu};
 pub use spec::DeviceSpec;
 pub use timeline::{Phase, Timeline};

@@ -14,7 +14,7 @@
 //! to 4.3 % on three), then advance every clock past the host-side work.
 
 use crate::device::{DMat, DeviceAccount, ExecMode, Gpu};
-use crate::fault::FaultPlan;
+use crate::fault::{FaultPlan, SdcEvent, SdcPlan};
 use crate::spec::DeviceSpec;
 use crate::timeline::{Phase, Timeline};
 use rlra_blas::Trans;
@@ -149,6 +149,30 @@ impl MultiGpu {
     /// Total fault events fired across the fleet.
     pub fn faults_injected(&self) -> u64 {
         self.gpus.iter().map(Gpu::faults_injected).sum()
+    }
+
+    /// Installs per-device SDC injectors from a corruption plan (device
+    /// `i` of this node receives the plan's events for device index
+    /// `i`), mirroring [`MultiGpu::install_plan`].
+    pub fn install_sdc_plan(&mut self, plan: &SdcPlan) {
+        for (i, g) in self.gpus.iter_mut().enumerate() {
+            g.set_sdc_injector(Some(plan.injector_for(i)));
+        }
+    }
+
+    /// Total SDC events fired across the fleet.
+    pub fn sdc_injected(&self) -> u64 {
+        self.gpus.iter().map(Gpu::sdc_injected).sum()
+    }
+
+    /// Drains the fired-but-unapplied SDC events of every device, in
+    /// device order.
+    pub fn drain_sdc_events(&mut self) -> Vec<SdcEvent> {
+        let mut out = Vec::new();
+        for g in &mut self.gpus {
+            out.append(&mut g.drain_sdc_events());
+        }
+        out
     }
 
     /// Mutable access to GPU `i` for local kernel calls.

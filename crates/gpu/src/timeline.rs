@@ -27,6 +27,10 @@ pub enum Phase {
     /// Fault recovery: retry backoff, re-drawn sketch rows, block-row
     /// redistribution and re-orthogonalization after a device loss.
     Recovery,
+    /// ABFT integrity work: checksum-row encodes, panel verification
+    /// (including the host-side digest compare over PCIe), localized
+    /// entry corrections and bounded corruption re-runs.
+    Integrity,
     /// Everything else (allocation bookkeeping, small host work).
     Other,
 }
@@ -36,7 +40,7 @@ impl Phase {
     /// accumulator layout: [`Phase::index`] is *derived* from position
     /// here, and the [`Timeline`] array length is [`Phase::COUNT`], so
     /// adding a phase cannot desynchronize them.
-    pub const ALL: [Phase; 9] = [
+    pub const ALL: [Phase; 10] = [
         Phase::Prng,
         Phase::Sampling,
         Phase::GemmIter,
@@ -45,6 +49,7 @@ impl Phase {
         Phase::Qr,
         Phase::Comms,
         Phase::Recovery,
+        Phase::Integrity,
         Phase::Other,
     ];
 
@@ -79,6 +84,7 @@ impl Phase {
             Phase::Qr => "QR",
             Phase::Comms => "Comms",
             Phase::Recovery => "Recovery",
+            Phase::Integrity => "Integrity",
             Phase::Other => "Other",
         }
     }
@@ -215,6 +221,7 @@ mod tests {
             Phase::Qr,
             Phase::Comms,
             Phase::Recovery,
+            Phase::Integrity,
             Phase::Other,
         ];
         assert_eq!(every.len(), Phase::COUNT);
@@ -242,5 +249,16 @@ mod tests {
         assert_eq!(t.get(Phase::Recovery), 0.25);
         assert_eq!(t.total(), 0.25);
         assert!(Phase::ALL.contains(&Phase::Recovery));
+    }
+
+    #[test]
+    fn integrity_phase_accumulates_like_any_other() {
+        let mut t = Timeline::new();
+        t.add(Phase::Integrity, 0.5);
+        t.add(Phase::Integrity, 0.25);
+        assert_eq!(t.get(Phase::Integrity), 0.75);
+        assert_eq!(t.total(), 0.75);
+        assert!(Phase::ALL.contains(&Phase::Integrity));
+        assert_eq!(Phase::Integrity.label(), "Integrity");
     }
 }

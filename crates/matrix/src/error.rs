@@ -120,6 +120,23 @@ pub enum MatrixError {
         /// What failed while decoding the snapshot.
         detail: &'static str,
     },
+    /// Checksum verification caught silent data corruption (a bit flip
+    /// or a quietly wrong kernel result) that the integrity policy
+    /// could not localize and correct in place. Unlike
+    /// [`MatrixError::DeviceFault`], the launch itself *succeeded* —
+    /// the wrong numbers would have sailed into the factors. Recovery
+    /// (bounded re-runs, checkpoint rollback) is the integrity layer's
+    /// job, never the transient-retry path's.
+    SilentCorruption {
+        /// Global index of the device whose buffer was poisoned.
+        device: usize,
+        /// The guarded kernel/stage at which verification tripped.
+        kernel: &'static str,
+        /// `(row, col)` of the first mismatching element of the output
+        /// panel (best effort: `(0, 0)` when the corruption was too
+        /// wide to localize).
+        location: (usize, usize),
+    },
 }
 
 /// Classification of an injected device fault (see `MatrixError::DeviceFault`).
@@ -225,6 +242,19 @@ impl fmt::Display for MatrixError {
             }
             MatrixError::CheckpointCorrupt { detail } => {
                 write!(f, "checkpoint corrupt: {detail}")
+            }
+            MatrixError::SilentCorruption {
+                device,
+                kernel,
+                location,
+            } => {
+                write!(
+                    f,
+                    "silent data corruption on device {device} in `{kernel}` \
+                     near ({}, {}): checksum verification failed and the \
+                     corruption could not be corrected in place",
+                    location.0, location.1
+                )
             }
         }
     }
@@ -375,6 +405,20 @@ mod tests {
         let s = e.to_string();
         assert!(s.contains("checkpoint corrupt"));
         assert!(s.contains("checksum mismatch"));
+    }
+
+    #[test]
+    fn display_silent_corruption() {
+        let e = MatrixError::SilentCorruption {
+            device: 3,
+            kernel: "gemm_to_b",
+            location: (5, 9),
+        };
+        let s = e.to_string();
+        assert!(s.contains("silent data corruption"));
+        assert!(s.contains("device 3"));
+        assert!(s.contains("gemm_to_b"));
+        assert!(s.contains("(5, 9)"));
     }
 
     #[test]

@@ -193,6 +193,24 @@ pub fn event_json(ev: &TraceEvent) -> String {
                 num_json(time),
             );
         }
+        TraceEvent::Sdc {
+            device,
+            stage,
+            action,
+            at_launch,
+            time,
+        } => {
+            let _ = write!(
+                o,
+                "{{\"type\":\"sdc\",\"device\":{},\"stage\":\"{}\",\"action\":\"{}\",\
+                 \"at_launch\":{},\"time\":{}}}",
+                device,
+                escape_json(stage),
+                escape_json(action),
+                at_launch,
+                num_json(time),
+            );
+        }
     }
     o
 }
@@ -302,10 +320,17 @@ mod tests {
                 saved: 0.25,
                 time: 2.1,
             },
+            TraceEvent::Sdc {
+                device: 1,
+                stage: "gemm_to_b",
+                action: "corrected",
+                at_launch: 9,
+                time: 2.2,
+            },
         ];
         let doc = events_json(&events, 7);
         let j = parse_json(&doc).expect("events_json must parse");
-        assert_eq!(j.get("count").unwrap().as_num().unwrap(), 13.0);
+        assert_eq!(j.get("count").unwrap().as_num().unwrap(), 14.0);
         assert_eq!(j.get("dropped").unwrap().as_num().unwrap(), 7.0);
         let arr = j.get("events").unwrap().as_arr().unwrap();
         assert_eq!(arr.len(), events.len());
@@ -328,10 +353,15 @@ mod tests {
                 "fallback",
                 "health_check",
                 "checkpoint",
-                "speculation"
+                "speculation",
+                "sdc"
             ]
         );
         assert_eq!(arr[6].get("kind").unwrap().as_str().unwrap(), "fail-stop");
         assert_eq!(arr[11].get("bytes").unwrap().as_num().unwrap(), 8192.0);
+        assert_eq!(
+            arr[13].get("action").unwrap().as_str().unwrap(),
+            "corrected"
+        );
     }
 }

@@ -30,6 +30,10 @@ pub const SIM_CHECKPOINTS_TOTAL: &str = "rlra_sim_checkpoints_total";
 pub const SIM_CHECKPOINT_BYTES_TOTAL: &str = "rlra_sim_checkpoint_bytes_total";
 /// Speculative straggler re-dispatches (counter, `outcome=` label).
 pub const SIM_SPECULATIONS_TOTAL: &str = "rlra_sim_speculations_total";
+/// Silent-data-corruption lifecycle marks seen in the event stream
+/// (counter, `action=` label: injected / detected / corrected / rerun /
+/// rollback).
+pub const SIM_SDC_EVENTS_TOTAL: &str = "rlra_sim_sdc_events_total";
 
 /// Per-device busy seconds from a finished run (gauge, `device=` label).
 pub const DEVICE_BUSY_SECONDS: &str = "rlra_device_busy_seconds";
@@ -66,6 +70,15 @@ pub const RUN_RETRIES_TOTAL: &str = "rlra_run_retries_total";
 pub const RUN_FALLBACKS_TOTAL: &str = "rlra_run_fallbacks_total";
 /// Recovery-phase seconds of the most recently ingested run (gauge).
 pub const RUN_RECOVERY_SECONDS: &str = "rlra_run_recovery_seconds";
+/// Silent corruptions injected across ingested runs (counter).
+pub const RUN_SDC_INJECTED_TOTAL: &str = "rlra_run_sdc_injected_total";
+/// Silent corruptions detected across ingested runs (counter).
+pub const RUN_SDC_DETECTED_TOTAL: &str = "rlra_run_sdc_detected_total";
+/// Silent corruptions repaired in place across ingested runs (counter).
+pub const RUN_SDC_CORRECTED_TOTAL: &str = "rlra_run_sdc_corrected_total";
+/// Silent corruptions escalated to checkpoint rollback across ingested
+/// runs (counter).
+pub const RUN_SDC_ROLLBACKS_TOTAL: &str = "rlra_run_sdc_rollbacks_total";
 /// End-to-end simulated seconds of ingested runs (histogram).
 pub const RUN_SECONDS: &str = "rlra_run_seconds";
 
@@ -94,6 +107,7 @@ pub const ALL: &[&str] = &[
     SIM_CHECKPOINTS_TOTAL,
     SIM_CHECKPOINT_BYTES_TOTAL,
     SIM_SPECULATIONS_TOTAL,
+    SIM_SDC_EVENTS_TOTAL,
     DEVICE_BUSY_SECONDS,
     DEVICE_WAIT_SECONDS,
     DEVICE_BYTES_MOVED,
@@ -110,6 +124,10 @@ pub const ALL: &[&str] = &[
     RUN_RETRIES_TOTAL,
     RUN_FALLBACKS_TOTAL,
     RUN_RECOVERY_SECONDS,
+    RUN_SDC_INJECTED_TOTAL,
+    RUN_SDC_DETECTED_TOTAL,
+    RUN_SDC_CORRECTED_TOTAL,
+    RUN_SDC_ROLLBACKS_TOTAL,
     RUN_SECONDS,
     WALL_GEMM_SECONDS,
     WALL_CHOLQR_SECONDS,

@@ -79,7 +79,8 @@ fn track_of(ev: &TraceEvent) -> usize {
         | TraceEvent::Transfer { device, .. }
         | TraceEvent::Fault { device, .. }
         | TraceEvent::Recovery { device, .. }
-        | TraceEvent::Speculation { device, .. } => device,
+        | TraceEvent::Speculation { device, .. }
+        | TraceEvent::Sdc { device, .. } => device,
         TraceEvent::Comms { .. }
         | TraceEvent::Stage { .. }
         | TraceEvent::Breakdown { .. }

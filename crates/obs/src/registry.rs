@@ -249,6 +249,9 @@ impl Registry {
                     1,
                 );
             }
+            TraceEvent::Sdc { action, .. } => {
+                self.counter_add(names::SIM_SDC_EVENTS_TOTAL, &label1("action", action), 1);
+            }
         }
     }
 

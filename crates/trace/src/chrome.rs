@@ -80,7 +80,8 @@ pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
             | TraceEvent::Breakdown { .. }
             | TraceEvent::Fallback { .. }
             | TraceEvent::HealthCheck { .. }
-            | TraceEvent::Checkpoint { .. } => has_stages = true,
+            | TraceEvent::Checkpoint { .. }
+            | TraceEvent::Sdc { .. } => has_stages = true,
             TraceEvent::Fault { device, .. }
             | TraceEvent::Recovery { device, .. }
             | TraceEvent::Speculation { device, .. } => {
@@ -229,6 +230,17 @@ pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
                 let name = format!("speculation:{outcome}");
                 let args = format!("\"saved\":{}", num_json(saved));
                 push_instant(&mut out, device, &name, "durability", time, &args);
+            }
+            TraceEvent::Sdc {
+                device,
+                stage,
+                action,
+                at_launch,
+                time,
+            } => {
+                let name = format!("sdc:{action}:{stage}");
+                let args = format!("\"device\":{device},\"at_launch\":{at_launch}");
+                push_instant(&mut out, STAGE_TID, &name, "integrity", time, &args);
             }
         }
     }

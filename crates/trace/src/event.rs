@@ -168,6 +168,25 @@ pub enum TraceEvent {
         /// Simulated time of the decision (seconds).
         time: f64,
     },
+    /// A silent-data-corruption lifecycle mark emitted by the integrity
+    /// guard (instant mark on the stage track): a corruption landing in
+    /// a resident buffer, its detection, an in-place correction, a
+    /// kernel re-run, or a checkpoint rollback. The checksum/repair
+    /// costs are charged through the integrity hooks; this records the
+    /// decision trail.
+    Sdc {
+        /// Device whose resident buffer the event concerns.
+        device: usize,
+        /// Pipeline stage whose protected output was involved.
+        stage: &'static str,
+        /// Action label (`"injected"`, `"detected"`, `"corrected"`,
+        /// `"rerun"`, `"rollback"`).
+        action: &'static str,
+        /// Launch ordinal at which the corruption was injected.
+        at_launch: u64,
+        /// Simulated time of the event (seconds).
+        time: f64,
+    },
 }
 
 impl TraceEvent {
@@ -211,7 +230,8 @@ impl TraceEvent {
             | TraceEvent::Fallback { .. }
             | TraceEvent::HealthCheck { .. }
             | TraceEvent::Checkpoint { .. }
-            | TraceEvent::Speculation { .. } => 0.0,
+            | TraceEvent::Speculation { .. }
+            | TraceEvent::Sdc { .. } => 0.0,
         }
     }
 }

@@ -2,6 +2,10 @@
 //! inject a fail-stop mid-run, and dump the postmortem bundle an
 //! operator would read — `MANIFEST.json`, the event tail, the metrics
 //! snapshot — into `target/postmortem` (or `$RLRA_POSTMORTEM_DIR`).
+//! A second leg injects a silent bit flip under a detect-only integrity
+//! guard and dumps the resulting `silent-corruption` bundle (with the
+//! corrupting kernel attributed in the manifest) into the `sdc/`
+//! subdirectory.
 //!
 //! ```text
 //! cargo run --release --example postmortem_dump
@@ -13,10 +17,13 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rlra::prelude::*;
-use rlra_core::backend::{run_fixed_rank, GpuExec, Input};
+use rlra_core::backend::{
+    run_fixed_rank, run_fixed_rank_protected, GpuExec, Input, IntegrityGuard, IntegrityMode,
+    IntegrityPolicy, NumericGuard,
+};
 use rlra_core::{postmortem_dir, FlightDeck};
 use rlra_data::testmat::decay_matrix;
-use rlra_gpu::FaultPlan;
+use rlra_gpu::{FaultPlan, SdcPlan};
 use rlra_obs::prometheus_text;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -40,6 +47,38 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let written = deck
         .dump_on_error(&err, None, &dir)?
         .expect("a device fault is a run-level incident");
+    for path in &written {
+        println!("[postmortem] {}", path.display());
+    }
+
+    // Second leg: a silent bit flip in the power-iteration GEMM under a
+    // detect-only guard — the checksum verification kills the run with
+    // the corrupting kernel named, and the bundle records it.
+    let sdc_deck = FlightDeck::default();
+    let mut gpu = Gpu::k40c();
+    gpu.set_sdc_injector(Some(
+        SdcPlan::new()
+            .bit_flip(0, 0, "power_c", 3, 5, 54)
+            .injector_for(0),
+    ));
+    gpu.set_tracer(Some(sdc_deck.tracer()));
+    let mut exec = GpuExec::new(&mut gpu);
+    let mut rng = StdRng::seed_from_u64(9);
+    let mut guard = NumericGuard::default();
+    let mut iguard = IntegrityGuard::new(IntegrityPolicy::with_mode(IntegrityMode::DetectOnly));
+    let err = run_fixed_rank_protected(
+        &mut exec,
+        Input::Values(&a),
+        &cfg,
+        &mut rng,
+        &mut guard,
+        &mut iguard,
+    )
+    .expect_err("detect-only corruption must kill the run");
+    println!("\nincident: {err}");
+    let written = sdc_deck
+        .dump_on_error(&err, None, &dir.join("sdc"))?
+        .expect("silent corruption is a run-level incident");
     for path in &written {
         println!("[postmortem] {}", path.display());
     }

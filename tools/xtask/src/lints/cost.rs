@@ -57,6 +57,8 @@ pub const CHARGE_HOOKS: &[&str] = &[
     "charge_health_check",
     "charge_recovery",
     "charge_speculation",
+    "charge_checksum_encode",
+    "verify_integrity",
 ];
 
 /// Whether `name` is a cost-lint obligation on an Executor impl.

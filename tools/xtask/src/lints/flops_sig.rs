@@ -51,6 +51,9 @@ pub const KERNEL_PRICING: &[(&str, &str, bool)] = &[
     ("fft", "fft_cols", true),
     ("gather", "blas1", false),
     ("health_scan", "blas1_reduce", false),
+    // ABFT checksum encode/verify sweeps are streaming reductions over
+    // the protected panel; the leading term is priced as blas1_reduce.
+    ("abft", "blas1_reduce", false),
 ];
 
 /// `CostModel` constructors/accessors that are not pricing methods.

@@ -1,0 +1,45 @@
+//! Fixture: ABFT integrity hooks that do real checksum work outside the
+//! charging funnel — verification that never prices itself must be
+//! flagged by the cost lint, or "protected" runs look free.
+
+pub fn unbilled_checksum_row(gpu: &mut Gpu, a: &DMat) -> Vec<f64> {
+    // Encodes a full checksum row (an n-length reduction per column)
+    // without charging: the detection overhead vanishes from the model.
+    let mut row = vec![0.0; a.cols()];
+    for j in 0..a.cols() {
+        for i in 0..a.rows() {
+            row[j] += a.get(i, j);
+        }
+    }
+    let _ = gpu;
+    row
+}
+
+pub fn unbilled_verify(gpu: &mut Gpu, a: &DMat) -> bool {
+    verify_without_charge(gpu, a)
+}
+
+fn verify_without_charge(_gpu: &mut Gpu, a: &DMat) -> bool {
+    a.rows() > 0
+}
+
+impl Executor for FreeIntegrityExec {
+    fn charge_checksum_encode(&mut self, m: usize, n: usize, k: usize) -> Result<()> {
+        // Encoding the side-band checksum is a real GEMV-shaped pass;
+        // returning Ok without charging it must be flagged.
+        let _ = (m, n, k);
+        Ok(())
+    }
+
+    fn verify_integrity(
+        &mut self,
+        m: usize,
+        n: usize,
+        k: usize,
+        outcome: IntegrityOutcome,
+    ) -> Result<()> {
+        // Ditto for verification and the correction/rerun surcharge.
+        let _ = (m, n, k, outcome);
+        Ok(())
+    }
+}

@@ -1,0 +1,59 @@
+//! Fixture: ABFT integrity hooks that satisfy the cost lint — encoding
+//! and verification stay inside the charging funnel, directly or via a
+//! helper, and a backend may refuse protection with `Unsupported`.
+
+pub fn billed_checksum_row(gpu: &mut Gpu, n: usize, k: usize) {
+    gpu.charge(Phase::Other, gpu.cost().gemm(1, n, k));
+}
+
+pub fn billed_verify(gpu: &mut Gpu, n: usize, k: usize) {
+    charge_verify_pass(gpu, n, k);
+}
+
+fn charge_verify_pass(gpu: &mut Gpu, n: usize, k: usize) {
+    gpu.charge(Phase::Other, gpu.cost().gemm(2, n, k));
+}
+
+impl Executor for BilledIntegrityExec {
+    fn charge_checksum_encode(&mut self, m: usize, n: usize, k: usize) -> Result<()> {
+        let _ = m;
+        billed_checksum_row(&mut self.gpu, n, k);
+        Ok(())
+    }
+
+    fn verify_integrity(
+        &mut self,
+        m: usize,
+        n: usize,
+        k: usize,
+        outcome: IntegrityOutcome,
+    ) -> Result<()> {
+        let _ = (m, outcome);
+        charge_verify_pass(&mut self.gpu, n, k);
+        Ok(())
+    }
+}
+
+impl Executor for RefusingIntegrityExec {
+    fn charge_checksum_encode(&mut self, m: usize, n: usize, k: usize) -> Result<()> {
+        // Refusing protection is not free protection: the guard falls
+        // back to an unprotected run and prices that instead.
+        let _ = (m, n, k);
+        Err(MatrixError::Unsupported {
+            backend: "fixture",
+            feature: "ABFT checksums".into(),
+        })
+    }
+
+    // analyze: allow(cost, verification is host arithmetic on this backend)
+    fn verify_integrity(
+        &mut self,
+        m: usize,
+        n: usize,
+        k: usize,
+        outcome: IntegrityOutcome,
+    ) -> Result<()> {
+        let _ = (m, n, k, outcome);
+        Ok(())
+    }
+}

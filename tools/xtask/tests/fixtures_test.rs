@@ -115,6 +115,30 @@ fn cost_accepts_charges_refusals_and_allows() {
 }
 
 #[test]
+fn cost_flags_integrity_hooks_outside_the_charging_funnel() {
+    let file = fixture("integrity_bad.rs");
+    let files = [&file];
+    let graph = Graph::build(vec![&file]);
+    let findings = lints::cost::check(&graph, &files, &files);
+    // unbilled_checksum_row, unbilled_verify, charge_checksum_encode,
+    // verify_integrity.
+    assert_eq!(findings.len(), 4, "got {findings:#?}");
+    assert!(lints_of(&findings).iter().all(|l| *l == "cost"));
+    let msgs: Vec<&str> = findings.iter().map(|f| f.message.as_str()).collect();
+    assert!(msgs.iter().any(|m| m.contains("charge_checksum_encode")));
+    assert!(msgs.iter().any(|m| m.contains("verify_integrity")));
+}
+
+#[test]
+fn cost_accepts_billed_refused_and_allowed_integrity_hooks() {
+    let file = fixture("integrity_ok.rs");
+    let files = [&file];
+    let graph = Graph::build(vec![&file]);
+    let findings = lints::cost::check(&graph, &files, &files);
+    assert!(findings.is_empty(), "unexpected findings: {findings:#?}");
+}
+
+#[test]
 fn cost_resolves_charges_across_files_via_use() {
     // `fused_pass` charges only through a helper in another file,
     // imported with `use crate::device::charge_helper` — per-file
